@@ -1,0 +1,103 @@
+//===- bench/ablation_ordering.cpp - Node-ordering ablation ---------------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+// Ablation: height-based list-scheduling order versus the simplified
+// Swing Modulo Scheduling order (the paper's reference [16]) across the
+// whole suite and all three policies. Reports achieved IIs and cycles.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cvliw/alias/MemoryDisambiguator.h"
+#include "cvliw/ir/DDGBuilder.h"
+#include "cvliw/profile/ClusterProfiler.h"
+#include "cvliw/sched/DDGTransform.h"
+#include "cvliw/sched/MemoryChains.h"
+#include "cvliw/sched/ModuloScheduler.h"
+#include "cvliw/sim/KernelSimulator.h"
+#include "cvliw/support/TableWriter.h"
+#include "cvliw/workloads/Suite.h"
+
+#include <iostream>
+
+using namespace cvliw;
+
+namespace {
+
+struct Tally {
+  uint64_t Cycles = 0;
+  uint64_t IISum = 0;
+  unsigned Loops = 0;
+  unsigned Failures = 0;
+};
+
+Tally runAll(CoherencePolicy Policy, SchedulerOrdering Ordering) {
+  Tally Out;
+  for (const BenchmarkSpec &Bench : evaluationSuite()) {
+    MachineConfig Machine = MachineConfig::baseline();
+    Machine.InterleaveBytes = Bench.InterleaveBytes;
+    for (const LoopSpec &Spec : Bench.Loops) {
+      Loop L = buildLoop(Spec, Machine);
+      DDG G = buildRegisterFlowDDG(L);
+      MemoryDisambiguator D(L);
+      D.addMemoryEdges(G);
+      Loop *SchedLoop = &L;
+      DDG *SchedGraph = &G;
+      DDGTResult T;
+      if (Policy == CoherencePolicy::DDGT) {
+        T = applyDDGT(L, G, Machine);
+        SchedLoop = &T.TransformedLoop;
+        SchedGraph = &T.TransformedDDG;
+      }
+      ClusterProfile P = profileLoop(*SchedLoop, Machine);
+      MemoryChains Chains(*SchedLoop, *SchedGraph);
+      SchedulerOptions Opts;
+      Opts.Policy = Policy;
+      Opts.Heuristic = ClusterHeuristic::PrefClus;
+      Opts.Ordering = Ordering;
+      ModuloScheduler Scheduler(*SchedLoop, *SchedGraph, Machine, P, Opts,
+                                &Chains);
+      auto S = Scheduler.run();
+      if (!S) {
+        Out.Failures += 1;
+        continue;
+      }
+      SimOptions SimOpts;
+      SimOpts.Policy = Policy;
+      SimResult R = simulateKernel(*SchedLoop, *SchedGraph, *S, Machine,
+                                   SimOpts);
+      Out.Cycles += R.TotalCycles;
+      Out.IISum += S->II;
+      Out.Loops += 1;
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+int main() {
+  std::cout << "=== Ablation: node ordering (height-based vs simplified "
+               "Swing [16]), PrefClus, whole suite ===\n\n";
+  TableWriter Table({"policy", "ordering", "total cycles", "mean II",
+                     "failures"});
+  for (CoherencePolicy Policy :
+       {CoherencePolicy::Baseline, CoherencePolicy::MDC,
+        CoherencePolicy::DDGT}) {
+    for (SchedulerOrdering Ordering :
+         {SchedulerOrdering::HeightBased, SchedulerOrdering::Swing}) {
+      Tally T = runAll(Policy, Ordering);
+      Table.addRow({coherencePolicyName(Policy),
+                    schedulerOrderingName(Ordering),
+                    TableWriter::grouped(T.Cycles),
+                    TableWriter::fmt(static_cast<double>(T.IISum) /
+                                     T.Loops),
+                    std::to_string(T.Failures)});
+    }
+  }
+  Table.render(std::cout);
+  std::cout << "\nBoth orderings must produce legal schedules everywhere; "
+               "Swing tends to place recurrence nodes adjacently, "
+               "shortening lifetimes on recurrence-bound loops.\n";
+  return 0;
+}

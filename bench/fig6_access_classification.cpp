@@ -1,0 +1,74 @@
+//===- bench/fig6_access_classification.cpp - Figure 6 reproduction -------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+// Reproduces Figure 6: classification of memory accesses (local hits,
+// remote hits, local misses, remote misses, combined) under the PrefClus
+// heuristic for (i) free scheduling (no memory dependence restrictions),
+// (ii) the MDC solution and (iii) the DDGT solution.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cvliw/pipeline/Experiment.h"
+#include "cvliw/support/TableWriter.h"
+
+#include <iostream>
+
+using namespace cvliw;
+
+namespace {
+
+std::string formatBreakdown(const FractionAccumulator &C) {
+  auto Pct = [&](AccessType T) {
+    return TableWriter::pct(C.fraction(static_cast<size_t>(T)), 0);
+  };
+  return Pct(AccessType::LocalHit) + "/" + Pct(AccessType::RemoteHit) +
+         "/" + Pct(AccessType::LocalMiss) + "/" +
+         Pct(AccessType::RemoteMiss) + "/" + Pct(AccessType::Combined);
+}
+
+} // namespace
+
+int main() {
+  std::cout
+      << "=== Figure 6: memory access classification, PrefClus "
+         "heuristic ===\n"
+      << "Cells: local hit / remote hit / local miss / remote miss / "
+         "combined.\n\n";
+
+  TableWriter Table({"benchmark", "free (no mem dep)", "MDC", "DDGT"});
+  double LocalHitSum[3] = {0, 0, 0};
+  const CoherencePolicy Policies[3] = {CoherencePolicy::Baseline,
+                                       CoherencePolicy::MDC,
+                                       CoherencePolicy::DDGT};
+
+  unsigned Count = 0;
+  for (const BenchmarkSpec &Bench : evaluationSuite()) {
+    std::vector<std::string> Row{Bench.Name};
+    for (unsigned I = 0; I != 3; ++I) {
+      ExperimentConfig Config;
+      Config.Policy = Policies[I];
+      Config.Heuristic = ClusterHeuristic::PrefClus;
+      BenchmarkRunResult R = runBenchmark(Bench, Config);
+      FractionAccumulator C = R.mergedClassification();
+      LocalHitSum[I] += C.fraction(static_cast<size_t>(AccessType::LocalHit));
+      Row.push_back(formatBreakdown(C));
+    }
+    Table.addRow(Row);
+    ++Count;
+  }
+
+  Table.addSeparator();
+  Table.addRow({"AMEAN local hits",
+                TableWriter::pct(LocalHitSum[0] / Count, 1),
+                TableWriter::pct(LocalHitSum[1] / Count, 1),
+                TableWriter::pct(LocalHitSum[2] / Count, 1)});
+  Table.render(std::cout);
+
+  std::cout << "\nPaper (Figure 6): free scheduling averages 62.5% local "
+               "hits; MDC drops to 53.2% (chains pinned to one cluster); "
+               "DDGT raises local hits ~15-16% over MDC (all loads in "
+               "their preferred cluster, all executed store instances "
+               "local).\n";
+  return 0;
+}

@@ -1,0 +1,84 @@
+//===- bench/fig7_execution_time.cpp - Figure 7 reproduction --------------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+// Reproduces Figure 7: execution time of MDC and DDGT under PrefClus and
+// MinComs, split into compute and stall cycles, normalized to the
+// optimistic free-scheduling baseline (MinComs, memory dependences
+// ignored for cluster assignment).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cvliw/pipeline/Experiment.h"
+#include "cvliw/support/TableWriter.h"
+
+#include <iostream>
+#include <vector>
+
+using namespace cvliw;
+
+int main() {
+  std::cout << "=== Figure 7: execution time (normalized to baseline "
+               "MinComs free scheduling) ===\n"
+            << "Each cell: total (compute + stall), as a fraction of the "
+               "baseline's total cycles.\n\n";
+
+  struct Scheme {
+    const char *Label;
+    CoherencePolicy Policy;
+    ClusterHeuristic Heuristic;
+  };
+  const Scheme Schemes[] = {
+      {"MDC(PrefClus)", CoherencePolicy::MDC, ClusterHeuristic::PrefClus},
+      {"MDC(MinComs)", CoherencePolicy::MDC, ClusterHeuristic::MinComs},
+      {"DDGT(PrefClus)", CoherencePolicy::DDGT, ClusterHeuristic::PrefClus},
+      {"DDGT(MinComs)", CoherencePolicy::DDGT, ClusterHeuristic::MinComs},
+  };
+
+  TableWriter Table({"benchmark", "MDC(PrefClus)", "MDC(MinComs)",
+                     "DDGT(PrefClus)", "DDGT(MinComs)"});
+
+  std::vector<double> Totals[4];
+  std::vector<double> ComputeRatios[4], StallRatios[4];
+
+  for (const BenchmarkSpec &Bench : evaluationSuite()) {
+    ExperimentConfig BaselineConfig;
+    BaselineConfig.Policy = CoherencePolicy::Baseline;
+    BaselineConfig.Heuristic = ClusterHeuristic::MinComs;
+    BenchmarkRunResult Baseline = runBenchmark(Bench, BaselineConfig);
+    double BaseCycles = static_cast<double>(Baseline.totalCycles());
+
+    std::vector<std::string> Row{Bench.Name};
+    for (unsigned I = 0; I != 4; ++I) {
+      ExperimentConfig Config;
+      Config.Policy = Schemes[I].Policy;
+      Config.Heuristic = Schemes[I].Heuristic;
+      BenchmarkRunResult R = runBenchmark(Bench, Config);
+      double Total = static_cast<double>(R.totalCycles()) / BaseCycles;
+      double Compute = static_cast<double>(R.computeCycles()) / BaseCycles;
+      double Stall = static_cast<double>(R.stallCycles()) / BaseCycles;
+      Totals[I].push_back(Total);
+      ComputeRatios[I].push_back(Compute);
+      StallRatios[I].push_back(Stall);
+      Row.push_back(TableWriter::fmt(Total) + " (" +
+                    TableWriter::fmt(Compute) + "+" +
+                    TableWriter::fmt(Stall) + ")");
+    }
+    Table.addRow(Row);
+  }
+
+  Table.addSeparator();
+  std::vector<std::string> MeanRow{"AMEAN"};
+  for (unsigned I = 0; I != 4; ++I)
+    MeanRow.push_back(TableWriter::fmt(amean(Totals[I])) + " (" +
+                      TableWriter::fmt(amean(ComputeRatios[I])) + "+" +
+                      TableWriter::fmt(amean(StallRatios[I])) + ")");
+  Table.addRow(MeanRow);
+  Table.render(std::cout);
+
+  std::cout << "\nPaper (Figure 7 + §4.2): MDC stays close to the "
+               "baseline on average; DDGT cuts stall time (-32% with "
+               "PrefClus vs MDC) but raises compute time (+10-11%), so "
+               "MDC usually wins overall.\n";
+  return 0;
+}

@@ -1,0 +1,85 @@
+//===- bench/fig9_attraction_buffers.cpp - Figure 9 reproduction ----------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+// Reproduces Figure 9: execution time of MDC and DDGT under both
+// heuristics on a machine with 16-entry 2-way set-associative Attraction
+// Buffers, normalized to free scheduling (MinComs) with Attraction
+// Buffers.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cvliw/pipeline/Experiment.h"
+#include "cvliw/support/TableWriter.h"
+
+#include <iostream>
+
+using namespace cvliw;
+
+int main() {
+  std::cout << "=== Figure 9: execution time with Attraction Buffers "
+               "(normalized to baseline MinComs + AB) ===\n\n";
+
+  struct Scheme {
+    const char *Label;
+    CoherencePolicy Policy;
+    ClusterHeuristic Heuristic;
+  };
+  const Scheme Schemes[] = {
+      {"MDC(PrefClus)", CoherencePolicy::MDC, ClusterHeuristic::PrefClus},
+      {"MDC(MinComs)", CoherencePolicy::MDC, ClusterHeuristic::MinComs},
+      {"DDGT(PrefClus)", CoherencePolicy::DDGT, ClusterHeuristic::PrefClus},
+      {"DDGT(MinComs)", CoherencePolicy::DDGT, ClusterHeuristic::MinComs},
+  };
+
+  TableWriter Table({"benchmark", "MDC(PrefClus)", "MDC(MinComs)",
+                     "DDGT(PrefClus)", "DDGT(MinComs)", "AB hit share"});
+  std::vector<double> Totals[4];
+
+  for (const BenchmarkSpec &Bench : evaluationSuite()) {
+    ExperimentConfig BaselineConfig;
+    BaselineConfig.Policy = CoherencePolicy::Baseline;
+    BaselineConfig.Heuristic = ClusterHeuristic::MinComs;
+    BaselineConfig.Machine = MachineConfig::withAttractionBuffers();
+    BenchmarkRunResult Baseline = runBenchmark(Bench, BaselineConfig);
+    double BaseCycles = static_cast<double>(Baseline.totalCycles());
+
+    std::vector<std::string> Row{Bench.Name};
+    uint64_t AbHits = 0, Accesses = 0;
+    for (unsigned I = 0; I != 4; ++I) {
+      ExperimentConfig Config;
+      Config.Policy = Schemes[I].Policy;
+      Config.Heuristic = Schemes[I].Heuristic;
+      Config.Machine = MachineConfig::withAttractionBuffers();
+      BenchmarkRunResult R = runBenchmark(Bench, Config);
+      double Total = static_cast<double>(R.totalCycles()) / BaseCycles;
+      Totals[I].push_back(Total);
+      Row.push_back(TableWriter::fmt(Total));
+      if (I == 0) {
+        for (const LoopRunResult &LoopResult : R.Loops) {
+          AbHits += LoopResult.Sim.AttractionBufferHits;
+          Accesses += LoopResult.Sim.MemoryAccesses;
+        }
+      }
+    }
+    Row.push_back(TableWriter::pct(
+        safeRatio(static_cast<double>(AbHits),
+                  static_cast<double>(Accesses)),
+        1));
+    Table.addRow(Row);
+  }
+
+  Table.addSeparator();
+  std::vector<std::string> MeanRow{"AMEAN"};
+  for (unsigned I = 0; I != 4; ++I)
+    MeanRow.push_back(TableWriter::fmt(amean(Totals[I])));
+  Table.addRow(MeanRow);
+  Table.render(std::cout);
+
+  std::cout << "\nPaper (Figure 9 + §5.4): with Attraction Buffers the "
+               "MDC solution outperforms DDGT on every benchmark except "
+               "epicdec (whose huge chain overflows a single cluster's "
+               "buffer; spreading the accesses with DDGT keeps all four "
+               "buffers effective) and gsmdec.\n";
+  return 0;
+}

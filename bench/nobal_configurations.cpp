@@ -1,0 +1,68 @@
+//===- bench/nobal_configurations.cpp - §4.2 unbalanced buses -------------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+// Reproduces §4.2 "Other architectural configurations":
+//  * NOBAL+MEM: four 2-cycle memory buses, two 4-cycle register buses
+//    -> register buses overloaded -> MDC always beats DDGT.
+//  * NOBAL+REG: two 4-cycle memory buses, four 2-cycle register buses
+//    -> remote traffic expensive -> DDGT(PrefClus) wins on the big-chain
+//    benchmarks (epicdec 17%, pgpdec 20%, pgpenc 9%, rasta 8%).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cvliw/pipeline/Experiment.h"
+#include "cvliw/support/TableWriter.h"
+
+#include <iostream>
+
+using namespace cvliw;
+
+namespace {
+
+void runConfiguration(const char *Label, const MachineConfig &Machine) {
+  std::cout << "--- " << Label << ": " << Machine.summary() << " ---\n";
+  TableWriter Table({"benchmark", "best MDC", "DDGT(PrefClus)",
+                     "DDGT speedup over best MDC"});
+  for (const BenchmarkSpec &Bench : evaluationSuite()) {
+    uint64_t BestMdc = ~0ull;
+    for (ClusterHeuristic H :
+         {ClusterHeuristic::PrefClus, ClusterHeuristic::MinComs}) {
+      ExperimentConfig Config;
+      Config.Policy = CoherencePolicy::MDC;
+      Config.Heuristic = H;
+      Config.Machine = Machine;
+      BenchmarkRunResult R = runBenchmark(Bench, Config);
+      BestMdc = std::min(BestMdc, R.totalCycles());
+    }
+    ExperimentConfig DdgtConfig;
+    DdgtConfig.Policy = CoherencePolicy::DDGT;
+    DdgtConfig.Heuristic = ClusterHeuristic::PrefClus;
+    DdgtConfig.Machine = Machine;
+    BenchmarkRunResult Ddgt = runBenchmark(Bench, DdgtConfig);
+
+    double Speedup = (static_cast<double>(BestMdc) /
+                          static_cast<double>(Ddgt.totalCycles()) -
+                      1.0) *
+                     100.0;
+    Table.addRow({Bench.Name, TableWriter::grouped(BestMdc),
+                  TableWriter::grouped(Ddgt.totalCycles()),
+                  TableWriter::fmt(Speedup, 1) + "%"});
+  }
+  Table.render(std::cout);
+  std::cout << "\n";
+}
+
+} // namespace
+
+int main() {
+  std::cout << "=== §4.2: unbalanced bus configurations ===\n\n";
+  runConfiguration("NOBAL+MEM", MachineConfig::nobalMem());
+  runConfiguration("NOBAL+REG", MachineConfig::nobalReg());
+  std::cout << "Paper: under NOBAL+MEM the MDC solution always wins "
+               "(register buses are the overloaded resource store "
+               "replication leans on); under NOBAL+REG DDGT(PrefClus) "
+               "outperforms the best MDC by 17%/20%/9%/8% on "
+               "epicdec/pgpdec/pgpenc/rasta.\n";
+  return 0;
+}

@@ -1,0 +1,134 @@
+//===- bench/perf_microbench.cpp - Toolchain throughput -------------------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+// google-benchmark microbenchmarks of the toolchain itself (not a paper
+// experiment): DDG construction, memory disambiguation, the DDGT
+// transformation, modulo scheduling and simulation throughput.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cvliw/alias/MemoryDisambiguator.h"
+#include "cvliw/ir/DDGBuilder.h"
+#include "cvliw/pipeline/Experiment.h"
+#include "cvliw/profile/ClusterProfiler.h"
+#include "cvliw/sched/DDGTransform.h"
+#include "cvliw/sched/MemoryChains.h"
+#include "cvliw/sched/ModuloScheduler.h"
+#include "cvliw/sim/KernelSimulator.h"
+#include "cvliw/workloads/KernelBuilder.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace cvliw;
+
+namespace {
+
+LoopSpec mediumSpec() {
+  LoopSpec Spec;
+  Spec.Name = "bench";
+  Spec.Chains = {ChainSpec{2, 1, 6, 2, true}};
+  Spec.ConsistentLoads = 8;
+  Spec.ConsistentStores = 2;
+  Spec.ArithPerLoad = 2;
+  Spec.ProfileTrip = 1000;
+  Spec.ExecTrip = 2000;
+  Spec.SeedBase = 4242;
+  return Spec;
+}
+
+void BM_BuildLoopAndDDG(benchmark::State &State) {
+  MachineConfig Machine = MachineConfig::baseline();
+  LoopSpec Spec = mediumSpec();
+  for (auto _ : State) {
+    Loop L = buildLoop(Spec, Machine);
+    DDG G = buildRegisterFlowDDG(L);
+    benchmark::DoNotOptimize(G.numNodes());
+  }
+}
+BENCHMARK(BM_BuildLoopAndDDG);
+
+void BM_MemoryDisambiguation(benchmark::State &State) {
+  MachineConfig Machine = MachineConfig::baseline();
+  Loop L = buildLoop(mediumSpec(), Machine);
+  for (auto _ : State) {
+    DDG G = buildRegisterFlowDDG(L);
+    MemoryDisambiguator D(L);
+    benchmark::DoNotOptimize(D.addMemoryEdges(G));
+  }
+}
+BENCHMARK(BM_MemoryDisambiguation);
+
+void BM_DDGTTransform(benchmark::State &State) {
+  MachineConfig Machine = MachineConfig::baseline();
+  Loop L = buildLoop(mediumSpec(), Machine);
+  DDG G = buildRegisterFlowDDG(L);
+  MemoryDisambiguator D(L);
+  D.addMemoryEdges(G);
+  for (auto _ : State) {
+    DDGTResult T = applyDDGT(L, G, Machine);
+    benchmark::DoNotOptimize(T.TransformedLoop.numOps());
+  }
+}
+BENCHMARK(BM_DDGTTransform);
+
+void BM_ModuloSchedule(benchmark::State &State) {
+  MachineConfig Machine = MachineConfig::baseline();
+  Loop L = buildLoop(mediumSpec(), Machine);
+  DDG G = buildRegisterFlowDDG(L);
+  MemoryDisambiguator D(L);
+  D.addMemoryEdges(G);
+  ClusterProfile Profile = profileLoop(L, Machine);
+  MemoryChains Chains(L, G);
+  for (auto _ : State) {
+    SchedulerOptions Opts;
+    Opts.Policy = CoherencePolicy::MDC;
+    Opts.Heuristic = ClusterHeuristic::PrefClus;
+    ModuloScheduler Scheduler(L, G, Machine, Profile, Opts, &Chains);
+    auto S = Scheduler.run();
+    benchmark::DoNotOptimize(S.has_value());
+  }
+}
+BENCHMARK(BM_ModuloSchedule);
+
+void BM_SimulateKernel(benchmark::State &State) {
+  MachineConfig Machine = MachineConfig::baseline();
+  Loop L = buildLoop(mediumSpec(), Machine);
+  DDG G = buildRegisterFlowDDG(L);
+  MemoryDisambiguator D(L);
+  D.addMemoryEdges(G);
+  ClusterProfile Profile = profileLoop(L, Machine);
+  MemoryChains Chains(L, G);
+  SchedulerOptions Opts;
+  Opts.Policy = CoherencePolicy::MDC;
+  ModuloScheduler Scheduler(L, G, Machine, Profile, Opts, &Chains);
+  auto S = Scheduler.run();
+  SimOptions SimOpts;
+  SimOpts.Policy = CoherencePolicy::MDC;
+  uint64_t DynOps = 0;
+  for (auto _ : State) {
+    SimResult R = simulateKernel(L, G, *S, Machine, SimOpts);
+    DynOps += R.DynamicOps;
+    benchmark::DoNotOptimize(R.TotalCycles);
+  }
+  State.counters["dyn_ops/s"] = benchmark::Counter(
+      static_cast<double>(DynOps), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulateKernel);
+
+void BM_FullPipelineOneBenchmark(benchmark::State &State) {
+  auto Suite = mediabenchSuite();
+  const BenchmarkSpec *Bench = findBenchmark(Suite, "gsmdec");
+  for (auto _ : State) {
+    ExperimentConfig Config;
+    Config.Policy = CoherencePolicy::MDC;
+    Config.Heuristic = ClusterHeuristic::PrefClus;
+    BenchmarkRunResult R = runBenchmark(*Bench, Config);
+    benchmark::DoNotOptimize(R.totalCycles());
+  }
+}
+BENCHMARK(BM_FullPipelineOneBenchmark);
+
+} // namespace
+
+BENCHMARK_MAIN();

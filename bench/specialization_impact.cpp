@@ -1,0 +1,60 @@
+//===- bench/specialization_impact.cpp - §6 specialization payoff ---------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+// Table 5 shows code specialization shrinks the memory dependent
+// chains; the paper then asserts "this will benefit the MDC solution
+// over the DDGT solution" without measuring it. This bench measures it:
+// execution time of MDC and DDGT with and without the §6 run-time
+// disambiguation, on the three benchmarks the paper specializes
+// (epicdec, pgpdec, rasta).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cvliw/pipeline/Experiment.h"
+#include "cvliw/support/TableWriter.h"
+
+#include <iostream>
+
+using namespace cvliw;
+
+int main() {
+  std::cout << "=== §6 code specialization: execution-time impact "
+               "(PrefClus) ===\n\n";
+
+  TableWriter Table({"benchmark", "MDC", "MDC+spec", "MDC gain", "DDGT",
+                     "DDGT+spec", "DDGT gain"});
+  auto Suite = mediabenchSuite();
+  for (const char *Name : {"epicdec", "pgpdec", "pgpenc", "rasta"}) {
+    const BenchmarkSpec *Bench = findBenchmark(Suite, Name);
+    std::vector<std::string> Row{Name};
+    for (CoherencePolicy Policy :
+         {CoherencePolicy::MDC, CoherencePolicy::DDGT}) {
+      uint64_t Plain = 0, Specialized = 0;
+      for (bool Spec : {false, true}) {
+        ExperimentConfig Config;
+        Config.Policy = Policy;
+        Config.Heuristic = ClusterHeuristic::PrefClus;
+        Config.ApplySpecialization = Spec;
+        Config.CheckCoherence = true;
+        BenchmarkRunResult R = runBenchmark(*Bench, Config);
+        if (R.coherenceViolations() != 0) {
+          std::cerr << "coherence violated!\n";
+          return 1;
+        }
+        (Spec ? Specialized : Plain) = R.totalCycles();
+      }
+      double Gain = (static_cast<double>(Plain) / Specialized - 1.0) * 100;
+      Row.push_back(TableWriter::grouped(Plain));
+      Row.push_back(TableWriter::grouped(Specialized));
+      Row.push_back(TableWriter::fmt(Gain, 1) + "%");
+    }
+    Table.addRow(Row);
+  }
+  Table.render(std::cout);
+  std::cout << "\nPaper §6: the eliminated dependences 'will benefit the "
+               "MDC solution over the DDGT solution' — dissolved chains "
+               "let MDC schedule the former members in their preferred "
+               "clusters, while DDGT mostly saves replicated stores.\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+//===- bench/stall_attribution.cpp - Why each scheme stalls ---------------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+// Figure 7's stall bars, decomposed: the paper explains that "stall
+// time is basically due to memory instructions that have been scheduled
+// too close to their consumers" and that DDGT cuts stall time because
+// loads move to their preferred (local) clusters. This bench attributes
+// every stall cycle to the access type of the load that caused it,
+// making that explanation measurable: MDC's stalls should be dominated
+// by remote accesses of the pinned chains; DDGT's by plain misses.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cvliw/pipeline/Experiment.h"
+#include "cvliw/support/TableWriter.h"
+
+#include <iostream>
+
+using namespace cvliw;
+
+int main() {
+  std::cout << "=== Stall attribution by causing access type (PrefClus, "
+               "suite totals) ===\n\n";
+
+  TableWriter Table({"scheme", "total stall", "local hit", "remote hit",
+                     "local miss", "remote miss", "combined"});
+  for (CoherencePolicy Policy :
+       {CoherencePolicy::Baseline, CoherencePolicy::MDC,
+        CoherencePolicy::DDGT}) {
+    FractionAccumulator Attribution(5);
+    uint64_t TotalStall = 0;
+    for (const BenchmarkSpec &Bench : evaluationSuite()) {
+      ExperimentConfig Config;
+      Config.Policy = Policy;
+      Config.Heuristic = ClusterHeuristic::PrefClus;
+      BenchmarkRunResult R = runBenchmark(Bench, Config);
+      TotalStall += R.stallCycles();
+      for (const LoopRunResult &LoopResult : R.Loops)
+        Attribution.merge(LoopResult.Sim.StallAttribution);
+    }
+    Table.addRow(
+        {coherencePolicyName(Policy), TableWriter::grouped(TotalStall),
+         TableWriter::pct(Attribution.fraction(
+             static_cast<size_t>(AccessType::LocalHit))),
+         TableWriter::pct(Attribution.fraction(
+             static_cast<size_t>(AccessType::RemoteHit))),
+         TableWriter::pct(Attribution.fraction(
+             static_cast<size_t>(AccessType::LocalMiss))),
+         TableWriter::pct(Attribution.fraction(
+             static_cast<size_t>(AccessType::RemoteMiss))),
+         TableWriter::pct(Attribution.fraction(
+             static_cast<size_t>(AccessType::Combined)))});
+  }
+  Table.render(std::cout);
+  std::cout << "\nExpected: MDC's stall mass sits on remote accesses "
+               "(pinned chains reference other clusters' modules); DDGT "
+               "shifts the mass toward misses, which Attraction Buffers "
+               "or latency assignment can then address.\n";
+  return 0;
+}

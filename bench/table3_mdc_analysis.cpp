@@ -1,0 +1,51 @@
+//===- bench/table3_mdc_analysis.cpp - Table 3 reproduction ---------------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+// Reproduces Table 3: per benchmark, the biggest Chain over Memory
+// instructions Ratio (CMR) and the biggest Chain over All instructions
+// Ratio (CAR), dynamically weighted across the benchmark's loops.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cvliw/pipeline/Experiment.h"
+#include "cvliw/support/TableWriter.h"
+
+#include <iostream>
+#include <map>
+
+using namespace cvliw;
+
+int main() {
+  std::cout << "=== Table 3: analyzing the MDC solution (CMR / CAR) ===\n\n";
+
+  // Paper's Table 3 values for side-by-side comparison.
+  const std::map<std::string, std::pair<double, double>> Paper = {
+      {"epicdec", {0.64, 0.22}},  {"g721dec", {0.00, 0.00}},
+      {"g721enc", {0.00, 0.00}},  {"gsmdec", {0.18, 0.02}},
+      {"gsmenc", {0.08, 0.01}},   {"jpegdec", {0.46, 0.09}},
+      {"jpegenc", {0.07, 0.03}},  {"mpeg2dec", {0.13, 0.05}},
+      {"pegwitdec", {0.27, 0.07}}, {"pegwitenc", {0.35, 0.09}},
+      {"pgpdec", {0.73, 0.24}},   {"pgpenc", {0.63, 0.21}},
+      {"rasta", {0.52, 0.26}},
+  };
+
+  TableWriter Table({"benchmark", "CMR (paper)", "CMR (ours)",
+                     "CAR (paper)", "CAR (ours)"});
+  for (const BenchmarkSpec &Bench : evaluationSuite()) {
+    ChainRatioResult R = chainRatios(Bench, /*AfterSpecialization=*/false);
+    auto It = Paper.find(Bench.Name);
+    Table.addRow({Bench.Name,
+                  It != Paper.end() ? TableWriter::fmt(It->second.first)
+                                    : "-",
+                  TableWriter::fmt(R.Cmr),
+                  It != Paper.end() ? TableWriter::fmt(It->second.second)
+                                    : "-",
+                  TableWriter::fmt(R.Car)});
+  }
+  Table.render(std::cout);
+  std::cout << "\nPaper's observation: CAR stays at or below 0.26 "
+               "everywhere, which is why pinning chains to one cluster "
+               "barely hurts workload balance on average.\n";
+  return 0;
+}

@@ -1,0 +1,51 @@
+//===- bench/table5_code_specialization.cpp - Table 5 reproduction --------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+// Reproduces Table 5: CMR/CAR of epicdec, pgpdec and rasta before (OLD)
+// and after (NEW) code specialization removes the ambiguous memory
+// dependences that a run-time check can rule out (§6).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cvliw/pipeline/Experiment.h"
+#include "cvliw/support/TableWriter.h"
+
+#include <iostream>
+#include <map>
+
+using namespace cvliw;
+
+int main() {
+  std::cout << "=== Table 5: memory dependence restrictions before (OLD) "
+               "and after (NEW) code specialization ===\n\n";
+
+  // Paper values: benchmark -> {oldCMR, oldCAR, newCMR, newCAR}.
+  const std::map<std::string, std::array<double, 4>> Paper = {
+      {"epicdec", {0.64, 0.22, 0.20, 0.06}},
+      {"pgpdec", {0.73, 0.24, 0.52, 0.17}},
+      {"rasta", {0.52, 0.26, 0.13, 0.06}},
+  };
+
+  TableWriter Table({"benchmark", "OLD CMR", "OLD CAR", "NEW CMR",
+                     "NEW CAR", "paper OLD->NEW CMR"});
+  auto Suite = mediabenchSuite();
+  for (const char *Name : {"epicdec", "pgpdec", "rasta"}) {
+    const BenchmarkSpec *Bench = findBenchmark(Suite, Name);
+    if (!Bench)
+      continue;
+    ChainRatioResult Old = chainRatios(*Bench, /*AfterSpecialization=*/false);
+    ChainRatioResult New = chainRatios(*Bench, /*AfterSpecialization=*/true);
+    const auto &P = Paper.at(Name);
+    char Ref[64];
+    std::snprintf(Ref, sizeof(Ref), "%.2f -> %.2f", P[0], P[2]);
+    Table.addRow({Name, TableWriter::fmt(Old.Cmr), TableWriter::fmt(Old.Car),
+                  TableWriter::fmt(New.Cmr), TableWriter::fmt(New.Car),
+                  Ref});
+  }
+  Table.render(std::cout);
+  std::cout << "\nPaper's observation: run-time disambiguation greatly "
+               "shrinks the chains (epicdec 0.64 -> 0.20), benefiting the "
+               "MDC solution.\n";
+  return 0;
+}

@@ -1,0 +1,85 @@
+//===- examples/attraction_buffer_study.cpp - AB sizing study -------------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+// The paper fixes Attraction Buffers at 16 entries, 2-way (§5). This
+// example sweeps the buffer size for the MDC solution on two kernels —
+// one with a modest chain, one with an epicdec-style huge chain — to
+// show the overflow effect the paper describes: a single cluster's
+// buffer cannot hold a big chain's working set, while DDGT's spreading
+// keeps all four buffers effective.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cvliw/pipeline/Experiment.h"
+#include "cvliw/support/TableWriter.h"
+
+#include <iostream>
+
+using namespace cvliw;
+
+namespace {
+
+LoopSpec modestChain() {
+  LoopSpec Spec;
+  Spec.Name = "modest";
+  Spec.Chains = {ChainSpec{2, 1, 2, 1, true}};
+  Spec.ConsistentLoads = 6;
+  Spec.ConsistentStores = 1;
+  Spec.ArithPerLoad = 2;
+  Spec.ExecTrip = 3000;
+  Spec.SeedBase = 881;
+  return Spec;
+}
+
+LoopSpec hugeChain() {
+  LoopSpec Spec;
+  Spec.Name = "huge";
+  Spec.Chains = {ChainSpec{1, 1, 18, 6, true}};
+  Spec.ConsistentLoads = 2;
+  Spec.ArithPerLoad = 2;
+  Spec.ExecTrip = 3000;
+  Spec.SeedBase = 882;
+  Spec.ObjectBytes = 512;
+  return Spec;
+}
+
+} // namespace
+
+int main() {
+  std::cout << "=== Attraction Buffer sizing (MDC vs DDGT, PrefClus) ===\n"
+            << "Stall cycles as buffer entries grow (0 = no buffers).\n\n";
+
+  for (const LoopSpec &Spec : {modestChain(), hugeChain()}) {
+    std::cout << "--- kernel: " << Spec.Name << " (biggest chain "
+              << Spec.Chains[0].size() << " memory ops) ---\n";
+    TableWriter Table({"AB entries", "MDC stall", "MDC AB hits",
+                       "DDGT stall", "DDGT AB hits"});
+    for (unsigned Entries : {0u, 8u, 16u, 32u, 64u}) {
+      MachineConfig Machine = MachineConfig::baseline();
+      if (Entries > 0) {
+        Machine.AttractionBuffersEnabled = true;
+        Machine.AttractionBufferEntries = Entries;
+      }
+      std::vector<std::string> Row{std::to_string(Entries)};
+      for (CoherencePolicy Policy :
+           {CoherencePolicy::MDC, CoherencePolicy::DDGT}) {
+        ExperimentConfig Config;
+        Config.Policy = Policy;
+        Config.Heuristic = ClusterHeuristic::PrefClus;
+        Config.Machine = Machine;
+        LoopRunResult R = runLoop(Spec, Config);
+        Row.push_back(TableWriter::grouped(R.Sim.StallCycles));
+        Row.push_back(TableWriter::grouped(R.Sim.AttractionBufferHits));
+      }
+      Table.addRow(Row);
+    }
+    Table.render(std::cout);
+    std::cout << "\n";
+  }
+  std::cout << "Expected: the modest chain benefits from 16 entries "
+               "already; the huge chain needs far more capacity under "
+               "MDC (every member funnels through one cluster's buffer) "
+               "than under DDGT (paper §5.4's epicdec effect).\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+//===- examples/bus_design_space.cpp - Interconnect design sweep ----------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+// Uses the library to answer an architecture question the paper's §4.2
+// only samples: how does the MDC/DDGT trade-off move as the register and
+// memory bus provisioning changes? Sweeps bus counts and latencies on a
+// chain-heavy kernel and prints the winner per design point.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cvliw/pipeline/Experiment.h"
+#include "cvliw/support/TableWriter.h"
+
+#include <iostream>
+
+using namespace cvliw;
+
+namespace {
+
+LoopSpec chainKernel() {
+  LoopSpec Spec;
+  Spec.Name = "design_space";
+  Spec.Chains = {ChainSpec{2, 1, 8, 3, true}};
+  Spec.ConsistentLoads = 4;
+  Spec.ConsistentStores = 1;
+  Spec.ArithPerLoad = 3;
+  Spec.ProfileTrip = 1000;
+  Spec.ExecTrip = 3000;
+  Spec.SeedBase = 777;
+  return Spec;
+}
+
+uint64_t cyclesFor(CoherencePolicy Policy, const MachineConfig &Machine) {
+  ExperimentConfig Config;
+  Config.Policy = Policy;
+  Config.Heuristic = ClusterHeuristic::PrefClus;
+  Config.Machine = Machine;
+  return runLoop(chainKernel(), Config).Sim.TotalCycles;
+}
+
+} // namespace
+
+int main() {
+  std::cout << "=== Bus design space: MDC vs DDGT on a chain-heavy "
+               "kernel (PrefClus) ===\n\n";
+
+  TableWriter Table({"mem buses", "reg buses", "MDC cycles", "DDGT cycles",
+                     "winner"});
+  for (unsigned MemBuses : {1u, 2u, 4u}) {
+    for (unsigned RegBuses : {1u, 2u, 4u}) {
+      MachineConfig Machine = MachineConfig::baseline();
+      Machine.MemoryBuses.Count = MemBuses;
+      Machine.RegisterBuses.Count = RegBuses;
+      uint64_t Mdc = cyclesFor(CoherencePolicy::MDC, Machine);
+      uint64_t Ddgt = cyclesFor(CoherencePolicy::DDGT, Machine);
+      Table.addRow({std::to_string(MemBuses), std::to_string(RegBuses),
+                    TableWriter::grouped(Mdc), TableWriter::grouped(Ddgt),
+                    Mdc <= Ddgt ? "MDC" : "DDGT"});
+    }
+  }
+  Table.render(std::cout);
+  std::cout
+      << "\nExpected from the paper's §4.2: starving the register buses "
+         "hurts DDGT (replica operand copies); starving the memory buses "
+         "hurts MDC (its pinned chains access remote modules).\n";
+  return 0;
+}

@@ -1,0 +1,71 @@
+//===- examples/coherence_demo.cpp - The Figure 2 problem, live -----------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+// Demonstrates the memory coherence problem itself (paper §2.3,
+// Figure 2): a store to X scheduled in a remote cluster races the load
+// of X in X's home cluster. The free-scheduling baseline lets the race
+// happen (the simulator's commit-order checker counts the stale reads);
+// the MDC and DDGT schedules eliminate every violation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cvliw/pipeline/Experiment.h"
+#include "cvliw/support/TableWriter.h"
+
+#include <iostream>
+
+using namespace cvliw;
+
+namespace {
+
+LoopSpec racyKernel(uint64_t Seed) {
+  LoopSpec Spec;
+  Spec.Name = "racy";
+  // Gather chains really alias: perfect for provoking the race.
+  Spec.Chains = {ChainSpec{3, 2, 0, 0, true}};
+  Spec.ConsistentLoads = 4;
+  Spec.ConsistentStores = 1;
+  Spec.ArithPerLoad = 1;
+  Spec.ExecTrip = 4000;
+  Spec.SeedBase = Seed;
+  return Spec;
+}
+
+} // namespace
+
+int main() {
+  std::cout << "=== The Figure 2 race: aliased accesses reaching the "
+               "cache out of program order ===\n\n";
+
+  TableWriter Table({"scheme", "cycles", "coherence violations",
+                     "note"});
+  for (auto [Policy, Note] :
+       {std::pair{CoherencePolicy::Baseline,
+                  "optimistic, NOT a real machine"},
+        std::pair{CoherencePolicy::MDC, "chains pinned to one cluster"},
+        std::pair{CoherencePolicy::DDGT,
+                  "stores replicated + loads synchronized"}}) {
+    uint64_t Violations = 0, Cycles = 0;
+    // Several seeds: the race depends on the address stream.
+    for (uint64_t Seed : {501u, 502u, 503u, 504u}) {
+      ExperimentConfig Config;
+      Config.Policy = Policy;
+      Config.Heuristic = ClusterHeuristic::MinComs;
+      Config.CheckCoherence = true;
+      LoopRunResult R = runLoop(racyKernel(Seed), Config);
+      Violations += R.Sim.CoherenceViolations;
+      Cycles += R.Sim.TotalCycles;
+    }
+    Table.addRow({coherencePolicyName(Policy),
+                  TableWriter::grouped(Cycles),
+                  TableWriter::grouped(Violations), Note});
+  }
+  Table.render(std::cout);
+  std::cout << "\nThe baseline's violations are why it is only a "
+               "normalizer in the paper's Figure 7: 'these baselines are "
+               "optimistic (not real) since memory accesses may reach "
+               "the home cluster in any order and hence, data may be "
+               "corrupted.'\n";
+  return 0;
+}

@@ -1,0 +1,127 @@
+//===- examples/quickstart.cpp - Library quickstart -----------------------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+// Builds the paper's running example DDG (Figure 3): two loads, two
+// stores and an add with memory dependences among them, then schedules
+// it with both proposed coherence techniques and simulates the result.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cvliw/alias/MemoryDisambiguator.h"
+#include "cvliw/ir/DDGBuilder.h"
+#include "cvliw/pipeline/Experiment.h"
+#include "cvliw/profile/ClusterProfiler.h"
+#include "cvliw/sched/DDGTransform.h"
+#include "cvliw/sched/MemoryChains.h"
+#include "cvliw/sched/ModuloScheduler.h"
+#include "cvliw/sim/KernelSimulator.h"
+
+#include <iostream>
+
+using namespace cvliw;
+
+int main() {
+  MachineConfig Machine = MachineConfig::baseline();
+
+  // A small loop in the spirit of Figure 3: n1, n2 load from two arrays
+  // the compiler cannot disambiguate, n5 combines them, and n3, n4 store
+  // into the same ambiguous region.
+  Loop L("figure3");
+  L.ProfileTripCount = 1000;
+  L.ExecTripCount = 2000;
+
+  unsigned Group = 7;
+  unsigned A = L.addObject({"A", 0x1000, 4096, Group});
+  unsigned B = L.addObject({"B", 0x3000, 4096, Group});
+  unsigned C = L.addObject({"C", 0x5000, 4096, Group});
+  unsigned D = L.addObject({"D", 0x7000, 4096, Group});
+
+  unsigned S1 = L.addStream(AddressExpr::affine(A, 0, 16, 4));
+  unsigned S2 = L.addStream(AddressExpr::affine(B, 8, 16, 4));
+  unsigned S3 = L.addStream(AddressExpr::affine(C, 4, 16, 4));
+  unsigned S4 = L.addStream(AddressExpr::affine(D, 12, 16, 4));
+
+  unsigned N1 = L.addOp(Operation::load(/*Dest=*/1, S1));
+  unsigned N2 = L.addOp(Operation::load(/*Dest=*/2, S2));
+  unsigned N3 = L.addOp(Operation::store(/*Value=*/1, S3));
+  [[maybe_unused]] unsigned N4 = L.addOp(Operation::store(/*Value=*/2, S4));
+  unsigned N5 =
+      L.addOp(Operation::compute(Opcode::IAdd, /*Dest=*/3, {1, 2}));
+
+  DDG G = buildRegisterFlowDDG(L);
+  MemoryDisambiguator Disambiguator(L);
+  Disambiguator.addMemoryEdges(G);
+
+  std::cout << "Figure 3 loop: " << L.numOps() << " ops, " << G.numEdges()
+            << " dependence edges\n";
+  G.forEachEdge([&](unsigned, const DepEdge &E) {
+    std::cout << "  n" << E.Src + 1 << " -" << depKindName(E.Kind) << "(d="
+              << E.Distance << ")-> n" << E.Dst + 1 << "\n";
+  });
+  (void)N1;
+  (void)N2;
+  (void)N5;
+
+  // --- MDC: all four memory ops form one chain. -------------------------
+  MemoryChains Chains(L, G);
+  std::cout << "\nMDC: " << Chains.numChains() << " memory dependent chain"
+            << (Chains.numChains() == 1 ? "" : "s")
+            << ", biggest = " << Chains.biggestChainSize()
+            << " memory ops\n";
+
+  ClusterProfile Profile = profileLoop(L, Machine);
+  SchedulerOptions MdcOpts;
+  MdcOpts.Policy = CoherencePolicy::MDC;
+  MdcOpts.Heuristic = ClusterHeuristic::PrefClus;
+  ModuloScheduler MdcScheduler(L, G, Machine, Profile, MdcOpts, &Chains);
+  auto MdcSched = MdcScheduler.run();
+  if (MdcSched) {
+    std::cout << "MDC schedule: II=" << MdcSched->II << "; memory ops in "
+              << "cluster " << MdcSched->Ops[N3].Cluster << "\n";
+  }
+
+  // --- DDGT: store replication + load-store synchronization. ------------
+  DDGTResult T = applyDDGT(L, G, Machine);
+  std::cout << "\nDDGT: replicated " << T.Stats.StoresReplicated
+            << " stores (x" << Machine.NumClusters << "), added "
+            << T.Stats.SyncEdgesAdded << " SYNC edges and "
+            << T.Stats.FakeConsumersAdded << " fake consumer(s)\n";
+
+  ClusterProfile TProfile = profileLoop(T.TransformedLoop, Machine);
+  SchedulerOptions DdgtOpts;
+  DdgtOpts.Policy = CoherencePolicy::DDGT;
+  DdgtOpts.Heuristic = ClusterHeuristic::PrefClus;
+  ModuloScheduler DdgtScheduler(T.TransformedLoop, T.TransformedDDG,
+                                Machine, TProfile, DdgtOpts);
+  auto DdgtSched = DdgtScheduler.run();
+  if (DdgtSched)
+    std::cout << "DDGT schedule: II=" << DdgtSched->II << ", "
+              << DdgtSched->numCopies() << " copy ops per iteration\n";
+
+  // --- Simulate both. ----------------------------------------------------
+  SimOptions SimOpts;
+  SimOpts.CheckCoherence = true;
+  if (MdcSched) {
+    SimOpts.Policy = CoherencePolicy::MDC;
+    SimResult R = simulateKernel(L, G, *MdcSched, Machine, SimOpts);
+    std::cout << "\nMDC  simulation: " << R.TotalCycles << " cycles ("
+              << R.ComputeCycles << " compute + " << R.StallCycles
+              << " stall), local hit ratio "
+              << static_cast<int>(R.fraction(AccessType::LocalHit) * 100)
+              << "%, coherence violations " << R.CoherenceViolations
+              << "\n";
+  }
+  if (DdgtSched) {
+    SimOpts.Policy = CoherencePolicy::DDGT;
+    SimResult R = simulateKernel(T.TransformedLoop, T.TransformedDDG,
+                                 *DdgtSched, Machine, SimOpts);
+    std::cout << "DDGT simulation: " << R.TotalCycles << " cycles ("
+              << R.ComputeCycles << " compute + " << R.StallCycles
+              << " stall), local hit ratio "
+              << static_cast<int>(R.fraction(AccessType::LocalHit) * 100)
+              << "%, coherence violations " << R.CoherenceViolations
+              << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,43 @@
+//===- cvliw/alias/CodeSpecialization.h - Runtime disambiguation -*- C++ -*-===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Code specialization (paper §6, Table 5).
+///
+/// Two versions of a loop are produced: a restrictive one assuming all
+/// ambiguous memory dependences hold, and an aggressive one ignoring the
+/// dependences that a run-time check at loop entry can rule out. The
+/// paper applied this by hand to epicdec, pgpdec and rasta and measured
+/// how much the memory dependent chains shrink (CMR/CAR drop).
+///
+/// Our automated equivalent removes every may-alias DDG edge whose pair
+/// of address streams was proven collision-free on the concrete inputs
+/// (the RuntimeDisambiguable flag computed by MemoryDisambiguator) —
+/// exactly the dependences a "do these ranges overlap?" entry check
+/// eliminates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CVLIW_ALIAS_CODESPECIALIZATION_H
+#define CVLIW_ALIAS_CODESPECIALIZATION_H
+
+#include "cvliw/ir/DDG.h"
+
+namespace cvliw {
+
+/// Result of specializing one loop's DDG.
+struct SpecializationResult {
+  unsigned EdgesRemoved = 0;   ///< Ambiguous edges ruled out at run time.
+  unsigned EdgesRemaining = 0; ///< Memory dependence edges still in force.
+};
+
+/// Removes all RuntimeDisambiguable memory edges from \p G (the
+/// aggressive loop version, taken when the entry check passes).
+SpecializationResult applyCodeSpecialization(DDG &G);
+
+} // namespace cvliw
+
+#endif // CVLIW_ALIAS_CODESPECIALIZATION_H

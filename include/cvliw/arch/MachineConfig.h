@@ -1,0 +1,177 @@
+//===- cvliw/arch/MachineConfig.h - Machine description --------*- C++ -*-===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Description of the word-interleaved cache clustered VLIW processor
+/// (paper §2.1, Figure 1 and Table 2).
+///
+/// Each cluster has a local register file, one integer FU, one FP FU and one
+/// memory port. The data cache is distributed: each cluster owns a cache
+/// module, and consecutive interleaving-factor-sized words of an address
+/// space are assigned round-robin to clusters (the address's "home
+/// cluster"). Clusters exchange register values over register-to-register
+/// buses and memory requests over memory buses; both bus families run at
+/// half the core frequency.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CVLIW_ARCH_MACHINECONFIG_H
+#define CVLIW_ARCH_MACHINECONFIG_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace cvliw {
+
+/// Classification of a memory access in an interleaved cache clustered
+/// architecture (paper §2.1), plus the "combined" category of Figure 6.
+enum class AccessType {
+  LocalHit,   ///< Home cluster == issuing cluster; data present.
+  RemoteHit,  ///< Home cluster != issuing cluster; data present there.
+  LocalMiss,  ///< Home cluster == issuing cluster; data absent.
+  RemoteMiss, ///< Home cluster != issuing cluster; data absent there.
+  Combined,   ///< Subblock already requested and still pending (§4.2).
+};
+
+/// Returns a short printable name ("local hit", ...).
+const char *accessTypeName(AccessType Type);
+
+/// Functional unit classes available in each cluster.
+enum class FuClass { Integer, Float, Memory };
+
+/// How the distributed data cache is organized (paper §2.3: the
+/// proposed techniques apply to "any clustered processor with a
+/// distributed cache", naming word-interleaved and replicated caches
+/// and the multiVLIW).
+enum class CacheOrganization {
+  /// Each address has one home module (Figure 1); remote accesses cross
+  /// memory buses.
+  WordInterleaved,
+  /// Every cluster holds a full copy: loads are always local, stores
+  /// broadcast updates to every other module (write-update).
+  Replicated,
+  /// multiVLIW-style hardware coherence (the paper's reference [23]): a
+  /// directory tracks sharers, blocks migrate on demand and writes
+  /// invalidate remote copies. This is the "extra hardware" that makes
+  /// free scheduling safe — the configuration the paper's software-only
+  /// techniques want to avoid needing.
+  CoherentDirectory,
+};
+
+/// Returns a short printable name.
+const char *cacheOrganizationName(CacheOrganization Org);
+
+/// Parameters of one bus family (memory buses or register buses).
+struct BusConfig {
+  unsigned Count = 4;   ///< Number of buses.
+  unsigned Latency = 2; ///< Cycles a transaction occupies a bus
+                        ///< (buses run at 1/2 core frequency).
+};
+
+/// The architecture description used by both the scheduler and the
+/// simulator. Defaults reproduce the paper's Table 2.
+struct MachineConfig {
+  unsigned NumClusters = 4;
+
+  // Per-cluster functional units (Table 2: 1 FP + 1 integer + 1 memory).
+  unsigned IntUnitsPerCluster = 1;
+  unsigned FpUnitsPerCluster = 1;
+  unsigned MemUnitsPerCluster = 1;
+
+  // Cache: 8KB total as four 2KB modules, 32-byte blocks, 2-way,
+  // 1-cycle latency.
+  unsigned CacheModuleBytes = 2048;
+  unsigned CacheBlockBytes = 32;
+  unsigned CacheAssociativity = 2;
+  unsigned CacheHitLatency = 1;
+
+  /// Interleaving factor in bytes: how many consecutive bytes map to the
+  /// same cluster before the mapping moves to the next one. The paper uses
+  /// 4 bytes for half the benchmarks and 2 bytes for the other half.
+  unsigned InterleaveBytes = 4;
+
+  /// Cache organization; the evaluation uses WordInterleaved.
+  CacheOrganization Organization = CacheOrganization::WordInterleaved;
+
+  BusConfig MemoryBuses;   ///< Cluster <-> remote cache module requests.
+  BusConfig RegisterBuses; ///< Inter-cluster register copies.
+
+  // Next memory level: 4 ports, 10-cycle total latency, always hits.
+  unsigned NextLevelPorts = 4;
+  unsigned NextLevelLatency = 10;
+
+  // Attraction Buffers (paper §5): disabled in the base machine.
+  bool AttractionBuffersEnabled = false;
+  unsigned AttractionBufferEntries = 16;
+  unsigned AttractionBufferAssociativity = 2;
+
+  /// Returns the home cluster of byte address \p Addr.
+  unsigned homeCluster(uint64_t Addr) const {
+    assert(InterleaveBytes > 0 && NumClusters > 0);
+    return static_cast<unsigned>((Addr / InterleaveBytes) % NumClusters);
+  }
+
+  /// Returns the subblock id of \p Addr: all addresses with the same
+  /// subblock id live in the same cache-module line slice. Subblock k of
+  /// block b is the portion of b mapped to one cluster (paper §2.1).
+  uint64_t subblockId(uint64_t Addr) const {
+    return Addr / (InterleaveBytes * NumClusters);
+  }
+
+  /// Bytes of a cache block held by one cluster (the subblock size).
+  unsigned subblockBytes() const {
+    assert(CacheBlockBytes % NumClusters == 0 &&
+           "block must split evenly across clusters");
+    return CacheBlockBytes / NumClusters;
+  }
+
+  /// One-way transfer cost over a memory bus, in core cycles.
+  unsigned memoryBusHop() const { return MemoryBuses.Latency; }
+
+  /// One-way transfer cost over a register bus, in core cycles.
+  unsigned registerBusHop() const { return RegisterBuses.Latency; }
+
+  /// Contention-free latency of an access of type \p Type as seen by the
+  /// scheduler when assigning latencies (paper §2.2: local hit, remote
+  /// hit, local miss, remote miss).
+  unsigned nominalLatency(AccessType Type) const;
+
+  /// Number of distinct sets in one cache module.
+  unsigned cacheSetsPerModule() const {
+    unsigned LineBytes = subblockBytes();
+    unsigned Lines = CacheModuleBytes / LineBytes;
+    assert(Lines % CacheAssociativity == 0 && "bad cache geometry");
+    return Lines / CacheAssociativity;
+  }
+
+  /// Returns a one-line human-readable summary.
+  std::string summary() const;
+
+  // Named configurations used throughout the evaluation.
+
+  /// Table 2 baseline: 4 clusters, 4+4 buses of latency 2.
+  static MachineConfig baseline();
+
+  /// §4.2 NOBAL+MEM: four 2-cycle memory buses, two 4-cycle register buses.
+  static MachineConfig nobalMem();
+
+  /// §4.2 NOBAL+REG: two 4-cycle memory buses, four 2-cycle register buses.
+  static MachineConfig nobalReg();
+
+  /// §5: baseline plus 16-entry 2-way Attraction Buffers.
+  static MachineConfig withAttractionBuffers();
+
+  /// §2.3's alternative: a replicated-cache clustered VLIW processor.
+  static MachineConfig replicatedCache();
+
+  /// multiVLIW-style machine with hardware directory coherence [23].
+  static MachineConfig coherentDirectory();
+};
+
+} // namespace cvliw
+
+#endif // CVLIW_ARCH_MACHINECONFIG_H

@@ -1,0 +1,102 @@
+//===- cvliw/ir/AddressExpr.h - Symbolic address expressions ---*- C++ -*-===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Symbolic per-iteration address expressions for memory operations.
+///
+/// Every static memory operation in a loop body is attached to an
+/// AddressExpr describing the byte address it touches in iteration i.
+/// Two patterns cover the Mediabench-analog kernels:
+///
+///  * Affine:  addr(i) = object.base + Offset + Stride * i   (mod object)
+///  * Gather:  addr(i) = object.base + hash(Seed, i)-selected element
+///
+/// The expressions serve three clients: the memory disambiguator (which
+/// decides must/may/no alias between two expressions), the profiler
+/// (which computes preferred clusters), and the simulator (which needs
+/// the concrete address stream). Gather streams are stateless hashes so
+/// all three observe identical streams for a given input seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CVLIW_IR_ADDRESSEXPR_H
+#define CVLIW_IR_ADDRESSEXPR_H
+
+#include <cstdint>
+#include <string>
+
+namespace cvliw {
+
+/// How a stream's address evolves across iterations.
+enum class AddressPattern {
+  Affine, ///< base + offset + stride * iteration.
+  Gather, ///< pseudo-random element of the object each iteration.
+};
+
+/// Sentinel: the object is provably distinct from every other object.
+inline constexpr unsigned UniqueAliasGroup = ~0u;
+
+/// A named memory object (array / buffer) addressed by a loop.
+struct MemObject {
+  std::string Name;
+  uint64_t BaseAddr = 0;  ///< First byte address.
+  uint64_t SizeBytes = 0; ///< Extent; affine streams wrap modulo this.
+
+  /// Static disambiguation handle. Objects with UniqueAliasGroup are
+  /// provably distinct from everything else (e.g. distinct globals).
+  /// Objects sharing a non-unique group cannot be told apart by the
+  /// compiler (e.g. arrays reached through pointer parameters), so
+  /// accesses to them must be assumed to may-alias even when the
+  /// underlying address ranges never overlap at run time — exactly the
+  /// dependences the paper's code specialization (§6) removes.
+  unsigned AliasGroup = UniqueAliasGroup;
+};
+
+/// Symbolic description of the address touched by one static memory op.
+struct AddressExpr {
+  unsigned ObjectId = 0; ///< Index into the loop's memory object table.
+  AddressPattern Pattern = AddressPattern::Affine;
+  int64_t OffsetBytes = 0; ///< Affine: constant offset from object base.
+  int64_t StrideBytes = 0; ///< Affine: advance per iteration.
+  unsigned AccessBytes = 4; ///< Size of the access (1/2/4/8).
+  uint64_t GatherSeed = 0;  ///< Gather: per-stream hash seed.
+
+  /// Builds an affine expression.
+  static AddressExpr affine(unsigned ObjectId, int64_t OffsetBytes,
+                            int64_t StrideBytes, unsigned AccessBytes) {
+    AddressExpr E;
+    E.ObjectId = ObjectId;
+    E.Pattern = AddressPattern::Affine;
+    E.OffsetBytes = OffsetBytes;
+    E.StrideBytes = StrideBytes;
+    E.AccessBytes = AccessBytes;
+    return E;
+  }
+
+  /// Builds a gather (pseudo-random) expression.
+  static AddressExpr gather(unsigned ObjectId, unsigned AccessBytes,
+                            uint64_t Seed) {
+    AddressExpr E;
+    E.ObjectId = ObjectId;
+    E.Pattern = AddressPattern::Gather;
+    E.AccessBytes = AccessBytes;
+    E.GatherSeed = Seed;
+    return E;
+  }
+
+  /// Concrete byte address touched at iteration \p Iter.
+  ///
+  /// \p InputSeed distinguishes profile and execution inputs: gather
+  /// streams mix it into their hash; affine streams ignore it (their
+  /// trajectory is input-independent, which is what the paper's padding
+  /// guarantees for strided accesses).
+  uint64_t addressAt(uint64_t Iter, const MemObject &Object,
+                     uint64_t InputSeed) const;
+};
+
+} // namespace cvliw
+
+#endif // CVLIW_IR_ADDRESSEXPR_H

@@ -1,0 +1,165 @@
+//===- cvliw/ir/DDG.h - Data Dependence Graph ------------------*- C++ -*-===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Data Dependence Graph of a loop body (paper §3.1, Figure 3).
+///
+/// Nodes are operation ids of a Loop; edges carry a dependence kind
+/// (register flow, memory flow, memory anti, memory output, or the SYNC
+/// kind introduced by the DDGT load-store synchronization transformation)
+/// and an iteration distance. Memory edges also record whether they stem
+/// from a must-alias relation or from a conservative may-alias decision,
+/// and whether run-time code specialization could disambiguate them
+/// (paper §6, Table 5).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CVLIW_IR_DDG_H
+#define CVLIW_IR_DDG_H
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace cvliw {
+
+/// Dependence kinds (paper Figure 3 legend).
+enum class DepKind {
+  RegFlow,   ///< RF: producer register value consumed.
+  MemFlow,   ///< MF: store -> load on possibly the same address.
+  MemAnti,   ///< MA: load -> store on possibly the same address.
+  MemOutput, ///< MO: store -> store on possibly the same address.
+  Sync,      ///< SYNC: DDGT ordering between a load consumer and a store.
+};
+
+/// Returns a short printable name ("RF", "MF", ...).
+const char *depKindName(DepKind Kind);
+
+/// Returns true for MF, MA and MO edges.
+inline bool isMemoryDep(DepKind Kind) {
+  return Kind == DepKind::MemFlow || Kind == DepKind::MemAnti ||
+         Kind == DepKind::MemOutput;
+}
+
+/// A dependence edge: Dst must start no earlier than
+/// start(Src) + latency(Src, Kind) - II * Distance.
+struct DepEdge {
+  unsigned Src = 0;
+  unsigned Dst = 0;
+  DepKind Kind = DepKind::RegFlow;
+  unsigned Distance = 0;
+
+  /// Memory edges: true when added conservatively for a may-alias pair,
+  /// false when the pair provably aliases.
+  bool MayAlias = false;
+
+  /// Memory edges: true when profiling shows the pair never aliases at
+  /// run time, so code specialization (paper §6) could remove the edge.
+  bool RuntimeDisambiguable = false;
+};
+
+/// The data dependence graph over a loop body.
+///
+/// Edges are append-only with tombstoning: the DDGT transformation removes
+/// MA edges by marking them dead; iteration helpers skip dead edges.
+class DDG {
+public:
+  DDG() = default;
+  explicit DDG(size_t NumNodes) : SuccIdx(NumNodes), PredIdx(NumNodes) {}
+
+  size_t numNodes() const { return SuccIdx.size(); }
+
+  /// Appends a node (operations added by transformations); returns its id.
+  unsigned addNode() {
+    SuccIdx.emplace_back();
+    PredIdx.emplace_back();
+    return static_cast<unsigned>(SuccIdx.size() - 1);
+  }
+
+  /// Adds an edge; returns its index.
+  unsigned addEdge(DepEdge Edge);
+
+  /// Marks edge \p Index dead.
+  void removeEdge(unsigned Index) {
+    assert(Index < Edges.size());
+    Dead[Index] = true;
+  }
+
+  bool isDead(unsigned Index) const { return Dead[Index]; }
+
+  const DepEdge &edge(unsigned Index) const {
+    assert(Index < Edges.size());
+    return Edges[Index];
+  }
+
+  size_t numEdgeSlots() const { return Edges.size(); }
+
+  /// Number of live edges.
+  size_t numEdges() const;
+
+  /// Calls \p Fn for every live edge (with its index).
+  void forEachEdge(
+      const std::function<void(unsigned, const DepEdge &)> &Fn) const;
+
+  /// Live outgoing / incoming edge indices of a node.
+  std::vector<unsigned> succEdges(unsigned Node) const;
+  std::vector<unsigned> predEdges(unsigned Node) const;
+
+  /// Returns the indices of all live memory dependence edges.
+  std::vector<unsigned> memoryEdges() const;
+
+  /// True if some live edge of kind \p Kind links Src to Dst at
+  /// \p Distance.
+  bool hasEdge(unsigned Src, unsigned Dst, DepKind Kind,
+               unsigned Distance) const;
+
+  /// True if some live RF edge links Src to Dst with the given distance.
+  bool hasRegFlow(unsigned Src, unsigned Dst, unsigned Distance) const {
+    return hasEdge(Src, Dst, DepKind::RegFlow, Distance);
+  }
+
+  /// Strongly connected components over live edges (Tarjan). Returns a
+  /// component id per node; ids are in reverse topological order.
+  std::vector<unsigned> computeSccs(unsigned &NumSccs) const;
+
+  /// Recurrence-constrained minimum II (paper §2.2 uses modulo
+  /// scheduling): the smallest II such that no dependence cycle has
+  /// total latency > II * total distance. \p LatencyOf maps an edge
+  /// index to the latency the scheduler assumes for it.
+  unsigned
+  computeRecMII(const std::function<unsigned(unsigned)> &LatencyOf) const;
+
+  /// True when, at the given II, no positive-length cycle exists (i.e.
+  /// a modulo schedule is not ruled out by recurrences alone).
+  bool
+  feasibleAtII(unsigned II,
+               const std::function<unsigned(unsigned)> &LatencyOf) const;
+
+  /// Longest acyclic path estimate from sources, used as a height-based
+  /// scheduling priority. Edges with Distance > 0 are ignored.
+  std::vector<int64_t>
+  computeHeights(const std::function<unsigned(unsigned)> &LatencyOf) const;
+
+  /// Mirror of computeHeights: longest latency path from any source to
+  /// each node over distance-0 edges (the node's depth).
+  std::vector<int64_t>
+  computeDepths(const std::function<unsigned(unsigned)> &LatencyOf) const;
+
+  /// Transitive reachability over live zero-or-more-distance edges:
+  /// true if \p From reaches \p To (following any live edges).
+  bool reaches(unsigned From, unsigned To) const;
+
+private:
+  std::vector<DepEdge> Edges;
+  std::vector<bool> Dead;
+  std::vector<std::vector<unsigned>> SuccIdx;
+  std::vector<std::vector<unsigned>> PredIdx;
+};
+
+} // namespace cvliw
+
+#endif // CVLIW_IR_DDG_H

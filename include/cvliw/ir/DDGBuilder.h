@@ -1,0 +1,41 @@
+//===- cvliw/ir/DDGBuilder.h - DDG construction ----------------*- C++ -*-===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds the register-flow part of a loop's Data Dependence Graph.
+/// Memory dependence edges are added separately by the memory
+/// disambiguator (cvliw/alias), keeping the ir library self-contained.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CVLIW_IR_DDGBUILDER_H
+#define CVLIW_IR_DDGBUILDER_H
+
+#include "cvliw/ir/DDG.h"
+#include "cvliw/ir/Loop.h"
+
+namespace cvliw {
+
+/// Builds a DDG with one node per operation and all register-flow edges.
+///
+/// The loop body is treated as SSA-like: each virtual register has at
+/// most one defining operation. A use that appears at or before its
+/// definition in program order consumes the value of the previous
+/// iteration (loop-carried, distance 1); a use after its definition
+/// consumes the current iteration's value (distance 0).
+DDG buildRegisterFlowDDG(const Loop &L);
+
+/// Verifies structural DDG invariants against its loop:
+///  * every edge endpoint is a valid op,
+///  * RF edges connect a defining op to an op consuming its register,
+///  * memory edges connect memory ops,
+///  * SYNC edges end at stores.
+/// Returns true when all invariants hold.
+bool verifyDDG(const Loop &L, const DDG &G);
+
+} // namespace cvliw
+
+#endif // CVLIW_IR_DDGBUILDER_H

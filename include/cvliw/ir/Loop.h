@@ -1,0 +1,130 @@
+//===- cvliw/ir/Loop.h - Modulo-schedulable loop bodies --------*- C++ -*-===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A loop: operations in sequential program order, the memory objects and
+/// address streams they touch, and its trip counts under the profile and
+/// execution inputs (Table 1 uses different inputs for the two).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CVLIW_IR_LOOP_H
+#define CVLIW_IR_LOOP_H
+
+#include "cvliw/ir/AddressExpr.h"
+#include "cvliw/ir/Operation.h"
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cvliw {
+
+/// A counted innermost loop, the unit the paper's techniques operate on.
+class Loop {
+public:
+  Loop() = default;
+  explicit Loop(std::string Name) : Name(std::move(Name)) {}
+
+  const std::string &name() const { return Name; }
+  void setName(std::string N) { Name = std::move(N); }
+
+  /// Adds a memory object; returns its id.
+  unsigned addObject(MemObject Object) {
+    Objects.push_back(std::move(Object));
+    return static_cast<unsigned>(Objects.size() - 1);
+  }
+
+  /// Adds an address stream; returns its id (used in Operation::StreamId).
+  unsigned addStream(AddressExpr Expr) {
+    assert(Expr.ObjectId < Objects.size() && "stream names unknown object");
+    Streams.push_back(Expr);
+    return static_cast<unsigned>(Streams.size() - 1);
+  }
+
+  /// Appends an operation in sequential program order; returns its id.
+  unsigned addOp(Operation Op) {
+    assert((!Op.isMemory() || Op.StreamId < Streams.size()) &&
+           "memory op without a valid stream");
+    Ops.push_back(std::move(Op));
+    return static_cast<unsigned>(Ops.size() - 1);
+  }
+
+  size_t numOps() const { return Ops.size(); }
+  const Operation &op(unsigned Id) const {
+    assert(Id < Ops.size());
+    return Ops[Id];
+  }
+  Operation &op(unsigned Id) {
+    assert(Id < Ops.size());
+    return Ops[Id];
+  }
+  const std::vector<Operation> &ops() const { return Ops; }
+
+  const std::vector<MemObject> &objects() const { return Objects; }
+  const MemObject &object(unsigned Id) const {
+    assert(Id < Objects.size());
+    return Objects[Id];
+  }
+
+  const std::vector<AddressExpr> &streams() const { return Streams; }
+  const AddressExpr &stream(unsigned Id) const {
+    assert(Id < Streams.size());
+    return Streams[Id];
+  }
+
+  /// Concrete address of memory op \p OpId at iteration \p Iter.
+  uint64_t addressOf(unsigned OpId, uint64_t Iter,
+                     uint64_t InputSeed) const {
+    const Operation &O = op(OpId);
+    assert(O.isMemory() && "addressOf on a non-memory op");
+    const AddressExpr &E = stream(O.StreamId);
+    return E.addressAt(Iter, object(E.ObjectId), InputSeed);
+  }
+
+  /// Trip counts and input seeds for the two inputs of Table 1.
+  uint64_t ProfileTripCount = 1000;
+  uint64_t ExecTripCount = 4000;
+  uint64_t ProfileSeed = 1;
+  uint64_t ExecSeed = 2;
+
+  /// Relative weight of this loop inside its benchmark (fraction of the
+  /// benchmark's dynamic instructions spent here).
+  double Weight = 1.0;
+
+  /// Returns the number of memory operations in the body.
+  unsigned numMemoryOps() const {
+    unsigned N = 0;
+    for (const Operation &O : Ops)
+      if (O.isMemory())
+        ++N;
+    return N;
+  }
+
+  /// Fresh register id not used by any operation yet.
+  RegId freshReg() const {
+    RegId Max = 0;
+    for (const Operation &O : Ops) {
+      if (O.Dest != NoReg && O.Dest + 1 > Max)
+        Max = O.Dest + 1;
+      for (RegId S : O.Sources)
+        if (S != NoReg && S + 1 > Max)
+          Max = S + 1;
+    }
+    return Max;
+  }
+
+private:
+  std::string Name;
+  std::vector<Operation> Ops;
+  std::vector<MemObject> Objects;
+  std::vector<AddressExpr> Streams;
+};
+
+} // namespace cvliw
+
+#endif // CVLIW_IR_LOOP_H

@@ -1,0 +1,59 @@
+//===- cvliw/ir/Opcode.h - Operation opcodes -------------------*- C++ -*-===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Opcodes of the VLIW loop-body IR, their functional-unit class and their
+/// contention-free execution latencies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CVLIW_IR_OPCODE_H
+#define CVLIW_IR_OPCODE_H
+
+#include "cvliw/arch/MachineConfig.h"
+
+namespace cvliw {
+
+/// Opcodes of the loop-body IR. The mix matches what modulo-scheduled
+/// media kernels contain: integer ALU ops, FP ops, memory ops, and the
+/// pseudo-ops introduced by the scheduling techniques (Copy for
+/// inter-cluster register communication, FakeCons for the DDGT
+/// load-store-synchronization fake consumer).
+enum class Opcode {
+  Load,
+  Store,
+  IAdd,
+  ISub,
+  IMul,
+  IShift,
+  ICmp,
+  FAdd,
+  FMul,
+  FDiv,
+  Branch,
+  Copy,     ///< Inter-cluster register-to-register communication op.
+  FakeCons, ///< DDGT fake consumer: reads a load's target register only
+            ///< (paper §3.3: e.g. add r0 = r0 + r27).
+};
+
+/// Returns a printable mnemonic.
+const char *opcodeName(Opcode Op);
+
+/// Returns true for Load and Store.
+bool isMemoryOpcode(Opcode Op);
+
+/// Returns the functional-unit class executing \p Op. Copy ops do not
+/// occupy a functional unit (they occupy a register bus slot), but they
+/// are attributed to the integer class for workload-balance accounting.
+FuClass fuClassOf(Opcode Op);
+
+/// Contention-free latency of \p Op in cycles. Memory ops report the
+/// 1-cycle cache pipeline latency; the memory system adds the rest.
+unsigned opcodeLatency(Opcode Op);
+
+} // namespace cvliw
+
+#endif // CVLIW_IR_OPCODE_H

@@ -1,0 +1,87 @@
+//===- cvliw/ir/Operation.h - Loop-body operations -------------*- C++ -*-===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A single operation of a loop body, in the sequential program order the
+/// paper's coherence argument is defined against.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CVLIW_IR_OPERATION_H
+#define CVLIW_IR_OPERATION_H
+
+#include "cvliw/ir/Opcode.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace cvliw {
+
+/// Virtual register id. Register 0 is reserved as the always-zero
+/// register used by fake consumers.
+using RegId = unsigned;
+
+/// Sentinel for "no register".
+inline constexpr RegId NoReg = ~0u;
+
+/// Sentinel for "no memory stream".
+inline constexpr unsigned NoStream = ~0u;
+
+/// One operation of a loop body.
+///
+/// Operations are stored in sequential program order inside a Loop; their
+/// index in that vector is their id and their program-order position.
+struct Operation {
+  Opcode Op = Opcode::IAdd;
+  RegId Dest = NoReg;          ///< Defined register, if any.
+  std::vector<RegId> Sources;  ///< Consumed registers.
+  unsigned StreamId = NoStream; ///< Memory ops: loop address-stream index.
+
+  /// DDGT bookkeeping: for a store replica, the op id of the original
+  /// store; ~0u otherwise.
+  unsigned ReplicaOf = ~0u;
+
+  /// DDGT bookkeeping: replica ordinal. The original store keeps 0; its
+  /// clones get 1..N-1. Used by the scheduler to place each instance in a
+  /// distinct cluster.
+  unsigned ReplicaIndex = 0;
+
+  bool isLoad() const { return Op == Opcode::Load; }
+  bool isStore() const { return Op == Opcode::Store; }
+  bool isMemory() const { return isMemoryOpcode(Op); }
+  bool isReplica() const { return ReplicaOf != ~0u; }
+  bool isFakeConsumer() const { return Op == Opcode::FakeCons; }
+
+  /// Convenience constructors.
+  static Operation load(RegId Dest, unsigned StreamId) {
+    Operation O;
+    O.Op = Opcode::Load;
+    O.Dest = Dest;
+    O.StreamId = StreamId;
+    return O;
+  }
+
+  static Operation store(RegId Value, unsigned StreamId) {
+    Operation O;
+    O.Op = Opcode::Store;
+    O.Sources = {Value};
+    O.StreamId = StreamId;
+    return O;
+  }
+
+  static Operation compute(Opcode Op, RegId Dest,
+                           std::vector<RegId> Sources) {
+    Operation O;
+    O.Op = Op;
+    O.Dest = Dest;
+    O.Sources = std::move(Sources);
+    return O;
+  }
+};
+
+} // namespace cvliw
+
+#endif // CVLIW_IR_OPERATION_H

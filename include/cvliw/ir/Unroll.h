@@ -1,0 +1,56 @@
+//===- cvliw/ir/Unroll.h - Loop unrolling ----------------------*- C++ -*-===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Loop unrolling (paper §2.2): "loops are unrolled so that the number
+/// of instructions with a stride multiple of NxI is maximized (where N
+/// is the number of clusters and I is the interleaving factor ...).
+/// Such instructions have the particularity that access data mapped in
+/// only one cluster once the loop is entered."
+///
+/// Unrolling by factor U turns one affine stream of stride S into U
+/// streams of stride U*S with offsets S*k; when U*S is a multiple of
+/// N*I, every resulting stream has a fixed home cluster, which is what
+/// lets the PrefClus heuristic (and the profiler behind it) do its job.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CVLIW_IR_UNROLL_H
+#define CVLIW_IR_UNROLL_H
+
+#include "cvliw/arch/MachineConfig.h"
+#include "cvliw/ir/Loop.h"
+
+namespace cvliw {
+
+/// Unrolls \p L by \p Factor: the body is replicated Factor times,
+/// registers are renamed per copy (values crossing iterations keep
+/// flowing: a use of a register defined later in program order reads
+/// the previous copy's definition), affine streams advance by
+/// Stride * k in copy k and stretch their stride by Factor, and the
+/// trip counts divide by Factor (remainder iterations are dropped, as
+/// a prologue/epilogue would absorb them).
+///
+/// Gather streams get fresh derived seeds per copy (a different random
+/// element each unrolled instance).
+Loop unrollLoop(const Loop &L, unsigned Factor);
+
+/// The unroll factor that maximizes cluster-consistent streams
+/// (paper §2.2): the smallest U such that U * Stride is a multiple of
+/// NumClusters * InterleaveBytes for the majority stride of \p L;
+/// returns 1 when the loop has no affine streams.
+unsigned chooseUnrollFactor(const Loop &L, const MachineConfig &Config,
+                            unsigned MaxFactor = 16);
+
+/// Fraction of \p L's affine memory streams whose home cluster is the
+/// same every iteration (stride a multiple of N*I). The quantity the
+/// paper's unrolling maximizes.
+double clusterConsistentFraction(const Loop &L,
+                                 const MachineConfig &Config);
+
+} // namespace cvliw
+
+#endif // CVLIW_IR_UNROLL_H

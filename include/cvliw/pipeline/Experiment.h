@@ -1,0 +1,130 @@
+//===- cvliw/pipeline/Experiment.h - Experiment driver ---------*- C++ -*-===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The end-to-end experiment pipeline used by every table/figure bench:
+///
+///   build loop -> register DDG -> memory disambiguation
+///     [-> code specialization] [-> DDGT transformation]
+///     -> preferred-cluster profiling -> clustered modulo scheduling
+///     -> cycle-level simulation -> per-benchmark aggregation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CVLIW_PIPELINE_EXPERIMENT_H
+#define CVLIW_PIPELINE_EXPERIMENT_H
+
+#include "cvliw/arch/MachineConfig.h"
+#include "cvliw/sched/Schedule.h"
+#include "cvliw/sim/KernelSimulator.h"
+#include "cvliw/workloads/Suite.h"
+
+#include <string>
+#include <vector>
+
+namespace cvliw {
+
+/// One experiment's knobs.
+struct ExperimentConfig {
+  CoherencePolicy Policy = CoherencePolicy::Baseline;
+  ClusterHeuristic Heuristic = ClusterHeuristic::MinComs;
+  MachineConfig Machine = MachineConfig::baseline();
+
+  /// Apply the §6 code specialization pass before anything else.
+  bool ApplySpecialization = false;
+
+  /// Track coherence violations in the simulator.
+  bool CheckCoherence = false;
+
+  /// Iteration cap per loop (loops define their own trip counts).
+  uint64_t MaxIterations = 1 << 20;
+
+  /// Simulate on the profile input instead of the execution input
+  /// (compile-time estimation, used by the §6 hybrid solution).
+  bool SimulateOnProfileInput = false;
+};
+
+/// Results for one loop under one configuration.
+struct LoopRunResult {
+  std::string LoopName;
+  double Weight = 1.0;
+  uint64_t ExecTrip = 0;
+
+  // Compile-time facts.
+  unsigned II = 0;
+  unsigned ResMII = 0;
+  unsigned RecMII = 0;
+  size_t NumOps = 0;        ///< After any transformation.
+  size_t NumMemOps = 0;     ///< After any transformation.
+  size_t CopiesPerIter = 0; ///< Inter-cluster communication ops.
+  size_t BiggestChain = 0;  ///< Static mem ops in the biggest chain.
+
+  // Run-time facts.
+  SimResult Sim;
+};
+
+/// Aggregated results for one benchmark under one configuration.
+struct BenchmarkRunResult {
+  std::string Benchmark;
+  std::vector<LoopRunResult> Loops;
+
+  uint64_t totalCycles() const;
+  uint64_t computeCycles() const;
+  uint64_t stallCycles() const;
+  uint64_t coherenceViolations() const;
+
+  /// Communication operations executed (copies/iteration x iterations,
+  /// summed over loops) — Table 4's numerator/denominator.
+  uint64_t communicationOps() const;
+
+  /// Figure 6 classification merged over all loops.
+  FractionAccumulator mergedClassification() const;
+
+  /// Dynamic-weighted chain ratios (Table 3): biggest chain per loop
+  /// over the loop's memory (CMR) / all (CAR) dynamic instructions.
+  double cmr() const;
+  double car() const;
+};
+
+/// Runs one loop spec through the whole pipeline.
+LoopRunResult runLoop(const LoopSpec &Spec, const ExperimentConfig &Config);
+
+/// Runs a benchmark: adjusts the machine's interleave factor to the
+/// benchmark's (Table 1), runs each loop, aggregates.
+BenchmarkRunResult runBenchmark(const BenchmarkSpec &Bench,
+                                ExperimentConfig Config);
+
+/// Chain statistics of a benchmark without scheduling or simulation
+/// (Tables 3 and 5 need only the DDG).
+struct ChainRatioResult {
+  double Cmr = 0.0;
+  double Car = 0.0;
+};
+ChainRatioResult chainRatios(const BenchmarkSpec &Bench,
+                             bool AfterSpecialization);
+
+/// The paper's §6 hybrid solution: compile the loop under both MDC and
+/// DDGT, estimate each schedule's execution time at compile time by
+/// running it on the *profile* input, and keep the faster technique for
+/// the real (execution) input.
+struct HybridLoopResult {
+  CoherencePolicy Chosen = CoherencePolicy::MDC;
+  uint64_t ProfileEstimateMdc = 0;
+  uint64_t ProfileEstimateDdgt = 0;
+  LoopRunResult Result; ///< Execution-input result of the chosen scheme.
+};
+HybridLoopResult runLoopHybrid(const LoopSpec &Spec,
+                               const ExperimentConfig &Config);
+
+/// Runs a whole benchmark with the hybrid solution; optionally reports
+/// the per-loop choices.
+BenchmarkRunResult
+runBenchmarkHybrid(const BenchmarkSpec &Bench, ExperimentConfig Config,
+                   std::vector<CoherencePolicy> *Choices = nullptr);
+
+} // namespace cvliw
+
+#endif // CVLIW_PIPELINE_EXPERIMENT_H

@@ -1,0 +1,80 @@
+//===- cvliw/profile/ClusterProfiler.h - Preferred clusters ----*- C++ -*-===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Preferred-cluster profiling (paper §2.2 and Figure 3).
+///
+/// The preferred cluster of a memory instruction is the cluster whose
+/// cache module it references most, computed through profiling: the
+/// profiler walks each memory op's address stream on the *profile* input
+/// and histograms the home cluster of every access. The PrefClus
+/// heuristic later schedules memory ops in their preferred cluster, and
+/// the MDC solution pins a whole chain to the chain's average preferred
+/// cluster (argmax of the summed histograms).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CVLIW_PROFILE_CLUSTERPROFILER_H
+#define CVLIW_PROFILE_CLUSTERPROFILER_H
+
+#include "cvliw/arch/MachineConfig.h"
+#include "cvliw/ir/Loop.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace cvliw {
+
+/// Per-memory-op home-cluster histograms for one loop.
+class ClusterProfile {
+public:
+  ClusterProfile() = default;
+  ClusterProfile(size_t NumOps, unsigned NumClusters)
+      : NumClusters(NumClusters),
+        Histogram(NumOps, std::vector<uint64_t>(NumClusters, 0)) {}
+
+  /// Records one access by op \p OpId to \p Cluster.
+  void record(unsigned OpId, unsigned Cluster) {
+    Histogram[OpId][Cluster] += 1;
+  }
+
+  /// Preferred cluster of \p OpId (the most-referenced module; ties break
+  /// toward the lowest cluster id). Non-memory ops report cluster 0 and a
+  /// zero histogram.
+  unsigned preferredCluster(unsigned OpId) const;
+
+  /// Fraction of op \p OpId's accesses whose home is \p Cluster.
+  double fractionToCluster(unsigned OpId, unsigned Cluster) const;
+
+  /// Histogram of \p OpId (counts per cluster).
+  const std::vector<uint64_t> &histogram(unsigned OpId) const {
+    return Histogram[OpId];
+  }
+
+  /// Preferred cluster of a set of ops: argmax of the summed histograms
+  /// ("the average preferred cluster of the whole chain", paper §3.2).
+  unsigned preferredClusterOfSet(const std::vector<unsigned> &Ops) const;
+
+  unsigned numClusters() const { return NumClusters; }
+  size_t numOps() const { return Histogram.size(); }
+
+private:
+  unsigned NumClusters = 0;
+  std::vector<std::vector<uint64_t>> Histogram;
+};
+
+/// Profiles every memory op of \p L on the machine's interleaving.
+///
+/// \p UseProfileInput selects the Table 1 profile input (true) or the
+/// execution input (false; used in tests to quantify profile mismatch).
+/// At most \p MaxIters iterations are walked.
+ClusterProfile profileLoop(const Loop &L, const MachineConfig &Config,
+                           bool UseProfileInput = true,
+                           uint64_t MaxIters = 200000);
+
+} // namespace cvliw
+
+#endif // CVLIW_PROFILE_CLUSTERPROFILER_H

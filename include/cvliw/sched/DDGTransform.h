@@ -1,0 +1,68 @@
+//===- cvliw/sched/DDGTransform.h - DDGT solution --------------*- C++ -*-===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Data Dependence Graph Transformations — the paper's DDGT solution
+/// (§3.3, Figures 4 and 5, and the transform_DDG pseudo-code).
+///
+/// Two transformations guarantee the serialization of dependent memory
+/// accesses without pinning them to one cluster:
+///
+///  * Store replication (handles MF and MO dependences): every store
+///    that is memory dependent on another instruction is cloned N-1
+///    times; each instance is pinned to a distinct cluster, the instance
+///    whose cluster is the access's home cluster commits, the others are
+///    nullified at run time. The update therefore always happens locally
+///    and as soon as possible.
+///
+///  * Load-store synchronization (handles MA dependences): an MA edge
+///    load L -> store S is replaced by a SYNC edge from one consumer of
+///    L to S: under stall-on-use, when the consumer issues, L has
+///    completed, so S can proceed. If L's only eligible consumer is a
+///    memory op sequentially posterior to and dependent on S (which
+///    would create an impossible cycle), a fake consumer of L is
+///    created (e.g. add r0 = r0 + rL).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CVLIW_SCHED_DDGTRANSFORM_H
+#define CVLIW_SCHED_DDGTRANSFORM_H
+
+#include "cvliw/arch/MachineConfig.h"
+#include "cvliw/ir/DDG.h"
+#include "cvliw/ir/Loop.h"
+
+namespace cvliw {
+
+/// Statistics of one DDGT application.
+struct DDGTStats {
+  unsigned StoresReplicated = 0; ///< Distinct stores that were cloned.
+  unsigned ReplicaOpsAdded = 0;  ///< Clone operations appended.
+  unsigned MaEdgesRemoved = 0;   ///< MA edges handled.
+  unsigned SyncEdgesAdded = 0;
+  unsigned FakeConsumersAdded = 0;
+  unsigned RedundantMaElided = 0; ///< MA edges subsumed by an RF edge.
+};
+
+/// Result of transforming a loop for the DDGT solution.
+///
+/// The transformed loop contains the original operations (same ids),
+/// followed by the added store replicas and fake consumers. The DDG is
+/// rebuilt over the transformed loop.
+struct DDGTResult {
+  Loop TransformedLoop;
+  DDG TransformedDDG;
+  DDGTStats Stats;
+};
+
+/// Applies the DDGT transformations to \p L / \p G for a machine with
+/// \p Config.NumClusters clusters.
+DDGTResult applyDDGT(const Loop &L, const DDG &G,
+                     const MachineConfig &Config);
+
+} // namespace cvliw
+
+#endif // CVLIW_SCHED_DDGTRANSFORM_H

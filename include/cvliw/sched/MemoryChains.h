@@ -1,0 +1,76 @@
+//===- cvliw/sched/MemoryChains.h - MDC solution ---------------*- C++ -*-===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Memory Dependent Chains — the paper's MDC solution (§3.2).
+///
+/// Serialization of two aliased memory accesses is guaranteed when they
+/// are scheduled in the same cluster: a cluster issues its memory ops in
+/// program order and same-cluster requests reach a home cluster in
+/// order. The MDC solution therefore groups all memory operations that
+/// are transitively connected by memory dependence edges into "memory
+/// dependent chains" and pins every chain to a single cluster.
+///
+/// This file computes the chains (connected components of the memory
+/// dependence subgraph, via union-find) and the chain statistics the
+/// paper reports in Table 3 (CMR and CAR ratios).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CVLIW_SCHED_MEMORYCHAINS_H
+#define CVLIW_SCHED_MEMORYCHAINS_H
+
+#include "cvliw/ir/DDG.h"
+#include "cvliw/ir/Loop.h"
+
+#include <vector>
+
+namespace cvliw {
+
+/// Sentinel: the op is not part of any memory dependent chain.
+inline constexpr unsigned NoChain = ~0u;
+
+/// The memory dependent chains of one loop.
+class MemoryChains {
+public:
+  /// Builds chains from the live memory dependence edges of \p G.
+  /// Chains of size 1 (a memory op with no memory dependences to other
+  /// ops) are not materialized: such ops can be scheduled freely.
+  MemoryChains(const Loop &L, const DDG &G);
+
+  /// Chain id of op \p OpId, or NoChain.
+  unsigned chainOf(unsigned OpId) const {
+    return OpId < ChainIdOf.size() ? ChainIdOf[OpId] : NoChain;
+  }
+
+  /// Number of chains with at least two member ops.
+  size_t numChains() const { return Chains.size(); }
+
+  /// Member op ids of chain \p ChainId (program order).
+  const std::vector<unsigned> &members(unsigned ChainId) const {
+    return Chains[ChainId];
+  }
+
+  /// Size (in static memory ops) of the biggest chain; 0 if none.
+  size_t biggestChainSize() const;
+
+  /// The paper's Table 3 ratios for this loop:
+  /// CMR = |biggest chain| / |memory ops|,
+  /// CAR = |biggest chain| / |all ops|.
+  /// Both are static op ratios; every op of an innermost loop executes
+  /// once per iteration, so static and dynamic ratios coincide per loop.
+  double cmr() const;
+  double car() const;
+
+private:
+  const Loop &L;
+  std::vector<unsigned> ChainIdOf;
+  std::vector<std::vector<unsigned>> Chains;
+};
+
+} // namespace cvliw
+
+#endif // CVLIW_SCHED_MEMORYCHAINS_H

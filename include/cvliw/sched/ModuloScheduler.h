@@ -1,0 +1,121 @@
+//===- cvliw/sched/ModuloScheduler.h - Clustered modulo scheduler -*- C++ -*-===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Modulo scheduler for the word-interleaved cache clustered VLIW
+/// processor (paper §2.2), supporting the three coherence policies
+/// (Baseline / MDC / DDGT) and the two cluster assignment heuristics
+/// (PrefClus / MinComs).
+///
+/// The algorithm is iterative modulo scheduling: starting at
+/// II = max(ResMII, RecMII), operations are placed in priority order
+/// (height-based) into a modulo reservation table; failures restart at
+/// II + 1. Cluster choice is constrained by the coherence policy
+/// (chains pinned for MDC, store replicas pinned one-per-cluster for
+/// DDGT) and otherwise guided by the heuristic. Register-flow edges
+/// crossing clusters cost one register-bus hop and allocate bus slots;
+/// the paper's "appropriate latency" compromise assigns each load the
+/// largest memory latency that does not increase the II.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CVLIW_SCHED_MODULOSCHEDULER_H
+#define CVLIW_SCHED_MODULOSCHEDULER_H
+
+#include "cvliw/arch/MachineConfig.h"
+#include "cvliw/ir/DDG.h"
+#include "cvliw/ir/Loop.h"
+#include "cvliw/profile/ClusterProfiler.h"
+#include "cvliw/sched/MemoryChains.h"
+#include "cvliw/sched/Schedule.h"
+
+#include <optional>
+#include <string>
+
+namespace cvliw {
+
+/// Node-ordering strategy for the placement worklist.
+enum class SchedulerOrdering {
+  /// Height-based list scheduling priority (default).
+  HeightBased,
+  /// Simplified Swing Modulo Scheduling order (Llosa et al., the
+  /// paper's reference [16]): recurrences first by criticality, nodes
+  /// within a group by closeness to the critical path, so neighbours
+  /// are placed adjacently and lifetimes stay short.
+  Swing,
+};
+
+const char *schedulerOrderingName(SchedulerOrdering Ordering);
+
+/// Tunables of one scheduling run.
+struct SchedulerOptions {
+  ClusterHeuristic Heuristic = ClusterHeuristic::PrefClus;
+  CoherencePolicy Policy = CoherencePolicy::Baseline;
+  SchedulerOrdering Ordering = SchedulerOrdering::HeightBased;
+
+  /// How many IIs above the lower bound to try before giving up.
+  unsigned IIBudget = 256;
+
+  /// Enable the compromise latency assignment (paper §2.2). When false,
+  /// loads are scheduled with the local-hit latency.
+  bool AssignLatencies = true;
+};
+
+/// Clustered modulo scheduler.
+class ModuloScheduler {
+public:
+  /// \p Chains must be provided when Policy == MDC (built over \p G);
+  /// it is ignored otherwise.
+  ModuloScheduler(const Loop &L, const DDG &G, const MachineConfig &Config,
+                  const ClusterProfile &Profile, SchedulerOptions Opts,
+                  const MemoryChains *Chains = nullptr);
+
+  /// Runs the scheduler; returns std::nullopt if no schedule was found
+  /// within the II budget (should not happen for well-formed loops).
+  std::optional<Schedule> run();
+
+  /// Failure counters across all II attempts of the last run(); used by
+  /// tests and tools to understand why scheduling struggled.
+  struct Diagnostics {
+    unsigned PlacementFailures = 0;   ///< An op found no cluster/cycle.
+    unsigned CopyWindowFailures = 0;  ///< A copy could not meet a deadline.
+    unsigned BusAllocationFailures = 0; ///< Register buses saturated.
+    unsigned LastFailedOp = ~0u;
+  };
+  const Diagnostics &diagnostics() const { return Diag; }
+
+private:
+  struct Placement;
+
+  unsigned computeResMII() const;
+  unsigned edgeLatency(const DepEdge &E, const std::vector<unsigned>
+                       &AssumedLat) const;
+  std::vector<unsigned> priorityOrder(
+      const std::vector<unsigned> &AssumedLat) const;
+  bool tryScheduleAtII(unsigned II, const std::vector<unsigned> &AssumedLat,
+                       Schedule &Out);
+  void assignLatencies(unsigned II, std::vector<unsigned> &AssumedLat,
+                       unsigned MaxCandidate) const;
+  void applyMinComsPostPass(Schedule &S) const;
+
+  const Loop &L;
+  const DDG &G;
+  const MachineConfig &Config;
+  const ClusterProfile &Profile;
+  SchedulerOptions Opts;
+  const MemoryChains *Chains;
+  Diagnostics Diag;
+};
+
+/// Independent checker used by tests: returns an empty string when
+/// \p S satisfies every dependence and resource constraint of \p G on
+/// \p Config, else a human-readable description of the first violation.
+std::string checkSchedule(const Loop &L, const DDG &G,
+                          const MachineConfig &Config, const Schedule &S);
+
+} // namespace cvliw
+
+#endif // CVLIW_SCHED_MODULOSCHEDULER_H

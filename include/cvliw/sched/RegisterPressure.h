@@ -1,0 +1,60 @@
+//===- cvliw/sched/RegisterPressure.h - MaxLive analysis -------*- C++ -*-===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Register pressure of a modulo schedule.
+///
+/// Software pipelining keeps several iterations in flight, so a value
+/// whose lifetime exceeds the II occupies several registers at once
+/// (one per overlapped instance). This analysis computes MaxLive per
+/// cluster — the peak number of simultaneously live values in each
+/// cluster's register file — which is what bounds how far the §2.2
+/// latency assignment can push consumers away from their producers
+/// (the scheduler's lifetime cap models exactly this pressure).
+///
+/// Lifetimes: a value lives in its producer's cluster from the
+/// producer's issue until its last same-cluster read or its last copy
+/// departure; each inter-cluster copy creates a new value in the
+/// destination cluster living from arrival until the last read there.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CVLIW_SCHED_REGISTERPRESSURE_H
+#define CVLIW_SCHED_REGISTERPRESSURE_H
+
+#include "cvliw/arch/MachineConfig.h"
+#include "cvliw/ir/DDG.h"
+#include "cvliw/ir/Loop.h"
+#include "cvliw/sched/Schedule.h"
+
+#include <vector>
+
+namespace cvliw {
+
+/// Per-cluster peak register occupancy of one schedule.
+struct PressureResult {
+  std::vector<unsigned> MaxLivePerCluster;
+
+  /// Peak over all clusters.
+  unsigned maxLive() const {
+    unsigned Best = 0;
+    for (unsigned V : MaxLivePerCluster)
+      Best = std::max(Best, V);
+    return Best;
+  }
+
+  /// True when every cluster fits in a register file of \p Registers.
+  bool fits(unsigned Registers) const { return maxLive() <= Registers; }
+};
+
+/// Computes MaxLive per cluster for \p S over \p L / \p G on \p Config.
+PressureResult computeRegisterPressure(const Loop &L, const DDG &G,
+                                       const Schedule &S,
+                                       const MachineConfig &Config);
+
+} // namespace cvliw
+
+#endif // CVLIW_SCHED_REGISTERPRESSURE_H

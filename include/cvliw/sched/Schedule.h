@@ -1,0 +1,77 @@
+//===- cvliw/sched/Schedule.h - Modulo schedule result ---------*- C++ -*-===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The result of modulo scheduling a loop onto the clustered machine:
+/// per-operation start cycles and clusters, the inter-cluster copy
+/// operations the compiler inserted, and the latency each memory
+/// operation was scheduled with.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CVLIW_SCHED_SCHEDULE_H
+#define CVLIW_SCHED_SCHEDULE_H
+
+#include <cstdint>
+#include <vector>
+
+namespace cvliw {
+
+/// How the scheduler guarantees memory coherence (paper §3).
+enum class CoherencePolicy {
+  Baseline, ///< Free cluster assignment; optimistic, NOT coherent.
+  MDC,      ///< Memory dependent chains pinned to one cluster (§3.2).
+  DDGT,     ///< Store replication + load-store synchronization (§3.3).
+};
+
+/// Cluster assignment heuristic (paper §2.2).
+enum class ClusterHeuristic {
+  PrefClus, ///< Memory ops to their profiled preferred cluster.
+  MinComs,  ///< Minimize communications; post-pass remaps virtual
+            ///< clusters to physical ones to recover local accesses.
+};
+
+const char *coherencePolicyName(CoherencePolicy Policy);
+const char *clusterHeuristicName(ClusterHeuristic Heuristic);
+
+/// Placement of one operation.
+struct ScheduledOp {
+  unsigned Cycle = 0;   ///< Start cycle, in [0, Length).
+  unsigned Cluster = 0; ///< Physical cluster after any post-pass.
+  /// Latency the scheduler assumed for this op's result. For loads this
+  /// is the assigned memory latency (paper §2.2's compromise); for other
+  /// ops it is the opcode latency.
+  unsigned AssumedLatency = 1;
+};
+
+/// One compiler-inserted inter-cluster register copy.
+struct CopyOp {
+  unsigned ProducerOp = 0; ///< Op whose value is transported.
+  unsigned FromCluster = 0;
+  unsigned ToCluster = 0;
+  unsigned StartCycle = 0; ///< Departure cycle (schedule time frame).
+};
+
+/// A complete modulo schedule.
+struct Schedule {
+  unsigned II = 0;     ///< Initiation interval.
+  unsigned Length = 0; ///< One past the last start cycle.
+  unsigned ResMII = 0;
+  unsigned RecMII = 0;
+  std::vector<ScheduledOp> Ops;
+  std::vector<CopyOp> Copies;
+
+  /// Number of software pipeline stages.
+  unsigned stageCount() const {
+    return II == 0 ? 0 : (Length + II - 1) / II;
+  }
+
+  size_t numCopies() const { return Copies.size(); }
+};
+
+} // namespace cvliw
+
+#endif // CVLIW_SCHED_SCHEDULE_H

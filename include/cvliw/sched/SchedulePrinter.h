@@ -1,0 +1,42 @@
+//===- cvliw/sched/SchedulePrinter.h - Human-readable dumps ----*- C++ -*-===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Text renderings of loops, dependence graphs and modulo schedules for
+/// tools, debugging and documentation: an op listing, a DDG edge list,
+/// a Graphviz DOT export, and the kernel's cycle-by-cluster grid.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CVLIW_SCHED_SCHEDULEPRINTER_H
+#define CVLIW_SCHED_SCHEDULEPRINTER_H
+
+#include "cvliw/arch/MachineConfig.h"
+#include "cvliw/ir/DDG.h"
+#include "cvliw/ir/Loop.h"
+#include "cvliw/sched/Schedule.h"
+
+#include <string>
+
+namespace cvliw {
+
+/// One line per operation: id, mnemonic, registers, stream.
+std::string formatLoop(const Loop &L);
+
+/// One line per live dependence edge.
+std::string formatDDG(const Loop &L, const DDG &G);
+
+/// Graphviz DOT of the DDG (edge style per dependence kind).
+std::string formatDot(const Loop &L, const DDG &G);
+
+/// The modulo kernel as a cycle x cluster grid, one row per cycle of
+/// [0, Length), plus the copy operations and key schedule facts.
+std::string formatSchedule(const Loop &L, const Schedule &S,
+                           const MachineConfig &Config);
+
+} // namespace cvliw
+
+#endif // CVLIW_SCHED_SCHEDULEPRINTER_H

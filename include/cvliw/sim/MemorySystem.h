@@ -1,0 +1,172 @@
+//===- cvliw/sim/MemorySystem.h - Interleaved memory system ----*- C++ -*-===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cycle-level model of the distributed, word-interleaved data cache
+/// (paper §2.1, Figure 1): per-cluster cache modules, memory buses with
+/// FIFO arbitration (the source of the "non-deterministic" bus latency
+/// footnote 2 talks about), an always-hit next memory level with limited
+/// ports, MSHR-style request combining (the "combined" accesses of
+/// Figure 6), and the optional Attraction Buffers of §5.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CVLIW_SIM_MEMORYSYSTEM_H
+#define CVLIW_SIM_MEMORYSYSTEM_H
+
+#include "cvliw/arch/MachineConfig.h"
+#include "cvliw/sim/SetAssocCache.h"
+#include "cvliw/support/Statistics.h"
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <utility>
+#include <vector>
+
+namespace cvliw {
+
+/// Outcome of one dynamic memory access.
+struct MemAccessResult {
+  AccessType Type = AccessType::LocalHit;
+  /// When the loaded value is available in the issuing cluster (loads)
+  /// or the store has been performed (stores).
+  uint64_t CompleteTime = 0;
+  /// When the access became visible at the point that serializes it
+  /// (home module, or the local Attraction Buffer for buffered data).
+  uint64_t CommitTime = 0;
+  /// Replicated-cache stores: when the write became visible at each
+  /// module (cluster, time). Empty otherwise.
+  std::vector<std::pair<unsigned, uint64_t>> BroadcastCommits;
+};
+
+/// The distributed data cache plus its interconnect.
+///
+/// All access times fed into the model must be non-decreasing (the
+/// simulator issues operations in global time order).
+class MemorySystem {
+public:
+  explicit MemorySystem(const MachineConfig &Config);
+
+  /// Performs an access of \p Cluster to \p Addr at \p IssueTime.
+  ///
+  /// \p LocalOnly (replicated organization only): the access touches
+  /// just this cluster's copy — what a DDGT store instance does, since
+  /// its siblings update the other copies (paper §3.3 adapted to a
+  /// replicated cache: every instance executes, none is nullified, and
+  /// no bus traffic is needed).
+  MemAccessResult access(unsigned Cluster, uint64_t Addr, bool IsStore,
+                         uint64_t IssueTime, bool LocalOnly = false);
+
+  /// DDGT nullified store instance (§5.3): updates the cluster's
+  /// Attraction Buffer copy of \p Addr's subblock when present; never
+  /// issues bus traffic. No-op without Attraction Buffers.
+  void updateAttractionBufferOnly(unsigned Cluster, uint64_t Addr,
+                                  uint64_t Time);
+
+  /// Flushes all Attraction Buffers (done between loops, §5.2); returns
+  /// the number of dirty subblocks written back.
+  unsigned flushAttractionBuffers();
+
+  /// Classification of every access so far, Figure 6 buckets indexed by
+  /// static_cast<size_t>(AccessType).
+  const FractionAccumulator &classification() const {
+    return Classification;
+  }
+
+  /// Accesses satisfied from an Attraction Buffer (a subset of the
+  /// accesses classified as local hits).
+  uint64_t attractionBufferHits() const { return AbHits; }
+
+  uint64_t busTransactions() const { return BusCount; }
+
+  /// CoherentDirectory statistics.
+  uint64_t invalidations() const { return InvalidationCount; }
+  uint64_t migrations() const { return MigrationCount; }
+
+private:
+  /// FIFO pool of identical buses/ports: a request at time T is granted
+  /// the earliest-free unit and occupies it for OccupyCycles.
+  class UnitPool {
+  public:
+    UnitPool(unsigned Count, unsigned OccupyCycles)
+        : NextFree(Count, 0), OccupyCycles(OccupyCycles) {}
+
+    /// Returns the grant time (>= T).
+    uint64_t acquire(uint64_t T);
+
+  private:
+    std::vector<uint64_t> NextFree;
+    unsigned OccupyCycles;
+  };
+
+  struct Mshr {
+    uint64_t ReadyTime = 0;
+  };
+
+  /// Fetches block \p BlockId's slice into module \p Home; returns the
+  /// time the data is available there. Combines with a pending fetch
+  /// when one exists (\p WasCombined reports that). A displaced block's
+  /// key is reported through \p EvictedKey.
+  uint64_t fetchIntoModule(unsigned Home, uint64_t BlockId,
+                           uint64_t ArriveTime, bool &WasCombined,
+                           uint64_t *EvictedKey = nullptr);
+
+  /// CoherentDirectory: inserts into \p Cluster's module keeping the
+  /// sharer directory in sync with evictions.
+  void insertTracked(unsigned Cluster, uint64_t BlockId, uint64_t Now);
+
+  /// One bus hop from/to a cluster, preserving per-(src,home) ordering.
+  uint64_t busHop(unsigned Src, unsigned Home, uint64_t T);
+
+  /// Ready time of a pending fetch of (\p Home, \p BlockId) that is
+  /// still in flight at time \p T, if any.
+  std::optional<uint64_t> pendingReady(unsigned Home, uint64_t BlockId,
+                                       uint64_t T);
+
+  /// Serializes accesses committing at one cache module (a module
+  /// performs one access per cycle): claims the first free cycle at or
+  /// after \p Avail. \p IssueTime lets old slots be pruned (no later
+  /// request can claim a slot before its own issue time).
+  uint64_t orderedCommit(unsigned Home, uint64_t Avail,
+                         uint64_t IssueTime);
+
+  /// Replicated-organization access path.
+  MemAccessResult accessReplicated(unsigned Cluster, uint64_t Addr,
+                                   bool IsStore, uint64_t IssueTime,
+                                   bool LocalOnly);
+
+  /// multiVLIW-style directory-coherence access path [23].
+  MemAccessResult accessCoherent(unsigned Cluster, uint64_t Addr,
+                                 bool IsStore, uint64_t IssueTime);
+
+  const MachineConfig &Config;
+  std::vector<SetAssocCache> Modules; ///< One per cluster (home slices).
+  std::vector<SetAssocCache> Buffers; ///< Attraction Buffers per cluster.
+  UnitPool MemBuses;
+  UnitPool NextLevelPorts;
+  /// Pending next-level fetches: (home, blockId) -> ready time.
+  std::map<std::pair<unsigned, uint64_t>, Mshr> Pending;
+  /// CoherentDirectory: blockId -> bitmask of sharer clusters.
+  std::map<uint64_t, uint32_t> Sharers;
+  /// CoherentDirectory: blockId -> commit time of the last write (the
+  /// directory's serialization point; later reads see at least this).
+  std::map<uint64_t, uint64_t> LastWrite;
+  uint64_t InvalidationCount = 0;
+  uint64_t MigrationCount = 0;
+  /// Arrival-order enforcement per (source cluster, home cluster).
+  std::vector<uint64_t> LastArrival;
+  /// Commit serialization per home module: occupied module cycles.
+  std::vector<std::set<uint64_t>> CommitSlots;
+  FractionAccumulator Classification;
+  uint64_t AbHits = 0;
+  uint64_t BusCount = 0;
+};
+
+} // namespace cvliw
+
+#endif // CVLIW_SIM_MEMORYSYSTEM_H

@@ -1,0 +1,152 @@
+//===- cvliw/sim/SetAssocCache.h - Set-associative storage -----*- C++ -*-===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A generic set-associative LRU structure used for both the per-cluster
+/// cache modules (keyed by block id) and the Attraction Buffers (keyed by
+/// remote subblock id).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CVLIW_SIM_SETASSOCCACHE_H
+#define CVLIW_SIM_SETASSOCCACHE_H
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace cvliw {
+
+/// Set-associative LRU array of tagged entries with a dirty bit.
+class SetAssocCache {
+public:
+  SetAssocCache(unsigned NumSets, unsigned Ways)
+      : NumSets(NumSets), Ways(Ways), Entries(NumSets * Ways) {
+    assert(NumSets > 0 && Ways > 0);
+  }
+
+  /// Looks \p Key up; on hit refreshes LRU state and returns true.
+  bool lookup(uint64_t Key, uint64_t Now) {
+    Entry *E = find(Key);
+    if (!E)
+      return false;
+    E->LastUse = Now;
+    return true;
+  }
+
+  /// True when \p Key is present; does not refresh LRU state.
+  bool contains(uint64_t Key) const {
+    const Entry *E = const_cast<SetAssocCache *>(this)->find(Key);
+    return E != nullptr;
+  }
+
+  /// Marks \p Key dirty if present (stores hitting the structure).
+  /// Returns true when the key was present.
+  bool markDirty(uint64_t Key, uint64_t Now) {
+    Entry *E = find(Key);
+    if (!E)
+      return false;
+    E->Dirty = true;
+    E->LastUse = Now;
+    return true;
+  }
+
+  /// Inserts \p Key (evicting the set's LRU entry when full). Returns
+  /// true when a dirty entry was evicted (write-back needed). When a
+  /// valid entry is displaced its key is reported through
+  /// \p EvictedKey (coherence directories must be told).
+  bool insert(uint64_t Key, uint64_t Now, bool Dirty = false,
+              uint64_t *EvictedKey = nullptr) {
+    unsigned Set = setOf(Key);
+    Entry *Victim = nullptr;
+    for (unsigned W = 0; W != Ways; ++W) {
+      Entry &E = Entries[Set * Ways + W];
+      if (E.Valid && E.Key == Key) {
+        E.LastUse = Now;
+        E.Dirty = E.Dirty || Dirty;
+        return false;
+      }
+      if (!E.Valid) {
+        if (!Victim || Victim->Valid)
+          Victim = &E;
+      } else if (!Victim || (Victim->Valid && E.LastUse < Victim->LastUse)) {
+        Victim = &E;
+      }
+    }
+    assert(Victim);
+    bool WritebackNeeded = Victim->Valid && Victim->Dirty;
+    if (Victim->Valid && EvictedKey)
+      *EvictedKey = Victim->Key;
+    Victim->Valid = true;
+    Victim->Key = Key;
+    Victim->LastUse = Now;
+    Victim->Dirty = Dirty;
+    return WritebackNeeded;
+  }
+
+  /// Invalidates \p Key if present (coherence invalidation). Returns
+  /// true when the entry existed.
+  bool erase(uint64_t Key) {
+    Entry *E = find(Key);
+    if (!E)
+      return false;
+    *E = Entry();
+    return true;
+  }
+
+  /// Invalidates everything; returns the number of dirty entries flushed
+  /// (each needs a write-back to its home cluster).
+  unsigned flush() {
+    unsigned DirtyCount = 0;
+    for (Entry &E : Entries) {
+      if (E.Valid && E.Dirty)
+        ++DirtyCount;
+      E = Entry();
+    }
+    return DirtyCount;
+  }
+
+  /// Number of currently valid entries.
+  unsigned occupancy() const {
+    unsigned N = 0;
+    for (const Entry &E : Entries)
+      if (E.Valid)
+        ++N;
+    return N;
+  }
+
+private:
+  struct Entry {
+    bool Valid = false;
+    bool Dirty = false;
+    uint64_t Key = 0;
+    uint64_t LastUse = 0;
+  };
+
+  unsigned setOf(uint64_t Key) const {
+    // Real caches index with the low key bits; keeping that behaviour
+    // preserves realistic conflict misses for strided streams.
+    return static_cast<unsigned>(Key % NumSets);
+  }
+
+  Entry *find(uint64_t Key) {
+    unsigned Set = setOf(Key);
+    for (unsigned W = 0; W != Ways; ++W) {
+      Entry &E = Entries[Set * Ways + W];
+      if (E.Valid && E.Key == Key)
+        return &E;
+    }
+    return nullptr;
+  }
+
+  unsigned NumSets;
+  unsigned Ways;
+  std::vector<Entry> Entries;
+};
+
+} // namespace cvliw
+
+#endif // CVLIW_SIM_SETASSOCCACHE_H

@@ -1,0 +1,74 @@
+//===- cvliw/support/Rng.h - Deterministic random numbers ------*- C++ -*-===//
+//
+// Part of the cvliw project: a reproduction of Gibert, Sánchez & González,
+// "Local Scheduling Techniques for Memory Coherence in a Clustered VLIW
+// Processor with a Distributed Data Cache" (CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small deterministic pseudo-random number generator (SplitMix64).
+///
+/// All workload generation and profiling in this project must be exactly
+/// reproducible across runs and platforms, so nothing uses std::rand or
+/// std::mt19937 default seeding. SplitMix64 passes BigCrush-grade tests
+/// and needs only 64 bits of state.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CVLIW_SUPPORT_RNG_H
+#define CVLIW_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace cvliw {
+
+/// Deterministic SplitMix64 generator.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+
+  /// Returns the next raw 64-bit value.
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Returns a uniformly distributed value in [0, Bound).
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound > 0 && "nextBelow requires a positive bound");
+    // Multiplicative range reduction; bias is negligible for our bounds.
+    return static_cast<uint64_t>(
+        (static_cast<__uint128_t>(next()) * Bound) >> 64);
+  }
+
+  /// Returns a uniformly distributed value in [Lo, Hi] (inclusive).
+  int64_t nextInRange(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    return Lo + static_cast<int64_t>(
+                    nextBelow(static_cast<uint64_t>(Hi - Lo + 1)));
+  }
+
+  /// Returns a double uniformly distributed in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Returns true with probability \p P (clamped to [0, 1]).
+  bool nextBool(double P) { return nextDouble() < P; }
+
+  /// Derives an independent child generator; used to give each benchmark
+  /// and each memory stream its own stream of randomness.
+  Rng fork() { return Rng(next() ^ 0xd1b54a32d192ed03ULL); }
+
+private:
+  uint64_t State;
+};
+
+} // namespace cvliw
+
+#endif // CVLIW_SUPPORT_RNG_H

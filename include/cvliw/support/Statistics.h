@@ -1,0 +1,82 @@
+//===- cvliw/support/Statistics.h - Small numeric helpers ------*- C++ -*-===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Numeric helpers shared by the experiment pipeline and bench harness:
+/// arithmetic means (the paper reports AMEAN), ratios and safe division.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CVLIW_SUPPORT_STATISTICS_H
+#define CVLIW_SUPPORT_STATISTICS_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cvliw {
+
+/// Returns Num/Den, or \p IfZero when the denominator is zero.
+inline double safeRatio(double Num, double Den, double IfZero = 0.0) {
+  return Den == 0.0 ? IfZero : Num / Den;
+}
+
+/// Arithmetic mean of \p Values (0 for an empty vector).
+inline double amean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  double Sum = 0.0;
+  for (double V : Values)
+    Sum += V;
+  return Sum / static_cast<double>(Values.size());
+}
+
+/// Accumulates a classification of events into named buckets and reports
+/// each bucket as a fraction of the total. Used for the Figure 6 memory
+/// access breakdown.
+class FractionAccumulator {
+public:
+  explicit FractionAccumulator(size_t NumBuckets) : Counts(NumBuckets, 0) {}
+
+  void add(size_t Bucket, uint64_t N = 1) {
+    assert(Bucket < Counts.size() && "bucket out of range");
+    Counts[Bucket] += N;
+  }
+
+  uint64_t count(size_t Bucket) const { return Counts[Bucket]; }
+
+  uint64_t total() const {
+    uint64_t Sum = 0;
+    for (uint64_t C : Counts)
+      Sum += C;
+    return Sum;
+  }
+
+  /// Fraction of all events falling in \p Bucket (0 when empty).
+  double fraction(size_t Bucket) const {
+    uint64_t T = total();
+    return T == 0 ? 0.0
+                  : static_cast<double>(Counts[Bucket]) /
+                        static_cast<double>(T);
+  }
+
+  size_t numBuckets() const { return Counts.size(); }
+
+  /// Merges another accumulator of the same shape into this one.
+  void merge(const FractionAccumulator &Other) {
+    assert(Other.Counts.size() == Counts.size() && "shape mismatch");
+    for (size_t I = 0, E = Counts.size(); I != E; ++I)
+      Counts[I] += Other.Counts[I];
+  }
+
+private:
+  std::vector<uint64_t> Counts;
+};
+
+} // namespace cvliw
+
+#endif // CVLIW_SUPPORT_STATISTICS_H

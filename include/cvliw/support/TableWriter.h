@@ -1,0 +1,59 @@
+//===- cvliw/support/TableWriter.h - Fixed-width table output --*- C++ -*-===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders aligned text tables for the benchmark harness, which must print
+/// the same rows/series the paper's tables and figures report.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CVLIW_SUPPORT_TABLEWRITER_H
+#define CVLIW_SUPPORT_TABLEWRITER_H
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cvliw {
+
+/// Collects rows of string cells and renders them with aligned columns.
+class TableWriter {
+public:
+  /// Creates a table with the given column headers.
+  explicit TableWriter(std::vector<std::string> Headers);
+
+  /// Appends a data row; missing cells render empty, extra cells assert.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Appends a horizontal separator line.
+  void addSeparator();
+
+  /// Renders the table to \p OS.
+  void render(std::ostream &OS) const;
+
+  /// Formats a double with \p Precision fractional digits.
+  static std::string fmt(double Value, int Precision = 2);
+
+  /// Formats a fraction as a percentage string, e.g. "62.5%".
+  static std::string pct(double Fraction, int Precision = 1);
+
+  /// Formats an integer with thousands grouping, e.g. "1,280,451".
+  static std::string grouped(uint64_t Value);
+
+private:
+  struct Row {
+    bool IsSeparator = false;
+    std::vector<std::string> Cells;
+  };
+
+  std::vector<std::string> Headers;
+  std::vector<Row> Rows;
+};
+
+} // namespace cvliw
+
+#endif // CVLIW_SUPPORT_TABLEWRITER_H

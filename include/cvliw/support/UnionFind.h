@@ -1,0 +1,70 @@
+//===- cvliw/support/UnionFind.h - Disjoint set union ----------*- C++ -*-===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Disjoint-set union with path compression and union by size.
+///
+/// Used by the MDC solution to group memory operations connected by memory
+/// dependence edges into memory dependent chains (paper §3.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CVLIW_SUPPORT_UNIONFIND_H
+#define CVLIW_SUPPORT_UNIONFIND_H
+
+#include <cassert>
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+namespace cvliw {
+
+/// Disjoint-set union over dense indices [0, N).
+class UnionFind {
+public:
+  explicit UnionFind(size_t N) : Parent(N), Size(N, 1) {
+    std::iota(Parent.begin(), Parent.end(), 0);
+  }
+
+  /// Returns the representative of \p X's set.
+  size_t find(size_t X) const {
+    assert(X < Parent.size() && "index out of range");
+    while (Parent[X] != X) {
+      Parent[X] = Parent[Parent[X]]; // Path halving.
+      X = Parent[X];
+    }
+    return X;
+  }
+
+  /// Merges the sets containing \p A and \p B; returns the new root.
+  size_t merge(size_t A, size_t B) {
+    size_t Ra = find(A), Rb = find(B);
+    if (Ra == Rb)
+      return Ra;
+    if (Size[Ra] < Size[Rb])
+      std::swap(Ra, Rb);
+    Parent[Rb] = Ra;
+    Size[Ra] += Size[Rb];
+    return Ra;
+  }
+
+  /// Returns true if \p A and \p B are in the same set.
+  bool connected(size_t A, size_t B) const { return find(A) == find(B); }
+
+  /// Returns the number of elements in \p X's set.
+  size_t sizeOfSet(size_t X) const { return Size[find(X)]; }
+
+  /// Returns the total number of elements.
+  size_t size() const { return Parent.size(); }
+
+private:
+  mutable std::vector<size_t> Parent;
+  std::vector<size_t> Size;
+};
+
+} // namespace cvliw
+
+#endif // CVLIW_SUPPORT_UNIONFIND_H

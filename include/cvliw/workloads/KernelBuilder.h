@@ -1,0 +1,98 @@
+//===- cvliw/workloads/KernelBuilder.h - Synthetic loop kernels -*- C++ -*-===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parameterized construction of modulo-schedulable loop kernels whose
+/// scheduling-relevant structure mimics the paper's Mediabench loops:
+/// strided streams with a consistent home cluster (the result of the
+/// unroll-by-N*I and padding transformations of §2.2), rotating strided
+/// streams, pseudo-random gather streams, and memory dependent chains of
+/// configurable size and kind.
+///
+/// Chains come in two flavours mirroring what the paper found in the
+/// real benchmarks:
+///  * gather chains — members really alias at run time (table lookups,
+///    histogram updates); code specialization cannot remove them;
+///  * group chains — members walk disjoint arrays that the compiler
+///    cannot tell apart (pointer parameters); profiling shows they never
+///    collide, so code specialization (§6) can dissolve them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CVLIW_WORKLOADS_KERNELBUILDER_H
+#define CVLIW_WORKLOADS_KERNELBUILDER_H
+
+#include "cvliw/arch/MachineConfig.h"
+#include "cvliw/ir/Loop.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cvliw {
+
+/// One memory dependent chain of a LoopSpec.
+///
+/// A chain has two kinds of members, all placed in one alias group so
+/// the compiler must serialize everything:
+///  * gather members access one shared object and really alias at run
+///    time — code specialization cannot touch their dependences;
+///  * group members walk disjoint per-member arrays the compiler cannot
+///    tell apart — profiling shows they never collide, so code
+///    specialization (§6) dissolves their dependences and the chain
+///    shrinks to its gather core (Table 5).
+struct ChainSpec {
+  unsigned GatherLoads = 0;
+  unsigned GatherStores = 0;
+  unsigned GroupLoads = 2;
+  unsigned GroupStores = 1;
+
+  /// Spread the group members' preferred clusters round-robin (makes
+  /// pinning the chain to one cluster costly, as in epicdec).
+  bool SpreadClusters = true;
+
+  unsigned loads() const { return GatherLoads + GroupLoads; }
+  unsigned stores() const { return GatherStores + GroupStores; }
+  unsigned size() const { return loads() + stores(); }
+};
+
+/// Shape of one synthetic loop.
+struct LoopSpec {
+  std::string Name = "loop";
+  double Weight = 1.0; ///< Share of the benchmark's importance.
+  uint64_t ProfileTrip = 2000;
+  uint64_t ExecTrip = 4000;
+  unsigned ElemBytes = 4; ///< Access size of every stream.
+
+  // Independent (chain-free) streams.
+  unsigned ConsistentLoads = 4;  ///< Stride N*I: fixed home cluster.
+  unsigned RotatingLoads = 0;    ///< Stride I: home rotates per iter.
+  unsigned GatherLoads = 0;      ///< Pseudo-random over a shared table.
+  unsigned ConsistentStores = 1; ///< Stride N*I independent stores.
+
+  std::vector<ChainSpec> Chains;
+
+  // Non-memory body shape.
+  unsigned ArithPerLoad = 1; ///< Integer ops consuming each load.
+  unsigned FpOps = 0;        ///< FP multiply-add style ops.
+  unsigned FpDivs = 0;       ///< Long-latency FP divides.
+  bool ScalarRecurrence = true; ///< acc += x loop-carried recurrence.
+
+  /// Size of each streamed array in bytes (against the 8KB total cache
+  /// this controls the miss ratio).
+  unsigned ObjectBytes = 1024;
+
+  /// Base seed; every stream derives its own deterministic seed.
+  uint64_t SeedBase = 1;
+};
+
+/// Materializes \p Spec into a Loop for a machine with \p Config's
+/// cluster count and interleaving factor.
+Loop buildLoop(const LoopSpec &Spec, const MachineConfig &Config);
+
+} // namespace cvliw
+
+#endif // CVLIW_WORKLOADS_KERNELBUILDER_H

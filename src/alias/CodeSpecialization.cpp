@@ -1,0 +1,26 @@
+//===- alias/CodeSpecialization.cpp - Runtime disambiguation --------------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cvliw/alias/CodeSpecialization.h"
+
+using namespace cvliw;
+
+SpecializationResult cvliw::applyCodeSpecialization(DDG &G) {
+  SpecializationResult Result;
+  std::vector<unsigned> ToRemove;
+  G.forEachEdge([&](unsigned Index, const DepEdge &Edge) {
+    if (!isMemoryDep(Edge.Kind))
+      return;
+    if (Edge.MayAlias && Edge.RuntimeDisambiguable)
+      ToRemove.push_back(Index);
+    else
+      ++Result.EdgesRemaining;
+  });
+  for (unsigned Index : ToRemove)
+    G.removeEdge(Index);
+  Result.EdgesRemoved = static_cast<unsigned>(ToRemove.size());
+  return Result;
+}

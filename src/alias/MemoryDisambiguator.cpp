@@ -1,0 +1,306 @@
+//===- alias/MemoryDisambiguator.cpp - Memory dependences -----------------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cvliw/alias/MemoryDisambiguator.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+
+using namespace cvliw;
+
+MemoryDisambiguator::MemoryDisambiguator(const Loop &L, Options Opts)
+    : L(L), Opts(Opts) {}
+
+AliasQueryAnswer MemoryDisambiguator::queryStatic(unsigned StreamA,
+                                                  unsigned StreamB) const {
+  const AddressExpr &A = L.stream(StreamA);
+  const AddressExpr &B = L.stream(StreamB);
+  const MemObject &ObjA = L.object(A.ObjectId);
+  const MemObject &ObjB = L.object(B.ObjectId);
+
+  AliasQueryAnswer Answer;
+
+  if (A.ObjectId != B.ObjectId) {
+    // Distinct objects: provably independent unless both sit in the same
+    // alias group (pointer-parameter style ambiguity).
+    bool SameGroup = ObjA.AliasGroup != UniqueAliasGroup &&
+                     ObjA.AliasGroup == ObjB.AliasGroup;
+    Answer.Result = SameGroup ? AliasResult::MayAlias : AliasResult::NoAlias;
+    return Answer;
+  }
+
+  // Same object from here on.
+  if (A.Pattern == AddressPattern::Gather ||
+      B.Pattern == AddressPattern::Gather) {
+    Answer.Result = AliasResult::MayAlias;
+    return Answer;
+  }
+
+  // Affine vs affine on the same object.
+  if (A.StrideBytes == B.StrideBytes) {
+    int64_t Stride = A.StrideBytes;
+    int64_t Delta = B.OffsetBytes - A.OffsetBytes;
+    if (Stride == 0) {
+      // Two loop-invariant addresses: equal offsets must-alias, access
+      // windows overlapping may-alias, otherwise independent.
+      if (Delta == 0) {
+        Answer.Result = AliasResult::MustAlias;
+        Answer.IterDelta = 0;
+      } else if (std::llabs(Delta) <
+                 static_cast<int64_t>(
+                     std::max(A.AccessBytes, B.AccessBytes))) {
+        Answer.Result = AliasResult::MayAlias;
+      } else {
+        Answer.Result = AliasResult::NoAlias;
+      }
+      return Answer;
+    }
+
+    int64_t AbsStride = std::llabs(Stride);
+    int64_t Rem = ((Delta % AbsStride) + AbsStride) % AbsStride;
+    if (Rem == 0) {
+      // addrB(i - Delta/Stride) == addrA(i): exact periodic collision.
+      Answer.Result = AliasResult::MustAlias;
+      Answer.IterDelta = -Delta / Stride;
+      return Answer;
+    }
+    // Partial overlap of access windows between lanes?
+    int64_t MaxAccess =
+        static_cast<int64_t>(std::max(A.AccessBytes, B.AccessBytes));
+    if (Rem < MaxAccess || AbsStride - Rem < MaxAccess) {
+      Answer.Result = AliasResult::MayAlias;
+      return Answer;
+    }
+    Answer.Result = AliasResult::NoAlias;
+    return Answer;
+  }
+
+  // Same object, different strides: give up statically.
+  Answer.Result = AliasResult::MayAlias;
+  return Answer;
+}
+
+bool MemoryDisambiguator::collidesAtRuntime(unsigned StreamA,
+                                            unsigned StreamB) const {
+  const AddressExpr &A = L.stream(StreamA);
+  const AddressExpr &B = L.stream(StreamB);
+  const MemObject &ObjA = L.object(A.ObjectId);
+  const MemObject &ObjB = L.object(B.ObjectId);
+
+  // Fast path: accesses stay inside their objects, so disjoint object
+  // ranges can never collide regardless of the access patterns.
+  if (ObjA.BaseAddr + ObjA.SizeBytes <= ObjB.BaseAddr ||
+      ObjB.BaseAddr + ObjB.SizeBytes <= ObjA.BaseAddr)
+    return false;
+
+  uint64_t Iters =
+      std::min<uint64_t>(Opts.GroundTruthSampleIters,
+                         std::max(L.ProfileTripCount, L.ExecTripCount));
+  unsigned Window = Opts.GroundTruthWindow;
+
+  // Check both inputs: a pair is only run-time disambiguable when it is
+  // collision-free under the profile *and* the execution input.
+  for (uint64_t Seed : {L.ProfileSeed, L.ExecSeed}) {
+    for (uint64_t I = 0; I < Iters; ++I) {
+      uint64_t AddrA = A.addressAt(I, ObjA, Seed);
+      uint64_t EndA = AddrA + A.AccessBytes;
+      uint64_t JLo = I >= Window ? I - Window : 0;
+      for (uint64_t J = JLo; J <= I + Window && J < Iters; ++J) {
+        uint64_t AddrB = B.addressAt(J, ObjB, Seed);
+        uint64_t EndB = AddrB + B.AccessBytes;
+        if (AddrA < EndB && AddrB < EndA)
+          return true;
+      }
+    }
+  }
+  return false;
+}
+
+AliasQueryAnswer MemoryDisambiguator::query(unsigned StreamA,
+                                            unsigned StreamB) const {
+  AliasQueryAnswer Answer = queryStatic(StreamA, StreamB);
+  if (Answer.Result == AliasResult::MayAlias)
+    Answer.RuntimeDisambiguable = !collidesAtRuntime(StreamA, StreamB);
+  return Answer;
+}
+
+namespace {
+
+/// Dependence kind for an earlier access \p SrcIsStore and a later access
+/// \p DstIsStore; load->load pairs carry no dependence.
+DepKind kindFor(bool SrcIsStore, bool DstIsStore) {
+  if (SrcIsStore && DstIsStore)
+    return DepKind::MemOutput;
+  if (SrcIsStore)
+    return DepKind::MemFlow;
+  return DepKind::MemAnti;
+}
+
+} // namespace
+
+unsigned MemoryDisambiguator::addMemoryEdges(DDG &G) const {
+  // Collect memory operations in program order.
+  std::vector<unsigned> MemOps;
+  for (unsigned Id = 0, E = static_cast<unsigned>(L.numOps()); Id != E;
+       ++Id)
+    if (L.op(Id).isMemory())
+      MemOps.push_back(Id);
+  const size_t K = MemOps.size();
+
+  // Memoize per stream pair (the expensive part is the run-time
+  // collision sampling for may-alias pairs).
+  std::map<std::pair<unsigned, unsigned>, AliasQueryAnswer> Cache;
+  auto CachedQuery = [&](unsigned SA, unsigned SB) -> AliasQueryAnswer {
+    auto Key = std::minmax(SA, SB);
+    auto It = Cache.find({Key.first, Key.second});
+    if (It != Cache.end()) {
+      AliasQueryAnswer Answer = It->second;
+      if (SA > SB)
+        Answer.IterDelta = -Answer.IterDelta;
+      return Answer;
+    }
+    AliasQueryAnswer Answer = query(Key.first, Key.second);
+    Cache[{Key.first, Key.second}] = Answer;
+    if (SA > SB)
+      Answer.IterDelta = -Answer.IterDelta;
+    return Answer;
+  };
+
+  // Pairwise relation over the memory ops of the loop.
+  auto RelationOf = [&](size_t IA, size_t IB) {
+    return CachedQuery(L.op(MemOps[IA]).StreamId,
+                       L.op(MemOps[IB]).StreamId);
+  };
+  std::vector<std::vector<AliasResult>> Rel(
+      K, std::vector<AliasResult>(K, AliasResult::NoAlias));
+  std::vector<std::vector<bool>> Removable(K, std::vector<bool>(K, false));
+  for (size_t IA = 0; IA != K; ++IA)
+    for (size_t IB = IA; IB != K; ++IB) {
+      AliasQueryAnswer Answer;
+      if (IA == IB) {
+        Answer.Result = AliasResult::MustAlias;
+      } else {
+        Answer = RelationOf(IA, IB);
+      }
+      Rel[IA][IB] = Rel[IB][IA] = Answer.Result;
+      bool R = Answer.Result == AliasResult::MayAlias &&
+               Answer.RuntimeDisambiguable;
+      Removable[IA][IB] = Removable[IB][IA] = R;
+    }
+  // A witness pair only serializes transitively if it survives at least
+  // as long as the pruned pair: when the pruned pair is durable (not
+  // removable by code specialization), its witnesses must be durable too,
+  // or specialization would break the serialization chain.
+  auto Conflicts = [&](size_t IA, size_t IB, bool NeedDurable) {
+    if (Rel[IA][IB] == AliasResult::NoAlias)
+      return false;
+    return !NeedDurable || !Removable[IA][IB];
+  };
+
+  unsigned Added = 0;
+  auto AddDep = [&](unsigned Src, unsigned Dst, unsigned Distance,
+                    bool MayAlias, bool Disambiguable) {
+    const Operation &SrcOp = L.op(Src);
+    const Operation &DstOp = L.op(Dst);
+    if (SrcOp.isLoad() && DstOp.isLoad())
+      return;
+    if (Distance > Opts.MaxDependenceDistance)
+      return; // Too far apart to constrain the schedule.
+    DepEdge Edge;
+    Edge.Src = Src;
+    Edge.Dst = Dst;
+    Edge.Kind = kindFor(SrcOp.isStore(), DstOp.isStore());
+    Edge.Distance = Distance;
+    Edge.MayAlias = MayAlias;
+    Edge.RuntimeDisambiguable = Disambiguable;
+    G.addEdge(Edge);
+    ++Added;
+  };
+
+  // A may-alias pair does not need its own edge when a store between the
+  // two ops already serializes both sides transitively (transitive
+  // reduction of the conservative serialization; keeps edge counts
+  // linear in chain size instead of quadratic).
+  auto HasForwardWitness = [&](size_t IA, size_t IB, bool NeedDurable) {
+    for (size_t M = IA + 1; M < IB; ++M)
+      if (L.op(MemOps[M]).isStore() && Conflicts(IA, M, NeedDurable) &&
+          Conflicts(M, IB, NeedDurable))
+        return true;
+    return false;
+  };
+  auto HasWrapWitness = [&](size_t IA, size_t IB, bool NeedDurable) {
+    // Ordering of IB (this iteration) before IA (next iteration): a
+    // store after IB or before IA on the circular order serializes it.
+    for (size_t M = IB + 1; M < K; ++M)
+      if (L.op(MemOps[M]).isStore() && Conflicts(IB, M, NeedDurable) &&
+          Conflicts(M, IA, NeedDurable))
+        return true;
+    for (size_t M = 0; M < IA; ++M)
+      if (L.op(MemOps[M]).isStore() && Conflicts(IB, M, NeedDurable) &&
+          Conflicts(M, IA, NeedDurable))
+        return true;
+    return false;
+  };
+
+  for (size_t IA = 0; IA != K; ++IA) {
+    for (size_t IB = IA; IB != K; ++IB) {
+      unsigned OpA = MemOps[IA], OpB = MemOps[IB];
+      const Operation &A = L.op(OpA);
+      const Operation &B = L.op(OpB);
+      if (A.isLoad() && B.isLoad())
+        continue;
+
+      if (OpA == OpB) {
+        // A store may collide with itself in a later iteration only when
+        // its own stream can revisit an address.
+        if (!A.isStore())
+          continue;
+        const AddressExpr &Expr = L.stream(A.StreamId);
+        bool Revisits = Expr.Pattern == AddressPattern::Gather ||
+                        Expr.StrideBytes == 0;
+        if (Revisits) {
+          AliasQueryAnswer Self = CachedQuery(A.StreamId, A.StreamId);
+          AddDep(OpA, OpA, 1, Self.Result != AliasResult::MustAlias,
+                 Self.RuntimeDisambiguable);
+        }
+        continue;
+      }
+
+      AliasQueryAnswer Answer = RelationOf(IA, IB);
+      switch (Answer.Result) {
+      case AliasResult::NoAlias:
+        break;
+      case AliasResult::MustAlias: {
+        // B at iteration i + IterDelta touches what A touches at i.
+        int64_t Delta = Answer.IterDelta;
+        if (Delta > 0) {
+          AddDep(OpA, OpB, static_cast<unsigned>(Delta),
+                 /*MayAlias=*/false, /*Disambiguable=*/false);
+        } else if (Delta < 0) {
+          AddDep(OpB, OpA, static_cast<unsigned>(-Delta),
+                 /*MayAlias=*/false, /*Disambiguable=*/false);
+        } else {
+          AddDep(OpA, OpB, 0, /*MayAlias=*/false, /*Disambiguable=*/false);
+        }
+        break;
+      }
+      case AliasResult::MayAlias: {
+        // Conservative serialization both ways, transitively reduced.
+        bool NeedDurable = !Answer.RuntimeDisambiguable;
+        if (!HasForwardWitness(IA, IB, NeedDurable))
+          AddDep(OpA, OpB, 0, /*MayAlias=*/true,
+                 Answer.RuntimeDisambiguable);
+        if (!HasWrapWitness(IA, IB, NeedDurable))
+          AddDep(OpB, OpA, 1, /*MayAlias=*/true,
+                 Answer.RuntimeDisambiguable);
+        break;
+      }
+      }
+    }
+  }
+  return Added;
+}

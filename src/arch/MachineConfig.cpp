@@ -1,0 +1,105 @@
+//===- arch/MachineConfig.cpp - Machine description -----------------------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cvliw/arch/MachineConfig.h"
+
+#include <cstdio>
+
+using namespace cvliw;
+
+const char *cvliw::accessTypeName(AccessType Type) {
+  switch (Type) {
+  case AccessType::LocalHit:
+    return "local hit";
+  case AccessType::RemoteHit:
+    return "remote hit";
+  case AccessType::LocalMiss:
+    return "local miss";
+  case AccessType::RemoteMiss:
+    return "remote miss";
+  case AccessType::Combined:
+    return "combined";
+  }
+  return "unknown";
+}
+
+unsigned MachineConfig::nominalLatency(AccessType Type) const {
+  // A remote access pays a request hop and a reply hop over a memory bus.
+  unsigned RoundTrip = 2 * memoryBusHop();
+  switch (Type) {
+  case AccessType::LocalHit:
+    return CacheHitLatency;
+  case AccessType::RemoteHit:
+    return CacheHitLatency + RoundTrip;
+  case AccessType::LocalMiss:
+    return CacheHitLatency + NextLevelLatency;
+  case AccessType::RemoteMiss:
+    return CacheHitLatency + RoundTrip + NextLevelLatency;
+  case AccessType::Combined:
+    // A combined access completes when the pending request it merged with
+    // completes; the scheduler never assigns this latency directly.
+    return CacheHitLatency;
+  }
+  return CacheHitLatency;
+}
+
+std::string MachineConfig::summary() const {
+  char Buf[256];
+  std::snprintf(Buf, sizeof(Buf),
+                "%u clusters, %uB interleave, %u/%u-cyc mem buses, "
+                "%u/%u-cyc reg buses, AB=%s",
+                NumClusters, InterleaveBytes, MemoryBuses.Count,
+                MemoryBuses.Latency, RegisterBuses.Count,
+                RegisterBuses.Latency,
+                AttractionBuffersEnabled ? "on" : "off");
+  return Buf;
+}
+
+const char *cvliw::cacheOrganizationName(CacheOrganization Org) {
+  switch (Org) {
+  case CacheOrganization::WordInterleaved:
+    return "word-interleaved";
+  case CacheOrganization::Replicated:
+    return "replicated";
+  case CacheOrganization::CoherentDirectory:
+    return "coherent-directory";
+  }
+  return "?";
+}
+
+MachineConfig MachineConfig::baseline() { return MachineConfig(); }
+
+MachineConfig MachineConfig::replicatedCache() {
+  MachineConfig Config;
+  Config.Organization = CacheOrganization::Replicated;
+  return Config;
+}
+
+MachineConfig MachineConfig::coherentDirectory() {
+  MachineConfig Config;
+  Config.Organization = CacheOrganization::CoherentDirectory;
+  return Config;
+}
+
+MachineConfig MachineConfig::nobalMem() {
+  MachineConfig Config;
+  Config.MemoryBuses = BusConfig{4, 2};
+  Config.RegisterBuses = BusConfig{2, 4};
+  return Config;
+}
+
+MachineConfig MachineConfig::nobalReg() {
+  MachineConfig Config;
+  Config.MemoryBuses = BusConfig{2, 4};
+  Config.RegisterBuses = BusConfig{4, 2};
+  return Config;
+}
+
+MachineConfig MachineConfig::withAttractionBuffers() {
+  MachineConfig Config;
+  Config.AttractionBuffersEnabled = true;
+  return Config;
+}

@@ -1,0 +1,57 @@
+//===- ir/AddressExpr.cpp - Symbolic address expressions ------------------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cvliw/ir/AddressExpr.h"
+
+#include <cassert>
+
+using namespace cvliw;
+
+namespace {
+
+/// Stateless SplitMix64-style mix used for gather streams: every client
+/// (profiler, simulator, disambiguator tests) sees the same address for
+/// the same (seed, iteration) pair without sharing generator state.
+uint64_t mix64(uint64_t X) {
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+  return X ^ (X >> 31);
+}
+
+} // namespace
+
+uint64_t AddressExpr::addressAt(uint64_t Iter, const MemObject &Object,
+                                uint64_t InputSeed) const {
+  assert(Object.SizeBytes >= AccessBytes && "object smaller than access");
+  switch (Pattern) {
+  case AddressPattern::Affine: {
+    // Affine trajectories are input-independent (the paper relies on
+    // padding to make the preferred cluster of strided ops consistent
+    // across inputs); they wrap modulo the object extent.
+    int64_t Linear =
+        OffsetBytes + StrideBytes * static_cast<int64_t>(Iter);
+    uint64_t Span = Object.SizeBytes;
+    uint64_t Wrapped =
+        static_cast<uint64_t>(((Linear % static_cast<int64_t>(Span)) +
+                               static_cast<int64_t>(Span))) %
+        Span;
+    // Keep the access inside the object.
+    if (Wrapped + AccessBytes > Span)
+      Wrapped = Span - AccessBytes;
+    return Object.BaseAddr + Wrapped;
+  }
+  case AddressPattern::Gather: {
+    uint64_t Elems = Object.SizeBytes / AccessBytes;
+    assert(Elems > 0);
+    uint64_t Pick =
+        mix64(GatherSeed ^ (InputSeed * 0x9e3779b97f4a7c15ULL) ^
+              (Iter + 0x632be59bd9b4e019ULL)) %
+        Elems;
+    return Object.BaseAddr + Pick * AccessBytes;
+  }
+  }
+  return Object.BaseAddr;
+}

@@ -1,0 +1,296 @@
+//===- ir/DDG.cpp - Data Dependence Graph ---------------------------------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cvliw/ir/DDG.h"
+
+#include <algorithm>
+#include <limits>
+
+using namespace cvliw;
+
+const char *cvliw::depKindName(DepKind Kind) {
+  switch (Kind) {
+  case DepKind::RegFlow:
+    return "RF";
+  case DepKind::MemFlow:
+    return "MF";
+  case DepKind::MemAnti:
+    return "MA";
+  case DepKind::MemOutput:
+    return "MO";
+  case DepKind::Sync:
+    return "SYNC";
+  }
+  return "?";
+}
+
+unsigned DDG::addEdge(DepEdge Edge) {
+  assert(Edge.Src < numNodes() && Edge.Dst < numNodes() &&
+         "edge endpoints out of range");
+  unsigned Index = static_cast<unsigned>(Edges.size());
+  SuccIdx[Edge.Src].push_back(Index);
+  PredIdx[Edge.Dst].push_back(Index);
+  Edges.push_back(Edge);
+  Dead.push_back(false);
+  return Index;
+}
+
+size_t DDG::numEdges() const {
+  size_t N = 0;
+  for (bool D : Dead)
+    if (!D)
+      ++N;
+  return N;
+}
+
+void DDG::forEachEdge(
+    const std::function<void(unsigned, const DepEdge &)> &Fn) const {
+  for (unsigned I = 0, E = static_cast<unsigned>(Edges.size()); I != E; ++I)
+    if (!Dead[I])
+      Fn(I, Edges[I]);
+}
+
+std::vector<unsigned> DDG::succEdges(unsigned Node) const {
+  assert(Node < numNodes());
+  std::vector<unsigned> Out;
+  for (unsigned I : SuccIdx[Node])
+    if (!Dead[I])
+      Out.push_back(I);
+  return Out;
+}
+
+std::vector<unsigned> DDG::predEdges(unsigned Node) const {
+  assert(Node < numNodes());
+  std::vector<unsigned> Out;
+  for (unsigned I : PredIdx[Node])
+    if (!Dead[I])
+      Out.push_back(I);
+  return Out;
+}
+
+std::vector<unsigned> DDG::memoryEdges() const {
+  std::vector<unsigned> Out;
+  for (unsigned I = 0, E = static_cast<unsigned>(Edges.size()); I != E; ++I)
+    if (!Dead[I] && isMemoryDep(Edges[I].Kind))
+      Out.push_back(I);
+  return Out;
+}
+
+bool DDG::hasEdge(unsigned Src, unsigned Dst, DepKind Kind,
+                  unsigned Distance) const {
+  for (unsigned I : SuccIdx[Src]) {
+    if (Dead[I])
+      continue;
+    const DepEdge &E = Edges[I];
+    if (E.Dst == Dst && E.Kind == Kind && E.Distance == Distance)
+      return true;
+  }
+  return false;
+}
+
+namespace {
+
+/// Iterative Tarjan SCC state.
+struct TarjanFrame {
+  unsigned Node;
+  size_t EdgePos;
+};
+
+} // namespace
+
+std::vector<unsigned> DDG::computeSccs(unsigned &NumSccs) const {
+  const unsigned N = static_cast<unsigned>(numNodes());
+  constexpr unsigned Unvisited = std::numeric_limits<unsigned>::max();
+  std::vector<unsigned> Index(N, Unvisited), LowLink(N), Component(N, 0);
+  std::vector<bool> OnStack(N, false);
+  std::vector<unsigned> Stack;
+  unsigned NextIndex = 0;
+  NumSccs = 0;
+
+  for (unsigned Root = 0; Root != N; ++Root) {
+    if (Index[Root] != Unvisited)
+      continue;
+
+    std::vector<TarjanFrame> CallStack;
+    CallStack.push_back({Root, 0});
+    Index[Root] = LowLink[Root] = NextIndex++;
+    Stack.push_back(Root);
+    OnStack[Root] = true;
+
+    while (!CallStack.empty()) {
+      TarjanFrame &Frame = CallStack.back();
+      unsigned V = Frame.Node;
+      const std::vector<unsigned> &Out = SuccIdx[V];
+
+      bool Descended = false;
+      while (Frame.EdgePos < Out.size()) {
+        unsigned EdgeIndex = Out[Frame.EdgePos++];
+        if (Dead[EdgeIndex])
+          continue;
+        unsigned W = Edges[EdgeIndex].Dst;
+        if (Index[W] == Unvisited) {
+          Index[W] = LowLink[W] = NextIndex++;
+          Stack.push_back(W);
+          OnStack[W] = true;
+          CallStack.push_back({W, 0});
+          Descended = true;
+          break;
+        }
+        if (OnStack[W])
+          LowLink[V] = std::min(LowLink[V], Index[W]);
+      }
+      if (Descended)
+        continue;
+
+      if (LowLink[V] == Index[V]) {
+        unsigned W;
+        do {
+          W = Stack.back();
+          Stack.pop_back();
+          OnStack[W] = false;
+          Component[W] = NumSccs;
+        } while (W != V);
+        ++NumSccs;
+      }
+
+      CallStack.pop_back();
+      if (!CallStack.empty()) {
+        unsigned Parent = CallStack.back().Node;
+        LowLink[Parent] = std::min(LowLink[Parent], LowLink[V]);
+      }
+    }
+  }
+  return Component;
+}
+
+bool DDG::feasibleAtII(
+    unsigned II, const std::function<unsigned(unsigned)> &LatencyOf) const {
+  // A modulo schedule at initiation interval II exists w.r.t. recurrences
+  // iff the constraint graph with edge weights latency - II*distance has
+  // no positive cycle. Detect positive cycles with Bellman-Ford longest
+  // path relaxation.
+  const unsigned N = static_cast<unsigned>(numNodes());
+  if (N == 0)
+    return true;
+  std::vector<int64_t> Dist(N, 0);
+
+  for (unsigned Round = 0; Round <= N; ++Round) {
+    bool Changed = false;
+    for (unsigned I = 0, E = static_cast<unsigned>(Edges.size()); I != E;
+         ++I) {
+      if (Dead[I])
+        continue;
+      const DepEdge &Edge = Edges[I];
+      int64_t W = static_cast<int64_t>(LatencyOf(I)) -
+                  static_cast<int64_t>(II) *
+                      static_cast<int64_t>(Edge.Distance);
+      if (Dist[Edge.Src] + W > Dist[Edge.Dst]) {
+        Dist[Edge.Dst] = Dist[Edge.Src] + W;
+        Changed = true;
+      }
+    }
+    if (!Changed)
+      return true;
+  }
+  return false; // Still relaxing after N rounds: positive cycle.
+}
+
+unsigned DDG::computeRecMII(
+    const std::function<unsigned(unsigned)> &LatencyOf) const {
+  // Upper bound: sum of all latencies is always feasible.
+  unsigned Hi = 1;
+  forEachEdge([&](unsigned I, const DepEdge &) { Hi += LatencyOf(I); });
+
+  unsigned Lo = 1;
+  while (Lo < Hi) {
+    unsigned Mid = Lo + (Hi - Lo) / 2;
+    if (feasibleAtII(Mid, LatencyOf))
+      Hi = Mid;
+    else
+      Lo = Mid + 1;
+  }
+  return Lo;
+}
+
+std::vector<int64_t> DDG::computeHeights(
+    const std::function<unsigned(unsigned)> &LatencyOf) const {
+  // Height of a node: longest latency path from the node to any sink over
+  // intra-iteration (distance 0) edges. Since distance-0 edges follow
+  // program order in a well-formed loop body, a reverse sweep suffices;
+  // we iterate to a fixed point to stay correct for arbitrary DAGs.
+  const unsigned N = static_cast<unsigned>(numNodes());
+  std::vector<int64_t> Height(N, 0);
+  bool Changed = true;
+  unsigned Guard = 0;
+  while (Changed && Guard++ <= N + 1) {
+    Changed = false;
+    for (unsigned I = 0, E = static_cast<unsigned>(Edges.size()); I != E;
+         ++I) {
+      if (Dead[I])
+        continue;
+      const DepEdge &Edge = Edges[I];
+      if (Edge.Distance != 0)
+        continue;
+      int64_t Candidate =
+          Height[Edge.Dst] + static_cast<int64_t>(LatencyOf(I));
+      if (Candidate > Height[Edge.Src]) {
+        Height[Edge.Src] = Candidate;
+        Changed = true;
+      }
+    }
+  }
+  return Height;
+}
+
+std::vector<int64_t> DDG::computeDepths(
+    const std::function<unsigned(unsigned)> &LatencyOf) const {
+  const unsigned N = static_cast<unsigned>(numNodes());
+  std::vector<int64_t> Depth(N, 0);
+  bool Changed = true;
+  unsigned Guard = 0;
+  while (Changed && Guard++ <= N + 1) {
+    Changed = false;
+    for (unsigned I = 0, E = static_cast<unsigned>(Edges.size()); I != E;
+         ++I) {
+      if (Dead[I])
+        continue;
+      const DepEdge &Edge = Edges[I];
+      if (Edge.Distance != 0)
+        continue;
+      int64_t Candidate =
+          Depth[Edge.Src] + static_cast<int64_t>(LatencyOf(I));
+      if (Candidate > Depth[Edge.Dst]) {
+        Depth[Edge.Dst] = Candidate;
+        Changed = true;
+      }
+    }
+  }
+  return Depth;
+}
+
+bool DDG::reaches(unsigned From, unsigned To) const {
+  if (From == To)
+    return true;
+  std::vector<bool> Seen(numNodes(), false);
+  std::vector<unsigned> Worklist{From};
+  Seen[From] = true;
+  while (!Worklist.empty()) {
+    unsigned V = Worklist.back();
+    Worklist.pop_back();
+    for (unsigned I : SuccIdx[V]) {
+      if (Dead[I])
+        continue;
+      unsigned W = Edges[I].Dst;
+      if (W == To)
+        return true;
+      if (!Seen[W]) {
+        Seen[W] = true;
+        Worklist.push_back(W);
+      }
+    }
+  }
+  return false;
+}

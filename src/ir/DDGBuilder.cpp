@@ -1,0 +1,86 @@
+//===- ir/DDGBuilder.cpp - DDG construction -------------------------------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cvliw/ir/DDGBuilder.h"
+
+#include <unordered_map>
+
+using namespace cvliw;
+
+DDG cvliw::buildRegisterFlowDDG(const Loop &L) {
+  DDG G(L.numOps());
+
+  // Map register -> defining op (unique by the SSA-like convention).
+  std::unordered_map<RegId, unsigned> DefOf;
+  for (unsigned Id = 0, E = static_cast<unsigned>(L.numOps()); Id != E;
+       ++Id) {
+    const Operation &O = L.op(Id);
+    if (O.Dest == NoReg)
+      continue;
+    assert(!DefOf.count(O.Dest) &&
+           "loop body must define each register at most once");
+    DefOf[O.Dest] = Id;
+  }
+
+  for (unsigned Use = 0, E = static_cast<unsigned>(L.numOps()); Use != E;
+       ++Use) {
+    const Operation &O = L.op(Use);
+    for (RegId Src : O.Sources) {
+      auto It = DefOf.find(Src);
+      if (It == DefOf.end())
+        continue; // Live-in value: no intra-loop producer.
+      unsigned Def = It->second;
+      // A use at or before its definition reads last iteration's value.
+      unsigned Distance = Use > Def ? 0 : 1;
+      G.addEdge(DepEdge{Def, Use, DepKind::RegFlow, Distance});
+    }
+  }
+  return G;
+}
+
+bool cvliw::verifyDDG(const Loop &L, const DDG &G) {
+  if (G.numNodes() < L.numOps())
+    return false;
+
+  bool Ok = true;
+  G.forEachEdge([&](unsigned, const DepEdge &E) {
+    if (E.Src >= L.numOps() || E.Dst >= L.numOps()) {
+      Ok = false;
+      return;
+    }
+    const Operation &Src = L.op(E.Src);
+    const Operation &Dst = L.op(E.Dst);
+    switch (E.Kind) {
+    case DepKind::RegFlow:
+      if (Src.Dest == NoReg) {
+        Ok = false;
+        return;
+      }
+      if (std::find(Dst.Sources.begin(), Dst.Sources.end(), Src.Dest) ==
+          Dst.Sources.end())
+        Ok = false;
+      return;
+    case DepKind::MemFlow:
+      if (!Src.isStore() || !Dst.isLoad())
+        Ok = false;
+      return;
+    case DepKind::MemAnti:
+      if (!Src.isLoad() || !Dst.isStore())
+        Ok = false;
+      return;
+    case DepKind::MemOutput:
+      if (!Src.isStore() || !Dst.isStore())
+        Ok = false;
+      return;
+    case DepKind::Sync:
+      // SYNC runs from a load consumer to the store it orders.
+      if (!Dst.isStore())
+        Ok = false;
+      return;
+    }
+  });
+  return Ok;
+}

@@ -1,0 +1,93 @@
+//===- ir/Opcode.cpp - Operation opcodes ----------------------------------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cvliw/ir/Opcode.h"
+
+using namespace cvliw;
+
+const char *cvliw::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::Load:
+    return "load";
+  case Opcode::Store:
+    return "store";
+  case Opcode::IAdd:
+    return "add";
+  case Opcode::ISub:
+    return "sub";
+  case Opcode::IMul:
+    return "mul";
+  case Opcode::IShift:
+    return "shl";
+  case Opcode::ICmp:
+    return "cmp";
+  case Opcode::FAdd:
+    return "fadd";
+  case Opcode::FMul:
+    return "fmul";
+  case Opcode::FDiv:
+    return "fdiv";
+  case Opcode::Branch:
+    return "br";
+  case Opcode::Copy:
+    return "copy";
+  case Opcode::FakeCons:
+    return "fake_cons";
+  }
+  return "?";
+}
+
+bool cvliw::isMemoryOpcode(Opcode Op) {
+  return Op == Opcode::Load || Op == Opcode::Store;
+}
+
+FuClass cvliw::fuClassOf(Opcode Op) {
+  switch (Op) {
+  case Opcode::Load:
+  case Opcode::Store:
+    return FuClass::Memory;
+  case Opcode::FAdd:
+  case Opcode::FMul:
+  case Opcode::FDiv:
+    return FuClass::Float;
+  case Opcode::IAdd:
+  case Opcode::ISub:
+  case Opcode::IMul:
+  case Opcode::IShift:
+  case Opcode::ICmp:
+  case Opcode::Branch:
+  case Opcode::Copy:
+  case Opcode::FakeCons:
+    return FuClass::Integer;
+  }
+  return FuClass::Integer;
+}
+
+unsigned cvliw::opcodeLatency(Opcode Op) {
+  switch (Op) {
+  case Opcode::Load:
+  case Opcode::Store:
+    return 1; // Cache pipeline; the memory system adds the rest.
+  case Opcode::IAdd:
+  case Opcode::ISub:
+  case Opcode::IShift:
+  case Opcode::ICmp:
+  case Opcode::Branch:
+  case Opcode::FakeCons:
+    return 1;
+  case Opcode::IMul:
+    return 3;
+  case Opcode::FAdd:
+    return 3;
+  case Opcode::FMul:
+    return 3;
+  case Opcode::FDiv:
+    return 12;
+  case Opcode::Copy:
+    return 2; // One register-bus hop at half core frequency.
+  }
+  return 1;
+}

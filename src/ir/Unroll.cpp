@@ -1,0 +1,141 @@
+//===- ir/Unroll.cpp - Loop unrolling --------------------------------------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cvliw/ir/Unroll.h"
+
+#include <map>
+#include <numeric>
+
+using namespace cvliw;
+
+Loop cvliw::unrollLoop(const Loop &L, unsigned Factor) {
+  assert(Factor >= 1 && "unroll factor must be positive");
+  if (Factor == 1)
+    return L;
+
+  Loop Out(L.name() + ".x" + std::to_string(Factor));
+  Out.ProfileTripCount = L.ProfileTripCount / Factor;
+  Out.ExecTripCount = L.ExecTripCount / Factor;
+  Out.ProfileSeed = L.ProfileSeed;
+  Out.ExecSeed = L.ExecSeed;
+  Out.Weight = L.Weight;
+
+  // Objects carry over unchanged.
+  for (const MemObject &Object : L.objects())
+    Out.addObject(Object);
+
+  // Streams: copy k of an affine stream advances by Stride*k and
+  // stretches its stride; a gather stream re-hashes per copy.
+  // StreamOf[k][old stream] -> new stream id.
+  std::vector<std::vector<unsigned>> StreamOf(
+      Factor, std::vector<unsigned>(L.streams().size()));
+  for (unsigned K = 0; K != Factor; ++K) {
+    for (unsigned SId = 0, E = static_cast<unsigned>(L.streams().size());
+         SId != E; ++SId) {
+      AddressExpr Expr = L.stream(SId);
+      if (Expr.Pattern == AddressPattern::Affine) {
+        Expr.OffsetBytes += Expr.StrideBytes * static_cast<int64_t>(K);
+        Expr.StrideBytes *= static_cast<int64_t>(Factor);
+      } else {
+        Expr.GatherSeed =
+            Expr.GatherSeed * 0x9e3779b97f4a7c15ULL + K + 1;
+      }
+      StreamOf[K][SId] = Out.addStream(Expr);
+    }
+  }
+
+  // Registers: each copy defines fresh registers. A use whose definition
+  // appears *later* in the original body (loop-carried) reads the
+  // previous copy's instance; copy 0 reads the last copy's registers of
+  // the previous unrolled iteration, i.e. the last copy's names.
+  const RegId FreshBase = L.freshReg();
+  auto RenamedReg = [&](RegId R, unsigned Copy) -> RegId {
+    return FreshBase + static_cast<RegId>(Copy) * FreshBase + R;
+  };
+
+  // Definition position of each register in the original body.
+  std::map<RegId, unsigned> DefAt;
+  for (unsigned Id = 0, E = static_cast<unsigned>(L.numOps()); Id != E;
+       ++Id)
+    if (L.op(Id).Dest != NoReg)
+      DefAt[L.op(Id).Dest] = Id;
+
+  for (unsigned K = 0; K != Factor; ++K) {
+    for (unsigned Id = 0, E = static_cast<unsigned>(L.numOps()); Id != E;
+         ++Id) {
+      Operation Op = L.op(Id);
+      if (Op.isMemory())
+        Op.StreamId = StreamOf[K][Op.StreamId];
+      if (Op.Dest != NoReg)
+        Op.Dest = RenamedReg(Op.Dest, K);
+      for (RegId &Src : Op.Sources) {
+        auto It = DefAt.find(Src);
+        if (It == DefAt.end())
+          continue; // Live-in: same name in every copy.
+        // A use before (or at) its def reads the previous copy's value;
+        // copy 0 reads the last copy (the previous unrolled iteration).
+        unsigned SourceCopy =
+            It->second < Id ? K : (K + Factor - 1) % Factor;
+        Src = RenamedReg(Src, SourceCopy);
+      }
+      Out.addOp(Op);
+    }
+  }
+  return Out;
+}
+
+unsigned cvliw::chooseUnrollFactor(const Loop &L,
+                                   const MachineConfig &Config,
+                                   unsigned MaxFactor) {
+  const int64_t Granule = static_cast<int64_t>(Config.NumClusters) *
+                          Config.InterleaveBytes;
+
+  // Histogram the strides of the affine memory streams actually used.
+  std::map<int64_t, unsigned> StrideCount;
+  for (const Operation &Op : L.ops()) {
+    if (!Op.isMemory())
+      continue;
+    const AddressExpr &Expr = L.stream(Op.StreamId);
+    if (Expr.Pattern != AddressPattern::Affine || Expr.StrideBytes == 0)
+      continue;
+    StrideCount[Expr.StrideBytes] += 1;
+  }
+  if (StrideCount.empty())
+    return 1;
+
+  int64_t MajorityStride = 0;
+  unsigned Best = 0;
+  for (const auto &[Stride, Count] : StrideCount)
+    if (Count > Best) {
+      Best = Count;
+      MajorityStride = Stride;
+    }
+
+  for (unsigned U = 1; U <= MaxFactor; ++U)
+    if ((MajorityStride * static_cast<int64_t>(U)) % Granule == 0)
+      return U;
+  return 1;
+}
+
+double cvliw::clusterConsistentFraction(const Loop &L,
+                                        const MachineConfig &Config) {
+  const int64_t Granule = static_cast<int64_t>(Config.NumClusters) *
+                          Config.InterleaveBytes;
+  unsigned Affine = 0, Consistent = 0;
+  for (const Operation &Op : L.ops()) {
+    if (!Op.isMemory())
+      continue;
+    const AddressExpr &Expr = L.stream(Op.StreamId);
+    if (Expr.Pattern != AddressPattern::Affine)
+      continue;
+    ++Affine;
+    if (Expr.StrideBytes % Granule == 0)
+      ++Consistent;
+  }
+  return Affine == 0 ? 0.0
+                     : static_cast<double>(Consistent) /
+                           static_cast<double>(Affine);
+}

@@ -1,0 +1,231 @@
+//===- pipeline/Experiment.cpp - Experiment driver ------------------------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cvliw/pipeline/Experiment.h"
+
+#include "cvliw/alias/CodeSpecialization.h"
+#include "cvliw/alias/MemoryDisambiguator.h"
+#include "cvliw/ir/DDGBuilder.h"
+#include "cvliw/profile/ClusterProfiler.h"
+#include "cvliw/sched/DDGTransform.h"
+#include "cvliw/sched/MemoryChains.h"
+#include "cvliw/sched/ModuloScheduler.h"
+#include "cvliw/workloads/KernelBuilder.h"
+
+#include <cassert>
+#include <stdexcept>
+
+using namespace cvliw;
+
+uint64_t BenchmarkRunResult::totalCycles() const {
+  uint64_t Sum = 0;
+  for (const LoopRunResult &L : Loops)
+    Sum += L.Sim.TotalCycles;
+  return Sum;
+}
+
+uint64_t BenchmarkRunResult::computeCycles() const {
+  uint64_t Sum = 0;
+  for (const LoopRunResult &L : Loops)
+    Sum += L.Sim.ComputeCycles;
+  return Sum;
+}
+
+uint64_t BenchmarkRunResult::stallCycles() const {
+  uint64_t Sum = 0;
+  for (const LoopRunResult &L : Loops)
+    Sum += L.Sim.StallCycles;
+  return Sum;
+}
+
+uint64_t BenchmarkRunResult::coherenceViolations() const {
+  uint64_t Sum = 0;
+  for (const LoopRunResult &L : Loops)
+    Sum += L.Sim.CoherenceViolations;
+  return Sum;
+}
+
+uint64_t BenchmarkRunResult::communicationOps() const {
+  uint64_t Sum = 0;
+  for (const LoopRunResult &L : Loops)
+    Sum += static_cast<uint64_t>(L.CopiesPerIter) * L.Sim.Iterations;
+  return Sum;
+}
+
+FractionAccumulator BenchmarkRunResult::mergedClassification() const {
+  FractionAccumulator Merged(5);
+  for (const LoopRunResult &L : Loops)
+    Merged.merge(L.Sim.AccessClassification);
+  return Merged;
+}
+
+double BenchmarkRunResult::cmr() const {
+  double Num = 0, Den = 0;
+  for (const LoopRunResult &L : Loops) {
+    Num += static_cast<double>(L.BiggestChain) *
+           static_cast<double>(L.ExecTrip);
+    Den += static_cast<double>(L.NumMemOps) *
+           static_cast<double>(L.ExecTrip);
+  }
+  return Den == 0 ? 0.0 : Num / Den;
+}
+
+double BenchmarkRunResult::car() const {
+  double Num = 0, Den = 0;
+  for (const LoopRunResult &L : Loops) {
+    Num += static_cast<double>(L.BiggestChain) *
+           static_cast<double>(L.ExecTrip);
+    Den += static_cast<double>(L.NumOps) * static_cast<double>(L.ExecTrip);
+  }
+  return Den == 0 ? 0.0 : Num / Den;
+}
+
+LoopRunResult cvliw::runLoop(const LoopSpec &Spec,
+                             const ExperimentConfig &Config) {
+  LoopRunResult Result;
+  Result.LoopName = Spec.Name;
+  Result.Weight = Spec.Weight;
+  Result.ExecTrip = Spec.ExecTrip;
+
+  // 1. Build the kernel and its dependence graph.
+  Loop L = buildLoop(Spec, Config.Machine);
+  DDG G = buildRegisterFlowDDG(L);
+  MemoryDisambiguator Disambiguator(L);
+  Disambiguator.addMemoryEdges(G);
+  assert(verifyDDG(L, G) && "malformed dependence graph");
+
+  // 2. Optional run-time disambiguation (§6).
+  if (Config.ApplySpecialization)
+    applyCodeSpecialization(G);
+
+  // Chain statistics always refer to the untransformed loop.
+  MemoryChains OriginalChains(L, G);
+  Result.BiggestChain = OriginalChains.biggestChainSize();
+
+  // 3. Coherence transformation.
+  Loop *ScheduledLoop = &L;
+  DDG *ScheduledGraph = &G;
+  DDGTResult Transformed;
+  if (Config.Policy == CoherencePolicy::DDGT) {
+    Transformed = applyDDGT(L, G, Config.Machine);
+    ScheduledLoop = &Transformed.TransformedLoop;
+    ScheduledGraph = &Transformed.TransformedDDG;
+  }
+
+  // 4. Preferred clusters from the profile input.
+  ClusterProfile Profile =
+      profileLoop(*ScheduledLoop, Config.Machine, /*UseProfileInput=*/true);
+
+  // 5. Modulo scheduling.
+  SchedulerOptions SchedOpts;
+  SchedOpts.Policy = Config.Policy;
+  SchedOpts.Heuristic = Config.Heuristic;
+  MemoryChains ScheduledChains(*ScheduledLoop, *ScheduledGraph);
+  ModuloScheduler Scheduler(*ScheduledLoop, *ScheduledGraph, Config.Machine,
+                            Profile, SchedOpts,
+                            Config.Policy == CoherencePolicy::MDC
+                                ? &ScheduledChains
+                                : nullptr);
+  std::optional<Schedule> S = Scheduler.run();
+  if (!S)
+    throw std::runtime_error("no modulo schedule found for loop " +
+                             Spec.Name);
+
+  Result.II = S->II;
+  Result.ResMII = S->ResMII;
+  Result.RecMII = S->RecMII;
+  Result.NumOps = ScheduledLoop->numOps();
+  Result.NumMemOps = ScheduledLoop->numMemoryOps();
+  Result.CopiesPerIter = S->numCopies();
+
+  // 6. Simulation (execution input; profile input when estimating).
+  SimOptions SimOpts;
+  SimOpts.Policy = Config.Policy;
+  SimOpts.MaxIterations = Config.MaxIterations;
+  SimOpts.CheckCoherence = Config.CheckCoherence;
+  SimOpts.UseProfileInput = Config.SimulateOnProfileInput;
+  Result.Sim = simulateKernel(*ScheduledLoop, *ScheduledGraph, *S,
+                              Config.Machine, SimOpts);
+  return Result;
+}
+
+BenchmarkRunResult cvliw::runBenchmark(const BenchmarkSpec &Bench,
+                                       ExperimentConfig Config) {
+  BenchmarkRunResult Result;
+  Result.Benchmark = Bench.Name;
+  Config.Machine.InterleaveBytes = Bench.InterleaveBytes;
+  for (const LoopSpec &Spec : Bench.Loops)
+    Result.Loops.push_back(runLoop(Spec, Config));
+  return Result;
+}
+
+ChainRatioResult cvliw::chainRatios(const BenchmarkSpec &Bench,
+                                    bool AfterSpecialization) {
+  MachineConfig Machine = MachineConfig::baseline();
+  Machine.InterleaveBytes = Bench.InterleaveBytes;
+
+  double CmrNum = 0, CmrDen = 0, CarNum = 0, CarDen = 0;
+  for (const LoopSpec &Spec : Bench.Loops) {
+    Loop L = buildLoop(Spec, Machine);
+    DDG G = buildRegisterFlowDDG(L);
+    MemoryDisambiguator Disambiguator(L);
+    Disambiguator.addMemoryEdges(G);
+    if (AfterSpecialization)
+      applyCodeSpecialization(G);
+    MemoryChains Chains(L, G);
+    double Trip = static_cast<double>(Spec.ExecTrip);
+    CmrNum += static_cast<double>(Chains.biggestChainSize()) * Trip;
+    CmrDen += static_cast<double>(L.numMemoryOps()) * Trip;
+    CarNum += static_cast<double>(Chains.biggestChainSize()) * Trip;
+    CarDen += static_cast<double>(L.numOps()) * Trip;
+  }
+  ChainRatioResult Out;
+  Out.Cmr = CmrDen == 0 ? 0.0 : CmrNum / CmrDen;
+  Out.Car = CarDen == 0 ? 0.0 : CarNum / CarDen;
+  return Out;
+}
+
+HybridLoopResult cvliw::runLoopHybrid(const LoopSpec &Spec,
+                                      const ExperimentConfig &Config) {
+  // Estimate both techniques at compile time: same toolchain, but the
+  // simulation runs on the profile input (the only input a compiler
+  // gets to see).
+  auto Estimate = [&](CoherencePolicy Policy) {
+    ExperimentConfig Est = Config;
+    Est.Policy = Policy;
+    Est.SimulateOnProfileInput = true;
+    return runLoop(Spec, Est).Sim.TotalCycles;
+  };
+
+  HybridLoopResult Out;
+  Out.ProfileEstimateMdc = Estimate(CoherencePolicy::MDC);
+  Out.ProfileEstimateDdgt = Estimate(CoherencePolicy::DDGT);
+  Out.Chosen = Out.ProfileEstimateMdc <= Out.ProfileEstimateDdgt
+                   ? CoherencePolicy::MDC
+                   : CoherencePolicy::DDGT;
+
+  ExperimentConfig Final = Config;
+  Final.Policy = Out.Chosen;
+  Final.SimulateOnProfileInput = false;
+  Out.Result = runLoop(Spec, Final);
+  return Out;
+}
+
+BenchmarkRunResult
+cvliw::runBenchmarkHybrid(const BenchmarkSpec &Bench,
+                          ExperimentConfig Config,
+                          std::vector<CoherencePolicy> *Choices) {
+  BenchmarkRunResult Result;
+  Result.Benchmark = Bench.Name;
+  Config.Machine.InterleaveBytes = Bench.InterleaveBytes;
+  for (const LoopSpec &Spec : Bench.Loops) {
+    HybridLoopResult H = runLoopHybrid(Spec, Config);
+    if (Choices)
+      Choices->push_back(H.Chosen);
+    Result.Loops.push_back(std::move(H.Result));
+  }
+  return Result;
+}

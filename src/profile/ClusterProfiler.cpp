@@ -1,0 +1,68 @@
+//===- profile/ClusterProfiler.cpp - Preferred clusters -------------------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cvliw/profile/ClusterProfiler.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace cvliw;
+
+unsigned ClusterProfile::preferredCluster(unsigned OpId) const {
+  assert(OpId < Histogram.size());
+  const std::vector<uint64_t> &H = Histogram[OpId];
+  unsigned Best = 0;
+  for (unsigned C = 1; C < NumClusters; ++C)
+    if (H[C] > H[Best])
+      Best = C;
+  return Best;
+}
+
+double ClusterProfile::fractionToCluster(unsigned OpId,
+                                         unsigned Cluster) const {
+  assert(OpId < Histogram.size() && Cluster < NumClusters);
+  const std::vector<uint64_t> &H = Histogram[OpId];
+  uint64_t Total = 0;
+  for (uint64_t V : H)
+    Total += V;
+  return Total == 0 ? 0.0
+                    : static_cast<double>(H[Cluster]) /
+                          static_cast<double>(Total);
+}
+
+unsigned ClusterProfile::preferredClusterOfSet(
+    const std::vector<unsigned> &Ops) const {
+  std::vector<uint64_t> Sum(NumClusters, 0);
+  for (unsigned OpId : Ops) {
+    assert(OpId < Histogram.size());
+    for (unsigned C = 0; C < NumClusters; ++C)
+      Sum[C] += Histogram[OpId][C];
+  }
+  unsigned Best = 0;
+  for (unsigned C = 1; C < NumClusters; ++C)
+    if (Sum[C] > Sum[Best])
+      Best = C;
+  return Best;
+}
+
+ClusterProfile cvliw::profileLoop(const Loop &L, const MachineConfig &Config,
+                                  bool UseProfileInput, uint64_t MaxIters) {
+  ClusterProfile Profile(L.numOps(), Config.NumClusters);
+  uint64_t Trip = UseProfileInput ? L.ProfileTripCount : L.ExecTripCount;
+  uint64_t Seed = UseProfileInput ? L.ProfileSeed : L.ExecSeed;
+  uint64_t Iters = std::min(Trip, MaxIters);
+
+  for (unsigned OpId = 0, E = static_cast<unsigned>(L.numOps()); OpId != E;
+       ++OpId) {
+    if (!L.op(OpId).isMemory())
+      continue;
+    for (uint64_t I = 0; I < Iters; ++I) {
+      uint64_t Addr = L.addressOf(OpId, I, Seed);
+      Profile.record(OpId, Config.homeCluster(Addr));
+    }
+  }
+  return Profile;
+}

@@ -1,0 +1,219 @@
+//===- sched/DDGTransform.cpp - DDGT solution -----------------------------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cvliw/sched/DDGTransform.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace cvliw;
+
+namespace {
+
+/// Returns true if store \p OpId has a live memory dependence with some
+/// *other* instruction (self output dependences alone do not require
+/// replication: the same static op always issues from one cluster and
+/// serializes with itself).
+bool isMemoryDependentStore(const Loop &L, const DDG &G, unsigned OpId) {
+  if (!L.op(OpId).isStore())
+    return false;
+  bool Found = false;
+  G.forEachEdge([&](unsigned, const DepEdge &E) {
+    if (!isMemoryDep(E.Kind) || E.Src == E.Dst)
+      return;
+    if (E.Src == OpId || E.Dst == OpId)
+      Found = true;
+  });
+  return Found;
+}
+
+} // namespace
+
+DDGTResult cvliw::applyDDGT(const Loop &L, const DDG &G,
+                            const MachineConfig &Config) {
+  DDGTResult Result;
+  Result.TransformedLoop = L; // Copy: ids of original ops are preserved.
+  Loop &NewLoop = Result.TransformedLoop;
+  const unsigned N = Config.NumClusters;
+  assert(N >= 1);
+
+  // --- Phase 1: store replication (MF and MO dependences). -------------
+  //
+  // Work on a copy of the original edge list so newly added edges are not
+  // re-visited while replicating.
+  struct PendingEdge {
+    DepEdge Edge;
+  };
+  std::vector<DepEdge> OriginalEdges;
+  G.forEachEdge([&](unsigned, const DepEdge &E) {
+    OriginalEdges.push_back(E);
+  });
+
+  std::vector<unsigned> ReplicatedStores;
+  for (unsigned Id = 0, E = static_cast<unsigned>(L.numOps()); Id != E;
+       ++Id)
+    if (isMemoryDependentStore(L, G, Id))
+      ReplicatedStores.push_back(Id);
+
+  // Map original store -> its instance op ids (instance 0 = original).
+  std::map<unsigned, std::vector<unsigned>> InstancesOf;
+  for (unsigned StoreId : ReplicatedStores) {
+    std::vector<unsigned> Instances{StoreId};
+    for (unsigned K = 1; K < N; ++K) {
+      Operation Clone = L.op(StoreId);
+      Clone.ReplicaOf = StoreId;
+      Clone.ReplicaIndex = K;
+      Instances.push_back(NewLoop.addOp(Clone));
+    }
+    InstancesOf[StoreId] = Instances;
+    Result.Stats.StoresReplicated += 1;
+    Result.Stats.ReplicaOpsAdded += N - 1;
+  }
+  // Tag the original as instance 0 of itself so the scheduler can pin
+  // each instance to a distinct cluster.
+  for (unsigned StoreId : ReplicatedStores) {
+    NewLoop.op(StoreId).ReplicaOf = StoreId;
+    NewLoop.op(StoreId).ReplicaIndex = 0;
+  }
+
+  // Rebuild the DDG over the widened loop, replicating edges.
+  DDG NewG(NewLoop.numOps());
+  auto InstancesOrSelf = [&](unsigned OpId) -> std::vector<unsigned> {
+    auto It = InstancesOf.find(OpId);
+    if (It == InstancesOf.end())
+      return {OpId};
+    return It->second;
+  };
+
+  for (const DepEdge &E : OriginalEdges) {
+    bool SrcReplicated = InstancesOf.count(E.Src) != 0;
+    bool DstReplicated = InstancesOf.count(E.Dst) != 0;
+
+    if (E.Src == E.Dst && SrcReplicated) {
+      // A self MO/MF dependence of a replicated store: each instance
+      // serializes with itself across iterations (the paper warns not to
+      // create redundant instance-to-other-instance copies of it).
+      for (unsigned Inst : InstancesOf[E.Src]) {
+        DepEdge Clone = E;
+        Clone.Src = Clone.Dst = Inst;
+        NewG.addEdge(Clone);
+      }
+      continue;
+    }
+
+    if (SrcReplicated && DstReplicated) {
+      // Dependence between two replicated stores: instances are pinned to
+      // clusters pairwise, and only same-cluster instance pairs both
+      // commit, so the order must be kept instance-by-instance (the
+      // "newly created dependences" the paper's footnote calls out).
+      const std::vector<unsigned> &SrcInst = InstancesOf[E.Src];
+      const std::vector<unsigned> &DstInst = InstancesOf[E.Dst];
+      for (unsigned K = 0; K < N; ++K) {
+        DepEdge Clone = E;
+        Clone.Src = SrcInst[K];
+        Clone.Dst = DstInst[K];
+        NewG.addEdge(Clone);
+      }
+      continue;
+    }
+
+    // Replicating an instruction implies replicating all of its input
+    // and output dependences (paper footnote 1 of §3.3).
+    for (unsigned SrcInst : InstancesOrSelf(E.Src))
+      for (unsigned DstInst : InstancesOrSelf(E.Dst)) {
+        DepEdge Clone = E;
+        Clone.Src = SrcInst;
+        Clone.Dst = DstInst;
+        NewG.addEdge(Clone);
+      }
+  }
+
+  // --- Phase 2: load-store synchronization (MA dependences). -----------
+  //
+  // Gather the live MA edges of the rebuilt graph, then treat each one.
+  std::vector<unsigned> MaEdges;
+  NewG.forEachEdge([&](unsigned Index, const DepEdge &E) {
+    if (E.Kind == DepKind::MemAnti)
+      MaEdges.push_back(Index);
+  });
+
+  // Reuse one fake consumer per load.
+  std::map<unsigned, unsigned> FakeConsumerOf;
+
+  for (unsigned MaIndex : MaEdges) {
+    const DepEdge Edge = NewG.edge(MaIndex); // Copy: graph will mutate.
+    unsigned LoadId = Edge.Src;
+    unsigned StoreId = Edge.Dst;
+    unsigned Dist = Edge.Distance;
+    assert(NewLoop.op(LoadId).isLoad() && NewLoop.op(StoreId).isStore());
+
+    // "if (not exists a register-flow dependence between L and S with
+    // distance dist)": then the store already waits for the load's value
+    // (e.g. it stores the loaded value), making the MA edge redundant.
+    if (NewG.hasRegFlow(LoadId, StoreId, Dist)) {
+      Result.Stats.RedundantMaElided += 1;
+      NewG.removeEdge(MaIndex);
+      Result.Stats.MaEdgesRemoved += 1;
+      continue;
+    }
+
+    // Select one consumer of L, preferring a non-memory op.
+    std::vector<unsigned> Consumers;
+    for (unsigned EdgeIdx : NewG.succEdges(LoadId)) {
+      const DepEdge &Out = NewG.edge(EdgeIdx);
+      if (Out.Kind == DepKind::RegFlow && Out.Distance == 0)
+        Consumers.push_back(Out.Dst);
+    }
+    std::stable_sort(Consumers.begin(), Consumers.end(),
+                     [&](unsigned A, unsigned B) {
+                       return !NewLoop.op(A).isMemory() &&
+                              NewLoop.op(B).isMemory();
+                     });
+
+    unsigned Cons = ~0u;
+    if (!Consumers.empty())
+      Cons = Consumers.front();
+
+    bool NeedFake = true;
+    if (Cons != ~0u) {
+      const Operation &ConsOp = NewLoop.op(Cons);
+      // The impossible-loop hazard: consumer is a memory instruction,
+      // sequentially posterior to S and (transitively) dependent on S.
+      bool Hazard = ConsOp.isMemory() && Cons > StoreId &&
+                    NewG.reaches(StoreId, Cons);
+      NeedFake = Hazard;
+    }
+
+    if (NeedFake) {
+      auto [It, Inserted] = FakeConsumerOf.try_emplace(LoadId, 0u);
+      if (Inserted) {
+        // add r0 = r0 + rL reads the loaded register and nothing else of
+        // consequence (r0 is the architectural zero register).
+        Operation Fake;
+        Fake.Op = Opcode::FakeCons;
+        Fake.Dest = NoReg;
+        Fake.Sources = {NewLoop.op(LoadId).Dest};
+        unsigned FakeId = NewLoop.addOp(Fake);
+        unsigned Node = NewG.addNode();
+        (void)Node;
+        assert(Node == FakeId && "loop/ddg node id drift");
+        NewG.addEdge(DepEdge{LoadId, FakeId, DepKind::RegFlow, 0});
+        It->second = FakeId;
+        Result.Stats.FakeConsumersAdded += 1;
+      }
+      Cons = It->second;
+    }
+
+    // SYNC: the store must be scheduled at or after the consumer.
+    NewG.addEdge(DepEdge{Cons, StoreId, DepKind::Sync, Dist});
+    Result.Stats.SyncEdgesAdded += 1;
+    NewG.removeEdge(MaIndex);
+    Result.Stats.MaEdgesRemoved += 1;
+  }
+
+  Result.TransformedDDG = std::move(NewG);
+  return Result;
+}

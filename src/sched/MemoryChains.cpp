@@ -1,0 +1,67 @@
+//===- sched/MemoryChains.cpp - MDC solution ------------------------------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cvliw/sched/MemoryChains.h"
+
+#include "cvliw/support/UnionFind.h"
+
+#include <map>
+
+using namespace cvliw;
+
+MemoryChains::MemoryChains(const Loop &L, const DDG &G) : L(L) {
+  UnionFind Sets(L.numOps());
+  std::vector<bool> HasCrossDep(L.numOps(), false);
+
+  G.forEachEdge([&](unsigned, const DepEdge &E) {
+    if (!isMemoryDep(E.Kind))
+      return;
+    if (E.Src >= L.numOps() || E.Dst >= L.numOps())
+      return;
+    if (E.Src == E.Dst)
+      return; // A self-dependence alone does not force a chain.
+    Sets.merge(E.Src, E.Dst);
+    HasCrossDep[E.Src] = HasCrossDep[E.Dst] = true;
+  });
+
+  ChainIdOf.assign(L.numOps(), NoChain);
+  std::map<size_t, unsigned> RootToChain;
+  for (unsigned Id = 0, E = static_cast<unsigned>(L.numOps()); Id != E;
+       ++Id) {
+    if (!L.op(Id).isMemory() || !HasCrossDep[Id])
+      continue;
+    size_t Root = Sets.find(Id);
+    auto [It, Inserted] =
+        RootToChain.try_emplace(Root, static_cast<unsigned>(Chains.size()));
+    if (Inserted)
+      Chains.emplace_back();
+    ChainIdOf[Id] = It->second;
+    Chains[It->second].push_back(Id);
+  }
+}
+
+size_t MemoryChains::biggestChainSize() const {
+  size_t Best = 0;
+  for (const std::vector<unsigned> &Chain : Chains)
+    if (Chain.size() > Best)
+      Best = Chain.size();
+  return Best;
+}
+
+double MemoryChains::cmr() const {
+  unsigned MemOps = L.numMemoryOps();
+  if (MemOps == 0)
+    return 0.0;
+  return static_cast<double>(biggestChainSize()) /
+         static_cast<double>(MemOps);
+}
+
+double MemoryChains::car() const {
+  if (L.numOps() == 0)
+    return 0.0;
+  return static_cast<double>(biggestChainSize()) /
+         static_cast<double>(L.numOps());
+}

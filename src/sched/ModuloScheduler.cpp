@@ -1,0 +1,847 @@
+//===- sched/ModuloScheduler.cpp - Clustered modulo scheduler -------------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cvliw/sched/ModuloScheduler.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <map>
+#include <set>
+
+using namespace cvliw;
+
+const char *cvliw::coherencePolicyName(CoherencePolicy Policy) {
+  switch (Policy) {
+  case CoherencePolicy::Baseline:
+    return "baseline";
+  case CoherencePolicy::MDC:
+    return "MDC";
+  case CoherencePolicy::DDGT:
+    return "DDGT";
+  }
+  return "?";
+}
+
+const char *cvliw::schedulerOrderingName(SchedulerOrdering Ordering) {
+  switch (Ordering) {
+  case SchedulerOrdering::HeightBased:
+    return "height";
+  case SchedulerOrdering::Swing:
+    return "swing";
+  }
+  return "?";
+}
+
+const char *cvliw::clusterHeuristicName(ClusterHeuristic Heuristic) {
+  switch (Heuristic) {
+  case ClusterHeuristic::PrefClus:
+    return "PrefClus";
+  case ClusterHeuristic::MinComs:
+    return "MinComs";
+  }
+  return "?";
+}
+
+ModuloScheduler::ModuloScheduler(const Loop &L, const DDG &G,
+                                 const MachineConfig &Config,
+                                 const ClusterProfile &Profile,
+                                 SchedulerOptions Opts,
+                                 const MemoryChains *Chains)
+    : L(L), G(G), Config(Config), Profile(Profile), Opts(Opts),
+      Chains(Chains) {
+  assert((Opts.Policy != CoherencePolicy::MDC || Chains != nullptr) &&
+         "MDC policy requires precomputed memory chains");
+}
+
+unsigned ModuloScheduler::computeResMII() const {
+  unsigned Counts[3] = {0, 0, 0};
+  for (const Operation &O : L.ops())
+    Counts[static_cast<unsigned>(fuClassOf(O.Op))] += 1;
+
+  unsigned Units[3] = {
+      Config.IntUnitsPerCluster * Config.NumClusters,
+      Config.FpUnitsPerCluster * Config.NumClusters,
+      Config.MemUnitsPerCluster * Config.NumClusters,
+  };
+
+  unsigned ResMII = 1;
+  for (unsigned C = 0; C != 3; ++C) {
+    if (Counts[C] == 0)
+      continue;
+    unsigned Need = (Counts[C] + Units[C] - 1) / Units[C];
+    ResMII = std::max(ResMII, Need);
+  }
+  return ResMII;
+}
+
+unsigned
+ModuloScheduler::edgeLatency(const DepEdge &E,
+                             const std::vector<unsigned> &AssumedLat) const {
+  switch (E.Kind) {
+  case DepKind::RegFlow:
+    return AssumedLat[E.Src];
+  case DepKind::MemFlow:
+  case DepKind::MemAnti:
+  case DepKind::MemOutput:
+    // Ordering constraint: the dependent access must issue strictly
+    // after the earlier one (same-cluster issue order / store-replica
+    // local commit both make one cycle sufficient).
+    return 1;
+  case DepKind::Sync:
+    // "after or at least at the same time as the consumer" (§3.3).
+    return 0;
+  }
+  return 1;
+}
+
+std::vector<unsigned> ModuloScheduler::priorityOrder(
+    const std::vector<unsigned> &AssumedLat) const {
+  // Heights clamp edge latencies to >= 1 so that zero-latency SYNC edges
+  // still order the consumer strictly before the stores it gates; placing
+  // a SYNC-target store first would squeeze the consumer into an empty
+  // window at every II.
+  auto ClampedLat = [&](unsigned Index) {
+    return std::max(1u, edgeLatency(G.edge(Index), AssumedLat));
+  };
+  std::vector<int64_t> Height = G.computeHeights(ClampedLat);
+  std::vector<unsigned> Order(L.numOps());
+  for (unsigned I = 0, E = static_cast<unsigned>(L.numOps()); I != E; ++I)
+    Order[I] = I;
+
+  if (Opts.Ordering == SchedulerOrdering::Swing) {
+    // Simplified Swing Modulo Scheduling order (the paper's [16]):
+    // recurrence groups first, most critical first; within a group,
+    // nodes closest to the critical path first. Height + depth measures
+    // a node's critical-path membership; an SCC's criticality is its
+    // most critical member (recurrences with slack come later, acyclic
+    // nodes last).
+    std::vector<int64_t> Depth = G.computeDepths(ClampedLat);
+    unsigned NumSccs = 0;
+    std::vector<unsigned> Scc = G.computeSccs(NumSccs);
+    std::vector<unsigned> SccSize(NumSccs, 0);
+    std::vector<int64_t> SccCriticality(NumSccs, 0);
+    for (unsigned Id = 0, E = static_cast<unsigned>(L.numOps()); Id != E;
+         ++Id) {
+      SccSize[Scc[Id]] += 1;
+      SccCriticality[Scc[Id]] = std::max(SccCriticality[Scc[Id]],
+                                         Height[Id] + Depth[Id]);
+    }
+    std::stable_sort(
+        Order.begin(), Order.end(), [&](unsigned A, unsigned B) {
+          // Real recurrences (SCC size > 1) ahead of acyclic nodes.
+          bool RecA = SccSize[Scc[A]] > 1, RecB = SccSize[Scc[B]] > 1;
+          if (RecA != RecB)
+            return RecA;
+          if (SccCriticality[Scc[A]] != SccCriticality[Scc[B]])
+            return SccCriticality[Scc[A]] > SccCriticality[Scc[B]];
+          if (Scc[A] != Scc[B])
+            return Scc[A] < Scc[B]; // Keep groups contiguous.
+          int64_t CritA = Height[A] + Depth[A];
+          int64_t CritB = Height[B] + Depth[B];
+          if (CritA != CritB)
+            return CritA > CritB;
+          return A < B;
+        });
+    return Order;
+  }
+
+  std::stable_sort(Order.begin(), Order.end(), [&](unsigned A, unsigned B) {
+    if (Height[A] != Height[B])
+      return Height[A] > Height[B];
+    return A < B;
+  });
+  return Order;
+}
+
+void ModuloScheduler::assignLatencies(
+    unsigned II, std::vector<unsigned> &AssumedLat,
+    unsigned MaxCandidate) const {
+  // The paper's compromise (§2.2): each memory instruction is scheduled
+  // with the largest of the four access latencies that does not impact
+  // compute time. Raising an assumed latency hurts compute time when it
+  // grows the recurrence-constrained II or stretches value lifetimes
+  // beyond what the register file sustains; we model the latter with a
+  // lifetime cap proportional to the II. \p MaxCandidate additionally
+  // caps the candidates: the run() driver lowers it when the greedy
+  // placer cannot realize a schedule with the most aggressive latencies
+  // at this II.
+  const unsigned Candidates[3] = {
+      Config.nominalLatency(AccessType::RemoteMiss),
+      Config.nominalLatency(AccessType::LocalMiss),
+      Config.nominalLatency(AccessType::RemoteHit),
+  };
+  const unsigned LifetimeCap = std::max(2 * II, 8u);
+
+  auto LatencyOf = [&](unsigned Index) {
+    return edgeLatency(G.edge(Index), AssumedLat);
+  };
+
+  for (unsigned Id = 0, E = static_cast<unsigned>(L.numOps()); Id != E;
+       ++Id) {
+    if (!L.op(Id).isLoad())
+      continue;
+    for (unsigned Candidate : Candidates) {
+      if (Candidate > LifetimeCap || Candidate > MaxCandidate)
+        continue;
+      unsigned Saved = AssumedLat[Id];
+      if (Candidate <= Saved)
+        break;
+      AssumedLat[Id] = Candidate;
+      if (G.feasibleAtII(II, LatencyOf))
+        break; // Largest feasible candidate adopted.
+      AssumedLat[Id] = Saved;
+    }
+  }
+}
+
+namespace {
+
+/// Mutable state of one II attempt.
+struct WorkState {
+  explicit WorkState(size_t NumOps, const MachineConfig &Config, unsigned II)
+      : II(II), Hop(Config.registerBusHop()), Start(NumOps, -1),
+        Cluster(NumOps, 0), OpsPerCluster(Config.NumClusters, 0),
+        FuBusy(Config.NumClusters,
+               std::array<std::vector<unsigned>, 3>{
+                   std::vector<unsigned>(II, 0), std::vector<unsigned>(II, 0),
+                   std::vector<unsigned>(II, 0)}),
+        BusBusy(Config.RegisterBuses.Count, std::vector<bool>(II, false)) {}
+
+  unsigned II;
+  unsigned Hop;
+  std::vector<int64_t> Start;
+  std::vector<unsigned> Cluster;
+  std::vector<unsigned> OpsPerCluster;
+  // [cluster][fu class][modulo slot] -> used issue slots.
+  std::vector<std::array<std::vector<unsigned>, 3>> FuBusy;
+  // [bus][modulo slot] -> busy.
+  std::vector<std::vector<bool>> BusBusy;
+  std::map<unsigned, unsigned> ChainCluster;
+
+  /// Reserved inter-cluster transfers: (producer, destination cluster)
+  /// -> (departure cycle, bus, consuming ops).
+  struct CopyRecord {
+    int64_t Start;
+    unsigned Bus;
+    std::set<unsigned> Users;
+  };
+  std::map<std::pair<unsigned, unsigned>, CopyRecord> CopyMap;
+
+  bool busFree(unsigned Bus, int64_t S) const {
+    for (unsigned K = 0; K != Hop; ++K)
+      if (BusBusy[Bus][(S + K) % II])
+        return false;
+    return true;
+  }
+
+  void busReserve(unsigned Bus, int64_t S, bool Value) {
+    for (unsigned K = 0; K != Hop; ++K)
+      BusBusy[Bus][(S + K) % II] = Value;
+  }
+
+  /// Finds a (start, bus) for a transfer departing in [Ready, Deadline].
+  /// Only II distinct start times matter (modulo wrap).
+  bool reserveWindow(int64_t Ready, int64_t Deadline, CopyRecord &Out) {
+    int64_t End = std::min(Deadline, Ready + static_cast<int64_t>(II) - 1);
+    for (int64_t S = Ready; S <= End; ++S)
+      for (unsigned Bus = 0; Bus != BusBusy.size(); ++Bus)
+        if (busFree(Bus, S)) {
+          busReserve(Bus, S, true);
+          Out = CopyRecord{S, Bus, {}};
+          return true;
+        }
+    return false;
+  }
+
+  /// Ensures a copy of \p Producer's value into \p ToCluster departing no
+  /// earlier than \p Ready and no later than \p Deadline exists for
+  /// \p Consumer; creates or advances the reservation as needed. Appends
+  /// undo actions to \p Undo. Returns false (without net state change)
+  /// when impossible.
+  bool ensureCopy(unsigned Producer, unsigned ToCluster, unsigned Consumer,
+                  int64_t Ready, int64_t Deadline,
+                  std::vector<std::function<void()>> &Undo) {
+    auto Key = std::make_pair(Producer, ToCluster);
+    auto It = CopyMap.find(Key);
+    if (It != CopyMap.end()) {
+      CopyRecord Old = It->second;
+      if (It->second.Start > Deadline) {
+        // Try to move the transfer earlier; restore it on failure.
+        busReserve(Old.Bus, Old.Start, false);
+        CopyRecord Fresh;
+        if (!reserveWindow(Ready, Deadline, Fresh)) {
+          busReserve(Old.Bus, Old.Start, true);
+          return false;
+        }
+        Fresh.Users = Old.Users;
+        It->second = Fresh;
+      }
+      bool Added = It->second.Users.insert(Consumer).second;
+      Undo.push_back([this, Key, Old, Added] {
+        auto Cur = CopyMap.find(Key);
+        if (Cur->second.Start != Old.Start ||
+            Cur->second.Bus != Old.Bus) {
+          busReserve(Cur->second.Bus, Cur->second.Start, false);
+          busReserve(Old.Bus, Old.Start, true);
+        }
+        CopyRecord Restored = Old;
+        if (!Added)
+          Restored.Users = Cur->second.Users;
+        Cur->second = Restored;
+      });
+      return true;
+    }
+    CopyRecord Fresh;
+    if (!reserveWindow(Ready, Deadline, Fresh))
+      return false;
+    Fresh.Users.insert(Consumer);
+    CopyMap.emplace(Key, Fresh);
+    Undo.push_back([this, Key] {
+      auto Cur = CopyMap.find(Key);
+      busReserve(Cur->second.Bus, Cur->second.Start, false);
+      CopyMap.erase(Cur);
+    });
+    return true;
+  }
+
+  /// Drops every copy reservation involving \p Op, either as the
+  /// producer (all its outgoing transfers die) or as the last consumer.
+  void releaseCopiesOf(unsigned Op) {
+    for (auto It = CopyMap.begin(); It != CopyMap.end();) {
+      if (It->first.first == Op) {
+        busReserve(It->second.Bus, It->second.Start, false);
+        It = CopyMap.erase(It);
+        continue;
+      }
+      It->second.Users.erase(Op);
+      if (It->second.Users.empty()) {
+        busReserve(It->second.Bus, It->second.Start, false);
+        It = CopyMap.erase(It);
+        continue;
+      }
+      ++It;
+    }
+  }
+};
+
+} // namespace
+
+bool ModuloScheduler::tryScheduleAtII(unsigned II,
+                                      const std::vector<unsigned> &AssumedLat,
+                                      Schedule &Out) {
+  const unsigned N = Config.NumClusters;
+  WorkState State(L.numOps(), Config, II);
+
+  unsigned FuCapacity[3] = {Config.IntUnitsPerCluster,
+                            Config.FpUnitsPerCluster,
+                            Config.MemUnitsPerCluster};
+
+  auto LatencyWithHop = [&](const DepEdge &E, unsigned SrcCluster,
+                            unsigned DstCluster) -> unsigned {
+    unsigned Lat = edgeLatency(E, AssumedLat);
+    if (E.Kind == DepKind::RegFlow && SrcCluster != DstCluster)
+      Lat += Config.registerBusHop();
+    return Lat;
+  };
+
+  // Communication cost of placing \p Op in \p C given current placements.
+  auto CommCost = [&](unsigned Op, unsigned C) {
+    unsigned Cost = 0;
+    for (unsigned EdgeIdx : G.predEdges(Op)) {
+      const DepEdge &E = G.edge(EdgeIdx);
+      if (E.Kind != DepKind::RegFlow || E.Src == Op)
+        continue;
+      if (State.Start[E.Src] >= 0 && State.Cluster[E.Src] != C)
+        ++Cost;
+    }
+    for (unsigned EdgeIdx : G.succEdges(Op)) {
+      const DepEdge &E = G.edge(EdgeIdx);
+      if (E.Kind != DepKind::RegFlow || E.Dst == Op)
+        continue;
+      if (State.Start[E.Dst] >= 0 && State.Cluster[E.Dst] != C)
+        ++Cost;
+    }
+    return Cost;
+  };
+
+  auto HeuristicOrdered = [&](unsigned Op) {
+    std::vector<unsigned> Clusters(N);
+    for (unsigned C = 0; C != N; ++C)
+      Clusters[C] = C;
+    std::stable_sort(Clusters.begin(), Clusters.end(),
+                     [&](unsigned A, unsigned B) {
+                       unsigned CostA = CommCost(Op, A);
+                       unsigned CostB = CommCost(Op, B);
+                       if (CostA != CostB)
+                         return CostA < CostB;
+                       if (State.OpsPerCluster[A] != State.OpsPerCluster[B])
+                         return State.OpsPerCluster[A] <
+                                State.OpsPerCluster[B];
+                       return A < B;
+                     });
+    return Clusters;
+  };
+
+  // Candidate clusters in preference order; Pinned reports whether the
+  // coherence policy forbids any alternative.
+  auto CandidateClusters = [&](unsigned Op, bool &Pinned) {
+    Pinned = false;
+    const Operation &O = L.op(Op);
+
+    if (Opts.Policy == CoherencePolicy::DDGT && O.isReplica()) {
+      Pinned = true;
+      return std::vector<unsigned>{O.ReplicaIndex % N};
+    }
+
+    if (Opts.Policy == CoherencePolicy::MDC && O.isMemory() && Chains) {
+      unsigned Chain = Chains->chainOf(Op);
+      if (Chain != NoChain) {
+        auto It = State.ChainCluster.find(Chain);
+        if (It != State.ChainCluster.end()) {
+          Pinned = true;
+          return std::vector<unsigned>{It->second};
+        }
+        // First member of the chain decides for everyone (§3.2).
+        if (Opts.Heuristic == ClusterHeuristic::PrefClus) {
+          Pinned = true;
+          return std::vector<unsigned>{
+              Profile.preferredClusterOfSet(Chains->members(Chain))};
+        }
+        return HeuristicOrdered(Op);
+      }
+    }
+
+    if (O.isMemory() && Opts.Heuristic == ClusterHeuristic::PrefClus) {
+      Pinned = true;
+      return std::vector<unsigned>{Profile.preferredCluster(Op)};
+    }
+
+    return HeuristicOrdered(Op);
+  };
+
+  // --- IMS-style placement with eviction (Rau). -------------------------
+  //
+  // Operations are processed from a priority worklist. Each op first
+  // looks for a "clean" slot (free FU, all bus copies reservable, no
+  // placed successor violated) over its candidate clusters. When none
+  // exists, the op is force-placed at its earliest dependence-legal slot
+  // in its primary cluster, evicting whatever conflicts (FU occupants,
+  // violated successors); evicted ops return to the worklist. A budget
+  // bounds the total number of placements before the II is conceded.
+  const std::vector<unsigned> Order = priorityOrder(AssumedLat);
+  std::vector<unsigned> Rank(L.numOps());
+  for (unsigned I = 0, E = static_cast<unsigned>(Order.size()); I != E; ++I)
+    Rank[Order[I]] = I;
+
+  std::set<std::pair<unsigned, unsigned>> Worklist;
+  for (unsigned Op = 0, E = static_cast<unsigned>(L.numOps()); Op != E;
+       ++Op)
+    Worklist.insert({Rank[Op], Op});
+  std::vector<int64_t> PrevStart(L.numOps(), -1);
+  unsigned Budget = 16 * static_cast<unsigned>(L.numOps()) + 64;
+
+  auto EarliestFor = [&](unsigned Op, unsigned C) {
+    int64_t Earliest = 0;
+    for (unsigned EdgeIdx : G.predEdges(Op)) {
+      const DepEdge &E = G.edge(EdgeIdx);
+      if (E.Src == Op || State.Start[E.Src] < 0)
+        continue;
+      Earliest = std::max(
+          Earliest, State.Start[E.Src] +
+                        LatencyWithHop(E, State.Cluster[E.Src], C) -
+                        static_cast<int64_t>(II) * E.Distance);
+    }
+    return Earliest;
+  };
+
+  auto ViolatedSuccs = [&](unsigned Op, unsigned C, int64_t T) {
+    std::vector<unsigned> Out;
+    for (unsigned EdgeIdx : G.succEdges(Op)) {
+      const DepEdge &E = G.edge(EdgeIdx);
+      if (E.Dst == Op || State.Start[E.Dst] < 0)
+        continue;
+      int64_t Lhs = State.Start[E.Dst] +
+                    static_cast<int64_t>(II) * E.Distance;
+      if (Lhs < T + LatencyWithHop(E, C, State.Cluster[E.Dst]))
+        Out.push_back(E.Dst);
+    }
+    return Out;
+  };
+
+  auto EvictOp = [&](unsigned X) {
+    assert(State.Start[X] >= 0 && "evicting an unplaced op");
+    unsigned XClass = static_cast<unsigned>(fuClassOf(L.op(X).Op));
+    State.FuBusy[State.Cluster[X]][XClass][State.Start[X] % II] -= 1;
+    State.OpsPerCluster[State.Cluster[X]] -= 1;
+    State.releaseCopiesOf(X);
+    State.Start[X] = -1;
+    Worklist.insert({Rank[X], X});
+  };
+
+  // Reserves the copies op \p Op placed at (C, T) needs toward its
+  // already-placed register-flow neighbours. On failure restores state.
+  auto ReserveCopies = [&](unsigned Op, unsigned C, int64_t T,
+                           bool SkipSuccs,
+                           std::vector<std::function<void()>> &Undo) {
+    for (unsigned EdgeIdx : G.predEdges(Op)) {
+      const DepEdge &E = G.edge(EdgeIdx);
+      if (E.Kind != DepKind::RegFlow || E.Src == Op ||
+          State.Start[E.Src] < 0 || State.Cluster[E.Src] == C)
+        continue;
+      int64_t Ready = State.Start[E.Src] + AssumedLat[E.Src];
+      int64_t Deadline = T + static_cast<int64_t>(II) * E.Distance -
+                         Config.registerBusHop();
+      if (!State.ensureCopy(E.Src, C, Op, Ready, Deadline, Undo))
+        return false;
+    }
+    if (SkipSuccs)
+      return true;
+    for (unsigned EdgeIdx : G.succEdges(Op)) {
+      const DepEdge &E = G.edge(EdgeIdx);
+      if (E.Kind != DepKind::RegFlow || E.Dst == Op ||
+          State.Start[E.Dst] < 0 || State.Cluster[E.Dst] == C)
+        continue;
+      int64_t Ready = T + AssumedLat[Op];
+      int64_t Deadline = State.Start[E.Dst] +
+                         static_cast<int64_t>(II) * E.Distance -
+                         Config.registerBusHop();
+      if (!State.ensureCopy(Op, State.Cluster[E.Dst], E.Dst, Ready,
+                            Deadline, Undo))
+        return false;
+    }
+    return true;
+  };
+
+  auto CommitPlacement = [&](unsigned Op, unsigned C, int64_t T,
+                             unsigned Class) {
+    State.FuBusy[C][Class][T % II] += 1;
+    State.Start[Op] = T;
+    State.Cluster[Op] = C;
+    State.OpsPerCluster[C] += 1;
+    PrevStart[Op] = T;
+    if (Opts.Policy == CoherencePolicy::MDC && Chains) {
+      unsigned Chain = Chains->chainOf(Op);
+      if (Chain != NoChain)
+        State.ChainCluster.try_emplace(Chain, C);
+    }
+  };
+
+  while (!Worklist.empty()) {
+    if (Budget-- == 0) {
+      Diag.PlacementFailures += 1;
+      return false;
+    }
+    unsigned Op = Worklist.begin()->second;
+    Worklist.erase(Worklist.begin());
+
+    bool Pinned = false;
+    std::vector<unsigned> Candidates = CandidateClusters(Op, Pinned);
+    unsigned Class = static_cast<unsigned>(fuClassOf(L.op(Op).Op));
+
+    // Clean pass: a slot that disturbs nothing.
+    bool Placed = false;
+    for (unsigned C : Candidates) {
+      int64_t Earliest = EarliestFor(Op, C);
+      for (int64_t T = Earliest; T < Earliest + II && !Placed; ++T) {
+        if (State.FuBusy[C][Class][T % II] >= FuCapacity[Class])
+          continue;
+        if (!ViolatedSuccs(Op, C, T).empty())
+          continue;
+        std::vector<std::function<void()>> Undo;
+        if (!ReserveCopies(Op, C, T, /*SkipSuccs=*/false, Undo)) {
+          for (auto It = Undo.rbegin(); It != Undo.rend(); ++It)
+            (*It)();
+          continue;
+        }
+        CommitPlacement(Op, C, T, Class);
+        Placed = true;
+      }
+      if (Placed)
+        break;
+    }
+    if (Placed)
+      continue;
+
+    // Forced pass: evict whatever stands in the way in the primary
+    // cluster. Starting past the op's previous slot guarantees progress.
+    unsigned C = Candidates.front();
+    int64_t T = std::max(EarliestFor(Op, C), PrevStart[Op] + 1);
+
+    while (State.FuBusy[C][Class][T % II] >= FuCapacity[Class]) {
+      unsigned Victim = ~0u;
+      for (unsigned X = 0, E = static_cast<unsigned>(L.numOps()); X != E;
+           ++X) {
+        if (X == Op || State.Start[X] < 0 || State.Cluster[X] != C)
+          continue;
+        if (static_cast<unsigned>(fuClassOf(L.op(X).Op)) != Class ||
+            State.Start[X] % II != T % II)
+          continue;
+        if (Victim == ~0u || Rank[X] > Rank[Victim])
+          Victim = X;
+      }
+      if (Victim == ~0u)
+        break; // Capacity must come from elsewhere; bail below.
+      EvictOp(Victim);
+    }
+    if (State.FuBusy[C][Class][T % II] >= FuCapacity[Class]) {
+      Diag.PlacementFailures += 1;
+      Diag.LastFailedOp = Op;
+      return false;
+    }
+
+    std::vector<std::function<void()>> Undo;
+    if (!ReserveCopies(Op, C, T, /*SkipSuccs=*/true, Undo)) {
+      for (auto It = Undo.rbegin(); It != Undo.rend(); ++It)
+        (*It)();
+      Diag.BusAllocationFailures += 1;
+      Diag.LastFailedOp = Op;
+      return false;
+    }
+    CommitPlacement(Op, C, T, Class);
+
+    // Successors that the forced placement invalidated go back to the
+    // worklist; so do placed successors whose bus copy cannot be made.
+    for (unsigned Succ : ViolatedSuccs(Op, C, T))
+      if (State.Start[Succ] >= 0)
+        EvictOp(Succ);
+    for (unsigned EdgeIdx : G.succEdges(Op)) {
+      const DepEdge &E = G.edge(EdgeIdx);
+      if (E.Kind != DepKind::RegFlow || E.Dst == Op ||
+          State.Start[E.Dst] < 0 || State.Cluster[E.Dst] == C)
+        continue;
+      int64_t Ready = T + AssumedLat[Op];
+      int64_t Deadline = State.Start[E.Dst] +
+                         static_cast<int64_t>(II) * E.Distance -
+                         Config.registerBusHop();
+      std::vector<std::function<void()>> CopyUndo;
+      if (!State.ensureCopy(Op, State.Cluster[E.Dst], E.Dst, Ready,
+                            Deadline, CopyUndo))
+        EvictOp(E.Dst);
+    }
+  }
+
+  // Materialize the reserved inter-cluster transfers.
+  std::vector<CopyOp> Copies;
+  for (const auto &[Key, Record] : State.CopyMap)
+    Copies.push_back(CopyOp{Key.first, State.Cluster[Key.first],
+                            Key.second,
+                            static_cast<unsigned>(Record.Start)});
+
+  Out.II = II;
+  Out.Ops.resize(L.numOps());
+  unsigned Length = 0;
+  for (unsigned Id = 0, E = static_cast<unsigned>(L.numOps()); Id != E;
+       ++Id) {
+    assert(State.Start[Id] >= 0);
+    Out.Ops[Id].Cycle = static_cast<unsigned>(State.Start[Id]);
+    Out.Ops[Id].Cluster = State.Cluster[Id];
+    Out.Ops[Id].AssumedLatency = AssumedLat[Id];
+    Length = std::max(Length, Out.Ops[Id].Cycle + 1);
+  }
+  Out.Length = Length;
+  Out.Copies = std::move(Copies);
+  return true;
+}
+
+void ModuloScheduler::applyMinComsPostPass(Schedule &S) const {
+  // "the clusters where instructions have been scheduled are treated as
+  // virtual clusters and a one-to-one mapping function is computed to
+  // assign virtual clusters to physical clusters ... using the preferred
+  // cluster information of each memory instruction" (§2.2).
+  const unsigned N = Config.NumClusters;
+  std::vector<unsigned> Perm(N), Best(N);
+  for (unsigned C = 0; C != N; ++C)
+    Perm[C] = Best[C] = C;
+
+  auto Score = [&](const std::vector<unsigned> &P) {
+    uint64_t Total = 0;
+    for (unsigned Id = 0, E = static_cast<unsigned>(L.numOps()); Id != E;
+         ++Id) {
+      if (!L.op(Id).isMemory())
+        continue;
+      Total += Profile.histogram(Id)[P[S.Ops[Id].Cluster]];
+    }
+    return Total;
+  };
+
+  uint64_t BestScore = Score(Best);
+  std::sort(Perm.begin(), Perm.end());
+  do {
+    uint64_t Sc = Score(Perm);
+    if (Sc > BestScore) {
+      BestScore = Sc;
+      Best = Perm;
+    }
+  } while (std::next_permutation(Perm.begin(), Perm.end()));
+
+  for (ScheduledOp &Op : S.Ops)
+    Op.Cluster = Best[Op.Cluster];
+  for (CopyOp &Copy : S.Copies) {
+    Copy.FromCluster = Best[Copy.FromCluster];
+    Copy.ToCluster = Best[Copy.ToCluster];
+  }
+}
+
+std::optional<Schedule> ModuloScheduler::run() {
+  std::vector<unsigned> BaseLat(L.numOps(), 1);
+  for (unsigned Id = 0, E = static_cast<unsigned>(L.numOps()); Id != E;
+       ++Id) {
+    const Operation &O = L.op(Id);
+    BaseLat[Id] =
+        O.isLoad() ? Config.nominalLatency(AccessType::LocalHit)
+                   : opcodeLatency(O.Op);
+  }
+
+  auto LatencyOf = [&](unsigned Index) {
+    return edgeLatency(G.edge(Index), BaseLat);
+  };
+  unsigned RecMII = G.computeRecMII(LatencyOf);
+  unsigned ResMII = computeResMII();
+  unsigned StartII = std::max({RecMII, ResMII, 1u});
+
+  // Latency-cap ladder: at each II first try the most aggressive
+  // assignment (absorb even remote misses where slack allows), then back
+  // off to remote-hit-only and finally to plain local-hit latencies
+  // before conceding the II. Backing off trades stall tolerance for
+  // schedulability — the same compromise §2.2 describes.
+  std::vector<unsigned> LatencyCaps;
+  if (Opts.AssignLatencies) {
+    LatencyCaps.push_back(Config.nominalLatency(AccessType::RemoteMiss));
+    LatencyCaps.push_back(Config.nominalLatency(AccessType::RemoteHit));
+  }
+  LatencyCaps.push_back(0); // No assignment: base latencies.
+
+  for (unsigned II = StartII; II <= StartII + Opts.IIBudget; ++II) {
+    for (unsigned Cap : LatencyCaps) {
+      std::vector<unsigned> AssumedLat = BaseLat;
+      if (Cap > 0)
+        assignLatencies(II, AssumedLat, Cap);
+
+      Schedule S;
+      if (!tryScheduleAtII(II, AssumedLat, S))
+        continue;
+
+      if (Opts.Heuristic == ClusterHeuristic::MinComs)
+        applyMinComsPostPass(S);
+      S.ResMII = ResMII;
+      S.RecMII = RecMII;
+      return S;
+    }
+  }
+
+  // The Swing order occasionally thrashes the eviction budget on graphs
+  // it was not built for; the height-based order is the robust fallback.
+  if (Opts.Ordering == SchedulerOrdering::Swing) {
+    Opts.Ordering = SchedulerOrdering::HeightBased;
+    return run();
+  }
+  return std::nullopt;
+}
+
+std::string cvliw::checkSchedule(const Loop &L, const DDG &G,
+                                 const MachineConfig &Config,
+                                 const Schedule &S) {
+  char Buf[256];
+  if (S.II == 0)
+    return "II is zero";
+  if (S.Ops.size() != L.numOps())
+    return "schedule has wrong number of ops";
+
+  // Dependence constraints.
+  std::string Problem;
+  G.forEachEdge([&](unsigned Index, const DepEdge &E) {
+    if (!Problem.empty())
+      return;
+    unsigned Lat;
+    switch (E.Kind) {
+    case DepKind::RegFlow:
+      Lat = S.Ops[E.Src].AssumedLatency;
+      if (S.Ops[E.Src].Cluster != S.Ops[E.Dst].Cluster)
+        Lat += Config.registerBusHop();
+      break;
+    case DepKind::Sync:
+      Lat = 0;
+      break;
+    default:
+      Lat = 1;
+      break;
+    }
+    int64_t Lhs = static_cast<int64_t>(S.Ops[E.Dst].Cycle) +
+                  static_cast<int64_t>(S.II) * E.Distance;
+    int64_t Rhs = static_cast<int64_t>(S.Ops[E.Src].Cycle) + Lat;
+    if (Lhs < Rhs) {
+      std::snprintf(Buf, sizeof(Buf),
+                    "edge %u (%s %u->%u d=%u) violated: %lld < %lld", Index,
+                    depKindName(E.Kind), E.Src, E.Dst, E.Distance,
+                    static_cast<long long>(Lhs),
+                    static_cast<long long>(Rhs));
+      Problem = Buf;
+    }
+  });
+  if (!Problem.empty())
+    return Problem;
+
+  // Functional unit capacity per modulo slot.
+  unsigned FuCapacity[3] = {Config.IntUnitsPerCluster,
+                            Config.FpUnitsPerCluster,
+                            Config.MemUnitsPerCluster};
+  std::vector<std::array<std::vector<unsigned>, 3>> FuBusy(
+      Config.NumClusters,
+      std::array<std::vector<unsigned>, 3>{std::vector<unsigned>(S.II, 0),
+                                           std::vector<unsigned>(S.II, 0),
+                                           std::vector<unsigned>(S.II, 0)});
+  for (unsigned Id = 0, E = static_cast<unsigned>(L.numOps()); Id != E;
+       ++Id) {
+    const ScheduledOp &Op = S.Ops[Id];
+    if (Op.Cluster >= Config.NumClusters)
+      return "op assigned to nonexistent cluster";
+    unsigned Class = static_cast<unsigned>(fuClassOf(L.op(Id).Op));
+    unsigned Slot = Op.Cycle % S.II;
+    if (++FuBusy[Op.Cluster][Class][Slot] > FuCapacity[Class]) {
+      std::snprintf(Buf, sizeof(Buf),
+                    "FU overbooked: cluster %u class %u slot %u",
+                    Op.Cluster, Class, Slot);
+      return Buf;
+    }
+  }
+
+  // Register bus capacity per modulo slot.
+  std::vector<unsigned> BusLoad(S.II, 0);
+  for (const CopyOp &Copy : S.Copies)
+    for (unsigned K = 0; K != Config.registerBusHop(); ++K)
+      BusLoad[(Copy.StartCycle + K) % S.II] += 1;
+  for (unsigned Slot = 0; Slot != S.II; ++Slot)
+    if (BusLoad[Slot] > Config.RegisterBuses.Count *
+                            Config.registerBusHop()) {
+      // Each bus contributes busHop slot-uses per transfer; total load
+      // per slot cannot exceed the bus count (each bus serves one
+      // transfer at a time). The per-bus reservation in the scheduler is
+      // stricter; this aggregate check catches gross violations.
+      std::snprintf(Buf, sizeof(Buf), "register buses overbooked at %u",
+                    Slot);
+      return Buf;
+    }
+
+  // Every value crossing clusters must have a copy.
+  std::string CopyProblem;
+  G.forEachEdge([&](unsigned, const DepEdge &E) {
+    if (!CopyProblem.empty() || E.Kind != DepKind::RegFlow ||
+        E.Src == E.Dst)
+      return;
+    if (S.Ops[E.Src].Cluster == S.Ops[E.Dst].Cluster)
+      return;
+    for (const CopyOp &Copy : S.Copies)
+      if (Copy.ProducerOp == E.Src &&
+          Copy.ToCluster == S.Ops[E.Dst].Cluster)
+        return;
+    std::snprintf(Buf, sizeof(Buf), "missing copy for RF edge %u->%u",
+                  E.Src, E.Dst);
+    CopyProblem = Buf;
+  });
+  return CopyProblem;
+}

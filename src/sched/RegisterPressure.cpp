@@ -1,0 +1,97 @@
+//===- sched/RegisterPressure.cpp - MaxLive analysis ----------------------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cvliw/sched/RegisterPressure.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace cvliw;
+
+PressureResult cvliw::computeRegisterPressure(const Loop &L, const DDG &G,
+                                              const Schedule &S,
+                                              const MachineConfig &Config) {
+  assert(S.II > 0 && "schedule must be valid");
+  const unsigned II = S.II;
+  const unsigned Hop = Config.registerBusHop();
+
+  // Coverage[cluster][modulo slot] accumulates how many value instances
+  // are live there; a lifetime of T cycles contributes floor(T / II) to
+  // every slot plus 1 to T % II consecutive slots.
+  std::vector<std::vector<unsigned>> Coverage(
+      Config.NumClusters, std::vector<unsigned>(II, 0));
+  auto AddInterval = [&](unsigned Cluster, int64_t Begin, int64_t End) {
+    if (End <= Begin)
+      return;
+    uint64_t Span = static_cast<uint64_t>(End - Begin);
+    unsigned Whole = static_cast<unsigned>(Span / II);
+    unsigned Rem = static_cast<unsigned>(Span % II);
+    for (unsigned Slot = 0; Slot != II; ++Slot)
+      Coverage[Cluster][Slot] += Whole;
+    for (unsigned K = 0; K != Rem; ++K)
+      Coverage[Cluster][(Begin + K) % II] += 1;
+  };
+
+  // Gather, per producer, the last read in each cluster.
+  struct PerCluster {
+    int64_t LastRead = -1;
+  };
+  std::map<std::pair<unsigned, unsigned>, PerCluster> ReadsOf;
+  G.forEachEdge([&](unsigned, const DepEdge &E) {
+    if (E.Kind != DepKind::RegFlow || E.Src == E.Dst)
+      return;
+    if (E.Src >= S.Ops.size() || E.Dst >= S.Ops.size())
+      return;
+    unsigned Cluster = S.Ops[E.Dst].Cluster;
+    int64_t ReadTime = static_cast<int64_t>(S.Ops[E.Dst].Cycle) +
+                       static_cast<int64_t>(II) * E.Distance;
+    PerCluster &Slot = ReadsOf[{E.Src, Cluster}];
+    Slot.LastRead = std::max(Slot.LastRead, ReadTime);
+  });
+
+  // Copy departures extend the producer-side lifetime; arrivals open the
+  // consumer-side one.
+  std::map<std::pair<unsigned, unsigned>, int64_t> CopyStartOf;
+  for (const CopyOp &Copy : S.Copies)
+    CopyStartOf[{Copy.ProducerOp, Copy.ToCluster}] = Copy.StartCycle;
+
+  for (unsigned Producer = 0;
+       Producer != static_cast<unsigned>(S.Ops.size()); ++Producer) {
+    if (Producer >= L.numOps() || L.op(Producer).Dest == NoReg)
+      continue;
+    unsigned Home = S.Ops[Producer].Cluster;
+    int64_t Born = S.Ops[Producer].Cycle;
+
+    int64_t HomeEnd = Born; // At least the definition point itself.
+    for (const auto &[Key, Reads] : ReadsOf) {
+      if (Key.first != Producer)
+        continue;
+      unsigned Cluster = Key.second;
+      if (Cluster == Home) {
+        HomeEnd = std::max(HomeEnd, Reads.LastRead);
+        continue;
+      }
+      // Consumer-side instance: from copy arrival to the last read.
+      auto It = CopyStartOf.find({Producer, Cluster});
+      int64_t Arrive = It != CopyStartOf.end()
+                           ? It->second + static_cast<int64_t>(Hop)
+                           : Born + Hop;
+      AddInterval(Cluster, Arrive, Reads.LastRead);
+      // The home copy must survive until the transfer departs.
+      HomeEnd = std::max(HomeEnd,
+                         It != CopyStartOf.end() ? It->second : Born);
+    }
+    AddInterval(Home, Born, std::max(HomeEnd, Born + 1));
+  }
+
+  PressureResult Result;
+  Result.MaxLivePerCluster.resize(Config.NumClusters, 0);
+  for (unsigned C = 0; C != Config.NumClusters; ++C)
+    for (unsigned Slot = 0; Slot != II; ++Slot)
+      Result.MaxLivePerCluster[C] =
+          std::max(Result.MaxLivePerCluster[C], Coverage[C][Slot]);
+  return Result;
+}

@@ -1,0 +1,164 @@
+//===- sched/SchedulePrinter.cpp - Human-readable dumps -------------------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cvliw/sched/SchedulePrinter.h"
+
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+using namespace cvliw;
+
+namespace {
+
+std::string describeOp(const Loop &L, unsigned Id) {
+  const Operation &O = L.op(Id);
+  std::ostringstream OS;
+  OS << 'n' << Id << ": " << opcodeName(O.Op);
+  if (O.Dest != NoReg)
+    OS << " r" << O.Dest << " =";
+  for (RegId Src : O.Sources)
+    OS << " r" << Src;
+  if (O.isMemory()) {
+    const AddressExpr &E = L.stream(O.StreamId);
+    OS << " @" << L.object(E.ObjectId).Name;
+    if (E.Pattern == AddressPattern::Affine)
+      OS << "[" << E.OffsetBytes << "+" << E.StrideBytes << "*i]";
+    else
+      OS << "[gather]";
+  }
+  if (O.isReplica())
+    OS << " (instance " << O.ReplicaIndex << " of n" << O.ReplicaOf << ")";
+  return OS.str();
+}
+
+} // namespace
+
+std::string cvliw::formatLoop(const Loop &L) {
+  std::ostringstream OS;
+  OS << "loop " << L.name() << ": " << L.numOps() << " ops, "
+     << L.numMemoryOps() << " memory ops, trip " << L.ExecTripCount
+     << "\n";
+  for (unsigned Id = 0, E = static_cast<unsigned>(L.numOps()); Id != E;
+       ++Id)
+    OS << "  " << describeOp(L, Id) << "\n";
+  return OS.str();
+}
+
+std::string cvliw::formatDDG(const Loop &L, const DDG &G) {
+  std::ostringstream OS;
+  OS << "ddg: " << G.numNodes() << " nodes, " << G.numEdges()
+     << " edges\n";
+  G.forEachEdge([&](unsigned, const DepEdge &E) {
+    OS << "  n" << E.Src << " -" << depKindName(E.Kind) << "(d="
+       << E.Distance << ")-> n" << E.Dst;
+    if (E.MayAlias)
+      OS << (E.RuntimeDisambiguable ? " [may-alias, disambiguable]"
+                                    : " [may-alias]");
+    OS << "\n";
+  });
+  (void)L;
+  return OS.str();
+}
+
+std::string cvliw::formatDot(const Loop &L, const DDG &G) {
+  std::ostringstream OS;
+  OS << "digraph ddg {\n  rankdir=TB;\n";
+  for (unsigned Id = 0, E = static_cast<unsigned>(L.numOps()); Id != E;
+       ++Id) {
+    const Operation &O = L.op(Id);
+    const char *Shape = O.isMemory() ? "box" : "ellipse";
+    const char *Color = O.isStore()          ? "lightsalmon"
+                        : O.isLoad()         ? "lightblue"
+                        : O.isFakeConsumer() ? "lightgrey"
+                                             : "white";
+    OS << "  n" << Id << " [shape=" << Shape << ", style=filled, "
+       << "fillcolor=" << Color << ", label=\"n" << Id << "\\n"
+       << opcodeName(O.Op) << "\"];\n";
+  }
+  G.forEachEdge([&](unsigned, const DepEdge &E) {
+    const char *Style;
+    switch (E.Kind) {
+    case DepKind::RegFlow:
+      Style = "solid";
+      break;
+    case DepKind::Sync:
+      Style = "bold";
+      break;
+    default:
+      Style = "dashed";
+      break;
+    }
+    OS << "  n" << E.Src << " -> n" << E.Dst << " [style=" << Style
+       << ", label=\"" << depKindName(E.Kind);
+    if (E.Distance)
+      OS << " d" << E.Distance;
+    OS << "\"];\n";
+  });
+  OS << "}\n";
+  return OS.str();
+}
+
+std::string cvliw::formatSchedule(const Loop &L, const Schedule &S,
+                                  const MachineConfig &Config) {
+  std::ostringstream OS;
+  OS << "schedule: II=" << S.II << " (ResMII=" << S.ResMII
+     << ", RecMII=" << S.RecMII << "), length=" << S.Length << ", "
+     << S.stageCount() << " stages, " << S.numCopies()
+     << " copies/iteration\n";
+
+  // Grid: rows are cycles, columns are clusters.
+  std::vector<std::vector<std::string>> Grid(
+      S.Length, std::vector<std::string>(Config.NumClusters));
+  for (unsigned Id = 0, E = static_cast<unsigned>(S.Ops.size()); Id != E;
+       ++Id) {
+    std::string &Cell = Grid[S.Ops[Id].Cycle][S.Ops[Id].Cluster];
+    if (!Cell.empty())
+      Cell += " ";
+    Cell += "n" + std::to_string(Id);
+    if (Id < L.numOps() && L.op(Id).isMemory())
+      Cell += L.op(Id).isStore() ? "(st)" : "(ld)";
+  }
+
+  std::vector<size_t> Width(Config.NumClusters, 8);
+  for (const auto &Row : Grid)
+    for (unsigned C = 0; C != Config.NumClusters; ++C)
+      Width[C] = std::max(Width[C], Row[C].size());
+
+  OS << "  cycle |";
+  for (unsigned C = 0; C != Config.NumClusters; ++C) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), " cluster %u", C);
+    OS << Buf;
+    for (size_t Pad = std::string(Buf).size() - 1; Pad < Width[C]; ++Pad)
+      OS << ' ';
+    OS << " |";
+  }
+  OS << "\n";
+  for (unsigned Cycle = 0; Cycle != S.Length; ++Cycle) {
+    char Buf[16];
+    std::snprintf(Buf, sizeof(Buf), "  %5u |", Cycle % 100000);
+    OS << Buf;
+    for (unsigned C = 0; C != Config.NumClusters; ++C) {
+      OS << ' ' << Grid[Cycle][C];
+      for (size_t Pad = Grid[Cycle][C].size(); Pad < Width[C]; ++Pad)
+        OS << ' ';
+      OS << " |";
+    }
+    OS << "\n";
+    if ((Cycle + 1) % S.II == 0 && Cycle + 1 != S.Length)
+      OS << "  ------+ (stage boundary)\n";
+  }
+
+  if (!S.Copies.empty()) {
+    OS << "  copies:\n";
+    for (const CopyOp &Copy : S.Copies)
+      OS << "    n" << Copy.ProducerOp << ": cluster " << Copy.FromCluster
+         << " -> " << Copy.ToCluster << " departing cycle "
+         << Copy.StartCycle << "\n";
+  }
+  return OS.str();
+}

@@ -1,0 +1,239 @@
+//===- sim/KernelSimulator.cpp - Modulo schedule simulator ----------------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cvliw/sim/KernelSimulator.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+
+using namespace cvliw;
+
+namespace {
+
+/// Completion-time history of a value-producing op over recent
+/// iterations (ring buffer; dependence distances are small).
+class CompletionRing {
+public:
+  static constexpr unsigned Size = 16;
+
+  void record(uint64_t Iter, uint64_t Time,
+              AccessType Type = AccessType::LocalHit) {
+    Slots[Iter % Size] = {Iter + 1, Time, Type};
+  }
+
+  /// Completion at iteration \p Iter, or 0 when unknown/too old.
+  uint64_t at(uint64_t Iter) const {
+    const Slot &S = Slots[Iter % Size];
+    return S.IterPlusOne == Iter + 1 ? S.Time : 0;
+  }
+
+  /// Access type of the recorded completion (meaningful for loads).
+  AccessType typeAt(uint64_t Iter) const {
+    const Slot &S = Slots[Iter % Size];
+    return S.IterPlusOne == Iter + 1 ? S.Type : AccessType::LocalHit;
+  }
+
+private:
+  struct Slot {
+    uint64_t IterPlusOne = 0; // 0 = empty.
+    uint64_t Time = 0;
+    AccessType Type = AccessType::LocalHit;
+  };
+  Slot Slots[Size];
+};
+
+/// A load-producer of an operation: where stall-on-use can bite.
+struct LoadInput {
+  unsigned Producer;
+  unsigned Distance;
+};
+
+/// Per-address commit bookkeeping for the coherence checker.
+struct CommitRecord {
+  uint64_t ProgramKey = 0;
+  uint64_t CommitTime = 0;
+  bool IsStore = false;
+  bool Valid = false;
+};
+
+} // namespace
+
+SimResult cvliw::simulateKernel(const Loop &L, const DDG &G,
+                                const Schedule &S,
+                                const MachineConfig &Config,
+                                const SimOptions &Opts) {
+  assert(S.II > 0 && S.Ops.size() == L.numOps() && "schedule/loop mismatch");
+  SimResult Result;
+  const uint64_t Iters =
+      std::min(Opts.UseProfileInput ? L.ProfileTripCount : L.ExecTripCount,
+               Opts.MaxIterations);
+  const uint64_t Seed = Opts.UseProfileInput ? L.ProfileSeed : L.ExecSeed;
+  Result.Iterations = Iters;
+  if (Iters == 0)
+    return Result;
+
+  // Precompute each op's load inputs from the live RF edges.
+  std::vector<std::vector<LoadInput>> LoadInputsOf(L.numOps());
+  G.forEachEdge([&](unsigned, const DepEdge &E) {
+    if (E.Kind != DepKind::RegFlow || E.Src == E.Dst)
+      return;
+    if (E.Src >= L.numOps() || E.Dst >= L.numOps())
+      return;
+    if (!L.op(E.Src).isLoad())
+      return;
+    LoadInputsOf[E.Dst].push_back(LoadInput{E.Src, E.Distance});
+  });
+
+  // Issue order within one iteration.
+  std::vector<unsigned> Order(L.numOps());
+  for (unsigned I = 0, E = static_cast<unsigned>(L.numOps()); I != E; ++I)
+    Order[I] = I;
+  std::stable_sort(Order.begin(), Order.end(), [&](unsigned A, unsigned B) {
+    return S.Ops[A].Cycle < S.Ops[B].Cycle;
+  });
+
+  MemorySystem Memory(Config);
+  std::vector<CompletionRing> Completions(L.numOps());
+  std::unordered_map<uint64_t, CommitRecord> CommitLog;
+
+  // Merge the per-iteration op streams in unstalled-time order. Heap
+  // entries: (iter * II + cycle, iter, position in Order).
+  using HeapEntry = std::tuple<uint64_t, uint64_t, unsigned>;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                      std::greater<HeapEntry>>
+      Heap;
+  auto UnstalledTime = [&](uint64_t Iter, unsigned Pos) {
+    return Iter * S.II + S.Ops[Order[Pos]].Cycle;
+  };
+  Heap.push({UnstalledTime(0, 0), 0, 0});
+
+  uint64_t CumStall = 0;
+  const unsigned Hop = Config.registerBusHop();
+
+  while (!Heap.empty()) {
+    auto [Unstalled, Iter, Pos] = Heap.top();
+    Heap.pop();
+
+    // Keep the streams flowing: next op of this iteration, and the head
+    // of the next iteration when this was a head.
+    if (Pos + 1 < Order.size())
+      Heap.push({UnstalledTime(Iter, Pos + 1), Iter, Pos + 1});
+    if (Pos == 0 && Iter + 1 < Iters)
+      Heap.push({UnstalledTime(Iter + 1, 0), Iter + 1, 0});
+
+    const unsigned OpId = Order[Pos];
+    const Operation &O = L.op(OpId);
+    const ScheduledOp &Placed = S.Ops[OpId];
+    uint64_t IssueTime = Unstalled + CumStall;
+    Result.DynamicOps += 1;
+
+    // Stall-on-use: wait for every load-produced operand.
+    for (const LoadInput &In : LoadInputsOf[OpId]) {
+      if (In.Distance > Iter)
+        continue; // Value produced before the loop: always ready.
+      uint64_t Done = Completions[In.Producer].at(Iter - In.Distance);
+      if (Done == 0)
+        continue;
+      uint64_t Ready = Done;
+      if (S.Ops[In.Producer].Cluster != Placed.Cluster)
+        Ready += Hop; // Value crosses a register bus after arriving.
+      if (Ready > IssueTime) {
+        uint64_t Stall = Ready - IssueTime;
+        CumStall += Stall;
+        Result.StallCycles += Stall;
+        Result.StallAttribution.add(
+            static_cast<size_t>(Completions[In.Producer].typeAt(
+                Iter - In.Distance)),
+            Stall);
+        IssueTime = Ready;
+      }
+    }
+
+    if (!O.isMemory()) {
+      if (O.Dest != NoReg)
+        Completions[OpId].record(Iter, IssueTime + opcodeLatency(O.Op));
+      continue;
+    }
+
+    // Memory operation: resolve the address on the execution input.
+    uint64_t Addr = L.addressOf(OpId, Iter, Seed);
+    unsigned Home = Config.homeCluster(Addr);
+    const bool Replicated =
+        Config.Organization == CacheOrganization::Replicated;
+
+    // DDGT store replication. Word-interleaved cache: only the home
+    // instance executes, the rest are nullified (and update a matching
+    // Attraction Buffer copy, §5.3). Replicated cache: every instance
+    // executes and updates its own cluster's copy — no broadcast and no
+    // nullification needed.
+    bool LocalOnly = false;
+    if (Opts.Policy == CoherencePolicy::DDGT && O.isReplica()) {
+      if (Replicated) {
+        LocalOnly = true;
+      } else if (Placed.Cluster != Home) {
+        Memory.updateAttractionBufferOnly(Placed.Cluster, Addr, IssueTime);
+        Result.NullifiedReplicaSlots += 1;
+        continue;
+      }
+    }
+
+    MemAccessResult Access = Memory.access(Placed.Cluster, Addr,
+                                           O.isStore(), IssueTime,
+                                           LocalOnly);
+    Result.MemoryAccesses += 1;
+    if (O.isLoad())
+      Completions[OpId].record(Iter, Access.CompleteTime, Access.Type);
+
+    if (Opts.CheckCoherence) {
+      // Replicated instances inherit the original store's program slot.
+      uint64_t ProgramSlot = O.isReplica() ? O.ReplicaOf : OpId;
+      uint64_t Key = Iter * L.numOps() + ProgramSlot;
+      auto CheckAndRecord = [&](uint64_t LogKey, uint64_t Commit,
+                                bool IsStore) {
+        CommitRecord &Record = CommitLog[LogKey];
+        if (Record.Valid && (Record.IsStore || IsStore)) {
+          bool OutOfOrder =
+              (Key > Record.ProgramKey && Commit < Record.CommitTime) ||
+              (Key < Record.ProgramKey && Commit > Record.CommitTime);
+          if (OutOfOrder)
+            Result.CoherenceViolations += 1;
+        }
+        if (!Record.Valid || Key > Record.ProgramKey) {
+          Record.ProgramKey = Key;
+          Record.CommitTime = Commit;
+          Record.IsStore = IsStore;
+          Record.Valid = true;
+        }
+      };
+      if (Replicated) {
+        // Visibility is per copy: key the log by (address, cluster).
+        if (O.isStore()) {
+          for (const auto &[Cluster, Time] : Access.BroadcastCommits)
+            CheckAndRecord(Addr * Config.NumClusters + Cluster, Time,
+                           /*IsStore=*/true);
+        } else {
+          CheckAndRecord(Addr * Config.NumClusters + Placed.Cluster,
+                         Access.CommitTime, /*IsStore=*/false);
+        }
+      } else {
+        CheckAndRecord(Addr, Access.CommitTime, O.isStore());
+      }
+    }
+  }
+
+  // Figure 7 accounting: compute time is the stall-free pipeline
+  // (II per iteration plus fill/drain), stall time is what stall-on-use
+  // added on top.
+  uint64_t Drain = S.Length > S.II ? S.Length - S.II : 0;
+  Result.ComputeCycles = Iters * S.II + Drain;
+  Result.StallCycles = CumStall;
+  Result.TotalCycles = Result.ComputeCycles + Result.StallCycles;
+  Result.AccessClassification = Memory.classification();
+  Result.AttractionBufferHits = Memory.attractionBufferHits();
+  Result.BusTransactions = Memory.busTransactions();
+  return Result;
+}

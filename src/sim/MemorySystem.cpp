@@ -1,0 +1,368 @@
+//===- sim/MemorySystem.cpp - Interleaved memory system -------------------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cvliw/sim/MemorySystem.h"
+
+#include <algorithm>
+
+using namespace cvliw;
+
+uint64_t MemorySystem::UnitPool::acquire(uint64_t T) {
+  // Grant the earliest-free unit; FIFO arbitration among requesters is
+  // implied by the non-decreasing request times the simulator feeds in.
+  size_t Best = 0;
+  for (size_t I = 1; I != NextFree.size(); ++I)
+    if (NextFree[I] < NextFree[Best])
+      Best = I;
+  uint64_t Grant = std::max(T, NextFree[Best]);
+  NextFree[Best] = Grant + OccupyCycles;
+  return Grant;
+}
+
+MemorySystem::MemorySystem(const MachineConfig &Config)
+    : Config(Config),
+      MemBuses(Config.MemoryBuses.Count, Config.MemoryBuses.Latency),
+      NextLevelPorts(Config.NextLevelPorts, /*OccupyCycles=*/2),
+      LastArrival(static_cast<size_t>(Config.NumClusters) *
+                      Config.NumClusters,
+                  0),
+      CommitSlots(Config.NumClusters),
+      Classification(/*NumBuckets=*/5) {
+  unsigned Sets = Config.cacheSetsPerModule();
+  for (unsigned C = 0; C != Config.NumClusters; ++C)
+    Modules.emplace_back(Sets, Config.CacheAssociativity);
+  if (Config.AttractionBuffersEnabled) {
+    unsigned AbSets = Config.AttractionBufferEntries /
+                      Config.AttractionBufferAssociativity;
+    for (unsigned C = 0; C != Config.NumClusters; ++C)
+      Buffers.emplace_back(AbSets, Config.AttractionBufferAssociativity);
+  }
+}
+
+uint64_t MemorySystem::busHop(unsigned Src, unsigned Home, uint64_t T) {
+  uint64_t Grant = MemBuses.acquire(T);
+  uint64_t Arrive = Grant + Config.MemoryBuses.Latency;
+  // Same-source requests to the same home must arrive in issue order or
+  // the MDC guarantee ("reach their home cluster in program order as
+  // well") breaks; the hardware keeps per-pair FIFO order.
+  uint64_t &Last = LastArrival[Src * Config.NumClusters + Home];
+  Arrive = std::max(Arrive, Last + 1);
+  Last = Arrive;
+  ++BusCount;
+  return Arrive;
+}
+
+std::optional<uint64_t> MemorySystem::pendingReady(unsigned Home,
+                                                   uint64_t BlockId,
+                                                   uint64_t T) {
+  auto It = Pending.find({Home, BlockId});
+  if (It == Pending.end())
+    return std::nullopt;
+  if (T < It->second.ReadyTime)
+    return It->second.ReadyTime;
+  Pending.erase(It); // Stale entry: the fetch completed long ago.
+  return std::nullopt;
+}
+
+uint64_t MemorySystem::orderedCommit(unsigned Home, uint64_t Avail,
+                                     uint64_t IssueTime) {
+  // One module access per cycle. A request processed later can still
+  // claim an earlier slot than a previously processed one when the bus
+  // delivered it earlier — which is exactly the reordering the paper's
+  // coherence problem is about.
+  std::set<uint64_t> &Slots = CommitSlots[Home];
+  // Requests are processed in non-decreasing issue time and no request
+  // commits before its issue, so slots below IssueTime are dead.
+  Slots.erase(Slots.begin(), Slots.lower_bound(IssueTime));
+  uint64_t T = Avail;
+  while (Slots.count(T))
+    ++T;
+  Slots.insert(T);
+  return T;
+}
+
+uint64_t MemorySystem::fetchIntoModule(unsigned Home, uint64_t BlockId,
+                                       uint64_t ArriveTime,
+                                       bool &WasCombined,
+                                       uint64_t *EvictedKey) {
+  if (std::optional<uint64_t> Ready =
+          pendingReady(Home, BlockId, ArriveTime)) {
+    WasCombined = true;
+    return *Ready;
+  }
+  WasCombined = false;
+  uint64_t Grant = NextLevelPorts.acquire(ArriveTime);
+  uint64_t Ready = Grant + Config.NextLevelLatency;
+  Pending[{Home, BlockId}] = Mshr{Ready};
+  Modules[Home].insert(BlockId, Ready, /*Dirty=*/false, EvictedKey);
+  return Ready;
+}
+
+void MemorySystem::insertTracked(unsigned Cluster, uint64_t BlockId,
+                                 uint64_t Now) {
+  uint64_t Evicted = ~0ull;
+  Modules[Cluster].insert(BlockId, Now, /*Dirty=*/false, &Evicted);
+  if (Evicted != ~0ull) {
+    auto It = Sharers.find(Evicted);
+    if (It != Sharers.end())
+      It->second &= ~(1u << Cluster);
+  }
+}
+
+MemAccessResult MemorySystem::accessReplicated(unsigned Cluster,
+                                               uint64_t Addr, bool IsStore,
+                                               uint64_t IssueTime,
+                                               bool LocalOnly) {
+  MemAccessResult Result;
+  uint64_t BlockId = Addr / Config.CacheBlockBytes;
+  unsigned HitLat = Config.CacheHitLatency;
+
+  // Local copy first: every cluster holds the full address space.
+  uint64_t Avail;
+  if (std::optional<uint64_t> Ready =
+          pendingReady(Cluster, BlockId, IssueTime)) {
+    Result.Type = AccessType::Combined;
+    Avail = *Ready;
+  } else if (Modules[Cluster].lookup(BlockId, IssueTime)) {
+    Result.Type = AccessType::LocalHit;
+    Avail = IssueTime + HitLat;
+  } else {
+    bool Combined = false;
+    uint64_t Ready =
+        fetchIntoModule(Cluster, BlockId, IssueTime + HitLat, Combined);
+    Result.Type = Combined ? AccessType::Combined : AccessType::LocalMiss;
+    Avail = Ready;
+  }
+  Result.CommitTime = orderedCommit(Cluster, Avail, IssueTime);
+  Result.CompleteTime = Result.CommitTime;
+  if (IsStore)
+    Result.BroadcastCommits.push_back({Cluster, Result.CommitTime});
+
+  // Stores broadcast write-updates to every other copy (unless this is
+  // a DDGT instance whose siblings cover the other clusters).
+  if (IsStore && !LocalOnly) {
+    for (unsigned Other = 0; Other != Config.NumClusters; ++Other) {
+      if (Other == Cluster)
+        continue;
+      uint64_t Arrive = busHop(Cluster, Other, Result.CommitTime);
+      // Update-if-present: absent copies need no action.
+      uint64_t Visible = Arrive;
+      if (Modules[Other].markDirty(BlockId, Arrive))
+        Visible = orderedCommit(Other, Arrive + HitLat, IssueTime);
+      Result.BroadcastCommits.push_back({Other, Visible});
+      Result.CompleteTime = std::max(Result.CompleteTime, Visible);
+    }
+  }
+  Classification.add(static_cast<size_t>(Result.Type));
+  return Result;
+}
+
+MemAccessResult MemorySystem::accessCoherent(unsigned Cluster,
+                                             uint64_t Addr, bool IsStore,
+                                             uint64_t IssueTime) {
+  // Idealized MSI-style directory (the multiVLIW's hardware support):
+  // requests are serialized at the directory in issue order, blocks
+  // migrate between modules on demand, and stores invalidate every
+  // remote copy before committing. The price of making free scheduling
+  // safe is paid in invalidation and migration traffic.
+  MemAccessResult Result;
+  uint64_t BlockId = Addr / Config.CacheBlockBytes;
+  unsigned HitLat = Config.CacheHitLatency;
+  uint32_t &Mask = Sharers[BlockId];
+  const uint32_t Self = 1u << Cluster;
+
+  uint64_t Avail;
+  if (std::optional<uint64_t> Ready =
+          pendingReady(Cluster, BlockId, IssueTime)) {
+    Result.Type = AccessType::Combined;
+    Avail = *Ready;
+  } else if ((Mask & Self) && Modules[Cluster].lookup(BlockId, IssueTime)) {
+    Result.Type = AccessType::LocalHit;
+    Avail = IssueTime + HitLat;
+  } else if ((Mask & ~Self) != 0) {
+    // Some other module holds the block: cache-to-cache migration,
+    // request hop plus data hop.
+    unsigned Owner = 0;
+    while (Owner == Cluster || !(Mask & (1u << Owner)))
+      ++Owner;
+    uint64_t ArriveOwner = busHop(Cluster, Owner, IssueTime);
+    // The owner can only forward the data once it actually has it (its
+    // own fetch may still be in flight).
+    uint64_t DataAtOwner = ArriveOwner + HitLat;
+    if (std::optional<uint64_t> OwnerReady =
+            pendingReady(Owner, BlockId, ArriveOwner))
+      DataAtOwner = std::max(DataAtOwner, *OwnerReady);
+    uint64_t ArriveBack = busHop(Owner, Cluster, DataAtOwner);
+    Result.Type = AccessType::RemoteHit;
+    Avail = ArriveBack;
+    ++MigrationCount;
+    insertTracked(Cluster, BlockId, Avail);
+    Mask |= Self;
+  } else {
+    // Nobody holds a live copy (a stale self bit means our copy was
+    // evicted): fetch from the next level.
+    bool Combined = false;
+    uint64_t Evicted = ~0ull;
+    uint64_t Ready = fetchIntoModule(Cluster, BlockId, IssueTime + HitLat,
+                                     Combined, &Evicted);
+    if (Evicted != ~0ull) {
+      auto It = Sharers.find(Evicted);
+      if (It != Sharers.end())
+        It->second &= ~(1u << Cluster);
+    }
+    Result.Type = Combined ? AccessType::Combined : AccessType::LocalMiss;
+    Avail = Ready;
+    Mask = Sharers[BlockId] | Self; // Re-read: eviction may have touched it.
+    Sharers[BlockId] = Mask;
+  }
+
+  if (IsStore && (Mask & ~Self)) {
+    // Invalidate every other sharer; the write commits when the last
+    // invalidation has been delivered.
+    for (unsigned Other = 0; Other != Config.NumClusters; ++Other) {
+      if (Other == Cluster || !(Mask & (1u << Other)))
+        continue;
+      uint64_t Arrive = busHop(Cluster, Other, Avail);
+      Modules[Other].erase(BlockId);
+      Mask &= ~(1u << Other);
+      ++InvalidationCount;
+      Avail = std::max(Avail, Arrive);
+    }
+  }
+
+  // Directory serialization: every access sees at least the last write
+  // to the block; writes advance the serialization point. Concurrent
+  // reads of a shared block do not serialize against each other.
+  uint64_t &Write = LastWrite[BlockId];
+  Avail = std::max(Avail, Write + 1);
+  Result.CommitTime = orderedCommit(Cluster, Avail, IssueTime);
+  Result.CompleteTime = Result.CommitTime;
+  if (IsStore)
+    Write = Result.CommitTime;
+  Classification.add(static_cast<size_t>(Result.Type));
+  return Result;
+}
+
+MemAccessResult MemorySystem::access(unsigned Cluster, uint64_t Addr,
+                                     bool IsStore, uint64_t IssueTime,
+                                     bool LocalOnly) {
+  assert(Cluster < Config.NumClusters);
+  if (Config.Organization == CacheOrganization::Replicated)
+    return accessReplicated(Cluster, Addr, IsStore, IssueTime, LocalOnly);
+  if (Config.Organization == CacheOrganization::CoherentDirectory)
+    return accessCoherent(Cluster, Addr, IsStore, IssueTime);
+  (void)LocalOnly;
+  MemAccessResult Result;
+  unsigned Home = Config.homeCluster(Addr);
+  uint64_t BlockId = Addr / Config.CacheBlockBytes;
+  // Subblock key: home in the top bits so AB set indexing (low bits)
+  // spreads across blocks rather than aliasing on the home id.
+  uint64_t SubblockKey = (static_cast<uint64_t>(Home) << 48) | BlockId;
+  unsigned HitLat = Config.CacheHitLatency;
+
+  // Attraction Buffer: remote data replicated locally (paper §5). A hit
+  // satisfies the access locally; stores mark the copy dirty (coherence
+  // across clusters is the scheduler's job, which is the whole point of
+  // the paper).
+  if (Config.AttractionBuffersEnabled && Home != Cluster) {
+    bool Hit = IsStore ? Buffers[Cluster].markDirty(SubblockKey, IssueTime)
+                       : Buffers[Cluster].lookup(SubblockKey, IssueTime);
+    if (Hit) {
+      ++AbHits;
+      Result.Type = AccessType::LocalHit;
+      Result.CompleteTime = IssueTime + HitLat;
+      Result.CommitTime = Result.CompleteTime;
+      Classification.add(static_cast<size_t>(Result.Type));
+      return Result;
+    }
+  }
+
+  if (Home == Cluster) {
+    // Local path: join a pending fetch of this subblock if one is in
+    // flight (the block is already tagged but its data has not arrived),
+    // else tag check, then hit or next-level fetch.
+    uint64_t Avail;
+    if (std::optional<uint64_t> Ready =
+            pendingReady(Cluster, BlockId, IssueTime)) {
+      Result.Type = AccessType::Combined;
+      Avail = *Ready;
+    } else if (Modules[Cluster].lookup(BlockId, IssueTime)) {
+      Result.Type = AccessType::LocalHit;
+      Avail = IssueTime + HitLat;
+    } else {
+      bool Combined = false;
+      uint64_t Ready =
+          fetchIntoModule(Cluster, BlockId, IssueTime + HitLat, Combined);
+      Result.Type =
+          Combined ? AccessType::Combined : AccessType::LocalMiss;
+      Avail = Ready;
+    }
+    Result.CommitTime = orderedCommit(Cluster, Avail, IssueTime);
+    Result.CompleteTime = Result.CommitTime;
+    Classification.add(static_cast<size_t>(Result.Type));
+    return Result;
+  }
+
+  // Remote path: request hop, home module access, reply hop for loads.
+  uint64_t ArriveHome = busHop(Cluster, Home, IssueTime);
+  uint64_t DataAtHome;
+  if (std::optional<uint64_t> Ready =
+          pendingReady(Home, BlockId, ArriveHome)) {
+    Result.Type = AccessType::Combined;
+    DataAtHome = *Ready;
+  } else if (Modules[Home].lookup(BlockId, ArriveHome)) {
+    Result.Type = AccessType::RemoteHit;
+    DataAtHome = ArriveHome + HitLat;
+  } else {
+    bool Combined = false;
+    uint64_t Ready =
+        fetchIntoModule(Home, BlockId, ArriveHome + HitLat, Combined);
+    Result.Type = Combined ? AccessType::Combined : AccessType::RemoteMiss;
+    DataAtHome = Ready;
+  }
+  Result.CommitTime = orderedCommit(Home, DataAtHome, IssueTime);
+
+  if (IsStore) {
+    // The write is performed at the home module; nothing returns.
+    Result.CompleteTime = Result.CommitTime;
+  } else {
+    // The whole remote subblock travels back and, with Attraction
+    // Buffers, is replicated locally (paper Figure 8).
+    uint64_t ArriveBack = busHop(Home, Cluster, Result.CommitTime);
+    Result.CompleteTime = ArriveBack;
+    if (Config.AttractionBuffersEnabled)
+      Buffers[Cluster].insert(SubblockKey, ArriveBack);
+  }
+  // Remote stores with Attraction Buffers allocate the subblock locally
+  // too ("data will be replicated in only one cluster if it is
+  // modified", §5.2), so later same-cluster accesses hit locally.
+  if (IsStore && Config.AttractionBuffersEnabled)
+    Buffers[Cluster].insert(SubblockKey, Result.CompleteTime,
+                            /*Dirty=*/true);
+
+  Classification.add(static_cast<size_t>(Result.Type));
+  return Result;
+}
+
+void MemorySystem::updateAttractionBufferOnly(unsigned Cluster,
+                                              uint64_t Addr,
+                                              uint64_t Time) {
+  if (!Config.AttractionBuffersEnabled)
+    return;
+  unsigned Home = Config.homeCluster(Addr);
+  if (Home == Cluster)
+    return; // The local instance performs the real update.
+  uint64_t SubblockKey = (static_cast<uint64_t>(Home) << 48) |
+                         (Addr / Config.CacheBlockBytes);
+  Buffers[Cluster].markDirty(SubblockKey, Time);
+}
+
+unsigned MemorySystem::flushAttractionBuffers() {
+  unsigned Dirty = 0;
+  for (SetAssocCache &Buffer : Buffers)
+    Dirty += Buffer.flush();
+  return Dirty;
+}

@@ -1,0 +1,96 @@
+//===- support/TableWriter.cpp - Fixed-width table output -----------------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cvliw/support/TableWriter.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace cvliw;
+
+TableWriter::TableWriter(std::vector<std::string> Headers)
+    : Headers(std::move(Headers)) {}
+
+void TableWriter::addRow(std::vector<std::string> Cells) {
+  assert(Cells.size() <= Headers.size() && "row wider than header");
+  Cells.resize(Headers.size());
+  Rows.push_back(Row{/*IsSeparator=*/false, std::move(Cells)});
+}
+
+void TableWriter::addSeparator() {
+  Rows.push_back(Row{/*IsSeparator=*/true, {}});
+}
+
+void TableWriter::render(std::ostream &OS) const {
+  std::vector<size_t> Widths(Headers.size());
+  for (size_t I = 0, E = Headers.size(); I != E; ++I)
+    Widths[I] = Headers[I].size();
+  for (const Row &R : Rows) {
+    if (R.IsSeparator)
+      continue;
+    for (size_t I = 0, E = R.Cells.size(); I != E; ++I)
+      if (R.Cells[I].size() > Widths[I])
+        Widths[I] = R.Cells[I].size();
+  }
+
+  auto EmitLine = [&](const std::vector<std::string> &Cells) {
+    OS << '|';
+    for (size_t I = 0, E = Widths.size(); I != E; ++I) {
+      const std::string &Cell = I < Cells.size() ? Cells[I] : std::string();
+      OS << ' ' << Cell;
+      for (size_t Pad = Cell.size(); Pad < Widths[I]; ++Pad)
+        OS << ' ';
+      OS << " |";
+    }
+    OS << '\n';
+  };
+
+  auto EmitRule = [&] {
+    OS << '+';
+    for (size_t W : Widths) {
+      for (size_t I = 0; I != W + 2; ++I)
+        OS << '-';
+      OS << '+';
+    }
+    OS << '\n';
+  };
+
+  EmitRule();
+  EmitLine(Headers);
+  EmitRule();
+  for (const Row &R : Rows) {
+    if (R.IsSeparator)
+      EmitRule();
+    else
+      EmitLine(R.Cells);
+  }
+  EmitRule();
+}
+
+std::string TableWriter::fmt(double Value, int Precision) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Precision, Value);
+  return Buf;
+}
+
+std::string TableWriter::pct(double Fraction, int Precision) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f%%", Precision, Fraction * 100.0);
+  return Buf;
+}
+
+std::string TableWriter::grouped(uint64_t Value) {
+  std::string Digits = std::to_string(Value);
+  std::string Out;
+  size_t Count = 0;
+  for (auto It = Digits.rbegin(); It != Digits.rend(); ++It) {
+    if (Count != 0 && Count % 3 == 0)
+      Out.push_back(',');
+    Out.push_back(*It);
+    ++Count;
+  }
+  return std::string(Out.rbegin(), Out.rend());
+}

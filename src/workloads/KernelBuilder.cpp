@@ -1,0 +1,252 @@
+//===- workloads/KernelBuilder.cpp - Synthetic loop kernels ---------------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cvliw/workloads/KernelBuilder.h"
+
+#include "cvliw/support/Rng.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace cvliw;
+
+namespace {
+
+/// Incrementally builds the loop body, tracking registers.
+class BodyBuilder {
+public:
+  BodyBuilder(Loop &L, const MachineConfig &Config, uint64_t SeedBase)
+      : L(L), Config(Config), Rng_(SeedBase), NextReg(1) {}
+
+  RegId fresh() { return NextReg++; }
+
+  /// Creates an object of \p Bytes bytes; bases are spaced out so
+  /// distinct objects never overlap.
+  unsigned makeObject(const std::string &Name, unsigned Bytes,
+                      unsigned AliasGroup = UniqueAliasGroup) {
+    MemObject Object;
+    Object.Name = Name;
+    Object.BaseAddr = NextBase;
+    Object.SizeBytes = Bytes;
+    Object.AliasGroup = AliasGroup;
+    NextBase += Object.SizeBytes + 4096; // Guard gap.
+    return L.addObject(Object);
+  }
+
+  /// Affine stream with a home cluster fixed to \p Cluster
+  /// (stride = NumClusters * Interleave, offset picks the cluster).
+  unsigned consistentStream(unsigned ObjectId, unsigned Cluster,
+                            unsigned ElemBytes) {
+    int64_t Stride = static_cast<int64_t>(Config.NumClusters) *
+                     Config.InterleaveBytes;
+    int64_t Offset = static_cast<int64_t>(Cluster) * Config.InterleaveBytes;
+    return L.addStream(
+        AddressExpr::affine(ObjectId, Offset, Stride, ElemBytes));
+  }
+
+  /// Affine stream whose home cluster rotates every iteration
+  /// (stride = Interleave).
+  unsigned rotatingStream(unsigned ObjectId, unsigned ElemBytes) {
+    return L.addStream(AddressExpr::affine(
+        ObjectId, 0, static_cast<int64_t>(Config.InterleaveBytes),
+        ElemBytes));
+  }
+
+  unsigned gatherStream(unsigned ObjectId, unsigned ElemBytes) {
+    return L.addStream(
+        AddressExpr::gather(ObjectId, ElemBytes, Rng_.next()));
+  }
+
+  /// load -> ArithPerLoad adds -> returns the final register.
+  RegId loadAndUse(unsigned StreamId, unsigned ArithPerLoad) {
+    RegId V = fresh();
+    L.addOp(Operation::load(V, StreamId));
+    for (unsigned K = 0; K != ArithPerLoad; ++K) {
+      RegId Next = fresh();
+      L.addOp(Operation::compute(Opcode::IAdd, Next, {V}));
+      V = Next;
+    }
+    return V;
+  }
+
+  Loop &L;
+  const MachineConfig &Config;
+  Rng Rng_;
+  RegId NextReg;
+  uint64_t NextBase = 0x10000;
+};
+
+} // namespace
+
+Loop cvliw::buildLoop(const LoopSpec &Spec, const MachineConfig &Config) {
+  Loop L(Spec.Name);
+  L.ProfileTripCount = Spec.ProfileTrip;
+  L.ExecTripCount = Spec.ExecTrip;
+  L.ProfileSeed = Spec.SeedBase * 2 + 1;
+  L.ExecSeed = Spec.SeedBase * 3 + 7;
+  L.Weight = Spec.Weight;
+
+  BodyBuilder B(L, Config, Spec.SeedBase);
+  const unsigned N = Config.NumClusters;
+  unsigned NextAliasGroup = 0;
+  unsigned ClusterRoundRobin = 0;
+
+  std::vector<RegId> ChainValues;
+
+  // --- Memory dependent chains. ----------------------------------------
+  for (const ChainSpec &Chain : Spec.Chains) {
+    assert(Chain.stores() >= 1 &&
+           "a chain needs a store to connect its members");
+    unsigned Group = NextAliasGroup++;
+
+    // Shared gather object (the durable aliasing core), a member of the
+    // alias group so the group members chain to it.
+    unsigned SharedObject = ~0u;
+    if (Chain.GatherLoads + Chain.GatherStores > 0) {
+      // Shared gathered state (tables, big-number limbs) is small in the
+      // real kernels; keeping it a few cache blocks also lets the §5
+      // Attraction Buffers capture it.
+      unsigned SharedBytes = std::min(Spec.ObjectBytes, 256u);
+      SharedObject = B.makeObject(
+          Spec.Name + ".grp" + std::to_string(Group) + ".shared",
+          SharedBytes, Group);
+    }
+
+    std::vector<unsigned> LoadStreams, StoreStreams;
+    for (unsigned M = 0; M != Chain.GatherLoads; ++M)
+      LoadStreams.push_back(B.gatherStream(SharedObject, Spec.ElemBytes));
+    for (unsigned M = 0; M != Chain.GroupLoads; ++M) {
+      unsigned ObjectId = B.makeObject(
+          Spec.Name + ".grp" + std::to_string(Group) + ".in" +
+              std::to_string(M),
+          Spec.ObjectBytes, Group);
+      unsigned Cluster =
+          Chain.SpreadClusters ? M % N : ClusterRoundRobin % N;
+      LoadStreams.push_back(
+          B.consistentStream(ObjectId, Cluster, Spec.ElemBytes));
+    }
+    for (unsigned M = 0; M != Chain.GatherStores; ++M)
+      StoreStreams.push_back(B.gatherStream(SharedObject, Spec.ElemBytes));
+    for (unsigned M = 0; M != Chain.GroupStores; ++M) {
+      unsigned ObjectId = B.makeObject(
+          Spec.Name + ".grp" + std::to_string(Group) + ".out" +
+              std::to_string(M),
+          Spec.ObjectBytes, Group);
+      unsigned Cluster = Chain.SpreadClusters
+                             ? (Chain.GroupLoads + M) % N
+                             : ClusterRoundRobin % N;
+      StoreStreams.push_back(
+          B.consistentStream(ObjectId, Cluster, Spec.ElemBytes));
+    }
+
+    // Body: all chain loads, then one combining add per store. Each
+    // store writes a *distinct* value (real kernels store distinct
+    // expressions), which matters for DDGT: every replicated instance
+    // must receive its own operand over the register buses (Table 4's
+    // communication-op growth).
+    std::vector<RegId> Loaded;
+    for (unsigned StreamId : LoadStreams)
+      Loaded.push_back(B.loadAndUse(StreamId, Spec.ArithPerLoad));
+
+    RegId LastValue = NoReg;
+    for (unsigned M = 0; M != StoreStreams.size(); ++M) {
+      RegId Value = B.fresh();
+      std::vector<RegId> Sources;
+      if (!Loaded.empty()) {
+        Sources.push_back(Loaded[M % Loaded.size()]);
+        if (Loaded.size() > 1)
+          Sources.push_back(
+              Loaded[(M + Loaded.size() / 2) % Loaded.size()]);
+      }
+      L.addOp(Operation::compute(Opcode::IAdd, Value, Sources));
+      L.addOp(Operation::store(Value, StoreStreams[M]));
+      LastValue = Value;
+    }
+    assert(LastValue != NoReg && "chains always contain a store");
+    ChainValues.push_back(LastValue);
+    ++ClusterRoundRobin;
+  }
+
+  // --- Independent streams. ---------------------------------------------
+  std::vector<RegId> FreeValues;
+  for (unsigned K = 0; K != Spec.ConsistentLoads; ++K) {
+    unsigned ObjectId = B.makeObject(Spec.Name + ".in" + std::to_string(K),
+                                     Spec.ObjectBytes);
+    unsigned StreamId =
+        B.consistentStream(ObjectId, (ClusterRoundRobin + K) % N,
+                           Spec.ElemBytes);
+    FreeValues.push_back(B.loadAndUse(StreamId, Spec.ArithPerLoad));
+  }
+  for (unsigned K = 0; K != Spec.RotatingLoads; ++K) {
+    unsigned ObjectId = B.makeObject(Spec.Name + ".rot" + std::to_string(K),
+                                     Spec.ObjectBytes);
+    unsigned StreamId = B.rotatingStream(ObjectId, Spec.ElemBytes);
+    FreeValues.push_back(B.loadAndUse(StreamId, Spec.ArithPerLoad));
+  }
+  for (unsigned K = 0; K != Spec.GatherLoads; ++K) {
+    unsigned ObjectId = B.makeObject(Spec.Name + ".tbl" + std::to_string(K),
+                                     std::max(Spec.ObjectBytes, 2048u));
+    unsigned StreamId = B.gatherStream(ObjectId, Spec.ElemBytes);
+    FreeValues.push_back(B.loadAndUse(StreamId, Spec.ArithPerLoad));
+  }
+
+  // --- Floating point body. ----------------------------------------------
+  RegId FpAcc = NoReg;
+  for (unsigned K = 0; K != Spec.FpOps; ++K) {
+    RegId Next = B.fresh();
+    std::vector<RegId> Sources;
+    if (!FreeValues.empty())
+      Sources.push_back(FreeValues[K % FreeValues.size()]);
+    if (FpAcc != NoReg)
+      Sources.push_back(FpAcc);
+    L.addOp(Operation::compute(K % 2 ? Opcode::FAdd : Opcode::FMul,
+                               Next, Sources));
+    FpAcc = Next;
+  }
+  for (unsigned K = 0; K != Spec.FpDivs; ++K) {
+    RegId Next = B.fresh();
+    std::vector<RegId> Sources;
+    if (FpAcc != NoReg)
+      Sources.push_back(FpAcc);
+    L.addOp(Operation::compute(Opcode::FDiv, Next, Sources));
+    FpAcc = Next;
+  }
+
+  // --- Independent output stores. -----------------------------------------
+  for (unsigned K = 0; K != Spec.ConsistentStores; ++K) {
+    unsigned ObjectId = B.makeObject(Spec.Name + ".out" + std::to_string(K),
+                                     Spec.ObjectBytes);
+    unsigned StreamId = B.consistentStream(
+        ObjectId, (ClusterRoundRobin + 1 + K) % N, Spec.ElemBytes);
+    RegId Value = NoReg;
+    if (!FreeValues.empty())
+      Value = FreeValues[K % FreeValues.size()];
+    else if (!ChainValues.empty())
+      Value = ChainValues[K % ChainValues.size()];
+    if (Value == NoReg) {
+      Value = B.fresh();
+      L.addOp(Operation::compute(Opcode::IAdd, Value, {}));
+    }
+    L.addOp(Operation::store(Value, StreamId));
+  }
+
+  // --- Scalar recurrence and loop control. --------------------------------
+  if (Spec.ScalarRecurrence) {
+    RegId Acc = B.fresh();
+    std::vector<RegId> Sources{Acc}; // Self-use: loop-carried distance 1.
+    if (!FreeValues.empty())
+      Sources.push_back(FreeValues.front());
+    else if (!ChainValues.empty())
+      Sources.push_back(ChainValues.front());
+    L.addOp(Operation::compute(Opcode::IAdd, Acc, Sources));
+  }
+  {
+    RegId Ind = B.fresh();
+    L.addOp(Operation::compute(Opcode::IAdd, Ind, {Ind})); // i++
+    L.addOp(Operation::compute(Opcode::Branch, NoReg, {Ind}));
+  }
+  return L;
+}

@@ -1,0 +1,372 @@
+//===- workloads/Suite.cpp - Mediabench-analog suite ----------------------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Calibration notes. Per benchmark the paper pins down (Table 1, Table 3,
+// Table 4, §4.2, §5.4):
+//   * interleaving factor and dominant data size,
+//   * CMR / CAR (size of the biggest memory dependent chain relative to
+//     memory / all dynamic instructions),
+//   * whether code specialization dissolves the chains (Table 5: epicdec
+//     almost fully, pgpdec/pgpenc partially, rasta mostly),
+//   * qualitative behaviour: epicdec has one huge spread-out chain that
+//     cripples MDC; jpegenc's chain is store-heavy so DDGT loses there;
+//     g721 has no chains at all.
+// The paper's 76-op epicdec chain is scaled to 26 ops to keep the
+// simulated IIs (and run times) practical; the CMR/CAR targets are met
+// through the loop weights instead.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cvliw/workloads/Suite.h"
+
+using namespace cvliw;
+
+namespace {
+
+/// Convenience for building one LoopSpec.
+LoopSpec loop(std::string Name, double Weight, uint64_t ProfileTrip,
+              uint64_t ExecTrip, unsigned ElemBytes, uint64_t Seed) {
+  LoopSpec Spec;
+  Spec.Name = std::move(Name);
+  Spec.Weight = Weight;
+  Spec.ProfileTrip = ProfileTrip;
+  Spec.ExecTrip = ExecTrip;
+  Spec.ElemBytes = ElemBytes;
+  Spec.SeedBase = Seed;
+  return Spec;
+}
+
+} // namespace
+
+std::vector<BenchmarkSpec> cvliw::mediabenchSuite() {
+  std::vector<BenchmarkSpec> Suite;
+  uint64_t Seed = 1000;
+
+  // --- epicdec: image decoder; one huge disambiguable chain whose
+  // members prefer different clusters (the paper's 76-op chain, scaled),
+  // CMR 0.64 / CAR 0.22, Table 5: 0.64 -> 0.20.
+  {
+    BenchmarkSpec B;
+    B.Name = "epicdec";
+    B.InterleaveBytes = 4;
+    B.MainElemBytes = 4;
+    B.MainElemPct = 84.0;
+    B.ProfileInput = "test_image.pgm.E";
+    B.ExecInput = "titanic3.pgm.E";
+
+    LoopSpec Huge = loop("epicdec.unquantize", 0.6, 2500, 3500, 4, Seed++);
+    Huge.Chains = {ChainSpec{/*GatherLoads=*/1, /*GatherStores=*/1,
+                             /*GroupLoads=*/18, /*GroupStores=*/6,
+                             /*SpreadClusters=*/true}};
+    Huge.ConsistentLoads = 2;
+    Huge.ConsistentStores = 0;
+    Huge.ArithPerLoad = 3;
+    Huge.FpOps = 8;
+    Huge.ObjectBytes = 256;
+    LoopSpec Filter = loop("epicdec.filter", 0.4, 3000, 5000, 4, Seed++);
+    Filter.ConsistentLoads = 8;
+    Filter.ConsistentStores = 2;
+    Filter.ArithPerLoad = 1;
+    Filter.FpOps = 6;
+    B.Loops = {Huge, Filter};
+    Suite.push_back(B);
+  }
+
+  // --- epicenc: Table 1 only (the paper's figures evaluate 13
+  // benchmarks); a lighter epic pyramid kernel.
+  {
+    BenchmarkSpec B;
+    B.Name = "epicenc";
+    B.InterleaveBytes = 4;
+    B.MainElemBytes = 4;
+    B.MainElemPct = 89.0;
+    B.ProfileInput = "test_image";
+    B.ExecInput = "titanic3.pgm";
+    B.InEvaluation = false;
+
+    LoopSpec Pyramid = loop("epicenc.pyramid", 1.0, 3000, 4500, 4, Seed++);
+    Pyramid.Chains = {ChainSpec{0, 0, 6, 2, true}};
+    Pyramid.ConsistentLoads = 8;
+    Pyramid.ConsistentStores = 2;
+    Pyramid.FpOps = 6;
+    B.Loops = {Pyramid};
+    Suite.push_back(B);
+  }
+
+  // --- g721dec / g721enc: ADPCM; pure streaming, no memory dependent
+  // chains at all (CMR = CAR = 0).
+  for (const char *Name : {"g721dec", "g721enc"}) {
+    BenchmarkSpec B;
+    B.Name = Name;
+    B.InterleaveBytes = 2;
+    B.MainElemBytes = 2;
+    B.MainElemPct = Name[4] == 'd' ? 89.0 : 91.7;
+    B.ProfileInput = Name[4] == 'd' ? "clinton.g721" : "clinton.pcm";
+    B.ExecInput = Name[4] == 'd' ? "S_16_44.g721" : "S_16_44.pcm";
+
+    LoopSpec Predict = loop(std::string(Name) + ".predict", 0.7, 4000,
+                            8000, 2, Seed++);
+    Predict.ConsistentLoads = 6;
+    Predict.RotatingLoads = 2;
+    Predict.ConsistentStores = 2;
+    Predict.ArithPerLoad = 2;
+    LoopSpec Update = loop(std::string(Name) + ".update", 0.3, 4000, 8000,
+                           2, Seed++);
+    Update.ConsistentLoads = 4;
+    Update.ConsistentStores = 1;
+    Update.ArithPerLoad = 1;
+    B.Loops = {Predict, Update};
+    Suite.push_back(B);
+  }
+
+  // --- gsmdec: small truly-aliasing chain (CMR 0.18); one loop where
+  // the chain members are spread so MDC pays heavy stall time (§4.2's
+  // 1.99M -> 1.28M cycle example).
+  {
+    BenchmarkSpec B;
+    B.Name = "gsmdec";
+    B.InterleaveBytes = 2;
+    B.MainElemBytes = 2;
+    B.MainElemPct = 99.0;
+    B.ProfileInput = "clint.pcm.run.gsm";
+    B.ExecInput = "S_16_44.pcm.gsm";
+
+    LoopSpec Lpc = loop("gsmdec.lpc", 0.5, 3000, 6000, 2, Seed++);
+    Lpc.Chains = {ChainSpec{2, 1, 2, 0, true}};
+    Lpc.ConsistentLoads = 6;
+    Lpc.ConsistentStores = 1;
+    Lpc.ArithPerLoad = 4;
+    LoopSpec Synth = loop("gsmdec.synth", 0.5, 3000, 6000, 2, Seed++);
+    Synth.ConsistentLoads = 8;
+    Synth.RotatingLoads = 2;
+    Synth.ConsistentStores = 2;
+    Synth.ArithPerLoad = 3;
+    B.Loops = {Lpc, Synth};
+    Suite.push_back(B);
+  }
+
+  // --- gsmenc: tiny chain (CMR 0.08); Table 4 reports DDGT even uses
+  // fewer communication ops than MDC here (ratio 0.86) and a 30.2%
+  // selected-loop speedup.
+  {
+    BenchmarkSpec B;
+    B.Name = "gsmenc";
+    B.InterleaveBytes = 2;
+    B.MainElemBytes = 2;
+    B.MainElemPct = 99.0;
+    B.ProfileInput = "clinton.pcm";
+    B.ExecInput = "S_16_44.pcm";
+
+    LoopSpec Ltp = loop("gsmenc.ltp", 0.4, 3000, 6000, 2, Seed++);
+    Ltp.Chains = {ChainSpec{1, 1, 0, 0, true}};
+    Ltp.ConsistentLoads = 5;
+    Ltp.ConsistentStores = 1;
+    Ltp.ArithPerLoad = 3;
+    LoopSpec Window = loop("gsmenc.window", 0.6, 3000, 6000, 2, Seed++);
+    Window.ConsistentLoads = 10;
+    Window.ConsistentStores = 2;
+    Window.ArithPerLoad = 3;
+    B.Loops = {Ltp, Window};
+    Suite.push_back(B);
+  }
+
+  // --- jpegdec: 1-byte data but a 4-byte interleave (Table 1 footnote);
+  // medium truly-aliasing chain over shared tables (CMR 0.46).
+  {
+    BenchmarkSpec B;
+    B.Name = "jpegdec";
+    B.InterleaveBytes = 4;
+    B.MainElemBytes = 1;
+    B.MainElemPct = 53.0;
+    B.ProfileInput = "testimg.jpg";
+    B.ExecInput = "monalisa.jpg";
+
+    LoopSpec Idct = loop("jpegdec.idct", 0.65, 2500, 5000, 1, Seed++);
+    Idct.Chains = {ChainSpec{8, 3, 0, 0, true}};
+    Idct.ConsistentLoads = 4;
+    Idct.ConsistentStores = 1;
+    Idct.ArithPerLoad = 3;
+    LoopSpec Color = loop("jpegdec.color", 0.35, 2500, 5000, 1, Seed++);
+    Color.ConsistentLoads = 6;
+    Color.ConsistentStores = 2;
+    Color.ArithPerLoad = 3;
+    B.Loops = {Idct, Color};
+    Suite.push_back(B);
+  }
+
+  // --- jpegenc: tiny but store-heavy chain: replication makes DDGT
+  // clearly worse (Table 4: -16.4% on the selected loops).
+  {
+    BenchmarkSpec B;
+    B.Name = "jpegenc";
+    B.InterleaveBytes = 4;
+    B.MainElemBytes = 4;
+    B.MainElemPct = 70.0;
+    B.ProfileInput = "testimg.ppm";
+    B.ExecInput = "monalisa.ppm";
+
+    LoopSpec Quant = loop("jpegenc.quant", 0.45, 2500, 5000, 4, Seed++);
+    Quant.Chains = {ChainSpec{0, 2, 0, 1, false}};
+    Quant.ConsistentLoads = 4;
+    Quant.ConsistentStores = 1;
+    Quant.ArithPerLoad = 2;
+    LoopSpec Dct = loop("jpegenc.dct", 0.55, 2500, 5000, 4, Seed++);
+    Dct.ConsistentLoads = 10;
+    Dct.ConsistentStores = 2;
+    Dct.ArithPerLoad = 2;
+    Dct.FpOps = 4;
+    B.Loops = {Quant, Dct};
+    Suite.push_back(B);
+  }
+
+  // --- mpeg2dec: 8-byte data over a 4-byte interleave; small chain
+  // (CMR 0.13), FP-flavoured motion compensation.
+  {
+    BenchmarkSpec B;
+    B.Name = "mpeg2dec";
+    B.InterleaveBytes = 4;
+    B.MainElemBytes = 8;
+    B.MainElemPct = 49.0;
+    B.ProfileInput = "mei16v2.m2v";
+    B.ExecInput = "tek6.m2v";
+
+    LoopSpec Mc = loop("mpeg2dec.motion", 0.5, 2500, 5000, 8, Seed++);
+    Mc.Chains = {ChainSpec{2, 1, 1, 0, true}};
+    Mc.ConsistentLoads = 8;
+    Mc.ConsistentStores = 2;
+    Mc.ArithPerLoad = 2;
+    Mc.FpOps = 4;
+    LoopSpec Deq = loop("mpeg2dec.dequant", 0.5, 2500, 5000, 8, Seed++);
+    Deq.ConsistentLoads = 8;
+    Deq.ConsistentStores = 2;
+    Deq.ArithPerLoad = 2;
+    B.Loops = {Mc, Deq};
+    Suite.push_back(B);
+  }
+
+  // --- pegwitdec / pegwitenc: public-key crypto; medium truly-aliasing
+  // chains over shared big-number state (CMR 0.27 / 0.35).
+  {
+    BenchmarkSpec B;
+    B.Name = "pegwitdec";
+    B.InterleaveBytes = 2;
+    B.MainElemBytes = 2;
+    B.MainElemPct = 75.8;
+    B.ProfileInput = "pegwit.enc";
+    B.ExecInput = "tech_rep.txt.enc";
+
+    LoopSpec Sq = loop("pegwitdec.gfmul", 0.55, 2500, 5000, 2, Seed++);
+    Sq.Chains = {ChainSpec{4, 2, 0, 0, true}};
+    Sq.ConsistentLoads = 6;
+    Sq.ConsistentStores = 1;
+    Sq.ArithPerLoad = 3;
+    LoopSpec Hash = loop("pegwitdec.hash", 0.45, 2500, 5000, 2, Seed++);
+    Hash.ConsistentLoads = 6;
+    Hash.ConsistentStores = 2;
+    Hash.ArithPerLoad = 2;
+    B.Loops = {Sq, Hash};
+    Suite.push_back(B);
+  }
+  {
+    BenchmarkSpec B;
+    B.Name = "pegwitenc";
+    B.InterleaveBytes = 2;
+    B.MainElemBytes = 2;
+    B.MainElemPct = 83.6;
+    B.ProfileInput = "pgptest.plain";
+    B.ExecInput = "tech_rep.txt";
+
+    LoopSpec Sq = loop("pegwitenc.gfmul", 0.65, 2500, 5000, 2, Seed++);
+    Sq.Chains = {ChainSpec{5, 3, 0, 0, true}};
+    Sq.ConsistentLoads = 6;
+    Sq.ConsistentStores = 1;
+    Sq.ArithPerLoad = 4;
+    LoopSpec Hash = loop("pegwitenc.hash", 0.35, 2500, 5000, 2, Seed++);
+    Hash.ConsistentLoads = 6;
+    Hash.ConsistentStores = 2;
+    Hash.ArithPerLoad = 2;
+    B.Loops = {Sq, Hash};
+    Suite.push_back(B);
+  }
+
+  // --- pgpdec / pgpenc: the biggest chains of the suite (CMR 0.73 /
+  // 0.63); a truly-aliasing big-number core extended by disambiguable
+  // pointer-parameter members (Table 5: pgpdec 0.73 -> 0.52).
+  for (const char *Name : {"pgpdec", "pgpenc"}) {
+    bool Dec = Name[3] == 'd';
+    BenchmarkSpec B;
+    B.Name = Name;
+    B.InterleaveBytes = 4;
+    B.MainElemBytes = 4;
+    B.MainElemPct = Dec ? 92.1 : 73.2;
+    B.ProfileInput = Dec ? "pgptext.pgp" : "pgptest.plain";
+    B.ExecInput = Dec ? "tech_rep.txt.enc" : "tech_rep.txt";
+
+    LoopSpec Mp = loop(std::string(Name) + ".mpmul", Dec ? 0.7 : 0.6,
+                       2500, 5000, 4, Seed++);
+    Mp.Chains = {ChainSpec{/*GatherLoads=*/6, /*GatherStores=*/3,
+                           /*GroupLoads=*/Dec ? 6u : 4u,
+                           /*GroupStores=*/2, true}};
+    Mp.ConsistentLoads = 2;
+    Mp.ConsistentStores = 0;
+    Mp.ArithPerLoad = 4;
+    LoopSpec Idea = loop(std::string(Name) + ".idea", Dec ? 0.3 : 0.4,
+                         2500, 5000, 4, Seed++);
+    Idea.ConsistentLoads = 8;
+    Idea.ConsistentStores = 2;
+    Idea.ArithPerLoad = 2;
+    B.Loops = {Mp, Idea};
+    Suite.push_back(B);
+  }
+
+  // --- rasta: FP speech analysis; chain mostly dissolvable (Table 5:
+  // 0.52 -> 0.13), heavy FP body with divides.
+  {
+    BenchmarkSpec B;
+    B.Name = "rasta";
+    B.InterleaveBytes = 4;
+    B.MainElemBytes = 4;
+    B.MainElemPct = 95.0;
+    B.ProfileInput = "ex5_c1.wav";
+    B.ExecInput = "ex5_c1.wav";
+
+    LoopSpec Fft = loop("rasta.filter", 0.6, 2500, 5000, 4, Seed++);
+    Fft.Chains = {ChainSpec{1, 1, 8, 3, true}};
+    Fft.ConsistentLoads = 2;
+    Fft.ConsistentStores = 0;
+    Fft.ArithPerLoad = 3;
+    Fft.FpOps = 8;
+    Fft.FpDivs = 1;
+    Fft.ObjectBytes = 512;
+    LoopSpec Band = loop("rasta.bands", 0.4, 2500, 5000, 4, Seed++);
+    Band.ConsistentLoads = 6;
+    Band.ConsistentStores = 2;
+    Band.ArithPerLoad = 1;
+    Band.FpOps = 6;
+    Band.FpDivs = 1;
+    B.Loops = {Fft, Band};
+    Suite.push_back(B);
+  }
+
+  return Suite;
+}
+
+std::vector<BenchmarkSpec> cvliw::evaluationSuite() {
+  std::vector<BenchmarkSpec> Out;
+  for (BenchmarkSpec &B : mediabenchSuite())
+    if (B.InEvaluation)
+      Out.push_back(std::move(B));
+  return Out;
+}
+
+const BenchmarkSpec *
+cvliw::findBenchmark(const std::vector<BenchmarkSpec> &Suite,
+                     const std::string &Name) {
+  for (const BenchmarkSpec &B : Suite)
+    if (B.Name == Name)
+      return &B;
+  return nullptr;
+}

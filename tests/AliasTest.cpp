@@ -1,0 +1,304 @@
+//===- tests/AliasTest.cpp - memory disambiguation tests ------------------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cvliw/alias/CodeSpecialization.h"
+#include "cvliw/alias/MemoryDisambiguator.h"
+#include "cvliw/ir/DDGBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace cvliw;
+
+namespace {
+
+/// Loop skeleton with two streams and one load + one store.
+struct TwoStreamLoop {
+  Loop L{"alias"};
+  unsigned LoadOp = 0, StoreOp = 0;
+
+  TwoStreamLoop(AddressExpr A, AddressExpr B, MemObject ObjA,
+                MemObject ObjB, bool TwoObjects) {
+    L.addObject(ObjA);
+    if (TwoObjects)
+      L.addObject(ObjB);
+    unsigned SA = L.addStream(A);
+    unsigned SB = L.addStream(B);
+    LoadOp = L.addOp(Operation::load(1, SA));
+    StoreOp = L.addOp(Operation::store(1, SB));
+  }
+};
+
+MemObject object(uint64_t Base, uint64_t Size,
+                 unsigned Group = UniqueAliasGroup) {
+  MemObject O;
+  O.Name = "o";
+  O.BaseAddr = Base;
+  O.SizeBytes = Size;
+  O.AliasGroup = Group;
+  return O;
+}
+
+} // namespace
+
+TEST(Disambiguator, DistinctObjectsNoAlias) {
+  TwoStreamLoop T(AddressExpr::affine(0, 0, 16, 4),
+                  AddressExpr::affine(1, 0, 16, 4), object(0, 1024),
+                  object(0x10000, 1024), /*TwoObjects=*/true);
+  MemoryDisambiguator D(T.L);
+  EXPECT_EQ(D.query(0, 1).Result, AliasResult::NoAlias);
+}
+
+TEST(Disambiguator, SameAliasGroupMayAlias) {
+  TwoStreamLoop T(AddressExpr::affine(0, 0, 16, 4),
+                  AddressExpr::affine(1, 0, 16, 4), object(0, 1024, 5),
+                  object(0x10000, 1024, 5), /*TwoObjects=*/true);
+  MemoryDisambiguator D(T.L);
+  AliasQueryAnswer A = D.query(0, 1);
+  EXPECT_EQ(A.Result, AliasResult::MayAlias);
+  EXPECT_TRUE(A.RuntimeDisambiguable)
+      << "disjoint ranges never collide; a run-time check can prove it";
+}
+
+TEST(Disambiguator, SameStrideCongruentOffsetsMustAlias) {
+  // B touches A's iteration-i address two iterations later.
+  TwoStreamLoop T(AddressExpr::affine(0, 32, 16, 4),
+                  AddressExpr::affine(0, 0, 16, 4), object(0, 4096),
+                  object(0, 0), /*TwoObjects=*/false);
+  MemoryDisambiguator D(T.L);
+  AliasQueryAnswer A = D.query(0, 1);
+  EXPECT_EQ(A.Result, AliasResult::MustAlias);
+  EXPECT_EQ(A.IterDelta, 2) << "B(i+2) == A(i) when B lags by 32 bytes";
+}
+
+TEST(Disambiguator, SameStrideDisjointLanesNoAlias) {
+  // Offsets 0 and 8 with stride 16 and 4-byte accesses never overlap.
+  TwoStreamLoop T(AddressExpr::affine(0, 0, 16, 4),
+                  AddressExpr::affine(0, 8, 16, 4), object(0, 4096),
+                  object(0, 0), /*TwoObjects=*/false);
+  MemoryDisambiguator D(T.L);
+  EXPECT_EQ(D.query(0, 1).Result, AliasResult::NoAlias);
+}
+
+TEST(Disambiguator, SameStridePartialOverlapMayAlias) {
+  // Offset delta 2 with 4-byte accesses: windows overlap between lanes.
+  TwoStreamLoop T(AddressExpr::affine(0, 0, 16, 4),
+                  AddressExpr::affine(0, 2, 16, 4), object(0, 4096),
+                  object(0, 0), /*TwoObjects=*/false);
+  MemoryDisambiguator D(T.L);
+  AliasQueryAnswer A = D.query(0, 1);
+  EXPECT_EQ(A.Result, AliasResult::MayAlias);
+  EXPECT_FALSE(A.RuntimeDisambiguable) << "they really do overlap";
+}
+
+TEST(Disambiguator, LoopInvariantAddresses) {
+  TwoStreamLoop Same(AddressExpr::affine(0, 8, 0, 4),
+                     AddressExpr::affine(0, 8, 0, 4), object(0, 64),
+                     object(0, 0), /*TwoObjects=*/false);
+  MemoryDisambiguator D1(Same.L);
+  AliasQueryAnswer A = D1.query(0, 1);
+  EXPECT_EQ(A.Result, AliasResult::MustAlias);
+  EXPECT_EQ(A.IterDelta, 0);
+
+  TwoStreamLoop Apart(AddressExpr::affine(0, 8, 0, 4),
+                      AddressExpr::affine(0, 16, 0, 4), object(0, 64),
+                      object(0, 0), /*TwoObjects=*/false);
+  MemoryDisambiguator D2(Apart.L);
+  EXPECT_EQ(D2.query(0, 1).Result, AliasResult::NoAlias);
+}
+
+TEST(Disambiguator, GatherAlwaysMayAlias) {
+  TwoStreamLoop T(AddressExpr::gather(0, 4, 1),
+                  AddressExpr::gather(0, 4, 2), object(0, 256),
+                  object(0, 0), /*TwoObjects=*/false);
+  MemoryDisambiguator D(T.L);
+  AliasQueryAnswer A = D.query(0, 1);
+  EXPECT_EQ(A.Result, AliasResult::MayAlias);
+  EXPECT_FALSE(A.RuntimeDisambiguable)
+      << "gathers over one small object collide at run time";
+}
+
+TEST(Disambiguator, DifferentStridesSameObjectMayAlias) {
+  TwoStreamLoop T(AddressExpr::affine(0, 0, 16, 4),
+                  AddressExpr::affine(0, 0, 12, 4), object(0, 4096),
+                  object(0, 0), /*TwoObjects=*/false);
+  MemoryDisambiguator D(T.L);
+  EXPECT_EQ(D.query(0, 1).Result, AliasResult::MayAlias);
+}
+
+//===----------------------------------------------------------------------===//
+// Edge construction
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Builds a loop with N members gathering over a shared object:
+/// loads first, then stores, in program order.
+Loop gatherClique(unsigned Loads, unsigned Stores) {
+  Loop L("clique");
+  unsigned Obj = L.addObject(object(0, 256));
+  for (unsigned I = 0; I != Loads; ++I)
+    L.addOp(
+        Operation::load(I + 1, L.addStream(AddressExpr::gather(Obj, 4, I))));
+  for (unsigned I = 0; I != Stores; ++I)
+    L.addOp(Operation::store(
+        1, L.addStream(AddressExpr::gather(Obj, 4, 100 + I))));
+  return L;
+}
+
+} // namespace
+
+TEST(MemoryEdges, KindsAreCorrect) {
+  Loop L = gatherClique(1, 2);
+  DDG G = buildRegisterFlowDDG(L);
+  MemoryDisambiguator D(L);
+  D.addMemoryEdges(G);
+  // Load(0) -> store(1): MA; store(1) -> store(2): MO; store -> load at
+  // distance 1: MF.
+  EXPECT_TRUE(G.hasEdge(0, 1, DepKind::MemAnti, 0));
+  EXPECT_TRUE(G.hasEdge(1, 2, DepKind::MemOutput, 0));
+  bool AnyMf = false;
+  G.forEachEdge([&](unsigned, const DepEdge &E) {
+    if (E.Kind == DepKind::MemFlow && E.Distance == 1)
+      AnyMf = true;
+  });
+  EXPECT_TRUE(AnyMf);
+}
+
+TEST(MemoryEdges, LoadsNeverDependOnLoads) {
+  Loop L = gatherClique(4, 1);
+  DDG G = buildRegisterFlowDDG(L);
+  MemoryDisambiguator D(L);
+  D.addMemoryEdges(G);
+  G.forEachEdge([&](unsigned, const DepEdge &E) {
+    if (!isMemoryDep(E.Kind))
+      return;
+    EXPECT_FALSE(L.op(E.Src).isLoad() && L.op(E.Dst).isLoad());
+  });
+}
+
+TEST(MemoryEdges, TransitiveReductionKeepsEdgesLinear) {
+  Loop Small = gatherClique(8, 4);
+  Loop Big = gatherClique(16, 8);
+  DDG GSmall = buildRegisterFlowDDG(Small);
+  DDG GBig = buildRegisterFlowDDG(Big);
+  MemoryDisambiguator DSmall(Small), DBig(Big);
+  unsigned ESmall = DSmall.addMemoryEdges(GSmall);
+  unsigned EBig = DBig.addMemoryEdges(GBig);
+  // Doubling the clique should not quadruple the edges.
+  EXPECT_LT(EBig, 3 * ESmall) << "pruning keeps growth ~linear";
+}
+
+TEST(MemoryEdges, SerializationPathProperty) {
+  // The load must reach every store through memory edges, and every
+  // store must reach the next iteration's load: the conservative
+  // serialization survives the transitive reduction.
+  Loop L = gatherClique(3, 3);
+  DDG G = buildRegisterFlowDDG(L);
+  MemoryDisambiguator D(L);
+  D.addMemoryEdges(G);
+  for (unsigned LoadId = 0; LoadId != 3; ++LoadId)
+    for (unsigned StoreId = 3; StoreId != 6; ++StoreId) {
+      EXPECT_TRUE(G.reaches(LoadId, StoreId))
+          << "load " << LoadId << " unordered with store " << StoreId;
+      EXPECT_TRUE(G.reaches(StoreId, LoadId))
+          << "store " << StoreId << " unordered with next-iter load "
+          << LoadId;
+    }
+}
+
+TEST(MemoryEdges, SelfOutputDependenceForGatherStores) {
+  Loop L("self");
+  unsigned Obj = L.addObject(object(0, 256));
+  unsigned S = L.addStream(AddressExpr::gather(Obj, 4, 1));
+  unsigned StoreId = L.addOp(Operation::store(NoReg, S));
+  DDG G = buildRegisterFlowDDG(L);
+  MemoryDisambiguator D(L);
+  D.addMemoryEdges(G);
+  EXPECT_TRUE(G.hasEdge(StoreId, StoreId, DepKind::MemOutput, 1))
+      << "a gathering store may revisit its own address";
+}
+
+TEST(MemoryEdges, NoSelfEdgeForStridedStores) {
+  Loop L("strided");
+  unsigned Obj = L.addObject(object(0, 4096));
+  unsigned S = L.addStream(AddressExpr::affine(Obj, 0, 16, 4));
+  unsigned StoreId = L.addOp(Operation::store(NoReg, S));
+  DDG G = buildRegisterFlowDDG(L);
+  MemoryDisambiguator D(L);
+  D.addMemoryEdges(G);
+  EXPECT_FALSE(G.hasEdge(StoreId, StoreId, DepKind::MemOutput, 1));
+}
+
+TEST(MemoryEdges, FarMustAliasDropped) {
+  // Must-alias at distance 20 exceeds MaxDependenceDistance: no edge.
+  TwoStreamLoop T(AddressExpr::affine(0, 320, 16, 4),
+                  AddressExpr::affine(0, 0, 16, 4), object(0, 65536),
+                  object(0, 0), /*TwoObjects=*/false);
+  DDG G = buildRegisterFlowDDG(T.L);
+  MemoryDisambiguator D(T.L);
+  unsigned Added = D.addMemoryEdges(G);
+  EXPECT_EQ(Added, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Code specialization (§6)
+//===----------------------------------------------------------------------===//
+
+TEST(CodeSpecialization, RemovesOnlyDisambiguableEdges) {
+  // One disambiguable pair (distinct objects, shared group) and one
+  // durable pair (gathers over one object).
+  Loop L("spec");
+  unsigned Shared = L.addObject(object(0, 256, 3));
+  unsigned ArrA = L.addObject(object(0x10000, 1024, 3));
+  unsigned ArrB = L.addObject(object(0x20000, 1024, 3));
+  unsigned G1 = L.addStream(AddressExpr::gather(Shared, 4, 1));
+  unsigned G2 = L.addStream(AddressExpr::gather(Shared, 4, 2));
+  unsigned A1 = L.addStream(AddressExpr::affine(ArrA, 0, 16, 4));
+  unsigned A2 = L.addStream(AddressExpr::affine(ArrB, 0, 16, 4));
+  L.addOp(Operation::load(1, G1));
+  L.addOp(Operation::load(2, A1));
+  L.addOp(Operation::store(1, G2));
+  L.addOp(Operation::store(2, A2));
+
+  DDG G = buildRegisterFlowDDG(L);
+  MemoryDisambiguator D(L);
+  D.addMemoryEdges(G);
+  size_t Before = G.memoryEdges().size();
+  SpecializationResult R = applyCodeSpecialization(G);
+  EXPECT_GT(R.EdgesRemoved, 0u);
+  EXPECT_GT(R.EdgesRemaining, 0u) << "gather core must survive";
+  EXPECT_EQ(G.memoryEdges().size(), Before - R.EdgesRemoved);
+
+  // The surviving edges still serialize the truly aliasing pair.
+  EXPECT_TRUE(G.reaches(0, 2));
+  EXPECT_TRUE(G.reaches(2, 0));
+}
+
+TEST(CodeSpecialization, SerializationSurvivesForDurablePairs) {
+  // Mixed chain: gather core + group extension. After specialization the
+  // gather members must remain mutually ordered even though the group
+  // edges disappeared (the durable-witness rule in the disambiguator).
+  Loop L("mixed");
+  unsigned Shared = L.addObject(object(0, 256, 9));
+  std::vector<unsigned> GatherOps;
+  for (unsigned I = 0; I != 3; ++I) {
+    unsigned Arr =
+        L.addObject(object(0x10000 * (I + 1), 1024, 9));
+    L.addOp(Operation::load(
+        I * 2 + 1, L.addStream(AddressExpr::affine(Arr, 0, 16, 4))));
+    GatherOps.push_back(L.addOp(Operation::store(
+        I * 2 + 1, L.addStream(AddressExpr::gather(Shared, 4, I)))));
+  }
+  DDG G = buildRegisterFlowDDG(L);
+  MemoryDisambiguator D(L);
+  D.addMemoryEdges(G);
+  applyCodeSpecialization(G);
+  for (unsigned A : GatherOps)
+    for (unsigned B : GatherOps)
+      EXPECT_TRUE(G.reaches(A, B) || G.reaches(B, A))
+          << "stores " << A << " and " << B
+          << " lost their serialization after specialization";
+}

@@ -1,0 +1,113 @@
+//===- tests/ArchTest.cpp - machine description tests ---------------------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cvliw/arch/MachineConfig.h"
+
+#include <gtest/gtest.h>
+
+using namespace cvliw;
+
+TEST(MachineConfig, Table2Defaults) {
+  MachineConfig C = MachineConfig::baseline();
+  EXPECT_EQ(C.NumClusters, 4u);
+  EXPECT_EQ(C.CacheModuleBytes * C.NumClusters, 8192u) << "8KB total";
+  EXPECT_EQ(C.CacheBlockBytes, 32u);
+  EXPECT_EQ(C.CacheAssociativity, 2u);
+  EXPECT_EQ(C.MemoryBuses.Count, 4u);
+  EXPECT_EQ(C.MemoryBuses.Latency, 2u) << "half core frequency";
+  EXPECT_EQ(C.RegisterBuses.Count, 4u);
+  EXPECT_EQ(C.NextLevelPorts, 4u);
+  EXPECT_EQ(C.NextLevelLatency, 10u);
+  EXPECT_FALSE(C.AttractionBuffersEnabled);
+}
+
+TEST(MachineConfig, HomeClusterInterleaving) {
+  MachineConfig C = MachineConfig::baseline();
+  C.InterleaveBytes = 4;
+  // Figure 1: W0..W7 of a block map round-robin across clusters.
+  EXPECT_EQ(C.homeCluster(0), 0u);
+  EXPECT_EQ(C.homeCluster(4), 1u);
+  EXPECT_EQ(C.homeCluster(8), 2u);
+  EXPECT_EQ(C.homeCluster(12), 3u);
+  EXPECT_EQ(C.homeCluster(16), 0u) << "W4 maps back to cluster 1's pair";
+  // Within one interleaving chunk, all bytes share the home.
+  EXPECT_EQ(C.homeCluster(5), 1u);
+  EXPECT_EQ(C.homeCluster(7), 1u);
+}
+
+TEST(MachineConfig, HomeClusterTwoByteInterleave) {
+  MachineConfig C = MachineConfig::baseline();
+  C.InterleaveBytes = 2;
+  EXPECT_EQ(C.homeCluster(0), 0u);
+  EXPECT_EQ(C.homeCluster(2), 1u);
+  EXPECT_EQ(C.homeCluster(6), 3u);
+  EXPECT_EQ(C.homeCluster(8), 0u);
+}
+
+TEST(MachineConfig, SubblockGeometry) {
+  MachineConfig C = MachineConfig::baseline();
+  // A 32-byte block split over 4 clusters leaves 8 bytes per cluster
+  // (the paper's "subblock": W0 and W4 for cluster 1).
+  EXPECT_EQ(C.subblockBytes(), 8u);
+  EXPECT_EQ(C.cacheSetsPerModule(), 2048u / 8 / 2);
+}
+
+TEST(MachineConfig, NominalLatencies) {
+  MachineConfig C = MachineConfig::baseline();
+  EXPECT_EQ(C.nominalLatency(AccessType::LocalHit), 1u);
+  EXPECT_EQ(C.nominalLatency(AccessType::RemoteHit), 1u + 4u)
+      << "request + reply bus hops at 2 cycles each";
+  EXPECT_EQ(C.nominalLatency(AccessType::LocalMiss), 1u + 10u);
+  EXPECT_EQ(C.nominalLatency(AccessType::RemoteMiss), 1u + 4u + 10u);
+}
+
+TEST(MachineConfig, LatencyOrdering) {
+  // The four access types must be strictly ordered for the scheduler's
+  // compromise latency assignment to make sense.
+  for (const MachineConfig &C :
+       {MachineConfig::baseline(), MachineConfig::nobalMem(),
+        MachineConfig::nobalReg()}) {
+    EXPECT_LT(C.nominalLatency(AccessType::LocalHit),
+              C.nominalLatency(AccessType::RemoteHit));
+    EXPECT_LT(C.nominalLatency(AccessType::RemoteHit),
+              C.nominalLatency(AccessType::LocalMiss));
+    EXPECT_LT(C.nominalLatency(AccessType::LocalMiss),
+              C.nominalLatency(AccessType::RemoteMiss));
+  }
+}
+
+TEST(MachineConfig, NobalConfigurations) {
+  MachineConfig Mem = MachineConfig::nobalMem();
+  EXPECT_EQ(Mem.MemoryBuses.Count, 4u);
+  EXPECT_EQ(Mem.MemoryBuses.Latency, 2u);
+  EXPECT_EQ(Mem.RegisterBuses.Count, 2u);
+  EXPECT_EQ(Mem.RegisterBuses.Latency, 4u);
+
+  MachineConfig Reg = MachineConfig::nobalReg();
+  EXPECT_EQ(Reg.MemoryBuses.Count, 2u);
+  EXPECT_EQ(Reg.MemoryBuses.Latency, 4u);
+  EXPECT_EQ(Reg.RegisterBuses.Count, 4u);
+  EXPECT_EQ(Reg.RegisterBuses.Latency, 2u);
+}
+
+TEST(MachineConfig, AttractionBufferConfig) {
+  MachineConfig C = MachineConfig::withAttractionBuffers();
+  EXPECT_TRUE(C.AttractionBuffersEnabled);
+  EXPECT_EQ(C.AttractionBufferEntries, 16u);
+  EXPECT_EQ(C.AttractionBufferAssociativity, 2u);
+}
+
+TEST(MachineConfig, AccessTypeNames) {
+  EXPECT_STREQ(accessTypeName(AccessType::LocalHit), "local hit");
+  EXPECT_STREQ(accessTypeName(AccessType::RemoteMiss), "remote miss");
+  EXPECT_STREQ(accessTypeName(AccessType::Combined), "combined");
+}
+
+TEST(MachineConfig, SummaryMentionsKeyParameters) {
+  std::string S = MachineConfig::baseline().summary();
+  EXPECT_NE(S.find("4 clusters"), std::string::npos);
+  EXPECT_NE(S.find("AB=off"), std::string::npos);
+}

@@ -1,0 +1,130 @@
+//===- tests/ChainsTest.cpp - MDC memory dependent chains -----------------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cvliw/alias/MemoryDisambiguator.h"
+#include "cvliw/ir/DDGBuilder.h"
+#include "cvliw/sched/MemoryChains.h"
+#include "cvliw/workloads/KernelBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace cvliw;
+
+namespace {
+
+/// The Figure 3 loop: loads n1, n2; stores n3, n4; add n5, all four
+/// memory ops mutually ambiguous.
+Loop figure3Loop() {
+  Loop L("fig3");
+  unsigned Group = 1;
+  unsigned A = L.addObject({"A", 0x1000, 1024, Group});
+  unsigned B = L.addObject({"B", 0x3000, 1024, Group});
+  unsigned C = L.addObject({"C", 0x5000, 1024, Group});
+  unsigned D = L.addObject({"D", 0x7000, 1024, Group});
+  L.addOp(Operation::load(1, L.addStream(AddressExpr::affine(A, 0, 16, 4))));
+  L.addOp(Operation::load(2, L.addStream(AddressExpr::affine(B, 4, 16, 4))));
+  L.addOp(Operation::store(1, L.addStream(AddressExpr::affine(C, 8, 16, 4))));
+  L.addOp(
+      Operation::store(2, L.addStream(AddressExpr::affine(D, 12, 16, 4))));
+  L.addOp(Operation::compute(Opcode::IAdd, 3, {1, 2}));
+  return L;
+}
+
+DDG withMemEdges(const Loop &L) {
+  DDG G = buildRegisterFlowDDG(L);
+  MemoryDisambiguator D(L);
+  D.addMemoryEdges(G);
+  return G;
+}
+
+} // namespace
+
+TEST(MemoryChains, Figure3FormsOneChain) {
+  Loop L = figure3Loop();
+  DDG G = withMemEdges(L);
+  MemoryChains Chains(L, G);
+  EXPECT_EQ(Chains.numChains(), 1u);
+  EXPECT_EQ(Chains.biggestChainSize(), 4u)
+      << "the paper: {n1, n2, n3, n4} form a memory dependent chain";
+  EXPECT_EQ(Chains.chainOf(0), Chains.chainOf(3));
+  EXPECT_EQ(Chains.chainOf(4), NoChain) << "the add is not a memory op";
+}
+
+TEST(MemoryChains, Figure3Ratios) {
+  Loop L = figure3Loop();
+  DDG G = withMemEdges(L);
+  MemoryChains Chains(L, G);
+  EXPECT_DOUBLE_EQ(Chains.cmr(), 1.0) << "4 of 4 memory ops";
+  EXPECT_DOUBLE_EQ(Chains.car(), 0.8) << "4 of 5 ops";
+}
+
+TEST(MemoryChains, IndependentStreamsFormNoChains) {
+  Loop L("free");
+  for (unsigned I = 0; I != 4; ++I) {
+    unsigned Obj = L.addObject(
+        {"o" + std::to_string(I), I * 0x10000, 1024, UniqueAliasGroup});
+    unsigned S = L.addStream(AddressExpr::affine(Obj, 0, 16, 4));
+    if (I % 2)
+      L.addOp(Operation::store(NoReg, S));
+    else
+      L.addOp(Operation::load(I + 1, S));
+  }
+  DDG G = withMemEdges(L);
+  MemoryChains Chains(L, G);
+  EXPECT_EQ(Chains.numChains(), 0u);
+  EXPECT_EQ(Chains.biggestChainSize(), 0u);
+  EXPECT_DOUBLE_EQ(Chains.cmr(), 0.0);
+  for (unsigned I = 0; I != 4; ++I)
+    EXPECT_EQ(Chains.chainOf(I), NoChain);
+}
+
+TEST(MemoryChains, SelfDependenceAloneIsNoChain) {
+  Loop L("self");
+  unsigned Obj = L.addObject({"o", 0, 256, UniqueAliasGroup});
+  unsigned S = L.addStream(AddressExpr::gather(Obj, 4, 1));
+  unsigned StoreId = L.addOp(Operation::store(NoReg, S));
+  DDG G = withMemEdges(L);
+  MemoryChains Chains(L, G);
+  EXPECT_EQ(Chains.chainOf(StoreId), NoChain)
+      << "a store that only aliases itself serializes in its own cluster";
+}
+
+TEST(MemoryChains, TwoDisjointChains) {
+  Loop L("two");
+  for (unsigned C = 0; C != 2; ++C) {
+    unsigned Obj = L.addObject(
+        {"shared" + std::to_string(C), C * 0x100000, 256,
+         UniqueAliasGroup});
+    L.addOp(Operation::load(
+        C * 2 + 1, L.addStream(AddressExpr::gather(Obj, 4, C))));
+    L.addOp(Operation::store(
+        C * 2 + 1, L.addStream(AddressExpr::gather(Obj, 4, 10 + C))));
+  }
+  DDG G = withMemEdges(L);
+  MemoryChains Chains(L, G);
+  EXPECT_EQ(Chains.numChains(), 2u);
+  EXPECT_EQ(Chains.biggestChainSize(), 2u);
+  EXPECT_NE(Chains.chainOf(0), Chains.chainOf(2));
+  EXPECT_EQ(Chains.chainOf(0), Chains.chainOf(1));
+}
+
+TEST(MemoryChains, KernelBuilderChainSizesMatchSpec) {
+  MachineConfig Machine = MachineConfig::baseline();
+  for (unsigned Loads : {2u, 6u}) {
+    for (unsigned Stores : {1u, 3u}) {
+      LoopSpec Spec;
+      Spec.Name = "sized";
+      Spec.Chains = {ChainSpec{0, 0, Loads, Stores, true}};
+      Spec.ConsistentLoads = 3;
+      Spec.SeedBase = Loads * 10 + Stores;
+      Loop L = buildLoop(Spec, Machine);
+      DDG G = withMemEdges(L);
+      MemoryChains Chains(L, G);
+      EXPECT_EQ(Chains.biggestChainSize(), Loads + Stores)
+          << Loads << " loads + " << Stores << " stores";
+    }
+  }
+}

@@ -1,0 +1,226 @@
+//===- tests/DDGTest.cpp - dependence graph tests -------------------------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cvliw/ir/DDG.h"
+#include "cvliw/ir/DDGBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace cvliw;
+
+namespace {
+
+unsigned constantLatency(unsigned) { return 1; }
+
+} // namespace
+
+TEST(DDG, AddAndRemoveEdges) {
+  DDG G(3);
+  unsigned E0 = G.addEdge({0, 1, DepKind::RegFlow, 0});
+  unsigned E1 = G.addEdge({1, 2, DepKind::MemFlow, 1});
+  EXPECT_EQ(G.numEdges(), 2u);
+  EXPECT_TRUE(G.hasEdge(0, 1, DepKind::RegFlow, 0));
+  EXPECT_TRUE(G.hasRegFlow(0, 1, 0));
+  EXPECT_FALSE(G.hasRegFlow(0, 1, 1));
+
+  G.removeEdge(E0);
+  EXPECT_EQ(G.numEdges(), 1u);
+  EXPECT_FALSE(G.hasRegFlow(0, 1, 0));
+  EXPECT_TRUE(G.isDead(E0));
+  EXPECT_FALSE(G.isDead(E1));
+  EXPECT_EQ(G.succEdges(0).size(), 0u);
+  EXPECT_EQ(G.succEdges(1).size(), 1u);
+  EXPECT_EQ(G.predEdges(2).size(), 1u);
+}
+
+TEST(DDG, MemoryEdgesFilter) {
+  DDG G(4);
+  G.addEdge({0, 1, DepKind::RegFlow, 0});
+  G.addEdge({1, 2, DepKind::MemAnti, 0});
+  G.addEdge({2, 3, DepKind::MemOutput, 1});
+  G.addEdge({3, 0, DepKind::Sync, 0});
+  EXPECT_EQ(G.memoryEdges().size(), 2u);
+}
+
+TEST(DDG, AddNodeGrows) {
+  DDG G(2);
+  unsigned N = G.addNode();
+  EXPECT_EQ(N, 2u);
+  EXPECT_EQ(G.numNodes(), 3u);
+  G.addEdge({2, 0, DepKind::RegFlow, 0});
+  EXPECT_EQ(G.succEdges(2).size(), 1u);
+}
+
+TEST(DDG, SccsOfChainAndCycle) {
+  // 0 -> 1 -> 2 -> 1 (cycle {1,2}), 2 -> 3.
+  DDG G(4);
+  G.addEdge({0, 1, DepKind::RegFlow, 0});
+  G.addEdge({1, 2, DepKind::RegFlow, 0});
+  G.addEdge({2, 1, DepKind::RegFlow, 1});
+  G.addEdge({2, 3, DepKind::RegFlow, 0});
+  unsigned NumSccs = 0;
+  std::vector<unsigned> Comp = G.computeSccs(NumSccs);
+  EXPECT_EQ(NumSccs, 3u);
+  EXPECT_EQ(Comp[1], Comp[2]);
+  EXPECT_NE(Comp[0], Comp[1]);
+  EXPECT_NE(Comp[3], Comp[1]);
+}
+
+TEST(DDG, SccIgnoresDeadEdges) {
+  DDG G(2);
+  G.addEdge({0, 1, DepKind::RegFlow, 0});
+  unsigned Back = G.addEdge({1, 0, DepKind::RegFlow, 1});
+  unsigned NumSccs = 0;
+  G.computeSccs(NumSccs);
+  EXPECT_EQ(NumSccs, 1u);
+  G.removeEdge(Back);
+  G.computeSccs(NumSccs);
+  EXPECT_EQ(NumSccs, 2u);
+}
+
+TEST(DDG, RecMIISimpleCycle) {
+  // Cycle 0 -> 1 -> 0 with total latency 2, total distance 1: RecMII 2.
+  DDG G(2);
+  G.addEdge({0, 1, DepKind::RegFlow, 0});
+  G.addEdge({1, 0, DepKind::RegFlow, 1});
+  EXPECT_EQ(G.computeRecMII(constantLatency), 2u);
+}
+
+TEST(DDG, RecMIILatencyWeighted) {
+  // Latency-10 edge on a distance-1 self cycle: RecMII = 11.
+  DDG G(2);
+  unsigned Fwd = G.addEdge({0, 1, DepKind::RegFlow, 0});
+  G.addEdge({1, 0, DepKind::RegFlow, 1});
+  auto Lat = [&](unsigned I) { return I == Fwd ? 10u : 1u; };
+  EXPECT_EQ(G.computeRecMII(Lat), 11u);
+}
+
+TEST(DDG, RecMIIDistanceSpread) {
+  // Total distance 2 halves the requirement: ceil(4/2) = 2.
+  DDG G(2);
+  G.addEdge({0, 1, DepKind::RegFlow, 1});
+  G.addEdge({1, 0, DepKind::RegFlow, 1});
+  auto Lat = [](unsigned) { return 2u; };
+  EXPECT_EQ(G.computeRecMII(Lat), 2u);
+}
+
+TEST(DDG, RecMIIAcyclicIsOne) {
+  DDG G(3);
+  G.addEdge({0, 1, DepKind::RegFlow, 0});
+  G.addEdge({1, 2, DepKind::RegFlow, 0});
+  EXPECT_EQ(G.computeRecMII(constantLatency), 1u);
+}
+
+TEST(DDG, FeasibleAtIIMatchesRecMII) {
+  DDG G(3);
+  G.addEdge({0, 1, DepKind::RegFlow, 0});
+  G.addEdge({1, 2, DepKind::RegFlow, 0});
+  G.addEdge({2, 0, DepKind::RegFlow, 1});
+  unsigned RecMII = G.computeRecMII(constantLatency);
+  EXPECT_FALSE(G.feasibleAtII(RecMII - 1, constantLatency));
+  EXPECT_TRUE(G.feasibleAtII(RecMII, constantLatency));
+}
+
+TEST(DDG, HeightsFollowLongestPath) {
+  DDG G(4);
+  unsigned Long = G.addEdge({0, 1, DepKind::RegFlow, 0});
+  G.addEdge({1, 3, DepKind::RegFlow, 0});
+  G.addEdge({0, 2, DepKind::RegFlow, 0});
+  auto Lat = [&](unsigned I) { return I == Long ? 5u : 1u; };
+  std::vector<int64_t> H = G.computeHeights(Lat);
+  EXPECT_EQ(H[3], 0);
+  EXPECT_EQ(H[1], 1);
+  EXPECT_EQ(H[2], 0);
+  EXPECT_EQ(H[0], 6) << "takes the longer branch";
+}
+
+TEST(DDG, HeightsIgnoreLoopCarriedEdges) {
+  DDG G(2);
+  G.addEdge({0, 1, DepKind::RegFlow, 0});
+  G.addEdge({1, 0, DepKind::RegFlow, 1});
+  std::vector<int64_t> H = G.computeHeights(constantLatency);
+  EXPECT_EQ(H[0], 1);
+  EXPECT_EQ(H[1], 0);
+}
+
+TEST(DDG, Reachability) {
+  DDG G(4);
+  G.addEdge({0, 1, DepKind::RegFlow, 0});
+  G.addEdge({1, 2, DepKind::MemFlow, 1});
+  EXPECT_TRUE(G.reaches(0, 2));
+  EXPECT_FALSE(G.reaches(2, 0));
+  EXPECT_TRUE(G.reaches(3, 3)) << "trivially reaches itself";
+  unsigned Dead = G.addEdge({2, 3, DepKind::RegFlow, 0});
+  EXPECT_TRUE(G.reaches(0, 3));
+  G.removeEdge(Dead);
+  EXPECT_FALSE(G.reaches(0, 3)) << "dead edges do not carry reachability";
+}
+
+TEST(DDG, DepKindNames) {
+  EXPECT_STREQ(depKindName(DepKind::RegFlow), "RF");
+  EXPECT_STREQ(depKindName(DepKind::MemFlow), "MF");
+  EXPECT_STREQ(depKindName(DepKind::MemAnti), "MA");
+  EXPECT_STREQ(depKindName(DepKind::MemOutput), "MO");
+  EXPECT_STREQ(depKindName(DepKind::Sync), "SYNC");
+  EXPECT_TRUE(isMemoryDep(DepKind::MemFlow));
+  EXPECT_FALSE(isMemoryDep(DepKind::Sync));
+  EXPECT_FALSE(isMemoryDep(DepKind::RegFlow));
+}
+
+//===----------------------------------------------------------------------===//
+// DDGBuilder
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A little loop: load r1; add r2 = r1 + r3; store r2; r3 = r3 + r2
+/// (loop-carried through r3's use-before-def).
+Loop makeLoop() {
+  Loop L("builder");
+  unsigned Obj = L.addObject({"a", 0, 1024, UniqueAliasGroup});
+  unsigned S0 = L.addStream(AddressExpr::affine(Obj, 0, 16, 4));
+  unsigned S1 = L.addStream(AddressExpr::affine(Obj, 512, 16, 4));
+  L.addOp(Operation::load(1, S0));                          // op 0
+  L.addOp(Operation::compute(Opcode::IAdd, 2, {1, 3}));     // op 1
+  L.addOp(Operation::store(2, S1));                         // op 2
+  L.addOp(Operation::compute(Opcode::IAdd, 3, {3, 2}));     // op 3
+  return L;
+}
+
+} // namespace
+
+TEST(DDGBuilder, RegisterFlowDistances) {
+  Loop L = makeLoop();
+  DDG G = buildRegisterFlowDDG(L);
+  EXPECT_TRUE(G.hasRegFlow(0, 1, 0)) << "load feeds add";
+  EXPECT_TRUE(G.hasRegFlow(1, 2, 0)) << "add feeds store";
+  EXPECT_TRUE(G.hasRegFlow(1, 3, 0)) << "add feeds accumulator";
+  EXPECT_TRUE(G.hasRegFlow(3, 1, 1))
+      << "use before def reads last iteration's value";
+  EXPECT_TRUE(G.hasRegFlow(3, 3, 1)) << "self accumulation";
+}
+
+TEST(DDGBuilder, VerifyAcceptsWellFormed) {
+  Loop L = makeLoop();
+  DDG G = buildRegisterFlowDDG(L);
+  EXPECT_TRUE(verifyDDG(L, G));
+}
+
+TEST(DDGBuilder, VerifyRejectsBadRegFlow) {
+  Loop L = makeLoop();
+  DDG G = buildRegisterFlowDDG(L);
+  // Store (op 2) defines no register; an RF edge from it is malformed.
+  G.addEdge({2, 1, DepKind::RegFlow, 0});
+  EXPECT_FALSE(verifyDDG(L, G));
+}
+
+TEST(DDGBuilder, VerifyRejectsBadMemoryEdge) {
+  Loop L = makeLoop();
+  DDG G = buildRegisterFlowDDG(L);
+  // MF must run store -> load; op 1 is an add.
+  G.addEdge({1, 0, DepKind::MemFlow, 0});
+  EXPECT_FALSE(verifyDDG(L, G));
+}

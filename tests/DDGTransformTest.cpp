@@ -1,0 +1,250 @@
+//===- tests/DDGTransformTest.cpp - DDGT solution tests -------------------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cvliw/alias/MemoryDisambiguator.h"
+#include "cvliw/ir/DDGBuilder.h"
+#include "cvliw/sched/DDGTransform.h"
+
+#include <gtest/gtest.h>
+
+using namespace cvliw;
+
+namespace {
+
+/// The paper's Figure 3 running example (see ChainsTest for the layout):
+/// n1=op0 load, n2=op1 load, n3=op2 store, n4=op3 store, n5=op4 add.
+Loop figure3Loop() {
+  Loop L("fig3");
+  unsigned Group = 1;
+  unsigned A = L.addObject({"A", 0x1000, 1024, Group});
+  unsigned B = L.addObject({"B", 0x3000, 1024, Group});
+  unsigned C = L.addObject({"C", 0x5000, 1024, Group});
+  unsigned D = L.addObject({"D", 0x7000, 1024, Group});
+  L.addOp(Operation::load(1, L.addStream(AddressExpr::affine(A, 0, 16, 4))));
+  L.addOp(Operation::load(2, L.addStream(AddressExpr::affine(B, 4, 16, 4))));
+  L.addOp(Operation::store(1, L.addStream(AddressExpr::affine(C, 8, 16, 4))));
+  L.addOp(
+      Operation::store(2, L.addStream(AddressExpr::affine(D, 12, 16, 4))));
+  L.addOp(Operation::compute(Opcode::IAdd, 3, {1, 2}));
+  return L;
+}
+
+DDGTResult transformFigure3() {
+  Loop L = figure3Loop();
+  DDG G = buildRegisterFlowDDG(L);
+  MemoryDisambiguator D(L);
+  D.addMemoryEdges(G);
+  return applyDDGT(L, G, MachineConfig::baseline());
+}
+
+} // namespace
+
+TEST(DDGT, ReplicatesDependentStores) {
+  DDGTResult R = transformFigure3();
+  EXPECT_EQ(R.Stats.StoresReplicated, 2u) << "n3 and n4";
+  EXPECT_EQ(R.Stats.ReplicaOpsAdded, 6u) << "N-1 = 3 clones each";
+  // 5 original ops + 6 clones.
+  EXPECT_EQ(R.TransformedLoop.numOps(), 11u);
+
+  // Instance 0 is the original, instances 1..3 are appended clones; all
+  // four instances of one store share the original's stream.
+  const Loop &L = R.TransformedLoop;
+  EXPECT_TRUE(L.op(2).isReplica());
+  EXPECT_EQ(L.op(2).ReplicaOf, 2u);
+  EXPECT_EQ(L.op(2).ReplicaIndex, 0u);
+  unsigned InstancesOfN3 = 0;
+  for (unsigned Id = 0; Id != L.numOps(); ++Id)
+    if (L.op(Id).isStore() && L.op(Id).ReplicaOf == 2u) {
+      ++InstancesOfN3;
+      EXPECT_EQ(L.op(Id).StreamId, L.op(2).StreamId);
+    }
+  EXPECT_EQ(InstancesOfN3, 4u);
+}
+
+TEST(DDGT, RemovesAllMaEdges) {
+  DDGTResult R = transformFigure3();
+  R.TransformedDDG.forEachEdge([&](unsigned, const DepEdge &E) {
+    EXPECT_NE(E.Kind, DepKind::MemAnti)
+        << "load-store synchronization must consume every MA edge";
+  });
+  EXPECT_GT(R.Stats.MaEdgesRemoved, 0u);
+}
+
+TEST(DDGT, SyncEdgesTargetStoresFromConsumer) {
+  DDGTResult R = transformFigure3();
+  const Loop &L = R.TransformedLoop;
+  unsigned SyncCount = 0;
+  R.TransformedDDG.forEachEdge([&](unsigned, const DepEdge &E) {
+    if (E.Kind != DepKind::Sync)
+      return;
+    ++SyncCount;
+    EXPECT_TRUE(L.op(E.Dst).isStore());
+    // The consumer in Figure 5 is n5 (op 4), not a fake consumer, since
+    // n5 is a plain add.
+    EXPECT_EQ(E.Src, 4u);
+  });
+  EXPECT_GT(SyncCount, 0u);
+  EXPECT_EQ(R.Stats.FakeConsumersAdded, 0u)
+      << "n5 exists and is not a memory op, no fake consumer needed";
+}
+
+TEST(DDGT, ReplicaEdgesCoverAllInstances) {
+  DDGTResult R = transformFigure3();
+  const Loop &L = R.TransformedLoop;
+  const DDG &G = R.TransformedDDG;
+  // Every instance of n3 must receive the RF value edge from n1 (op 0).
+  unsigned RfIntoInstances = 0;
+  G.forEachEdge([&](unsigned, const DepEdge &E) {
+    if (E.Kind == DepKind::RegFlow && E.Src == 0 &&
+        L.op(E.Dst).isStore() && L.op(E.Dst).ReplicaOf == 2u)
+      ++RfIntoInstances;
+  });
+  EXPECT_EQ(RfIntoInstances, 4u)
+      << "replicating a store replicates its input dependences";
+}
+
+TEST(DDGT, PairwiseStoreOrderingPerInstance) {
+  DDGTResult R = transformFigure3();
+  const Loop &L = R.TransformedLoop;
+  const DDG &G = R.TransformedDDG;
+  // MO edges between instances of n3 and n4 must connect instance k to
+  // instance k (same prospective cluster), never across instances.
+  G.forEachEdge([&](unsigned, const DepEdge &E) {
+    if (E.Kind != DepKind::MemOutput || E.Src == E.Dst)
+      return;
+    const Operation &Src = L.op(E.Src);
+    const Operation &Dst = L.op(E.Dst);
+    if (Src.ReplicaOf == 2u && Dst.ReplicaOf == 3u) {
+      EXPECT_EQ(Src.ReplicaIndex, Dst.ReplicaIndex);
+    }
+  });
+}
+
+TEST(DDGT, TransformedGraphIsWellFormed) {
+  DDGTResult R = transformFigure3();
+  EXPECT_TRUE(verifyDDG(R.TransformedLoop, R.TransformedDDG));
+}
+
+TEST(DDGT, RedundantMaElidedWhenRfExists) {
+  // load r1; store r1 to an aliasing location: the MA edge is redundant
+  // because the store already consumes the load's value (RF, same
+  // distance 0).
+  Loop L("redundant");
+  unsigned Obj = L.addObject({"o", 0, 256, UniqueAliasGroup});
+  unsigned S1 = L.addStream(AddressExpr::gather(Obj, 4, 1));
+  unsigned S2 = L.addStream(AddressExpr::gather(Obj, 4, 2));
+  L.addOp(Operation::load(1, S1));
+  L.addOp(Operation::store(1, S2));
+  DDG G = buildRegisterFlowDDG(L);
+  MemoryDisambiguator D(L);
+  D.addMemoryEdges(G);
+  ASSERT_TRUE(G.hasEdge(0, 1, DepKind::MemAnti, 0));
+
+  DDGTResult R = applyDDGT(L, G, MachineConfig::baseline());
+  EXPECT_GT(R.Stats.RedundantMaElided, 0u);
+}
+
+TEST(DDGT, FakeConsumerForImpossibleLoop) {
+  // The paper's tricky case: the only consumer of load L is a store M
+  // sequentially posterior to S and dependent on S. Layout:
+  //   op0: load  r1   (L)          — only consumer is op2
+  //   op1: store      (S)  aliases L and M
+  //   op2: store r1   (M)  aliases S
+  Loop L("hazard");
+  unsigned Obj = L.addObject({"o", 0, 256, UniqueAliasGroup});
+  unsigned SL = L.addStream(AddressExpr::gather(Obj, 4, 1));
+  unsigned SS = L.addStream(AddressExpr::gather(Obj, 4, 2));
+  unsigned SM = L.addStream(AddressExpr::gather(Obj, 4, 3));
+  L.addOp(Operation::load(1, SL));
+  L.addOp(Operation::store(NoReg, SS));
+  L.addOp(Operation::store(1, SM));
+  DDG G = buildRegisterFlowDDG(L);
+  MemoryDisambiguator D(L);
+  D.addMemoryEdges(G);
+  ASSERT_TRUE(G.hasEdge(0, 1, DepKind::MemAnti, 0)) << "MA L -> S exists";
+
+  DDGTResult R = applyDDGT(L, G, MachineConfig::baseline());
+  EXPECT_EQ(R.Stats.FakeConsumersAdded, 1u);
+
+  // The fake consumer reads the load's register and nothing else.
+  const Loop &TL = R.TransformedLoop;
+  unsigned FakeId = ~0u;
+  for (unsigned Id = 0; Id != TL.numOps(); ++Id)
+    if (TL.op(Id).isFakeConsumer())
+      FakeId = Id;
+  ASSERT_NE(FakeId, ~0u);
+  ASSERT_EQ(TL.op(FakeId).Sources.size(), 1u);
+  EXPECT_EQ(TL.op(FakeId).Sources[0], 1u);
+  EXPECT_TRUE(R.TransformedDDG.hasRegFlow(0, FakeId, 0));
+
+  // No SYNC edge may start at a memory op (that was the impossible
+  // loop); they start at the fake consumer instead.
+  R.TransformedDDG.forEachEdge([&](unsigned, const DepEdge &E) {
+    if (E.Kind == DepKind::Sync) {
+      EXPECT_FALSE(TL.op(E.Src).isMemory());
+    }
+  });
+  EXPECT_TRUE(verifyDDG(TL, R.TransformedDDG));
+}
+
+TEST(DDGT, FakeConsumerReusedAcrossMaEdges) {
+  // One load with two hazardous MA targets gets a single fake consumer.
+  Loop L("reuse");
+  unsigned Obj = L.addObject({"o", 0, 256, UniqueAliasGroup});
+  L.addOp(Operation::load(1, L.addStream(AddressExpr::gather(Obj, 4, 1))));
+  L.addOp(
+      Operation::store(NoReg, L.addStream(AddressExpr::gather(Obj, 4, 2))));
+  L.addOp(
+      Operation::store(NoReg, L.addStream(AddressExpr::gather(Obj, 4, 3))));
+  L.addOp(Operation::store(1, L.addStream(AddressExpr::gather(Obj, 4, 4))));
+  DDG G = buildRegisterFlowDDG(L);
+  MemoryDisambiguator D(L);
+  D.addMemoryEdges(G);
+  DDGTResult R = applyDDGT(L, G, MachineConfig::baseline());
+  EXPECT_LE(R.Stats.FakeConsumersAdded, 1u);
+}
+
+TEST(DDGT, IndependentStoresNotReplicated) {
+  Loop L("independent");
+  unsigned ObjA = L.addObject({"a", 0, 1024, UniqueAliasGroup});
+  unsigned ObjB = L.addObject({"b", 0x10000, 1024, UniqueAliasGroup});
+  L.addOp(
+      Operation::load(1, L.addStream(AddressExpr::affine(ObjA, 0, 16, 4))));
+  L.addOp(Operation::store(
+      1, L.addStream(AddressExpr::affine(ObjB, 0, 16, 4))));
+  DDG G = buildRegisterFlowDDG(L);
+  MemoryDisambiguator D(L);
+  D.addMemoryEdges(G);
+  DDGTResult R = applyDDGT(L, G, MachineConfig::baseline());
+  EXPECT_EQ(R.Stats.StoresReplicated, 0u)
+      << "only stores with memory dependences are replicated";
+  EXPECT_EQ(R.TransformedLoop.numOps(), L.numOps());
+}
+
+TEST(DDGT, SelfDependentStoreEdgesPerInstance) {
+  // A memory dependent store with a self MO edge: each instance keeps a
+  // self edge; no cross-instance self-derived edges appear.
+  Loop L("selfdep");
+  unsigned Obj = L.addObject({"o", 0, 256, UniqueAliasGroup});
+  L.addOp(Operation::load(1, L.addStream(AddressExpr::gather(Obj, 4, 1))));
+  unsigned StoreId = L.addOp(
+      Operation::store(1, L.addStream(AddressExpr::gather(Obj, 4, 2))));
+  DDG G = buildRegisterFlowDDG(L);
+  MemoryDisambiguator D(L);
+  D.addMemoryEdges(G);
+  ASSERT_TRUE(G.hasEdge(StoreId, StoreId, DepKind::MemOutput, 1));
+
+  DDGTResult R = applyDDGT(L, G, MachineConfig::baseline());
+  const Loop &TL = R.TransformedLoop;
+  unsigned SelfEdges = 0;
+  R.TransformedDDG.forEachEdge([&](unsigned, const DepEdge &E) {
+    if (E.Src == E.Dst && E.Kind == DepKind::MemOutput) {
+      ++SelfEdges;
+      EXPECT_EQ(TL.op(E.Src).ReplicaOf, StoreId);
+    }
+  });
+  EXPECT_EQ(SelfEdges, 4u) << "one self edge per instance";
+}

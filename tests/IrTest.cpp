@@ -1,0 +1,125 @@
+//===- tests/IrTest.cpp - IR data structure tests -------------------------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cvliw/ir/Loop.h"
+
+#include <gtest/gtest.h>
+
+using namespace cvliw;
+
+TEST(Opcode, Classification) {
+  EXPECT_TRUE(isMemoryOpcode(Opcode::Load));
+  EXPECT_TRUE(isMemoryOpcode(Opcode::Store));
+  EXPECT_FALSE(isMemoryOpcode(Opcode::IAdd));
+  EXPECT_FALSE(isMemoryOpcode(Opcode::FakeCons));
+
+  EXPECT_EQ(fuClassOf(Opcode::Load), FuClass::Memory);
+  EXPECT_EQ(fuClassOf(Opcode::FAdd), FuClass::Float);
+  EXPECT_EQ(fuClassOf(Opcode::IAdd), FuClass::Integer);
+  EXPECT_EQ(fuClassOf(Opcode::FakeCons), FuClass::Integer)
+      << "the fake consumer is a plain integer add (paper §3.3)";
+}
+
+TEST(Opcode, Latencies) {
+  EXPECT_EQ(opcodeLatency(Opcode::IAdd), 1u);
+  EXPECT_GT(opcodeLatency(Opcode::FDiv), opcodeLatency(Opcode::FMul));
+  EXPECT_EQ(opcodeLatency(Opcode::Load), 1u)
+      << "the memory system supplies the rest of a load's latency";
+}
+
+TEST(Opcode, Names) {
+  EXPECT_STREQ(opcodeName(Opcode::Load), "load");
+  EXPECT_STREQ(opcodeName(Opcode::FakeCons), "fake_cons");
+}
+
+TEST(AddressExpr, AffineProgression) {
+  MemObject Obj{"a", 0x1000, 1024, UniqueAliasGroup};
+  AddressExpr E = AddressExpr::affine(0, 8, 16, 4);
+  EXPECT_EQ(E.addressAt(0, Obj, 1), 0x1000u + 8);
+  EXPECT_EQ(E.addressAt(1, Obj, 1), 0x1000u + 24);
+  EXPECT_EQ(E.addressAt(10, Obj, 1), 0x1000u + 168);
+}
+
+TEST(AddressExpr, AffineWrapsModuloObject) {
+  MemObject Obj{"a", 0x1000, 64, UniqueAliasGroup};
+  AddressExpr E = AddressExpr::affine(0, 0, 16, 4);
+  EXPECT_EQ(E.addressAt(4, Obj, 1), 0x1000u) << "64/16 = 4 wraps to start";
+  EXPECT_EQ(E.addressAt(5, Obj, 1), 0x1000u + 16);
+}
+
+TEST(AddressExpr, AffineIgnoresInputSeed) {
+  // Strided accesses have input-independent trajectories (the padding
+  // argument of §2.2).
+  MemObject Obj{"a", 0, 4096, UniqueAliasGroup};
+  AddressExpr E = AddressExpr::affine(0, 4, 16, 4);
+  for (uint64_t I = 0; I != 64; ++I)
+    EXPECT_EQ(E.addressAt(I, Obj, 1), E.addressAt(I, Obj, 999));
+}
+
+TEST(AddressExpr, AffineNegativeStride) {
+  MemObject Obj{"a", 0x1000, 64, UniqueAliasGroup};
+  AddressExpr E = AddressExpr::affine(0, 0, -16, 4);
+  EXPECT_EQ(E.addressAt(1, Obj, 1), 0x1000u + 48) << "wraps backwards";
+}
+
+TEST(AddressExpr, GatherDeterministicPerSeed) {
+  MemObject Obj{"t", 0x2000, 1024, UniqueAliasGroup};
+  AddressExpr E = AddressExpr::gather(0, 4, /*Seed=*/7);
+  for (uint64_t I = 0; I != 100; ++I) {
+    uint64_t A = E.addressAt(I, Obj, 1);
+    EXPECT_EQ(A, E.addressAt(I, Obj, 1)) << "stateless hash";
+    EXPECT_GE(A, Obj.BaseAddr);
+    EXPECT_LT(A + E.AccessBytes, Obj.BaseAddr + Obj.SizeBytes + 1);
+    EXPECT_EQ((A - Obj.BaseAddr) % E.AccessBytes, 0u) << "element aligned";
+  }
+}
+
+TEST(AddressExpr, GatherVariesWithInputSeed) {
+  MemObject Obj{"t", 0, 4096, UniqueAliasGroup};
+  AddressExpr E = AddressExpr::gather(0, 4, 7);
+  unsigned Different = 0;
+  for (uint64_t I = 0; I != 64; ++I)
+    Different += E.addressAt(I, Obj, 1) != E.addressAt(I, Obj, 2);
+  EXPECT_GT(Different, 32u) << "profile and execution inputs differ";
+}
+
+TEST(Loop, AddObjectsStreamsOps) {
+  Loop L("test");
+  unsigned Obj = L.addObject({"a", 0, 256, UniqueAliasGroup});
+  unsigned S = L.addStream(AddressExpr::affine(Obj, 0, 4, 4));
+  unsigned Id = L.addOp(Operation::load(1, S));
+  EXPECT_EQ(L.numOps(), 1u);
+  EXPECT_TRUE(L.op(Id).isLoad());
+  EXPECT_EQ(L.numMemoryOps(), 1u);
+  EXPECT_EQ(L.addressOf(Id, 3, L.ExecSeed), 12u);
+}
+
+TEST(Loop, FreshRegAboveAllUses) {
+  Loop L("test");
+  unsigned Obj = L.addObject({"a", 0, 256, UniqueAliasGroup});
+  unsigned S = L.addStream(AddressExpr::affine(Obj, 0, 4, 4));
+  L.addOp(Operation::load(7, S));
+  L.addOp(Operation::compute(Opcode::IAdd, 3, {7, 11}));
+  EXPECT_EQ(L.freshReg(), 12u);
+}
+
+TEST(Operation, Builders) {
+  Operation Ld = Operation::load(5, 2);
+  EXPECT_TRUE(Ld.isLoad());
+  EXPECT_FALSE(Ld.isStore());
+  EXPECT_EQ(Ld.Dest, 5u);
+  EXPECT_EQ(Ld.StreamId, 2u);
+
+  Operation St = Operation::store(5, 3);
+  EXPECT_TRUE(St.isStore());
+  EXPECT_EQ(St.Dest, NoReg);
+  ASSERT_EQ(St.Sources.size(), 1u);
+  EXPECT_EQ(St.Sources[0], 5u);
+
+  Operation Add = Operation::compute(Opcode::IAdd, 9, {1, 2});
+  EXPECT_FALSE(Add.isMemory());
+  EXPECT_FALSE(Add.isReplica());
+}

@@ -1,0 +1,174 @@
+//===- tests/MemorySystemTest.cpp - interleaved memory system -------------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cvliw/sim/MemorySystem.h"
+
+#include <gtest/gtest.h>
+
+using namespace cvliw;
+
+namespace {
+
+MachineConfig fourByteMachine() {
+  MachineConfig C = MachineConfig::baseline();
+  C.InterleaveBytes = 4;
+  return C;
+}
+
+} // namespace
+
+TEST(MemorySystem, LocalMissThenHit) {
+  MachineConfig C = fourByteMachine();
+  MemorySystem M(C);
+  // Address 0 homes in cluster 0.
+  MemAccessResult First = M.access(0, 0, /*IsStore=*/false, 100);
+  EXPECT_EQ(First.Type, AccessType::LocalMiss);
+  EXPECT_EQ(First.CompleteTime, 100 + 1 + 10)
+      << "tag check + next level latency";
+
+  MemAccessResult Second = M.access(0, 0, false, 200);
+  EXPECT_EQ(Second.Type, AccessType::LocalHit);
+  EXPECT_EQ(Second.CompleteTime, 200 + 1);
+}
+
+TEST(MemorySystem, RemoteHitNominalLatency) {
+  MachineConfig C = fourByteMachine();
+  MemorySystem M(C);
+  M.access(1, 4, false, 0); // Warm cluster 1's slice (local miss).
+  MemAccessResult R = M.access(0, 4, false, 100);
+  EXPECT_EQ(R.Type, AccessType::RemoteHit);
+  EXPECT_EQ(R.CompleteTime, 100 + 2 + 1 + 2)
+      << "request hop, module access, reply hop with idle buses";
+}
+
+TEST(MemorySystem, RemoteMissPaysNextLevel) {
+  MachineConfig C = fourByteMachine();
+  MemorySystem M(C);
+  MemAccessResult R = M.access(0, 4, false, 100);
+  EXPECT_EQ(R.Type, AccessType::RemoteMiss);
+  EXPECT_GE(R.CompleteTime, 100u + 2 + 1 + 10 + 2);
+}
+
+TEST(MemorySystem, CombinedAccessJoinsPendingFetch) {
+  MachineConfig C = fourByteMachine();
+  MemorySystem M(C);
+  MemAccessResult First = M.access(0, 0, false, 100);
+  ASSERT_EQ(First.Type, AccessType::LocalMiss);
+  // Same block slice requested again before the fetch returns.
+  MemAccessResult Second = M.access(0, 0, false, 102);
+  EXPECT_EQ(Second.Type, AccessType::Combined);
+  EXPECT_GE(Second.CompleteTime, First.CompleteTime)
+      << "the combined access cannot finish before the fetch it joined";
+  EXPECT_LE(Second.CompleteTime, First.CompleteTime + 2)
+      << "the second request is not issued (paper §4.2)";
+
+  const FractionAccumulator &Cls = M.classification();
+  EXPECT_EQ(Cls.count(static_cast<size_t>(AccessType::Combined)), 1u);
+}
+
+TEST(MemorySystem, BusContentionDelaysBursts) {
+  MachineConfig C = fourByteMachine();
+  C.MemoryBuses.Count = 1; // Force contention.
+  MemorySystem M(C);
+  // Warm remote slices.
+  M.access(1, 4, false, 0);
+  M.access(2, 8, false, 0);
+  M.access(3, 12, false, 0);
+  // Three simultaneous remote requests from cluster 0 share one bus.
+  uint64_t T1 = M.access(0, 4, false, 1000).CompleteTime;
+  uint64_t T2 = M.access(0, 8, false, 1000).CompleteTime;
+  uint64_t T3 = M.access(0, 12, false, 1000).CompleteTime;
+  EXPECT_LT(T1, T2);
+  EXPECT_LT(T2, T3) << "single bus serializes the burst";
+}
+
+TEST(MemorySystem, SameSourceSameHomeArrivalsStayOrdered) {
+  MachineConfig C = fourByteMachine();
+  MemorySystem M(C);
+  // Two stores from cluster 0 to cluster 1 addresses: their commit
+  // times must preserve issue order even with multiple buses (the MDC
+  // correctness requirement).
+  for (unsigned Round = 0; Round != 16; ++Round) {
+    uint64_t Base = 10000 * (Round + 1);
+    MemAccessResult A =
+        M.access(0, 4 + 32 * Round, /*IsStore=*/true, Base);
+    MemAccessResult B =
+        M.access(0, 20 + 32 * Round, /*IsStore=*/true, Base);
+    EXPECT_LT(A.CommitTime, B.CommitTime);
+  }
+}
+
+TEST(MemorySystem, StoresDoNotUseReplyHop) {
+  MachineConfig C = fourByteMachine();
+  MemorySystem M(C);
+  M.access(1, 4, false, 0); // Warm.
+  uint64_t Loads = M.busTransactions();
+  M.access(0, 4, /*IsStore=*/true, 100);
+  EXPECT_EQ(M.busTransactions(), Loads + 1)
+      << "a remote store sends a request and no reply";
+}
+
+TEST(MemorySystem, AttractionBufferCapturesRemoteSubblock) {
+  MachineConfig C = fourByteMachine();
+  C.AttractionBuffersEnabled = true;
+  MemorySystem M(C);
+  M.access(1, 4, false, 0); // Warm home slice.
+  MemAccessResult First = M.access(0, 4, false, 100);
+  EXPECT_EQ(First.Type, AccessType::RemoteHit);
+  // Second access to the same remote subblock: AB hit, counted local.
+  MemAccessResult Second = M.access(0, 4, false, 200);
+  EXPECT_EQ(Second.Type, AccessType::LocalHit);
+  EXPECT_EQ(Second.CompleteTime, 200 + 1);
+  EXPECT_EQ(M.attractionBufferHits(), 1u);
+
+  // Whole subblock was attracted: word 20 shares the (block, home 1)
+  // subblock with word 4 (paper Figure 8: a[3] attracts a[7]).
+  MemAccessResult Third = M.access(0, 20, false, 300);
+  EXPECT_EQ(Third.Type, AccessType::LocalHit);
+}
+
+TEST(MemorySystem, AttractionBufferStoreMarksDirtyAndFlushes) {
+  MachineConfig C = fourByteMachine();
+  C.AttractionBuffersEnabled = true;
+  MemorySystem M(C);
+  M.access(1, 4, false, 0);
+  M.access(0, 4, false, 100);            // Attract subblock (remote).
+  M.access(0, 4, /*IsStore=*/true, 200); // Dirty the copy locally.
+  EXPECT_EQ(M.attractionBufferHits(), 1u);
+  EXPECT_EQ(M.flushAttractionBuffers(), 1u)
+      << "one dirty subblock written back at loop end (§5.2)";
+  EXPECT_EQ(M.flushAttractionBuffers(), 0u);
+}
+
+TEST(MemorySystem, UpdateAttractionBufferOnlyNeverAllocates) {
+  MachineConfig C = fourByteMachine();
+  C.AttractionBuffersEnabled = true;
+  MemorySystem M(C);
+  M.updateAttractionBufferOnly(0, 4, 100);
+  EXPECT_EQ(M.flushAttractionBuffers(), 0u)
+      << "a nullified replica must not allocate (paper §5.3: update "
+         "where present)";
+  // After attracting the subblock, the update dirties it.
+  M.access(1, 4, false, 200);
+  M.access(0, 4, false, 300);
+  M.updateAttractionBufferOnly(0, 4, 400);
+  EXPECT_EQ(M.flushAttractionBuffers(), 1u);
+}
+
+TEST(MemorySystem, ClassificationAccumulates) {
+  MachineConfig C = fourByteMachine();
+  MemorySystem M(C);
+  M.access(0, 0, false, 0);    // local miss
+  M.access(0, 0, false, 100);  // local hit
+  M.access(0, 4, false, 200);  // remote miss
+  M.access(0, 4, false, 300);  // remote hit
+  const FractionAccumulator &Cls = M.classification();
+  EXPECT_EQ(Cls.total(), 4u);
+  EXPECT_EQ(Cls.count(static_cast<size_t>(AccessType::LocalMiss)), 1u);
+  EXPECT_EQ(Cls.count(static_cast<size_t>(AccessType::LocalHit)), 1u);
+  EXPECT_EQ(Cls.count(static_cast<size_t>(AccessType::RemoteMiss)), 1u);
+  EXPECT_EQ(Cls.count(static_cast<size_t>(AccessType::RemoteHit)), 1u);
+}

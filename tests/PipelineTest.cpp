@@ -1,0 +1,142 @@
+//===- tests/PipelineTest.cpp - end-to-end experiment pipeline ------------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cvliw/pipeline/Experiment.h"
+
+#include <gtest/gtest.h>
+
+using namespace cvliw;
+
+namespace {
+
+LoopSpec testSpec(uint64_t Seed) {
+  LoopSpec Spec;
+  Spec.Name = "pipe";
+  Spec.Chains = {ChainSpec{1, 1, 2, 1, true}};
+  Spec.ConsistentLoads = 4;
+  Spec.ConsistentStores = 1;
+  Spec.ArithPerLoad = 2;
+  Spec.ProfileTrip = 300;
+  Spec.ExecTrip = 500;
+  Spec.SeedBase = Seed;
+  return Spec;
+}
+
+} // namespace
+
+TEST(Pipeline, RunLoopFillsEverything) {
+  ExperimentConfig Config;
+  Config.Policy = CoherencePolicy::MDC;
+  Config.Heuristic = ClusterHeuristic::PrefClus;
+  LoopRunResult R = runLoop(testSpec(1), Config);
+  EXPECT_GT(R.II, 0u);
+  EXPECT_GT(R.NumOps, 0u);
+  EXPECT_GT(R.NumMemOps, 0u);
+  EXPECT_EQ(R.BiggestChain, 5u);
+  EXPECT_EQ(R.Sim.Iterations, 500u);
+  EXPECT_GT(R.Sim.TotalCycles, 0u);
+}
+
+TEST(Pipeline, DdgtAddsOpsAndCopies) {
+  ExperimentConfig Mdc;
+  Mdc.Policy = CoherencePolicy::MDC;
+  Mdc.Heuristic = ClusterHeuristic::PrefClus;
+  ExperimentConfig Ddgt = Mdc;
+  Ddgt.Policy = CoherencePolicy::DDGT;
+  LoopRunResult RMdc = runLoop(testSpec(2), Mdc);
+  LoopRunResult RDdgt = runLoop(testSpec(2), Ddgt);
+  EXPECT_GT(RDdgt.NumOps, RMdc.NumOps) << "store replicas appended";
+  EXPECT_GT(RDdgt.NumMemOps, RMdc.NumMemOps);
+}
+
+TEST(Pipeline, CoherenceHoldsForBothSolutions) {
+  for (CoherencePolicy Policy :
+       {CoherencePolicy::MDC, CoherencePolicy::DDGT}) {
+    for (ClusterHeuristic H :
+         {ClusterHeuristic::PrefClus, ClusterHeuristic::MinComs}) {
+      ExperimentConfig Config;
+      Config.Policy = Policy;
+      Config.Heuristic = H;
+      Config.CheckCoherence = true;
+      LoopRunResult R = runLoop(testSpec(3), Config);
+      EXPECT_EQ(R.Sim.CoherenceViolations, 0u)
+          << coherencePolicyName(Policy) << "/" << clusterHeuristicName(H);
+    }
+  }
+}
+
+TEST(Pipeline, BenchmarkAggregation) {
+  auto Suite = mediabenchSuite();
+  const BenchmarkSpec *Bench = findBenchmark(Suite, "gsmenc");
+  ASSERT_NE(Bench, nullptr);
+  ExperimentConfig Config;
+  Config.Policy = CoherencePolicy::Baseline;
+  Config.Heuristic = ClusterHeuristic::MinComs;
+  BenchmarkRunResult R = runBenchmark(*Bench, Config);
+  EXPECT_EQ(R.Loops.size(), Bench->Loops.size());
+  uint64_t Sum = 0;
+  for (const LoopRunResult &LoopResult : R.Loops)
+    Sum += LoopResult.Sim.TotalCycles;
+  EXPECT_EQ(R.totalCycles(), Sum);
+  EXPECT_EQ(R.totalCycles(), R.computeCycles() + R.stallCycles());
+
+  FractionAccumulator C = R.mergedClassification();
+  double Total = 0;
+  for (size_t I = 0; I != 5; ++I)
+    Total += C.fraction(I);
+  EXPECT_NEAR(Total, 1.0, 1e-9);
+}
+
+TEST(Pipeline, InterleaveFactorAppliedPerBenchmark) {
+  auto Suite = mediabenchSuite();
+  const BenchmarkSpec *Gsm = findBenchmark(Suite, "gsmdec");
+  ExperimentConfig Config;
+  Config.Machine.InterleaveBytes = 4; // Will be overridden to 2.
+  BenchmarkRunResult R = runBenchmark(*Gsm, Config);
+  EXPECT_FALSE(R.Loops.empty());
+}
+
+TEST(Pipeline, ChainRatiosShrinkUnderSpecialization) {
+  auto Suite = mediabenchSuite();
+  for (const char *Name : {"epicdec", "pgpdec", "rasta"}) {
+    const BenchmarkSpec *Bench = findBenchmark(Suite, Name);
+    ChainRatioResult Old = chainRatios(*Bench, false);
+    ChainRatioResult New = chainRatios(*Bench, true);
+    EXPECT_LT(New.Cmr, Old.Cmr) << Name;
+    EXPECT_LT(New.Car, Old.Car) << Name;
+    EXPECT_GT(New.Cmr, 0.0)
+        << Name << ": the truly aliasing core must survive";
+  }
+}
+
+TEST(Pipeline, SpecializationPreservesGatherOnlyChains) {
+  auto Suite = mediabenchSuite();
+  const BenchmarkSpec *Jpeg = findBenchmark(Suite, "jpegdec");
+  ChainRatioResult Old = chainRatios(*Jpeg, false);
+  ChainRatioResult New = chainRatios(*Jpeg, true);
+  EXPECT_DOUBLE_EQ(New.Cmr, Old.Cmr)
+      << "jpegdec's chain really aliases; no check can remove it";
+}
+
+TEST(Pipeline, CmrCarOrdering) {
+  auto Suite = mediabenchSuite();
+  for (const BenchmarkSpec &Bench : Suite) {
+    ChainRatioResult R = chainRatios(Bench, false);
+    EXPECT_LE(R.Car, R.Cmr) << Bench.Name
+                            << ": CAR <= CMR by definition (Table 3)";
+  }
+}
+
+TEST(Pipeline, DeterministicAcrossRuns) {
+  ExperimentConfig Config;
+  Config.Policy = CoherencePolicy::DDGT;
+  Config.Heuristic = ClusterHeuristic::MinComs;
+  LoopRunResult A = runLoop(testSpec(4), Config);
+  LoopRunResult B = runLoop(testSpec(4), Config);
+  EXPECT_EQ(A.Sim.TotalCycles, B.Sim.TotalCycles);
+  EXPECT_EQ(A.II, B.II);
+  EXPECT_EQ(A.CopiesPerIter, B.CopiesPerIter);
+}

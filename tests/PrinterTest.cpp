@@ -1,0 +1,84 @@
+//===- tests/PrinterTest.cpp - dump formatting tests ----------------------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cvliw/alias/MemoryDisambiguator.h"
+#include "cvliw/ir/DDGBuilder.h"
+#include "cvliw/profile/ClusterProfiler.h"
+#include "cvliw/sched/ModuloScheduler.h"
+#include "cvliw/sched/SchedulePrinter.h"
+#include "cvliw/workloads/KernelBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace cvliw;
+
+namespace {
+
+struct Fixture {
+  Loop L;
+  DDG G;
+  std::optional<Schedule> S;
+  MachineConfig Machine = MachineConfig::baseline();
+
+  Fixture() {
+    LoopSpec Spec;
+    Spec.Name = "printer";
+    Spec.Chains = {ChainSpec{1, 1, 1, 0, true}};
+    Spec.ConsistentLoads = 2;
+    Spec.ConsistentStores = 1;
+    Spec.SeedBase = 404;
+    L = buildLoop(Spec, Machine);
+    G = buildRegisterFlowDDG(L);
+    MemoryDisambiguator D(L);
+    D.addMemoryEdges(G);
+    ClusterProfile P = profileLoop(L, Machine);
+    SchedulerOptions Opts;
+    ModuloScheduler Scheduler(L, G, Machine, P, Opts);
+    S = Scheduler.run();
+  }
+};
+
+} // namespace
+
+TEST(Printer, LoopListingShowsEveryOp) {
+  Fixture F;
+  std::string Text = formatLoop(F.L);
+  for (unsigned Id = 0; Id != F.L.numOps(); ++Id)
+    EXPECT_NE(Text.find("n" + std::to_string(Id) + ":"),
+              std::string::npos);
+  EXPECT_NE(Text.find("load"), std::string::npos);
+  EXPECT_NE(Text.find("store"), std::string::npos);
+}
+
+TEST(Printer, DDGListsKindsAndFlags) {
+  Fixture F;
+  std::string Text = formatDDG(F.L, F.G);
+  EXPECT_NE(Text.find("-RF(d=0)->"), std::string::npos);
+  EXPECT_NE(Text.find("[may-alias"), std::string::npos);
+}
+
+TEST(Printer, DotIsWellFormedGraphviz) {
+  Fixture F;
+  std::string Dot = formatDot(F.L, F.G);
+  EXPECT_EQ(Dot.rfind("digraph ddg {", 0), 0u);
+  EXPECT_EQ(Dot.back(), '\n');
+  EXPECT_NE(Dot.find("}\n"), std::string::npos);
+  // One node statement per op.
+  for (unsigned Id = 0; Id != F.L.numOps(); ++Id)
+    EXPECT_NE(Dot.find("n" + std::to_string(Id) + " ["),
+              std::string::npos);
+}
+
+TEST(Printer, ScheduleGridCoversAllOps) {
+  Fixture F;
+  ASSERT_TRUE(F.S.has_value());
+  std::string Text = formatSchedule(F.L, *F.S, F.Machine);
+  EXPECT_NE(Text.find("II=" + std::to_string(F.S->II)),
+            std::string::npos);
+  for (unsigned Id = 0; Id != F.L.numOps(); ++Id)
+    EXPECT_NE(Text.find("n" + std::to_string(Id)), std::string::npos);
+  EXPECT_NE(Text.find("stage boundary"), std::string::npos);
+}

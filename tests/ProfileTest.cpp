@@ -1,0 +1,98 @@
+//===- tests/ProfileTest.cpp - preferred-cluster profiling ----------------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cvliw/profile/ClusterProfiler.h"
+
+#include <gtest/gtest.h>
+
+using namespace cvliw;
+
+namespace {
+
+Loop strideLoop() {
+  Loop L("profile");
+  L.ProfileTripCount = 400;
+  L.ExecTripCount = 400;
+  unsigned Obj = L.addObject({"a", 0, 4096, UniqueAliasGroup});
+  // Stride N*I = 16 with offsets picking clusters 2 and 0.
+  L.addOp(Operation::load(1, L.addStream(AddressExpr::affine(Obj, 8, 16, 4))));
+  L.addOp(Operation::load(2, L.addStream(AddressExpr::affine(Obj, 0, 16, 4))));
+  // A rotating stream: stride = I.
+  L.addOp(Operation::load(3, L.addStream(AddressExpr::affine(Obj, 0, 4, 4))));
+  L.addOp(Operation::compute(Opcode::IAdd, 4, {1, 2, 3}));
+  return L;
+}
+
+} // namespace
+
+TEST(ClusterProfiler, ConsistentStreamsHaveUnanimousPreference) {
+  Loop L = strideLoop();
+  MachineConfig Machine = MachineConfig::baseline();
+  ClusterProfile P = profileLoop(L, Machine);
+  EXPECT_EQ(P.preferredCluster(0), 2u);
+  EXPECT_EQ(P.preferredCluster(1), 0u);
+  EXPECT_DOUBLE_EQ(P.fractionToCluster(0, 2), 1.0);
+  EXPECT_DOUBLE_EQ(P.fractionToCluster(0, 1), 0.0);
+}
+
+TEST(ClusterProfiler, RotatingStreamIsUniform) {
+  Loop L = strideLoop();
+  MachineConfig Machine = MachineConfig::baseline();
+  ClusterProfile P = profileLoop(L, Machine);
+  for (unsigned C = 0; C != 4; ++C)
+    EXPECT_NEAR(P.fractionToCluster(2, C), 0.25, 0.01);
+}
+
+TEST(ClusterProfiler, NonMemoryOpsHaveEmptyHistograms) {
+  Loop L = strideLoop();
+  ClusterProfile P = profileLoop(L, MachineConfig::baseline());
+  for (unsigned C = 0; C != 4; ++C)
+    EXPECT_EQ(P.histogram(3)[C], 0u);
+}
+
+TEST(ClusterProfiler, SetPreferenceIsArgmaxOfSums) {
+  // The paper's Figure 3 chain example: pref vectors {70,30,0,0},
+  // {20,50,30,0}, {0,0,100,0}, {0,10,20,70} sum to {90,90,150,70}:
+  // the average preferred cluster is 3 (index 2).
+  ClusterProfile P(4, 4);
+  const unsigned Hist[4][4] = {{70, 30, 0, 0},
+                               {20, 50, 30, 0},
+                               {0, 0, 100, 0},
+                               {0, 10, 20, 70}};
+  for (unsigned Op = 0; Op != 4; ++Op)
+    for (unsigned C = 0; C != 4; ++C)
+      for (unsigned K = 0; K != Hist[Op][C]; ++K)
+        P.record(Op, C);
+  EXPECT_EQ(P.preferredClusterOfSet({0, 1, 2, 3}), 2u);
+  EXPECT_EQ(P.preferredCluster(0), 0u);
+  EXPECT_EQ(P.preferredCluster(2), 2u);
+}
+
+TEST(ClusterProfiler, InterleaveFactorChangesHomes) {
+  Loop L("interleave");
+  unsigned Obj = L.addObject({"a", 0, 4096, UniqueAliasGroup});
+  L.addOp(Operation::load(1, L.addStream(AddressExpr::affine(Obj, 4, 8, 2))));
+  MachineConfig Two = MachineConfig::baseline();
+  Two.InterleaveBytes = 2;
+  MachineConfig Four = MachineConfig::baseline();
+  Four.InterleaveBytes = 4;
+  ClusterProfile PTwo = profileLoop(L, Two);
+  ClusterProfile PFour = profileLoop(L, Four);
+  EXPECT_EQ(PTwo.preferredCluster(0), 2u) << "addr 4 / 2B = chunk 2";
+  EXPECT_EQ(PFour.preferredCluster(0), 1u) << "addr 4 / 4B = chunk 1";
+}
+
+TEST(ClusterProfiler, ProfileAndExecutionInputsDifferForGathers) {
+  Loop L("gather");
+  L.ProfileTripCount = 500;
+  L.ExecTripCount = 500;
+  unsigned Obj = L.addObject({"t", 0, 64, UniqueAliasGroup});
+  L.addOp(Operation::load(1, L.addStream(AddressExpr::gather(Obj, 4, 3))));
+  MachineConfig Machine = MachineConfig::baseline();
+  ClusterProfile P1 = profileLoop(L, Machine, /*UseProfileInput=*/true);
+  ClusterProfile P2 = profileLoop(L, Machine, /*UseProfileInput=*/false);
+  EXPECT_NE(P1.histogram(0), P2.histogram(0));
+}

@@ -1,0 +1,291 @@
+//===- tests/PropertyTest.cpp - cross-configuration properties ------------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+// Parameterized sweeps asserting the system's invariants over machine
+// shapes the paper does not evaluate (2/4/8 clusters, different
+// interleave factors): schedules stay legal, coherence holds, and the
+// documented monotonicity properties of the toolchain are preserved.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cvliw/alias/MemoryDisambiguator.h"
+#include "cvliw/ir/DDGBuilder.h"
+#include "cvliw/pipeline/Experiment.h"
+#include "cvliw/profile/ClusterProfiler.h"
+#include "cvliw/sched/DDGTransform.h"
+#include "cvliw/sched/MemoryChains.h"
+#include "cvliw/sched/ModuloScheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace cvliw;
+
+namespace {
+
+struct MachineShape {
+  unsigned Clusters;
+  unsigned Interleave;
+};
+
+/// (clusters, interleave, policy) sweep.
+using SweepParam = std::tuple<MachineShape, CoherencePolicy>;
+
+class MachineSweep : public ::testing::TestWithParam<SweepParam> {
+protected:
+  MachineConfig machine() const {
+    MachineShape Shape = std::get<0>(GetParam());
+    MachineConfig M = MachineConfig::baseline();
+    M.NumClusters = Shape.Clusters;
+    M.InterleaveBytes = Shape.Interleave;
+    // Keep cache geometry consistent: 8KB total across the clusters.
+    M.CacheModuleBytes = 8192 / Shape.Clusters;
+    return M;
+  }
+
+  LoopSpec spec() const {
+    LoopSpec Spec;
+    Spec.Name = "sweep";
+    Spec.Chains = {ChainSpec{1, 1, 2, 1, true}};
+    Spec.ConsistentLoads = 4;
+    Spec.ConsistentStores = 1;
+    Spec.ArithPerLoad = 2;
+    Spec.ProfileTrip = 200;
+    Spec.ExecTrip = 400;
+    Spec.SeedBase = 97;
+    return Spec;
+  }
+};
+
+} // namespace
+
+TEST_P(MachineSweep, ScheduleLegalAndCoherent) {
+  MachineConfig M = machine();
+  CoherencePolicy Policy = std::get<1>(GetParam());
+
+  Loop L = buildLoop(spec(), M);
+  DDG G = buildRegisterFlowDDG(L);
+  MemoryDisambiguator D(L);
+  D.addMemoryEdges(G);
+  Loop *SchedLoop = &L;
+  DDG *SchedGraph = &G;
+  DDGTResult T;
+  if (Policy == CoherencePolicy::DDGT) {
+    T = applyDDGT(L, G, M);
+    SchedLoop = &T.TransformedLoop;
+    SchedGraph = &T.TransformedDDG;
+    EXPECT_TRUE(verifyDDG(*SchedLoop, *SchedGraph));
+  }
+  ClusterProfile P = profileLoop(*SchedLoop, M);
+  MemoryChains Chains(*SchedLoop, *SchedGraph);
+  SchedulerOptions Opts;
+  Opts.Policy = Policy;
+  Opts.Heuristic = ClusterHeuristic::PrefClus;
+  ModuloScheduler Scheduler(*SchedLoop, *SchedGraph, M, P, Opts, &Chains);
+  auto S = Scheduler.run();
+  ASSERT_TRUE(S.has_value()) << M.summary();
+  EXPECT_EQ(checkSchedule(*SchedLoop, *SchedGraph, M, *S), "");
+
+  SimOptions SimOpts;
+  SimOpts.Policy = Policy;
+  SimOpts.CheckCoherence = true;
+  SimResult R = simulateKernel(*SchedLoop, *SchedGraph, *S, M, SimOpts);
+  EXPECT_EQ(R.Iterations, 400u);
+  if (Policy != CoherencePolicy::Baseline) {
+    EXPECT_EQ(R.CoherenceViolations, 0u)
+        << coherencePolicyName(Policy) << " on " << M.summary();
+  }
+}
+
+TEST_P(MachineSweep, DdgtReplicaCountTracksClusterCount) {
+  MachineConfig M = machine();
+  if (std::get<1>(GetParam()) != CoherencePolicy::DDGT)
+    GTEST_SKIP();
+  Loop L = buildLoop(spec(), M);
+  DDG G = buildRegisterFlowDDG(L);
+  MemoryDisambiguator D(L);
+  D.addMemoryEdges(G);
+  DDGTResult T = applyDDGT(L, G, M);
+  EXPECT_EQ(T.Stats.ReplicaOpsAdded,
+            T.Stats.StoresReplicated * (M.NumClusters - 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MachineSweep,
+    ::testing::Combine(
+        ::testing::Values(MachineShape{2, 4}, MachineShape{4, 2},
+                          MachineShape{4, 4}, MachineShape{4, 8},
+                          MachineShape{8, 4}),
+        ::testing::Values(CoherencePolicy::Baseline, CoherencePolicy::MDC,
+                          CoherencePolicy::DDGT)),
+    [](const ::testing::TestParamInfo<SweepParam> &Info) {
+      const MachineShape &Shape = std::get<0>(Info.param);
+      return std::string("c") + std::to_string(Shape.Clusters) + "i" +
+             std::to_string(Shape.Interleave) + "_" +
+             coherencePolicyName(std::get<1>(Info.param));
+    });
+
+//===----------------------------------------------------------------------===//
+// Monotonicity and negative-detection properties
+//===----------------------------------------------------------------------===//
+
+TEST(Properties, RecMIIMonotoneInLatency) {
+  DDG G(3);
+  G.addEdge({0, 1, DepKind::RegFlow, 0});
+  G.addEdge({1, 2, DepKind::RegFlow, 0});
+  G.addEdge({2, 0, DepKind::RegFlow, 1});
+  unsigned Prev = 0;
+  for (unsigned Lat = 1; Lat <= 8; ++Lat) {
+    unsigned RecMII = G.computeRecMII([&](unsigned) { return Lat; });
+    EXPECT_GE(RecMII, Prev);
+    Prev = RecMII;
+  }
+}
+
+TEST(Properties, FeasibilityMonotoneInII) {
+  DDG G(4);
+  G.addEdge({0, 1, DepKind::RegFlow, 0});
+  G.addEdge({1, 2, DepKind::MemOutput, 0});
+  G.addEdge({2, 3, DepKind::RegFlow, 0});
+  G.addEdge({3, 0, DepKind::RegFlow, 1});
+  auto Lat = [](unsigned) { return 2u; };
+  bool WasFeasible = false;
+  for (unsigned II = 1; II <= 16; ++II) {
+    bool Feasible = G.feasibleAtII(II, Lat);
+    EXPECT_TRUE(!WasFeasible || Feasible)
+        << "feasibility must be monotone in II";
+    WasFeasible = WasFeasible || Feasible;
+  }
+  EXPECT_TRUE(WasFeasible);
+}
+
+TEST(Properties, CheckScheduleCatchesDependenceViolation) {
+  Loop L("bad");
+  unsigned Obj = L.addObject({"a", 0, 1024, UniqueAliasGroup});
+  unsigned S = L.addStream(AddressExpr::affine(Obj, 0, 16, 4));
+  L.addOp(Operation::load(1, S));
+  L.addOp(Operation::compute(Opcode::IAdd, 2, {1}));
+  DDG G = buildRegisterFlowDDG(L);
+
+  Schedule Sched;
+  Sched.II = 2;
+  Sched.Length = 2;
+  Sched.Ops.resize(2);
+  Sched.Ops[0] = {1, 0, 5};
+  Sched.Ops[1] = {0, 0, 1}; // Consumer before its producer: illegal.
+  EXPECT_NE(checkSchedule(L, G, MachineConfig::baseline(), Sched), "");
+}
+
+TEST(Properties, CheckScheduleCatchesFuOverbooking) {
+  Loop L("overbook");
+  unsigned Obj = L.addObject({"a", 0, 1024, UniqueAliasGroup});
+  unsigned S1 = L.addStream(AddressExpr::affine(Obj, 0, 16, 4));
+  unsigned S2 = L.addStream(AddressExpr::affine(Obj, 256, 16, 4));
+  L.addOp(Operation::load(1, S1));
+  L.addOp(Operation::load(2, S2));
+  DDG G = buildRegisterFlowDDG(L);
+
+  Schedule Sched;
+  Sched.II = 2;
+  Sched.Length = 3;
+  Sched.Ops.resize(2);
+  Sched.Ops[0] = {0, 0, 1};
+  Sched.Ops[1] = {2, 0, 1}; // Same modulo slot, same memory unit.
+  EXPECT_NE(checkSchedule(L, G, MachineConfig::baseline(), Sched), "");
+}
+
+TEST(Properties, CheckScheduleCatchesMissingCopy) {
+  Loop L("nocopy");
+  unsigned Obj = L.addObject({"a", 0, 1024, UniqueAliasGroup});
+  unsigned S = L.addStream(AddressExpr::affine(Obj, 0, 16, 4));
+  L.addOp(Operation::load(1, S));
+  L.addOp(Operation::compute(Opcode::IAdd, 2, {1}));
+  DDG G = buildRegisterFlowDDG(L);
+
+  Schedule Sched;
+  Sched.II = 2;
+  Sched.Length = 8;
+  Sched.Ops.resize(2);
+  Sched.Ops[0] = {0, 0, 1};
+  Sched.Ops[1] = {7, 1, 1}; // Cross-cluster but no CopyOp recorded.
+  EXPECT_NE(checkSchedule(L, G, MachineConfig::baseline(), Sched), "");
+}
+
+TEST(Properties, StallNeverNegativeAndTotalsConsistent) {
+  for (uint64_t Seed : {1u, 2u, 3u, 4u, 5u}) {
+    LoopSpec Spec;
+    Spec.Name = "totals";
+    Spec.Chains = {ChainSpec{1, 1, 1, 1, true}};
+    Spec.ConsistentLoads = 3;
+    Spec.ConsistentStores = 1;
+    Spec.ExecTrip = 300;
+    Spec.SeedBase = 1000 + Seed;
+    ExperimentConfig Config;
+    Config.Policy = CoherencePolicy::MDC;
+    LoopRunResult R = runLoop(Spec, Config);
+    EXPECT_EQ(R.Sim.TotalCycles, R.Sim.ComputeCycles + R.Sim.StallCycles);
+    EXPECT_GE(R.Sim.ComputeCycles, R.Sim.Iterations * R.II);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Hybrid solution (§6)
+//===----------------------------------------------------------------------===//
+
+TEST(Hybrid, PicksTheBetterEstimate) {
+  LoopSpec Spec;
+  Spec.Name = "hybrid";
+  Spec.Chains = {ChainSpec{1, 1, 6, 2, true}};
+  Spec.ConsistentLoads = 2;
+  Spec.ArithPerLoad = 2;
+  Spec.ProfileTrip = 300;
+  Spec.ExecTrip = 600;
+  Spec.SeedBase = 71;
+  ExperimentConfig Config;
+  Config.Heuristic = ClusterHeuristic::PrefClus;
+  HybridLoopResult H = runLoopHybrid(Spec, Config);
+  if (H.ProfileEstimateMdc <= H.ProfileEstimateDdgt)
+    EXPECT_EQ(H.Chosen, CoherencePolicy::MDC);
+  else
+    EXPECT_EQ(H.Chosen, CoherencePolicy::DDGT);
+}
+
+TEST(Hybrid, NeverWorseThanBothWhenProfilePredictsWell) {
+  // Affine-dominated loops: profile and execution inputs agree, so the
+  // hybrid's execution time must match the better pure technique.
+  LoopSpec Spec;
+  Spec.Name = "predictable";
+  Spec.Chains = {ChainSpec{0, 0, 4, 2, true}};
+  Spec.ConsistentLoads = 4;
+  Spec.ConsistentStores = 1;
+  Spec.ArithPerLoad = 2;
+  Spec.ProfileTrip = 400;
+  Spec.ExecTrip = 400;
+  Spec.SeedBase = 72;
+
+  ExperimentConfig Config;
+  Config.Heuristic = ClusterHeuristic::PrefClus;
+  HybridLoopResult H = runLoopHybrid(Spec, Config);
+
+  ExperimentConfig Pure = Config;
+  Pure.Policy = CoherencePolicy::MDC;
+  uint64_t Mdc = runLoop(Spec, Pure).Sim.TotalCycles;
+  Pure.Policy = CoherencePolicy::DDGT;
+  uint64_t Ddgt = runLoop(Spec, Pure).Sim.TotalCycles;
+  EXPECT_EQ(H.Result.Sim.TotalCycles, std::min(Mdc, Ddgt));
+}
+
+TEST(Hybrid, BenchmarkRunReportsChoices) {
+  auto Suite = mediabenchSuite();
+  const BenchmarkSpec *Bench = findBenchmark(Suite, "gsmenc");
+  ExperimentConfig Config;
+  Config.Heuristic = ClusterHeuristic::PrefClus;
+  std::vector<CoherencePolicy> Choices;
+  BenchmarkRunResult R = runBenchmarkHybrid(*Bench, Config, &Choices);
+  EXPECT_EQ(Choices.size(), Bench->Loops.size());
+  EXPECT_EQ(R.Loops.size(), Bench->Loops.size());
+  for (CoherencePolicy P : Choices)
+    EXPECT_NE(P, CoherencePolicy::Baseline);
+}

@@ -1,0 +1,133 @@
+//===- tests/RegisterPressureTest.cpp - MaxLive analysis tests ------------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cvliw/alias/MemoryDisambiguator.h"
+#include "cvliw/ir/DDGBuilder.h"
+#include "cvliw/profile/ClusterProfiler.h"
+#include "cvliw/sched/ModuloScheduler.h"
+#include "cvliw/sched/RegisterPressure.h"
+#include "cvliw/workloads/Suite.h"
+
+#include <gtest/gtest.h>
+
+using namespace cvliw;
+
+namespace {
+
+/// load -> add, hand-scheduled, with a controllable consumer distance.
+struct Pair {
+  Loop L{"pressure"};
+  DDG G;
+
+  Pair() {
+    unsigned Obj = L.addObject({"a", 0, 1024, UniqueAliasGroup});
+    unsigned S = L.addStream(AddressExpr::affine(Obj, 0, 16, 4));
+    L.addOp(Operation::load(1, S));
+    L.addOp(Operation::compute(Opcode::IAdd, 2, {1}));
+    G = buildRegisterFlowDDG(L);
+  }
+
+  Schedule schedule(unsigned ConsumerCycle, unsigned II) {
+    Schedule S;
+    S.II = II;
+    S.Length = ConsumerCycle + 1;
+    S.Ops.resize(2);
+    S.Ops[0] = {0, 0, 1};
+    S.Ops[1] = {ConsumerCycle, 0, 1};
+    return S;
+  }
+};
+
+} // namespace
+
+TEST(RegisterPressure, ShortLifetimeIsOneRegister) {
+  Pair P;
+  Schedule S = P.schedule(/*ConsumerCycle=*/1, /*II=*/4);
+  PressureResult R =
+      computeRegisterPressure(P.L, P.G, S, MachineConfig::baseline());
+  // Load's value lives 1 cycle; the add's value (unused) lives a token
+  // cycle; neither overlaps itself.
+  EXPECT_LE(R.maxLive(), 2u);
+  EXPECT_TRUE(R.fits(64));
+}
+
+TEST(RegisterPressure, LifetimeBeyondIIOverlapsInstances) {
+  Pair P;
+  // Lifetime 12 over II 4: three instances of the load's value live
+  // simultaneously.
+  PressureResult Short = computeRegisterPressure(
+      P.L, P.G, P.schedule(1, 4), MachineConfig::baseline());
+  PressureResult Long = computeRegisterPressure(
+      P.L, P.G, P.schedule(12, 4), MachineConfig::baseline());
+  EXPECT_GE(Long.MaxLivePerCluster[0], Short.MaxLivePerCluster[0] + 2);
+}
+
+TEST(RegisterPressure, CrossClusterConsumerCostsBothSides) {
+  Pair P;
+  Schedule S;
+  S.II = 4;
+  S.Length = 8;
+  S.Ops.resize(2);
+  S.Ops[0] = {0, 0, 1};
+  S.Ops[1] = {7, 2, 1};
+  S.Copies.push_back(CopyOp{0, 0, 2, 3});
+  PressureResult R =
+      computeRegisterPressure(P.L, P.G, S, MachineConfig::baseline());
+  EXPECT_GE(R.MaxLivePerCluster[0], 1u) << "value held until departure";
+  EXPECT_GE(R.MaxLivePerCluster[2], 1u) << "arrived copy held until read";
+}
+
+TEST(RegisterPressure, LongerAssumedLatenciesRaisePressure) {
+  LoopSpec Spec;
+  Spec.Name = "pressure_sweep";
+  Spec.ConsistentLoads = 6;
+  Spec.ConsistentStores = 2;
+  Spec.ArithPerLoad = 1;
+  Spec.SeedBase = 55;
+  MachineConfig Machine = MachineConfig::baseline();
+  Loop L = buildLoop(Spec, Machine);
+  DDG G = buildRegisterFlowDDG(L);
+  MemoryDisambiguator D(L);
+  D.addMemoryEdges(G);
+  ClusterProfile P = profileLoop(L, Machine);
+
+  unsigned Pressure[2];
+  unsigned I = 0;
+  for (bool Assign : {false, true}) {
+    SchedulerOptions Opts;
+    Opts.AssignLatencies = Assign;
+    ModuloScheduler Scheduler(L, G, Machine, P, Opts);
+    auto S = Scheduler.run();
+    ASSERT_TRUE(S.has_value());
+    Pressure[I++] = computeRegisterPressure(L, G, *S, Machine).maxLive();
+  }
+  EXPECT_GE(Pressure[1], Pressure[0])
+      << "pushing consumers away from loads stretches lifetimes";
+}
+
+TEST(RegisterPressure, SuiteSchedulesFitRealisticRegisterFiles) {
+  // The lifetime cap in the scheduler exists to keep pressure sane;
+  // verify the whole suite stays within a 64-register cluster file.
+  MachineConfig Machine = MachineConfig::baseline();
+  for (const BenchmarkSpec &Bench : evaluationSuite()) {
+    Machine.InterleaveBytes = Bench.InterleaveBytes;
+    for (const LoopSpec &Spec : Bench.Loops) {
+      Loop L = buildLoop(Spec, Machine);
+      DDG G = buildRegisterFlowDDG(L);
+      MemoryDisambiguator D(L);
+      D.addMemoryEdges(G);
+      ClusterProfile P = profileLoop(L, Machine);
+      SchedulerOptions Opts;
+      Opts.Heuristic = ClusterHeuristic::PrefClus;
+      ModuloScheduler Scheduler(L, G, Machine, P, Opts);
+      auto S = Scheduler.run();
+      ASSERT_TRUE(S.has_value()) << Spec.Name;
+      PressureResult R = computeRegisterPressure(L, G, *S, Machine);
+      EXPECT_TRUE(R.fits(64))
+          << Spec.Name << " needs " << R.maxLive() << " registers";
+    }
+  }
+}

@@ -1,0 +1,134 @@
+//===- tests/ReplicatedCacheTest.cpp - replicated organization ------------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+// §2.3 names "a replicated-cache clustered VLIW processor" as another
+// distributed-cache configuration the techniques apply to. These tests
+// cover the write-update replicated organization and the DDGT
+// adaptation (every store instance executes locally, none nullified).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cvliw/pipeline/Experiment.h"
+#include "cvliw/sim/MemorySystem.h"
+
+#include <gtest/gtest.h>
+
+using namespace cvliw;
+
+TEST(ReplicatedCache, LoadsAreAlwaysLocal) {
+  MachineConfig C = MachineConfig::replicatedCache();
+  MemorySystem M(C);
+  for (unsigned Cluster = 0; Cluster != 4; ++Cluster) {
+    MemAccessResult R =
+        M.access(Cluster, 4, /*IsStore=*/false, 100 * (Cluster + 1));
+    EXPECT_TRUE(R.Type == AccessType::LocalHit ||
+                R.Type == AccessType::LocalMiss ||
+                R.Type == AccessType::Combined)
+        << "no remote accesses exist with a replicated cache";
+  }
+}
+
+TEST(ReplicatedCache, StoreBroadcastsToPresentCopies) {
+  MachineConfig C = MachineConfig::replicatedCache();
+  MemorySystem M(C);
+  // Clusters 0 and 2 cache the block.
+  M.access(0, 0, false, 0);
+  M.access(2, 0, false, 0);
+  uint64_t BusBefore = M.busTransactions();
+  MemAccessResult R = M.access(0, 0, /*IsStore=*/true, 100);
+  EXPECT_EQ(R.BroadcastCommits.size(), 4u)
+      << "one visibility time per cluster";
+  EXPECT_EQ(M.busTransactions(), BusBefore + 3)
+      << "updates travel to the three other clusters";
+  // The local copy is visible before the remote ones.
+  uint64_t LocalTime = 0, MaxRemote = 0;
+  for (const auto &[Cluster, Time] : R.BroadcastCommits) {
+    if (Cluster == 0)
+      LocalTime = Time;
+    else
+      MaxRemote = std::max(MaxRemote, Time);
+  }
+  EXPECT_LT(LocalTime, MaxRemote);
+}
+
+TEST(ReplicatedCache, LocalOnlyStoreSkipsBroadcast) {
+  MachineConfig C = MachineConfig::replicatedCache();
+  MemorySystem M(C);
+  M.access(1, 0, false, 0);
+  uint64_t BusBefore = M.busTransactions();
+  MemAccessResult R =
+      M.access(1, 0, /*IsStore=*/true, 100, /*LocalOnly=*/true);
+  EXPECT_EQ(M.busTransactions(), BusBefore)
+      << "a DDGT instance touches only its own copy";
+  EXPECT_EQ(R.BroadcastCommits.size(), 1u);
+  EXPECT_EQ(R.BroadcastCommits[0].first, 1u);
+}
+
+TEST(ReplicatedCache, PipelinePoliciesStayCoherent) {
+  LoopSpec Spec;
+  Spec.Name = "replicated";
+  Spec.Chains = {ChainSpec{2, 1, 2, 1, true}};
+  Spec.ConsistentLoads = 4;
+  Spec.ConsistentStores = 1;
+  Spec.ExecTrip = 400;
+  Spec.SeedBase = 311;
+
+  for (CoherencePolicy Policy :
+       {CoherencePolicy::MDC, CoherencePolicy::DDGT}) {
+    ExperimentConfig Config;
+    Config.Policy = Policy;
+    Config.Heuristic = ClusterHeuristic::MinComs;
+    Config.Machine = MachineConfig::replicatedCache();
+    Config.CheckCoherence = true;
+    LoopRunResult R = runLoop(Spec, Config);
+    EXPECT_EQ(R.Sim.CoherenceViolations, 0u)
+        << coherencePolicyName(Policy);
+    EXPECT_GT(R.Sim.MemoryAccesses, 0u);
+  }
+}
+
+TEST(ReplicatedCache, DdgtInstancesAllExecute) {
+  LoopSpec Spec;
+  Spec.Name = "allrun";
+  Spec.Chains = {ChainSpec{1, 1, 1, 1, true}};
+  Spec.ConsistentLoads = 2;
+  Spec.ExecTrip = 300;
+  Spec.SeedBase = 312;
+
+  ExperimentConfig Config;
+  Config.Policy = CoherencePolicy::DDGT;
+  Config.Machine = MachineConfig::replicatedCache();
+  LoopRunResult R = runLoop(Spec, Config);
+  EXPECT_EQ(R.Sim.NullifiedReplicaSlots, 0u)
+      << "with a replicated cache every instance updates its own copy";
+
+  Config.Machine = MachineConfig::baseline();
+  LoopRunResult Interleaved = runLoop(Spec, Config);
+  EXPECT_GT(Interleaved.Sim.NullifiedReplicaSlots, 0u);
+}
+
+TEST(ReplicatedCache, LoadsAllLocalInWholePipeline) {
+  LoopSpec Spec;
+  Spec.Name = "locality";
+  Spec.ConsistentLoads = 6;
+  Spec.ConsistentStores = 2;
+  Spec.ExecTrip = 300;
+  Spec.SeedBase = 313;
+
+  ExperimentConfig Config;
+  Config.Policy = CoherencePolicy::Baseline;
+  Config.Machine = MachineConfig::replicatedCache();
+  LoopRunResult R = runLoop(Spec, Config);
+  EXPECT_DOUBLE_EQ(R.Sim.fraction(AccessType::RemoteHit), 0.0);
+  EXPECT_DOUBLE_EQ(R.Sim.fraction(AccessType::RemoteMiss), 0.0);
+}
+
+TEST(ReplicatedCache, OrganizationNames) {
+  EXPECT_STREQ(cacheOrganizationName(CacheOrganization::WordInterleaved),
+               "word-interleaved");
+  EXPECT_STREQ(cacheOrganizationName(CacheOrganization::Replicated),
+               "replicated");
+  EXPECT_EQ(MachineConfig::replicatedCache().Organization,
+            CacheOrganization::Replicated);
+}

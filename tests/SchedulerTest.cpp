@@ -1,0 +1,347 @@
+//===- tests/SchedulerTest.cpp - clustered modulo scheduler ---------------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cvliw/alias/MemoryDisambiguator.h"
+#include "cvliw/ir/DDGBuilder.h"
+#include "cvliw/profile/ClusterProfiler.h"
+#include "cvliw/sched/DDGTransform.h"
+#include "cvliw/sched/MemoryChains.h"
+#include "cvliw/sched/ModuloScheduler.h"
+#include "cvliw/workloads/KernelBuilder.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+using namespace cvliw;
+
+namespace {
+
+struct Compiled {
+  Loop L;
+  DDG G;
+  ClusterProfile Profile;
+  std::optional<MemoryChains> Chains;
+  std::optional<Schedule> Sched;
+};
+
+LoopSpec chainySpec(uint64_t Seed) {
+  LoopSpec Spec;
+  Spec.Name = "sched_test";
+  Spec.Chains = {ChainSpec{1, 1, 3, 1, true}};
+  Spec.ConsistentLoads = 4;
+  Spec.ConsistentStores = 1;
+  Spec.ArithPerLoad = 2;
+  Spec.ProfileTrip = 300;
+  Spec.ExecTrip = 600;
+  Spec.SeedBase = Seed;
+  return Spec;
+}
+
+Compiled compile(const LoopSpec &Spec, CoherencePolicy Policy,
+                 ClusterHeuristic Heuristic,
+                 MachineConfig Machine = MachineConfig::baseline()) {
+  Compiled Out{buildLoop(Spec, Machine), DDG(), ClusterProfile(), {}, {}};
+  Out.G = buildRegisterFlowDDG(Out.L);
+  MemoryDisambiguator D(Out.L);
+  D.addMemoryEdges(Out.G);
+  if (Policy == CoherencePolicy::DDGT) {
+    DDGTResult T = applyDDGT(Out.L, Out.G, Machine);
+    Out.L = std::move(T.TransformedLoop);
+    Out.G = std::move(T.TransformedDDG);
+  }
+  Out.Profile = profileLoop(Out.L, Machine);
+  Out.Chains.emplace(Out.L, Out.G);
+  SchedulerOptions Opts;
+  Opts.Policy = Policy;
+  Opts.Heuristic = Heuristic;
+  ModuloScheduler Scheduler(Out.L, Out.G, Machine, Out.Profile, Opts,
+                            &*Out.Chains);
+  Out.Sched = Scheduler.run();
+  return Out;
+}
+
+using PolicyHeuristic = std::tuple<CoherencePolicy, ClusterHeuristic>;
+
+class AllSchemes : public ::testing::TestWithParam<PolicyHeuristic> {};
+
+} // namespace
+
+TEST_P(AllSchemes, ProducesLegalSchedule) {
+  auto [Policy, Heuristic] = GetParam();
+  Compiled C = compile(chainySpec(11), Policy, Heuristic);
+  ASSERT_TRUE(C.Sched.has_value());
+  EXPECT_EQ(checkSchedule(C.L, C.G, MachineConfig::baseline(), *C.Sched),
+            "");
+}
+
+TEST_P(AllSchemes, IIRespectsLowerBounds) {
+  auto [Policy, Heuristic] = GetParam();
+  Compiled C = compile(chainySpec(12), Policy, Heuristic);
+  ASSERT_TRUE(C.Sched.has_value());
+  EXPECT_GE(C.Sched->II, C.Sched->ResMII);
+  EXPECT_GE(C.Sched->II, C.Sched->RecMII);
+  EXPECT_LE(C.Sched->II, 8 * std::max(C.Sched->ResMII, C.Sched->RecMII))
+      << "II should stay within a small factor of the lower bound";
+}
+
+TEST_P(AllSchemes, EveryOpPlacedOnValidCluster) {
+  auto [Policy, Heuristic] = GetParam();
+  Compiled C = compile(chainySpec(13), Policy, Heuristic);
+  ASSERT_TRUE(C.Sched.has_value());
+  EXPECT_EQ(C.Sched->Ops.size(), C.L.numOps());
+  for (const ScheduledOp &Op : C.Sched->Ops)
+    EXPECT_LT(Op.Cluster, 4u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PolicyByHeuristic, AllSchemes,
+    ::testing::Combine(::testing::Values(CoherencePolicy::Baseline,
+                                         CoherencePolicy::MDC,
+                                         CoherencePolicy::DDGT),
+                       ::testing::Values(ClusterHeuristic::PrefClus,
+                                         ClusterHeuristic::MinComs)),
+    [](const ::testing::TestParamInfo<PolicyHeuristic> &Info) {
+      return std::string(coherencePolicyName(std::get<0>(Info.param))) +
+             "_" + clusterHeuristicName(std::get<1>(Info.param));
+    });
+
+TEST(Scheduler, MdcPinsChainsToOneCluster) {
+  for (ClusterHeuristic H :
+       {ClusterHeuristic::PrefClus, ClusterHeuristic::MinComs}) {
+    Compiled C = compile(chainySpec(21), CoherencePolicy::MDC, H);
+    ASSERT_TRUE(C.Sched.has_value());
+    std::map<unsigned, std::set<unsigned>> ClustersOfChain;
+    for (unsigned Id = 0; Id != C.L.numOps(); ++Id) {
+      unsigned Chain = C.Chains->chainOf(Id);
+      if (Chain != NoChain)
+        ClustersOfChain[Chain].insert(C.Sched->Ops[Id].Cluster);
+    }
+    EXPECT_FALSE(ClustersOfChain.empty());
+    for (const auto &[Chain, Clusters] : ClustersOfChain)
+      EXPECT_EQ(Clusters.size(), 1u)
+          << "chain " << Chain << " spans clusters under "
+          << clusterHeuristicName(H);
+  }
+}
+
+TEST(Scheduler, MdcPrefClusUsesChainAveragePreference) {
+  Compiled C = compile(chainySpec(22), CoherencePolicy::MDC,
+                       ClusterHeuristic::PrefClus);
+  ASSERT_TRUE(C.Sched.has_value());
+  for (unsigned Id = 0; Id != C.L.numOps(); ++Id) {
+    unsigned Chain = C.Chains->chainOf(Id);
+    if (Chain == NoChain)
+      continue;
+    unsigned Expected =
+        C.Profile.preferredClusterOfSet(C.Chains->members(Chain));
+    EXPECT_EQ(C.Sched->Ops[Id].Cluster, Expected);
+  }
+}
+
+TEST(Scheduler, DdgtInstancesCoverAllClusters) {
+  Compiled C = compile(chainySpec(23), CoherencePolicy::DDGT,
+                       ClusterHeuristic::PrefClus);
+  ASSERT_TRUE(C.Sched.has_value());
+  std::map<unsigned, std::set<unsigned>> InstanceClusters;
+  for (unsigned Id = 0; Id != C.L.numOps(); ++Id) {
+    const Operation &O = C.L.op(Id);
+    if (O.isStore() && O.isReplica())
+      InstanceClusters[O.ReplicaOf].insert(C.Sched->Ops[Id].Cluster);
+  }
+  EXPECT_FALSE(InstanceClusters.empty());
+  for (const auto &[Original, Clusters] : InstanceClusters)
+    EXPECT_EQ(Clusters.size(), 4u)
+        << "instances of store " << Original
+        << " must land in four distinct clusters";
+}
+
+TEST(Scheduler, PrefClusPutsFreeMemoryOpsInPreferredCluster) {
+  Compiled C = compile(chainySpec(24), CoherencePolicy::Baseline,
+                       ClusterHeuristic::PrefClus);
+  ASSERT_TRUE(C.Sched.has_value());
+  for (unsigned Id = 0; Id != C.L.numOps(); ++Id) {
+    if (C.L.op(Id).isMemory()) {
+      EXPECT_EQ(C.Sched->Ops[Id].Cluster, C.Profile.preferredCluster(Id));
+    }
+  }
+}
+
+TEST(Scheduler, CopiesCoverEveryCrossClusterValue) {
+  Compiled C = compile(chainySpec(25), CoherencePolicy::DDGT,
+                       ClusterHeuristic::PrefClus);
+  ASSERT_TRUE(C.Sched.has_value());
+  C.G.forEachEdge([&](unsigned, const DepEdge &E) {
+    if (E.Kind != DepKind::RegFlow || E.Src == E.Dst)
+      return;
+    unsigned From = C.Sched->Ops[E.Src].Cluster;
+    unsigned To = C.Sched->Ops[E.Dst].Cluster;
+    if (From == To)
+      return;
+    bool Found = false;
+    for (const CopyOp &Copy : C.Sched->Copies)
+      Found |= Copy.ProducerOp == E.Src && Copy.ToCluster == To &&
+               Copy.FromCluster == From;
+    EXPECT_TRUE(Found) << "no copy for value " << E.Src << " -> cluster "
+                       << To;
+  });
+}
+
+TEST(Scheduler, AssignedLatenciesAreRecognizedAccessLatencies) {
+  MachineConfig Machine = MachineConfig::baseline();
+  Compiled C = compile(chainySpec(26), CoherencePolicy::Baseline,
+                       ClusterHeuristic::MinComs);
+  ASSERT_TRUE(C.Sched.has_value());
+  std::set<unsigned> Valid = {
+      Machine.nominalLatency(AccessType::LocalHit),
+      Machine.nominalLatency(AccessType::RemoteHit),
+      Machine.nominalLatency(AccessType::LocalMiss),
+      Machine.nominalLatency(AccessType::RemoteMiss)};
+  for (unsigned Id = 0; Id != C.L.numOps(); ++Id) {
+    if (C.L.op(Id).isLoad()) {
+      EXPECT_TRUE(Valid.count(C.Sched->Ops[Id].AssumedLatency))
+          << "load " << Id << " assumed "
+          << C.Sched->Ops[Id].AssumedLatency;
+    }
+  }
+}
+
+TEST(Scheduler, LatencyAssignmentRaisesConsumerDistance) {
+  // With latency assignment on, independent loads should be scheduled
+  // with more than the local-hit latency to their consumers.
+  LoopSpec Spec;
+  Spec.Name = "lat";
+  Spec.ConsistentLoads = 4;
+  Spec.ConsistentStores = 1;
+  Spec.ArithPerLoad = 1;
+  Spec.SeedBase = 31;
+  MachineConfig Machine = MachineConfig::baseline();
+  Loop L = buildLoop(Spec, Machine);
+  DDG G = buildRegisterFlowDDG(L);
+  MemoryDisambiguator D(L);
+  D.addMemoryEdges(G);
+  ClusterProfile P = profileLoop(L, Machine);
+
+  SchedulerOptions On;
+  On.AssignLatencies = true;
+  ModuloScheduler SOn(L, G, Machine, P, On);
+  auto SchedOn = SOn.run();
+  ASSERT_TRUE(SchedOn.has_value());
+
+  SchedulerOptions Off;
+  Off.AssignLatencies = false;
+  ModuloScheduler SOff(L, G, Machine, P, Off);
+  auto SchedOff = SOff.run();
+  ASSERT_TRUE(SchedOff.has_value());
+
+  unsigned MaxOn = 0, MaxOff = 0;
+  for (unsigned Id = 0; Id != L.numOps(); ++Id) {
+    if (!L.op(Id).isLoad())
+      continue;
+    MaxOn = std::max(MaxOn, SchedOn->Ops[Id].AssumedLatency);
+    MaxOff = std::max(MaxOff, SchedOff->Ops[Id].AssumedLatency);
+  }
+  EXPECT_GT(MaxOn, MaxOff);
+  EXPECT_EQ(MaxOff, 1u);
+}
+
+TEST(Scheduler, MinComsPostPassNeverLosesLocalAccesses) {
+  // The virtual->physical permutation maximizes profiled local accesses;
+  // identity is always a candidate, so the result can only be >= the
+  // unpermuted score. We verify by recomputing the score.
+  Compiled C = compile(chainySpec(27), CoherencePolicy::Baseline,
+                       ClusterHeuristic::MinComs);
+  ASSERT_TRUE(C.Sched.has_value());
+  // The score of the final assignment must be maximal over all
+  // permutations of it.
+  std::vector<unsigned> Perm{0, 1, 2, 3};
+  auto Score = [&](const std::vector<unsigned> &P) {
+    uint64_t S = 0;
+    for (unsigned Id = 0; Id != C.L.numOps(); ++Id)
+      if (C.L.op(Id).isMemory())
+        S += C.Profile.histogram(Id)[P[C.Sched->Ops[Id].Cluster]];
+    return S;
+  };
+  uint64_t Identity = Score(Perm);
+  std::sort(Perm.begin(), Perm.end());
+  do
+    EXPECT_LE(Score(Perm), Identity);
+  while (std::next_permutation(Perm.begin(), Perm.end()));
+}
+
+TEST(Scheduler, DeterministicAcrossRuns) {
+  Compiled A = compile(chainySpec(28), CoherencePolicy::MDC,
+                       ClusterHeuristic::PrefClus);
+  Compiled B = compile(chainySpec(28), CoherencePolicy::MDC,
+                       ClusterHeuristic::PrefClus);
+  ASSERT_TRUE(A.Sched && B.Sched);
+  EXPECT_EQ(A.Sched->II, B.Sched->II);
+  for (unsigned Id = 0; Id != A.L.numOps(); ++Id) {
+    EXPECT_EQ(A.Sched->Ops[Id].Cycle, B.Sched->Ops[Id].Cycle);
+    EXPECT_EQ(A.Sched->Ops[Id].Cluster, B.Sched->Ops[Id].Cluster);
+  }
+}
+
+TEST(Scheduler, NobalRegisterBusesRaiseDdgtII) {
+  // DDGT leans on register buses (operand copies for replicas); taking
+  // buses away should never make its II better.
+  Compiled Fast = compile(chainySpec(29), CoherencePolicy::DDGT,
+                          ClusterHeuristic::PrefClus,
+                          MachineConfig::baseline());
+  Compiled Slow = compile(chainySpec(29), CoherencePolicy::DDGT,
+                          ClusterHeuristic::PrefClus,
+                          MachineConfig::nobalMem());
+  ASSERT_TRUE(Fast.Sched && Slow.Sched);
+  EXPECT_GE(Slow.Sched->II, Fast.Sched->II);
+}
+
+TEST(Scheduler, StageCountConsistent) {
+  Compiled C = compile(chainySpec(30), CoherencePolicy::Baseline,
+                       ClusterHeuristic::MinComs);
+  ASSERT_TRUE(C.Sched.has_value());
+  EXPECT_EQ(C.Sched->stageCount(),
+            (C.Sched->Length + C.Sched->II - 1) / C.Sched->II);
+  EXPECT_GE(C.Sched->stageCount(), 1u);
+}
+
+TEST(Scheduler, SwingOrderingProducesLegalSchedules) {
+  for (CoherencePolicy Policy :
+       {CoherencePolicy::Baseline, CoherencePolicy::MDC,
+        CoherencePolicy::DDGT}) {
+    LoopSpec Spec = chainySpec(41);
+    MachineConfig Machine = MachineConfig::baseline();
+    Loop L = buildLoop(Spec, Machine);
+    DDG G = buildRegisterFlowDDG(L);
+    MemoryDisambiguator D(L);
+    D.addMemoryEdges(G);
+    Loop *SchedLoop = &L;
+    DDG *SchedGraph = &G;
+    DDGTResult T;
+    if (Policy == CoherencePolicy::DDGT) {
+      T = applyDDGT(L, G, Machine);
+      SchedLoop = &T.TransformedLoop;
+      SchedGraph = &T.TransformedDDG;
+    }
+    ClusterProfile P = profileLoop(*SchedLoop, Machine);
+    MemoryChains Chains(*SchedLoop, *SchedGraph);
+    SchedulerOptions Opts;
+    Opts.Policy = Policy;
+    Opts.Ordering = SchedulerOrdering::Swing;
+    ModuloScheduler Scheduler(*SchedLoop, *SchedGraph, Machine, P, Opts,
+                              &Chains);
+    auto S = Scheduler.run();
+    ASSERT_TRUE(S.has_value()) << coherencePolicyName(Policy);
+    EXPECT_EQ(checkSchedule(*SchedLoop, *SchedGraph, Machine, *S), "")
+        << coherencePolicyName(Policy);
+  }
+}
+
+TEST(Scheduler, OrderingNames) {
+  EXPECT_STREQ(schedulerOrderingName(SchedulerOrdering::HeightBased),
+               "height");
+  EXPECT_STREQ(schedulerOrderingName(SchedulerOrdering::Swing), "swing");
+}

@@ -1,0 +1,73 @@
+//===- tests/SetAssocCacheTest.cpp - cache structure tests ----------------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cvliw/sim/SetAssocCache.h"
+
+#include <gtest/gtest.h>
+
+using namespace cvliw;
+
+TEST(SetAssocCache, HitAfterInsert) {
+  SetAssocCache C(4, 2);
+  EXPECT_FALSE(C.lookup(10, 0));
+  C.insert(10, 1);
+  EXPECT_TRUE(C.lookup(10, 2));
+  EXPECT_TRUE(C.contains(10));
+  EXPECT_FALSE(C.contains(11));
+}
+
+TEST(SetAssocCache, LruEvictionWithinSet) {
+  SetAssocCache C(1, 2); // Fully associative pair.
+  C.insert(1, 10);
+  C.insert(2, 11);
+  EXPECT_TRUE(C.lookup(1, 12)); // 1 becomes MRU.
+  C.insert(3, 13);              // Evicts 2 (LRU).
+  EXPECT_TRUE(C.contains(1));
+  EXPECT_FALSE(C.contains(2));
+  EXPECT_TRUE(C.contains(3));
+}
+
+TEST(SetAssocCache, SetsAreIndependent) {
+  SetAssocCache C(2, 1); // Direct-mapped, 2 sets.
+  C.insert(0, 1);        // Set 0.
+  C.insert(1, 2);        // Set 1.
+  EXPECT_TRUE(C.contains(0));
+  EXPECT_TRUE(C.contains(1));
+  C.insert(2, 3); // Set 0: evicts key 0.
+  EXPECT_FALSE(C.contains(0));
+  EXPECT_TRUE(C.contains(1));
+}
+
+TEST(SetAssocCache, DirtyTracking) {
+  SetAssocCache C(2, 2);
+  C.insert(4, 1);
+  EXPECT_FALSE(C.markDirty(5, 2)) << "absent key";
+  EXPECT_TRUE(C.markDirty(4, 3));
+  EXPECT_EQ(C.flush(), 1u) << "one dirty entry written back";
+  EXPECT_FALSE(C.contains(4)) << "flush invalidates";
+}
+
+TEST(SetAssocCache, InsertDirtyAndWritebackSignal) {
+  SetAssocCache C(1, 1);
+  C.insert(1, 0, /*Dirty=*/true);
+  EXPECT_TRUE(C.insert(2, 1)) << "evicting a dirty entry needs writeback";
+  EXPECT_FALSE(C.insert(3, 2)) << "clean eviction needs none";
+}
+
+TEST(SetAssocCache, ReinsertRefreshesNotDuplicates) {
+  SetAssocCache C(1, 2);
+  C.insert(1, 0);
+  C.insert(1, 5);
+  EXPECT_EQ(C.occupancy(), 1u);
+}
+
+TEST(SetAssocCache, FlushCountsAllDirty) {
+  SetAssocCache C(4, 2);
+  for (uint64_t K = 0; K != 6; ++K)
+    C.insert(K, K, /*Dirty=*/(K % 2) == 0);
+  EXPECT_EQ(C.flush(), 3u);
+  EXPECT_EQ(C.occupancy(), 0u);
+}

@@ -1,0 +1,60 @@
+//===- tests/SmokeTest.cpp - end-to-end pipeline smoke test ---------------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cvliw/pipeline/Experiment.h"
+
+#include <gtest/gtest.h>
+
+using namespace cvliw;
+
+TEST(Smoke, OneLoopThroughAllPolicies) {
+  LoopSpec Spec;
+  Spec.Name = "smoke";
+  Spec.ProfileTrip = 200;
+  Spec.ExecTrip = 400;
+  Spec.Chains = {ChainSpec{1, 1, 2, 1, true}};
+  Spec.ConsistentLoads = 4;
+  Spec.ConsistentStores = 1;
+  Spec.SeedBase = 99;
+
+  for (CoherencePolicy Policy :
+       {CoherencePolicy::Baseline, CoherencePolicy::MDC,
+        CoherencePolicy::DDGT}) {
+    for (ClusterHeuristic Heuristic :
+         {ClusterHeuristic::PrefClus, ClusterHeuristic::MinComs}) {
+      ExperimentConfig Config;
+      Config.Policy = Policy;
+      Config.Heuristic = Heuristic;
+      Config.CheckCoherence = true;
+      LoopRunResult R = runLoop(Spec, Config);
+      EXPECT_GT(R.II, 0u) << coherencePolicyName(Policy);
+      EXPECT_EQ(R.Sim.Iterations, 400u);
+      EXPECT_GT(R.Sim.TotalCycles, 0u);
+      EXPECT_GT(R.Sim.MemoryAccesses, 0u);
+      if (Policy != CoherencePolicy::Baseline) {
+        EXPECT_EQ(R.Sim.CoherenceViolations, 0u)
+            << coherencePolicyName(Policy) << "/"
+            << clusterHeuristicName(Heuristic);
+      }
+    }
+  }
+}
+
+TEST(Smoke, SuiteBuilds) {
+  auto Suite = mediabenchSuite();
+  EXPECT_EQ(Suite.size(), 14u);
+  EXPECT_EQ(evaluationSuite().size(), 13u);
+  for (const BenchmarkSpec &B : Suite) {
+    EXPECT_FALSE(B.Loops.empty()) << B.Name;
+    MachineConfig Machine = MachineConfig::baseline();
+    Machine.InterleaveBytes = B.InterleaveBytes;
+    for (const LoopSpec &Spec : B.Loops) {
+      Loop L = buildLoop(Spec, Machine);
+      EXPECT_GT(L.numOps(), 0u) << Spec.Name;
+      EXPECT_GT(L.numMemoryOps(), 0u) << Spec.Name;
+    }
+  }
+}

@@ -1,0 +1,128 @@
+//===- tests/SupportTest.cpp - support library tests ----------------------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cvliw/support/Rng.h"
+#include "cvliw/support/Statistics.h"
+#include "cvliw/support/TableWriter.h"
+#include "cvliw/support/UnionFind.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+using namespace cvliw;
+
+TEST(Rng, Deterministic) {
+  Rng A(42), B(42);
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng A(1), B(2);
+  bool AnyDifferent = false;
+  for (int I = 0; I != 16; ++I)
+    AnyDifferent |= A.next() != B.next();
+  EXPECT_TRUE(AnyDifferent);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng R(7);
+  for (int I = 0; I != 1000; ++I)
+    EXPECT_LT(R.nextBelow(13), 13u);
+}
+
+TEST(Rng, NextInRangeInclusive) {
+  Rng R(9);
+  std::set<int64_t> Seen;
+  for (int I = 0; I != 2000; ++I) {
+    int64_t V = R.nextInRange(-3, 3);
+    EXPECT_GE(V, -3);
+    EXPECT_LE(V, 3);
+    Seen.insert(V);
+  }
+  EXPECT_EQ(Seen.size(), 7u) << "all values of a small range appear";
+}
+
+TEST(Rng, ForkIndependent) {
+  Rng A(5);
+  Rng B = A.fork();
+  EXPECT_NE(A.next(), B.next());
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng R(11);
+  for (int I = 0; I != 1000; ++I) {
+    double D = R.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(UnionFind, Basics) {
+  UnionFind U(8);
+  EXPECT_FALSE(U.connected(0, 1));
+  U.merge(0, 1);
+  EXPECT_TRUE(U.connected(0, 1));
+  U.merge(1, 2);
+  EXPECT_TRUE(U.connected(0, 2));
+  EXPECT_FALSE(U.connected(0, 3));
+  EXPECT_EQ(U.sizeOfSet(0), 3u);
+  EXPECT_EQ(U.sizeOfSet(3), 1u);
+}
+
+TEST(UnionFind, MergeIsIdempotent) {
+  UnionFind U(4);
+  size_t Root1 = U.merge(0, 1);
+  size_t Root2 = U.merge(0, 1);
+  EXPECT_EQ(Root1, Root2);
+  EXPECT_EQ(U.sizeOfSet(0), 2u);
+}
+
+TEST(Statistics, SafeRatio) {
+  EXPECT_DOUBLE_EQ(safeRatio(4, 2), 2.0);
+  EXPECT_DOUBLE_EQ(safeRatio(4, 0, -1.0), -1.0);
+}
+
+TEST(Statistics, Amean) {
+  EXPECT_DOUBLE_EQ(amean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(amean({}), 0.0);
+}
+
+TEST(Statistics, FractionAccumulator) {
+  FractionAccumulator Acc(3);
+  Acc.add(0, 6);
+  Acc.add(1, 3);
+  Acc.add(2, 1);
+  EXPECT_EQ(Acc.total(), 10u);
+  EXPECT_DOUBLE_EQ(Acc.fraction(0), 0.6);
+  EXPECT_DOUBLE_EQ(Acc.fraction(1), 0.3);
+
+  FractionAccumulator Other(3);
+  Other.add(0, 10);
+  Acc.merge(Other);
+  EXPECT_EQ(Acc.total(), 20u);
+  EXPECT_DOUBLE_EQ(Acc.fraction(0), 0.8);
+}
+
+TEST(TableWriter, RendersAlignedColumns) {
+  TableWriter T({"name", "value"});
+  T.addRow({"x", "1"});
+  T.addRow({"longer", "2"});
+  std::ostringstream OS;
+  T.render(OS);
+  std::string Out = OS.str();
+  EXPECT_NE(Out.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(Out.find("| longer | 2     |"), std::string::npos);
+}
+
+TEST(TableWriter, Formatting) {
+  EXPECT_EQ(TableWriter::fmt(1.2345, 2), "1.23");
+  EXPECT_EQ(TableWriter::pct(0.625, 1), "62.5%");
+  EXPECT_EQ(TableWriter::grouped(1280451), "1,280,451");
+  EXPECT_EQ(TableWriter::grouped(12), "12");
+}

@@ -1,0 +1,160 @@
+//===- tests/UnrollTest.cpp - loop unrolling tests ------------------------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cvliw/ir/DDGBuilder.h"
+#include "cvliw/ir/Unroll.h"
+#include "cvliw/profile/ClusterProfiler.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+using namespace cvliw;
+
+namespace {
+
+/// load a[i]; acc += v; store b[i] — stride 4 (one interleave chunk):
+/// the home cluster rotates every iteration before unrolling.
+Loop rotatingLoop() {
+  Loop L("rot");
+  L.ProfileTripCount = 256;
+  L.ExecTripCount = 512;
+  unsigned A = L.addObject({"a", 0, 4096, UniqueAliasGroup});
+  unsigned BObj = L.addObject({"b", 0x10000, 4096, UniqueAliasGroup});
+  unsigned SLoad = L.addStream(AddressExpr::affine(A, 0, 4, 4));
+  unsigned SStore = L.addStream(AddressExpr::affine(BObj, 0, 4, 4));
+  L.addOp(Operation::load(1, SLoad));
+  L.addOp(Operation::compute(Opcode::IAdd, 2, {2, 1})); // acc += v.
+  L.addOp(Operation::store(1, SStore));
+  return L;
+}
+
+/// The multiset of addresses a loop touches over \p DynIters original
+/// iterations for memory op class \p WantStore.
+std::vector<uint64_t> addressTrace(const Loop &L, uint64_t OrigIters,
+                                   unsigned Factor, bool WantStore) {
+  std::vector<uint64_t> Out;
+  uint64_t Iters = OrigIters / Factor;
+  for (uint64_t I = 0; I != Iters; ++I)
+    for (unsigned Id = 0; Id != L.numOps(); ++Id)
+      if (L.op(Id).isMemory() && L.op(Id).isStore() == WantStore)
+        Out.push_back(L.addressOf(Id, I, L.ExecSeed));
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}
+
+} // namespace
+
+TEST(Unroll, FactorOneIsIdentity) {
+  Loop L = rotatingLoop();
+  Loop U = unrollLoop(L, 1);
+  EXPECT_EQ(U.numOps(), L.numOps());
+  EXPECT_EQ(U.ExecTripCount, L.ExecTripCount);
+}
+
+TEST(Unroll, BodyAndStreamsReplicated) {
+  Loop L = rotatingLoop();
+  Loop U = unrollLoop(L, 4);
+  EXPECT_EQ(U.numOps(), 4 * L.numOps());
+  EXPECT_EQ(U.streams().size(), 4 * L.streams().size());
+  EXPECT_EQ(U.ExecTripCount, L.ExecTripCount / 4);
+}
+
+TEST(Unroll, AddressTracePreserved) {
+  // Unrolling must not change which addresses the loop touches.
+  Loop L = rotatingLoop();
+  Loop U = unrollLoop(L, 4);
+  for (bool Stores : {false, true}) {
+    std::vector<uint64_t> Before = addressTrace(L, 512, 1, Stores);
+    std::vector<uint64_t> After = addressTrace(U, 512, 4, Stores);
+    EXPECT_EQ(Before, After);
+  }
+}
+
+TEST(Unroll, MakesStreamsClusterConsistent) {
+  MachineConfig Machine = MachineConfig::baseline(); // N*I = 16.
+  Loop L = rotatingLoop();                           // Stride 4.
+  EXPECT_DOUBLE_EQ(clusterConsistentFraction(L, Machine), 0.0);
+  Loop U = unrollLoop(L, 4); // Stride 16 per copy.
+  EXPECT_DOUBLE_EQ(clusterConsistentFraction(U, Machine), 1.0);
+
+  // And the profiler confirms: every unrolled memory op is unanimous.
+  ClusterProfile P = profileLoop(U, Machine);
+  for (unsigned Id = 0; Id != U.numOps(); ++Id) {
+    if (!U.op(Id).isMemory())
+      continue;
+    unsigned Pref = P.preferredCluster(Id);
+    EXPECT_DOUBLE_EQ(P.fractionToCluster(Id, Pref), 1.0) << "op " << Id;
+  }
+}
+
+TEST(Unroll, CopiesPreferDistinctClusters) {
+  MachineConfig Machine = MachineConfig::baseline();
+  Loop U = unrollLoop(rotatingLoop(), 4);
+  ClusterProfile P = profileLoop(U, Machine);
+  // The four copies of the load walk consecutive chunks: their homes
+  // must be the four distinct clusters.
+  std::vector<unsigned> Homes;
+  for (unsigned Id = 0; Id != U.numOps(); ++Id)
+    if (U.op(Id).isLoad())
+      Homes.push_back(P.preferredCluster(Id));
+  std::sort(Homes.begin(), Homes.end());
+  EXPECT_EQ(Homes, (std::vector<unsigned>{0, 1, 2, 3}));
+}
+
+TEST(Unroll, RegisterFlowStaysWellFormed) {
+  Loop U = unrollLoop(rotatingLoop(), 4);
+  DDG G = buildRegisterFlowDDG(U);
+  EXPECT_TRUE(verifyDDG(U, G));
+
+  // The accumulator must chain across copies: copy k's add consumes
+  // copy k-1's add (distance 0 within the unrolled body) and copy 0
+  // consumes copy 3's value at distance 1.
+  std::vector<unsigned> Adds;
+  for (unsigned Id = 0; Id != U.numOps(); ++Id)
+    if (U.op(Id).Op == Opcode::IAdd)
+      Adds.push_back(Id);
+  ASSERT_EQ(Adds.size(), 4u);
+  EXPECT_TRUE(G.hasRegFlow(Adds[0], Adds[1], 0));
+  EXPECT_TRUE(G.hasRegFlow(Adds[1], Adds[2], 0));
+  EXPECT_TRUE(G.hasRegFlow(Adds[2], Adds[3], 0));
+  EXPECT_TRUE(G.hasRegFlow(Adds[3], Adds[0], 1));
+}
+
+TEST(Unroll, ChooseFactorMatchesGranule) {
+  MachineConfig Machine = MachineConfig::baseline(); // Granule 16.
+  Loop L = rotatingLoop();                           // Stride 4.
+  EXPECT_EQ(chooseUnrollFactor(L, Machine), 4u);
+
+  Machine.InterleaveBytes = 2; // Granule 8.
+  EXPECT_EQ(chooseUnrollFactor(L, Machine), 2u);
+}
+
+TEST(Unroll, ChooseFactorIsOneWhenAlreadyConsistent) {
+  MachineConfig Machine = MachineConfig::baseline();
+  Loop L("cons");
+  unsigned Obj = L.addObject({"a", 0, 4096, UniqueAliasGroup});
+  L.addOp(Operation::load(1, L.addStream(AddressExpr::affine(Obj, 0, 16, 4))));
+  EXPECT_EQ(chooseUnrollFactor(L, Machine), 1u);
+}
+
+TEST(Unroll, ChooseFactorIsOneForGatherOnlyLoops) {
+  MachineConfig Machine = MachineConfig::baseline();
+  Loop L("gather");
+  unsigned Obj = L.addObject({"t", 0, 1024, UniqueAliasGroup});
+  L.addOp(Operation::load(1, L.addStream(AddressExpr::gather(Obj, 4, 3))));
+  EXPECT_EQ(chooseUnrollFactor(L, Machine), 1u);
+}
+
+TEST(Unroll, GatherCopiesGetDistinctSeeds) {
+  Loop L("g");
+  L.ExecTripCount = 64;
+  unsigned Obj = L.addObject({"t", 0, 1024, UniqueAliasGroup});
+  L.addOp(Operation::load(1, L.addStream(AddressExpr::gather(Obj, 4, 3))));
+  Loop U = unrollLoop(L, 2);
+  EXPECT_NE(U.stream(0).GatherSeed, U.stream(1).GatherSeed);
+}

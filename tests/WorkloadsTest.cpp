@@ -1,0 +1,139 @@
+//===- tests/WorkloadsTest.cpp - synthetic suite tests --------------------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cvliw/alias/MemoryDisambiguator.h"
+#include "cvliw/ir/DDGBuilder.h"
+#include "cvliw/sched/MemoryChains.h"
+#include "cvliw/workloads/Suite.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace cvliw;
+
+namespace {
+
+class EverySuiteBenchmark
+    : public ::testing::TestWithParam<BenchmarkSpec> {};
+
+} // namespace
+
+TEST_P(EverySuiteBenchmark, LoopsBuildAndVerify) {
+  const BenchmarkSpec &Bench = GetParam();
+  MachineConfig Machine = MachineConfig::baseline();
+  Machine.InterleaveBytes = Bench.InterleaveBytes;
+  for (const LoopSpec &Spec : Bench.Loops) {
+    Loop L = buildLoop(Spec, Machine);
+    EXPECT_GT(L.numOps(), 3u);
+    EXPECT_GT(L.numMemoryOps(), 0u);
+    DDG G = buildRegisterFlowDDG(L);
+    MemoryDisambiguator D(L);
+    D.addMemoryEdges(G);
+    EXPECT_TRUE(verifyDDG(L, G)) << Spec.Name;
+  }
+}
+
+TEST_P(EverySuiteBenchmark, ChainSizesMatchSpecs) {
+  const BenchmarkSpec &Bench = GetParam();
+  MachineConfig Machine = MachineConfig::baseline();
+  Machine.InterleaveBytes = Bench.InterleaveBytes;
+  for (const LoopSpec &Spec : Bench.Loops) {
+    Loop L = buildLoop(Spec, Machine);
+    DDG G = buildRegisterFlowDDG(L);
+    MemoryDisambiguator D(L);
+    D.addMemoryEdges(G);
+    MemoryChains Chains(L, G);
+    size_t Expected = 0;
+    for (const ChainSpec &Chain : Spec.Chains)
+      Expected = std::max<size_t>(Expected, Chain.size());
+    EXPECT_EQ(Chains.biggestChainSize(), Expected) << Spec.Name;
+  }
+}
+
+TEST_P(EverySuiteBenchmark, StreamsStayInsideObjects) {
+  const BenchmarkSpec &Bench = GetParam();
+  MachineConfig Machine = MachineConfig::baseline();
+  Machine.InterleaveBytes = Bench.InterleaveBytes;
+  for (const LoopSpec &Spec : Bench.Loops) {
+    Loop L = buildLoop(Spec, Machine);
+    for (unsigned Id = 0; Id != L.numOps(); ++Id) {
+      if (!L.op(Id).isMemory())
+        continue;
+      const AddressExpr &E = L.stream(L.op(Id).StreamId);
+      const MemObject &Obj = L.object(E.ObjectId);
+      for (uint64_t I = 0; I != 100; ++I) {
+        uint64_t A = L.addressOf(Id, I * 7, L.ExecSeed);
+        EXPECT_GE(A, Obj.BaseAddr);
+        EXPECT_LE(A + E.AccessBytes, Obj.BaseAddr + Obj.SizeBytes);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mediabench, EverySuiteBenchmark,
+    ::testing::ValuesIn(mediabenchSuite()),
+    [](const ::testing::TestParamInfo<BenchmarkSpec> &Info) {
+      return Info.param.Name;
+    });
+
+TEST(Suite, FourteenBenchmarksThirteenEvaluated) {
+  EXPECT_EQ(mediabenchSuite().size(), 14u);
+  EXPECT_EQ(evaluationSuite().size(), 13u);
+  auto Suite = mediabenchSuite();
+  EXPECT_NE(findBenchmark(Suite, "epicenc"), nullptr);
+  EXPECT_FALSE(findBenchmark(Suite, "epicenc")->InEvaluation);
+  EXPECT_EQ(findBenchmark(Suite, "nonexistent"), nullptr);
+}
+
+TEST(Suite, InterleaveFactorsFollowTable1) {
+  auto Suite = mediabenchSuite();
+  // 4-byte interleave: epic*, jpeg*, mpeg2dec, pgp*, rasta.
+  for (const char *Name :
+       {"epicdec", "epicenc", "jpegdec", "jpegenc", "mpeg2dec", "pgpdec",
+        "pgpenc", "rasta"})
+    EXPECT_EQ(findBenchmark(Suite, Name)->InterleaveBytes, 4u) << Name;
+  // 2-byte interleave: g721*, gsm*, pegwit*.
+  for (const char *Name : {"g721dec", "g721enc", "gsmdec", "gsmenc",
+                           "pegwitdec", "pegwitenc"})
+    EXPECT_EQ(findBenchmark(Suite, Name)->InterleaveBytes, 2u) << Name;
+}
+
+TEST(Suite, G721HasNoChains) {
+  auto Suite = mediabenchSuite();
+  for (const char *Name : {"g721dec", "g721enc"})
+    for (const LoopSpec &Spec : findBenchmark(Suite, Name)->Loops)
+      EXPECT_TRUE(Spec.Chains.empty()) << "Table 3: CMR = CAR = 0";
+}
+
+TEST(Suite, DistinctSeedsAcrossLoops) {
+  std::set<uint64_t> Seeds;
+  for (const BenchmarkSpec &Bench : mediabenchSuite())
+    for (const LoopSpec &Spec : Bench.Loops)
+      EXPECT_TRUE(Seeds.insert(Spec.SeedBase).second)
+          << "duplicate seed in " << Spec.Name;
+}
+
+TEST(Suite, ObjectsNeverOverlap) {
+  MachineConfig Machine = MachineConfig::baseline();
+  for (const BenchmarkSpec &Bench : mediabenchSuite()) {
+    for (const LoopSpec &Spec : Bench.Loops) {
+      Loop L = buildLoop(Spec, Machine);
+      const auto &Objects = L.objects();
+      for (size_t I = 0; I != Objects.size(); ++I)
+        for (size_t J = I + 1; J != Objects.size(); ++J) {
+          bool Disjoint =
+              Objects[I].BaseAddr + Objects[I].SizeBytes <=
+                  Objects[J].BaseAddr ||
+              Objects[J].BaseAddr + Objects[J].SizeBytes <=
+                  Objects[I].BaseAddr;
+          EXPECT_TRUE(Disjoint)
+              << Objects[I].Name << " overlaps " << Objects[J].Name;
+        }
+    }
+  }
+}

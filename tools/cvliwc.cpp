@@ -1,0 +1,345 @@
+//===- tools/cvliwc.cpp - Command-line driver ------------------------------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+// A small driver over the library, in the spirit of opt/llc:
+//
+//   cvliwc list
+//   cvliwc show    --benchmark gsmdec [--loop 0] [--dot file.dot]
+//   cvliwc compile --benchmark gsmdec --loop 0 --policy mdc
+//                  [--heuristic prefclus] [--machine nobalreg] [--unroll 4]
+//   cvliwc run     --benchmark gsmdec --policy ddgt [--ab] [--check]
+//   cvliwc suite   --policy mdc [--heuristic mincoms] [--ab]
+//
+//===----------------------------------------------------------------------===//
+
+#include "cvliw/alias/MemoryDisambiguator.h"
+#include "cvliw/ir/DDGBuilder.h"
+#include "cvliw/ir/Unroll.h"
+#include "cvliw/pipeline/Experiment.h"
+#include "cvliw/profile/ClusterProfiler.h"
+#include "cvliw/sched/DDGTransform.h"
+#include "cvliw/sched/MemoryChains.h"
+#include "cvliw/sched/ModuloScheduler.h"
+#include "cvliw/sched/RegisterPressure.h"
+#include "cvliw/sched/SchedulePrinter.h"
+#include "cvliw/support/TableWriter.h"
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+
+using namespace cvliw;
+
+namespace {
+
+struct Options {
+  std::string Command;
+  std::string Benchmark;
+  int LoopIndex = -1;
+  CoherencePolicy Policy = CoherencePolicy::Baseline;
+  ClusterHeuristic Heuristic = ClusterHeuristic::PrefClus;
+  std::string MachineName = "baseline";
+  bool AttractionBuffers = false;
+  bool CheckCoherence = false;
+  bool Specialize = false;
+  unsigned Unroll = 1;
+  std::string DotFile;
+};
+
+int usage() {
+  std::cerr
+      << "usage: cvliwc <command> [options]\n"
+         "commands:\n"
+         "  list                       list the benchmark suite\n"
+         "  show     --benchmark B     print loops, DDGs and chains\n"
+         "  compile  --benchmark B --loop N --policy P   print a schedule\n"
+         "  run      --benchmark B --policy P            simulate\n"
+         "  suite    --policy P                          simulate all\n"
+         "options:\n"
+         "  --loop N             loop index within the benchmark\n"
+         "  --policy P           baseline | mdc | ddgt | hybrid\n"
+         "  --heuristic H        prefclus | mincoms\n"
+         "  --machine M          baseline | nobalmem | nobalreg\n"
+         "  --unroll U           unroll before compiling (show/compile)\n"
+         "  --ab                 enable Attraction Buffers\n"
+         "  --check              track coherence violations\n"
+         "  --specialize         apply §6 code specialization\n"
+         "  --dot FILE           write the DDG as Graphviz DOT\n";
+  return 1;
+}
+
+bool parse(int Argc, char **Argv, Options &Opts) {
+  if (Argc < 2)
+    return false;
+  Opts.Command = Argv[1];
+  for (int I = 2; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Next = [&]() -> const char * {
+      return I + 1 < Argc ? Argv[++I] : nullptr;
+    };
+    if (Arg == "--benchmark") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.Benchmark = V;
+    } else if (Arg == "--loop") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.LoopIndex = std::atoi(V);
+    } else if (Arg == "--policy") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      std::string P = V;
+      if (P == "baseline")
+        Opts.Policy = CoherencePolicy::Baseline;
+      else if (P == "mdc")
+        Opts.Policy = CoherencePolicy::MDC;
+      else if (P == "ddgt")
+        Opts.Policy = CoherencePolicy::DDGT;
+      else if (P == "hybrid")
+        Opts.Policy = CoherencePolicy::Baseline, Opts.Command += ":hybrid";
+      else
+        return false;
+    } else if (Arg == "--heuristic") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      std::string H = V;
+      if (H == "prefclus")
+        Opts.Heuristic = ClusterHeuristic::PrefClus;
+      else if (H == "mincoms")
+        Opts.Heuristic = ClusterHeuristic::MinComs;
+      else
+        return false;
+    } else if (Arg == "--machine") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.MachineName = V;
+    } else if (Arg == "--unroll") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.Unroll = static_cast<unsigned>(std::atoi(V));
+    } else if (Arg == "--ab") {
+      Opts.AttractionBuffers = true;
+    } else if (Arg == "--check") {
+      Opts.CheckCoherence = true;
+    } else if (Arg == "--specialize") {
+      Opts.Specialize = true;
+    } else if (Arg == "--dot") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.DotFile = V;
+    } else {
+      std::cerr << "unknown option " << Arg << "\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+MachineConfig machineFor(const Options &Opts, unsigned Interleave) {
+  MachineConfig M;
+  if (Opts.MachineName == "nobalmem")
+    M = MachineConfig::nobalMem();
+  else if (Opts.MachineName == "nobalreg")
+    M = MachineConfig::nobalReg();
+  else
+    M = MachineConfig::baseline();
+  M.InterleaveBytes = Interleave;
+  M.AttractionBuffersEnabled = Opts.AttractionBuffers;
+  return M;
+}
+
+const BenchmarkSpec *lookup(const std::vector<BenchmarkSpec> &Suite,
+                            const Options &Opts) {
+  const BenchmarkSpec *Bench = findBenchmark(Suite, Opts.Benchmark);
+  if (!Bench)
+    std::cerr << "error: unknown benchmark '" << Opts.Benchmark
+              << "' (try 'cvliwc list')\n";
+  return Bench;
+}
+
+int cmdList(const std::vector<BenchmarkSpec> &Suite) {
+  TableWriter Table({"benchmark", "interleave", "loops", "evaluated"});
+  for (const BenchmarkSpec &B : Suite)
+    Table.addRow({B.Name, std::to_string(B.InterleaveBytes) + "B",
+                  std::to_string(B.Loops.size()),
+                  B.InEvaluation ? "yes" : "Table 1 only"});
+  Table.render(std::cout);
+  return 0;
+}
+
+int cmdShow(const std::vector<BenchmarkSpec> &Suite, const Options &Opts) {
+  const BenchmarkSpec *Bench = lookup(Suite, Opts);
+  if (!Bench)
+    return 1;
+  MachineConfig Machine = machineFor(Opts, Bench->InterleaveBytes);
+  for (size_t I = 0; I != Bench->Loops.size(); ++I) {
+    if (Opts.LoopIndex >= 0 && static_cast<size_t>(Opts.LoopIndex) != I)
+      continue;
+    Loop L = buildLoop(Bench->Loops[I], Machine);
+    if (Opts.Unroll > 1)
+      L = unrollLoop(L, Opts.Unroll);
+    DDG G = buildRegisterFlowDDG(L);
+    MemoryDisambiguator D(L);
+    D.addMemoryEdges(G);
+    std::cout << formatLoop(L) << formatDDG(L, G);
+    MemoryChains Chains(L, G);
+    std::cout << "chains: " << Chains.numChains() << " (biggest "
+              << Chains.biggestChainSize() << " memory ops; CMR "
+              << TableWriter::fmt(Chains.cmr()) << ", CAR "
+              << TableWriter::fmt(Chains.car()) << ")\n\n";
+    if (!Opts.DotFile.empty()) {
+      std::ofstream Out(Opts.DotFile);
+      Out << formatDot(L, G);
+      std::cout << "wrote " << Opts.DotFile << "\n";
+    }
+  }
+  return 0;
+}
+
+int cmdCompile(const std::vector<BenchmarkSpec> &Suite,
+               const Options &Opts) {
+  const BenchmarkSpec *Bench = lookup(Suite, Opts);
+  if (!Bench)
+    return 1;
+  size_t Index = Opts.LoopIndex < 0 ? 0 : Opts.LoopIndex;
+  if (Index >= Bench->Loops.size()) {
+    std::cerr << "error: loop index out of range\n";
+    return 1;
+  }
+  MachineConfig Machine = machineFor(Opts, Bench->InterleaveBytes);
+  Loop L = buildLoop(Bench->Loops[Index], Machine);
+  if (Opts.Unroll > 1)
+    L = unrollLoop(L, Opts.Unroll);
+  DDG G = buildRegisterFlowDDG(L);
+  MemoryDisambiguator D(L);
+  D.addMemoryEdges(G);
+
+  Loop *SchedLoop = &L;
+  DDG *SchedGraph = &G;
+  DDGTResult T;
+  if (Opts.Policy == CoherencePolicy::DDGT) {
+    T = applyDDGT(L, G, Machine);
+    SchedLoop = &T.TransformedLoop;
+    SchedGraph = &T.TransformedDDG;
+    std::cout << "DDGT: " << T.Stats.StoresReplicated
+              << " stores replicated, " << T.Stats.SyncEdgesAdded
+              << " SYNC edges, " << T.Stats.FakeConsumersAdded
+              << " fake consumers\n";
+  }
+  ClusterProfile Profile = profileLoop(*SchedLoop, Machine);
+  MemoryChains Chains(*SchedLoop, *SchedGraph);
+  SchedulerOptions SchedOpts;
+  SchedOpts.Policy = Opts.Policy;
+  SchedOpts.Heuristic = Opts.Heuristic;
+  ModuloScheduler Scheduler(*SchedLoop, *SchedGraph, Machine, Profile,
+                            SchedOpts, &Chains);
+  auto S = Scheduler.run();
+  if (!S) {
+    std::cerr << "error: no schedule found\n";
+    return 1;
+  }
+  std::cout << formatSchedule(*SchedLoop, *S, Machine);
+  PressureResult Pressure =
+      computeRegisterPressure(*SchedLoop, *SchedGraph, *S, Machine);
+  std::cout << "register pressure (MaxLive per cluster):";
+  for (unsigned V : Pressure.MaxLivePerCluster)
+    std::cout << " " << V;
+  std::cout << "\n";
+  std::string Problem = checkSchedule(*SchedLoop, *SchedGraph, Machine, *S);
+  std::cout << (Problem.empty() ? "schedule check: ok"
+                                : "schedule check: " + Problem)
+            << "\n";
+  return 0;
+}
+
+void printRunResult(const std::string &Name, const BenchmarkRunResult &R) {
+  FractionAccumulator C = R.mergedClassification();
+  std::cout << Name << ": " << TableWriter::grouped(R.totalCycles())
+            << " cycles (" << TableWriter::grouped(R.computeCycles())
+            << " compute + " << TableWriter::grouped(R.stallCycles())
+            << " stall), local hits "
+            << TableWriter::pct(
+                   C.fraction(static_cast<size_t>(AccessType::LocalHit)))
+            << ", violations "
+            << TableWriter::grouped(R.coherenceViolations()) << "\n";
+}
+
+int cmdRun(const std::vector<BenchmarkSpec> &Suite, const Options &Opts,
+           bool Hybrid) {
+  const BenchmarkSpec *Bench = lookup(Suite, Opts);
+  if (!Bench)
+    return 1;
+  ExperimentConfig Config;
+  Config.Policy = Opts.Policy;
+  Config.Heuristic = Opts.Heuristic;
+  Config.Machine = machineFor(Opts, Bench->InterleaveBytes);
+  Config.CheckCoherence = Opts.CheckCoherence;
+  Config.ApplySpecialization = Opts.Specialize;
+  BenchmarkRunResult R = Hybrid ? runBenchmarkHybrid(*Bench, Config)
+                                : runBenchmark(*Bench, Config);
+  printRunResult(Bench->Name, R);
+  for (const LoopRunResult &LoopResult : R.Loops)
+    std::cout << "  " << LoopResult.LoopName << ": II=" << LoopResult.II
+              << " (Res " << LoopResult.ResMII << ", Rec "
+              << LoopResult.RecMII << "), "
+              << TableWriter::grouped(LoopResult.Sim.TotalCycles)
+              << " cycles, " << LoopResult.CopiesPerIter
+              << " copies/iter\n";
+  return 0;
+}
+
+int cmdSuite(const std::vector<BenchmarkSpec> &Suite, const Options &Opts,
+             bool Hybrid) {
+  for (const BenchmarkSpec &Bench : Suite) {
+    if (!Bench.InEvaluation)
+      continue;
+    ExperimentConfig Config;
+    Config.Policy = Opts.Policy;
+    Config.Heuristic = Opts.Heuristic;
+    Config.Machine = machineFor(Opts, Bench.InterleaveBytes);
+    Config.CheckCoherence = Opts.CheckCoherence;
+    Config.ApplySpecialization = Opts.Specialize;
+    BenchmarkRunResult R = Hybrid ? runBenchmarkHybrid(Bench, Config)
+                                  : runBenchmark(Bench, Config);
+    printRunResult(Bench.Name, R);
+  }
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options Opts;
+  if (!parse(Argc, Argv, Opts))
+    return usage();
+
+  bool Hybrid = false;
+  std::string Command = Opts.Command;
+  if (auto Pos = Command.find(":hybrid"); Pos != std::string::npos) {
+    Hybrid = true;
+    Command = Command.substr(0, Pos);
+  }
+
+  auto Suite = mediabenchSuite();
+  if (Command == "list")
+    return cmdList(Suite);
+  if (Command == "show")
+    return cmdShow(Suite, Opts);
+  if (Command == "compile")
+    return cmdCompile(Suite, Opts);
+  if (Command == "run")
+    return cmdRun(Suite, Opts, Hybrid);
+  if (Command == "suite")
+    return cmdSuite(Suite, Opts, Hybrid);
+  return usage();
+}
