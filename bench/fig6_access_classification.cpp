@@ -7,9 +7,12 @@
 // heuristic for (i) free scheduling (no memory dependence restrictions),
 // (ii) the MDC solution and (iii) the DDGT solution.
 //
+// The benchmark x scheme grid runs on the SweepEngine worker pool;
+// see [--threads N] [--csv FILE] [--json FILE] [--verify-serial].
+//
 //===----------------------------------------------------------------------===//
 
-#include "cvliw/pipeline/Experiment.h"
+#include "cvliw/pipeline/SweepEngine.h"
 #include "cvliw/support/TableWriter.h"
 
 #include <iostream>
@@ -27,37 +30,56 @@ std::string formatBreakdown(const FractionAccumulator &C) {
          Pct(AccessType::RemoteMiss) + "/" + Pct(AccessType::Combined);
 }
 
+SchemePoint prefClusScheme(const char *Name, CoherencePolicy Policy) {
+  SchemePoint S;
+  S.Name = Name;
+  S.Policy = Policy;
+  S.Heuristic = ClusterHeuristic::PrefClus;
+  return S;
+}
+
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  SweepRunOptions Options;
+  if (!parseSweepArgs(Argc, Argv, Options))
+    return 1;
+
   std::cout
       << "=== Figure 6: memory access classification, PrefClus "
          "heuristic ===\n"
       << "Cells: local hit / remote hit / local miss / remote miss / "
          "combined.\n\n";
 
+  SweepGrid Grid;
+  Grid.Schemes = {
+      prefClusScheme("free (no mem dep)", CoherencePolicy::Baseline),
+      prefClusScheme("MDC", CoherencePolicy::MDC),
+      prefClusScheme("DDGT", CoherencePolicy::DDGT),
+  };
+  Grid.Benchmarks = evaluationSuite();
+
+  SweepEngine Engine(Grid, Options.Threads ? Options.Threads
+                                           : defaultSweepThreads());
+  if (!runSweep(Engine, Options, std::cout))
+    return 1;
+  std::cout << "\n";
+
   TableWriter Table({"benchmark", "free (no mem dep)", "MDC", "DDGT"});
   double LocalHitSum[3] = {0, 0, 0};
-  const CoherencePolicy Policies[3] = {CoherencePolicy::Baseline,
-                                       CoherencePolicy::MDC,
-                                       CoherencePolicy::DDGT};
 
-  unsigned Count = 0;
-  for (const BenchmarkSpec &Bench : evaluationSuite()) {
+  for (const BenchmarkSpec &Bench : Grid.Benchmarks) {
     std::vector<std::string> Row{Bench.Name};
     for (unsigned I = 0; I != 3; ++I) {
-      ExperimentConfig Config;
-      Config.Policy = Policies[I];
-      Config.Heuristic = ClusterHeuristic::PrefClus;
-      BenchmarkRunResult R = runBenchmark(Bench, Config);
-      FractionAccumulator C = R.mergedClassification();
+      const SweepRow &Point = Engine.at(Bench.Name, Grid.Schemes[I].Name);
+      FractionAccumulator C = Point.Result.mergedClassification();
       LocalHitSum[I] += C.fraction(static_cast<size_t>(AccessType::LocalHit));
       Row.push_back(formatBreakdown(C));
     }
     Table.addRow(Row);
-    ++Count;
   }
 
+  double Count = static_cast<double>(Grid.Benchmarks.size());
   Table.addSeparator();
   Table.addRow({"AMEAN local hits",
                 TableWriter::pct(LocalHitSum[0] / Count, 1),

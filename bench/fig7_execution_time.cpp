@@ -7,9 +7,13 @@
 // optimistic free-scheduling baseline (MinComs, memory dependences
 // ignored for cluster assignment).
 //
+// All five schemes (the baseline normalizer plus the four evaluated
+// ones) x the 13 evaluation benchmarks run as one SweepEngine grid;
+// see [--threads N] [--csv FILE] [--json FILE] [--verify-serial].
+//
 //===----------------------------------------------------------------------===//
 
-#include "cvliw/pipeline/Experiment.h"
+#include "cvliw/pipeline/SweepEngine.h"
 #include "cvliw/support/TableWriter.h"
 
 #include <iostream>
@@ -17,23 +21,49 @@
 
 using namespace cvliw;
 
-int main() {
+namespace {
+
+SchemePoint scheme(const char *Name, CoherencePolicy Policy,
+                   ClusterHeuristic Heuristic) {
+  SchemePoint S;
+  S.Name = Name;
+  S.Policy = Policy;
+  S.Heuristic = Heuristic;
+  return S;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  SweepRunOptions Options;
+  if (!parseSweepArgs(Argc, Argv, Options))
+    return 1;
+
   std::cout << "=== Figure 7: execution time (normalized to baseline "
                "MinComs free scheduling) ===\n"
             << "Each cell: total (compute + stall), as a fraction of the "
                "baseline's total cycles.\n\n";
 
-  struct Scheme {
-    const char *Label;
-    CoherencePolicy Policy;
-    ClusterHeuristic Heuristic;
+  SweepGrid Grid;
+  Grid.Schemes = {
+      scheme("baseline", CoherencePolicy::Baseline,
+             ClusterHeuristic::MinComs),
+      scheme("MDC(PrefClus)", CoherencePolicy::MDC,
+             ClusterHeuristic::PrefClus),
+      scheme("MDC(MinComs)", CoherencePolicy::MDC,
+             ClusterHeuristic::MinComs),
+      scheme("DDGT(PrefClus)", CoherencePolicy::DDGT,
+             ClusterHeuristic::PrefClus),
+      scheme("DDGT(MinComs)", CoherencePolicy::DDGT,
+             ClusterHeuristic::MinComs),
   };
-  const Scheme Schemes[] = {
-      {"MDC(PrefClus)", CoherencePolicy::MDC, ClusterHeuristic::PrefClus},
-      {"MDC(MinComs)", CoherencePolicy::MDC, ClusterHeuristic::MinComs},
-      {"DDGT(PrefClus)", CoherencePolicy::DDGT, ClusterHeuristic::PrefClus},
-      {"DDGT(MinComs)", CoherencePolicy::DDGT, ClusterHeuristic::MinComs},
-  };
+  Grid.Benchmarks = evaluationSuite();
+
+  SweepEngine Engine(Grid, Options.Threads ? Options.Threads
+                                           : defaultSweepThreads());
+  if (!runSweep(Engine, Options, std::cout))
+    return 1;
+  std::cout << "\n";
 
   TableWriter Table({"benchmark", "MDC(PrefClus)", "MDC(MinComs)",
                      "DDGT(PrefClus)", "DDGT(MinComs)"});
@@ -41,22 +71,20 @@ int main() {
   std::vector<double> Totals[4];
   std::vector<double> ComputeRatios[4], StallRatios[4];
 
-  for (const BenchmarkSpec &Bench : evaluationSuite()) {
-    ExperimentConfig BaselineConfig;
-    BaselineConfig.Policy = CoherencePolicy::Baseline;
-    BaselineConfig.Heuristic = ClusterHeuristic::MinComs;
-    BenchmarkRunResult Baseline = runBenchmark(Bench, BaselineConfig);
-    double BaseCycles = static_cast<double>(Baseline.totalCycles());
+  for (const BenchmarkSpec &Bench : Grid.Benchmarks) {
+    const SweepRow &Baseline = Engine.at(Bench.Name, "baseline");
+    double BaseCycles = static_cast<double>(Baseline.Result.totalCycles());
 
     std::vector<std::string> Row{Bench.Name};
     for (unsigned I = 0; I != 4; ++I) {
-      ExperimentConfig Config;
-      Config.Policy = Schemes[I].Policy;
-      Config.Heuristic = Schemes[I].Heuristic;
-      BenchmarkRunResult R = runBenchmark(Bench, Config);
-      double Total = static_cast<double>(R.totalCycles()) / BaseCycles;
-      double Compute = static_cast<double>(R.computeCycles()) / BaseCycles;
-      double Stall = static_cast<double>(R.stallCycles()) / BaseCycles;
+      const SweepRow &Point =
+          Engine.at(Bench.Name, Grid.Schemes[I + 1].Name);
+      double Total =
+          static_cast<double>(Point.Result.totalCycles()) / BaseCycles;
+      double Compute =
+          static_cast<double>(Point.Result.computeCycles()) / BaseCycles;
+      double Stall =
+          static_cast<double>(Point.Result.stallCycles()) / BaseCycles;
       Totals[I].push_back(Total);
       ComputeRatios[I].push_back(Compute);
       StallRatios[I].push_back(Stall);

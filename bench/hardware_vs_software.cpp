@@ -13,58 +13,108 @@
 //   * MDC and DDGT (and the §6 hybrid) on the plain word-interleaved
 //     machine — correct with no extra hardware.
 //
+// Two SweepEngine grids share one worker-pool width: the hardware grid
+// pairs the coherent-directory machine with free scheduling, the
+// software grid pairs the baseline machine with MDC/DDGT/hybrid.
+// See [--threads N] [--csv FILE] [--json FILE] [--verify-serial].
+//
 //===----------------------------------------------------------------------===//
 
-#include "cvliw/pipeline/Experiment.h"
+#include "cvliw/pipeline/SweepEngine.h"
 #include "cvliw/support/TableWriter.h"
 
+#include <algorithm>
 #include <iostream>
 
 using namespace cvliw;
 
-int main() {
+namespace {
+
+SchemePoint checkedScheme(const char *Name, CoherencePolicy Policy,
+                          bool Hybrid = false) {
+  SchemePoint S;
+  S.Name = Name;
+  S.Policy = Policy;
+  S.Heuristic = ClusterHeuristic::PrefClus;
+  S.Hybrid = Hybrid;
+  S.CheckCoherence = true;
+  return S;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  SweepRunOptions Options;
+  if (!parseSweepArgs(Argc, Argv, Options))
+    return 1;
+
   std::cout
       << "=== Hardware coherence [23] vs the paper's software-only "
          "techniques (PrefClus) ===\n"
       << "All schemes are coherent; cells are total cycles.\n\n";
 
+  // The hardware side runs free scheduling on the directory machine;
+  // the software side runs on the plain word-interleaved baseline.
+  SweepGrid HwGrid;
+  HwGrid.Machines = {
+      MachinePoint{"mvliw", MachineConfig::coherentDirectory()}};
+  HwGrid.Schemes = {checkedScheme("free", CoherencePolicy::Baseline)};
+  HwGrid.Benchmarks = evaluationSuite();
+
+  SweepGrid SwGrid;
+  SwGrid.Schemes = {checkedScheme("MDC", CoherencePolicy::MDC),
+                    checkedScheme("DDGT", CoherencePolicy::DDGT),
+                    checkedScheme("hybrid", CoherencePolicy::MDC,
+                                  /*Hybrid=*/true)};
+  SwGrid.Benchmarks = evaluationSuite();
+
+  unsigned Threads =
+      Options.Threads ? Options.Threads : defaultSweepThreads();
+  SweepEngine HwEngine(HwGrid, Threads);
+  SweepEngine SwEngine(SwGrid, Threads);
+
+  // Two engines, so two output files per requested path: the hardware
+  // reference rows land next to the software rows with a ".hw" suffix.
+  SweepRunOptions HwOptions = Options;
+  if (!HwOptions.CsvPath.empty())
+    HwOptions.CsvPath += ".hw";
+  if (!HwOptions.JsonPath.empty())
+    HwOptions.JsonPath += ".hw";
+  if (!runSweep(HwEngine, HwOptions, std::cout) ||
+      !runSweep(SwEngine, Options, std::cout))
+    return 1;
+  std::cout << "\n";
+
   TableWriter Table({"benchmark", "HW directory (free sched)",
                      "SW: MDC", "SW: DDGT", "SW: hybrid",
                      "best SW vs HW"});
   std::vector<double> Ratios;
-  for (const BenchmarkSpec &Bench : evaluationSuite()) {
-    ExperimentConfig Hw;
-    Hw.Policy = CoherencePolicy::Baseline;
-    Hw.Heuristic = ClusterHeuristic::PrefClus;
-    Hw.Machine = MachineConfig::coherentDirectory();
-    Hw.CheckCoherence = true;
-    BenchmarkRunResult HwR = runBenchmark(Bench, Hw);
+  for (const BenchmarkSpec &Bench : SwGrid.Benchmarks) {
+    const SweepRow &Hw = HwEngine.at(Bench.Name, "free", "mvliw");
+    const SweepRow &Mdc = SwEngine.at(Bench.Name, "MDC");
+    const SweepRow &Ddgt = SwEngine.at(Bench.Name, "DDGT");
+    const SweepRow &Hybrid = SwEngine.at(Bench.Name, "hybrid");
 
-    ExperimentConfig Sw;
-    Sw.Heuristic = ClusterHeuristic::PrefClus;
-    Sw.CheckCoherence = true;
-    Sw.Policy = CoherencePolicy::MDC;
-    BenchmarkRunResult Mdc = runBenchmark(Bench, Sw);
-    Sw.Policy = CoherencePolicy::DDGT;
-    BenchmarkRunResult Ddgt = runBenchmark(Bench, Sw);
-    BenchmarkRunResult Hybrid = runBenchmarkHybrid(Bench, Sw);
-
-    if (HwR.coherenceViolations() + Mdc.coherenceViolations() +
-            Ddgt.coherenceViolations() + Hybrid.coherenceViolations() !=
+    if (Hw.Result.coherenceViolations() +
+            Mdc.Result.coherenceViolations() +
+            Ddgt.Result.coherenceViolations() +
+            Hybrid.Result.coherenceViolations() !=
         0) {
       std::cerr << "coherence violated in " << Bench.Name << "!\n";
       return 1;
     }
 
-    uint64_t BestSw = std::min(
-        {Mdc.totalCycles(), Ddgt.totalCycles(), Hybrid.totalCycles()});
+    uint64_t BestSw = std::min({Mdc.Result.totalCycles(),
+                                Ddgt.Result.totalCycles(),
+                                Hybrid.Result.totalCycles()});
     double Ratio = static_cast<double>(BestSw) /
-                   static_cast<double>(HwR.totalCycles());
+                   static_cast<double>(Hw.Result.totalCycles());
     Ratios.push_back(Ratio);
-    Table.addRow({Bench.Name, TableWriter::grouped(HwR.totalCycles()),
-                  TableWriter::grouped(Mdc.totalCycles()),
-                  TableWriter::grouped(Ddgt.totalCycles()),
-                  TableWriter::grouped(Hybrid.totalCycles()),
+    Table.addRow({Bench.Name,
+                  TableWriter::grouped(Hw.Result.totalCycles()),
+                  TableWriter::grouped(Mdc.Result.totalCycles()),
+                  TableWriter::grouped(Ddgt.Result.totalCycles()),
+                  TableWriter::grouped(Hybrid.Result.totalCycles()),
                   TableWriter::fmt(Ratio) + "x"});
   }
   Table.render(std::cout);

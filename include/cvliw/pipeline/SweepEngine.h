@@ -1,0 +1,177 @@
+//===- cvliw/pipeline/SweepEngine.h - Parallel config sweeps ---*- C++ -*-===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The parallel experiment sweep engine used by the bench drivers.
+///
+/// Every table/figure of the paper is a cross product of configuration
+/// axes — machine description x coherence policy x cluster-assignment
+/// heuristic x benchmark (each benchmark being a weighted set of
+/// LoopSpecs) — evaluated point by point through the Experiment
+/// pipeline. Before this engine each driver hand-rolled that cross
+/// product as nested serial loops; the engine expands the grid once,
+/// runs the points on a worker pool, and hands back rows the drivers
+/// aggregate into their tables.
+///
+/// Determinism contract: results are identical — byte-identical once
+/// serialized — whatever the worker-thread count. Each point derives
+/// its seed from the grid's base seed and the point's index (never from
+/// thread identity or scheduling order), every point runs an isolated
+/// pipeline (the Experiment layer shares no mutable state), and rows
+/// are stored at their point's index, not in completion order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CVLIW_PIPELINE_SWEEPENGINE_H
+#define CVLIW_PIPELINE_SWEEPENGINE_H
+
+#include "cvliw/pipeline/Experiment.h"
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cvliw {
+
+/// One named machine description of the sweep's machine axis.
+struct MachinePoint {
+  std::string Name = "baseline";
+  MachineConfig Config = MachineConfig::baseline();
+};
+
+/// One scheduling scheme of the sweep's scheme axis: a coherence policy
+/// paired with a cluster heuristic, plus the pipeline toggles the bench
+/// drivers vary (§6 specialization / hybrid, coherence checking).
+struct SchemePoint {
+  std::string Name; ///< Label used in tables and CSV rows.
+  CoherencePolicy Policy = CoherencePolicy::Baseline;
+  ClusterHeuristic Heuristic = ClusterHeuristic::MinComs;
+  /// Run the §6 hybrid solution (per-loop MDC/DDGT choice) instead of a
+  /// fixed policy; Policy is ignored for the run itself.
+  bool Hybrid = false;
+  bool ApplySpecialization = false;
+  bool CheckCoherence = false;
+};
+
+/// Builds the scheme cross product Policies x Heuristics with
+/// "policy(heuristic)" labels.
+std::vector<SchemePoint>
+crossSchemes(const std::vector<CoherencePolicy> &Policies,
+             const std::vector<ClusterHeuristic> &Heuristics);
+
+/// The full sweep grid: Machines x Schemes x Benchmarks, expanded in
+/// benchmark-major order (benchmark outermost, scheme, then machine) so
+/// rows of one benchmark are contiguous, matching how the paper's
+/// tables are laid out.
+struct SweepGrid {
+  std::vector<MachinePoint> Machines{MachinePoint{}};
+  std::vector<SchemePoint> Schemes;
+  std::vector<BenchmarkSpec> Benchmarks;
+
+  /// Base seed every point folds with its index into its own seed.
+  /// When \c ReseedLoops is set, each point's derived seed replaces the
+  /// SeedBase of the point's loops (perturbation studies); by default
+  /// the loops keep their calibrated seeds and the derived seed is
+  /// reported only.
+  uint64_t BaseSeed = 0x5eedc0de;
+  bool ReseedLoops = false;
+
+  size_t size() const {
+    return Machines.size() * Schemes.size() * Benchmarks.size();
+  }
+};
+
+/// One evaluated grid point.
+struct SweepRow {
+  size_t PointIndex = 0;
+  size_t MachineIndex = 0;
+  size_t SchemeIndex = 0;
+  size_t BenchmarkIndex = 0;
+  std::string Machine;
+  std::string Scheme;
+  std::string Benchmark;
+  uint64_t PointSeed = 0;
+  BenchmarkRunResult Result;
+  /// Hybrid schemes: the per-loop MDC/DDGT choices (§6). Empty otherwise.
+  std::vector<CoherencePolicy> HybridChoices;
+};
+
+/// Expands a grid and evaluates it on a pool of worker threads.
+class SweepEngine {
+public:
+  /// \p Threads == 0 selects std::thread::hardware_concurrency().
+  explicit SweepEngine(SweepGrid Grid, unsigned Threads = 0);
+
+  /// Runs every point (idempotent: later calls return the same rows).
+  /// Rows come back in point-index order regardless of thread count.
+  const std::vector<SweepRow> &run();
+
+  const SweepGrid &grid() const { return Grid; }
+  unsigned threads() const { return Threads; }
+
+  /// Wall-clock seconds of the last run() that actually executed.
+  double lastRunSeconds() const { return LastRunSeconds; }
+
+  /// Row lookup by axis names; null when absent or before run().
+  const SweepRow *find(const std::string &Benchmark,
+                       const std::string &Scheme,
+                       const std::string &Machine = "baseline") const;
+
+  /// Like find(), but throws std::out_of_range naming the missing row —
+  /// for drivers whose lookups mirror their own grid definition, where
+  /// a miss is a label-drift bug, not a recoverable condition.
+  const SweepRow &at(const std::string &Benchmark,
+                     const std::string &Scheme,
+                     const std::string &Machine = "baseline") const;
+
+  /// Serializes the rows as CSV (fixed column set, LF line endings,
+  /// fixed-precision doubles — byte-identical across thread counts).
+  void writeCsv(std::ostream &OS) const;
+
+  /// Serializes the rows as a JSON array of row objects.
+  void writeJson(std::ostream &OS) const;
+
+private:
+  SweepRow runPoint(size_t Index) const;
+
+  SweepGrid Grid;
+  unsigned Threads;
+  bool HasRun = false;
+  double LastRunSeconds = 0.0;
+  std::vector<SweepRow> Rows;
+};
+
+/// Worker-pool width the bench drivers default to: every driver sweeps
+/// at least a few dozen points, so always spin up at least 4 workers
+/// even on small machines (oversubscription is harmless — the points
+/// are pure CPU-bound closures).
+unsigned defaultSweepThreads();
+
+/// Command-line knobs shared by the sweep-based bench drivers.
+struct SweepRunOptions {
+  unsigned Threads = 0;      ///< --threads N (0: defaultSweepThreads()).
+  std::string CsvPath;       ///< --csv FILE: dump the rows as CSV.
+  std::string JsonPath;      ///< --json FILE: dump the rows as JSON.
+  /// --verify-serial: re-run the grid on one thread and require the
+  /// serialized output to be byte-identical; reports the speedup.
+  bool VerifySerial = false;
+};
+
+/// Parses the shared sweep flags; returns false (after printing usage
+/// to stderr) on an unknown or malformed argument.
+bool parseSweepArgs(int Argc, char **Argv, SweepRunOptions &Options);
+
+/// Drives \p Engine under \p Options: runs the sweep, logs
+/// points/threads/wall-clock to \p Log, performs the optional serial
+/// verification, and writes any requested CSV/JSON files. Returns
+/// false when verification fails or an output file cannot be written.
+bool runSweep(SweepEngine &Engine, const SweepRunOptions &Options,
+              std::ostream &Log);
+
+} // namespace cvliw
+
+#endif // CVLIW_PIPELINE_SWEEPENGINE_H

@@ -90,7 +90,9 @@ public:
 
 private:
   /// FIFO pool of identical buses/ports: a request at time T is granted
-  /// the earliest-free unit and occupies it for OccupyCycles.
+  /// the earliest-free unit and occupies it for OccupyCycles. A pool of
+  /// zero units models an idealized contention-free interconnect (every
+  /// request is granted immediately).
   class UnitPool {
   public:
     UnitPool(unsigned Count, unsigned OccupyCycles)
@@ -144,7 +146,9 @@ private:
   MemAccessResult accessCoherent(unsigned Cluster, uint64_t Addr,
                                  bool IsStore, uint64_t IssueTime);
 
-  const MachineConfig &Config;
+  /// Held by value: a MemorySystem outlives any temporary MachineConfig
+  /// it was constructed from (sweep workers build configs on the fly).
+  const MachineConfig Config;
   std::vector<SetAssocCache> Modules; ///< One per cluster (home slices).
   std::vector<SetAssocCache> Buffers; ///< Attraction Buffers per cluster.
   UnitPool MemBuses;

@@ -1,0 +1,351 @@
+//===- pipeline/SweepEngine.cpp - Parallel config sweeps ------------------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cvliw/pipeline/SweepEngine.h"
+
+#include "cvliw/support/Rng.h"
+#include "cvliw/support/TableWriter.h"
+
+#include <atomic>
+#include <cassert>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+using namespace cvliw;
+
+std::vector<SchemePoint>
+cvliw::crossSchemes(const std::vector<CoherencePolicy> &Policies,
+                    const std::vector<ClusterHeuristic> &Heuristics) {
+  std::vector<SchemePoint> Schemes;
+  Schemes.reserve(Policies.size() * Heuristics.size());
+  for (CoherencePolicy Policy : Policies)
+    for (ClusterHeuristic Heuristic : Heuristics) {
+      SchemePoint S;
+      S.Name = std::string(coherencePolicyName(Policy)) + "(" +
+               clusterHeuristicName(Heuristic) + ")";
+      S.Policy = Policy;
+      S.Heuristic = Heuristic;
+      Schemes.push_back(std::move(S));
+    }
+  return Schemes;
+}
+
+SweepEngine::SweepEngine(SweepGrid Grid, unsigned Threads)
+    : Grid(std::move(Grid)),
+      Threads(Threads != 0 ? Threads
+                           : std::max(1u, std::thread::hardware_concurrency())) {
+}
+
+SweepRow SweepEngine::runPoint(size_t Index) const {
+  // Benchmark-major decode; must match the expansion order documented
+  // in SweepGrid.
+  size_t MachineIdx = Index % Grid.Machines.size();
+  size_t Rest = Index / Grid.Machines.size();
+  size_t SchemeIdx = Rest % Grid.Schemes.size();
+  size_t BenchIdx = Rest / Grid.Schemes.size();
+
+  const MachinePoint &Machine = Grid.Machines[MachineIdx];
+  const SchemePoint &Scheme = Grid.Schemes[SchemeIdx];
+
+  SweepRow Row;
+  Row.PointIndex = Index;
+  Row.MachineIndex = MachineIdx;
+  Row.SchemeIndex = SchemeIdx;
+  Row.BenchmarkIndex = BenchIdx;
+  Row.Machine = Machine.Name;
+  Row.Scheme = Scheme.Name;
+  Row.Benchmark = Grid.Benchmarks[BenchIdx].Name;
+
+  // The seed is a pure function of (base seed, point index): thread
+  // identity and completion order never leak into it.
+  Rng SeedRng(Grid.BaseSeed ^
+              (0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(Index + 1)));
+  Row.PointSeed = SeedRng.next();
+
+  ExperimentConfig Config;
+  Config.Machine = Machine.Config;
+  Config.Policy = Scheme.Policy;
+  Config.Heuristic = Scheme.Heuristic;
+  Config.ApplySpecialization = Scheme.ApplySpecialization;
+  Config.CheckCoherence = Scheme.CheckCoherence;
+
+  BenchmarkSpec Bench = Grid.Benchmarks[BenchIdx];
+  if (Grid.ReseedLoops) {
+    Rng LoopRng(Row.PointSeed);
+    for (LoopSpec &Loop : Bench.Loops)
+      Loop.SeedBase = LoopRng.next();
+  }
+
+  if (Scheme.Hybrid)
+    Row.Result = runBenchmarkHybrid(Bench, Config, &Row.HybridChoices);
+  else
+    Row.Result = runBenchmark(Bench, Config);
+  return Row;
+}
+
+const std::vector<SweepRow> &SweepEngine::run() {
+  if (HasRun)
+    return Rows;
+
+  const size_t NumPoints = Grid.size();
+  assert(!Grid.Schemes.empty() && !Grid.Benchmarks.empty() &&
+         !Grid.Machines.empty() && "empty sweep axis");
+  Rows.resize(NumPoints);
+
+  auto Start = std::chrono::steady_clock::now();
+
+  std::atomic<size_t> NextPoint{0};
+  std::atomic<bool> Failed{false};
+  std::exception_ptr FirstError;
+  std::mutex ErrorMutex;
+
+  auto Worker = [&] {
+    for (;;) {
+      size_t Index = NextPoint.fetch_add(1, std::memory_order_relaxed);
+      // A failure anywhere dooms the run; stop draining the grid.
+      if (Index >= NumPoints || Failed.load(std::memory_order_relaxed))
+        return;
+      try {
+        // Each row lands at its point's slot: completion order cannot
+        // change the output.
+        Rows[Index] = runPoint(Index);
+      } catch (...) {
+        Failed.store(true, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> Lock(ErrorMutex);
+        if (!FirstError)
+          FirstError = std::current_exception();
+        return;
+      }
+    }
+  };
+
+  unsigned NumWorkers =
+      static_cast<unsigned>(std::min<size_t>(Threads, NumPoints));
+  if (NumWorkers <= 1) {
+    Worker();
+  } else {
+    std::vector<std::thread> Pool;
+    Pool.reserve(NumWorkers);
+    for (unsigned I = 0; I != NumWorkers; ++I)
+      Pool.emplace_back(Worker);
+    for (std::thread &T : Pool)
+      T.join();
+  }
+
+  if (FirstError)
+    std::rethrow_exception(FirstError);
+
+  LastRunSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
+  HasRun = true;
+  return Rows;
+}
+
+const SweepRow *SweepEngine::find(const std::string &Benchmark,
+                                  const std::string &Scheme,
+                                  const std::string &Machine) const {
+  for (const SweepRow &Row : Rows)
+    if (Row.Benchmark == Benchmark && Row.Scheme == Scheme &&
+        Row.Machine == Machine)
+      return &Row;
+  return nullptr;
+}
+
+const SweepRow &SweepEngine::at(const std::string &Benchmark,
+                                const std::string &Scheme,
+                                const std::string &Machine) const {
+  if (const SweepRow *Row = find(Benchmark, Scheme, Machine))
+    return *Row;
+  throw std::out_of_range("no sweep row (" + Benchmark + ", " + Scheme +
+                          ", " + Machine + ")");
+}
+
+namespace {
+
+/// Fixed-precision, locale-independent double formatting so serialized
+/// sweeps compare byte-for-byte across runs and thread counts.
+std::string fixed6(double Value) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.6f", Value);
+  return Buf;
+}
+
+uint64_t busTransactions(const BenchmarkRunResult &R) {
+  uint64_t Sum = 0;
+  for (const LoopRunResult &L : R.Loops)
+    Sum += L.Sim.BusTransactions;
+  return Sum;
+}
+
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    Out += C;
+  }
+  return Out;
+}
+
+} // namespace
+
+void SweepEngine::writeCsv(std::ostream &OS) const {
+  OS << "point,machine,scheme,policy,heuristic,benchmark,seed,"
+        "total_cycles,compute_cycles,stall_cycles,comm_ops,"
+        "coherence_violations,bus_transactions,cmr,car,"
+        "frac_local_hit,frac_remote_hit,frac_local_miss,"
+        "frac_remote_miss,frac_combined\n";
+  for (const SweepRow &Row : Rows) {
+    const SchemePoint &Scheme = Grid.Schemes[Row.SchemeIndex];
+    FractionAccumulator C = Row.Result.mergedClassification();
+    OS << Row.PointIndex << ',' << Row.Machine << ',' << Row.Scheme << ','
+       << (Scheme.Hybrid ? "hybrid" : coherencePolicyName(Scheme.Policy))
+       << ',' << clusterHeuristicName(Scheme.Heuristic) << ','
+       << Row.Benchmark << ',' << Row.PointSeed << ','
+       << Row.Result.totalCycles() << ',' << Row.Result.computeCycles()
+       << ',' << Row.Result.stallCycles() << ','
+       << Row.Result.communicationOps() << ','
+       << Row.Result.coherenceViolations() << ','
+       << busTransactions(Row.Result) << ',' << fixed6(Row.Result.cmr())
+       << ',' << fixed6(Row.Result.car());
+    for (size_t Bucket = 0; Bucket != 5; ++Bucket)
+      OS << ',' << fixed6(C.fraction(Bucket));
+    OS << '\n';
+  }
+}
+
+void SweepEngine::writeJson(std::ostream &OS) const {
+  OS << "[\n";
+  for (size_t I = 0, E = Rows.size(); I != E; ++I) {
+    const SweepRow &Row = Rows[I];
+    const SchemePoint &Scheme = Grid.Schemes[Row.SchemeIndex];
+    FractionAccumulator C = Row.Result.mergedClassification();
+    OS << "  {\"point\": " << Row.PointIndex << ", \"machine\": \""
+       << jsonEscape(Row.Machine) << "\", \"scheme\": \""
+       << jsonEscape(Row.Scheme) << "\", \"policy\": \""
+       << (Scheme.Hybrid ? "hybrid" : coherencePolicyName(Scheme.Policy))
+       << "\", \"heuristic\": \"" << clusterHeuristicName(Scheme.Heuristic)
+       << "\", \"benchmark\": \"" << jsonEscape(Row.Benchmark)
+       << "\", \"seed\": " << Row.PointSeed
+       << ", \"total_cycles\": " << Row.Result.totalCycles()
+       << ", \"compute_cycles\": " << Row.Result.computeCycles()
+       << ", \"stall_cycles\": " << Row.Result.stallCycles()
+       << ", \"comm_ops\": " << Row.Result.communicationOps()
+       << ", \"coherence_violations\": "
+       << Row.Result.coherenceViolations()
+       << ", \"bus_transactions\": " << busTransactions(Row.Result)
+       << ", \"cmr\": " << fixed6(Row.Result.cmr())
+       << ", \"car\": " << fixed6(Row.Result.car())
+       << ", \"classification\": [" << fixed6(C.fraction(0)) << ", "
+       << fixed6(C.fraction(1)) << ", " << fixed6(C.fraction(2)) << ", "
+       << fixed6(C.fraction(3)) << ", " << fixed6(C.fraction(4)) << "]}"
+       << (I + 1 == E ? "\n" : ",\n");
+  }
+  OS << "]\n";
+}
+
+unsigned cvliw::defaultSweepThreads() {
+  return std::max(4u, std::thread::hardware_concurrency());
+}
+
+bool cvliw::parseSweepArgs(int Argc, char **Argv,
+                           SweepRunOptions &Options) {
+  for (int I = 1; I < Argc; ++I) {
+    const char *Arg = Argv[I];
+    auto NextValue = [&](const char *Flag) -> const char * {
+      if (I + 1 >= Argc) {
+        std::cerr << Flag << " needs a value\n";
+        return nullptr;
+      }
+      return Argv[++I];
+    };
+    if (std::strcmp(Arg, "--threads") == 0) {
+      const char *Value = NextValue("--threads");
+      if (!Value)
+        return false;
+      char *End = nullptr;
+      long N = std::strtol(Value, &End, 10);
+      if (N <= 0 || End == Value || *End != '\0') {
+        std::cerr << "--threads needs a positive integer\n";
+        return false;
+      }
+      Options.Threads = static_cast<unsigned>(N);
+    } else if (std::strcmp(Arg, "--csv") == 0) {
+      const char *Value = NextValue("--csv");
+      if (!Value)
+        return false;
+      Options.CsvPath = Value;
+    } else if (std::strcmp(Arg, "--json") == 0) {
+      const char *Value = NextValue("--json");
+      if (!Value)
+        return false;
+      Options.JsonPath = Value;
+    } else if (std::strcmp(Arg, "--verify-serial") == 0) {
+      Options.VerifySerial = true;
+    } else {
+      std::cerr << "unknown argument '" << Arg
+                << "'\nusage: [--threads N] [--csv FILE] [--json FILE] "
+                   "[--verify-serial]\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+bool cvliw::runSweep(SweepEngine &Engine, const SweepRunOptions &Options,
+                     std::ostream &Log) {
+  Engine.run();
+  Log << "sweep: " << Engine.grid().size() << " points on "
+      << Engine.threads() << " threads in "
+      << TableWriter::fmt(Engine.lastRunSeconds(), 3) << " s\n";
+
+  if (Options.VerifySerial) {
+    SweepEngine Serial(Engine.grid(), /*Threads=*/1);
+    Serial.run();
+    std::ostringstream ParallelCsv, SerialCsv;
+    Engine.writeCsv(ParallelCsv);
+    Serial.writeCsv(SerialCsv);
+    if (ParallelCsv.str() != SerialCsv.str()) {
+      std::cerr << "sweep verification FAILED: parallel and serial "
+                   "sweeps disagree\n";
+      return false;
+    }
+    Log << "sweep: serial re-run matches byte-for-byte; speedup "
+        << TableWriter::fmt(
+               safeRatio(Serial.lastRunSeconds(), Engine.lastRunSeconds()))
+        << "x over the serial loop ("
+        << TableWriter::fmt(Serial.lastRunSeconds(), 3) << " s serial)\n";
+  }
+
+  auto WriteFile = [&](const std::string &Path, bool Json) {
+    if (Path.empty())
+      return true;
+    std::ofstream OS(Path);
+    if (!OS) {
+      std::cerr << "cannot write " << Path << "\n";
+      return false;
+    }
+    if (Json)
+      Engine.writeJson(OS);
+    else
+      Engine.writeCsv(OS);
+    Log << "sweep: wrote " << Path << "\n";
+    return true;
+  };
+  return WriteFile(Options.CsvPath, /*Json=*/false) &&
+         WriteFile(Options.JsonPath, /*Json=*/true);
+}

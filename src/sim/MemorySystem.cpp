@@ -11,6 +11,10 @@
 using namespace cvliw;
 
 uint64_t MemorySystem::UnitPool::acquire(uint64_t T) {
+  // Zero units: an idealized contention-free interconnect — grant
+  // immediately rather than indexing into an empty pool.
+  if (NextFree.empty())
+    return T;
   // Grant the earliest-free unit; FIFO arbitration among requesters is
   // implied by the non-decreasing request times the simulator feeds in.
   size_t Best = 0;

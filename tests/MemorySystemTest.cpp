@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 using namespace cvliw;
 
 namespace {
@@ -156,6 +158,46 @@ TEST(MemorySystem, UpdateAttractionBufferOnlyNeverAllocates) {
   M.access(0, 4, false, 300);
   M.updateAttractionBufferOnly(0, 4, 400);
   EXPECT_EQ(M.flushAttractionBuffers(), 1u);
+}
+
+TEST(MemorySystem, SurvivesTemporaryConfig) {
+  // Regression: the config used to be held by reference, so a
+  // MemorySystem built from a config that has since been destroyed read
+  // dangling memory on every access.
+  std::unique_ptr<MemorySystem> M;
+  {
+    MachineConfig C = fourByteMachine();
+    C.InterleaveBytes = 2; // Distinguishable from a default config.
+    M = std::make_unique<MemorySystem>(C);
+  } // C is gone; M must keep its own copy.
+  MemAccessResult R = M->access(0, 0, /*IsStore=*/false, 100);
+  EXPECT_EQ(R.Type, AccessType::LocalMiss);
+  EXPECT_EQ(R.CompleteTime, 100 + 1 + 10);
+  // Address 2 homes in cluster 1 only under the 2-byte interleave the
+  // destroyed config carried.
+  MemAccessResult Remote = M->access(0, 2, false, 200);
+  EXPECT_TRUE(Remote.Type == AccessType::RemoteMiss ||
+              Remote.Type == AccessType::RemoteHit);
+}
+
+TEST(MemorySystem, ZeroBusConfigIsContentionFree) {
+  // Regression: UnitPool::acquire indexed NextFree[0] even when the
+  // pool was empty — UB for any config with MemoryBuses.Count == 0.
+  MachineConfig C = fourByteMachine();
+  C.MemoryBuses.Count = 0;
+  MemorySystem M(C);
+  M.access(1, 4, false, 0); // Warm cluster 1's slice.
+  MemAccessResult R = M.access(0, 4, false, 100);
+  EXPECT_EQ(R.Type, AccessType::RemoteHit);
+  EXPECT_EQ(R.CompleteTime, 100 + 2 + 1 + 2)
+      << "hop latency still applies; only bus contention disappears";
+
+  // A burst from one cluster no longer serializes on bus grants.
+  M.access(2, 8, false, 0);
+  M.access(3, 12, false, 0);
+  uint64_t T1 = M.access(0, 8, false, 1000).CompleteTime;
+  uint64_t T2 = M.access(0, 12, false, 1000).CompleteTime;
+  EXPECT_EQ(T1, T2) << "contention-free interconnect grants both at once";
 }
 
 TEST(MemorySystem, ClassificationAccumulates) {
