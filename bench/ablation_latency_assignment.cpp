@@ -9,80 +9,68 @@
 // for a large stall-time reduction; this bench quantifies that on our
 // suite for the MDC solution with PrefClus.
 //
+// Both latency-assignment settings ride the grid's scheme axis over the
+// evaluation suite; unschedulable loops (tolerated, none expected)
+// contribute zero cycles, as before the port. See [--threads N]
+// [--csv FILE] [--json FILE] [--cache FILE] [--verify-serial].
+//
 //===----------------------------------------------------------------------===//
 
-#include "cvliw/alias/MemoryDisambiguator.h"
-#include "cvliw/ir/DDGBuilder.h"
-#include "cvliw/pipeline/Experiment.h"
-#include "cvliw/profile/ClusterProfiler.h"
-#include "cvliw/sched/MemoryChains.h"
-#include "cvliw/sched/ModuloScheduler.h"
-#include "cvliw/sim/KernelSimulator.h"
+#include "cvliw/pipeline/SweepEngine.h"
 #include "cvliw/support/TableWriter.h"
 
 #include <iostream>
 
 using namespace cvliw;
 
-namespace {
+int main(int Argc, char **Argv) {
+  SweepRunOptions Options;
+  if (!parseSweepArgs(Argc, Argv, Options))
+    return 1;
 
-struct Cycles {
-  uint64_t Compute = 0;
-  uint64_t Stall = 0;
-};
-
-Cycles runSuite(bool AssignLatencies) {
-  Cycles Total;
-  for (const BenchmarkSpec &Bench : evaluationSuite()) {
-    MachineConfig Machine = MachineConfig::baseline();
-    Machine.InterleaveBytes = Bench.InterleaveBytes;
-    for (const LoopSpec &Spec : Bench.Loops) {
-      Loop L = buildLoop(Spec, Machine);
-      DDG G = buildRegisterFlowDDG(L);
-      MemoryDisambiguator D(L);
-      D.addMemoryEdges(G);
-      ClusterProfile Profile = profileLoop(L, Machine);
-      MemoryChains Chains(L, G);
-      SchedulerOptions Opts;
-      Opts.Policy = CoherencePolicy::MDC;
-      Opts.Heuristic = ClusterHeuristic::PrefClus;
-      Opts.AssignLatencies = AssignLatencies;
-      ModuloScheduler Scheduler(L, G, Machine, Profile, Opts, &Chains);
-      auto S = Scheduler.run();
-      if (!S)
-        continue;
-      SimOptions SimOpts;
-      SimOpts.Policy = CoherencePolicy::MDC;
-      SimResult R = simulateKernel(L, G, *S, Machine, SimOpts);
-      Total.Compute += R.ComputeCycles;
-      Total.Stall += R.StallCycles;
-    }
-  }
-  return Total;
-}
-
-} // namespace
-
-int main() {
   std::cout << "=== Ablation: the §2.2 latency-assignment compromise "
-               "(MDC, PrefClus, whole suite) ===\n\n";
-  Cycles With = runSuite(/*AssignLatencies=*/true);
-  Cycles Without = runSuite(/*AssignLatencies=*/false);
+               "(MDC, PrefClus, whole suite) ===\n";
+
+  SweepGrid Grid;
+  for (bool AssignLatencies : {true, false}) {
+    SchemePoint S;
+    S.Name = AssignLatencies ? "assigned" : "local-hit";
+    S.Policy = CoherencePolicy::MDC;
+    S.Heuristic = ClusterHeuristic::PrefClus;
+    S.AssignLatencies = AssignLatencies;
+    S.TolerateUnschedulable = true;
+    Grid.Schemes.push_back(S);
+  }
+  Grid.Benchmarks = evaluationSuite();
+
+  SweepEngine Engine(Grid, Options.Threads);
+  if (!runSweep(Engine, Options, std::cout))
+    return 1;
+  std::cout << "\n";
+
+  uint64_t Compute[2] = {0, 0}, Stall[2] = {0, 0};
+  Engine.forEachBenchmark([&](size_t B, const BenchmarkSpec &) {
+    for (size_t Scheme = 0; Scheme != 2; ++Scheme) {
+      const BenchmarkRunResult &R = Engine.at(B, Scheme).Result;
+      Compute[Scheme] += R.computeCycles();
+      Stall[Scheme] += R.stallCycles();
+    }
+  });
 
   TableWriter Table({"configuration", "compute cycles", "stall cycles",
                      "total"});
   Table.addRow({"assigned latencies (paper §2.2)",
-                TableWriter::grouped(With.Compute),
-                TableWriter::grouped(With.Stall),
-                TableWriter::grouped(With.Compute + With.Stall)});
+                TableWriter::grouped(Compute[0]),
+                TableWriter::grouped(Stall[0]),
+                TableWriter::grouped(Compute[0] + Stall[0])});
   Table.addRow({"always local-hit latency",
-                TableWriter::grouped(Without.Compute),
-                TableWriter::grouped(Without.Stall),
-                TableWriter::grouped(Without.Compute + Without.Stall)});
+                TableWriter::grouped(Compute[1]),
+                TableWriter::grouped(Stall[1]),
+                TableWriter::grouped(Compute[1] + Stall[1])});
   Table.render(std::cout);
 
-  double StallCut = 1.0 - safeRatio(static_cast<double>(With.Stall),
-                                    static_cast<double>(Without.Stall), 1.0);
+  double StallCut = 1.0 - safeRatio(static_cast<double>(Stall[0]),
+                                    static_cast<double>(Stall[1]), 1.0);
   std::cout << "\nAssigning the largest II-neutral latency removes "
             << TableWriter::pct(StallCut, 1)
             << " of the stall time that a local-hit-only scheduler "

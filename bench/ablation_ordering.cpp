@@ -6,94 +6,75 @@
 // Swing Modulo Scheduling order (the paper's reference [16]) across the
 // whole suite and all three policies. Reports achieved IIs and cycles.
 //
+// The six (policy x ordering) schemes over the evaluation suite run as
+// one SweepEngine grid; unschedulable loops are tolerated and counted
+// as failures, as before the port. See [--threads N] [--csv FILE]
+// [--json FILE] [--cache FILE] [--verify-serial].
+//
 //===----------------------------------------------------------------------===//
 
-#include "cvliw/alias/MemoryDisambiguator.h"
-#include "cvliw/ir/DDGBuilder.h"
-#include "cvliw/profile/ClusterProfiler.h"
-#include "cvliw/sched/DDGTransform.h"
-#include "cvliw/sched/MemoryChains.h"
-#include "cvliw/sched/ModuloScheduler.h"
-#include "cvliw/sim/KernelSimulator.h"
+#include "cvliw/pipeline/SweepEngine.h"
 #include "cvliw/support/TableWriter.h"
-#include "cvliw/workloads/Suite.h"
 
 #include <iostream>
 
 using namespace cvliw;
 
-namespace {
+int main(int Argc, char **Argv) {
+  SweepRunOptions Options;
+  if (!parseSweepArgs(Argc, Argv, Options))
+    return 1;
 
-struct Tally {
-  uint64_t Cycles = 0;
-  uint64_t IISum = 0;
-  unsigned Loops = 0;
-  unsigned Failures = 0;
-};
-
-Tally runAll(CoherencePolicy Policy, SchedulerOrdering Ordering) {
-  Tally Out;
-  for (const BenchmarkSpec &Bench : evaluationSuite()) {
-    MachineConfig Machine = MachineConfig::baseline();
-    Machine.InterleaveBytes = Bench.InterleaveBytes;
-    for (const LoopSpec &Spec : Bench.Loops) {
-      Loop L = buildLoop(Spec, Machine);
-      DDG G = buildRegisterFlowDDG(L);
-      MemoryDisambiguator D(L);
-      D.addMemoryEdges(G);
-      Loop *SchedLoop = &L;
-      DDG *SchedGraph = &G;
-      DDGTResult T;
-      if (Policy == CoherencePolicy::DDGT) {
-        T = applyDDGT(L, G, Machine);
-        SchedLoop = &T.TransformedLoop;
-        SchedGraph = &T.TransformedDDG;
-      }
-      ClusterProfile P = profileLoop(*SchedLoop, Machine);
-      MemoryChains Chains(*SchedLoop, *SchedGraph);
-      SchedulerOptions Opts;
-      Opts.Policy = Policy;
-      Opts.Heuristic = ClusterHeuristic::PrefClus;
-      Opts.Ordering = Ordering;
-      ModuloScheduler Scheduler(*SchedLoop, *SchedGraph, Machine, P, Opts,
-                                &Chains);
-      auto S = Scheduler.run();
-      if (!S) {
-        Out.Failures += 1;
-        continue;
-      }
-      SimOptions SimOpts;
-      SimOpts.Policy = Policy;
-      SimResult R = simulateKernel(*SchedLoop, *SchedGraph, *S, Machine,
-                                   SimOpts);
-      Out.Cycles += R.TotalCycles;
-      Out.IISum += S->II;
-      Out.Loops += 1;
-    }
-  }
-  return Out;
-}
-
-} // namespace
-
-int main() {
   std::cout << "=== Ablation: node ordering (height-based vs simplified "
-               "Swing [16]), PrefClus, whole suite ===\n\n";
-  TableWriter Table({"policy", "ordering", "total cycles", "mean II",
-                     "failures"});
+               "Swing [16]), PrefClus, whole suite ===\n";
+
+  SweepGrid Grid;
   for (CoherencePolicy Policy :
        {CoherencePolicy::Baseline, CoherencePolicy::MDC,
         CoherencePolicy::DDGT}) {
     for (SchedulerOrdering Ordering :
          {SchedulerOrdering::HeightBased, SchedulerOrdering::Swing}) {
-      Tally T = runAll(Policy, Ordering);
-      Table.addRow({coherencePolicyName(Policy),
-                    schedulerOrderingName(Ordering),
-                    TableWriter::grouped(T.Cycles),
-                    TableWriter::fmt(static_cast<double>(T.IISum) /
-                                     T.Loops),
-                    std::to_string(T.Failures)});
+      SchemePoint S;
+      S.Name = std::string(coherencePolicyName(Policy)) + "/" +
+               schedulerOrderingName(Ordering);
+      S.Policy = Policy;
+      S.Heuristic = ClusterHeuristic::PrefClus;
+      S.Ordering = Ordering;
+      S.TolerateUnschedulable = true;
+      Grid.Schemes.push_back(S);
     }
+  }
+  Grid.Benchmarks = evaluationSuite();
+
+  SweepEngine Engine(Grid, Options.Threads);
+  if (!runSweep(Engine, Options, std::cout))
+    return 1;
+  std::cout << "\n";
+
+  TableWriter Table({"policy", "ordering", "total cycles", "mean II",
+                     "failures"});
+  for (size_t Scheme = 0; Scheme != Grid.Schemes.size(); ++Scheme) {
+    uint64_t Cycles = 0, IISum = 0;
+    unsigned Loops = 0, Failures = 0;
+    Engine.forEachBenchmark([&](size_t B, const BenchmarkSpec &) {
+      for (const LoopRunResult &L : Engine.at(B, Scheme).Result.Loops) {
+        if (!L.Scheduled) {
+          Failures += 1;
+          continue;
+        }
+        Cycles += L.Sim.TotalCycles;
+        IISum += L.II;
+        Loops += 1;
+      }
+    });
+    const SchemePoint &S = Grid.Schemes[Scheme];
+    Table.addRow({coherencePolicyName(S.Policy),
+                  schedulerOrderingName(S.Ordering),
+                  TableWriter::grouped(Cycles),
+                  Loops == 0 ? "-"
+                             : TableWriter::fmt(static_cast<double>(IISum) /
+                                                Loops),
+                  std::to_string(Failures)});
   }
   Table.render(std::cout);
   std::cout << "\nBoth orderings must produce legal schedules everywhere; "

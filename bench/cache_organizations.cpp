@@ -11,56 +11,72 @@
 // cache makes every load local (helping MDC) while DDGT's replicated
 // stores stop needing any bus traffic at all.
 //
+// Both organizations ride the grid's machine axis and the two policies
+// its scheme axis; see [--threads N] [--csv FILE] [--json FILE]
+// [--cache FILE] [--verify-serial].
+//
 //===----------------------------------------------------------------------===//
 
-#include "cvliw/pipeline/Experiment.h"
+#include "cvliw/pipeline/SweepEngine.h"
 #include "cvliw/support/TableWriter.h"
 
 #include <iostream>
 
 using namespace cvliw;
 
-int main() {
+int main(int Argc, char **Argv) {
+  SweepRunOptions Options;
+  if (!parseSweepArgs(Argc, Argv, Options))
+    return 1;
+
   std::cout << "=== Cache organizations (§2.3): word-interleaved vs "
                "replicated, PrefClus ===\n"
-            << "Cells: total cycles (coherence violations).\n\n";
+            << "Cells: total cycles (coherence violations).\n";
+
+  SweepGrid Grid;
+  MachineConfig Replicated = MachineConfig::baseline();
+  Replicated.Organization = CacheOrganization::Replicated;
+  Grid.Machines = {MachinePoint{"interleaved", MachineConfig::baseline()},
+                   MachinePoint{"replicated", Replicated}};
+  for (CoherencePolicy Policy :
+       {CoherencePolicy::MDC, CoherencePolicy::DDGT}) {
+    SchemePoint S;
+    S.Name = coherencePolicyName(Policy);
+    S.Policy = Policy;
+    S.Heuristic = ClusterHeuristic::PrefClus;
+    S.CheckCoherence = true;
+    Grid.Schemes.push_back(S);
+  }
+  Grid.Benchmarks = evaluationSuite();
+
+  SweepEngine Engine(Grid, Options.Threads);
+  if (!runSweep(Engine, Options, std::cout))
+    return 1;
+  std::cout << "\n";
 
   TableWriter Table({"benchmark", "MDC interleaved", "MDC replicated",
                      "DDGT interleaved", "DDGT replicated"});
-  std::vector<double> Ratio[4];
-  for (const BenchmarkSpec &Bench : evaluationSuite()) {
+  MeanColumns Gains(2); // Column per policy: interleaved/replicated.
+  Engine.forEachBenchmark([&](size_t B, const BenchmarkSpec &Bench) {
     std::vector<std::string> Row{Bench.Name};
-    unsigned I = 0;
-    for (CoherencePolicy Policy :
-         {CoherencePolicy::MDC, CoherencePolicy::DDGT}) {
-      for (CacheOrganization Org : {CacheOrganization::WordInterleaved,
-                                    CacheOrganization::Replicated}) {
-        ExperimentConfig Config;
-        Config.Policy = Policy;
-        Config.Heuristic = ClusterHeuristic::PrefClus;
-        Config.Machine = MachineConfig::baseline();
-        Config.Machine.Organization = Org;
-        Config.CheckCoherence = true;
-        BenchmarkRunResult R = runBenchmark(Bench, Config);
+    for (size_t Scheme = 0; Scheme != 2; ++Scheme) {
+      uint64_t Cycles[2];
+      for (size_t Machine = 0; Machine != 2; ++Machine) {
+        const BenchmarkRunResult &R = Engine.at(B, Scheme, Machine).Result;
+        Cycles[Machine] = R.totalCycles();
         Row.push_back(TableWriter::grouped(R.totalCycles()) + " (" +
                       std::to_string(R.coherenceViolations()) + ")");
-        Ratio[I++].push_back(static_cast<double>(R.totalCycles()));
       }
+      Gains.add(Scheme, static_cast<double>(Cycles[0]) /
+                            static_cast<double>(Cycles[1]));
     }
     Table.addRow(Row);
-  }
+  });
   Table.render(std::cout);
 
-  double MdcGain = 0, DdgtGain = 0;
-  for (size_t I = 0; I != Ratio[0].size(); ++I) {
-    MdcGain += Ratio[0][I] / Ratio[1][I];
-    DdgtGain += Ratio[2][I] / Ratio[3][I];
-  }
-  MdcGain /= Ratio[0].size();
-  DdgtGain /= Ratio[2].size();
   std::cout << "\nGeometric sense-check: replication speeds MDC by x"
-            << TableWriter::fmt(MdcGain) << " and DDGT by x"
-            << TableWriter::fmt(DdgtGain)
+            << TableWriter::fmt(Gains.mean(0)) << " and DDGT by x"
+            << TableWriter::fmt(Gains.mean(1))
             << " on average (every load local; DDGT store instances "
                "update their own copy without buses). Both techniques "
                "keep zero coherence violations on both organizations.\n";

@@ -59,32 +59,29 @@ int main(int Argc, char **Argv) {
   };
   Grid.Benchmarks = evaluationSuite();
 
-  SweepEngine Engine(Grid, Options.Threads ? Options.Threads
-                                           : defaultSweepThreads());
+  SweepEngine Engine(Grid, Options.Threads);
   if (!runSweep(Engine, Options, std::cout))
     return 1;
   std::cout << "\n";
 
   TableWriter Table({"benchmark", "free (no mem dep)", "MDC", "DDGT"});
-  double LocalHitSum[3] = {0, 0, 0};
+  MeanColumns LocalHits(3);
 
-  for (const BenchmarkSpec &Bench : Grid.Benchmarks) {
+  Engine.forEachBenchmark([&](size_t B, const BenchmarkSpec &Bench) {
     std::vector<std::string> Row{Bench.Name};
-    for (unsigned I = 0; I != 3; ++I) {
-      const SweepRow &Point = Engine.at(Bench.Name, Grid.Schemes[I].Name);
-      FractionAccumulator C = Point.Result.mergedClassification();
-      LocalHitSum[I] += C.fraction(static_cast<size_t>(AccessType::LocalHit));
+    for (size_t I = 0; I != 3; ++I) {
+      FractionAccumulator C =
+          Engine.at(B, I).Result.mergedClassification();
+      LocalHits.add(I, C.fraction(static_cast<size_t>(AccessType::LocalHit)));
       Row.push_back(formatBreakdown(C));
     }
     Table.addRow(Row);
-  }
+  });
 
-  double Count = static_cast<double>(Grid.Benchmarks.size());
   Table.addSeparator();
-  Table.addRow({"AMEAN local hits",
-                TableWriter::pct(LocalHitSum[0] / Count, 1),
-                TableWriter::pct(LocalHitSum[1] / Count, 1),
-                TableWriter::pct(LocalHitSum[2] / Count, 1)});
+  Table.addRow({"AMEAN local hits", TableWriter::pct(LocalHits.mean(0), 1),
+                TableWriter::pct(LocalHits.mean(1), 1),
+                TableWriter::pct(LocalHits.mean(2), 1)});
   Table.render(std::cout);
 
   std::cout << "\nPaper (Figure 6): free scheduling averages 62.5% local "

@@ -59,8 +59,7 @@ int main(int Argc, char **Argv) {
   };
   Grid.Benchmarks = evaluationSuite();
 
-  SweepEngine Engine(Grid, Options.Threads ? Options.Threads
-                                           : defaultSweepThreads());
+  SweepEngine Engine(Grid, Options.Threads);
   if (!runSweep(Engine, Options, std::cout))
     return 1;
   std::cout << "\n";
@@ -68,39 +67,37 @@ int main(int Argc, char **Argv) {
   TableWriter Table({"benchmark", "MDC(PrefClus)", "MDC(MinComs)",
                      "DDGT(PrefClus)", "DDGT(MinComs)"});
 
-  std::vector<double> Totals[4];
-  std::vector<double> ComputeRatios[4], StallRatios[4];
+  MeanColumns Totals(4), ComputeRatios(4), StallRatios(4);
 
-  for (const BenchmarkSpec &Bench : Grid.Benchmarks) {
-    const SweepRow &Baseline = Engine.at(Bench.Name, "baseline");
-    double BaseCycles = static_cast<double>(Baseline.Result.totalCycles());
+  Engine.forEachBenchmark([&](size_t B, const BenchmarkSpec &Bench) {
+    double BaseCycles =
+        static_cast<double>(Engine.at(B, 0).Result.totalCycles());
 
     std::vector<std::string> Row{Bench.Name};
-    for (unsigned I = 0; I != 4; ++I) {
-      const SweepRow &Point =
-          Engine.at(Bench.Name, Grid.Schemes[I + 1].Name);
+    for (size_t I = 0; I != 4; ++I) {
+      const SweepRow &Point = Engine.at(B, I + 1);
       double Total =
           static_cast<double>(Point.Result.totalCycles()) / BaseCycles;
       double Compute =
           static_cast<double>(Point.Result.computeCycles()) / BaseCycles;
       double Stall =
           static_cast<double>(Point.Result.stallCycles()) / BaseCycles;
-      Totals[I].push_back(Total);
-      ComputeRatios[I].push_back(Compute);
-      StallRatios[I].push_back(Stall);
+      Totals.add(I, Total);
+      ComputeRatios.add(I, Compute);
+      StallRatios.add(I, Stall);
       Row.push_back(TableWriter::fmt(Total) + " (" +
                     TableWriter::fmt(Compute) + "+" +
                     TableWriter::fmt(Stall) + ")");
     }
     Table.addRow(Row);
-  }
+  });
 
   Table.addSeparator();
   std::vector<std::string> MeanRow{"AMEAN"};
-  for (unsigned I = 0; I != 4; ++I)
-    MeanRow.push_back(TableWriter::fmt(amean(Totals[I])) + " (" +
-                      TableWriter::fmt(amean(ComputeRatios[I])) + "+" +
-                      TableWriter::fmt(amean(StallRatios[I])) + ")");
+  for (size_t I = 0; I != 4; ++I)
+    MeanRow.push_back(TableWriter::fmt(Totals.mean(I)) + " (" +
+                      TableWriter::fmt(ComputeRatios.mean(I)) + "+" +
+                      TableWriter::fmt(StallRatios.mean(I)) + ")");
   Table.addRow(MeanRow);
   Table.render(std::cout);
 

@@ -7,56 +7,81 @@
 // Buffers, normalized to free scheduling (MinComs) with Attraction
 // Buffers.
 //
+// The five schemes (the baseline normalizer plus the four evaluated
+// ones) x the 13 evaluation benchmarks run as one SweepEngine grid on
+// the AB machine; see [--threads N] [--csv FILE] [--json FILE]
+// [--cache FILE] [--verify-serial].
+//
 //===----------------------------------------------------------------------===//
 
-#include "cvliw/pipeline/Experiment.h"
+#include "cvliw/pipeline/SweepEngine.h"
 #include "cvliw/support/TableWriter.h"
 
 #include <iostream>
 
 using namespace cvliw;
 
-int main() {
-  std::cout << "=== Figure 9: execution time with Attraction Buffers "
-               "(normalized to baseline MinComs + AB) ===\n\n";
+namespace {
 
-  struct Scheme {
-    const char *Label;
-    CoherencePolicy Policy;
-    ClusterHeuristic Heuristic;
+SchemePoint scheme(const char *Name, CoherencePolicy Policy,
+                   ClusterHeuristic Heuristic) {
+  SchemePoint S;
+  S.Name = Name;
+  S.Policy = Policy;
+  S.Heuristic = Heuristic;
+  return S;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  SweepRunOptions Options;
+  if (!parseSweepArgs(Argc, Argv, Options))
+    return 1;
+
+  std::cout << "=== Figure 9: execution time with Attraction Buffers "
+               "(normalized to baseline MinComs + AB) ===\n";
+
+  SweepGrid Grid;
+  Grid.Machines = {
+      MachinePoint{"ab", MachineConfig::withAttractionBuffers()}};
+  Grid.Schemes = {
+      scheme("baseline", CoherencePolicy::Baseline,
+             ClusterHeuristic::MinComs),
+      scheme("MDC(PrefClus)", CoherencePolicy::MDC,
+             ClusterHeuristic::PrefClus),
+      scheme("MDC(MinComs)", CoherencePolicy::MDC,
+             ClusterHeuristic::MinComs),
+      scheme("DDGT(PrefClus)", CoherencePolicy::DDGT,
+             ClusterHeuristic::PrefClus),
+      scheme("DDGT(MinComs)", CoherencePolicy::DDGT,
+             ClusterHeuristic::MinComs),
   };
-  const Scheme Schemes[] = {
-      {"MDC(PrefClus)", CoherencePolicy::MDC, ClusterHeuristic::PrefClus},
-      {"MDC(MinComs)", CoherencePolicy::MDC, ClusterHeuristic::MinComs},
-      {"DDGT(PrefClus)", CoherencePolicy::DDGT, ClusterHeuristic::PrefClus},
-      {"DDGT(MinComs)", CoherencePolicy::DDGT, ClusterHeuristic::MinComs},
-  };
+  Grid.Benchmarks = evaluationSuite();
+
+  SweepEngine Engine(Grid, Options.Threads);
+  if (!runSweep(Engine, Options, std::cout))
+    return 1;
+  std::cout << "\n";
 
   TableWriter Table({"benchmark", "MDC(PrefClus)", "MDC(MinComs)",
                      "DDGT(PrefClus)", "DDGT(MinComs)", "AB hit share"});
-  std::vector<double> Totals[4];
+  MeanColumns Totals(4);
 
-  for (const BenchmarkSpec &Bench : evaluationSuite()) {
-    ExperimentConfig BaselineConfig;
-    BaselineConfig.Policy = CoherencePolicy::Baseline;
-    BaselineConfig.Heuristic = ClusterHeuristic::MinComs;
-    BaselineConfig.Machine = MachineConfig::withAttractionBuffers();
-    BenchmarkRunResult Baseline = runBenchmark(Bench, BaselineConfig);
-    double BaseCycles = static_cast<double>(Baseline.totalCycles());
+  Engine.forEachBenchmark([&](size_t B, const BenchmarkSpec &Bench) {
+    double BaseCycles =
+        static_cast<double>(Engine.at(B, 0).Result.totalCycles());
 
     std::vector<std::string> Row{Bench.Name};
     uint64_t AbHits = 0, Accesses = 0;
-    for (unsigned I = 0; I != 4; ++I) {
-      ExperimentConfig Config;
-      Config.Policy = Schemes[I].Policy;
-      Config.Heuristic = Schemes[I].Heuristic;
-      Config.Machine = MachineConfig::withAttractionBuffers();
-      BenchmarkRunResult R = runBenchmark(Bench, Config);
-      double Total = static_cast<double>(R.totalCycles()) / BaseCycles;
-      Totals[I].push_back(Total);
+    for (size_t I = 0; I != 4; ++I) {
+      const SweepRow &Point = Engine.at(B, I + 1);
+      double Total =
+          static_cast<double>(Point.Result.totalCycles()) / BaseCycles;
+      Totals.add(I, Total);
       Row.push_back(TableWriter::fmt(Total));
       if (I == 0) {
-        for (const LoopRunResult &LoopResult : R.Loops) {
+        for (const LoopRunResult &LoopResult : Point.Result.Loops) {
           AbHits += LoopResult.Sim.AttractionBufferHits;
           Accesses += LoopResult.Sim.MemoryAccesses;
         }
@@ -67,12 +92,12 @@ int main() {
                   static_cast<double>(Accesses)),
         1));
     Table.addRow(Row);
-  }
+  });
 
   Table.addSeparator();
   std::vector<std::string> MeanRow{"AMEAN"};
-  for (unsigned I = 0; I != 4; ++I)
-    MeanRow.push_back(TableWriter::fmt(amean(Totals[I])));
+  for (size_t I = 0; I != 4; ++I)
+    MeanRow.push_back(TableWriter::fmt(Totals.mean(I)));
   Table.addRow(MeanRow);
   Table.render(std::cout);
 

@@ -68,10 +68,8 @@ int main(int Argc, char **Argv) {
                                   /*Hybrid=*/true)};
   SwGrid.Benchmarks = evaluationSuite();
 
-  unsigned Threads =
-      Options.Threads ? Options.Threads : defaultSweepThreads();
-  SweepEngine HwEngine(HwGrid, Threads);
-  SweepEngine SwEngine(SwGrid, Threads);
+  SweepEngine HwEngine(HwGrid, Options.Threads);
+  SweepEngine SwEngine(SwGrid, Options.Threads);
 
   // Two engines, so two output files per requested path: the hardware
   // reference rows land next to the software rows with a ".hw" suffix.
@@ -89,11 +87,12 @@ int main(int Argc, char **Argv) {
                      "SW: MDC", "SW: DDGT", "SW: hybrid",
                      "best SW vs HW"});
   std::vector<double> Ratios;
-  for (const BenchmarkSpec &Bench : SwGrid.Benchmarks) {
-    const SweepRow &Hw = HwEngine.at(Bench.Name, "free", "mvliw");
-    const SweepRow &Mdc = SwEngine.at(Bench.Name, "MDC");
-    const SweepRow &Ddgt = SwEngine.at(Bench.Name, "DDGT");
-    const SweepRow &Hybrid = SwEngine.at(Bench.Name, "hybrid");
+  bool Violated = false;
+  SwEngine.forEachBenchmark([&](size_t B, const BenchmarkSpec &Bench) {
+    const SweepRow &Hw = HwEngine.at(B, 0);
+    const SweepRow &Mdc = SwEngine.at(B, 0);
+    const SweepRow &Ddgt = SwEngine.at(B, 1);
+    const SweepRow &Hybrid = SwEngine.at(B, 2);
 
     if (Hw.Result.coherenceViolations() +
             Mdc.Result.coherenceViolations() +
@@ -101,7 +100,8 @@ int main(int Argc, char **Argv) {
             Hybrid.Result.coherenceViolations() !=
         0) {
       std::cerr << "coherence violated in " << Bench.Name << "!\n";
-      return 1;
+      Violated = true;
+      return;
     }
 
     uint64_t BestSw = std::min({Mdc.Result.totalCycles(),
@@ -116,7 +116,9 @@ int main(int Argc, char **Argv) {
                   TableWriter::grouped(Ddgt.Result.totalCycles()),
                   TableWriter::grouped(Hybrid.Result.totalCycles()),
                   TableWriter::fmt(Ratio) + "x"});
-  }
+  });
+  if (Violated)
+    return 1;
   Table.render(std::cout);
   std::cout << "\nAMEAN best-software / hardware cycle ratio: "
             << TableWriter::fmt(amean(Ratios))

@@ -10,44 +10,73 @@
 // are compiled and estimated on the profile input; the winner runs on
 // the execution input.
 //
+// The four schemes (baseline normalizer, MDC, DDGT, hybrid) x the 13
+// evaluation benchmarks run as one SweepEngine grid; the engine
+// records each hybrid point's per-loop choices. See [--threads N]
+// [--csv FILE] [--json FILE] [--cache FILE] [--verify-serial].
+//
 //===----------------------------------------------------------------------===//
 
-#include "cvliw/pipeline/Experiment.h"
+#include "cvliw/pipeline/SweepEngine.h"
 #include "cvliw/support/TableWriter.h"
 
+#include <algorithm>
 #include <iostream>
 
 using namespace cvliw;
 
-int main() {
+namespace {
+
+SchemePoint prefClusScheme(const char *Name, CoherencePolicy Policy,
+                           bool Hybrid = false) {
+  SchemePoint S;
+  S.Name = Name;
+  S.Policy = Policy;
+  S.Heuristic = ClusterHeuristic::PrefClus;
+  S.Hybrid = Hybrid;
+  return S;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  SweepRunOptions Options;
+  if (!parseSweepArgs(Argc, Argv, Options))
+    return 1;
+
   std::cout << "=== §6 hybrid solution (PrefClus): per-loop best of MDC "
-               "and DDGT, chosen on the profile input ===\n\n";
+               "and DDGT, chosen on the profile input ===\n";
+
+  SweepGrid Grid;
+  Grid.Schemes = {
+      prefClusScheme("baseline", CoherencePolicy::Baseline),
+      prefClusScheme("MDC", CoherencePolicy::MDC),
+      prefClusScheme("DDGT", CoherencePolicy::DDGT),
+      prefClusScheme("hybrid", CoherencePolicy::DDGT, /*Hybrid=*/true),
+  };
+  Grid.Benchmarks = evaluationSuite();
+
+  SweepEngine Engine(Grid, Options.Threads);
+  if (!runSweep(Engine, Options, std::cout))
+    return 1;
+  std::cout << "\n";
 
   TableWriter Table({"benchmark", "MDC", "DDGT", "hybrid",
                      "hybrid choices", "hybrid wins?"});
-  std::vector<double> Mdc, Ddgt, Hybrid;
+  MeanColumns Ratios(3);
   unsigned HybridBest = 0, Count = 0;
 
-  for (const BenchmarkSpec &Bench : evaluationSuite()) {
-    ExperimentConfig Base;
-    Base.Policy = CoherencePolicy::Baseline;
-    Base.Heuristic = ClusterHeuristic::PrefClus;
+  Engine.forEachBenchmark([&](size_t B, const BenchmarkSpec &Bench) {
     double BaseCycles =
-        static_cast<double>(runBenchmark(Bench, Base).totalCycles());
+        static_cast<double>(Engine.at(B, 0).Result.totalCycles());
 
-    ExperimentConfig Config;
-    Config.Heuristic = ClusterHeuristic::PrefClus;
-    Config.Policy = CoherencePolicy::MDC;
-    double M = runBenchmark(Bench, Config).totalCycles() / BaseCycles;
-    Config.Policy = CoherencePolicy::DDGT;
-    double D = runBenchmark(Bench, Config).totalCycles() / BaseCycles;
-
-    std::vector<CoherencePolicy> Choices;
-    double H = runBenchmarkHybrid(Bench, Config, &Choices).totalCycles() /
-               BaseCycles;
+    double M = Engine.at(B, 1).Result.totalCycles() / BaseCycles;
+    double D = Engine.at(B, 2).Result.totalCycles() / BaseCycles;
+    const SweepRow &HybridRow = Engine.at(B, 3);
+    double H = HybridRow.Result.totalCycles() / BaseCycles;
 
     std::string ChoiceStr;
-    for (CoherencePolicy P : Choices) {
+    for (CoherencePolicy P : HybridRow.HybridChoices) {
       if (!ChoiceStr.empty())
         ChoiceStr += "+";
       ChoiceStr += coherencePolicyName(P);
@@ -55,16 +84,16 @@ int main() {
     bool Wins = H <= std::min(M, D) + 1e-9;
     HybridBest += Wins;
     ++Count;
-    Mdc.push_back(M);
-    Ddgt.push_back(D);
-    Hybrid.push_back(H);
+    Ratios.add(0, M);
+    Ratios.add(1, D);
+    Ratios.add(2, H);
     Table.addRow({Bench.Name, TableWriter::fmt(M), TableWriter::fmt(D),
                   TableWriter::fmt(H), ChoiceStr, Wins ? "yes" : "no"});
-  }
+  });
   Table.addSeparator();
-  Table.addRow({"AMEAN", TableWriter::fmt(amean(Mdc)),
-                TableWriter::fmt(amean(Ddgt)),
-                TableWriter::fmt(amean(Hybrid)), "", ""});
+  Table.addRow({"AMEAN", TableWriter::fmt(Ratios.mean(0)),
+                TableWriter::fmt(Ratios.mean(1)),
+                TableWriter::fmt(Ratios.mean(2)), "", ""});
   Table.render(std::cout);
 
   std::cout << "\nHybrid matches or beats both pure techniques on "

@@ -9,39 +9,64 @@
 // disambiguation, on the three benchmarks the paper specializes
 // (epicdec, pgpdec, rasta).
 //
+// The four schemes (each policy, plain and specialized — coherence
+// checked throughout) x the four benchmarks run as one SweepEngine
+// grid; see [--threads N] [--csv FILE] [--json FILE] [--cache FILE]
+// [--verify-serial].
+//
 //===----------------------------------------------------------------------===//
 
-#include "cvliw/pipeline/Experiment.h"
+#include "cvliw/pipeline/SweepEngine.h"
 #include "cvliw/support/TableWriter.h"
 
 #include <iostream>
 
 using namespace cvliw;
 
-int main() {
+int main(int Argc, char **Argv) {
+  SweepRunOptions Options;
+  if (!parseSweepArgs(Argc, Argv, Options))
+    return 1;
+
   std::cout << "=== §6 code specialization: execution-time impact "
-               "(PrefClus) ===\n\n";
+               "(PrefClus) ===\n";
+
+  SweepGrid Grid;
+  for (CoherencePolicy Policy :
+       {CoherencePolicy::MDC, CoherencePolicy::DDGT}) {
+    for (bool Spec : {false, true}) {
+      SchemePoint S;
+      S.Name = std::string(coherencePolicyName(Policy)) +
+               (Spec ? "+spec" : "");
+      S.Policy = Policy;
+      S.Heuristic = ClusterHeuristic::PrefClus;
+      S.ApplySpecialization = Spec;
+      S.CheckCoherence = true;
+      Grid.Schemes.push_back(S);
+    }
+  }
+  auto Suite = mediabenchSuite();
+  for (const char *Name : {"epicdec", "pgpdec", "pgpenc", "rasta"})
+    if (const BenchmarkSpec *Bench = findBenchmark(Suite, Name))
+      Grid.Benchmarks.push_back(*Bench);
+
+  SweepEngine Engine(Grid, Options.Threads);
+  if (!runSweep(Engine, Options, std::cout))
+    return 1;
+  std::cout << "\n";
 
   TableWriter Table({"benchmark", "MDC", "MDC+spec", "MDC gain", "DDGT",
                      "DDGT+spec", "DDGT gain"});
-  auto Suite = mediabenchSuite();
-  for (const char *Name : {"epicdec", "pgpdec", "pgpenc", "rasta"}) {
-    const BenchmarkSpec *Bench = findBenchmark(Suite, Name);
-    std::vector<std::string> Row{Name};
-    for (CoherencePolicy Policy :
-         {CoherencePolicy::MDC, CoherencePolicy::DDGT}) {
+  bool Violated = false;
+  Engine.forEachBenchmark([&](size_t B, const BenchmarkSpec &Bench) {
+    std::vector<std::string> Row{Bench.Name};
+    for (size_t Policy = 0; Policy != 2; ++Policy) {
       uint64_t Plain = 0, Specialized = 0;
-      for (bool Spec : {false, true}) {
-        ExperimentConfig Config;
-        Config.Policy = Policy;
-        Config.Heuristic = ClusterHeuristic::PrefClus;
-        Config.ApplySpecialization = Spec;
-        Config.CheckCoherence = true;
-        BenchmarkRunResult R = runBenchmark(*Bench, Config);
-        if (R.coherenceViolations() != 0) {
-          std::cerr << "coherence violated!\n";
-          return 1;
-        }
+      for (size_t Spec = 0; Spec != 2; ++Spec) {
+        const BenchmarkRunResult &R =
+            Engine.at(B, Policy * 2 + Spec).Result;
+        if (R.coherenceViolations() != 0)
+          Violated = true;
         (Spec ? Specialized : Plain) = R.totalCycles();
       }
       double Gain = (static_cast<double>(Plain) / Specialized - 1.0) * 100;
@@ -50,6 +75,10 @@ int main() {
       Row.push_back(TableWriter::fmt(Gain, 1) + "%");
     }
     Table.addRow(Row);
+  });
+  if (Violated) {
+    std::cerr << "coherence violated!\n";
+    return 1;
   }
   Table.render(std::cout);
   std::cout << "\nPaper §6: the eliminated dependences 'will benefit the "

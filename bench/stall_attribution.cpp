@@ -10,37 +10,58 @@
 // making that explanation measurable: MDC's stalls should be dominated
 // by remote accesses of the pinned chains; DDGT's by plain misses.
 //
+// The three schemes x the 13 evaluation benchmarks run as one
+// SweepEngine grid and are reduced to suite totals per scheme; see
+// [--threads N] [--csv FILE] [--json FILE] [--cache FILE]
+// [--verify-serial].
+//
 //===----------------------------------------------------------------------===//
 
-#include "cvliw/pipeline/Experiment.h"
+#include "cvliw/pipeline/SweepEngine.h"
 #include "cvliw/support/TableWriter.h"
 
 #include <iostream>
 
 using namespace cvliw;
 
-int main() {
-  std::cout << "=== Stall attribution by causing access type (PrefClus, "
-               "suite totals) ===\n\n";
+int main(int Argc, char **Argv) {
+  SweepRunOptions Options;
+  if (!parseSweepArgs(Argc, Argv, Options))
+    return 1;
 
-  TableWriter Table({"scheme", "total stall", "local hit", "remote hit",
-                     "local miss", "remote miss", "combined"});
+  std::cout << "=== Stall attribution by causing access type (PrefClus, "
+               "suite totals) ===\n";
+
+  SweepGrid Grid;
   for (CoherencePolicy Policy :
        {CoherencePolicy::Baseline, CoherencePolicy::MDC,
         CoherencePolicy::DDGT}) {
+    SchemePoint S;
+    S.Name = coherencePolicyName(Policy);
+    S.Policy = Policy;
+    S.Heuristic = ClusterHeuristic::PrefClus;
+    Grid.Schemes.push_back(S);
+  }
+  Grid.Benchmarks = evaluationSuite();
+
+  SweepEngine Engine(Grid, Options.Threads);
+  if (!runSweep(Engine, Options, std::cout))
+    return 1;
+  std::cout << "\n";
+
+  TableWriter Table({"scheme", "total stall", "local hit", "remote hit",
+                     "local miss", "remote miss", "combined"});
+  for (size_t Scheme = 0; Scheme != Grid.Schemes.size(); ++Scheme) {
     FractionAccumulator Attribution(5);
     uint64_t TotalStall = 0;
-    for (const BenchmarkSpec &Bench : evaluationSuite()) {
-      ExperimentConfig Config;
-      Config.Policy = Policy;
-      Config.Heuristic = ClusterHeuristic::PrefClus;
-      BenchmarkRunResult R = runBenchmark(Bench, Config);
+    Engine.forEachBenchmark([&](size_t B, const BenchmarkSpec &) {
+      const BenchmarkRunResult &R = Engine.at(B, Scheme).Result;
       TotalStall += R.stallCycles();
       for (const LoopRunResult &LoopResult : R.Loops)
         Attribution.merge(LoopResult.Sim.StallAttribution);
-    }
+    });
     Table.addRow(
-        {coherencePolicyName(Policy), TableWriter::grouped(TotalStall),
+        {Grid.Schemes[Scheme].Name, TableWriter::grouped(TotalStall),
          TableWriter::pct(Attribution.fraction(
              static_cast<size_t>(AccessType::LocalHit))),
          TableWriter::pct(Attribution.fraction(

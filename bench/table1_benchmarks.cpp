@@ -6,29 +6,50 @@
 // and dominant data sizes, plus the interleaving factor the experiments
 // use for each benchmark and our analog's static shape.
 //
+// The static shape comes from a one-scheme SweepEngine grid over the
+// full 14-benchmark suite (the free-scheduling pipeline leaves the loop
+// untransformed, so NumOps/NumMemOps are the built kernel's); see
+// [--threads N] [--csv FILE] [--json FILE] [--cache FILE]
+// [--verify-serial].
+//
 //===----------------------------------------------------------------------===//
 
-#include "cvliw/ir/DDGBuilder.h"
-#include "cvliw/pipeline/Experiment.h"
+#include "cvliw/pipeline/SweepEngine.h"
 #include "cvliw/support/TableWriter.h"
 
+#include <cstdio>
 #include <iostream>
 
 using namespace cvliw;
 
-int main() {
-  std::cout << "=== Table 1: benchmarks and inputs ===\n\n";
+int main(int Argc, char **Argv) {
+  SweepRunOptions Options;
+  if (!parseSweepArgs(Argc, Argv, Options))
+    return 1;
+
+  std::cout << "=== Table 1: benchmarks and inputs ===\n";
+
+  SweepGrid Grid;
+  SchemePoint Static;
+  Static.Name = "static";
+  Static.Policy = CoherencePolicy::Baseline;
+  Static.Heuristic = ClusterHeuristic::MinComs;
+  Grid.Schemes = {Static};
+  Grid.Benchmarks = mediabenchSuite();
+
+  SweepEngine Engine(Grid, Options.Threads);
+  if (!runSweep(Engine, Options, std::cout))
+    return 1;
+  std::cout << "\n";
+
   TableWriter Table({"benchmark", "profile input", "exec input",
                      "main data size", "interleave", "loops", "ops",
                      "mem ops"});
-  for (const BenchmarkSpec &Bench : mediabenchSuite()) {
-    MachineConfig Machine = MachineConfig::baseline();
-    Machine.InterleaveBytes = Bench.InterleaveBytes;
+  Engine.forEachBenchmark([&](size_t B, const BenchmarkSpec &Bench) {
     size_t Ops = 0, MemOps = 0;
-    for (const LoopSpec &Spec : Bench.Loops) {
-      Loop L = buildLoop(Spec, Machine);
-      Ops += L.numOps();
-      MemOps += L.numMemoryOps();
+    for (const LoopRunResult &L : Engine.at(B, 0).Result.Loops) {
+      Ops += L.NumOps;
+      MemOps += L.NumMemOps;
     }
     char Main[32];
     std::snprintf(Main, sizeof(Main), "%u bytes (%.1f%%)",
@@ -37,7 +58,7 @@ int main() {
                   std::to_string(Bench.InterleaveBytes) + " bytes",
                   std::to_string(Bench.Loops.size()), std::to_string(Ops),
                   std::to_string(MemOps)});
-  }
+  });
   Table.render(std::cout);
   std::cout << "\nMediabench itself is not available offline; these are "
                "synthetic analogs calibrated per DESIGN.md. The paper "

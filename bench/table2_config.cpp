@@ -6,16 +6,25 @@
 // from the MachineConfig defaults, plus the derived nominal latencies of
 // the four memory access types.
 //
+// Nothing here simulates — the table is a pure parameter dump — but the
+// driver still accepts the shared sweep flags so the harness can invoke
+// every bench uniformly ([--threads N] and friends are no-ops).
+//
 //===----------------------------------------------------------------------===//
 
 #include "cvliw/arch/MachineConfig.h"
+#include "cvliw/pipeline/SweepEngine.h"
 #include "cvliw/support/TableWriter.h"
 
 #include <iostream>
 
 using namespace cvliw;
 
-int main() {
+int main(int Argc, char **Argv) {
+  SweepRunOptions Options;
+  if (!parseSweepArgs(Argc, Argv, Options))
+    return 1;
+
   MachineConfig C = MachineConfig::baseline();
   std::cout << "=== Table 2: configuration parameters ===\n\n";
 

@@ -6,9 +6,15 @@
 // instructions Ratio (CMR) and the biggest Chain over All instructions
 // Ratio (CAR), dynamically weighted across the benchmark's loops.
 //
+// One free-scheduling scheme over the evaluation suite on the
+// SweepEngine: the pipeline records each loop's biggest chain before
+// any transformation, so the rows' cmr()/car() are exactly the chain
+// ratios. See [--threads N] [--csv FILE] [--json FILE] [--cache FILE]
+// [--verify-serial].
+//
 //===----------------------------------------------------------------------===//
 
-#include "cvliw/pipeline/Experiment.h"
+#include "cvliw/pipeline/SweepEngine.h"
 #include "cvliw/support/TableWriter.h"
 
 #include <iostream>
@@ -16,8 +22,12 @@
 
 using namespace cvliw;
 
-int main() {
-  std::cout << "=== Table 3: analyzing the MDC solution (CMR / CAR) ===\n\n";
+int main(int Argc, char **Argv) {
+  SweepRunOptions Options;
+  if (!parseSweepArgs(Argc, Argv, Options))
+    return 1;
+
+  std::cout << "=== Table 3: analyzing the MDC solution (CMR / CAR) ===\n";
 
   // Paper's Table 3 values for side-by-side comparison.
   const std::map<std::string, std::pair<double, double>> Paper = {
@@ -30,19 +40,32 @@ int main() {
       {"rasta", {0.52, 0.26}},
   };
 
+  SweepGrid Grid;
+  SchemePoint Chains;
+  Chains.Name = "chains";
+  Chains.Policy = CoherencePolicy::Baseline;
+  Chains.Heuristic = ClusterHeuristic::PrefClus;
+  Grid.Schemes = {Chains};
+  Grid.Benchmarks = evaluationSuite();
+
+  SweepEngine Engine(Grid, Options.Threads);
+  if (!runSweep(Engine, Options, std::cout))
+    return 1;
+  std::cout << "\n";
+
   TableWriter Table({"benchmark", "CMR (paper)", "CMR (ours)",
                      "CAR (paper)", "CAR (ours)"});
-  for (const BenchmarkSpec &Bench : evaluationSuite()) {
-    ChainRatioResult R = chainRatios(Bench, /*AfterSpecialization=*/false);
+  Engine.forEachBenchmark([&](size_t B, const BenchmarkSpec &Bench) {
+    const BenchmarkRunResult &R = Engine.at(B, 0).Result;
     auto It = Paper.find(Bench.Name);
     Table.addRow({Bench.Name,
                   It != Paper.end() ? TableWriter::fmt(It->second.first)
                                     : "-",
-                  TableWriter::fmt(R.Cmr),
+                  TableWriter::fmt(R.cmr()),
                   It != Paper.end() ? TableWriter::fmt(It->second.second)
                                     : "-",
-                  TableWriter::fmt(R.Car)});
-  }
+                  TableWriter::fmt(R.car())});
+  });
   Table.render(std::cout);
   std::cout << "\nPaper's observation: CAR stays at or below 0.26 "
                "everywhere, which is why pinning chains to one cluster "

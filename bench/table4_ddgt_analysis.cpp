@@ -7,9 +7,13 @@
 // DDGT over MDC on the "selected loops" — loops whose MDC schedule is at
 // least 10% slower than the free-scheduling baseline.
 //
+// The three schemes (baseline, MDC, DDGT — all PrefClus) x the 13
+// evaluation benchmarks run as one SweepEngine grid; see [--threads N]
+// [--csv FILE] [--json FILE] [--cache FILE] [--verify-serial].
+//
 //===----------------------------------------------------------------------===//
 
-#include "cvliw/pipeline/Experiment.h"
+#include "cvliw/pipeline/SweepEngine.h"
 #include "cvliw/support/TableWriter.h"
 
 #include <iostream>
@@ -17,8 +21,24 @@
 
 using namespace cvliw;
 
-int main() {
-  std::cout << "=== Table 4: analyzing the DDGT solution (PrefClus) ===\n\n";
+namespace {
+
+SchemePoint prefClusScheme(const char *Name, CoherencePolicy Policy) {
+  SchemePoint S;
+  S.Name = Name;
+  S.Policy = Policy;
+  S.Heuristic = ClusterHeuristic::PrefClus;
+  return S;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  SweepRunOptions Options;
+  if (!parseSweepArgs(Argc, Argv, Options))
+    return 1;
+
+  std::cout << "=== Table 4: analyzing the DDGT solution (PrefClus) ===\n";
 
   // Paper values: {delta comm ops, selected-loop speedup % (-999 = none)}.
   const std::map<std::string, std::pair<double, double>> Paper = {
@@ -31,22 +51,25 @@ int main() {
       {"rasta", {1.66, 10.7}},
   };
 
+  SweepGrid Grid;
+  Grid.Schemes = {prefClusScheme("baseline", CoherencePolicy::Baseline),
+                  prefClusScheme("MDC", CoherencePolicy::MDC),
+                  prefClusScheme("DDGT", CoherencePolicy::DDGT)};
+  Grid.Benchmarks = evaluationSuite();
+
+  SweepEngine Engine(Grid, Options.Threads);
+  if (!runSweep(Engine, Options, std::cout))
+    return 1;
+  std::cout << "\n";
+
   TableWriter Table({"benchmark", "dCom (paper)", "dCom (ours)",
                      "speedup sel. loops (paper)",
                      "speedup sel. loops (ours)"});
 
-  for (const BenchmarkSpec &Bench : evaluationSuite()) {
-    ExperimentConfig BaseCfg;
-    BaseCfg.Policy = CoherencePolicy::Baseline;
-    BaseCfg.Heuristic = ClusterHeuristic::PrefClus;
-    ExperimentConfig MdcCfg = BaseCfg;
-    MdcCfg.Policy = CoherencePolicy::MDC;
-    ExperimentConfig DdgtCfg = BaseCfg;
-    DdgtCfg.Policy = CoherencePolicy::DDGT;
-
-    BenchmarkRunResult Base = runBenchmark(Bench, BaseCfg);
-    BenchmarkRunResult Mdc = runBenchmark(Bench, MdcCfg);
-    BenchmarkRunResult Ddgt = runBenchmark(Bench, DdgtCfg);
+  Engine.forEachBenchmark([&](size_t B, const BenchmarkSpec &Bench) {
+    const BenchmarkRunResult &Base = Engine.at(B, 0).Result;
+    const BenchmarkRunResult &Mdc = Engine.at(B, 1).Result;
+    const BenchmarkRunResult &Ddgt = Engine.at(B, 2).Result;
 
     double DeltaCom =
         safeRatio(static_cast<double>(Ddgt.communicationOps()),
@@ -77,7 +100,7 @@ int main() {
                   P.second <= -999 ? "-"
                                    : TableWriter::fmt(P.second, 1) + "%",
                   Speedup});
-  }
+  });
   Table.render(std::cout);
   std::cout << "\nPaper's observations: store replication multiplies "
                "communication ops (up to x7.39 in epicdec); on the loops "

@@ -6,19 +6,30 @@
 // and after (NEW) code specialization removes the ambiguous memory
 // dependences that a run-time check can rule out (§6).
 //
+// Two free-scheduling schemes (plain and specialized) over the three
+// specialized benchmarks run as one SweepEngine grid; the rows'
+// cmr()/car() are the chain ratios. See [--threads N] [--csv FILE]
+// [--json FILE] [--cache FILE] [--verify-serial].
+//
 //===----------------------------------------------------------------------===//
 
-#include "cvliw/pipeline/Experiment.h"
+#include "cvliw/pipeline/SweepEngine.h"
 #include "cvliw/support/TableWriter.h"
 
+#include <array>
+#include <cstdio>
 #include <iostream>
 #include <map>
 
 using namespace cvliw;
 
-int main() {
+int main(int Argc, char **Argv) {
+  SweepRunOptions Options;
+  if (!parseSweepArgs(Argc, Argv, Options))
+    return 1;
+
   std::cout << "=== Table 5: memory dependence restrictions before (OLD) "
-               "and after (NEW) code specialization ===\n\n";
+               "and after (NEW) code specialization ===\n";
 
   // Paper values: benchmark -> {oldCMR, oldCAR, newCMR, newCAR}.
   const std::map<std::string, std::array<double, 4>> Paper = {
@@ -27,22 +38,38 @@ int main() {
       {"rasta", {0.52, 0.26, 0.13, 0.06}},
   };
 
+  SweepGrid Grid;
+  SchemePoint Old;
+  Old.Name = "chains";
+  Old.Policy = CoherencePolicy::Baseline;
+  Old.Heuristic = ClusterHeuristic::PrefClus;
+  SchemePoint New = Old;
+  New.Name = "chains+spec";
+  New.ApplySpecialization = true;
+  Grid.Schemes = {Old, New};
+
+  auto Suite = mediabenchSuite();
+  for (const char *Name : {"epicdec", "pgpdec", "rasta"})
+    if (const BenchmarkSpec *Bench = findBenchmark(Suite, Name))
+      Grid.Benchmarks.push_back(*Bench);
+
+  SweepEngine Engine(Grid, Options.Threads);
+  if (!runSweep(Engine, Options, std::cout))
+    return 1;
+  std::cout << "\n";
+
   TableWriter Table({"benchmark", "OLD CMR", "OLD CAR", "NEW CMR",
                      "NEW CAR", "paper OLD->NEW CMR"});
-  auto Suite = mediabenchSuite();
-  for (const char *Name : {"epicdec", "pgpdec", "rasta"}) {
-    const BenchmarkSpec *Bench = findBenchmark(Suite, Name);
-    if (!Bench)
-      continue;
-    ChainRatioResult Old = chainRatios(*Bench, /*AfterSpecialization=*/false);
-    ChainRatioResult New = chainRatios(*Bench, /*AfterSpecialization=*/true);
-    const auto &P = Paper.at(Name);
+  Engine.forEachBenchmark([&](size_t B, const BenchmarkSpec &Bench) {
+    const BenchmarkRunResult &OldR = Engine.at(B, 0).Result;
+    const BenchmarkRunResult &NewR = Engine.at(B, 1).Result;
+    const auto &P = Paper.at(Bench.Name);
     char Ref[64];
     std::snprintf(Ref, sizeof(Ref), "%.2f -> %.2f", P[0], P[2]);
-    Table.addRow({Name, TableWriter::fmt(Old.Cmr), TableWriter::fmt(Old.Car),
-                  TableWriter::fmt(New.Cmr), TableWriter::fmt(New.Car),
-                  Ref});
-  }
+    Table.addRow({Bench.Name, TableWriter::fmt(OldR.cmr()),
+                  TableWriter::fmt(OldR.car()), TableWriter::fmt(NewR.cmr()),
+                  TableWriter::fmt(NewR.car()), Ref});
+  });
   Table.render(std::cout);
   std::cout << "\nPaper's observation: run-time disambiguation greatly "
                "shrinks the chains (epicdec 0.64 -> 0.20), benefiting the "

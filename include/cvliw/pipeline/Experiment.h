@@ -18,6 +18,7 @@
 #define CVLIW_PIPELINE_EXPERIMENT_H
 
 #include "cvliw/arch/MachineConfig.h"
+#include "cvliw/sched/ModuloScheduler.h"
 #include "cvliw/sched/Schedule.h"
 #include "cvliw/sim/KernelSimulator.h"
 #include "cvliw/workloads/Suite.h"
@@ -45,6 +46,18 @@ struct ExperimentConfig {
   /// Simulate on the profile input instead of the execution input
   /// (compile-time estimation, used by the §6 hybrid solution).
   bool SimulateOnProfileInput = false;
+
+  /// Node-ordering strategy of the modulo scheduler (ordering ablation).
+  SchedulerOrdering Ordering = SchedulerOrdering::HeightBased;
+
+  /// The §2.2 compromise latency assignment; when false, loads are
+  /// scheduled with the local-hit latency (latency ablation).
+  bool AssignLatencies = true;
+
+  /// When the scheduler finds no schedule within its II budget, return
+  /// a zeroed LoopRunResult with Scheduled == false instead of
+  /// throwing. Used by the ablations, which report failure counts.
+  bool TolerateUnschedulable = false;
 };
 
 /// Results for one loop under one configuration.
@@ -52,6 +65,12 @@ struct LoopRunResult {
   std::string LoopName;
   double Weight = 1.0;
   uint64_t ExecTrip = 0;
+
+  /// False only under ExperimentConfig::TolerateUnschedulable when the
+  /// scheduler gave up: every compile/run fact below is then zero, so
+  /// the loop contributes nothing to the benchmark aggregates (the same
+  /// arithmetic as skipping it).
+  bool Scheduled = true;
 
   // Compile-time facts.
   unsigned II = 0;

@@ -13,15 +13,31 @@
 /// LoopSpecs) — evaluated point by point through the Experiment
 /// pipeline. Before this engine each driver hand-rolled that cross
 /// product as nested serial loops; the engine expands the grid once,
-/// runs the points on a worker pool, and hands back rows the drivers
-/// aggregate into their tables.
+/// runs it on a worker pool, and hands back rows the drivers aggregate
+/// into their tables.
+///
+/// The unit of work is one (point, loop) pair, not one point: a
+/// benchmark's cost is dominated by its heaviest loop (epicdec's
+/// unquantize chain), so scheduling loops individually keeps the pool
+/// balanced where point-granular items would serialize behind the big
+/// benchmarks. Loop results are reduced into their point's row at the
+/// loop's fixed position, so the row is exactly what runBenchmark()
+/// would have produced.
+///
+/// Completed loop runs are memoized in a ResultCache (the process-wide
+/// one by default) keyed by a config hash, so grids that overlap — and
+/// nearly every driver re-runs the same baseline points — skip the
+/// redundant simulation; see ResultCache.h.
 ///
 /// Determinism contract: results are identical — byte-identical once
 /// serialized — whatever the worker-thread count. Each point derives
-/// its seed from the grid's base seed and the point's index (never from
-/// thread identity or scheduling order), every point runs an isolated
-/// pipeline (the Experiment layer shares no mutable state), and rows
-/// are stored at their point's index, not in completion order.
+/// its seed from the grid's base seed and the point's index, and each
+/// loop's effective seed from the point seed and the loop's index
+/// (never from thread identity or scheduling order); every work item
+/// runs an isolated pipeline (the Experiment layer shares no mutable
+/// state); and results are stored at their (point, loop) slot, not in
+/// completion order. Cached results are produced by the same pure
+/// pipeline, so a warm cache cannot change any byte either.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -30,12 +46,16 @@
 
 #include "cvliw/pipeline/Experiment.h"
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <ostream>
 #include <string>
 #include <vector>
 
 namespace cvliw {
+
+class ResultCache;
 
 /// One named machine description of the sweep's machine axis.
 struct MachinePoint {
@@ -55,6 +75,12 @@ struct SchemePoint {
   bool Hybrid = false;
   bool ApplySpecialization = false;
   bool CheckCoherence = false;
+  /// Scheduler knobs varied by the ablation drivers.
+  SchedulerOrdering Ordering = SchedulerOrdering::HeightBased;
+  bool AssignLatencies = true;
+  /// Record unschedulable loops as zeroed rows (Scheduled == false)
+  /// instead of failing the sweep; the ablations report the counts.
+  bool TolerateUnschedulable = false;
 };
 
 /// Builds the scheme cross product Policies x Heuristics with
@@ -103,8 +129,18 @@ struct SweepRow {
 /// Expands a grid and evaluates it on a pool of worker threads.
 class SweepEngine {
 public:
-  /// \p Threads == 0 selects std::thread::hardware_concurrency().
+  /// \p Threads == 0 selects defaultSweepThreads() (the
+  /// CVLIW_SWEEP_THREADS override, else the hardware concurrency).
+  /// The engine memoizes loop runs in ResultCache::process(); see
+  /// setCache() to isolate or disable that.
   explicit SweepEngine(SweepGrid Grid, unsigned Threads = 0);
+
+  /// Replaces the result cache consulted by run(); nullptr disables
+  /// memoization entirely. Must be called before run().
+  void setCache(ResultCache *NewCache) { Cache = NewCache; }
+
+  /// The result cache run() consults; null when memoization is off.
+  ResultCache *cache() const { return Cache; }
 
   /// Runs every point (idempotent: later calls return the same rows).
   /// Rows come back in point-index order regardless of thread count.
@@ -113,8 +149,15 @@ public:
   const SweepGrid &grid() const { return Grid; }
   unsigned threads() const { return Threads; }
 
+  /// Number of (point, loop) work items the grid expands to.
+  size_t loopItems() const;
+
   /// Wall-clock seconds of the last run() that actually executed.
   double lastRunSeconds() const { return LastRunSeconds; }
+
+  /// Result-cache hits/misses of the last run() that actually executed.
+  uint64_t cacheHits() const { return CacheHits; }
+  uint64_t cacheMisses() const { return CacheMisses; }
 
   /// Row lookup by axis names; null when absent or before run().
   const SweepRow *find(const std::string &Benchmark,
@@ -128,6 +171,21 @@ public:
                      const std::string &Scheme,
                      const std::string &Machine = "baseline") const;
 
+  /// Index-based row access: the row of (benchmark, scheme, machine) by
+  /// their positions in the grid's axes. The drivers' aggregation
+  /// callbacks use this, as their column layout mirrors the scheme axis.
+  const SweepRow &at(size_t BenchmarkIndex, size_t SchemeIndex,
+                     size_t MachineIndex = 0) const;
+
+  /// Invokes \p Callback once per benchmark, in grid (table row) order,
+  /// after run(). This is the declarative aggregation seam: a driver
+  /// builds each table row inside the callback from at(BenchmarkIndex,
+  /// SchemeIndex[, MachineIndex]) lookups instead of hand-rolling loops
+  /// over re-simulated configurations.
+  void forEachBenchmark(
+      const std::function<void(size_t BenchmarkIndex,
+                               const BenchmarkSpec &Benchmark)> &Callback);
+
   /// Serializes the rows as CSV (fixed column set, LF line endings,
   /// fixed-precision doubles — byte-identical across thread counts).
   void writeCsv(std::ostream &OS) const;
@@ -136,19 +194,35 @@ public:
   void writeJson(std::ostream &OS) const;
 
 private:
-  SweepRow runPoint(size_t Index) const;
+  /// One unit of parallel work: one loop of one grid point.
+  struct WorkItem {
+    size_t Point = 0;
+    size_t Loop = 0;
+  };
+
+  void prepareRow(size_t Index);
+  void runItem(const WorkItem &Item, uint64_t &Hits, uint64_t &Misses);
+  LoopRunResult cachedRunLoop(const ExperimentConfig &Config,
+                              const LoopSpec &Spec, uint64_t &Hits,
+                              uint64_t &Misses);
+  uint64_t effectiveLoopSeed(const SweepRow &Row, size_t LoopIndex) const;
 
   SweepGrid Grid;
   unsigned Threads;
+  ResultCache *Cache;
   bool HasRun = false;
   double LastRunSeconds = 0.0;
+  uint64_t CacheHits = 0;
+  uint64_t CacheMisses = 0;
   std::vector<SweepRow> Rows;
+  std::vector<WorkItem> Items;
 };
 
-/// Worker-pool width the bench drivers default to: every driver sweeps
-/// at least a few dozen points, so always spin up at least 4 workers
-/// even on small machines (oversubscription is harmless — the points
-/// are pure CPU-bound closures).
+/// Worker-pool width the bench drivers default to: the
+/// CVLIW_SWEEP_THREADS environment variable when set (the fleet-wide
+/// override honored by every driver), else the hardware concurrency —
+/// loop-granular work items keep even a small pool balanced, so there
+/// is no need to oversubscribe.
 unsigned defaultSweepThreads();
 
 /// Command-line knobs shared by the sweep-based bench drivers.
@@ -156,8 +230,13 @@ struct SweepRunOptions {
   unsigned Threads = 0;      ///< --threads N (0: defaultSweepThreads()).
   std::string CsvPath;       ///< --csv FILE: dump the rows as CSV.
   std::string JsonPath;      ///< --json FILE: dump the rows as JSON.
-  /// --verify-serial: re-run the grid on one thread and require the
-  /// serialized output to be byte-identical; reports the speedup.
+  /// --cache FILE: persist the result cache across driver processes —
+  /// loaded before the sweep, saved after it. Defaults to the
+  /// CVLIW_SWEEP_CACHE environment variable.
+  std::string CachePath;
+  /// --verify-serial: re-run the grid on one thread with a cold private
+  /// cache and require the serialized output to be byte-identical;
+  /// reports the speedup.
   bool VerifySerial = false;
 };
 
@@ -165,10 +244,12 @@ struct SweepRunOptions {
 /// to stderr) on an unknown or malformed argument.
 bool parseSweepArgs(int Argc, char **Argv, SweepRunOptions &Options);
 
-/// Drives \p Engine under \p Options: runs the sweep, logs
-/// points/threads/wall-clock to \p Log, performs the optional serial
-/// verification, and writes any requested CSV/JSON files. Returns
-/// false when verification fails or an output file cannot be written.
+/// Drives \p Engine under \p Options: loads any persisted result
+/// cache, runs the sweep, logs points/items/threads/wall-clock and
+/// cache hit/miss counts to \p Log, performs the optional serial
+/// verification, writes any requested CSV/JSON files, and saves the
+/// result cache back. Returns false when verification fails or an
+/// output file cannot be written.
 bool runSweep(SweepEngine &Engine, const SweepRunOptions &Options,
               std::ostream &Log);
 

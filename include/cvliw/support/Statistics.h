@@ -35,6 +35,33 @@ inline double amean(const std::vector<double> &Values) {
   return Sum / static_cast<double>(Values.size());
 }
 
+/// Column-indexed sample accumulator: column K collects the values a
+/// table's column K takes across its rows, and mean(K) is that
+/// column's AMEAN. The declarative replacement for the parallel-array
+/// idiom (`std::vector<double> Totals[4]`) the table drivers used to
+/// hand-roll next to their serial sweep loops.
+class MeanColumns {
+public:
+  explicit MeanColumns(size_t NumColumns) : Columns(NumColumns) {}
+
+  void add(size_t Column, double Value) {
+    assert(Column < Columns.size() && "column out of range");
+    Columns[Column].push_back(Value);
+  }
+
+  const std::vector<double> &column(size_t Column) const {
+    assert(Column < Columns.size() && "column out of range");
+    return Columns[Column];
+  }
+
+  double mean(size_t Column) const { return amean(column(Column)); }
+
+  size_t numColumns() const { return Columns.size(); }
+
+private:
+  std::vector<std::vector<double>> Columns;
+};
+
 /// Accumulates a classification of events into named buckets and reports
 /// each bucket as a fraction of the total. Used for the Figure 6 memory
 /// access breakdown.

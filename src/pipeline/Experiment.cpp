@@ -123,6 +123,8 @@ LoopRunResult cvliw::runLoop(const LoopSpec &Spec,
   SchedulerOptions SchedOpts;
   SchedOpts.Policy = Config.Policy;
   SchedOpts.Heuristic = Config.Heuristic;
+  SchedOpts.Ordering = Config.Ordering;
+  SchedOpts.AssignLatencies = Config.AssignLatencies;
   MemoryChains ScheduledChains(*ScheduledLoop, *ScheduledGraph);
   ModuloScheduler Scheduler(*ScheduledLoop, *ScheduledGraph, Config.Machine,
                             Profile, SchedOpts,
@@ -130,9 +132,15 @@ LoopRunResult cvliw::runLoop(const LoopSpec &Spec,
                                 ? &ScheduledChains
                                 : nullptr);
   std::optional<Schedule> S = Scheduler.run();
-  if (!S)
+  if (!S) {
+    if (Config.TolerateUnschedulable) {
+      Result.Scheduled = false;
+      Result.BiggestChain = 0;
+      return Result;
+    }
     throw std::runtime_error("no modulo schedule found for loop " +
                              Spec.Name);
+  }
 
   Result.II = S->II;
   Result.ResMII = S->ResMII;

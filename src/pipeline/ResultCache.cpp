@@ -1,0 +1,232 @@
+//===- pipeline/ResultCache.cpp - Memoized loop runs ----------------------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cvliw/pipeline/ResultCache.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+using namespace cvliw;
+
+uint64_t cvliw::resultCacheKey(const ExperimentConfig &Config,
+                               const LoopSpec &Spec) {
+  Fnv1aHasher H;
+  H.u32(CVLIW_RESULT_CACHE_VERSION);
+
+  // Machine description — every field; keep in sync with MachineConfig.
+  const MachineConfig &M = Config.Machine;
+  H.u32(M.NumClusters);
+  H.u32(M.IntUnitsPerCluster);
+  H.u32(M.FpUnitsPerCluster);
+  H.u32(M.MemUnitsPerCluster);
+  H.u32(M.CacheModuleBytes);
+  H.u32(M.CacheBlockBytes);
+  H.u32(M.CacheAssociativity);
+  H.u32(M.CacheHitLatency);
+  H.u32(M.InterleaveBytes);
+  H.u32(static_cast<uint32_t>(M.Organization));
+  H.u32(M.MemoryBuses.Count);
+  H.u32(M.MemoryBuses.Latency);
+  H.u32(M.RegisterBuses.Count);
+  H.u32(M.RegisterBuses.Latency);
+  H.u32(M.NextLevelPorts);
+  H.u32(M.NextLevelLatency);
+  H.boolean(M.AttractionBuffersEnabled);
+  H.u32(M.AttractionBufferEntries);
+  H.u32(M.AttractionBufferAssociativity);
+
+  // Experiment knobs — every field; keep in sync with ExperimentConfig.
+  H.u32(static_cast<uint32_t>(Config.Policy));
+  H.u32(static_cast<uint32_t>(Config.Heuristic));
+  H.boolean(Config.ApplySpecialization);
+  H.boolean(Config.CheckCoherence);
+  H.u64(Config.MaxIterations);
+  H.boolean(Config.SimulateOnProfileInput);
+  H.u32(static_cast<uint32_t>(Config.Ordering));
+  H.boolean(Config.AssignLatencies);
+  H.boolean(Config.TolerateUnschedulable);
+
+  // Loop shape — every field; keep in sync with LoopSpec/ChainSpec.
+  H.str(Spec.Name);
+  H.f64(Spec.Weight);
+  H.u64(Spec.ProfileTrip);
+  H.u64(Spec.ExecTrip);
+  H.u32(Spec.ElemBytes);
+  H.u32(Spec.ConsistentLoads);
+  H.u32(Spec.RotatingLoads);
+  H.u32(Spec.GatherLoads);
+  H.u32(Spec.ConsistentStores);
+  H.u64(Spec.Chains.size());
+  for (const ChainSpec &Chain : Spec.Chains) {
+    H.u32(Chain.GatherLoads);
+    H.u32(Chain.GatherStores);
+    H.u32(Chain.GroupLoads);
+    H.u32(Chain.GroupStores);
+    H.boolean(Chain.SpreadClusters);
+  }
+  H.u32(Spec.ArithPerLoad);
+  H.u32(Spec.FpOps);
+  H.u32(Spec.FpDivs);
+  H.boolean(Spec.ScalarRecurrence);
+  H.u32(Spec.ObjectBytes);
+  H.u64(Spec.SeedBase);
+  return H.hash();
+}
+
+bool ResultCache::lookup(uint64_t Key, LoopRunResult &Out) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Map.find(Key);
+  if (It == Map.end()) {
+    Misses.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  Hits.fetch_add(1, std::memory_order_relaxed);
+  Out = It->second;
+  return true;
+}
+
+void ResultCache::insert(uint64_t Key, const LoopRunResult &Run) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Map.emplace(Key, Run);
+}
+
+size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Map.size();
+}
+
+void ResultCache::clear() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Map.clear();
+  Hits.store(0, std::memory_order_relaxed);
+  Misses.store(0, std::memory_order_relaxed);
+}
+
+ResultCache &ResultCache::process() {
+  static ResultCache Cache;
+  return Cache;
+}
+
+namespace {
+
+constexpr const char *CacheMagic = "cvliw-result-cache";
+
+uint64_t doubleBits(double V) {
+  uint64_t Bits;
+  std::memcpy(&Bits, &V, sizeof(Bits));
+  return Bits;
+}
+
+double bitsToDouble(uint64_t Bits) {
+  double V;
+  std::memcpy(&V, &Bits, sizeof(V));
+  return V;
+}
+
+} // namespace
+
+bool ResultCache::save(const std::string &Path) const {
+  // Write-to-temp + rename so a reader (another driver process sharing
+  // the cache path) never observes a half-written file.
+  const std::string TempPath = Path + ".tmp";
+  std::ofstream OS(TempPath);
+  if (!OS)
+    return false;
+  OS << CacheMagic << ' ' << CVLIW_RESULT_CACHE_VERSION << '\n';
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (const auto &KV : Map) {
+    const LoopRunResult &R = KV.second;
+    // The line format is whitespace-delimited; loop names never contain
+    // whitespace (Suite.cpp uses "bench.loop" identifiers), but guard
+    // anyway so a bad name cannot corrupt the file.
+    if (R.LoopName.find_first_of(" \t\n") != std::string::npos)
+      continue;
+    OS << std::hex << KV.first << std::dec << ' '
+       << (R.LoopName.empty() ? "-" : R.LoopName) << ' '
+       << doubleBits(R.Weight) << ' ' << R.ExecTrip << ' '
+       << (R.Scheduled ? 1 : 0) << ' ' << R.II << ' ' << R.ResMII << ' '
+       << R.RecMII << ' ' << R.NumOps << ' ' << R.NumMemOps << ' '
+       << R.CopiesPerIter << ' ' << R.BiggestChain;
+    const SimResult &S = R.Sim;
+    OS << ' ' << S.Iterations << ' ' << S.TotalCycles << ' '
+       << S.ComputeCycles << ' ' << S.StallCycles << ' ' << S.DynamicOps
+       << ' ' << S.MemoryAccesses << ' ' << S.AttractionBufferHits << ' '
+       << S.BusTransactions << ' ' << S.CoherenceViolations << ' '
+       << S.NullifiedReplicaSlots;
+    for (size_t B = 0; B != 5; ++B)
+      OS << ' ' << S.AccessClassification.count(B);
+    for (size_t B = 0; B != 5; ++B)
+      OS << ' ' << S.StallAttribution.count(B);
+    OS << '\n';
+  }
+  OS.close();
+  if (!OS) {
+    std::remove(TempPath.c_str());
+    return false;
+  }
+  if (std::rename(TempPath.c_str(), Path.c_str()) != 0) {
+    std::remove(TempPath.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool ResultCache::load(const std::string &Path) {
+  std::ifstream IS(Path);
+  if (!IS)
+    return false;
+  std::string Magic;
+  unsigned Version = 0;
+  if (!(IS >> Magic >> Version) || Magic != CacheMagic ||
+      Version != CVLIW_RESULT_CACHE_VERSION)
+    return false;
+
+  // Parse the whole file before inserting anything: a corrupt file
+  // must not leave a partial mix of its entries in the cache.
+  std::vector<std::pair<uint64_t, LoopRunResult>> Parsed;
+  std::string Line;
+  std::getline(IS, Line); // Consume the header's newline.
+  while (std::getline(IS, Line)) {
+    if (Line.empty())
+      continue;
+    std::istringstream LS(Line);
+    uint64_t Key = 0, WeightBits = 0;
+    unsigned Scheduled = 0;
+    LoopRunResult R;
+    SimResult &S = R.Sim;
+    if (!(LS >> std::hex >> Key >> std::dec >> R.LoopName >> WeightBits >>
+          R.ExecTrip >> Scheduled >> R.II >> R.ResMII >> R.RecMII >>
+          R.NumOps >> R.NumMemOps >> R.CopiesPerIter >> R.BiggestChain >>
+          S.Iterations >> S.TotalCycles >> S.ComputeCycles >>
+          S.StallCycles >> S.DynamicOps >> S.MemoryAccesses >>
+          S.AttractionBufferHits >> S.BusTransactions >>
+          S.CoherenceViolations >> S.NullifiedReplicaSlots))
+      return false;
+    for (size_t B = 0; B != 5; ++B) {
+      uint64_t Count = 0;
+      if (!(LS >> Count))
+        return false;
+      S.AccessClassification.add(B, Count);
+    }
+    for (size_t B = 0; B != 5; ++B) {
+      uint64_t Count = 0;
+      if (!(LS >> Count))
+        return false;
+      S.StallAttribution.add(B, Count);
+    }
+    if (R.LoopName == "-")
+      R.LoopName.clear();
+    R.Weight = bitsToDouble(WeightBits);
+    R.Scheduled = Scheduled != 0;
+    Parsed.emplace_back(Key, std::move(R));
+  }
+  for (const auto &KV : Parsed)
+    insert(KV.first, KV.second);
+  return true;
+}

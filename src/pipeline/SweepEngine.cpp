@@ -6,6 +6,7 @@
 
 #include "cvliw/pipeline/SweepEngine.h"
 
+#include "cvliw/pipeline/ResultCache.h"
 #include "cvliw/support/Rng.h"
 #include "cvliw/support/TableWriter.h"
 
@@ -44,11 +45,18 @@ cvliw::crossSchemes(const std::vector<CoherencePolicy> &Policies,
 
 SweepEngine::SweepEngine(SweepGrid Grid, unsigned Threads)
     : Grid(std::move(Grid)),
-      Threads(Threads != 0 ? Threads
-                           : std::max(1u, std::thread::hardware_concurrency())) {
+      Threads(Threads != 0 ? Threads : defaultSweepThreads()),
+      Cache(&ResultCache::process()) {
 }
 
-SweepRow SweepEngine::runPoint(size_t Index) const {
+size_t SweepEngine::loopItems() const {
+  size_t Loops = 0;
+  for (const BenchmarkSpec &Bench : Grid.Benchmarks)
+    Loops += Bench.Loops.size();
+  return Loops * Grid.Machines.size() * Grid.Schemes.size();
+}
+
+void SweepEngine::prepareRow(size_t Index) {
   // Benchmark-major decode; must match the expansion order documented
   // in SweepGrid.
   size_t MachineIdx = Index % Grid.Machines.size();
@@ -56,17 +64,16 @@ SweepRow SweepEngine::runPoint(size_t Index) const {
   size_t SchemeIdx = Rest % Grid.Schemes.size();
   size_t BenchIdx = Rest / Grid.Schemes.size();
 
-  const MachinePoint &Machine = Grid.Machines[MachineIdx];
-  const SchemePoint &Scheme = Grid.Schemes[SchemeIdx];
+  const BenchmarkSpec &Bench = Grid.Benchmarks[BenchIdx];
 
-  SweepRow Row;
+  SweepRow &Row = Rows[Index];
   Row.PointIndex = Index;
   Row.MachineIndex = MachineIdx;
   Row.SchemeIndex = SchemeIdx;
   Row.BenchmarkIndex = BenchIdx;
-  Row.Machine = Machine.Name;
-  Row.Scheme = Scheme.Name;
-  Row.Benchmark = Grid.Benchmarks[BenchIdx].Name;
+  Row.Machine = Grid.Machines[MachineIdx].Name;
+  Row.Scheme = Grid.Schemes[SchemeIdx].Name;
+  Row.Benchmark = Bench.Name;
 
   // The seed is a pure function of (base seed, point index): thread
   // identity and completion order never leak into it.
@@ -74,25 +81,91 @@ SweepRow SweepEngine::runPoint(size_t Index) const {
               (0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(Index + 1)));
   Row.PointSeed = SeedRng.next();
 
+  // Pre-size the reduction slots: each (point, loop) work item writes
+  // its own element, so workers never touch shared state.
+  Row.Result.Benchmark = Bench.Name;
+  Row.Result.Loops.assign(Bench.Loops.size(), LoopRunResult());
+  if (Grid.Schemes[SchemeIdx].Hybrid)
+    Row.HybridChoices.assign(Bench.Loops.size(), CoherencePolicy::MDC);
+}
+
+uint64_t SweepEngine::effectiveLoopSeed(const SweepRow &Row,
+                                        size_t LoopIndex) const {
+  const LoopSpec &Spec = Grid.Benchmarks[Row.BenchmarkIndex].Loops[LoopIndex];
+  if (!Grid.ReseedLoops)
+    return Spec.SeedBase;
+  // The reseed stream replays the per-point Rng walk: loop L gets the
+  // (L+1)-th draw, a pure function of (point index, loop index).
+  Rng LoopRng(Row.PointSeed);
+  uint64_t Seed = LoopRng.next();
+  for (size_t I = 0; I != LoopIndex; ++I)
+    Seed = LoopRng.next();
+  return Seed;
+}
+
+LoopRunResult SweepEngine::cachedRunLoop(const ExperimentConfig &Config,
+                                         const LoopSpec &Spec,
+                                         uint64_t &Hits,
+                                         uint64_t &Misses) {
+  uint64_t Key = Cache ? resultCacheKey(Config, Spec) : 0;
+  LoopRunResult Result;
+  if (Cache && Cache->lookup(Key, Result)) {
+    ++Hits;
+    return Result;
+  }
+  Result = runLoop(Spec, Config);
+  ++Misses;
+  if (Cache)
+    Cache->insert(Key, Result);
+  return Result;
+}
+
+void SweepEngine::runItem(const WorkItem &Item, uint64_t &Hits,
+                          uint64_t &Misses) {
+  SweepRow &Row = Rows[Item.Point];
+  const SchemePoint &Scheme = Grid.Schemes[Row.SchemeIndex];
+  const BenchmarkSpec &Bench = Grid.Benchmarks[Row.BenchmarkIndex];
+
   ExperimentConfig Config;
-  Config.Machine = Machine.Config;
+  Config.Machine = Grid.Machines[Row.MachineIndex].Config;
+  // The per-benchmark interleave adjustment runBenchmark() applies
+  // (Table 1): part of the effective machine, so part of the cache key.
+  Config.Machine.InterleaveBytes = Bench.InterleaveBytes;
   Config.Policy = Scheme.Policy;
   Config.Heuristic = Scheme.Heuristic;
   Config.ApplySpecialization = Scheme.ApplySpecialization;
   Config.CheckCoherence = Scheme.CheckCoherence;
+  Config.Ordering = Scheme.Ordering;
+  Config.AssignLatencies = Scheme.AssignLatencies;
+  Config.TolerateUnschedulable = Scheme.TolerateUnschedulable;
 
-  BenchmarkSpec Bench = Grid.Benchmarks[BenchIdx];
-  if (Grid.ReseedLoops) {
-    Rng LoopRng(Row.PointSeed);
-    for (LoopSpec &Loop : Bench.Loops)
-      Loop.SeedBase = LoopRng.next();
+  LoopSpec Spec = Bench.Loops[Item.Loop];
+  Spec.SeedBase = effectiveLoopSeed(Row, Item.Loop);
+
+  if (!Scheme.Hybrid) {
+    Row.Result.Loops[Item.Loop] = cachedRunLoop(Config, Spec, Hits, Misses);
+    return;
   }
 
-  if (Scheme.Hybrid)
-    Row.Result = runBenchmarkHybrid(Bench, Config, &Row.HybridChoices);
-  else
-    Row.Result = runBenchmark(Bench, Config);
-  return Row;
+  // The §6 hybrid, decomposed into its three concrete runs (same
+  // decision rule as runLoopHybrid) so each memoizes under its own
+  // config — the final run shares its cache entry with the pure
+  // MDC/DDGT points the other drivers sweep.
+  ExperimentConfig Estimate = Config;
+  Estimate.SimulateOnProfileInput = true;
+  Estimate.Policy = CoherencePolicy::MDC;
+  uint64_t MdcEstimate =
+      cachedRunLoop(Estimate, Spec, Hits, Misses).Sim.TotalCycles;
+  Estimate.Policy = CoherencePolicy::DDGT;
+  uint64_t DdgtEstimate =
+      cachedRunLoop(Estimate, Spec, Hits, Misses).Sim.TotalCycles;
+
+  ExperimentConfig Final = Config;
+  Final.SimulateOnProfileInput = false;
+  Final.Policy = MdcEstimate <= DdgtEstimate ? CoherencePolicy::MDC
+                                             : CoherencePolicy::DDGT;
+  Row.HybridChoices[Item.Loop] = Final.Policy;
+  Row.Result.Loops[Item.Loop] = cachedRunLoop(Final, Spec, Hits, Misses);
 }
 
 const std::vector<SweepRow> &SweepEngine::run() {
@@ -102,37 +175,55 @@ const std::vector<SweepRow> &SweepEngine::run() {
   const size_t NumPoints = Grid.size();
   assert(!Grid.Schemes.empty() && !Grid.Benchmarks.empty() &&
          !Grid.Machines.empty() && "empty sweep axis");
-  Rows.resize(NumPoints);
+  Rows.assign(NumPoints, SweepRow());
 
   auto Start = std::chrono::steady_clock::now();
 
-  std::atomic<size_t> NextPoint{0};
+  // Phase 1 (serial, cheap): row metadata, seeds, reduction slots and
+  // the (point, loop) work list.
+  Items.clear();
+  Items.reserve(loopItems());
+  for (size_t Index = 0; Index != NumPoints; ++Index) {
+    prepareRow(Index);
+    size_t NumLoops = Grid.Benchmarks[Rows[Index].BenchmarkIndex].Loops.size();
+    for (size_t Loop = 0; Loop != NumLoops; ++Loop)
+      Items.push_back(WorkItem{Index, Loop});
+  }
+
+  // Phase 2 (parallel): drain the loop-granular work list. Loop items
+  // balance far better than point items — epicdec's big chain loop no
+  // longer serializes a whole benchmark behind one worker.
+  std::atomic<size_t> NextItem{0};
   std::atomic<bool> Failed{false};
+  std::atomic<uint64_t> TotalHits{0}, TotalMisses{0};
   std::exception_ptr FirstError;
   std::mutex ErrorMutex;
 
   auto Worker = [&] {
+    uint64_t Hits = 0, Misses = 0;
     for (;;) {
-      size_t Index = NextPoint.fetch_add(1, std::memory_order_relaxed);
-      // A failure anywhere dooms the run; stop draining the grid.
-      if (Index >= NumPoints || Failed.load(std::memory_order_relaxed))
-        return;
+      size_t Index = NextItem.fetch_add(1, std::memory_order_relaxed);
+      // A failure anywhere dooms the run; stop draining the work list.
+      if (Index >= Items.size() || Failed.load(std::memory_order_relaxed))
+        break;
       try {
-        // Each row lands at its point's slot: completion order cannot
-        // change the output.
-        Rows[Index] = runPoint(Index);
+        // Each result lands at its (point, loop) slot: completion order
+        // cannot change the output.
+        runItem(Items[Index], Hits, Misses);
       } catch (...) {
         Failed.store(true, std::memory_order_relaxed);
         std::lock_guard<std::mutex> Lock(ErrorMutex);
         if (!FirstError)
           FirstError = std::current_exception();
-        return;
+        break;
       }
     }
+    TotalHits.fetch_add(Hits, std::memory_order_relaxed);
+    TotalMisses.fetch_add(Misses, std::memory_order_relaxed);
   };
 
   unsigned NumWorkers =
-      static_cast<unsigned>(std::min<size_t>(Threads, NumPoints));
+      static_cast<unsigned>(std::min<size_t>(Threads, Items.size()));
   if (NumWorkers <= 1) {
     Worker();
   } else {
@@ -147,6 +238,8 @@ const std::vector<SweepRow> &SweepEngine::run() {
   if (FirstError)
     std::rethrow_exception(FirstError);
 
+  CacheHits = TotalHits.load(std::memory_order_relaxed);
+  CacheMisses = TotalMisses.load(std::memory_order_relaxed);
   LastRunSeconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
           .count();
@@ -171,6 +264,26 @@ const SweepRow &SweepEngine::at(const std::string &Benchmark,
     return *Row;
   throw std::out_of_range("no sweep row (" + Benchmark + ", " + Scheme +
                           ", " + Machine + ")");
+}
+
+const SweepRow &SweepEngine::at(size_t BenchmarkIndex, size_t SchemeIndex,
+                                size_t MachineIndex) const {
+  if (BenchmarkIndex >= Grid.Benchmarks.size() ||
+      SchemeIndex >= Grid.Schemes.size() ||
+      MachineIndex >= Grid.Machines.size() || !HasRun)
+    throw std::out_of_range("sweep row index out of range (or before run())");
+  size_t Index = (BenchmarkIndex * Grid.Schemes.size() + SchemeIndex) *
+                     Grid.Machines.size() +
+                 MachineIndex;
+  return Rows[Index];
+}
+
+void SweepEngine::forEachBenchmark(
+    const std::function<void(size_t BenchmarkIndex,
+                             const BenchmarkSpec &Benchmark)> &Callback) {
+  run();
+  for (size_t B = 0, E = Grid.Benchmarks.size(); B != E; ++B)
+    Callback(B, Grid.Benchmarks[B]);
 }
 
 namespace {
@@ -201,6 +314,22 @@ std::string jsonEscape(const std::string &S) {
   return Out;
 }
 
+/// RFC-4180-style quoting, applied only when needed: axis names are
+/// free-form driver labels, and one containing a comma must not shift
+/// every later column of its row.
+std::string csvField(const std::string &S) {
+  if (S.find_first_of(",\"\n\r") == std::string::npos)
+    return S;
+  std::string Out = "\"";
+  for (char C : S) {
+    if (C == '"')
+      Out += '"';
+    Out += C;
+  }
+  Out += '"';
+  return Out;
+}
+
 } // namespace
 
 void SweepEngine::writeCsv(std::ostream &OS) const {
@@ -212,10 +341,11 @@ void SweepEngine::writeCsv(std::ostream &OS) const {
   for (const SweepRow &Row : Rows) {
     const SchemePoint &Scheme = Grid.Schemes[Row.SchemeIndex];
     FractionAccumulator C = Row.Result.mergedClassification();
-    OS << Row.PointIndex << ',' << Row.Machine << ',' << Row.Scheme << ','
+    OS << Row.PointIndex << ',' << csvField(Row.Machine) << ','
+       << csvField(Row.Scheme) << ','
        << (Scheme.Hybrid ? "hybrid" : coherencePolicyName(Scheme.Policy))
        << ',' << clusterHeuristicName(Scheme.Heuristic) << ','
-       << Row.Benchmark << ',' << Row.PointSeed << ','
+       << csvField(Row.Benchmark) << ',' << Row.PointSeed << ','
        << Row.Result.totalCycles() << ',' << Row.Result.computeCycles()
        << ',' << Row.Result.stallCycles() << ','
        << Row.Result.communicationOps() << ','
@@ -259,7 +389,15 @@ void SweepEngine::writeJson(std::ostream &OS) const {
 }
 
 unsigned cvliw::defaultSweepThreads() {
-  return std::max(4u, std::thread::hardware_concurrency());
+  if (const char *Env = std::getenv("CVLIW_SWEEP_THREADS")) {
+    char *End = nullptr;
+    long N = std::strtol(Env, &End, 10);
+    if (N > 0 && End != Env && *End == '\0')
+      return static_cast<unsigned>(N);
+    std::cerr << "ignoring CVLIW_SWEEP_THREADS='" << Env
+              << "' (needs a positive integer)\n";
+  }
+  return std::max(1u, std::thread::hardware_concurrency());
 }
 
 bool cvliw::parseSweepArgs(int Argc, char **Argv,
@@ -294,27 +432,50 @@ bool cvliw::parseSweepArgs(int Argc, char **Argv,
       if (!Value)
         return false;
       Options.JsonPath = Value;
+    } else if (std::strcmp(Arg, "--cache") == 0) {
+      const char *Value = NextValue("--cache");
+      if (!Value)
+        return false;
+      Options.CachePath = Value;
     } else if (std::strcmp(Arg, "--verify-serial") == 0) {
       Options.VerifySerial = true;
     } else {
       std::cerr << "unknown argument '" << Arg
                 << "'\nusage: [--threads N] [--csv FILE] [--json FILE] "
-                   "[--verify-serial]\n";
+                   "[--cache FILE] [--verify-serial]\n";
       return false;
     }
   }
+  if (Options.CachePath.empty())
+    if (const char *Env = std::getenv("CVLIW_SWEEP_CACHE"))
+      Options.CachePath = Env;
   return true;
 }
 
 bool cvliw::runSweep(SweepEngine &Engine, const SweepRunOptions &Options,
                      std::ostream &Log) {
+  // Warm the engine's cache from the persisted file (if any) so driver
+  // processes share their overlapping baseline points.
+  if (!Options.CachePath.empty() && Engine.cache() &&
+      Engine.cache()->load(Options.CachePath))
+    Log << "sweep: loaded result cache " << Options.CachePath << " ("
+        << Engine.cache()->size() << " entries)\n";
+
   Engine.run();
-  Log << "sweep: " << Engine.grid().size() << " points on "
-      << Engine.threads() << " threads in "
-      << TableWriter::fmt(Engine.lastRunSeconds(), 3) << " s\n";
+  Log << "sweep: " << Engine.grid().size() << " points ("
+      << Engine.loopItems() << " loop items) on " << Engine.threads()
+      << " threads in " << TableWriter::fmt(Engine.lastRunSeconds(), 3)
+      << " s\n";
+  Log << "sweep: result cache " << Engine.cacheHits() << " hits / "
+      << Engine.cacheMisses() << " misses\n";
 
   if (Options.VerifySerial) {
+    // The serial re-run gets a cold private cache: it must *recompute*
+    // every point, otherwise it would merely replay the parallel run's
+    // memoized results and verify nothing.
+    ResultCache VerifyCache;
     SweepEngine Serial(Engine.grid(), /*Threads=*/1);
+    Serial.setCache(&VerifyCache);
     Serial.run();
     std::ostringstream ParallelCsv, SerialCsv;
     Engine.writeCsv(ParallelCsv);
@@ -346,6 +507,18 @@ bool cvliw::runSweep(SweepEngine &Engine, const SweepRunOptions &Options,
     Log << "sweep: wrote " << Path << "\n";
     return true;
   };
-  return WriteFile(Options.CsvPath, /*Json=*/false) &&
-         WriteFile(Options.JsonPath, /*Json=*/true);
+  if (!WriteFile(Options.CsvPath, /*Json=*/false) ||
+      !WriteFile(Options.JsonPath, /*Json=*/true))
+    return false;
+
+  if (!Options.CachePath.empty() && Engine.cache()) {
+    if (!Engine.cache()->save(Options.CachePath)) {
+      std::cerr << "cannot write result cache " << Options.CachePath
+                << "\n";
+      return false;
+    }
+    Log << "sweep: saved result cache " << Options.CachePath << " ("
+        << Engine.cache()->size() << " entries)\n";
+  }
+  return true;
 }

@@ -1,0 +1,354 @@
+//===- tests/ResultCacheTest.cpp - memoized loop runs ---------------------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cvliw/pipeline/ResultCache.h"
+
+#include "cvliw/pipeline/SweepEngine.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace cvliw;
+
+namespace {
+
+LoopSpec referenceLoop() {
+  LoopSpec L;
+  L.Name = "cachetest.loop0";
+  L.ProfileTrip = 100;
+  L.ExecTrip = 200;
+  L.Chains = {ChainSpec{1, 1, 2, 1, true}};
+  L.ConsistentLoads = 3;
+  L.ConsistentStores = 1;
+  L.SeedBase = 7;
+  return L;
+}
+
+BenchmarkSpec tinyBenchmark(const std::string &Name, uint64_t SeedBase) {
+  BenchmarkSpec B;
+  B.Name = Name;
+  B.InterleaveBytes = 4;
+  LoopSpec L = referenceLoop();
+  L.Name = Name + ".loop0";
+  L.SeedBase = SeedBase;
+  B.Loops.push_back(L);
+  return B;
+}
+
+SweepGrid tinyGrid() {
+  SweepGrid Grid;
+  Grid.Schemes = crossSchemes(
+      {CoherencePolicy::Baseline, CoherencePolicy::MDC, CoherencePolicy::DDGT},
+      {ClusterHeuristic::PrefClus});
+  Grid.Benchmarks = {tinyBenchmark("alpha", 7), tinyBenchmark("beta", 11)};
+  return Grid;
+}
+
+LoopRunResult sampleEntry() {
+  LoopRunResult E;
+  E.LoopName = "cachetest.loop0";
+  E.Weight = 0.625;
+  E.ExecTrip = 200;
+  E.II = 9;
+  E.ResMII = 7;
+  E.RecMII = 3;
+  E.NumOps = 21;
+  E.NumMemOps = 8;
+  E.CopiesPerIter = 4;
+  E.BiggestChain = 5;
+  E.Sim.Iterations = 200;
+  E.Sim.TotalCycles = 2345;
+  E.Sim.ComputeCycles = 2000;
+  E.Sim.StallCycles = 345;
+  E.Sim.DynamicOps = 4200;
+  E.Sim.MemoryAccesses = 1600;
+  E.Sim.AttractionBufferHits = 12;
+  E.Sim.BusTransactions = 99;
+  E.Sim.CoherenceViolations = 0;
+  E.Sim.NullifiedReplicaSlots = 3;
+  E.Sim.AccessClassification.add(0, 10);
+  E.Sim.AccessClassification.add(3, 2);
+  E.Sim.StallAttribution.add(1, 7);
+  return E;
+}
+
+} // namespace
+
+TEST(ResultCacheKey, StableAcrossRuns) {
+  // The key must be a pure function of the configuration — recomputing
+  // it (here, and in any other process or run) yields the same value.
+  ExperimentConfig Config;
+  LoopSpec Spec = referenceLoop();
+  uint64_t First = resultCacheKey(Config, Spec);
+  for (int I = 0; I != 3; ++I)
+    EXPECT_EQ(resultCacheKey(Config, Spec), First);
+
+  // Rebuilt (not copied) inputs with the same field values hash alike:
+  // nothing address- or iteration-order-dependent leaks into the key.
+  ExperimentConfig Config2;
+  LoopSpec Spec2 = referenceLoop();
+  EXPECT_EQ(resultCacheKey(Config2, Spec2), First);
+}
+
+TEST(ResultCacheKey, SensitiveToEveryAxis) {
+  ExperimentConfig Config;
+  LoopSpec Spec = referenceLoop();
+  const uint64_t Base = resultCacheKey(Config, Spec);
+
+  // A change to any field class — machine, experiment knob, loop
+  // shape, seed, or the profile-input toggle — must change the key.
+  {
+    ExperimentConfig C = Config;
+    C.Machine.InterleaveBytes = 2;
+    EXPECT_NE(resultCacheKey(C, Spec), Base) << "machine field";
+  }
+  {
+    ExperimentConfig C = Config;
+    C.Machine.AttractionBuffersEnabled = true;
+    EXPECT_NE(resultCacheKey(C, Spec), Base) << "machine toggle";
+  }
+  {
+    ExperimentConfig C = Config;
+    C.Policy = CoherencePolicy::MDC;
+    EXPECT_NE(resultCacheKey(C, Spec), Base) << "policy";
+  }
+  {
+    ExperimentConfig C = Config;
+    C.Heuristic = ClusterHeuristic::PrefClus;
+    EXPECT_NE(resultCacheKey(C, Spec), Base) << "heuristic";
+  }
+  {
+    ExperimentConfig C = Config;
+    C.ApplySpecialization = true;
+    EXPECT_NE(resultCacheKey(C, Spec), Base) << "specialization";
+  }
+  {
+    ExperimentConfig C = Config;
+    C.AssignLatencies = false;
+    EXPECT_NE(resultCacheKey(C, Spec), Base) << "latency knob";
+  }
+  {
+    ExperimentConfig C = Config;
+    C.Ordering = SchedulerOrdering::Swing;
+    EXPECT_NE(resultCacheKey(C, Spec), Base) << "ordering";
+  }
+  {
+    LoopSpec S = Spec;
+    S.SeedBase += 1;
+    EXPECT_NE(resultCacheKey(Config, S), Base) << "seed";
+  }
+  {
+    LoopSpec S = Spec;
+    S.ExecTrip += 1;
+    EXPECT_NE(resultCacheKey(Config, S), Base) << "trip count";
+  }
+  {
+    LoopSpec S = Spec;
+    S.Chains[0].GroupLoads += 1;
+    EXPECT_NE(resultCacheKey(Config, S), Base) << "chain shape";
+  }
+  {
+    LoopSpec S = Spec;
+    S.Name += "x";
+    EXPECT_NE(resultCacheKey(Config, S), Base) << "loop name";
+  }
+  {
+    ExperimentConfig C = Config;
+    C.SimulateOnProfileInput = true;
+    EXPECT_NE(resultCacheKey(C, Spec), Base) << "profile-input estimate";
+  }
+}
+
+TEST(ResultCache, HitOnIdenticalConfigMissOnChange) {
+  ResultCache Cache;
+  ExperimentConfig Config;
+  LoopSpec Spec = referenceLoop();
+
+  LoopRunResult Out;
+  uint64_t Key = resultCacheKey(Config, Spec);
+  EXPECT_FALSE(Cache.lookup(Key, Out));
+  EXPECT_EQ(Cache.misses(), 1u);
+
+  LoopRunResult In;
+  In.LoopName = Spec.Name;
+  In.Sim.TotalCycles = 1234;
+  Cache.insert(Key, In);
+  EXPECT_EQ(Cache.size(), 1u);
+
+  // Identical configuration: hit, with the stored payload.
+  ASSERT_TRUE(Cache.lookup(resultCacheKey(Config, Spec), Out));
+  EXPECT_EQ(Out.Sim.TotalCycles, 1234u);
+  EXPECT_EQ(Cache.hits(), 1u);
+
+  // Any field change: miss.
+  LoopSpec Changed = Spec;
+  Changed.SeedBase += 1;
+  EXPECT_FALSE(Cache.lookup(resultCacheKey(Config, Changed), Out));
+
+  Cache.clear();
+  EXPECT_EQ(Cache.size(), 0u);
+  EXPECT_EQ(Cache.hits(), 0u);
+  EXPECT_EQ(Cache.misses(), 0u);
+}
+
+TEST(ResultCache, SaveLoadRoundTripsEveryField) {
+  std::string Path = ::testing::TempDir() + "cvliw_resultcache_test.cache";
+  LoopRunResult In = sampleEntry();
+  {
+    ResultCache Cache;
+    Cache.insert(42, In);
+    ASSERT_TRUE(Cache.save(Path));
+  }
+
+  ResultCache Loaded;
+  ASSERT_TRUE(Loaded.load(Path));
+  EXPECT_EQ(Loaded.size(), 1u);
+  LoopRunResult Out;
+  ASSERT_TRUE(Loaded.lookup(42, Out));
+
+  EXPECT_EQ(Out.LoopName, In.LoopName);
+  EXPECT_EQ(Out.Weight, In.Weight);
+  EXPECT_EQ(Out.ExecTrip, In.ExecTrip);
+  EXPECT_EQ(Out.Scheduled, In.Scheduled);
+  EXPECT_EQ(Out.II, In.II);
+  EXPECT_EQ(Out.ResMII, In.ResMII);
+  EXPECT_EQ(Out.RecMII, In.RecMII);
+  EXPECT_EQ(Out.NumOps, In.NumOps);
+  EXPECT_EQ(Out.NumMemOps, In.NumMemOps);
+  EXPECT_EQ(Out.CopiesPerIter, In.CopiesPerIter);
+  EXPECT_EQ(Out.BiggestChain, In.BiggestChain);
+  EXPECT_EQ(Out.Sim.Iterations, In.Sim.Iterations);
+  EXPECT_EQ(Out.Sim.TotalCycles, In.Sim.TotalCycles);
+  EXPECT_EQ(Out.Sim.ComputeCycles, In.Sim.ComputeCycles);
+  EXPECT_EQ(Out.Sim.StallCycles, In.Sim.StallCycles);
+  EXPECT_EQ(Out.Sim.DynamicOps, In.Sim.DynamicOps);
+  EXPECT_EQ(Out.Sim.MemoryAccesses, In.Sim.MemoryAccesses);
+  EXPECT_EQ(Out.Sim.AttractionBufferHits,
+            In.Sim.AttractionBufferHits);
+  EXPECT_EQ(Out.Sim.BusTransactions, In.Sim.BusTransactions);
+  EXPECT_EQ(Out.Sim.CoherenceViolations,
+            In.Sim.CoherenceViolations);
+  EXPECT_EQ(Out.Sim.NullifiedReplicaSlots,
+            In.Sim.NullifiedReplicaSlots);
+  for (size_t B = 0; B != 5; ++B) {
+    EXPECT_EQ(Out.Sim.AccessClassification.count(B),
+              In.Sim.AccessClassification.count(B));
+    EXPECT_EQ(Out.Sim.StallAttribution.count(B),
+              In.Sim.StallAttribution.count(B));
+  }
+  std::remove(Path.c_str());
+}
+
+TEST(ResultCache, LoadRejectsMissingAndForeignFiles) {
+  ResultCache Cache;
+  EXPECT_FALSE(Cache.load(::testing::TempDir() + "cvliw_no_such.cache"));
+
+  std::string Path = ::testing::TempDir() + "cvliw_foreign_test.cache";
+  {
+    std::ofstream OS(Path);
+    OS << "some-other-format 9\n1 2 3\n";
+  }
+  EXPECT_FALSE(Cache.load(Path));
+  EXPECT_EQ(Cache.size(), 0u);
+  std::remove(Path.c_str());
+}
+
+TEST(ResultCache, CachedSweepIsByteIdenticalToUncached) {
+  // The determinism acceptance: a sweep served from the cache must
+  // serialize to exactly the bytes of a cold sweep of the same grid.
+  ResultCache Shared;
+
+  SweepEngine Cold(tinyGrid(), /*Threads=*/2);
+  Cold.setCache(&Shared);
+  Cold.run();
+  EXPECT_EQ(Cold.cacheHits(), 0u);
+  EXPECT_EQ(Cold.cacheMisses(), Cold.loopItems());
+
+  SweepEngine Warm(tinyGrid(), /*Threads=*/3);
+  Warm.setCache(&Shared);
+  Warm.run();
+  EXPECT_EQ(Warm.cacheHits(), Warm.loopItems())
+      << "identical grid must be fully served from the cache";
+  EXPECT_EQ(Warm.cacheMisses(), 0u);
+
+  SweepEngine Uncached(tinyGrid(), /*Threads=*/2);
+  Uncached.setCache(nullptr);
+  Uncached.run();
+
+  std::ostringstream ColdCsv, WarmCsv, UncachedCsv;
+  Cold.writeCsv(ColdCsv);
+  Warm.writeCsv(WarmCsv);
+  Uncached.writeCsv(UncachedCsv);
+  EXPECT_EQ(ColdCsv.str(), WarmCsv.str());
+  EXPECT_EQ(ColdCsv.str(), UncachedCsv.str());
+}
+
+TEST(ResultCache, OverlappingGridsShareBaselinePoints) {
+  // Two different "drivers" (grids) overlapping on their baseline
+  // schemes — the multi-driver reuse the cache layer exists for.
+  ResultCache Shared;
+
+  SweepGrid GridA;
+  GridA.Schemes = crossSchemes({CoherencePolicy::Baseline,
+                                CoherencePolicy::MDC},
+                               {ClusterHeuristic::PrefClus});
+  GridA.Benchmarks = {tinyBenchmark("alpha", 7)};
+
+  SweepGrid GridB;
+  GridB.Schemes = crossSchemes({CoherencePolicy::Baseline,
+                                CoherencePolicy::DDGT},
+                               {ClusterHeuristic::PrefClus});
+  GridB.Benchmarks = {tinyBenchmark("alpha", 7)};
+
+  SweepEngine A(GridA, /*Threads=*/1);
+  A.setCache(&Shared);
+  A.run();
+  EXPECT_EQ(A.cacheHits(), 0u);
+
+  SweepEngine B(GridB, /*Threads=*/1);
+  B.setCache(&Shared);
+  B.run();
+  EXPECT_EQ(B.cacheHits(), 1u) << "the shared baseline(prefclus) point";
+  EXPECT_EQ(B.cacheMisses(), 1u) << "the DDGT point is new";
+
+  // And the shared point's row is identical in both engines.
+  std::ostringstream CsvA, CsvB;
+  A.writeCsv(CsvA);
+  B.writeCsv(CsvB);
+  std::string FirstRowA = CsvA.str().substr(0, CsvA.str().find('\n'));
+  std::string FirstRowB = CsvB.str().substr(0, CsvB.str().find('\n'));
+  EXPECT_EQ(FirstRowA, FirstRowB); // Same header...
+  EXPECT_EQ(A.run()[0].Result.totalCycles(),
+            B.run()[0].Result.totalCycles());
+}
+
+TEST(ResultCache, PersistedCacheServesASecondProcessColdStart) {
+  // Simulates the cross-driver disk flow: engine A persists, a fresh
+  // cache (a new process) loads and the same grid is fully served.
+  std::string Path = ::testing::TempDir() + "cvliw_persist_test.cache";
+  ResultCache First;
+  SweepEngine A(tinyGrid(), /*Threads=*/2);
+  A.setCache(&First);
+  A.run();
+  ASSERT_TRUE(First.save(Path));
+
+  ResultCache Second;
+  ASSERT_TRUE(Second.load(Path));
+  SweepEngine B(tinyGrid(), /*Threads=*/1);
+  B.setCache(&Second);
+  B.run();
+  EXPECT_EQ(B.cacheHits(), B.loopItems());
+  EXPECT_EQ(B.cacheMisses(), 0u);
+
+  std::ostringstream CsvA, CsvB;
+  A.writeCsv(CsvA);
+  B.writeCsv(CsvB);
+  EXPECT_EQ(CsvA.str(), CsvB.str());
+  std::remove(Path.c_str());
+}

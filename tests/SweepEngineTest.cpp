@@ -6,6 +6,8 @@
 
 #include "cvliw/pipeline/SweepEngine.h"
 
+#include "cvliw/pipeline/ResultCache.h"
+
 #include <gtest/gtest.h>
 
 #include <sstream>
@@ -71,8 +73,12 @@ TEST(SweepEngine, GridExpansionOrderAndSize) {
 TEST(SweepEngine, ParallelRunIsByteIdenticalToSerial) {
   // The determinism contract: a multi-threaded sweep serializes to
   // exactly the bytes of a single-threaded sweep of the same grid.
+  // Each engine gets its own cold cache so both actually compute.
+  ResultCache SerialCache, ParallelCache;
   SweepEngine Serial(tinyGrid(), /*Threads=*/1);
   SweepEngine Parallel(tinyGrid(), /*Threads=*/4);
+  Serial.setCache(&SerialCache);
+  Parallel.setCache(&ParallelCache);
   Serial.run();
   Parallel.run();
 
@@ -141,8 +147,11 @@ TEST(SweepEngine, SeedsArePureFunctionOfBaseSeedAndIndex) {
 TEST(SweepEngine, ReseedLoopsPerturbsDeterministically) {
   SweepGrid Grid = tinyGrid();
   Grid.ReseedLoops = true;
+  ResultCache CacheA, CacheB;
   SweepEngine A(Grid, /*Threads=*/1);
   SweepEngine B(Grid, /*Threads=*/4);
+  A.setCache(&CacheA);
+  B.setCache(&CacheB);
   A.run();
   B.run();
   std::ostringstream CsvA, CsvB;

@@ -1,0 +1,31 @@
+#!/bin/sh
+#===- tests/golden/check_driver.sh - golden-output harness ----------------===#
+#
+# Runs one bench driver and asserts its table output is byte-identical
+# to the golden capture taken before the SweepEngine port. Lines
+# beginning with "sweep: " are run metadata (wall-clock, thread count,
+# cache hit/miss counts) and are filtered from both sides; everything
+# else — every table cell, header and footnote — must match exactly.
+#
+# Usage: check_driver.sh <driver-binary> <golden-file> [driver args...]
+#
+#===----------------------------------------------------------------------===#
+set -u
+
+driver="$1"
+golden="$2"
+shift 2
+
+out=$("$driver" "$@") || {
+  echo "FAIL: $driver exited non-zero" >&2
+  exit 1
+}
+filtered=$(printf '%s\n' "$out" | grep -v '^sweep: ')
+expected=$(cat "$golden")
+
+if [ "$filtered" != "$expected" ]; then
+  echo "FAIL: $driver output differs from $golden:" >&2
+  printf '%s\n' "$filtered" | diff "$golden" - >&2
+  exit 1
+fi
+echo "OK: $driver matches $golden"
