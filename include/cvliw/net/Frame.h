@@ -1,0 +1,69 @@
+//===- cvliw/net/Frame.h - Length-prefixed message framing -----*- C++ -*-===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The sweep-service wire framing: every protocol message is one frame
+///
+///   +----------+----------------+---------------------+
+///   | "CVW1"   | length (u32 BE)| payload (JSON text) |
+///   +----------+----------------+---------------------+
+///
+/// The 4-byte magic doubles as a protocol version ("CVW1"); a client
+/// speaking anything else is detected on its first frame instead of
+/// being misparsed. The length is the payload byte count, big-endian,
+/// and is bounded: a frame longer than the reader's limit is rejected
+/// before any payload is read, so a hostile or confused peer cannot
+/// make the daemon allocate gigabytes.
+///
+/// readFrame() distinguishes the failure modes the protocol tests pin:
+/// clean EOF between frames, bad magic (malformed), over-limit length
+/// (oversized), and EOF mid-frame (truncated).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CVLIW_NET_FRAME_H
+#define CVLIW_NET_FRAME_H
+
+#include "cvliw/net/Socket.h"
+
+#include <cstdint>
+#include <string>
+
+namespace cvliw {
+
+/// Protocol magic; the trailing digit is the protocol version.
+constexpr char FrameMagic[4] = {'C', 'V', 'W', '1'};
+
+/// Default per-frame payload bound (16 MiB). A full 16-machine sweep
+/// grid serializes to well under 1 MiB; result rows stream one frame
+/// per point, so nothing legitimate approaches this.
+constexpr size_t DefaultMaxFrameBytes = 16u << 20;
+
+enum class FrameStatus {
+  Ok,        ///< A whole frame was read.
+  Eof,       ///< Clean end of stream at a frame boundary.
+  Malformed, ///< Header present but the magic is wrong.
+  Oversized, ///< Declared length exceeds the reader's limit.
+  Truncated, ///< Stream ended inside the header or payload.
+  IoError,   ///< send/recv failed.
+};
+
+/// Short printable name ("ok", "eof", "malformed", ...).
+const char *frameStatusName(FrameStatus Status);
+
+/// Reads one frame into \p Payload.
+FrameStatus readFrame(Socket &S, std::string &Payload,
+                      size_t MaxBytes = DefaultMaxFrameBytes);
+
+/// Writes one frame. False on I/O error or when \p Payload itself
+/// exceeds \p MaxBytes (the writer honors the same bound it expects
+/// readers to enforce).
+bool writeFrame(Socket &S, const std::string &Payload,
+                size_t MaxBytes = DefaultMaxFrameBytes);
+
+} // namespace cvliw
+
+#endif // CVLIW_NET_FRAME_H

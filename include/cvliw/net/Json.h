@@ -1,0 +1,119 @@
+//===- cvliw/net/Json.h - Minimal JSON values ------------------*- C++ -*-===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The JSON value type used by the sweep-service wire protocol.
+///
+/// This is deliberately a tiny, dependency-free subset tuned to the
+/// protocol's needs rather than a general JSON library. The one
+/// property that matters — and that most general libraries get wrong —
+/// is exact 64-bit integer round-tripping: point seeds, cycle counts
+/// and double bit patterns all cross the wire as full-width integers,
+/// and a lossy double detour would break the byte-identical remote
+/// determinism contract. Integer literals therefore parse into uint64
+/// (or int64 when negative) and only fractional/exponent literals
+/// become doubles.
+///
+/// Object member order is preserved on serialization, so a value
+/// serializes to the same bytes however it was built or parsed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CVLIW_NET_JSON_H
+#define CVLIW_NET_JSON_H
+
+#include <cstdint>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cvliw {
+
+/// Thrown by the typed accessors on a kind mismatch or a missing
+/// object member; the service turns it into an error response.
+class JsonError : public std::runtime_error {
+public:
+  explicit JsonError(const std::string &What) : std::runtime_error(What) {}
+};
+
+/// One JSON value: null, bool, integer (unsigned/signed), double,
+/// string, array, or object.
+class JsonValue {
+public:
+  enum class Kind { Null, Bool, Uint, Int, Double, String, Array, Object };
+
+  JsonValue() = default;
+  static JsonValue null() { return JsonValue(); }
+  static JsonValue boolean(bool V);
+  static JsonValue uint(uint64_t V);
+  static JsonValue integer(int64_t V);
+  static JsonValue real(double V);
+  static JsonValue str(std::string V);
+  static JsonValue array();
+  static JsonValue object();
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+
+  // Typed accessors; throw JsonError on kind mismatch.
+  bool asBool() const;
+  /// Accepts Uint and non-negative Int.
+  uint64_t asU64() const;
+  int64_t asI64() const;
+  /// Accepts any numeric kind.
+  double asDouble() const;
+  const std::string &asString() const;
+
+  // Arrays.
+  void push(JsonValue V);
+  const std::vector<JsonValue> &items() const;
+  size_t size() const;
+
+  // Objects. Member order is insertion order; lookups are linear (the
+  // protocol's objects are small).
+  void set(const std::string &Key, JsonValue V);
+  /// Appends a member WITHOUT the duplicate-key scan set() does — the
+  /// parser uses this so a network-supplied object of n members parses
+  /// in O(n), not O(n^2). Duplicate keys then coexist; find() returns
+  /// the first, matching JSON's de-facto first-wins reading here.
+  void append(std::string Key, JsonValue V);
+  /// Null when absent (or not an object).
+  const JsonValue *find(const std::string &Key) const;
+  /// Throws JsonError naming the missing member.
+  const JsonValue &at(const std::string &Key) const;
+
+  // Convenience typed member reads; throw JsonError naming the member.
+  uint64_t u64(const std::string &Key) const { return at(Key).asU64(); }
+  bool flag(const std::string &Key) const { return at(Key).asBool(); }
+  const std::string &text(const std::string &Key) const {
+    return at(Key).asString();
+  }
+
+  /// Serializes compactly (no whitespace), deterministically.
+  void write(std::ostream &OS) const;
+  std::string dump() const;
+
+  /// Parses \p Text; on failure returns false and fills \p Error with a
+  /// position-annotated message. Trailing non-whitespace is an error.
+  static bool parse(const std::string &Text, JsonValue &Out,
+                    std::string &Error);
+
+private:
+  Kind K = Kind::Null;
+  bool B = false;
+  uint64_t U = 0;
+  int64_t I = 0;
+  double D = 0.0;
+  std::string S;
+  std::vector<JsonValue> Arr;
+  std::vector<std::pair<std::string, JsonValue>> Obj;
+};
+
+} // namespace cvliw
+
+#endif // CVLIW_NET_JSON_H

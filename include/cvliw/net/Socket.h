@@ -1,0 +1,87 @@
+//===- cvliw/net/Socket.h - TCP socket RAII wrappers -----------*- C++ -*-===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Thin RAII wrappers over POSIX TCP sockets, sized for the sweep
+/// service: a listener, blocking connections, and whole-buffer
+/// send/receive helpers. IPv4 only — the daemon binds loopback by
+/// default and this is an experiment service, not a general server.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CVLIW_NET_SOCKET_H
+#define CVLIW_NET_SOCKET_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace cvliw {
+
+/// Owns one socket file descriptor; closes it on destruction.
+class Socket {
+public:
+  Socket() = default;
+  explicit Socket(int Fd) : Fd(Fd) {}
+  ~Socket() { close(); }
+
+  Socket(Socket &&Other) noexcept : Fd(Other.Fd) { Other.Fd = -1; }
+  Socket &operator=(Socket &&Other) noexcept;
+  Socket(const Socket &) = delete;
+  Socket &operator=(const Socket &) = delete;
+
+  bool valid() const { return Fd >= 0; }
+  int fd() const { return Fd; }
+
+  /// Closes the descriptor (idempotent).
+  void close();
+
+  /// shutdown(SHUT_RDWR): unblocks a peer (or another thread of this
+  /// process) blocked in recv on this socket without racing the fd
+  /// number the way close() would.
+  void shutdownBoth();
+
+  /// shutdown(SHUT_WR): half-close — the peer sees EOF after the bytes
+  /// already sent, while this side can still receive its response (how
+  /// the protocol tests deliver deliberately truncated frames).
+  void shutdownWrite();
+
+  /// Sends the whole buffer (looping over short writes, retrying
+  /// EINTR). False on any error.
+  bool sendAll(const void *Data, size_t Len);
+
+  /// Receives exactly \p Len bytes. Returns the byte count actually
+  /// read: Len on success, 0 on clean EOF before any byte, and the
+  /// partial count (< Len) when the stream ended mid-buffer. When
+  /// \p IoError is non-null it is set when the short read came from a
+  /// recv() failure (connection reset, ...) rather than an orderly
+  /// close.
+  size_t recvAll(void *Data, size_t Len, bool *IoError = nullptr);
+
+private:
+  int Fd = -1;
+};
+
+/// Binds and listens on \p Host:\p Port (Port 0 picks an ephemeral
+/// port). On success fills \p BoundPort with the actual port. On
+/// failure returns an invalid socket and fills \p Error.
+Socket listenOn(const std::string &Host, uint16_t Port, uint16_t &BoundPort,
+                std::string &Error);
+
+/// Accepts one connection; invalid socket on error (e.g. the listener
+/// was closed to stop the server).
+Socket acceptFrom(Socket &Listener);
+
+/// Connects to \p Host:\p Port; invalid socket + \p Error on failure.
+Socket connectTo(const std::string &Host, uint16_t Port, std::string &Error);
+
+/// Splits "host:port"; false (with \p Error) on a malformed spec.
+bool splitHostPort(const std::string &Spec, std::string &Host,
+                   uint16_t &Port, std::string &Error);
+
+} // namespace cvliw
+
+#endif // CVLIW_NET_SOCKET_H

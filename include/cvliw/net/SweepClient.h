@@ -1,0 +1,77 @@
+//===- cvliw/net/SweepClient.h - Sweep service client ----------*- C++ -*-===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Client library for the sweep service: used by the cvliw-sweep-client
+/// CLI and by the bench drivers' --remote mode.
+///
+/// runGrid() sends one fully-expanded grid and collects the streamed
+/// row frames; rows arrive in completion order (the daemon streams each
+/// point as its last loop finishes) and are stored at their point
+/// index, so the returned vector is in grid order regardless of how the
+/// daemon's pool interleaved the work — the same slot-not-order rule
+/// that makes the local engine deterministic.
+///
+/// Every call reports failure through a bool + error string rather than
+/// exceptions: a driver falling back or a CLI printing a diagnostic
+/// wants the message, not a stack unwind.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CVLIW_NET_SWEEPCLIENT_H
+#define CVLIW_NET_SWEEPCLIENT_H
+
+#include "cvliw/net/Json.h"
+#include "cvliw/net/Socket.h"
+#include "cvliw/pipeline/SweepEngine.h"
+
+#include <string>
+#include <vector>
+
+namespace cvliw {
+
+/// The daemon-side facts of one remote sweep, from the "done" frame.
+struct RemoteSweepStats {
+  size_t Points = 0;
+  uint64_t CacheHits = 0;
+  uint64_t CacheMisses = 0;
+};
+
+class SweepClient {
+public:
+  /// Connects to "host:port". False + \p Error on failure.
+  bool connect(const std::string &HostPort, std::string &Error);
+
+  bool connected() const { return Conn.valid(); }
+
+  /// Round-trips a ping frame.
+  bool ping(std::string &Error);
+
+  /// Fetches the daemon status object (cache stats, pool width, ...).
+  bool status(JsonValue &Out, std::string &Error);
+
+  /// Runs \p Grid remotely; fills \p Rows (grid order) and \p Stats.
+  bool runGrid(const SweepGrid &Grid, std::vector<SweepRow> &Rows,
+               RemoteSweepStats &Stats, std::string &Error);
+
+  /// Asks the daemon to shut down cleanly; true once acknowledged.
+  bool shutdownServer(std::string &Error);
+
+  /// Sends \p Payload as one raw frame and reads one response frame —
+  /// the protocol tests use this to deliver deliberately broken bytes.
+  bool rawRequest(const std::string &Payload, std::string &Response,
+                  std::string &Error);
+
+private:
+  bool sendMessage(const JsonValue &Message, std::string &Error);
+  bool readMessage(JsonValue &Message, std::string &Error);
+
+  Socket Conn;
+};
+
+} // namespace cvliw
+
+#endif // CVLIW_NET_SWEEPCLIENT_H

@@ -1,0 +1,67 @@
+//===- cvliw/net/WireFormat.h - Sweep protocol codecs ----------*- C++ -*-===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// JSON codecs between the pipeline types and the sweep-service wire
+/// protocol.
+///
+/// A grid crosses the wire *fully expanded* — every MachineConfig
+/// field, every SchemePoint knob, every LoopSpec of every benchmark —
+/// so the daemon is workload-agnostic: it can serve a grid no driver
+/// in its own binary defines, and the cache key it computes is the
+/// exact key the client would compute locally. Doubles that feed the
+/// determinism contract (loop weights, benchmark percentages) travel
+/// as 64-bit bit patterns, never as decimal text, so a remote sweep
+/// reconstructs bit-for-bit the rows a local sweep produces.
+///
+/// Request messages ("type" member):
+///   {"type":"ping"}
+///   {"type":"status"}
+///   {"type":"sweep","grid":GRID}
+///   {"type":"shutdown"}
+/// Response messages:
+///   {"type":"pong"}
+///   {"type":"status","cache":{...},"threads":N,...}
+///   {"type":"row","row":ROW}            (one per point, as it completes)
+///   {"type":"done","points":N,"cache_hits":H,"cache_misses":M}
+///   {"type":"ok"}                        (shutdown acknowledged)
+///   {"type":"error","message":"..."}
+///
+/// Decoders throw JsonError on a malformed message; the service turns
+/// that into an error response.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CVLIW_NET_WIREFORMAT_H
+#define CVLIW_NET_WIREFORMAT_H
+
+#include "cvliw/net/Json.h"
+#include "cvliw/pipeline/SweepEngine.h"
+
+namespace cvliw {
+
+// Grid (request direction).
+JsonValue gridToJson(const SweepGrid &Grid);
+SweepGrid gridFromJson(const JsonValue &J);
+
+// Rows (response direction).
+JsonValue rowToJson(const SweepRow &Row);
+SweepRow rowFromJson(const JsonValue &J);
+
+// Individual pieces, exposed for tests and the client library.
+JsonValue machineConfigToJson(const MachineConfig &M);
+MachineConfig machineConfigFromJson(const JsonValue &J);
+JsonValue loopSpecToJson(const LoopSpec &Spec);
+LoopSpec loopSpecFromJson(const JsonValue &J);
+JsonValue loopRunResultToJson(const LoopRunResult &R);
+LoopRunResult loopRunResultFromJson(const JsonValue &J);
+
+/// Builds {"type":"error","message":Message}.
+JsonValue makeErrorMessage(const std::string &Message);
+
+} // namespace cvliw
+
+#endif // CVLIW_NET_WIREFORMAT_H

@@ -92,6 +92,17 @@ private:
 uint64_t resultCacheKey(const ExperimentConfig &Config,
                         const LoopSpec &Spec);
 
+/// One consistent snapshot of a cache's counters and footprint,
+/// reported in the sweep summary line and the daemon's status response.
+struct ResultCacheStats {
+  size_t Entries = 0;
+  /// Approximate resident bytes of the memo table's payload (entry
+  /// structs plus owned strings and accumulator buckets).
+  size_t Bytes = 0;
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+};
+
 /// Thread-safe memo table of loop runs, shared by every SweepEngine in
 /// the process by default (see process()) and optionally persisted to
 /// disk so separate driver processes share their baseline points.
@@ -109,11 +120,20 @@ public:
   uint64_t hits() const { return Hits.load(std::memory_order_relaxed); }
   uint64_t misses() const { return Misses.load(std::memory_order_relaxed); }
 
+  /// Entry count, approximate byte footprint and hit/miss counters in
+  /// one locked snapshot.
+  ResultCacheStats stats() const;
+
   /// Drops every entry and zeroes the hit/miss counters.
   void clear();
 
-  /// Writes every entry as a versioned text file. Returns false when
-  /// the file cannot be written.
+  /// Writes every entry as a versioned text file, first merging in any
+  /// entries already persisted at \p Path that this cache does not hold
+  /// (in-memory entries win on key clashes — identical anyway by the
+  /// determinism contract). The merged file lands via write-to-temp +
+  /// atomic rename, so concurrent driver/daemon processes sharing one
+  /// cache path can only ever append to each other's entry sets, never
+  /// drop them. Returns false when the file cannot be written.
   bool save(const std::string &Path) const;
 
   /// Merges entries from \p Path (keeping existing ones on key

@@ -56,6 +56,7 @@
 namespace cvliw {
 
 class ResultCache;
+class TaskPool;
 
 /// One named machine description of the sweep's machine axis.
 struct MachinePoint {
@@ -142,6 +143,28 @@ public:
   /// The result cache run() consults; null when memoization is off.
   ResultCache *cache() const { return Cache; }
 
+  /// Schedules run()'s (point, loop) work items onto \p NewPool instead
+  /// of spawning private threads — the sweep service routes every
+  /// client's items through one shared pool so the daemon's load stays
+  /// bounded however many grids are in flight. run() still blocks until
+  /// its own items complete. Must be called before run().
+  void setPool(TaskPool *NewPool) { Pool = NewPool; }
+
+  /// Invokes \p Callback each time a point completes (its last loop
+  /// item finished and the row is fully written), from whichever worker
+  /// finished it — the service's incremental streaming hook. Completion
+  /// order varies with scheduling; the row contents never do. Must be
+  /// called before run(); the callback must not throw.
+  void setRowCallback(std::function<void(const SweepRow &)> Callback) {
+    RowCallback = std::move(Callback);
+  }
+
+  /// Installs externally computed rows (the --remote path: a daemon
+  /// evaluated this grid and the client collected the rows). The rows
+  /// must be in point-index order and match the grid's size; after the
+  /// call the engine behaves as if run() had produced them.
+  void adoptRows(std::vector<SweepRow> NewRows);
+
   /// Runs every point (idempotent: later calls return the same rows).
   /// Rows come back in point-index order regardless of thread count.
   const std::vector<SweepRow> &run();
@@ -210,6 +233,8 @@ private:
   SweepGrid Grid;
   unsigned Threads;
   ResultCache *Cache;
+  TaskPool *Pool = nullptr;
+  std::function<void(const SweepRow &)> RowCallback;
   bool HasRun = false;
   double LastRunSeconds = 0.0;
   uint64_t CacheHits = 0;
@@ -234,9 +259,18 @@ struct SweepRunOptions {
   /// loaded before the sweep, saved after it. Defaults to the
   /// CVLIW_SWEEP_CACHE environment variable.
   std::string CachePath;
+  /// --remote HOST:PORT: evaluate the grid on a cvliw-sweepd daemon
+  /// instead of locally (the daemon's warm shared cache serves repeat
+  /// points); the table output is byte-identical either way. Defaults
+  /// to the CVLIW_SWEEP_REMOTE environment variable.
+  std::string Remote;
+  /// --dump-grid FILE: also write the expanded grid as JSON — the
+  /// format cvliw-sweep-client submits to a daemon.
+  std::string DumpGridPath;
   /// --verify-serial: re-run the grid on one thread with a cold private
   /// cache and require the serialized output to be byte-identical;
-  /// reports the speedup.
+  /// reports the speedup. Combined with --remote this cross-checks the
+  /// daemon's rows against a local serial recomputation.
   bool VerifySerial = false;
 };
 

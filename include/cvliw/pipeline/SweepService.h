@@ -1,0 +1,147 @@
+//===- cvliw/pipeline/SweepService.h - Sweep service daemon ----*- C++ -*-===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The long-lived sweep service: experiment grids over a socket,
+/// served from the process-wide ResultCache.
+///
+/// Every bench driver so far has been a cold-start process — it
+/// simulates its points, persists a cache file if asked, and exits.
+/// The service turns the same engine into a resident system: one
+/// TaskPool whose width bounds the machine load, one shared ResultCache
+/// that stays warm across grids and clients, and a TCP front end
+/// (length-prefixed JSON frames, see net/Frame.h) that accepts fully
+/// expanded grids from concurrent clients and streams each point's row
+/// back the moment its last loop finishes. Any paper table run with
+/// `--remote HOST:PORT` is served byte-identically to its local run —
+/// points another client (or table) already computed come straight from
+/// the cache.
+///
+/// Concurrency model: one accept thread, one handler thread per
+/// connection, and the shared pool doing all simulation. A handler
+/// blocks in SweepEngine::run() (which submits its (point, loop) items
+/// to the pool and waits on a latch), so N clients never spawn more
+/// than the pool's worker count of simulation threads. Pool workers
+/// never touch sockets: completed rows are enqueued to a per-sweep
+/// writer thread, so a client that stops reading stalls only its own
+/// connection, never the shared pool.
+///
+/// Protocol errors (bad magic, over-limit frame, truncated stream,
+/// unparseable JSON, malformed grid) are answered with an error frame
+/// when the peer is still writable and close only that connection; the
+/// daemon keeps serving.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CVLIW_PIPELINE_SWEEPSERVICE_H
+#define CVLIW_PIPELINE_SWEEPSERVICE_H
+
+#include "cvliw/net/Frame.h"
+#include "cvliw/net/Socket.h"
+#include "cvliw/pipeline/ResultCache.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace cvliw {
+
+class JsonValue;
+class TaskPool;
+
+struct SweepServiceConfig {
+  /// Bind address; loopback by default — the service trusts its peers.
+  std::string Host = "127.0.0.1";
+  /// 0 picks an ephemeral port (see SweepService::port()).
+  uint16_t Port = 0;
+  /// Simulation pool width; 0 selects defaultSweepThreads().
+  unsigned Threads = 0;
+  /// Per-frame payload bound for requests.
+  size_t MaxFrameBytes = DefaultMaxFrameBytes;
+  /// The memo table to serve from; defaults to the process-wide one.
+  ResultCache *Cache = nullptr;
+};
+
+class SweepService {
+public:
+  explicit SweepService(SweepServiceConfig Config);
+  ~SweepService();
+
+  SweepService(const SweepService &) = delete;
+  SweepService &operator=(const SweepService &) = delete;
+
+  /// Binds, listens and starts the accept thread. False + \p Error on
+  /// failure (port in use, bad address, ...).
+  bool start(std::string &Error);
+
+  /// The bound port (valid after start()).
+  uint16_t port() const { return BoundPort; }
+
+  /// Blocks until a client's shutdown request (or stop()).
+  void waitForShutdown();
+
+  /// Stops accepting, disconnects every client, joins all threads.
+  /// Idempotent; called by the destructor.
+  void stop();
+
+  /// True once a shutdown request has been received.
+  bool shutdownRequested() const {
+    return ShutdownFlag.load(std::memory_order_acquire);
+  }
+
+  // Served-traffic counters (for status responses and tests).
+  uint64_t gridsServed() const {
+    return GridsServed.load(std::memory_order_relaxed);
+  }
+  uint64_t connectionsAccepted() const {
+    return ConnectionsAccepted.load(std::memory_order_relaxed);
+  }
+  uint64_t protocolErrors() const {
+    return ProtocolErrors.load(std::memory_order_relaxed);
+  }
+
+private:
+  struct Connection;
+
+  void acceptLoop();
+  void handleConnection(Connection *Conn);
+  /// Dispatches one request frame; returns false when the connection
+  /// should close (protocol error or shutdown).
+  bool handleRequest(Connection *Conn, const std::string &Payload);
+  /// Frames \p Payload onto the connection under its write mutex;
+  /// latches the connection's write-failed flag on error.
+  void writePayload(Connection *Conn, const std::string &Payload);
+  void writeMessage(Connection *Conn, const JsonValue &Message);
+
+  SweepServiceConfig Config;
+  ResultCache *Cache;
+  std::unique_ptr<TaskPool> Pool;
+
+  Socket Listener;
+  uint16_t BoundPort = 0;
+  std::thread AcceptThread;
+
+  std::mutex ConnMutex;
+  std::vector<std::unique_ptr<Connection>> Connections;
+
+  std::atomic<bool> Stopping{false};
+  std::atomic<bool> ShutdownFlag{false};
+  std::mutex ShutdownMutex;
+  std::condition_variable ShutdownCv;
+
+  std::atomic<uint64_t> GridsServed{0};
+  std::atomic<uint64_t> ConnectionsAccepted{0};
+  std::atomic<uint64_t> ProtocolErrors{0};
+};
+
+} // namespace cvliw
+
+#endif // CVLIW_PIPELINE_SWEEPSERVICE_H

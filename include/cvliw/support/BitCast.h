@@ -1,0 +1,40 @@
+//===- cvliw/support/BitCast.h - Exact double<->u64 casts ------*- C++ -*-===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The bit-exact double <-> uint64 casts behind the byte-identical
+/// determinism contract: loop weights and benchmark percentages are
+/// persisted (ResultCache files) and transmitted (sweep-service wire
+/// format) as IEEE-754 bit patterns, never as decimal text, so -0.0,
+/// NaN payloads and every last ulp survive a round trip. One shared
+/// definition, so the cache format and the wire format can never
+/// drift apart.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CVLIW_SUPPORT_BITCAST_H
+#define CVLIW_SUPPORT_BITCAST_H
+
+#include <cstdint>
+#include <cstring>
+
+namespace cvliw {
+
+inline uint64_t doubleBits(double V) {
+  uint64_t Bits;
+  std::memcpy(&Bits, &V, sizeof(Bits));
+  return Bits;
+}
+
+inline double bitsToDouble(uint64_t Bits) {
+  double V;
+  std::memcpy(&V, &Bits, sizeof(V));
+  return V;
+}
+
+} // namespace cvliw
+
+#endif // CVLIW_SUPPORT_BITCAST_H

@@ -1,0 +1,68 @@
+//===- cvliw/support/TaskPool.h - Persistent worker pool -------*- C++ -*-===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A persistent FIFO worker pool.
+///
+/// The SweepEngine spawns its own threads per run(), which is right for
+/// a batch driver but wrong for the sweep service: a daemon serving
+/// concurrent clients needs ONE pool whose width bounds the machine
+/// load however many grids are in flight, with every (point, loop)
+/// work item — whoever submitted it — scheduled through the same
+/// queue. Submitters block in their own thread (TaskPool::submit never
+/// runs jobs inline), so a service handler waiting for its grid never
+/// occupies a pool slot.
+///
+/// Jobs must not throw; the engine wraps its work items in their own
+/// try/catch and records the first error itself.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CVLIW_SUPPORT_TASKPOOL_H
+#define CVLIW_SUPPORT_TASKPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cvliw {
+
+class TaskPool {
+public:
+  /// Starts \p Threads workers immediately (at least one).
+  explicit TaskPool(unsigned Threads);
+
+  /// Drains nothing: pending jobs are discarded, running jobs are
+  /// joined. Callers that need completion must track it themselves
+  /// (the engine waits on its own latch before returning).
+  ~TaskPool();
+
+  TaskPool(const TaskPool &) = delete;
+  TaskPool &operator=(const TaskPool &) = delete;
+
+  unsigned threads() const { return static_cast<unsigned>(Workers.size()); }
+
+  /// Enqueues one job (FIFO). Safe from any thread, including pool
+  /// workers. Jobs enqueued after shutdown began are dropped.
+  void submit(std::function<void()> Job);
+
+private:
+  void workerLoop();
+
+  std::mutex Mutex;
+  std::condition_variable Ready;
+  std::deque<std::function<void()>> Queue;
+  bool Stopping = false;
+  std::vector<std::thread> Workers;
+};
+
+} // namespace cvliw
+
+#endif // CVLIW_SUPPORT_TASKPOOL_H

@@ -1,0 +1,71 @@
+//===- net/Frame.cpp - Length-prefixed message framing --------------------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cvliw/net/Frame.h"
+
+#include <cstring>
+
+using namespace cvliw;
+
+const char *cvliw::frameStatusName(FrameStatus Status) {
+  switch (Status) {
+  case FrameStatus::Ok:
+    return "ok";
+  case FrameStatus::Eof:
+    return "eof";
+  case FrameStatus::Malformed:
+    return "malformed";
+  case FrameStatus::Oversized:
+    return "oversized";
+  case FrameStatus::Truncated:
+    return "truncated";
+  case FrameStatus::IoError:
+    return "io-error";
+  }
+  return "unknown";
+}
+
+FrameStatus cvliw::readFrame(Socket &S, std::string &Payload,
+                             size_t MaxBytes) {
+  unsigned char Header[8];
+  bool IoError = false;
+  size_t Got = S.recvAll(Header, sizeof(Header), &IoError);
+  if (Got < sizeof(Header)) {
+    if (IoError)
+      return FrameStatus::IoError; // Reset, not an orderly close.
+    return Got == 0 ? FrameStatus::Eof : FrameStatus::Truncated;
+  }
+  if (std::memcmp(Header, FrameMagic, sizeof(FrameMagic)) != 0)
+    return FrameStatus::Malformed;
+
+  uint32_t Len = (static_cast<uint32_t>(Header[4]) << 24) |
+                 (static_cast<uint32_t>(Header[5]) << 16) |
+                 (static_cast<uint32_t>(Header[6]) << 8) |
+                 static_cast<uint32_t>(Header[7]);
+  if (Len > MaxBytes)
+    return FrameStatus::Oversized;
+
+  Payload.resize(Len);
+  if (Len != 0 && S.recvAll(&Payload[0], Len, &IoError) != Len)
+    return IoError ? FrameStatus::IoError : FrameStatus::Truncated;
+  return FrameStatus::Ok;
+}
+
+bool cvliw::writeFrame(Socket &S, const std::string &Payload,
+                       size_t MaxBytes) {
+  if (Payload.size() > MaxBytes || Payload.size() > UINT32_MAX)
+    return false;
+  uint32_t Len = static_cast<uint32_t>(Payload.size());
+  unsigned char Header[8];
+  std::memcpy(Header, FrameMagic, sizeof(FrameMagic));
+  Header[4] = static_cast<unsigned char>(Len >> 24);
+  Header[5] = static_cast<unsigned char>(Len >> 16);
+  Header[6] = static_cast<unsigned char>(Len >> 8);
+  Header[7] = static_cast<unsigned char>(Len);
+  if (!S.sendAll(Header, sizeof(Header)))
+    return false;
+  return Payload.empty() || S.sendAll(Payload.data(), Payload.size());
+}

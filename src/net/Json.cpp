@@ -1,0 +1,539 @@
+//===- net/Json.cpp - Minimal JSON values ---------------------------------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cvliw/net/Json.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+using namespace cvliw;
+
+JsonValue JsonValue::boolean(bool V) {
+  JsonValue J;
+  J.K = Kind::Bool;
+  J.B = V;
+  return J;
+}
+
+JsonValue JsonValue::uint(uint64_t V) {
+  JsonValue J;
+  J.K = Kind::Uint;
+  J.U = V;
+  return J;
+}
+
+JsonValue JsonValue::integer(int64_t V) {
+  JsonValue J;
+  J.K = Kind::Int;
+  J.I = V;
+  return J;
+}
+
+JsonValue JsonValue::real(double V) {
+  JsonValue J;
+  J.K = Kind::Double;
+  J.D = V;
+  return J;
+}
+
+JsonValue JsonValue::str(std::string V) {
+  JsonValue J;
+  J.K = Kind::String;
+  J.S = std::move(V);
+  return J;
+}
+
+JsonValue JsonValue::array() {
+  JsonValue J;
+  J.K = Kind::Array;
+  return J;
+}
+
+JsonValue JsonValue::object() {
+  JsonValue J;
+  J.K = Kind::Object;
+  return J;
+}
+
+bool JsonValue::asBool() const {
+  if (K != Kind::Bool)
+    throw JsonError("not a bool");
+  return B;
+}
+
+uint64_t JsonValue::asU64() const {
+  if (K == Kind::Uint)
+    return U;
+  if (K == Kind::Int && I >= 0)
+    return static_cast<uint64_t>(I);
+  throw JsonError("not an unsigned integer");
+}
+
+int64_t JsonValue::asI64() const {
+  if (K == Kind::Int)
+    return I;
+  if (K == Kind::Uint && U <= static_cast<uint64_t>(INT64_MAX))
+    return static_cast<int64_t>(U);
+  throw JsonError("not a signed integer");
+}
+
+double JsonValue::asDouble() const {
+  switch (K) {
+  case Kind::Double:
+    return D;
+  case Kind::Uint:
+    return static_cast<double>(U);
+  case Kind::Int:
+    return static_cast<double>(I);
+  default:
+    throw JsonError("not a number");
+  }
+}
+
+const std::string &JsonValue::asString() const {
+  if (K != Kind::String)
+    throw JsonError("not a string");
+  return S;
+}
+
+void JsonValue::push(JsonValue V) {
+  if (K != Kind::Array)
+    throw JsonError("not an array");
+  Arr.push_back(std::move(V));
+}
+
+const std::vector<JsonValue> &JsonValue::items() const {
+  if (K != Kind::Array)
+    throw JsonError("not an array");
+  return Arr;
+}
+
+size_t JsonValue::size() const {
+  if (K == Kind::Array)
+    return Arr.size();
+  if (K == Kind::Object)
+    return Obj.size();
+  throw JsonError("not a container");
+}
+
+void JsonValue::set(const std::string &Key, JsonValue V) {
+  if (K != Kind::Object)
+    throw JsonError("not an object");
+  for (auto &KV : Obj)
+    if (KV.first == Key) {
+      KV.second = std::move(V);
+      return;
+    }
+  Obj.emplace_back(Key, std::move(V));
+}
+
+void JsonValue::append(std::string Key, JsonValue V) {
+  if (K != Kind::Object)
+    throw JsonError("not an object");
+  Obj.emplace_back(std::move(Key), std::move(V));
+}
+
+const JsonValue *JsonValue::find(const std::string &Key) const {
+  if (K != Kind::Object)
+    return nullptr;
+  for (const auto &KV : Obj)
+    if (KV.first == Key)
+      return &KV.second;
+  return nullptr;
+}
+
+const JsonValue &JsonValue::at(const std::string &Key) const {
+  if (const JsonValue *V = find(Key))
+    return *V;
+  throw JsonError("missing member '" + Key + "'");
+}
+
+namespace {
+
+void writeEscaped(std::ostream &OS, const std::string &S) {
+  OS << '"';
+  for (char C : S) {
+    unsigned char U = static_cast<unsigned char>(C);
+    switch (C) {
+    case '"':
+      OS << "\\\"";
+      break;
+    case '\\':
+      OS << "\\\\";
+      break;
+    case '\n':
+      OS << "\\n";
+      break;
+    case '\r':
+      OS << "\\r";
+      break;
+    case '\t':
+      OS << "\\t";
+      break;
+    default:
+      if (U < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", U);
+        OS << Buf;
+      } else {
+        OS << C;
+      }
+    }
+  }
+  OS << '"';
+}
+
+} // namespace
+
+void JsonValue::write(std::ostream &OS) const {
+  switch (K) {
+  case Kind::Null:
+    OS << "null";
+    break;
+  case Kind::Bool:
+    OS << (B ? "true" : "false");
+    break;
+  case Kind::Uint: {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%" PRIu64, U);
+    OS << Buf;
+    break;
+  }
+  case Kind::Int: {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%" PRId64, I);
+    OS << Buf;
+    break;
+  }
+  case Kind::Double: {
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "%.17g", D);
+    OS << Buf;
+    break;
+  }
+  case Kind::String:
+    writeEscaped(OS, S);
+    break;
+  case Kind::Array: {
+    OS << '[';
+    for (size_t J = 0, E = Arr.size(); J != E; ++J) {
+      if (J)
+        OS << ',';
+      Arr[J].write(OS);
+    }
+    OS << ']';
+    break;
+  }
+  case Kind::Object: {
+    OS << '{';
+    for (size_t J = 0, E = Obj.size(); J != E; ++J) {
+      if (J)
+        OS << ',';
+      writeEscaped(OS, Obj[J].first);
+      OS << ':';
+      Obj[J].second.write(OS);
+    }
+    OS << '}';
+    break;
+  }
+  }
+}
+
+std::string JsonValue::dump() const {
+  std::ostringstream OS;
+  write(OS);
+  return OS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Parser: recursive descent with a depth cap.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+constexpr unsigned MaxParseDepth = 64;
+
+class Parser {
+public:
+  Parser(const std::string &Text, std::string &Error)
+      : Text(Text), Error(Error) {}
+
+  bool run(JsonValue &Out) {
+    skipSpace();
+    if (!parseValue(Out, 0))
+      return false;
+    skipSpace();
+    if (Pos != Text.size())
+      return fail("trailing characters after value");
+    return true;
+  }
+
+private:
+  bool fail(const std::string &Message) {
+    Error = Message + " at offset " + std::to_string(Pos);
+    return false;
+  }
+
+  void skipSpace() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool consume(char C, const char *What) {
+    if (Pos >= Text.size() || Text[Pos] != C)
+      return fail(std::string("expected ") + What);
+    ++Pos;
+    return true;
+  }
+
+  bool literal(const char *Word, size_t Len) {
+    if (Text.compare(Pos, Len, Word) != 0)
+      return fail("invalid literal");
+    Pos += Len;
+    return true;
+  }
+
+  bool parseString(std::string &Out) {
+    if (!consume('"', "'\"'"))
+      return false;
+    Out.clear();
+    while (true) {
+      if (Pos >= Text.size())
+        return fail("unterminated string");
+      char C = Text[Pos++];
+      if (C == '"')
+        return true;
+      if (static_cast<unsigned char>(C) < 0x20)
+        return fail("control character in string");
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (Pos >= Text.size())
+        return fail("unterminated escape");
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':
+      case '\\':
+      case '/':
+        Out += E;
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'u': {
+        if (Pos + 4 > Text.size())
+          return fail("short \\u escape");
+        unsigned Code = 0;
+        for (int J = 0; J != 4; ++J) {
+          char H = Text[Pos++];
+          Code <<= 4;
+          if (H >= '0' && H <= '9')
+            Code |= static_cast<unsigned>(H - '0');
+          else if (H >= 'a' && H <= 'f')
+            Code |= static_cast<unsigned>(H - 'a' + 10);
+          else if (H >= 'A' && H <= 'F')
+            Code |= static_cast<unsigned>(H - 'A' + 10);
+          else
+            return fail("bad \\u escape digit");
+        }
+        // UTF-8-encode the code point; surrogate halves (never produced
+        // by our serializer) are rejected rather than half-decoded.
+        if (Code >= 0xD800 && Code <= 0xDFFF)
+          return fail("surrogate \\u escape unsupported");
+        if (Code < 0x80) {
+          Out += static_cast<char>(Code);
+        } else if (Code < 0x800) {
+          Out += static_cast<char>(0xC0 | (Code >> 6));
+          Out += static_cast<char>(0x80 | (Code & 0x3F));
+        } else {
+          Out += static_cast<char>(0xE0 | (Code >> 12));
+          Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+          Out += static_cast<char>(0x80 | (Code & 0x3F));
+        }
+        break;
+      }
+      default:
+        return fail("unknown escape");
+      }
+    }
+  }
+
+  bool parseNumber(JsonValue &Out) {
+    size_t Start = Pos;
+    if (Pos < Text.size() && Text[Pos] == '-')
+      ++Pos;
+    while (Pos < Text.size() && std::isdigit(static_cast<unsigned char>(
+                                    Text[Pos])))
+      ++Pos;
+    bool Integral = true;
+    if (Pos < Text.size() && Text[Pos] == '.') {
+      Integral = false;
+      ++Pos;
+      while (Pos < Text.size() &&
+             std::isdigit(static_cast<unsigned char>(Text[Pos])))
+        ++Pos;
+    }
+    if (Pos < Text.size() && (Text[Pos] == 'e' || Text[Pos] == 'E')) {
+      Integral = false;
+      ++Pos;
+      if (Pos < Text.size() && (Text[Pos] == '+' || Text[Pos] == '-'))
+        ++Pos;
+      while (Pos < Text.size() &&
+             std::isdigit(static_cast<unsigned char>(Text[Pos])))
+        ++Pos;
+    }
+    std::string Token = Text.substr(Start, Pos - Start);
+    if (Token.empty() || Token == "-")
+      return fail("invalid number");
+    errno = 0;
+    if (Integral) {
+      char *End = nullptr;
+      if (Token[0] == '-') {
+        long long V = std::strtoll(Token.c_str(), &End, 10);
+        if (errno == ERANGE || *End != '\0')
+          return fail("integer out of range");
+        Out = JsonValue::integer(V);
+      } else {
+        unsigned long long V = std::strtoull(Token.c_str(), &End, 10);
+        if (errno == ERANGE || *End != '\0')
+          return fail("integer out of range");
+        Out = JsonValue::uint(V);
+      }
+      return true;
+    }
+    char *End = nullptr;
+    errno = 0;
+    double V = std::strtod(Token.c_str(), &End);
+    if (*End != '\0')
+      return fail("invalid number");
+    // An overflowing literal (1e999) yields +-inf, which write() could
+    // never re-serialize as valid JSON; reject it here instead.
+    // (Underflow to 0/denormal also sets ERANGE but stays finite and
+    // round-trippable, so it is allowed.)
+    if (errno == ERANGE && (V == HUGE_VAL || V == -HUGE_VAL))
+      return fail("number out of range");
+    Out = JsonValue::real(V);
+    return true;
+  }
+
+  bool parseValue(JsonValue &Out, unsigned Depth) {
+    if (Depth > MaxParseDepth)
+      return fail("nesting too deep");
+    skipSpace();
+    if (Pos >= Text.size())
+      return fail("unexpected end of input");
+    char C = Text[Pos];
+    switch (C) {
+    case 'n':
+      if (!literal("null", 4))
+        return false;
+      Out = JsonValue::null();
+      return true;
+    case 't':
+      if (!literal("true", 4))
+        return false;
+      Out = JsonValue::boolean(true);
+      return true;
+    case 'f':
+      if (!literal("false", 5))
+        return false;
+      Out = JsonValue::boolean(false);
+      return true;
+    case '"': {
+      std::string S;
+      if (!parseString(S))
+        return false;
+      Out = JsonValue::str(std::move(S));
+      return true;
+    }
+    case '[': {
+      ++Pos;
+      Out = JsonValue::array();
+      skipSpace();
+      if (Pos < Text.size() && Text[Pos] == ']') {
+        ++Pos;
+        return true;
+      }
+      while (true) {
+        JsonValue Elem;
+        if (!parseValue(Elem, Depth + 1))
+          return false;
+        Out.push(std::move(Elem));
+        skipSpace();
+        if (Pos < Text.size() && Text[Pos] == ',') {
+          ++Pos;
+          continue;
+        }
+        return consume(']', "',' or ']'");
+      }
+    }
+    case '{': {
+      ++Pos;
+      Out = JsonValue::object();
+      skipSpace();
+      if (Pos < Text.size() && Text[Pos] == '}') {
+        ++Pos;
+        return true;
+      }
+      while (true) {
+        skipSpace();
+        std::string Key;
+        if (!parseString(Key))
+          return false;
+        skipSpace();
+        if (!consume(':', "':'"))
+          return false;
+        JsonValue Member;
+        if (!parseValue(Member, Depth + 1))
+          return false;
+        Out.append(std::move(Key), std::move(Member));
+        skipSpace();
+        if (Pos < Text.size() && Text[Pos] == ',') {
+          ++Pos;
+          continue;
+        }
+        return consume('}', "',' or '}'");
+      }
+    }
+    default:
+      if (C == '-' || std::isdigit(static_cast<unsigned char>(C)))
+        return parseNumber(Out);
+      return fail("unexpected character");
+    }
+  }
+
+  const std::string &Text;
+  std::string &Error;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+bool JsonValue::parse(const std::string &Text, JsonValue &Out,
+                      std::string &Error) {
+  Parser P(Text, Error);
+  return P.run(Out);
+}

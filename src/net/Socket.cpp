@@ -1,0 +1,187 @@
+//===- net/Socket.cpp - TCP socket RAII wrappers --------------------------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cvliw/net/Socket.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace cvliw;
+
+Socket &Socket::operator=(Socket &&Other) noexcept {
+  if (this != &Other) {
+    close();
+    Fd = Other.Fd;
+    Other.Fd = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+void Socket::shutdownBoth() {
+  if (Fd >= 0)
+    ::shutdown(Fd, SHUT_RDWR);
+}
+
+void Socket::shutdownWrite() {
+  if (Fd >= 0)
+    ::shutdown(Fd, SHUT_WR);
+}
+
+bool Socket::sendAll(const void *Data, size_t Len) {
+  const char *P = static_cast<const char *>(Data);
+  while (Len > 0) {
+    // MSG_NOSIGNAL: a peer that vanished mid-stream must surface as an
+    // error return, not kill the daemon with SIGPIPE.
+    ssize_t N = ::send(Fd, P, Len, MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    P += N;
+    Len -= static_cast<size_t>(N);
+  }
+  return true;
+}
+
+size_t Socket::recvAll(void *Data, size_t Len, bool *IoError) {
+  if (IoError)
+    *IoError = false;
+  char *P = static_cast<char *>(Data);
+  size_t Got = 0;
+  while (Got < Len) {
+    ssize_t N = ::recv(Fd, P + Got, Len - Got, 0);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      if (IoError)
+        *IoError = true;
+      return Got;
+    }
+    if (N == 0)
+      return Got;
+    Got += static_cast<size_t>(N);
+  }
+  return Got;
+}
+
+namespace {
+
+bool fillAddr(const std::string &Host, uint16_t Port, sockaddr_in &Addr,
+              std::string &Error) {
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(Port);
+  const char *H = Host.empty() ? "127.0.0.1" : Host.c_str();
+  if (Host == "localhost")
+    H = "127.0.0.1";
+  if (::inet_pton(AF_INET, H, &Addr.sin_addr) != 1) {
+    Error = "bad IPv4 address '" + Host + "'";
+    return false;
+  }
+  return true;
+}
+
+} // namespace
+
+Socket cvliw::listenOn(const std::string &Host, uint16_t Port,
+                       uint16_t &BoundPort, std::string &Error) {
+  sockaddr_in Addr;
+  if (!fillAddr(Host, Port, Addr, Error))
+    return Socket();
+
+  Socket S(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!S.valid()) {
+    Error = std::string("socket: ") + std::strerror(errno);
+    return Socket();
+  }
+  int One = 1;
+  ::setsockopt(S.fd(), SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  if (::bind(S.fd(), reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) !=
+      0) {
+    Error = std::string("bind: ") + std::strerror(errno);
+    return Socket();
+  }
+  if (::listen(S.fd(), 16) != 0) {
+    Error = std::string("listen: ") + std::strerror(errno);
+    return Socket();
+  }
+  sockaddr_in Bound;
+  socklen_t BoundLen = sizeof(Bound);
+  if (::getsockname(S.fd(), reinterpret_cast<sockaddr *>(&Bound),
+                    &BoundLen) != 0) {
+    Error = std::string("getsockname: ") + std::strerror(errno);
+    return Socket();
+  }
+  BoundPort = ntohs(Bound.sin_port);
+  return S;
+}
+
+Socket cvliw::acceptFrom(Socket &Listener) {
+  for (;;) {
+    int Fd = ::accept(Listener.fd(), nullptr, nullptr);
+    if (Fd >= 0)
+      return Socket(Fd);
+    if (errno == EINTR)
+      continue;
+    return Socket();
+  }
+}
+
+Socket cvliw::connectTo(const std::string &Host, uint16_t Port,
+                        std::string &Error) {
+  sockaddr_in Addr;
+  if (!fillAddr(Host, Port, Addr, Error))
+    return Socket();
+
+  Socket S(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!S.valid()) {
+    Error = std::string("socket: ") + std::strerror(errno);
+    return Socket();
+  }
+  if (::connect(S.fd(), reinterpret_cast<sockaddr *>(&Addr),
+                sizeof(Addr)) != 0) {
+    Error = "connect to " + Host + ":" + std::to_string(Port) + ": " +
+            std::strerror(errno);
+    return Socket();
+  }
+  int One = 1;
+  ::setsockopt(S.fd(), IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+  return S;
+}
+
+bool cvliw::splitHostPort(const std::string &Spec, std::string &Host,
+                          uint16_t &Port, std::string &Error) {
+  size_t Colon = Spec.rfind(':');
+  if (Colon == std::string::npos || Colon + 1 == Spec.size()) {
+    Error = "expected HOST:PORT, got '" + Spec + "'";
+    return false;
+  }
+  Host = Spec.substr(0, Colon);
+  const std::string PortText = Spec.substr(Colon + 1);
+  char *End = nullptr;
+  long N = std::strtol(PortText.c_str(), &End, 10);
+  if (*End != '\0' || N <= 0 || N > 65535) {
+    Error = "bad port '" + PortText + "' in '" + Spec + "'";
+    return false;
+  }
+  Port = static_cast<uint16_t>(N);
+  return true;
+}

@@ -1,0 +1,176 @@
+//===- net/SweepClient.cpp - Sweep service client -------------------------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cvliw/net/SweepClient.h"
+
+#include "cvliw/net/Frame.h"
+#include "cvliw/net/WireFormat.h"
+
+using namespace cvliw;
+
+bool SweepClient::connect(const std::string &HostPort, std::string &Error) {
+  std::string Host;
+  uint16_t Port = 0;
+  if (!splitHostPort(HostPort, Host, Port, Error))
+    return false;
+  Conn = connectTo(Host, Port, Error);
+  return Conn.valid();
+}
+
+bool SweepClient::sendMessage(const JsonValue &Message, std::string &Error) {
+  if (!Conn.valid()) {
+    Error = "not connected";
+    return false;
+  }
+  if (!writeFrame(Conn, Message.dump())) {
+    Error = "failed to send frame";
+    return false;
+  }
+  return true;
+}
+
+bool SweepClient::readMessage(JsonValue &Message, std::string &Error) {
+  std::string Payload;
+  FrameStatus Status = readFrame(Conn, Payload);
+  if (Status != FrameStatus::Ok) {
+    Error = std::string("bad response frame: ") + frameStatusName(Status);
+    return false;
+  }
+  std::string ParseError;
+  if (!JsonValue::parse(Payload, Message, ParseError)) {
+    Error = "bad response JSON: " + ParseError;
+    return false;
+  }
+  if (const JsonValue *Type = Message.find("type"))
+    if (Type->kind() == JsonValue::Kind::String &&
+        Type->asString() == "error") {
+      // Kind-checked extraction: even a malformed error reply must
+      // come back as a diagnostic, never as an exception (this API is
+      // bool + error string by contract).
+      const JsonValue *Msg = Message.find("message");
+      std::string Text = "(no message)";
+      if (Msg && Msg->kind() == JsonValue::Kind::String)
+        Text = Msg->asString();
+      Error = "server error: " + Text;
+      return false;
+    }
+  return true;
+}
+
+namespace {
+
+JsonValue typedMessage(const char *Type) {
+  JsonValue J = JsonValue::object();
+  J.set("type", JsonValue::str(Type));
+  return J;
+}
+
+bool expectType(const JsonValue &Message, const char *Type,
+                std::string &Error) {
+  const JsonValue *T = Message.find("type");
+  if (!T || T->kind() != JsonValue::Kind::String ||
+      T->asString() != Type) {
+    Error = std::string("unexpected response (wanted '") + Type + "')";
+    return false;
+  }
+  return true;
+}
+
+} // namespace
+
+bool SweepClient::ping(std::string &Error) {
+  if (!sendMessage(typedMessage("ping"), Error))
+    return false;
+  JsonValue Reply;
+  return readMessage(Reply, Error) && expectType(Reply, "pong", Error);
+}
+
+bool SweepClient::status(JsonValue &Out, std::string &Error) {
+  if (!sendMessage(typedMessage("status"), Error))
+    return false;
+  return readMessage(Out, Error) && expectType(Out, "status", Error);
+}
+
+bool SweepClient::runGrid(const SweepGrid &Grid, std::vector<SweepRow> &Rows,
+                          RemoteSweepStats &Stats, std::string &Error) {
+  JsonValue Request = typedMessage("sweep");
+  Request.set("grid", gridToJson(Grid));
+  if (!sendMessage(Request, Error))
+    return false;
+
+  const size_t NumPoints = Grid.size();
+  Rows.assign(NumPoints, SweepRow());
+  std::vector<bool> Seen(NumPoints, false);
+  size_t Received = 0;
+
+  for (;;) {
+    JsonValue Message;
+    if (!readMessage(Message, Error))
+      return false;
+    try {
+      const std::string &Type = Message.text("type");
+      if (Type == "row") {
+        SweepRow Row = rowFromJson(Message.at("row"));
+        // Range-check every axis index: writeCsv()/at() later index
+        // the grid's axes with these, trusting the wire no further.
+        if (Row.PointIndex >= NumPoints ||
+            Row.MachineIndex >= Grid.Machines.size() ||
+            Row.SchemeIndex >= Grid.Schemes.size() ||
+            Row.BenchmarkIndex >= Grid.Benchmarks.size()) {
+          Error = "row index out of range";
+          return false;
+        }
+        if (!Seen[Row.PointIndex]) {
+          Seen[Row.PointIndex] = true;
+          ++Received;
+        }
+        // Completion order on the wire, grid order in the vector.
+        Rows[Row.PointIndex] = std::move(Row);
+      } else if (Type == "done") {
+        Stats.Points = Message.u64("points");
+        Stats.CacheHits = Message.u64("cache_hits");
+        Stats.CacheMisses = Message.u64("cache_misses");
+        if (Received != NumPoints) {
+          Error = "daemon finished after " + std::to_string(Received) +
+                  " of " + std::to_string(NumPoints) + " points";
+          return false;
+        }
+        return true;
+      } else {
+        Error = "unexpected message type '" + Type + "' during sweep";
+        return false;
+      }
+    } catch (const JsonError &E) {
+      Error = std::string("bad server message: ") + E.what();
+      return false;
+    }
+  }
+}
+
+bool SweepClient::shutdownServer(std::string &Error) {
+  if (!sendMessage(typedMessage("shutdown"), Error))
+    return false;
+  JsonValue Reply;
+  return readMessage(Reply, Error) && expectType(Reply, "ok", Error);
+}
+
+bool SweepClient::rawRequest(const std::string &Payload,
+                             std::string &Response, std::string &Error) {
+  if (!Conn.valid()) {
+    Error = "not connected";
+    return false;
+  }
+  if (!Conn.sendAll(Payload.data(), Payload.size())) {
+    Error = "failed to send raw bytes";
+    return false;
+  }
+  FrameStatus Status = readFrame(Conn, Response);
+  if (Status != FrameStatus::Ok) {
+    Error = std::string("bad response frame: ") + frameStatusName(Status);
+    return false;
+  }
+  return true;
+}

@@ -1,0 +1,371 @@
+//===- net/WireFormat.cpp - Sweep protocol codecs -------------------------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cvliw/net/WireFormat.h"
+
+#include "cvliw/support/BitCast.h"
+
+#include <limits>
+
+using namespace cvliw;
+
+namespace {
+
+unsigned u32Field(const JsonValue &J, const std::string &Key) {
+  uint64_t V = J.u64(Key);
+  if (V > std::numeric_limits<uint32_t>::max())
+    throw JsonError("member '" + Key + "' exceeds 32 bits");
+  return static_cast<unsigned>(V);
+}
+
+template <typename Enum>
+Enum enumField(const JsonValue &J, const std::string &Key, unsigned Count) {
+  unsigned V = u32Field(J, Key);
+  if (V >= Count)
+    throw JsonError("member '" + Key + "' out of enum range");
+  return static_cast<Enum>(V);
+}
+
+} // namespace
+
+JsonValue cvliw::machineConfigToJson(const MachineConfig &M) {
+  JsonValue J = JsonValue::object();
+  J.set("num_clusters", JsonValue::uint(M.NumClusters));
+  J.set("int_units", JsonValue::uint(M.IntUnitsPerCluster));
+  J.set("fp_units", JsonValue::uint(M.FpUnitsPerCluster));
+  J.set("mem_units", JsonValue::uint(M.MemUnitsPerCluster));
+  J.set("cache_module_bytes", JsonValue::uint(M.CacheModuleBytes));
+  J.set("cache_block_bytes", JsonValue::uint(M.CacheBlockBytes));
+  J.set("cache_associativity", JsonValue::uint(M.CacheAssociativity));
+  J.set("cache_hit_latency", JsonValue::uint(M.CacheHitLatency));
+  J.set("interleave_bytes", JsonValue::uint(M.InterleaveBytes));
+  J.set("organization",
+        JsonValue::uint(static_cast<uint32_t>(M.Organization)));
+  J.set("mem_bus_count", JsonValue::uint(M.MemoryBuses.Count));
+  J.set("mem_bus_latency", JsonValue::uint(M.MemoryBuses.Latency));
+  J.set("reg_bus_count", JsonValue::uint(M.RegisterBuses.Count));
+  J.set("reg_bus_latency", JsonValue::uint(M.RegisterBuses.Latency));
+  J.set("next_level_ports", JsonValue::uint(M.NextLevelPorts));
+  J.set("next_level_latency", JsonValue::uint(M.NextLevelLatency));
+  J.set("ab_enabled", JsonValue::boolean(M.AttractionBuffersEnabled));
+  J.set("ab_entries", JsonValue::uint(M.AttractionBufferEntries));
+  J.set("ab_associativity",
+        JsonValue::uint(M.AttractionBufferAssociativity));
+  return J;
+}
+
+MachineConfig cvliw::machineConfigFromJson(const JsonValue &J) {
+  MachineConfig M;
+  M.NumClusters = u32Field(J, "num_clusters");
+  M.IntUnitsPerCluster = u32Field(J, "int_units");
+  M.FpUnitsPerCluster = u32Field(J, "fp_units");
+  M.MemUnitsPerCluster = u32Field(J, "mem_units");
+  M.CacheModuleBytes = u32Field(J, "cache_module_bytes");
+  M.CacheBlockBytes = u32Field(J, "cache_block_bytes");
+  M.CacheAssociativity = u32Field(J, "cache_associativity");
+  M.CacheHitLatency = u32Field(J, "cache_hit_latency");
+  M.InterleaveBytes = u32Field(J, "interleave_bytes");
+  M.Organization = enumField<CacheOrganization>(J, "organization", 3);
+  M.MemoryBuses.Count = u32Field(J, "mem_bus_count");
+  M.MemoryBuses.Latency = u32Field(J, "mem_bus_latency");
+  M.RegisterBuses.Count = u32Field(J, "reg_bus_count");
+  M.RegisterBuses.Latency = u32Field(J, "reg_bus_latency");
+  M.NextLevelPorts = u32Field(J, "next_level_ports");
+  M.NextLevelLatency = u32Field(J, "next_level_latency");
+  M.AttractionBuffersEnabled = J.flag("ab_enabled");
+  M.AttractionBufferEntries = u32Field(J, "ab_entries");
+  M.AttractionBufferAssociativity = u32Field(J, "ab_associativity");
+  return M;
+}
+
+JsonValue cvliw::loopSpecToJson(const LoopSpec &Spec) {
+  JsonValue J = JsonValue::object();
+  J.set("name", JsonValue::str(Spec.Name));
+  J.set("weight_bits", JsonValue::uint(doubleBits(Spec.Weight)));
+  J.set("profile_trip", JsonValue::uint(Spec.ProfileTrip));
+  J.set("exec_trip", JsonValue::uint(Spec.ExecTrip));
+  J.set("elem_bytes", JsonValue::uint(Spec.ElemBytes));
+  J.set("consistent_loads", JsonValue::uint(Spec.ConsistentLoads));
+  J.set("rotating_loads", JsonValue::uint(Spec.RotatingLoads));
+  J.set("gather_loads", JsonValue::uint(Spec.GatherLoads));
+  J.set("consistent_stores", JsonValue::uint(Spec.ConsistentStores));
+  JsonValue Chains = JsonValue::array();
+  for (const ChainSpec &C : Spec.Chains) {
+    JsonValue CJ = JsonValue::object();
+    CJ.set("gather_loads", JsonValue::uint(C.GatherLoads));
+    CJ.set("gather_stores", JsonValue::uint(C.GatherStores));
+    CJ.set("group_loads", JsonValue::uint(C.GroupLoads));
+    CJ.set("group_stores", JsonValue::uint(C.GroupStores));
+    CJ.set("spread_clusters", JsonValue::boolean(C.SpreadClusters));
+    Chains.push(std::move(CJ));
+  }
+  J.set("chains", std::move(Chains));
+  J.set("arith_per_load", JsonValue::uint(Spec.ArithPerLoad));
+  J.set("fp_ops", JsonValue::uint(Spec.FpOps));
+  J.set("fp_divs", JsonValue::uint(Spec.FpDivs));
+  J.set("scalar_recurrence", JsonValue::boolean(Spec.ScalarRecurrence));
+  J.set("object_bytes", JsonValue::uint(Spec.ObjectBytes));
+  J.set("seed_base", JsonValue::uint(Spec.SeedBase));
+  return J;
+}
+
+LoopSpec cvliw::loopSpecFromJson(const JsonValue &J) {
+  LoopSpec Spec;
+  Spec.Name = J.text("name");
+  Spec.Weight = bitsToDouble(J.u64("weight_bits"));
+  Spec.ProfileTrip = J.u64("profile_trip");
+  Spec.ExecTrip = J.u64("exec_trip");
+  Spec.ElemBytes = u32Field(J, "elem_bytes");
+  Spec.ConsistentLoads = u32Field(J, "consistent_loads");
+  Spec.RotatingLoads = u32Field(J, "rotating_loads");
+  Spec.GatherLoads = u32Field(J, "gather_loads");
+  Spec.ConsistentStores = u32Field(J, "consistent_stores");
+  Spec.Chains.clear();
+  for (const JsonValue &CJ : J.at("chains").items()) {
+    ChainSpec C;
+    C.GatherLoads = u32Field(CJ, "gather_loads");
+    C.GatherStores = u32Field(CJ, "gather_stores");
+    C.GroupLoads = u32Field(CJ, "group_loads");
+    C.GroupStores = u32Field(CJ, "group_stores");
+    C.SpreadClusters = CJ.flag("spread_clusters");
+    Spec.Chains.push_back(C);
+  }
+  Spec.ArithPerLoad = u32Field(J, "arith_per_load");
+  Spec.FpOps = u32Field(J, "fp_ops");
+  Spec.FpDivs = u32Field(J, "fp_divs");
+  Spec.ScalarRecurrence = J.flag("scalar_recurrence");
+  Spec.ObjectBytes = u32Field(J, "object_bytes");
+  Spec.SeedBase = J.u64("seed_base");
+  return Spec;
+}
+
+JsonValue cvliw::gridToJson(const SweepGrid &Grid) {
+  JsonValue J = JsonValue::object();
+  J.set("base_seed", JsonValue::uint(Grid.BaseSeed));
+  J.set("reseed_loops", JsonValue::boolean(Grid.ReseedLoops));
+
+  JsonValue Machines = JsonValue::array();
+  for (const MachinePoint &M : Grid.Machines) {
+    JsonValue MJ = JsonValue::object();
+    MJ.set("name", JsonValue::str(M.Name));
+    MJ.set("config", machineConfigToJson(M.Config));
+    Machines.push(std::move(MJ));
+  }
+  J.set("machines", std::move(Machines));
+
+  JsonValue Schemes = JsonValue::array();
+  for (const SchemePoint &S : Grid.Schemes) {
+    JsonValue SJ = JsonValue::object();
+    SJ.set("name", JsonValue::str(S.Name));
+    SJ.set("policy", JsonValue::uint(static_cast<uint32_t>(S.Policy)));
+    SJ.set("heuristic",
+           JsonValue::uint(static_cast<uint32_t>(S.Heuristic)));
+    SJ.set("hybrid", JsonValue::boolean(S.Hybrid));
+    SJ.set("specialization", JsonValue::boolean(S.ApplySpecialization));
+    SJ.set("check_coherence", JsonValue::boolean(S.CheckCoherence));
+    SJ.set("ordering", JsonValue::uint(static_cast<uint32_t>(S.Ordering)));
+    SJ.set("assign_latencies", JsonValue::boolean(S.AssignLatencies));
+    SJ.set("tolerate_unschedulable",
+           JsonValue::boolean(S.TolerateUnschedulable));
+    Schemes.push(std::move(SJ));
+  }
+  J.set("schemes", std::move(Schemes));
+
+  JsonValue Benchmarks = JsonValue::array();
+  for (const BenchmarkSpec &B : Grid.Benchmarks) {
+    JsonValue BJ = JsonValue::object();
+    BJ.set("name", JsonValue::str(B.Name));
+    BJ.set("interleave_bytes", JsonValue::uint(B.InterleaveBytes));
+    BJ.set("main_elem_bytes", JsonValue::uint(B.MainElemBytes));
+    BJ.set("main_elem_pct_bits",
+           JsonValue::uint(doubleBits(B.MainElemPct)));
+    BJ.set("profile_input", JsonValue::str(B.ProfileInput));
+    BJ.set("exec_input", JsonValue::str(B.ExecInput));
+    BJ.set("in_evaluation", JsonValue::boolean(B.InEvaluation));
+    JsonValue Loops = JsonValue::array();
+    for (const LoopSpec &L : B.Loops)
+      Loops.push(loopSpecToJson(L));
+    BJ.set("loops", std::move(Loops));
+    Benchmarks.push(std::move(BJ));
+  }
+  J.set("benchmarks", std::move(Benchmarks));
+  return J;
+}
+
+SweepGrid cvliw::gridFromJson(const JsonValue &J) {
+  SweepGrid Grid;
+  Grid.BaseSeed = J.u64("base_seed");
+  Grid.ReseedLoops = J.flag("reseed_loops");
+
+  Grid.Machines.clear();
+  for (const JsonValue &MJ : J.at("machines").items()) {
+    MachinePoint M;
+    M.Name = MJ.text("name");
+    M.Config = machineConfigFromJson(MJ.at("config"));
+    Grid.Machines.push_back(std::move(M));
+  }
+
+  Grid.Schemes.clear();
+  for (const JsonValue &SJ : J.at("schemes").items()) {
+    SchemePoint S;
+    S.Name = SJ.text("name");
+    S.Policy = enumField<CoherencePolicy>(SJ, "policy", 3);
+    S.Heuristic = enumField<ClusterHeuristic>(SJ, "heuristic", 2);
+    S.Hybrid = SJ.flag("hybrid");
+    S.ApplySpecialization = SJ.flag("specialization");
+    S.CheckCoherence = SJ.flag("check_coherence");
+    S.Ordering = enumField<SchedulerOrdering>(SJ, "ordering", 2);
+    S.AssignLatencies = SJ.flag("assign_latencies");
+    S.TolerateUnschedulable = SJ.flag("tolerate_unschedulable");
+    Grid.Schemes.push_back(std::move(S));
+  }
+
+  Grid.Benchmarks.clear();
+  for (const JsonValue &BJ : J.at("benchmarks").items()) {
+    BenchmarkSpec B;
+    B.Name = BJ.text("name");
+    B.InterleaveBytes = u32Field(BJ, "interleave_bytes");
+    B.MainElemBytes = u32Field(BJ, "main_elem_bytes");
+    B.MainElemPct = bitsToDouble(BJ.u64("main_elem_pct_bits"));
+    B.ProfileInput = BJ.text("profile_input");
+    B.ExecInput = BJ.text("exec_input");
+    B.InEvaluation = BJ.flag("in_evaluation");
+    for (const JsonValue &LJ : BJ.at("loops").items())
+      B.Loops.push_back(loopSpecFromJson(LJ));
+    Grid.Benchmarks.push_back(std::move(B));
+  }
+
+  if (Grid.Machines.empty() || Grid.Schemes.empty() ||
+      Grid.Benchmarks.empty())
+    throw JsonError("grid has an empty axis");
+  return Grid;
+}
+
+JsonValue cvliw::loopRunResultToJson(const LoopRunResult &R) {
+  JsonValue J = JsonValue::object();
+  J.set("name", JsonValue::str(R.LoopName));
+  J.set("weight_bits", JsonValue::uint(doubleBits(R.Weight)));
+  J.set("exec_trip", JsonValue::uint(R.ExecTrip));
+  J.set("scheduled", JsonValue::boolean(R.Scheduled));
+  J.set("ii", JsonValue::uint(R.II));
+  J.set("res_mii", JsonValue::uint(R.ResMII));
+  J.set("rec_mii", JsonValue::uint(R.RecMII));
+  J.set("num_ops", JsonValue::uint(R.NumOps));
+  J.set("num_mem_ops", JsonValue::uint(R.NumMemOps));
+  J.set("copies_per_iter", JsonValue::uint(R.CopiesPerIter));
+  J.set("biggest_chain", JsonValue::uint(R.BiggestChain));
+
+  const SimResult &S = R.Sim;
+  JsonValue SJ = JsonValue::object();
+  SJ.set("iterations", JsonValue::uint(S.Iterations));
+  SJ.set("total_cycles", JsonValue::uint(S.TotalCycles));
+  SJ.set("compute_cycles", JsonValue::uint(S.ComputeCycles));
+  SJ.set("stall_cycles", JsonValue::uint(S.StallCycles));
+  SJ.set("dynamic_ops", JsonValue::uint(S.DynamicOps));
+  SJ.set("memory_accesses", JsonValue::uint(S.MemoryAccesses));
+  SJ.set("ab_hits", JsonValue::uint(S.AttractionBufferHits));
+  SJ.set("bus_transactions", JsonValue::uint(S.BusTransactions));
+  SJ.set("coherence_violations", JsonValue::uint(S.CoherenceViolations));
+  SJ.set("nullified_replica_slots",
+         JsonValue::uint(S.NullifiedReplicaSlots));
+  JsonValue Access = JsonValue::array();
+  JsonValue Stall = JsonValue::array();
+  for (size_t B = 0; B != 5; ++B) {
+    Access.push(JsonValue::uint(S.AccessClassification.count(B)));
+    Stall.push(JsonValue::uint(S.StallAttribution.count(B)));
+  }
+  SJ.set("access_classification", std::move(Access));
+  SJ.set("stall_attribution", std::move(Stall));
+  J.set("sim", std::move(SJ));
+  return J;
+}
+
+LoopRunResult cvliw::loopRunResultFromJson(const JsonValue &J) {
+  LoopRunResult R;
+  R.LoopName = J.text("name");
+  R.Weight = bitsToDouble(J.u64("weight_bits"));
+  R.ExecTrip = J.u64("exec_trip");
+  R.Scheduled = J.flag("scheduled");
+  R.II = u32Field(J, "ii");
+  R.ResMII = u32Field(J, "res_mii");
+  R.RecMII = u32Field(J, "rec_mii");
+  R.NumOps = J.u64("num_ops");
+  R.NumMemOps = J.u64("num_mem_ops");
+  R.CopiesPerIter = J.u64("copies_per_iter");
+  R.BiggestChain = J.u64("biggest_chain");
+
+  SimResult &S = R.Sim;
+  const JsonValue &SJ = J.at("sim");
+  S.Iterations = SJ.u64("iterations");
+  S.TotalCycles = SJ.u64("total_cycles");
+  S.ComputeCycles = SJ.u64("compute_cycles");
+  S.StallCycles = SJ.u64("stall_cycles");
+  S.DynamicOps = SJ.u64("dynamic_ops");
+  S.MemoryAccesses = SJ.u64("memory_accesses");
+  S.AttractionBufferHits = SJ.u64("ab_hits");
+  S.BusTransactions = SJ.u64("bus_transactions");
+  S.CoherenceViolations = SJ.u64("coherence_violations");
+  S.NullifiedReplicaSlots = SJ.u64("nullified_replica_slots");
+  const JsonValue &Access = SJ.at("access_classification");
+  const JsonValue &Stall = SJ.at("stall_attribution");
+  if (Access.size() != 5 || Stall.size() != 5)
+    throw JsonError("classification arrays must have 5 buckets");
+  for (size_t B = 0; B != 5; ++B) {
+    S.AccessClassification.add(B, Access.items()[B].asU64());
+    S.StallAttribution.add(B, Stall.items()[B].asU64());
+  }
+  return R;
+}
+
+JsonValue cvliw::rowToJson(const SweepRow &Row) {
+  JsonValue J = JsonValue::object();
+  J.set("point", JsonValue::uint(Row.PointIndex));
+  J.set("machine_index", JsonValue::uint(Row.MachineIndex));
+  J.set("scheme_index", JsonValue::uint(Row.SchemeIndex));
+  J.set("benchmark_index", JsonValue::uint(Row.BenchmarkIndex));
+  J.set("machine", JsonValue::str(Row.Machine));
+  J.set("scheme", JsonValue::str(Row.Scheme));
+  J.set("benchmark", JsonValue::str(Row.Benchmark));
+  J.set("seed", JsonValue::uint(Row.PointSeed));
+  JsonValue Choices = JsonValue::array();
+  for (CoherencePolicy P : Row.HybridChoices)
+    Choices.push(JsonValue::uint(static_cast<uint32_t>(P)));
+  J.set("hybrid_choices", std::move(Choices));
+  JsonValue Loops = JsonValue::array();
+  for (const LoopRunResult &L : Row.Result.Loops)
+    Loops.push(loopRunResultToJson(L));
+  J.set("loops", std::move(Loops));
+  return J;
+}
+
+SweepRow cvliw::rowFromJson(const JsonValue &J) {
+  SweepRow Row;
+  Row.PointIndex = J.u64("point");
+  Row.MachineIndex = J.u64("machine_index");
+  Row.SchemeIndex = J.u64("scheme_index");
+  Row.BenchmarkIndex = J.u64("benchmark_index");
+  Row.Machine = J.text("machine");
+  Row.Scheme = J.text("scheme");
+  Row.Benchmark = J.text("benchmark");
+  Row.PointSeed = J.u64("seed");
+  for (const JsonValue &CJ : J.at("hybrid_choices").items()) {
+    uint64_t V = CJ.asU64();
+    if (V >= 3)
+      throw JsonError("hybrid choice out of enum range");
+    Row.HybridChoices.push_back(static_cast<CoherencePolicy>(V));
+  }
+  Row.Result.Benchmark = Row.Benchmark;
+  for (const JsonValue &LJ : J.at("loops").items())
+    Row.Result.Loops.push_back(loopRunResultFromJson(LJ));
+  return Row;
+}
+
+JsonValue cvliw::makeErrorMessage(const std::string &Message) {
+  JsonValue J = JsonValue::object();
+  J.set("type", JsonValue::str("error"));
+  J.set("message", JsonValue::str(Message));
+  return J;
+}

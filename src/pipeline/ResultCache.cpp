@@ -6,6 +6,8 @@
 
 #include "cvliw/pipeline/ResultCache.h"
 
+#include "cvliw/support/BitCast.h"
+
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -101,6 +103,19 @@ size_t ResultCache::size() const {
   return Map.size();
 }
 
+ResultCacheStats ResultCache::stats() const {
+  ResultCacheStats S;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  S.Entries = Map.size();
+  for (const auto &KV : Map)
+    S.Bytes += sizeof(KV.first) + sizeof(KV.second) +
+               KV.second.LoopName.size() +
+               2 * 5 * sizeof(uint64_t); // The two accumulators' buckets.
+  S.Hits = Hits.load(std::memory_order_relaxed);
+  S.Misses = Misses.load(std::memory_order_relaxed);
+  return S;
+}
+
 void ResultCache::clear() {
   std::lock_guard<std::mutex> Lock(Mutex);
   Map.clear();
@@ -117,67 +132,32 @@ namespace {
 
 constexpr const char *CacheMagic = "cvliw-result-cache";
 
-uint64_t doubleBits(double V) {
-  uint64_t Bits;
-  std::memcpy(&Bits, &V, sizeof(Bits));
-  return Bits;
+void writeEntry(std::ostream &OS, uint64_t Key, const LoopRunResult &R) {
+  OS << std::hex << Key << std::dec << ' '
+     << (R.LoopName.empty() ? "-" : R.LoopName) << ' '
+     << doubleBits(R.Weight) << ' ' << R.ExecTrip << ' '
+     << (R.Scheduled ? 1 : 0) << ' ' << R.II << ' ' << R.ResMII << ' '
+     << R.RecMII << ' ' << R.NumOps << ' ' << R.NumMemOps << ' '
+     << R.CopiesPerIter << ' ' << R.BiggestChain;
+  const SimResult &S = R.Sim;
+  OS << ' ' << S.Iterations << ' ' << S.TotalCycles << ' '
+     << S.ComputeCycles << ' ' << S.StallCycles << ' ' << S.DynamicOps
+     << ' ' << S.MemoryAccesses << ' ' << S.AttractionBufferHits << ' '
+     << S.BusTransactions << ' ' << S.CoherenceViolations << ' '
+     << S.NullifiedReplicaSlots;
+  for (size_t B = 0; B != 5; ++B)
+    OS << ' ' << S.AccessClassification.count(B);
+  for (size_t B = 0; B != 5; ++B)
+    OS << ' ' << S.StallAttribution.count(B);
+  OS << '\n';
 }
 
-double bitsToDouble(uint64_t Bits) {
-  double V;
-  std::memcpy(&V, &Bits, sizeof(V));
-  return V;
-}
-
-} // namespace
-
-bool ResultCache::save(const std::string &Path) const {
-  // Write-to-temp + rename so a reader (another driver process sharing
-  // the cache path) never observes a half-written file.
-  const std::string TempPath = Path + ".tmp";
-  std::ofstream OS(TempPath);
-  if (!OS)
-    return false;
-  OS << CacheMagic << ' ' << CVLIW_RESULT_CACHE_VERSION << '\n';
-  std::lock_guard<std::mutex> Lock(Mutex);
-  for (const auto &KV : Map) {
-    const LoopRunResult &R = KV.second;
-    // The line format is whitespace-delimited; loop names never contain
-    // whitespace (Suite.cpp uses "bench.loop" identifiers), but guard
-    // anyway so a bad name cannot corrupt the file.
-    if (R.LoopName.find_first_of(" \t\n") != std::string::npos)
-      continue;
-    OS << std::hex << KV.first << std::dec << ' '
-       << (R.LoopName.empty() ? "-" : R.LoopName) << ' '
-       << doubleBits(R.Weight) << ' ' << R.ExecTrip << ' '
-       << (R.Scheduled ? 1 : 0) << ' ' << R.II << ' ' << R.ResMII << ' '
-       << R.RecMII << ' ' << R.NumOps << ' ' << R.NumMemOps << ' '
-       << R.CopiesPerIter << ' ' << R.BiggestChain;
-    const SimResult &S = R.Sim;
-    OS << ' ' << S.Iterations << ' ' << S.TotalCycles << ' '
-       << S.ComputeCycles << ' ' << S.StallCycles << ' ' << S.DynamicOps
-       << ' ' << S.MemoryAccesses << ' ' << S.AttractionBufferHits << ' '
-       << S.BusTransactions << ' ' << S.CoherenceViolations << ' '
-       << S.NullifiedReplicaSlots;
-    for (size_t B = 0; B != 5; ++B)
-      OS << ' ' << S.AccessClassification.count(B);
-    for (size_t B = 0; B != 5; ++B)
-      OS << ' ' << S.StallAttribution.count(B);
-    OS << '\n';
-  }
-  OS.close();
-  if (!OS) {
-    std::remove(TempPath.c_str());
-    return false;
-  }
-  if (std::rename(TempPath.c_str(), Path.c_str()) != 0) {
-    std::remove(TempPath.c_str());
-    return false;
-  }
-  return true;
-}
-
-bool ResultCache::load(const std::string &Path) {
+/// Parses a whole cache file (shared by load() and the merge step of
+/// save()). False — yielding nothing — when the file is absent, the
+/// header is foreign, or any line is corrupt: a bad file must never
+/// contribute partial entries.
+bool parseCacheFile(const std::string &Path,
+                    std::vector<std::pair<uint64_t, LoopRunResult>> &Out) {
   std::ifstream IS(Path);
   if (!IS)
     return false;
@@ -187,9 +167,6 @@ bool ResultCache::load(const std::string &Path) {
       Version != CVLIW_RESULT_CACHE_VERSION)
     return false;
 
-  // Parse the whole file before inserting anything: a corrupt file
-  // must not leave a partial mix of its entries in the cache.
-  std::vector<std::pair<uint64_t, LoopRunResult>> Parsed;
   std::string Line;
   std::getline(IS, Line); // Consume the header's newline.
   while (std::getline(IS, Line)) {
@@ -224,8 +201,66 @@ bool ResultCache::load(const std::string &Path) {
       R.LoopName.clear();
     R.Weight = bitsToDouble(WeightBits);
     R.Scheduled = Scheduled != 0;
-    Parsed.emplace_back(Key, std::move(R));
+    Out.emplace_back(Key, std::move(R));
   }
+  return true;
+}
+
+} // namespace
+
+bool ResultCache::save(const std::string &Path) const {
+  // Merge, don't overwrite: another process (a driver, the daemon) may
+  // have persisted entries we never computed since our load(). Re-read
+  // the file and keep its novel entries, so concurrent writers sharing
+  // a cache path converge on the union instead of last-writer-wins.
+  // (The window between this read and the rename below can still drop
+  // a racing writer's entries — a cheap cost, since entries are pure
+  // recomputable memos — but the common sequential driver pipeline now
+  // loses nothing.)
+  std::vector<std::pair<uint64_t, LoopRunResult>> OnDisk;
+  if (!parseCacheFile(Path, OnDisk))
+    OnDisk.clear(); // Absent/foreign/corrupt: merge nothing — not even
+                    // the lines parsed before the corruption.
+
+  // Write-to-temp + rename so a reader (another driver process sharing
+  // the cache path) never observes a half-written file.
+  const std::string TempPath = Path + ".tmp";
+  std::ofstream OS(TempPath);
+  if (!OS)
+    return false;
+  OS << CacheMagic << ' ' << CVLIW_RESULT_CACHE_VERSION << '\n';
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    for (const auto &KV : Map) {
+      // The line format is whitespace-delimited; loop names never
+      // contain whitespace (Suite.cpp uses "bench.loop" identifiers),
+      // but guard anyway so a bad name cannot corrupt the file.
+      if (KV.second.LoopName.find_first_of(" \t\n") != std::string::npos)
+        continue;
+      writeEntry(OS, KV.first, KV.second);
+    }
+    for (const auto &KV : OnDisk)
+      if (Map.find(KV.first) == Map.end())
+        writeEntry(OS, KV.first, KV.second);
+  }
+  OS.close();
+  if (!OS) {
+    std::remove(TempPath.c_str());
+    return false;
+  }
+  if (std::rename(TempPath.c_str(), Path.c_str()) != 0) {
+    std::remove(TempPath.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool ResultCache::load(const std::string &Path) {
+  // Parse the whole file before inserting anything: a corrupt file
+  // must not leave a partial mix of its entries in the cache.
+  std::vector<std::pair<uint64_t, LoopRunResult>> Parsed;
+  if (!parseCacheFile(Path, Parsed))
+    return false;
   for (const auto &KV : Parsed)
     insert(KV.first, KV.second);
   return true;

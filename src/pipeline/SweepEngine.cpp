@@ -6,19 +6,24 @@
 
 #include "cvliw/pipeline/SweepEngine.h"
 
+#include "cvliw/net/SweepClient.h"
+#include "cvliw/net/WireFormat.h"
 #include "cvliw/pipeline/ResultCache.h"
 #include "cvliw/support/Rng.h"
 #include "cvliw/support/TableWriter.h"
+#include "cvliw/support/TaskPool.h"
 
 #include <atomic>
 #include <cassert>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <exception>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <stdexcept>
@@ -168,6 +173,20 @@ void SweepEngine::runItem(const WorkItem &Item, uint64_t &Hits,
   Row.Result.Loops[Item.Loop] = cachedRunLoop(Final, Spec, Hits, Misses);
 }
 
+void SweepEngine::adoptRows(std::vector<SweepRow> NewRows) {
+  if (NewRows.size() != Grid.size())
+    throw std::invalid_argument("adopted row count does not match grid");
+  for (size_t I = 0, E = NewRows.size(); I != E; ++I)
+    if (NewRows[I].PointIndex != I)
+      throw std::invalid_argument("adopted rows not in point-index order");
+  Rows = std::move(NewRows);
+  Items.clear();
+  CacheHits = 0;
+  CacheMisses = 0;
+  LastRunSeconds = 0.0;
+  HasRun = true;
+}
+
 const std::vector<SweepRow> &SweepEngine::run() {
   if (HasRun)
     return Rows;
@@ -190,49 +209,116 @@ const std::vector<SweepRow> &SweepEngine::run() {
       Items.push_back(WorkItem{Index, Loop});
   }
 
+  // Per-point countdown for the streaming callback: the worker whose
+  // decrement reaches zero owns the fully-written row.
+  std::unique_ptr<std::atomic<size_t>[]> LoopsLeft;
+  if (RowCallback) {
+    LoopsLeft.reset(new std::atomic<size_t>[NumPoints]);
+    for (size_t Index = 0; Index != NumPoints; ++Index) {
+      size_t NumLoops =
+          Grid.Benchmarks[Rows[Index].BenchmarkIndex].Loops.size();
+      LoopsLeft[Index].store(NumLoops, std::memory_order_relaxed);
+      if (NumLoops == 0)
+        RowCallback(Rows[Index]);
+    }
+  }
+
   // Phase 2 (parallel): drain the loop-granular work list. Loop items
   // balance far better than point items — epicdec's big chain loop no
   // longer serializes a whole benchmark behind one worker.
-  std::atomic<size_t> NextItem{0};
   std::atomic<bool> Failed{false};
   std::atomic<uint64_t> TotalHits{0}, TotalMisses{0};
   std::exception_ptr FirstError;
   std::mutex ErrorMutex;
 
-  auto Worker = [&] {
-    uint64_t Hits = 0, Misses = 0;
-    for (;;) {
-      size_t Index = NextItem.fetch_add(1, std::memory_order_relaxed);
-      // A failure anywhere dooms the run; stop draining the work list.
-      if (Index >= Items.size() || Failed.load(std::memory_order_relaxed))
-        break;
-      try {
-        // Each result lands at its (point, loop) slot: completion order
-        // cannot change the output.
-        runItem(Items[Index], Hits, Misses);
-      } catch (...) {
-        Failed.store(true, std::memory_order_relaxed);
-        std::lock_guard<std::mutex> Lock(ErrorMutex);
-        if (!FirstError)
-          FirstError = std::current_exception();
-        break;
-      }
-    }
-    TotalHits.fetch_add(Hits, std::memory_order_relaxed);
-    TotalMisses.fetch_add(Misses, std::memory_order_relaxed);
+  auto RecordError = [&] {
+    Failed.store(true, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> Lock(ErrorMutex);
+    if (!FirstError)
+      FirstError = std::current_exception();
   };
 
-  unsigned NumWorkers =
-      static_cast<unsigned>(std::min<size_t>(Threads, Items.size()));
-  if (NumWorkers <= 1) {
-    Worker();
+  // Runs item Index, then fires the row callback if this was the
+  // point's last loop. acq_rel on the countdown makes every sibling
+  // loop's slot write visible to the worker that completes the row.
+  auto RunOne = [&](size_t Index, uint64_t &Hits, uint64_t &Misses) {
+    runItem(Items[Index], Hits, Misses);
+    if (RowCallback) {
+      size_t Point = Items[Index].Point;
+      if (LoopsLeft[Point].fetch_sub(1, std::memory_order_acq_rel) == 1)
+        RowCallback(Rows[Point]);
+    }
+  };
+
+  if (Pool) {
+    // Shared-pool mode (the sweep service): one pool job per work item,
+    // a completion latch instead of joins. Item-granular jobs let the
+    // daemon interleave concurrent clients' grids on one bounded pool.
+    std::atomic<size_t> ItemsLeft{Items.size()};
+    std::mutex DoneMutex;
+    std::condition_variable DoneCv;
+    for (size_t Index = 0, E = Items.size(); Index != E; ++Index)
+      Pool->submit([&, Index] {
+        uint64_t Hits = 0, Misses = 0;
+        if (!Failed.load(std::memory_order_relaxed)) {
+          try {
+            RunOne(Index, Hits, Misses);
+          } catch (...) {
+            RecordError();
+          }
+        }
+        TotalHits.fetch_add(Hits, std::memory_order_relaxed);
+        TotalMisses.fetch_add(Misses, std::memory_order_relaxed);
+        // Decrement AND notify under the mutex: the waiter's predicate
+        // can only observe zero once this worker has released the lock,
+        // after which the worker never touches the latch again — so
+        // run()'s stack locals cannot be destroyed under a worker that
+        // still needs them.
+        {
+          std::lock_guard<std::mutex> Lock(DoneMutex);
+          if (ItemsLeft.fetch_sub(1, std::memory_order_acq_rel) == 1)
+            DoneCv.notify_all();
+        }
+      });
+    std::unique_lock<std::mutex> Lock(DoneMutex);
+    DoneCv.wait(Lock, [&] {
+      return ItemsLeft.load(std::memory_order_acquire) == 0;
+    });
   } else {
-    std::vector<std::thread> Pool;
-    Pool.reserve(NumWorkers);
-    for (unsigned I = 0; I != NumWorkers; ++I)
-      Pool.emplace_back(Worker);
-    for (std::thread &T : Pool)
-      T.join();
+    std::atomic<size_t> NextItem{0};
+    auto Worker = [&] {
+      uint64_t Hits = 0, Misses = 0;
+      for (;;) {
+        size_t Index = NextItem.fetch_add(1, std::memory_order_relaxed);
+        // A failure anywhere dooms the run; stop draining the work list.
+        if (Index >= Items.size() ||
+            Failed.load(std::memory_order_relaxed))
+          break;
+        try {
+          // Each result lands at its (point, loop) slot: completion
+          // order cannot change the output.
+          RunOne(Index, Hits, Misses);
+        } catch (...) {
+          RecordError();
+          break;
+        }
+      }
+      TotalHits.fetch_add(Hits, std::memory_order_relaxed);
+      TotalMisses.fetch_add(Misses, std::memory_order_relaxed);
+    };
+
+    unsigned NumWorkers =
+        static_cast<unsigned>(std::min<size_t>(Threads, Items.size()));
+    if (NumWorkers <= 1) {
+      Worker();
+    } else {
+      std::vector<std::thread> Spawned;
+      Spawned.reserve(NumWorkers);
+      for (unsigned I = 0; I != NumWorkers; ++I)
+        Spawned.emplace_back(Worker);
+      for (std::thread &T : Spawned)
+        T.join();
+    }
   }
 
   if (FirstError)
@@ -437,37 +523,98 @@ bool cvliw::parseSweepArgs(int Argc, char **Argv,
       if (!Value)
         return false;
       Options.CachePath = Value;
+    } else if (std::strcmp(Arg, "--remote") == 0) {
+      const char *Value = NextValue("--remote");
+      if (!Value)
+        return false;
+      Options.Remote = Value;
+    } else if (std::strcmp(Arg, "--dump-grid") == 0) {
+      const char *Value = NextValue("--dump-grid");
+      if (!Value)
+        return false;
+      Options.DumpGridPath = Value;
     } else if (std::strcmp(Arg, "--verify-serial") == 0) {
       Options.VerifySerial = true;
     } else {
       std::cerr << "unknown argument '" << Arg
                 << "'\nusage: [--threads N] [--csv FILE] [--json FILE] "
-                   "[--cache FILE] [--verify-serial]\n";
+                   "[--cache FILE] [--remote HOST:PORT] "
+                   "[--dump-grid FILE] [--verify-serial]\n";
       return false;
     }
   }
   if (Options.CachePath.empty())
     if (const char *Env = std::getenv("CVLIW_SWEEP_CACHE"))
       Options.CachePath = Env;
+  if (Options.Remote.empty())
+    if (const char *Env = std::getenv("CVLIW_SWEEP_REMOTE"))
+      Options.Remote = Env;
   return true;
 }
 
 bool cvliw::runSweep(SweepEngine &Engine, const SweepRunOptions &Options,
                      std::ostream &Log) {
-  // Warm the engine's cache from the persisted file (if any) so driver
-  // processes share their overlapping baseline points.
-  if (!Options.CachePath.empty() && Engine.cache() &&
-      Engine.cache()->load(Options.CachePath))
-    Log << "sweep: loaded result cache " << Options.CachePath << " ("
-        << Engine.cache()->size() << " entries)\n";
+  if (!Options.DumpGridPath.empty()) {
+    std::ofstream OS(Options.DumpGridPath);
+    if (!OS) {
+      std::cerr << "cannot write " << Options.DumpGridPath << "\n";
+      return false;
+    }
+    gridToJson(Engine.grid()).write(OS);
+    OS << '\n';
+    Log << "sweep: wrote grid " << Options.DumpGridPath << "\n";
+  }
 
-  Engine.run();
-  Log << "sweep: " << Engine.grid().size() << " points ("
-      << Engine.loopItems() << " loop items) on " << Engine.threads()
-      << " threads in " << TableWriter::fmt(Engine.lastRunSeconds(), 3)
-      << " s\n";
-  Log << "sweep: result cache " << Engine.cacheHits() << " hits / "
-      << Engine.cacheMisses() << " misses\n";
+  if (!Options.Remote.empty()) {
+    // Remote mode: the daemon evaluates the grid (serving repeats from
+    // its warm shared cache) and streams the rows back; the adopted
+    // rows are bit-identical to a local run by the determinism
+    // contract, so everything below — tables, CSV/JSON, the serial
+    // cross-check — is oblivious to where the simulation happened.
+    SweepClient Client;
+    std::string Error;
+    if (!Client.connect(Options.Remote, Error)) {
+      std::cerr << "sweep: " << Error << "\n";
+      return false;
+    }
+    std::vector<SweepRow> Rows;
+    RemoteSweepStats Stats;
+    auto Start = std::chrono::steady_clock::now();
+    if (!Client.runGrid(Engine.grid(), Rows, Stats, Error)) {
+      std::cerr << "sweep: remote sweep failed: " << Error << "\n";
+      return false;
+    }
+    double Seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - Start)
+                         .count();
+    Engine.adoptRows(std::move(Rows));
+    Log << "sweep: remote " << Options.Remote << " evaluated "
+        << Engine.grid().size() << " points (" << Engine.loopItems()
+        << " loop items) in " << TableWriter::fmt(Seconds, 3) << " s\n";
+    Log << "sweep: daemon result cache " << Stats.CacheHits << " hits / "
+        << Stats.CacheMisses << " misses\n";
+  } else {
+    // Warm the engine's cache from the persisted file (if any) so
+    // driver processes share their overlapping baseline points.
+    if (!Options.CachePath.empty() && Engine.cache() &&
+        Engine.cache()->load(Options.CachePath))
+      Log << "sweep: loaded result cache " << Options.CachePath << " ("
+          << Engine.cache()->size() << " entries)\n";
+
+    Engine.run();
+    Log << "sweep: " << Engine.grid().size() << " points ("
+        << Engine.loopItems() << " loop items) on " << Engine.threads()
+        << " threads in " << TableWriter::fmt(Engine.lastRunSeconds(), 3)
+        << " s\n";
+    Log << "sweep: result cache " << Engine.cacheHits() << " hits / "
+        << Engine.cacheMisses() << " misses";
+    if (Engine.cache()) {
+      ResultCacheStats Stats = Engine.cache()->stats();
+      Log << " (" << Stats.Entries << " entries, " << Stats.Bytes
+          << " bytes)";
+    }
+    Log << "\n";
+  }
 
   if (Options.VerifySerial) {
     // The serial re-run gets a cold private cache: it must *recompute*
@@ -511,7 +658,10 @@ bool cvliw::runSweep(SweepEngine &Engine, const SweepRunOptions &Options,
       !WriteFile(Options.JsonPath, /*Json=*/true))
     return false;
 
-  if (!Options.CachePath.empty() && Engine.cache()) {
+  // In remote mode the daemon owns the persistent cache; saving the
+  // client's (empty) cache would be pointless.
+  if (Options.Remote.empty() && !Options.CachePath.empty() &&
+      Engine.cache()) {
     if (!Engine.cache()->save(Options.CachePath)) {
       std::cerr << "cannot write result cache " << Options.CachePath
                 << "\n";

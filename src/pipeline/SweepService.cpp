@@ -1,0 +1,307 @@
+//===- pipeline/SweepService.cpp - Sweep service daemon -------------------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cvliw/pipeline/SweepService.h"
+
+#include "cvliw/net/Json.h"
+#include "cvliw/net/WireFormat.h"
+#include "cvliw/pipeline/SweepEngine.h"
+#include "cvliw/support/TaskPool.h"
+
+#include <deque>
+#include <exception>
+#include <utility>
+
+using namespace cvliw;
+
+struct SweepService::Connection {
+  Socket Sock;
+  std::thread Thread;
+  /// Serializes response frames: row frames are written by whichever
+  /// pool worker completes a point, concurrently with the handler
+  /// thread's own writes.
+  std::mutex WriteMutex;
+  std::atomic<bool> Done{false};
+  std::atomic<bool> WriteFailed{false};
+};
+
+SweepService::SweepService(SweepServiceConfig Config)
+    : Config(std::move(Config)),
+      Cache(this->Config.Cache ? this->Config.Cache
+                               : &ResultCache::process()) {
+}
+
+SweepService::~SweepService() { stop(); }
+
+bool SweepService::start(std::string &Error) {
+  Listener = listenOn(Config.Host, Config.Port, BoundPort, Error);
+  if (!Listener.valid())
+    return false;
+  Pool.reset(new TaskPool(Config.Threads != 0 ? Config.Threads
+                                              : defaultSweepThreads()));
+  AcceptThread = std::thread([this] { acceptLoop(); });
+  return true;
+}
+
+void SweepService::acceptLoop() {
+  while (!Stopping.load(std::memory_order_acquire)) {
+    Socket Client = acceptFrom(Listener);
+    if (!Client.valid()) {
+      // The listener was closed (stop()) or broke; either way the
+      // accept loop is over.
+      break;
+    }
+
+    std::lock_guard<std::mutex> Lock(ConnMutex);
+    // Reap connections whose handler already finished, so a long-lived
+    // daemon does not accumulate one joinable thread per past client.
+    for (size_t I = 0; I != Connections.size();) {
+      if (Connections[I]->Done.load(std::memory_order_acquire)) {
+        Connections[I]->Thread.join();
+        Connections.erase(Connections.begin() +
+                          static_cast<ptrdiff_t>(I));
+      } else {
+        ++I;
+      }
+    }
+
+    ConnectionsAccepted.fetch_add(1, std::memory_order_relaxed);
+    Connections.emplace_back(new Connection());
+    Connection *Conn = Connections.back().get();
+    Conn->Sock = std::move(Client);
+    Conn->Thread = std::thread([this, Conn] { handleConnection(Conn); });
+  }
+}
+
+namespace {
+
+JsonValue typedMessage(const char *Type) {
+  JsonValue J = JsonValue::object();
+  J.set("type", JsonValue::str(Type));
+  return J;
+}
+
+} // namespace
+
+void SweepService::writePayload(Connection *Conn,
+                                const std::string &Payload) {
+  std::lock_guard<std::mutex> Lock(Conn->WriteMutex);
+  if (Conn->WriteFailed.load(std::memory_order_relaxed))
+    return;
+  if (!writeFrame(Conn->Sock, Payload))
+    Conn->WriteFailed.store(true, std::memory_order_relaxed);
+}
+
+void SweepService::writeMessage(Connection *Conn,
+                                const JsonValue &Message) {
+  writePayload(Conn, Message.dump());
+}
+
+void SweepService::handleConnection(Connection *Conn) {
+  for (;;) {
+    std::string Payload;
+    FrameStatus Status =
+        readFrame(Conn->Sock, Payload, Config.MaxFrameBytes);
+    if (Status == FrameStatus::Eof)
+      break; // Clean disconnect between frames.
+    if (Status != FrameStatus::Ok) {
+      // Bad framing: answer (the peer may only have shut down its write
+      // side), drop the connection, keep the daemon serving.
+      ProtocolErrors.fetch_add(1, std::memory_order_relaxed);
+      if (Status != FrameStatus::IoError)
+        writeMessage(Conn,
+                     makeErrorMessage(std::string(frameStatusName(Status)) +
+                                      " frame rejected"));
+      break;
+    }
+    if (!handleRequest(Conn, Payload))
+      break;
+    if (Conn->WriteFailed.load(std::memory_order_relaxed))
+      break;
+  }
+  // Unblock the peer's reads but leave the fd open: stop() may
+  // concurrently shutdownBoth() this socket, and closing here could
+  // hand the fd number to an unrelated descriptor first. The Socket
+  // closes when the reaper (or stop()) destroys the Connection after
+  // joining this thread.
+  Conn->Sock.shutdownBoth();
+  Conn->Done.store(true, std::memory_order_release);
+}
+
+bool SweepService::handleRequest(Connection *Conn,
+                                 const std::string &Payload) {
+  JsonValue Request;
+  std::string ParseError;
+  if (!JsonValue::parse(Payload, Request, ParseError)) {
+    ProtocolErrors.fetch_add(1, std::memory_order_relaxed);
+    writeMessage(Conn, makeErrorMessage("bad JSON: " + ParseError));
+    return false;
+  }
+
+  std::string Type;
+  if (const JsonValue *T = Request.find("type"))
+    if (T->kind() == JsonValue::Kind::String)
+      Type = T->asString();
+
+  if (Type == "ping") {
+    writeMessage(Conn, typedMessage("pong"));
+    return true;
+  }
+
+  if (Type == "status") {
+    ResultCacheStats Stats = Cache->stats();
+    JsonValue J = typedMessage("status");
+    JsonValue CacheJson = JsonValue::object();
+    CacheJson.set("entries", JsonValue::uint(Stats.Entries));
+    CacheJson.set("bytes", JsonValue::uint(Stats.Bytes));
+    CacheJson.set("hits", JsonValue::uint(Stats.Hits));
+    CacheJson.set("misses", JsonValue::uint(Stats.Misses));
+    J.set("cache", std::move(CacheJson));
+    J.set("threads", JsonValue::uint(Pool->threads()));
+    J.set("grids_served", JsonValue::uint(gridsServed()));
+    J.set("connections_accepted",
+          JsonValue::uint(connectionsAccepted()));
+    J.set("protocol_errors", JsonValue::uint(protocolErrors()));
+    writeMessage(Conn, J);
+    return true;
+  }
+
+  if (Type == "sweep") {
+    SweepGrid Grid;
+    try {
+      Grid = gridFromJson(Request.at("grid"));
+    } catch (const JsonError &E) {
+      ProtocolErrors.fetch_add(1, std::memory_order_relaxed);
+      writeMessage(Conn,
+                   makeErrorMessage(std::string("bad grid: ") + E.what()));
+      return false;
+    }
+
+    SweepEngine Engine(Grid, /*Threads=*/1);
+    Engine.setCache(Cache);
+    Engine.setPool(Pool.get());
+
+    // Stream each point the moment its last loop finishes — but never
+    // send from a pool worker: a client that stops reading would fill
+    // its TCP buffer and wedge the shared pool behind one slow peer.
+    // Workers enqueue serialized frames; this per-sweep writer thread
+    // does the blocking sends. Memory is bounded by the grid the
+    // daemon already agreed to evaluate.
+    std::mutex QueueMutex;
+    std::condition_variable QueueCv;
+    std::deque<std::string> RowQueue;
+    bool SweepFinished = false;
+    std::thread Writer([&] {
+      for (;;) {
+        std::string Frame;
+        {
+          std::unique_lock<std::mutex> Lock(QueueMutex);
+          QueueCv.wait(Lock, [&] {
+            return SweepFinished || !RowQueue.empty();
+          });
+          if (RowQueue.empty())
+            return; // Finished and drained.
+          Frame = std::move(RowQueue.front());
+          RowQueue.pop_front();
+        }
+        writePayload(Conn, Frame);
+      }
+    });
+    Engine.setRowCallback([&](const SweepRow &Row) {
+      JsonValue Message = typedMessage("row");
+      Message.set("row", rowToJson(Row));
+      std::string Frame = Message.dump();
+      {
+        std::lock_guard<std::mutex> Lock(QueueMutex);
+        RowQueue.push_back(std::move(Frame));
+      }
+      QueueCv.notify_one();
+    });
+
+    std::exception_ptr RunError;
+    try {
+      Engine.run();
+    } catch (...) {
+      RunError = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> Lock(QueueMutex);
+      SweepFinished = true;
+    }
+    QueueCv.notify_all();
+    Writer.join();
+
+    if (RunError) {
+      std::string What = "sweep failed";
+      try {
+        std::rethrow_exception(RunError);
+      } catch (const std::exception &E) {
+        What += std::string(": ") + E.what();
+      } catch (...) {
+      }
+      writeMessage(Conn, makeErrorMessage(What));
+      return false;
+    }
+    JsonValue Done = typedMessage("done");
+    Done.set("points", JsonValue::uint(Engine.grid().size()));
+    Done.set("cache_hits", JsonValue::uint(Engine.cacheHits()));
+    Done.set("cache_misses", JsonValue::uint(Engine.cacheMisses()));
+    writeMessage(Conn, Done);
+    GridsServed.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  if (Type == "shutdown") {
+    writeMessage(Conn, typedMessage("ok"));
+    {
+      std::lock_guard<std::mutex> Lock(ShutdownMutex);
+      ShutdownFlag.store(true, std::memory_order_release);
+    }
+    ShutdownCv.notify_all();
+    return false;
+  }
+
+  writeMessage(Conn,
+               makeErrorMessage("unknown request type '" + Type + "'"));
+  return true;
+}
+
+void SweepService::waitForShutdown() {
+  std::unique_lock<std::mutex> Lock(ShutdownMutex);
+  ShutdownCv.wait(Lock, [this] {
+    return ShutdownFlag.load(std::memory_order_acquire) ||
+           Stopping.load(std::memory_order_acquire);
+  });
+}
+
+void SweepService::stop() {
+  bool WasStopping = Stopping.exchange(true, std::memory_order_acq_rel);
+  {
+    std::lock_guard<std::mutex> Lock(ShutdownMutex);
+  }
+  ShutdownCv.notify_all();
+  if (WasStopping && !AcceptThread.joinable() && Connections.empty())
+    return;
+
+  // Close the listener to kick the accept thread out of accept().
+  Listener.shutdownBoth();
+  Listener.close();
+  if (AcceptThread.joinable())
+    AcceptThread.join();
+
+  // Disconnect every client: a handler blocked in readFrame sees EOF;
+  // one mid-sweep finishes its grid (its writes fail fast) and exits.
+  std::vector<std::unique_ptr<Connection>> ToJoin;
+  {
+    std::lock_guard<std::mutex> Lock(ConnMutex);
+    ToJoin.swap(Connections);
+  }
+  for (auto &Conn : ToJoin)
+    Conn->Sock.shutdownBoth();
+  for (auto &Conn : ToJoin)
+    if (Conn->Thread.joinable())
+      Conn->Thread.join();
+}

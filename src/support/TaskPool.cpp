@@ -1,0 +1,55 @@
+//===- support/TaskPool.cpp - Persistent worker pool ----------------------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cvliw/support/TaskPool.h"
+
+#include <algorithm>
+#include <utility>
+
+using namespace cvliw;
+
+TaskPool::TaskPool(unsigned Threads) {
+  Threads = std::max(1u, Threads);
+  Workers.reserve(Threads);
+  for (unsigned I = 0; I != Threads; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+TaskPool::~TaskPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Stopping = true;
+    Queue.clear();
+  }
+  Ready.notify_all();
+  for (std::thread &T : Workers)
+    T.join();
+}
+
+void TaskPool::submit(std::function<void()> Job) {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (Stopping)
+      return;
+    Queue.push_back(std::move(Job));
+  }
+  Ready.notify_one();
+}
+
+void TaskPool::workerLoop() {
+  for (;;) {
+    std::function<void()> Job;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      Ready.wait(Lock, [this] { return Stopping || !Queue.empty(); });
+      if (Stopping)
+        return;
+      Job = std::move(Queue.front());
+      Queue.pop_front();
+    }
+    Job();
+  }
+}

@@ -1,0 +1,360 @@
+//===- tests/NetTest.cpp - JSON, framing and wire-format tests ------------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cvliw/net/Frame.h"
+#include "cvliw/net/Json.h"
+#include "cvliw/net/Socket.h"
+#include "cvliw/net/WireFormat.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <sys/socket.h>
+
+using namespace cvliw;
+
+namespace {
+
+/// A connected in-process socket pair for framing tests.
+struct SocketPair {
+  Socket A, B;
+  SocketPair() {
+    int Fds[2] = {-1, -1};
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0);
+    A = Socket(Fds[0]);
+    B = Socket(Fds[1]);
+  }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// JSON
+//===----------------------------------------------------------------------===//
+
+TEST(Json, RoundTripPreservesStructureAndBytes) {
+  JsonValue Root = JsonValue::object();
+  Root.set("u", JsonValue::uint(42));
+  Root.set("b", JsonValue::boolean(true));
+  Root.set("s", JsonValue::str("a \"quoted\" \\ line\nwith\tcontrol"));
+  Root.set("n", JsonValue::null());
+  JsonValue Arr = JsonValue::array();
+  Arr.push(JsonValue::integer(-7));
+  Arr.push(JsonValue::real(0.5));
+  JsonValue Inner = JsonValue::object();
+  Inner.set("k", JsonValue::str(""));
+  Arr.push(std::move(Inner));
+  Root.set("a", std::move(Arr));
+
+  std::string Dumped = Root.dump();
+  JsonValue Parsed;
+  std::string Error;
+  ASSERT_TRUE(JsonValue::parse(Dumped, Parsed, Error)) << Error;
+  // Serialization is deterministic and order-preserving, so a
+  // round-trip reproduces the exact bytes.
+  EXPECT_EQ(Parsed.dump(), Dumped);
+  EXPECT_EQ(Parsed.u64("u"), 42u);
+  EXPECT_TRUE(Parsed.flag("b"));
+  EXPECT_EQ(Parsed.text("s"), "a \"quoted\" \\ line\nwith\tcontrol");
+  EXPECT_TRUE(Parsed.at("n").isNull());
+  EXPECT_EQ(Parsed.at("a").items()[0].asI64(), -7);
+}
+
+TEST(Json, FullWidthIntegersSurviveExactly) {
+  // The property the protocol depends on: 64-bit seeds and double bit
+  // patterns round-trip without a double detour.
+  JsonValue V = JsonValue::uint(UINT64_MAX);
+  EXPECT_EQ(V.dump(), "18446744073709551615");
+  JsonValue Parsed;
+  std::string Error;
+  ASSERT_TRUE(JsonValue::parse("18446744073709551615", Parsed, Error));
+  EXPECT_EQ(Parsed.kind(), JsonValue::Kind::Uint);
+  EXPECT_EQ(Parsed.asU64(), UINT64_MAX);
+
+  ASSERT_TRUE(JsonValue::parse("-9223372036854775808", Parsed, Error));
+  EXPECT_EQ(Parsed.asI64(), INT64_MIN);
+
+  // Fractions and exponents become doubles, not integers.
+  ASSERT_TRUE(JsonValue::parse("2.5e1", Parsed, Error));
+  EXPECT_EQ(Parsed.kind(), JsonValue::Kind::Double);
+  EXPECT_DOUBLE_EQ(Parsed.asDouble(), 25.0);
+}
+
+TEST(Json, RejectsMalformedInput) {
+  JsonValue Out;
+  std::string Error;
+  EXPECT_FALSE(JsonValue::parse("", Out, Error));
+  EXPECT_FALSE(JsonValue::parse("{", Out, Error));
+  EXPECT_FALSE(JsonValue::parse("{\"a\":1,}", Out, Error));
+  EXPECT_FALSE(JsonValue::parse("\"unterminated", Out, Error));
+  EXPECT_FALSE(JsonValue::parse("[1] trailing", Out, Error));
+  EXPECT_FALSE(JsonValue::parse("18446744073709551616", Out, Error))
+      << "overflowing integer literal (2^64)";
+  EXPECT_FALSE(JsonValue::parse("1e999", Out, Error))
+      << "overflowing double literal would serialize as 'inf'";
+  EXPECT_FALSE(JsonValue::parse("nulll", Out, Error));
+  EXPECT_FALSE(JsonValue::parse("\"bad \\q escape\"", Out, Error));
+}
+
+TEST(Json, TypedAccessorsThrowOnMismatch) {
+  JsonValue Obj = JsonValue::object();
+  Obj.set("s", JsonValue::str("x"));
+  EXPECT_THROW(Obj.u64("s"), JsonError);
+  EXPECT_THROW(Obj.u64("absent"), JsonError);
+  EXPECT_THROW(JsonValue::integer(-1).asU64(), JsonError);
+  EXPECT_THROW(JsonValue::str("x").items(), JsonError);
+}
+
+//===----------------------------------------------------------------------===//
+// Framing
+//===----------------------------------------------------------------------===//
+
+TEST(Frame, RoundTripAndCleanEof) {
+  SocketPair P;
+  ASSERT_TRUE(writeFrame(P.A, "{\"type\":\"ping\"}"));
+  ASSERT_TRUE(writeFrame(P.A, ""));
+
+  std::string Payload;
+  EXPECT_EQ(readFrame(P.B, Payload), FrameStatus::Ok);
+  EXPECT_EQ(Payload, "{\"type\":\"ping\"}");
+  EXPECT_EQ(readFrame(P.B, Payload), FrameStatus::Ok);
+  EXPECT_EQ(Payload, "");
+
+  P.A.close();
+  EXPECT_EQ(readFrame(P.B, Payload), FrameStatus::Eof)
+      << "EOF at a frame boundary is a clean disconnect";
+}
+
+TEST(Frame, DetectsBadMagic) {
+  SocketPair P;
+  const char Garbage[] = "XXXX\x00\x00\x00\x02hi";
+  ASSERT_TRUE(P.A.sendAll(Garbage, sizeof(Garbage) - 1));
+  std::string Payload;
+  EXPECT_EQ(readFrame(P.B, Payload), FrameStatus::Malformed);
+}
+
+TEST(Frame, DetectsOversizedDeclaredLength) {
+  SocketPair P;
+  unsigned char Header[8];
+  std::memcpy(Header, FrameMagic, 4);
+  Header[4] = 0x7f; // ~2 GiB declared payload.
+  Header[5] = Header[6] = Header[7] = 0xff;
+  ASSERT_TRUE(P.A.sendAll(Header, sizeof(Header)));
+  std::string Payload;
+  EXPECT_EQ(readFrame(P.B, Payload, /*MaxBytes=*/1024),
+            FrameStatus::Oversized);
+}
+
+TEST(Frame, DetectsTruncation) {
+  {
+    // EOF inside the header.
+    SocketPair P;
+    ASSERT_TRUE(P.A.sendAll("CVW", 3));
+    P.A.close();
+    std::string Payload;
+    EXPECT_EQ(readFrame(P.B, Payload), FrameStatus::Truncated);
+  }
+  {
+    // EOF inside the payload: header promises 16 bytes, 4 arrive.
+    SocketPair P;
+    unsigned char Header[8] = {0};
+    std::memcpy(Header, FrameMagic, 4);
+    Header[7] = 16;
+    ASSERT_TRUE(P.A.sendAll(Header, sizeof(Header)));
+    ASSERT_TRUE(P.A.sendAll("only", 4));
+    P.A.close();
+    std::string Payload;
+    EXPECT_EQ(readFrame(P.B, Payload), FrameStatus::Truncated);
+  }
+}
+
+TEST(Frame, WriterHonorsItsOwnBound) {
+  SocketPair P;
+  std::string Big(2048, 'x');
+  EXPECT_FALSE(writeFrame(P.A, Big, /*MaxBytes=*/1024));
+}
+
+//===----------------------------------------------------------------------===//
+// Wire format
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+SweepGrid wireTestGrid() {
+  SweepGrid Grid;
+  Grid.BaseSeed = 0xdeadbeefcafef00dULL;
+  Grid.ReseedLoops = true;
+
+  MachinePoint M;
+  M.Name = "nobal-mem";
+  M.Config = MachineConfig::nobalMem();
+  M.Config.AttractionBuffersEnabled = true;
+  Grid.Machines = {MachinePoint{}, M};
+
+  SchemePoint S;
+  S.Name = "DDGT(PrefClus)+spec";
+  S.Policy = CoherencePolicy::DDGT;
+  S.Heuristic = ClusterHeuristic::PrefClus;
+  S.ApplySpecialization = true;
+  S.Ordering = SchedulerOrdering::Swing;
+  S.AssignLatencies = false;
+  S.TolerateUnschedulable = true;
+  SchemePoint H;
+  H.Name = "hybrid";
+  H.Hybrid = true;
+  Grid.Schemes = {S, H};
+
+  BenchmarkSpec B;
+  B.Name = "wiretest";
+  B.InterleaveBytes = 2;
+  B.MainElemBytes = 2;
+  B.MainElemPct = 87.5;
+  B.ProfileInput = "clinton.pcm";
+  B.ExecInput = "s_16_44.pcm";
+  B.InEvaluation = false;
+  LoopSpec L;
+  L.Name = "wiretest.loop0";
+  L.Weight = 0.375;
+  L.SeedBase = 0x8000000000000001ULL; // Exercises the full 64-bit width.
+  L.Chains = {ChainSpec{1, 2, 3, 4, false}, ChainSpec{0, 0, 2, 1, true}};
+  L.FpOps = 3;
+  B.Loops = {L};
+  Grid.Benchmarks = {B};
+  return Grid;
+}
+
+} // namespace
+
+TEST(WireFormat, GridRoundTripsEveryField) {
+  SweepGrid Grid = wireTestGrid();
+  std::string Dumped = gridToJson(Grid).dump();
+
+  JsonValue Parsed;
+  std::string Error;
+  ASSERT_TRUE(JsonValue::parse(Dumped, Parsed, Error)) << Error;
+  SweepGrid Back = gridFromJson(Parsed);
+
+  // Field-exhaustive check by construction: re-serializing the decoded
+  // grid must reproduce the original bytes, so any dropped or mangled
+  // field shows up as a diff.
+  EXPECT_EQ(gridToJson(Back).dump(), Dumped);
+
+  // Spot-check the fields the determinism contract leans on hardest.
+  EXPECT_EQ(Back.BaseSeed, Grid.BaseSeed);
+  EXPECT_TRUE(Back.ReseedLoops);
+  ASSERT_EQ(Back.Machines.size(), 2u);
+  EXPECT_TRUE(Back.Machines[1].Config.AttractionBuffersEnabled);
+  EXPECT_EQ(Back.Machines[1].Config.RegisterBuses.Latency,
+            Grid.Machines[1].Config.RegisterBuses.Latency);
+  ASSERT_EQ(Back.Schemes.size(), 2u);
+  EXPECT_EQ(Back.Schemes[0].Ordering, SchedulerOrdering::Swing);
+  EXPECT_TRUE(Back.Schemes[1].Hybrid);
+  ASSERT_EQ(Back.Benchmarks.size(), 1u);
+  EXPECT_EQ(Back.Benchmarks[0].Loops[0].SeedBase,
+            Grid.Benchmarks[0].Loops[0].SeedBase);
+  EXPECT_EQ(Back.Benchmarks[0].Loops[0].Weight,
+            Grid.Benchmarks[0].Loops[0].Weight);
+  ASSERT_EQ(Back.Benchmarks[0].Loops[0].Chains.size(), 2u);
+  EXPECT_FALSE(Back.Benchmarks[0].Loops[0].Chains[0].SpreadClusters);
+}
+
+TEST(WireFormat, RowRoundTripsEveryField) {
+  SweepRow Row;
+  Row.PointIndex = 3;
+  Row.MachineIndex = 1;
+  Row.SchemeIndex = 2;
+  Row.BenchmarkIndex = 0;
+  Row.Machine = "baseline";
+  Row.Scheme = "hybrid";
+  Row.Benchmark = "epicdec";
+  Row.PointSeed = 0xfeedfacefeedfaceULL;
+  Row.HybridChoices = {CoherencePolicy::MDC, CoherencePolicy::DDGT};
+
+  LoopRunResult L;
+  L.LoopName = "epicdec.unquantize";
+  L.Weight = 0.625;
+  L.ExecTrip = 4000;
+  L.Scheduled = false;
+  L.II = 9;
+  L.ResMII = 7;
+  L.RecMII = 3;
+  L.NumOps = 21;
+  L.NumMemOps = 8;
+  L.CopiesPerIter = 4;
+  L.BiggestChain = 76;
+  L.Sim.Iterations = 4000;
+  L.Sim.TotalCycles = 123456789;
+  L.Sim.ComputeCycles = 100000000;
+  L.Sim.StallCycles = 23456789;
+  L.Sim.DynamicOps = 42;
+  L.Sim.MemoryAccesses = 1600;
+  L.Sim.AttractionBufferHits = 12;
+  L.Sim.BusTransactions = 99;
+  L.Sim.CoherenceViolations = 1;
+  L.Sim.NullifiedReplicaSlots = 3;
+  L.Sim.AccessClassification.add(0, 10);
+  L.Sim.AccessClassification.add(4, 2);
+  L.Sim.StallAttribution.add(1, 7);
+  Row.Result.Benchmark = "epicdec";
+  Row.Result.Loops = {L};
+
+  std::string Dumped = rowToJson(Row).dump();
+  JsonValue Parsed;
+  std::string Error;
+  ASSERT_TRUE(JsonValue::parse(Dumped, Parsed, Error)) << Error;
+  SweepRow Back = rowFromJson(Parsed);
+  EXPECT_EQ(rowToJson(Back).dump(), Dumped);
+
+  EXPECT_EQ(Back.PointSeed, Row.PointSeed);
+  ASSERT_EQ(Back.HybridChoices.size(), 2u);
+  EXPECT_EQ(Back.HybridChoices[1], CoherencePolicy::DDGT);
+  ASSERT_EQ(Back.Result.Loops.size(), 1u);
+  const LoopRunResult &BL = Back.Result.Loops[0];
+  EXPECT_EQ(BL.LoopName, L.LoopName);
+  EXPECT_EQ(BL.Weight, L.Weight);
+  EXPECT_FALSE(BL.Scheduled);
+  EXPECT_EQ(BL.BiggestChain, 76u);
+  EXPECT_EQ(BL.Sim.TotalCycles, 123456789u);
+  EXPECT_EQ(BL.Sim.AccessClassification.count(4), 2u);
+  EXPECT_EQ(BL.Sim.StallAttribution.count(1), 7u);
+  EXPECT_EQ(Back.Result.Benchmark, "epicdec")
+      << "benchmark name restored for client-side aggregation";
+}
+
+TEST(WireFormat, DecodeRejectsBadMessages) {
+  JsonValue Empty = JsonValue::object();
+  EXPECT_THROW(gridFromJson(Empty), JsonError);
+  EXPECT_THROW(rowFromJson(Empty), JsonError);
+
+  // Out-of-range enum.
+  SweepGrid Grid = wireTestGrid();
+  JsonValue J = gridToJson(Grid);
+  std::string Dumped = J.dump();
+  size_t At = Dumped.find("\"policy\":2");
+  ASSERT_NE(At, std::string::npos);
+  Dumped.replace(At, 10, "\"policy\":9");
+  JsonValue Parsed;
+  std::string Error;
+  ASSERT_TRUE(JsonValue::parse(Dumped, Parsed, Error));
+  EXPECT_THROW(gridFromJson(Parsed), JsonError);
+
+  // An empty axis is structurally valid JSON but not a runnable grid.
+  JsonValue NoSchemes = gridToJson(Grid);
+  NoSchemes.set("schemes", JsonValue::array());
+  EXPECT_THROW(gridFromJson(NoSchemes), JsonError);
+}
+
+TEST(WireFormat, SplitHostPort) {
+  std::string Host, Error;
+  uint16_t Port = 0;
+  EXPECT_TRUE(splitHostPort("127.0.0.1:8080", Host, Port, Error));
+  EXPECT_EQ(Host, "127.0.0.1");
+  EXPECT_EQ(Port, 8080);
+  EXPECT_FALSE(splitHostPort("no-port", Host, Port, Error));
+  EXPECT_FALSE(splitHostPort("host:", Host, Port, Error));
+  EXPECT_FALSE(splitHostPort("host:99999", Host, Port, Error));
+  EXPECT_FALSE(splitHostPort("host:12x", Host, Port, Error));
+}

@@ -328,6 +328,109 @@ TEST(ResultCache, OverlappingGridsShareBaselinePoints) {
             B.run()[0].Result.totalCycles());
 }
 
+TEST(ResultCache, StatsSnapshotCountersAndFootprint) {
+  ResultCache Cache;
+  ResultCacheStats Empty = Cache.stats();
+  EXPECT_EQ(Empty.Entries, 0u);
+  EXPECT_EQ(Empty.Bytes, 0u);
+
+  LoopRunResult E = sampleEntry();
+  Cache.insert(1, E);
+  Cache.insert(2, E);
+  LoopRunResult Out;
+  (void)Cache.lookup(1, Out); // Hit.
+  (void)Cache.lookup(9, Out); // Miss.
+
+  ResultCacheStats S = Cache.stats();
+  EXPECT_EQ(S.Entries, 2u);
+  EXPECT_EQ(S.Hits, 1u);
+  EXPECT_EQ(S.Misses, 1u);
+  EXPECT_GE(S.Bytes, 2 * (sizeof(LoopRunResult) + E.LoopName.size()))
+      << "footprint counts entry structs and owned strings";
+
+  Cache.clear();
+  EXPECT_EQ(Cache.stats().Entries, 0u);
+  EXPECT_EQ(Cache.stats().Hits, 0u);
+}
+
+TEST(ResultCache, SaveMergesConcurrentWritersEntries) {
+  // The last-writer-wins hazard: process A and process B share one
+  // cache path; each computes a disjoint entry. Before the merge-on-
+  // save fix, whichever saved last erased the other's entry.
+  std::string Path = ::testing::TempDir() + "cvliw_merge_test.cache";
+  std::remove(Path.c_str());
+
+  LoopRunResult EntryA = sampleEntry();
+  EntryA.LoopName = "writerA.loop0";
+  LoopRunResult EntryB = sampleEntry();
+  EntryB.LoopName = "writerB.loop0";
+  EntryB.Sim.TotalCycles = 777;
+
+  ResultCache A;
+  A.insert(100, EntryA);
+  ASSERT_TRUE(A.save(Path));
+
+  // B never loaded A's file (it started before A saved) — its save
+  // must still preserve A's entry.
+  ResultCache B;
+  B.insert(200, EntryB);
+  ASSERT_TRUE(B.save(Path));
+
+  ResultCache Merged;
+  ASSERT_TRUE(Merged.load(Path));
+  EXPECT_EQ(Merged.size(), 2u);
+  LoopRunResult Out;
+  ASSERT_TRUE(Merged.lookup(100, Out));
+  EXPECT_EQ(Out.LoopName, "writerA.loop0");
+  ASSERT_TRUE(Merged.lookup(200, Out));
+  EXPECT_EQ(Out.Sim.TotalCycles, 777u);
+  std::remove(Path.c_str());
+}
+
+TEST(ResultCache, SaveKeepsInMemoryEntryOnKeyClash) {
+  std::string Path = ::testing::TempDir() + "cvliw_clash_test.cache";
+  std::remove(Path.c_str());
+
+  LoopRunResult Disk = sampleEntry();
+  Disk.Sim.TotalCycles = 1111;
+  ResultCache First;
+  First.insert(42, Disk);
+  ASSERT_TRUE(First.save(Path));
+
+  // By the determinism contract a clash is identical anyway; the
+  // in-memory side winning is the documented tie-break.
+  LoopRunResult Mem = sampleEntry();
+  Mem.Sim.TotalCycles = 2222;
+  ResultCache Second;
+  Second.insert(42, Mem);
+  ASSERT_TRUE(Second.save(Path));
+
+  ResultCache Loaded;
+  ASSERT_TRUE(Loaded.load(Path));
+  EXPECT_EQ(Loaded.size(), 1u);
+  LoopRunResult Out;
+  ASSERT_TRUE(Loaded.lookup(42, Out));
+  EXPECT_EQ(Out.Sim.TotalCycles, 2222u);
+  std::remove(Path.c_str());
+}
+
+TEST(ResultCache, SaveIgnoresCorruptPreexistingFile) {
+  std::string Path = ::testing::TempDir() + "cvliw_corrupt_merge.cache";
+  {
+    std::ofstream OS(Path);
+    OS << "cvliw-result-cache " << CVLIW_RESULT_CACHE_VERSION << "\n"
+       << "zz not-a-valid-entry\n";
+  }
+  ResultCache Cache;
+  Cache.insert(7, sampleEntry());
+  ASSERT_TRUE(Cache.save(Path)) << "corrupt file is replaced, not fatal";
+
+  ResultCache Loaded;
+  ASSERT_TRUE(Loaded.load(Path));
+  EXPECT_EQ(Loaded.size(), 1u);
+  std::remove(Path.c_str());
+}
+
 TEST(ResultCache, PersistedCacheServesASecondProcessColdStart) {
   // Simulates the cross-driver disk flow: engine A persists, a fresh
   // cache (a new process) loads and the same grid is fully served.

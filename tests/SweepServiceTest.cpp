@@ -1,0 +1,348 @@
+//===- tests/SweepServiceTest.cpp - sweep service daemon tests ------------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cvliw/pipeline/SweepService.h"
+
+#include "cvliw/net/Frame.h"
+#include "cvliw/net/SweepClient.h"
+#include "cvliw/pipeline/ResultCache.h"
+#include "cvliw/pipeline/SweepEngine.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <sstream>
+#include <thread>
+
+using namespace cvliw;
+
+namespace {
+
+BenchmarkSpec tinyBenchmark(const std::string &Name, uint64_t SeedBase) {
+  BenchmarkSpec B;
+  B.Name = Name;
+  B.InterleaveBytes = 4;
+  LoopSpec L;
+  L.Name = Name + ".loop0";
+  L.ProfileTrip = 100;
+  L.ExecTrip = 200;
+  L.Chains = {ChainSpec{1, 1, 2, 1, true}};
+  L.ConsistentLoads = 3;
+  L.ConsistentStores = 1;
+  L.SeedBase = SeedBase;
+  B.Loops.push_back(L);
+  LoopSpec L2 = L;
+  L2.Name = Name + ".loop1";
+  L2.SeedBase = SeedBase + 13;
+  L2.Weight = 0.25;
+  B.Loops.push_back(L2);
+  return B;
+}
+
+SweepGrid tinyGrid() {
+  SweepGrid Grid;
+  Grid.Schemes = crossSchemes(
+      {CoherencePolicy::Baseline, CoherencePolicy::MDC,
+       CoherencePolicy::DDGT},
+      {ClusterHeuristic::PrefClus});
+  Grid.Benchmarks = {tinyBenchmark("alpha", 7), tinyBenchmark("beta", 11)};
+  return Grid;
+}
+
+std::string serialCsv(const SweepGrid &Grid) {
+  ResultCache Cold;
+  SweepEngine Engine(Grid, /*Threads=*/1);
+  Engine.setCache(&Cold);
+  Engine.run();
+  std::ostringstream OS;
+  Engine.writeCsv(OS);
+  return OS.str();
+}
+
+std::string csvOfRows(const SweepGrid &Grid, std::vector<SweepRow> Rows) {
+  SweepEngine Engine(Grid, /*Threads=*/1);
+  Engine.adoptRows(std::move(Rows));
+  std::ostringstream OS;
+  Engine.writeCsv(OS);
+  return OS.str();
+}
+
+/// A running service on an ephemeral port with its own private cache
+/// (tests must not warm the process-wide cache other tests observe).
+struct ServiceFixture {
+  ResultCache Cache;
+  SweepService Service;
+  std::string HostPort;
+
+  explicit ServiceFixture(size_t MaxFrameBytes = DefaultMaxFrameBytes)
+      : Service(makeConfig(Cache, MaxFrameBytes)) {
+    std::string Error;
+    EXPECT_TRUE(Service.start(Error)) << Error;
+    HostPort = "127.0.0.1:" + std::to_string(Service.port());
+  }
+
+  static SweepServiceConfig makeConfig(ResultCache &Cache,
+                                       size_t MaxFrameBytes) {
+    SweepServiceConfig Config;
+    Config.Port = 0;
+    Config.Threads = 3;
+    Config.MaxFrameBytes = MaxFrameBytes;
+    Config.Cache = &Cache;
+    return Config;
+  }
+};
+
+} // namespace
+
+TEST(SweepService, PingAndStatus) {
+  ServiceFixture F;
+  SweepClient Client;
+  std::string Error;
+  ASSERT_TRUE(Client.connect(F.HostPort, Error)) << Error;
+  EXPECT_TRUE(Client.ping(Error)) << Error;
+
+  JsonValue Status;
+  ASSERT_TRUE(Client.status(Status, Error)) << Error;
+  EXPECT_EQ(Status.u64("threads"), 3u);
+  EXPECT_EQ(Status.u64("grids_served"), 0u);
+  const JsonValue &Cache = Status.at("cache");
+  EXPECT_EQ(Cache.u64("entries"), 0u);
+  EXPECT_EQ(Cache.u64("hits"), 0u);
+}
+
+TEST(SweepService, RemoteSweepMatchesSerialByteForByte) {
+  ServiceFixture F;
+  SweepClient Client;
+  std::string Error;
+  ASSERT_TRUE(Client.connect(F.HostPort, Error)) << Error;
+
+  std::vector<SweepRow> Rows;
+  RemoteSweepStats Stats;
+  ASSERT_TRUE(Client.runGrid(tinyGrid(), Rows, Stats, Error)) << Error;
+  EXPECT_EQ(Stats.Points, tinyGrid().size());
+  EXPECT_EQ(Stats.CacheMisses, 12u) << "6 points x 2 loops, cold cache";
+
+  EXPECT_EQ(csvOfRows(tinyGrid(), std::move(Rows)), serialCsv(tinyGrid()));
+
+  // Same grid again: the daemon's cache is warm now.
+  std::vector<SweepRow> Rows2;
+  ASSERT_TRUE(Client.runGrid(tinyGrid(), Rows2, Stats, Error)) << Error;
+  EXPECT_EQ(Stats.CacheHits, 12u);
+  EXPECT_EQ(Stats.CacheMisses, 0u);
+  EXPECT_EQ(csvOfRows(tinyGrid(), std::move(Rows2)),
+            serialCsv(tinyGrid()));
+
+  // And the daemon's status reflects the served work.
+  JsonValue Status;
+  ASSERT_TRUE(Client.status(Status, Error)) << Error;
+  EXPECT_EQ(Status.u64("grids_served"), 2u);
+  EXPECT_EQ(Status.at("cache").u64("entries"), 12u);
+  EXPECT_GT(Status.at("cache").u64("bytes"), 0u);
+}
+
+TEST(SweepService, TwoConcurrentClientsGetSerialIdenticalResults) {
+  ServiceFixture F;
+
+  // Different grids (disjoint seeds) so the two sweeps genuinely
+  // interleave distinct work items on the shared pool.
+  SweepGrid GridA = tinyGrid();
+  SweepGrid GridB = tinyGrid();
+  GridB.Benchmarks = {tinyBenchmark("gamma", 23),
+                      tinyBenchmark("delta", 29)};
+
+  std::string CsvA, CsvB, ErrorA, ErrorB;
+  bool OkA = false, OkB = false;
+  auto RunClient = [&](const SweepGrid &Grid, std::string &Csv,
+                       std::string &Error, bool &Ok) {
+    SweepClient Client;
+    if (!Client.connect(F.HostPort, Error))
+      return;
+    std::vector<SweepRow> Rows;
+    RemoteSweepStats Stats;
+    if (!Client.runGrid(Grid, Rows, Stats, Error))
+      return;
+    Csv = csvOfRows(Grid, std::move(Rows));
+    Ok = true;
+  };
+
+  std::thread TA(
+      [&] { RunClient(GridA, CsvA, ErrorA, OkA); });
+  std::thread TB(
+      [&] { RunClient(GridB, CsvB, ErrorB, OkB); });
+  TA.join();
+  TB.join();
+
+  ASSERT_TRUE(OkA) << ErrorA;
+  ASSERT_TRUE(OkB) << ErrorB;
+  // Byte-identical to a cold serial evaluation of each grid: concurrent
+  // scheduling on the shared pool leaks into neither result.
+  EXPECT_EQ(CsvA, serialCsv(GridA));
+  EXPECT_EQ(CsvB, serialCsv(GridB));
+  EXPECT_EQ(F.Service.gridsServed(), 2u);
+}
+
+TEST(SweepService, MalformedFrameGetsErrorResponseAndDaemonStaysUp) {
+  ServiceFixture F;
+  SweepClient Bad;
+  std::string Error;
+  ASSERT_TRUE(Bad.connect(F.HostPort, Error)) << Error;
+
+  // 8 garbage bytes: a complete header with the wrong magic.
+  std::string Response;
+  ASSERT_TRUE(Bad.rawRequest("GARBAGE!", Response, Error)) << Error;
+  EXPECT_NE(Response.find("\"type\":\"error\""), std::string::npos);
+  EXPECT_NE(Response.find("malformed"), std::string::npos) << Response;
+
+  // The offending connection is dropped, the daemon is not.
+  SweepClient Good;
+  ASSERT_TRUE(Good.connect(F.HostPort, Error)) << Error;
+  EXPECT_TRUE(Good.ping(Error)) << Error;
+  EXPECT_EQ(F.Service.protocolErrors(), 1u);
+}
+
+TEST(SweepService, OversizedFrameGetsErrorResponseAndDaemonStaysUp) {
+  ServiceFixture F(/*MaxFrameBytes=*/1024);
+  SweepClient Bad;
+  std::string Error;
+  ASSERT_TRUE(Bad.connect(F.HostPort, Error)) << Error;
+
+  // A valid header declaring a 1 MiB payload against a 1 KiB limit;
+  // no payload bytes need follow — rejection happens on the header.
+  std::string Header(FrameMagic, 4);
+  Header += '\x00';
+  Header += '\x10';
+  Header += '\x00';
+  Header += '\x00';
+  std::string Response;
+  ASSERT_TRUE(Bad.rawRequest(Header, Response, Error)) << Error;
+  EXPECT_NE(Response.find("oversized"), std::string::npos) << Response;
+
+  SweepClient Good;
+  ASSERT_TRUE(Good.connect(F.HostPort, Error)) << Error;
+  EXPECT_TRUE(Good.ping(Error)) << Error;
+}
+
+TEST(SweepService, TruncatedFrameGetsErrorResponseAndDaemonStaysUp) {
+  ServiceFixture F;
+  std::string Host, Error;
+  uint16_t Port = 0;
+  ASSERT_TRUE(splitHostPort(F.HostPort, Host, Port, Error));
+  Socket Conn = connectTo(Host, Port, Error);
+  ASSERT_TRUE(Conn.valid()) << Error;
+
+  // Header promises 64 payload bytes; send 5 and half-close, so the
+  // daemon sees EOF mid-payload but can still answer on our read side.
+  unsigned char Header[8] = {0};
+  std::memcpy(Header, FrameMagic, 4);
+  Header[7] = 64;
+  ASSERT_TRUE(Conn.sendAll(Header, sizeof(Header)));
+  ASSERT_TRUE(Conn.sendAll("trunc", 5));
+  Conn.shutdownWrite();
+
+  std::string Response;
+  ASSERT_EQ(readFrame(Conn, Response), FrameStatus::Ok);
+  EXPECT_NE(Response.find("truncated"), std::string::npos) << Response;
+
+  SweepClient Good;
+  ASSERT_TRUE(Good.connect(F.HostPort, Error)) << Error;
+  EXPECT_TRUE(Good.ping(Error)) << Error;
+}
+
+TEST(SweepService, BadJsonAndBadGridAreRejected) {
+  ServiceFixture F;
+  std::string Error;
+
+  {
+    SweepClient Client;
+    ASSERT_TRUE(Client.connect(F.HostPort, Error)) << Error;
+    std::string Frame(FrameMagic, 4);
+    Frame += '\x00';
+    Frame += '\x00';
+    Frame += '\x00';
+    Frame += '\x08';
+    Frame += "not json";
+    std::string Response;
+    ASSERT_TRUE(Client.rawRequest(Frame, Response, Error)) << Error;
+    EXPECT_NE(Response.find("bad JSON"), std::string::npos) << Response;
+  }
+  {
+    // Well-formed JSON, malformed grid: the decoder's JsonError comes
+    // back as an error response instead of killing the daemon.
+    SweepClient Client;
+    ASSERT_TRUE(Client.connect(F.HostPort, Error)) << Error;
+    std::string Payload = "{\"type\":\"sweep\",\"grid\":{}}";
+    std::string Frame(FrameMagic, 4);
+    Frame += '\x00';
+    Frame += '\x00';
+    Frame += '\x00';
+    Frame += static_cast<char>(Payload.size());
+    Frame += Payload;
+    std::string Response;
+    ASSERT_TRUE(Client.rawRequest(Frame, Response, Error)) << Error;
+    EXPECT_NE(Response.find("bad grid"), std::string::npos) << Response;
+  }
+
+  SweepClient Good;
+  ASSERT_TRUE(Good.connect(F.HostPort, Error)) << Error;
+  EXPECT_TRUE(Good.ping(Error)) << Error;
+}
+
+TEST(SweepService, UnknownRequestTypeKeepsConnectionUsable) {
+  ServiceFixture F;
+  SweepClient Client;
+  std::string Error;
+  ASSERT_TRUE(Client.connect(F.HostPort, Error)) << Error;
+
+  std::string Payload = "{\"type\":\"frobnicate\"}";
+  std::string Frame(FrameMagic, 4);
+  Frame += '\x00';
+  Frame += '\x00';
+  Frame += '\x00';
+  Frame += static_cast<char>(Payload.size());
+  Frame += Payload;
+  std::string Response;
+  ASSERT_TRUE(Client.rawRequest(Frame, Response, Error)) << Error;
+  EXPECT_NE(Response.find("unknown request type"), std::string::npos);
+
+  // Same connection still serves valid requests.
+  EXPECT_TRUE(Client.ping(Error)) << Error;
+}
+
+TEST(SweepService, ShutdownRequestUnblocksWaiters) {
+  ServiceFixture F;
+  std::thread Waiter([&] { F.Service.waitForShutdown(); });
+
+  SweepClient Client;
+  std::string Error;
+  ASSERT_TRUE(Client.connect(F.HostPort, Error)) << Error;
+  EXPECT_TRUE(Client.shutdownServer(Error)) << Error;
+  Waiter.join();
+  EXPECT_TRUE(F.Service.shutdownRequested());
+  F.Service.stop();
+}
+
+TEST(SweepService, DriverRemoteModeRunsSweepAgainstDaemon) {
+  // The full --remote path the bench drivers use: runSweep() connects,
+  // adopts the daemon's rows, and --verify-serial cross-checks them
+  // against a local single-threaded recomputation byte-for-byte.
+  ServiceFixture F;
+
+  SweepEngine Engine(tinyGrid());
+  SweepRunOptions Options;
+  Options.Remote = F.HostPort;
+  Options.VerifySerial = true;
+
+  std::ostringstream Log;
+  ASSERT_TRUE(runSweep(Engine, Options, Log));
+  EXPECT_NE(Log.str().find("sweep: remote " + F.HostPort),
+            std::string::npos)
+      << Log.str();
+  EXPECT_NE(Log.str().find("serial re-run matches byte-for-byte"),
+            std::string::npos)
+      << Log.str();
+  EXPECT_EQ(Engine.run().size(), tinyGrid().size())
+      << "adopted rows satisfy later run() calls";
+}

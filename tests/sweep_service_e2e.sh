@@ -1,0 +1,92 @@
+#!/bin/sh
+#===- tests/sweep_service_e2e.sh - sweep service end-to-end check --------===#
+#
+# Exercises the whole sweep-service stack against a real paper table:
+#
+#   1. start cvliw-sweepd on an ephemeral port,
+#   2. run a bench driver with --remote against it and assert its table
+#      is byte-identical to the golden capture (check_driver.sh),
+#   3. run the same driver locally with --dump-grid/--csv, submit the
+#      dumped grid through cvliw-sweep-client, and diff the client's
+#      CSV against the driver's local CSV byte-for-byte,
+#   4. query status (the cache must be warm from steps 2-3),
+#   5. request shutdown and assert the daemon exits 0 cleanly.
+#
+# Usage: sweep_service_e2e.sh <cvliw-sweepd> <cvliw-sweep-client>
+#                             <driver-binary> <golden-file>
+#
+#===----------------------------------------------------------------------===#
+set -u
+
+sweepd="$1"
+client="$2"
+driver="$3"
+golden="$4"
+here=$(dirname "$0")
+
+workdir=$(mktemp -d)
+daemon_pid=
+cleanup() {
+  [ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+"$sweepd" --port 0 --port-file "$workdir/port" --threads 2 \
+  > "$workdir/sweepd.log" 2>&1 &
+daemon_pid=$!
+
+i=0
+while [ ! -s "$workdir/port" ]; do
+  i=$((i + 1))
+  if [ "$i" -gt 100 ] || ! kill -0 "$daemon_pid" 2>/dev/null; then
+    echo "FAIL: daemon did not become ready" >&2
+    cat "$workdir/sweepd.log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+hostport="127.0.0.1:$(cat "$workdir/port")"
+echo "daemon up at $hostport"
+
+# Step 2: the paper table, served remotely, against its golden capture.
+sh "$here/golden/check_driver.sh" "$driver" "$golden" \
+   --remote "$hostport" || exit 1
+
+# Step 3: the same grid through the CLI client.
+"$driver" --dump-grid "$workdir/grid.json" --csv "$workdir/local.csv" \
+  > /dev/null || {
+  echo "FAIL: local driver run failed" >&2
+  exit 1
+}
+"$client" "$hostport" sweep --grid "$workdir/grid.json" \
+  --csv "$workdir/remote.csv" 2> "$workdir/client.log" || {
+  echo "FAIL: client sweep failed" >&2
+  cat "$workdir/client.log" >&2
+  exit 1
+}
+if ! diff "$workdir/local.csv" "$workdir/remote.csv" >&2; then
+  echo "FAIL: client CSV differs from the driver's local CSV" >&2
+  exit 1
+fi
+echo "OK: client CSV matches the driver's local CSV"
+
+# Step 4: the daemon's cache must be warm from the grids above.
+"$client" "$hostport" status || exit 1
+
+# Step 5: clean shutdown.
+"$client" "$hostport" shutdown || exit 1
+wait "$daemon_pid"
+rc=$?
+daemon_pid=
+if [ "$rc" -ne 0 ]; then
+  echo "FAIL: daemon exited with status $rc" >&2
+  cat "$workdir/sweepd.log" >&2
+  exit 1
+fi
+if ! grep -q "shutdown complete" "$workdir/sweepd.log"; then
+  echo "FAIL: daemon log lacks the clean-shutdown line" >&2
+  cat "$workdir/sweepd.log" >&2
+  exit 1
+fi
+echo "OK: sweep service end-to-end (clean shutdown)"

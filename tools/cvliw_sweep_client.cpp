@@ -1,0 +1,160 @@
+//===- tools/cvliw_sweep_client.cpp - sweep service CLI -------------------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+// Command-line client for cvliw-sweepd:
+//
+//   cvliw-sweep-client HOST:PORT ping
+//   cvliw-sweep-client HOST:PORT status
+//   cvliw-sweep-client HOST:PORT sweep --grid FILE [--csv FILE]
+//   cvliw-sweep-client HOST:PORT shutdown
+//
+// `sweep` submits a grid JSON file (the format bench drivers emit with
+// --dump-grid), collects the streamed rows, and writes the standard
+// sweep CSV — byte-identical to the CSV the originating driver writes
+// locally, which is what the sweep-service CI job diffs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cvliw/net/SweepClient.h"
+#include "cvliw/net/WireFormat.h"
+#include "cvliw/pipeline/SweepEngine.h"
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+using namespace cvliw;
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: cvliw-sweep-client HOST:PORT "
+               "(ping | status | shutdown | sweep --grid FILE "
+               "[--csv FILE])\n";
+  return 1;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 3)
+    return usage();
+  const std::string HostPort = Argv[1];
+  const std::string Command = Argv[2];
+
+  SweepClient Client;
+  std::string Error;
+  if (!Client.connect(HostPort, Error)) {
+    std::cerr << "cvliw-sweep-client: " << Error << "\n";
+    return 1;
+  }
+
+  if (Command == "ping") {
+    if (!Client.ping(Error)) {
+      std::cerr << "cvliw-sweep-client: " << Error << "\n";
+      return 1;
+    }
+    std::cout << "pong\n";
+    return 0;
+  }
+
+  if (Command == "status") {
+    JsonValue Status;
+    if (!Client.status(Status, Error)) {
+      std::cerr << "cvliw-sweep-client: " << Error << "\n";
+      return 1;
+    }
+    const JsonValue &Cache = Status.at("cache");
+    std::cout << "daemon threads:       " << Status.u64("threads") << "\n"
+              << "grids served:         " << Status.u64("grids_served")
+              << "\n"
+              << "connections accepted: "
+              << Status.u64("connections_accepted") << "\n"
+              << "protocol errors:      "
+              << Status.u64("protocol_errors") << "\n"
+              << "cache entries:        " << Cache.u64("entries") << "\n"
+              << "cache bytes:          " << Cache.u64("bytes") << "\n"
+              << "cache hits:           " << Cache.u64("hits") << "\n"
+              << "cache misses:         " << Cache.u64("misses") << "\n";
+    return 0;
+  }
+
+  if (Command == "shutdown") {
+    if (!Client.shutdownServer(Error)) {
+      std::cerr << "cvliw-sweep-client: " << Error << "\n";
+      return 1;
+    }
+    std::cout << "shutdown acknowledged\n";
+    return 0;
+  }
+
+  if (Command == "sweep") {
+    std::string GridPath, CsvPath;
+    for (int I = 3; I < Argc; ++I) {
+      if (std::strcmp(Argv[I], "--grid") == 0 && I + 1 < Argc)
+        GridPath = Argv[++I];
+      else if (std::strcmp(Argv[I], "--csv") == 0 && I + 1 < Argc)
+        CsvPath = Argv[++I];
+      else
+        return usage();
+    }
+    if (GridPath.empty())
+      return usage();
+
+    std::ifstream IS(GridPath);
+    if (!IS) {
+      std::cerr << "cvliw-sweep-client: cannot read " << GridPath << "\n";
+      return 1;
+    }
+    std::ostringstream Buffer;
+    Buffer << IS.rdbuf();
+
+    JsonValue GridJson;
+    std::string ParseError;
+    if (!JsonValue::parse(Buffer.str(), GridJson, ParseError)) {
+      std::cerr << "cvliw-sweep-client: bad grid JSON: " << ParseError
+                << "\n";
+      return 1;
+    }
+    SweepGrid Grid;
+    try {
+      Grid = gridFromJson(GridJson);
+    } catch (const JsonError &E) {
+      std::cerr << "cvliw-sweep-client: bad grid: " << E.what() << "\n";
+      return 1;
+    }
+
+    std::vector<SweepRow> Rows;
+    RemoteSweepStats Stats;
+    if (!Client.runGrid(Grid, Rows, Stats, Error)) {
+      std::cerr << "cvliw-sweep-client: " << Error << "\n";
+      return 1;
+    }
+    std::cerr << "sweep: remote " << HostPort << " evaluated "
+              << Stats.Points << " points (daemon cache "
+              << Stats.CacheHits << " hits / " << Stats.CacheMisses
+              << " misses)\n";
+
+    // Reuse the engine's serializer so the CSV is byte-identical to the
+    // originating driver's local --csv output.
+    SweepEngine Engine(Grid, /*Threads=*/1);
+    Engine.adoptRows(std::move(Rows));
+    if (CsvPath.empty()) {
+      Engine.writeCsv(std::cout);
+    } else {
+      std::ofstream OS(CsvPath);
+      if (!OS) {
+        std::cerr << "cvliw-sweep-client: cannot write " << CsvPath
+                  << "\n";
+        return 1;
+      }
+      Engine.writeCsv(OS);
+    }
+    return 0;
+  }
+
+  return usage();
+}

@@ -1,0 +1,157 @@
+//===- tools/cvliw_sweepd.cpp - the sweep service daemon ------------------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+// Long-lived sweep server: accepts experiment grids over TCP
+// (length-prefixed JSON frames), evaluates them on a shared worker
+// pool, and serves repeated (config, loop) points from the process-wide
+// ResultCache — so the second table that asks for the same baseline
+// points gets them at cache speed, whichever client computed them
+// first.
+//
+//   cvliw-sweepd [--host ADDR] [--port N] [--port-file FILE]
+//                [--threads N] [--cache FILE] [--max-frame BYTES]
+//
+// --port 0 (the default) binds an ephemeral port; the bound address is
+// printed on stdout ("sweepd: listening on HOST:PORT") and, with
+// --port-file, written to FILE so scripts can wait for readiness
+// without parsing stdout. --cache warms the memo table at startup and
+// persists it (merging with any concurrent writer's entries) on clean
+// shutdown. The daemon exits 0 on a client "shutdown" request.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cvliw/pipeline/SweepService.h"
+#include "cvliw/pipeline/SweepEngine.h"
+#include "cvliw/support/TaskPool.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+using namespace cvliw;
+
+namespace {
+
+bool parsePositive(const char *Text, long &Out) {
+  char *End = nullptr;
+  Out = std::strtol(Text, &End, 10);
+  return End != Text && *End == '\0' && Out > 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  SweepServiceConfig Config;
+  std::string PortFile;
+  std::string CachePath;
+
+  for (int I = 1; I < Argc; ++I) {
+    const char *Arg = Argv[I];
+    auto NextValue = [&](const char *Flag) -> const char * {
+      if (I + 1 >= Argc) {
+        std::cerr << Flag << " needs a value\n";
+        return nullptr;
+      }
+      return Argv[++I];
+    };
+    if (std::strcmp(Arg, "--host") == 0) {
+      const char *Value = NextValue("--host");
+      if (!Value)
+        return 1;
+      Config.Host = Value;
+    } else if (std::strcmp(Arg, "--port") == 0) {
+      const char *Value = NextValue("--port");
+      if (!Value)
+        return 1;
+      char *End = nullptr;
+      long N = std::strtol(Value, &End, 10);
+      if (End == Value || *End != '\0' || N < 0 || N > 65535) {
+        std::cerr << "--port needs 0..65535\n";
+        return 1;
+      }
+      Config.Port = static_cast<uint16_t>(N);
+    } else if (std::strcmp(Arg, "--port-file") == 0) {
+      const char *Value = NextValue("--port-file");
+      if (!Value)
+        return 1;
+      PortFile = Value;
+    } else if (std::strcmp(Arg, "--threads") == 0) {
+      const char *Value = NextValue("--threads");
+      if (!Value)
+        return 1;
+      long N = 0;
+      if (!parsePositive(Value, N)) {
+        std::cerr << "--threads needs a positive integer\n";
+        return 1;
+      }
+      Config.Threads = static_cast<unsigned>(N);
+    } else if (std::strcmp(Arg, "--cache") == 0) {
+      const char *Value = NextValue("--cache");
+      if (!Value)
+        return 1;
+      CachePath = Value;
+    } else if (std::strcmp(Arg, "--max-frame") == 0) {
+      const char *Value = NextValue("--max-frame");
+      if (!Value)
+        return 1;
+      long N = 0;
+      if (!parsePositive(Value, N)) {
+        std::cerr << "--max-frame needs a positive byte count\n";
+        return 1;
+      }
+      Config.MaxFrameBytes = static_cast<size_t>(N);
+    } else {
+      std::cerr << "unknown argument '" << Arg
+                << "'\nusage: cvliw-sweepd [--host ADDR] [--port N] "
+                   "[--port-file FILE] [--threads N] [--cache FILE] "
+                   "[--max-frame BYTES]\n";
+      return 1;
+    }
+  }
+
+  ResultCache &Cache = ResultCache::process();
+  if (!CachePath.empty() && Cache.load(CachePath))
+    std::cout << "sweepd: loaded result cache " << CachePath << " ("
+              << Cache.size() << " entries)\n";
+
+  SweepService Service(Config);
+  std::string Error;
+  if (!Service.start(Error)) {
+    std::cerr << "sweepd: " << Error << "\n";
+    return 1;
+  }
+
+  std::cout << "sweepd: listening on " << Config.Host << ":"
+            << Service.port() << " ("
+            << (Config.Threads != 0 ? Config.Threads
+                                    : defaultSweepThreads())
+            << " worker threads)" << std::endl;
+  if (!PortFile.empty()) {
+    // Written after listen() returns: once this file exists the port
+    // accepts connections, so scripts can poll for it as readiness.
+    std::ofstream OS(PortFile);
+    OS << Service.port() << "\n";
+    if (!OS) {
+      std::cerr << "sweepd: cannot write " << PortFile << "\n";
+      return 1;
+    }
+  }
+
+  Service.waitForShutdown();
+  Service.stop();
+
+  if (!CachePath.empty()) {
+    if (Cache.save(CachePath))
+      std::cout << "sweepd: saved result cache " << CachePath << " ("
+                << Cache.size() << " entries)\n";
+    else
+      std::cerr << "sweepd: cannot write result cache " << CachePath
+                << "\n";
+  }
+  std::cout << "sweepd: shutdown complete (" << Service.gridsServed()
+            << " grids served)" << std::endl;
+  return 0;
+}
