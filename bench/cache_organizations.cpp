@@ -1,84 +1,17 @@
-//===- bench/cache_organizations.cpp - §2.3 organization study ------------===//
+//===- bench/cache_organizations.cpp - §2.3 cache organizations shim --===//
 //
 // Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
 //
-// Not a paper table: §2.3 claims the techniques apply to "any clustered
-// configuration where the data cache has been clustered as well, such
-// as the multiVLIW or a replicated-cache clustered VLIW processor".
-// This bench runs MDC and DDGT on both organizations we implement
-// (word-interleaved and write-update replicated) to substantiate the
-// claim: both stay coherent, and the trade-off moves — a replicated
-// cache makes every load local (helping MDC) while DDGT's replicated
-// stores stop needing any bus traffic at all.
-//
-// Both organizations ride the grid's machine axis and the two policies
-// its scheme axis; see [--threads N] [--csv FILE] [--json FILE]
-// [--cache FILE] [--verify-serial].
+// Legacy entry point, kept so existing scripts and the golden harness
+// keep working: the experiment definition lives in
+// src/pipeline/experiments/ under the registry name "cache_organizations", and this
+// binary is equivalent to `cvliw-bench cache_organizations`. Output is golden-pinned
+// byte-identical to the pre-registry driver.
 //
 //===----------------------------------------------------------------------===//
 
-#include "cvliw/pipeline/SweepEngine.h"
-#include "cvliw/support/TableWriter.h"
-
-#include <iostream>
-
-using namespace cvliw;
+#include "cvliw/pipeline/ExperimentRegistry.h"
 
 int main(int Argc, char **Argv) {
-  SweepRunOptions Options;
-  if (!parseSweepArgs(Argc, Argv, Options))
-    return 1;
-
-  std::cout << "=== Cache organizations (§2.3): word-interleaved vs "
-               "replicated, PrefClus ===\n"
-            << "Cells: total cycles (coherence violations).\n";
-
-  SweepGrid Grid;
-  MachineConfig Replicated = MachineConfig::baseline();
-  Replicated.Organization = CacheOrganization::Replicated;
-  Grid.Machines = {MachinePoint{"interleaved", MachineConfig::baseline()},
-                   MachinePoint{"replicated", Replicated}};
-  for (CoherencePolicy Policy :
-       {CoherencePolicy::MDC, CoherencePolicy::DDGT}) {
-    SchemePoint S;
-    S.Name = coherencePolicyName(Policy);
-    S.Policy = Policy;
-    S.Heuristic = ClusterHeuristic::PrefClus;
-    S.CheckCoherence = true;
-    Grid.Schemes.push_back(S);
-  }
-  Grid.Benchmarks = evaluationSuite();
-
-  SweepEngine Engine(Grid, Options.Threads);
-  if (!runSweep(Engine, Options, std::cout))
-    return 1;
-  std::cout << "\n";
-
-  TableWriter Table({"benchmark", "MDC interleaved", "MDC replicated",
-                     "DDGT interleaved", "DDGT replicated"});
-  MeanColumns Gains(2); // Column per policy: interleaved/replicated.
-  Engine.forEachBenchmark([&](size_t B, const BenchmarkSpec &Bench) {
-    std::vector<std::string> Row{Bench.Name};
-    for (size_t Scheme = 0; Scheme != 2; ++Scheme) {
-      uint64_t Cycles[2];
-      for (size_t Machine = 0; Machine != 2; ++Machine) {
-        const BenchmarkRunResult &R = Engine.at(B, Scheme, Machine).Result;
-        Cycles[Machine] = R.totalCycles();
-        Row.push_back(TableWriter::grouped(R.totalCycles()) + " (" +
-                      std::to_string(R.coherenceViolations()) + ")");
-      }
-      Gains.add(Scheme, static_cast<double>(Cycles[0]) /
-                            static_cast<double>(Cycles[1]));
-    }
-    Table.addRow(Row);
-  });
-  Table.render(std::cout);
-
-  std::cout << "\nGeometric sense-check: replication speeds MDC by x"
-            << TableWriter::fmt(Gains.mean(0)) << " and DDGT by x"
-            << TableWriter::fmt(Gains.mean(1))
-            << " on average (every load local; DDGT store instances "
-               "update their own copy without buses). Both techniques "
-               "keep zero coherence violations on both organizations.\n";
-  return 0;
+  return cvliw::runExperimentMain("cache_organizations", Argc, Argv);
 }

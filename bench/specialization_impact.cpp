@@ -1,89 +1,17 @@
-//===- bench/specialization_impact.cpp - §6 specialization payoff ---------===//
+//===- bench/specialization_impact.cpp - §6 specialization impact shim ===//
 //
 // Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
 //
-// Table 5 shows code specialization shrinks the memory dependent
-// chains; the paper then asserts "this will benefit the MDC solution
-// over the DDGT solution" without measuring it. This bench measures it:
-// execution time of MDC and DDGT with and without the §6 run-time
-// disambiguation, on the three benchmarks the paper specializes
-// (epicdec, pgpdec, rasta).
-//
-// The four schemes (each policy, plain and specialized — coherence
-// checked throughout) x the four benchmarks run as one SweepEngine
-// grid; see [--threads N] [--csv FILE] [--json FILE] [--cache FILE]
-// [--verify-serial].
+// Legacy entry point, kept so existing scripts and the golden harness
+// keep working: the experiment definition lives in
+// src/pipeline/experiments/ under the registry name "specialization_impact", and this
+// binary is equivalent to `cvliw-bench specialization_impact`. Output is golden-pinned
+// byte-identical to the pre-registry driver.
 //
 //===----------------------------------------------------------------------===//
 
-#include "cvliw/pipeline/SweepEngine.h"
-#include "cvliw/support/TableWriter.h"
-
-#include <iostream>
-
-using namespace cvliw;
+#include "cvliw/pipeline/ExperimentRegistry.h"
 
 int main(int Argc, char **Argv) {
-  SweepRunOptions Options;
-  if (!parseSweepArgs(Argc, Argv, Options))
-    return 1;
-
-  std::cout << "=== §6 code specialization: execution-time impact "
-               "(PrefClus) ===\n";
-
-  SweepGrid Grid;
-  for (CoherencePolicy Policy :
-       {CoherencePolicy::MDC, CoherencePolicy::DDGT}) {
-    for (bool Spec : {false, true}) {
-      SchemePoint S;
-      S.Name = std::string(coherencePolicyName(Policy)) +
-               (Spec ? "+spec" : "");
-      S.Policy = Policy;
-      S.Heuristic = ClusterHeuristic::PrefClus;
-      S.ApplySpecialization = Spec;
-      S.CheckCoherence = true;
-      Grid.Schemes.push_back(S);
-    }
-  }
-  auto Suite = mediabenchSuite();
-  for (const char *Name : {"epicdec", "pgpdec", "pgpenc", "rasta"})
-    if (const BenchmarkSpec *Bench = findBenchmark(Suite, Name))
-      Grid.Benchmarks.push_back(*Bench);
-
-  SweepEngine Engine(Grid, Options.Threads);
-  if (!runSweep(Engine, Options, std::cout))
-    return 1;
-  std::cout << "\n";
-
-  TableWriter Table({"benchmark", "MDC", "MDC+spec", "MDC gain", "DDGT",
-                     "DDGT+spec", "DDGT gain"});
-  bool Violated = false;
-  Engine.forEachBenchmark([&](size_t B, const BenchmarkSpec &Bench) {
-    std::vector<std::string> Row{Bench.Name};
-    for (size_t Policy = 0; Policy != 2; ++Policy) {
-      uint64_t Plain = 0, Specialized = 0;
-      for (size_t Spec = 0; Spec != 2; ++Spec) {
-        const BenchmarkRunResult &R =
-            Engine.at(B, Policy * 2 + Spec).Result;
-        if (R.coherenceViolations() != 0)
-          Violated = true;
-        (Spec ? Specialized : Plain) = R.totalCycles();
-      }
-      double Gain = (static_cast<double>(Plain) / Specialized - 1.0) * 100;
-      Row.push_back(TableWriter::grouped(Plain));
-      Row.push_back(TableWriter::grouped(Specialized));
-      Row.push_back(TableWriter::fmt(Gain, 1) + "%");
-    }
-    Table.addRow(Row);
-  });
-  if (Violated) {
-    std::cerr << "coherence violated!\n";
-    return 1;
-  }
-  Table.render(std::cout);
-  std::cout << "\nPaper §6: the eliminated dependences 'will benefit the "
-               "MDC solution over the DDGT solution' — dissolved chains "
-               "let MDC schedule the former members in their preferred "
-               "clusters, while DDGT mostly saves replicated stores.\n";
-  return 0;
+  return cvliw::runExperimentMain("specialization_impact", Argc, Argv);
 }

@@ -1,82 +1,17 @@
-//===- bench/stall_attribution.cpp - Why each scheme stalls ---------------===//
+//===- bench/stall_attribution.cpp - stall attribution shim ------------===//
 //
 // Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
 //
-// Figure 7's stall bars, decomposed: the paper explains that "stall
-// time is basically due to memory instructions that have been scheduled
-// too close to their consumers" and that DDGT cuts stall time because
-// loads move to their preferred (local) clusters. This bench attributes
-// every stall cycle to the access type of the load that caused it,
-// making that explanation measurable: MDC's stalls should be dominated
-// by remote accesses of the pinned chains; DDGT's by plain misses.
-//
-// The three schemes x the 13 evaluation benchmarks run as one
-// SweepEngine grid and are reduced to suite totals per scheme; see
-// [--threads N] [--csv FILE] [--json FILE] [--cache FILE]
-// [--verify-serial].
+// Legacy entry point, kept so existing scripts and the golden harness
+// keep working: the experiment definition lives in
+// src/pipeline/experiments/ under the registry name "stall_attribution", and this
+// binary is equivalent to `cvliw-bench stall_attribution`. Output is golden-pinned
+// byte-identical to the pre-registry driver.
 //
 //===----------------------------------------------------------------------===//
 
-#include "cvliw/pipeline/SweepEngine.h"
-#include "cvliw/support/TableWriter.h"
-
-#include <iostream>
-
-using namespace cvliw;
+#include "cvliw/pipeline/ExperimentRegistry.h"
 
 int main(int Argc, char **Argv) {
-  SweepRunOptions Options;
-  if (!parseSweepArgs(Argc, Argv, Options))
-    return 1;
-
-  std::cout << "=== Stall attribution by causing access type (PrefClus, "
-               "suite totals) ===\n";
-
-  SweepGrid Grid;
-  for (CoherencePolicy Policy :
-       {CoherencePolicy::Baseline, CoherencePolicy::MDC,
-        CoherencePolicy::DDGT}) {
-    SchemePoint S;
-    S.Name = coherencePolicyName(Policy);
-    S.Policy = Policy;
-    S.Heuristic = ClusterHeuristic::PrefClus;
-    Grid.Schemes.push_back(S);
-  }
-  Grid.Benchmarks = evaluationSuite();
-
-  SweepEngine Engine(Grid, Options.Threads);
-  if (!runSweep(Engine, Options, std::cout))
-    return 1;
-  std::cout << "\n";
-
-  TableWriter Table({"scheme", "total stall", "local hit", "remote hit",
-                     "local miss", "remote miss", "combined"});
-  for (size_t Scheme = 0; Scheme != Grid.Schemes.size(); ++Scheme) {
-    FractionAccumulator Attribution(5);
-    uint64_t TotalStall = 0;
-    Engine.forEachBenchmark([&](size_t B, const BenchmarkSpec &) {
-      const BenchmarkRunResult &R = Engine.at(B, Scheme).Result;
-      TotalStall += R.stallCycles();
-      for (const LoopRunResult &LoopResult : R.Loops)
-        Attribution.merge(LoopResult.Sim.StallAttribution);
-    });
-    Table.addRow(
-        {Grid.Schemes[Scheme].Name, TableWriter::grouped(TotalStall),
-         TableWriter::pct(Attribution.fraction(
-             static_cast<size_t>(AccessType::LocalHit))),
-         TableWriter::pct(Attribution.fraction(
-             static_cast<size_t>(AccessType::RemoteHit))),
-         TableWriter::pct(Attribution.fraction(
-             static_cast<size_t>(AccessType::LocalMiss))),
-         TableWriter::pct(Attribution.fraction(
-             static_cast<size_t>(AccessType::RemoteMiss))),
-         TableWriter::pct(Attribution.fraction(
-             static_cast<size_t>(AccessType::Combined)))});
-  }
-  Table.render(std::cout);
-  std::cout << "\nExpected: MDC's stall mass sits on remote accesses "
-               "(pinned chains reference other clusters' modules); DDGT "
-               "shifts the mass toward misses, which Attraction Buffers "
-               "or latency assignment can then address.\n";
-  return 0;
+  return cvliw::runExperimentMain("stall_attribution", Argc, Argv);
 }

@@ -1,68 +1,17 @@
-//===- bench/table1_benchmarks.cpp - Table 1 reproduction -----------------===//
+//===- bench/table1_benchmarks.cpp - Table 1 shim ----------------------===//
 //
 // Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
 //
-// Reproduces Table 1: the benchmark suite, its profile/execution inputs
-// and dominant data sizes, plus the interleaving factor the experiments
-// use for each benchmark and our analog's static shape.
-//
-// The static shape comes from a one-scheme SweepEngine grid over the
-// full 14-benchmark suite (the free-scheduling pipeline leaves the loop
-// untransformed, so NumOps/NumMemOps are the built kernel's); see
-// [--threads N] [--csv FILE] [--json FILE] [--cache FILE]
-// [--verify-serial].
+// Legacy entry point, kept so existing scripts and the golden harness
+// keep working: the experiment definition lives in
+// src/pipeline/experiments/ under the registry name "table1", and this
+// binary is equivalent to `cvliw-bench table1`. Output is golden-pinned
+// byte-identical to the pre-registry driver.
 //
 //===----------------------------------------------------------------------===//
 
-#include "cvliw/pipeline/SweepEngine.h"
-#include "cvliw/support/TableWriter.h"
-
-#include <cstdio>
-#include <iostream>
-
-using namespace cvliw;
+#include "cvliw/pipeline/ExperimentRegistry.h"
 
 int main(int Argc, char **Argv) {
-  SweepRunOptions Options;
-  if (!parseSweepArgs(Argc, Argv, Options))
-    return 1;
-
-  std::cout << "=== Table 1: benchmarks and inputs ===\n";
-
-  SweepGrid Grid;
-  SchemePoint Static;
-  Static.Name = "static";
-  Static.Policy = CoherencePolicy::Baseline;
-  Static.Heuristic = ClusterHeuristic::MinComs;
-  Grid.Schemes = {Static};
-  Grid.Benchmarks = mediabenchSuite();
-
-  SweepEngine Engine(Grid, Options.Threads);
-  if (!runSweep(Engine, Options, std::cout))
-    return 1;
-  std::cout << "\n";
-
-  TableWriter Table({"benchmark", "profile input", "exec input",
-                     "main data size", "interleave", "loops", "ops",
-                     "mem ops"});
-  Engine.forEachBenchmark([&](size_t B, const BenchmarkSpec &Bench) {
-    size_t Ops = 0, MemOps = 0;
-    for (const LoopRunResult &L : Engine.at(B, 0).Result.Loops) {
-      Ops += L.NumOps;
-      MemOps += L.NumMemOps;
-    }
-    char Main[32];
-    std::snprintf(Main, sizeof(Main), "%u bytes (%.1f%%)",
-                  Bench.MainElemBytes, Bench.MainElemPct);
-    Table.addRow({Bench.Name, Bench.ProfileInput, Bench.ExecInput, Main,
-                  std::to_string(Bench.InterleaveBytes) + " bytes",
-                  std::to_string(Bench.Loops.size()), std::to_string(Ops),
-                  std::to_string(MemOps)});
-  });
-  Table.render(std::cout);
-  std::cout << "\nMediabench itself is not available offline; these are "
-               "synthetic analogs calibrated per DESIGN.md. The paper "
-               "uses a 4-byte interleave for epic/jpeg/mpeg2/pgp/rasta "
-               "and 2 bytes for g721/gsm/pegwit.\n";
-  return 0;
+  return cvliw::runExperimentMain("table1", Argc, Argv);
 }

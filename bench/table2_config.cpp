@@ -1,69 +1,17 @@
-//===- bench/table2_config.cpp - Table 2 reproduction ---------------------===//
+//===- bench/table2_config.cpp - Table 2 shim --------------------------===//
 //
 // Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
 //
-// Reproduces Table 2: the simulated machine configuration, as derived
-// from the MachineConfig defaults, plus the derived nominal latencies of
-// the four memory access types.
-//
-// Nothing here simulates — the table is a pure parameter dump — but the
-// driver still accepts the shared sweep flags so the harness can invoke
-// every bench uniformly ([--threads N] and friends are no-ops).
+// Legacy entry point, kept so existing scripts and the golden harness
+// keep working: the experiment definition lives in
+// src/pipeline/experiments/ under the registry name "table2", and this
+// binary is equivalent to `cvliw-bench table2`. Output is golden-pinned
+// byte-identical to the pre-registry driver.
 //
 //===----------------------------------------------------------------------===//
 
-#include "cvliw/arch/MachineConfig.h"
-#include "cvliw/pipeline/SweepEngine.h"
-#include "cvliw/support/TableWriter.h"
-
-#include <iostream>
-
-using namespace cvliw;
+#include "cvliw/pipeline/ExperimentRegistry.h"
 
 int main(int Argc, char **Argv) {
-  SweepRunOptions Options;
-  if (!parseSweepArgs(Argc, Argv, Options))
-    return 1;
-
-  MachineConfig C = MachineConfig::baseline();
-  std::cout << "=== Table 2: configuration parameters ===\n\n";
-
-  TableWriter Table({"parameter", "value"});
-  Table.addRow({"Number of clusters", std::to_string(C.NumClusters)});
-  Table.addRow({"Functional units",
-                std::to_string(C.FpUnitsPerCluster) + " FP + " +
-                    std::to_string(C.IntUnitsPerCluster) + " integer + " +
-                    std::to_string(C.MemUnitsPerCluster) +
-                    " memory per cluster"});
-  Table.addRow(
-      {"Cache", std::to_string(C.CacheModuleBytes * C.NumClusters / 1024) +
-                    "KB total (" + std::to_string(C.NumClusters) + "x" +
-                    std::to_string(C.CacheModuleBytes / 1024) +
-                    "KB modules), " + std::to_string(C.CacheBlockBytes) +
-                    "B blocks, " + std::to_string(C.CacheAssociativity) +
-                    "-way, " + std::to_string(C.CacheHitLatency) +
-                    "-cycle latency"});
-  Table.addRow({"Register-to-register buses",
-                std::to_string(C.RegisterBuses.Count) + " buses at 1/2 core "
-                "frequency (" + std::to_string(C.RegisterBuses.Latency) +
-                "-cycle transfer)"});
-  Table.addRow({"Memory buses",
-                std::to_string(C.MemoryBuses.Count) + " buses at 1/2 core "
-                "frequency (" + std::to_string(C.MemoryBuses.Latency) +
-                "-cycle transfer)"});
-  Table.addRow({"Next memory level",
-                std::to_string(C.NextLevelPorts) + " ports, " +
-                    std::to_string(C.NextLevelLatency) +
-                    "-cycle latency, always hits"});
-  Table.addSeparator();
-  Table.addRow({"derived: local hit latency",
-                std::to_string(C.nominalLatency(AccessType::LocalHit))});
-  Table.addRow({"derived: remote hit latency",
-                std::to_string(C.nominalLatency(AccessType::RemoteHit))});
-  Table.addRow({"derived: local miss latency",
-                std::to_string(C.nominalLatency(AccessType::LocalMiss))});
-  Table.addRow({"derived: remote miss latency",
-                std::to_string(C.nominalLatency(AccessType::RemoteMiss))});
-  Table.render(std::cout);
-  return 0;
+  return cvliw::runExperimentMain("table2", Argc, Argv);
 }

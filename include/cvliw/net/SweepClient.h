@@ -26,6 +26,7 @@
 
 #include "cvliw/net/Json.h"
 #include "cvliw/net/Socket.h"
+#include "cvliw/pipeline/ExperimentRegistry.h"
 #include "cvliw/pipeline/SweepEngine.h"
 
 #include <string>
@@ -36,6 +37,8 @@ namespace cvliw {
 /// The daemon-side facts of one remote sweep, from the "done" frame.
 struct RemoteSweepStats {
   size_t Points = 0;
+  /// Grids the daemon evaluated (run_experiment only; 1 for runGrid).
+  size_t Grids = 1;
   uint64_t CacheHits = 0;
   uint64_t CacheMisses = 0;
 };
@@ -56,6 +59,19 @@ public:
   /// Runs \p Grid remotely; fills \p Rows (grid order) and \p Stats.
   bool runGrid(const SweepGrid &Grid, std::vector<SweepRow> &Rows,
                RemoteSweepStats &Stats, std::string &Error);
+
+  /// Runs a *registered* experiment remotely by name — the request
+  /// carries the name (and any overrides), not a grid, so the frame is
+  /// O(1) and the daemon expands the one audited grid definition
+  /// server-side. \p Expected holds the client's local expansion of the
+  /// same experiment's grids (overrides already applied), used to
+  /// validate the streamed rows' counts and axis indices; \p GridRows
+  /// comes back with one grid-ordered row vector per grid.
+  bool runExperiment(const std::string &Name,
+                     const ExperimentOverrides &Overrides,
+                     const std::vector<const SweepGrid *> &Expected,
+                     std::vector<std::vector<SweepRow>> &GridRows,
+                     RemoteSweepStats &Stats, std::string &Error);
 
   /// Asks the daemon to shut down cleanly; true once acknowledged.
   bool shutdownServer(std::string &Error);

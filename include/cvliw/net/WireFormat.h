@@ -21,14 +21,25 @@
 ///   {"type":"ping"}
 ///   {"type":"status"}
 ///   {"type":"sweep","grid":GRID}
+///   {"type":"run_experiment","name":"fig7"[,"overrides":{...}]}
 ///   {"type":"shutdown"}
 /// Response messages:
 ///   {"type":"pong"}
 ///   {"type":"status","cache":{...},"threads":N,...}
-///   {"type":"row","row":ROW}            (one per point, as it completes)
+///   {"type":"row","row":ROW}            (one per point, as it completes;
+///                                        run_experiment rows carry a
+///                                        "grid" index member)
 ///   {"type":"done","points":N,"cache_hits":H,"cache_misses":M}
+///                                       (run_experiment adds "grids":G)
 ///   {"type":"ok"}                        (shutdown acknowledged)
 ///   {"type":"error","message":"..."}
+///
+/// run_experiment is the O(1)-request alternative to "sweep": the
+/// client names a registered experiment and the daemon expands the
+/// registered grids server-side — one audited grid definition instead
+/// of every client shipping its own serialized copy. An unknown name
+/// earns an error response but keeps the connection (and daemon)
+/// serving: it is a semantic miss, not protocol garbage.
 ///
 /// Decoders throw JsonError on a malformed message; the service turns
 /// that into an error response.
@@ -39,6 +50,7 @@
 #define CVLIW_NET_WIREFORMAT_H
 
 #include "cvliw/net/Json.h"
+#include "cvliw/pipeline/ExperimentRegistry.h"
 #include "cvliw/pipeline/SweepEngine.h"
 
 namespace cvliw {
@@ -46,6 +58,11 @@ namespace cvliw {
 // Grid (request direction).
 JsonValue gridToJson(const SweepGrid &Grid);
 SweepGrid gridFromJson(const JsonValue &J);
+
+// run_experiment overrides (request direction): only the overridden
+// members are serialized, so an empty object means "run as registered".
+JsonValue experimentOverridesToJson(const ExperimentOverrides &Overrides);
+ExperimentOverrides experimentOverridesFromJson(const JsonValue &J);
 
 // Rows (response direction).
 JsonValue rowToJson(const SweepRow &Row);

@@ -1,0 +1,157 @@
+//===- cvliw/pipeline/ExperimentRegistry.h - Named experiments -*- C++ -*-===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The declarative experiment registry: every paper table/figure (and
+/// the repo's own ablations) as a named ExperimentSpec.
+///
+/// Before the registry each experiment lived as a driver main under
+/// bench/ that hand-built its SweepGrid and hand-rendered its table.
+/// The registry turns those definitions into *data* in the library:
+/// a spec carries the experiment's name, paper section, grid builder
+/// and table renderer, and one shared harness (runExperimentMain)
+/// supplies everything the sixteen mains duplicated — flag parsing,
+/// the local/remote sweep, CSV/JSON dumps, serial verification.
+/// Consumers by name: the legacy bench shims, the cvliw-bench tool
+/// ("cvliw-bench fig7"), and the sweep daemon's run_experiment wire
+/// request, which expands a registered grid server-side so clients
+/// send a name instead of a fully serialized grid.
+///
+/// Byte-compatibility contract: for every registered experiment the
+/// rendered output (modulo the filtered "sweep: " metadata lines) is
+/// byte-identical to the pre-registry driver's output, whether run
+/// locally, via a shim, or by name through the daemon. The golden
+/// tests in tests/golden/ enforce this.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CVLIW_PIPELINE_EXPERIMENTREGISTRY_H
+#define CVLIW_PIPELINE_EXPERIMENTREGISTRY_H
+
+#include "cvliw/pipeline/SweepEngine.h"
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cvliw {
+
+/// One grid of an experiment. Almost every experiment sweeps a single
+/// grid; hardware_vs_software runs two (the hardware-directory
+/// reference and the software-technique grid) whose output files are
+/// distinguished by \c FileSuffix.
+struct ExperimentGrid {
+  /// Short label used in logs and wire frames ("sw", "hw").
+  std::string Label;
+  /// Appended to --csv/--json/--dump-grid paths for this grid; empty
+  /// for an experiment's primary grid.
+  std::string FileSuffix;
+  SweepGrid Grid;
+};
+
+/// What a renderer gets to work with: one evaluated engine per grid,
+/// in BuildGrids() order, plus the stream the table goes to.
+struct ExperimentRunContext {
+  std::vector<SweepEngine *> Engines;
+  std::ostream &Out;
+
+  SweepEngine &engine(size_t I = 0) const { return *Engines.at(I); }
+};
+
+/// One named experiment: everything the shared harness needs to run a
+/// paper table/figure end to end.
+struct ExperimentSpec {
+  /// Registry key and CLI name ("fig7", "table4", "nobal", ...).
+  std::string Name;
+  /// Where in the paper this lives ("Figure 7, §4.2").
+  std::string PaperSection;
+  /// One-line summary for cvliw-bench --list and the README table.
+  std::string Description;
+  /// Text printed verbatim before the sweeps run. Part of the golden
+  /// output: must stay byte-identical to the pre-registry driver's
+  /// pre-sweep prints.
+  std::string Banner;
+  /// Builds the experiment's grids (at least one, each non-empty).
+  std::function<std::vector<ExperimentGrid>()> BuildGrids;
+  /// Renders the tables from the completed engines; returns false on a
+  /// failed invariant (e.g. a coherence violation), which the harness
+  /// turns into exit code 1.
+  std::function<bool(const ExperimentRunContext &)> Render;
+};
+
+/// Grid knobs a run_experiment request may override without shipping a
+/// grid: the daemon applies them to the registered grids it expands,
+/// and the client applies them to its local copy so both sides agree.
+struct ExperimentOverrides {
+  bool HasBaseSeed = false;
+  uint64_t BaseSeed = 0;
+  bool HasReseedLoops = false;
+  bool ReseedLoops = false;
+
+  bool any() const { return HasBaseSeed || HasReseedLoops; }
+};
+
+void applyOverrides(SweepGrid &Grid, const ExperimentOverrides &Overrides);
+
+/// A copy of \p Options with \p Suffix appended to every output path
+/// (CSV, JSON, grid dump). The harness uses it per grid of a
+/// multi-grid experiment; cvliw-bench --all uses it per experiment.
+SweepRunOptions suffixedRunOptions(const SweepRunOptions &Options,
+                                   const std::string &Suffix);
+
+/// Writes every grid of \p Spec (overrides applied) to \p Path plus
+/// the grid's file suffix, without evaluating anything — the fixture
+/// checks pin registered grids this way. False when a file cannot be
+/// written.
+bool dumpExperimentGrids(const ExperimentSpec &Spec,
+                         const ExperimentOverrides &Overrides,
+                         const std::string &Path, std::ostream &Log);
+
+/// Name-keyed collection of ExperimentSpecs, iterable in registration
+/// (paper) order.
+class ExperimentRegistry {
+public:
+  /// Registers \p Spec; throws std::invalid_argument on a duplicate or
+  /// empty name, or a spec with no grid builder or renderer.
+  void add(ExperimentSpec Spec);
+
+  /// Null when \p Name is not registered.
+  const ExperimentSpec *find(const std::string &Name) const;
+
+  const std::vector<ExperimentSpec> &experiments() const { return Specs; }
+  size_t size() const { return Specs.size(); }
+
+  /// The process-wide registry holding the sixteen built-in paper
+  /// experiments, constructed on first use.
+  static const ExperimentRegistry &global();
+
+private:
+  std::vector<ExperimentSpec> Specs;
+};
+
+/// Registers the sixteen built-in experiments (tables 1-5, figures
+/// 6/7/9, nobal, cache_organizations, hardware_vs_software, hybrid,
+/// stall_attribution, specialization_impact, both ablations) in paper
+/// order. global() calls this once; tests may build private registries.
+void registerBuiltinExperiments(ExperimentRegistry &Registry);
+
+/// Runs one registered experiment under \p Options: prints the banner,
+/// evaluates every grid (locally, or — with Options.Remote — via one
+/// run_experiment round trip to a cvliw-sweepd daemon), then renders.
+/// Returns the process exit code.
+int runExperiment(const ExperimentSpec &Spec, const SweepRunOptions &Options,
+                  std::ostream &Out);
+
+/// The shared driver main: looks \p Name up in the global registry,
+/// parses the common sweep flags from Argc/Argv and calls
+/// runExperiment. The bench shims and cvliw-bench are thin wrappers
+/// over this.
+int runExperimentMain(const std::string &Name, int Argc, char **Argv);
+
+} // namespace cvliw
+
+#endif // CVLIW_PIPELINE_EXPERIMENTREGISTRY_H

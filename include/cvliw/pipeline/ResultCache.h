@@ -36,6 +36,7 @@
 #include <atomic>
 #include <cstdint>
 #include <cstring>
+#include <list>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -99,8 +100,12 @@ struct ResultCacheStats {
   /// Approximate resident bytes of the memo table's payload (entry
   /// structs plus owned strings and accumulator buckets).
   size_t Bytes = 0;
+  /// The configured byte bound; 0 when unbounded.
+  size_t MaxBytes = 0;
   uint64_t Hits = 0;
   uint64_t Misses = 0;
+  /// Entries dropped by the LRU bound since the last clear().
+  uint64_t Evictions = 0;
 };
 
 /// Thread-safe memo table of loop runs, shared by every SweepEngine in
@@ -119,6 +124,19 @@ public:
   size_t size() const;
   uint64_t hits() const { return Hits.load(std::memory_order_relaxed); }
   uint64_t misses() const { return Misses.load(std::memory_order_relaxed); }
+  uint64_t evictions() const {
+    return Evictions.load(std::memory_order_relaxed);
+  }
+
+  /// Bounds the memo table's approximate payload bytes: once the
+  /// estimate exceeds \p Bytes, least recently used entries are evicted
+  /// (0 — the default — means unbounded). The bound is approximate in
+  /// one direction only: the most recently inserted entry always
+  /// survives, so a bound smaller than one entry degrades to a
+  /// one-entry cache rather than thrashing to empty. Safe to call at
+  /// any time; an over-budget table shrinks immediately.
+  void setMaxBytes(size_t Bytes);
+  size_t maxBytes() const;
 
   /// Entry count, approximate byte footprint and hit/miss counters in
   /// one locked snapshot.
@@ -131,9 +149,12 @@ public:
   /// entries already persisted at \p Path that this cache does not hold
   /// (in-memory entries win on key clashes — identical anyway by the
   /// determinism contract). The merged file lands via write-to-temp +
-  /// atomic rename, so concurrent driver/daemon processes sharing one
-  /// cache path can only ever append to each other's entry sets, never
-  /// drop them. Returns false when the file cannot be written.
+  /// atomic rename, and the whole read-merge-rename sequence runs under
+  /// an exclusive flock on the sidecar "Path.lock" file — so concurrent
+  /// driver/daemon processes sharing one cache path serialize their
+  /// saves and converge on the union of their entries; no writer can
+  /// drop another's novel entries by racing between its re-read and its
+  /// rename. Returns false when the file cannot be written.
   bool save(const std::string &Path) const;
 
   /// Merges entries from \p Path (keeping existing ones on key
@@ -147,10 +168,28 @@ public:
   static ResultCache &process();
 
 private:
+  /// One resident entry: the memoized run plus its position in the LRU
+  /// list (front = most recently used).
+  struct Entry {
+    LoopRunResult Run;
+    std::list<uint64_t>::iterator LruPos;
+  };
+
+  static size_t entryBytes(const LoopRunResult &Run);
+  /// Evicts LRU-last entries until the byte estimate fits MaxBytes
+  /// (never evicting the final remaining entry). Caller holds Mutex.
+  void evictLocked();
+
   mutable std::mutex Mutex;
-  std::unordered_map<uint64_t, LoopRunResult> Map;
+  std::unordered_map<uint64_t, Entry> Map;
+  /// LRU order of Map's keys; mutable because lookup() — logically
+  /// const — refreshes the touched entry's recency.
+  mutable std::list<uint64_t> Lru;
+  size_t MaxBytes = 0;
+  size_t CurrentBytes = 0;
   mutable std::atomic<uint64_t> Hits{0};
   mutable std::atomic<uint64_t> Misses{0};
+  std::atomic<uint64_t> Evictions{0};
 };
 
 } // namespace cvliw

@@ -259,6 +259,17 @@ struct SweepRunOptions {
   /// loaded before the sweep, saved after it. Defaults to the
   /// CVLIW_SWEEP_CACHE environment variable.
   std::string CachePath;
+  /// --cache-max-bytes N: bound the in-memory result cache; least
+  /// recently used entries are evicted once the payload estimate
+  /// exceeds the bound (0: unbounded). Defaults to the
+  /// CVLIW_SWEEP_CACHE_MAX_BYTES environment variable.
+  size_t CacheMaxBytes = 0;
+  /// --base-seed N: override the grid's base seed (reported in the
+  /// seed column; with ReseedLoops it perturbs the loops themselves).
+  /// Applied by the experiment harness, locally and — as a
+  /// run_experiment override — remotely.
+  bool HasBaseSeed = false;
+  uint64_t BaseSeed = 0;
   /// --remote HOST:PORT: evaluate the grid on a cvliw-sweepd daemon
   /// instead of locally (the daemon's warm shared cache serves repeat
   /// points); the table output is byte-identical either way. Defaults
@@ -274,9 +285,29 @@ struct SweepRunOptions {
   bool VerifySerial = false;
 };
 
+/// Parses a non-negative byte count ("0" = unbounded). Shared by the
+/// --cache-max-bytes flag and the CVLIW_SWEEP_CACHE_MAX_BYTES
+/// environment override, in drivers and the daemon alike. False on a
+/// malformed value.
+bool parseByteCount(const char *Text, size_t &Out);
+
 /// Parses the shared sweep flags; returns false (after printing usage
 /// to stderr) on an unknown or malformed argument.
 bool parseSweepArgs(int Argc, char **Argv, SweepRunOptions &Options);
+
+/// Writes \p Grid as wire-format JSON to \p Path (the format
+/// cvliw-sweep-client submits); logs the written path. False when the
+/// file cannot be written.
+bool dumpGridFile(const SweepGrid &Grid, const std::string &Path,
+                  std::ostream &Log);
+
+/// The post-run half of runSweep(): optional serial verification,
+/// CSV/JSON writing, and — for local runs only (Options.Remote empty)
+/// — persisting the result cache. The engine must already hold its
+/// rows (run() or adoptRows()). The experiment harness calls this
+/// directly on the run_experiment remote path.
+bool finishSweep(SweepEngine &Engine, const SweepRunOptions &Options,
+                 std::ostream &Log);
 
 /// Drives \p Engine under \p Options: loads any persisted result
 /// cache, runs the sweep, logs points/items/threads/wall-clock and

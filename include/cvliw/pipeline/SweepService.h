@@ -56,6 +56,7 @@ namespace cvliw {
 
 class JsonValue;
 class TaskPool;
+struct SweepGrid;
 
 struct SweepServiceConfig {
   /// Bind address; loopback by default — the service trusts its peers.
@@ -101,6 +102,9 @@ public:
   uint64_t gridsServed() const {
     return GridsServed.load(std::memory_order_relaxed);
   }
+  uint64_t experimentsServed() const {
+    return ExperimentsServed.load(std::memory_order_relaxed);
+  }
   uint64_t connectionsAccepted() const {
     return ConnectionsAccepted.load(std::memory_order_relaxed);
   }
@@ -116,6 +120,14 @@ private:
   /// Dispatches one request frame; returns false when the connection
   /// should close (protocol error or shutdown).
   bool handleRequest(Connection *Conn, const std::string &Payload);
+  /// Evaluates one grid on the shared pool, streaming each point's row
+  /// to \p Conn as it completes (tagged with \p GridIndex when
+  /// \p TagGrid — the run_experiment multi-grid framing). On a failed
+  /// run returns false with \p FailMessage set; no error frame is
+  /// written here.
+  bool runGridStreaming(Connection *Conn, const SweepGrid &Grid,
+                        bool TagGrid, size_t GridIndex, uint64_t &Hits,
+                        uint64_t &Misses, std::string &FailMessage);
   /// Frames \p Payload onto the connection under its write mutex;
   /// latches the connection's write-failed flag on error.
   void writePayload(Connection *Conn, const std::string &Payload);
@@ -138,6 +150,7 @@ private:
   std::condition_variable ShutdownCv;
 
   std::atomic<uint64_t> GridsServed{0};
+  std::atomic<uint64_t> ExperimentsServed{0};
   std::atomic<uint64_t> ConnectionsAccepted{0};
   std::atomic<uint64_t> ProtocolErrors{0};
 };

@@ -150,6 +150,85 @@ bool SweepClient::runGrid(const SweepGrid &Grid, std::vector<SweepRow> &Rows,
   }
 }
 
+bool SweepClient::runExperiment(
+    const std::string &Name, const ExperimentOverrides &Overrides,
+    const std::vector<const SweepGrid *> &Expected,
+    std::vector<std::vector<SweepRow>> &GridRows, RemoteSweepStats &Stats,
+    std::string &Error) {
+  JsonValue Request = typedMessage("run_experiment");
+  Request.set("name", JsonValue::str(Name));
+  if (Overrides.any())
+    Request.set("overrides", experimentOverridesToJson(Overrides));
+  if (!sendMessage(Request, Error))
+    return false;
+
+  const size_t NumGrids = Expected.size();
+  GridRows.assign(NumGrids, {});
+  std::vector<std::vector<bool>> Seen(NumGrids);
+  size_t Received = 0, Total = 0;
+  for (size_t G = 0; G != NumGrids; ++G) {
+    GridRows[G].assign(Expected[G]->size(), SweepRow());
+    Seen[G].assign(Expected[G]->size(), false);
+    Total += Expected[G]->size();
+  }
+
+  for (;;) {
+    JsonValue Message;
+    if (!readMessage(Message, Error))
+      return false;
+    try {
+      const std::string &Type = Message.text("type");
+      if (Type == "row") {
+        size_t GridIndex = Message.u64("grid");
+        if (GridIndex >= NumGrids) {
+          Error = "row grid index out of range";
+          return false;
+        }
+        const SweepGrid &Grid = *Expected[GridIndex];
+        SweepRow Row = rowFromJson(Message.at("row"));
+        // Range-check every axis index against the *local* expansion:
+        // the daemon's registry must agree with ours, and writeCsv()/
+        // at() later index the grid's axes with these.
+        if (Row.PointIndex >= Grid.size() ||
+            Row.MachineIndex >= Grid.Machines.size() ||
+            Row.SchemeIndex >= Grid.Schemes.size() ||
+            Row.BenchmarkIndex >= Grid.Benchmarks.size()) {
+          Error = "row index out of range";
+          return false;
+        }
+        if (!Seen[GridIndex][Row.PointIndex]) {
+          Seen[GridIndex][Row.PointIndex] = true;
+          ++Received;
+        }
+        GridRows[GridIndex][Row.PointIndex] = std::move(Row);
+      } else if (Type == "done") {
+        Stats.Grids = Message.u64("grids");
+        Stats.Points = Message.u64("points");
+        Stats.CacheHits = Message.u64("cache_hits");
+        Stats.CacheMisses = Message.u64("cache_misses");
+        if (Stats.Grids != NumGrids) {
+          Error = "daemon ran " + std::to_string(Stats.Grids) +
+                  " grids, expected " + std::to_string(NumGrids) +
+                  " (registry mismatch?)";
+          return false;
+        }
+        if (Received != Total) {
+          Error = "daemon finished after " + std::to_string(Received) +
+                  " of " + std::to_string(Total) + " points";
+          return false;
+        }
+        return true;
+      } else {
+        Error = "unexpected message type '" + Type + "' during experiment";
+        return false;
+      }
+    } catch (const JsonError &E) {
+      Error = std::string("bad server message: ") + E.what();
+      return false;
+    }
+  }
+}
+
 bool SweepClient::shutdownServer(std::string &Error) {
   if (!sendMessage(typedMessage("shutdown"), Error))
     return false;

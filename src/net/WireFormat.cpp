@@ -142,6 +142,32 @@ LoopSpec cvliw::loopSpecFromJson(const JsonValue &J) {
   return Spec;
 }
 
+JsonValue cvliw::experimentOverridesToJson(
+    const ExperimentOverrides &Overrides) {
+  JsonValue J = JsonValue::object();
+  if (Overrides.HasBaseSeed)
+    J.set("base_seed", JsonValue::uint(Overrides.BaseSeed));
+  if (Overrides.HasReseedLoops)
+    J.set("reseed_loops", JsonValue::boolean(Overrides.ReseedLoops));
+  return J;
+}
+
+ExperimentOverrides
+cvliw::experimentOverridesFromJson(const JsonValue &J) {
+  if (J.kind() != JsonValue::Kind::Object)
+    throw JsonError("overrides must be an object");
+  ExperimentOverrides Overrides;
+  if (const JsonValue *Seed = J.find("base_seed")) {
+    Overrides.HasBaseSeed = true;
+    Overrides.BaseSeed = Seed->asU64();
+  }
+  if (const JsonValue *Reseed = J.find("reseed_loops")) {
+    Overrides.HasReseedLoops = true;
+    Overrides.ReseedLoops = Reseed->asBool();
+  }
+  return Overrides;
+}
+
 JsonValue cvliw::gridToJson(const SweepGrid &Grid) {
   JsonValue J = JsonValue::object();
   J.set("base_seed", JsonValue::uint(Grid.BaseSeed));

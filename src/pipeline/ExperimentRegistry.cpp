@@ -1,0 +1,231 @@
+//===- pipeline/ExperimentRegistry.cpp - Named experiments ----------------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cvliw/pipeline/ExperimentRegistry.h"
+
+#include "cvliw/net/SweepClient.h"
+#include "cvliw/support/TableWriter.h"
+
+#include "experiments/Experiments.h"
+
+#include <chrono>
+#include <iostream>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+using namespace cvliw;
+
+void ExperimentRegistry::add(ExperimentSpec Spec) {
+  if (Spec.Name.empty())
+    throw std::invalid_argument("experiment needs a name");
+  if (!Spec.BuildGrids || !Spec.Render)
+    throw std::invalid_argument("experiment '" + Spec.Name +
+                                "' needs a grid builder and a renderer");
+  if (find(Spec.Name))
+    throw std::invalid_argument("duplicate experiment '" + Spec.Name + "'");
+  Specs.push_back(std::move(Spec));
+}
+
+const ExperimentSpec *ExperimentRegistry::find(const std::string &Name) const {
+  for (const ExperimentSpec &Spec : Specs)
+    if (Spec.Name == Name)
+      return &Spec;
+  return nullptr;
+}
+
+const ExperimentRegistry &ExperimentRegistry::global() {
+  static const ExperimentRegistry Registry = [] {
+    ExperimentRegistry R;
+    registerBuiltinExperiments(R);
+    return R;
+  }();
+  return Registry;
+}
+
+void cvliw::registerBuiltinExperiments(ExperimentRegistry &Registry) {
+  // Paper order: the tables, the figures, then the §4.2/§2.3/§6
+  // studies and the repo's own ablations — the order cvliw-bench
+  // --list and the README table present.
+  registerTable1Experiment(Registry);
+  registerTable2Experiment(Registry);
+  registerTable3Experiment(Registry);
+  registerTable4Experiment(Registry);
+  registerTable5Experiment(Registry);
+  registerFig6Experiment(Registry);
+  registerFig7Experiment(Registry);
+  registerFig9Experiment(Registry);
+  registerNobalExperiment(Registry);
+  registerCacheOrganizationsExperiment(Registry);
+  registerHardwareVsSoftwareExperiment(Registry);
+  registerHybridExperiment(Registry);
+  registerStallAttributionExperiment(Registry);
+  registerSpecializationImpactExperiment(Registry);
+  registerAblationOrderingExperiment(Registry);
+  registerAblationLatencyExperiment(Registry);
+}
+
+void cvliw::applyOverrides(SweepGrid &Grid,
+                           const ExperimentOverrides &Overrides) {
+  if (Overrides.HasBaseSeed)
+    Grid.BaseSeed = Overrides.BaseSeed;
+  if (Overrides.HasReseedLoops)
+    Grid.ReseedLoops = Overrides.ReseedLoops;
+}
+
+SweepRunOptions cvliw::suffixedRunOptions(const SweepRunOptions &Options,
+                                          const std::string &Suffix) {
+  SweepRunOptions GridOptions = Options;
+  if (!Suffix.empty()) {
+    if (!GridOptions.CsvPath.empty())
+      GridOptions.CsvPath += Suffix;
+    if (!GridOptions.JsonPath.empty())
+      GridOptions.JsonPath += Suffix;
+    if (!GridOptions.DumpGridPath.empty())
+      GridOptions.DumpGridPath += Suffix;
+  }
+  return GridOptions;
+}
+
+bool cvliw::dumpExperimentGrids(const ExperimentSpec &Spec,
+                                const ExperimentOverrides &Overrides,
+                                const std::string &Path,
+                                std::ostream &Log) {
+  std::vector<ExperimentGrid> Grids = Spec.BuildGrids();
+  for (ExperimentGrid &Grid : Grids) {
+    applyOverrides(Grid.Grid, Overrides);
+    if (!dumpGridFile(Grid.Grid, Path + Grid.FileSuffix, Log))
+      return false;
+  }
+  return true;
+}
+
+namespace {
+
+ExperimentOverrides overridesFromOptions(const SweepRunOptions &Options) {
+  ExperimentOverrides Overrides;
+  if (Options.HasBaseSeed) {
+    Overrides.HasBaseSeed = true;
+    Overrides.BaseSeed = Options.BaseSeed;
+  }
+  return Overrides;
+}
+
+/// The run_experiment round trip: one request evaluates every grid of
+/// the experiment on the daemon (which expands the registered grids
+/// server-side) and the streamed rows are adopted into the local
+/// engines, after which tables/CSV/verification proceed exactly as for
+/// a local run.
+bool runExperimentRemote(const ExperimentSpec &Spec,
+                         const ExperimentOverrides &Overrides,
+                         std::vector<std::unique_ptr<SweepEngine>> &Engines,
+                         const SweepRunOptions &Options, std::ostream &Log) {
+  SweepClient Client;
+  std::string Error;
+  if (!Client.connect(Options.Remote, Error)) {
+    std::cerr << "sweep: " << Error << "\n";
+    return false;
+  }
+
+  std::vector<const SweepGrid *> Expected;
+  Expected.reserve(Engines.size());
+  for (const auto &Engine : Engines)
+    Expected.push_back(&Engine->grid());
+
+  std::vector<std::vector<SweepRow>> GridRows;
+  RemoteSweepStats Stats;
+  auto Start = std::chrono::steady_clock::now();
+  if (!Client.runExperiment(Spec.Name, Overrides, Expected, GridRows,
+                            Stats, Error)) {
+    std::cerr << "sweep: remote experiment failed: " << Error << "\n";
+    return false;
+  }
+  double Seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - Start)
+                       .count();
+
+  size_t Points = 0, Items = 0;
+  for (const auto &Engine : Engines) {
+    Points += Engine->grid().size();
+    Items += Engine->loopItems();
+  }
+  try {
+    for (size_t I = 0; I != Engines.size(); ++I)
+      Engines[I]->adoptRows(std::move(GridRows[I]));
+  } catch (const std::invalid_argument &E) {
+    std::cerr << "sweep: remote experiment failed: " << E.what() << "\n";
+    return false;
+  }
+
+  Log << "sweep: remote " << Options.Remote << " ran experiment '"
+      << Spec.Name << "' (" << Engines.size()
+      << (Engines.size() == 1 ? " grid, " : " grids, ") << Points
+      << " points, " << Items << " loop items) in "
+      << TableWriter::fmt(Seconds, 3) << " s\n";
+  Log << "sweep: daemon result cache " << Stats.CacheHits << " hits / "
+      << Stats.CacheMisses << " misses\n";
+  return true;
+}
+
+} // namespace
+
+int cvliw::runExperiment(const ExperimentSpec &Spec,
+                         const SweepRunOptions &Options, std::ostream &Out) {
+  Out << Spec.Banner;
+
+  ExperimentOverrides Overrides = overridesFromOptions(Options);
+  std::vector<ExperimentGrid> Grids = Spec.BuildGrids();
+  std::vector<std::unique_ptr<SweepEngine>> Engines;
+  Engines.reserve(Grids.size());
+  for (ExperimentGrid &Grid : Grids) {
+    applyOverrides(Grid.Grid, Overrides);
+    Engines.emplace_back(new SweepEngine(Grid.Grid, Options.Threads));
+  }
+
+  if (!Options.Remote.empty()) {
+    // Grid dumps are a local serialization concern; write them before
+    // the round trip so --dump-grid works even against a dead daemon.
+    for (size_t I = 0; I != Grids.size(); ++I) {
+      SweepRunOptions GridOptions =
+          suffixedRunOptions(Options, Grids[I].FileSuffix);
+      if (!GridOptions.DumpGridPath.empty() &&
+          !dumpGridFile(Engines[I]->grid(), GridOptions.DumpGridPath, Out))
+        return 1;
+    }
+    if (!runExperimentRemote(Spec, Overrides, Engines, Options, Out))
+      return 1;
+    for (size_t I = 0; I != Grids.size(); ++I)
+      if (!finishSweep(*Engines[I],
+                       suffixedRunOptions(Options, Grids[I].FileSuffix), Out))
+        return 1;
+  } else {
+    for (size_t I = 0; I != Grids.size(); ++I)
+      if (!runSweep(*Engines[I],
+                    suffixedRunOptions(Options, Grids[I].FileSuffix), Out))
+        return 1;
+  }
+
+  Out << "\n";
+  ExperimentRunContext Ctx{{}, Out};
+  Ctx.Engines.reserve(Engines.size());
+  for (const auto &Engine : Engines)
+    Ctx.Engines.push_back(Engine.get());
+  return Spec.Render(Ctx) ? 0 : 1;
+}
+
+int cvliw::runExperimentMain(const std::string &Name, int Argc,
+                             char **Argv) {
+  const ExperimentSpec *Spec = ExperimentRegistry::global().find(Name);
+  if (!Spec) {
+    std::cerr << "unknown experiment '" << Name
+              << "' (cvliw-bench --list names the registered ones)\n";
+    return 1;
+  }
+  SweepRunOptions Options;
+  if (!parseSweepArgs(Argc, Argv, Options))
+    return 1;
+  return runExperiment(*Spec, Options, std::cout);
+}

@@ -14,6 +14,10 @@
 #include <utility>
 #include <vector>
 
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
 using namespace cvliw;
 
 uint64_t cvliw::resultCacheKey(const ExperimentConfig &Config,
@@ -81,6 +85,28 @@ uint64_t cvliw::resultCacheKey(const ExperimentConfig &Config,
   return H.hash();
 }
 
+size_t ResultCache::entryBytes(const LoopRunResult &Run) {
+  // The key, the entry struct (run + LRU iterator), the owned loop
+  // name, and the two accumulators' buckets.
+  return sizeof(uint64_t) + sizeof(Entry) + Run.LoopName.size() +
+         2 * 5 * sizeof(uint64_t);
+}
+
+void ResultCache::evictLocked() {
+  if (MaxBytes == 0)
+    return;
+  // Never evict the last entry: a bound smaller than one entry must
+  // degrade to a one-entry cache, not thrash to empty.
+  while (CurrentBytes > MaxBytes && Map.size() > 1) {
+    uint64_t Victim = Lru.back();
+    auto It = Map.find(Victim);
+    CurrentBytes -= entryBytes(It->second.Run);
+    Map.erase(It);
+    Lru.pop_back();
+    Evictions.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
 bool ResultCache::lookup(uint64_t Key, LoopRunResult &Out) const {
   std::lock_guard<std::mutex> Lock(Mutex);
   auto It = Map.find(Key);
@@ -89,13 +115,32 @@ bool ResultCache::lookup(uint64_t Key, LoopRunResult &Out) const {
     return false;
   }
   Hits.fetch_add(1, std::memory_order_relaxed);
-  Out = It->second;
+  // Refresh recency: splice moves the node without invalidating the
+  // entry's stored iterator.
+  Lru.splice(Lru.begin(), Lru, It->second.LruPos);
+  Out = It->second.Run;
   return true;
 }
 
 void ResultCache::insert(uint64_t Key, const LoopRunResult &Run) {
   std::lock_guard<std::mutex> Lock(Mutex);
-  Map.emplace(Key, Run);
+  if (Map.find(Key) != Map.end())
+    return; // First writer wins (identical by the determinism contract).
+  Lru.push_front(Key);
+  Map.emplace(Key, Entry{Run, Lru.begin()});
+  CurrentBytes += entryBytes(Run);
+  evictLocked();
+}
+
+void ResultCache::setMaxBytes(size_t Bytes) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  MaxBytes = Bytes;
+  evictLocked();
+}
+
+size_t ResultCache::maxBytes() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return MaxBytes;
 }
 
 size_t ResultCache::size() const {
@@ -107,20 +152,22 @@ ResultCacheStats ResultCache::stats() const {
   ResultCacheStats S;
   std::lock_guard<std::mutex> Lock(Mutex);
   S.Entries = Map.size();
-  for (const auto &KV : Map)
-    S.Bytes += sizeof(KV.first) + sizeof(KV.second) +
-               KV.second.LoopName.size() +
-               2 * 5 * sizeof(uint64_t); // The two accumulators' buckets.
+  S.Bytes = CurrentBytes;
+  S.MaxBytes = MaxBytes;
   S.Hits = Hits.load(std::memory_order_relaxed);
   S.Misses = Misses.load(std::memory_order_relaxed);
+  S.Evictions = Evictions.load(std::memory_order_relaxed);
   return S;
 }
 
 void ResultCache::clear() {
   std::lock_guard<std::mutex> Lock(Mutex);
   Map.clear();
+  Lru.clear();
+  CurrentBytes = 0;
   Hits.store(0, std::memory_order_relaxed);
   Misses.store(0, std::memory_order_relaxed);
+  Evictions.store(0, std::memory_order_relaxed);
 }
 
 ResultCache &ResultCache::process() {
@@ -131,6 +178,34 @@ ResultCache &ResultCache::process() {
 namespace {
 
 constexpr const char *CacheMagic = "cvliw-result-cache";
+
+/// Exclusive advisory lock on a sidecar file, held for the lifetime of
+/// the object. save() wraps its read-merge-rename critical section in
+/// one, closing the window in which a racing writer's entries could be
+/// dropped between the re-read and the rename. Lock acquisition is
+/// best-effort: if the sidecar cannot be created (read-only directory)
+/// the save proceeds unlocked, which is exactly the pre-lock behavior.
+class ScopedFileLock {
+public:
+  explicit ScopedFileLock(const std::string &Path) {
+    Fd = ::open(Path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+    if (Fd >= 0 && ::flock(Fd, LOCK_EX) != 0) {
+      ::close(Fd);
+      Fd = -1;
+    }
+  }
+  ~ScopedFileLock() {
+    if (Fd >= 0) {
+      ::flock(Fd, LOCK_UN);
+      ::close(Fd);
+    }
+  }
+  ScopedFileLock(const ScopedFileLock &) = delete;
+  ScopedFileLock &operator=(const ScopedFileLock &) = delete;
+
+private:
+  int Fd = -1;
+};
 
 void writeEntry(std::ostream &OS, uint64_t Key, const LoopRunResult &R) {
   OS << std::hex << Key << std::dec << ' '
@@ -209,14 +284,17 @@ bool parseCacheFile(const std::string &Path,
 } // namespace
 
 bool ResultCache::save(const std::string &Path) const {
+  // Serialize whole saves against other processes sharing this path:
+  // the re-read below and the rename at the end form one critical
+  // section, so a racing writer either finishes before our re-read
+  // (we merge its entries) or starts after our rename (it merges
+  // ours) — the union survives either way.
+  ScopedFileLock SaveLock(Path + ".lock");
+
   // Merge, don't overwrite: another process (a driver, the daemon) may
   // have persisted entries we never computed since our load(). Re-read
   // the file and keep its novel entries, so concurrent writers sharing
   // a cache path converge on the union instead of last-writer-wins.
-  // (The window between this read and the rename below can still drop
-  // a racing writer's entries — a cheap cost, since entries are pure
-  // recomputable memos — but the common sequential driver pipeline now
-  // loses nothing.)
   std::vector<std::pair<uint64_t, LoopRunResult>> OnDisk;
   if (!parseCacheFile(Path, OnDisk))
     OnDisk.clear(); // Absent/foreign/corrupt: merge nothing — not even
@@ -235,9 +313,10 @@ bool ResultCache::save(const std::string &Path) const {
       // The line format is whitespace-delimited; loop names never
       // contain whitespace (Suite.cpp uses "bench.loop" identifiers),
       // but guard anyway so a bad name cannot corrupt the file.
-      if (KV.second.LoopName.find_first_of(" \t\n") != std::string::npos)
+      if (KV.second.Run.LoopName.find_first_of(" \t\n") !=
+          std::string::npos)
         continue;
-      writeEntry(OS, KV.first, KV.second);
+      writeEntry(OS, KV.first, KV.second.Run);
     }
     for (const auto &KV : OnDisk)
       if (Map.find(KV.first) == Map.end())

@@ -474,6 +474,15 @@ void SweepEngine::writeJson(std::ostream &OS) const {
   OS << "]\n";
 }
 
+bool cvliw::parseByteCount(const char *Text, size_t &Out) {
+  char *End = nullptr;
+  unsigned long long N = std::strtoull(Text, &End, 10);
+  if (End == Text || *End != '\0')
+    return false;
+  Out = static_cast<size_t>(N);
+  return true;
+}
+
 unsigned cvliw::defaultSweepThreads() {
   if (const char *Env = std::getenv("CVLIW_SWEEP_THREADS")) {
     char *End = nullptr;
@@ -523,6 +532,26 @@ bool cvliw::parseSweepArgs(int Argc, char **Argv,
       if (!Value)
         return false;
       Options.CachePath = Value;
+    } else if (std::strcmp(Arg, "--cache-max-bytes") == 0) {
+      const char *Value = NextValue("--cache-max-bytes");
+      if (!Value)
+        return false;
+      if (!parseByteCount(Value, Options.CacheMaxBytes)) {
+        std::cerr << "--cache-max-bytes needs a byte count (0: unbounded)\n";
+        return false;
+      }
+    } else if (std::strcmp(Arg, "--base-seed") == 0) {
+      const char *Value = NextValue("--base-seed");
+      if (!Value)
+        return false;
+      char *End = nullptr;
+      unsigned long long N = std::strtoull(Value, &End, 10);
+      if (End == Value || *End != '\0') {
+        std::cerr << "--base-seed needs a non-negative integer\n";
+        return false;
+      }
+      Options.HasBaseSeed = true;
+      Options.BaseSeed = static_cast<uint64_t>(N);
     } else if (std::strcmp(Arg, "--remote") == 0) {
       const char *Value = NextValue("--remote");
       if (!Value)
@@ -538,32 +567,44 @@ bool cvliw::parseSweepArgs(int Argc, char **Argv,
     } else {
       std::cerr << "unknown argument '" << Arg
                 << "'\nusage: [--threads N] [--csv FILE] [--json FILE] "
-                   "[--cache FILE] [--remote HOST:PORT] "
-                   "[--dump-grid FILE] [--verify-serial]\n";
+                   "[--cache FILE] [--cache-max-bytes N] [--base-seed N] "
+                   "[--remote HOST:PORT] [--dump-grid FILE] "
+                   "[--verify-serial]\n";
       return false;
     }
   }
   if (Options.CachePath.empty())
     if (const char *Env = std::getenv("CVLIW_SWEEP_CACHE"))
       Options.CachePath = Env;
+  if (Options.CacheMaxBytes == 0)
+    if (const char *Env = std::getenv("CVLIW_SWEEP_CACHE_MAX_BYTES"))
+      if (!parseByteCount(Env, Options.CacheMaxBytes))
+        std::cerr << "ignoring CVLIW_SWEEP_CACHE_MAX_BYTES='" << Env
+                  << "' (needs a byte count)\n";
   if (Options.Remote.empty())
     if (const char *Env = std::getenv("CVLIW_SWEEP_REMOTE"))
       Options.Remote = Env;
   return true;
 }
 
+bool cvliw::dumpGridFile(const SweepGrid &Grid, const std::string &Path,
+                         std::ostream &Log) {
+  std::ofstream OS(Path);
+  if (!OS) {
+    std::cerr << "cannot write " << Path << "\n";
+    return false;
+  }
+  gridToJson(Grid).write(OS);
+  OS << '\n';
+  Log << "sweep: wrote grid " << Path << "\n";
+  return true;
+}
+
 bool cvliw::runSweep(SweepEngine &Engine, const SweepRunOptions &Options,
                      std::ostream &Log) {
-  if (!Options.DumpGridPath.empty()) {
-    std::ofstream OS(Options.DumpGridPath);
-    if (!OS) {
-      std::cerr << "cannot write " << Options.DumpGridPath << "\n";
-      return false;
-    }
-    gridToJson(Engine.grid()).write(OS);
-    OS << '\n';
-    Log << "sweep: wrote grid " << Options.DumpGridPath << "\n";
-  }
+  if (!Options.DumpGridPath.empty() &&
+      !dumpGridFile(Engine.grid(), Options.DumpGridPath, Log))
+    return false;
 
   if (!Options.Remote.empty()) {
     // Remote mode: the daemon evaluates the grid (serving repeats from
@@ -594,6 +635,11 @@ bool cvliw::runSweep(SweepEngine &Engine, const SweepRunOptions &Options,
     Log << "sweep: daemon result cache " << Stats.CacheHits << " hits / "
         << Stats.CacheMisses << " misses\n";
   } else {
+    // Apply any cache size bound before warming: an oversized persisted
+    // file then loads through the LRU bound instead of around it.
+    if (Options.CacheMaxBytes != 0 && Engine.cache())
+      Engine.cache()->setMaxBytes(Options.CacheMaxBytes);
+
     // Warm the engine's cache from the persisted file (if any) so
     // driver processes share their overlapping baseline points.
     if (!Options.CachePath.empty() && Engine.cache() &&
@@ -611,11 +657,19 @@ bool cvliw::runSweep(SweepEngine &Engine, const SweepRunOptions &Options,
     if (Engine.cache()) {
       ResultCacheStats Stats = Engine.cache()->stats();
       Log << " (" << Stats.Entries << " entries, " << Stats.Bytes
-          << " bytes)";
+          << " bytes";
+      if (Stats.Evictions != 0)
+        Log << ", " << Stats.Evictions << " evictions";
+      Log << ")";
     }
     Log << "\n";
   }
 
+  return finishSweep(Engine, Options, Log);
+}
+
+bool cvliw::finishSweep(SweepEngine &Engine, const SweepRunOptions &Options,
+                        std::ostream &Log) {
   if (Options.VerifySerial) {
     // The serial re-run gets a cold private cache: it must *recompute*
     // every point, otherwise it would merely replay the parallel run's

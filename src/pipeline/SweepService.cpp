@@ -8,6 +8,7 @@
 
 #include "cvliw/net/Json.h"
 #include "cvliw/net/WireFormat.h"
+#include "cvliw/pipeline/ExperimentRegistry.h"
 #include "cvliw/pipeline/SweepEngine.h"
 #include "cvliw/support/TaskPool.h"
 
@@ -100,6 +101,81 @@ void SweepService::writeMessage(Connection *Conn,
   writePayload(Conn, Message.dump());
 }
 
+bool SweepService::runGridStreaming(Connection *Conn, const SweepGrid &Grid,
+                                    bool TagGrid, size_t GridIndex,
+                                    uint64_t &Hits, uint64_t &Misses,
+                                    std::string &FailMessage) {
+  SweepEngine Engine(Grid, /*Threads=*/1);
+  Engine.setCache(Cache);
+  Engine.setPool(Pool.get());
+
+  // Stream each point the moment its last loop finishes — but never
+  // send from a pool worker: a client that stops reading would fill
+  // its TCP buffer and wedge the shared pool behind one slow peer.
+  // Workers enqueue serialized frames; this per-sweep writer thread
+  // does the blocking sends. Memory is bounded by the grid the
+  // daemon already agreed to evaluate.
+  std::mutex QueueMutex;
+  std::condition_variable QueueCv;
+  std::deque<std::string> RowQueue;
+  bool SweepFinished = false;
+  std::thread Writer([&] {
+    for (;;) {
+      std::string Frame;
+      {
+        std::unique_lock<std::mutex> Lock(QueueMutex);
+        QueueCv.wait(Lock, [&] {
+          return SweepFinished || !RowQueue.empty();
+        });
+        if (RowQueue.empty())
+          return; // Finished and drained.
+        Frame = std::move(RowQueue.front());
+        RowQueue.pop_front();
+      }
+      writePayload(Conn, Frame);
+    }
+  });
+  Engine.setRowCallback([&](const SweepRow &Row) {
+    JsonValue Message = typedMessage("row");
+    if (TagGrid)
+      Message.set("grid", JsonValue::uint(GridIndex));
+    Message.set("row", rowToJson(Row));
+    std::string Frame = Message.dump();
+    {
+      std::lock_guard<std::mutex> Lock(QueueMutex);
+      RowQueue.push_back(std::move(Frame));
+    }
+    QueueCv.notify_one();
+  });
+
+  std::exception_ptr RunError;
+  try {
+    Engine.run();
+  } catch (...) {
+    RunError = std::current_exception();
+  }
+  {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    SweepFinished = true;
+  }
+  QueueCv.notify_all();
+  Writer.join();
+
+  if (RunError) {
+    FailMessage = "sweep failed";
+    try {
+      std::rethrow_exception(RunError);
+    } catch (const std::exception &E) {
+      FailMessage += std::string(": ") + E.what();
+    } catch (...) {
+    }
+    return false;
+  }
+  Hits += Engine.cacheHits();
+  Misses += Engine.cacheMisses();
+  return true;
+}
+
 void SweepService::handleConnection(Connection *Conn) {
   for (;;) {
     std::string Payload;
@@ -157,11 +233,14 @@ bool SweepService::handleRequest(Connection *Conn,
     JsonValue CacheJson = JsonValue::object();
     CacheJson.set("entries", JsonValue::uint(Stats.Entries));
     CacheJson.set("bytes", JsonValue::uint(Stats.Bytes));
+    CacheJson.set("max_bytes", JsonValue::uint(Stats.MaxBytes));
     CacheJson.set("hits", JsonValue::uint(Stats.Hits));
     CacheJson.set("misses", JsonValue::uint(Stats.Misses));
+    CacheJson.set("evictions", JsonValue::uint(Stats.Evictions));
     J.set("cache", std::move(CacheJson));
     J.set("threads", JsonValue::uint(Pool->threads()));
     J.set("grids_served", JsonValue::uint(gridsServed()));
+    J.set("experiments_served", JsonValue::uint(experimentsServed()));
     J.set("connections_accepted",
           JsonValue::uint(connectionsAccepted()));
     J.set("protocol_errors", JsonValue::uint(protocolErrors()));
@@ -180,77 +259,76 @@ bool SweepService::handleRequest(Connection *Conn,
       return false;
     }
 
-    SweepEngine Engine(Grid, /*Threads=*/1);
-    Engine.setCache(Cache);
-    Engine.setPool(Pool.get());
-
-    // Stream each point the moment its last loop finishes — but never
-    // send from a pool worker: a client that stops reading would fill
-    // its TCP buffer and wedge the shared pool behind one slow peer.
-    // Workers enqueue serialized frames; this per-sweep writer thread
-    // does the blocking sends. Memory is bounded by the grid the
-    // daemon already agreed to evaluate.
-    std::mutex QueueMutex;
-    std::condition_variable QueueCv;
-    std::deque<std::string> RowQueue;
-    bool SweepFinished = false;
-    std::thread Writer([&] {
-      for (;;) {
-        std::string Frame;
-        {
-          std::unique_lock<std::mutex> Lock(QueueMutex);
-          QueueCv.wait(Lock, [&] {
-            return SweepFinished || !RowQueue.empty();
-          });
-          if (RowQueue.empty())
-            return; // Finished and drained.
-          Frame = std::move(RowQueue.front());
-          RowQueue.pop_front();
-        }
-        writePayload(Conn, Frame);
-      }
-    });
-    Engine.setRowCallback([&](const SweepRow &Row) {
-      JsonValue Message = typedMessage("row");
-      Message.set("row", rowToJson(Row));
-      std::string Frame = Message.dump();
-      {
-        std::lock_guard<std::mutex> Lock(QueueMutex);
-        RowQueue.push_back(std::move(Frame));
-      }
-      QueueCv.notify_one();
-    });
-
-    std::exception_ptr RunError;
-    try {
-      Engine.run();
-    } catch (...) {
-      RunError = std::current_exception();
-    }
-    {
-      std::lock_guard<std::mutex> Lock(QueueMutex);
-      SweepFinished = true;
-    }
-    QueueCv.notify_all();
-    Writer.join();
-
-    if (RunError) {
-      std::string What = "sweep failed";
-      try {
-        std::rethrow_exception(RunError);
-      } catch (const std::exception &E) {
-        What += std::string(": ") + E.what();
-      } catch (...) {
-      }
-      writeMessage(Conn, makeErrorMessage(What));
+    uint64_t Hits = 0, Misses = 0;
+    std::string FailMessage;
+    if (!runGridStreaming(Conn, Grid, /*TagGrid=*/false, /*GridIndex=*/0,
+                          Hits, Misses, FailMessage)) {
+      writeMessage(Conn, makeErrorMessage(FailMessage));
       return false;
     }
-    JsonValue Done = typedMessage("done");
-    Done.set("points", JsonValue::uint(Engine.grid().size()));
-    Done.set("cache_hits", JsonValue::uint(Engine.cacheHits()));
-    Done.set("cache_misses", JsonValue::uint(Engine.cacheMisses()));
-    writeMessage(Conn, Done);
+    // Count before the done frame goes out: a client that has seen
+    // "done" must find the counter already bumped in a status query.
     GridsServed.fetch_add(1, std::memory_order_relaxed);
+    JsonValue Done = typedMessage("done");
+    Done.set("points", JsonValue::uint(Grid.size()));
+    Done.set("cache_hits", JsonValue::uint(Hits));
+    Done.set("cache_misses", JsonValue::uint(Misses));
+    writeMessage(Conn, Done);
+    return true;
+  }
+
+  if (Type == "run_experiment") {
+    const JsonValue *NameMember = Request.find("name");
+    if (!NameMember || NameMember->kind() != JsonValue::Kind::String) {
+      ProtocolErrors.fetch_add(1, std::memory_order_relaxed);
+      writeMessage(Conn,
+                   makeErrorMessage("run_experiment needs a string 'name'"));
+      return false;
+    }
+    const std::string &Name = NameMember->asString();
+    const ExperimentSpec *Spec = ExperimentRegistry::global().find(Name);
+    if (!Spec) {
+      // A semantic miss, not protocol garbage: tell the client and keep
+      // both the connection and the daemon serving.
+      writeMessage(Conn, makeErrorMessage("unknown experiment '" + Name +
+                                          "'"));
+      return true;
+    }
+    ExperimentOverrides Overrides;
+    if (const JsonValue *O = Request.find("overrides")) {
+      try {
+        Overrides = experimentOverridesFromJson(*O);
+      } catch (const JsonError &E) {
+        ProtocolErrors.fetch_add(1, std::memory_order_relaxed);
+        writeMessage(Conn, makeErrorMessage(
+                               std::string("bad overrides: ") + E.what()));
+        return false;
+      }
+    }
+
+    // Grid expansion is pinned to the one registered implementation:
+    // the daemon never trusts a client-supplied copy of a named grid.
+    std::vector<ExperimentGrid> Grids = Spec->BuildGrids();
+    size_t Points = 0;
+    uint64_t Hits = 0, Misses = 0;
+    for (size_t G = 0; G != Grids.size(); ++G) {
+      applyOverrides(Grids[G].Grid, Overrides);
+      Points += Grids[G].Grid.size();
+      std::string FailMessage;
+      if (!runGridStreaming(Conn, Grids[G].Grid, /*TagGrid=*/true, G, Hits,
+                            Misses, FailMessage)) {
+        writeMessage(Conn, makeErrorMessage(FailMessage));
+        return false;
+      }
+    }
+    // Count before the done frame goes out (see the sweep branch).
+    ExperimentsServed.fetch_add(1, std::memory_order_relaxed);
+    JsonValue Done = typedMessage("done");
+    Done.set("grids", JsonValue::uint(Grids.size()));
+    Done.set("points", JsonValue::uint(Points));
+    Done.set("cache_hits", JsonValue::uint(Hits));
+    Done.set("cache_misses", JsonValue::uint(Misses));
+    writeMessage(Conn, Done);
     return true;
   }
 

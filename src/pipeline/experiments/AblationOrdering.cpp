@@ -1,0 +1,88 @@
+//===- pipeline/experiments/AblationOrdering.cpp - node ordering ----------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+// Ablation: height-based list-scheduling order versus the simplified
+// Swing Modulo Scheduling order (the paper's reference [16]) across the
+// whole suite and all three policies. Reports achieved IIs and cycles.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Experiments.h"
+
+#include "cvliw/pipeline/ExperimentRegistry.h"
+#include "cvliw/support/TableWriter.h"
+
+#include <ostream>
+
+using namespace cvliw;
+
+void cvliw::registerAblationOrderingExperiment(
+    ExperimentRegistry &Registry) {
+  ExperimentSpec Spec;
+  Spec.Name = "ablation_ordering";
+  Spec.PaperSection = "ablation (ref [16])";
+  Spec.Description = "height-based vs simplified-Swing node ordering "
+                     "across all policies";
+  Spec.Banner = "=== Ablation: node ordering (height-based vs simplified "
+                "Swing [16]), PrefClus, whole suite ===\n";
+
+  Spec.BuildGrids = [] {
+    SweepGrid Grid;
+    for (CoherencePolicy Policy :
+         {CoherencePolicy::Baseline, CoherencePolicy::MDC,
+          CoherencePolicy::DDGT}) {
+      for (SchedulerOrdering Ordering :
+           {SchedulerOrdering::HeightBased, SchedulerOrdering::Swing}) {
+        SchemePoint S;
+        S.Name = std::string(coherencePolicyName(Policy)) + "/" +
+                 schedulerOrderingName(Ordering);
+        S.Policy = Policy;
+        S.Heuristic = ClusterHeuristic::PrefClus;
+        S.Ordering = Ordering;
+        S.TolerateUnschedulable = true;
+        Grid.Schemes.push_back(S);
+      }
+    }
+    Grid.Benchmarks = evaluationSuite();
+    return std::vector<ExperimentGrid>{
+        {"ablation_ordering", "", std::move(Grid)}};
+  };
+
+  Spec.Render = [](const ExperimentRunContext &Ctx) {
+    SweepEngine &Engine = Ctx.engine();
+    const SweepGrid &Grid = Engine.grid();
+    TableWriter Table({"policy", "ordering", "total cycles", "mean II",
+                       "failures"});
+    for (size_t Scheme = 0; Scheme != Grid.Schemes.size(); ++Scheme) {
+      uint64_t Cycles = 0, IISum = 0;
+      unsigned Loops = 0, Failures = 0;
+      Engine.forEachBenchmark([&](size_t B, const BenchmarkSpec &) {
+        for (const LoopRunResult &L : Engine.at(B, Scheme).Result.Loops) {
+          if (!L.Scheduled) {
+            Failures += 1;
+            continue;
+          }
+          Cycles += L.Sim.TotalCycles;
+          IISum += L.II;
+          Loops += 1;
+        }
+      });
+      const SchemePoint &S = Grid.Schemes[Scheme];
+      Table.addRow({coherencePolicyName(S.Policy),
+                    schedulerOrderingName(S.Ordering),
+                    TableWriter::grouped(Cycles),
+                    Loops == 0 ? "-"
+                               : TableWriter::fmt(static_cast<double>(IISum) /
+                                                  Loops),
+                    std::to_string(Failures)});
+    }
+    Table.render(Ctx.Out);
+    Ctx.Out << "\nBoth orderings must produce legal schedules everywhere; "
+               "Swing tends to place recurrence nodes adjacently, "
+               "shortening lifetimes on recurrence-bound loops.\n";
+    return true;
+  };
+
+  Registry.add(std::move(Spec));
+}

@@ -1,0 +1,38 @@
+//===- pipeline/experiments/Experiments.h - Built-in specs ----*- C++ -*-===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+// Internal header: one registration hook per built-in experiment, each
+// defined in its own file in this directory. registerBuiltinExperiments
+// (ExperimentRegistry.cpp) calls them in paper order; nothing else
+// should include this header.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef CVLIW_PIPELINE_EXPERIMENTS_EXPERIMENTS_H
+#define CVLIW_PIPELINE_EXPERIMENTS_EXPERIMENTS_H
+
+namespace cvliw {
+
+class ExperimentRegistry;
+
+void registerTable1Experiment(ExperimentRegistry &Registry);
+void registerTable2Experiment(ExperimentRegistry &Registry);
+void registerTable3Experiment(ExperimentRegistry &Registry);
+void registerTable4Experiment(ExperimentRegistry &Registry);
+void registerTable5Experiment(ExperimentRegistry &Registry);
+void registerFig6Experiment(ExperimentRegistry &Registry);
+void registerFig7Experiment(ExperimentRegistry &Registry);
+void registerFig9Experiment(ExperimentRegistry &Registry);
+void registerNobalExperiment(ExperimentRegistry &Registry);
+void registerCacheOrganizationsExperiment(ExperimentRegistry &Registry);
+void registerHardwareVsSoftwareExperiment(ExperimentRegistry &Registry);
+void registerHybridExperiment(ExperimentRegistry &Registry);
+void registerStallAttributionExperiment(ExperimentRegistry &Registry);
+void registerSpecializationImpactExperiment(ExperimentRegistry &Registry);
+void registerAblationOrderingExperiment(ExperimentRegistry &Registry);
+void registerAblationLatencyExperiment(ExperimentRegistry &Registry);
+
+} // namespace cvliw
+
+#endif // CVLIW_PIPELINE_EXPERIMENTS_EXPERIMENTS_H

@@ -1,0 +1,96 @@
+//===- pipeline/experiments/Fig6AccessClassification.cpp - fig6 -----------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+// Figure 6: classification of memory accesses (local hits, remote hits,
+// local misses, remote misses, combined) under the PrefClus heuristic
+// for (i) free scheduling (no memory dependence restrictions), (ii) the
+// MDC solution and (iii) the DDGT solution.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Experiments.h"
+
+#include "cvliw/pipeline/ExperimentRegistry.h"
+#include "cvliw/support/TableWriter.h"
+
+#include <ostream>
+
+using namespace cvliw;
+
+namespace {
+
+std::string formatBreakdown(const FractionAccumulator &C) {
+  auto Pct = [&](AccessType T) {
+    return TableWriter::pct(C.fraction(static_cast<size_t>(T)), 0);
+  };
+  return Pct(AccessType::LocalHit) + "/" + Pct(AccessType::RemoteHit) +
+         "/" + Pct(AccessType::LocalMiss) + "/" +
+         Pct(AccessType::RemoteMiss) + "/" + Pct(AccessType::Combined);
+}
+
+SchemePoint prefClusScheme(const char *Name, CoherencePolicy Policy) {
+  SchemePoint S;
+  S.Name = Name;
+  S.Policy = Policy;
+  S.Heuristic = ClusterHeuristic::PrefClus;
+  return S;
+}
+
+} // namespace
+
+void cvliw::registerFig6Experiment(ExperimentRegistry &Registry) {
+  ExperimentSpec Spec;
+  Spec.Name = "fig6";
+  Spec.PaperSection = "Figure 6, §4.2";
+  Spec.Description = "memory access classification under free "
+                     "scheduling, MDC and DDGT (PrefClus)";
+  Spec.Banner = "=== Figure 6: memory access classification, PrefClus "
+                "heuristic ===\n"
+                "Cells: local hit / remote hit / local miss / remote miss / "
+                "combined.\n\n";
+
+  Spec.BuildGrids = [] {
+    SweepGrid Grid;
+    Grid.Schemes = {
+        prefClusScheme("free (no mem dep)", CoherencePolicy::Baseline),
+        prefClusScheme("MDC", CoherencePolicy::MDC),
+        prefClusScheme("DDGT", CoherencePolicy::DDGT),
+    };
+    Grid.Benchmarks = evaluationSuite();
+    return std::vector<ExperimentGrid>{{"fig6", "", std::move(Grid)}};
+  };
+
+  Spec.Render = [](const ExperimentRunContext &Ctx) {
+    SweepEngine &Engine = Ctx.engine();
+    TableWriter Table({"benchmark", "free (no mem dep)", "MDC", "DDGT"});
+    MeanColumns LocalHits(3);
+
+    Engine.forEachBenchmark([&](size_t B, const BenchmarkSpec &Bench) {
+      std::vector<std::string> Row{Bench.Name};
+      for (size_t I = 0; I != 3; ++I) {
+        FractionAccumulator C =
+            Engine.at(B, I).Result.mergedClassification();
+        LocalHits.add(I,
+                      C.fraction(static_cast<size_t>(AccessType::LocalHit)));
+        Row.push_back(formatBreakdown(C));
+      }
+      Table.addRow(Row);
+    });
+
+    Table.addSeparator();
+    Table.addRow({"AMEAN local hits", TableWriter::pct(LocalHits.mean(0), 1),
+                  TableWriter::pct(LocalHits.mean(1), 1),
+                  TableWriter::pct(LocalHits.mean(2), 1)});
+    Table.render(Ctx.Out);
+
+    Ctx.Out << "\nPaper (Figure 6): free scheduling averages 62.5% local "
+               "hits; MDC drops to 53.2% (chains pinned to one cluster); "
+               "DDGT raises local hits ~15-16% over MDC (all loads in "
+               "their preferred cluster, all executed store instances "
+               "local).\n";
+    return true;
+  };
+
+  Registry.add(std::move(Spec));
+}

@@ -1,0 +1,110 @@
+//===- pipeline/experiments/Fig9AttractionBuffers.cpp - fig9 --------------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+// Figure 9: execution time of MDC and DDGT under both heuristics on a
+// machine with 16-entry 2-way set-associative Attraction Buffers,
+// normalized to free scheduling (MinComs) with Attraction Buffers.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Experiments.h"
+
+#include "cvliw/pipeline/ExperimentRegistry.h"
+#include "cvliw/support/TableWriter.h"
+
+#include <ostream>
+
+using namespace cvliw;
+
+namespace {
+
+SchemePoint scheme(const char *Name, CoherencePolicy Policy,
+                   ClusterHeuristic Heuristic) {
+  SchemePoint S;
+  S.Name = Name;
+  S.Policy = Policy;
+  S.Heuristic = Heuristic;
+  return S;
+}
+
+} // namespace
+
+void cvliw::registerFig9Experiment(ExperimentRegistry &Registry) {
+  ExperimentSpec Spec;
+  Spec.Name = "fig9";
+  Spec.PaperSection = "Figure 9, §5.4";
+  Spec.Description = "execution time with Attraction Buffers, "
+                     "normalized to free scheduling with AB";
+  Spec.Banner = "=== Figure 9: execution time with Attraction Buffers "
+                "(normalized to baseline MinComs + AB) ===\n";
+
+  Spec.BuildGrids = [] {
+    SweepGrid Grid;
+    Grid.Machines = {
+        MachinePoint{"ab", MachineConfig::withAttractionBuffers()}};
+    Grid.Schemes = {
+        scheme("baseline", CoherencePolicy::Baseline,
+               ClusterHeuristic::MinComs),
+        scheme("MDC(PrefClus)", CoherencePolicy::MDC,
+               ClusterHeuristic::PrefClus),
+        scheme("MDC(MinComs)", CoherencePolicy::MDC,
+               ClusterHeuristic::MinComs),
+        scheme("DDGT(PrefClus)", CoherencePolicy::DDGT,
+               ClusterHeuristic::PrefClus),
+        scheme("DDGT(MinComs)", CoherencePolicy::DDGT,
+               ClusterHeuristic::MinComs),
+    };
+    Grid.Benchmarks = evaluationSuite();
+    return std::vector<ExperimentGrid>{{"fig9", "", std::move(Grid)}};
+  };
+
+  Spec.Render = [](const ExperimentRunContext &Ctx) {
+    SweepEngine &Engine = Ctx.engine();
+    TableWriter Table({"benchmark", "MDC(PrefClus)", "MDC(MinComs)",
+                       "DDGT(PrefClus)", "DDGT(MinComs)", "AB hit share"});
+    MeanColumns Totals(4);
+
+    Engine.forEachBenchmark([&](size_t B, const BenchmarkSpec &Bench) {
+      double BaseCycles =
+          static_cast<double>(Engine.at(B, 0).Result.totalCycles());
+
+      std::vector<std::string> Row{Bench.Name};
+      uint64_t AbHits = 0, Accesses = 0;
+      for (size_t I = 0; I != 4; ++I) {
+        const SweepRow &Point = Engine.at(B, I + 1);
+        double Total =
+            static_cast<double>(Point.Result.totalCycles()) / BaseCycles;
+        Totals.add(I, Total);
+        Row.push_back(TableWriter::fmt(Total));
+        if (I == 0) {
+          for (const LoopRunResult &LoopResult : Point.Result.Loops) {
+            AbHits += LoopResult.Sim.AttractionBufferHits;
+            Accesses += LoopResult.Sim.MemoryAccesses;
+          }
+        }
+      }
+      Row.push_back(TableWriter::pct(
+          safeRatio(static_cast<double>(AbHits),
+                    static_cast<double>(Accesses)),
+          1));
+      Table.addRow(Row);
+    });
+
+    Table.addSeparator();
+    std::vector<std::string> MeanRow{"AMEAN"};
+    for (size_t I = 0; I != 4; ++I)
+      MeanRow.push_back(TableWriter::fmt(Totals.mean(I)));
+    Table.addRow(MeanRow);
+    Table.render(Ctx.Out);
+
+    Ctx.Out << "\nPaper (Figure 9 + §5.4): with Attraction Buffers the "
+               "MDC solution outperforms DDGT on every benchmark except "
+               "epicdec (whose huge chain overflows a single cluster's "
+               "buffer; spreading the accesses with DDGT keeps all four "
+               "buffers effective) and gsmdec.\n";
+    return true;
+  };
+
+  Registry.add(std::move(Spec));
+}

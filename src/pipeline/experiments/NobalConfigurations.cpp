@@ -1,0 +1,101 @@
+//===- pipeline/experiments/NobalConfigurations.cpp - nobal ---------------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+// §4.2 "Other architectural configurations":
+//  * NOBAL+MEM: four 2-cycle memory buses, two 4-cycle register buses
+//    -> register buses overloaded -> MDC always beats DDGT.
+//  * NOBAL+REG: two 4-cycle memory buses, four 2-cycle register buses
+//    -> remote traffic expensive -> DDGT(PrefClus) wins on the big-chain
+//    benchmarks (epicdec 17%, pgpdec 20%, pgpenc 9%, rasta 8%).
+//
+// Both machines x three schemes x the 13 evaluation benchmarks run as
+// one grid (the machine axis carries the two bus layouts).
+//
+//===----------------------------------------------------------------------===//
+
+#include "Experiments.h"
+
+#include "cvliw/pipeline/ExperimentRegistry.h"
+#include "cvliw/support/TableWriter.h"
+
+#include <algorithm>
+#include <ostream>
+
+using namespace cvliw;
+
+namespace {
+
+SchemePoint scheme(const char *Name, CoherencePolicy Policy,
+                   ClusterHeuristic Heuristic) {
+  SchemePoint S;
+  S.Name = Name;
+  S.Policy = Policy;
+  S.Heuristic = Heuristic;
+  return S;
+}
+
+void renderConfiguration(SweepEngine &Engine, size_t MachineIndex,
+                         std::ostream &Out) {
+  const MachinePoint &Machine = Engine.grid().Machines[MachineIndex];
+  Out << "--- " << Machine.Name << ": " << Machine.Config.summary()
+      << " ---\n";
+  TableWriter Table({"benchmark", "best MDC", "DDGT(PrefClus)",
+                     "DDGT speedup over best MDC"});
+  Engine.forEachBenchmark([&](size_t B, const BenchmarkSpec &Bench) {
+    uint64_t BestMdc =
+        std::min(Engine.at(B, 0, MachineIndex).Result.totalCycles(),
+                 Engine.at(B, 1, MachineIndex).Result.totalCycles());
+    uint64_t Ddgt = Engine.at(B, 2, MachineIndex).Result.totalCycles();
+
+    double Speedup = (static_cast<double>(BestMdc) /
+                          static_cast<double>(Ddgt) -
+                      1.0) *
+                     100.0;
+    Table.addRow({Bench.Name, TableWriter::grouped(BestMdc),
+                  TableWriter::grouped(Ddgt),
+                  TableWriter::fmt(Speedup, 1) + "%"});
+  });
+  Table.render(Out);
+  Out << "\n";
+}
+
+} // namespace
+
+void cvliw::registerNobalExperiment(ExperimentRegistry &Registry) {
+  ExperimentSpec Spec;
+  Spec.Name = "nobal";
+  Spec.PaperSection = "§4.2";
+  Spec.Description = "unbalanced bus configurations (NOBAL+MEM / "
+                     "NOBAL+REG)";
+  Spec.Banner = "=== §4.2: unbalanced bus configurations ===\n";
+
+  Spec.BuildGrids = [] {
+    SweepGrid Grid;
+    Grid.Machines = {MachinePoint{"NOBAL+MEM", MachineConfig::nobalMem()},
+                     MachinePoint{"NOBAL+REG", MachineConfig::nobalReg()}};
+    Grid.Schemes = {
+        scheme("MDC(PrefClus)", CoherencePolicy::MDC,
+               ClusterHeuristic::PrefClus),
+        scheme("MDC(MinComs)", CoherencePolicy::MDC,
+               ClusterHeuristic::MinComs),
+        scheme("DDGT(PrefClus)", CoherencePolicy::DDGT,
+               ClusterHeuristic::PrefClus),
+    };
+    Grid.Benchmarks = evaluationSuite();
+    return std::vector<ExperimentGrid>{{"nobal", "", std::move(Grid)}};
+  };
+
+  Spec.Render = [](const ExperimentRunContext &Ctx) {
+    renderConfiguration(Ctx.engine(), 0, Ctx.Out);
+    renderConfiguration(Ctx.engine(), 1, Ctx.Out);
+    Ctx.Out << "Paper: under NOBAL+MEM the MDC solution always wins "
+               "(register buses are the overloaded resource store "
+               "replication leans on); under NOBAL+REG DDGT(PrefClus) "
+               "outperforms the best MDC by 17%/20%/9%/8% on "
+               "epicdec/pgpdec/pgpenc/rasta.\n";
+    return true;
+  };
+
+  Registry.add(std::move(Spec));
+}

@@ -1,0 +1,92 @@
+//===- pipeline/experiments/SpecializationImpact.cpp - §6 payoff ----------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+// Table 5 shows code specialization shrinks the memory dependent
+// chains; the paper then asserts "this will benefit the MDC solution
+// over the DDGT solution" without measuring it. This experiment
+// measures it: execution time of MDC and DDGT with and without the §6
+// run-time disambiguation, on the benchmarks the paper specializes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Experiments.h"
+
+#include "cvliw/pipeline/ExperimentRegistry.h"
+#include "cvliw/support/TableWriter.h"
+
+#include <iostream>
+#include <ostream>
+
+using namespace cvliw;
+
+void cvliw::registerSpecializationImpactExperiment(
+    ExperimentRegistry &Registry) {
+  ExperimentSpec Spec;
+  Spec.Name = "specialization_impact";
+  Spec.PaperSection = "§6 (extension)";
+  Spec.Description = "execution-time impact of code specialization on "
+                     "MDC and DDGT";
+  Spec.Banner = "=== §6 code specialization: execution-time impact "
+                "(PrefClus) ===\n";
+
+  Spec.BuildGrids = [] {
+    SweepGrid Grid;
+    for (CoherencePolicy Policy :
+         {CoherencePolicy::MDC, CoherencePolicy::DDGT}) {
+      for (bool ApplySpec : {false, true}) {
+        SchemePoint S;
+        S.Name = std::string(coherencePolicyName(Policy)) +
+                 (ApplySpec ? "+spec" : "");
+        S.Policy = Policy;
+        S.Heuristic = ClusterHeuristic::PrefClus;
+        S.ApplySpecialization = ApplySpec;
+        S.CheckCoherence = true;
+        Grid.Schemes.push_back(S);
+      }
+    }
+    auto Suite = mediabenchSuite();
+    for (const char *Name : {"epicdec", "pgpdec", "pgpenc", "rasta"})
+      if (const BenchmarkSpec *Bench = findBenchmark(Suite, Name))
+        Grid.Benchmarks.push_back(*Bench);
+    return std::vector<ExperimentGrid>{
+        {"specialization_impact", "", std::move(Grid)}};
+  };
+
+  Spec.Render = [](const ExperimentRunContext &Ctx) {
+    SweepEngine &Engine = Ctx.engine();
+    TableWriter Table({"benchmark", "MDC", "MDC+spec", "MDC gain", "DDGT",
+                       "DDGT+spec", "DDGT gain"});
+    bool Violated = false;
+    Engine.forEachBenchmark([&](size_t B, const BenchmarkSpec &Bench) {
+      std::vector<std::string> Row{Bench.Name};
+      for (size_t Policy = 0; Policy != 2; ++Policy) {
+        uint64_t Plain = 0, Specialized = 0;
+        for (size_t SpecIdx = 0; SpecIdx != 2; ++SpecIdx) {
+          const BenchmarkRunResult &R =
+              Engine.at(B, Policy * 2 + SpecIdx).Result;
+          if (R.coherenceViolations() != 0)
+            Violated = true;
+          (SpecIdx ? Specialized : Plain) = R.totalCycles();
+        }
+        double Gain = (static_cast<double>(Plain) / Specialized - 1.0) * 100;
+        Row.push_back(TableWriter::grouped(Plain));
+        Row.push_back(TableWriter::grouped(Specialized));
+        Row.push_back(TableWriter::fmt(Gain, 1) + "%");
+      }
+      Table.addRow(Row);
+    });
+    if (Violated) {
+      std::cerr << "coherence violated!\n";
+      return false;
+    }
+    Table.render(Ctx.Out);
+    Ctx.Out << "\nPaper §6: the eliminated dependences 'will benefit the "
+               "MDC solution over the DDGT solution' — dissolved chains "
+               "let MDC schedule the former members in their preferred "
+               "clusters, while DDGT mostly saves replicated stores.\n";
+    return true;
+  };
+
+  Registry.add(std::move(Spec));
+}

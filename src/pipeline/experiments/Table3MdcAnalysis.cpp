@@ -1,0 +1,77 @@
+//===- pipeline/experiments/Table3MdcAnalysis.cpp - table3 ----------------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+// Table 3: per benchmark, the biggest Chain over Memory instructions
+// Ratio (CMR) and the biggest Chain over All instructions Ratio (CAR),
+// dynamically weighted across the benchmark's loops. One
+// free-scheduling scheme over the evaluation suite: the pipeline
+// records each loop's biggest chain before any transformation, so the
+// rows' cmr()/car() are exactly the chain ratios.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Experiments.h"
+
+#include "cvliw/pipeline/ExperimentRegistry.h"
+#include "cvliw/support/TableWriter.h"
+
+#include <map>
+#include <ostream>
+
+using namespace cvliw;
+
+void cvliw::registerTable3Experiment(ExperimentRegistry &Registry) {
+  ExperimentSpec Spec;
+  Spec.Name = "table3";
+  Spec.PaperSection = "Table 3, §3.2";
+  Spec.Description = "analyzing the MDC solution: biggest-chain CMR/CAR "
+                     "ratios per benchmark";
+  Spec.Banner = "=== Table 3: analyzing the MDC solution (CMR / CAR) ===\n";
+
+  Spec.BuildGrids = [] {
+    SweepGrid Grid;
+    SchemePoint Chains;
+    Chains.Name = "chains";
+    Chains.Policy = CoherencePolicy::Baseline;
+    Chains.Heuristic = ClusterHeuristic::PrefClus;
+    Grid.Schemes = {Chains};
+    Grid.Benchmarks = evaluationSuite();
+    return std::vector<ExperimentGrid>{{"table3", "", std::move(Grid)}};
+  };
+
+  Spec.Render = [](const ExperimentRunContext &Ctx) {
+    // Paper's Table 3 values for side-by-side comparison.
+    const std::map<std::string, std::pair<double, double>> Paper = {
+        {"epicdec", {0.64, 0.22}},  {"g721dec", {0.00, 0.00}},
+        {"g721enc", {0.00, 0.00}},  {"gsmdec", {0.18, 0.02}},
+        {"gsmenc", {0.08, 0.01}},   {"jpegdec", {0.46, 0.09}},
+        {"jpegenc", {0.07, 0.03}},  {"mpeg2dec", {0.13, 0.05}},
+        {"pegwitdec", {0.27, 0.07}}, {"pegwitenc", {0.35, 0.09}},
+        {"pgpdec", {0.73, 0.24}},   {"pgpenc", {0.63, 0.21}},
+        {"rasta", {0.52, 0.26}},
+    };
+
+    SweepEngine &Engine = Ctx.engine();
+    TableWriter Table({"benchmark", "CMR (paper)", "CMR (ours)",
+                       "CAR (paper)", "CAR (ours)"});
+    Engine.forEachBenchmark([&](size_t B, const BenchmarkSpec &Bench) {
+      const BenchmarkRunResult &R = Engine.at(B, 0).Result;
+      auto It = Paper.find(Bench.Name);
+      Table.addRow({Bench.Name,
+                    It != Paper.end() ? TableWriter::fmt(It->second.first)
+                                      : "-",
+                    TableWriter::fmt(R.cmr()),
+                    It != Paper.end() ? TableWriter::fmt(It->second.second)
+                                      : "-",
+                    TableWriter::fmt(R.car())});
+    });
+    Table.render(Ctx.Out);
+    Ctx.Out << "\nPaper's observation: CAR stays at or below 0.26 "
+               "everywhere, which is why pinning chains to one cluster "
+               "barely hurts workload balance on average.\n";
+    return true;
+  };
+
+  Registry.add(std::move(Spec));
+}

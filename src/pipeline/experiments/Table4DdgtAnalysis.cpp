@@ -1,0 +1,112 @@
+//===- pipeline/experiments/Table4DdgtAnalysis.cpp - table4 ---------------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+// Table 4: per benchmark, the increase in communication (copy)
+// operations of DDGT over MDC under PrefClus, and the speedup of DDGT
+// over MDC on the "selected loops" — loops whose MDC schedule is at
+// least 10% slower than the free-scheduling baseline.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Experiments.h"
+
+#include "cvliw/pipeline/ExperimentRegistry.h"
+#include "cvliw/support/TableWriter.h"
+
+#include <map>
+#include <ostream>
+
+using namespace cvliw;
+
+namespace {
+
+SchemePoint prefClusScheme(const char *Name, CoherencePolicy Policy) {
+  SchemePoint S;
+  S.Name = Name;
+  S.Policy = Policy;
+  S.Heuristic = ClusterHeuristic::PrefClus;
+  return S;
+}
+
+} // namespace
+
+void cvliw::registerTable4Experiment(ExperimentRegistry &Registry) {
+  ExperimentSpec Spec;
+  Spec.Name = "table4";
+  Spec.PaperSection = "Table 4, §3.3";
+  Spec.Description = "analyzing the DDGT solution: communication-op "
+                     "increase and selected-loop speedups";
+  Spec.Banner = "=== Table 4: analyzing the DDGT solution (PrefClus) ===\n";
+
+  Spec.BuildGrids = [] {
+    SweepGrid Grid;
+    Grid.Schemes = {prefClusScheme("baseline", CoherencePolicy::Baseline),
+                    prefClusScheme("MDC", CoherencePolicy::MDC),
+                    prefClusScheme("DDGT", CoherencePolicy::DDGT)};
+    Grid.Benchmarks = evaluationSuite();
+    return std::vector<ExperimentGrid>{{"table4", "", std::move(Grid)}};
+  };
+
+  Spec.Render = [](const ExperimentRunContext &Ctx) {
+    // Paper values: {delta comm ops, selected-loop speedup % (-999 = none)}.
+    const std::map<std::string, std::pair<double, double>> Paper = {
+        {"epicdec", {7.39, 18.3}},  {"g721dec", {1.00, -999}},
+        {"g721enc", {1.00, -999}},  {"gsmdec", {1.06, 0.0}},
+        {"gsmenc", {0.86, 30.2}},   {"jpegdec", {1.31, 0.0}},
+        {"jpegenc", {1.05, -16.4}}, {"mpeg2dec", {1.05, -999}},
+        {"pegwitdec", {1.02, 6.2}}, {"pegwitenc", {1.29, 7.5}},
+        {"pgpdec", {1.82, 4.1}},    {"pgpenc", {1.80, 4.1}},
+        {"rasta", {1.66, 10.7}},
+    };
+
+    SweepEngine &Engine = Ctx.engine();
+    TableWriter Table({"benchmark", "dCom (paper)", "dCom (ours)",
+                       "speedup sel. loops (paper)",
+                       "speedup sel. loops (ours)"});
+
+    Engine.forEachBenchmark([&](size_t B, const BenchmarkSpec &Bench) {
+      const BenchmarkRunResult &Base = Engine.at(B, 0).Result;
+      const BenchmarkRunResult &Mdc = Engine.at(B, 1).Result;
+      const BenchmarkRunResult &Ddgt = Engine.at(B, 2).Result;
+
+      double DeltaCom =
+          safeRatio(static_cast<double>(Ddgt.communicationOps()),
+                    static_cast<double>(Mdc.communicationOps()),
+                    /*IfZero=*/Ddgt.communicationOps() ? 99.0 : 1.0);
+
+      // Selected loops: >= 10% MDC slowdown vs the optimistic baseline.
+      uint64_t SelMdc = 0, SelDdgt = 0;
+      for (size_t I = 0; I != Bench.Loops.size(); ++I) {
+        double MdcCycles = static_cast<double>(Mdc.Loops[I].Sim.TotalCycles);
+        double BaseCycles =
+            static_cast<double>(Base.Loops[I].Sim.TotalCycles);
+        if (MdcCycles >= 1.10 * BaseCycles) {
+          SelMdc += Mdc.Loops[I].Sim.TotalCycles;
+          SelDdgt += Ddgt.Loops[I].Sim.TotalCycles;
+        }
+      }
+      std::string Speedup = "-";
+      if (SelMdc != 0)
+        Speedup = TableWriter::fmt(
+                      (static_cast<double>(SelMdc) / SelDdgt - 1.0) * 100.0,
+                      1) +
+                  "%";
+
+      const auto &P = Paper.at(Bench.Name);
+      Table.addRow({Bench.Name, TableWriter::fmt(P.first),
+                    TableWriter::fmt(DeltaCom),
+                    P.second <= -999 ? "-"
+                                     : TableWriter::fmt(P.second, 1) + "%",
+                    Speedup});
+    });
+    Table.render(Ctx.Out);
+    Ctx.Out << "\nPaper's observations: store replication multiplies "
+               "communication ops (up to x7.39 in epicdec); on the loops "
+               "where MDC loses >=10% to the baseline, DDGT wins by up to "
+               "30% — but loses on store-heavy jpegenc.\n";
+    return true;
+  };
+
+  Registry.add(std::move(Spec));
+}

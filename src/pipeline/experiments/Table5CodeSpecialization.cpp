@@ -1,0 +1,79 @@
+//===- pipeline/experiments/Table5CodeSpecialization.cpp - table5 ---------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+// Table 5: CMR/CAR of epicdec, pgpdec and rasta before (OLD) and after
+// (NEW) code specialization removes the ambiguous memory dependences
+// that a run-time check can rule out (§6).
+//
+//===----------------------------------------------------------------------===//
+
+#include "Experiments.h"
+
+#include "cvliw/pipeline/ExperimentRegistry.h"
+#include "cvliw/support/TableWriter.h"
+
+#include <array>
+#include <cstdio>
+#include <map>
+#include <ostream>
+
+using namespace cvliw;
+
+void cvliw::registerTable5Experiment(ExperimentRegistry &Registry) {
+  ExperimentSpec Spec;
+  Spec.Name = "table5";
+  Spec.PaperSection = "Table 5, §6";
+  Spec.Description = "memory dependence restrictions before and after "
+                     "code specialization";
+  Spec.Banner = "=== Table 5: memory dependence restrictions before (OLD) "
+                "and after (NEW) code specialization ===\n";
+
+  Spec.BuildGrids = [] {
+    SweepGrid Grid;
+    SchemePoint Old;
+    Old.Name = "chains";
+    Old.Policy = CoherencePolicy::Baseline;
+    Old.Heuristic = ClusterHeuristic::PrefClus;
+    SchemePoint New = Old;
+    New.Name = "chains+spec";
+    New.ApplySpecialization = true;
+    Grid.Schemes = {Old, New};
+
+    auto Suite = mediabenchSuite();
+    for (const char *Name : {"epicdec", "pgpdec", "rasta"})
+      if (const BenchmarkSpec *Bench = findBenchmark(Suite, Name))
+        Grid.Benchmarks.push_back(*Bench);
+    return std::vector<ExperimentGrid>{{"table5", "", std::move(Grid)}};
+  };
+
+  Spec.Render = [](const ExperimentRunContext &Ctx) {
+    // Paper values: benchmark -> {oldCMR, oldCAR, newCMR, newCAR}.
+    const std::map<std::string, std::array<double, 4>> Paper = {
+        {"epicdec", {0.64, 0.22, 0.20, 0.06}},
+        {"pgpdec", {0.73, 0.24, 0.52, 0.17}},
+        {"rasta", {0.52, 0.26, 0.13, 0.06}},
+    };
+
+    SweepEngine &Engine = Ctx.engine();
+    TableWriter Table({"benchmark", "OLD CMR", "OLD CAR", "NEW CMR",
+                       "NEW CAR", "paper OLD->NEW CMR"});
+    Engine.forEachBenchmark([&](size_t B, const BenchmarkSpec &Bench) {
+      const BenchmarkRunResult &OldR = Engine.at(B, 0).Result;
+      const BenchmarkRunResult &NewR = Engine.at(B, 1).Result;
+      const auto &P = Paper.at(Bench.Name);
+      char Ref[64];
+      std::snprintf(Ref, sizeof(Ref), "%.2f -> %.2f", P[0], P[2]);
+      Table.addRow({Bench.Name, TableWriter::fmt(OldR.cmr()),
+                    TableWriter::fmt(OldR.car()), TableWriter::fmt(NewR.cmr()),
+                    TableWriter::fmt(NewR.car()), Ref});
+    });
+    Table.render(Ctx.Out);
+    Ctx.Out << "\nPaper's observation: run-time disambiguation greatly "
+               "shrinks the chains (epicdec 0.64 -> 0.20), benefiting the "
+               "MDC solution.\n";
+    return true;
+  };
+
+  Registry.add(std::move(Spec));
+}

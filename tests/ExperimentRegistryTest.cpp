@@ -1,0 +1,207 @@
+//===- tests/ExperimentRegistryTest.cpp - named experiments ---------------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cvliw/pipeline/ExperimentRegistry.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+using namespace cvliw;
+
+namespace {
+
+/// A one-point spec for harness-behavior tests (cheap: no chains, two
+/// plain loads).
+ExperimentSpec tinySpec(const std::string &Name, bool RenderOk = true) {
+  ExperimentSpec Spec;
+  Spec.Name = Name;
+  Spec.PaperSection = "test";
+  Spec.Description = "a test experiment";
+  Spec.Banner = "=== " + Name + " banner ===\n";
+  Spec.BuildGrids = [] {
+    SweepGrid Grid;
+    SchemePoint S;
+    S.Name = "free";
+    Grid.Schemes = {S};
+    BenchmarkSpec B;
+    B.Name = "tiny";
+    LoopSpec L;
+    L.Name = "tiny.loop0";
+    L.ProfileTrip = 10;
+    L.ExecTrip = 20;
+    L.ConsistentLoads = 2;
+    L.SeedBase = 5;
+    B.Loops.push_back(L);
+    Grid.Benchmarks = {B};
+    return std::vector<ExperimentGrid>{{"tiny", "", std::move(Grid)}};
+  };
+  Spec.Render = [RenderOk](const ExperimentRunContext &Ctx) {
+    Ctx.Out << "rendered " << Ctx.engine().grid().size()
+            << " points, seed " << Ctx.engine().run()[0].PointSeed << "\n";
+    return RenderOk;
+  };
+  return Spec;
+}
+
+/// The "seed N" tail of the tiny renderer's output.
+std::string seedLine(const std::string &Text) {
+  size_t Pos = Text.find("seed ");
+  return Pos == std::string::npos ? std::string() : Text.substr(Pos);
+}
+
+} // namespace
+
+// The tentpole contract: all sixteen paper experiments registered,
+// uniquely named, each with at least one non-empty grid.
+TEST(ExperimentRegistry, SixteenExperimentsUniqueNamesNonEmptyGrids) {
+  const ExperimentRegistry &Registry = ExperimentRegistry::global();
+  EXPECT_EQ(Registry.size(), 16u);
+
+  std::set<std::string> Names;
+  for (const ExperimentSpec &Spec : Registry.experiments()) {
+    EXPECT_TRUE(Names.insert(Spec.Name).second)
+        << "duplicate experiment name " << Spec.Name;
+    EXPECT_FALSE(Spec.PaperSection.empty()) << Spec.Name;
+    EXPECT_FALSE(Spec.Description.empty()) << Spec.Name;
+    EXPECT_FALSE(Spec.Banner.empty()) << Spec.Name;
+
+    std::vector<ExperimentGrid> Grids = Spec.BuildGrids();
+    ASSERT_FALSE(Grids.empty()) << Spec.Name;
+    size_t PrimaryGrids = 0;
+    std::set<std::string> Suffixes;
+    for (const ExperimentGrid &Grid : Grids) {
+      EXPECT_GT(Grid.Grid.size(), 0u)
+          << Spec.Name << " grid '" << Grid.Label << "' is empty";
+      EXPECT_TRUE(Suffixes.insert(Grid.FileSuffix).second)
+          << Spec.Name << " reuses file suffix '" << Grid.FileSuffix << "'";
+      if (Grid.FileSuffix.empty())
+        ++PrimaryGrids;
+    }
+    EXPECT_EQ(PrimaryGrids, 1u)
+        << Spec.Name << " needs exactly one unsuffixed primary grid";
+  }
+}
+
+TEST(ExperimentRegistry, PaperExperimentsRegisteredByName) {
+  const ExperimentRegistry &Registry = ExperimentRegistry::global();
+  for (const char *Name :
+       {"table1", "table2", "table3", "table4", "table5", "fig6", "fig7",
+        "fig9", "nobal", "cache_organizations", "hardware_vs_software",
+        "hybrid", "stall_attribution", "specialization_impact",
+        "ablation_ordering", "ablation_latency"})
+    EXPECT_NE(Registry.find(Name), nullptr) << Name;
+  EXPECT_EQ(Registry.find("no_such_experiment"), nullptr);
+  EXPECT_EQ(Registry.find(""), nullptr);
+}
+
+TEST(ExperimentRegistry, HardwareVsSoftwareCarriesSuffixedSecondaryGrid) {
+  const ExperimentSpec *Spec =
+      ExperimentRegistry::global().find("hardware_vs_software");
+  ASSERT_NE(Spec, nullptr);
+  std::vector<ExperimentGrid> Grids = Spec->BuildGrids();
+  ASSERT_EQ(Grids.size(), 2u);
+  EXPECT_EQ(Grids[0].FileSuffix, ".hw");
+  EXPECT_EQ(Grids[1].FileSuffix, "");
+  // The hardware reference machine differs from the software baseline.
+  EXPECT_EQ(Grids[0].Grid.Machines[0].Name, "mvliw");
+}
+
+TEST(ExperimentRegistry, AddRejectsDuplicatesAndIncompleteSpecs) {
+  ExperimentRegistry Registry;
+  Registry.add(tinySpec("one"));
+  EXPECT_THROW(Registry.add(tinySpec("one")), std::invalid_argument);
+
+  ExperimentSpec Nameless = tinySpec("");
+  EXPECT_THROW(Registry.add(std::move(Nameless)), std::invalid_argument);
+
+  ExperimentSpec NoBuilder = tinySpec("two");
+  NoBuilder.BuildGrids = nullptr;
+  EXPECT_THROW(Registry.add(std::move(NoBuilder)), std::invalid_argument);
+
+  ExperimentSpec NoRender = tinySpec("three");
+  NoRender.Render = nullptr;
+  EXPECT_THROW(Registry.add(std::move(NoRender)), std::invalid_argument);
+
+  EXPECT_EQ(Registry.size(), 1u);
+}
+
+TEST(ExperimentRegistry, ApplyOverridesTouchesOnlyOverriddenKnobs) {
+  SweepGrid Grid;
+  Grid.BaseSeed = 1234;
+  Grid.ReseedLoops = false;
+
+  applyOverrides(Grid, ExperimentOverrides{});
+  EXPECT_EQ(Grid.BaseSeed, 1234u);
+  EXPECT_FALSE(Grid.ReseedLoops);
+
+  ExperimentOverrides Overrides;
+  Overrides.HasBaseSeed = true;
+  Overrides.BaseSeed = 999;
+  applyOverrides(Grid, Overrides);
+  EXPECT_EQ(Grid.BaseSeed, 999u);
+  EXPECT_FALSE(Grid.ReseedLoops);
+
+  Overrides = ExperimentOverrides{};
+  Overrides.HasReseedLoops = true;
+  Overrides.ReseedLoops = true;
+  applyOverrides(Grid, Overrides);
+  EXPECT_EQ(Grid.BaseSeed, 999u);
+  EXPECT_TRUE(Grid.ReseedLoops);
+}
+
+// The shared harness: banner first, sweeps, blank line, rendered table;
+// a renderer returning false becomes exit code 1.
+TEST(ExperimentRegistry, RunExperimentPrintsBannerSweepsAndRenders) {
+  ExperimentSpec Spec = tinySpec("harness");
+  SweepRunOptions Options;
+  Options.Threads = 1;
+  std::ostringstream Out;
+  EXPECT_EQ(runExperiment(Spec, Options, Out), 0);
+  const std::string Text = Out.str();
+  EXPECT_NE(Text.find("=== harness banner ===\n"), std::string::npos);
+  EXPECT_NE(Text.find("sweep: 1 points"), std::string::npos);
+  EXPECT_NE(Text.find("rendered 1 points"), std::string::npos);
+  // Banner before sweep log before render.
+  EXPECT_LT(Text.find("=== harness banner ==="), Text.find("sweep: "));
+  EXPECT_LT(Text.find("sweep: "), Text.find("rendered"));
+}
+
+TEST(ExperimentRegistry, RunExperimentFailedRenderIsExitOne) {
+  ExperimentSpec Spec = tinySpec("failing", /*RenderOk=*/false);
+  SweepRunOptions Options;
+  Options.Threads = 1;
+  std::ostringstream Out;
+  EXPECT_EQ(runExperiment(Spec, Options, Out), 1);
+}
+
+TEST(ExperimentRegistry, BaseSeedOptionOverridesTheGridSeed) {
+  ExperimentSpec Spec = tinySpec("seeded");
+  SweepRunOptions Options;
+  Options.Threads = 1;
+  Options.HasBaseSeed = true;
+  Options.BaseSeed = 42;
+
+  std::ostringstream WithOverride, Default, SameOverride;
+  EXPECT_EQ(runExperiment(Spec, Options, WithOverride), 0);
+  SweepRunOptions Plain;
+  Plain.Threads = 1;
+  EXPECT_EQ(runExperiment(Spec, Plain, Default), 0);
+  EXPECT_EQ(runExperiment(Spec, Options, SameOverride), 0);
+
+  // The per-point seed derives from the grid's base seed, so the
+  // override must change it — deterministically.
+  EXPECT_FALSE(seedLine(WithOverride.str()).empty());
+  EXPECT_NE(seedLine(WithOverride.str()), seedLine(Default.str()));
+  EXPECT_EQ(seedLine(WithOverride.str()), seedLine(SameOverride.str()));
+}
+
+TEST(ExperimentRegistry, RunExperimentMainRejectsUnknownName) {
+  char Prog[] = "test";
+  char *Argv[] = {Prog};
+  EXPECT_EQ(runExperimentMain("definitely_not_registered", 1, Argv), 1);
+}

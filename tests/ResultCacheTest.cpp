@@ -13,6 +13,8 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 using namespace cvliw;
 
@@ -454,4 +456,155 @@ TEST(ResultCache, PersistedCacheServesASecondProcessColdStart) {
   B.writeCsv(CsvB);
   EXPECT_EQ(CsvA.str(), CsvB.str());
   std::remove(Path.c_str());
+}
+
+TEST(ResultCache, LruBoundEvictsLeastRecentlyUsed) {
+  ResultCache Cache;
+  LoopRunResult E = sampleEntry();
+  Cache.insert(1, E);
+  size_t OneEntryBytes = Cache.stats().Bytes;
+  ASSERT_GT(OneEntryBytes, 0u);
+  // Room for exactly three same-shaped entries.
+  Cache.setMaxBytes(3 * OneEntryBytes);
+
+  Cache.insert(2, E);
+  Cache.insert(3, E);
+  EXPECT_EQ(Cache.size(), 3u);
+  EXPECT_EQ(Cache.evictions(), 0u);
+
+  // Touch 1 so 2 becomes the least recently used...
+  LoopRunResult Out;
+  EXPECT_TRUE(Cache.lookup(1, Out));
+  // ...then overflow: 2 must go, 1 and 3 must stay.
+  Cache.insert(4, E);
+  EXPECT_EQ(Cache.size(), 3u);
+  EXPECT_EQ(Cache.evictions(), 1u);
+  EXPECT_TRUE(Cache.lookup(1, Out));
+  EXPECT_FALSE(Cache.lookup(2, Out));
+  EXPECT_TRUE(Cache.lookup(3, Out));
+  EXPECT_TRUE(Cache.lookup(4, Out));
+  EXPECT_LE(Cache.stats().Bytes, Cache.maxBytes());
+}
+
+TEST(ResultCache, SetMaxBytesShrinksAnOversizedTableImmediately) {
+  ResultCache Cache;
+  LoopRunResult E = sampleEntry();
+  for (uint64_t Key = 1; Key <= 10; ++Key)
+    Cache.insert(Key, E);
+  EXPECT_EQ(Cache.size(), 10u);
+  size_t OneEntryBytes = Cache.stats().Bytes / 10;
+
+  Cache.setMaxBytes(2 * OneEntryBytes);
+  EXPECT_LE(Cache.size(), 2u);
+  EXPECT_GE(Cache.evictions(), 8u);
+  // The most recently inserted key survives.
+  LoopRunResult Out;
+  EXPECT_TRUE(Cache.lookup(10, Out));
+}
+
+TEST(ResultCache, BoundSmallerThanOneEntryKeepsTheNewestEntry) {
+  ResultCache Cache;
+  Cache.setMaxBytes(1); // Far below a single entry's footprint.
+  LoopRunResult E = sampleEntry();
+  Cache.insert(1, E);
+  Cache.insert(2, E);
+  // Degrades to a one-entry cache instead of thrashing to empty.
+  EXPECT_EQ(Cache.size(), 1u);
+  LoopRunResult Out;
+  EXPECT_TRUE(Cache.lookup(2, Out));
+  EXPECT_FALSE(Cache.lookup(1, Out));
+}
+
+TEST(ResultCache, StatsReportBoundAndEvictions) {
+  ResultCache Cache;
+  EXPECT_EQ(Cache.stats().MaxBytes, 0u);
+  EXPECT_EQ(Cache.stats().Evictions, 0u);
+
+  Cache.setMaxBytes(12345);
+  EXPECT_EQ(Cache.stats().MaxBytes, 12345u);
+  EXPECT_EQ(Cache.maxBytes(), 12345u);
+
+  Cache.clear();
+  EXPECT_EQ(Cache.stats().Entries, 0u);
+  EXPECT_EQ(Cache.stats().Evictions, 0u);
+  // The bound itself survives clear(); only contents and counters reset.
+  EXPECT_EQ(Cache.maxBytes(), 12345u);
+}
+
+TEST(ResultCache, UnboundedCacheNeverEvicts) {
+  ResultCache Cache;
+  LoopRunResult E = sampleEntry();
+  for (uint64_t Key = 1; Key <= 100; ++Key)
+    Cache.insert(Key, E);
+  EXPECT_EQ(Cache.size(), 100u);
+  EXPECT_EQ(Cache.evictions(), 0u);
+}
+
+TEST(ResultCache, BoundedSweepStaysByteIdenticalToUnbounded) {
+  // Eviction can cost recomputation, never correctness: a sweep over a
+  // pathologically small cache must serialize exactly like one over an
+  // unbounded cache.
+  SweepGrid Grid = tinyGrid();
+
+  ResultCache Unbounded;
+  SweepEngine Reference(Grid, /*Threads=*/1);
+  Reference.setCache(&Unbounded);
+  Reference.run();
+  std::ostringstream ReferenceCsv;
+  Reference.writeCsv(ReferenceCsv);
+
+  ResultCache Bounded;
+  Bounded.setMaxBytes(1); // One-entry cache: constant churn.
+  SweepEngine Tiny(Grid, /*Threads=*/1);
+  Tiny.setCache(&Bounded);
+  Tiny.run();
+  std::ostringstream TinyCsv;
+  Tiny.writeCsv(TinyCsv);
+
+  EXPECT_EQ(ReferenceCsv.str(), TinyCsv.str());
+  EXPECT_LE(Bounded.size(), 1u);
+}
+
+TEST(ResultCache, TrulyConcurrentSavesConvergeOnTheUnion) {
+  // The remaining save-merge race the sidecar lock closes: writers
+  // whose read-merge-rename sections *interleave* could drop each
+  // other's novel entries. Under the flock, saves serialize: however
+  // the threads race, the final file holds every writer's entries.
+  std::string Path = ::testing::TempDir() + "cvliw_lock_test.cache";
+  std::remove(Path.c_str());
+  std::remove((Path + ".lock").c_str());
+
+  constexpr unsigned Writers = 8;
+  constexpr unsigned EntriesPerWriter = 4;
+  std::vector<ResultCache> Caches(Writers);
+  for (unsigned W = 0; W != Writers; ++W)
+    for (unsigned E = 0; E != EntriesPerWriter; ++E) {
+      LoopRunResult Entry = sampleEntry();
+      Entry.LoopName =
+          "writer" + std::to_string(W) + ".loop" + std::to_string(E);
+      Caches[W].insert(1000 * (W + 1) + E, Entry);
+    }
+
+  std::vector<std::thread> Threads;
+  // One char per writer, not vector<bool>: concurrent writes to packed
+  // bits would be the data race this test exists to rule out.
+  std::vector<char> Saved(Writers, 0);
+  for (unsigned W = 0; W != Writers; ++W)
+    Threads.emplace_back(
+        [&, W] { Saved[W] = Caches[W].save(Path) ? 1 : 0; });
+  for (std::thread &T : Threads)
+    T.join();
+  for (unsigned W = 0; W != Writers; ++W)
+    EXPECT_TRUE(Saved[W]) << "writer " << W;
+
+  ResultCache Merged;
+  ASSERT_TRUE(Merged.load(Path));
+  EXPECT_EQ(Merged.size(), size_t{Writers} * EntriesPerWriter);
+  LoopRunResult Out;
+  for (unsigned W = 0; W != Writers; ++W)
+    for (unsigned E = 0; E != EntriesPerWriter; ++E)
+      EXPECT_TRUE(Merged.lookup(1000 * (W + 1) + E, Out))
+          << "writer " << W << " entry " << E << " was dropped";
+  std::remove(Path.c_str());
+  std::remove((Path + ".lock").c_str());
 }

@@ -8,6 +8,7 @@
 
 #include "cvliw/net/Frame.h"
 #include "cvliw/net/SweepClient.h"
+#include "cvliw/pipeline/ExperimentRegistry.h"
 #include "cvliw/pipeline/ResultCache.h"
 #include "cvliw/pipeline/SweepEngine.h"
 
@@ -345,4 +346,117 @@ TEST(SweepService, DriverRemoteModeRunsSweepAgainstDaemon) {
       << Log.str();
   EXPECT_EQ(Engine.run().size(), tinyGrid().size())
       << "adopted rows satisfy later run() calls";
+}
+
+TEST(SweepService, RunExperimentUnknownNameErrorsButKeepsServing) {
+  ServiceFixture F;
+  SweepClient Client;
+  std::string Error;
+  ASSERT_TRUE(Client.connect(F.HostPort, Error)) << Error;
+
+  std::vector<std::vector<SweepRow>> GridRows;
+  RemoteSweepStats Stats;
+  EXPECT_FALSE(Client.runExperiment("no_such_experiment",
+                                    ExperimentOverrides{}, {}, GridRows,
+                                    Stats, Error));
+  EXPECT_NE(Error.find("unknown experiment 'no_such_experiment'"),
+            std::string::npos)
+      << Error;
+
+  // A semantic miss, not protocol garbage: the same connection keeps
+  // working, and the daemon never counted a protocol error.
+  EXPECT_TRUE(Client.ping(Error)) << Error;
+  EXPECT_EQ(F.Service.protocolErrors(), 0u);
+  EXPECT_EQ(F.Service.experimentsServed(), 0u);
+
+  // A second client sees a healthy daemon too.
+  SweepClient Second;
+  ASSERT_TRUE(Second.connect(F.HostPort, Error)) << Error;
+  EXPECT_TRUE(Second.ping(Error)) << Error;
+}
+
+TEST(SweepService, RunExperimentByNameMatchesLocalExpansion) {
+  // table2 carries the registry's cheapest real grid; the daemon's
+  // server-side expansion must reproduce, byte for byte, what a local
+  // run of the same registered grid computes.
+  const ExperimentSpec *Spec = ExperimentRegistry::global().find("table2");
+  ASSERT_NE(Spec, nullptr);
+  std::vector<ExperimentGrid> Grids = Spec->BuildGrids();
+  ASSERT_EQ(Grids.size(), 1u);
+
+  ServiceFixture F;
+  SweepClient Client;
+  std::string Error;
+  ASSERT_TRUE(Client.connect(F.HostPort, Error)) << Error;
+
+  std::vector<const SweepGrid *> Expected{&Grids[0].Grid};
+  std::vector<std::vector<SweepRow>> GridRows;
+  RemoteSweepStats Stats;
+  ASSERT_TRUE(Client.runExperiment("table2", ExperimentOverrides{},
+                                   Expected, GridRows, Stats, Error))
+      << Error;
+  ASSERT_EQ(GridRows.size(), 1u);
+  EXPECT_EQ(Stats.Grids, 1u);
+  EXPECT_EQ(Stats.Points, Grids[0].Grid.size());
+  EXPECT_EQ(F.Service.experimentsServed(), 1u);
+
+  EXPECT_EQ(csvOfRows(Grids[0].Grid, std::move(GridRows[0])),
+            serialCsv(Grids[0].Grid));
+}
+
+TEST(SweepService, RunExperimentAppliesOverridesServerSide) {
+  const ExperimentSpec *Spec = ExperimentRegistry::global().find("table2");
+  ASSERT_NE(Spec, nullptr);
+  SweepGrid Overridden = Spec->BuildGrids()[0].Grid;
+  ExperimentOverrides Overrides;
+  Overrides.HasBaseSeed = true;
+  Overrides.BaseSeed = 0xfeedface;
+  applyOverrides(Overridden, Overrides);
+
+  ServiceFixture F;
+  SweepClient Client;
+  std::string Error;
+  ASSERT_TRUE(Client.connect(F.HostPort, Error)) << Error;
+
+  std::vector<const SweepGrid *> Expected{&Overridden};
+  std::vector<std::vector<SweepRow>> GridRows;
+  RemoteSweepStats Stats;
+  ASSERT_TRUE(Client.runExperiment("table2", Overrides, Expected, GridRows,
+                                   Stats, Error))
+      << Error;
+  ASSERT_EQ(GridRows.size(), 1u);
+
+  // The daemon applied the same override: its rows serialize exactly
+  // like a local run of the overridden grid (seed column included).
+  EXPECT_EQ(csvOfRows(Overridden, std::move(GridRows[0])),
+            serialCsv(Overridden));
+}
+
+TEST(SweepService, RunExperimentServesMultiGridExperiments) {
+  // hardware_vs_software is the one two-grid experiment: every grid's
+  // rows must come back tagged and complete.
+  const ExperimentSpec *Spec =
+      ExperimentRegistry::global().find("hardware_vs_software");
+  ASSERT_NE(Spec, nullptr);
+  std::vector<ExperimentGrid> Grids = Spec->BuildGrids();
+  ASSERT_EQ(Grids.size(), 2u);
+
+  ServiceFixture F;
+  SweepClient Client;
+  std::string Error;
+  ASSERT_TRUE(Client.connect(F.HostPort, Error)) << Error;
+
+  std::vector<const SweepGrid *> Expected{&Grids[0].Grid, &Grids[1].Grid};
+  std::vector<std::vector<SweepRow>> GridRows;
+  RemoteSweepStats Stats;
+  ASSERT_TRUE(Client.runExperiment("hardware_vs_software",
+                                   ExperimentOverrides{}, Expected,
+                                   GridRows, Stats, Error))
+      << Error;
+  ASSERT_EQ(GridRows.size(), 2u);
+  EXPECT_EQ(Stats.Grids, 2u);
+  EXPECT_EQ(Stats.Points, Grids[0].Grid.size() + Grids[1].Grid.size());
+  for (size_t G = 0; G != 2; ++G)
+    EXPECT_EQ(csvOfRows(Grids[G].Grid, std::move(GridRows[G])),
+              serialCsv(Grids[G].Grid));
 }

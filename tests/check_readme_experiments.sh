@@ -1,0 +1,41 @@
+#!/bin/sh
+#===- tests/check_readme_experiments.sh - README/registry agreement -------===#
+#
+# The README's "experiments by name" table is generated output: the
+# block between the experiment-list markers must be byte-identical to
+# `cvliw-bench --list-markdown`, so the docs cannot drift from the
+# registry. Regenerate with:
+#
+#   cvliw-bench --list-markdown   (paste between the markers)
+#
+# Usage: check_readme_experiments.sh <cvliw-bench> <README.md>
+#
+#===----------------------------------------------------------------------===#
+set -u
+
+bench="$1"
+readme="$2"
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+"$bench" --list-markdown > "$workdir/expected" || {
+  echo "FAIL: cvliw-bench --list-markdown failed" >&2
+  exit 1
+}
+
+awk '/<!-- experiment-list:begin -->/{inside=1; next}
+     /<!-- experiment-list:end -->/{inside=0}
+     inside' "$readme" > "$workdir/actual"
+
+if [ ! -s "$workdir/actual" ]; then
+  echo "FAIL: no experiment-list markers (or empty block) in $readme" >&2
+  exit 1
+fi
+
+if ! diff "$workdir/expected" "$workdir/actual" >&2; then
+  echo "FAIL: README experiment table differs from" \
+       "cvliw-bench --list-markdown" >&2
+  exit 1
+fi
+echo "OK: README experiment table matches the registry"

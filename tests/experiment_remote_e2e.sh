@@ -1,0 +1,87 @@
+#!/bin/sh
+#===- tests/experiment_remote_e2e.sh - run-by-name round trip -------------===#
+#
+# Exercises the run_experiment wire path end to end:
+#
+#   1. start cvliw-sweepd on an ephemeral port,
+#   2. run `cvliw-bench <name> --remote` against it — the client sends
+#      the experiment *name* (an O(1) frame, no serialized grid), the
+#      daemon expands the registered grid server-side — and assert the
+#      table is byte-identical to the golden capture,
+#   3. send an unknown name over the wire (cvliw-sweep-client forwards
+#      it unvalidated) and assert the daemon answers with an error and
+#      keeps serving,
+#   4. re-run the real experiment (now cache-warm) and golden-check it
+#      again. (sweep_service_e2e covers clean shutdown.)
+#
+# Usage: experiment_remote_e2e.sh <cvliw-sweepd> <cvliw-bench>
+#                                 <cvliw-sweep-client>
+#                                 <experiment-name> <golden-file>
+#
+#===----------------------------------------------------------------------===#
+set -u
+
+sweepd="$1"
+bench="$2"
+client="$3"
+name="$4"
+golden="$5"
+here=$(dirname "$0")
+
+workdir=$(mktemp -d)
+daemon_pid=
+cleanup() {
+  [ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+"$sweepd" --port 0 --port-file "$workdir/port" --threads 2 \
+  > "$workdir/sweepd.log" 2>&1 &
+daemon_pid=$!
+
+i=0
+while [ ! -s "$workdir/port" ]; do
+  i=$((i + 1))
+  if [ "$i" -gt 100 ] || ! kill -0 "$daemon_pid" 2>/dev/null; then
+    echo "FAIL: daemon did not become ready" >&2
+    cat "$workdir/sweepd.log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+hostport="127.0.0.1:$(cat "$workdir/port")"
+echo "daemon up at $hostport"
+
+# Step 2: by-name remote run against the golden capture.
+sh "$here/golden/check_driver.sh" "$bench" "$golden" \
+   "$name" --remote "$hostport" || exit 1
+echo "OK: $name served by name matches its golden capture"
+
+# Step 3: an unknown name over the wire must earn an error response
+# and leave the daemon serving.
+if "$client" "$hostport" experiment no_such_experiment \
+     > "$workdir/unknown.log" 2>&1; then
+  echo "FAIL: unknown experiment name unexpectedly succeeded" >&2
+  exit 1
+fi
+grep -q "unknown experiment" "$workdir/unknown.log" || {
+  echo "FAIL: expected the daemon's unknown-experiment error, got:" >&2
+  cat "$workdir/unknown.log" >&2
+  exit 1
+}
+if ! kill -0 "$daemon_pid" 2>/dev/null; then
+  echo "FAIL: daemon died on an unknown experiment name" >&2
+  cat "$workdir/sweepd.log" >&2
+  exit 1
+fi
+"$client" "$hostport" ping > /dev/null || {
+  echo "FAIL: daemon stopped answering after an unknown name" >&2
+  exit 1
+}
+echo "OK: unknown name rejected over the wire, daemon still serving"
+
+# Step 4: the cache-warm re-run must still match the capture.
+sh "$here/golden/check_driver.sh" "$bench" "$golden" \
+   "$name" --remote "$hostport" || exit 1
+echo "OK: cache-warm re-run matches its golden capture"

@@ -1,0 +1,54 @@
+#!/bin/sh
+#===- tests/golden/check_all_experiments.sh - enumeration golden check ----===#
+#
+# The enumeration-driven golden harness: the experiment list comes from
+# `cvliw-bench --list-names`, not from a hard-coded driver list. Every
+# registered experiment is run by name and its table output (minus the
+# filtered "sweep: " metadata lines) must be byte-identical to
+# <golden-dir>/<name>.golden; the name set and the golden-capture set
+# must match exactly, so adding an experiment without a capture — or
+# leaving a stale capture behind — fails.
+#
+# A shared result-cache file speeds the sixteen runs up without being
+# able to change a byte (the determinism contract, itself golden- and
+# verify-serial-enforced).
+#
+# Usage: check_all_experiments.sh <cvliw-bench> <golden-dir>
+#
+#===----------------------------------------------------------------------===#
+set -u
+
+bench="$1"
+goldendir="$2"
+here=$(dirname "$0")
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+names=$("$bench" --list-names) || {
+  echo "FAIL: cvliw-bench --list-names failed" >&2
+  exit 1
+}
+[ -n "$names" ] || {
+  echo "FAIL: cvliw-bench --list-names reported no experiments" >&2
+  exit 1
+}
+
+# Set equality: every name has a capture, every capture has a name.
+printf '%s\n' "$names" | sort > "$workdir/names"
+for f in "$goldendir"/*.golden; do
+  basename "$f" .golden
+done | sort > "$workdir/captures"
+if ! diff "$workdir/names" "$workdir/captures" >&2; then
+  echo "FAIL: registered experiments and golden captures disagree" >&2
+  exit 1
+fi
+
+status=0
+for name in $names; do
+  if ! sh "$here/check_driver.sh" "$bench" "$goldendir/$name.golden" \
+       "$name" --cache "$workdir/cache"; then
+    status=1
+  fi
+done
+exit $status

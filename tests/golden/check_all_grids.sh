@@ -1,0 +1,57 @@
+#!/bin/sh
+#===- tests/golden/check_all_grids.sh - grid fixture equivalence ----------===#
+#
+# Pins every registered experiment's expanded grid(s) to the fixtures
+# in tests/golden/grids/ (captured from the pre-registry drivers'
+# --dump-grid output): `cvliw-bench <name> --dump-grid` must reproduce
+# <name>.grid.json byte for byte, including any suffixed secondary
+# grids (hardware_vs_software's <name>.grid.json.hw). The fixture set
+# and the produced-file set must match exactly.
+#
+# Usage: check_all_grids.sh <cvliw-bench> <grids-dir>
+#
+#===----------------------------------------------------------------------===#
+set -u
+
+bench="$1"
+gridsdir="$2"
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+names=$("$bench" --list-names) || {
+  echo "FAIL: cvliw-bench --list-names failed" >&2
+  exit 1
+}
+
+status=0
+for name in $names; do
+  # --dump-grids serializes the registered grid(s) without evaluating
+  # anything, so the whole fixture sweep is near-instant.
+  "$bench" --dump-grids "$name" "$workdir/$name.grid.json" \
+    > /dev/null || {
+    echo "FAIL: cvliw-bench --dump-grids $name failed" >&2
+    status=1
+    continue
+  }
+done
+
+( cd "$workdir" && ls *.grid.json* 2>/dev/null | sort ) > "$workdir/produced"
+( cd "$gridsdir" && ls *.grid.json* 2>/dev/null | sort ) > "$workdir/fixtures"
+if ! diff "$workdir/fixtures" "$workdir/produced" >&2; then
+  echo "FAIL: produced grid files and fixtures disagree" >&2
+  status=1
+fi
+
+for f in "$gridsdir"/*.grid.json*; do
+  base=$(basename "$f")
+  [ -f "$workdir/$base" ] || continue
+  if ! diff "$f" "$workdir/$base" > /dev/null; then
+    echo "FAIL: grid $base differs from its fixture" >&2
+    diff "$f" "$workdir/$base" | head -5 >&2
+    status=1
+  else
+    echo "OK: $base matches its fixture"
+  fi
+done
+exit $status

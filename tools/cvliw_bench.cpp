@@ -1,0 +1,155 @@
+//===- tools/cvliw_bench.cpp - run any experiment by name -----------------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+// The unified bench driver over the experiment registry: every paper
+// table/figure (and the repo's ablations) is a named ExperimentSpec,
+// and this tool runs any of them — locally or, with --remote, by name
+// through a cvliw-sweepd daemon (the daemon expands the registered
+// grid server-side; the request frame carries just the name).
+//
+//   cvliw-bench <name> [sweep flags]    run one experiment (fig7, table4, ...)
+//   cvliw-bench --all [sweep flags]     run every experiment in paper order
+//   cvliw-bench --list                  name, paper section, description
+//   cvliw-bench --list-names            names only, one per line (scripts)
+//   cvliw-bench --list-markdown         the README experiment table
+//   cvliw-bench --dump-grids NAME FILE  write NAME's grid(s) as JSON and
+//                                       exit without evaluating (the grid
+//                                       fixture checks use this)
+//
+// Sweep flags are the ones every bench driver shares ([--threads N]
+// [--csv FILE] [--json FILE] [--cache FILE] [--cache-max-bytes N]
+// [--base-seed N] [--remote HOST:PORT] [--dump-grid FILE]
+// [--verify-serial]). With --all, per-experiment output files get a
+// ".<name>" suffix so sixteen experiments do not fight over one path.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cvliw/pipeline/ExperimentRegistry.h"
+
+#include <algorithm>
+#include <cstring>
+#include <iomanip>
+#include <iostream>
+#include <string>
+
+using namespace cvliw;
+
+namespace {
+
+void printUsage(std::ostream &OS) {
+  OS << "usage: cvliw-bench <name> [sweep flags]\n"
+        "       cvliw-bench --all [sweep flags]\n"
+        "       cvliw-bench --list | --list-names | --list-markdown\n"
+        "       cvliw-bench --dump-grids NAME FILE\n"
+        "experiment names: cvliw-bench --list\n";
+}
+
+int listExperiments() {
+  const ExperimentRegistry &Registry = ExperimentRegistry::global();
+  size_t NameWidth = 0, SectionWidth = 0;
+  for (const ExperimentSpec &Spec : Registry.experiments()) {
+    NameWidth = std::max(NameWidth, Spec.Name.size());
+    SectionWidth = std::max(SectionWidth, Spec.PaperSection.size());
+  }
+  for (const ExperimentSpec &Spec : Registry.experiments())
+    std::cout << std::left << std::setw(static_cast<int>(NameWidth + 2))
+              << Spec.Name
+              << std::setw(static_cast<int>(SectionWidth + 2))
+              << Spec.PaperSection << Spec.Description << "\n";
+  return 0;
+}
+
+int listNames() {
+  for (const ExperimentSpec &Spec :
+       ExperimentRegistry::global().experiments())
+    std::cout << Spec.Name << "\n";
+  return 0;
+}
+
+/// The README's experiment table, verbatim: the readme_experiment_table
+/// CTest diffs the block between the README's markers against this
+/// output, so the docs cannot drift from the registry.
+int listMarkdown() {
+  std::cout << "| experiment | paper section | description | run |\n"
+               "| --- | --- | --- | --- |\n";
+  for (const ExperimentSpec &Spec :
+       ExperimentRegistry::global().experiments())
+    std::cout << "| `" << Spec.Name << "` | " << Spec.PaperSection
+              << " | " << Spec.Description << " | `cvliw-bench "
+              << Spec.Name << "` |\n";
+  return 0;
+}
+
+int dumpGrids(const char *Name, const char *Path) {
+  const ExperimentSpec *Spec = ExperimentRegistry::global().find(Name);
+  if (!Spec) {
+    std::cerr << "unknown experiment '" << Name
+              << "' (cvliw-bench --list names the registered ones)\n";
+    return 1;
+  }
+  return dumpExperimentGrids(*Spec, ExperimentOverrides{}, Path, std::cout)
+             ? 0
+             : 1;
+}
+
+int runAll(int Argc, char **Argv) {
+  SweepRunOptions Options;
+  if (!parseSweepArgs(Argc, Argv, Options))
+    return 1;
+  int ExitCode = 0;
+  bool First = true;
+  for (const ExperimentSpec &Spec :
+       ExperimentRegistry::global().experiments()) {
+    if (!First)
+      std::cout << "\n";
+    First = false;
+    SweepRunOptions Suffixed =
+        suffixedRunOptions(Options, "." + Spec.Name);
+    if (int Rc = runExperiment(Spec, Suffixed, std::cout)) {
+      std::cerr << "cvliw-bench: experiment '" << Spec.Name
+                << "' failed (exit " << Rc << ")\n";
+      ExitCode = Rc;
+    }
+  }
+  return ExitCode;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2) {
+    printUsage(std::cerr);
+    return 1;
+  }
+  const char *Command = Argv[1];
+  if (std::strcmp(Command, "--help") == 0 ||
+      std::strcmp(Command, "-h") == 0) {
+    printUsage(std::cout);
+    return 0;
+  }
+  if (std::strcmp(Command, "--list") == 0)
+    return listExperiments();
+  if (std::strcmp(Command, "--list-names") == 0)
+    return listNames();
+  if (std::strcmp(Command, "--list-markdown") == 0)
+    return listMarkdown();
+  if (std::strcmp(Command, "--all") == 0)
+    return runAll(Argc - 1, Argv + 1);
+  if (std::strcmp(Command, "--dump-grids") == 0) {
+    if (Argc != 4) {
+      printUsage(std::cerr);
+      return 1;
+    }
+    return dumpGrids(Argv[2], Argv[3]);
+  }
+  if (Command[0] == '-') {
+    std::cerr << "unknown option '" << Command << "'\n";
+    printUsage(std::cerr);
+    return 1;
+  }
+  // The experiment name consumes argv[1]; the shared sweep flags
+  // follow. runExperimentMain parses from index 1 of what it is given,
+  // so hand it the argv tail with the name in the program slot.
+  return runExperimentMain(Command, Argc - 1, Argv + 1);
+}

@@ -7,6 +7,7 @@
 //   cvliw-sweep-client HOST:PORT ping
 //   cvliw-sweep-client HOST:PORT status
 //   cvliw-sweep-client HOST:PORT sweep --grid FILE [--csv FILE]
+//   cvliw-sweep-client HOST:PORT experiment NAME [--csv FILE]
 //   cvliw-sweep-client HOST:PORT shutdown
 //
 // `sweep` submits a grid JSON file (the format bench drivers emit with
@@ -14,15 +15,23 @@
 // sweep CSV — byte-identical to the CSV the originating driver writes
 // locally, which is what the sweep-service CI job diffs.
 //
+// `experiment` runs a *registered* experiment by name: the request
+// frame carries the name, not a grid; the daemon expands the grid
+// server-side. The name is deliberately NOT validated against the
+// local registry first — the daemon's answer is authoritative, which
+// is also what lets tests exercise its unknown-name error path.
+//
 //===----------------------------------------------------------------------===//
 
 #include "cvliw/net/SweepClient.h"
 #include "cvliw/net/WireFormat.h"
+#include "cvliw/pipeline/ExperimentRegistry.h"
 #include "cvliw/pipeline/SweepEngine.h"
 
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 
@@ -33,7 +42,7 @@ namespace {
 int usage() {
   std::cerr << "usage: cvliw-sweep-client HOST:PORT "
                "(ping | status | shutdown | sweep --grid FILE "
-               "[--csv FILE])\n";
+               "[--csv FILE] | experiment NAME [--csv FILE])\n";
   return 1;
 }
 
@@ -71,14 +80,18 @@ int main(int Argc, char **Argv) {
     std::cout << "daemon threads:       " << Status.u64("threads") << "\n"
               << "grids served:         " << Status.u64("grids_served")
               << "\n"
+              << "experiments served:   "
+              << Status.u64("experiments_served") << "\n"
               << "connections accepted: "
               << Status.u64("connections_accepted") << "\n"
               << "protocol errors:      "
               << Status.u64("protocol_errors") << "\n"
               << "cache entries:        " << Cache.u64("entries") << "\n"
               << "cache bytes:          " << Cache.u64("bytes") << "\n"
+              << "cache max bytes:      " << Cache.u64("max_bytes") << "\n"
               << "cache hits:           " << Cache.u64("hits") << "\n"
-              << "cache misses:         " << Cache.u64("misses") << "\n";
+              << "cache misses:         " << Cache.u64("misses") << "\n"
+              << "cache evictions:      " << Cache.u64("evictions") << "\n";
     return 0;
   }
 
@@ -152,6 +165,59 @@ int main(int Argc, char **Argv) {
         return 1;
       }
       Engine.writeCsv(OS);
+    }
+    return 0;
+  }
+
+  if (Command == "experiment") {
+    if (Argc < 4)
+      return usage();
+    const std::string Name = Argv[3];
+    std::string CsvPath;
+    for (int I = 4; I < Argc; ++I) {
+      if (std::strcmp(Argv[I], "--csv") == 0 && I + 1 < Argc)
+        CsvPath = Argv[++I];
+      else
+        return usage();
+    }
+
+    // Local grids (when the name is known here) validate the streamed
+    // rows and drive the CSV serialization; an unknown name is still
+    // sent, so the daemon's error reply is what the user sees.
+    std::vector<ExperimentGrid> Grids;
+    if (const ExperimentSpec *Spec =
+            ExperimentRegistry::global().find(Name))
+      Grids = Spec->BuildGrids();
+    std::vector<const SweepGrid *> Expected;
+    for (const ExperimentGrid &Grid : Grids)
+      Expected.push_back(&Grid.Grid);
+
+    std::vector<std::vector<SweepRow>> GridRows;
+    RemoteSweepStats Stats;
+    if (!Client.runExperiment(Name, ExperimentOverrides{}, Expected,
+                              GridRows, Stats, Error)) {
+      std::cerr << "cvliw-sweep-client: " << Error << "\n";
+      return 1;
+    }
+    std::cerr << "experiment: remote " << HostPort << " ran '" << Name
+              << "' (" << Stats.Grids << " grids, " << Stats.Points
+              << " points; daemon cache " << Stats.CacheHits << " hits / "
+              << Stats.CacheMisses << " misses)\n";
+
+    for (size_t G = 0; G != Grids.size(); ++G) {
+      SweepEngine Engine(Grids[G].Grid, /*Threads=*/1);
+      Engine.adoptRows(std::move(GridRows[G]));
+      if (CsvPath.empty()) {
+        Engine.writeCsv(std::cout);
+      } else {
+        const std::string Path = CsvPath + Grids[G].FileSuffix;
+        std::ofstream OS(Path);
+        if (!OS) {
+          std::cerr << "cvliw-sweep-client: cannot write " << Path << "\n";
+          return 1;
+        }
+        Engine.writeCsv(OS);
+      }
     }
     return 0;
   }

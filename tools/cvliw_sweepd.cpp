@@ -10,14 +10,18 @@
 // first.
 //
 //   cvliw-sweepd [--host ADDR] [--port N] [--port-file FILE]
-//                [--threads N] [--cache FILE] [--max-frame BYTES]
+//                [--threads N] [--cache FILE] [--cache-max-bytes N]
+//                [--max-frame BYTES]
 //
 // --port 0 (the default) binds an ephemeral port; the bound address is
 // printed on stdout ("sweepd: listening on HOST:PORT") and, with
 // --port-file, written to FILE so scripts can wait for readiness
 // without parsing stdout. --cache warms the memo table at startup and
 // persists it (merging with any concurrent writer's entries) on clean
-// shutdown. The daemon exits 0 on a client "shutdown" request.
+// shutdown. --cache-max-bytes (or CVLIW_SWEEP_CACHE_MAX_BYTES) bounds
+// the resident memo table with LRU eviction — a long-lived daemon no
+// longer grows without limit; evictions are visible in the status
+// response. The daemon exits 0 on a client "shutdown" request.
 //
 //===----------------------------------------------------------------------===//
 
@@ -47,6 +51,8 @@ int main(int Argc, char **Argv) {
   SweepServiceConfig Config;
   std::string PortFile;
   std::string CachePath;
+  size_t CacheMaxBytes = 0;
+  bool HasCacheMaxBytes = false;
 
   for (int I = 1; I < Argc; ++I) {
     const char *Arg = Argv[I];
@@ -93,6 +99,16 @@ int main(int Argc, char **Argv) {
       if (!Value)
         return 1;
       CachePath = Value;
+    } else if (std::strcmp(Arg, "--cache-max-bytes") == 0) {
+      const char *Value = NextValue("--cache-max-bytes");
+      if (!Value)
+        return 1;
+      if (!parseByteCount(Value, CacheMaxBytes)) {
+        std::cerr << "--cache-max-bytes needs a byte count (0: "
+                     "unbounded)\n";
+        return 1;
+      }
+      HasCacheMaxBytes = true;
     } else if (std::strcmp(Arg, "--max-frame") == 0) {
       const char *Value = NextValue("--max-frame");
       if (!Value)
@@ -107,12 +123,23 @@ int main(int Argc, char **Argv) {
       std::cerr << "unknown argument '" << Arg
                 << "'\nusage: cvliw-sweepd [--host ADDR] [--port N] "
                    "[--port-file FILE] [--threads N] [--cache FILE] "
-                   "[--max-frame BYTES]\n";
+                   "[--cache-max-bytes N] [--max-frame BYTES]\n";
       return 1;
     }
   }
 
+  if (!HasCacheMaxBytes)
+    if (const char *Env = std::getenv("CVLIW_SWEEP_CACHE_MAX_BYTES"))
+      if (!parseByteCount(Env, CacheMaxBytes))
+        std::cerr << "sweepd: ignoring CVLIW_SWEEP_CACHE_MAX_BYTES='"
+                  << Env << "' (needs a byte count)\n";
+
   ResultCache &Cache = ResultCache::process();
+  if (CacheMaxBytes != 0) {
+    Cache.setMaxBytes(CacheMaxBytes);
+    std::cout << "sweepd: result cache bounded to " << CacheMaxBytes
+              << " bytes (LRU eviction)\n";
+  }
   if (!CachePath.empty() && Cache.load(CachePath))
     std::cout << "sweepd: loaded result cache " << CachePath << " ("
               << Cache.size() << " entries)\n";
