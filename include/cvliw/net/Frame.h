@@ -22,6 +22,16 @@
 /// clean EOF between frames, bad magic (malformed), over-limit length
 /// (oversized), and EOF mid-frame (truncated).
 ///
+/// FrameDecoder is the incremental form of the same parser: bytes go
+/// in as they arrive off the wire (any split — one at a time, half a
+/// header, three frames at once) and whole frames come out. The sweep
+/// service reads through it so a connection thread can consume
+/// whatever recv() returns and get back to multiplexing instead of
+/// blocking until a full frame is buffered — the posture a pipelined
+/// session needs. readFrame() stays the right tool for strictly
+/// request/response peers (it never reads past the frame it returns;
+/// the decoder, fed from a stream, may buffer bytes of the next one).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CVLIW_NET_FRAME_H
@@ -29,6 +39,7 @@
 
 #include "cvliw/net/Socket.h"
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -63,6 +74,47 @@ FrameStatus readFrame(Socket &S, std::string &Payload,
 /// readers to enforce).
 bool writeFrame(Socket &S, const std::string &Payload,
                 size_t MaxBytes = DefaultMaxFrameBytes);
+
+/// Incremental frame parser: feed() whatever bytes arrived, then drain
+/// complete frames with next(). Headers are validated as soon as their
+/// eight bytes are buffered — bad magic (Malformed) and over-limit
+/// lengths (Oversized) poison the decoder before any payload byte is
+/// consumed, exactly like readFrame(); a poisoned decoder stays
+/// poisoned, matching the connection-is-dead semantics of the blocking
+/// reader.
+class FrameDecoder {
+public:
+  explicit FrameDecoder(size_t MaxBytes = DefaultMaxFrameBytes)
+      : MaxBytes(MaxBytes) {}
+
+  /// Appends stream bytes. Returns false (ignoring the bytes) once the
+  /// decoder is poisoned.
+  bool feed(const void *Data, size_t Len);
+
+  /// Extracts the next complete frame into \p Payload. False when no
+  /// complete frame is buffered yet — or the decoder is poisoned;
+  /// check error() to tell the two apart.
+  bool next(std::string &Payload);
+
+  /// FrameStatus::Ok while the stream is healthy; Malformed or
+  /// Oversized once poisoned.
+  FrameStatus error() const { return Err; }
+
+  /// What end-of-stream would mean right now: Eof at a frame boundary,
+  /// Truncated inside a header or payload, or the poisoned status.
+  FrameStatus endOfStream() const;
+
+  /// Bytes buffered but not yet returned as a frame.
+  size_t buffered() const { return Buffer.size() - Consumed; }
+
+private:
+  size_t MaxBytes;
+  std::string Buffer;
+  /// Consumed prefix of Buffer; compacted when frames are extracted so
+  /// a long-lived connection does not grow its buffer without bound.
+  size_t Consumed = 0;
+  FrameStatus Err = FrameStatus::Ok;
+};
 
 } // namespace cvliw
 

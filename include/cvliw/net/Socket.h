@@ -49,6 +49,12 @@ public:
   /// the protocol tests deliver deliberately truncated frames).
   void shutdownWrite();
 
+  /// shutdown(SHUT_RD): stops reading — a thread blocked in recv on
+  /// this socket wakes with EOF while writes keep flowing. The sweep
+  /// service uses this to stop accepting new requests from a session
+  /// while still streaming the rows of its in-flight sweeps.
+  void shutdownRead();
+
   /// Sends the whole buffer (looping over short writes, retrying
   /// EINTR). False on any error.
   bool sendAll(const void *Data, size_t Len);
@@ -60,6 +66,13 @@ public:
   /// recv() failure (connection reset, ...) rather than an orderly
   /// close.
   size_t recvAll(void *Data, size_t Len, bool *IoError = nullptr);
+
+  /// Receives whatever is available, up to \p Len bytes: blocks until
+  /// at least one byte arrives, then returns immediately with what the
+  /// kernel had. Returns 0 on clean EOF; on a recv() failure returns 0
+  /// with \p IoError (when non-null) set. This is the incremental-read
+  /// primitive FrameDecoder-based readers feed from.
+  size_t recvSome(void *Data, size_t Len, bool *IoError = nullptr);
 
 private:
   int Fd = -1;

@@ -8,12 +8,22 @@
 /// Client library for the sweep service: used by the cvliw-sweep-client
 /// CLI and by the bench drivers' --remote mode.
 ///
-/// runGrid() sends one fully-expanded grid and collects the streamed
-/// row frames; rows arrive in completion order (the daemon streams each
-/// point as its last loop finishes) and are stored at their point
-/// index, so the returned vector is in grid order regardless of how the
-/// daemon's pool interleaved the work — the same slot-not-order rule
-/// that makes the local engine deterministic.
+/// The client is built around a pipelined core on one persistent
+/// socket: submitGrid()/submitExperiment() send a request tagged with
+/// a client-chosen id and return immediately; poll() reads one server
+/// frame and routes it — rows, row batches, done, error — to the
+/// in-flight request it belongs to by that id; take() harvests a
+/// completed request's rows. Many requests can be in flight at once
+/// (cvliw-bench --all --remote submits all sixteen experiments down
+/// one connection), and negotiate() opens with the protocol's hello
+/// frame to turn on row batching. The blocking calls — runGrid(),
+/// runExperiment() — are submit+wait+take wrappers.
+///
+/// Rows arrive in completion order (the daemon streams each point as
+/// its last loop finishes) and are stored at their point index, so
+/// harvested vectors are in grid order regardless of how the daemon's
+/// pool interleaved the work — the same slot-not-order rule that makes
+/// the local engine deterministic.
 ///
 /// Every call reports failure through a bool + error string rather than
 /// exceptions: a driver falling back or a CLI printing a diagnostic
@@ -29,19 +39,35 @@
 #include "cvliw/pipeline/ExperimentRegistry.h"
 #include "cvliw/pipeline/SweepEngine.h"
 
+#include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
 namespace cvliw {
 
-/// The daemon-side facts of one remote sweep, from the "done" frame.
+/// The daemon-side facts of one remote sweep, from the "done" frame —
+/// plus the client-side batching tally.
+/// Batch size clients ask for by default in negotiate(): large enough
+/// that the daemon's --max-batch-rows is always the binding knob.
+constexpr size_t DefaultClientMaxBatch = 256;
+
 struct RemoteSweepStats {
   size_t Points = 0;
   /// Grids the daemon evaluated (run_experiment only; 1 for runGrid).
   size_t Grids = 1;
   uint64_t CacheHits = 0;
   uint64_t CacheMisses = 0;
+  /// Rows that arrived inside row_batch frames, and how many such
+  /// frames carried them (0/0 on an unbatched connection).
+  uint64_t RowsBatched = 0;
+  uint64_t BatchesReceived = 0;
 };
+
+/// The "sweep: daemon result cache ..." summary line (batching tally
+/// included) every remote log path prints — one implementation so the
+/// driver, experiment and pipelined-`--all` logs cannot drift apart.
+void logDaemonCacheLine(const RemoteSweepStats &Stats, std::ostream &Log);
 
 class SweepClient {
 public:
@@ -50,10 +76,64 @@ public:
 
   bool connected() const { return Conn.valid(); }
 
-  /// Round-trips a ping frame.
+  /// The hello capability exchange; must precede any submit. Asks for
+  /// row batches of up to \p MaxBatch rows and a fairness weight of
+  /// \p Weight (both clamped by the daemon's knobs). Returns false
+  /// only when the connection broke; a daemon that rejects hello (a
+  /// pre-session one answers with an error frame) leaves the
+  /// connection usable and negotiatedMaxBatch() at 1.
+  bool negotiate(size_t MaxBatch, unsigned Weight, std::string &Error);
+
+  /// Granted batch size (1 until a successful negotiate()).
+  size_t negotiatedMaxBatch() const { return MaxBatch; }
+  /// Whether the daemon advertised pipelined request acceptance.
+  bool pipeliningGranted() const { return Pipelining; }
+
+  // Pipelined core -------------------------------------------------------
+
+  /// Sends one sweep request for \p Grid and returns its request id
+  /// without waiting for any result.
+  bool submitGrid(const SweepGrid &Grid, uint64_t &Id, std::string &Error);
+
+  /// Sends one run_experiment request by \p Name. \p Expected holds
+  /// the client's local expansion of the experiment's grids (overrides
+  /// applied) — copied into the pending-request table, so the pointers
+  /// need not outlive this call — used to slot and range-check the
+  /// streamed rows.
+  bool submitExperiment(const std::string &Name,
+                        const ExperimentOverrides &Overrides,
+                        const std::vector<const SweepGrid *> &Expected,
+                        uint64_t &Id, std::string &Error);
+
+  /// Reads ONE server frame and routes it to its in-flight request.
+  /// \p CompletedId/\p Completed report when that frame finished a
+  /// request (its done or error arrived). False on a connection-level
+  /// failure (bad frame, unroutable message) — in-flight requests are
+  /// then lost.
+  bool poll(uint64_t &CompletedId, bool &Completed, std::string &Error);
+
+  /// poll()s until request \p Id completes (other requests' frames are
+  /// routed along the way).
+  bool wait(uint64_t Id, std::string &Error);
+
+  /// Harvests a completed request: one grid-ordered row vector per
+  /// grid, plus the stats. False when the request failed (server
+  /// error, short row count, axis mismatch) with the message in
+  /// \p Error. The request is forgotten either way.
+  bool take(uint64_t Id, std::vector<std::vector<SweepRow>> &GridRows,
+            RemoteSweepStats &Stats, std::string &Error);
+
+  /// In-flight requests submitted but not yet taken.
+  size_t pendingRequests() const { return Pending.size(); }
+
+  // Blocking wrappers ----------------------------------------------------
+
+  /// Round-trips a ping frame. (Like status()/shutdownServer(), only
+  /// valid on a connection with no in-flight submits.)
   bool ping(std::string &Error);
 
-  /// Fetches the daemon status object (cache stats, pool width, ...).
+  /// Fetches the daemon status object (cache stats, pool width,
+  /// per-session metrics, ...).
   bool status(JsonValue &Out, std::string &Error);
 
   /// Runs \p Grid remotely; fills \p Rows (grid order) and \p Stats.
@@ -63,10 +143,7 @@ public:
   /// Runs a *registered* experiment remotely by name — the request
   /// carries the name (and any overrides), not a grid, so the frame is
   /// O(1) and the daemon expands the one audited grid definition
-  /// server-side. \p Expected holds the client's local expansion of the
-  /// same experiment's grids (overrides already applied), used to
-  /// validate the streamed rows' counts and axis indices; \p GridRows
-  /// comes back with one grid-ordered row vector per grid.
+  /// server-side.
   bool runExperiment(const std::string &Name,
                      const ExperimentOverrides &Overrides,
                      const std::vector<const SweepGrid *> &Expected,
@@ -82,10 +159,42 @@ public:
                   std::string &Error);
 
 private:
+  /// One grid of an in-flight request: expected dimensions (for
+  /// range-checking wire rows) and the slotted results.
+  struct PendingGrid {
+    size_t Machines = 0, Schemes = 0, Benchmarks = 0;
+    std::vector<SweepRow> Rows;
+    std::vector<bool> Seen;
+    size_t Received = 0;
+  };
+  struct PendingRequest {
+    bool IsExperiment = false;
+    std::vector<PendingGrid> Grids;
+    size_t TotalExpected = 0, TotalReceived = 0;
+    bool Done = false;
+    bool Failed = false;
+    std::string FailMessage;
+    RemoteSweepStats Stats;
+  };
+
   bool sendMessage(const JsonValue &Message, std::string &Error);
   bool readMessage(JsonValue &Message, std::string &Error);
+  /// Slots one row object into \p Req; false (with \p Error) on an
+  /// out-of-range index or grid.
+  bool routeRow(PendingRequest &Req, const JsonValue &RowMessage,
+                std::string &Error);
 
   Socket Conn;
+  uint64_t NextId = 1;
+  size_t MaxBatch = 1;
+  bool Pipelining = false;
+  /// Cleared when negotiate() learns the daemon predates the session
+  /// protocol (it answered hello with an error): requests then go out
+  /// id-less exactly like a v1 client's, responses route to the single
+  /// in-flight request, and pipelining (a second concurrent submit) is
+  /// refused rather than silently corrupted.
+  bool SendIds = true;
+  std::map<uint64_t, PendingRequest> Pending;
 };
 
 } // namespace cvliw

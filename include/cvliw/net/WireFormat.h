@@ -17,22 +17,46 @@
 /// as 64-bit bit patterns, never as decimal text, so a remote sweep
 /// reconstructs bit-for-bit the rows a local sweep produces.
 ///
-/// Request messages ("type" member):
-///   {"type":"ping"}
-///   {"type":"status"}
-///   {"type":"sweep","grid":GRID}
-///   {"type":"run_experiment","name":"fig7"[,"overrides":{...}]}
-///   {"type":"shutdown"}
+/// Request messages ("type" member; every request may carry an
+/// optional "id" member, a u64 the daemon echoes on every frame it
+/// sends for that request — rows, batches, done, errors, even pong —
+/// which is what lets a client pipeline many requests down one socket
+/// and demultiplex the interleaved responses):
+///   {"type":"hello"[,"max_batch":N][,"weight":W][,"id":I]}
+///   {"type":"ping"[,"id":I]}
+///   {"type":"status"[,"id":I]}
+///   {"type":"sweep","grid":GRID[,"id":I]}
+///   {"type":"run_experiment","name":"fig7"[,"overrides":{...}][,"id":I]}
+///   {"type":"shutdown"[,"id":I]}
 /// Response messages:
+///   {"type":"hello_ok","max_batch":M,"weight":W,"pipelining":true}
 ///   {"type":"pong"}
-///   {"type":"status","cache":{...},"threads":N,...}
+///   {"type":"status","cache":{...},"threads":N,"sessions":[...],...}
 ///   {"type":"row","row":ROW}            (one per point, as it completes;
 ///                                        run_experiment rows carry a
 ///                                        "grid" index member)
+///   {"type":"row_batch","rows":[{["grid":G,]"row":ROW},...]}
+///                                       (only after hello negotiated
+///                                        max_batch > 1; at most
+///                                        max_batch entries per frame)
 ///   {"type":"done","points":N,"cache_hits":H,"cache_misses":M}
-///                                       (run_experiment adds "grids":G)
+///                                       (run_experiment adds "grids":G;
+///                                        hello'd sessions also get
+///                                        "rows_batched":R and
+///                                        "batches_sent":B — a v1 done
+///                                        keeps the exact v1 shape)
 ///   {"type":"ok"}                        (shutdown acknowledged)
 ///   {"type":"error","message":"..."}
+///
+/// hello is the capability exchange and must precede any sweep on the
+/// connection: the client states the largest row batch it will accept
+/// (and, optionally, a requested fairness weight), the daemon answers
+/// with the granted values — min(client, daemon --max-batch-rows) and
+/// min(client, daemon --max-session-weight) — and with
+/// "pipelining":true, its standing promise that further requests are
+/// accepted while earlier sweeps still stream. A v1 client that never
+/// says hello gets exactly the v1 protocol: unbatched "row" frames and
+/// no "id" members (ids are echoed only when the request carried one).
 ///
 /// run_experiment is the O(1)-request alternative to "sweep": the
 /// client names a registered experiment and the daemon expands the

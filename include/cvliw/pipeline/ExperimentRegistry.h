@@ -146,6 +146,17 @@ void registerBuiltinExperiments(ExperimentRegistry &Registry);
 int runExperiment(const ExperimentSpec &Spec, const SweepRunOptions &Options,
                   std::ostream &Out);
 
+/// Runs EVERY registered experiment over one pipelined daemon
+/// connection (Options.Remote must be set): all sixteen
+/// run_experiment requests are submitted up front on a single socket
+/// — the daemon interleaves their work items on its fair pool — and
+/// the tables are harvested and rendered in paper order as each
+/// done frame arrives. Output is byte-identical (modulo the filtered
+/// "sweep: " lines) to running the experiments one by one. Used by
+/// `cvliw-bench --all --remote`. Returns the process exit code.
+int runAllExperimentsRemote(const SweepRunOptions &Options,
+                            std::ostream &Out);
+
 /// The shared driver main: looks \p Name up in the global registry,
 /// parses the common sweep flags from Argc/Argv and calls
 /// runExperiment. The bench shims and cvliw-bench are thin wrappers

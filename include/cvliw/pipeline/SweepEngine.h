@@ -47,8 +47,11 @@
 #include "cvliw/pipeline/Experiment.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -169,6 +172,40 @@ public:
   /// Rows come back in point-index order regardless of thread count.
   const std::vector<SweepRow> &run();
 
+  /// The non-blocking form run() is built on when a pool is set:
+  /// submits every (point, loop) item to \p WorkPool under \p Tag and
+  /// returns immediately. \p Done runs exactly once — from the worker
+  /// that completes the last item, or inline when the grid has no
+  /// items — after every row slot is written (or the run failed; see
+  /// asyncFailed()). The engine must outlive that invocation, and
+  /// Done's final statement must be the last touch of any state whose
+  /// lifetime it releases (the sweep service's completion hook ends by
+  /// flagging the request reapable). This is what lets a daemon
+  /// session accept pipelined requests while earlier sweeps are still
+  /// in flight: nothing blocks between submission and completion.
+  void startAsync(TaskPool &WorkPool, uint64_t Tag,
+                  std::function<void()> Done);
+
+  /// Asks an in-flight async run to finish without simulating: items
+  /// not yet started complete as cheap no-ops (they still count down,
+  /// so Done fires promptly), and the run reports failure with a
+  /// "sweep canceled" error. The shutdown drain uses this to bound how
+  /// long a stopping daemon waits for a huge in-flight grid.
+  void cancel();
+
+  /// After Done: false when every row was produced, true on an error
+  /// or cancel (asyncError() carries the message).
+  bool asyncFailed() const {
+    return AsyncFailedFlag.load(std::memory_order_acquire);
+  }
+  /// Whether the failure came from cancel() rather than a simulation
+  /// error — a consumer reporting on several engines prefers the real
+  /// error over a knock-on cancellation.
+  bool asyncCanceled() const {
+    return AsyncCancelFlag.load(std::memory_order_acquire);
+  }
+  std::string asyncError() const;
+
   const SweepGrid &grid() const { return Grid; }
   unsigned threads() const { return Threads; }
 
@@ -224,7 +261,20 @@ private:
   };
 
   void prepareRow(size_t Index);
+  /// Phase 1 (serial, cheap): row metadata, seeds, reduction slots,
+  /// the (point, loop) work list, the per-point countdown for the
+  /// streaming callback, and a reset of the async bookkeeping.
+  void prepareItems();
   void runItem(const WorkItem &Item, uint64_t &Hits, uint64_t &Misses);
+  /// runItem plus the row-completion countdown/callback — the body of
+  /// one work item on either execution path.
+  void runOneItem(size_t Index, uint64_t &Hits, uint64_t &Misses);
+  /// One async pool job: guarded runOneItem, error capture, countdown.
+  void runAsyncItem(size_t Index);
+  /// Invoked by the last async item: publishes the run stats and calls
+  /// the Done hook (moved to the caller's stack first, so the hook may
+  /// release the engine).
+  void finalizeAsync();
   LoopRunResult cachedRunLoop(const ExperimentConfig &Config,
                               const LoopSpec &Spec, uint64_t &Hits,
                               uint64_t &Misses);
@@ -241,6 +291,21 @@ private:
   uint64_t CacheMisses = 0;
   std::vector<SweepRow> Rows;
   std::vector<WorkItem> Items;
+  /// Per-point countdown of unfinished loops (allocated only when a
+  /// row callback is set): the worker whose decrement reaches zero
+  /// owns the fully-written row.
+  std::unique_ptr<std::atomic<size_t>[]> LoopsLeft;
+
+  // Async-run state (pool mode only).
+  std::atomic<size_t> AsyncItemsLeft{0};
+  std::atomic<bool> AsyncFailedFlag{false};
+  std::atomic<bool> AsyncCancelFlag{false};
+  std::atomic<uint64_t> AsyncHits{0}, AsyncMisses{0};
+  mutable std::mutex AsyncMutex;
+  std::exception_ptr AsyncFirstError;
+  std::string AsyncErrorText;
+  std::function<void()> AsyncDone;
+  std::chrono::steady_clock::time_point AsyncStart;
 };
 
 /// Worker-pool width the bench drivers default to: the

@@ -13,21 +13,35 @@
 /// The service turns the same engine into a resident system: one
 /// TaskPool whose width bounds the machine load, one shared ResultCache
 /// that stays warm across grids and clients, and a TCP front end
-/// (length-prefixed JSON frames, see net/Frame.h) that accepts fully
-/// expanded grids from concurrent clients and streams each point's row
-/// back the moment its last loop finishes. Any paper table run with
-/// `--remote HOST:PORT` is served byte-identically to its local run —
-/// points another client (or table) already computed come straight from
-/// the cache.
+/// (length-prefixed JSON frames, see net/Frame.h) that accepts grids
+/// and run_experiment requests from concurrent clients and streams
+/// rows back as points complete. Any paper table run with
+/// `--remote HOST:PORT` is served byte-identically to its local run.
 ///
-/// Concurrency model: one accept thread, one handler thread per
-/// connection, and the shared pool doing all simulation. A handler
-/// blocks in SweepEngine::run() (which submits its (point, loop) items
-/// to the pool and waits on a latch), so N clients never spawn more
-/// than the pool's worker count of simulation threads. Pool workers
-/// never touch sockets: completed rows are enqueued to a per-sweep
-/// writer thread, so a client that stops reading stalls only its own
-/// connection, never the shared pool.
+/// Concurrency model: one accept thread and one *session* per
+/// connection. A session owns a reader thread (incremental
+/// FrameDecoder parsing, so requests are consumed as their bytes
+/// arrive) and ONE writer thread that multiplexes the rows, batches
+/// and responses of every in-flight request onto the socket — there is
+/// no thread per sweep. Requests pipeline: a sweep or run_experiment
+/// is *submitted* (its (point, loop) items tagged with the session id
+/// onto the shared pool) and the reader immediately returns to the
+/// socket, so one connection can have many sweeps in flight while
+/// status pings interleave. The pool drains tags round-robin
+/// (support/TaskPool.h), so a session dumping a huge grid cannot
+/// starve another session's small one: FIFO within a client, fair
+/// across clients.
+///
+/// Capability negotiation: a client may open with a "hello" frame
+/// asking for row batching (up to the daemon's MaxBatchRows) and a
+/// fairness weight (up to MaxSessionWeight). Clients that skip hello
+/// speak exactly the v1 protocol — unbatched row frames, no id echo.
+///
+/// Shutdown drains: stop() (and a client's EOF) stops a session's
+/// reads, waits up to DrainTimeoutSeconds for its in-flight sweeps to
+/// finish streaming, then cancels the stragglers — a stopping daemon
+/// is bounded by the drain timeout plus the cancel sweep-out, never by
+/// a million-point grid.
 ///
 /// Protocol errors (bad magic, over-limit frame, truncated stream,
 /// unparseable JSON, malformed grid) are answered with an error frame
@@ -67,6 +81,15 @@ struct SweepServiceConfig {
   unsigned Threads = 0;
   /// Per-frame payload bound for requests.
   size_t MaxFrameBytes = DefaultMaxFrameBytes;
+  /// Largest row batch a hello may negotiate; 1 disables batching
+  /// (every row its own frame, the v1 framing).
+  size_t MaxBatchRows = 1;
+  /// Largest round-robin weight a hello may request; 1 keeps every
+  /// session at an equal share.
+  unsigned MaxSessionWeight = 1;
+  /// How long a stopping (or EOF'd) session waits for its in-flight
+  /// sweeps before canceling them. 0 cancels immediately.
+  double DrainTimeoutSeconds = 10.0;
   /// The memo table to serve from; defaults to the process-wide one.
   ResultCache *Cache = nullptr;
 };
@@ -89,7 +112,8 @@ public:
   /// Blocks until a client's shutdown request (or stop()).
   void waitForShutdown();
 
-  /// Stops accepting, disconnects every client, joins all threads.
+  /// Stops accepting, drains every session's in-flight sweeps (bounded
+  /// by DrainTimeoutSeconds, then cancels), joins all threads.
   /// Idempotent; called by the destructor.
   void stop();
 
@@ -111,27 +135,35 @@ public:
   uint64_t protocolErrors() const {
     return ProtocolErrors.load(std::memory_order_relaxed);
   }
+  uint64_t rowsBatched() const {
+    return RowsBatchedTotal.load(std::memory_order_relaxed);
+  }
+  uint64_t batchesSent() const {
+    return BatchesSentTotal.load(std::memory_order_relaxed);
+  }
+  /// Sessions whose handler has not finished (includes ones mid-drain).
+  size_t sessionsOpen() const;
 
 private:
-  struct Connection;
+  struct Session;
+  struct Request;
 
   void acceptLoop();
-  void handleConnection(Connection *Conn);
-  /// Dispatches one request frame; returns false when the connection
-  /// should close (protocol error or shutdown).
-  bool handleRequest(Connection *Conn, const std::string &Payload);
-  /// Evaluates one grid on the shared pool, streaming each point's row
-  /// to \p Conn as it completes (tagged with \p GridIndex when
-  /// \p TagGrid — the run_experiment multi-grid framing). On a failed
-  /// run returns false with \p FailMessage set; no error frame is
-  /// written here.
-  bool runGridStreaming(Connection *Conn, const SweepGrid &Grid,
-                        bool TagGrid, size_t GridIndex, uint64_t &Hits,
-                        uint64_t &Misses, std::string &FailMessage);
-  /// Frames \p Payload onto the connection under its write mutex;
-  /// latches the connection's write-failed flag on error.
-  void writePayload(Connection *Conn, const std::string &Payload);
-  void writeMessage(Connection *Conn, const JsonValue &Message);
+  void handleSession(Session *S);
+  /// Dispatches one decoded request frame; returns false when the
+  /// session should close (protocol error or shutdown).
+  bool dispatchRequest(Session *S, const std::string &Payload);
+  /// Builds and submits the async evaluation of one request's grids.
+  void submitRequest(Session *S, std::unique_ptr<Request> NewRequest);
+  /// Runs on the pool worker that completes a request's last grid.
+  void requestFinished(Session *S, Request *Req);
+  /// The status response (includes the per-session array).
+  JsonValue statusJson();
+  /// Destroys finished requests; called from the session's reader.
+  void reapFinishedRequests(Session *S);
+  /// Bounded wait for in-flight requests, then cancel; leaves the
+  /// session with no live requests.
+  void drainSession(Session *S);
 
   SweepServiceConfig Config;
   ResultCache *Cache;
@@ -141,8 +173,9 @@ private:
   uint16_t BoundPort = 0;
   std::thread AcceptThread;
 
-  std::mutex ConnMutex;
-  std::vector<std::unique_ptr<Connection>> Connections;
+  mutable std::mutex SessionsMutex;
+  std::vector<std::unique_ptr<Session>> Sessions;
+  std::atomic<uint64_t> NextSessionId{1};
 
   std::atomic<bool> Stopping{false};
   std::atomic<bool> ShutdownFlag{false};
@@ -153,6 +186,8 @@ private:
   std::atomic<uint64_t> ExperimentsServed{0};
   std::atomic<uint64_t> ConnectionsAccepted{0};
   std::atomic<uint64_t> ProtocolErrors{0};
+  std::atomic<uint64_t> RowsBatchedTotal{0};
+  std::atomic<uint64_t> BatchesSentTotal{0};
 };
 
 } // namespace cvliw

@@ -5,16 +5,28 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A persistent FIFO worker pool.
+/// A persistent worker pool with tagged, fairly drained submission
+/// queues.
 ///
 /// The SweepEngine spawns its own threads per run(), which is right for
 /// a batch driver but wrong for the sweep service: a daemon serving
 /// concurrent clients needs ONE pool whose width bounds the machine
 /// load however many grids are in flight, with every (point, loop)
 /// work item — whoever submitted it — scheduled through the same
-/// queue. Submitters block in their own thread (TaskPool::submit never
-/// runs jobs inline), so a service handler waiting for its grid never
-/// occupies a pool slot.
+/// pool. Submitters never run jobs inline (TaskPool::submit only
+/// enqueues), so a service handler waiting for its grid never occupies
+/// a pool slot.
+///
+/// Fairness model: every job carries a tag (the service uses one tag
+/// per client session; untagged submissions share tag 0). Jobs of one
+/// tag run in FIFO order, but the pool drains *across* tags round-robin
+/// — each tag with pending work gets its turn before any tag gets a
+/// second one — so a client that dumps a million-point grid into the
+/// queue delays another client's ten-point grid by at most one item
+/// per worker, not by the whole million. setTagWeight() skews the
+/// rotation: a tag of weight W takes up to W consecutive jobs per
+/// turn, for operators who want a privileged session to get a larger
+/// share without starving anyone.
 ///
 /// Jobs must not throw; the engine wraps its work items in their own
 /// try/catch and records the first error itself.
@@ -26,10 +38,12 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 namespace cvliw {
@@ -49,16 +63,57 @@ public:
 
   unsigned threads() const { return static_cast<unsigned>(Workers.size()); }
 
-  /// Enqueues one job (FIFO). Safe from any thread, including pool
-  /// workers. Jobs enqueued after shutdown began are dropped.
-  void submit(std::function<void()> Job);
+  /// Enqueues one job under the default tag 0 (FIFO within the tag).
+  /// Safe from any thread, including pool workers. Jobs enqueued after
+  /// shutdown began are dropped.
+  void submit(std::function<void()> Job) { submit(0, std::move(Job)); }
+
+  /// Enqueues one job under \p Tag: FIFO within the tag, round-robin
+  /// across tags with pending work.
+  void submit(uint64_t Tag, std::function<void()> Job);
+
+  /// Grants \p Tag up to \p Weight (>= 1) consecutive jobs per
+  /// round-robin turn; every tag defaults to 1. A weight > 1 pins the
+  /// tag's bookkeeping; call setTagWeight(Tag, 1) when the tag retires
+  /// (the service does, per session) so a long-lived pool does not
+  /// accumulate state for every session it ever served — unweighted
+  /// tags are reclaimed automatically once fully idle.
+  void setTagWeight(uint64_t Tag, unsigned Weight);
+
+  /// Jobs of \p Tag queued but not yet started.
+  size_t pendingCount(uint64_t Tag) const;
+
+  /// Jobs of \p Tag currently executing on a worker.
+  size_t runningCount(uint64_t Tag) const;
+
+  /// Queued-but-not-started jobs across all tags.
+  size_t pendingTotal() const;
 
 private:
-  void workerLoop();
+  /// Per-tag state. Invariant: a tag is in Rotation iff its queue is
+  /// non-empty; entries whose queue is empty and Running is zero are
+  /// erased eagerly.
+  struct TagState {
+    std::deque<std::function<void()>> Queue;
+    unsigned Weight = 1;
+    /// Jobs the tag may still take in its current turn.
+    unsigned Credit = 0;
+    size_t Running = 0;
+    bool InRotation = false;
+  };
 
-  std::mutex Mutex;
+  void workerLoop();
+  /// Pops the next job honoring the rotation; Mutex must be held and
+  /// Rotation non-empty. Fills \p Tag with the job's tag.
+  std::function<void()> popLocked(uint64_t &Tag);
+  /// Erases \p Tag's bookkeeping if it is fully idle; Mutex held.
+  void reclaimLocked(uint64_t Tag);
+
+  mutable std::mutex Mutex;
   std::condition_variable Ready;
-  std::deque<std::function<void()>> Queue;
+  std::unordered_map<uint64_t, TagState> Tags;
+  /// Tags with pending work, in drain order.
+  std::deque<uint64_t> Rotation;
   bool Stopping = false;
   std::vector<std::thread> Workers;
 };

@@ -54,6 +54,57 @@ FrameStatus cvliw::readFrame(Socket &S, std::string &Payload,
   return FrameStatus::Ok;
 }
 
+bool FrameDecoder::feed(const void *Data, size_t Len) {
+  if (Err != FrameStatus::Ok)
+    return false;
+  Buffer.append(static_cast<const char *>(Data), Len);
+  return true;
+}
+
+bool FrameDecoder::next(std::string &Payload) {
+  if (Err != FrameStatus::Ok)
+    return false;
+  size_t Avail = Buffer.size() - Consumed;
+  if (Avail < 8)
+    return false;
+  const unsigned char *Header =
+      reinterpret_cast<const unsigned char *>(Buffer.data()) + Consumed;
+  // Validate the header the moment it is complete — poisoning on bad
+  // magic / an over-limit length must not wait for payload bytes that
+  // may never come.
+  if (std::memcmp(Header, FrameMagic, sizeof(FrameMagic)) != 0) {
+    Err = FrameStatus::Malformed;
+    return false;
+  }
+  uint32_t Len = (static_cast<uint32_t>(Header[4]) << 24) |
+                 (static_cast<uint32_t>(Header[5]) << 16) |
+                 (static_cast<uint32_t>(Header[6]) << 8) |
+                 static_cast<uint32_t>(Header[7]);
+  if (Len > MaxBytes) {
+    Err = FrameStatus::Oversized;
+    return false;
+  }
+  if (Avail < 8 + static_cast<size_t>(Len))
+    return false;
+  Payload.assign(Buffer, Consumed + 8, Len);
+  Consumed += 8 + static_cast<size_t>(Len);
+  // Compact once the consumed prefix dominates, amortizing the move.
+  if (Consumed == Buffer.size()) {
+    Buffer.clear();
+    Consumed = 0;
+  } else if (Consumed > 4096 && Consumed >= Buffer.size() / 2) {
+    Buffer.erase(0, Consumed);
+    Consumed = 0;
+  }
+  return true;
+}
+
+FrameStatus FrameDecoder::endOfStream() const {
+  if (Err != FrameStatus::Ok)
+    return Err;
+  return buffered() == 0 ? FrameStatus::Eof : FrameStatus::Truncated;
+}
+
 bool cvliw::writeFrame(Socket &S, const std::string &Payload,
                        size_t MaxBytes) {
   if (Payload.size() > MaxBytes || Payload.size() > UINT32_MAX)

@@ -44,6 +44,11 @@ void Socket::shutdownWrite() {
     ::shutdown(Fd, SHUT_WR);
 }
 
+void Socket::shutdownRead() {
+  if (Fd >= 0)
+    ::shutdown(Fd, SHUT_RD);
+}
+
 bool Socket::sendAll(const void *Data, size_t Len) {
   const char *P = static_cast<const char *>(Data);
   while (Len > 0) {
@@ -80,6 +85,22 @@ size_t Socket::recvAll(void *Data, size_t Len, bool *IoError) {
     Got += static_cast<size_t>(N);
   }
   return Got;
+}
+
+size_t Socket::recvSome(void *Data, size_t Len, bool *IoError) {
+  if (IoError)
+    *IoError = false;
+  for (;;) {
+    ssize_t N = ::recv(Fd, Data, Len, 0);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      if (IoError)
+        *IoError = true;
+      return 0;
+    }
+    return static_cast<size_t>(N);
+  }
 }
 
 namespace {

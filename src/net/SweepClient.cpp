@@ -9,7 +9,20 @@
 #include "cvliw/net/Frame.h"
 #include "cvliw/net/WireFormat.h"
 
+#include <ostream>
+#include <utility>
+
 using namespace cvliw;
+
+void cvliw::logDaemonCacheLine(const RemoteSweepStats &Stats,
+                               std::ostream &Log) {
+  Log << "sweep: daemon result cache " << Stats.CacheHits << " hits / "
+      << Stats.CacheMisses << " misses";
+  if (Stats.BatchesReceived != 0)
+    Log << "; " << Stats.RowsBatched << " rows batched into "
+        << Stats.BatchesReceived << " frames";
+  Log << "\n";
+}
 
 bool SweepClient::connect(const std::string &HostPort, std::string &Error) {
   std::string Host;
@@ -81,6 +94,309 @@ bool expectType(const JsonValue &Message, const char *Type,
 
 } // namespace
 
+bool SweepClient::negotiate(size_t MaxBatchWanted, unsigned Weight,
+                            std::string &Error) {
+  if (!Pending.empty()) {
+    // The raw readFrame below would eat an in-flight request's row —
+    // refuse loudly instead of corrupting the stream.
+    Error = "negotiate must precede submits";
+    return false;
+  }
+  JsonValue Hello = typedMessage("hello");
+  Hello.set("max_batch", JsonValue::uint(MaxBatchWanted));
+  if (Weight > 1)
+    Hello.set("weight", JsonValue::uint(Weight));
+  if (!sendMessage(Hello, Error))
+    return false;
+
+  // Read the reply raw (not via readMessage): a pre-hello daemon
+  // answers with an error frame, which must leave the connection
+  // usable and the client unbatched, not fail the call.
+  std::string Payload;
+  FrameStatus Status = readFrame(Conn, Payload);
+  if (Status != FrameStatus::Ok) {
+    Error = std::string("bad response frame: ") + frameStatusName(Status);
+    return false;
+  }
+  JsonValue Reply;
+  std::string ParseError;
+  if (!JsonValue::parse(Payload, Reply, ParseError)) {
+    Error = "bad response JSON: " + ParseError;
+    return false;
+  }
+  const JsonValue *Type = Reply.find("type");
+  if (Type && Type->kind() == JsonValue::Kind::String &&
+      Type->asString() == "hello_ok") {
+    try {
+      MaxBatch = std::max<uint64_t>(1, Reply.u64("max_batch"));
+      if (const JsonValue *P = Reply.find("pipelining"))
+        Pipelining = P->asBool();
+    } catch (const JsonError &E) {
+      Error = std::string("bad hello_ok: ") + E.what();
+      return false;
+    }
+    SendIds = true;
+    return true;
+  }
+  // Anything else (an old daemon's error frame): fall back to v1 —
+  // unbatched, un-pipelined, and (crucially) id-less requests, since a
+  // pre-session daemon echoes no ids for poll() to route by.
+  MaxBatch = 1;
+  Pipelining = false;
+  SendIds = false;
+  return true;
+}
+
+bool SweepClient::submitGrid(const SweepGrid &Grid, uint64_t &Id,
+                             std::string &Error) {
+  if (!SendIds && !Pending.empty()) {
+    Error = "pipelining unavailable: the daemon rejected hello";
+    return false;
+  }
+  JsonValue Request = typedMessage("sweep");
+  if (SendIds)
+    Request.set("id", JsonValue::uint(NextId));
+  Request.set("grid", gridToJson(Grid));
+  if (!sendMessage(Request, Error))
+    return false;
+  Id = NextId++;
+
+  PendingRequest Req;
+  Req.IsExperiment = false;
+  PendingGrid P;
+  P.Machines = Grid.Machines.size();
+  P.Schemes = Grid.Schemes.size();
+  P.Benchmarks = Grid.Benchmarks.size();
+  P.Rows.assign(Grid.size(), SweepRow());
+  P.Seen.assign(Grid.size(), false);
+  Req.Grids.push_back(std::move(P));
+  Req.TotalExpected = Grid.size();
+  Pending.emplace(Id, std::move(Req));
+  return true;
+}
+
+bool SweepClient::submitExperiment(
+    const std::string &Name, const ExperimentOverrides &Overrides,
+    const std::vector<const SweepGrid *> &Expected, uint64_t &Id,
+    std::string &Error) {
+  if (!SendIds && !Pending.empty()) {
+    Error = "pipelining unavailable: the daemon rejected hello";
+    return false;
+  }
+  JsonValue Request = typedMessage("run_experiment");
+  if (SendIds)
+    Request.set("id", JsonValue::uint(NextId));
+  Request.set("name", JsonValue::str(Name));
+  if (Overrides.any())
+    Request.set("overrides", experimentOverridesToJson(Overrides));
+  if (!sendMessage(Request, Error))
+    return false;
+  Id = NextId++;
+
+  PendingRequest Req;
+  Req.IsExperiment = true;
+  for (const SweepGrid *Grid : Expected) {
+    PendingGrid P;
+    P.Machines = Grid->Machines.size();
+    P.Schemes = Grid->Schemes.size();
+    P.Benchmarks = Grid->Benchmarks.size();
+    P.Rows.assign(Grid->size(), SweepRow());
+    P.Seen.assign(Grid->size(), false);
+    Req.TotalExpected += Grid->size();
+    Req.Grids.push_back(std::move(P));
+  }
+  Pending.emplace(Id, std::move(Req));
+  return true;
+}
+
+bool SweepClient::routeRow(PendingRequest &Req,
+                           const JsonValue &RowMessage,
+                           std::string &Error) {
+  size_t GridIndex = 0;
+  if (const JsonValue *G = RowMessage.find("grid"))
+    GridIndex = G->asU64();
+  if (GridIndex >= Req.Grids.size()) {
+    Error = "row grid index out of range";
+    return false;
+  }
+  PendingGrid &Grid = Req.Grids[GridIndex];
+  SweepRow Row = rowFromJson(RowMessage.at("row"));
+  // Range-check every axis index against the *local* expansion: the
+  // daemon's registry must agree with ours, and writeCsv()/at() later
+  // index the grid's axes with these, trusting the wire no further.
+  if (Row.PointIndex >= Grid.Rows.size() ||
+      Row.MachineIndex >= Grid.Machines ||
+      Row.SchemeIndex >= Grid.Schemes ||
+      Row.BenchmarkIndex >= Grid.Benchmarks) {
+    Error = "row index out of range";
+    return false;
+  }
+  if (!Grid.Seen[Row.PointIndex]) {
+    Grid.Seen[Row.PointIndex] = true;
+    ++Grid.Received;
+    ++Req.TotalReceived;
+  }
+  // Completion order on the wire, grid order in the vector.
+  Grid.Rows[Row.PointIndex] = std::move(Row);
+  return true;
+}
+
+bool SweepClient::poll(uint64_t &CompletedId, bool &Completed,
+                       std::string &Error) {
+  Completed = false;
+  CompletedId = 0;
+
+  std::string Payload;
+  FrameStatus Status = readFrame(Conn, Payload);
+  if (Status != FrameStatus::Ok) {
+    Error = std::string("bad response frame: ") + frameStatusName(Status);
+    return false;
+  }
+  JsonValue Message;
+  std::string ParseError;
+  if (!JsonValue::parse(Payload, Message, ParseError)) {
+    Error = "bad response JSON: " + ParseError;
+    return false;
+  }
+
+  try {
+    const std::string &Type = Message.text("type");
+
+    const JsonValue *IdMember = Message.find("id");
+    uint64_t Id = 0;
+    if (IdMember) {
+      Id = IdMember->asU64();
+    } else if (!SendIds && Pending.size() == 1) {
+      // v1 fallback: the daemon echoes no ids, but only one request is
+      // ever in flight — everything routes to it (including its error
+      // frames, which a pre-session daemon sends id-less).
+      Id = Pending.begin()->first;
+    } else {
+      // Connection-level error frames carry no id; anything else
+      // without one cannot be routed on a pipelined connection.
+      if (Type == "error") {
+        const JsonValue *Msg = Message.find("message");
+        Error = "server error: " +
+                (Msg && Msg->kind() == JsonValue::Kind::String
+                     ? Msg->asString()
+                     : std::string("(no message)"));
+      } else {
+        Error = "response missing request id (server too old?)";
+      }
+      return false;
+    }
+    auto It = Pending.find(Id);
+    if (It == Pending.end()) {
+      Error = "response for unknown request id " + std::to_string(Id);
+      return false;
+    }
+    PendingRequest &Req = It->second;
+
+    if (Type == "row") {
+      if (!routeRow(Req, Message, Error))
+        return false;
+      return true;
+    }
+    if (Type == "row_batch") {
+      const JsonValue &Rows = Message.at("rows");
+      for (const JsonValue &Entry : Rows.items())
+        if (!routeRow(Req, Entry, Error))
+          return false;
+      Req.Stats.RowsBatched += Rows.items().size();
+      Req.Stats.BatchesReceived += 1;
+      return true;
+    }
+    if (Type == "done") {
+      Req.Stats.Points = Message.u64("points");
+      Req.Stats.CacheHits = Message.u64("cache_hits");
+      Req.Stats.CacheMisses = Message.u64("cache_misses");
+      if (Req.IsExperiment) {
+        Req.Stats.Grids = Message.u64("grids");
+        if (Req.Stats.Grids != Req.Grids.size()) {
+          Req.Failed = true;
+          Req.FailMessage =
+              "daemon ran " + std::to_string(Req.Stats.Grids) +
+              " grids, expected " + std::to_string(Req.Grids.size()) +
+              " (registry mismatch?)";
+        }
+      }
+      if (!Req.Failed && Req.TotalReceived != Req.TotalExpected) {
+        Req.Failed = true;
+        Req.FailMessage =
+            "daemon finished after " + std::to_string(Req.TotalReceived) +
+            " of " + std::to_string(Req.TotalExpected) + " points";
+      }
+      Req.Done = true;
+      Completed = true;
+      CompletedId = Id;
+      return true;
+    }
+    if (Type == "error") {
+      const JsonValue *Msg = Message.find("message");
+      Req.Failed = true;
+      Req.FailMessage =
+          "server error: " +
+          (Msg && Msg->kind() == JsonValue::Kind::String
+               ? Msg->asString()
+               : std::string("(no message)"));
+      Req.Done = true;
+      Completed = true;
+      CompletedId = Id;
+      return true;
+    }
+    Error = "unexpected message type '" + Type + "' during sweep";
+    return false;
+  } catch (const JsonError &E) {
+    Error = std::string("bad server message: ") + E.what();
+    return false;
+  }
+}
+
+bool SweepClient::wait(uint64_t Id, std::string &Error) {
+  for (;;) {
+    auto It = Pending.find(Id);
+    if (It == Pending.end()) {
+      Error = "unknown request id " + std::to_string(Id);
+      return false;
+    }
+    if (It->second.Done)
+      return true;
+    uint64_t CompletedId = 0;
+    bool Completed = false;
+    if (!poll(CompletedId, Completed, Error))
+      return false;
+  }
+}
+
+bool SweepClient::take(uint64_t Id,
+                       std::vector<std::vector<SweepRow>> &GridRows,
+                       RemoteSweepStats &Stats, std::string &Error) {
+  auto It = Pending.find(Id);
+  if (It == Pending.end()) {
+    Error = "unknown request id " + std::to_string(Id);
+    return false;
+  }
+  if (!It->second.Done) {
+    // Leave the entry alone: the daemon is still streaming frames for
+    // this id, and erasing it would turn every one of them into a
+    // connection-killing "unknown request id".
+    Error = "request " + std::to_string(Id) + " still in flight";
+    return false;
+  }
+  PendingRequest Req = std::move(It->second);
+  Pending.erase(It);
+  if (Req.Failed) {
+    Error = Req.FailMessage;
+    return false;
+  }
+  GridRows.clear();
+  GridRows.reserve(Req.Grids.size());
+  for (PendingGrid &Grid : Req.Grids)
+    GridRows.push_back(std::move(Grid.Rows));
+  Stats = Req.Stats;
+  return true;
+}
+
 bool SweepClient::ping(std::string &Error) {
   if (!sendMessage(typedMessage("ping"), Error))
     return false;
@@ -96,58 +412,14 @@ bool SweepClient::status(JsonValue &Out, std::string &Error) {
 
 bool SweepClient::runGrid(const SweepGrid &Grid, std::vector<SweepRow> &Rows,
                           RemoteSweepStats &Stats, std::string &Error) {
-  JsonValue Request = typedMessage("sweep");
-  Request.set("grid", gridToJson(Grid));
-  if (!sendMessage(Request, Error))
+  uint64_t Id = 0;
+  if (!submitGrid(Grid, Id, Error) || !wait(Id, Error))
     return false;
-
-  const size_t NumPoints = Grid.size();
-  Rows.assign(NumPoints, SweepRow());
-  std::vector<bool> Seen(NumPoints, false);
-  size_t Received = 0;
-
-  for (;;) {
-    JsonValue Message;
-    if (!readMessage(Message, Error))
-      return false;
-    try {
-      const std::string &Type = Message.text("type");
-      if (Type == "row") {
-        SweepRow Row = rowFromJson(Message.at("row"));
-        // Range-check every axis index: writeCsv()/at() later index
-        // the grid's axes with these, trusting the wire no further.
-        if (Row.PointIndex >= NumPoints ||
-            Row.MachineIndex >= Grid.Machines.size() ||
-            Row.SchemeIndex >= Grid.Schemes.size() ||
-            Row.BenchmarkIndex >= Grid.Benchmarks.size()) {
-          Error = "row index out of range";
-          return false;
-        }
-        if (!Seen[Row.PointIndex]) {
-          Seen[Row.PointIndex] = true;
-          ++Received;
-        }
-        // Completion order on the wire, grid order in the vector.
-        Rows[Row.PointIndex] = std::move(Row);
-      } else if (Type == "done") {
-        Stats.Points = Message.u64("points");
-        Stats.CacheHits = Message.u64("cache_hits");
-        Stats.CacheMisses = Message.u64("cache_misses");
-        if (Received != NumPoints) {
-          Error = "daemon finished after " + std::to_string(Received) +
-                  " of " + std::to_string(NumPoints) + " points";
-          return false;
-        }
-        return true;
-      } else {
-        Error = "unexpected message type '" + Type + "' during sweep";
-        return false;
-      }
-    } catch (const JsonError &E) {
-      Error = std::string("bad server message: ") + E.what();
-      return false;
-    }
-  }
+  std::vector<std::vector<SweepRow>> GridRows;
+  if (!take(Id, GridRows, Stats, Error))
+    return false;
+  Rows = std::move(GridRows[0]);
+  return true;
 }
 
 bool SweepClient::runExperiment(
@@ -155,78 +427,11 @@ bool SweepClient::runExperiment(
     const std::vector<const SweepGrid *> &Expected,
     std::vector<std::vector<SweepRow>> &GridRows, RemoteSweepStats &Stats,
     std::string &Error) {
-  JsonValue Request = typedMessage("run_experiment");
-  Request.set("name", JsonValue::str(Name));
-  if (Overrides.any())
-    Request.set("overrides", experimentOverridesToJson(Overrides));
-  if (!sendMessage(Request, Error))
+  uint64_t Id = 0;
+  if (!submitExperiment(Name, Overrides, Expected, Id, Error) ||
+      !wait(Id, Error))
     return false;
-
-  const size_t NumGrids = Expected.size();
-  GridRows.assign(NumGrids, {});
-  std::vector<std::vector<bool>> Seen(NumGrids);
-  size_t Received = 0, Total = 0;
-  for (size_t G = 0; G != NumGrids; ++G) {
-    GridRows[G].assign(Expected[G]->size(), SweepRow());
-    Seen[G].assign(Expected[G]->size(), false);
-    Total += Expected[G]->size();
-  }
-
-  for (;;) {
-    JsonValue Message;
-    if (!readMessage(Message, Error))
-      return false;
-    try {
-      const std::string &Type = Message.text("type");
-      if (Type == "row") {
-        size_t GridIndex = Message.u64("grid");
-        if (GridIndex >= NumGrids) {
-          Error = "row grid index out of range";
-          return false;
-        }
-        const SweepGrid &Grid = *Expected[GridIndex];
-        SweepRow Row = rowFromJson(Message.at("row"));
-        // Range-check every axis index against the *local* expansion:
-        // the daemon's registry must agree with ours, and writeCsv()/
-        // at() later index the grid's axes with these.
-        if (Row.PointIndex >= Grid.size() ||
-            Row.MachineIndex >= Grid.Machines.size() ||
-            Row.SchemeIndex >= Grid.Schemes.size() ||
-            Row.BenchmarkIndex >= Grid.Benchmarks.size()) {
-          Error = "row index out of range";
-          return false;
-        }
-        if (!Seen[GridIndex][Row.PointIndex]) {
-          Seen[GridIndex][Row.PointIndex] = true;
-          ++Received;
-        }
-        GridRows[GridIndex][Row.PointIndex] = std::move(Row);
-      } else if (Type == "done") {
-        Stats.Grids = Message.u64("grids");
-        Stats.Points = Message.u64("points");
-        Stats.CacheHits = Message.u64("cache_hits");
-        Stats.CacheMisses = Message.u64("cache_misses");
-        if (Stats.Grids != NumGrids) {
-          Error = "daemon ran " + std::to_string(Stats.Grids) +
-                  " grids, expected " + std::to_string(NumGrids) +
-                  " (registry mismatch?)";
-          return false;
-        }
-        if (Received != Total) {
-          Error = "daemon finished after " + std::to_string(Received) +
-                  " of " + std::to_string(Total) + " points";
-          return false;
-        }
-        return true;
-      } else {
-        Error = "unexpected message type '" + Type + "' during experiment";
-        return false;
-      }
-    } catch (const JsonError &E) {
-      Error = std::string("bad server message: ") + E.what();
-      return false;
-    }
-  }
+  return take(Id, GridRows, Stats, Error);
 }
 
 bool SweepClient::shutdownServer(std::string &Error) {

@@ -114,6 +114,7 @@ ExperimentOverrides overridesFromOptions(const SweepRunOptions &Options) {
   return Overrides;
 }
 
+
 /// The run_experiment round trip: one request evaluates every grid of
 /// the experiment on the daemon (which expands the registered grids
 /// server-side) and the streamed rows are adopted into the local
@@ -126,6 +127,10 @@ bool runExperimentRemote(const ExperimentSpec &Spec,
   SweepClient Client;
   std::string Error;
   if (!Client.connect(Options.Remote, Error)) {
+    std::cerr << "sweep: " << Error << "\n";
+    return false;
+  }
+  if (!Client.negotiate(DefaultClientMaxBatch, /*Weight=*/1, Error)) {
     std::cerr << "sweep: " << Error << "\n";
     return false;
   }
@@ -165,8 +170,7 @@ bool runExperimentRemote(const ExperimentSpec &Spec,
       << (Engines.size() == 1 ? " grid, " : " grids, ") << Points
       << " points, " << Items << " loop items) in "
       << TableWriter::fmt(Seconds, 3) << " s\n";
-  Log << "sweep: daemon result cache " << Stats.CacheHits << " hits / "
-      << Stats.CacheMisses << " misses\n";
+  logDaemonCacheLine(Stats, Log);
   return true;
 }
 
@@ -214,6 +218,144 @@ int cvliw::runExperiment(const ExperimentSpec &Spec,
   for (const auto &Engine : Engines)
     Ctx.Engines.push_back(Engine.get());
   return Spec.Render(Ctx) ? 0 : 1;
+}
+
+int cvliw::runAllExperimentsRemote(const SweepRunOptions &Options,
+                                   std::ostream &Out) {
+  const ExperimentRegistry &Registry = ExperimentRegistry::global();
+  ExperimentOverrides Overrides = overridesFromOptions(Options);
+
+  SweepClient Client;
+  std::string Error;
+  if (!Client.connect(Options.Remote, Error)) {
+    std::cerr << "sweep: " << Error << "\n";
+    return 1;
+  }
+  if (!Client.negotiate(DefaultClientMaxBatch, /*Weight=*/1, Error)) {
+    std::cerr << "sweep: " << Error << "\n";
+    return 1;
+  }
+
+  // Phase 1: expand every experiment locally (the row validators and
+  // table renderers need the grids) and pipeline all the submissions
+  // down the one connection — the daemon starts interleaving their
+  // (point, loop) items immediately, and no reconnect or round-trip
+  // gap separates two experiments.
+  struct PendingExperiment {
+    const ExperimentSpec *Spec = nullptr;
+    std::vector<ExperimentGrid> Grids;
+    std::vector<std::unique_ptr<SweepEngine>> Engines;
+    SweepRunOptions Suffixed;
+    uint64_t Id = 0;
+  };
+  std::vector<PendingExperiment> PendingRuns;
+  PendingRuns.reserve(Registry.size());
+  for (const ExperimentSpec &Spec : Registry.experiments()) {
+    PendingRuns.emplace_back();
+    PendingExperiment &P = PendingRuns.back();
+    P.Spec = &Spec;
+    P.Grids = Spec.BuildGrids();
+    P.Suffixed = suffixedRunOptions(Options, "." + Spec.Name);
+    for (ExperimentGrid &Grid : P.Grids) {
+      applyOverrides(Grid.Grid, Overrides);
+      P.Engines.emplace_back(new SweepEngine(Grid.Grid, Options.Threads));
+    }
+    // Grid dumps are a local serialization concern; write them before
+    // the round trips so they exist even on a failed run.
+    for (size_t I = 0; I != P.Grids.size(); ++I) {
+      SweepRunOptions GridOptions =
+          suffixedRunOptions(P.Suffixed, P.Grids[I].FileSuffix);
+      if (!GridOptions.DumpGridPath.empty() &&
+          !dumpGridFile(P.Engines[I]->grid(), GridOptions.DumpGridPath,
+                        Out))
+        return 1;
+    }
+  }
+  auto Start = std::chrono::steady_clock::now();
+  for (PendingExperiment &P : PendingRuns) {
+    std::vector<const SweepGrid *> Expected;
+    Expected.reserve(P.Engines.size());
+    for (const auto &Engine : P.Engines)
+      Expected.push_back(&Engine->grid());
+    if (!Client.submitExperiment(P.Spec->Name, Overrides, Expected, P.Id,
+                                 Error)) {
+      std::cerr << "sweep: " << Error << "\n";
+      return 1;
+    }
+  }
+  Out << "sweep: pipelined " << PendingRuns.size()
+      << " run_experiment requests to " << Options.Remote
+      << " on one connection (max batch "
+      << Client.negotiatedMaxBatch() << ")\n";
+
+  // Phase 2: harvest and render in paper order. Rows slot by (id,
+  // grid, point index), so however the daemon's pool interleaved the
+  // sixteen workloads, each table is byte-identical to its local run.
+  int ExitCode = 0;
+  bool First = true;
+  for (PendingExperiment &P : PendingRuns) {
+    if (!First)
+      Out << "\n";
+    First = false;
+    Out << P.Spec->Banner;
+    if (!Client.wait(P.Id, Error)) {
+      std::cerr << "sweep: " << Error << "\n";
+      return 1; // Connection-level failure: everything behind is lost.
+    }
+    std::vector<std::vector<SweepRow>> GridRows;
+    RemoteSweepStats Stats;
+    if (!Client.take(P.Id, GridRows, Stats, Error)) {
+      std::cerr << "sweep: remote experiment '" << P.Spec->Name
+                << "' failed: " << Error << "\n";
+      ExitCode = 1;
+      continue;
+    }
+    bool Adopted = true;
+    try {
+      for (size_t I = 0; I != P.Engines.size(); ++I)
+        P.Engines[I]->adoptRows(std::move(GridRows[I]));
+    } catch (const std::invalid_argument &E) {
+      std::cerr << "sweep: remote experiment '" << P.Spec->Name
+                << "' failed: " << E.what() << "\n";
+      ExitCode = 1;
+      Adopted = false;
+    }
+    if (!Adopted)
+      continue;
+    Out << "sweep: remote " << Options.Remote << " ran experiment '"
+        << P.Spec->Name << "' by name over the pipelined connection\n";
+    logDaemonCacheLine(Stats, Out);
+    bool FinishedOk = true;
+    for (size_t I = 0; I != P.Grids.size(); ++I)
+      if (!finishSweep(*P.Engines[I],
+                       suffixedRunOptions(P.Suffixed,
+                                          P.Grids[I].FileSuffix),
+                       Out)) {
+        ExitCode = 1;
+        FinishedOk = false;
+        break;
+      }
+    if (!FinishedOk)
+      continue;
+    Out << "\n";
+    ExperimentRunContext Ctx{{}, Out};
+    Ctx.Engines.reserve(P.Engines.size());
+    for (const auto &Engine : P.Engines)
+      Ctx.Engines.push_back(Engine.get());
+    if (!P.Spec->Render(Ctx)) {
+      std::cerr << "cvliw-bench: experiment '" << P.Spec->Name
+                << "' failed (exit 1)\n";
+      ExitCode = 1;
+    }
+  }
+  Out << "sweep: all pipelined experiments drained in "
+      << TableWriter::fmt(
+             std::chrono::duration<double>(
+                 std::chrono::steady_clock::now() - Start)
+                 .count(),
+             3)
+      << " s\n";
+  return ExitCode;
 }
 
 int cvliw::runExperimentMain(const std::string &Name, int Argc,

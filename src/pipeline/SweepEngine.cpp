@@ -187,19 +187,12 @@ void SweepEngine::adoptRows(std::vector<SweepRow> NewRows) {
   HasRun = true;
 }
 
-const std::vector<SweepRow> &SweepEngine::run() {
-  if (HasRun)
-    return Rows;
-
+void SweepEngine::prepareItems() {
   const size_t NumPoints = Grid.size();
   assert(!Grid.Schemes.empty() && !Grid.Benchmarks.empty() &&
          !Grid.Machines.empty() && "empty sweep axis");
   Rows.assign(NumPoints, SweepRow());
 
-  auto Start = std::chrono::steady_clock::now();
-
-  // Phase 1 (serial, cheap): row metadata, seeds, reduction slots and
-  // the (point, loop) work list.
   Items.clear();
   Items.reserve(loopItems());
   for (size_t Index = 0; Index != NumPoints; ++Index) {
@@ -209,9 +202,7 @@ const std::vector<SweepRow> &SweepEngine::run() {
       Items.push_back(WorkItem{Index, Loop});
   }
 
-  // Per-point countdown for the streaming callback: the worker whose
-  // decrement reaches zero owns the fully-written row.
-  std::unique_ptr<std::atomic<size_t>[]> LoopsLeft;
+  LoopsLeft.reset();
   if (RowCallback) {
     LoopsLeft.reset(new std::atomic<size_t>[NumPoints]);
     for (size_t Index = 0; Index != NumPoints; ++Index) {
@@ -223,102 +214,193 @@ const std::vector<SweepRow> &SweepEngine::run() {
     }
   }
 
-  // Phase 2 (parallel): drain the loop-granular work list. Loop items
-  // balance far better than point items — epicdec's big chain loop no
-  // longer serializes a whole benchmark behind one worker.
+  // Reset the async bookkeeping (a failed earlier attempt must not
+  // leak its error into this one).
+  AsyncFailedFlag.store(false, std::memory_order_relaxed);
+  AsyncCancelFlag.store(false, std::memory_order_relaxed);
+  AsyncHits.store(0, std::memory_order_relaxed);
+  AsyncMisses.store(0, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> Lock(AsyncMutex);
+    AsyncFirstError = nullptr;
+    AsyncErrorText.clear();
+  }
+}
+
+// Runs item Index, then fires the row callback if this was the point's
+// last loop. acq_rel on the countdown makes every sibling loop's slot
+// write visible to the worker that completes the row.
+void SweepEngine::runOneItem(size_t Index, uint64_t &Hits,
+                             uint64_t &Misses) {
+  runItem(Items[Index], Hits, Misses);
+  if (RowCallback) {
+    size_t Point = Items[Index].Point;
+    if (LoopsLeft[Point].fetch_sub(1, std::memory_order_acq_rel) == 1)
+      RowCallback(Rows[Point]);
+  }
+}
+
+void SweepEngine::runAsyncItem(size_t Index) {
+  uint64_t Hits = 0, Misses = 0;
+  // A failure (or cancel) anywhere dooms the run: later items become
+  // cheap no-ops but still count down, so completion fires promptly.
+  if (!AsyncFailedFlag.load(std::memory_order_relaxed)) {
+    try {
+      runOneItem(Index, Hits, Misses);
+    } catch (...) {
+      AsyncFailedFlag.store(true, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> Lock(AsyncMutex);
+      if (!AsyncFirstError) {
+        AsyncFirstError = std::current_exception();
+        AsyncErrorText = "sweep failed";
+        try {
+          std::rethrow_exception(AsyncFirstError);
+        } catch (const std::exception &E) {
+          AsyncErrorText += std::string(": ") + E.what();
+        } catch (...) {
+        }
+      }
+    }
+  }
+  AsyncHits.fetch_add(Hits, std::memory_order_relaxed);
+  AsyncMisses.fetch_add(Misses, std::memory_order_relaxed);
+  if (AsyncItemsLeft.fetch_sub(1, std::memory_order_acq_rel) == 1)
+    finalizeAsync();
+}
+
+void SweepEngine::finalizeAsync() {
+  if (!AsyncFailedFlag.load(std::memory_order_acquire)) {
+    CacheHits = AsyncHits.load(std::memory_order_relaxed);
+    CacheMisses = AsyncMisses.load(std::memory_order_relaxed);
+    LastRunSeconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - AsyncStart)
+                         .count();
+    HasRun = true;
+  }
+  // Move the hook to this frame first: it may release the engine (the
+  // service frees a finished request), after which no member may be
+  // touched — including the std::function we are invoking.
+  std::function<void()> Done = std::move(AsyncDone);
+  AsyncDone = nullptr;
+  if (Done)
+    Done();
+}
+
+void SweepEngine::startAsync(TaskPool &WorkPool, uint64_t Tag,
+                             std::function<void()> Done) {
+  if (HasRun) {
+    // Rows already present (idempotent with run()/adoptRows()).
+    if (Done)
+      Done();
+    return;
+  }
+  prepareItems();
+  AsyncDone = std::move(Done);
+  AsyncStart = std::chrono::steady_clock::now();
+  AsyncItemsLeft.store(Items.size(), std::memory_order_release);
+  if (Items.empty()) {
+    finalizeAsync();
+    return;
+  }
+  for (size_t Index = 0, E = Items.size(); Index != E; ++Index)
+    WorkPool.submit(Tag, [this, Index] { runAsyncItem(Index); });
+}
+
+void SweepEngine::cancel() {
+  AsyncCancelFlag.store(true, std::memory_order_relaxed);
+  AsyncFailedFlag.store(true, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> Lock(AsyncMutex);
+  if (AsyncErrorText.empty())
+    AsyncErrorText = "sweep canceled";
+}
+
+std::string SweepEngine::asyncError() const {
+  std::lock_guard<std::mutex> Lock(AsyncMutex);
+  return AsyncErrorText;
+}
+
+const std::vector<SweepRow> &SweepEngine::run() {
+  if (HasRun)
+    return Rows;
+
+  if (Pool) {
+    // Shared-pool mode (the sweep service's synchronous path): the
+    // async submission plus a completion latch. Item-granular jobs let
+    // the daemon interleave concurrent clients' grids on one bounded
+    // pool.
+    std::mutex DoneMutex;
+    std::condition_variable DoneCv;
+    bool DoneFlag = false;
+    // Flag AND notify under the mutex: run()'s stack locals cannot be
+    // destroyed under a worker still touching the latch.
+    startAsync(*Pool, /*Tag=*/0, [&] {
+      std::lock_guard<std::mutex> Lock(DoneMutex);
+      DoneFlag = true;
+      DoneCv.notify_all();
+    });
+    {
+      std::unique_lock<std::mutex> Lock(DoneMutex);
+      DoneCv.wait(Lock, [&] { return DoneFlag; });
+    }
+    std::exception_ptr FirstError;
+    {
+      std::lock_guard<std::mutex> Lock(AsyncMutex);
+      FirstError = AsyncFirstError;
+    }
+    if (FirstError)
+      std::rethrow_exception(FirstError);
+    return Rows;
+  }
+
+  prepareItems();
+  auto Start = std::chrono::steady_clock::now();
+
+  // Phase 2 (parallel): drain the loop-granular work list with private
+  // threads. Loop items balance far better than point items —
+  // epicdec's big chain loop no longer serializes a whole benchmark
+  // behind one worker.
   std::atomic<bool> Failed{false};
   std::atomic<uint64_t> TotalHits{0}, TotalMisses{0};
   std::exception_ptr FirstError;
   std::mutex ErrorMutex;
 
-  auto RecordError = [&] {
-    Failed.store(true, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> Lock(ErrorMutex);
-    if (!FirstError)
-      FirstError = std::current_exception();
-  };
-
-  // Runs item Index, then fires the row callback if this was the
-  // point's last loop. acq_rel on the countdown makes every sibling
-  // loop's slot write visible to the worker that completes the row.
-  auto RunOne = [&](size_t Index, uint64_t &Hits, uint64_t &Misses) {
-    runItem(Items[Index], Hits, Misses);
-    if (RowCallback) {
-      size_t Point = Items[Index].Point;
-      if (LoopsLeft[Point].fetch_sub(1, std::memory_order_acq_rel) == 1)
-        RowCallback(Rows[Point]);
-    }
-  };
-
-  if (Pool) {
-    // Shared-pool mode (the sweep service): one pool job per work item,
-    // a completion latch instead of joins. Item-granular jobs let the
-    // daemon interleave concurrent clients' grids on one bounded pool.
-    std::atomic<size_t> ItemsLeft{Items.size()};
-    std::mutex DoneMutex;
-    std::condition_variable DoneCv;
-    for (size_t Index = 0, E = Items.size(); Index != E; ++Index)
-      Pool->submit([&, Index] {
-        uint64_t Hits = 0, Misses = 0;
-        if (!Failed.load(std::memory_order_relaxed)) {
-          try {
-            RunOne(Index, Hits, Misses);
-          } catch (...) {
-            RecordError();
-          }
-        }
-        TotalHits.fetch_add(Hits, std::memory_order_relaxed);
-        TotalMisses.fetch_add(Misses, std::memory_order_relaxed);
-        // Decrement AND notify under the mutex: the waiter's predicate
-        // can only observe zero once this worker has released the lock,
-        // after which the worker never touches the latch again — so
-        // run()'s stack locals cannot be destroyed under a worker that
-        // still needs them.
+  std::atomic<size_t> NextItem{0};
+  auto Worker = [&] {
+    uint64_t Hits = 0, Misses = 0;
+    for (;;) {
+      size_t Index = NextItem.fetch_add(1, std::memory_order_relaxed);
+      // A failure anywhere dooms the run; stop draining the work list.
+      if (Index >= Items.size() || Failed.load(std::memory_order_relaxed))
+        break;
+      try {
+        // Each result lands at its (point, loop) slot: completion
+        // order cannot change the output.
+        runOneItem(Index, Hits, Misses);
+      } catch (...) {
+        Failed.store(true, std::memory_order_relaxed);
         {
-          std::lock_guard<std::mutex> Lock(DoneMutex);
-          if (ItemsLeft.fetch_sub(1, std::memory_order_acq_rel) == 1)
-            DoneCv.notify_all();
+          std::lock_guard<std::mutex> Lock(ErrorMutex);
+          if (!FirstError)
+            FirstError = std::current_exception();
         }
-      });
-    std::unique_lock<std::mutex> Lock(DoneMutex);
-    DoneCv.wait(Lock, [&] {
-      return ItemsLeft.load(std::memory_order_acquire) == 0;
-    });
-  } else {
-    std::atomic<size_t> NextItem{0};
-    auto Worker = [&] {
-      uint64_t Hits = 0, Misses = 0;
-      for (;;) {
-        size_t Index = NextItem.fetch_add(1, std::memory_order_relaxed);
-        // A failure anywhere dooms the run; stop draining the work list.
-        if (Index >= Items.size() ||
-            Failed.load(std::memory_order_relaxed))
-          break;
-        try {
-          // Each result lands at its (point, loop) slot: completion
-          // order cannot change the output.
-          RunOne(Index, Hits, Misses);
-        } catch (...) {
-          RecordError();
-          break;
-        }
+        break;
       }
-      TotalHits.fetch_add(Hits, std::memory_order_relaxed);
-      TotalMisses.fetch_add(Misses, std::memory_order_relaxed);
-    };
-
-    unsigned NumWorkers =
-        static_cast<unsigned>(std::min<size_t>(Threads, Items.size()));
-    if (NumWorkers <= 1) {
-      Worker();
-    } else {
-      std::vector<std::thread> Spawned;
-      Spawned.reserve(NumWorkers);
-      for (unsigned I = 0; I != NumWorkers; ++I)
-        Spawned.emplace_back(Worker);
-      for (std::thread &T : Spawned)
-        T.join();
     }
+    TotalHits.fetch_add(Hits, std::memory_order_relaxed);
+    TotalMisses.fetch_add(Misses, std::memory_order_relaxed);
+  };
+
+  unsigned NumWorkers =
+      static_cast<unsigned>(std::min<size_t>(Threads, Items.size()));
+  if (NumWorkers <= 1) {
+    Worker();
+  } else {
+    std::vector<std::thread> Spawned;
+    Spawned.reserve(NumWorkers);
+    for (unsigned I = 0; I != NumWorkers; ++I)
+      Spawned.emplace_back(Worker);
+    for (std::thread &T : Spawned)
+      T.join();
   }
 
   if (FirstError)
@@ -618,6 +700,12 @@ bool cvliw::runSweep(SweepEngine &Engine, const SweepRunOptions &Options,
       std::cerr << "sweep: " << Error << "\n";
       return false;
     }
+    // Ask for batching; a daemon without the capability (or with
+    // --max-batch-rows 1) leaves the connection on v1 row frames.
+    if (!Client.negotiate(DefaultClientMaxBatch, /*Weight=*/1, Error)) {
+      std::cerr << "sweep: " << Error << "\n";
+      return false;
+    }
     std::vector<SweepRow> Rows;
     RemoteSweepStats Stats;
     auto Start = std::chrono::steady_clock::now();
@@ -632,8 +720,7 @@ bool cvliw::runSweep(SweepEngine &Engine, const SweepRunOptions &Options,
     Log << "sweep: remote " << Options.Remote << " evaluated "
         << Engine.grid().size() << " points (" << Engine.loopItems()
         << " loop items) in " << TableWriter::fmt(Seconds, 3) << " s\n";
-    Log << "sweep: daemon result cache " << Stats.CacheHits << " hits / "
-        << Stats.CacheMisses << " misses\n";
+    logDaemonCacheLine(Stats, Log);
   } else {
     // Apply any cache size bound before warming: an oversized persisted
     // file then loads through the LRU bound instead of around it.

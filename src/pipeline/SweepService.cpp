@@ -12,21 +12,201 @@
 #include "cvliw/pipeline/SweepEngine.h"
 #include "cvliw/support/TaskPool.h"
 
+#include <algorithm>
+#include <chrono>
 #include <deque>
-#include <exception>
 #include <utility>
 
 using namespace cvliw;
 
-struct SweepService::Connection {
+/// One pipelined request (a "sweep" or a "run_experiment"): its
+/// engines, its completion countdown, and its pending row batch.
+struct SweepService::Request {
+  bool HasId = false;
+  uint64_t Id = 0;
+  bool IsExperiment = false;
+  size_t Points = 0;
+  std::vector<std::unique_ptr<SweepEngine>> Engines;
+  /// Grids still running; the worker that finishes the last one owns
+  /// the done/error frame.
+  std::atomic<size_t> GridsLeft{0};
+  /// Rows waiting for a full batch (negotiated batching only).
+  std::mutex BatchMutex;
+  std::vector<JsonValue> Batch;
+  /// This request's batching tally (guarded by BatchMutex); reported
+  /// on its done frame.
+  uint64_t RowsBatched = 0;
+  uint64_t BatchesSent = 0;
+  /// Set (under the session's RequestsMutex) once the done/error frame
+  /// is enqueued; the reaper destroys finished requests.
+  bool Finished = false;
+};
+
+/// One connection: a reader (the handler thread), a writer thread
+/// multiplexing every in-flight request's frames, and the negotiated
+/// capabilities.
+struct SweepService::Session {
+  uint64_t Id = 0;
   Socket Sock;
   std::thread Thread;
-  /// Serializes response frames: row frames are written by whichever
-  /// pool worker completes a point, concurrently with the handler
-  /// thread's own writes.
-  std::mutex WriteMutex;
   std::atomic<bool> Done{false};
   std::atomic<bool> WriteFailed{false};
+
+  // The single writer. Pool workers and the reader enqueue serialized
+  // frames; only this thread touches the socket's send side, so a
+  // client that stops reading stalls its own connection, never the
+  // shared pool.
+  std::thread WriterThread;
+  std::mutex WriterMutex;
+  std::condition_variable WriterCv;
+  /// A frame to send and/or a request-reap to run afterwards (the
+  /// reap rides the queue so a finished request's memory is released
+  /// right after its done frame flushes, not at the client's next
+  /// request).
+  struct OutItem {
+    std::string Frame;
+    bool ReapAfter = false;
+  };
+  std::deque<OutItem> OutQueue;
+  bool WriterStop = false;
+  /// Set by writerLoop() just before it returns; lets teardown bound
+  /// its wait for the flush (a peer that stopped reading can park the
+  /// writer in sendAll forever).
+  bool WriterIdle = false;
+
+  // Capabilities fixed by hello before the first sweep. Pool workers
+  // of this session read them after a happens-before edge (the sweep
+  // submission), but statusJson reads them from OTHER sessions'
+  // threads with no such edge — hence atomics.
+  std::atomic<size_t> MaxBatch{1};
+  std::atomic<unsigned> Weight{1};
+  bool SaidHello = false;
+  /// Latches once a sweep/run_experiment arrived: hello must precede.
+  bool AnySweepSeen = false;
+
+  std::mutex RequestsMutex;
+  std::condition_variable RequestsCv;
+  std::vector<std::unique_ptr<Request>> Requests;
+
+  // Per-session served-traffic stats (status response).
+  std::atomic<uint64_t> RowsBatched{0};
+  std::atomic<uint64_t> BatchesSent{0};
+
+  void enqueueFrame(std::string Frame) {
+    enqueue(OutItem{std::move(Frame), /*ReapAfter=*/false});
+  }
+
+  /// Schedules a reap of finished requests once everything already
+  /// queued (the done frame included) has been written.
+  void enqueueReap() { enqueue(OutItem{std::string(), /*ReapAfter=*/true}); }
+
+  void enqueue(OutItem Item) {
+    {
+      std::lock_guard<std::mutex> Lock(WriterMutex);
+      if (WriterStop)
+        return;
+      OutQueue.push_back(std::move(Item));
+    }
+    WriterCv.notify_one();
+  }
+
+  /// Destroys finished requests. Runs on the writer (post-done) and on
+  /// the reader (dispatch, drain) — both only ever touch Requests
+  /// under RequestsMutex.
+  void reapFinished() {
+    std::lock_guard<std::mutex> Lock(RequestsMutex);
+    Requests.erase(std::remove_if(Requests.begin(), Requests.end(),
+                                  [](const std::unique_ptr<Request> &R) {
+                                    return R->Finished;
+                                  }),
+                   Requests.end());
+  }
+
+  void writerLoop() {
+    for (;;) {
+      OutItem Item;
+      {
+        std::unique_lock<std::mutex> Lock(WriterMutex);
+        WriterCv.wait(Lock,
+                      [this] { return WriterStop || !OutQueue.empty(); });
+        if (OutQueue.empty()) {
+          // Stopped and fully drained. Flag idleness (and notify)
+          // under the lock so teardown's bounded wait cannot miss it.
+          WriterIdle = true;
+          WriterCv.notify_all();
+          return;
+        }
+        Item = std::move(OutQueue.front());
+        OutQueue.pop_front();
+      }
+      if (!Item.Frame.empty() &&
+          !WriteFailed.load(std::memory_order_relaxed) &&
+          !writeFrame(Sock, Item.Frame))
+        WriteFailed.store(true, std::memory_order_relaxed);
+      if (Item.ReapAfter)
+        reapFinished();
+    }
+  }
+
+  /// Streams one completed row: its own frame when unbatched, else
+  /// into the request's batch, flushing full batches.
+  void emitRow(Request *Req, bool TagGrid, size_t GridIndex,
+               const SweepRow &Row, std::atomic<uint64_t> &TotalRows,
+               std::atomic<uint64_t> &TotalBatches) {
+    if (WriteFailed.load(std::memory_order_relaxed))
+      return;
+    const size_t Batch = MaxBatch.load(std::memory_order_relaxed);
+    if (Batch <= 1) {
+      JsonValue Message = JsonValue::object();
+      Message.set("type", JsonValue::str("row"));
+      if (Req->HasId)
+        Message.set("id", JsonValue::uint(Req->Id));
+      if (TagGrid)
+        Message.set("grid", JsonValue::uint(GridIndex));
+      Message.set("row", rowToJson(Row));
+      enqueueFrame(Message.dump());
+      return;
+    }
+    JsonValue Entry = JsonValue::object();
+    if (TagGrid)
+      Entry.set("grid", JsonValue::uint(GridIndex));
+    Entry.set("row", rowToJson(Row));
+    std::string Flush;
+    {
+      std::lock_guard<std::mutex> Lock(Req->BatchMutex);
+      Req->Batch.push_back(std::move(Entry));
+      if (Req->Batch.size() >= Batch)
+        Flush = buildBatchLocked(Req, TotalRows, TotalBatches);
+    }
+    if (!Flush.empty())
+      enqueueFrame(std::move(Flush));
+  }
+
+  /// Serializes and clears the request's pending batch; BatchMutex
+  /// must be held. Empty string when there is nothing to flush.
+  std::string buildBatchLocked(Request *Req,
+                               std::atomic<uint64_t> &TotalRows,
+                               std::atomic<uint64_t> &TotalBatches) {
+    if (Req->Batch.empty())
+      return std::string();
+    JsonValue Message = JsonValue::object();
+    Message.set("type", JsonValue::str("row_batch"));
+    if (Req->HasId)
+      Message.set("id", JsonValue::uint(Req->Id));
+    JsonValue Rows = JsonValue::array();
+    for (JsonValue &Entry : Req->Batch)
+      Rows.push(std::move(Entry));
+    size_t N = Req->Batch.size();
+    Req->Batch.clear();
+    Message.set("rows", std::move(Rows));
+    Req->RowsBatched += N;
+    Req->BatchesSent += 1;
+    RowsBatched.fetch_add(N, std::memory_order_relaxed);
+    BatchesSent.fetch_add(1, std::memory_order_relaxed);
+    TotalRows.fetch_add(N, std::memory_order_relaxed);
+    TotalBatches.fetch_add(1, std::memory_order_relaxed);
+    return Message.dump();
+  }
 };
 
 SweepService::SweepService(SweepServiceConfig Config)
@@ -56,25 +236,34 @@ void SweepService::acceptLoop() {
       break;
     }
 
-    std::lock_guard<std::mutex> Lock(ConnMutex);
-    // Reap connections whose handler already finished, so a long-lived
+    std::lock_guard<std::mutex> Lock(SessionsMutex);
+    // Reap sessions whose handler already finished, so a long-lived
     // daemon does not accumulate one joinable thread per past client.
-    for (size_t I = 0; I != Connections.size();) {
-      if (Connections[I]->Done.load(std::memory_order_acquire)) {
-        Connections[I]->Thread.join();
-        Connections.erase(Connections.begin() +
-                          static_cast<ptrdiff_t>(I));
+    for (size_t I = 0; I != Sessions.size();) {
+      if (Sessions[I]->Done.load(std::memory_order_acquire)) {
+        Sessions[I]->Thread.join();
+        Sessions.erase(Sessions.begin() + static_cast<ptrdiff_t>(I));
       } else {
         ++I;
       }
     }
 
     ConnectionsAccepted.fetch_add(1, std::memory_order_relaxed);
-    Connections.emplace_back(new Connection());
-    Connection *Conn = Connections.back().get();
-    Conn->Sock = std::move(Client);
-    Conn->Thread = std::thread([this, Conn] { handleConnection(Conn); });
+    Sessions.emplace_back(new Session());
+    Session *S = Sessions.back().get();
+    S->Id = NextSessionId.fetch_add(1, std::memory_order_relaxed);
+    S->Sock = std::move(Client);
+    S->Thread = std::thread([this, S] { handleSession(S); });
   }
+}
+
+size_t SweepService::sessionsOpen() const {
+  std::lock_guard<std::mutex> Lock(SessionsMutex);
+  size_t N = 0;
+  for (const auto &S : Sessions)
+    if (!S->Done.load(std::memory_order_acquire))
+      ++N;
+  return N;
 }
 
 namespace {
@@ -85,204 +274,418 @@ JsonValue typedMessage(const char *Type) {
   return J;
 }
 
+/// A response frame of \p Type echoing \p Req's id when it has one.
+JsonValue typedResponse(const char *Type, bool HasId, uint64_t Id) {
+  JsonValue J = typedMessage(Type);
+  if (HasId)
+    J.set("id", JsonValue::uint(Id));
+  return J;
+}
+
+JsonValue errorResponse(const std::string &Message, bool HasId,
+                        uint64_t Id) {
+  JsonValue J = makeErrorMessage(Message);
+  if (HasId)
+    J.set("id", JsonValue::uint(Id));
+  return J;
+}
+
 } // namespace
 
-void SweepService::writePayload(Connection *Conn,
-                                const std::string &Payload) {
-  std::lock_guard<std::mutex> Lock(Conn->WriteMutex);
-  if (Conn->WriteFailed.load(std::memory_order_relaxed))
-    return;
-  if (!writeFrame(Conn->Sock, Payload))
-    Conn->WriteFailed.store(true, std::memory_order_relaxed);
-}
+void SweepService::handleSession(Session *S) {
+  S->WriterThread = std::thread([S] { S->writerLoop(); });
 
-void SweepService::writeMessage(Connection *Conn,
-                                const JsonValue &Message) {
-  writePayload(Conn, Message.dump());
-}
-
-bool SweepService::runGridStreaming(Connection *Conn, const SweepGrid &Grid,
-                                    bool TagGrid, size_t GridIndex,
-                                    uint64_t &Hits, uint64_t &Misses,
-                                    std::string &FailMessage) {
-  SweepEngine Engine(Grid, /*Threads=*/1);
-  Engine.setCache(Cache);
-  Engine.setPool(Pool.get());
-
-  // Stream each point the moment its last loop finishes — but never
-  // send from a pool worker: a client that stops reading would fill
-  // its TCP buffer and wedge the shared pool behind one slow peer.
-  // Workers enqueue serialized frames; this per-sweep writer thread
-  // does the blocking sends. Memory is bounded by the grid the
-  // daemon already agreed to evaluate.
-  std::mutex QueueMutex;
-  std::condition_variable QueueCv;
-  std::deque<std::string> RowQueue;
-  bool SweepFinished = false;
-  std::thread Writer([&] {
-    for (;;) {
-      std::string Frame;
-      {
-        std::unique_lock<std::mutex> Lock(QueueMutex);
-        QueueCv.wait(Lock, [&] {
-          return SweepFinished || !RowQueue.empty();
-        });
-        if (RowQueue.empty())
-          return; // Finished and drained.
-        Frame = std::move(RowQueue.front());
-        RowQueue.pop_front();
+  FrameDecoder Decoder(Config.MaxFrameBytes);
+  char Buf[16384];
+  bool Open = true;
+  while (Open) {
+    bool IoError = false;
+    size_t N = S->Sock.recvSome(Buf, sizeof(Buf), &IoError);
+    if (N == 0) {
+      if (IoError) {
+        S->WriteFailed.store(true, std::memory_order_relaxed);
+      } else if (Decoder.endOfStream() == FrameStatus::Truncated) {
+        // EOF inside a frame: answer (the peer may only have shut down
+        // its write side), then close.
+        ProtocolErrors.fetch_add(1, std::memory_order_relaxed);
+        S->enqueueFrame(
+            makeErrorMessage("truncated frame rejected").dump());
       }
-      writePayload(Conn, Frame);
+      break;
     }
-  });
-  Engine.setRowCallback([&](const SweepRow &Row) {
-    JsonValue Message = typedMessage("row");
-    if (TagGrid)
-      Message.set("grid", JsonValue::uint(GridIndex));
-    Message.set("row", rowToJson(Row));
-    std::string Frame = Message.dump();
-    {
-      std::lock_guard<std::mutex> Lock(QueueMutex);
-      RowQueue.push_back(std::move(Frame));
-    }
-    QueueCv.notify_one();
-  });
-
-  std::exception_ptr RunError;
-  try {
-    Engine.run();
-  } catch (...) {
-    RunError = std::current_exception();
-  }
-  {
-    std::lock_guard<std::mutex> Lock(QueueMutex);
-    SweepFinished = true;
-  }
-  QueueCv.notify_all();
-  Writer.join();
-
-  if (RunError) {
-    FailMessage = "sweep failed";
-    try {
-      std::rethrow_exception(RunError);
-    } catch (const std::exception &E) {
-      FailMessage += std::string(": ") + E.what();
-    } catch (...) {
-    }
-    return false;
-  }
-  Hits += Engine.cacheHits();
-  Misses += Engine.cacheMisses();
-  return true;
-}
-
-void SweepService::handleConnection(Connection *Conn) {
-  for (;;) {
+    Decoder.feed(Buf, N);
     std::string Payload;
-    FrameStatus Status =
-        readFrame(Conn->Sock, Payload, Config.MaxFrameBytes);
-    if (Status == FrameStatus::Eof)
-      break; // Clean disconnect between frames.
-    if (Status != FrameStatus::Ok) {
-      // Bad framing: answer (the peer may only have shut down its write
-      // side), drop the connection, keep the daemon serving.
+    while (Open && Decoder.next(Payload))
+      Open = dispatchRequest(S, Payload);
+    if (Open && Decoder.error() != FrameStatus::Ok) {
+      // Bad framing: answer, drop the connection, keep the daemon
+      // serving.
       ProtocolErrors.fetch_add(1, std::memory_order_relaxed);
-      if (Status != FrameStatus::IoError)
-        writeMessage(Conn,
-                     makeErrorMessage(std::string(frameStatusName(Status)) +
-                                      " frame rejected"));
+      S->enqueueFrame(
+          makeErrorMessage(std::string(frameStatusName(Decoder.error())) +
+                           " frame rejected")
+              .dump());
       break;
     }
-    if (!handleRequest(Conn, Payload))
-      break;
-    if (Conn->WriteFailed.load(std::memory_order_relaxed))
+    if (S->WriteFailed.load(std::memory_order_relaxed))
       break;
   }
-  // Unblock the peer's reads but leave the fd open: stop() may
-  // concurrently shutdownBoth() this socket, and closing here could
-  // hand the fd number to an unrelated descriptor first. The Socket
-  // closes when the reaper (or stop()) destroys the Connection after
-  // joining this thread.
-  Conn->Sock.shutdownBoth();
-  Conn->Done.store(true, std::memory_order_release);
+
+  // Drain in-flight sweeps (bounded), stop the writer after it flushed
+  // everything enqueued, then release the socket.
+  drainSession(S);
+  {
+    std::unique_lock<std::mutex> Lock(S->WriterMutex);
+    S->WriterStop = true;
+    S->WriterCv.notify_all();
+    // The flush is bounded too: a peer that stopped reading parks the
+    // writer inside sendAll with a full TCP buffer, so after the grace
+    // period shut the socket down — the blocked send fails, the writer
+    // latches WriteFailed and burns through the rest of its queue. A
+    // reading peer drains in moments, so even --drain-timeout 0 (which
+    // governs *simulation* drain) keeps a small floor here: the final
+    // done/error frames must reach a live client.
+    double FlushGrace = std::max(Config.DrainTimeoutSeconds, 1.0);
+    S->WriterCv.wait_for(Lock,
+                         std::chrono::duration<double>(FlushGrace),
+                         [S] { return S->WriterIdle; });
+    if (!S->WriterIdle)
+      S->Sock.shutdownBoth();
+  }
+  S->WriterThread.join();
+  if (S->Weight.load(std::memory_order_relaxed) > 1)
+    Pool->setTagWeight(S->Id, 1); // Release the tag's pinned bookkeeping.
+  // Unblock the peer but leave the fd open: stop() may concurrently
+  // shutdown this socket, and closing here could hand the fd number to
+  // an unrelated descriptor first. The Socket closes when the reaper
+  // (or stop()) destroys the Session after joining this thread.
+  S->Sock.shutdownBoth();
+  S->Done.store(true, std::memory_order_release);
 }
 
-bool SweepService::handleRequest(Connection *Conn,
-                                 const std::string &Payload) {
-  JsonValue Request;
+void SweepService::drainSession(Session *S) {
+  auto AnyUnfinished = [S] {
+    for (const auto &R : S->Requests)
+      if (!R->Finished)
+        return true;
+    return false;
+  };
+  std::unique_lock<std::mutex> Lock(S->RequestsMutex);
+  if (AnyUnfinished()) {
+    // Bounded grace period — pointless when the peer is already gone.
+    if (!S->WriteFailed.load(std::memory_order_relaxed) &&
+        Config.DrainTimeoutSeconds > 0)
+      S->RequestsCv.wait_for(
+          Lock,
+          std::chrono::duration<double>(Config.DrainTimeoutSeconds),
+          [&] { return !AnyUnfinished(); });
+    if (AnyUnfinished()) {
+      // Cancel: remaining items sweep through the pool as no-ops, so
+      // completion is bounded by queue drain, not by simulation.
+      for (const auto &R : S->Requests)
+        if (!R->Finished)
+          for (const auto &E : R->Engines)
+            E->cancel();
+      S->RequestsCv.wait(Lock, [&] { return !AnyUnfinished(); });
+    }
+  }
+  S->Requests.clear();
+}
+
+void SweepService::reapFinishedRequests(Session *S) {
+  S->reapFinished();
+}
+
+void SweepService::requestFinished(Session *S, Request *Req) {
+  bool Failed = false;
+  bool FailWasCancel = false;
+  std::string FailMessage;
+  uint64_t Hits = 0, Misses = 0;
+  for (const auto &E : Req->Engines) {
+    if (E->asyncFailed()) {
+      // Prefer a real simulation error over a knock-on "sweep
+      // canceled" from a sibling we canceled because of it.
+      if (!Failed || (FailWasCancel && !E->asyncCanceled())) {
+        FailMessage = E->asyncError();
+        FailWasCancel = E->asyncCanceled();
+      }
+      Failed = true;
+    }
+    Hits += E->cacheHits();
+    Misses += E->cacheMisses();
+  }
+
+  if (Failed) {
+    {
+      // Buffered rows of a failed request are dead weight.
+      std::lock_guard<std::mutex> Lock(Req->BatchMutex);
+      Req->Batch.clear();
+    }
+    S->enqueueFrame(
+        errorResponse(FailMessage, Req->HasId, Req->Id).dump());
+  } else {
+    std::string Flush;
+    uint64_t ReqRows = 0, ReqBatches = 0;
+    {
+      std::lock_guard<std::mutex> Lock(Req->BatchMutex);
+      Flush = S->buildBatchLocked(Req, RowsBatchedTotal,
+                                  BatchesSentTotal);
+      ReqRows = Req->RowsBatched;
+      ReqBatches = Req->BatchesSent;
+    }
+    if (!Flush.empty())
+      S->enqueueFrame(std::move(Flush));
+    // Count before the done frame goes out: a client that has seen
+    // "done" must find the counter already bumped in a status query.
+    if (Req->IsExperiment)
+      ExperimentsServed.fetch_add(1, std::memory_order_relaxed);
+    else
+      GridsServed.fetch_add(1, std::memory_order_relaxed);
+    JsonValue Done = typedResponse("done", Req->HasId, Req->Id);
+    if (Req->IsExperiment)
+      Done.set("grids", JsonValue::uint(Req->Engines.size()));
+    Done.set("points", JsonValue::uint(Req->Points));
+    Done.set("cache_hits", JsonValue::uint(Hits));
+    Done.set("cache_misses", JsonValue::uint(Misses));
+    // Only hello'd sessions get the batching tally: a no-hello client
+    // speaks v1, and its done frame keeps the exact v1 shape.
+    if (S->SaidHello) {
+      Done.set("rows_batched", JsonValue::uint(ReqRows));
+      Done.set("batches_sent", JsonValue::uint(ReqBatches));
+    }
+    S->enqueueFrame(Done.dump());
+  }
+
+  // Schedule the reap BEFORE marking the request finished: the moment
+  // Finished is visible, drain may let the handler exit and stop()
+  // destroy the whole Session — so the Finished store below must be
+  // this worker's very last touch of any session state. The sentinel
+  // rides the writer queue behind the done frame, freeing a finished
+  // request's rows without waiting for the client's next frame (a
+  // submit-then-read client like cvliw-bench --all sends none).
+  S->enqueueReap();
+  // Mark reapable: past this store the reader (dispatch/drain) or the
+  // writer (the sentinel above, once it sees Finished) may destroy the
+  // request — and with it the engine whose completion hook this call
+  // is. Nothing after this point touches the request or the session.
+  {
+    std::lock_guard<std::mutex> Lock(S->RequestsMutex);
+    Req->Finished = true;
+    S->RequestsCv.notify_all();
+  }
+}
+
+void SweepService::submitRequest(Session *S,
+                                 std::unique_ptr<Request> NewRequest) {
+  Request *Req = NewRequest.get();
+  const bool TagGrid = Req->IsExperiment;
+  // Wire the request up COMPLETELY before any work is submitted: the
+  // moment the last engine's items are on the pool the request can
+  // finish — and be destroyed by a concurrent reaper — so past that
+  // point (and after the final startAsync below returns) nothing here
+  // may touch Req again. The engine pointers and count live in locals
+  // for the same reason.
+  std::vector<SweepEngine *> Engines;
+  Engines.reserve(Req->Engines.size());
+  for (size_t G = 0; G != Req->Engines.size(); ++G) {
+    SweepEngine *Engine = Req->Engines[G].get();
+    Engine->setCache(Cache);
+    Engine->setRowCallback([this, S, Req, TagGrid, G](const SweepRow &Row) {
+      S->emitRow(Req, TagGrid, G, Row, RowsBatchedTotal, BatchesSentTotal);
+    });
+    Engines.push_back(Engine);
+  }
+  Req->GridsLeft.store(Engines.size(), std::memory_order_release);
+  const uint64_t Tag = S->Id;
+  {
+    std::lock_guard<std::mutex> Lock(S->RequestsMutex);
+    S->Requests.push_back(std::move(NewRequest));
+  }
+  for (SweepEngine *Engine : Engines)
+    Engine->startAsync(*Pool, Tag, [this, S, Req, Engine] {
+      // A failed grid dooms the whole request: cancel the sibling
+      // engines so the daemon stops simulating rows it is going to
+      // discard anyway. (Req is alive — our own GridsLeft decrement
+      // has not happened yet.)
+      if (Engine->asyncFailed() && !Engine->asyncCanceled())
+        for (const auto &Sibling : Req->Engines)
+          if (Sibling.get() != Engine)
+            Sibling->cancel();
+      if (Req->GridsLeft.fetch_sub(1, std::memory_order_acq_rel) == 1)
+        requestFinished(S, Req);
+    });
+}
+
+JsonValue SweepService::statusJson() {
+  ResultCacheStats Stats = Cache->stats();
+  JsonValue J = typedMessage("status");
+  JsonValue CacheJson = JsonValue::object();
+  CacheJson.set("entries", JsonValue::uint(Stats.Entries));
+  CacheJson.set("bytes", JsonValue::uint(Stats.Bytes));
+  CacheJson.set("max_bytes", JsonValue::uint(Stats.MaxBytes));
+  CacheJson.set("hits", JsonValue::uint(Stats.Hits));
+  CacheJson.set("misses", JsonValue::uint(Stats.Misses));
+  CacheJson.set("evictions", JsonValue::uint(Stats.Evictions));
+  J.set("cache", std::move(CacheJson));
+  J.set("threads", JsonValue::uint(Pool->threads()));
+  J.set("max_batch_rows", JsonValue::uint(Config.MaxBatchRows));
+  J.set("grids_served", JsonValue::uint(gridsServed()));
+  J.set("experiments_served", JsonValue::uint(experimentsServed()));
+  J.set("connections_accepted", JsonValue::uint(connectionsAccepted()));
+  J.set("protocol_errors", JsonValue::uint(protocolErrors()));
+  J.set("rows_batched", JsonValue::uint(rowsBatched()));
+  J.set("batches_sent", JsonValue::uint(batchesSent()));
+
+  JsonValue SessionArr = JsonValue::array();
+  {
+    std::lock_guard<std::mutex> Lock(SessionsMutex);
+    for (const auto &S : Sessions) {
+      if (S->Done.load(std::memory_order_acquire))
+        continue;
+      JsonValue Entry = JsonValue::object();
+      Entry.set("id", JsonValue::uint(S->Id));
+      Entry.set("weight",
+                JsonValue::uint(S->Weight.load(std::memory_order_relaxed)));
+      Entry.set("max_batch",
+                JsonValue::uint(S->MaxBatch.load(std::memory_order_relaxed)));
+      size_t InFlightRequests = 0;
+      {
+        std::lock_guard<std::mutex> RLock(S->RequestsMutex);
+        for (const auto &R : S->Requests)
+          if (!R->Finished)
+            ++InFlightRequests;
+      }
+      Entry.set("in_flight_requests", JsonValue::uint(InFlightRequests));
+      Entry.set("in_flight_items",
+                JsonValue::uint(Pool->pendingCount(S->Id) +
+                                Pool->runningCount(S->Id)));
+      Entry.set("rows_batched",
+                JsonValue::uint(
+                    S->RowsBatched.load(std::memory_order_relaxed)));
+      Entry.set("batches_sent",
+                JsonValue::uint(
+                    S->BatchesSent.load(std::memory_order_relaxed)));
+      SessionArr.push(std::move(Entry));
+    }
+  }
+  J.set("sessions", std::move(SessionArr));
+  return J;
+}
+
+bool SweepService::dispatchRequest(Session *S, const std::string &Payload) {
+  JsonValue Msg;
   std::string ParseError;
-  if (!JsonValue::parse(Payload, Request, ParseError)) {
+  if (!JsonValue::parse(Payload, Msg, ParseError)) {
     ProtocolErrors.fetch_add(1, std::memory_order_relaxed);
-    writeMessage(Conn, makeErrorMessage("bad JSON: " + ParseError));
+    S->enqueueFrame(makeErrorMessage("bad JSON: " + ParseError).dump());
     return false;
   }
+
+  // Pipelined clients keep talking, so every new frame is a chance to
+  // free the rows of requests they have already been answered for.
+  reapFinishedRequests(S);
 
   std::string Type;
-  if (const JsonValue *T = Request.find("type"))
+  if (const JsonValue *T = Msg.find("type"))
     if (T->kind() == JsonValue::Kind::String)
       Type = T->asString();
 
+  bool HasId = false;
+  uint64_t Id = 0;
+  if (const JsonValue *I = Msg.find("id")) {
+    try {
+      Id = I->asU64();
+      HasId = true;
+    } catch (const JsonError &) {
+      ProtocolErrors.fetch_add(1, std::memory_order_relaxed);
+      S->enqueueFrame(
+          makeErrorMessage("bad request id (need a u64)").dump());
+      return false;
+    }
+  }
+
+  if (Type == "hello") {
+    if (S->AnySweepSeen || S->SaidHello) {
+      S->enqueueFrame(errorResponse("hello must be the connection's "
+                                    "first request",
+                                    HasId, Id)
+                          .dump());
+      return true;
+    }
+    size_t WantBatch = 1;
+    unsigned WantWeight = 1;
+    try {
+      if (const JsonValue *B = Msg.find("max_batch"))
+        WantBatch = std::max<uint64_t>(1, B->asU64());
+      if (const JsonValue *W = Msg.find("weight"))
+        WantWeight = static_cast<unsigned>(
+            std::min<uint64_t>(W->asU64(), 1u << 20));
+    } catch (const JsonError &E) {
+      ProtocolErrors.fetch_add(1, std::memory_order_relaxed);
+      S->enqueueFrame(
+          errorResponse(std::string("bad hello: ") + E.what(), HasId, Id)
+              .dump());
+      return false;
+    }
+    S->SaidHello = true;
+    const size_t GrantedBatch =
+        std::max<size_t>(1, std::min(WantBatch, Config.MaxBatchRows));
+    const unsigned GrantedWeight =
+        std::max(1u, std::min(WantWeight, Config.MaxSessionWeight));
+    S->MaxBatch.store(GrantedBatch, std::memory_order_relaxed);
+    S->Weight.store(GrantedWeight, std::memory_order_relaxed);
+    if (GrantedWeight > 1)
+      Pool->setTagWeight(S->Id, GrantedWeight);
+    JsonValue Reply = typedResponse("hello_ok", HasId, Id);
+    Reply.set("max_batch", JsonValue::uint(GrantedBatch));
+    Reply.set("weight", JsonValue::uint(GrantedWeight));
+    Reply.set("pipelining", JsonValue::boolean(true));
+    S->enqueueFrame(Reply.dump());
+    return true;
+  }
+
   if (Type == "ping") {
-    writeMessage(Conn, typedMessage("pong"));
+    S->enqueueFrame(typedResponse("pong", HasId, Id).dump());
     return true;
   }
 
   if (Type == "status") {
-    ResultCacheStats Stats = Cache->stats();
-    JsonValue J = typedMessage("status");
-    JsonValue CacheJson = JsonValue::object();
-    CacheJson.set("entries", JsonValue::uint(Stats.Entries));
-    CacheJson.set("bytes", JsonValue::uint(Stats.Bytes));
-    CacheJson.set("max_bytes", JsonValue::uint(Stats.MaxBytes));
-    CacheJson.set("hits", JsonValue::uint(Stats.Hits));
-    CacheJson.set("misses", JsonValue::uint(Stats.Misses));
-    CacheJson.set("evictions", JsonValue::uint(Stats.Evictions));
-    J.set("cache", std::move(CacheJson));
-    J.set("threads", JsonValue::uint(Pool->threads()));
-    J.set("grids_served", JsonValue::uint(gridsServed()));
-    J.set("experiments_served", JsonValue::uint(experimentsServed()));
-    J.set("connections_accepted",
-          JsonValue::uint(connectionsAccepted()));
-    J.set("protocol_errors", JsonValue::uint(protocolErrors()));
-    writeMessage(Conn, J);
+    JsonValue Status = statusJson();
+    if (HasId)
+      Status.set("id", JsonValue::uint(Id));
+    S->enqueueFrame(Status.dump());
     return true;
   }
 
   if (Type == "sweep") {
     SweepGrid Grid;
     try {
-      Grid = gridFromJson(Request.at("grid"));
+      Grid = gridFromJson(Msg.at("grid"));
     } catch (const JsonError &E) {
       ProtocolErrors.fetch_add(1, std::memory_order_relaxed);
-      writeMessage(Conn,
-                   makeErrorMessage(std::string("bad grid: ") + E.what()));
+      S->enqueueFrame(
+          errorResponse(std::string("bad grid: ") + E.what(), HasId, Id)
+              .dump());
       return false;
     }
-
-    uint64_t Hits = 0, Misses = 0;
-    std::string FailMessage;
-    if (!runGridStreaming(Conn, Grid, /*TagGrid=*/false, /*GridIndex=*/0,
-                          Hits, Misses, FailMessage)) {
-      writeMessage(Conn, makeErrorMessage(FailMessage));
-      return false;
-    }
-    // Count before the done frame goes out: a client that has seen
-    // "done" must find the counter already bumped in a status query.
-    GridsServed.fetch_add(1, std::memory_order_relaxed);
-    JsonValue Done = typedMessage("done");
-    Done.set("points", JsonValue::uint(Grid.size()));
-    Done.set("cache_hits", JsonValue::uint(Hits));
-    Done.set("cache_misses", JsonValue::uint(Misses));
-    writeMessage(Conn, Done);
+    S->AnySweepSeen = true;
+    std::unique_ptr<Request> Req(new Request());
+    Req->HasId = HasId;
+    Req->Id = Id;
+    Req->Points = Grid.size();
+    Req->Engines.emplace_back(
+        new SweepEngine(std::move(Grid), /*Threads=*/1));
+    submitRequest(S, std::move(Req));
     return true;
   }
 
   if (Type == "run_experiment") {
-    const JsonValue *NameMember = Request.find("name");
+    const JsonValue *NameMember = Msg.find("name");
     if (!NameMember || NameMember->kind() != JsonValue::Kind::String) {
       ProtocolErrors.fetch_add(1, std::memory_order_relaxed);
-      writeMessage(Conn,
-                   makeErrorMessage("run_experiment needs a string 'name'"));
+      S->enqueueFrame(
+          errorResponse("run_experiment needs a string 'name'", HasId, Id)
+              .dump());
       return false;
     }
     const std::string &Name = NameMember->asString();
@@ -290,50 +693,45 @@ bool SweepService::handleRequest(Connection *Conn,
     if (!Spec) {
       // A semantic miss, not protocol garbage: tell the client and keep
       // both the connection and the daemon serving.
-      writeMessage(Conn, makeErrorMessage("unknown experiment '" + Name +
-                                          "'"));
+      S->enqueueFrame(
+          errorResponse("unknown experiment '" + Name + "'", HasId, Id)
+              .dump());
       return true;
     }
     ExperimentOverrides Overrides;
-    if (const JsonValue *O = Request.find("overrides")) {
+    if (const JsonValue *O = Msg.find("overrides")) {
       try {
         Overrides = experimentOverridesFromJson(*O);
       } catch (const JsonError &E) {
         ProtocolErrors.fetch_add(1, std::memory_order_relaxed);
-        writeMessage(Conn, makeErrorMessage(
-                               std::string("bad overrides: ") + E.what()));
+        S->enqueueFrame(
+            errorResponse(std::string("bad overrides: ") + E.what(),
+                          HasId, Id)
+                .dump());
         return false;
       }
     }
+    S->AnySweepSeen = true;
 
     // Grid expansion is pinned to the one registered implementation:
     // the daemon never trusts a client-supplied copy of a named grid.
     std::vector<ExperimentGrid> Grids = Spec->BuildGrids();
-    size_t Points = 0;
-    uint64_t Hits = 0, Misses = 0;
-    for (size_t G = 0; G != Grids.size(); ++G) {
-      applyOverrides(Grids[G].Grid, Overrides);
-      Points += Grids[G].Grid.size();
-      std::string FailMessage;
-      if (!runGridStreaming(Conn, Grids[G].Grid, /*TagGrid=*/true, G, Hits,
-                            Misses, FailMessage)) {
-        writeMessage(Conn, makeErrorMessage(FailMessage));
-        return false;
-      }
+    std::unique_ptr<Request> Req(new Request());
+    Req->HasId = HasId;
+    Req->Id = Id;
+    Req->IsExperiment = true;
+    for (ExperimentGrid &Grid : Grids) {
+      applyOverrides(Grid.Grid, Overrides);
+      Req->Points += Grid.Grid.size();
+      Req->Engines.emplace_back(
+          new SweepEngine(std::move(Grid.Grid), /*Threads=*/1));
     }
-    // Count before the done frame goes out (see the sweep branch).
-    ExperimentsServed.fetch_add(1, std::memory_order_relaxed);
-    JsonValue Done = typedMessage("done");
-    Done.set("grids", JsonValue::uint(Grids.size()));
-    Done.set("points", JsonValue::uint(Points));
-    Done.set("cache_hits", JsonValue::uint(Hits));
-    Done.set("cache_misses", JsonValue::uint(Misses));
-    writeMessage(Conn, Done);
+    submitRequest(S, std::move(Req));
     return true;
   }
 
   if (Type == "shutdown") {
-    writeMessage(Conn, typedMessage("ok"));
+    S->enqueueFrame(typedResponse("ok", HasId, Id).dump());
     {
       std::lock_guard<std::mutex> Lock(ShutdownMutex);
       ShutdownFlag.store(true, std::memory_order_release);
@@ -342,8 +740,9 @@ bool SweepService::handleRequest(Connection *Conn,
     return false;
   }
 
-  writeMessage(Conn,
-               makeErrorMessage("unknown request type '" + Type + "'"));
+  S->enqueueFrame(
+      errorResponse("unknown request type '" + Type + "'", HasId, Id)
+          .dump());
   return true;
 }
 
@@ -361,25 +760,32 @@ void SweepService::stop() {
     std::lock_guard<std::mutex> Lock(ShutdownMutex);
   }
   ShutdownCv.notify_all();
-  if (WasStopping && !AcceptThread.joinable() && Connections.empty())
+  if (WasStopping && !AcceptThread.joinable() && Sessions.empty())
     return;
 
-  // Close the listener to kick the accept thread out of accept().
+  // Shut the listener down to kick the accept thread out of accept()
+  // (shutdown only reads the fd, so it cannot race the accept thread's
+  // own use of it the way close() would); the fd is released once the
+  // thread is joined.
   Listener.shutdownBoth();
-  Listener.close();
   if (AcceptThread.joinable())
     AcceptThread.join();
+  Listener.close();
 
-  // Disconnect every client: a handler blocked in readFrame sees EOF;
-  // one mid-sweep finishes its grid (its writes fail fast) and exits.
-  std::vector<std::unique_ptr<Connection>> ToJoin;
+  // Stop every session's reads; the handler threads own the drain
+  // (bounded wait for in-flight sweeps, then cancel — see
+  // drainSession), flush their writers and exit.
+  std::vector<std::unique_ptr<Session>> ToJoin;
   {
-    std::lock_guard<std::mutex> Lock(ConnMutex);
-    ToJoin.swap(Connections);
+    std::lock_guard<std::mutex> Lock(SessionsMutex);
+    ToJoin.swap(Sessions);
   }
-  for (auto &Conn : ToJoin)
-    Conn->Sock.shutdownBoth();
-  for (auto &Conn : ToJoin)
-    if (Conn->Thread.joinable())
-      Conn->Thread.join();
+  for (auto &S : ToJoin)
+    S->Sock.shutdownRead();
+  for (auto &S : ToJoin)
+    if (S->Thread.joinable())
+      S->Thread.join();
+  // Sessions destroyed here close their sockets; the pool (destroyed
+  // with the service, after every session drained) ran every submitted
+  // item to completion.
 }

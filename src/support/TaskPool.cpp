@@ -7,6 +7,7 @@
 #include "cvliw/support/TaskPool.h"
 
 #include <algorithm>
+#include <cassert>
 #include <utility>
 
 using namespace cvliw;
@@ -22,34 +23,112 @@ TaskPool::~TaskPool() {
   {
     std::lock_guard<std::mutex> Lock(Mutex);
     Stopping = true;
-    Queue.clear();
+    Tags.clear();
+    Rotation.clear();
   }
   Ready.notify_all();
   for (std::thread &T : Workers)
     T.join();
 }
 
-void TaskPool::submit(std::function<void()> Job) {
+void TaskPool::submit(uint64_t Tag, std::function<void()> Job) {
   {
     std::lock_guard<std::mutex> Lock(Mutex);
     if (Stopping)
       return;
-    Queue.push_back(std::move(Job));
+    TagState &T = Tags[Tag];
+    T.Queue.push_back(std::move(Job));
+    if (!T.InRotation) {
+      T.InRotation = true;
+      T.Credit = T.Weight;
+      Rotation.push_back(Tag);
+    }
   }
   Ready.notify_one();
+}
+
+void TaskPool::setTagWeight(uint64_t Tag, unsigned Weight) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (Stopping)
+    return;
+  TagState &T = Tags[Tag];
+  T.Weight = std::max(1u, Weight);
+  // A tag mid-turn keeps its already-granted credit; the new weight
+  // applies from its next turn. An idle-but-registered tag would leak
+  // if never used, so reclaim immediately when fully idle.
+  reclaimLocked(Tag);
+}
+
+size_t TaskPool::pendingCount(uint64_t Tag) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Tags.find(Tag);
+  return It == Tags.end() ? 0 : It->second.Queue.size();
+}
+
+size_t TaskPool::runningCount(uint64_t Tag) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Tags.find(Tag);
+  return It == Tags.end() ? 0 : It->second.Running;
+}
+
+size_t TaskPool::pendingTotal() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  size_t Total = 0;
+  for (const auto &Entry : Tags)
+    Total += Entry.second.Queue.size();
+  return Total;
+}
+
+std::function<void()> TaskPool::popLocked(uint64_t &Tag) {
+  assert(!Rotation.empty() && "popLocked needs pending work");
+  Tag = Rotation.front();
+  TagState &T = Tags[Tag];
+  assert(!T.Queue.empty() && "rotation holds a drained tag");
+  std::function<void()> Job = std::move(T.Queue.front());
+  T.Queue.pop_front();
+  T.Running++;
+  if (T.Credit > 0)
+    --T.Credit;
+  if (T.Queue.empty()) {
+    // Out of work: leave the rotation; submit() re-enters the tag (at
+    // the back, with fresh credit) when new work arrives.
+    T.InRotation = false;
+    Rotation.pop_front();
+  } else if (T.Credit == 0) {
+    // Turn over: move to the back of the rotation with fresh credit.
+    T.Credit = T.Weight;
+    Rotation.pop_front();
+    Rotation.push_back(Tag);
+  }
+  return Job;
+}
+
+void TaskPool::reclaimLocked(uint64_t Tag) {
+  auto It = Tags.find(Tag);
+  if (It != Tags.end() && It->second.Queue.empty() &&
+      It->second.Running == 0 && It->second.Weight == 1)
+    Tags.erase(It);
 }
 
 void TaskPool::workerLoop() {
   for (;;) {
     std::function<void()> Job;
+    uint64_t Tag = 0;
     {
       std::unique_lock<std::mutex> Lock(Mutex);
-      Ready.wait(Lock, [this] { return Stopping || !Queue.empty(); });
+      Ready.wait(Lock, [this] { return Stopping || !Rotation.empty(); });
       if (Stopping)
         return;
-      Job = std::move(Queue.front());
-      Queue.pop_front();
+      Job = popLocked(Tag);
     }
     Job();
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      auto It = Tags.find(Tag);
+      if (It != Tags.end()) {
+        --It->second.Running;
+        reclaimLocked(Tag);
+      }
+    }
   }
 }

@@ -12,6 +12,10 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <functional>
+#include <random>
+#include <vector>
+
 #include <sys/socket.h>
 
 using namespace cvliw;
@@ -175,6 +179,161 @@ TEST(Frame, WriterHonorsItsOwnBound) {
   SocketPair P;
   std::string Big(2048, 'x');
   EXPECT_FALSE(writeFrame(P.A, Big, /*MaxBytes=*/1024));
+}
+
+//===----------------------------------------------------------------------===//
+// Incremental decoding
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// One encoded frame (header + payload) as raw stream bytes.
+std::string encodeFrame(const std::string &Payload) {
+  std::string Out(FrameMagic, 4);
+  uint32_t Len = static_cast<uint32_t>(Payload.size());
+  Out += static_cast<char>(Len >> 24);
+  Out += static_cast<char>(Len >> 16);
+  Out += static_cast<char>(Len >> 8);
+  Out += static_cast<char>(Len);
+  Out += Payload;
+  return Out;
+}
+
+/// Feeds \p Stream to a decoder in the chunk sizes \p Chunks yields,
+/// draining frames as they complete.
+std::vector<std::string> decodeChunked(
+    const std::string &Stream, size_t MaxBytes,
+    const std::function<size_t(size_t Remaining)> &Chunks,
+    FrameStatus &FinalError) {
+  FrameDecoder Decoder(MaxBytes);
+  std::vector<std::string> Frames;
+  size_t At = 0;
+  while (At < Stream.size()) {
+    size_t N = std::min(Chunks(Stream.size() - At), Stream.size() - At);
+    if (!Decoder.feed(Stream.data() + At, N))
+      break;
+    At += N;
+    std::string Payload;
+    while (Decoder.next(Payload))
+      Frames.push_back(Payload);
+    if (Decoder.error() != FrameStatus::Ok)
+      break;
+  }
+  FinalError = Decoder.error();
+  return Frames;
+}
+
+std::vector<std::string> decoderTestPayloads() {
+  return {"{\"type\":\"ping\"}", "", std::string(1000, 'r'),
+          std::string("\x00\xff\x43\x56\x57\x31", 6), "{\"id\":7}"};
+}
+
+} // namespace
+
+TEST(FrameDecoder, ByteAtATimeYieldsEveryFrame) {
+  // The degenerate split: every byte its own feed() call. The decoder
+  // must reproduce the frame sequence exactly and end at a boundary.
+  std::vector<std::string> Payloads = decoderTestPayloads();
+  std::string Stream;
+  for (const std::string &P : Payloads)
+    Stream += encodeFrame(P);
+
+  FrameStatus Err = FrameStatus::Ok;
+  std::vector<std::string> Frames = decodeChunked(
+      Stream, DefaultMaxFrameBytes, [](size_t) { return size_t(1); }, Err);
+  EXPECT_EQ(Err, FrameStatus::Ok);
+  EXPECT_EQ(Frames, Payloads);
+
+  FrameDecoder Boundary;
+  ASSERT_TRUE(Boundary.feed(Stream.data(), Stream.size()));
+  std::string Payload;
+  for (size_t I = 0; I != Payloads.size(); ++I)
+    EXPECT_TRUE(Boundary.next(Payload));
+  EXPECT_FALSE(Boundary.next(Payload));
+  EXPECT_EQ(Boundary.endOfStream(), FrameStatus::Eof);
+  EXPECT_EQ(Boundary.buffered(), 0u);
+}
+
+TEST(FrameDecoder, RandomSplitPointsNeverChangeTheFrames) {
+  // Property test: however recv() happens to chop the stream, the
+  // decoded frame sequence is invariant. Fixed seed, many trials.
+  std::vector<std::string> Payloads = decoderTestPayloads();
+  std::string Stream;
+  for (const std::string &P : Payloads)
+    Stream += encodeFrame(P);
+
+  std::mt19937 Rng(0x5eedf00d);
+  for (int Trial = 0; Trial != 200; ++Trial) {
+    std::uniform_int_distribution<size_t> Dist(1, 97);
+    FrameStatus Err = FrameStatus::Ok;
+    std::vector<std::string> Frames = decodeChunked(
+        Stream, DefaultMaxFrameBytes,
+        [&](size_t) { return Dist(Rng); }, Err);
+    ASSERT_EQ(Err, FrameStatus::Ok) << "trial " << Trial;
+    ASSERT_EQ(Frames, Payloads) << "trial " << Trial;
+  }
+}
+
+TEST(FrameDecoder, TruncationDetectedMidStream) {
+  std::string Stream = encodeFrame("whole") + encodeFrame("cut short");
+  // Drop the tail of the second frame's payload.
+  Stream.resize(Stream.size() - 4);
+
+  for (size_t Chunk : {size_t(1), size_t(3), Stream.size()}) {
+    FrameStatus Err = FrameStatus::Ok;
+    std::vector<std::string> Frames = decodeChunked(
+        Stream, DefaultMaxFrameBytes, [&](size_t) { return Chunk; }, Err);
+    ASSERT_EQ(Frames.size(), 1u);
+    EXPECT_EQ(Frames[0], "whole");
+    EXPECT_EQ(Err, FrameStatus::Ok) << "truncation is an EOF-time verdict";
+  }
+
+  // Mid-payload EOF and mid-header EOF both classify as Truncated.
+  FrameDecoder D1;
+  ASSERT_TRUE(D1.feed(Stream.data(), Stream.size()));
+  std::string Payload;
+  EXPECT_TRUE(D1.next(Payload));
+  EXPECT_FALSE(D1.next(Payload));
+  EXPECT_EQ(D1.endOfStream(), FrameStatus::Truncated);
+
+  FrameDecoder D2;
+  ASSERT_TRUE(D2.feed("CVW", 3));
+  EXPECT_FALSE(D2.next(Payload));
+  EXPECT_EQ(D2.endOfStream(), FrameStatus::Truncated);
+}
+
+TEST(FrameDecoder, MalformedMagicPoisonsOnHeaderCompletion) {
+  FrameDecoder Decoder;
+  std::string Payload;
+  // Seven bytes of garbage: not yet classifiable.
+  ASSERT_TRUE(Decoder.feed("XXXXXXX", 7));
+  EXPECT_FALSE(Decoder.next(Payload));
+  EXPECT_EQ(Decoder.error(), FrameStatus::Ok);
+  // The eighth byte completes a header with the wrong magic.
+  ASSERT_TRUE(Decoder.feed("X", 1));
+  EXPECT_FALSE(Decoder.next(Payload));
+  EXPECT_EQ(Decoder.error(), FrameStatus::Malformed);
+  EXPECT_EQ(Decoder.endOfStream(), FrameStatus::Malformed);
+  // Poisoned decoders ignore further bytes.
+  EXPECT_FALSE(Decoder.feed("more", 4));
+}
+
+TEST(FrameDecoder, OversizedRejectedBeforeAnyPayloadByte) {
+  FrameDecoder Decoder(/*MaxBytes=*/64);
+  std::string Header = encodeFrame(std::string(65, 'x')).substr(0, 8);
+  // Feed exactly the header, one byte at a time: the over-limit length
+  // must poison the decoder without a single payload byte.
+  std::string Payload;
+  for (char C : Header)
+    Decoder.feed(&C, 1);
+  EXPECT_FALSE(Decoder.next(Payload));
+  EXPECT_EQ(Decoder.error(), FrameStatus::Oversized);
+  // A frame at exactly the bound is fine.
+  FrameDecoder AtBound(/*MaxBytes=*/64);
+  std::string Ok = encodeFrame(std::string(64, 'y'));
+  ASSERT_TRUE(AtBound.feed(Ok.data(), Ok.size()));
+  EXPECT_TRUE(AtBound.next(Payload));
+  EXPECT_EQ(Payload, std::string(64, 'y'));
 }
 
 //===----------------------------------------------------------------------===//

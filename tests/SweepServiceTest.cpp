@@ -8,12 +8,14 @@
 
 #include "cvliw/net/Frame.h"
 #include "cvliw/net/SweepClient.h"
+#include "cvliw/net/WireFormat.h"
 #include "cvliw/pipeline/ExperimentRegistry.h"
 #include "cvliw/pipeline/ResultCache.h"
 #include "cvliw/pipeline/SweepEngine.h"
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstring>
 #include <sstream>
 #include <thread>
@@ -79,19 +81,26 @@ struct ServiceFixture {
   std::string HostPort;
 
   explicit ServiceFixture(size_t MaxFrameBytes = DefaultMaxFrameBytes)
-      : Service(makeConfig(Cache, MaxFrameBytes)) {
+      : ServiceFixture(makeConfig(MaxFrameBytes)) {}
+
+  explicit ServiceFixture(SweepServiceConfig Config)
+      : Service(withCache(std::move(Config), Cache)) {
     std::string Error;
     EXPECT_TRUE(Service.start(Error)) << Error;
     HostPort = "127.0.0.1:" + std::to_string(Service.port());
   }
 
-  static SweepServiceConfig makeConfig(ResultCache &Cache,
-                                       size_t MaxFrameBytes) {
+  static SweepServiceConfig makeConfig(size_t MaxFrameBytes) {
     SweepServiceConfig Config;
     Config.Port = 0;
     Config.Threads = 3;
     Config.MaxFrameBytes = MaxFrameBytes;
-    Config.Cache = &Cache;
+    return Config;
+  }
+
+  static SweepServiceConfig withCache(SweepServiceConfig Config,
+                                      ResultCache &PrivateCache) {
+    Config.Cache = &PrivateCache;
     return Config;
   }
 };
@@ -430,6 +439,391 @@ TEST(SweepService, RunExperimentAppliesOverridesServerSide) {
   // like a local run of the overridden grid (seed column included).
   EXPECT_EQ(csvOfRows(Overridden, std::move(GridRows[0])),
             serialCsv(Overridden));
+}
+
+//===----------------------------------------------------------------------===//
+// Session protocol: pipelining, batching, fairness, v1 compatibility
+//===----------------------------------------------------------------------===//
+
+TEST(SweepService, PipelinesThreeConcurrentExperimentRequests) {
+  // The pipelining acceptance gate: one persistent connection, three
+  // run_experiment requests submitted before ANY response is read,
+  // every result byte-identical to a serial evaluation.
+  const ExperimentSpec *Spec = ExperimentRegistry::global().find("table2");
+  ASSERT_NE(Spec, nullptr);
+  std::vector<ExperimentGrid> Grids = Spec->BuildGrids();
+  ASSERT_EQ(Grids.size(), 1u);
+
+  ServiceFixture F;
+  SweepClient Client;
+  std::string Error;
+  ASSERT_TRUE(Client.connect(F.HostPort, Error)) << Error;
+  ASSERT_TRUE(Client.negotiate(DefaultClientMaxBatch, 1, Error)) << Error;
+  EXPECT_TRUE(Client.pipeliningGranted());
+
+  std::vector<const SweepGrid *> Expected{&Grids[0].Grid};
+  uint64_t Ids[3] = {0, 0, 0};
+  for (int I = 0; I != 3; ++I)
+    ASSERT_TRUE(Client.submitExperiment("table2", ExperimentOverrides{},
+                                        Expected, Ids[I], Error))
+        << Error;
+  EXPECT_EQ(Client.pendingRequests(), 3u)
+      << "all three requests in flight before the first poll";
+
+  const std::string Serial = serialCsv(Grids[0].Grid);
+  for (int I = 0; I != 3; ++I) {
+    ASSERT_TRUE(Client.wait(Ids[I], Error)) << Error;
+    std::vector<std::vector<SweepRow>> GridRows;
+    RemoteSweepStats Stats;
+    ASSERT_TRUE(Client.take(Ids[I], GridRows, Stats, Error)) << Error;
+    ASSERT_EQ(GridRows.size(), 1u);
+    EXPECT_EQ(csvOfRows(Grids[0].Grid, std::move(GridRows[0])), Serial);
+  }
+  EXPECT_EQ(F.Service.experimentsServed(), 3u);
+}
+
+TEST(SweepService, NegotiatedBatchingIsByteIdentical) {
+  SweepServiceConfig Config = ServiceFixture::makeConfig(DefaultMaxFrameBytes);
+  Config.MaxBatchRows = 4;
+  ServiceFixture F(Config);
+
+  SweepClient Client;
+  std::string Error;
+  ASSERT_TRUE(Client.connect(F.HostPort, Error)) << Error;
+  // The daemon clamps our 256 to its 4.
+  ASSERT_TRUE(Client.negotiate(DefaultClientMaxBatch, 1, Error)) << Error;
+  EXPECT_EQ(Client.negotiatedMaxBatch(), 4u);
+
+  std::vector<SweepRow> Rows;
+  RemoteSweepStats Stats;
+  ASSERT_TRUE(Client.runGrid(tinyGrid(), Rows, Stats, Error)) << Error;
+  // Every row of the six-point grid traveled inside a row_batch frame,
+  // and batching changed no byte of the result.
+  EXPECT_EQ(Stats.RowsBatched, tinyGrid().size());
+  EXPECT_GE(Stats.BatchesReceived, 2u) << "6 rows, batches of at most 4";
+  EXPECT_EQ(csvOfRows(tinyGrid(), std::move(Rows)), serialCsv(tinyGrid()));
+  EXPECT_EQ(F.Service.rowsBatched(), tinyGrid().size());
+  EXPECT_EQ(F.Service.batchesSent(), Stats.BatchesReceived);
+}
+
+TEST(SweepService, V1ClientWithoutHelloStaysUnbatchedAndUnIded) {
+  // The backward-compatibility regression gate: a daemon configured
+  // for batching still speaks plain v1 to a client that never says
+  // hello — unbatched "row" frames, no "id" members, byte-identical
+  // rows for both run_sweep and run_experiment.
+  SweepServiceConfig Config = ServiceFixture::makeConfig(DefaultMaxFrameBytes);
+  Config.MaxBatchRows = 8;
+  ServiceFixture F(Config);
+
+  std::string Host, Error;
+  uint16_t Port = 0;
+  ASSERT_TRUE(splitHostPort(F.HostPort, Host, Port, Error));
+  Socket Conn = connectTo(Host, Port, Error);
+  ASSERT_TRUE(Conn.valid()) << Error;
+
+  // --- run_sweep, hand-framed exactly like the PR3 client ---
+  SweepGrid Grid = tinyGrid();
+  JsonValue SweepReq = JsonValue::object();
+  SweepReq.set("type", JsonValue::str("sweep"));
+  SweepReq.set("grid", gridToJson(Grid));
+  ASSERT_TRUE(writeFrame(Conn, SweepReq.dump()));
+
+  std::vector<SweepRow> Rows(Grid.size());
+  size_t Received = 0;
+  for (;;) {
+    std::string Payload;
+    ASSERT_EQ(readFrame(Conn, Payload), FrameStatus::Ok);
+    JsonValue Message;
+    std::string ParseError;
+    ASSERT_TRUE(JsonValue::parse(Payload, Message, ParseError))
+        << ParseError;
+    const std::string &Type = Message.text("type");
+    EXPECT_EQ(Message.find("id"), nullptr)
+        << "v1 requests carry no id, so responses must not either";
+    if (Type == "done") {
+      EXPECT_EQ(Message.u64("points"), Grid.size());
+      EXPECT_EQ(Message.find("rows_batched"), nullptr)
+          << "a v1 done frame keeps the exact v1 shape";
+      break;
+    }
+    ASSERT_EQ(Type, "row") << "no row_batch frames without hello";
+    SweepRow Row = rowFromJson(Message.at("row"));
+    ASSERT_LT(Row.PointIndex, Rows.size());
+    Rows[Row.PointIndex] = std::move(Row);
+    ++Received;
+  }
+  EXPECT_EQ(Received, Grid.size());
+  EXPECT_EQ(csvOfRows(Grid, std::move(Rows)), serialCsv(Grid));
+
+  // --- run_experiment on the same v1 connection ---
+  const ExperimentSpec *Spec = ExperimentRegistry::global().find("table2");
+  ASSERT_NE(Spec, nullptr);
+  SweepGrid ExpGrid = Spec->BuildGrids()[0].Grid;
+  JsonValue ExpReq = JsonValue::object();
+  ExpReq.set("type", JsonValue::str("run_experiment"));
+  ExpReq.set("name", JsonValue::str("table2"));
+  ASSERT_TRUE(writeFrame(Conn, ExpReq.dump()));
+
+  std::vector<SweepRow> ExpRows(ExpGrid.size());
+  for (;;) {
+    std::string Payload;
+    ASSERT_EQ(readFrame(Conn, Payload), FrameStatus::Ok);
+    JsonValue Message;
+    std::string ParseError;
+    ASSERT_TRUE(JsonValue::parse(Payload, Message, ParseError))
+        << ParseError;
+    const std::string &Type = Message.text("type");
+    EXPECT_EQ(Message.find("id"), nullptr);
+    if (Type == "done")
+      break;
+    ASSERT_EQ(Type, "row");
+    EXPECT_EQ(Message.u64("grid"), 0u);
+    SweepRow Row = rowFromJson(Message.at("row"));
+    ASSERT_LT(Row.PointIndex, ExpRows.size());
+    ExpRows[Row.PointIndex] = std::move(Row);
+  }
+  EXPECT_EQ(csvOfRows(ExpGrid, std::move(ExpRows)), serialCsv(ExpGrid));
+  EXPECT_EQ(F.Service.rowsBatched(), 0u);
+}
+
+TEST(SweepService, OneThreadPoolInterleavesTwoSessionsRoundRobin) {
+  // The fairness acceptance gate: a 1-thread pool, two sessions each
+  // submitting a grid — neither session may finish entirely before
+  // the other starts receiving rows (a FIFO pool would serve session
+  // A's whole backlog first).
+  SweepServiceConfig Config = ServiceFixture::makeConfig(DefaultMaxFrameBytes);
+  Config.Threads = 1;
+  ServiceFixture F(Config);
+
+  SweepGrid GridA = tinyGrid();
+  GridA.Benchmarks = {tinyBenchmark("a0", 7), tinyBenchmark("a1", 11),
+                      tinyBenchmark("a2", 17), tinyBenchmark("a3", 19)};
+  SweepGrid GridB = GridA;
+  GridB.Benchmarks = {tinyBenchmark("b0", 23), tinyBenchmark("b1", 29),
+                      tinyBenchmark("b2", 31), tinyBenchmark("b3", 37)};
+
+  SweepClient ClientA, ClientB;
+  std::string Error;
+  ASSERT_TRUE(ClientA.connect(F.HostPort, Error)) << Error;
+  ASSERT_TRUE(ClientB.connect(F.HostPort, Error)) << Error;
+
+  // Both submissions land before either client reads a byte, so both
+  // sessions' items are queued concurrently on the single worker.
+  uint64_t IdA = 0, IdB = 0;
+  ASSERT_TRUE(ClientA.submitGrid(GridA, IdA, Error)) << Error;
+  ASSERT_TRUE(ClientB.submitGrid(GridB, IdB, Error)) << Error;
+
+  using Clock = std::chrono::steady_clock;
+  struct Arrival {
+    Clock::time_point FirstRow, LastRow;
+    bool SawRow = false;
+    bool Ok = false;
+    std::string Error;
+  };
+  Arrival A, B;
+  auto Drain = [](SweepClient &Client, uint64_t Id, Arrival &Out) {
+    for (;;) {
+      uint64_t CompletedId = 0;
+      bool Completed = false;
+      if (!Client.poll(CompletedId, Completed, Out.Error))
+        return;
+      if (Completed) {
+        Out.Ok = CompletedId == Id;
+        return;
+      }
+      Out.LastRow = Clock::now();
+      if (!Out.SawRow) {
+        Out.SawRow = true;
+        Out.FirstRow = Out.LastRow;
+      }
+    }
+  };
+  std::thread TA([&] { Drain(ClientA, IdA, A); });
+  std::thread TB([&] { Drain(ClientB, IdB, B); });
+  TA.join();
+  TB.join();
+  ASSERT_TRUE(A.Ok) << A.Error;
+  ASSERT_TRUE(B.Ok) << B.Error;
+  ASSERT_TRUE(A.SawRow);
+  ASSERT_TRUE(B.SawRow);
+
+  // Round-robin draining: each session's first row lands before the
+  // other session's last row.
+  EXPECT_LT(A.FirstRow, B.LastRow)
+      << "session B drained entirely before A started receiving";
+  EXPECT_LT(B.FirstRow, A.LastRow)
+      << "session A drained entirely before B started receiving";
+
+  // And fairness never bends bytes: both results are still exactly the
+  // serial evaluation.
+  std::vector<std::vector<SweepRow>> RowsA, RowsB;
+  RemoteSweepStats Stats;
+  ASSERT_TRUE(ClientA.take(IdA, RowsA, Stats, Error)) << Error;
+  ASSERT_TRUE(ClientB.take(IdB, RowsB, Stats, Error)) << Error;
+  EXPECT_EQ(csvOfRows(GridA, std::move(RowsA[0])), serialCsv(GridA));
+  EXPECT_EQ(csvOfRows(GridB, std::move(RowsB[0])), serialCsv(GridB));
+}
+
+TEST(SweepService, StopDrainsInFlightSweepsToCompletion) {
+  // Shutdown-under-load, drain flavor: stop() arrives while a sweep is
+  // streaming; the session drains it fully (within the generous
+  // default timeout) and the client still collects every row.
+  ServiceFixture F;
+  SweepClient Client;
+  std::string Error;
+  ASSERT_TRUE(Client.connect(F.HostPort, Error)) << Error;
+
+  uint64_t Id = 0;
+  ASSERT_TRUE(Client.submitGrid(tinyGrid(), Id, Error)) << Error;
+
+  std::thread Stopper([&] { F.Service.stop(); });
+  std::vector<SweepRow> Rows;
+  bool GotAll = false;
+  {
+    // Drain manually: poll to completion, then take.
+    std::string PollError;
+    for (;;) {
+      uint64_t CompletedId = 0;
+      bool Completed = false;
+      if (!Client.poll(CompletedId, Completed, PollError))
+        break;
+      if (Completed)
+        break;
+    }
+    std::vector<std::vector<SweepRow>> GridRows;
+    RemoteSweepStats Stats;
+    if (Client.take(Id, GridRows, Stats, PollError)) {
+      Rows = std::move(GridRows[0]);
+      GotAll = true;
+    }
+  }
+  Stopper.join();
+  ASSERT_TRUE(GotAll) << "drain must deliver the full in-flight sweep";
+  EXPECT_EQ(csvOfRows(tinyGrid(), std::move(Rows)), serialCsv(tinyGrid()));
+}
+
+TEST(SweepService, StopWithZeroDrainTimeoutCancelsPromptly) {
+  // Shutdown-under-load, cancel flavor: a 1-thread pool, a large grid,
+  // and a zero drain timeout — stop() must return promptly (canceled
+  // items sweep through as no-ops) instead of simulating to the end.
+  SweepServiceConfig Config = ServiceFixture::makeConfig(DefaultMaxFrameBytes);
+  Config.Threads = 1;
+  Config.DrainTimeoutSeconds = 0;
+  ServiceFixture F(Config);
+
+  SweepGrid Grid = tinyGrid();
+  Grid.Benchmarks.clear();
+  for (int I = 0; I != 12; ++I)
+    Grid.Benchmarks.push_back(
+        tinyBenchmark("load" + std::to_string(I), 41 + 2 * I));
+
+  SweepClient Client;
+  std::string Error;
+  ASSERT_TRUE(Client.connect(F.HostPort, Error)) << Error;
+  uint64_t Id = 0;
+  ASSERT_TRUE(Client.submitGrid(Grid, Id, Error)) << Error;
+
+  // Wait until the sweep is demonstrably in flight (first row out),
+  // then stop.
+  uint64_t CompletedId = 0;
+  bool Completed = false;
+  ASSERT_TRUE(Client.poll(CompletedId, Completed, Error)) << Error;
+  F.Service.stop();
+
+  // The client drains whatever the daemon flushed: either the request
+  // was canceled (the expected path) or — if the tiny grid won the
+  // race — completed. Both must terminate cleanly.
+  while (!Completed && Client.poll(CompletedId, Completed, Error)) {
+  }
+  std::vector<std::vector<SweepRow>> GridRows;
+  RemoteSweepStats Stats;
+  if (Completed && Client.take(Id, GridRows, Stats, Error)) {
+    EXPECT_EQ(csvOfRows(Grid, std::move(GridRows[0])), serialCsv(Grid));
+  } else {
+    EXPECT_NE(Error.find("cancel"), std::string::npos)
+        << "canceled in-flight sweep should say so: " << Error;
+  }
+  EXPECT_EQ(F.Service.sessionsOpen(), 0u);
+}
+
+TEST(SweepService, StatusPinsSessionAndBatchingKeys) {
+  // The per-session metrics contract: these JSON keys are what
+  // dashboards (and the CLI client) read — pin them.
+  SweepServiceConfig Config = ServiceFixture::makeConfig(DefaultMaxFrameBytes);
+  Config.MaxBatchRows = 4;
+  Config.MaxSessionWeight = 4;
+  ServiceFixture F(Config);
+
+  SweepClient Client;
+  std::string Error;
+  ASSERT_TRUE(Client.connect(F.HostPort, Error)) << Error;
+  ASSERT_TRUE(Client.negotiate(/*MaxBatch=*/4, /*Weight=*/3, Error))
+      << Error;
+
+  std::vector<SweepRow> Rows;
+  RemoteSweepStats Stats;
+  ASSERT_TRUE(Client.runGrid(tinyGrid(), Rows, Stats, Error)) << Error;
+
+  // The worker that enqueued our "done" may still be unwinding when
+  // the status query lands; the in-flight gauges settle to zero within
+  // moments of it.
+  JsonValue Status;
+  auto Deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  for (;;) {
+    ASSERT_TRUE(Client.status(Status, Error)) << Error;
+    bool Settled = true;
+    for (const JsonValue &S : Status.at("sessions").items())
+      if (S.u64("in_flight_requests") != 0 || S.u64("in_flight_items") != 0)
+        Settled = false;
+    if (Settled || std::chrono::steady_clock::now() > Deadline)
+      break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(Status.u64("max_batch_rows"), 4u);
+  EXPECT_EQ(Status.u64("rows_batched"), tinyGrid().size());
+  EXPECT_GT(Status.u64("batches_sent"), 0u);
+
+  const JsonValue &SessionArr = Status.at("sessions");
+  ASSERT_GE(SessionArr.items().size(), 1u);
+  bool FoundSelf = false;
+  for (const JsonValue &S : SessionArr.items()) {
+    // Every entry carries the full key set.
+    (void)S.u64("id");
+    (void)S.u64("in_flight_requests");
+    (void)S.u64("in_flight_items");
+    (void)S.u64("rows_batched");
+    (void)S.u64("batches_sent");
+    (void)S.u64("weight");
+    (void)S.u64("max_batch");
+    if (S.u64("rows_batched") == tinyGrid().size()) {
+      FoundSelf = true;
+      EXPECT_EQ(S.u64("weight"), 3u);
+      EXPECT_EQ(S.u64("max_batch"), 4u);
+      EXPECT_EQ(S.u64("in_flight_requests"), 0u);
+      EXPECT_EQ(S.u64("in_flight_items"), 0u);
+    }
+  }
+  EXPECT_TRUE(FoundSelf)
+      << "the querying session's own batching tally must be visible";
+}
+
+TEST(SweepService, HelloAfterASweepIsRejectedButConnectionServes) {
+  ServiceFixture F;
+  SweepClient Client;
+  std::string Error;
+  ASSERT_TRUE(Client.connect(F.HostPort, Error)) << Error;
+
+  std::vector<SweepRow> Rows;
+  RemoteSweepStats Stats;
+  ASSERT_TRUE(Client.runGrid(tinyGrid(), Rows, Stats, Error)) << Error;
+
+  // Too late: hello must be the connection's first request. The daemon
+  // answers with an error frame; negotiate() reports the connection
+  // usable with v1 capabilities.
+  ASSERT_TRUE(Client.negotiate(DefaultClientMaxBatch, 1, Error)) << Error;
+  EXPECT_EQ(Client.negotiatedMaxBatch(), 1u);
+  EXPECT_FALSE(Client.pipeliningGranted());
+  EXPECT_TRUE(Client.ping(Error)) << Error;
 }
 
 TEST(SweepService, RunExperimentServesMultiGridExperiments) {

@@ -1,0 +1,180 @@
+//===- tests/TaskPoolTest.cpp - tagged fair worker pool tests -------------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// The fairness contract, machine-checked: with one worker the drain
+// order is fully deterministic, so these tests block the worker behind
+// a gate job, stage every tagged submission, release the gate and
+// assert the exact interleaving.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cvliw/support/TaskPool.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+using namespace cvliw;
+
+namespace {
+
+/// Blocks the single worker until the test has staged its submissions.
+struct Gate {
+  std::mutex M;
+  std::condition_variable Cv;
+  bool Open = false;
+
+  void open() {
+    // Notify under the lock: a waiter that wakes and destroys this
+    // Gate must not race the notify itself.
+    std::lock_guard<std::mutex> Lock(M);
+    Open = true;
+    Cv.notify_all();
+  }
+  void wait() {
+    std::unique_lock<std::mutex> Lock(M);
+    Cv.wait(Lock, [this] { return Open; });
+  }
+};
+
+/// Counts executed jobs and records the tag order they ran in.
+struct Trace {
+  std::mutex M;
+  std::condition_variable Cv;
+  std::vector<uint64_t> Order;
+
+  void record(uint64_t Tag) {
+    // Notify under the lock (see Gate::open): waitFor's caller may
+    // destroy the Trace as soon as it returns.
+    std::lock_guard<std::mutex> Lock(M);
+    Order.push_back(Tag);
+    Cv.notify_all();
+  }
+  std::vector<uint64_t> waitFor(size_t N) {
+    std::unique_lock<std::mutex> Lock(M);
+    Cv.wait(Lock, [&] { return Order.size() >= N; });
+    return Order;
+  }
+};
+
+} // namespace
+
+TEST(TaskPool, RoundRobinInterleavesTags) {
+  TaskPool Pool(1);
+  Gate G;
+  Trace T;
+  Pool.submit([&] { G.wait(); });
+  // Staged while the worker is parked: one client's whole grid ahead
+  // of the other's in arrival order...
+  for (int I = 0; I != 4; ++I)
+    Pool.submit(1, [&] { T.record(1); });
+  for (int I = 0; I != 4; ++I)
+    Pool.submit(2, [&] { T.record(2); });
+  G.open();
+  // ...but the drain alternates tags: FIFO within a client, fair
+  // across clients.
+  std::vector<uint64_t> Expected{1, 2, 1, 2, 1, 2, 1, 2};
+  EXPECT_EQ(T.waitFor(8), Expected);
+}
+
+TEST(TaskPool, LateTagJoinsTheRotationImmediately) {
+  TaskPool Pool(1);
+  Gate G;
+  Trace T;
+  Pool.submit([&] { G.wait(); });
+  for (int I = 0; I != 3; ++I)
+    Pool.submit(1, [&] { T.record(1); });
+  for (int I = 0; I != 3; ++I)
+    Pool.submit(2, [&] { T.record(2); });
+  // Tag 3 arrives last with one job; round-robin still serves it after
+  // at most one turn of the earlier tags, not after their backlog.
+  Pool.submit(3, [&] { T.record(3); });
+  G.open();
+  std::vector<uint64_t> Expected{1, 2, 3, 1, 2, 1, 2};
+  EXPECT_EQ(T.waitFor(7), Expected);
+}
+
+TEST(TaskPool, WeightedTagTakesConsecutiveTurns) {
+  TaskPool Pool(1);
+  Gate G;
+  Trace T;
+  Pool.setTagWeight(1, 2);
+  Pool.submit([&] { G.wait(); });
+  for (int I = 0; I != 4; ++I)
+    Pool.submit(1, [&] { T.record(1); });
+  for (int I = 0; I != 4; ++I)
+    Pool.submit(2, [&] { T.record(2); });
+  G.open();
+  // Weight 2: tag 1 takes two jobs per turn, tag 2 one — then tag 2
+  // drains its remainder once tag 1 is exhausted.
+  std::vector<uint64_t> Expected{1, 1, 2, 1, 1, 2, 2, 2};
+  EXPECT_EQ(T.waitFor(8), Expected);
+}
+
+TEST(TaskPool, FifoWithinATag) {
+  TaskPool Pool(1);
+  Gate G;
+  Trace T;
+  Pool.submit([&] { G.wait(); });
+  for (uint64_t I = 0; I != 6; ++I)
+    Pool.submit(5, [&T, I] { T.record(100 + I); });
+  G.open();
+  std::vector<uint64_t> Expected{100, 101, 102, 103, 104, 105};
+  EXPECT_EQ(T.waitFor(6), Expected);
+}
+
+TEST(TaskPool, PendingAndRunningCountersPerTag) {
+  TaskPool Pool(1);
+  Gate G;
+  Trace T;
+  // The gate job itself is tagged, so it shows up as running.
+  Pool.submit(7, [&] {
+    T.record(7);
+    G.wait();
+  });
+  T.waitFor(1); // The gate job is now executing.
+  for (int I = 0; I != 3; ++I)
+    Pool.submit(7, [] {});
+  for (int I = 0; I != 2; ++I)
+    Pool.submit(9, [] {});
+
+  EXPECT_EQ(Pool.runningCount(7), 1u);
+  EXPECT_EQ(Pool.pendingCount(7), 3u);
+  EXPECT_EQ(Pool.pendingCount(9), 2u);
+  EXPECT_EQ(Pool.pendingTotal(), 5u);
+  EXPECT_EQ(Pool.runningCount(9), 0u);
+
+  G.open();
+  // Drain: counters return to zero (poll; the last job's completion is
+  // not itself observable through the trace).
+  auto Deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while ((Pool.pendingTotal() != 0 || Pool.runningCount(7) != 0 ||
+          Pool.runningCount(9) != 0) &&
+         std::chrono::steady_clock::now() < Deadline)
+    std::this_thread::yield();
+  EXPECT_EQ(Pool.pendingTotal(), 0u);
+  EXPECT_EQ(Pool.pendingCount(7), 0u);
+  EXPECT_EQ(Pool.runningCount(7), 0u);
+}
+
+TEST(TaskPool, ManyWorkersCompleteEverything) {
+  TaskPool Pool(4);
+  Trace T;
+  for (uint64_t Tag = 1; Tag <= 3; ++Tag)
+    for (int I = 0; I != 20; ++I)
+      Pool.submit(Tag, [&T, Tag] { T.record(Tag); });
+  std::vector<uint64_t> Order = T.waitFor(60);
+  EXPECT_EQ(Order.size(), 60u);
+  for (uint64_t Tag = 1; Tag <= 3; ++Tag)
+    EXPECT_EQ(static_cast<size_t>(
+                  std::count(Order.begin(), Order.end(), Tag)),
+              20u);
+}

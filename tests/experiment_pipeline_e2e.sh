@@ -1,0 +1,102 @@
+#!/bin/sh
+#===- tests/experiment_pipeline_e2e.sh - pipelined + batched round trip ---===#
+#
+# Exercises the session protocol end to end at full capability:
+#
+#   1. start cvliw-sweepd on an ephemeral port with row batching ON
+#      (--max-batch-rows > 1, the acceptance knob) and weighted
+#      sessions allowed,
+#   2. run `cvliw-bench --all --remote` — ONE persistent connection
+#      pipelines all sixteen run_experiment requests, rows come back in
+#      row_batch frames — and assert the full output is byte-identical
+#      to the concatenation of every golden capture in registry order,
+#   3. assert the run actually used batching (the "rows batched into"
+#      summary line) and the daemon counted it in status,
+#   4. request shutdown and assert the daemon exits 0 cleanly.
+#
+# Usage: experiment_pipeline_e2e.sh <cvliw-sweepd> <cvliw-bench>
+#                                   <cvliw-sweep-client> <golden-dir>
+#
+#===----------------------------------------------------------------------===#
+set -u
+
+sweepd="$1"
+bench="$2"
+client="$3"
+goldendir="$4"
+
+workdir=$(mktemp -d)
+daemon_pid=
+cleanup() {
+  [ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+"$sweepd" --port 0 --port-file "$workdir/port" --threads 2 \
+  --max-batch-rows 8 --max-session-weight 4 \
+  > "$workdir/sweepd.log" 2>&1 &
+daemon_pid=$!
+
+# The port file appears by rename once the daemon is accepting, so a
+# non-empty file always holds the complete port number.
+i=0
+while [ ! -s "$workdir/port" ]; do
+  i=$((i + 1))
+  if [ "$i" -gt 100 ] || ! kill -0 "$daemon_pid" 2>/dev/null; then
+    echo "FAIL: daemon did not become ready" >&2
+    cat "$workdir/sweepd.log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+hostport="127.0.0.1:$(cat "$workdir/port")"
+echo "daemon up at $hostport (batching enabled)"
+
+# Step 2: all sixteen experiments, one pipelined connection, batched
+# row frames — against the concatenated golden captures.
+"$bench" --all --remote "$hostport" > "$workdir/all.out" 2> "$workdir/all.err" || {
+  echo "FAIL: cvliw-bench --all --remote failed" >&2
+  cat "$workdir/all.err" >&2
+  exit 1
+}
+grep -v '^sweep: ' "$workdir/all.out" > "$workdir/all.filtered"
+
+first=1
+for name in $("$bench" --list-names); do
+  [ "$first" = 1 ] || echo
+  first=0
+  cat "$goldendir/$name.golden"
+done > "$workdir/expected"
+
+if ! diff "$workdir/expected" "$workdir/all.filtered" >&2; then
+  echo "FAIL: pipelined --all output differs from the golden captures" >&2
+  exit 1
+fi
+echo "OK: all experiments over one pipelined connection match their goldens"
+
+# Step 3: prove the batched path was actually taken.
+grep -q 'rows batched into' "$workdir/all.out" || {
+  echo "FAIL: no 'rows batched into' summary — batching never engaged" >&2
+  grep '^sweep: ' "$workdir/all.out" >&2
+  exit 1
+}
+"$client" "$hostport" status > "$workdir/status.out" || exit 1
+grep -q '^rows batched:         0$' "$workdir/status.out" && {
+  echo "FAIL: daemon status counted zero batched rows" >&2
+  cat "$workdir/status.out" >&2
+  exit 1
+}
+echo "OK: batching engaged (client summary + daemon status agree)"
+
+# Step 4: clean shutdown.
+"$client" "$hostport" shutdown || exit 1
+wait "$daemon_pid"
+rc=$?
+daemon_pid=
+if [ "$rc" -ne 0 ]; then
+  echo "FAIL: daemon exited with status $rc" >&2
+  cat "$workdir/sweepd.log" >&2
+  exit 1
+fi
+echo "OK: pipelined + batched end-to-end (clean shutdown)"

@@ -40,6 +40,9 @@ trap cleanup EXIT
   > "$workdir/sweepd.log" 2>&1 &
 daemon_pid=$!
 
+# The daemon binds port 0 (kernel-assigned) and publishes the bound
+# port by renaming a temp file into place, so a non-empty port file is
+# always complete — no fixed-port race, no partial read.
 i=0
 while [ ! -s "$workdir/port" ]; do
   i=$((i + 1))

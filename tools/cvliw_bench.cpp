@@ -10,6 +10,10 @@
 //
 //   cvliw-bench <name> [sweep flags]    run one experiment (fig7, table4, ...)
 //   cvliw-bench --all [sweep flags]     run every experiment in paper order
+//                                       (with --remote: all sixteen
+//                                       run_experiment requests pipelined
+//                                       down ONE persistent connection,
+//                                       row batches negotiated via hello)
 //   cvliw-bench --list                  name, paper section, description
 //   cvliw-bench --list-names            names only, one per line (scripts)
 //   cvliw-bench --list-markdown         the README experiment table
@@ -97,6 +101,11 @@ int runAll(int Argc, char **Argv) {
   SweepRunOptions Options;
   if (!parseSweepArgs(Argc, Argv, Options))
     return 1;
+  // Remote --all pipelines all sixteen run_experiment requests down
+  // ONE persistent connection (batched row frames when the daemon's
+  // --max-batch-rows allows) instead of reconnecting per experiment.
+  if (!Options.Remote.empty())
+    return runAllExperimentsRemote(Options, std::cout);
   int ExitCode = 0;
   bool First = true;
   for (const ExperimentSpec &Spec :

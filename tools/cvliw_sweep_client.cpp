@@ -76,8 +76,18 @@ int main(int Argc, char **Argv) {
       std::cerr << "cvliw-sweep-client: " << Error << "\n";
       return 1;
     }
+    // The session-era keys are read tolerantly: a pre-session daemon's
+    // status lacks them, and this tool must keep printing diagnostics
+    // against old daemons rather than dying on a missing member.
+    auto U64Or = [](const JsonValue &Obj, const char *Key,
+                    uint64_t Default) {
+      const JsonValue *Member = Obj.find(Key);
+      return Member ? Member->asU64() : Default;
+    };
     const JsonValue &Cache = Status.at("cache");
     std::cout << "daemon threads:       " << Status.u64("threads") << "\n"
+              << "max batch rows:       "
+              << U64Or(Status, "max_batch_rows", 1) << "\n"
               << "grids served:         " << Status.u64("grids_served")
               << "\n"
               << "experiments served:   "
@@ -86,12 +96,28 @@ int main(int Argc, char **Argv) {
               << Status.u64("connections_accepted") << "\n"
               << "protocol errors:      "
               << Status.u64("protocol_errors") << "\n"
+              << "rows batched:         "
+              << U64Or(Status, "rows_batched", 0) << "\n"
+              << "batches sent:         "
+              << U64Or(Status, "batches_sent", 0) << "\n"
               << "cache entries:        " << Cache.u64("entries") << "\n"
               << "cache bytes:          " << Cache.u64("bytes") << "\n"
               << "cache max bytes:      " << Cache.u64("max_bytes") << "\n"
               << "cache hits:           " << Cache.u64("hits") << "\n"
               << "cache misses:         " << Cache.u64("misses") << "\n"
               << "cache evictions:      " << Cache.u64("evictions") << "\n";
+    if (const JsonValue *SessionArr = Status.find("sessions")) {
+      std::cout << "sessions:             "
+                << SessionArr->items().size() << "\n";
+      for (const JsonValue &S : SessionArr->items())
+        std::cout << "  session " << S.u64("id") << ": "
+                  << S.u64("in_flight_requests") << " requests / "
+                  << S.u64("in_flight_items") << " items in flight, "
+                  << S.u64("rows_batched") << " rows in "
+                  << S.u64("batches_sent") << " batches (weight "
+                  << S.u64("weight") << ", max batch "
+                  << S.u64("max_batch") << ")\n";
+    }
     return 0;
   }
 
@@ -105,6 +131,13 @@ int main(int Argc, char **Argv) {
   }
 
   if (Command == "sweep") {
+    // Negotiate first: a batching daemon then streams row_batch
+    // frames, and a pre-session daemon's rejection drops the client
+    // into the v1 (id-less, unbatched) fallback.
+    if (!Client.negotiate(DefaultClientMaxBatch, /*Weight=*/1, Error)) {
+      std::cerr << "cvliw-sweep-client: " << Error << "\n";
+      return 1;
+    }
     std::string GridPath, CsvPath;
     for (int I = 3; I < Argc; ++I) {
       if (std::strcmp(Argv[I], "--grid") == 0 && I + 1 < Argc)
@@ -172,6 +205,10 @@ int main(int Argc, char **Argv) {
   if (Command == "experiment") {
     if (Argc < 4)
       return usage();
+    if (!Client.negotiate(DefaultClientMaxBatch, /*Weight=*/1, Error)) {
+      std::cerr << "cvliw-sweep-client: " << Error << "\n";
+      return 1;
+    }
     const std::string Name = Argv[3];
     std::string CsvPath;
     for (int I = 4; I < Argc; ++I) {

@@ -11,17 +11,27 @@
 //
 //   cvliw-sweepd [--host ADDR] [--port N] [--port-file FILE]
 //                [--threads N] [--cache FILE] [--cache-max-bytes N]
-//                [--max-frame BYTES]
+//                [--max-frame BYTES] [--max-batch-rows N]
+//                [--max-session-weight N] [--drain-timeout SECONDS]
 //
 // --port 0 (the default) binds an ephemeral port; the bound address is
 // printed on stdout ("sweepd: listening on HOST:PORT") and, with
-// --port-file, written to FILE so scripts can wait for readiness
-// without parsing stdout. --cache warms the memo table at startup and
-// persists it (merging with any concurrent writer's entries) on clean
-// shutdown. --cache-max-bytes (or CVLIW_SWEEP_CACHE_MAX_BYTES) bounds
-// the resident memo table with LRU eviction — a long-lived daemon no
-// longer grows without limit; evictions are visible in the status
-// response. The daemon exits 0 on a client "shutdown" request.
+// --port-file, written to FILE (atomically: temp + rename, so a
+// polling script can never read a half-written port) so scripts can
+// wait for readiness without parsing stdout. --cache warms the memo
+// table at startup and persists it (merging with any concurrent
+// writer's entries) on clean shutdown. --cache-max-bytes (or
+// CVLIW_SWEEP_CACHE_MAX_BYTES) bounds the resident memo table with LRU
+// eviction — a long-lived daemon no longer grows without limit;
+// evictions are visible in the status response.
+//
+// Session knobs: --max-batch-rows caps the row batch size a client's
+// hello may negotiate (default 1: v1 unbatched frames for everyone);
+// --max-session-weight caps the fair-share weight a hello may request
+// (default 1: all sessions equal); --drain-timeout bounds how long a
+// stopping daemon (or a session whose client vanished) waits for
+// in-flight sweeps before canceling them. The daemon exits 0 on a
+// client "shutdown" request.
 //
 //===----------------------------------------------------------------------===//
 
@@ -29,6 +39,7 @@
 #include "cvliw/pipeline/SweepEngine.h"
 #include "cvliw/support/TaskPool.h"
 
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -119,11 +130,45 @@ int main(int Argc, char **Argv) {
         return 1;
       }
       Config.MaxFrameBytes = static_cast<size_t>(N);
+    } else if (std::strcmp(Arg, "--max-batch-rows") == 0) {
+      const char *Value = NextValue("--max-batch-rows");
+      if (!Value)
+        return 1;
+      long N = 0;
+      if (!parsePositive(Value, N)) {
+        std::cerr << "--max-batch-rows needs a positive row count\n";
+        return 1;
+      }
+      Config.MaxBatchRows = static_cast<size_t>(N);
+    } else if (std::strcmp(Arg, "--max-session-weight") == 0) {
+      const char *Value = NextValue("--max-session-weight");
+      if (!Value)
+        return 1;
+      long N = 0;
+      if (!parsePositive(Value, N)) {
+        std::cerr << "--max-session-weight needs a positive weight\n";
+        return 1;
+      }
+      Config.MaxSessionWeight = static_cast<unsigned>(N);
+    } else if (std::strcmp(Arg, "--drain-timeout") == 0) {
+      const char *Value = NextValue("--drain-timeout");
+      if (!Value)
+        return 1;
+      char *End = nullptr;
+      double Seconds = std::strtod(Value, &End);
+      if (End == Value || *End != '\0' || Seconds < 0) {
+        std::cerr << "--drain-timeout needs a non-negative number of "
+                     "seconds\n";
+        return 1;
+      }
+      Config.DrainTimeoutSeconds = Seconds;
     } else {
       std::cerr << "unknown argument '" << Arg
                 << "'\nusage: cvliw-sweepd [--host ADDR] [--port N] "
                    "[--port-file FILE] [--threads N] [--cache FILE] "
-                   "[--cache-max-bytes N] [--max-frame BYTES]\n";
+                   "[--cache-max-bytes N] [--max-frame BYTES] "
+                   "[--max-batch-rows N] [--max-session-weight N] "
+                   "[--drain-timeout SECONDS]\n";
       return 1;
     }
   }
@@ -155,14 +200,26 @@ int main(int Argc, char **Argv) {
             << Service.port() << " ("
             << (Config.Threads != 0 ? Config.Threads
                                     : defaultSweepThreads())
-            << " worker threads)" << std::endl;
+            << " worker threads";
+  if (Config.MaxBatchRows > 1)
+    std::cout << ", row batches up to " << Config.MaxBatchRows;
+  std::cout << ")" << std::endl;
   if (!PortFile.empty()) {
-    // Written after listen() returns: once this file exists the port
-    // accepts connections, so scripts can poll for it as readiness.
-    std::ofstream OS(PortFile);
-    OS << Service.port() << "\n";
-    if (!OS) {
-      std::cerr << "sweepd: cannot write " << PortFile << "\n";
+    // Written after listen() returns — once this file exists the port
+    // accepts connections — and published by rename: a script polling
+    // for the file can never observe a half-written port number.
+    const std::string TmpFile = PortFile + ".tmp";
+    {
+      std::ofstream OS(TmpFile);
+      OS << Service.port() << "\n";
+      if (!OS) {
+        std::cerr << "sweepd: cannot write " << TmpFile << "\n";
+        return 1;
+      }
+    }
+    if (std::rename(TmpFile.c_str(), PortFile.c_str()) != 0) {
+      std::cerr << "sweepd: cannot rename " << TmpFile << " to "
+                << PortFile << "\n";
       return 1;
     }
   }
