@@ -10,7 +10,11 @@
 
 #include "cvliw/alias/MemoryDisambiguator.h"
 #include "cvliw/ir/DDGBuilder.h"
+#include "cvliw/net/SweepClient.h"
 #include "cvliw/pipeline/Experiment.h"
+#include "cvliw/pipeline/ResultCache.h"
+#include "cvliw/pipeline/SweepEngine.h"
+#include "cvliw/pipeline/SweepService.h"
 #include "cvliw/profile/ClusterProfiler.h"
 #include "cvliw/sched/DDGTransform.h"
 #include "cvliw/sched/MemoryChains.h"
@@ -19,6 +23,10 @@
 #include "cvliw/workloads/KernelBuilder.h"
 
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
 
 using namespace cvliw;
 
@@ -129,6 +137,122 @@ void BM_FullPipelineOneBenchmark(benchmark::State &State) {
 }
 BENCHMARK(BM_FullPipelineOneBenchmark);
 
+/// A small but real sweep grid: 3 schemes x 2 synthetic benchmarks
+/// with 2 loops each — 6 points, 12 loop items — sized so one
+/// iteration is a full grid evaluation, not a cache lookup.
+SweepGrid sweepGrid() {
+  SweepGrid Grid;
+  Grid.Schemes = crossSchemes(
+      {CoherencePolicy::Baseline, CoherencePolicy::MDC,
+       CoherencePolicy::DDGT},
+      {ClusterHeuristic::PrefClus});
+  BenchmarkSpec A;
+  A.Name = "bench.a";
+  A.InterleaveBytes = 4;
+  LoopSpec L;
+  L.Name = "bench.a.loop0";
+  L.ProfileTrip = 100;
+  L.ExecTrip = 200;
+  L.Chains = {ChainSpec{1, 1, 2, 1, true}};
+  L.ConsistentLoads = 3;
+  L.ConsistentStores = 1;
+  L.SeedBase = 7;
+  A.Loops.push_back(L);
+  LoopSpec L2 = L;
+  L2.Name = "bench.a.loop1";
+  L2.SeedBase = 20;
+  L2.Weight = 0.25;
+  A.Loops.push_back(L2);
+  BenchmarkSpec B = A;
+  B.Name = "bench.b";
+  B.Loops[0].Name = "bench.b.loop0";
+  B.Loops[0].SeedBase = 11;
+  B.Loops[1].Name = "bench.b.loop1";
+  B.Loops[1].SeedBase = 24;
+  Grid.Benchmarks = {A, B};
+  return Grid;
+}
+
+/// points/sec through the local SweepEngine, cold cache every
+/// iteration — the denominator of the fleet-speedup story.
+void BM_LocalSweepPointsPerSec(benchmark::State &State) {
+  SweepGrid Grid = sweepGrid();
+  uint64_t Points = 0;
+  for (auto _ : State) {
+    ResultCache Cold;
+    SweepEngine Engine(Grid, /*Threads=*/1);
+    Engine.setCache(&Cold);
+    const std::vector<SweepRow> &Rows = Engine.run();
+    Points += Grid.size();
+    benchmark::DoNotOptimize(Rows.size());
+  }
+  State.counters["points/s"] = benchmark::Counter(
+      static_cast<double>(Points), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_LocalSweepPointsPerSec);
+
+/// rows/sec served over a loopback session — daemon cache warm after
+/// the first iteration, so this measures the protocol path (frame
+/// encode/decode, JSON, batching), not the simulator.
+void BM_LoopbackSweepRowsPerSec(benchmark::State &State) {
+  ResultCache Cache;
+  SweepServiceConfig Config;
+  Config.Port = 0;
+  Config.Threads = 2;
+  Config.Cache = &Cache;
+  SweepService Service(Config);
+  std::string Error;
+  if (!Service.start(Error)) {
+    State.SkipWithError(("service failed to start: " + Error).c_str());
+    return;
+  }
+  SweepClient Client;
+  if (!Client.connect("127.0.0.1:" + std::to_string(Service.port()),
+                      Error) ||
+      !Client.negotiate(/*MaxBatch=*/8, /*Weight=*/1, Error)) {
+    State.SkipWithError(("client failed to connect: " + Error).c_str());
+    return;
+  }
+  SweepGrid Grid = sweepGrid();
+  uint64_t Rows = 0;
+  for (auto _ : State) {
+    std::vector<SweepRow> Out;
+    RemoteSweepStats Stats;
+    if (!Client.runGrid(Grid, Out, Stats, Error)) {
+      State.SkipWithError(("remote sweep failed: " + Error).c_str());
+      return;
+    }
+    Rows += Out.size();
+  }
+  State.counters["rows/s"] = benchmark::Counter(
+      static_cast<double>(Rows), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_LoopbackSweepRowsPerSec);
+
 } // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN() plus one convenience spelling: `--json OUT` is
+// rewritten to google-benchmark's own out-file flags, so snapshot
+// scripts (bench/record_bench.sh) don't hard-code library flag names.
+int main(int argc, char **argv) {
+  std::vector<std::string> Args;
+  for (int I = 0; I != argc; ++I) {
+    if (I + 1 < argc && std::strcmp(argv[I], "--json") == 0) {
+      Args.push_back(std::string("--benchmark_out=") + argv[I + 1]);
+      Args.push_back("--benchmark_out_format=json");
+      ++I;
+      continue;
+    }
+    Args.push_back(argv[I]);
+  }
+  std::vector<char *> Argv;
+  for (std::string &A : Args)
+    Argv.push_back(A.data());
+  int Argc = static_cast<int>(Argv.size());
+  benchmark::Initialize(&Argc, Argv.data());
+  if (benchmark::ReportUnrecognizedArguments(Argc, Argv.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

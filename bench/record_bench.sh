@@ -1,0 +1,31 @@
+#!/bin/sh
+#===- bench/record_bench.sh - record perf trajectory snapshots ------------===#
+#
+# Runs the two sweep-throughput microbenchmarks and writes their
+# google-benchmark JSON reports next to this script:
+#
+#   BENCH_rows.json   rows/sec through a loopback daemon session
+#                     (BM_LoopbackSweepRowsPerSec — the protocol path)
+#   BENCH_sweep.json  points/sec through the local SweepEngine, cold
+#                     cache (BM_LocalSweepPointsPerSec — the simulator)
+#
+# The snapshots are the ROADMAP's "perf trajectory": commit them so a
+# regression shows up as a diff, not a feeling. Wall-clock numbers are
+# machine-dependent — compare snapshots from the same machine class.
+#
+# Usage: record_bench.sh <perf_microbench-binary> [out-dir]
+#
+#===----------------------------------------------------------------------===#
+set -eu
+
+bench="${1:?usage: record_bench.sh <perf_microbench-binary> [out-dir]}"
+outdir="${2:-$(dirname "$0")}"
+
+"$bench" --benchmark_filter='BM_LoopbackSweepRowsPerSec' \
+  --json "$outdir/BENCH_rows.json" --benchmark_repetitions=3 \
+  --benchmark_report_aggregates_only=true
+"$bench" --benchmark_filter='BM_LocalSweepPointsPerSec' \
+  --json "$outdir/BENCH_sweep.json" --benchmark_repetitions=3 \
+  --benchmark_report_aggregates_only=true
+
+echo "recorded: $outdir/BENCH_rows.json $outdir/BENCH_sweep.json"

@@ -1,0 +1,230 @@
+//===- cvliw/net/FleetClient.h - Sharded sweep-fleet client ----*- C++ -*-===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fleet generalization of SweepClient: one pipelined session per
+/// shard, consistent-hash fan-out, and a deterministic merge of the
+/// interleaved row streams.
+///
+/// A fleet request is the *same* frame sent to every shard — grid or
+/// experiment name, same id — and each daemon filters it down to the
+/// (point, loop) items whose route key (sweepItemRouteKey(), i.e. the
+/// result-cache key) hashes to that shard under the ShardMap both
+/// sides hold. Shards stream back partial rows tagged with the loop
+/// indices they computed ("loops" masks); the client merges the slots
+/// into one row per point, dedupes on (grid, point, loop), and
+/// completes a point when every loop slot has arrived. Because slots
+/// are merged by index — never by arrival order — the harvested rows
+/// are byte-identical to a local or single-daemon run, whatever the
+/// fleet's interleaving.
+///
+/// One shard is the degenerate case, not a separate code path: the
+/// hello then carries no shard claim, the daemon computes whole rows,
+/// and the merge sees nothing but full masks — including the v1
+/// fallback against a pre-session daemon, exactly like SweepClient.
+///
+/// Shard death (EOF or a socket error mid-sweep) triggers the
+/// rebalance story: the dead shard's connection is dropped, a survivor
+/// map — same addresses minus the dead one, so consistent hashing
+/// moves only the dead shard's keys — is built, and every request the
+/// dead shard still owed a done is resubmitted to all survivors with
+/// an explicit per-request shard claim under that map. Rows the dead
+/// shard already streamed are kept (the dedupe masks them out of the
+/// recomputation's deliveries), so rows are recomputed but never
+/// duplicated. An error *frame*, by contrast, is a request-level
+/// failure on a healthy connection and fails only that request.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CVLIW_NET_FLEETCLIENT_H
+#define CVLIW_NET_FLEETCLIENT_H
+
+#include "cvliw/net/Frame.h"
+#include "cvliw/net/Json.h"
+#include "cvliw/net/ShardMap.h"
+#include "cvliw/net/Socket.h"
+#include "cvliw/net/SweepClient.h"
+#include "cvliw/pipeline/ExperimentRegistry.h"
+#include "cvliw/pipeline/SweepEngine.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cvliw {
+
+class FleetClient {
+public:
+  /// Connects to every address ("host:port"), each with up to
+  /// \p Retries backoff attempts (see connectToWithRetries()). All
+  /// shards must be reachable to start a fleet; false + \p Error names
+  /// the first one that is not.
+  bool connect(const std::vector<std::string> &ShardAddrs, unsigned Retries,
+               std::string &Error);
+
+  /// Where rebalance notices ("rehashing ...") go; null silences them.
+  void setLog(std::ostream *NewLog) { Log = NewLog; }
+
+  bool connected() const { return aliveShards() != 0; }
+  size_t shardCount() const { return Shards.size(); }
+  size_t aliveShards() const;
+  /// The full fleet's map (all addresses, alive or not).
+  const ShardMap &shardMap() const { return FullMap; }
+
+  /// The hello exchange with every shard; must precede any submit.
+  /// With more than one shard each hello carries the fleet map and the
+  /// shard's claimed id, and every daemon must advertise the "shards"
+  /// capability — a fleet cannot include a daemon that would compute
+  /// (and stream) the whole grid. With exactly one shard the claim is
+  /// omitted and a rejected hello falls back to the v1 protocol, so
+  /// the degenerate fleet behaves exactly like SweepClient.
+  bool negotiate(size_t MaxBatch, unsigned Weight, std::string &Error);
+
+  /// Smallest granted batch size across shards (1 until negotiate()).
+  size_t negotiatedMaxBatch() const { return MaxBatch; }
+  /// Whether every shard advertised pipelined request acceptance.
+  bool pipeliningGranted() const { return Pipelining; }
+
+  // Pipelined core -------------------------------------------------------
+
+  /// Fans one sweep request for \p Grid out to every shard under one
+  /// request id; returns without waiting for any result.
+  bool submitGrid(const SweepGrid &Grid, uint64_t &Id, std::string &Error);
+
+  /// Fans one run_experiment request out by \p Name. \p Expected is
+  /// the client's local expansion of the experiment's grids (copied;
+  /// the pointers need not outlive the call), used to slot, mask and
+  /// range-check the streamed rows.
+  bool submitExperiment(const std::string &Name,
+                        const ExperimentOverrides &Overrides,
+                        const std::vector<const SweepGrid *> &Expected,
+                        uint64_t &Id, std::string &Error);
+
+  /// Processes ONE frame from whichever shard has one (multiplexing
+  /// over the fleet's sockets), merging it into its in-flight request.
+  /// \p CompletedId/\p Completed report when that frame — or a shard
+  /// death it surfaced — finished a request. False only on a
+  /// fleet-level failure (protocol garbage, or the last shard died
+  /// with requests in flight and nothing to rebalance onto).
+  bool poll(uint64_t &CompletedId, bool &Completed, std::string &Error);
+
+  /// poll()s until request \p Id completes.
+  bool wait(uint64_t Id, std::string &Error);
+
+  /// Harvests a completed request: one grid-ordered row vector per
+  /// grid, plus stats summed over the shards that served it. False
+  /// when the request failed. The request is forgotten either way.
+  bool take(uint64_t Id, std::vector<std::vector<SweepRow>> &GridRows,
+            RemoteSweepStats &Stats, std::string &Error);
+
+  size_t pendingRequests() const { return Pending.size(); }
+
+  // Blocking wrappers ----------------------------------------------------
+
+  /// Round-trips a ping with every shard. (Like shutdownServer(), only
+  /// valid with no in-flight submits.)
+  bool ping(std::string &Error);
+
+  /// Runs \p Grid across the fleet; \p Rows comes back in grid order.
+  bool runGrid(const SweepGrid &Grid, std::vector<SweepRow> &Rows,
+               RemoteSweepStats &Stats, std::string &Error);
+
+  /// Runs a registered experiment by name across the fleet.
+  bool runExperiment(const std::string &Name,
+                     const ExperimentOverrides &Overrides,
+                     const std::vector<const SweepGrid *> &Expected,
+                     std::vector<std::vector<SweepRow>> &GridRows,
+                     RemoteSweepStats &Stats, std::string &Error);
+
+  /// Asks every shard to shut down cleanly; true once all acknowledge.
+  bool shutdownServer(std::string &Error);
+
+private:
+  struct Shard {
+    std::string Addr;
+    Socket Conn;
+    FrameDecoder Decoder;
+    bool Alive = false;
+  };
+
+  /// Merge state of one grid point: which loop slots have arrived.
+  struct PointMerge {
+    uint32_t LoopCount = 0;
+    uint32_t SeenLoops = 0;
+    bool Started = false;  ///< Some row (whole or partial) arrived.
+    bool Complete = false; ///< Every loop slot merged (counted once).
+    std::vector<bool> Seen;
+  };
+
+  struct PendingGrid {
+    size_t Machines = 0, Schemes = 0, Benchmarks = 0;
+    std::vector<SweepRow> Rows;
+    std::vector<PointMerge> Points;
+  };
+
+  struct PendingRequest {
+    bool IsExperiment = false;
+    /// The request frame minus id and shard claim — what a rebalance
+    /// resubmits verbatim (plus the survivor-map claim).
+    JsonValue Body;
+    std::vector<PendingGrid> Grids;
+    size_t TotalExpected = 0, TotalReceived = 0;
+    bool Done = false;
+    /// Done has been handed to a poll() caller. A completed request
+    /// may sit un-taken while the caller waits on a *different* id;
+    /// poll() must not keep re-reporting it — that would starve the
+    /// socket reads that finish everything else.
+    bool Reported = false;
+    bool Failed = false;
+    bool GridCountChecked = false;
+    std::string FailMessage;
+    RemoteSweepStats Stats;
+    /// Done (or error) frames still owed, per shard — a shard owes one
+    /// per copy of the request it was sent, so a rebalanced request
+    /// owes two from each survivor. The request completes when the
+    /// fleet-wide sum reaches zero.
+    std::vector<unsigned> DonesOutstanding;
+    size_t DonesPending = 0;
+  };
+
+  bool sendToShard(size_t ShardIdx, const JsonValue &Message,
+                   std::string &Error);
+  /// Fans \p Body (plus a fresh id and, when \p Claim is non-null, an
+  /// explicit shard claim per survivor) out to every alive shard,
+  /// bumping the request's done bookkeeping.
+  bool fanOut(uint64_t Id, PendingRequest &Req, const ShardMap *Claim,
+              std::string &Error);
+  /// Marks shard \p ShardIdx dead and rebalances every request it
+  /// still owed frames: resubmit to all survivors under the survivor
+  /// map, or fail the fleet when none remain.
+  void handleShardDeath(size_t ShardIdx);
+  /// Routes one decoded frame from \p ShardIdx; the out-params mirror
+  /// poll()'s.
+  bool routeFrame(size_t ShardIdx, const JsonValue &Message,
+                  uint64_t &CompletedId, bool &Completed,
+                  std::string &Error);
+  bool routeRow(PendingRequest &Req, const JsonValue &RowMessage,
+                std::string &Error);
+  void finishShardRequest(size_t ShardIdx, uint64_t Id, PendingRequest &Req,
+                          uint64_t &CompletedId, bool &Completed);
+  static void initPendingGrid(PendingGrid &P, const SweepGrid &Grid);
+
+  std::vector<Shard> Shards;
+  ShardMap FullMap;
+  std::ostream *Log = nullptr;
+  uint64_t NextId = 1;
+  size_t MaxBatch = 1;
+  bool Pipelining = false;
+  /// v1 fallback (single shard whose daemon rejected hello): id-less
+  /// requests, responses route to the single in-flight request.
+  bool SendIds = true;
+  std::map<uint64_t, PendingRequest> Pending;
+};
+
+} // namespace cvliw
+
+#endif // CVLIW_NET_FLEETCLIENT_H

@@ -1,0 +1,120 @@
+//===- cvliw/net/ShardMap.h - Consistent-hash shard routing ----*- C++ -*-===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Consistent-hash routing for the sweep fleet: which daemon owns a
+/// (point, loop) work item.
+///
+/// A ShardMap is an ordered list of shard addresses ("host:port"; the
+/// position in the list is the shard id) plus a virtual-node count. It
+/// builds a hash ring over the ResultCache's FNV-1a key space: every
+/// shard contributes VirtualNodes ring positions (the FNV-1a hash of
+/// its address string folded with the virtual-node index), and a key
+/// is owned by the shard whose ring position is the key's successor
+/// (wrapping at the top of the u64 space). Routing on the *cache key*
+/// is what gives the fleet cache affinity: the same experiment point
+/// always lands on the shard that already memoized it, whichever
+/// client asks.
+///
+/// Virtual nodes buy two properties at once: an even split (each of a
+/// few shards owns roughly 1/N of the key space rather than whatever
+/// two raw hashes happen to cut) and minimal remapping — a shard's
+/// ring positions depend only on its own address, so removing one
+/// shard (without()) moves exactly the dead shard's keys to the
+/// survivors and no others. That is the contract the client's
+/// shard-death rebalance leans on: survivors re-filter a resubmitted
+/// request under the shrunken map and recompute only the dead shard's
+/// items; everything they already streamed stays theirs.
+///
+/// Client and daemon deliberately share this one implementation (and
+/// the JSON codec that carries it inside hello/sweep frames), so the
+/// two sides can never disagree about who owns a key.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CVLIW_NET_SHARDMAP_H
+#define CVLIW_NET_SHARDMAP_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cvliw {
+
+class JsonValue;
+
+class ShardMap {
+public:
+  /// Ring positions per shard. 128 keeps a 3-shard split within a few
+  /// percent of even (the ShardMapTest distribution bound) while the
+  /// ring stays a few hundred entries — rebuild cost is noise.
+  static constexpr unsigned DefaultVirtualNodes = 128;
+
+  ShardMap() = default;
+  explicit ShardMap(std::vector<std::string> ShardAddrs,
+                    unsigned VirtualNodes = DefaultVirtualNodes);
+
+  size_t size() const { return Shards.size(); }
+  bool empty() const { return Shards.empty(); }
+  const std::vector<std::string> &shards() const { return Shards; }
+  unsigned virtualNodes() const { return VNodes; }
+
+  /// The shard id owning \p Key: the ring successor, wrapping. Returns
+  /// 0 on an empty map (callers route nothing through an empty map;
+  /// the degenerate answer beats an exception in a hot loop).
+  size_t shardOf(uint64_t Key) const;
+
+  /// The index of \p Addr in the shard list; size() when absent.
+  size_t indexOf(const std::string &Addr) const;
+
+  /// The survivor map after shard \p ShardIndex died: same addresses
+  /// minus that one, same virtual-node count. Survivor ring positions
+  /// are unchanged, so only the dead shard's keys move.
+  ShardMap without(size_t ShardIndex) const;
+
+  bool operator==(const ShardMap &Other) const {
+    return VNodes == Other.VNodes && Shards == Other.Shards;
+  }
+  bool operator!=(const ShardMap &Other) const { return !(*this == Other); }
+
+  /// {"virtual_nodes":V,"shards":["host:port",...]}
+  JsonValue toJson() const;
+  /// Throws JsonError on a malformed value.
+  static ShardMap fromJson(const JsonValue &J);
+
+private:
+  void buildRing();
+
+  std::vector<std::string> Shards;
+  unsigned VNodes = DefaultVirtualNodes;
+  /// (ring position, shard id), sorted by position (ties by id, so the
+  /// ring is deterministic even across a hash collision).
+  std::vector<std::pair<uint64_t, uint32_t>> Ring;
+};
+
+/// One request's (or session's) claimed place in a fleet: "I am shard
+/// Index of Map". Carried inside hello and sweep/run_experiment frames
+/// so a daemon can filter a grid down to its own items — and reject a
+/// claim that does not name it (the misroute counter).
+struct ShardSpec {
+  size_t Index = 0;
+  ShardMap Map;
+};
+
+/// {"id":K,"map":{...}}
+JsonValue shardSpecToJson(const ShardSpec &Spec);
+/// Throws JsonError on a malformed value (including id >= map size).
+ShardSpec shardSpecFromJson(const JsonValue &J);
+
+/// Splits the --shards value "host:port,host:port,..." (empty segments
+/// dropped, whitespace not trimmed — addresses are machine-written).
+std::vector<std::string> parseShardList(const std::string &Csv);
+
+} // namespace cvliw
+
+#endif // CVLIW_NET_SHARDMAP_H

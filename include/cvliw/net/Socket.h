@@ -91,6 +91,14 @@ Socket acceptFrom(Socket &Listener);
 /// Connects to \p Host:\p Port; invalid socket + \p Error on failure.
 Socket connectTo(const std::string &Host, uint16_t Port, std::string &Error);
 
+/// connectTo with up to \p Attempts tries and bounded exponential
+/// backoff between them (50ms doubling, capped at 1s) — how clients
+/// stop racing daemon startup with sleeps. \p Attempts == 1 is plain
+/// connectTo; on final failure \p Error holds the last attempt's
+/// message.
+Socket connectToWithRetries(const std::string &Host, uint16_t Port,
+                            unsigned Attempts, std::string &Error);
+
 /// Splits "host:port"; false (with \p Error) on a malformed spec.
 bool splitHostPort(const std::string &Spec, std::string &Host,
                    uint16_t &Port, std::string &Error);

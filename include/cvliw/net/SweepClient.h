@@ -71,8 +71,11 @@ void logDaemonCacheLine(const RemoteSweepStats &Stats, std::ostream &Log);
 
 class SweepClient {
 public:
-  /// Connects to "host:port". False + \p Error on failure.
-  bool connect(const std::string &HostPort, std::string &Error);
+  /// Connects to "host:port", with up to \p Retries bounded
+  /// exponential-backoff attempts (1: a single try — tests probing a
+  /// dead port stay fast). False + \p Error on final failure.
+  bool connect(const std::string &HostPort, std::string &Error,
+               unsigned Retries = 1);
 
   bool connected() const { return Conn.valid(); }
 

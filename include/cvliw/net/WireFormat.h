@@ -22,20 +22,29 @@
 /// sends for that request — rows, batches, done, errors, even pong —
 /// which is what lets a client pipeline many requests down one socket
 /// and demultiplex the interleaved responses):
-///   {"type":"hello"[,"max_batch":N][,"weight":W][,"id":I]}
+///   {"type":"hello"[,"max_batch":N][,"weight":W][,"shard":S][,"id":I]}
 ///   {"type":"ping"[,"id":I]}
 ///   {"type":"status"[,"id":I]}
-///   {"type":"sweep","grid":GRID[,"id":I]}
-///   {"type":"run_experiment","name":"fig7"[,"overrides":{...}][,"id":I]}
+///   {"type":"sweep","grid":GRID[,"shard":S][,"id":I]}
+///   {"type":"run_experiment","name":"fig7"[,"overrides":{...}]
+///                                        [,"shard":S][,"id":I]}
 ///   {"type":"shutdown"[,"id":I]}
 /// Response messages:
-///   {"type":"hello_ok","max_batch":M,"weight":W,"pipelining":true}
+///   {"type":"hello_ok","max_batch":M,"weight":W,"pipelining":true,
+///    "shards":true[,"shard_id":K,"shard_count":N]}
 ///   {"type":"pong"}
-///   {"type":"status","cache":{...},"threads":N,"sessions":[...],...}
-///   {"type":"row","row":ROW}            (one per point, as it completes;
+///   {"type":"status","cache":{...},"threads":N,"sessions":[...],
+///    "shard_id":K,"shard_count":N,"misrouted_items":M,...}
+///   {"type":"row","row":ROW[,"loops":[...]]}
+///                                       (one per point, as it completes;
 ///                                        run_experiment rows carry a
-///                                        "grid" index member)
-///   {"type":"row_batch","rows":[{["grid":G,]"row":ROW},...]}
+///                                        "grid" index member; under a
+///                                        shard claim, "loops" lists the
+///                                        loop indices this shard owns —
+///                                        the other slots of the row are
+///                                        filler the client must ignore)
+///   {"type":"row_batch","rows":[{["grid":G,]"row":ROW
+///                                [,"loops":[...]]},...]}
 ///                                       (only after hello negotiated
 ///                                        max_batch > 1; at most
 ///                                        max_batch entries per frame)
@@ -44,9 +53,25 @@
 ///                                        hello'd sessions also get
 ///                                        "rows_batched":R and
 ///                                        "batches_sent":B — a v1 done
-///                                        keeps the exact v1 shape)
+///                                        keeps the exact v1 shape; under
+///                                        a shard claim "points" counts
+///                                        only the points with owned
+///                                        items)
 ///   {"type":"ok"}                        (shutdown acknowledged)
 ///   {"type":"error","message":"..."}
+///
+/// The shard claim S (protocol v3, see net/ShardMap.h) is
+///   {"id":K,"map":{"virtual_nodes":V,"shards":["h1:p1","h2:p2",...]}}
+/// — "I am shard K of this consistent-hash map; compute only the
+/// (point, loop) items whose route key hashes to me." A claim on hello
+/// becomes the session default; a claim on a sweep/run_experiment
+/// overrides it for that request (how a fleet client retargets a
+/// rebalanced resubmission under a survivor map). A daemon configured
+/// with its own identity (--shard-id/--shard-count/--shard-map)
+/// rejects claims that do not name it with an error frame and counts
+/// the refused items in status "misrouted_items". hello_ok's
+/// "shards":true advertises the capability; shard_id/shard_count are
+/// echoed only by identity-configured daemons.
 ///
 /// hello is the capability exchange and must precede any sweep on the
 /// connection: the client states the largest row batch it will accept

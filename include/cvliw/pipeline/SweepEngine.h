@@ -130,6 +130,29 @@ struct SweepRow {
   std::vector<CoherencePolicy> HybridChoices;
 };
 
+/// The per-point seed of grid point \p PointIndex — the pure function
+/// of (base seed, point index) every sweep row reports. Exposed so the
+/// fleet's routing key derivation and the engine cannot drift.
+uint64_t sweepPointSeed(const SweepGrid &Grid, size_t PointIndex);
+
+/// The exact ExperimentConfig the engine simulates for grid point
+/// (machine, scheme, benchmark) — including the per-benchmark
+/// interleave adjustment. For hybrid schemes this is the shared base
+/// config (the scheme's nominal policy); the hybrid's three concrete
+/// runs derive from it deterministically.
+ExperimentConfig sweepItemConfig(const SweepGrid &Grid, size_t MachineIdx,
+                                 size_t SchemeIdx, size_t BenchIdx);
+
+/// The fleet routing key of one (point, loop) work item: the FNV-1a
+/// result-cache key of the item's (config, effective loop spec), i.e.
+/// the key the owning daemon's cache lookup uses — routing on it is
+/// what gives shards cache affinity. Pure function of the grid and the
+/// indices; client and daemon compute it independently and must agree.
+/// Points whose benchmark has no loops pass any \p LoopIndex (the key
+/// then covers the config with a default loop spec).
+uint64_t sweepItemRouteKey(const SweepGrid &Grid, size_t PointIndex,
+                           size_t LoopIndex);
+
 /// Expands a grid and evaluates it on a pool of worker threads.
 class SweepEngine {
 public:
@@ -161,6 +184,33 @@ public:
   void setRowCallback(std::function<void(const SweepRow &)> Callback) {
     RowCallback = std::move(Callback);
   }
+
+  /// Restricts the run to the (point, loop) items \p Owns selects —
+  /// the shard-aware daemon installs its ShardMap ownership predicate
+  /// here so a fleet member simulates only its own share of a grid.
+  /// Unowned loop slots stay default-initialized; a filtered point's
+  /// row completes (and the row callback fires) when its *owned* loops
+  /// finish, and points owning no loops produce no callback at all.
+  /// Zero-loop points consult Owns(Point, 0). Must be called before
+  /// run(); the predicate must be pure and thread-agnostic.
+  void setItemFilter(std::function<bool(size_t Point, size_t Loop)> Owns) {
+    ItemFilter = std::move(Owns);
+  }
+
+  /// After a filtered run is prepared: the loop indices of \p Point
+  /// this engine owns, or nullptr when no filter is installed (every
+  /// loop owned). The service's row emitter uses this to mark partial
+  /// rows on the wire.
+  const std::vector<size_t> *ownedLoops(size_t Point) const {
+    if (!ItemFilter || Point >= OwnedLoops.size())
+      return nullptr;
+    return &OwnedLoops[Point];
+  }
+
+  /// Points contributing at least one owned item (plus active
+  /// zero-loop points); grid().size() when unfiltered. This is what a
+  /// fleet daemon reports as "points" in its done frame.
+  size_t activePoints() const { return ActivePointsCount; }
 
   /// Installs externally computed rows (the --remote path: a daemon
   /// evaluated this grid and the client collected the rows). The rows
@@ -285,6 +335,10 @@ private:
   ResultCache *Cache;
   TaskPool *Pool = nullptr;
   std::function<void(const SweepRow &)> RowCallback;
+  std::function<bool(size_t, size_t)> ItemFilter;
+  /// Filtered runs only: per point, the owned loop indices (ascending).
+  std::vector<std::vector<size_t>> OwnedLoops;
+  size_t ActivePointsCount = 0;
   bool HasRun = false;
   double LastRunSeconds = 0.0;
   uint64_t CacheHits = 0;
@@ -340,6 +394,15 @@ struct SweepRunOptions {
   /// points); the table output is byte-identical either way. Defaults
   /// to the CVLIW_SWEEP_REMOTE environment variable.
   std::string Remote;
+  /// --shards host:port,host:port,...: evaluate on a consistent-hashed
+  /// fleet of daemons — (point, loop) items route to the shard owning
+  /// their cache key and the row streams merge back into grid order.
+  /// One address behaves exactly like --remote. Defaults to the
+  /// CVLIW_SWEEP_SHARDS environment variable.
+  std::vector<std::string> Shards;
+  /// --connect-retries N: bounded exponential-backoff connect attempts
+  /// per daemon (scripts stop racing daemon startup with sleeps).
+  unsigned ConnectRetries = 5;
   /// --dump-grid FILE: also write the expanded grid as JSON — the
   /// format cvliw-sweep-client submits to a daemon.
   std::string DumpGridPath;
@@ -349,6 +412,14 @@ struct SweepRunOptions {
   /// daemon's rows against a local serial recomputation.
   bool VerifySerial = false;
 };
+
+/// The daemon addresses a remote run targets: Options.Shards when set,
+/// else the single Options.Remote, else empty (a local run).
+std::vector<std::string> sweepShardList(const SweepRunOptions &Options);
+
+/// The human-readable target of a remote run for log lines: the
+/// --remote address, or the --shards addresses comma-joined.
+std::string sweepRemoteLabel(const SweepRunOptions &Options);
 
 /// Parses a non-negative byte count ("0" = unbounded). Shared by the
 /// --cache-max-bytes flag and the CVLIW_SWEEP_CACHE_MAX_BYTES

@@ -37,6 +37,14 @@
 /// fairness weight (up to MaxSessionWeight). Clients that skip hello
 /// speak exactly the v1 protocol — unbatched row frames, no id echo.
 ///
+/// Fleet mode (protocol v3): hello and sweep/run_experiment frames may
+/// carry a shard claim — "I am shard K of this ShardMap" — and the
+/// daemon then filters every grid down to the (point, loop) items
+/// whose route key hashes to that shard, streaming partial rows with
+/// "loops" masks. A claim that does not name this daemon (see the
+/// SweepServiceConfig identity knobs) is rejected with an error frame
+/// and counted in misroutedItems().
+///
 /// Shutdown drains: stop() (and a client's EOF) stops a session's
 /// reads, waits up to DrainTimeoutSeconds for its in-flight sweeps to
 /// finish streaming, then cancels the stragglers — a stopping daemon
@@ -70,6 +78,7 @@ namespace cvliw {
 
 class JsonValue;
 class TaskPool;
+struct ShardSpec;
 struct SweepGrid;
 
 struct SweepServiceConfig {
@@ -92,6 +101,24 @@ struct SweepServiceConfig {
   double DrainTimeoutSeconds = 10.0;
   /// The memo table to serve from; defaults to the process-wide one.
   ResultCache *Cache = nullptr;
+
+  // Fleet identity (protocol v3). Three postures:
+  //  - ShardAddrs non-empty (--shard-map): address-pinned — a shard
+  //    claim is honored iff its map's claimed slot names this daemon's
+  //    own address ShardAddrs[ShardId], so rebalanced survivor maps
+  //    (fewer shards, same addresses) still validate.
+  //  - ShardAddrs empty, ShardCount != 0 (--shard-id/--shard-count):
+  //    positional — a claim must say exactly "shard ShardId of
+  //    ShardCount".
+  //  - Both unset: unconfigured — any claim is trusted and honored
+  //    (the posture the kill-a-shard rebalance test relies on, since a
+  //    survivor map no longer matches a fixed positional identity).
+  /// This daemon's shard id (an index into ShardAddrs when given).
+  size_t ShardId = 0;
+  /// Fleet size for the positional self-check; 0 leaves it off.
+  size_t ShardCount = 0;
+  /// The full fleet's addresses for the address-pinned self-check.
+  std::vector<std::string> ShardAddrs;
 };
 
 class SweepService {
@@ -141,6 +168,11 @@ public:
   uint64_t batchesSent() const {
     return BatchesSentTotal.load(std::memory_order_relaxed);
   }
+  /// Loop items refused because their request claimed a shard identity
+  /// this daemon does not serve (also reported in status).
+  uint64_t misroutedItems() const {
+    return MisroutedItems.load(std::memory_order_relaxed);
+  }
   /// Sessions whose handler has not finished (includes ones mid-drain).
   size_t sessionsOpen() const;
 
@@ -153,12 +185,20 @@ private:
   /// Dispatches one decoded request frame; returns false when the
   /// session should close (protocol error or shutdown).
   bool dispatchRequest(Session *S, const std::string &Payload);
-  /// Builds and submits the async evaluation of one request's grids.
-  void submitRequest(Session *S, std::unique_ptr<Request> NewRequest);
+  /// Builds and submits the async evaluation of one request's grids,
+  /// filtered down to \p Shard's items when a claim is in force.
+  void submitRequest(Session *S, std::unique_ptr<Request> NewRequest,
+                     const ShardSpec *Shard);
   /// Runs on the pool worker that completes a request's last grid.
   void requestFinished(Session *S, Request *Req);
   /// The status response (includes the per-session array).
   JsonValue statusJson();
+  /// The fleet size this daemon checks claims against; 0 when
+  /// unconfigured (every claim trusted).
+  size_t effectiveShardCount() const;
+  /// Validates a client's shard claim against this daemon's identity;
+  /// empty string when acceptable, else the rejection message.
+  std::string checkShardClaim(const ShardSpec &Spec) const;
   /// Destroys finished requests; called from the session's reader.
   void reapFinishedRequests(Session *S);
   /// Bounded wait for in-flight requests, then cancel; leaves the
@@ -188,6 +228,7 @@ private:
   std::atomic<uint64_t> ProtocolErrors{0};
   std::atomic<uint64_t> RowsBatchedTotal{0};
   std::atomic<uint64_t> BatchesSentTotal{0};
+  std::atomic<uint64_t> MisroutedItems{0};
 };
 
 } // namespace cvliw

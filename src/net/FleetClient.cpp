@@ -1,0 +1,775 @@
+//===- net/FleetClient.cpp - Sharded sweep-fleet client -------------------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cvliw/net/FleetClient.h"
+
+#include "cvliw/net/WireFormat.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <ostream>
+#include <utility>
+
+#include <poll.h>
+
+using namespace cvliw;
+
+size_t FleetClient::aliveShards() const {
+  size_t N = 0;
+  for (const Shard &S : Shards)
+    N += S.Alive ? 1 : 0;
+  return N;
+}
+
+bool FleetClient::connect(const std::vector<std::string> &ShardAddrs,
+                          unsigned Retries, std::string &Error) {
+  if (ShardAddrs.empty()) {
+    Error = "no shard addresses";
+    return false;
+  }
+  Shards.clear();
+  Shards.reserve(ShardAddrs.size());
+  for (const std::string &Addr : ShardAddrs) {
+    std::string Host;
+    uint16_t Port = 0;
+    if (!splitHostPort(Addr, Host, Port, Error))
+      return false;
+    Socket Conn = connectToWithRetries(Host, Port, Retries, Error);
+    if (!Conn.valid())
+      return false;
+    Shards.emplace_back();
+    Shards.back().Addr = Addr;
+    Shards.back().Conn = std::move(Conn);
+    Shards.back().Alive = true;
+  }
+  FullMap = ShardMap(ShardAddrs);
+  return true;
+}
+
+bool FleetClient::negotiate(size_t MaxBatchWanted, unsigned Weight,
+                            std::string &Error) {
+  if (!Pending.empty()) {
+    Error = "negotiate must precede submits";
+    return false;
+  }
+  if (Shards.empty()) {
+    Error = "not connected";
+    return false;
+  }
+  const bool Fleet = Shards.size() > 1;
+  size_t Granted = DefaultMaxFrameBytes; // any large sentinel; min()'d below
+  bool AllPipelining = true;
+  for (size_t S = 0; S != Shards.size(); ++S) {
+    Shard &Sh = Shards[S];
+    JsonValue Hello = JsonValue::object();
+    Hello.set("type", JsonValue::str("hello"));
+    Hello.set("max_batch", JsonValue::uint(MaxBatchWanted));
+    if (Weight > 1)
+      Hello.set("weight", JsonValue::uint(Weight));
+    if (Fleet) {
+      // Each daemon gets the same map and its own claimed id — the
+      // daemon self-checks the claim against any --shard-id identity.
+      ShardSpec Spec;
+      Spec.Index = S;
+      Spec.Map = FullMap;
+      Hello.set("shard", shardSpecToJson(Spec));
+    }
+    if (!writeFrame(Sh.Conn, Hello.dump())) {
+      Error = "failed to send hello to " + Sh.Addr;
+      return false;
+    }
+    // Blocking read is safe here: nothing has been submitted, so the
+    // next frame on the wire is this hello's reply.
+    std::string Payload;
+    FrameStatus Status = readFrame(Sh.Conn, Payload);
+    if (Status != FrameStatus::Ok) {
+      Error = "bad hello response from " + Sh.Addr + ": " +
+              frameStatusName(Status);
+      return false;
+    }
+    JsonValue Reply;
+    std::string ParseError;
+    if (!JsonValue::parse(Payload, Reply, ParseError)) {
+      Error = "bad hello response JSON from " + Sh.Addr + ": " + ParseError;
+      return false;
+    }
+    const JsonValue *Type = Reply.find("type");
+    const bool HelloOk = Type &&
+                         Type->kind() == JsonValue::Kind::String &&
+                         Type->asString() == "hello_ok";
+    if (!HelloOk) {
+      if (!Fleet) {
+        // A pre-session daemon rejects hello with an error frame; the
+        // degenerate one-shard fleet falls back to v1 exactly like
+        // SweepClient: unbatched, un-pipelined, id-less requests.
+        MaxBatch = 1;
+        Pipelining = false;
+        SendIds = false;
+        return true;
+      }
+      const JsonValue *Msg = Reply.find("message");
+      Error = "daemon at " + Sh.Addr + " rejected hello" +
+              (Msg && Msg->kind() == JsonValue::Kind::String
+                   ? ": " + Msg->asString()
+                   : std::string());
+      return false;
+    }
+    try {
+      Granted = std::min<size_t>(
+          Granted, std::max<uint64_t>(1, Reply.u64("max_batch")));
+      const JsonValue *P = Reply.find("pipelining");
+      AllPipelining = AllPipelining && P && P->asBool();
+      if (Fleet) {
+        const JsonValue *Cap = Reply.find("shards");
+        if (!Cap || Cap->kind() != JsonValue::Kind::Bool || !Cap->asBool()) {
+          Error = "daemon at " + Sh.Addr +
+                  " is not shard-aware (no 'shards' capability in "
+                  "hello_ok); a fleet needs protocol v3 daemons";
+          return false;
+        }
+      }
+    } catch (const JsonError &E) {
+      Error = "bad hello_ok from " + Sh.Addr + ": " + E.what();
+      return false;
+    }
+  }
+  MaxBatch = Granted;
+  Pipelining = AllPipelining;
+  SendIds = true;
+  return true;
+}
+
+void FleetClient::initPendingGrid(PendingGrid &P, const SweepGrid &Grid) {
+  P.Machines = Grid.Machines.size();
+  P.Schemes = Grid.Schemes.size();
+  P.Benchmarks = Grid.Benchmarks.size();
+  P.Rows.assign(Grid.size(), SweepRow());
+  P.Points.assign(Grid.size(), PointMerge());
+  for (size_t Index = 0; Index != Grid.size(); ++Index) {
+    // Benchmark-major decode, same as the engine's expansion.
+    size_t Rest = Index / Grid.Machines.size();
+    size_t BenchIdx = Rest / Grid.Schemes.size();
+    PointMerge &PM = P.Points[Index];
+    PM.LoopCount =
+        static_cast<uint32_t>(Grid.Benchmarks[BenchIdx].Loops.size());
+    PM.Seen.assign(PM.LoopCount, false);
+  }
+}
+
+bool FleetClient::fanOut(uint64_t Id, PendingRequest &Req,
+                         const ShardMap *Claim, std::string &Error) {
+  std::vector<size_t> DeadNow;
+  for (size_t S = 0; S != Shards.size(); ++S) {
+    if (!Shards[S].Alive)
+      continue;
+    JsonValue Msg = Req.Body;
+    if (SendIds)
+      Msg.set("id", JsonValue::uint(Id));
+    if (Claim) {
+      ShardSpec Spec;
+      Spec.Index = Claim->indexOf(Shards[S].Addr);
+      Spec.Map = *Claim;
+      Msg.set("shard", shardSpecToJson(Spec));
+    }
+    if (!writeFrame(Shards[S].Conn, Msg.dump())) {
+      Shards[S].Alive = false;
+      Shards[S].Conn.close();
+      DeadNow.push_back(S);
+      continue;
+    }
+    ++Req.DonesOutstanding[S];
+    ++Req.DonesPending;
+  }
+  // A shard that died at send time still "owes" this request its items:
+  // credit it one done so handleShardDeath() rebalances the request
+  // onto the survivors under a shrunken map.
+  for (size_t D : DeadNow) {
+    ++Req.DonesOutstanding[D];
+    ++Req.DonesPending;
+    handleShardDeath(D);
+  }
+  if (Req.Done && Req.Failed) {
+    Error = Req.FailMessage;
+    return false;
+  }
+  return true;
+}
+
+bool FleetClient::submitGrid(const SweepGrid &Grid, uint64_t &Id,
+                             std::string &Error) {
+  if (aliveShards() == 0) {
+    Error = "not connected";
+    return false;
+  }
+  if (!SendIds && !Pending.empty()) {
+    Error = "pipelining unavailable: the daemon rejected hello";
+    return false;
+  }
+  JsonValue Body = JsonValue::object();
+  Body.set("type", JsonValue::str("sweep"));
+  Body.set("grid", gridToJson(Grid));
+
+  Id = NextId++;
+  PendingRequest Req;
+  Req.IsExperiment = false;
+  Req.Body = std::move(Body);
+  Req.Grids.emplace_back();
+  initPendingGrid(Req.Grids.back(), Grid);
+  Req.TotalExpected = Grid.size();
+  Req.DonesOutstanding.assign(Shards.size(), 0);
+  PendingRequest &Ref = Pending.emplace(Id, std::move(Req)).first->second;
+  if (!fanOut(Id, Ref, nullptr, Error)) {
+    Pending.erase(Id);
+    return false;
+  }
+  return true;
+}
+
+bool FleetClient::submitExperiment(
+    const std::string &Name, const ExperimentOverrides &Overrides,
+    const std::vector<const SweepGrid *> &Expected, uint64_t &Id,
+    std::string &Error) {
+  if (aliveShards() == 0) {
+    Error = "not connected";
+    return false;
+  }
+  if (!SendIds && !Pending.empty()) {
+    Error = "pipelining unavailable: the daemon rejected hello";
+    return false;
+  }
+  JsonValue Body = JsonValue::object();
+  Body.set("type", JsonValue::str("run_experiment"));
+  Body.set("name", JsonValue::str(Name));
+  if (Overrides.any())
+    Body.set("overrides", experimentOverridesToJson(Overrides));
+
+  Id = NextId++;
+  PendingRequest Req;
+  Req.IsExperiment = true;
+  Req.Body = std::move(Body);
+  for (const SweepGrid *Grid : Expected) {
+    Req.Grids.emplace_back();
+    initPendingGrid(Req.Grids.back(), *Grid);
+    Req.TotalExpected += Grid->size();
+  }
+  Req.DonesOutstanding.assign(Shards.size(), 0);
+  PendingRequest &Ref = Pending.emplace(Id, std::move(Req)).first->second;
+  if (!fanOut(Id, Ref, nullptr, Error)) {
+    Pending.erase(Id);
+    return false;
+  }
+  return true;
+}
+
+void FleetClient::handleShardDeath(size_t ShardIdx) {
+  Shard &Dead = Shards[ShardIdx];
+  Dead.Alive = false;
+  Dead.Conn.close();
+
+  std::vector<std::string> SurvivorAddrs;
+  for (const Shard &S : Shards)
+    if (S.Alive)
+      SurvivorAddrs.push_back(S.Addr);
+
+  // Requests the dead shard still owed a done: their bookkeeping must
+  // forget it, and their unfinished items must find a new owner.
+  std::vector<std::pair<uint64_t, PendingRequest *>> Affected;
+  for (auto &Entry : Pending) {
+    PendingRequest &Req = Entry.second;
+    if (Req.Done || Req.DonesOutstanding[ShardIdx] == 0)
+      continue;
+    Req.DonesPending -= Req.DonesOutstanding[ShardIdx];
+    Req.DonesOutstanding[ShardIdx] = 0;
+    Affected.push_back({Entry.first, &Req});
+  }
+  if (Affected.empty())
+    return;
+
+  if (SurvivorAddrs.empty()) {
+    for (auto &A : Affected) {
+      PendingRequest &Req = *A.second;
+      if (!Req.Failed) {
+        Req.Failed = true;
+        Req.FailMessage = "shard " + Dead.Addr +
+                          " lost with no survivors to rehash its items onto";
+      }
+      Req.Stats.Points = Req.TotalReceived;
+      Req.Done = true;
+    }
+    return;
+  }
+
+  if (Log)
+    *Log << "sweep: shard " << Dead.Addr
+         << " lost mid-sweep; rehashing its unfinished items across "
+         << SurvivorAddrs.size() << " survivor(s)\n";
+
+  // Consistent hashing makes this cheap: under the survivor map only
+  // the dead shard's keys change owner, so each survivor's recompute
+  // is its old share (warm in its cache) plus its slice of the dead
+  // shard's items. Re-delivered rows dedupe against the merge masks.
+  ShardMap SurvivorMap(SurvivorAddrs, FullMap.virtualNodes());
+  for (auto &A : Affected) {
+    const uint64_t Id = A.first;
+    PendingRequest &Req = *A.second;
+    std::vector<size_t> DeadNow;
+    for (size_t S = 0; S != Shards.size(); ++S) {
+      if (!Shards[S].Alive)
+        continue;
+      JsonValue Msg = Req.Body;
+      if (SendIds)
+        Msg.set("id", JsonValue::uint(Id));
+      ShardSpec Spec;
+      Spec.Index = SurvivorMap.indexOf(Shards[S].Addr);
+      Spec.Map = SurvivorMap;
+      Msg.set("shard", shardSpecToJson(Spec));
+      if (!writeFrame(Shards[S].Conn, Msg.dump())) {
+        Shards[S].Alive = false;
+        Shards[S].Conn.close();
+        DeadNow.push_back(S);
+        continue;
+      }
+      ++Req.DonesOutstanding[S];
+      ++Req.DonesPending;
+    }
+    for (size_t D : DeadNow) {
+      ++Req.DonesOutstanding[D];
+      ++Req.DonesPending;
+      handleShardDeath(D);
+    }
+  }
+}
+
+bool FleetClient::routeRow(PendingRequest &Req, const JsonValue &RowMessage,
+                           std::string &Error) {
+  size_t GridIndex = 0;
+  if (const JsonValue *G = RowMessage.find("grid"))
+    GridIndex = G->asU64();
+  if (GridIndex >= Req.Grids.size()) {
+    Error = "row grid index out of range";
+    return false;
+  }
+  PendingGrid &Grid = Req.Grids[GridIndex];
+  SweepRow Row = rowFromJson(RowMessage.at("row"));
+  if (Row.PointIndex >= Grid.Rows.size() ||
+      Row.MachineIndex >= Grid.Machines ||
+      Row.SchemeIndex >= Grid.Schemes ||
+      Row.BenchmarkIndex >= Grid.Benchmarks) {
+    Error = "row index out of range";
+    return false;
+  }
+  PointMerge &PM = Grid.Points[Row.PointIndex];
+  if (Row.Result.Loops.size() != PM.LoopCount) {
+    Error = "row loop count does not match the local grid expansion";
+    return false;
+  }
+  SweepRow &Slot = Grid.Rows[Row.PointIndex];
+  const bool Merge = PM.Started;
+  if (!Merge) {
+    // First arrival claims the whole row: metadata is shard-invariant,
+    // and loop slots outside this row's mask are defaults a later
+    // partial row overwrites.
+    Slot = std::move(Row);
+    PM.Started = true;
+  }
+  // Slot-by-slot merge with (point, loop) dedupe: a slot is written by
+  // the first arrival that masks it and never again — rebalanced
+  // recomputations re-deliver rows, they never duplicate slots.
+  auto MergeLoop = [&](size_t L) -> bool {
+    if (L >= PM.LoopCount)
+      return false;
+    if (PM.Seen[L])
+      return true;
+    if (Merge) {
+      Slot.Result.Loops[L] = Row.Result.Loops[L];
+      if (L < Row.HybridChoices.size() && L < Slot.HybridChoices.size())
+        Slot.HybridChoices[L] = Row.HybridChoices[L];
+    }
+    PM.Seen[L] = true;
+    ++PM.SeenLoops;
+    return true;
+  };
+  if (const JsonValue *Mask = RowMessage.find("loops")) {
+    for (const JsonValue &Entry : Mask->items())
+      if (!MergeLoop(Entry.asU64())) {
+        Error = "row loop mask out of range";
+        return false;
+      }
+  } else {
+    for (size_t L = 0; L != PM.LoopCount; ++L)
+      MergeLoop(L);
+  }
+  if (!PM.Complete && PM.SeenLoops == PM.LoopCount) {
+    PM.Complete = true;
+    ++Req.TotalReceived;
+  }
+  return true;
+}
+
+void FleetClient::finishShardRequest(size_t ShardIdx, uint64_t Id,
+                                     PendingRequest &Req,
+                                     uint64_t &CompletedId,
+                                     bool &Completed) {
+  if (Req.DonesOutstanding[ShardIdx] > 0) {
+    --Req.DonesOutstanding[ShardIdx];
+    --Req.DonesPending;
+  }
+  if (Req.DonesPending != 0 || Req.Done)
+    return;
+  if (!Req.Failed && Req.TotalReceived != Req.TotalExpected) {
+    Req.Failed = true;
+    Req.FailMessage =
+        "fleet finished after " + std::to_string(Req.TotalReceived) +
+        " of " + std::to_string(Req.TotalExpected) + " points";
+  }
+  // The merged count, not any one shard's share, is the fleet's
+  // "points" — each done frame reported only its sender's activePoints.
+  Req.Stats.Points = Req.TotalReceived;
+  Req.Stats.Grids = Req.Grids.size();
+  Req.Done = true;
+  Req.Reported = true;
+  Completed = true;
+  CompletedId = Id;
+}
+
+bool FleetClient::routeFrame(size_t ShardIdx, const JsonValue &Message,
+                             uint64_t &CompletedId, bool &Completed,
+                             std::string &Error) {
+  try {
+    const std::string &Type = Message.text("type");
+
+    const JsonValue *IdMember = Message.find("id");
+    uint64_t Id = 0;
+    if (IdMember) {
+      Id = IdMember->asU64();
+    } else if (!SendIds && Pending.size() == 1) {
+      // v1 fallback (single shard): everything routes to the one
+      // in-flight request, exactly like SweepClient.
+      Id = Pending.begin()->first;
+    } else {
+      if (Type == "error") {
+        const JsonValue *Msg = Message.find("message");
+        Error = "server error from " + Shards[ShardIdx].Addr + ": " +
+                (Msg && Msg->kind() == JsonValue::Kind::String
+                     ? Msg->asString()
+                     : std::string("(no message)"));
+      } else {
+        Error = "response missing request id (server too old?)";
+      }
+      return false;
+    }
+    auto It = Pending.find(Id);
+    if (It == Pending.end()) {
+      Error = "response for unknown request id " + std::to_string(Id);
+      return false;
+    }
+    PendingRequest &Req = It->second;
+
+    if (Type == "row")
+      return routeRow(Req, Message, Error);
+    if (Type == "row_batch") {
+      const JsonValue &Rows = Message.at("rows");
+      for (const JsonValue &Entry : Rows.items())
+        if (!routeRow(Req, Entry, Error))
+          return false;
+      Req.Stats.RowsBatched += Rows.items().size();
+      Req.Stats.BatchesReceived += 1;
+      return true;
+    }
+    if (Type == "done") {
+      Req.Stats.CacheHits += Message.u64("cache_hits");
+      Req.Stats.CacheMisses += Message.u64("cache_misses");
+      if (Req.IsExperiment && !Req.GridCountChecked) {
+        Req.GridCountChecked = true;
+        uint64_t Grids = Message.u64("grids");
+        if (Grids != Req.Grids.size()) {
+          Req.Failed = true;
+          Req.FailMessage =
+              "daemon ran " + std::to_string(Grids) + " grids, expected " +
+              std::to_string(Req.Grids.size()) + " (registry mismatch?)";
+        }
+      }
+      finishShardRequest(ShardIdx, Id, Req, CompletedId, Completed);
+      return true;
+    }
+    if (Type == "error") {
+      // A request-level refusal on a healthy connection (misroute, bad
+      // grid, unknown experiment): this shard is finished with the
+      // request; the others still stream theirs before it completes.
+      const JsonValue *Msg = Message.find("message");
+      if (!Req.Failed) {
+        Req.Failed = true;
+        Req.FailMessage =
+            "server error from " + Shards[ShardIdx].Addr + ": " +
+            (Msg && Msg->kind() == JsonValue::Kind::String
+                 ? Msg->asString()
+                 : std::string("(no message)"));
+      }
+      finishShardRequest(ShardIdx, Id, Req, CompletedId, Completed);
+      return true;
+    }
+    Error = "unexpected message type '" + Type + "' during sweep";
+    return false;
+  } catch (const JsonError &E) {
+    Error = std::string("bad server message: ") + E.what();
+    return false;
+  }
+}
+
+bool FleetClient::poll(uint64_t &CompletedId, bool &Completed,
+                       std::string &Error) {
+  Completed = false;
+  CompletedId = 0;
+  if (Pending.empty()) {
+    Error = "no requests in flight";
+    return false;
+  }
+  for (;;) {
+    // Drain a buffered frame before touching the sockets.
+    for (size_t S = 0; S != Shards.size(); ++S) {
+      if (!Shards[S].Alive)
+        continue;
+      std::string Payload;
+      if (Shards[S].Decoder.next(Payload)) {
+        JsonValue Message;
+        std::string ParseError;
+        if (!JsonValue::parse(Payload, Message, ParseError)) {
+          Error = "bad response JSON from " + Shards[S].Addr + ": " +
+                  ParseError;
+          return false;
+        }
+        return routeFrame(S, Message, CompletedId, Completed, Error);
+      }
+      if (Shards[S].Decoder.error() != FrameStatus::Ok) {
+        Error = "bad response frame from " + Shards[S].Addr + ": " +
+                frameStatusName(Shards[S].Decoder.error());
+        return false;
+      }
+    }
+
+    // Death may have completed (failed) requests without any frame;
+    // report one so a waiter unblocks instead of polling dead sockets.
+    // Each completion is reported exactly once: an already-reported,
+    // not-yet-taken request must not short-circuit this loop, or the
+    // sockets below would never be read again while a caller waits on
+    // a different id (the daemons would stall on backpressure).
+    for (auto &Entry : Pending)
+      if (Entry.second.Done && !Entry.second.Reported) {
+        Entry.second.Reported = true;
+        Completed = true;
+        CompletedId = Entry.first;
+        return true;
+      }
+    if (aliveShards() == 0) {
+      Error = "all shards lost";
+      return false;
+    }
+
+    std::vector<pollfd> Fds;
+    std::vector<size_t> FdShard;
+    for (size_t S = 0; S != Shards.size(); ++S) {
+      if (!Shards[S].Alive)
+        continue;
+      pollfd P;
+      P.fd = Shards[S].Conn.fd();
+      P.events = POLLIN;
+      P.revents = 0;
+      Fds.push_back(P);
+      FdShard.push_back(S);
+    }
+    int N = ::poll(Fds.data(), Fds.size(), -1);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      Error = "poll failed on the fleet's sockets";
+      return false;
+    }
+    for (size_t F = 0; F != Fds.size(); ++F) {
+      if (!(Fds[F].revents & (POLLIN | POLLHUP | POLLERR)))
+        continue;
+      const size_t S = FdShard[F];
+      char Buf[65536];
+      bool IoError = false;
+      size_t Got = Shards[S].Conn.recvSome(Buf, sizeof(Buf), &IoError);
+      if (Got == 0) {
+        // EOF or reset: the shard died. Rebalance, then report one
+        // request the death completed (all-failed when no survivors).
+        handleShardDeath(S);
+        for (auto &Entry : Pending)
+          if (Entry.second.Done && !Entry.second.Reported) {
+            Entry.second.Reported = true;
+            Completed = true;
+            CompletedId = Entry.first;
+            break;
+          }
+        return true;
+      }
+      Shards[S].Decoder.feed(Buf, Got);
+    }
+  }
+}
+
+bool FleetClient::wait(uint64_t Id, std::string &Error) {
+  for (;;) {
+    auto It = Pending.find(Id);
+    if (It == Pending.end()) {
+      Error = "unknown request id " + std::to_string(Id);
+      return false;
+    }
+    if (It->second.Done)
+      return true;
+    uint64_t CompletedId = 0;
+    bool Completed = false;
+    if (!poll(CompletedId, Completed, Error))
+      return false;
+  }
+}
+
+bool FleetClient::take(uint64_t Id,
+                       std::vector<std::vector<SweepRow>> &GridRows,
+                       RemoteSweepStats &Stats, std::string &Error) {
+  auto It = Pending.find(Id);
+  if (It == Pending.end()) {
+    Error = "unknown request id " + std::to_string(Id);
+    return false;
+  }
+  if (!It->second.Done) {
+    Error = "request " + std::to_string(Id) + " still in flight";
+    return false;
+  }
+  PendingRequest Req = std::move(It->second);
+  Pending.erase(It);
+  if (Req.Failed) {
+    Error = Req.FailMessage;
+    return false;
+  }
+  GridRows.clear();
+  GridRows.reserve(Req.Grids.size());
+  for (PendingGrid &Grid : Req.Grids)
+    GridRows.push_back(std::move(Grid.Rows));
+  Stats = Req.Stats;
+  return true;
+}
+
+bool FleetClient::sendToShard(size_t ShardIdx, const JsonValue &Message,
+                              std::string &Error) {
+  Shard &S = Shards[ShardIdx];
+  if (!S.Alive) {
+    Error = "shard " + S.Addr + " is not connected";
+    return false;
+  }
+  if (!writeFrame(S.Conn, Message.dump())) {
+    Error = "failed to send frame to " + S.Addr;
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+JsonValue typedMessage(const char *Type) {
+  JsonValue J = JsonValue::object();
+  J.set("type", JsonValue::str(Type));
+  return J;
+}
+
+} // namespace
+
+bool FleetClient::ping(std::string &Error) {
+  if (!Pending.empty()) {
+    Error = "ping is only valid with no requests in flight";
+    return false;
+  }
+  for (size_t S = 0; S != Shards.size(); ++S) {
+    if (!Shards[S].Alive)
+      continue;
+    if (!sendToShard(S, typedMessage("ping"), Error))
+      return false;
+    std::string Payload;
+    FrameStatus Status = readFrame(Shards[S].Conn, Payload);
+    if (Status != FrameStatus::Ok) {
+      Error = "bad ping response from " + Shards[S].Addr + ": " +
+              frameStatusName(Status);
+      return false;
+    }
+    JsonValue Reply;
+    std::string ParseError;
+    if (!JsonValue::parse(Payload, Reply, ParseError)) {
+      Error = "bad ping response JSON from " + Shards[S].Addr + ": " +
+              ParseError;
+      return false;
+    }
+    const JsonValue *Type = Reply.find("type");
+    if (!Type || Type->kind() != JsonValue::Kind::String ||
+        Type->asString() != "pong") {
+      Error = "unexpected ping response from " + Shards[S].Addr;
+      return false;
+    }
+  }
+  return true;
+}
+
+bool FleetClient::runGrid(const SweepGrid &Grid, std::vector<SweepRow> &Rows,
+                          RemoteSweepStats &Stats, std::string &Error) {
+  uint64_t Id = 0;
+  if (!submitGrid(Grid, Id, Error) || !wait(Id, Error))
+    return false;
+  std::vector<std::vector<SweepRow>> GridRows;
+  if (!take(Id, GridRows, Stats, Error))
+    return false;
+  Rows = std::move(GridRows[0]);
+  return true;
+}
+
+bool FleetClient::runExperiment(
+    const std::string &Name, const ExperimentOverrides &Overrides,
+    const std::vector<const SweepGrid *> &Expected,
+    std::vector<std::vector<SweepRow>> &GridRows, RemoteSweepStats &Stats,
+    std::string &Error) {
+  uint64_t Id = 0;
+  if (!submitExperiment(Name, Overrides, Expected, Id, Error) ||
+      !wait(Id, Error))
+    return false;
+  return take(Id, GridRows, Stats, Error);
+}
+
+bool FleetClient::shutdownServer(std::string &Error) {
+  if (!Pending.empty()) {
+    Error = "shutdown is only valid with no requests in flight";
+    return false;
+  }
+  for (size_t S = 0; S != Shards.size(); ++S) {
+    if (!Shards[S].Alive)
+      continue;
+    if (!sendToShard(S, typedMessage("shutdown"), Error))
+      return false;
+    std::string Payload;
+    FrameStatus Status = readFrame(Shards[S].Conn, Payload);
+    if (Status != FrameStatus::Ok) {
+      Error = "bad shutdown response from " + Shards[S].Addr + ": " +
+              frameStatusName(Status);
+      return false;
+    }
+    JsonValue Reply;
+    std::string ParseError;
+    if (!JsonValue::parse(Payload, Reply, ParseError)) {
+      Error = "bad shutdown response JSON from " + Shards[S].Addr + ": " +
+              ParseError;
+      return false;
+    }
+    const JsonValue *Type = Reply.find("type");
+    if (!Type || Type->kind() != JsonValue::Kind::String ||
+        Type->asString() != "ok") {
+      const JsonValue *Msg = Reply.find("message");
+      Error = "shutdown refused by " + Shards[S].Addr +
+              (Msg && Msg->kind() == JsonValue::Kind::String
+                   ? ": " + Msg->asString()
+                   : std::string());
+      return false;
+    }
+  }
+  return true;
+}

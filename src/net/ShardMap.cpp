@@ -1,0 +1,142 @@
+//===- net/ShardMap.cpp - Consistent-hash shard routing -------------------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cvliw/net/ShardMap.h"
+
+#include "cvliw/net/Json.h"
+#include "cvliw/pipeline/ResultCache.h"
+
+#include <algorithm>
+
+using namespace cvliw;
+
+namespace {
+
+/// Murmur3's 64-bit finalizer. FNV-1a over short strings (a host:port
+/// plus a virtual-node counter) leaves the high bits poorly avalanched,
+/// and the ring is ordered BY those high bits — without this mix a
+/// 3-shard ring can give one shard ~10% of the key space. Applied to
+/// ring positions and lookup keys alike, so ownership stays a pure
+/// function both sides of the wire compute identically.
+uint64_t fmix64(uint64_t K) {
+  K ^= K >> 33;
+  K *= 0xff51afd7ed558ccdULL;
+  K ^= K >> 33;
+  K *= 0xc4ceb9fe1a85ec53ULL;
+  K ^= K >> 33;
+  return K;
+}
+
+} // namespace
+
+ShardMap::ShardMap(std::vector<std::string> ShardAddrs,
+                   unsigned VirtualNodes)
+    : Shards(std::move(ShardAddrs)),
+      VNodes(std::max(1u, VirtualNodes)) {
+  buildRing();
+}
+
+void ShardMap::buildRing() {
+  Ring.clear();
+  Ring.reserve(Shards.size() * VNodes);
+  for (size_t Shard = 0; Shard != Shards.size(); ++Shard) {
+    for (unsigned VNode = 0; VNode != VNodes; ++VNode) {
+      // A shard's positions are a pure function of its own address:
+      // adding or removing OTHER shards cannot move them, which is
+      // exactly the remap-minimality without() promises.
+      Fnv1aHasher H;
+      H.str(Shards[Shard]);
+      H.u32(VNode);
+      Ring.emplace_back(fmix64(H.hash()), static_cast<uint32_t>(Shard));
+    }
+  }
+  std::sort(Ring.begin(), Ring.end());
+}
+
+size_t ShardMap::shardOf(uint64_t Key) const {
+  if (Ring.empty())
+    return 0;
+  const uint64_t Mixed = fmix64(Key);
+  // Successor with wraparound: the first ring position >= the mixed
+  // key, or the ring's first entry when it is past the last position.
+  auto It = std::lower_bound(
+      Ring.begin(), Ring.end(), Mixed,
+      [](const std::pair<uint64_t, uint32_t> &Entry, uint64_t K) {
+        return Entry.first < K;
+      });
+  if (It == Ring.end())
+    It = Ring.begin();
+  return It->second;
+}
+
+size_t ShardMap::indexOf(const std::string &Addr) const {
+  for (size_t I = 0; I != Shards.size(); ++I)
+    if (Shards[I] == Addr)
+      return I;
+  return Shards.size();
+}
+
+ShardMap ShardMap::without(size_t ShardIndex) const {
+  std::vector<std::string> Survivors;
+  Survivors.reserve(Shards.size() > 0 ? Shards.size() - 1 : 0);
+  for (size_t I = 0; I != Shards.size(); ++I)
+    if (I != ShardIndex)
+      Survivors.push_back(Shards[I]);
+  return ShardMap(std::move(Survivors), VNodes);
+}
+
+JsonValue ShardMap::toJson() const {
+  JsonValue J = JsonValue::object();
+  J.set("virtual_nodes", JsonValue::uint(VNodes));
+  JsonValue Addrs = JsonValue::array();
+  for (const std::string &Addr : Shards)
+    Addrs.push(JsonValue::str(Addr));
+  J.set("shards", std::move(Addrs));
+  return J;
+}
+
+ShardMap ShardMap::fromJson(const JsonValue &J) {
+  uint64_t VNodes = J.u64("virtual_nodes");
+  if (VNodes == 0 || VNodes > (1u << 16))
+    throw JsonError("shard map virtual_nodes out of range");
+  std::vector<std::string> Addrs;
+  const JsonValue &List = J.at("shards");
+  for (const JsonValue &Addr : List.items())
+    Addrs.push_back(Addr.asString());
+  if (Addrs.empty())
+    throw JsonError("shard map needs at least one shard");
+  return ShardMap(std::move(Addrs), static_cast<unsigned>(VNodes));
+}
+
+JsonValue cvliw::shardSpecToJson(const ShardSpec &Spec) {
+  JsonValue J = JsonValue::object();
+  J.set("id", JsonValue::uint(Spec.Index));
+  J.set("map", Spec.Map.toJson());
+  return J;
+}
+
+ShardSpec cvliw::shardSpecFromJson(const JsonValue &J) {
+  ShardSpec Spec;
+  Spec.Index = J.u64("id");
+  Spec.Map = ShardMap::fromJson(J.at("map"));
+  if (Spec.Index >= Spec.Map.size())
+    throw JsonError("shard id out of range for its map");
+  return Spec;
+}
+
+std::vector<std::string> cvliw::parseShardList(const std::string &Csv) {
+  std::vector<std::string> Out;
+  size_t Start = 0;
+  while (Start <= Csv.size()) {
+    size_t Comma = Csv.find(',', Start);
+    if (Comma == std::string::npos)
+      Comma = Csv.size();
+    if (Comma > Start)
+      Out.push_back(Csv.substr(Start, Comma - Start));
+    Start = Comma + 1;
+  }
+  return Out;
+}

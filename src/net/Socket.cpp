@@ -188,6 +188,20 @@ Socket cvliw::connectTo(const std::string &Host, uint16_t Port,
   return S;
 }
 
+Socket cvliw::connectToWithRetries(const std::string &Host, uint16_t Port,
+                                   unsigned Attempts, std::string &Error) {
+  if (Attempts == 0)
+    Attempts = 1;
+  unsigned DelayMs = 50;
+  for (unsigned Attempt = 1;; ++Attempt) {
+    Socket S = connectTo(Host, Port, Error);
+    if (S.valid() || Attempt == Attempts)
+      return S;
+    ::usleep(DelayMs * 1000u);
+    DelayMs = DelayMs >= 500 ? 1000 : DelayMs * 2;
+  }
+}
+
 bool cvliw::splitHostPort(const std::string &Spec, std::string &Host,
                           uint16_t &Port, std::string &Error) {
   size_t Colon = Spec.rfind(':');

@@ -24,12 +24,13 @@ void cvliw::logDaemonCacheLine(const RemoteSweepStats &Stats,
   Log << "\n";
 }
 
-bool SweepClient::connect(const std::string &HostPort, std::string &Error) {
+bool SweepClient::connect(const std::string &HostPort, std::string &Error,
+                          unsigned Retries) {
   std::string Host;
   uint16_t Port = 0;
   if (!splitHostPort(HostPort, Host, Port, Error))
     return false;
-  Conn = connectTo(Host, Port, Error);
+  Conn = connectToWithRetries(Host, Port, Retries, Error);
   return Conn.valid();
 }
 

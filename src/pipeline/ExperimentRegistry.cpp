@@ -6,6 +6,7 @@
 
 #include "cvliw/pipeline/ExperimentRegistry.h"
 
+#include "cvliw/net/FleetClient.h"
 #include "cvliw/net/SweepClient.h"
 #include "cvliw/support/TableWriter.h"
 
@@ -124,9 +125,11 @@ bool runExperimentRemote(const ExperimentSpec &Spec,
                          const ExperimentOverrides &Overrides,
                          std::vector<std::unique_ptr<SweepEngine>> &Engines,
                          const SweepRunOptions &Options, std::ostream &Log) {
-  SweepClient Client;
+  const std::vector<std::string> Shards = sweepShardList(Options);
+  FleetClient Client;
+  Client.setLog(&Log);
   std::string Error;
-  if (!Client.connect(Options.Remote, Error)) {
+  if (!Client.connect(Shards, Options.ConnectRetries, Error)) {
     std::cerr << "sweep: " << Error << "\n";
     return false;
   }
@@ -134,6 +137,9 @@ bool runExperimentRemote(const ExperimentSpec &Spec,
     std::cerr << "sweep: " << Error << "\n";
     return false;
   }
+  if (Shards.size() > 1)
+    Log << "sweep: fleet of " << Shards.size() << " shards: "
+        << sweepRemoteLabel(Options) << "\n";
 
   std::vector<const SweepGrid *> Expected;
   Expected.reserve(Engines.size());
@@ -165,8 +171,8 @@ bool runExperimentRemote(const ExperimentSpec &Spec,
     return false;
   }
 
-  Log << "sweep: remote " << Options.Remote << " ran experiment '"
-      << Spec.Name << "' (" << Engines.size()
+  Log << "sweep: remote " << sweepRemoteLabel(Options)
+      << " ran experiment '" << Spec.Name << "' (" << Engines.size()
       << (Engines.size() == 1 ? " grid, " : " grids, ") << Points
       << " points, " << Items << " loop items) in "
       << TableWriter::fmt(Seconds, 3) << " s\n";
@@ -189,7 +195,7 @@ int cvliw::runExperiment(const ExperimentSpec &Spec,
     Engines.emplace_back(new SweepEngine(Grid.Grid, Options.Threads));
   }
 
-  if (!Options.Remote.empty()) {
+  if (!Options.Remote.empty() || !Options.Shards.empty()) {
     // Grid dumps are a local serialization concern; write them before
     // the round trip so --dump-grid works even against a dead daemon.
     for (size_t I = 0; I != Grids.size(); ++I) {
@@ -225,9 +231,11 @@ int cvliw::runAllExperimentsRemote(const SweepRunOptions &Options,
   const ExperimentRegistry &Registry = ExperimentRegistry::global();
   ExperimentOverrides Overrides = overridesFromOptions(Options);
 
-  SweepClient Client;
+  const std::vector<std::string> Shards = sweepShardList(Options);
+  FleetClient Client;
+  Client.setLog(&Out);
   std::string Error;
-  if (!Client.connect(Options.Remote, Error)) {
+  if (!Client.connect(Shards, Options.ConnectRetries, Error)) {
     std::cerr << "sweep: " << Error << "\n";
     return 1;
   }
@@ -235,6 +243,9 @@ int cvliw::runAllExperimentsRemote(const SweepRunOptions &Options,
     std::cerr << "sweep: " << Error << "\n";
     return 1;
   }
+  if (Shards.size() > 1)
+    Out << "sweep: fleet of " << Shards.size() << " shards: "
+        << sweepRemoteLabel(Options) << "\n";
 
   // Phase 1: expand every experiment locally (the row validators and
   // table renderers need the grids) and pipeline all the submissions
@@ -284,8 +295,9 @@ int cvliw::runAllExperimentsRemote(const SweepRunOptions &Options,
     }
   }
   Out << "sweep: pipelined " << PendingRuns.size()
-      << " run_experiment requests to " << Options.Remote
-      << " on one connection (max batch "
+      << " run_experiment requests to " << sweepRemoteLabel(Options)
+      << (Shards.size() > 1 ? " on one connection per shard (max batch "
+                            : " on one connection (max batch ")
       << Client.negotiatedMaxBatch() << ")\n";
 
   // Phase 2: harvest and render in paper order. Rows slot by (id,
@@ -322,8 +334,9 @@ int cvliw::runAllExperimentsRemote(const SweepRunOptions &Options,
     }
     if (!Adopted)
       continue;
-    Out << "sweep: remote " << Options.Remote << " ran experiment '"
-        << P.Spec->Name << "' by name over the pipelined connection\n";
+    Out << "sweep: remote " << sweepRemoteLabel(Options)
+        << " ran experiment '" << P.Spec->Name
+        << "' by name over the pipelined connection\n";
     logDaemonCacheLine(Stats, Out);
     bool FinishedOk = true;
     for (size_t I = 0; I != P.Grids.size(); ++I)

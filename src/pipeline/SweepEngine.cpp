@@ -6,6 +6,8 @@
 
 #include "cvliw/pipeline/SweepEngine.h"
 
+#include "cvliw/net/FleetClient.h"
+#include "cvliw/net/ShardMap.h"
 #include "cvliw/net/SweepClient.h"
 #include "cvliw/net/WireFormat.h"
 #include "cvliw/pipeline/ResultCache.h"
@@ -48,10 +50,79 @@ cvliw::crossSchemes(const std::vector<CoherencePolicy> &Policies,
   return Schemes;
 }
 
+uint64_t cvliw::sweepPointSeed(const SweepGrid &Grid, size_t PointIndex) {
+  // The seed is a pure function of (base seed, point index): thread
+  // identity and completion order never leak into it.
+  Rng SeedRng(Grid.BaseSeed ^ (0x9e3779b97f4a7c15ULL *
+                               static_cast<uint64_t>(PointIndex + 1)));
+  return SeedRng.next();
+}
+
+ExperimentConfig cvliw::sweepItemConfig(const SweepGrid &Grid,
+                                        size_t MachineIdx, size_t SchemeIdx,
+                                        size_t BenchIdx) {
+  const SchemePoint &Scheme = Grid.Schemes[SchemeIdx];
+  const BenchmarkSpec &Bench = Grid.Benchmarks[BenchIdx];
+  ExperimentConfig Config;
+  Config.Machine = Grid.Machines[MachineIdx].Config;
+  // The per-benchmark interleave adjustment runBenchmark() applies
+  // (Table 1): part of the effective machine, so part of the cache key.
+  Config.Machine.InterleaveBytes = Bench.InterleaveBytes;
+  Config.Policy = Scheme.Policy;
+  Config.Heuristic = Scheme.Heuristic;
+  Config.ApplySpecialization = Scheme.ApplySpecialization;
+  Config.CheckCoherence = Scheme.CheckCoherence;
+  Config.Ordering = Scheme.Ordering;
+  Config.AssignLatencies = Scheme.AssignLatencies;
+  Config.TolerateUnschedulable = Scheme.TolerateUnschedulable;
+  return Config;
+}
+
+namespace {
+
+/// The seed a loop actually runs with: the spec's own SeedBase, or —
+/// under ReseedLoops — the (LoopIndex+1)-th draw of the point seed's
+/// Rng walk. Pure function of (grid, point seed, loop index).
+uint64_t sweepLoopSeed(const SweepGrid &Grid, uint64_t PointSeed,
+                       size_t LoopIndex, uint64_t SpecSeedBase) {
+  if (!Grid.ReseedLoops)
+    return SpecSeedBase;
+  Rng LoopRng(PointSeed);
+  uint64_t Seed = LoopRng.next();
+  for (size_t I = 0; I != LoopIndex; ++I)
+    Seed = LoopRng.next();
+  return Seed;
+}
+
+} // namespace
+
+uint64_t cvliw::sweepItemRouteKey(const SweepGrid &Grid, size_t PointIndex,
+                                  size_t LoopIndex) {
+  // Benchmark-major decode; must match the expansion order documented
+  // in SweepGrid (and prepareRow's).
+  size_t MachineIdx = PointIndex % Grid.Machines.size();
+  size_t Rest = PointIndex / Grid.Machines.size();
+  size_t SchemeIdx = Rest % Grid.Schemes.size();
+  size_t BenchIdx = Rest / Grid.Schemes.size();
+  ExperimentConfig Config =
+      sweepItemConfig(Grid, MachineIdx, SchemeIdx, BenchIdx);
+  const BenchmarkSpec &Bench = Grid.Benchmarks[BenchIdx];
+  if (Bench.Loops.empty() || LoopIndex >= Bench.Loops.size())
+    return resultCacheKey(Config, LoopSpec());
+  LoopSpec Spec = Bench.Loops[LoopIndex];
+  Spec.SeedBase = sweepLoopSeed(Grid, sweepPointSeed(Grid, PointIndex),
+                                LoopIndex, Spec.SeedBase);
+  // For non-hybrid schemes this IS the owning daemon's cache key; the
+  // hybrid's three sub-runs derive their keys from the same config and
+  // spec, so they too stay on the owning shard.
+  return resultCacheKey(Config, Spec);
+}
+
 SweepEngine::SweepEngine(SweepGrid Grid, unsigned Threads)
     : Grid(std::move(Grid)),
       Threads(Threads != 0 ? Threads : defaultSweepThreads()),
-      Cache(&ResultCache::process()) {
+      Cache(&ResultCache::process()),
+      ActivePointsCount(this->Grid.size()) {
 }
 
 size_t SweepEngine::loopItems() const {
@@ -80,11 +151,7 @@ void SweepEngine::prepareRow(size_t Index) {
   Row.Scheme = Grid.Schemes[SchemeIdx].Name;
   Row.Benchmark = Bench.Name;
 
-  // The seed is a pure function of (base seed, point index): thread
-  // identity and completion order never leak into it.
-  Rng SeedRng(Grid.BaseSeed ^
-              (0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(Index + 1)));
-  Row.PointSeed = SeedRng.next();
+  Row.PointSeed = sweepPointSeed(Grid, Index);
 
   // Pre-size the reduction slots: each (point, loop) work item writes
   // its own element, so workers never touch shared state.
@@ -97,15 +164,7 @@ void SweepEngine::prepareRow(size_t Index) {
 uint64_t SweepEngine::effectiveLoopSeed(const SweepRow &Row,
                                         size_t LoopIndex) const {
   const LoopSpec &Spec = Grid.Benchmarks[Row.BenchmarkIndex].Loops[LoopIndex];
-  if (!Grid.ReseedLoops)
-    return Spec.SeedBase;
-  // The reseed stream replays the per-point Rng walk: loop L gets the
-  // (L+1)-th draw, a pure function of (point index, loop index).
-  Rng LoopRng(Row.PointSeed);
-  uint64_t Seed = LoopRng.next();
-  for (size_t I = 0; I != LoopIndex; ++I)
-    Seed = LoopRng.next();
-  return Seed;
+  return sweepLoopSeed(Grid, Row.PointSeed, LoopIndex, Spec.SeedBase);
 }
 
 LoopRunResult SweepEngine::cachedRunLoop(const ExperimentConfig &Config,
@@ -131,19 +190,9 @@ void SweepEngine::runItem(const WorkItem &Item, uint64_t &Hits,
   const SchemePoint &Scheme = Grid.Schemes[Row.SchemeIndex];
   const BenchmarkSpec &Bench = Grid.Benchmarks[Row.BenchmarkIndex];
 
-  ExperimentConfig Config;
-  Config.Machine = Grid.Machines[Row.MachineIndex].Config;
-  // The per-benchmark interleave adjustment runBenchmark() applies
-  // (Table 1): part of the effective machine, so part of the cache key.
-  Config.Machine.InterleaveBytes = Bench.InterleaveBytes;
-  Config.Policy = Scheme.Policy;
-  Config.Heuristic = Scheme.Heuristic;
-  Config.ApplySpecialization = Scheme.ApplySpecialization;
-  Config.CheckCoherence = Scheme.CheckCoherence;
-  Config.Ordering = Scheme.Ordering;
-  Config.AssignLatencies = Scheme.AssignLatencies;
-  Config.TolerateUnschedulable = Scheme.TolerateUnschedulable;
-
+  ExperimentConfig Config = sweepItemConfig(Grid, Row.MachineIndex,
+                                            Row.SchemeIndex,
+                                            Row.BenchmarkIndex);
   LoopSpec Spec = Bench.Loops[Item.Loop];
   Spec.SeedBase = effectiveLoopSeed(Row, Item.Loop);
 
@@ -181,6 +230,7 @@ void SweepEngine::adoptRows(std::vector<SweepRow> NewRows) {
       throw std::invalid_argument("adopted rows not in point-index order");
   Rows = std::move(NewRows);
   Items.clear();
+  ActivePointsCount = Grid.size();
   CacheHits = 0;
   CacheMisses = 0;
   LastRunSeconds = 0.0;
@@ -193,13 +243,34 @@ void SweepEngine::prepareItems() {
          !Grid.Machines.empty() && "empty sweep axis");
   Rows.assign(NumPoints, SweepRow());
 
+  // A filtered engine (a fleet shard) expands only the items its
+  // ownership predicate selects and remembers them per point, so the
+  // wire layer can mark its rows partial. An *active* point is one
+  // this engine contributes anything for — it is what counts toward
+  // the done frame, and the only kind whose row callback ever fires.
   Items.clear();
   Items.reserve(loopItems());
+  OwnedLoops.clear();
+  if (ItemFilter)
+    OwnedLoops.resize(NumPoints);
+  ActivePointsCount = 0;
   for (size_t Index = 0; Index != NumPoints; ++Index) {
     prepareRow(Index);
     size_t NumLoops = Grid.Benchmarks[Rows[Index].BenchmarkIndex].Loops.size();
-    for (size_t Loop = 0; Loop != NumLoops; ++Loop)
+    size_t Owned = 0;
+    for (size_t Loop = 0; Loop != NumLoops; ++Loop) {
+      if (ItemFilter && !ItemFilter(Index, Loop))
+        continue;
       Items.push_back(WorkItem{Index, Loop});
+      if (ItemFilter)
+        OwnedLoops[Index].push_back(Loop);
+      ++Owned;
+    }
+    bool Active = NumLoops == 0
+                      ? (!ItemFilter || ItemFilter(Index, 0))
+                      : Owned != 0;
+    if (Active)
+      ++ActivePointsCount;
   }
 
   LoopsLeft.reset();
@@ -208,8 +279,13 @@ void SweepEngine::prepareItems() {
     for (size_t Index = 0; Index != NumPoints; ++Index) {
       size_t NumLoops =
           Grid.Benchmarks[Rows[Index].BenchmarkIndex].Loops.size();
-      LoopsLeft[Index].store(NumLoops, std::memory_order_relaxed);
-      if (NumLoops == 0)
+      size_t Owned = ItemFilter ? OwnedLoops[Index].size() : NumLoops;
+      LoopsLeft[Index].store(Owned, std::memory_order_relaxed);
+      // A zero-loop point the engine owns completes immediately; a
+      // filtered-out point (zero owned loops on a looped benchmark, or
+      // an unowned zero-loop point) must stay silent — another shard
+      // streams it.
+      if (NumLoops == 0 && (!ItemFilter || ItemFilter(Index, 0)))
         RowCallback(Rows[Index]);
     }
   }
@@ -639,6 +715,26 @@ bool cvliw::parseSweepArgs(int Argc, char **Argv,
       if (!Value)
         return false;
       Options.Remote = Value;
+    } else if (std::strcmp(Arg, "--shards") == 0) {
+      const char *Value = NextValue("--shards");
+      if (!Value)
+        return false;
+      Options.Shards = parseShardList(Value);
+      if (Options.Shards.empty()) {
+        std::cerr << "--shards needs host:port[,host:port...]\n";
+        return false;
+      }
+    } else if (std::strcmp(Arg, "--connect-retries") == 0) {
+      const char *Value = NextValue("--connect-retries");
+      if (!Value)
+        return false;
+      char *End = nullptr;
+      long N = std::strtol(Value, &End, 10);
+      if (N <= 0 || End == Value || *End != '\0') {
+        std::cerr << "--connect-retries needs a positive integer\n";
+        return false;
+      }
+      Options.ConnectRetries = static_cast<unsigned>(N);
     } else if (std::strcmp(Arg, "--dump-grid") == 0) {
       const char *Value = NextValue("--dump-grid");
       if (!Value)
@@ -650,7 +746,9 @@ bool cvliw::parseSweepArgs(int Argc, char **Argv,
       std::cerr << "unknown argument '" << Arg
                 << "'\nusage: [--threads N] [--csv FILE] [--json FILE] "
                    "[--cache FILE] [--cache-max-bytes N] [--base-seed N] "
-                   "[--remote HOST:PORT] [--dump-grid FILE] "
+                   "[--remote HOST:PORT] "
+                   "[--shards HOST:PORT,HOST:PORT,...] "
+                   "[--connect-retries N] [--dump-grid FILE] "
                    "[--verify-serial]\n";
       return false;
     }
@@ -666,7 +764,31 @@ bool cvliw::parseSweepArgs(int Argc, char **Argv,
   if (Options.Remote.empty())
     if (const char *Env = std::getenv("CVLIW_SWEEP_REMOTE"))
       Options.Remote = Env;
+  if (Options.Shards.empty())
+    if (const char *Env = std::getenv("CVLIW_SWEEP_SHARDS"))
+      Options.Shards = parseShardList(Env);
   return true;
+}
+
+std::vector<std::string>
+cvliw::sweepShardList(const SweepRunOptions &Options) {
+  if (!Options.Shards.empty())
+    return Options.Shards;
+  if (!Options.Remote.empty())
+    return {Options.Remote};
+  return {};
+}
+
+std::string cvliw::sweepRemoteLabel(const SweepRunOptions &Options) {
+  if (!Options.Remote.empty())
+    return Options.Remote;
+  std::string Label;
+  for (const std::string &Addr : Options.Shards) {
+    if (!Label.empty())
+      Label += ',';
+    Label += Addr;
+  }
+  return Label;
 }
 
 bool cvliw::dumpGridFile(const SweepGrid &Grid, const std::string &Path,
@@ -688,15 +810,19 @@ bool cvliw::runSweep(SweepEngine &Engine, const SweepRunOptions &Options,
       !dumpGridFile(Engine.grid(), Options.DumpGridPath, Log))
     return false;
 
-  if (!Options.Remote.empty()) {
-    // Remote mode: the daemon evaluates the grid (serving repeats from
-    // its warm shared cache) and streams the rows back; the adopted
-    // rows are bit-identical to a local run by the determinism
-    // contract, so everything below — tables, CSV/JSON, the serial
-    // cross-check — is oblivious to where the simulation happened.
-    SweepClient Client;
+  const std::vector<std::string> Shards = sweepShardList(Options);
+  if (!Shards.empty()) {
+    // Remote mode: the daemon (or consistent-hashed fleet of daemons)
+    // evaluates the grid — serving repeats from its warm shared cache —
+    // and streams the rows back; the adopted rows are bit-identical to
+    // a local run by the determinism contract, so everything below —
+    // tables, CSV/JSON, the serial cross-check — is oblivious to where
+    // the simulation happened. One address is the degenerate 1-shard
+    // fleet; there is no separate single-daemon code path.
+    FleetClient Client;
+    Client.setLog(&Log);
     std::string Error;
-    if (!Client.connect(Options.Remote, Error)) {
+    if (!Client.connect(Shards, Options.ConnectRetries, Error)) {
       std::cerr << "sweep: " << Error << "\n";
       return false;
     }
@@ -706,6 +832,9 @@ bool cvliw::runSweep(SweepEngine &Engine, const SweepRunOptions &Options,
       std::cerr << "sweep: " << Error << "\n";
       return false;
     }
+    if (Shards.size() > 1)
+      Log << "sweep: fleet of " << Shards.size() << " shards: "
+          << sweepRemoteLabel(Options) << "\n";
     std::vector<SweepRow> Rows;
     RemoteSweepStats Stats;
     auto Start = std::chrono::steady_clock::now();
@@ -717,7 +846,7 @@ bool cvliw::runSweep(SweepEngine &Engine, const SweepRunOptions &Options,
                          std::chrono::steady_clock::now() - Start)
                          .count();
     Engine.adoptRows(std::move(Rows));
-    Log << "sweep: remote " << Options.Remote << " evaluated "
+    Log << "sweep: remote " << sweepRemoteLabel(Options) << " evaluated "
         << Engine.grid().size() << " points (" << Engine.loopItems()
         << " loop items) in " << TableWriter::fmt(Seconds, 3) << " s\n";
     logDaemonCacheLine(Stats, Log);
@@ -801,8 +930,8 @@ bool cvliw::finishSweep(SweepEngine &Engine, const SweepRunOptions &Options,
 
   // In remote mode the daemon owns the persistent cache; saving the
   // client's (empty) cache would be pointless.
-  if (Options.Remote.empty() && !Options.CachePath.empty() &&
-      Engine.cache()) {
+  if (Options.Remote.empty() && Options.Shards.empty() &&
+      !Options.CachePath.empty() && Engine.cache()) {
     if (!Engine.cache()->save(Options.CachePath)) {
       std::cerr << "cannot write result cache " << Options.CachePath
                 << "\n";

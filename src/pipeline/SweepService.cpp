@@ -7,6 +7,7 @@
 #include "cvliw/pipeline/SweepService.h"
 
 #include "cvliw/net/Json.h"
+#include "cvliw/net/ShardMap.h"
 #include "cvliw/net/WireFormat.h"
 #include "cvliw/pipeline/ExperimentRegistry.h"
 #include "cvliw/pipeline/SweepEngine.h"
@@ -25,7 +26,6 @@ struct SweepService::Request {
   bool HasId = false;
   uint64_t Id = 0;
   bool IsExperiment = false;
-  size_t Points = 0;
   std::vector<std::unique_ptr<SweepEngine>> Engines;
   /// Grids still running; the worker that finishes the last one owns
   /// the done/error frame.
@@ -83,6 +83,11 @@ struct SweepService::Session {
   bool SaidHello = false;
   /// Latches once a sweep/run_experiment arrived: hello must precede.
   bool AnySweepSeen = false;
+  /// Session-default shard claim from hello (v3 fleets); a request may
+  /// carry its own overriding claim (the rebalance path does). Only the
+  /// reader thread touches these.
+  bool HasShard = false;
+  ShardSpec SessionShard;
 
   std::mutex RequestsMutex;
   std::condition_variable RequestsCv;
@@ -149,12 +154,25 @@ struct SweepService::Session {
   }
 
   /// Streams one completed row: its own frame when unbatched, else
-  /// into the request's batch, flushing full batches.
+  /// into the request's batch, flushing full batches. \p OwnedLoops is
+  /// the engine's ownership mask for this point (null when the run is
+  /// unfiltered); a partial row — fewer owned loops than the point has
+  /// — is tagged with a "loops" index array so the fleet client merges
+  /// only the slots this shard computed.
   void emitRow(Request *Req, bool TagGrid, size_t GridIndex,
-               const SweepRow &Row, std::atomic<uint64_t> &TotalRows,
+               const SweepRow &Row, const std::vector<size_t> *OwnedLoops,
+               std::atomic<uint64_t> &TotalRows,
                std::atomic<uint64_t> &TotalBatches) {
     if (WriteFailed.load(std::memory_order_relaxed))
       return;
+    const bool Partial =
+        OwnedLoops && OwnedLoops->size() < Row.Result.Loops.size();
+    JsonValue Mask;
+    if (Partial) {
+      Mask = JsonValue::array();
+      for (size_t L : *OwnedLoops)
+        Mask.push(JsonValue::uint(L));
+    }
     const size_t Batch = MaxBatch.load(std::memory_order_relaxed);
     if (Batch <= 1) {
       JsonValue Message = JsonValue::object();
@@ -164,6 +182,8 @@ struct SweepService::Session {
       if (TagGrid)
         Message.set("grid", JsonValue::uint(GridIndex));
       Message.set("row", rowToJson(Row));
+      if (Partial)
+        Message.set("loops", std::move(Mask));
       enqueueFrame(Message.dump());
       return;
     }
@@ -171,6 +191,8 @@ struct SweepService::Session {
     if (TagGrid)
       Entry.set("grid", JsonValue::uint(GridIndex));
     Entry.set("row", rowToJson(Row));
+    if (Partial)
+      Entry.set("loops", std::move(Mask));
     std::string Flush;
     {
       std::lock_guard<std::mutex> Lock(Req->BatchMutex);
@@ -401,6 +423,7 @@ void SweepService::requestFinished(Session *S, Request *Req) {
   bool FailWasCancel = false;
   std::string FailMessage;
   uint64_t Hits = 0, Misses = 0;
+  size_t Points = 0;
   for (const auto &E : Req->Engines) {
     if (E->asyncFailed()) {
       // Prefer a real simulation error over a knock-on "sweep
@@ -413,6 +436,9 @@ void SweepService::requestFinished(Session *S, Request *Req) {
     }
     Hits += E->cacheHits();
     Misses += E->cacheMisses();
+    // A shard-filtered engine reports only the points it contributed
+    // rows for; unfiltered this is exactly the grid size.
+    Points += E->activePoints();
   }
 
   if (Failed) {
@@ -444,7 +470,7 @@ void SweepService::requestFinished(Session *S, Request *Req) {
     JsonValue Done = typedResponse("done", Req->HasId, Req->Id);
     if (Req->IsExperiment)
       Done.set("grids", JsonValue::uint(Req->Engines.size()));
-    Done.set("points", JsonValue::uint(Req->Points));
+    Done.set("points", JsonValue::uint(Points));
     Done.set("cache_hits", JsonValue::uint(Hits));
     Done.set("cache_misses", JsonValue::uint(Misses));
     // Only hello'd sessions get the batching tally: a no-hello client
@@ -476,7 +502,8 @@ void SweepService::requestFinished(Session *S, Request *Req) {
 }
 
 void SweepService::submitRequest(Session *S,
-                                 std::unique_ptr<Request> NewRequest) {
+                                 std::unique_ptr<Request> NewRequest,
+                                 const ShardSpec *Shard) {
   Request *Req = NewRequest.get();
   const bool TagGrid = Req->IsExperiment;
   // Wire the request up COMPLETELY before any work is submitted: the
@@ -490,8 +517,22 @@ void SweepService::submitRequest(Session *S,
   for (size_t G = 0; G != Req->Engines.size(); ++G) {
     SweepEngine *Engine = Req->Engines[G].get();
     Engine->setCache(Cache);
-    Engine->setRowCallback([this, S, Req, TagGrid, G](const SweepRow &Row) {
-      S->emitRow(Req, TagGrid, G, Row, RowsBatchedTotal, BatchesSentTotal);
+    if (Shard) {
+      // Fleet filtering: simulate only the (point, loop) items whose
+      // route key — the result-cache key both sides derive the same
+      // way — hashes to the claimed shard.
+      const ShardMap Map = Shard->Map;
+      const size_t Index = Shard->Index;
+      Engine->setItemFilter([Engine, Map, Index](size_t Point,
+                                                 size_t Loop) {
+        return Map.shardOf(sweepItemRouteKey(Engine->grid(), Point,
+                                             Loop)) == Index;
+      });
+    }
+    Engine->setRowCallback([this, S, Req, TagGrid, G,
+                            Engine](const SweepRow &Row) {
+      S->emitRow(Req, TagGrid, G, Row, Engine->ownedLoops(Row.PointIndex),
+                 RowsBatchedTotal, BatchesSentTotal);
     });
     Engines.push_back(Engine);
   }
@@ -535,6 +576,11 @@ JsonValue SweepService::statusJson() {
   J.set("protocol_errors", JsonValue::uint(protocolErrors()));
   J.set("rows_batched", JsonValue::uint(rowsBatched()));
   J.set("batches_sent", JsonValue::uint(batchesSent()));
+  // Fleet identity and misroutes — always present (0/0/0 when the
+  // daemon is unconfigured) so status consumers need no probing.
+  J.set("shard_id", JsonValue::uint(Config.ShardId));
+  J.set("shard_count", JsonValue::uint(effectiveShardCount()));
+  J.set("misrouted_items", JsonValue::uint(misroutedItems()));
 
   JsonValue SessionArr = JsonValue::array();
   {
@@ -571,6 +617,61 @@ JsonValue SweepService::statusJson() {
   J.set("sessions", std::move(SessionArr));
   return J;
 }
+
+size_t SweepService::effectiveShardCount() const {
+  return Config.ShardAddrs.empty() ? Config.ShardCount
+                                   : Config.ShardAddrs.size();
+}
+
+std::string SweepService::checkShardClaim(const ShardSpec &Spec) const {
+  if (!Config.ShardAddrs.empty()) {
+    // Address-pinned: the claimed slot must name this daemon. A
+    // survivor map (fewer shards, same addresses) still passes — the
+    // property the client's rebalance needs from a configured fleet.
+    const std::string &Self = Config.ShardAddrs[Config.ShardId];
+    if (Spec.Map.shards()[Spec.Index] != Self)
+      return "shard claim names " + Spec.Map.shards()[Spec.Index] +
+             ", but this daemon serves " + Self;
+    return std::string();
+  }
+  if (Config.ShardCount != 0) {
+    if (Spec.Index != Config.ShardId ||
+        Spec.Map.size() != Config.ShardCount)
+      return "shard claim " + std::to_string(Spec.Index) + "/" +
+             std::to_string(Spec.Map.size()) +
+             " does not match this daemon's identity " +
+             std::to_string(Config.ShardId) + "/" +
+             std::to_string(Config.ShardCount);
+    return std::string();
+  }
+  // Unconfigured daemons trust any claim (and still filter by it).
+  return std::string();
+}
+
+namespace {
+
+/// Loop items of \p Grid that \p Spec 's shard owns — what a daemon
+/// refuses when it rejects the claim (the misroute tally).
+size_t countClaimedItems(const SweepGrid &Grid, const ShardSpec &Spec) {
+  size_t N = 0;
+  for (size_t Point = 0; Point != Grid.size(); ++Point) {
+    size_t Rest = Point / Grid.Machines.size();
+    size_t BenchIdx = Rest / Grid.Schemes.size();
+    size_t NumLoops = Grid.Benchmarks[BenchIdx].Loops.size();
+    if (NumLoops == 0) {
+      if (Spec.Map.shardOf(sweepItemRouteKey(Grid, Point, 0)) == Spec.Index)
+        ++N;
+      continue;
+    }
+    for (size_t Loop = 0; Loop != NumLoops; ++Loop)
+      if (Spec.Map.shardOf(sweepItemRouteKey(Grid, Point, Loop)) ==
+          Spec.Index)
+        ++N;
+  }
+  return N;
+}
+
+} // namespace
 
 bool SweepService::dispatchRequest(Session *S, const std::string &Payload) {
   JsonValue Msg;
@@ -627,6 +728,28 @@ bool SweepService::dispatchRequest(Session *S, const std::string &Payload) {
               .dump());
       return false;
     }
+    if (const JsonValue *Sh = Msg.find("shard")) {
+      ShardSpec Spec;
+      try {
+        Spec = shardSpecFromJson(*Sh);
+      } catch (const JsonError &E) {
+        ProtocolErrors.fetch_add(1, std::memory_order_relaxed);
+        S->enqueueFrame(
+            errorResponse(std::string("bad shard claim: ") + E.what(),
+                          HasId, Id)
+                .dump());
+        return false;
+      }
+      std::string Mismatch = checkShardClaim(Spec);
+      if (!Mismatch.empty()) {
+        // A misconfigured fleet, not protocol garbage: refuse the
+        // session's claim but keep the daemon serving.
+        S->enqueueFrame(errorResponse(Mismatch, HasId, Id).dump());
+        return true;
+      }
+      S->HasShard = true;
+      S->SessionShard = std::move(Spec);
+    }
     S->SaidHello = true;
     const size_t GrantedBatch =
         std::max<size_t>(1, std::min(WantBatch, Config.MaxBatchRows));
@@ -640,6 +763,13 @@ bool SweepService::dispatchRequest(Session *S, const std::string &Payload) {
     Reply.set("max_batch", JsonValue::uint(GrantedBatch));
     Reply.set("weight", JsonValue::uint(GrantedWeight));
     Reply.set("pipelining", JsonValue::boolean(true));
+    // v3: this daemon understands shard claims; a configured one also
+    // advertises its identity for client-side self-checks.
+    Reply.set("shards", JsonValue::boolean(true));
+    if (effectiveShardCount() != 0) {
+      Reply.set("shard_id", JsonValue::uint(Config.ShardId));
+      Reply.set("shard_count", JsonValue::uint(effectiveShardCount()));
+    }
     S->enqueueFrame(Reply.dump());
     return true;
   }
@@ -657,6 +787,31 @@ bool SweepService::dispatchRequest(Session *S, const std::string &Payload) {
     return true;
   }
 
+  // The shard claim in force for a sweep/run_experiment: the request's
+  // own (how a fleet client retargets a rebalanced resubmission), else
+  // the session default from hello.
+  bool HasShard = S->HasShard;
+  ShardSpec Shard = S->SessionShard;
+  bool ShardMismatch = false;
+  std::string ShardError;
+  if (Type == "sweep" || Type == "run_experiment") {
+    if (const JsonValue *Sh = Msg.find("shard")) {
+      try {
+        Shard = shardSpecFromJson(*Sh);
+        HasShard = true;
+      } catch (const JsonError &E) {
+        ProtocolErrors.fetch_add(1, std::memory_order_relaxed);
+        S->enqueueFrame(
+            errorResponse(std::string("bad shard claim: ") + E.what(),
+                          HasId, Id)
+                .dump());
+        return false;
+      }
+      ShardError = checkShardClaim(Shard);
+      ShardMismatch = !ShardError.empty();
+    }
+  }
+
   if (Type == "sweep") {
     SweepGrid Grid;
     try {
@@ -668,14 +823,21 @@ bool SweepService::dispatchRequest(Session *S, const std::string &Payload) {
               .dump());
       return false;
     }
+    if (ShardMismatch) {
+      // Misrouted: tally the items the claim asked this daemon to
+      // compute, refuse them, keep serving.
+      MisroutedItems.fetch_add(countClaimedItems(Grid, Shard),
+                               std::memory_order_relaxed);
+      S->enqueueFrame(errorResponse(ShardError, HasId, Id).dump());
+      return true;
+    }
     S->AnySweepSeen = true;
     std::unique_ptr<Request> Req(new Request());
     Req->HasId = HasId;
     Req->Id = Id;
-    Req->Points = Grid.size();
     Req->Engines.emplace_back(
         new SweepEngine(std::move(Grid), /*Threads=*/1));
-    submitRequest(S, std::move(Req));
+    submitRequest(S, std::move(Req), HasShard ? &Shard : nullptr);
     return true;
   }
 
@@ -716,17 +878,24 @@ bool SweepService::dispatchRequest(Session *S, const std::string &Payload) {
     // Grid expansion is pinned to the one registered implementation:
     // the daemon never trusts a client-supplied copy of a named grid.
     std::vector<ExperimentGrid> Grids = Spec->BuildGrids();
+    for (ExperimentGrid &Grid : Grids)
+      applyOverrides(Grid.Grid, Overrides);
+    if (ShardMismatch) {
+      uint64_t Claimed = 0;
+      for (const ExperimentGrid &Grid : Grids)
+        Claimed += countClaimedItems(Grid.Grid, Shard);
+      MisroutedItems.fetch_add(Claimed, std::memory_order_relaxed);
+      S->enqueueFrame(errorResponse(ShardError, HasId, Id).dump());
+      return true;
+    }
     std::unique_ptr<Request> Req(new Request());
     Req->HasId = HasId;
     Req->Id = Id;
     Req->IsExperiment = true;
-    for (ExperimentGrid &Grid : Grids) {
-      applyOverrides(Grid.Grid, Overrides);
-      Req->Points += Grid.Grid.size();
+    for (ExperimentGrid &Grid : Grids)
       Req->Engines.emplace_back(
           new SweepEngine(std::move(Grid.Grid), /*Threads=*/1));
-    }
-    submitRequest(S, std::move(Req));
+    submitRequest(S, std::move(Req), HasShard ? &Shard : nullptr);
     return true;
   }
 

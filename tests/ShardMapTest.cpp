@@ -1,0 +1,135 @@
+//===- tests/ShardMapTest.cpp - Consistent-hash routing tests -------------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cvliw/net/ShardMap.h"
+#include "cvliw/net/Json.h"
+#include "cvliw/pipeline/ResultCache.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace cvliw;
+
+namespace {
+
+/// Synthetic keys drawn the way real route keys are drawn: FNV-1a over
+/// a structured string, so the distribution test exercises the same
+/// key-space shape the fleet hashes.
+std::vector<uint64_t> syntheticKeys(size_t Count) {
+  std::vector<uint64_t> Keys;
+  Keys.reserve(Count);
+  for (size_t I = 0; I != Count; ++I) {
+    Fnv1aHasher H;
+    H.str("synthetic-key");
+    H.u32(static_cast<uint32_t>(I));
+    Keys.push_back(H.hash());
+  }
+  return Keys;
+}
+
+std::vector<std::string> threeShards() {
+  return {"127.0.0.1:9001", "127.0.0.1:9002", "127.0.0.1:9003"};
+}
+
+} // namespace
+
+TEST(ShardMapTest, EmptyMapRoutesToZero) {
+  ShardMap Map;
+  EXPECT_TRUE(Map.empty());
+  EXPECT_EQ(Map.size(), 0u);
+  EXPECT_EQ(Map.shardOf(0), 0u);
+  EXPECT_EQ(Map.shardOf(~0ull), 0u);
+}
+
+TEST(ShardMapTest, SingleShardOwnsEverything) {
+  ShardMap Map({"127.0.0.1:9001"});
+  for (uint64_t Key : syntheticKeys(100))
+    EXPECT_EQ(Map.shardOf(Key), 0u);
+}
+
+TEST(ShardMapTest, RoutingIsDeterministic) {
+  ShardMap A(threeShards());
+  ShardMap B(threeShards());
+  for (uint64_t Key : syntheticKeys(200))
+    EXPECT_EQ(A.shardOf(Key), B.shardOf(Key));
+}
+
+// The distribution bound the fleet's load balance rests on: with 128
+// virtual nodes, each of 3 shards owns at least 20% of 1000 synthetic
+// keys (a perfectly even split would give 33%).
+TEST(ShardMapTest, ThreeShardsEachOwnAtLeastTwentyPercent) {
+  ShardMap Map(threeShards());
+  std::vector<size_t> Owned(3, 0);
+  const std::vector<uint64_t> Keys = syntheticKeys(1000);
+  for (uint64_t Key : Keys) {
+    size_t S = Map.shardOf(Key);
+    ASSERT_LT(S, 3u);
+    ++Owned[S];
+  }
+  for (size_t S = 0; S != 3; ++S)
+    EXPECT_GE(Owned[S], Keys.size() / 5)
+        << "shard " << S << " owns only " << Owned[S] << " of "
+        << Keys.size() << " keys";
+}
+
+// Remap minimality: removing one shard moves exactly that shard's keys
+// — every key owned by a survivor keeps its owner (compared by
+// address, since ids renumber), and every key the dead shard owned
+// lands on some survivor.
+TEST(ShardMapTest, RemovingAShardMovesOnlyItsKeys) {
+  const std::vector<std::string> Addrs = threeShards();
+  ShardMap Full(Addrs);
+  for (size_t Dead = 0; Dead != Addrs.size(); ++Dead) {
+    ShardMap Survivors = Full.without(Dead);
+    ASSERT_EQ(Survivors.size(), Addrs.size() - 1);
+    for (uint64_t Key : syntheticKeys(1000)) {
+      const std::string &Before = Full.shards()[Full.shardOf(Key)];
+      const std::string &After =
+          Survivors.shards()[Survivors.shardOf(Key)];
+      if (Before != Addrs[Dead])
+        EXPECT_EQ(After, Before) << "survivor-owned key moved";
+      else
+        EXPECT_NE(After, Addrs[Dead]);
+    }
+  }
+}
+
+TEST(ShardMapTest, IndexOf) {
+  ShardMap Map(threeShards());
+  EXPECT_EQ(Map.indexOf("127.0.0.1:9002"), 1u);
+  EXPECT_EQ(Map.indexOf("127.0.0.1:9999"), Map.size());
+}
+
+TEST(ShardMapTest, JsonRoundTrip) {
+  ShardMap Map(threeShards(), /*VirtualNodes=*/64);
+  ShardMap Back = ShardMap::fromJson(Map.toJson());
+  EXPECT_EQ(Back, Map);
+  for (uint64_t Key : syntheticKeys(100))
+    EXPECT_EQ(Back.shardOf(Key), Map.shardOf(Key));
+
+  ShardSpec Spec{2, Map};
+  ShardSpec SpecBack = shardSpecFromJson(shardSpecToJson(Spec));
+  EXPECT_EQ(SpecBack.Index, 2u);
+  EXPECT_EQ(SpecBack.Map, Map);
+}
+
+TEST(ShardMapTest, ShardSpecRejectsOutOfRangeIndex) {
+  ShardSpec Spec{2, ShardMap(threeShards())};
+  JsonValue J = shardSpecToJson(Spec);
+  J.set("id", JsonValue::uint(3));
+  EXPECT_THROW(shardSpecFromJson(J), JsonError);
+}
+
+TEST(ShardMapTest, ParseShardList) {
+  EXPECT_EQ(parseShardList("a:1,b:2,c:3"),
+            (std::vector<std::string>{"a:1", "b:2", "c:3"}));
+  EXPECT_EQ(parseShardList("a:1"), (std::vector<std::string>{"a:1"}));
+  EXPECT_EQ(parseShardList(",a:1,,b:2,"),
+            (std::vector<std::string>{"a:1", "b:2"}));
+  EXPECT_TRUE(parseShardList("").empty());
+}

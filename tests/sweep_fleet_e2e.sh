@@ -1,0 +1,128 @@
+#!/bin/sh
+#===- tests/sweep_fleet_e2e.sh - 3-shard fleet round trip -----------------===#
+#
+# The fleet-mode acceptance gate:
+#
+#   1. start THREE cvliw-sweepd daemons on ephemeral ports, each pinned
+#      to its positional identity (--shard-id k --shard-count 3) with
+#      row batching on,
+#   2. run `cvliw-bench --all --shards h1,h2,h3` — every experiment's
+#      (point, loop) items consistent-hash across the fleet, partial
+#      rows merge client-side — and assert the full output is
+#      byte-identical to the concatenation of every golden capture in
+#      registry order,
+#   3. assert the run went through the fleet (the "fleet of 3 shards"
+#      line) and no daemon counted a single misrouted item,
+#   4. shut the whole fleet down through the client and assert every
+#      daemon exits 0.
+#
+# Usage: sweep_fleet_e2e.sh <cvliw-sweepd> <cvliw-bench>
+#                           <cvliw-sweep-client> <golden-dir>
+#
+#===----------------------------------------------------------------------===#
+set -u
+
+sweepd="$1"
+bench="$2"
+client="$3"
+goldendir="$4"
+
+workdir=$(mktemp -d)
+pids=
+cleanup() {
+  for pid in $pids; do
+    kill "$pid" 2>/dev/null
+  done
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+for k in 0 1 2; do
+  "$sweepd" --port 0 --port-file "$workdir/port$k" --threads 2 \
+    --max-batch-rows 8 --shard-id "$k" --shard-count 3 \
+    > "$workdir/sweepd$k.log" 2>&1 &
+  pids="$pids $!"
+done
+
+hostports=
+for k in 0 1 2; do
+  i=0
+  while [ ! -s "$workdir/port$k" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+      echo "FAIL: daemon $k did not become ready" >&2
+      cat "$workdir/sweepd$k.log" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+  hp="127.0.0.1:$(cat "$workdir/port$k")"
+  eval "hostport$k=\$hp"
+  hostports="$hostports${hostports:+,}$hp"
+done
+echo "fleet up: $hostports"
+
+# Step 2: all sixteen experiments across the 3-shard fleet.
+"$bench" --all --shards "$hostports" \
+  > "$workdir/all.out" 2> "$workdir/all.err" || {
+  echo "FAIL: cvliw-bench --all --shards failed" >&2
+  cat "$workdir/all.err" >&2
+  exit 1
+}
+grep -v '^sweep: ' "$workdir/all.out" > "$workdir/all.filtered"
+
+first=1
+for name in $("$bench" --list-names); do
+  [ "$first" = 1 ] || echo
+  first=0
+  cat "$goldendir/$name.golden"
+done > "$workdir/expected"
+
+if ! diff "$workdir/expected" "$workdir/all.filtered" >&2; then
+  echo "FAIL: fleet --all output differs from the golden captures" >&2
+  exit 1
+fi
+echo "OK: all experiments through the 3-shard fleet match their goldens"
+
+# Step 3: the fleet path was taken, and consistent hashing agreed on
+# both sides — zero misrouted items on every shard, which also pins the
+# shard identity lines in the status output.
+grep -q '^sweep: fleet of 3 shards:' "$workdir/all.out" || {
+  echo "FAIL: no fleet summary line — the run bypassed fleet mode" >&2
+  grep '^sweep: ' "$workdir/all.out" >&2
+  exit 1
+}
+for k in 0 1 2; do
+  eval "hp=\$hostport$k"
+  "$client" "$hp" status > "$workdir/status$k.out" || exit 1
+  grep -q "^shard id:             $k\$" "$workdir/status$k.out" || {
+    echo "FAIL: shard $k status lacks its shard id" >&2
+    cat "$workdir/status$k.out" >&2
+    exit 1
+  }
+  grep -q '^shard count:          3$' "$workdir/status$k.out" || {
+    echo "FAIL: shard $k status lacks the fleet size" >&2
+    cat "$workdir/status$k.out" >&2
+    exit 1
+  }
+  grep -q '^misrouted items:      0$' "$workdir/status$k.out" || {
+    echo "FAIL: shard $k counted misrouted items" >&2
+    cat "$workdir/status$k.out" >&2
+    exit 1
+  }
+done
+echo "OK: fleet route agreement (0 misrouted items on all 3 shards)"
+
+# Step 4: one client-driven shutdown for the whole fleet.
+"$client" "$hostports" shutdown || exit 1
+rc_all=0
+for pid in $pids; do
+  wait "$pid" || rc_all=1
+done
+pids=
+if [ "$rc_all" -ne 0 ]; then
+  echo "FAIL: a daemon exited non-zero" >&2
+  cat "$workdir"/sweepd*.log >&2
+  exit 1
+fi
+echo "OK: 3-shard fleet end-to-end (clean shutdown)"

@@ -1,0 +1,122 @@
+#!/bin/sh
+#===- tests/sweep_fleet_kill_e2e.sh - shard-death rebalance ---------------===#
+#
+# The shard-death story, end to end:
+#
+#   1. start THREE cvliw-sweepd daemons with NO shard identity flags
+#      (they trust the client's claims — a survivor map after the
+#      rebalance no longer matches any fixed positional identity),
+#      single-threaded so the sweep is demonstrably in flight,
+#   2. run `cvliw-bench fig7 --shards h1,h2,h3` in the background,
+#   3. as soon as shard 1's status shows the request in flight,
+#      kill -9 that daemon,
+#   4. assert the run still exits 0, its filtered output is
+#      byte-identical to the fig7 golden capture (rows recomputed on
+#      the survivors, never duplicated), and the rebalance announced
+#      itself (the "rehashing" line).
+#
+# Usage: sweep_fleet_kill_e2e.sh <cvliw-sweepd> <cvliw-bench>
+#                                <cvliw-sweep-client> <fig7-golden>
+#
+#===----------------------------------------------------------------------===#
+set -u
+
+sweepd="$1"
+bench="$2"
+client="$3"
+golden="$4"
+
+workdir=$(mktemp -d)
+pids=
+bench_pid=
+cleanup() {
+  [ -n "$bench_pid" ] && kill "$bench_pid" 2>/dev/null
+  for pid in $pids; do
+    kill "$pid" 2>/dev/null
+  done
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+for k in 0 1 2; do
+  "$sweepd" --port 0 --port-file "$workdir/port$k" --threads 1 \
+    --max-batch-rows 8 > "$workdir/sweepd$k.log" 2>&1 &
+  eval "pid$k=$!"
+  pids="$pids $!"
+done
+
+hostports=
+for k in 0 1 2; do
+  i=0
+  while [ ! -s "$workdir/port$k" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+      echo "FAIL: daemon $k did not become ready" >&2
+      cat "$workdir/sweepd$k.log" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+  hp="127.0.0.1:$(cat "$workdir/port$k")"
+  eval "hostport$k=\$hp"
+  hostports="$hostports${hostports:+,}$hp"
+done
+echo "fleet up: $hostports (no pinned identities)"
+
+"$bench" fig7 --shards "$hostports" \
+  > "$workdir/fig7.out" 2> "$workdir/fig7.err" &
+bench_pid=$!
+
+# Step 3: wait until the victim demonstrably holds in-flight fleet
+# work (its status session gauges are served inline by the reader
+# thread, even while the 1-thread pool is busy simulating), then kill
+# it without ceremony.
+i=0
+while :; do
+  if "$client" "$hostport1" status > "$workdir/victim.status" 2>/dev/null &&
+     grep -Eq 'session [0-9]+: [1-9][0-9]* requests' "$workdir/victim.status"; then
+    break
+  fi
+  i=$((i + 1))
+  if [ "$i" -gt 400 ] || ! kill -0 "$bench_pid" 2>/dev/null; then
+    echo "FAIL: never observed the sweep in flight on the victim shard" >&2
+    cat "$workdir/fig7.err" >&2
+    exit 1
+  fi
+  sleep 0.05
+done
+kill -9 "$pid1"
+echo "killed shard 1 mid-sweep"
+
+wait "$bench_pid"
+rc=$?
+bench_pid=
+if [ "$rc" -ne 0 ]; then
+  echo "FAIL: cvliw-bench exited $rc after the shard death" >&2
+  cat "$workdir/fig7.err" >&2
+  grep '^sweep: ' "$workdir/fig7.out" >&2
+  exit 1
+fi
+
+# Step 4a: the rebalance must have announced itself.
+grep -q 'rehash' "$workdir/fig7.out" || {
+  echo "FAIL: no rehashing line — the kill landed outside the sweep" >&2
+  grep '^sweep: ' "$workdir/fig7.out" >&2
+  exit 1
+}
+
+# Step 4b: rows recomputed, never duplicated or dropped — the output is
+# still byte-identical to the golden capture.
+grep -v '^sweep: ' "$workdir/fig7.out" > "$workdir/fig7.filtered"
+if ! diff "$golden" "$workdir/fig7.filtered" >&2; then
+  echo "FAIL: fig7 output differs from golden after the rebalance" >&2
+  exit 1
+fi
+echo "OK: shard death rehashed onto survivors, fig7 still byte-identical"
+
+# The survivors shut down cleanly; the victim is already gone.
+"$client" "$hostport0,$hostport2" shutdown || exit 1
+wait "$pid0" || { echo "FAIL: shard 0 exited non-zero" >&2; exit 1; }
+wait "$pid2" || { echo "FAIL: shard 2 exited non-zero" >&2; exit 1; }
+pids=
+echo "OK: kill-a-shard end-to-end"

@@ -103,8 +103,9 @@ int runAll(int Argc, char **Argv) {
     return 1;
   // Remote --all pipelines all sixteen run_experiment requests down
   // ONE persistent connection (batched row frames when the daemon's
-  // --max-batch-rows allows) instead of reconnecting per experiment.
-  if (!Options.Remote.empty())
+  // --max-batch-rows allows) instead of reconnecting per experiment —
+  // or one such connection per shard under --shards.
+  if (!Options.Remote.empty() || !Options.Shards.empty())
     return runAllExperimentsRemote(Options, std::cout);
   int ExitCode = 0;
   bool First = true;

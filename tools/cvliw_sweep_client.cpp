@@ -10,6 +10,13 @@
 //   cvliw-sweep-client HOST:PORT experiment NAME [--csv FILE]
 //   cvliw-sweep-client HOST:PORT shutdown
 //
+// Every command but `status` also takes a comma-separated address list
+// ("h1:p1,h2:p2,...") and then runs against the whole fleet through
+// FleetClient — `sweep`/`experiment` consistent-hash the items across
+// the shards, `ping`/`shutdown` round-trip with every daemon. `status`
+// interrogates exactly one daemon (fleet summaries belong to the sweep
+// drivers), and prints its shard identity and misroute counter.
+//
 // `sweep` submits a grid JSON file (the format bench drivers emit with
 // --dump-grid), collects the streamed rows, and writes the standard
 // sweep CSV — byte-identical to the CSV the originating driver writes
@@ -23,6 +30,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "cvliw/net/FleetClient.h"
 #include "cvliw/net/SweepClient.h"
 #include "cvliw/net/WireFormat.h"
 #include "cvliw/pipeline/ExperimentRegistry.h"
@@ -40,7 +48,7 @@ using namespace cvliw;
 namespace {
 
 int usage() {
-  std::cerr << "usage: cvliw-sweep-client HOST:PORT "
+  std::cerr << "usage: cvliw-sweep-client HOST:PORT[,HOST:PORT...] "
                "(ping | status | shutdown | sweep --grid FILE "
                "[--csv FILE] | experiment NAME [--csv FILE])\n";
   return 1;
@@ -53,24 +61,25 @@ int main(int Argc, char **Argv) {
     return usage();
   const std::string HostPort = Argv[1];
   const std::string Command = Argv[2];
+  const std::vector<std::string> Addrs = parseShardList(HostPort);
+  if (Addrs.empty())
+    return usage();
 
-  SweepClient Client;
   std::string Error;
-  if (!Client.connect(HostPort, Error)) {
-    std::cerr << "cvliw-sweep-client: " << Error << "\n";
-    return 1;
-  }
 
-  if (Command == "ping") {
-    if (!Client.ping(Error)) {
+  if (Command == "status") {
+    // Status is a one-daemon diagnostic; refuse a list rather than
+    // silently reporting only the first shard.
+    if (Addrs.size() != 1) {
+      std::cerr << "cvliw-sweep-client: status takes a single "
+                   "HOST:PORT, not a fleet list\n";
+      return 1;
+    }
+    SweepClient Client;
+    if (!Client.connect(HostPort, Error)) {
       std::cerr << "cvliw-sweep-client: " << Error << "\n";
       return 1;
     }
-    std::cout << "pong\n";
-    return 0;
-  }
-
-  if (Command == "status") {
     JsonValue Status;
     if (!Client.status(Status, Error)) {
       std::cerr << "cvliw-sweep-client: " << Error << "\n";
@@ -100,6 +109,12 @@ int main(int Argc, char **Argv) {
               << U64Or(Status, "rows_batched", 0) << "\n"
               << "batches sent:         "
               << U64Or(Status, "batches_sent", 0) << "\n"
+              << "shard id:             "
+              << U64Or(Status, "shard_id", 0) << "\n"
+              << "shard count:          "
+              << U64Or(Status, "shard_count", 0) << "\n"
+              << "misrouted items:      "
+              << U64Or(Status, "misrouted_items", 0) << "\n"
               << "cache entries:        " << Cache.u64("entries") << "\n"
               << "cache bytes:          " << Cache.u64("bytes") << "\n"
               << "cache max bytes:      " << Cache.u64("max_bytes") << "\n"
@@ -118,6 +133,21 @@ int main(int Argc, char **Argv) {
                   << S.u64("weight") << ", max batch "
                   << S.u64("max_batch") << ")\n";
     }
+    return 0;
+  }
+
+  FleetClient Client;
+  if (!Client.connect(Addrs, /*Retries=*/1, Error)) {
+    std::cerr << "cvliw-sweep-client: " << Error << "\n";
+    return 1;
+  }
+
+  if (Command == "ping") {
+    if (!Client.ping(Error)) {
+      std::cerr << "cvliw-sweep-client: " << Error << "\n";
+      return 1;
+    }
+    std::cout << "pong\n";
     return 0;
   }
 

@@ -13,6 +13,8 @@
 //                [--threads N] [--cache FILE] [--cache-max-bytes N]
 //                [--max-frame BYTES] [--max-batch-rows N]
 //                [--max-session-weight N] [--drain-timeout SECONDS]
+//                [--shard-id N] [--shard-count N]
+//                [--shard-map HOST:PORT,HOST:PORT,...]
 //
 // --port 0 (the default) binds an ephemeral port; the bound address is
 // printed on stdout ("sweepd: listening on HOST:PORT") and, with
@@ -33,8 +35,17 @@
 // in-flight sweeps before canceling them. The daemon exits 0 on a
 // client "shutdown" request.
 //
+// Fleet identity: --shard-id K with --shard-count N pins a positional
+// identity ("shard K of N" — any client claim must match exactly);
+// --shard-id K with --shard-map CSV pins an address identity (claims
+// are honored whenever their map's slot K' names this daemon's own
+// address, so survivor maps after a rebalance still validate). With
+// neither, the daemon trusts any claim a client sends. Misrouted
+// requests are refused and counted in status.
+//
 //===----------------------------------------------------------------------===//
 
+#include "cvliw/net/ShardMap.h"
 #include "cvliw/pipeline/SweepService.h"
 #include "cvliw/pipeline/SweepEngine.h"
 #include "cvliw/support/TaskPool.h"
@@ -54,6 +65,12 @@ bool parsePositive(const char *Text, long &Out) {
   char *End = nullptr;
   Out = std::strtol(Text, &End, 10);
   return End != Text && *End == '\0' && Out > 0;
+}
+
+bool parseNonNegative(const char *Text, long &Out) {
+  char *End = nullptr;
+  Out = std::strtol(Text, &End, 10);
+  return End != Text && *End == '\0' && Out >= 0;
 }
 
 } // namespace
@@ -162,15 +179,62 @@ int main(int Argc, char **Argv) {
         return 1;
       }
       Config.DrainTimeoutSeconds = Seconds;
+    } else if (std::strcmp(Arg, "--shard-id") == 0) {
+      const char *Value = NextValue("--shard-id");
+      if (!Value)
+        return 1;
+      long N = 0;
+      if (!parseNonNegative(Value, N)) {
+        std::cerr << "--shard-id needs a non-negative index\n";
+        return 1;
+      }
+      Config.ShardId = static_cast<size_t>(N);
+    } else if (std::strcmp(Arg, "--shard-count") == 0) {
+      const char *Value = NextValue("--shard-count");
+      if (!Value)
+        return 1;
+      long N = 0;
+      if (!parsePositive(Value, N)) {
+        std::cerr << "--shard-count needs a positive fleet size\n";
+        return 1;
+      }
+      Config.ShardCount = static_cast<size_t>(N);
+    } else if (std::strcmp(Arg, "--shard-map") == 0) {
+      const char *Value = NextValue("--shard-map");
+      if (!Value)
+        return 1;
+      Config.ShardAddrs = parseShardList(Value);
+      if (Config.ShardAddrs.empty()) {
+        std::cerr << "--shard-map needs HOST:PORT,HOST:PORT,...\n";
+        return 1;
+      }
     } else {
       std::cerr << "unknown argument '" << Arg
                 << "'\nusage: cvliw-sweepd [--host ADDR] [--port N] "
                    "[--port-file FILE] [--threads N] [--cache FILE] "
                    "[--cache-max-bytes N] [--max-frame BYTES] "
                    "[--max-batch-rows N] [--max-session-weight N] "
-                   "[--drain-timeout SECONDS]\n";
+                   "[--drain-timeout SECONDS] [--shard-id N] "
+                   "[--shard-count N] [--shard-map "
+                   "HOST:PORT,HOST:PORT,...]\n";
       return 1;
     }
+  }
+
+  // Self-check the fleet identity before binding anything.
+  if (!Config.ShardAddrs.empty() &&
+      Config.ShardId >= Config.ShardAddrs.size()) {
+    std::cerr << "sweepd: --shard-id " << Config.ShardId
+              << " is out of range for a --shard-map of "
+              << Config.ShardAddrs.size() << " shard(s)\n";
+    return 1;
+  }
+  if (Config.ShardAddrs.empty() && Config.ShardCount != 0 &&
+      Config.ShardId >= Config.ShardCount) {
+    std::cerr << "sweepd: --shard-id " << Config.ShardId
+              << " is out of range for --shard-count "
+              << Config.ShardCount << "\n";
+    return 1;
   }
 
   if (!HasCacheMaxBytes)
@@ -203,6 +267,12 @@ int main(int Argc, char **Argv) {
             << " worker threads";
   if (Config.MaxBatchRows > 1)
     std::cout << ", row batches up to " << Config.MaxBatchRows;
+  if (!Config.ShardAddrs.empty())
+    std::cout << ", shard " << Config.ShardId << " of "
+              << Config.ShardAddrs.size() << " (address-pinned)";
+  else if (Config.ShardCount != 0)
+    std::cout << ", shard " << Config.ShardId << " of "
+              << Config.ShardCount;
   std::cout << ")" << std::endl;
   if (!PortFile.empty()) {
     // Written after listen() returns — once this file exists the port
