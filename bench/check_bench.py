@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over the committed BENCH_*.json baselines.
+
+Compares a fresh set of google-benchmark JSON reports (written by
+bench/record_bench.sh, or by CI with reduced repetitions) against the
+committed baselines: every baseline benchmark's median rate counter
+(rows/s, points/s) must come in at no less than (1 - tolerance) of its
+baseline value, and the binary row codec must actually earn its keep —
+the loopback Binary:Json rows/sec ratio has a floor of its own.
+
+Absolute rates are machine-dependent, so the default tolerance is
+wide: the gate exists to catch "the protocol path got 2x slower", not
+3% jitter, and the codec ratio is the machine-independent check.
+
+Usage:
+  check_bench.py --baseline-dir bench --fresh-dir OUT \
+      [--tolerance 0.5] [--min-binary-ratio 1.3]
+
+Exit status 0 when every check passes, 1 otherwise (with one line per
+failure on stderr). Stdlib only.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+RATE_KEYS = ("rows/s", "points/s")
+
+ROWS_JSON = "BM_LoopbackSweepRowsPerSecJson"
+ROWS_BINARY = "BM_LoopbackSweepRowsPerSecBinary"
+
+
+def median_rates(path):
+    """name -> median rate counter, from one google-benchmark report."""
+    with open(path) as fp:
+        report = json.load(fp)
+    rates = {}
+    for bench in report.get("benchmarks", []):
+        if bench.get("aggregate_name") != "median":
+            continue
+        name = bench.get("run_name")
+        if not name:
+            name = bench["name"]
+            if name.endswith("_median"):
+                name = name[: -len("_median")]
+        rate = next((bench[key] for key in RATE_KEYS if key in bench), None)
+        if rate is not None:
+            rates[name] = float(rate)
+    return rates
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="compare fresh benchmark reports against baselines")
+    parser.add_argument("--baseline-dir", required=True,
+                        help="directory holding the committed BENCH_*.json")
+    parser.add_argument("--fresh-dir", required=True,
+                        help="directory holding the freshly recorded reports")
+    parser.add_argument("--tolerance", type=float, default=0.5,
+                        help="allowed fractional drop below baseline "
+                             "(default 0.5)")
+    parser.add_argument("--min-binary-ratio", type=float, default=1.3,
+                        help="required loopback Binary:Json rows/sec ratio "
+                             "(default 1.3)")
+    args = parser.parse_args()
+
+    failures = []
+
+    baselines = sorted(
+        glob.glob(os.path.join(args.baseline_dir, "BENCH_*.json")))
+    if not baselines:
+        print("error: no BENCH_*.json baselines in " + args.baseline_dir,
+              file=sys.stderr)
+        return 1
+
+    for baseline_path in baselines:
+        name = os.path.basename(baseline_path)
+        fresh_path = os.path.join(args.fresh_dir, name)
+        if not os.path.exists(fresh_path):
+            failures.append("missing fresh report " + fresh_path)
+            continue
+        baseline = median_rates(baseline_path)
+        fresh = median_rates(fresh_path)
+        for bench, base_rate in sorted(baseline.items()):
+            if bench not in fresh:
+                failures.append(
+                    "%s: benchmark %s missing from fresh report"
+                    % (name, bench))
+                continue
+            floor = base_rate * (1.0 - args.tolerance)
+            rate = fresh[bench]
+            status = "ok" if rate >= floor else "FAIL"
+            print("%-8s %s %s: %.1f/s vs baseline %.1f/s (floor %.1f/s)"
+                  % (status, name, bench, rate, base_rate, floor))
+            if rate < floor:
+                failures.append(
+                    "%s: %s regressed to %.1f/s (baseline %.1f/s, floor "
+                    "%.1f/s)" % (name, bench, rate, base_rate, floor))
+
+    # The machine-independent check: the CVW2 codec must beat JSON on
+    # the same machine, same run.
+    rows_fresh = os.path.join(args.fresh_dir, "BENCH_rows.json")
+    if os.path.exists(rows_fresh):
+        rates = median_rates(rows_fresh)
+        json_rate = rates.get(ROWS_JSON)
+        binary_rate = rates.get(ROWS_BINARY)
+        if json_rate is None or binary_rate is None:
+            failures.append(
+                "BENCH_rows.json: missing %s or %s medians"
+                % (ROWS_JSON, ROWS_BINARY))
+        else:
+            ratio = binary_rate / json_rate
+            status = "ok" if ratio >= args.min_binary_ratio else "FAIL"
+            print("%-8s BENCH_rows.json Binary:Json ratio %.2fx "
+                  "(floor %.2fx)" % (status, ratio, args.min_binary_ratio))
+            if ratio < args.min_binary_ratio:
+                failures.append(
+                    "binary loopback rows/sec only %.2fx JSON "
+                    "(needs >= %.2fx)" % (ratio, args.min_binary_ratio))
+    else:
+        failures.append("missing fresh report " + rows_fresh)
+
+    for failure in failures:
+        print("check_bench: " + failure, file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

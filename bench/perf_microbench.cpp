@@ -10,7 +10,9 @@
 
 #include "cvliw/alias/MemoryDisambiguator.h"
 #include "cvliw/ir/DDGBuilder.h"
+#include "cvliw/net/BinaryCodec.h"
 #include "cvliw/net/SweepClient.h"
+#include "cvliw/net/WireFormat.h"
 #include "cvliw/pipeline/Experiment.h"
 #include "cvliw/pipeline/ResultCache.h"
 #include "cvliw/pipeline/SweepEngine.h"
@@ -193,8 +195,10 @@ BENCHMARK(BM_LocalSweepPointsPerSec);
 
 /// rows/sec served over a loopback session — daemon cache warm after
 /// the first iteration, so this measures the protocol path (frame
-/// encode/decode, JSON, batching), not the simulator.
-void BM_LoopbackSweepRowsPerSec(benchmark::State &State) {
+/// encode/decode, row codec, batching), not the simulator. Run once
+/// per row codec: the Binary:Json ratio is the number the CVW2
+/// encoding has to earn (bench/check_bench.py gates on it).
+void loopbackSweepRowsPerSec(benchmark::State &State, bool BinaryRows) {
   ResultCache Cache;
   SweepServiceConfig Config;
   Config.Port = 0;
@@ -207,10 +211,15 @@ void BM_LoopbackSweepRowsPerSec(benchmark::State &State) {
     return;
   }
   SweepClient Client;
+  Client.setBinaryRows(BinaryRows);
   if (!Client.connect("127.0.0.1:" + std::to_string(Service.port()),
                       Error) ||
       !Client.negotiate(/*MaxBatch=*/8, /*Weight=*/1, Error)) {
     State.SkipWithError(("client failed to connect: " + Error).c_str());
+    return;
+  }
+  if (BinaryRows && !Client.binaryRowsGranted()) {
+    State.SkipWithError("daemon did not grant binary rows");
     return;
   }
   SweepGrid Grid = sweepGrid();
@@ -227,7 +236,138 @@ void BM_LoopbackSweepRowsPerSec(benchmark::State &State) {
   State.counters["rows/s"] = benchmark::Counter(
       static_cast<double>(Rows), benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_LoopbackSweepRowsPerSec);
+
+void BM_LoopbackSweepRowsPerSecJson(benchmark::State &State) {
+  loopbackSweepRowsPerSec(State, /*BinaryRows=*/false);
+}
+BENCHMARK(BM_LoopbackSweepRowsPerSecJson);
+
+void BM_LoopbackSweepRowsPerSecBinary(benchmark::State &State) {
+  loopbackSweepRowsPerSec(State, /*BinaryRows=*/true);
+}
+BENCHMARK(BM_LoopbackSweepRowsPerSecBinary);
+
+/// The rows the codec microbenchmarks push through both encoders:
+/// real sweep output (one cold run of the bench grid), not synthetic
+/// fields — codec wins must hold on representative payloads.
+const std::vector<SweepRow> &codecRows() {
+  static const std::vector<SweepRow> Rows = [] {
+    SweepGrid Grid = sweepGrid();
+    SweepEngine Engine(Grid, /*Threads=*/1);
+    return Engine.run();
+  }();
+  return Rows;
+}
+
+void BM_RowEncodeJson(benchmark::State &State) {
+  const std::vector<SweepRow> &Rows = codecRows();
+  uint64_t N = 0;
+  for (auto _ : State) {
+    for (const SweepRow &Row : Rows) {
+      std::string Payload = rowToJson(Row).dump();
+      benchmark::DoNotOptimize(Payload.data());
+      ++N;
+    }
+  }
+  State.counters["rows/s"] = benchmark::Counter(
+      static_cast<double>(N), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_RowEncodeJson);
+
+void BM_RowEncodeBinary(benchmark::State &State) {
+  const std::vector<SweepRow> &Rows = codecRows();
+  uint64_t N = 0;
+  std::string Payload;
+  for (auto _ : State) {
+    for (const SweepRow &Row : Rows) {
+      Payload.clear();
+      encodeBinaryFrameHeader(Payload, /*IsBatch=*/false, /*HasId=*/true,
+                              /*Id=*/1, /*Count=*/1);
+      encodeBinaryRowEntry(Payload, /*HasGrid=*/false, /*Grid=*/0,
+                           /*LoopsMask=*/nullptr, Row);
+      benchmark::DoNotOptimize(Payload.data());
+      ++N;
+    }
+  }
+  State.counters["rows/s"] = benchmark::Counter(
+      static_cast<double>(N), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_RowEncodeBinary);
+
+void BM_RowDecodeJson(benchmark::State &State) {
+  std::vector<std::string> Payloads;
+  for (const SweepRow &Row : codecRows())
+    Payloads.push_back(rowToJson(Row).dump());
+  uint64_t N = 0;
+  for (auto _ : State) {
+    for (const std::string &Payload : Payloads) {
+      JsonValue J;
+      std::string ParseError;
+      if (!JsonValue::parse(Payload, J, ParseError)) {
+        State.SkipWithError("bad JSON row payload");
+        return;
+      }
+      SweepRow Row = rowFromJson(J);
+      benchmark::DoNotOptimize(Row.PointIndex);
+      ++N;
+    }
+  }
+  State.counters["rows/s"] = benchmark::Counter(
+      static_cast<double>(N), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_RowDecodeJson);
+
+void BM_RowDecodeBinary(benchmark::State &State) {
+  std::vector<std::string> Payloads;
+  for (const SweepRow &Row : codecRows()) {
+    std::string Payload;
+    encodeBinaryFrameHeader(Payload, /*IsBatch=*/false, /*HasId=*/true,
+                            /*Id=*/1, /*Count=*/1);
+    encodeBinaryRowEntry(Payload, /*HasGrid=*/false, /*Grid=*/0,
+                         /*LoopsMask=*/nullptr, Row);
+    Payloads.push_back(std::move(Payload));
+  }
+  uint64_t N = 0;
+  for (auto _ : State) {
+    for (const std::string &Payload : Payloads) {
+      BinaryRowFrame Frame;
+      std::string Error;
+      if (!decodeBinaryRowFrame(Payload, Frame, Error)) {
+        State.SkipWithError(("bad binary row payload: " + Error).c_str());
+        return;
+      }
+      benchmark::DoNotOptimize(Frame.Entries.data());
+      ++N;
+    }
+  }
+  State.counters["rows/s"] = benchmark::Counter(
+      static_cast<double>(N), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_RowDecodeBinary);
+
+/// points/sec through the engine when every point is a result-cache
+/// hit — the latency of the lookup path the daemon serves repeat
+/// sweeps from, with the simulator entirely out of the picture.
+void BM_CacheHitSweepPointsPerSec(benchmark::State &State) {
+  SweepGrid Grid = sweepGrid();
+  ResultCache Cache;
+  {
+    SweepEngine Warm(Grid, /*Threads=*/1);
+    Warm.setCache(&Cache);
+    Warm.run();
+  }
+  uint64_t Points = 0;
+  for (auto _ : State) {
+    SweepEngine Engine(Grid, /*Threads=*/1);
+    Engine.setCache(&Cache);
+    const std::vector<SweepRow> &Rows = Engine.run();
+    Points += Grid.size();
+    benchmark::DoNotOptimize(Rows.size());
+  }
+  State.counters["points/s"] = benchmark::Counter(
+      static_cast<double>(Points), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CacheHitSweepPointsPerSec);
 
 } // namespace
 
@@ -250,6 +390,13 @@ int main(int argc, char **argv) {
     Argv.push_back(A.data());
   int Argc = static_cast<int>(Argv.size());
   benchmark::Initialize(&Argc, Argv.data());
+  // google-benchmark's own library_build_type describes the installed
+  // libbenchmark, not this binary; snapshot tooling needs ours.
+#ifdef NDEBUG
+  benchmark::AddCustomContext("cvliw_build_type", "release");
+#else
+  benchmark::AddCustomContext("cvliw_build_type", "debug");
+#endif
   if (benchmark::ReportUnrecognizedArguments(Argc, Argv.data()))
     return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -1,31 +1,63 @@
 #!/bin/sh
 #===- bench/record_bench.sh - record perf trajectory snapshots ------------===#
 #
-# Runs the two sweep-throughput microbenchmarks and writes their
-# google-benchmark JSON reports next to this script:
+# Configures and builds a Release tree, runs the sweep-throughput and
+# row-codec microbenchmarks, and writes their google-benchmark JSON
+# reports next to this script:
 #
-#   BENCH_rows.json   rows/sec through a loopback daemon session
-#                     (BM_LoopbackSweepRowsPerSec — the protocol path)
+#   BENCH_rows.json   rows/sec through a loopback daemon session, once
+#                     per row codec (BM_LoopbackSweepRowsPerSec{Json,
+#                     Binary} — the protocol path)
 #   BENCH_sweep.json  points/sec through the local SweepEngine, cold
 #                     cache (BM_LocalSweepPointsPerSec — the simulator)
+#   BENCH_codec.json  row encode/decode throughput for the JSON and
+#                     CVW2 binary codecs (BM_Row{Encode,Decode}{Json,
+#                     Binary})
+#   BENCH_cache.json  points/sec with every point a result-cache hit
+#                     (BM_CacheHitSweepPointsPerSec — the lookup path)
 #
 # The snapshots are the ROADMAP's "perf trajectory": commit them so a
-# regression shows up as a diff, not a feeling. Wall-clock numbers are
-# machine-dependent — compare snapshots from the same machine class.
+# regression shows up as a diff (bench/check_bench.py gates CI on
+# them), not a feeling. Wall-clock numbers are machine-dependent —
+# compare snapshots from the same machine class; the Binary:Json
+# ratios are the machine-independent part.
 #
-# Usage: record_bench.sh <perf_microbench-binary> [out-dir]
+# A snapshot from a Debug build would bake slow baselines into the
+# gate, so the build type is forced here and each report is refused
+# unless it says release.
+#
+# Usage: record_bench.sh [build-dir] [out-dir]
 #
 #===----------------------------------------------------------------------===#
 set -eu
 
-bench="${1:?usage: record_bench.sh <perf_microbench-binary> [out-dir]}"
-outdir="${2:-$(dirname "$0")}"
+scriptdir=$(CDPATH= cd -- "$(dirname "$0")" && pwd)
+repo=$(dirname "$scriptdir")
+builddir="${1:-$repo/build-bench}"
+outdir="${2:-$scriptdir}"
 
-"$bench" --benchmark_filter='BM_LoopbackSweepRowsPerSec' \
-  --json "$outdir/BENCH_rows.json" --benchmark_repetitions=3 \
-  --benchmark_report_aggregates_only=true
-"$bench" --benchmark_filter='BM_LocalSweepPointsPerSec' \
-  --json "$outdir/BENCH_sweep.json" --benchmark_repetitions=3 \
-  --benchmark_report_aggregates_only=true
+cmake -B "$builddir" -S "$repo" -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$builddir" --target perf_microbench \
+  -j "$(nproc 2>/dev/null || echo 2)" >/dev/null
+bench="$builddir/bench/perf_microbench"
 
-echo "recorded: $outdir/BENCH_rows.json $outdir/BENCH_sweep.json"
+record() {
+  out="$outdir/BENCH_$1.json"
+  "$bench" --benchmark_filter="$2" --json "$out" \
+    --benchmark_repetitions=3 --benchmark_report_aggregates_only=true
+  # perf_microbench stamps its own build type into the report context
+  # (library_build_type only describes the installed libbenchmark);
+  # refuse to snapshot anything but a Release run.
+  if ! grep -q '"cvliw_build_type": "release"' "$out"; then
+    echo "error: $out was not produced by a Release build; not recording" >&2
+    rm -f "$out"
+    exit 1
+  fi
+}
+
+record rows  'BM_LoopbackSweepRowsPerSec(Json|Binary)$'
+record sweep 'BM_LocalSweepPointsPerSec$'
+record codec 'BM_Row(Encode|Decode)(Json|Binary)$'
+record cache 'BM_CacheHitSweepPointsPerSec$'
+
+echo "recorded: $outdir/BENCH_{rows,sweep,codec,cache}.json"

@@ -1,0 +1,135 @@
+//===- cvliw/net/BinaryCodec.h - CVW2 binary row encoding ------*- C++ -*-===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The protocol-v4 binary row/batch payload carried by CVW2 frames
+/// (see cvliw/net/Frame.h). Only the high-volume response direction is
+/// binary — "row" and "row_batch" — and only after the client offered
+/// `"binary_rows":true` in hello and the daemon granted it; every
+/// control message (hello, status, done, error, ...) stays CVW1 JSON.
+///
+/// Payload layout (all multi-byte integers are LEB128 varints except
+/// where noted):
+///
+///   frame  := type:u8 (1=row, 2=row_batch)
+///             flags:u8 (bit0 = has-id)
+///             [id:varint]
+///             row-frame: entry        (exactly one)
+///             batch:     count:varint entry*count
+///   entry  := flags:u8 (bit0 = has-grid, bit1 = has-loops-mask)
+///             [grid:varint]
+///             [mask-count:varint loop-index:varint ...]
+///             row
+///   row    := point:varint machine_index:varint scheme_index:varint
+///             benchmark_index:varint
+///             machine:str scheme:str benchmark:str
+///             seed:u64-LE (8 bytes, full width — never a varint, the
+///                          determinism contract's seeds use all bits)
+///             hybrid-count:varint choice:u8*count (enum, < 3)
+///             loop-count:varint loop*count
+///   loop   := name:str weight_bits:u64-LE exec_trip:varint
+///             scheduled:u8 ii:varint res_mii:varint rec_mii:varint
+///             num_ops:varint num_mem_ops:varint copies_per_iter:varint
+///             biggest_chain:varint
+///             iterations:varint total_cycles:varint
+///             compute_cycles:varint stall_cycles:varint
+///             dynamic_ops:varint memory_accesses:varint ab_hits:varint
+///             bus_transactions:varint coherence_violations:varint
+///             nullified_replica_slots:varint
+///             access_classification:varint*5 stall_attribution:varint*5
+///   str    := len:varint bytes*len
+///
+/// Doubles travel as their IEEE-754 bit patterns in fixed 8-byte
+/// little-endian fields — the same bit-exactness contract as the JSON
+/// codec's "weight_bits" members, minus the decimal printing. The
+/// field set mirrors rowToJson()/loopRunResultToJson() exactly, so a
+/// decoded binary row is indistinguishable from a decoded JSON row
+/// (tests pin the byte-identity of the resulting tables).
+///
+/// The decoder validates everything it reads — truncated fields,
+/// out-of-range enum values, and trailing garbage all fail with a
+/// message — and the service maps a failure to the same
+/// protocol-error handling as a JSON parse error.
+///
+/// Encoders append into a caller-supplied buffer so the sweep
+/// service's writer path can reuse one allocation across batches (the
+/// frame-buffer pool behind the "buffers_pooled" status gauge).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CVLIW_NET_BINARYCODEC_H
+#define CVLIW_NET_BINARYCODEC_H
+
+#include "cvliw/pipeline/SweepEngine.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cvliw {
+
+/// CVW2 payload type byte.
+constexpr uint8_t BinaryFrameRow = 1;
+constexpr uint8_t BinaryFrameRowBatch = 2;
+
+/// One row entry of a binary frame: the "grid" / "loops" / "row"
+/// members of a JSON row or row_batch element.
+struct BinaryRowEntry {
+  bool HasGrid = false;
+  uint64_t Grid = 0;
+  /// Shard-claim partial-row mask: the loop indices this row actually
+  /// owns (absent = the whole row), exactly like the JSON "loops"
+  /// member.
+  bool HasLoops = false;
+  std::vector<size_t> Loops;
+  SweepRow Row;
+};
+
+/// A whole decoded CVW2 payload: one "row" frame (a single entry) or
+/// one "row_batch" frame (any number of entries).
+struct BinaryRowFrame {
+  bool IsBatch = false;
+  bool HasId = false;
+  uint64_t Id = 0;
+  std::vector<BinaryRowEntry> Entries;
+};
+
+/// Appends \p V as a LEB128 varint (exposed for tests/benchmarks).
+void appendVarint(std::string &Out, uint64_t V);
+
+/// Reads a varint from [*P, End); advances *P. False on truncation or
+/// a varint longer than 10 bytes.
+bool readVarint(const char *&P, const char *End, uint64_t &V);
+
+/// Appends a frame header: type, flags, optional id, and — for
+/// batches — the entry count. The caller then appends \p Count
+/// encoded entries (row frames carry exactly one; \p Count is ignored
+/// for them). This is the streaming half the sweep service's writer
+/// uses: entries accumulate in one recycled buffer and the header is
+/// prepended at flush time without re-encoding rows.
+void encodeBinaryFrameHeader(std::string &Out, bool IsBatch, bool HasId,
+                             uint64_t Id, uint64_t Count);
+
+/// Appends one encoded entry ("grid" / "loops" mask / row). A null
+/// \p LoopsMask means the row is whole (no mask member).
+void encodeBinaryRowEntry(std::string &Out, bool HasGrid, uint64_t Grid,
+                          const std::vector<size_t> *LoopsMask,
+                          const SweepRow &Row);
+
+/// Serializes \p Frame, appending to \p Out (which the caller may have
+/// pre-reserved / recycled; existing contents are kept).
+void encodeBinaryRowFrame(const BinaryRowFrame &Frame, std::string &Out);
+
+/// Parses one CVW2 payload. On failure returns false with \p Error
+/// describing the defect; \p Frame is then unspecified. A successful
+/// decode consumed every payload byte (trailing bytes are an error).
+bool decodeBinaryRowFrame(const std::string &Payload, BinaryRowFrame &Frame,
+                          std::string &Error);
+
+} // namespace cvliw
+
+#endif // CVLIW_NET_BINARYCODEC_H

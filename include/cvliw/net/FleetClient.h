@@ -89,6 +89,15 @@ public:
   /// Whether every shard advertised pipelined request acceptance.
   bool pipeliningGranted() const { return Pipelining; }
 
+  /// Whether negotiate() should offer "binary_rows" (protocol v4, CVW2
+  /// row frames) to every shard. On by default; call before
+  /// negotiate() to force JSON rows fleet-wide.
+  void setBinaryRows(bool Wanted) { BinaryWanted = Wanted; }
+  /// Whether every shard granted binary rows. Shards answer per
+  /// connection, so a mixed fleet still merges whatever kind each
+  /// shard sends — this only reports the all-binary case.
+  bool binaryRowsGranted() const { return BinaryRows; }
+
   // Pipelined core -------------------------------------------------------
 
   /// Fans one sweep request for \p Grid out to every shard under one
@@ -202,13 +211,25 @@ private:
   /// still owed frames: resubmit to all survivors under the survivor
   /// map, or fail the fleet when none remain.
   void handleShardDeath(size_t ShardIdx);
-  /// Routes one decoded frame from \p ShardIdx; the out-params mirror
-  /// poll()'s.
+  /// Routes one decoded JSON frame from \p ShardIdx (\p WireBytes is
+  /// its on-the-wire size, header included, for the byte tally); the
+  /// out-params mirror poll()'s.
   bool routeFrame(size_t ShardIdx, const JsonValue &Message,
-                  uint64_t &CompletedId, bool &Completed,
+                  size_t WireBytes, uint64_t &CompletedId, bool &Completed,
                   std::string &Error);
+  /// Routes one CVW2 row/batch frame from \p ShardIdx. Binary frames
+  /// carry only rows — done/error stay JSON — so no completion
+  /// out-params.
+  bool routeBinaryFrame(size_t ShardIdx, const std::string &Payload,
+                        std::string &Error);
   bool routeRow(PendingRequest &Req, const JsonValue &RowMessage,
                 std::string &Error);
+  /// The shared merge both codecs land on: range-checks the row, then
+  /// merges the loop slots named by \p Mask (all of them when null)
+  /// with (point, loop) dedupe.
+  bool mergeDecodedRow(PendingRequest &Req, size_t GridIndex,
+                       SweepRow &&Row, const std::vector<size_t> *Mask,
+                       std::string &Error);
   void finishShardRequest(size_t ShardIdx, uint64_t Id, PendingRequest &Req,
                           uint64_t &CompletedId, bool &Completed);
   static void initPendingGrid(PendingGrid &P, const SweepGrid &Grid);
@@ -219,6 +240,8 @@ private:
   uint64_t NextId = 1;
   size_t MaxBatch = 1;
   bool Pipelining = false;
+  bool BinaryWanted = true;
+  bool BinaryRows = false;
   /// v1 fallback (single shard whose daemon rejected hello): id-less
   /// requests, responses route to the single in-flight request.
   bool SendIds = true;

@@ -22,6 +22,15 @@
 /// clean EOF between frames, bad magic (malformed), over-limit length
 /// (oversized), and EOF mid-frame (truncated).
 ///
+/// Protocol v4 adds a second magic, "CVW2", for frames whose payload
+/// is the binary row encoding (see cvliw/net/BinaryCodec.h) instead of
+/// JSON text. The header layout is identical — only the magic differs —
+/// so both kinds interleave freely on one connection and share the
+/// same length bound and poison classification. Readers report which
+/// kind arrived via FrameKind; writers pick the magic per frame. A
+/// magic that is neither "CVW1" nor "CVW2" is malformed, exactly as
+/// before.
+///
 /// FrameDecoder is the incremental form of the same parser: bytes go
 /// in as they arrive off the wire (any split — one at a time, half a
 /// header, three frames at once) and whole frames come out. The sweep
@@ -45,8 +54,20 @@
 
 namespace cvliw {
 
-/// Protocol magic; the trailing digit is the protocol version.
+/// Protocol magic; the trailing digit is the payload encoding: "CVW1"
+/// frames carry JSON text, "CVW2" frames carry the binary row codec.
 constexpr char FrameMagic[4] = {'C', 'V', 'W', '1'};
+constexpr char FrameMagic2[4] = {'C', 'V', 'W', '2'};
+
+/// What a frame's payload is encoded as, keyed off its magic.
+enum class FrameKind {
+  Json,   ///< "CVW1": JSON text payload.
+  Binary, ///< "CVW2": binary row/batch payload (BinaryCodec).
+};
+
+/// Wire size of the frame header (magic + u32 length) — what byte
+/// accounting adds per frame on top of the payload.
+constexpr size_t FrameHeaderBytes = 8;
 
 /// Default per-frame payload bound (16 MiB). A full 16-machine sweep
 /// grid serializes to well under 1 MiB; result rows stream one frame
@@ -65,13 +86,24 @@ enum class FrameStatus {
 /// Short printable name ("ok", "eof", "malformed", ...).
 const char *frameStatusName(FrameStatus Status);
 
-/// Reads one frame into \p Payload.
+/// Reads one frame into \p Payload, reporting its encoding in \p Kind.
+FrameStatus readFrame(Socket &S, std::string &Payload, FrameKind &Kind,
+                      size_t MaxBytes = DefaultMaxFrameBytes);
+
+/// Reads one frame into \p Payload. A binary (CVW2) frame arriving
+/// through this overload is still read whole — callers that never
+/// negotiated binary rows simply fail to parse the payload as JSON,
+/// which surfaces as a protocol error rather than a desync.
 FrameStatus readFrame(Socket &S, std::string &Payload,
                       size_t MaxBytes = DefaultMaxFrameBytes);
 
-/// Writes one frame. False on I/O error or when \p Payload itself
-/// exceeds \p MaxBytes (the writer honors the same bound it expects
-/// readers to enforce).
+/// Writes one frame with the magic matching \p Kind. False on I/O
+/// error or when \p Payload itself exceeds \p MaxBytes (the writer
+/// honors the same bound it expects readers to enforce).
+bool writeFrame(Socket &S, const std::string &Payload, FrameKind Kind,
+                size_t MaxBytes = DefaultMaxFrameBytes);
+
+/// Writes one JSON (CVW1) frame.
 bool writeFrame(Socket &S, const std::string &Payload,
                 size_t MaxBytes = DefaultMaxFrameBytes);
 
@@ -91,9 +123,13 @@ public:
   /// decoder is poisoned.
   bool feed(const void *Data, size_t Len);
 
-  /// Extracts the next complete frame into \p Payload. False when no
-  /// complete frame is buffered yet — or the decoder is poisoned;
-  /// check error() to tell the two apart.
+  /// Extracts the next complete frame into \p Payload, reporting its
+  /// encoding in \p Kind. False when no complete frame is buffered yet
+  /// — or the decoder is poisoned; check error() to tell the two
+  /// apart.
+  bool next(std::string &Payload, FrameKind &Kind);
+
+  /// Extracts the next complete frame into \p Payload (either kind).
   bool next(std::string &Payload);
 
   /// FrameStatus::Ok while the stream is healthy; Malformed or

@@ -84,11 +84,13 @@ private:
 Socket listenOn(const std::string &Host, uint16_t Port, uint16_t &BoundPort,
                 std::string &Error);
 
-/// Accepts one connection; invalid socket on error (e.g. the listener
-/// was closed to stop the server).
+/// Accepts one connection with TCP_NODELAY set (the row stream is many
+/// small frames; Nagle would serialize them against ACKs); invalid
+/// socket on error (e.g. the listener was closed to stop the server).
 Socket acceptFrom(Socket &Listener);
 
-/// Connects to \p Host:\p Port; invalid socket + \p Error on failure.
+/// Connects to \p Host:\p Port with TCP_NODELAY set; invalid socket +
+/// \p Error on failure.
 Socket connectTo(const std::string &Host, uint16_t Port, std::string &Error);
 
 /// connectTo with up to \p Attempts tries and bounded exponential

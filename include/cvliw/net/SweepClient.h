@@ -62,6 +62,12 @@ struct RemoteSweepStats {
   /// frames carried them (0/0 on an unbatched connection).
   uint64_t RowsBatched = 0;
   uint64_t BatchesReceived = 0;
+  /// Wire traffic of this request's response stream (frame headers
+  /// included) — the client-side view of the daemon's bytes_sent /
+  /// frames_sent gauges, and what makes the JSON-vs-binary win visible
+  /// in the sweep summary line.
+  uint64_t BytesReceived = 0;
+  uint64_t FramesReceived = 0;
 };
 
 /// The "sweep: daemon result cache ..." summary line (batching tally
@@ -91,6 +97,15 @@ public:
   size_t negotiatedMaxBatch() const { return MaxBatch; }
   /// Whether the daemon advertised pipelined request acceptance.
   bool pipeliningGranted() const { return Pipelining; }
+
+  /// Whether negotiate() should offer "binary_rows" (protocol v4,
+  /// CVW2 row frames). On by default; call before negotiate() to force
+  /// the JSON row path (the --binary-rows=off / CVLIW_SWEEP_BINARY=0
+  /// escape hatch, and how benchmarks compare the two).
+  void setBinaryRows(bool Wanted) { BinaryWanted = Wanted; }
+  /// Whether the daemon granted binary rows (false until a successful
+  /// negotiate() against a v4 daemon with the offer on).
+  bool binaryRowsGranted() const { return BinaryRows; }
 
   // Pipelined core -------------------------------------------------------
 
@@ -186,11 +201,17 @@ private:
   /// out-of-range index or grid.
   bool routeRow(PendingRequest &Req, const JsonValue &RowMessage,
                 std::string &Error);
+  /// The shared slotting path both codecs land on: range-checks the
+  /// row against the local expansion and stores it at its point index.
+  bool routeDecodedRow(PendingRequest &Req, size_t GridIndex,
+                       SweepRow &&Row, std::string &Error);
 
   Socket Conn;
   uint64_t NextId = 1;
   size_t MaxBatch = 1;
   bool Pipelining = false;
+  bool BinaryWanted = true;
+  bool BinaryRows = false;
   /// Cleared when negotiate() learns the daemon predates the session
   /// protocol (it answered hello with an error): requests then go out
   /// id-less exactly like a v1 client's, responses route to the single

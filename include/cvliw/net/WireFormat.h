@@ -22,7 +22,8 @@
 /// sends for that request — rows, batches, done, errors, even pong —
 /// which is what lets a client pipeline many requests down one socket
 /// and demultiplex the interleaved responses):
-///   {"type":"hello"[,"max_batch":N][,"weight":W][,"shard":S][,"id":I]}
+///   {"type":"hello"[,"max_batch":N][,"weight":W][,"shard":S][,"id":I]
+///                  [,"binary_rows":true]}
 ///   {"type":"ping"[,"id":I]}
 ///   {"type":"status"[,"id":I]}
 ///   {"type":"sweep","grid":GRID[,"shard":S][,"id":I]}
@@ -31,7 +32,8 @@
 ///   {"type":"shutdown"[,"id":I]}
 /// Response messages:
 ///   {"type":"hello_ok","max_batch":M,"weight":W,"pipelining":true,
-///    "shards":true[,"shard_id":K,"shard_count":N]}
+///    "shards":true[,"shard_id":K,"shard_count":N]
+///    [,"binary_rows":true]}
 ///   {"type":"pong"}
 ///   {"type":"status","cache":{...},"threads":N,"sessions":[...],
 ///    "shard_id":K,"shard_count":N,"misrouted_items":M,...}
@@ -72,6 +74,15 @@
 /// the refused items in status "misrouted_items". hello_ok's
 /// "shards":true advertises the capability; shard_id/shard_count are
 /// echoed only by identity-configured daemons.
+///
+/// Binary rows (protocol v4, see net/BinaryCodec.h): a hello carrying
+/// "binary_rows":true asks for the CVW2 binary row encoding; the
+/// daemon grants it only when offered and echoes "binary_rows":true in
+/// hello_ok (the key is absent for v1/v2/v3 hellos, keeping the exact
+/// pre-v4 reply shape). Granted sessions receive their row and
+/// row_batch traffic as CVW2 frames — same id, grid tags and "loops"
+/// masks, different encoding — while every control frame stays CVW1
+/// JSON. The binary decode is byte-identical to the JSON path.
 ///
 /// hello is the capability exchange and must precede any sweep on the
 /// connection: the client states the largest row batch it will accept

@@ -403,6 +403,11 @@ struct SweepRunOptions {
   /// --connect-retries N: bounded exponential-backoff connect attempts
   /// per daemon (scripts stop racing daemon startup with sleeps).
   unsigned ConnectRetries = 5;
+  /// --binary-rows on|off: offer the protocol-v4 binary row encoding
+  /// (CVW2 frames) when negotiating with a daemon. On by default —
+  /// a daemon that does not grant it simply streams JSON. Defaults to
+  /// the CVLIW_SWEEP_BINARY environment variable ("0"/"off" disable).
+  bool BinaryRows = true;
   /// --dump-grid FILE: also write the expanded grid as JSON — the
   /// format cvliw-sweep-client submits to a daemon.
   std::string DumpGridPath;

@@ -37,6 +37,16 @@
 /// fairness weight (up to MaxSessionWeight). Clients that skip hello
 /// speak exactly the v1 protocol — unbatched row frames, no id echo.
 ///
+/// Binary rows (protocol v4): a hello offering "binary_rows":true is
+/// granted CVW2 binary row/row_batch frames (net/BinaryCodec.h) in
+/// place of the JSON ones — same fields, same batching, same partial
+/// "loops" masks, a fraction of the bytes. Control frames stay JSON
+/// either way, and a session that did not offer the capability never
+/// sees a CVW2 frame. The writer thread recycles encode buffers
+/// through a small per-session pool (the buffers_pooled /
+/// buffers_allocated status gauges) so steady-state batches allocate
+/// nothing.
+///
 /// Fleet mode (protocol v3): hello and sweep/run_experiment frames may
 /// carry a shard claim — "I am shard K of this ShardMap" — and the
 /// daemon then filters every grid down to the (point, loop) items
@@ -173,6 +183,22 @@ public:
   uint64_t misroutedItems() const {
     return MisroutedItems.load(std::memory_order_relaxed);
   }
+  /// Wire traffic actually written (headers included) across all
+  /// sessions — the gauge that makes the JSON-vs-binary win visible.
+  uint64_t bytesSent() const {
+    return BytesSentTotal.load(std::memory_order_relaxed);
+  }
+  uint64_t framesSent() const {
+    return FramesSentTotal.load(std::memory_order_relaxed);
+  }
+  /// Writer-path encode-buffer pool effectiveness: fresh allocations
+  /// vs. buffers recycled from a session's pool.
+  uint64_t buffersAllocated() const {
+    return BuffersAllocatedTotal.load(std::memory_order_relaxed);
+  }
+  uint64_t buffersPooled() const {
+    return BuffersPooledTotal.load(std::memory_order_relaxed);
+  }
   /// Sessions whose handler has not finished (includes ones mid-drain).
   size_t sessionsOpen() const;
 
@@ -229,6 +255,10 @@ private:
   std::atomic<uint64_t> RowsBatchedTotal{0};
   std::atomic<uint64_t> BatchesSentTotal{0};
   std::atomic<uint64_t> MisroutedItems{0};
+  std::atomic<uint64_t> BytesSentTotal{0};
+  std::atomic<uint64_t> FramesSentTotal{0};
+  std::atomic<uint64_t> BuffersAllocatedTotal{0};
+  std::atomic<uint64_t> BuffersPooledTotal{0};
 };
 
 } // namespace cvliw

@@ -1,0 +1,350 @@
+//===- net/BinaryCodec.cpp - CVW2 binary row encoding ---------------------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cvliw/net/BinaryCodec.h"
+
+#include "cvliw/support/BitCast.h"
+
+using namespace cvliw;
+
+void cvliw::appendVarint(std::string &Out, uint64_t V) {
+  while (V >= 0x80) {
+    Out.push_back(static_cast<char>((V & 0x7f) | 0x80));
+    V >>= 7;
+  }
+  Out.push_back(static_cast<char>(V));
+}
+
+bool cvliw::readVarint(const char *&P, const char *End, uint64_t &V) {
+  V = 0;
+  unsigned Shift = 0;
+  // 10 bytes cover 70 bits; an 11th continuation byte is garbage.
+  for (unsigned I = 0; I != 10 && P != End; ++I) {
+    uint8_t B = static_cast<uint8_t>(*P++);
+    V |= static_cast<uint64_t>(B & 0x7f) << Shift;
+    if ((B & 0x80) == 0)
+      return true;
+    Shift += 7;
+  }
+  return false;
+}
+
+namespace {
+
+void appendU64LE(std::string &Out, uint64_t V) {
+  for (unsigned I = 0; I != 8; ++I)
+    Out.push_back(static_cast<char>(V >> (8 * I)));
+}
+
+void appendString(std::string &Out, const std::string &S) {
+  appendVarint(Out, S.size());
+  Out.append(S);
+}
+
+void appendLoopResult(std::string &Out, const LoopRunResult &R) {
+  appendString(Out, R.LoopName);
+  appendU64LE(Out, doubleBits(R.Weight));
+  appendVarint(Out, R.ExecTrip);
+  Out.push_back(R.Scheduled ? 1 : 0);
+  appendVarint(Out, R.II);
+  appendVarint(Out, R.ResMII);
+  appendVarint(Out, R.RecMII);
+  appendVarint(Out, R.NumOps);
+  appendVarint(Out, R.NumMemOps);
+  appendVarint(Out, R.CopiesPerIter);
+  appendVarint(Out, R.BiggestChain);
+  const SimResult &S = R.Sim;
+  appendVarint(Out, S.Iterations);
+  appendVarint(Out, S.TotalCycles);
+  appendVarint(Out, S.ComputeCycles);
+  appendVarint(Out, S.StallCycles);
+  appendVarint(Out, S.DynamicOps);
+  appendVarint(Out, S.MemoryAccesses);
+  appendVarint(Out, S.AttractionBufferHits);
+  appendVarint(Out, S.BusTransactions);
+  appendVarint(Out, S.CoherenceViolations);
+  appendVarint(Out, S.NullifiedReplicaSlots);
+  for (size_t B = 0; B != 5; ++B)
+    appendVarint(Out, S.AccessClassification.count(B));
+  for (size_t B = 0; B != 5; ++B)
+    appendVarint(Out, S.StallAttribution.count(B));
+}
+
+} // namespace
+
+void cvliw::encodeBinaryRowEntry(std::string &Out, bool HasGrid,
+                                 uint64_t Grid,
+                                 const std::vector<size_t> *LoopsMask,
+                                 const SweepRow &Row) {
+  uint8_t Flags = 0;
+  if (HasGrid)
+    Flags |= 1;
+  if (LoopsMask)
+    Flags |= 2;
+  Out.push_back(static_cast<char>(Flags));
+  if (HasGrid)
+    appendVarint(Out, Grid);
+  if (LoopsMask) {
+    appendVarint(Out, LoopsMask->size());
+    for (size_t L : *LoopsMask)
+      appendVarint(Out, L);
+  }
+  appendVarint(Out, Row.PointIndex);
+  appendVarint(Out, Row.MachineIndex);
+  appendVarint(Out, Row.SchemeIndex);
+  appendVarint(Out, Row.BenchmarkIndex);
+  appendString(Out, Row.Machine);
+  appendString(Out, Row.Scheme);
+  appendString(Out, Row.Benchmark);
+  appendU64LE(Out, Row.PointSeed);
+  appendVarint(Out, Row.HybridChoices.size());
+  for (CoherencePolicy P : Row.HybridChoices)
+    Out.push_back(static_cast<char>(static_cast<uint8_t>(P)));
+  appendVarint(Out, Row.Result.Loops.size());
+  for (const LoopRunResult &L : Row.Result.Loops)
+    appendLoopResult(Out, L);
+}
+
+namespace {
+
+/// Decode cursor with fail-with-message helpers; Error doubles as the
+/// poison flag so every helper can be chained with &&.
+struct Reader {
+  const char *P;
+  const char *End;
+  std::string &Error;
+
+  bool fail(const char *What) {
+    if (Error.empty())
+      Error = std::string("binary row frame: ") + What;
+    return false;
+  }
+
+  bool varint(uint64_t &V, const char *What) {
+    if (readVarint(P, End, V))
+      return true;
+    return fail(What);
+  }
+
+  bool byte(uint8_t &B, const char *What) {
+    if (P == End)
+      return fail(What);
+    B = static_cast<uint8_t>(*P++);
+    return true;
+  }
+
+  bool u64le(uint64_t &V, const char *What) {
+    if (End - P < 8)
+      return fail(What);
+    V = 0;
+    for (unsigned I = 0; I != 8; ++I)
+      V |= static_cast<uint64_t>(static_cast<uint8_t>(P[I])) << (8 * I);
+    P += 8;
+    return true;
+  }
+
+  bool str(std::string &S, const char *What) {
+    uint64_t Len;
+    if (!varint(Len, What))
+      return false;
+    if (Len > static_cast<uint64_t>(End - P))
+      return fail(What);
+    S.assign(P, static_cast<size_t>(Len));
+    P += Len;
+    return true;
+  }
+};
+
+bool decodeLoopResult(Reader &R, LoopRunResult &L) {
+  uint64_t Bits, V;
+  uint8_t Sched;
+  if (!R.str(L.LoopName, "truncated loop name") ||
+      !R.u64le(Bits, "truncated loop weight"))
+    return false;
+  L.Weight = bitsToDouble(Bits);
+  if (!R.varint(L.ExecTrip, "truncated loop field") ||
+      !R.byte(Sched, "truncated loop field"))
+    return false;
+  L.Scheduled = Sched != 0;
+  if (!R.varint(V, "truncated loop field"))
+    return false;
+  L.II = static_cast<unsigned>(V);
+  if (!R.varint(V, "truncated loop field"))
+    return false;
+  L.ResMII = static_cast<unsigned>(V);
+  if (!R.varint(V, "truncated loop field"))
+    return false;
+  L.RecMII = static_cast<unsigned>(V);
+  if (!R.varint(V, "truncated loop field"))
+    return false;
+  L.NumOps = static_cast<size_t>(V);
+  if (!R.varint(V, "truncated loop field"))
+    return false;
+  L.NumMemOps = static_cast<size_t>(V);
+  if (!R.varint(V, "truncated loop field"))
+    return false;
+  L.CopiesPerIter = static_cast<size_t>(V);
+  if (!R.varint(V, "truncated loop field"))
+    return false;
+  L.BiggestChain = static_cast<size_t>(V);
+  SimResult &S = L.Sim;
+  if (!R.varint(S.Iterations, "truncated sim field") ||
+      !R.varint(S.TotalCycles, "truncated sim field") ||
+      !R.varint(S.ComputeCycles, "truncated sim field") ||
+      !R.varint(S.StallCycles, "truncated sim field") ||
+      !R.varint(S.DynamicOps, "truncated sim field") ||
+      !R.varint(S.MemoryAccesses, "truncated sim field") ||
+      !R.varint(S.AttractionBufferHits, "truncated sim field") ||
+      !R.varint(S.BusTransactions, "truncated sim field") ||
+      !R.varint(S.CoherenceViolations, "truncated sim field") ||
+      !R.varint(S.NullifiedReplicaSlots, "truncated sim field"))
+    return false;
+  for (size_t B = 0; B != 5; ++B) {
+    if (!R.varint(V, "truncated classification bucket"))
+      return false;
+    S.AccessClassification.add(B, V);
+  }
+  for (size_t B = 0; B != 5; ++B) {
+    if (!R.varint(V, "truncated stall bucket"))
+      return false;
+    S.StallAttribution.add(B, V);
+  }
+  return true;
+}
+
+bool decodeEntry(Reader &R, BinaryRowEntry &Entry) {
+  uint8_t Flags;
+  if (!R.byte(Flags, "truncated entry flags"))
+    return false;
+  if (Flags & ~3u)
+    return R.fail("unknown entry flag bits");
+  Entry.HasGrid = (Flags & 1) != 0;
+  Entry.HasLoops = (Flags & 2) != 0;
+  if (Entry.HasGrid && !R.varint(Entry.Grid, "truncated grid index"))
+    return false;
+  if (Entry.HasLoops) {
+    uint64_t Count;
+    if (!R.varint(Count, "truncated loop mask"))
+      return false;
+    // One byte minimum per mask index bounds the count by what is
+    // actually buffered — a lying count cannot force a huge reserve.
+    if (Count > static_cast<uint64_t>(R.End - R.P))
+      return R.fail("loop mask count exceeds payload");
+    Entry.Loops.reserve(static_cast<size_t>(Count));
+    for (uint64_t I = 0; I != Count; ++I) {
+      uint64_t L;
+      if (!R.varint(L, "truncated loop mask index"))
+        return false;
+      Entry.Loops.push_back(static_cast<size_t>(L));
+    }
+  }
+  SweepRow &Row = Entry.Row;
+  uint64_t V;
+  if (!R.varint(V, "truncated row index"))
+    return false;
+  Row.PointIndex = static_cast<size_t>(V);
+  if (!R.varint(V, "truncated row index"))
+    return false;
+  Row.MachineIndex = static_cast<size_t>(V);
+  if (!R.varint(V, "truncated row index"))
+    return false;
+  Row.SchemeIndex = static_cast<size_t>(V);
+  if (!R.varint(V, "truncated row index"))
+    return false;
+  Row.BenchmarkIndex = static_cast<size_t>(V);
+  if (!R.str(Row.Machine, "truncated machine name") ||
+      !R.str(Row.Scheme, "truncated scheme name") ||
+      !R.str(Row.Benchmark, "truncated benchmark name") ||
+      !R.u64le(Row.PointSeed, "truncated point seed"))
+    return false;
+  uint64_t Count;
+  if (!R.varint(Count, "truncated hybrid count"))
+    return false;
+  if (Count > static_cast<uint64_t>(R.End - R.P))
+    return R.fail("hybrid count exceeds payload");
+  Row.HybridChoices.reserve(static_cast<size_t>(Count));
+  for (uint64_t I = 0; I != Count; ++I) {
+    uint8_t C = 0;
+    if (!R.byte(C, "truncated hybrid choice"))
+      return false;
+    if (C >= 3)
+      return R.fail("hybrid choice out of enum range");
+    Row.HybridChoices.push_back(static_cast<CoherencePolicy>(C));
+  }
+  if (!R.varint(Count, "truncated loop count"))
+    return false;
+  if (Count > static_cast<uint64_t>(R.End - R.P))
+    return R.fail("loop count exceeds payload");
+  Row.Result.Benchmark = Row.Benchmark;
+  Row.Result.Loops.reserve(static_cast<size_t>(Count));
+  for (uint64_t I = 0; I != Count; ++I) {
+    LoopRunResult L;
+    if (!decodeLoopResult(R, L))
+      return false;
+    Row.Result.Loops.push_back(std::move(L));
+  }
+  return true;
+}
+
+} // namespace
+
+void cvliw::encodeBinaryFrameHeader(std::string &Out, bool IsBatch,
+                                    bool HasId, uint64_t Id,
+                                    uint64_t Count) {
+  Out.push_back(
+      static_cast<char>(IsBatch ? BinaryFrameRowBatch : BinaryFrameRow));
+  Out.push_back(static_cast<char>(HasId ? 1 : 0));
+  if (HasId)
+    appendVarint(Out, Id);
+  if (IsBatch)
+    appendVarint(Out, Count);
+}
+
+void cvliw::encodeBinaryRowFrame(const BinaryRowFrame &Frame,
+                                 std::string &Out) {
+  encodeBinaryFrameHeader(Out, Frame.IsBatch, Frame.HasId, Frame.Id,
+                          Frame.Entries.size());
+  for (const BinaryRowEntry &Entry : Frame.Entries)
+    encodeBinaryRowEntry(Out, Entry.HasGrid, Entry.Grid,
+                         Entry.HasLoops ? &Entry.Loops : nullptr, Entry.Row);
+}
+
+bool cvliw::decodeBinaryRowFrame(const std::string &Payload,
+                                 BinaryRowFrame &Frame, std::string &Error) {
+  Error.clear();
+  Frame = BinaryRowFrame();
+  Reader R{Payload.data(), Payload.data() + Payload.size(), Error};
+  uint8_t Type, Flags;
+  if (!R.byte(Type, "empty payload"))
+    return false;
+  if (Type != BinaryFrameRow && Type != BinaryFrameRowBatch)
+    return R.fail("unknown frame type");
+  Frame.IsBatch = Type == BinaryFrameRowBatch;
+  if (!R.byte(Flags, "truncated frame flags"))
+    return false;
+  if (Flags & ~1u)
+    return R.fail("unknown frame flag bits");
+  Frame.HasId = (Flags & 1) != 0;
+  if (Frame.HasId && !R.varint(Frame.Id, "truncated id"))
+    return false;
+  uint64_t Count = 1;
+  if (Frame.IsBatch) {
+    if (!R.varint(Count, "truncated batch count"))
+      return false;
+    if (Count > static_cast<uint64_t>(R.End - R.P))
+      return R.fail("batch count exceeds payload");
+  }
+  Frame.Entries.reserve(static_cast<size_t>(Count));
+  for (uint64_t I = 0; I != Count; ++I) {
+    BinaryRowEntry Entry;
+    if (!decodeEntry(R, Entry))
+      return false;
+    Frame.Entries.push_back(std::move(Entry));
+  }
+  if (R.P != R.End)
+    return R.fail("trailing bytes after frame");
+  return true;
+}

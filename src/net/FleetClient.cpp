@@ -6,6 +6,7 @@
 
 #include "cvliw/net/FleetClient.h"
 
+#include "cvliw/net/BinaryCodec.h"
 #include "cvliw/net/WireFormat.h"
 
 #include <algorithm>
@@ -62,6 +63,7 @@ bool FleetClient::negotiate(size_t MaxBatchWanted, unsigned Weight,
   const bool Fleet = Shards.size() > 1;
   size_t Granted = DefaultMaxFrameBytes; // any large sentinel; min()'d below
   bool AllPipelining = true;
+  bool AllBinary = BinaryWanted;
   for (size_t S = 0; S != Shards.size(); ++S) {
     Shard &Sh = Shards[S];
     JsonValue Hello = JsonValue::object();
@@ -69,6 +71,8 @@ bool FleetClient::negotiate(size_t MaxBatchWanted, unsigned Weight,
     Hello.set("max_batch", JsonValue::uint(MaxBatchWanted));
     if (Weight > 1)
       Hello.set("weight", JsonValue::uint(Weight));
+    if (BinaryWanted)
+      Hello.set("binary_rows", JsonValue::boolean(true));
     if (Fleet) {
       // Each daemon gets the same map and its own claimed id — the
       // daemon self-checks the claim against any --shard-id identity.
@@ -107,6 +111,7 @@ bool FleetClient::negotiate(size_t MaxBatchWanted, unsigned Weight,
         // SweepClient: unbatched, un-pipelined, id-less requests.
         MaxBatch = 1;
         Pipelining = false;
+        BinaryRows = false;
         SendIds = false;
         return true;
       }
@@ -122,6 +127,10 @@ bool FleetClient::negotiate(size_t MaxBatchWanted, unsigned Weight,
           Granted, std::max<uint64_t>(1, Reply.u64("max_batch")));
       const JsonValue *P = Reply.find("pipelining");
       AllPipelining = AllPipelining && P && P->asBool();
+      if (BinaryWanted) {
+        const JsonValue *BR = Reply.find("binary_rows");
+        AllBinary = AllBinary && BR && BR->asBool();
+      }
       if (Fleet) {
         const JsonValue *Cap = Reply.find("shards");
         if (!Cap || Cap->kind() != JsonValue::Kind::Bool || !Cap->asBool()) {
@@ -138,6 +147,7 @@ bool FleetClient::negotiate(size_t MaxBatchWanted, unsigned Weight,
   }
   MaxBatch = Granted;
   Pipelining = AllPipelining;
+  BinaryRows = AllBinary;
   SendIds = true;
   return true;
 }
@@ -348,12 +358,27 @@ bool FleetClient::routeRow(PendingRequest &Req, const JsonValue &RowMessage,
   size_t GridIndex = 0;
   if (const JsonValue *G = RowMessage.find("grid"))
     GridIndex = G->asU64();
+  const std::vector<size_t> *MaskPtr = nullptr;
+  std::vector<size_t> Mask;
+  if (const JsonValue *M = RowMessage.find("loops")) {
+    Mask.reserve(M->items().size());
+    for (const JsonValue &Entry : M->items())
+      Mask.push_back(Entry.asU64());
+    MaskPtr = &Mask;
+  }
+  return mergeDecodedRow(Req, GridIndex, rowFromJson(RowMessage.at("row")),
+                         MaskPtr, Error);
+}
+
+bool FleetClient::mergeDecodedRow(PendingRequest &Req, size_t GridIndex,
+                                  SweepRow &&Row,
+                                  const std::vector<size_t> *Mask,
+                                  std::string &Error) {
   if (GridIndex >= Req.Grids.size()) {
     Error = "row grid index out of range";
     return false;
   }
   PendingGrid &Grid = Req.Grids[GridIndex];
-  SweepRow Row = rowFromJson(RowMessage.at("row"));
   if (Row.PointIndex >= Grid.Rows.size() ||
       Row.MachineIndex >= Grid.Machines ||
       Row.SchemeIndex >= Grid.Schemes ||
@@ -392,9 +417,9 @@ bool FleetClient::routeRow(PendingRequest &Req, const JsonValue &RowMessage,
     ++PM.SeenLoops;
     return true;
   };
-  if (const JsonValue *Mask = RowMessage.find("loops")) {
-    for (const JsonValue &Entry : Mask->items())
-      if (!MergeLoop(Entry.asU64())) {
+  if (Mask) {
+    for (size_t L : *Mask)
+      if (!MergeLoop(L)) {
         Error = "row loop mask out of range";
         return false;
       }
@@ -405,6 +430,43 @@ bool FleetClient::routeRow(PendingRequest &Req, const JsonValue &RowMessage,
   if (!PM.Complete && PM.SeenLoops == PM.LoopCount) {
     PM.Complete = true;
     ++Req.TotalReceived;
+  }
+  return true;
+}
+
+bool FleetClient::routeBinaryFrame(size_t ShardIdx,
+                                   const std::string &Payload,
+                                   std::string &Error) {
+  BinaryRowFrame Frame;
+  if (!decodeBinaryRowFrame(Payload, Frame, Error)) {
+    Error = "from " + Shards[ShardIdx].Addr + ": " + Error;
+    return false;
+  }
+  uint64_t Id = 0;
+  if (Frame.HasId) {
+    Id = Frame.Id;
+  } else if (!SendIds && Pending.size() == 1) {
+    Id = Pending.begin()->first;
+  } else {
+    Error = "binary row frame missing request id";
+    return false;
+  }
+  auto It = Pending.find(Id);
+  if (It == Pending.end()) {
+    Error = "response for unknown request id " + std::to_string(Id);
+    return false;
+  }
+  PendingRequest &Req = It->second;
+  Req.Stats.BytesReceived += Payload.size() + FrameHeaderBytes;
+  Req.Stats.FramesReceived += 1;
+  for (BinaryRowEntry &Entry : Frame.Entries)
+    if (!mergeDecodedRow(Req, Entry.HasGrid ? Entry.Grid : 0,
+                         std::move(Entry.Row),
+                         Entry.HasLoops ? &Entry.Loops : nullptr, Error))
+      return false;
+  if (Frame.IsBatch) {
+    Req.Stats.RowsBatched += Frame.Entries.size();
+    Req.Stats.BatchesReceived += 1;
   }
   return true;
 }
@@ -436,8 +498,8 @@ void FleetClient::finishShardRequest(size_t ShardIdx, uint64_t Id,
 }
 
 bool FleetClient::routeFrame(size_t ShardIdx, const JsonValue &Message,
-                             uint64_t &CompletedId, bool &Completed,
-                             std::string &Error) {
+                             size_t WireBytes, uint64_t &CompletedId,
+                             bool &Completed, std::string &Error) {
   try {
     const std::string &Type = Message.text("type");
 
@@ -467,6 +529,8 @@ bool FleetClient::routeFrame(size_t ShardIdx, const JsonValue &Message,
       return false;
     }
     PendingRequest &Req = It->second;
+    Req.Stats.BytesReceived += WireBytes;
+    Req.Stats.FramesReceived += 1;
 
     if (Type == "row")
       return routeRow(Req, Message, Error);
@@ -533,7 +597,10 @@ bool FleetClient::poll(uint64_t &CompletedId, bool &Completed,
       if (!Shards[S].Alive)
         continue;
       std::string Payload;
-      if (Shards[S].Decoder.next(Payload)) {
+      FrameKind Kind = FrameKind::Json;
+      if (Shards[S].Decoder.next(Payload, Kind)) {
+        if (Kind == FrameKind::Binary)
+          return routeBinaryFrame(S, Payload, Error);
         JsonValue Message;
         std::string ParseError;
         if (!JsonValue::parse(Payload, Message, ParseError)) {
@@ -541,7 +608,8 @@ bool FleetClient::poll(uint64_t &CompletedId, bool &Completed,
                   ParseError;
           return false;
         }
-        return routeFrame(S, Message, CompletedId, Completed, Error);
+        return routeFrame(S, Message, Payload.size() + FrameHeaderBytes,
+                          CompletedId, Completed, Error);
       }
       if (Shards[S].Decoder.error() != FrameStatus::Ok) {
         Error = "bad response frame from " + Shards[S].Addr + ": " +

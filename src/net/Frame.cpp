@@ -28,8 +28,26 @@ const char *cvliw::frameStatusName(FrameStatus Status) {
   return "unknown";
 }
 
+namespace {
+
+/// Classifies a header's 4-byte magic; false when it is neither
+/// protocol magic (the caller reports Malformed).
+bool magicToKind(const unsigned char *Header, FrameKind &Kind) {
+  if (std::memcmp(Header, FrameMagic, sizeof(FrameMagic)) == 0) {
+    Kind = FrameKind::Json;
+    return true;
+  }
+  if (std::memcmp(Header, FrameMagic2, sizeof(FrameMagic2)) == 0) {
+    Kind = FrameKind::Binary;
+    return true;
+  }
+  return false;
+}
+
+} // namespace
+
 FrameStatus cvliw::readFrame(Socket &S, std::string &Payload,
-                             size_t MaxBytes) {
+                             FrameKind &Kind, size_t MaxBytes) {
   unsigned char Header[8];
   bool IoError = false;
   size_t Got = S.recvAll(Header, sizeof(Header), &IoError);
@@ -38,7 +56,7 @@ FrameStatus cvliw::readFrame(Socket &S, std::string &Payload,
       return FrameStatus::IoError; // Reset, not an orderly close.
     return Got == 0 ? FrameStatus::Eof : FrameStatus::Truncated;
   }
-  if (std::memcmp(Header, FrameMagic, sizeof(FrameMagic)) != 0)
+  if (!magicToKind(Header, Kind))
     return FrameStatus::Malformed;
 
   uint32_t Len = (static_cast<uint32_t>(Header[4]) << 24) |
@@ -54,6 +72,12 @@ FrameStatus cvliw::readFrame(Socket &S, std::string &Payload,
   return FrameStatus::Ok;
 }
 
+FrameStatus cvliw::readFrame(Socket &S, std::string &Payload,
+                             size_t MaxBytes) {
+  FrameKind Kind = FrameKind::Json;
+  return readFrame(S, Payload, Kind, MaxBytes);
+}
+
 bool FrameDecoder::feed(const void *Data, size_t Len) {
   if (Err != FrameStatus::Ok)
     return false;
@@ -61,7 +85,7 @@ bool FrameDecoder::feed(const void *Data, size_t Len) {
   return true;
 }
 
-bool FrameDecoder::next(std::string &Payload) {
+bool FrameDecoder::next(std::string &Payload, FrameKind &Kind) {
   if (Err != FrameStatus::Ok)
     return false;
   size_t Avail = Buffer.size() - Consumed;
@@ -72,7 +96,7 @@ bool FrameDecoder::next(std::string &Payload) {
   // Validate the header the moment it is complete — poisoning on bad
   // magic / an over-limit length must not wait for payload bytes that
   // may never come.
-  if (std::memcmp(Header, FrameMagic, sizeof(FrameMagic)) != 0) {
+  if (!magicToKind(Header, Kind)) {
     Err = FrameStatus::Malformed;
     return false;
   }
@@ -99,6 +123,11 @@ bool FrameDecoder::next(std::string &Payload) {
   return true;
 }
 
+bool FrameDecoder::next(std::string &Payload) {
+  FrameKind Kind = FrameKind::Json;
+  return next(Payload, Kind);
+}
+
 FrameStatus FrameDecoder::endOfStream() const {
   if (Err != FrameStatus::Ok)
     return Err;
@@ -106,12 +135,13 @@ FrameStatus FrameDecoder::endOfStream() const {
 }
 
 bool cvliw::writeFrame(Socket &S, const std::string &Payload,
-                       size_t MaxBytes) {
+                       FrameKind Kind, size_t MaxBytes) {
   if (Payload.size() > MaxBytes || Payload.size() > UINT32_MAX)
     return false;
   uint32_t Len = static_cast<uint32_t>(Payload.size());
   unsigned char Header[8];
-  std::memcpy(Header, FrameMagic, sizeof(FrameMagic));
+  std::memcpy(Header, Kind == FrameKind::Binary ? FrameMagic2 : FrameMagic,
+              sizeof(FrameMagic));
   Header[4] = static_cast<unsigned char>(Len >> 24);
   Header[5] = static_cast<unsigned char>(Len >> 16);
   Header[6] = static_cast<unsigned char>(Len >> 8);
@@ -119,4 +149,9 @@ bool cvliw::writeFrame(Socket &S, const std::string &Payload,
   if (!S.sendAll(Header, sizeof(Header)))
     return false;
   return Payload.empty() || S.sendAll(Payload.data(), Payload.size());
+}
+
+bool cvliw::writeFrame(Socket &S, const std::string &Payload,
+                       size_t MaxBytes) {
+  return writeFrame(S, Payload, FrameKind::Json, MaxBytes);
 }

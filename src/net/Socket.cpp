@@ -158,8 +158,14 @@ Socket cvliw::listenOn(const std::string &Host, uint16_t Port,
 Socket cvliw::acceptFrom(Socket &Listener) {
   for (;;) {
     int Fd = ::accept(Listener.fd(), nullptr, nullptr);
-    if (Fd >= 0)
-      return Socket(Fd);
+    if (Fd >= 0) {
+      Socket S(Fd);
+      // Row streams are many small negotiated batches; Nagle would
+      // hold each one hostage to the previous ACK on loopback.
+      int One = 1;
+      ::setsockopt(S.fd(), IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+      return S;
+    }
     if (errno == EINTR)
       continue;
     return Socket();

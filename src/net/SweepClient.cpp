@@ -6,6 +6,7 @@
 
 #include "cvliw/net/SweepClient.h"
 
+#include "cvliw/net/BinaryCodec.h"
 #include "cvliw/net/Frame.h"
 #include "cvliw/net/WireFormat.h"
 
@@ -21,6 +22,9 @@ void cvliw::logDaemonCacheLine(const RemoteSweepStats &Stats,
   if (Stats.BatchesReceived != 0)
     Log << "; " << Stats.RowsBatched << " rows batched into "
         << Stats.BatchesReceived << " frames";
+  if (Stats.FramesReceived != 0)
+    Log << "; " << Stats.BytesReceived << " bytes in "
+        << Stats.FramesReceived << " response frames";
   Log << "\n";
 }
 
@@ -107,6 +111,8 @@ bool SweepClient::negotiate(size_t MaxBatchWanted, unsigned Weight,
   Hello.set("max_batch", JsonValue::uint(MaxBatchWanted));
   if (Weight > 1)
     Hello.set("weight", JsonValue::uint(Weight));
+  if (BinaryWanted)
+    Hello.set("binary_rows", JsonValue::boolean(true));
   if (!sendMessage(Hello, Error))
     return false;
 
@@ -132,6 +138,12 @@ bool SweepClient::negotiate(size_t MaxBatchWanted, unsigned Weight,
       MaxBatch = std::max<uint64_t>(1, Reply.u64("max_batch"));
       if (const JsonValue *P = Reply.find("pipelining"))
         Pipelining = P->asBool();
+      // v4 grant: only trusted when we actually offered — a confused
+      // daemon cannot talk a JSON client into expecting CVW2 frames.
+      BinaryRows = false;
+      if (BinaryWanted)
+        if (const JsonValue *BR = Reply.find("binary_rows"))
+          BinaryRows = BR->asBool();
     } catch (const JsonError &E) {
       Error = std::string("bad hello_ok: ") + E.what();
       return false;
@@ -144,6 +156,7 @@ bool SweepClient::negotiate(size_t MaxBatchWanted, unsigned Weight,
   // pre-session daemon echoes no ids for poll() to route by.
   MaxBatch = 1;
   Pipelining = false;
+  BinaryRows = false;
   SendIds = false;
   return true;
 }
@@ -216,12 +229,17 @@ bool SweepClient::routeRow(PendingRequest &Req,
   size_t GridIndex = 0;
   if (const JsonValue *G = RowMessage.find("grid"))
     GridIndex = G->asU64();
+  return routeDecodedRow(Req, GridIndex, rowFromJson(RowMessage.at("row")),
+                         Error);
+}
+
+bool SweepClient::routeDecodedRow(PendingRequest &Req, size_t GridIndex,
+                                  SweepRow &&Row, std::string &Error) {
   if (GridIndex >= Req.Grids.size()) {
     Error = "row grid index out of range";
     return false;
   }
   PendingGrid &Grid = Req.Grids[GridIndex];
-  SweepRow Row = rowFromJson(RowMessage.at("row"));
   // Range-check every axis index against the *local* expansion: the
   // daemon's registry must agree with ours, and writeCsv()/at() later
   // index the grid's axes with these, trusting the wire no further.
@@ -248,11 +266,45 @@ bool SweepClient::poll(uint64_t &CompletedId, bool &Completed,
   CompletedId = 0;
 
   std::string Payload;
-  FrameStatus Status = readFrame(Conn, Payload);
+  FrameKind Kind = FrameKind::Json;
+  FrameStatus Status = readFrame(Conn, Payload, Kind);
   if (Status != FrameStatus::Ok) {
     Error = std::string("bad response frame: ") + frameStatusName(Status);
     return false;
   }
+
+  if (Kind == FrameKind::Binary) {
+    BinaryRowFrame Frame;
+    if (!decodeBinaryRowFrame(Payload, Frame, Error))
+      return false;
+    uint64_t Id = 0;
+    if (Frame.HasId) {
+      Id = Frame.Id;
+    } else if (!SendIds && Pending.size() == 1) {
+      Id = Pending.begin()->first;
+    } else {
+      Error = "binary row frame missing request id";
+      return false;
+    }
+    auto It = Pending.find(Id);
+    if (It == Pending.end()) {
+      Error = "response for unknown request id " + std::to_string(Id);
+      return false;
+    }
+    PendingRequest &Req = It->second;
+    Req.Stats.BytesReceived += Payload.size() + FrameHeaderBytes;
+    Req.Stats.FramesReceived += 1;
+    for (BinaryRowEntry &Entry : Frame.Entries)
+      if (!routeDecodedRow(Req, Entry.HasGrid ? Entry.Grid : 0,
+                           std::move(Entry.Row), Error))
+        return false;
+    if (Frame.IsBatch) {
+      Req.Stats.RowsBatched += Frame.Entries.size();
+      Req.Stats.BatchesReceived += 1;
+    }
+    return true;
+  }
+
   JsonValue Message;
   std::string ParseError;
   if (!JsonValue::parse(Payload, Message, ParseError)) {
@@ -292,6 +344,8 @@ bool SweepClient::poll(uint64_t &CompletedId, bool &Completed,
       return false;
     }
     PendingRequest &Req = It->second;
+    Req.Stats.BytesReceived += Payload.size() + FrameHeaderBytes;
+    Req.Stats.FramesReceived += 1;
 
     if (Type == "row") {
       if (!routeRow(Req, Message, Error))

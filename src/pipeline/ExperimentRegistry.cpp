@@ -133,6 +133,7 @@ bool runExperimentRemote(const ExperimentSpec &Spec,
     std::cerr << "sweep: " << Error << "\n";
     return false;
   }
+  Client.setBinaryRows(Options.BinaryRows);
   if (!Client.negotiate(DefaultClientMaxBatch, /*Weight=*/1, Error)) {
     std::cerr << "sweep: " << Error << "\n";
     return false;
@@ -239,6 +240,7 @@ int cvliw::runAllExperimentsRemote(const SweepRunOptions &Options,
     std::cerr << "sweep: " << Error << "\n";
     return 1;
   }
+  Client.setBinaryRows(Options.BinaryRows);
   if (!Client.negotiate(DefaultClientMaxBatch, /*Weight=*/1, Error)) {
     std::cerr << "sweep: " << Error << "\n";
     return 1;

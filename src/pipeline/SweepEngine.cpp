@@ -655,6 +655,7 @@ unsigned cvliw::defaultSweepThreads() {
 
 bool cvliw::parseSweepArgs(int Argc, char **Argv,
                            SweepRunOptions &Options) {
+  bool BinaryFlagGiven = false;
   for (int I = 1; I < Argc; ++I) {
     const char *Arg = Argv[I];
     auto NextValue = [&](const char *Flag) -> const char * {
@@ -735,6 +736,19 @@ bool cvliw::parseSweepArgs(int Argc, char **Argv,
         return false;
       }
       Options.ConnectRetries = static_cast<unsigned>(N);
+    } else if (std::strcmp(Arg, "--binary-rows") == 0) {
+      const char *Value = NextValue("--binary-rows");
+      if (!Value)
+        return false;
+      BinaryFlagGiven = true;
+      if (std::strcmp(Value, "on") == 0) {
+        Options.BinaryRows = true;
+      } else if (std::strcmp(Value, "off") == 0) {
+        Options.BinaryRows = false;
+      } else {
+        std::cerr << "--binary-rows needs 'on' or 'off'\n";
+        return false;
+      }
     } else if (std::strcmp(Arg, "--dump-grid") == 0) {
       const char *Value = NextValue("--dump-grid");
       if (!Value)
@@ -748,8 +762,8 @@ bool cvliw::parseSweepArgs(int Argc, char **Argv,
                    "[--cache FILE] [--cache-max-bytes N] [--base-seed N] "
                    "[--remote HOST:PORT] "
                    "[--shards HOST:PORT,HOST:PORT,...] "
-                   "[--connect-retries N] [--dump-grid FILE] "
-                   "[--verify-serial]\n";
+                   "[--connect-retries N] [--binary-rows on|off] "
+                   "[--dump-grid FILE] [--verify-serial]\n";
       return false;
     }
   }
@@ -767,6 +781,11 @@ bool cvliw::parseSweepArgs(int Argc, char **Argv,
   if (Options.Shards.empty())
     if (const char *Env = std::getenv("CVLIW_SWEEP_SHARDS"))
       Options.Shards = parseShardList(Env);
+  // Env fallback like the others: an explicit --binary-rows flag wins.
+  if (!BinaryFlagGiven)
+    if (const char *Env = std::getenv("CVLIW_SWEEP_BINARY"))
+      Options.BinaryRows =
+          !(std::strcmp(Env, "0") == 0 || std::strcmp(Env, "off") == 0);
   return true;
 }
 
@@ -826,8 +845,10 @@ bool cvliw::runSweep(SweepEngine &Engine, const SweepRunOptions &Options,
       std::cerr << "sweep: " << Error << "\n";
       return false;
     }
-    // Ask for batching; a daemon without the capability (or with
+    // Ask for batching and (unless --binary-rows off) the CVW2 binary
+    // row encoding; a daemon without either capability (or with
     // --max-batch-rows 1) leaves the connection on v1 row frames.
+    Client.setBinaryRows(Options.BinaryRows);
     if (!Client.negotiate(DefaultClientMaxBatch, /*Weight=*/1, Error)) {
       std::cerr << "sweep: " << Error << "\n";
       return false;

@@ -6,6 +6,7 @@
 
 #include "cvliw/pipeline/SweepService.h"
 
+#include "cvliw/net/BinaryCodec.h"
 #include "cvliw/net/Json.h"
 #include "cvliw/net/ShardMap.h"
 #include "cvliw/net/WireFormat.h"
@@ -33,6 +34,12 @@ struct SweepService::Request {
   /// Rows waiting for a full batch (negotiated batching only).
   std::mutex BatchMutex;
   std::vector<JsonValue> Batch;
+  /// Binary-rows sessions accumulate encoded entries here instead
+  /// (also guarded by BatchMutex); the flush prepends the CVW2 frame
+  /// header. clear() keeps the capacity, so a request's batches reuse
+  /// one allocation.
+  std::string BinaryBatch;
+  uint64_t BinaryBatchCount = 0;
   /// This request's batching tally (guarded by BatchMutex); reported
   /// on its done frame.
   uint64_t RowsBatched = 0;
@@ -47,6 +54,9 @@ struct SweepService::Request {
 /// capabilities.
 struct SweepService::Session {
   uint64_t Id = 0;
+  /// Back-pointer for the service-wide traffic/pool gauges the writer
+  /// thread bumps; set before the handler thread starts.
+  SweepService *Svc = nullptr;
   Socket Sock;
   std::thread Thread;
   std::atomic<bool> Done{false};
@@ -65,6 +75,9 @@ struct SweepService::Session {
   /// request).
   struct OutItem {
     std::string Frame;
+    FrameKind Kind = FrameKind::Json;
+    /// Return the frame's buffer to the session pool once sent.
+    bool Pooled = false;
     bool ReapAfter = false;
   };
   std::deque<OutItem> OutQueue;
@@ -80,6 +93,10 @@ struct SweepService::Session {
   // threads with no such edge — hence atomics.
   std::atomic<size_t> MaxBatch{1};
   std::atomic<unsigned> Weight{1};
+  /// hello offered (and the daemon granted) "binary_rows": row and
+  /// row_batch frames go out as CVW2 binary instead of JSON. Read by
+  /// pool workers (emitRow) and statusJson — hence atomic.
+  std::atomic<bool> BinaryRows{false};
   bool SaidHello = false;
   /// Latches once a sweep/run_experiment arrived: hello must precede.
   bool AnySweepSeen = false;
@@ -96,14 +113,58 @@ struct SweepService::Session {
   // Per-session served-traffic stats (status response).
   std::atomic<uint64_t> RowsBatched{0};
   std::atomic<uint64_t> BatchesSent{0};
+  std::atomic<uint64_t> BytesSent{0};
+  std::atomic<uint64_t> FramesSent{0};
+
+  /// Writer-path encode-buffer freelist: sent binary frames return
+  /// their strings here (capacity intact) for the next encode. Bounded
+  /// — a burst allocates, steady state recycles.
+  std::mutex BufferPoolMutex;
+  std::vector<std::string> BufferPool;
+  static constexpr size_t MaxPooledBuffers = 32;
+
+  /// An empty string to encode the next frame into: recycled when the
+  /// pool has one, fresh otherwise. Counted in the service-wide
+  /// buffers_pooled / buffers_allocated gauges.
+  std::string acquireBuffer() {
+    {
+      std::lock_guard<std::mutex> Lock(BufferPoolMutex);
+      if (!BufferPool.empty()) {
+        std::string Buf = std::move(BufferPool.back());
+        BufferPool.pop_back();
+        Svc->BuffersPooledTotal.fetch_add(1, std::memory_order_relaxed);
+        return Buf;
+      }
+    }
+    Svc->BuffersAllocatedTotal.fetch_add(1, std::memory_order_relaxed);
+    return std::string();
+  }
+
+  void releaseBuffer(std::string Buf) {
+    Buf.clear(); // Keeps the capacity — that is the point of the pool.
+    std::lock_guard<std::mutex> Lock(BufferPoolMutex);
+    if (BufferPool.size() < MaxPooledBuffers)
+      BufferPool.push_back(std::move(Buf));
+  }
 
   void enqueueFrame(std::string Frame) {
-    enqueue(OutItem{std::move(Frame), /*ReapAfter=*/false});
+    enqueue(OutItem{std::move(Frame), FrameKind::Json, /*Pooled=*/false,
+                    /*ReapAfter=*/false});
+  }
+
+  /// Queues a CVW2 frame whose buffer came from acquireBuffer(); the
+  /// writer returns it to the pool after sending.
+  void enqueueBinaryFrame(std::string Frame) {
+    enqueue(OutItem{std::move(Frame), FrameKind::Binary, /*Pooled=*/true,
+                    /*ReapAfter=*/false});
   }
 
   /// Schedules a reap of finished requests once everything already
   /// queued (the done frame included) has been written.
-  void enqueueReap() { enqueue(OutItem{std::string(), /*ReapAfter=*/true}); }
+  void enqueueReap() {
+    enqueue(OutItem{std::string(), FrameKind::Json, /*Pooled=*/false,
+                    /*ReapAfter=*/true});
+  }
 
   void enqueue(OutItem Item) {
     {
@@ -145,9 +206,20 @@ struct SweepService::Session {
         OutQueue.pop_front();
       }
       if (!Item.Frame.empty() &&
-          !WriteFailed.load(std::memory_order_relaxed) &&
-          !writeFrame(Sock, Item.Frame))
-        WriteFailed.store(true, std::memory_order_relaxed);
+          !WriteFailed.load(std::memory_order_relaxed)) {
+        if (!writeFrame(Sock, Item.Frame, Item.Kind)) {
+          WriteFailed.store(true, std::memory_order_relaxed);
+        } else {
+          // Header bytes included: this is wire traffic, not payload.
+          const uint64_t Wire = Item.Frame.size() + 8;
+          BytesSent.fetch_add(Wire, std::memory_order_relaxed);
+          FramesSent.fetch_add(1, std::memory_order_relaxed);
+          Svc->BytesSentTotal.fetch_add(Wire, std::memory_order_relaxed);
+          Svc->FramesSentTotal.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      if (Item.Pooled)
+        releaseBuffer(std::move(Item.Frame));
       if (Item.ReapAfter)
         reapFinished();
     }
@@ -167,13 +239,36 @@ struct SweepService::Session {
       return;
     const bool Partial =
         OwnedLoops && OwnedLoops->size() < Row.Result.Loops.size();
+    const size_t Batch = MaxBatch.load(std::memory_order_relaxed);
+    if (BinaryRows.load(std::memory_order_relaxed)) {
+      const std::vector<size_t> *Mask = Partial ? OwnedLoops : nullptr;
+      if (Batch <= 1) {
+        std::string Out = acquireBuffer();
+        encodeBinaryFrameHeader(Out, /*IsBatch=*/false, Req->HasId,
+                                Req->Id, /*Count=*/1);
+        encodeBinaryRowEntry(Out, TagGrid, GridIndex, Mask, Row);
+        enqueueBinaryFrame(std::move(Out));
+        return;
+      }
+      std::string Flush;
+      {
+        std::lock_guard<std::mutex> Lock(Req->BatchMutex);
+        encodeBinaryRowEntry(Req->BinaryBatch, TagGrid, GridIndex, Mask,
+                             Row);
+        Req->BinaryBatchCount += 1;
+        if (Req->BinaryBatchCount >= Batch)
+          Flush = buildBinaryBatchLocked(Req, TotalRows, TotalBatches);
+      }
+      if (!Flush.empty())
+        enqueueBinaryFrame(std::move(Flush));
+      return;
+    }
     JsonValue Mask;
     if (Partial) {
       Mask = JsonValue::array();
       for (size_t L : *OwnedLoops)
         Mask.push(JsonValue::uint(L));
     }
-    const size_t Batch = MaxBatch.load(std::memory_order_relaxed);
     if (Batch <= 1) {
       JsonValue Message = JsonValue::object();
       Message.set("type", JsonValue::str("row"));
@@ -229,6 +324,31 @@ struct SweepService::Session {
     TotalBatches.fetch_add(1, std::memory_order_relaxed);
     return Message.dump();
   }
+
+  /// The CVW2 counterpart of buildBatchLocked(): prepends the frame
+  /// header to the accumulated entries in a pooled buffer. BatchMutex
+  /// must be held; empty string when there is nothing to flush. The
+  /// caller sends the result with enqueueBinaryFrame().
+  std::string buildBinaryBatchLocked(Request *Req,
+                                     std::atomic<uint64_t> &TotalRows,
+                                     std::atomic<uint64_t> &TotalBatches) {
+    if (Req->BinaryBatchCount == 0)
+      return std::string();
+    std::string Out = acquireBuffer();
+    encodeBinaryFrameHeader(Out, /*IsBatch=*/true, Req->HasId, Req->Id,
+                            Req->BinaryBatchCount);
+    Out.append(Req->BinaryBatch);
+    uint64_t N = Req->BinaryBatchCount;
+    Req->BinaryBatch.clear();
+    Req->BinaryBatchCount = 0;
+    Req->RowsBatched += N;
+    Req->BatchesSent += 1;
+    RowsBatched.fetch_add(N, std::memory_order_relaxed);
+    BatchesSent.fetch_add(1, std::memory_order_relaxed);
+    TotalRows.fetch_add(N, std::memory_order_relaxed);
+    TotalBatches.fetch_add(1, std::memory_order_relaxed);
+    return Out;
+  }
 };
 
 SweepService::SweepService(SweepServiceConfig Config)
@@ -274,6 +394,7 @@ void SweepService::acceptLoop() {
     Sessions.emplace_back(new Session());
     Session *S = Sessions.back().get();
     S->Id = NextSessionId.fetch_add(1, std::memory_order_relaxed);
+    S->Svc = this;
     S->Sock = std::move(Client);
     S->Thread = std::thread([this, S] { handleSession(S); });
   }
@@ -446,21 +567,30 @@ void SweepService::requestFinished(Session *S, Request *Req) {
       // Buffered rows of a failed request are dead weight.
       std::lock_guard<std::mutex> Lock(Req->BatchMutex);
       Req->Batch.clear();
+      Req->BinaryBatch.clear();
+      Req->BinaryBatchCount = 0;
     }
     S->enqueueFrame(
         errorResponse(FailMessage, Req->HasId, Req->Id).dump());
   } else {
+    const bool Binary = S->BinaryRows.load(std::memory_order_relaxed);
     std::string Flush;
     uint64_t ReqRows = 0, ReqBatches = 0;
     {
       std::lock_guard<std::mutex> Lock(Req->BatchMutex);
-      Flush = S->buildBatchLocked(Req, RowsBatchedTotal,
-                                  BatchesSentTotal);
+      Flush = Binary ? S->buildBinaryBatchLocked(Req, RowsBatchedTotal,
+                                                 BatchesSentTotal)
+                     : S->buildBatchLocked(Req, RowsBatchedTotal,
+                                           BatchesSentTotal);
       ReqRows = Req->RowsBatched;
       ReqBatches = Req->BatchesSent;
     }
-    if (!Flush.empty())
-      S->enqueueFrame(std::move(Flush));
+    if (!Flush.empty()) {
+      if (Binary)
+        S->enqueueBinaryFrame(std::move(Flush));
+      else
+        S->enqueueFrame(std::move(Flush));
+    }
     // Count before the done frame goes out: a client that has seen
     // "done" must find the counter already bumped in a status query.
     if (Req->IsExperiment)
@@ -576,6 +706,12 @@ JsonValue SweepService::statusJson() {
   J.set("protocol_errors", JsonValue::uint(protocolErrors()));
   J.set("rows_batched", JsonValue::uint(rowsBatched()));
   J.set("batches_sent", JsonValue::uint(batchesSent()));
+  // Wire traffic and writer-pool gauges (v4): what actually went out,
+  // headers included, and how well the encode-buffer pool recycles.
+  J.set("bytes_sent", JsonValue::uint(bytesSent()));
+  J.set("frames_sent", JsonValue::uint(framesSent()));
+  J.set("buffers_allocated", JsonValue::uint(buffersAllocated()));
+  J.set("buffers_pooled", JsonValue::uint(buffersPooled()));
   // Fleet identity and misroutes — always present (0/0/0 when the
   // daemon is unconfigured) so status consumers need no probing.
   J.set("shard_id", JsonValue::uint(Config.ShardId));
@@ -611,6 +747,15 @@ JsonValue SweepService::statusJson() {
       Entry.set("batches_sent",
                 JsonValue::uint(
                     S->BatchesSent.load(std::memory_order_relaxed)));
+      Entry.set("bytes_sent",
+                JsonValue::uint(
+                    S->BytesSent.load(std::memory_order_relaxed)));
+      Entry.set("frames_sent",
+                JsonValue::uint(
+                    S->FramesSent.load(std::memory_order_relaxed)));
+      Entry.set("binary_rows",
+                JsonValue::boolean(
+                    S->BinaryRows.load(std::memory_order_relaxed)));
       SessionArr.push(std::move(Entry));
     }
   }
@@ -715,12 +860,15 @@ bool SweepService::dispatchRequest(Session *S, const std::string &Payload) {
     }
     size_t WantBatch = 1;
     unsigned WantWeight = 1;
+    bool WantBinary = false;
     try {
       if (const JsonValue *B = Msg.find("max_batch"))
         WantBatch = std::max<uint64_t>(1, B->asU64());
       if (const JsonValue *W = Msg.find("weight"))
         WantWeight = static_cast<unsigned>(
             std::min<uint64_t>(W->asU64(), 1u << 20));
+      if (const JsonValue *BR = Msg.find("binary_rows"))
+        WantBinary = BR->asBool();
     } catch (const JsonError &E) {
       ProtocolErrors.fetch_add(1, std::memory_order_relaxed);
       S->enqueueFrame(
@@ -766,6 +914,13 @@ bool SweepService::dispatchRequest(Session *S, const std::string &Payload) {
     // v3: this daemon understands shard claims; a configured one also
     // advertises its identity for client-side self-checks.
     Reply.set("shards", JsonValue::boolean(true));
+    // v4: binary rows, granted only when offered — a v1/v2/v3 client's
+    // hello_ok (and every frame it ever receives) is byte-identical to
+    // what the pre-v4 daemon sent.
+    if (WantBinary) {
+      S->BinaryRows.store(true, std::memory_order_relaxed);
+      Reply.set("binary_rows", JsonValue::boolean(true));
+    }
     if (effectiveShardCount() != 0) {
       Reply.set("shard_id", JsonValue::uint(Config.ShardId));
       Reply.set("shard_count", JsonValue::uint(effectiveShardCount()));

@@ -1,0 +1,409 @@
+//===- tests/BinaryCodecTest.cpp - CVW2 binary row codec tests ------------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+// The protocol-v4 binary row encoding: varint plumbing, the
+// streaming-header/whole-frame equivalence the sweep service's writer
+// relies on, a randomized round-trip property test that pushes frames
+// through a byte-at-a-time FrameDecoder and requires the decoded rows
+// to match the JSON codec's result exactly, and the decoder's
+// rejection of truncated, trailing and out-of-range payloads.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cvliw/net/BinaryCodec.h"
+#include "cvliw/net/Frame.h"
+#include "cvliw/net/WireFormat.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+using namespace cvliw;
+
+namespace {
+
+TEST(VarintTest, RoundTripsBoundaryValues) {
+  const uint64_t Values[] = {0,
+                             1,
+                             127,
+                             128,
+                             16383,
+                             16384,
+                             UINT64_C(0xFFFFFFFF),
+                             UINT64_C(0x100000000),
+                             UINT64_C(0xFFFFFFFFFFFFFFFF)};
+  for (uint64_t V : Values) {
+    std::string Buf;
+    appendVarint(Buf, V);
+    const char *P = Buf.data();
+    uint64_t Out = 0;
+    ASSERT_TRUE(readVarint(P, Buf.data() + Buf.size(), Out));
+    EXPECT_EQ(Out, V);
+    EXPECT_EQ(P, Buf.data() + Buf.size());
+  }
+}
+
+TEST(VarintTest, TruncatedReadFails) {
+  std::string Buf;
+  appendVarint(Buf, UINT64_C(0xFFFFFFFFFFFFFFFF));
+  for (size_t Len = 0; Len != Buf.size(); ++Len) {
+    const char *P = Buf.data();
+    uint64_t Out = 0;
+    EXPECT_FALSE(readVarint(P, Buf.data() + Len, Out));
+  }
+}
+
+/// A row with every field set to a distinctive value, so a codec that
+/// drops or reorders a field cannot round-trip it.
+SweepRow distinctiveRow() {
+  SweepRow Row;
+  Row.PointIndex = 5;
+  Row.MachineIndex = 1;
+  Row.SchemeIndex = 2;
+  Row.BenchmarkIndex = 3;
+  Row.Machine = "unified-16w";
+  Row.Scheme = "mdc/prefclus";
+  Row.Benchmark = "epicdec";
+  Row.PointSeed = UINT64_C(0x0123456789abcdef);
+  Row.HybridChoices = {CoherencePolicy::Baseline, CoherencePolicy::MDC,
+                       CoherencePolicy::DDGT};
+  Row.Result.Benchmark = Row.Benchmark;
+  for (unsigned I = 0; I != 3; ++I) {
+    LoopRunResult L;
+    L.LoopName = "epicdec.loop" + std::to_string(I);
+    L.Weight = 0.125 * (I + 1);
+    L.ExecTrip = 1000 + I;
+    L.Scheduled = I != 1;
+    L.II = 7 + I;
+    L.ResMII = 5;
+    L.RecMII = 7;
+    L.NumOps = 40 + I;
+    L.NumMemOps = 12;
+    L.CopiesPerIter = 3;
+    L.BiggestChain = 9;
+    L.Sim.Iterations = 1000;
+    L.Sim.TotalCycles = 9000 + I;
+    L.Sim.ComputeCycles = 7000;
+    L.Sim.StallCycles = 2000 + I;
+    L.Sim.DynamicOps = 40000;
+    L.Sim.MemoryAccesses = 12000;
+    L.Sim.AttractionBufferHits = 800;
+    L.Sim.BusTransactions = 300;
+    L.Sim.CoherenceViolations = I;
+    L.Sim.NullifiedReplicaSlots = 2 * I;
+    for (size_t B = 0; B != 5; ++B) {
+      L.Sim.AccessClassification.add(B, 100 * B + I);
+      L.Sim.StallAttribution.add(B, 10 * B + I);
+    }
+    Row.Result.Loops.push_back(L);
+  }
+  return Row;
+}
+
+/// The field-exact comparison: both codecs feed the same JSON
+/// serializer, so dump equality is equality of every field the wire
+/// carries.
+void expectRowsEqual(const SweepRow &A, const SweepRow &B) {
+  EXPECT_EQ(rowToJson(A).dump(), rowToJson(B).dump());
+}
+
+TEST(BinaryCodecTest, SingleRowRoundTripsEveryField) {
+  BinaryRowFrame Frame;
+  Frame.IsBatch = false;
+  Frame.HasId = true;
+  Frame.Id = 42;
+  Frame.Entries.emplace_back();
+  Frame.Entries.back().Row = distinctiveRow();
+
+  std::string Payload;
+  encodeBinaryRowFrame(Frame, Payload);
+
+  BinaryRowFrame Decoded;
+  std::string Error;
+  ASSERT_TRUE(decodeBinaryRowFrame(Payload, Decoded, Error)) << Error;
+  EXPECT_FALSE(Decoded.IsBatch);
+  ASSERT_TRUE(Decoded.HasId);
+  EXPECT_EQ(Decoded.Id, 42u);
+  ASSERT_EQ(Decoded.Entries.size(), 1u);
+  EXPECT_FALSE(Decoded.Entries[0].HasGrid);
+  EXPECT_FALSE(Decoded.Entries[0].HasLoops);
+  expectRowsEqual(Decoded.Entries[0].Row, Frame.Entries[0].Row);
+}
+
+TEST(BinaryCodecTest, StreamingHeaderMatchesWholeFrameEncoder) {
+  // The daemon's writer appends entries into a recycled buffer and
+  // prepends the header at flush time; that must produce the same
+  // bytes as encoding the whole frame in one go.
+  BinaryRowFrame Frame;
+  Frame.IsBatch = true;
+  Frame.HasId = true;
+  Frame.Id = 7;
+  for (int I = 0; I != 2; ++I) {
+    BinaryRowEntry E;
+    E.HasGrid = true;
+    E.Grid = static_cast<uint64_t>(I);
+    E.HasLoops = true;
+    E.Loops = {0, 2};
+    E.Row = distinctiveRow();
+    Frame.Entries.push_back(std::move(E));
+  }
+
+  std::string Whole;
+  encodeBinaryRowFrame(Frame, Whole);
+
+  std::string Streamed;
+  encodeBinaryFrameHeader(Streamed, /*IsBatch=*/true, /*HasId=*/true,
+                          /*Id=*/7, /*Count=*/2);
+  for (const BinaryRowEntry &E : Frame.Entries)
+    encodeBinaryRowEntry(Streamed, E.HasGrid, E.Grid,
+                         E.HasLoops ? &E.Loops : nullptr, E.Row);
+  EXPECT_EQ(Streamed, Whole);
+}
+
+std::string randomName(std::mt19937_64 &Rng) {
+  static const char Alphabet[] =
+      "abcdefghijklmnopqrstuvwxyz0123456789._-";
+  std::uniform_int_distribution<size_t> Len(0, 24);
+  std::uniform_int_distribution<size_t> Pick(0, sizeof(Alphabet) - 2);
+  std::string Out;
+  size_t N = Len(Rng);
+  Out.reserve(N);
+  for (size_t I = 0; I != N; ++I)
+    Out.push_back(Alphabet[Pick(Rng)]);
+  return Out;
+}
+
+SweepRow randomRow(std::mt19937_64 &Rng) {
+  std::uniform_int_distribution<uint64_t> U64;
+  std::uniform_int_distribution<size_t> Small(0, 200);
+  std::uniform_int_distribution<int> Coin(0, 1);
+  SweepRow Row;
+  Row.PointIndex = Small(Rng);
+  Row.MachineIndex = Small(Rng);
+  Row.SchemeIndex = Small(Rng);
+  Row.BenchmarkIndex = Small(Rng);
+  Row.Machine = randomName(Rng);
+  Row.Scheme = randomName(Rng);
+  Row.Benchmark = randomName(Rng);
+  Row.PointSeed = U64(Rng);
+  size_t Hybrids = Small(Rng) % 5;
+  for (size_t I = 0; I != Hybrids; ++I)
+    Row.HybridChoices.push_back(
+        static_cast<CoherencePolicy>(U64(Rng) % 3));
+  Row.Result.Benchmark = Row.Benchmark;
+  size_t Loops = Small(Rng) % 4;
+  for (size_t I = 0; I != Loops; ++I) {
+    LoopRunResult L;
+    L.LoopName = randomName(Rng);
+    // A finite double with plenty of mantissa bits in play; the wire
+    // carries its exact bit pattern either way.
+    L.Weight = static_cast<double>(Small(Rng)) / 64.0;
+    L.ExecTrip = U64(Rng);
+    L.Scheduled = Coin(Rng) != 0;
+    L.II = static_cast<unsigned>(Small(Rng));
+    L.ResMII = static_cast<unsigned>(Small(Rng));
+    L.RecMII = static_cast<unsigned>(Small(Rng));
+    L.NumOps = Small(Rng);
+    L.NumMemOps = Small(Rng);
+    L.CopiesPerIter = Small(Rng);
+    L.BiggestChain = Small(Rng);
+    L.Sim.Iterations = U64(Rng);
+    L.Sim.TotalCycles = U64(Rng);
+    L.Sim.ComputeCycles = U64(Rng);
+    L.Sim.StallCycles = U64(Rng);
+    L.Sim.DynamicOps = U64(Rng);
+    L.Sim.MemoryAccesses = U64(Rng);
+    L.Sim.AttractionBufferHits = U64(Rng);
+    L.Sim.BusTransactions = U64(Rng);
+    L.Sim.CoherenceViolations = U64(Rng);
+    L.Sim.NullifiedReplicaSlots = U64(Rng);
+    for (size_t B = 0; B != 5; ++B) {
+      L.Sim.AccessClassification.add(B, Small(Rng));
+      L.Sim.StallAttribution.add(B, Small(Rng));
+    }
+    Row.Result.Loops.push_back(std::move(L));
+  }
+  return Row;
+}
+
+/// The JSON-path result for one row: what a JSON client would hold
+/// after the daemon serialized it and the client parsed it back.
+SweepRow throughJsonCodec(const SweepRow &Row) {
+  JsonValue Parsed;
+  std::string Error;
+  EXPECT_TRUE(JsonValue::parse(rowToJson(Row).dump(), Parsed, Error))
+      << Error;
+  return rowFromJson(Parsed);
+}
+
+TEST(BinaryCodecTest, RandomFramesRoundTripThroughByteFedDecoder) {
+  std::mt19937_64 Rng(0xb17c0dec);
+  std::uniform_int_distribution<uint64_t> U64;
+  std::uniform_int_distribution<size_t> Small(0, 200);
+  std::uniform_int_distribution<int> Coin(0, 1);
+
+  for (int Trial = 0; Trial != 50; ++Trial) {
+    BinaryRowFrame Frame;
+    Frame.IsBatch = Coin(Rng) != 0;
+    Frame.HasId = Coin(Rng) != 0;
+    Frame.Id = Frame.HasId ? U64(Rng) : 0;
+    size_t Entries = Frame.IsBatch ? Small(Rng) % 5 : 1;
+    for (size_t E = 0; E != Entries; ++E) {
+      BinaryRowEntry Entry;
+      Entry.HasGrid = Coin(Rng) != 0;
+      Entry.Grid = Entry.HasGrid ? Small(Rng) : 0;
+      Entry.Row = randomRow(Rng);
+      // A sparse loop mask over the row's loops, like a shard's
+      // partial row (multi-grid experiments exercise HasGrid above).
+      if (Coin(Rng) != 0 && !Entry.Row.Result.Loops.empty()) {
+        Entry.HasLoops = true;
+        for (size_t L = 0; L != Entry.Row.Result.Loops.size(); ++L)
+          if (Coin(Rng) != 0)
+            Entry.Loops.push_back(L);
+      }
+      Frame.Entries.push_back(std::move(Entry));
+    }
+
+    std::string Payload;
+    encodeBinaryRowFrame(Frame, Payload);
+
+    // Wrap in a CVW2 frame and feed the decoder one byte at a time:
+    // the incremental parser must hand back the identical payload and
+    // report the binary kind.
+    std::string Wire;
+    Wire.append(FrameMagic2, 4);
+    uint32_t Len = static_cast<uint32_t>(Payload.size());
+    char Header[4] = {static_cast<char>(Len >> 24),
+                      static_cast<char>(Len >> 16),
+                      static_cast<char>(Len >> 8),
+                      static_cast<char>(Len)};
+    Wire.append(Header, 4);
+    Wire += Payload;
+
+    FrameDecoder Decoder;
+    std::string Out;
+    FrameKind Kind = FrameKind::Json;
+    for (size_t I = 0; I != Wire.size(); ++I) {
+      ASSERT_FALSE(Decoder.next(Out, Kind));
+      ASSERT_TRUE(Decoder.feed(Wire.data() + I, 1));
+    }
+    ASSERT_TRUE(Decoder.next(Out, Kind));
+    EXPECT_EQ(Kind, FrameKind::Binary);
+    ASSERT_EQ(Out, Payload);
+
+    BinaryRowFrame Decoded;
+    std::string Error;
+    ASSERT_TRUE(decodeBinaryRowFrame(Out, Decoded, Error)) << Error;
+    EXPECT_EQ(Decoded.IsBatch, Frame.IsBatch);
+    EXPECT_EQ(Decoded.HasId, Frame.HasId);
+    EXPECT_EQ(Decoded.Id, Frame.Id);
+    ASSERT_EQ(Decoded.Entries.size(), Frame.Entries.size());
+    for (size_t E = 0; E != Frame.Entries.size(); ++E) {
+      EXPECT_EQ(Decoded.Entries[E].HasGrid, Frame.Entries[E].HasGrid);
+      EXPECT_EQ(Decoded.Entries[E].Grid, Frame.Entries[E].Grid);
+      EXPECT_EQ(Decoded.Entries[E].HasLoops, Frame.Entries[E].HasLoops);
+      EXPECT_EQ(Decoded.Entries[E].Loops, Frame.Entries[E].Loops);
+      // The tentpole's contract: the binary decode is byte-identical
+      // to what the JSON path would have produced for the same row.
+      expectRowsEqual(Decoded.Entries[E].Row,
+                      throughJsonCodec(Frame.Entries[E].Row));
+    }
+  }
+}
+
+TEST(BinaryCodecTest, EveryTruncationFailsAndConsumesNothingTrailing) {
+  BinaryRowFrame Frame;
+  Frame.IsBatch = true;
+  Frame.HasId = true;
+  Frame.Id = 99;
+  BinaryRowEntry Entry;
+  Entry.HasGrid = true;
+  Entry.Grid = 1;
+  Entry.HasLoops = true;
+  Entry.Loops = {0, 1};
+  Entry.Row = distinctiveRow();
+  Frame.Entries.push_back(std::move(Entry));
+
+  std::string Payload;
+  encodeBinaryRowFrame(Frame, Payload);
+
+  // The encoding is self-delimiting: every strict prefix must be
+  // rejected (never misparse into a shorter valid frame)...
+  for (size_t Len = 0; Len != Payload.size(); ++Len) {
+    BinaryRowFrame Out;
+    std::string Error;
+    EXPECT_FALSE(
+        decodeBinaryRowFrame(Payload.substr(0, Len), Out, Error))
+        << "prefix of " << Len << " bytes decoded";
+  }
+  // ...and so must trailing garbage after a complete frame.
+  BinaryRowFrame Out;
+  std::string Error;
+  EXPECT_FALSE(decodeBinaryRowFrame(Payload + '\0', Out, Error));
+  EXPECT_TRUE(decodeBinaryRowFrame(Payload, Out, Error)) << Error;
+}
+
+TEST(BinaryCodecTest, RejectsBadTypeFlagsAndEnumValues) {
+  BinaryRowFrame Frame;
+  Frame.Entries.emplace_back();
+  Frame.Entries.back().Row = distinctiveRow();
+  std::string Payload;
+  encodeBinaryRowFrame(Frame, Payload);
+
+  BinaryRowFrame Out;
+  std::string Error;
+
+  std::string BadType = Payload;
+  BadType[0] = 3; // neither row nor row_batch
+  EXPECT_FALSE(decodeBinaryRowFrame(BadType, Out, Error));
+
+  std::string BadFlags = Payload;
+  BadFlags[1] = static_cast<char>(0x80); // undefined frame-flag bit
+  EXPECT_FALSE(decodeBinaryRowFrame(BadFlags, Out, Error));
+
+  std::string BadEntryFlags = Payload;
+  BadEntryFlags[2] = static_cast<char>(0x04); // undefined entry-flag bit
+  EXPECT_FALSE(decodeBinaryRowFrame(BadEntryFlags, Out, Error));
+
+  // A hybrid-choice byte outside the CoherencePolicy enum: rebuild the
+  // frame with a corrupted choice byte by encoding a row whose single
+  // hybrid choice we then overwrite (it is the byte right after the
+  // hybrid count, which follows the fixed-width 8-byte seed).
+  SweepRow Row;
+  Row.Machine = "m";
+  Row.HybridChoices = {CoherencePolicy::Baseline};
+  BinaryRowFrame HFrame;
+  HFrame.Entries.emplace_back();
+  HFrame.Entries.back().Row = Row;
+  std::string HPayload;
+  encodeBinaryRowFrame(HFrame, HPayload);
+  std::string Good = HPayload;
+  ASSERT_TRUE(decodeBinaryRowFrame(Good, Out, Error)) << Error;
+  // The choice byte is the last byte before the trailing loop count 0.
+  HPayload[HPayload.size() - 2] = 3;
+  EXPECT_FALSE(decodeBinaryRowFrame(HPayload, Out, Error));
+  EXPECT_NE(Error.find("hybrid"), std::string::npos) << Error;
+}
+
+TEST(BinaryCodecTest, EmptyPayloadAndEmptyBatchBehave) {
+  BinaryRowFrame Out;
+  std::string Error;
+  EXPECT_FALSE(decodeBinaryRowFrame(std::string(), Out, Error));
+
+  // An empty batch is legal (a final flush can race a cancel) and
+  // round-trips.
+  BinaryRowFrame Empty;
+  Empty.IsBatch = true;
+  std::string Payload;
+  encodeBinaryRowFrame(Empty, Payload);
+  ASSERT_TRUE(decodeBinaryRowFrame(Payload, Out, Error)) << Error;
+  EXPECT_TRUE(Out.IsBatch);
+  EXPECT_FALSE(Out.HasId);
+  EXPECT_TRUE(Out.Entries.empty());
+}
+
+} // namespace

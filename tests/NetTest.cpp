@@ -16,6 +16,8 @@
 #include <random>
 #include <vector>
 
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 
 using namespace cvliw;
@@ -181,6 +183,52 @@ TEST(Frame, WriterHonorsItsOwnBound) {
   EXPECT_FALSE(writeFrame(P.A, Big, /*MaxBytes=*/1024));
 }
 
+TEST(Frame, BinaryKindRoundTripsAndInterleavesWithJson) {
+  // Protocol v4: CVW2 frames share the header layout with CVW1 and
+  // interleave freely; the reader reports which kind arrived.
+  SocketPair P;
+  ASSERT_TRUE(writeFrame(P.A, std::string("\x01\x00", 2), FrameKind::Binary));
+  ASSERT_TRUE(writeFrame(P.A, "{\"type\":\"done\"}", FrameKind::Json));
+
+  std::string Payload;
+  FrameKind Kind = FrameKind::Json;
+  EXPECT_EQ(readFrame(P.B, Payload, Kind), FrameStatus::Ok);
+  EXPECT_EQ(Kind, FrameKind::Binary);
+  EXPECT_EQ(Payload, std::string("\x01\x00", 2));
+  EXPECT_EQ(readFrame(P.B, Payload, Kind), FrameStatus::Ok);
+  EXPECT_EQ(Kind, FrameKind::Json);
+  EXPECT_EQ(Payload, "{\"type\":\"done\"}");
+
+  // The legacy (kind-less) reader still consumes a CVW2 frame whole —
+  // a v3 client facing a confused peer desyncs into a parse error,
+  // never into misaligned header bytes.
+  ASSERT_TRUE(writeFrame(P.A, "abc", FrameKind::Binary));
+  EXPECT_EQ(readFrame(P.B, Payload), FrameStatus::Ok);
+  EXPECT_EQ(Payload, "abc");
+}
+
+TEST(Socket, NoDelaySetOnAcceptedAndConnectedSockets) {
+  // The row stream is many small frames; both directions disable
+  // Nagle. Pin it with getsockopt on a real loopback pair (the AF_UNIX
+  // SocketPair has no TCP options).
+  uint16_t Port = 0;
+  std::string Error;
+  Socket Listener = listenOn("127.0.0.1", 0, Port, Error);
+  ASSERT_TRUE(Listener.valid()) << Error;
+  Socket Client = connectTo("127.0.0.1", Port, Error);
+  ASSERT_TRUE(Client.valid()) << Error;
+  Socket Served = acceptFrom(Listener);
+  ASSERT_TRUE(Served.valid());
+
+  for (const Socket *S : {&Client, &Served}) {
+    int Flag = 0;
+    socklen_t Len = sizeof(Flag);
+    ASSERT_EQ(::getsockopt(S->fd(), IPPROTO_TCP, TCP_NODELAY, &Flag, &Len),
+              0);
+    EXPECT_NE(Flag, 0);
+  }
+}
+
 //===----------------------------------------------------------------------===//
 // Incremental decoding
 //===----------------------------------------------------------------------===//
@@ -190,6 +238,18 @@ namespace {
 /// One encoded frame (header + payload) as raw stream bytes.
 std::string encodeFrame(const std::string &Payload) {
   std::string Out(FrameMagic, 4);
+  uint32_t Len = static_cast<uint32_t>(Payload.size());
+  Out += static_cast<char>(Len >> 24);
+  Out += static_cast<char>(Len >> 16);
+  Out += static_cast<char>(Len >> 8);
+  Out += static_cast<char>(Len);
+  Out += Payload;
+  return Out;
+}
+
+/// Hand-builds one CVW2 (binary) frame around \p Payload.
+std::string encodeBinaryFrame(const std::string &Payload) {
+  std::string Out(FrameMagic2, 4);
   uint32_t Len = static_cast<uint32_t>(Payload.size());
   Out += static_cast<char>(Len >> 24);
   Out += static_cast<char>(Len >> 16);
@@ -272,6 +332,31 @@ TEST(FrameDecoder, RandomSplitPointsNeverChangeTheFrames) {
     ASSERT_EQ(Err, FrameStatus::Ok) << "trial " << Trial;
     ASSERT_EQ(Frames, Payloads) << "trial " << Trial;
   }
+}
+
+TEST(FrameDecoder, ReportsKindPerFrameOnMixedStreams) {
+  // A v4 shard may interleave JSON control frames with CVW2 row
+  // frames; the decoder tags each frame and the kind-less next()
+  // overload still yields the payload regardless of kind.
+  std::string Stream = encodeFrame("{\"type\":\"hello_ok\"}") +
+                       encodeBinaryFrame(std::string("\x01\x00", 2)) +
+                       encodeFrame("{\"type\":\"done\"}");
+
+  FrameDecoder Decoder;
+  ASSERT_TRUE(Decoder.feed(Stream.data(), Stream.size()));
+
+  std::string Payload;
+  FrameKind Kind = FrameKind::Binary;
+  ASSERT_TRUE(Decoder.next(Payload, Kind));
+  EXPECT_EQ(Kind, FrameKind::Json);
+  EXPECT_EQ(Payload, "{\"type\":\"hello_ok\"}");
+  ASSERT_TRUE(Decoder.next(Payload, Kind));
+  EXPECT_EQ(Kind, FrameKind::Binary);
+  EXPECT_EQ(Payload, std::string("\x01\x00", 2));
+  ASSERT_TRUE(Decoder.next(Payload));
+  EXPECT_EQ(Payload, "{\"type\":\"done\"}");
+  EXPECT_FALSE(Decoder.next(Payload, Kind));
+  EXPECT_EQ(Decoder.error(), FrameStatus::Ok);
 }
 
 TEST(FrameDecoder, TruncationDetectedMidStream) {

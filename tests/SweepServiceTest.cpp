@@ -1189,3 +1189,203 @@ TEST(SweepService, SingleShardFleetFallsBackToV1Daemon) {
   EXPECT_EQ(Stats.CacheMisses, 12u);
   EXPECT_EQ(csvOfRows(tinyGrid(), std::move(Rows)), serialCsv(tinyGrid()));
 }
+
+//===----------------------------------------------------------------------===//
+// Binary rows (v4)
+//===----------------------------------------------------------------------===//
+
+TEST(SweepService, V3HelloGetsNoBinaryKeyAndJsonRowFrames) {
+  // The v4 regression gate for v3 clients: a hello that never offers
+  // "binary_rows" must get a hello_ok without the key (the exact v3
+  // reply shape) and every subsequent row frame as CVW1 JSON.
+  SweepServiceConfig Config = ServiceFixture::makeConfig(DefaultMaxFrameBytes);
+  Config.MaxBatchRows = 4;
+  ServiceFixture F(Config);
+
+  Socket Conn = rawConnect(F.HostPort);
+  JsonValue Hello = JsonValue::object();
+  Hello.set("type", JsonValue::str("hello"));
+  Hello.set("max_batch", JsonValue::uint(4));
+  JsonValue Reply = rawHello(Conn, std::move(Hello));
+  ASSERT_EQ(Reply.text("type"), "hello_ok");
+  EXPECT_EQ(Reply.find("binary_rows"), nullptr)
+      << "a v3 hello must get the exact v3 hello_ok key set";
+
+  SweepGrid Grid = tinyGrid();
+  JsonValue Req = JsonValue::object();
+  Req.set("type", JsonValue::str("sweep"));
+  Req.set("id", JsonValue::uint(1));
+  Req.set("grid", gridToJson(Grid));
+  ASSERT_TRUE(writeFrame(Conn, Req.dump()));
+
+  std::vector<SweepRow> Rows(Grid.size());
+  for (;;) {
+    std::string Payload;
+    FrameKind Kind = FrameKind::Binary;
+    ASSERT_EQ(readFrame(Conn, Payload, Kind), FrameStatus::Ok);
+    ASSERT_EQ(Kind, FrameKind::Json)
+        << "no CVW2 frames without the binary_rows grant";
+    JsonValue Message;
+    std::string ParseError;
+    ASSERT_TRUE(JsonValue::parse(Payload, Message, ParseError)) << ParseError;
+    const std::string &Type = Message.text("type");
+    if (Type == "done")
+      break;
+    ASSERT_EQ(Type, "row_batch");
+    for (const JsonValue &Entry : Message.at("rows").items()) {
+      SweepRow Row = rowFromJson(Entry.at("row"));
+      ASSERT_LT(Row.PointIndex, Rows.size());
+      Rows[Row.PointIndex] = std::move(Row);
+    }
+  }
+  EXPECT_EQ(csvOfRows(Grid, std::move(Rows)), serialCsv(Grid));
+}
+
+TEST(SweepService, BinaryRowsAreGrantedAndByteIdentical) {
+  // The tentpole acceptance gate: a v4 client negotiates binary rows
+  // by default, the rows stream as CVW2 frames, and no byte of the
+  // result differs from the serial engine.
+  SweepServiceConfig Config = ServiceFixture::makeConfig(DefaultMaxFrameBytes);
+  Config.MaxBatchRows = 4;
+  ServiceFixture F(Config);
+
+  SweepClient Client;
+  std::string Error;
+  ASSERT_TRUE(Client.connect(F.HostPort, Error)) << Error;
+  ASSERT_TRUE(Client.negotiate(DefaultClientMaxBatch, 1, Error)) << Error;
+  EXPECT_TRUE(Client.binaryRowsGranted());
+
+  std::vector<SweepRow> Rows;
+  RemoteSweepStats Stats;
+  ASSERT_TRUE(Client.runGrid(tinyGrid(), Rows, Stats, Error)) << Error;
+  EXPECT_EQ(Stats.RowsBatched, tinyGrid().size());
+  EXPECT_GT(Stats.BytesReceived, 0u);
+  EXPECT_GT(Stats.FramesReceived, 0u);
+  EXPECT_EQ(csvOfRows(tinyGrid(), std::move(Rows)), serialCsv(tinyGrid()));
+
+  // Multi-grid experiments ride the same binary entries (grid tags).
+  const ExperimentSpec *Spec =
+      ExperimentRegistry::global().find("hardware_vs_software");
+  ASSERT_NE(Spec, nullptr);
+  std::vector<ExperimentGrid> Grids = Spec->BuildGrids();
+  std::vector<const SweepGrid *> Expected{&Grids[0].Grid, &Grids[1].Grid};
+  std::vector<std::vector<SweepRow>> GridRows;
+  RemoteSweepStats ExpStats;
+  ASSERT_TRUE(Client.runExperiment("hardware_vs_software",
+                                   ExperimentOverrides{}, Expected, GridRows,
+                                   ExpStats, Error))
+      << Error;
+  ASSERT_EQ(GridRows.size(), 2u);
+  for (size_t G = 0; G != 2; ++G)
+    EXPECT_EQ(csvOfRows(Grids[G].Grid, std::move(GridRows[G])),
+              serialCsv(Grids[G].Grid));
+}
+
+TEST(SweepService, ClientCanDeclineBinaryRows) {
+  // --binary-rows off: the client never offers, the daemon never
+  // grants, and the JSON path still produces identical bytes.
+  ServiceFixture F;
+  SweepClient Client;
+  Client.setBinaryRows(false);
+  std::string Error;
+  ASSERT_TRUE(Client.connect(F.HostPort, Error)) << Error;
+  ASSERT_TRUE(Client.negotiate(DefaultClientMaxBatch, 1, Error)) << Error;
+  EXPECT_FALSE(Client.binaryRowsGranted());
+
+  std::vector<SweepRow> Rows;
+  RemoteSweepStats Stats;
+  ASSERT_TRUE(Client.runGrid(tinyGrid(), Rows, Stats, Error)) << Error;
+  EXPECT_EQ(csvOfRows(tinyGrid(), std::move(Rows)), serialCsv(tinyGrid()));
+}
+
+TEST(SweepService, StatusPinsByteCountersAndBufferPoolKeys) {
+  // The v4 metrics contract: byte/frame tallies and the writer buffer
+  // pool gauges are JSON keys dashboards read — pin them, top-level
+  // and per-session.
+  SweepServiceConfig Config = ServiceFixture::makeConfig(DefaultMaxFrameBytes);
+  Config.MaxBatchRows = 4;
+  ServiceFixture F(Config);
+
+  SweepClient Client;
+  std::string Error;
+  ASSERT_TRUE(Client.connect(F.HostPort, Error)) << Error;
+  ASSERT_TRUE(Client.negotiate(DefaultClientMaxBatch, 1, Error)) << Error;
+  ASSERT_TRUE(Client.binaryRowsGranted());
+
+  std::vector<SweepRow> Rows;
+  RemoteSweepStats Stats;
+  ASSERT_TRUE(Client.runGrid(tinyGrid(), Rows, Stats, Error)) << Error;
+
+  // The writer thread counts after the write lands, so the client can
+  // observe "done" before the daemon's own tally does — poll until the
+  // daemon has accounted at least what this client measured receiving.
+  JsonValue Status;
+  auto Deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  for (;;) {
+    ASSERT_TRUE(Client.status(Status, Error)) << Error;
+    if (Status.u64("bytes_sent") >= Stats.BytesReceived ||
+        std::chrono::steady_clock::now() > Deadline)
+      break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GT(Status.u64("bytes_sent"), 0u);
+  EXPECT_GT(Status.u64("frames_sent"), 0u);
+  EXPECT_GT(Status.u64("buffers_allocated"), 0u)
+      << "binary batches must come from the writer pool";
+  (void)Status.u64("buffers_pooled");
+
+  bool FoundSelf = false;
+  for (const JsonValue &S : Status.at("sessions").items()) {
+    (void)S.u64("bytes_sent");
+    (void)S.u64("frames_sent");
+    ASSERT_NE(S.find("binary_rows"), nullptr);
+    if (S.u64("rows_batched") == tinyGrid().size()) {
+      FoundSelf = true;
+      EXPECT_TRUE(S.at("binary_rows").asBool());
+      EXPECT_GT(S.u64("bytes_sent"), 0u);
+      EXPECT_GT(S.u64("frames_sent"), 0u);
+    }
+  }
+  EXPECT_TRUE(FoundSelf);
+
+  // What the daemon says it sent covers what this client measured
+  // receiving (plus the negotiation and status exchanges since).
+  EXPECT_GE(Status.u64("bytes_sent"), Stats.BytesReceived);
+}
+
+TEST(SweepService, BinaryThreeShardFleetIsByteIdenticalToSerial) {
+  // The fleet acceptance gate: all three shards grant binary rows and
+  // the merged result — partial rows with loop masks riding CVW2
+  // entries — is byte-identical to the serial engine.
+  FleetFixture F;
+  FleetClient Client;
+  std::string Error;
+  ASSERT_TRUE(Client.connect(F.Addrs, /*Retries=*/1, Error)) << Error;
+  ASSERT_TRUE(Client.negotiate(DefaultClientMaxBatch, 1, Error)) << Error;
+  EXPECT_TRUE(Client.binaryRowsGranted());
+
+  std::vector<SweepRow> Rows;
+  RemoteSweepStats Stats;
+  ASSERT_TRUE(Client.runGrid(tinyGrid(), Rows, Stats, Error)) << Error;
+  EXPECT_EQ(Stats.Points, tinyGrid().size());
+  EXPECT_GT(Stats.BytesReceived, 0u);
+  EXPECT_GT(Stats.FramesReceived, 0u);
+  EXPECT_EQ(csvOfRows(tinyGrid(), std::move(Rows)), serialCsv(tinyGrid()));
+
+  // And the two-grid experiment through the same binary fleet path.
+  const ExperimentSpec *Spec =
+      ExperimentRegistry::global().find("hardware_vs_software");
+  ASSERT_NE(Spec, nullptr);
+  std::vector<ExperimentGrid> Grids = Spec->BuildGrids();
+  std::vector<const SweepGrid *> Expected{&Grids[0].Grid, &Grids[1].Grid};
+  std::vector<std::vector<SweepRow>> GridRows;
+  RemoteSweepStats ExpStats;
+  ASSERT_TRUE(Client.runExperiment("hardware_vs_software",
+                                   ExperimentOverrides{}, Expected, GridRows,
+                                   ExpStats, Error))
+      << Error;
+  ASSERT_EQ(GridRows.size(), 2u);
+  for (size_t G = 0; G != 2; ++G)
+    EXPECT_EQ(csvOfRows(Grids[G].Grid, std::move(GridRows[G])),
+              serialCsv(Grids[G].Grid));
+}

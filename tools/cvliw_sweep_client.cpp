@@ -36,6 +36,7 @@
 #include "cvliw/pipeline/ExperimentRegistry.h"
 #include "cvliw/pipeline/SweepEngine.h"
 
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -52,6 +53,14 @@ int usage() {
                "(ping | status | shutdown | sweep --grid FILE "
                "[--csv FILE] | experiment NAME [--csv FILE])\n";
   return 1;
+}
+
+/// The drivers' CVLIW_SWEEP_BINARY escape hatch, honored here too
+/// (this tool takes no sweep flags of its own).
+bool binaryRowsFromEnv() {
+  if (const char *Env = std::getenv("CVLIW_SWEEP_BINARY"))
+    return !(std::strcmp(Env, "0") == 0 || std::strcmp(Env, "off") == 0);
+  return true;
 }
 
 } // namespace
@@ -109,6 +118,14 @@ int main(int Argc, char **Argv) {
               << U64Or(Status, "rows_batched", 0) << "\n"
               << "batches sent:         "
               << U64Or(Status, "batches_sent", 0) << "\n"
+              << "bytes sent:           "
+              << U64Or(Status, "bytes_sent", 0) << "\n"
+              << "frames sent:          "
+              << U64Or(Status, "frames_sent", 0) << "\n"
+              << "buffers allocated:    "
+              << U64Or(Status, "buffers_allocated", 0) << "\n"
+              << "buffers pooled:       "
+              << U64Or(Status, "buffers_pooled", 0) << "\n"
               << "shard id:             "
               << U64Or(Status, "shard_id", 0) << "\n"
               << "shard count:          "
@@ -124,14 +141,20 @@ int main(int Argc, char **Argv) {
     if (const JsonValue *SessionArr = Status.find("sessions")) {
       std::cout << "sessions:             "
                 << SessionArr->items().size() << "\n";
-      for (const JsonValue &S : SessionArr->items())
+      for (const JsonValue &S : SessionArr->items()) {
+        const JsonValue *Binary = S.find("binary_rows");
         std::cout << "  session " << S.u64("id") << ": "
                   << S.u64("in_flight_requests") << " requests / "
                   << S.u64("in_flight_items") << " items in flight, "
                   << S.u64("rows_batched") << " rows in "
-                  << S.u64("batches_sent") << " batches (weight "
+                  << S.u64("batches_sent") << " batches, "
+                  << U64Or(S, "bytes_sent", 0) << " bytes in "
+                  << U64Or(S, "frames_sent", 0) << " frames (weight "
                   << S.u64("weight") << ", max batch "
-                  << S.u64("max_batch") << ")\n";
+                  << S.u64("max_batch")
+                  << (Binary && Binary->asBool() ? ", binary rows" : "")
+                  << ")\n";
+      }
     }
     return 0;
   }
@@ -162,8 +185,10 @@ int main(int Argc, char **Argv) {
 
   if (Command == "sweep") {
     // Negotiate first: a batching daemon then streams row_batch
-    // frames, and a pre-session daemon's rejection drops the client
+    // frames (binary CVW2 unless CVLIW_SWEEP_BINARY disables the
+    // offer), and a pre-session daemon's rejection drops the client
     // into the v1 (id-less, unbatched) fallback.
+    Client.setBinaryRows(binaryRowsFromEnv());
     if (!Client.negotiate(DefaultClientMaxBatch, /*Weight=*/1, Error)) {
       std::cerr << "cvliw-sweep-client: " << Error << "\n";
       return 1;
@@ -235,6 +260,7 @@ int main(int Argc, char **Argv) {
   if (Command == "experiment") {
     if (Argc < 4)
       return usage();
+    Client.setBinaryRows(binaryRowsFromEnv());
     if (!Client.negotiate(DefaultClientMaxBatch, /*Weight=*/1, Error)) {
       std::cerr << "cvliw-sweep-client: " << Error << "\n";
       return 1;
