@@ -51,6 +51,33 @@ def median_rates(path):
     return rates
 
 
+def stage_snapshot(path):
+    """stage name -> histogram dict, from the report's cvliw_stages
+    context (empty for reports recorded before the metrics layer)."""
+    with open(path) as fp:
+        report = json.load(fp)
+    stages = report.get("context", {}).get("cvliw_stages", {})
+    return stages if isinstance(stages, dict) else {}
+
+
+def print_stage_deltas(name, baseline_path, fresh_path):
+    """Informational only — stage medians are too jittery to gate on,
+    but a protocol regression shows up here first."""
+    baseline = stage_snapshot(baseline_path)
+    fresh = stage_snapshot(fresh_path)
+    for stage in sorted(set(baseline) & set(fresh)):
+        base_p50 = baseline[stage].get("p50_us")
+        fresh_p50 = fresh[stage].get("p50_us")
+        if base_p50 is None or fresh_p50 is None:
+            continue
+        if base_p50 > 0:
+            delta = " (%+.0f%%)" % (100.0 * (fresh_p50 - base_p50) / base_p50)
+        else:
+            delta = ""
+        print("info     %s %s: p50 %d us vs baseline %d us%s"
+              % (name, stage, fresh_p50, base_p50, delta))
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="compare fresh benchmark reports against baselines")
@@ -98,6 +125,7 @@ def main():
                 failures.append(
                     "%s: %s regressed to %.1f/s (baseline %.1f/s, floor "
                     "%.1f/s)" % (name, bench, rate, base_rate, floor))
+        print_stage_deltas(name, baseline_path, fresh_path)
 
     # The machine-independent check: the CVW2 codec must beat JSON on
     # the same machine, same run.

@@ -11,6 +11,7 @@
 #include "cvliw/alias/MemoryDisambiguator.h"
 #include "cvliw/ir/DDGBuilder.h"
 #include "cvliw/net/BinaryCodec.h"
+#include "cvliw/net/Json.h"
 #include "cvliw/net/SweepClient.h"
 #include "cvliw/net/WireFormat.h"
 #include "cvliw/pipeline/Experiment.h"
@@ -22,11 +23,14 @@
 #include "cvliw/sched/MemoryChains.h"
 #include "cvliw/sched/ModuloScheduler.h"
 #include "cvliw/sim/KernelSimulator.h"
+#include "cvliw/support/Metrics.h"
 #include "cvliw/workloads/KernelBuilder.h"
 
 #include <benchmark/benchmark.h>
 
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -184,6 +188,9 @@ void BM_LocalSweepPointsPerSec(benchmark::State &State) {
     ResultCache Cold;
     SweepEngine Engine(Grid, /*Threads=*/1);
     Engine.setCache(&Cold);
+    // The process registry collects the stage histograms the snapshot
+    // embeds into the report context (see main below).
+    Engine.setMetrics(&MetricsRegistry::process());
     const std::vector<SweepRow> &Rows = Engine.run();
     Points += Grid.size();
     benchmark::DoNotOptimize(Rows.size());
@@ -204,6 +211,9 @@ void loopbackSweepRowsPerSec(benchmark::State &State, bool BinaryRows) {
   Config.Port = 0;
   Config.Threads = 2;
   Config.Cache = &Cache;
+  // Record the daemon's per-stage histograms into the process registry
+  // so the snapshot's cvliw_stages context covers the protocol path.
+  Config.Metrics = &MetricsRegistry::process();
   SweepService Service(Config);
   std::string Error;
   if (!Service.start(Error)) {
@@ -360,6 +370,7 @@ void BM_CacheHitSweepPointsPerSec(benchmark::State &State) {
   for (auto _ : State) {
     SweepEngine Engine(Grid, /*Threads=*/1);
     Engine.setCache(&Cache);
+    Engine.setMetrics(&MetricsRegistry::process());
     const std::vector<SweepRow> &Rows = Engine.run();
     Points += Grid.size();
     benchmark::DoNotOptimize(Rows.size());
@@ -371,13 +382,47 @@ BENCHMARK(BM_CacheHitSweepPointsPerSec);
 
 } // namespace
 
+namespace {
+
+/// Folds the process registry's per-stage latency histograms into a
+/// written report's "context" object as "cvliw_stages", by raw string
+/// insertion — the rest of the file must stay byte-exact because
+/// record_bench.sh greps it raw (the cvliw_build_type line).
+void embedStageSnapshot(const std::string &Path) {
+  JsonValue Snapshot = JsonValue::object();
+  MetricsRegistry::process().writeJson(Snapshot);
+  JsonValue Stages = JsonValue::object();
+  for (const auto &KV : Snapshot.at("histograms").members())
+    if (KV.first.rfind("stage.", 0) == 0)
+      Stages.set(KV.first, KV.second);
+  std::ifstream In(Path);
+  if (!In.good())
+    return;
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  In.close();
+  std::string Text = Buffer.str();
+  const std::string Anchor = "\"context\": {";
+  const size_t Pos = Text.find(Anchor);
+  if (Pos == std::string::npos)
+    return;
+  Text.insert(Pos + Anchor.size(),
+              "\n    \"cvliw_stages\": " + Stages.dump() + ",");
+  std::ofstream Out(Path, std::ios::trunc);
+  Out << Text;
+}
+
+} // namespace
+
 // BENCHMARK_MAIN() plus one convenience spelling: `--json OUT` is
 // rewritten to google-benchmark's own out-file flags, so snapshot
 // scripts (bench/record_bench.sh) don't hard-code library flag names.
 int main(int argc, char **argv) {
   std::vector<std::string> Args;
+  std::string JsonOut;
   for (int I = 0; I != argc; ++I) {
     if (I + 1 < argc && std::strcmp(argv[I], "--json") == 0) {
+      JsonOut = argv[I + 1];
       Args.push_back(std::string("--benchmark_out=") + argv[I + 1]);
       Args.push_back("--benchmark_out_format=json");
       ++I;
@@ -401,5 +446,10 @@ int main(int argc, char **argv) {
     return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  // After Shutdown the report file is complete — append the stage
+  // histograms the instrumented benchmarks recorded (empty object when
+  // the filter selected none; check_bench.py prints the deltas).
+  if (!JsonOut.empty())
+    embedStageSnapshot(JsonOut);
   return 0;
 }

@@ -22,6 +22,11 @@
 # compare snapshots from the same machine class; the Binary:Json
 # ratios are the machine-independent part.
 #
+# Each report's context also carries "cvliw_stages": the per-stage
+# latency histogram snapshot (stage.* keys from support/Metrics)
+# recorded by the instrumented benchmarks. check_bench.py prints the
+# p50 deltas as information — stage medians are not gated.
+#
 # A snapshot from a Debug build would bake slow baselines into the
 # gate, so the build type is forced here and each report is refused
 # unless it says release.

@@ -82,6 +82,8 @@ public:
   /// in O(n), not O(n^2). Duplicate keys then coexist; find() returns
   /// the first, matching JSON's de-facto first-wins reading here.
   void append(std::string Key, JsonValue V);
+  /// Members in insertion order; throws JsonError on a non-object.
+  const std::vector<std::pair<std::string, JsonValue>> &members() const;
   /// Null when absent (or not an object).
   const JsonValue *find(const std::string &Key) const;
   /// Throws JsonError naming the missing member.

@@ -68,7 +68,22 @@ struct RemoteSweepStats {
   /// in the sweep summary line.
   uint64_t BytesReceived = 0;
   uint64_t FramesReceived = 0;
+  /// Daemon-side per-stage microsecond totals from the done frame's
+  /// "stages" object ("decode_us", "simulate_us", ...), in the
+  /// daemon's key order; merged additively across a fleet's shard done
+  /// frames. Empty against a pre-observability daemon.
+  std::vector<std::pair<std::string, uint64_t>> Stages;
+  /// Fleet runs only: each shard's own stage totals, keyed by the
+  /// shard's address — the per-shard view the merged Stages sums away.
+  std::vector<std::pair<std::string, std::vector<std::pair<std::string, uint64_t>>>>
+      ShardStages;
 };
+
+/// Additively merges a done frame's "stages" object (stage name →
+/// microsecond total) into \p Into, appending unseen keys in wire
+/// order. Non-numeric members are ignored.
+void mergeStageTimings(std::vector<std::pair<std::string, uint64_t>> &Into,
+                       const JsonValue &Stages);
 
 /// The "sweep: daemon result cache ..." summary line (batching tally
 /// included) every remote log path prints — one implementation so the
@@ -153,6 +168,10 @@ public:
   /// Fetches the daemon status object (cache stats, pool width,
   /// per-session metrics, ...).
   bool status(JsonValue &Out, std::string &Error);
+
+  /// Fetches the daemon's full metrics-registry snapshot (counters,
+  /// gauges, per-stage latency histograms with percentiles).
+  bool metrics(JsonValue &Out, std::string &Error);
 
   /// Runs \p Grid remotely; fills \p Rows (grid order) and \p Stats.
   bool runGrid(const SweepGrid &Grid, std::vector<SweepRow> &Rows,

@@ -58,6 +58,8 @@
 
 namespace cvliw {
 
+class LatencyHistogram;
+class MetricsRegistry;
 class ResultCache;
 class TaskPool;
 
@@ -269,6 +271,22 @@ public:
   uint64_t cacheHits() const { return CacheHits; }
   uint64_t cacheMisses() const { return CacheMisses; }
 
+  /// Routes per-stage timings into \p Registry's "stage.cache_lookup" /
+  /// "stage.loop_simulate" histograms (nullptr stops recording). The
+  /// sweep service points every engine at its registry; local drivers
+  /// may use MetricsRegistry::process(). Must be called before run().
+  void setMetrics(MetricsRegistry *Registry);
+
+  /// Cumulative microseconds this engine spent in result-cache lookups
+  /// and in loop simulation across all items run so far — always
+  /// accumulated (one clock pair per item), independent of setMetrics().
+  uint64_t cacheLookupMicros() const {
+    return LookupMicros.load(std::memory_order_relaxed);
+  }
+  uint64_t simulateMicros() const {
+    return SimulateMicros.load(std::memory_order_relaxed);
+  }
+
   /// Row lookup by axis names; null when absent or before run().
   const SweepRow *find(const std::string &Benchmark,
                        const std::string &Scheme,
@@ -334,6 +352,12 @@ private:
   unsigned Threads;
   ResultCache *Cache;
   TaskPool *Pool = nullptr;
+  /// Per-stage histograms resolved once by setMetrics(); null when no
+  /// registry is attached (timings still accumulate in the atomics).
+  LatencyHistogram *LookupHist = nullptr;
+  LatencyHistogram *SimulateHist = nullptr;
+  std::atomic<uint64_t> LookupMicros{0};
+  std::atomic<uint64_t> SimulateMicros{0};
   std::function<void(const SweepRow &)> RowCallback;
   std::function<bool(size_t, size_t)> ItemFilter;
   /// Filtered runs only: per point, the owned loop indices (ascending).
@@ -411,6 +435,11 @@ struct SweepRunOptions {
   /// --dump-grid FILE: also write the expanded grid as JSON — the
   /// format cvliw-sweep-client submits to a daemon.
   std::string DumpGridPath;
+  /// --trace FILE: record Chrome trace_event spans (codec, cache,
+  /// simulation, scheduling, socket tracks) for the run and write them
+  /// to FILE at the end — open it in chrome://tracing or Perfetto.
+  /// Defaults to the CVLIW_SWEEP_TRACE environment variable.
+  std::string TracePath;
   /// --verify-serial: re-run the grid on one thread with a cold private
   /// cache and require the serialized output to be byte-identical;
   /// reports the speedup. Combined with --remote this cross-checks the

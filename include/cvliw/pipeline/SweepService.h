@@ -74,6 +74,7 @@
 #include "cvliw/net/Frame.h"
 #include "cvliw/net/Socket.h"
 #include "cvliw/pipeline/ResultCache.h"
+#include "cvliw/support/Metrics.h"
 
 #include <atomic>
 #include <condition_variable>
@@ -111,6 +112,15 @@ struct SweepServiceConfig {
   double DrainTimeoutSeconds = 10.0;
   /// The memo table to serve from; defaults to the process-wide one.
   ResultCache *Cache = nullptr;
+  /// The registry the service's counters and per-stage histograms live
+  /// in. Defaults to a registry owned by the service (so tests can pin
+  /// exact counts per instance); pass MetricsRegistry::process() to
+  /// share one registry across services in a process.
+  MetricsRegistry *Metrics = nullptr;
+  /// When non-zero, a request whose wall time exceeds this many
+  /// milliseconds is logged to stderr with its stage breakdown
+  /// (rate-limited to one line per second). 0 disables the log.
+  uint64_t SlowRequestMs = 0;
 
   // Fleet identity (protocol v3). Three postures:
   //  - ShardAddrs non-empty (--shard-map): address-pinned — a shard
@@ -159,48 +169,32 @@ public:
     return ShutdownFlag.load(std::memory_order_acquire);
   }
 
-  // Served-traffic counters (for status responses and tests).
-  uint64_t gridsServed() const {
-    return GridsServed.load(std::memory_order_relaxed);
-  }
-  uint64_t experimentsServed() const {
-    return ExperimentsServed.load(std::memory_order_relaxed);
-  }
-  uint64_t connectionsAccepted() const {
-    return ConnectionsAccepted.load(std::memory_order_relaxed);
-  }
-  uint64_t protocolErrors() const {
-    return ProtocolErrors.load(std::memory_order_relaxed);
-  }
-  uint64_t rowsBatched() const {
-    return RowsBatchedTotal.load(std::memory_order_relaxed);
-  }
-  uint64_t batchesSent() const {
-    return BatchesSentTotal.load(std::memory_order_relaxed);
-  }
+  // Served-traffic counters (for status responses and tests). Each is
+  // a registry counter under the same name status reports it with.
+  uint64_t gridsServed() const { return GridsServed.value(); }
+  uint64_t experimentsServed() const { return ExperimentsServed.value(); }
+  uint64_t connectionsAccepted() const { return ConnectionsAccepted.value(); }
+  uint64_t protocolErrors() const { return ProtocolErrors.value(); }
+  uint64_t rowsBatched() const { return RowsBatchedTotal.value(); }
+  uint64_t batchesSent() const { return BatchesSentTotal.value(); }
   /// Loop items refused because their request claimed a shard identity
   /// this daemon does not serve (also reported in status).
-  uint64_t misroutedItems() const {
-    return MisroutedItems.load(std::memory_order_relaxed);
-  }
+  uint64_t misroutedItems() const { return MisroutedItems.value(); }
   /// Wire traffic actually written (headers included) across all
   /// sessions — the gauge that makes the JSON-vs-binary win visible.
-  uint64_t bytesSent() const {
-    return BytesSentTotal.load(std::memory_order_relaxed);
-  }
-  uint64_t framesSent() const {
-    return FramesSentTotal.load(std::memory_order_relaxed);
-  }
+  uint64_t bytesSent() const { return BytesSentTotal.value(); }
+  uint64_t framesSent() const { return FramesSentTotal.value(); }
   /// Writer-path encode-buffer pool effectiveness: fresh allocations
   /// vs. buffers recycled from a session's pool.
-  uint64_t buffersAllocated() const {
-    return BuffersAllocatedTotal.load(std::memory_order_relaxed);
-  }
-  uint64_t buffersPooled() const {
-    return BuffersPooledTotal.load(std::memory_order_relaxed);
-  }
+  uint64_t buffersAllocated() const { return BuffersAllocatedTotal.value(); }
+  uint64_t buffersPooled() const { return BuffersPooledTotal.value(); }
   /// Sessions whose handler has not finished (includes ones mid-drain).
   size_t sessionsOpen() const;
+
+  /// The registry this service records into (counters above plus the
+  /// stage.* latency histograms); what the `metrics` wire request
+  /// snapshots.
+  MetricsRegistry &metrics() { return *Metrics; }
 
 private:
   struct Session;
@@ -219,6 +213,14 @@ private:
   void requestFinished(Session *S, Request *Req);
   /// The status response (includes the per-session array).
   JsonValue statusJson();
+  /// Sets the registry snapshot members on a `metrics` response after
+  /// refreshing the point-in-time gauges (sessions, cache occupancy).
+  void writeMetricsJson(JsonValue &Out);
+  /// The slow-request stderr warning (satellite of the metrics layer):
+  /// logs when Config.SlowRequestMs is set and exceeded, at most one
+  /// line per second.
+  void maybeLogSlowRequest(Session *S, Request *Req, uint64_t TotalMicros,
+                           uint64_t LookupMicros, uint64_t SimulateMicros);
   /// The fleet size this daemon checks claims against; 0 when
   /// unconfigured (every claim trusted).
   size_t effectiveShardCount() const;
@@ -233,6 +235,10 @@ private:
 
   SweepServiceConfig Config;
   ResultCache *Cache;
+  /// Private registry used when the config does not inject one; must
+  /// precede the counter/histogram references below.
+  std::unique_ptr<MetricsRegistry> OwnedMetrics;
+  MetricsRegistry *Metrics;
   std::unique_ptr<TaskPool> Pool;
 
   Socket Listener;
@@ -248,17 +254,33 @@ private:
   std::mutex ShutdownMutex;
   std::condition_variable ShutdownCv;
 
-  std::atomic<uint64_t> GridsServed{0};
-  std::atomic<uint64_t> ExperimentsServed{0};
-  std::atomic<uint64_t> ConnectionsAccepted{0};
-  std::atomic<uint64_t> ProtocolErrors{0};
-  std::atomic<uint64_t> RowsBatchedTotal{0};
-  std::atomic<uint64_t> BatchesSentTotal{0};
-  std::atomic<uint64_t> MisroutedItems{0};
-  std::atomic<uint64_t> BytesSentTotal{0};
-  std::atomic<uint64_t> FramesSentTotal{0};
-  std::atomic<uint64_t> BuffersAllocatedTotal{0};
-  std::atomic<uint64_t> BuffersPooledTotal{0};
+  // Registry-backed counters (references into *Metrics, resolved once
+  // in the constructor so the hot paths never take the registry lock).
+  MetricCounter &GridsServed;
+  MetricCounter &ExperimentsServed;
+  MetricCounter &ConnectionsAccepted;
+  MetricCounter &ProtocolErrors;
+  MetricCounter &RowsBatchedTotal;
+  MetricCounter &BatchesSentTotal;
+  MetricCounter &MisroutedItems;
+  MetricCounter &BytesSentTotal;
+  MetricCounter &FramesSentTotal;
+  MetricCounter &BuffersAllocatedTotal;
+  MetricCounter &BuffersPooledTotal;
+
+  // Per-stage latency histograms (microseconds), one per pipeline
+  // stage of a request's life.
+  LatencyHistogram &DecodeHist;       // stage.request_decode
+  LatencyHistogram &ExpandHist;       // stage.grid_expand
+  LatencyHistogram &EncodeJsonHist;   // stage.row_encode_json
+  LatencyHistogram &EncodeBinaryHist; // stage.row_encode_binary
+  LatencyHistogram &WriterWaitHist;   // stage.writer_wait
+  LatencyHistogram &SendHist;         // stage.socket_send
+  LatencyHistogram &RequestTotalHist; // stage.request_total
+
+  /// Steady-clock stamp of the last slow-request warning (for the
+  /// one-per-second rate limit).
+  std::atomic<uint64_t> LastSlowLogMicros{0};
 };
 
 } // namespace cvliw

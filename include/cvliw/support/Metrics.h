@@ -1,0 +1,135 @@
+//===- cvliw/support/Metrics.h - Metrics registry --------------*- C++ -*-===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Named counters, gauges and log-bucketed latency histograms behind a
+/// registry, so every layer (daemon status, per-session stats, client
+/// RemoteSweepStats, bench snapshots) renders from one source of truth
+/// instead of hand-maintained atomics.
+///
+/// The record paths are lock-free: counters and gauges are single
+/// relaxed atomics, histograms are a fixed array of power-of-two
+/// buckets bumped with relaxed fetch_add. The registry mutex is only
+/// taken on name lookup (callers cache the returned reference) and on
+/// snapshot/JSON rendering.
+///
+/// Histogram samples are microseconds. Bucket 0 holds exactly the
+/// value 0; bucket i >= 1 covers [2^(i-1), 2^i). Percentiles
+/// interpolate linearly inside the covering bucket and are clamped to
+/// the observed maximum, so p100 == max exactly. Snapshots merge
+/// bucket-wise, which is how per-shard histograms aggregate fleet-side
+/// without losing percentile fidelity beyond bucket resolution.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CVLIW_SUPPORT_METRICS_H
+#define CVLIW_SUPPORT_METRICS_H
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace cvliw {
+
+class JsonValue;
+
+/// A monotonically increasing counter.
+class MetricCounter {
+public:
+  void add(uint64_t N = 1) { V.fetch_add(N, std::memory_order_relaxed); }
+  uint64_t value() const { return V.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<uint64_t> V{0};
+};
+
+/// A last-writer-wins level (queue depth, open sessions, ...).
+class MetricGauge {
+public:
+  void set(uint64_t New) { V.store(New, std::memory_order_relaxed); }
+  uint64_t value() const { return V.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<uint64_t> V{0};
+};
+
+/// Log-bucketed latency histogram over microsecond samples.
+class LatencyHistogram {
+public:
+  /// 48 power-of-two buckets cover [0, 2^47) us — about 4.5 years —
+  /// so the top bucket is unreachable in practice and no sample
+  /// saturates.
+  static constexpr size_t NumBuckets = 48;
+
+  void record(uint64_t Micros);
+
+  /// Bucket 0 holds exactly 0; bucket i >= 1 covers [2^(i-1), 2^i).
+  static size_t bucketIndex(uint64_t Micros);
+  static uint64_t bucketLowerBound(size_t Index);
+  static uint64_t bucketUpperBound(size_t Index);
+
+  /// A point-in-time copy; also the unit of cross-shard aggregation.
+  struct Snapshot {
+    uint64_t Count = 0;
+    uint64_t SumMicros = 0;
+    uint64_t MaxMicros = 0;
+    std::array<uint64_t, NumBuckets> Buckets{};
+
+    /// Percentile P in [0, 100] with linear interpolation inside the
+    /// covering bucket, clamped to MaxMicros (so percentile(100) is
+    /// the observed maximum). Returns 0 when empty.
+    double percentile(double P) const;
+
+    /// Bucket-wise sum; Max is the max of the two maxima.
+    void merge(const Snapshot &Other);
+  };
+
+  Snapshot snapshot() const;
+
+private:
+  std::atomic<uint64_t> Count{0};
+  std::atomic<uint64_t> Sum{0};
+  std::atomic<uint64_t> Max{0};
+  std::array<std::atomic<uint64_t>, NumBuckets> Buckets{};
+};
+
+/// Owns named metrics. Lookup is mutex-guarded and returns stable
+/// references (instruments are never removed), so hot paths resolve a
+/// name once and record through the reference thereafter.
+class MetricsRegistry {
+public:
+  MetricCounter &counter(const std::string &Name);
+  MetricGauge &gauge(const std::string &Name);
+  LatencyHistogram &histogram(const std::string &Name);
+
+  /// Sets "counters", "gauges" and "histograms" members on \p Out
+  /// (which must be a JSON object). Counters and gauges map name to
+  /// value; each histogram maps its name to an object with the
+  /// test-pinned keys count / sum_us / max_us / p50_us / p90_us /
+  /// p99_us (percentiles rounded to whole microseconds). Names are
+  /// emitted in sorted order so the rendering is deterministic.
+  void writeJson(JsonValue &Out) const;
+
+  /// The process-wide instance used by tools and benchmarks. The
+  /// daemon's SweepService defaults to a private registry so tests can
+  /// pin exact counts per service instance; a daemon process still has
+  /// exactly one.
+  static MetricsRegistry &process();
+
+private:
+  mutable std::mutex Mutex;
+  std::map<std::string, std::unique_ptr<MetricCounter>> Counters;
+  std::map<std::string, std::unique_ptr<MetricGauge>> Gauges;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> Histograms;
+};
+
+} // namespace cvliw
+
+#endif // CVLIW_SUPPORT_METRICS_H

@@ -102,7 +102,7 @@ private:
     bool InRotation = false;
   };
 
-  void workerLoop();
+  void workerLoop(unsigned WorkerIndex);
   /// Pops the next job honoring the rotation; Mutex must be held and
   /// Rotation non-empty. Fills \p Tag with the job's tag.
   std::function<void()> popLocked(uint64_t &Tag);

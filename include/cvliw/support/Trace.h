@@ -1,0 +1,119 @@
+//===- cvliw/support/Trace.h - Chrome-trace span sink ----------*- C++ -*-===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An opt-in, bounded ring-buffer sink for timed spans, flushed as
+/// Chrome trace_event JSON (the format chrome://tracing and Perfetto
+/// open directly). Each recording thread gets its own track, named via
+/// setThreadName(), so a sweep renders as the flamegraph the ROADMAP
+/// asks for: codec vs simulation vs scheduling vs socket writes.
+///
+/// Disabled (the default) the cost per span site is one relaxed atomic
+/// load; span sites skip their clock reads entirely when neither
+/// tracing nor a metrics histogram wants the duration. Enabled, spans
+/// append to a fixed-capacity ring under a mutex — tracing is a
+/// profiling mode, not a hot-path citizen — and once the ring wraps
+/// the oldest spans are overwritten (the drop count is reported).
+///
+/// Span and category names must be string literals (the ring stores
+/// the pointers); thread names are copied.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CVLIW_SUPPORT_TRACE_H
+#define CVLIW_SUPPORT_TRACE_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cvliw {
+
+class TraceSink {
+public:
+  static constexpr size_t DefaultCapacity = 1 << 16;
+
+  /// The process-wide sink all span sites record through.
+  static TraceSink &process();
+
+  bool enabled() const { return Enabled.load(std::memory_order_relaxed); }
+
+  /// Arms the sink: spans recorded from now on land in the ring and
+  /// stop() writes them to \p Path. Fails (with \p Error set) when the
+  /// file is not writable or the sink is already started.
+  bool start(const std::string &Path, std::string &Error,
+             size_t Capacity = DefaultCapacity);
+
+  /// Disarms the sink and writes the trace file. Returns false with
+  /// \p Error set on I/O failure. No-op (true) when never started.
+  bool stop(std::string &Error);
+
+  /// Events recorded / overwritten-by-wrap during the last armed
+  /// window (valid after stop()).
+  uint64_t eventsWritten() const { return Written; }
+  uint64_t eventsDropped() const { return DroppedCount; }
+  const std::string &path() const { return FilePath; }
+
+  /// Names the calling thread's track. Safe (and remembered) even
+  /// while the sink is disabled, so long-lived threads can name
+  /// themselves once at startup.
+  void setThreadName(const std::string &Name);
+
+  /// Records a complete ("ph":"X") span on the calling thread's
+  /// track. \p Name and \p Cat must be string literals. Spans with
+  /// EndMicros < StartMicros are clamped to zero duration.
+  void complete(const char *Name, const char *Cat, uint64_t StartMicros,
+                uint64_t EndMicros);
+
+  /// Microseconds on the steady clock since process start — the trace
+  /// timebase, also handy as a cheap span clock for histograms.
+  static uint64_t nowMicros();
+
+private:
+  struct Event {
+    const char *Name;
+    const char *Cat;
+    uint64_t Ts;
+    uint64_t Dur;
+    uint32_t Tid;
+  };
+
+  std::atomic<bool> Enabled{false};
+  mutable std::mutex Mutex;
+  std::string FilePath;
+  std::vector<Event> Ring;
+  uint64_t Total = 0;
+  uint64_t Written = 0;
+  uint64_t DroppedCount = 0;
+  std::map<uint32_t, std::string> ThreadNames;
+};
+
+/// Starts the process sink over \p Path on construction (when \p Path
+/// is non-empty and the sink is not already armed by an enclosing
+/// scope) and stops/flushes it on destruction, logging a one-line
+/// "sweep: wrote trace ..." summary to \p Log. Nested scopes are
+/// no-ops, so a per-sweep scope inside an --all harness scope records
+/// one trace for the whole session.
+class TraceScope {
+public:
+  TraceScope(const std::string &Path, std::ostream *Log = nullptr);
+  ~TraceScope();
+
+  TraceScope(const TraceScope &) = delete;
+  TraceScope &operator=(const TraceScope &) = delete;
+
+private:
+  bool Started = false;
+  std::ostream *Log = nullptr;
+};
+
+} // namespace cvliw
+
+#endif // CVLIW_SUPPORT_TRACE_H

@@ -546,6 +546,23 @@ bool FleetClient::routeFrame(size_t ShardIdx, const JsonValue &Message,
     if (Type == "done") {
       Req.Stats.CacheHits += Message.u64("cache_hits");
       Req.Stats.CacheMisses += Message.u64("cache_misses");
+      if (const JsonValue *Stages = Message.find("stages")) {
+        // Fleet-merged totals plus this shard's own breakdown, so the
+        // summary can show both the sum and the skew across shards.
+        mergeStageTimings(Req.Stats.Stages, *Stages);
+        auto ByAddr = std::find_if(
+            Req.Stats.ShardStages.begin(), Req.Stats.ShardStages.end(),
+            [&](const auto &Entry) {
+              return Entry.first == Shards[ShardIdx].Addr;
+            });
+        if (ByAddr == Req.Stats.ShardStages.end()) {
+          Req.Stats.ShardStages.emplace_back(
+              Shards[ShardIdx].Addr,
+              std::vector<std::pair<std::string, uint64_t>>());
+          ByAddr = std::prev(Req.Stats.ShardStages.end());
+        }
+        mergeStageTimings(ByAddr->second, *Stages);
+      }
       if (Req.IsExperiment && !Req.GridCountChecked) {
         Req.GridCountChecked = true;
         uint64_t Grids = Message.u64("grids");

@@ -141,6 +141,13 @@ void JsonValue::append(std::string Key, JsonValue V) {
   Obj.emplace_back(std::move(Key), std::move(V));
 }
 
+const std::vector<std::pair<std::string, JsonValue>> &
+JsonValue::members() const {
+  if (K != Kind::Object)
+    throw JsonError("not an object");
+  return Obj;
+}
+
 const JsonValue *JsonValue::find(const std::string &Key) const {
   if (K != Kind::Object)
     return nullptr;

@@ -10,10 +10,50 @@
 #include "cvliw/net/Frame.h"
 #include "cvliw/net/WireFormat.h"
 
+#include <algorithm>
 #include <ostream>
 #include <utility>
 
 using namespace cvliw;
+
+void cvliw::mergeStageTimings(
+    std::vector<std::pair<std::string, uint64_t>> &Into,
+    const JsonValue &Stages) {
+  if (Stages.kind() != JsonValue::Kind::Object)
+    return;
+  for (const auto &Member : Stages.members()) {
+    uint64_t Micros = 0;
+    try {
+      Micros = Member.second.asU64();
+    } catch (const JsonError &) {
+      continue;
+    }
+    auto It = std::find_if(Into.begin(), Into.end(),
+                           [&](const std::pair<std::string, uint64_t> &KV) {
+                             return KV.first == Member.first;
+                           });
+    if (It == Into.end())
+      Into.emplace_back(Member.first, Micros);
+    else
+      It->second += Micros;
+  }
+}
+
+namespace {
+
+/// "decode_us" → "decode", "cache_lookup_us" → "cache lookup": the
+/// human form of a stage key for summary lines.
+std::string stageLabel(const std::string &Key) {
+  std::string Name = Key;
+  if (Name.size() > 3 && Name.compare(Name.size() - 3, 3, "_us") == 0)
+    Name.resize(Name.size() - 3);
+  for (char &C : Name)
+    if (C == '_')
+      C = ' ';
+  return Name;
+}
+
+} // namespace
 
 void cvliw::logDaemonCacheLine(const RemoteSweepStats &Stats,
                                std::ostream &Log) {
@@ -26,6 +66,16 @@ void cvliw::logDaemonCacheLine(const RemoteSweepStats &Stats,
     Log << "; " << Stats.BytesReceived << " bytes in "
         << Stats.FramesReceived << " response frames";
   Log << "\n";
+  if (!Stats.Stages.empty()) {
+    Log << "sweep: daemon stages:";
+    bool First = true;
+    for (const auto &KV : Stats.Stages) {
+      Log << (First ? " " : ", ") << stageLabel(KV.first) << " "
+          << KV.second << " us";
+      First = false;
+    }
+    Log << "\n";
+  }
 }
 
 bool SweepClient::connect(const std::string &HostPort, std::string &Error,
@@ -365,6 +415,8 @@ bool SweepClient::poll(uint64_t &CompletedId, bool &Completed,
       Req.Stats.Points = Message.u64("points");
       Req.Stats.CacheHits = Message.u64("cache_hits");
       Req.Stats.CacheMisses = Message.u64("cache_misses");
+      if (const JsonValue *Stages = Message.find("stages"))
+        mergeStageTimings(Req.Stats.Stages, *Stages);
       if (Req.IsExperiment) {
         Req.Stats.Grids = Message.u64("grids");
         if (Req.Stats.Grids != Req.Grids.size()) {
@@ -463,6 +515,12 @@ bool SweepClient::status(JsonValue &Out, std::string &Error) {
   if (!sendMessage(typedMessage("status"), Error))
     return false;
   return readMessage(Out, Error) && expectType(Out, "status", Error);
+}
+
+bool SweepClient::metrics(JsonValue &Out, std::string &Error) {
+  if (!sendMessage(typedMessage("metrics"), Error))
+    return false;
+  return readMessage(Out, Error) && expectType(Out, "metrics", Error);
 }
 
 bool SweepClient::runGrid(const SweepGrid &Grid, std::vector<SweepRow> &Rows,

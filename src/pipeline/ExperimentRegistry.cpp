@@ -9,6 +9,7 @@
 #include "cvliw/net/FleetClient.h"
 #include "cvliw/net/SweepClient.h"
 #include "cvliw/support/TableWriter.h"
+#include "cvliw/support/Trace.h"
 
 #include "experiments/Experiments.h"
 
@@ -185,6 +186,10 @@ bool runExperimentRemote(const ExperimentSpec &Spec,
 
 int cvliw::runExperiment(const ExperimentSpec &Spec,
                          const SweepRunOptions &Options, std::ostream &Out) {
+  // One trace per experiment invocation: the per-grid runSweep scopes
+  // below see the armed sink and no-op.
+  TraceScope Trace(Options.TracePath, &Out);
+
   Out << Spec.Banner;
 
   ExperimentOverrides Overrides = overridesFromOptions(Options);
@@ -229,6 +234,9 @@ int cvliw::runExperiment(const ExperimentSpec &Spec,
 
 int cvliw::runAllExperimentsRemote(const SweepRunOptions &Options,
                                    std::ostream &Out) {
+  // One trace for the whole pipelined harness run.
+  TraceScope Trace(Options.TracePath, &Out);
+
   const ExperimentRegistry &Registry = ExperimentRegistry::global();
   ExperimentOverrides Overrides = overridesFromOptions(Options);
 

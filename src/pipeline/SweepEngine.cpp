@@ -11,9 +11,11 @@
 #include "cvliw/net/SweepClient.h"
 #include "cvliw/net/WireFormat.h"
 #include "cvliw/pipeline/ResultCache.h"
+#include "cvliw/support/Metrics.h"
 #include "cvliw/support/Rng.h"
 #include "cvliw/support/TableWriter.h"
 #include "cvliw/support/TaskPool.h"
+#include "cvliw/support/Trace.h"
 
 #include <atomic>
 #include <cassert>
@@ -167,17 +169,43 @@ uint64_t SweepEngine::effectiveLoopSeed(const SweepRow &Row,
   return sweepLoopSeed(Grid, Row.PointSeed, LoopIndex, Spec.SeedBase);
 }
 
+void SweepEngine::setMetrics(MetricsRegistry *Registry) {
+  if (!Registry) {
+    LookupHist = nullptr;
+    SimulateHist = nullptr;
+    return;
+  }
+  LookupHist = &Registry->histogram("stage.cache_lookup");
+  SimulateHist = &Registry->histogram("stage.loop_simulate");
+}
+
 LoopRunResult SweepEngine::cachedRunLoop(const ExperimentConfig &Config,
                                          const LoopSpec &Spec,
                                          uint64_t &Hits,
                                          uint64_t &Misses) {
   uint64_t Key = Cache ? resultCacheKey(Config, Spec) : 0;
   LoopRunResult Result;
-  if (Cache && Cache->lookup(Key, Result)) {
+  TraceSink &Sink = TraceSink::process();
+  const uint64_t LookupStart = TraceSink::nowMicros();
+  const bool Hit = Cache && Cache->lookup(Key, Result);
+  const uint64_t LookupEnd = TraceSink::nowMicros();
+  LookupMicros.fetch_add(LookupEnd - LookupStart, std::memory_order_relaxed);
+  if (LookupHist)
+    LookupHist->record(LookupEnd - LookupStart);
+  if (Sink.enabled())
+    Sink.complete("cache_lookup", "cache", LookupStart, LookupEnd);
+  if (Hit) {
     ++Hits;
     return Result;
   }
+  const uint64_t SimStart = TraceSink::nowMicros();
   Result = runLoop(Spec, Config);
+  const uint64_t SimEnd = TraceSink::nowMicros();
+  SimulateMicros.fetch_add(SimEnd - SimStart, std::memory_order_relaxed);
+  if (SimulateHist)
+    SimulateHist->record(SimEnd - SimStart);
+  if (Sink.enabled())
+    Sink.complete("simulate", "simulation", SimStart, SimEnd);
   ++Misses;
   if (Cache)
     Cache->insert(Key, Result);
@@ -441,7 +469,10 @@ const std::vector<SweepRow> &SweepEngine::run() {
   std::mutex ErrorMutex;
 
   std::atomic<size_t> NextItem{0};
-  auto Worker = [&] {
+  auto Worker = [&](unsigned WorkerIndex) {
+    if (TraceSink::process().enabled())
+      TraceSink::process().setThreadName("sweep-worker-" +
+                                         std::to_string(WorkerIndex));
     uint64_t Hits = 0, Misses = 0;
     for (;;) {
       size_t Index = NextItem.fetch_add(1, std::memory_order_relaxed);
@@ -469,12 +500,12 @@ const std::vector<SweepRow> &SweepEngine::run() {
   unsigned NumWorkers =
       static_cast<unsigned>(std::min<size_t>(Threads, Items.size()));
   if (NumWorkers <= 1) {
-    Worker();
+    Worker(0);
   } else {
     std::vector<std::thread> Spawned;
     Spawned.reserve(NumWorkers);
     for (unsigned I = 0; I != NumWorkers; ++I)
-      Spawned.emplace_back(Worker);
+      Spawned.emplace_back(Worker, I);
     for (std::thread &T : Spawned)
       T.join();
   }
@@ -754,6 +785,11 @@ bool cvliw::parseSweepArgs(int Argc, char **Argv,
       if (!Value)
         return false;
       Options.DumpGridPath = Value;
+    } else if (std::strcmp(Arg, "--trace") == 0) {
+      const char *Value = NextValue("--trace");
+      if (!Value)
+        return false;
+      Options.TracePath = Value;
     } else if (std::strcmp(Arg, "--verify-serial") == 0) {
       Options.VerifySerial = true;
     } else {
@@ -763,7 +799,7 @@ bool cvliw::parseSweepArgs(int Argc, char **Argv,
                    "[--remote HOST:PORT] "
                    "[--shards HOST:PORT,HOST:PORT,...] "
                    "[--connect-retries N] [--binary-rows on|off] "
-                   "[--dump-grid FILE] [--verify-serial]\n";
+                   "[--dump-grid FILE] [--trace FILE] [--verify-serial]\n";
       return false;
     }
   }
@@ -786,6 +822,9 @@ bool cvliw::parseSweepArgs(int Argc, char **Argv,
     if (const char *Env = std::getenv("CVLIW_SWEEP_BINARY"))
       Options.BinaryRows =
           !(std::strcmp(Env, "0") == 0 || std::strcmp(Env, "off") == 0);
+  if (Options.TracePath.empty())
+    if (const char *Env = std::getenv("CVLIW_SWEEP_TRACE"))
+      Options.TracePath = Env;
   return true;
 }
 
@@ -825,6 +864,10 @@ bool cvliw::dumpGridFile(const SweepGrid &Grid, const std::string &Path,
 
 bool cvliw::runSweep(SweepEngine &Engine, const SweepRunOptions &Options,
                      std::ostream &Log) {
+  // Arm the Chrome-trace sink for the whole sweep (a no-op when an
+  // enclosing harness scope already owns the trace, e.g. --all runs).
+  TraceScope Trace(Options.TracePath, &Log);
+
   if (!Options.DumpGridPath.empty() &&
       !dumpGridFile(Engine.grid(), Options.DumpGridPath, Log))
     return false;
@@ -900,6 +943,8 @@ bool cvliw::runSweep(SweepEngine &Engine, const SweepRunOptions &Options,
       Log << ")";
     }
     Log << "\n";
+    Log << "sweep: stages: cache lookup " << Engine.cacheLookupMicros()
+        << " us, simulate " << Engine.simulateMicros() << " us\n";
   }
 
   return finishSweep(Engine, Options, Log);

@@ -13,10 +13,13 @@
 #include "cvliw/pipeline/ExperimentRegistry.h"
 #include "cvliw/pipeline/SweepEngine.h"
 #include "cvliw/support/TaskPool.h"
+#include "cvliw/support/Trace.h"
 
 #include <algorithm>
 #include <chrono>
 #include <deque>
+#include <iostream>
+#include <sstream>
 #include <utility>
 
 using namespace cvliw;
@@ -44,6 +47,14 @@ struct SweepService::Request {
   /// on its done frame.
   uint64_t RowsBatched = 0;
   uint64_t BatchesSent = 0;
+  /// Stage timings for this request (microseconds). Decode/expand are
+  /// written once by the reader before submission; encode accumulates
+  /// across pool workers. Reported on the hello-gated "stages" member
+  /// of the done frame and fed into the service histograms.
+  uint64_t StartMicros = 0;
+  uint64_t DecodeMicros = 0;
+  uint64_t ExpandMicros = 0;
+  std::atomic<uint64_t> EncodeMicros{0};
   /// Set (under the session's RequestsMutex) once the done/error frame
   /// is enqueued; the reaper destroys finished requests.
   bool Finished = false;
@@ -79,6 +90,9 @@ struct SweepService::Session {
     /// Return the frame's buffer to the session pool once sent.
     bool Pooled = false;
     bool ReapAfter = false;
+    /// Enqueue stamp; dequeue-minus-enqueue is the writer-buffer wait
+    /// the stage.writer_wait histogram tracks.
+    uint64_t EnqueueMicros = 0;
   };
   std::deque<OutItem> OutQueue;
   bool WriterStop = false;
@@ -132,11 +146,11 @@ struct SweepService::Session {
       if (!BufferPool.empty()) {
         std::string Buf = std::move(BufferPool.back());
         BufferPool.pop_back();
-        Svc->BuffersPooledTotal.fetch_add(1, std::memory_order_relaxed);
+        Svc->BuffersPooledTotal.add(1);
         return Buf;
       }
     }
-    Svc->BuffersAllocatedTotal.fetch_add(1, std::memory_order_relaxed);
+    Svc->BuffersAllocatedTotal.add(1);
     return std::string();
   }
 
@@ -167,6 +181,7 @@ struct SweepService::Session {
   }
 
   void enqueue(OutItem Item) {
+    Item.EnqueueMicros = TraceSink::nowMicros();
     {
       std::lock_guard<std::mutex> Lock(WriterMutex);
       if (WriterStop)
@@ -189,6 +204,9 @@ struct SweepService::Session {
   }
 
   void writerLoop() {
+    TraceSink &Trace = TraceSink::process();
+    if (Trace.enabled())
+      Trace.setThreadName("session-" + std::to_string(Id) + "-writer");
     for (;;) {
       OutItem Item;
       {
@@ -207,15 +225,23 @@ struct SweepService::Session {
       }
       if (!Item.Frame.empty() &&
           !WriteFailed.load(std::memory_order_relaxed)) {
+        const uint64_t SendStart = TraceSink::nowMicros();
+        Svc->WriterWaitHist.record(SendStart >= Item.EnqueueMicros
+                                       ? SendStart - Item.EnqueueMicros
+                                       : 0);
         if (!writeFrame(Sock, Item.Frame, Item.Kind)) {
           WriteFailed.store(true, std::memory_order_relaxed);
         } else {
+          const uint64_t SendEnd = TraceSink::nowMicros();
+          Svc->SendHist.record(SendEnd - SendStart);
+          if (Trace.enabled())
+            Trace.complete("send", "socket", SendStart, SendEnd);
           // Header bytes included: this is wire traffic, not payload.
           const uint64_t Wire = Item.Frame.size() + 8;
           BytesSent.fetch_add(Wire, std::memory_order_relaxed);
           FramesSent.fetch_add(1, std::memory_order_relaxed);
-          Svc->BytesSentTotal.fetch_add(Wire, std::memory_order_relaxed);
-          Svc->FramesSentTotal.fetch_add(1, std::memory_order_relaxed);
+          Svc->BytesSentTotal.add(Wire);
+          Svc->FramesSentTotal.add(1);
         }
       }
       if (Item.Pooled)
@@ -231,10 +257,20 @@ struct SweepService::Session {
   /// unfiltered); a partial row — fewer owned loops than the point has
   /// — is tagged with a "loops" index array so the fleet client merges
   /// only the slots this shard computed.
+  /// Books \p T0..\p T1 as row-encode time: into the request's stage
+  /// breakdown, the per-codec service histogram, and (when tracing)
+  /// a codec span on the calling thread's track.
+  void recordEncode(Request *Req, bool Binary, uint64_t T0, uint64_t T1) {
+    Req->EncodeMicros.fetch_add(T1 - T0, std::memory_order_relaxed);
+    (Binary ? Svc->EncodeBinaryHist : Svc->EncodeJsonHist).record(T1 - T0);
+    TraceSink &Trace = TraceSink::process();
+    if (Trace.enabled())
+      Trace.complete("row_encode", "codec", T0, T1);
+  }
+
   void emitRow(Request *Req, bool TagGrid, size_t GridIndex,
                const SweepRow &Row, const std::vector<size_t> *OwnedLoops,
-               std::atomic<uint64_t> &TotalRows,
-               std::atomic<uint64_t> &TotalBatches) {
+               MetricCounter &TotalRows, MetricCounter &TotalBatches) {
     if (WriteFailed.load(std::memory_order_relaxed))
       return;
     const bool Partial =
@@ -244,17 +280,21 @@ struct SweepService::Session {
       const std::vector<size_t> *Mask = Partial ? OwnedLoops : nullptr;
       if (Batch <= 1) {
         std::string Out = acquireBuffer();
+        const uint64_t T0 = TraceSink::nowMicros();
         encodeBinaryFrameHeader(Out, /*IsBatch=*/false, Req->HasId,
                                 Req->Id, /*Count=*/1);
         encodeBinaryRowEntry(Out, TagGrid, GridIndex, Mask, Row);
+        recordEncode(Req, /*Binary=*/true, T0, TraceSink::nowMicros());
         enqueueBinaryFrame(std::move(Out));
         return;
       }
       std::string Flush;
       {
         std::lock_guard<std::mutex> Lock(Req->BatchMutex);
+        const uint64_t T0 = TraceSink::nowMicros();
         encodeBinaryRowEntry(Req->BinaryBatch, TagGrid, GridIndex, Mask,
                              Row);
+        recordEncode(Req, /*Binary=*/true, T0, TraceSink::nowMicros());
         Req->BinaryBatchCount += 1;
         if (Req->BinaryBatchCount >= Batch)
           Flush = buildBinaryBatchLocked(Req, TotalRows, TotalBatches);
@@ -263,6 +303,7 @@ struct SweepService::Session {
         enqueueBinaryFrame(std::move(Flush));
       return;
     }
+    const uint64_t T0 = TraceSink::nowMicros();
     JsonValue Mask;
     if (Partial) {
       Mask = JsonValue::array();
@@ -279,7 +320,9 @@ struct SweepService::Session {
       Message.set("row", rowToJson(Row));
       if (Partial)
         Message.set("loops", std::move(Mask));
-      enqueueFrame(Message.dump());
+      std::string Out = Message.dump();
+      recordEncode(Req, /*Binary=*/false, T0, TraceSink::nowMicros());
+      enqueueFrame(std::move(Out));
       return;
     }
     JsonValue Entry = JsonValue::object();
@@ -288,6 +331,7 @@ struct SweepService::Session {
     Entry.set("row", rowToJson(Row));
     if (Partial)
       Entry.set("loops", std::move(Mask));
+    recordEncode(Req, /*Binary=*/false, T0, TraceSink::nowMicros());
     std::string Flush;
     {
       std::lock_guard<std::mutex> Lock(Req->BatchMutex);
@@ -301,11 +345,11 @@ struct SweepService::Session {
 
   /// Serializes and clears the request's pending batch; BatchMutex
   /// must be held. Empty string when there is nothing to flush.
-  std::string buildBatchLocked(Request *Req,
-                               std::atomic<uint64_t> &TotalRows,
-                               std::atomic<uint64_t> &TotalBatches) {
+  std::string buildBatchLocked(Request *Req, MetricCounter &TotalRows,
+                               MetricCounter &TotalBatches) {
     if (Req->Batch.empty())
       return std::string();
+    const uint64_t T0 = TraceSink::nowMicros();
     JsonValue Message = JsonValue::object();
     Message.set("type", JsonValue::str("row_batch"));
     if (Req->HasId)
@@ -320,24 +364,27 @@ struct SweepService::Session {
     Req->BatchesSent += 1;
     RowsBatched.fetch_add(N, std::memory_order_relaxed);
     BatchesSent.fetch_add(1, std::memory_order_relaxed);
-    TotalRows.fetch_add(N, std::memory_order_relaxed);
-    TotalBatches.fetch_add(1, std::memory_order_relaxed);
-    return Message.dump();
+    TotalRows.add(N);
+    TotalBatches.add(1);
+    std::string Out = Message.dump();
+    recordEncode(Req, /*Binary=*/false, T0, TraceSink::nowMicros());
+    return Out;
   }
 
   /// The CVW2 counterpart of buildBatchLocked(): prepends the frame
   /// header to the accumulated entries in a pooled buffer. BatchMutex
   /// must be held; empty string when there is nothing to flush. The
   /// caller sends the result with enqueueBinaryFrame().
-  std::string buildBinaryBatchLocked(Request *Req,
-                                     std::atomic<uint64_t> &TotalRows,
-                                     std::atomic<uint64_t> &TotalBatches) {
+  std::string buildBinaryBatchLocked(Request *Req, MetricCounter &TotalRows,
+                                     MetricCounter &TotalBatches) {
     if (Req->BinaryBatchCount == 0)
       return std::string();
     std::string Out = acquireBuffer();
+    const uint64_t T0 = TraceSink::nowMicros();
     encodeBinaryFrameHeader(Out, /*IsBatch=*/true, Req->HasId, Req->Id,
                             Req->BinaryBatchCount);
     Out.append(Req->BinaryBatch);
+    recordEncode(Req, /*Binary=*/true, T0, TraceSink::nowMicros());
     uint64_t N = Req->BinaryBatchCount;
     Req->BinaryBatch.clear();
     Req->BinaryBatchCount = 0;
@@ -345,8 +392,8 @@ struct SweepService::Session {
     Req->BatchesSent += 1;
     RowsBatched.fetch_add(N, std::memory_order_relaxed);
     BatchesSent.fetch_add(1, std::memory_order_relaxed);
-    TotalRows.fetch_add(N, std::memory_order_relaxed);
-    TotalBatches.fetch_add(1, std::memory_order_relaxed);
+    TotalRows.add(N);
+    TotalBatches.add(1);
     return Out;
   }
 };
@@ -354,7 +401,33 @@ struct SweepService::Session {
 SweepService::SweepService(SweepServiceConfig Config)
     : Config(std::move(Config)),
       Cache(this->Config.Cache ? this->Config.Cache
-                               : &ResultCache::process()) {
+                               : &ResultCache::process()),
+      OwnedMetrics(this->Config.Metrics ? nullptr : new MetricsRegistry()),
+      Metrics(this->Config.Metrics ? this->Config.Metrics
+                                   : OwnedMetrics.get()),
+      GridsServed(Metrics->counter("grids_served")),
+      ExperimentsServed(Metrics->counter("experiments_served")),
+      ConnectionsAccepted(Metrics->counter("connections_accepted")),
+      ProtocolErrors(Metrics->counter("protocol_errors")),
+      RowsBatchedTotal(Metrics->counter("rows_batched")),
+      BatchesSentTotal(Metrics->counter("batches_sent")),
+      MisroutedItems(Metrics->counter("misrouted_items")),
+      BytesSentTotal(Metrics->counter("bytes_sent")),
+      FramesSentTotal(Metrics->counter("frames_sent")),
+      BuffersAllocatedTotal(Metrics->counter("buffers_allocated")),
+      BuffersPooledTotal(Metrics->counter("buffers_pooled")),
+      DecodeHist(Metrics->histogram("stage.request_decode")),
+      ExpandHist(Metrics->histogram("stage.grid_expand")),
+      EncodeJsonHist(Metrics->histogram("stage.row_encode_json")),
+      EncodeBinaryHist(Metrics->histogram("stage.row_encode_binary")),
+      WriterWaitHist(Metrics->histogram("stage.writer_wait")),
+      SendHist(Metrics->histogram("stage.socket_send")),
+      RequestTotalHist(Metrics->histogram("stage.request_total")) {
+  // The engine-side stages live in the same registry so one `metrics`
+  // snapshot covers the whole request path; pre-register them so an
+  // idle daemon still reports the full pinned key set.
+  Metrics->histogram("stage.cache_lookup");
+  Metrics->histogram("stage.loop_simulate");
 }
 
 SweepService::~SweepService() { stop(); }
@@ -390,7 +463,7 @@ void SweepService::acceptLoop() {
       }
     }
 
-    ConnectionsAccepted.fetch_add(1, std::memory_order_relaxed);
+    ConnectionsAccepted.add(1);
     Sessions.emplace_back(new Session());
     Session *S = Sessions.back().get();
     S->Id = NextSessionId.fetch_add(1, std::memory_order_relaxed);
@@ -437,6 +510,9 @@ JsonValue errorResponse(const std::string &Message, bool HasId,
 
 void SweepService::handleSession(Session *S) {
   S->WriterThread = std::thread([S] { S->writerLoop(); });
+  if (TraceSink::process().enabled())
+    TraceSink::process().setThreadName("session-" + std::to_string(S->Id) +
+                                       "-reader");
 
   FrameDecoder Decoder(Config.MaxFrameBytes);
   char Buf[16384];
@@ -450,7 +526,7 @@ void SweepService::handleSession(Session *S) {
       } else if (Decoder.endOfStream() == FrameStatus::Truncated) {
         // EOF inside a frame: answer (the peer may only have shut down
         // its write side), then close.
-        ProtocolErrors.fetch_add(1, std::memory_order_relaxed);
+        ProtocolErrors.add(1);
         S->enqueueFrame(
             makeErrorMessage("truncated frame rejected").dump());
       }
@@ -463,7 +539,7 @@ void SweepService::handleSession(Session *S) {
     if (Open && Decoder.error() != FrameStatus::Ok) {
       // Bad framing: answer, drop the connection, keep the daemon
       // serving.
-      ProtocolErrors.fetch_add(1, std::memory_order_relaxed);
+      ProtocolErrors.add(1);
       S->enqueueFrame(
           makeErrorMessage(std::string(frameStatusName(Decoder.error())) +
                            " frame rejected")
@@ -545,6 +621,7 @@ void SweepService::requestFinished(Session *S, Request *Req) {
   std::string FailMessage;
   uint64_t Hits = 0, Misses = 0;
   size_t Points = 0;
+  uint64_t LookupMicros = 0, SimulateMicros = 0;
   for (const auto &E : Req->Engines) {
     if (E->asyncFailed()) {
       // Prefer a real simulation error over a knock-on "sweep
@@ -560,7 +637,15 @@ void SweepService::requestFinished(Session *S, Request *Req) {
     // A shard-filtered engine reports only the points it contributed
     // rows for; unfiltered this is exactly the grid size.
     Points += E->activePoints();
+    LookupMicros += E->cacheLookupMicros();
+    SimulateMicros += E->simulateMicros();
   }
+  const uint64_t TotalMicros =
+      TraceSink::nowMicros() >= Req->StartMicros
+          ? TraceSink::nowMicros() - Req->StartMicros
+          : 0;
+  RequestTotalHist.record(TotalMicros);
+  maybeLogSlowRequest(S, Req, TotalMicros, LookupMicros, SimulateMicros);
 
   if (Failed) {
     {
@@ -594,20 +679,31 @@ void SweepService::requestFinished(Session *S, Request *Req) {
     // Count before the done frame goes out: a client that has seen
     // "done" must find the counter already bumped in a status query.
     if (Req->IsExperiment)
-      ExperimentsServed.fetch_add(1, std::memory_order_relaxed);
+      ExperimentsServed.add(1);
     else
-      GridsServed.fetch_add(1, std::memory_order_relaxed);
+      GridsServed.add(1);
     JsonValue Done = typedResponse("done", Req->HasId, Req->Id);
     if (Req->IsExperiment)
       Done.set("grids", JsonValue::uint(Req->Engines.size()));
     Done.set("points", JsonValue::uint(Points));
     Done.set("cache_hits", JsonValue::uint(Hits));
     Done.set("cache_misses", JsonValue::uint(Misses));
-    // Only hello'd sessions get the batching tally: a no-hello client
-    // speaks v1, and its done frame keeps the exact v1 shape.
+    // Only hello'd sessions get the batching tally and the stage
+    // breakdown: a no-hello client speaks v1, and its done frame keeps
+    // the exact v1 shape.
     if (S->SaidHello) {
       Done.set("rows_batched", JsonValue::uint(ReqRows));
       Done.set("batches_sent", JsonValue::uint(ReqBatches));
+      JsonValue Stages = JsonValue::object();
+      Stages.set("decode_us", JsonValue::uint(Req->DecodeMicros));
+      Stages.set("expand_us", JsonValue::uint(Req->ExpandMicros));
+      Stages.set("cache_lookup_us", JsonValue::uint(LookupMicros));
+      Stages.set("simulate_us", JsonValue::uint(SimulateMicros));
+      Stages.set("encode_us",
+                 JsonValue::uint(
+                     Req->EncodeMicros.load(std::memory_order_relaxed)));
+      Stages.set("total_us", JsonValue::uint(TotalMicros));
+      Done.set("stages", std::move(Stages));
     }
     S->enqueueFrame(Done.dump());
   }
@@ -631,6 +727,34 @@ void SweepService::requestFinished(Session *S, Request *Req) {
   }
 }
 
+void SweepService::maybeLogSlowRequest(Session *S, Request *Req,
+                                       uint64_t TotalMicros,
+                                       uint64_t LookupMicros,
+                                       uint64_t SimulateMicros) {
+  if (Config.SlowRequestMs == 0 ||
+      TotalMicros < Config.SlowRequestMs * 1000)
+    return;
+  // At most one warning per second: a pipelined client with a slow
+  // grid per frame must not turn stderr into the bottleneck.
+  const uint64_t Now = TraceSink::nowMicros();
+  uint64_t Last = LastSlowLogMicros.load(std::memory_order_relaxed);
+  do {
+    if (Last != 0 && Now - Last < 1000000)
+      return;
+  } while (!LastSlowLogMicros.compare_exchange_weak(
+      Last, Now, std::memory_order_relaxed));
+  std::ostringstream Msg;
+  Msg << "sweepd: slow request";
+  if (Req->HasId)
+    Msg << " id " << Req->Id;
+  Msg << " (session " << S->Id << "): " << (TotalMicros / 1000) << " ms"
+      << " (decode " << Req->DecodeMicros << " us, expand "
+      << Req->ExpandMicros << " us, cache lookup " << LookupMicros
+      << " us, simulate " << SimulateMicros << " us, encode "
+      << Req->EncodeMicros.load(std::memory_order_relaxed) << " us)\n";
+  std::cerr << Msg.str();
+}
+
 void SweepService::submitRequest(Session *S,
                                  std::unique_ptr<Request> NewRequest,
                                  const ShardSpec *Shard) {
@@ -647,6 +771,7 @@ void SweepService::submitRequest(Session *S,
   for (size_t G = 0; G != Req->Engines.size(); ++G) {
     SweepEngine *Engine = Req->Engines[G].get();
     Engine->setCache(Cache);
+    Engine->setMetrics(Metrics);
     if (Shard) {
       // Fleet filtering: simulate only the (point, loop) items whose
       // route key — the result-cache key both sides derive the same
@@ -685,6 +810,20 @@ void SweepService::submitRequest(Session *S,
       if (Req->GridsLeft.fetch_sub(1, std::memory_order_acq_rel) == 1)
         requestFinished(S, Req);
     });
+}
+
+void SweepService::writeMetricsJson(JsonValue &Out) {
+  // Point-in-time levels refresh at snapshot time; the counters and
+  // histograms accumulate on the hot paths.
+  const ResultCacheStats Stats = Cache->stats();
+  Metrics->gauge("cache.entries").set(Stats.Entries);
+  Metrics->gauge("cache.bytes").set(Stats.Bytes);
+  Metrics->gauge("cache.hits").set(Stats.Hits);
+  Metrics->gauge("cache.misses").set(Stats.Misses);
+  Metrics->gauge("cache.evictions").set(Stats.Evictions);
+  Metrics->gauge("sessions_open").set(sessionsOpen());
+  Metrics->gauge("threads").set(Pool->threads());
+  Metrics->writeJson(Out);
 }
 
 JsonValue SweepService::statusJson() {
@@ -819,13 +958,19 @@ size_t countClaimedItems(const SweepGrid &Grid, const ShardSpec &Spec) {
 } // namespace
 
 bool SweepService::dispatchRequest(Session *S, const std::string &Payload) {
+  const uint64_t DecodeStart = TraceSink::nowMicros();
   JsonValue Msg;
   std::string ParseError;
   if (!JsonValue::parse(Payload, Msg, ParseError)) {
-    ProtocolErrors.fetch_add(1, std::memory_order_relaxed);
+    ProtocolErrors.add(1);
     S->enqueueFrame(makeErrorMessage("bad JSON: " + ParseError).dump());
     return false;
   }
+  const uint64_t DecodeEnd = TraceSink::nowMicros();
+  DecodeHist.record(DecodeEnd - DecodeStart);
+  if (TraceSink::process().enabled())
+    TraceSink::process().complete("request_decode", "codec", DecodeStart,
+                                  DecodeEnd);
 
   // Pipelined clients keep talking, so every new frame is a chance to
   // free the rows of requests they have already been answered for.
@@ -843,7 +988,7 @@ bool SweepService::dispatchRequest(Session *S, const std::string &Payload) {
       Id = I->asU64();
       HasId = true;
     } catch (const JsonError &) {
-      ProtocolErrors.fetch_add(1, std::memory_order_relaxed);
+      ProtocolErrors.add(1);
       S->enqueueFrame(
           makeErrorMessage("bad request id (need a u64)").dump());
       return false;
@@ -870,7 +1015,7 @@ bool SweepService::dispatchRequest(Session *S, const std::string &Payload) {
       if (const JsonValue *BR = Msg.find("binary_rows"))
         WantBinary = BR->asBool();
     } catch (const JsonError &E) {
-      ProtocolErrors.fetch_add(1, std::memory_order_relaxed);
+      ProtocolErrors.add(1);
       S->enqueueFrame(
           errorResponse(std::string("bad hello: ") + E.what(), HasId, Id)
               .dump());
@@ -881,7 +1026,7 @@ bool SweepService::dispatchRequest(Session *S, const std::string &Payload) {
       try {
         Spec = shardSpecFromJson(*Sh);
       } catch (const JsonError &E) {
-        ProtocolErrors.fetch_add(1, std::memory_order_relaxed);
+        ProtocolErrors.add(1);
         S->enqueueFrame(
             errorResponse(std::string("bad shard claim: ") + E.what(),
                           HasId, Id)
@@ -942,6 +1087,13 @@ bool SweepService::dispatchRequest(Session *S, const std::string &Payload) {
     return true;
   }
 
+  if (Type == "metrics") {
+    JsonValue Reply = typedResponse("metrics", HasId, Id);
+    writeMetricsJson(Reply);
+    S->enqueueFrame(Reply.dump());
+    return true;
+  }
+
   // The shard claim in force for a sweep/run_experiment: the request's
   // own (how a fleet client retargets a rebalanced resubmission), else
   // the session default from hello.
@@ -955,7 +1107,7 @@ bool SweepService::dispatchRequest(Session *S, const std::string &Payload) {
         Shard = shardSpecFromJson(*Sh);
         HasShard = true;
       } catch (const JsonError &E) {
-        ProtocolErrors.fetch_add(1, std::memory_order_relaxed);
+        ProtocolErrors.add(1);
         S->enqueueFrame(
             errorResponse(std::string("bad shard claim: ") + E.what(),
                           HasId, Id)
@@ -969,20 +1121,25 @@ bool SweepService::dispatchRequest(Session *S, const std::string &Payload) {
 
   if (Type == "sweep") {
     SweepGrid Grid;
+    const uint64_t ExpandStart = TraceSink::nowMicros();
     try {
       Grid = gridFromJson(Msg.at("grid"));
     } catch (const JsonError &E) {
-      ProtocolErrors.fetch_add(1, std::memory_order_relaxed);
+      ProtocolErrors.add(1);
       S->enqueueFrame(
           errorResponse(std::string("bad grid: ") + E.what(), HasId, Id)
               .dump());
       return false;
     }
+    const uint64_t ExpandEnd = TraceSink::nowMicros();
+    ExpandHist.record(ExpandEnd - ExpandStart);
+    if (TraceSink::process().enabled())
+      TraceSink::process().complete("grid_expand", "grid", ExpandStart,
+                                    ExpandEnd);
     if (ShardMismatch) {
       // Misrouted: tally the items the claim asked this daemon to
       // compute, refuse them, keep serving.
-      MisroutedItems.fetch_add(countClaimedItems(Grid, Shard),
-                               std::memory_order_relaxed);
+      MisroutedItems.add(countClaimedItems(Grid, Shard));
       S->enqueueFrame(errorResponse(ShardError, HasId, Id).dump());
       return true;
     }
@@ -990,6 +1147,9 @@ bool SweepService::dispatchRequest(Session *S, const std::string &Payload) {
     std::unique_ptr<Request> Req(new Request());
     Req->HasId = HasId;
     Req->Id = Id;
+    Req->StartMicros = DecodeStart;
+    Req->DecodeMicros = DecodeEnd - DecodeStart;
+    Req->ExpandMicros = ExpandEnd - ExpandStart;
     Req->Engines.emplace_back(
         new SweepEngine(std::move(Grid), /*Threads=*/1));
     submitRequest(S, std::move(Req), HasShard ? &Shard : nullptr);
@@ -999,7 +1159,7 @@ bool SweepService::dispatchRequest(Session *S, const std::string &Payload) {
   if (Type == "run_experiment") {
     const JsonValue *NameMember = Msg.find("name");
     if (!NameMember || NameMember->kind() != JsonValue::Kind::String) {
-      ProtocolErrors.fetch_add(1, std::memory_order_relaxed);
+      ProtocolErrors.add(1);
       S->enqueueFrame(
           errorResponse("run_experiment needs a string 'name'", HasId, Id)
               .dump());
@@ -1020,7 +1180,7 @@ bool SweepService::dispatchRequest(Session *S, const std::string &Payload) {
       try {
         Overrides = experimentOverridesFromJson(*O);
       } catch (const JsonError &E) {
-        ProtocolErrors.fetch_add(1, std::memory_order_relaxed);
+        ProtocolErrors.add(1);
         S->enqueueFrame(
             errorResponse(std::string("bad overrides: ") + E.what(),
                           HasId, Id)
@@ -1032,14 +1192,20 @@ bool SweepService::dispatchRequest(Session *S, const std::string &Payload) {
 
     // Grid expansion is pinned to the one registered implementation:
     // the daemon never trusts a client-supplied copy of a named grid.
+    const uint64_t ExpandStart = TraceSink::nowMicros();
     std::vector<ExperimentGrid> Grids = Spec->BuildGrids();
     for (ExperimentGrid &Grid : Grids)
       applyOverrides(Grid.Grid, Overrides);
+    const uint64_t ExpandEnd = TraceSink::nowMicros();
+    ExpandHist.record(ExpandEnd - ExpandStart);
+    if (TraceSink::process().enabled())
+      TraceSink::process().complete("grid_expand", "grid", ExpandStart,
+                                    ExpandEnd);
     if (ShardMismatch) {
       uint64_t Claimed = 0;
       for (const ExperimentGrid &Grid : Grids)
         Claimed += countClaimedItems(Grid.Grid, Shard);
-      MisroutedItems.fetch_add(Claimed, std::memory_order_relaxed);
+      MisroutedItems.add(Claimed);
       S->enqueueFrame(errorResponse(ShardError, HasId, Id).dump());
       return true;
     }
@@ -1047,6 +1213,9 @@ bool SweepService::dispatchRequest(Session *S, const std::string &Payload) {
     Req->HasId = HasId;
     Req->Id = Id;
     Req->IsExperiment = true;
+    Req->StartMicros = DecodeStart;
+    Req->DecodeMicros = DecodeEnd - DecodeStart;
+    Req->ExpandMicros = ExpandEnd - ExpandStart;
     for (ExperimentGrid &Grid : Grids)
       Req->Engines.emplace_back(
           new SweepEngine(std::move(Grid.Grid), /*Threads=*/1));

@@ -1,0 +1,148 @@
+//===- support/Metrics.cpp - Metrics registry -----------------------------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cvliw/support/Metrics.h"
+
+#include "cvliw/net/Json.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cvliw {
+
+void LatencyHistogram::record(uint64_t Micros) {
+  Count.fetch_add(1, std::memory_order_relaxed);
+  Sum.fetch_add(Micros, std::memory_order_relaxed);
+  uint64_t Seen = Max.load(std::memory_order_relaxed);
+  while (Micros > Seen &&
+         !Max.compare_exchange_weak(Seen, Micros, std::memory_order_relaxed))
+    ;
+  Buckets[bucketIndex(Micros)].fetch_add(1, std::memory_order_relaxed);
+}
+
+size_t LatencyHistogram::bucketIndex(uint64_t Micros) {
+  if (Micros == 0)
+    return 0;
+  size_t Log2 = 0;
+  while (Micros >>= 1)
+    ++Log2;
+  return std::min(Log2 + 1, NumBuckets - 1);
+}
+
+uint64_t LatencyHistogram::bucketLowerBound(size_t Index) {
+  return Index == 0 ? 0 : uint64_t(1) << (Index - 1);
+}
+
+uint64_t LatencyHistogram::bucketUpperBound(size_t Index) {
+  return uint64_t(1) << Index;
+}
+
+double LatencyHistogram::Snapshot::percentile(double P) const {
+  if (Count == 0)
+    return 0.0;
+  if (P >= 100.0)
+    return static_cast<double>(MaxMicros);
+  // Rank in (0, Count]; the covering bucket is the first whose
+  // cumulative count reaches it.
+  const double Target = std::max(P, 0.0) / 100.0 * static_cast<double>(Count);
+  uint64_t Cum = 0;
+  for (size_t I = 0; I != NumBuckets; ++I) {
+    const uint64_t InBucket = Buckets[I];
+    if (InBucket == 0)
+      continue;
+    if (static_cast<double>(Cum + InBucket) >= Target) {
+      const double Frac =
+          (Target - static_cast<double>(Cum)) / static_cast<double>(InBucket);
+      const double Lo = static_cast<double>(bucketLowerBound(I));
+      const double Hi = static_cast<double>(bucketUpperBound(I));
+      return std::min(Lo + Frac * (Hi - Lo), static_cast<double>(MaxMicros));
+    }
+    Cum += InBucket;
+  }
+  return static_cast<double>(MaxMicros);
+}
+
+void LatencyHistogram::Snapshot::merge(const Snapshot &Other) {
+  Count += Other.Count;
+  SumMicros += Other.SumMicros;
+  MaxMicros = std::max(MaxMicros, Other.MaxMicros);
+  for (size_t I = 0; I != NumBuckets; ++I)
+    Buckets[I] += Other.Buckets[I];
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::snapshot() const {
+  Snapshot S;
+  S.Count = Count.load(std::memory_order_relaxed);
+  S.SumMicros = Sum.load(std::memory_order_relaxed);
+  S.MaxMicros = Max.load(std::memory_order_relaxed);
+  for (size_t I = 0; I != NumBuckets; ++I)
+    S.Buckets[I] = Buckets[I].load(std::memory_order_relaxed);
+  return S;
+}
+
+MetricCounter &MetricsRegistry::counter(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::unique_ptr<MetricCounter> &Slot = Counters[Name];
+  if (!Slot)
+    Slot.reset(new MetricCounter());
+  return *Slot;
+}
+
+MetricGauge &MetricsRegistry::gauge(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::unique_ptr<MetricGauge> &Slot = Gauges[Name];
+  if (!Slot)
+    Slot.reset(new MetricGauge());
+  return *Slot;
+}
+
+LatencyHistogram &MetricsRegistry::histogram(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::unique_ptr<LatencyHistogram> &Slot = Histograms[Name];
+  if (!Slot)
+    Slot.reset(new LatencyHistogram());
+  return *Slot;
+}
+
+namespace {
+
+uint64_t roundedMicros(double V) {
+  return static_cast<uint64_t>(std::llround(std::max(V, 0.0)));
+}
+
+} // namespace
+
+void MetricsRegistry::writeJson(JsonValue &Out) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  JsonValue CountersJson = JsonValue::object();
+  for (const auto &KV : Counters)
+    CountersJson.append(KV.first, JsonValue::uint(KV.second->value()));
+  JsonValue GaugesJson = JsonValue::object();
+  for (const auto &KV : Gauges)
+    GaugesJson.append(KV.first, JsonValue::uint(KV.second->value()));
+  JsonValue HistogramsJson = JsonValue::object();
+  for (const auto &KV : Histograms) {
+    const LatencyHistogram::Snapshot S = KV.second->snapshot();
+    JsonValue H = JsonValue::object();
+    H.append("count", JsonValue::uint(S.Count));
+    H.append("sum_us", JsonValue::uint(S.SumMicros));
+    H.append("max_us", JsonValue::uint(S.MaxMicros));
+    H.append("p50_us", JsonValue::uint(roundedMicros(S.percentile(50))));
+    H.append("p90_us", JsonValue::uint(roundedMicros(S.percentile(90))));
+    H.append("p99_us", JsonValue::uint(roundedMicros(S.percentile(99))));
+    HistogramsJson.append(KV.first, std::move(H));
+  }
+  Out.set("counters", std::move(CountersJson));
+  Out.set("gauges", std::move(GaugesJson));
+  Out.set("histograms", std::move(HistogramsJson));
+}
+
+MetricsRegistry &MetricsRegistry::process() {
+  static MetricsRegistry Registry;
+  return Registry;
+}
+
+} // namespace cvliw

@@ -6,8 +6,11 @@
 
 #include "cvliw/support/TaskPool.h"
 
+#include "cvliw/support/Trace.h"
+
 #include <algorithm>
 #include <cassert>
+#include <string>
 #include <utility>
 
 using namespace cvliw;
@@ -16,7 +19,7 @@ TaskPool::TaskPool(unsigned Threads) {
   Threads = std::max(1u, Threads);
   Workers.reserve(Threads);
   for (unsigned I = 0; I != Threads; ++I)
-    Workers.emplace_back([this] { workerLoop(); });
+    Workers.emplace_back([this, I] { workerLoop(I); });
 }
 
 TaskPool::~TaskPool() {
@@ -110,7 +113,8 @@ void TaskPool::reclaimLocked(uint64_t Tag) {
     Tags.erase(It);
 }
 
-void TaskPool::workerLoop() {
+void TaskPool::workerLoop(unsigned WorkerIndex) {
+  bool Named = false;
   for (;;) {
     std::function<void()> Job;
     uint64_t Tag = 0;
@@ -121,7 +125,21 @@ void TaskPool::workerLoop() {
         return;
       Job = popLocked(Tag);
     }
-    Job();
+    TraceSink &Sink = TraceSink::process();
+    if (Sink.enabled()) {
+      // Name lazily, once tracing is actually on: pool threads outlive
+      // any one trace window and must not grow the name table when the
+      // sink is dark.
+      if (!Named) {
+        Sink.setThreadName("pool-worker-" + std::to_string(WorkerIndex));
+        Named = true;
+      }
+      const uint64_t Start = TraceSink::nowMicros();
+      Job();
+      Sink.complete("task", "scheduling", Start, TraceSink::nowMicros());
+    } else {
+      Job();
+    }
     {
       std::lock_guard<std::mutex> Lock(Mutex);
       auto It = Tags.find(Tag);

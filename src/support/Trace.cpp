@@ -1,0 +1,184 @@
+//===- support/Trace.cpp - Chrome-trace span sink -------------------------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cvliw/support/Trace.h"
+
+#include "cvliw/net/Json.h"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+
+namespace cvliw {
+
+namespace {
+
+/// Small dense thread ids (Chrome renders one track per tid), assigned
+/// on a thread's first recorded span or name.
+uint32_t threadId() {
+  static std::atomic<uint32_t> NextTid{0};
+  thread_local uint32_t Tid = 0;
+  if (Tid == 0)
+    Tid = NextTid.fetch_add(1, std::memory_order_relaxed) + 1;
+  return Tid;
+}
+
+} // namespace
+
+TraceSink &TraceSink::process() {
+  static TraceSink Sink;
+  return Sink;
+}
+
+uint64_t TraceSink::nowMicros() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point Epoch = Clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            Epoch)
+          .count());
+}
+
+bool TraceSink::start(const std::string &Path, std::string &Error,
+                      size_t Capacity) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (Enabled.load(std::memory_order_relaxed)) {
+    Error = "trace sink already started (writing " + FilePath + ")";
+    return false;
+  }
+  // Validate writability up front so a bad --trace path fails at
+  // startup, not after the sweep ran.
+  {
+    std::ofstream Probe(Path, std::ios::trunc);
+    if (!Probe) {
+      Error = "cannot open trace file " + Path;
+      return false;
+    }
+  }
+  FilePath = Path;
+  Ring.assign(std::max<size_t>(Capacity, 1), Event{});
+  Total = 0;
+  Written = 0;
+  DroppedCount = 0;
+  Enabled.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+void TraceSink::setThreadName(const std::string &Name) {
+  const uint32_t Tid = threadId();
+  std::lock_guard<std::mutex> Lock(Mutex);
+  ThreadNames[Tid] = Name;
+}
+
+void TraceSink::complete(const char *Name, const char *Cat,
+                         uint64_t StartMicros, uint64_t EndMicros) {
+  if (!enabled())
+    return;
+  const uint32_t Tid = threadId();
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (!Enabled.load(std::memory_order_relaxed))
+    return;
+  Event &Slot = Ring[Total % Ring.size()];
+  Slot.Name = Name;
+  Slot.Cat = Cat;
+  Slot.Ts = StartMicros;
+  Slot.Dur = EndMicros >= StartMicros ? EndMicros - StartMicros : 0;
+  Slot.Tid = Tid;
+  ++Total;
+}
+
+bool TraceSink::stop(std::string &Error) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (!Enabled.load(std::memory_order_relaxed))
+    return true;
+  Enabled.store(false, std::memory_order_relaxed);
+
+  const uint64_t Kept = std::min<uint64_t>(Total, Ring.size());
+  DroppedCount = Total - Kept;
+  Written = Kept;
+
+  std::ofstream Out(FilePath, std::ios::trunc);
+  if (!Out) {
+    Error = "cannot open trace file " + FilePath;
+    return false;
+  }
+  Out << "[";
+  bool First = true;
+  auto emit = [&](const JsonValue &Ev) {
+    Out << (First ? "\n" : ",\n");
+    First = false;
+    Ev.write(Out);
+  };
+  for (const auto &KV : ThreadNames) {
+    JsonValue Ev = JsonValue::object();
+    Ev.append("name", JsonValue::str("thread_name"));
+    Ev.append("ph", JsonValue::str("M"));
+    Ev.append("pid", JsonValue::uint(1));
+    Ev.append("tid", JsonValue::uint(KV.first));
+    JsonValue Args = JsonValue::object();
+    Args.append("name", JsonValue::str(KV.second));
+    Ev.append("args", std::move(Args));
+    emit(Ev);
+  }
+  // Oldest-first: once the ring wrapped, the slot after the write
+  // cursor is the oldest surviving span.
+  const uint64_t Start = Total > Ring.size() ? Total % Ring.size() : 0;
+  for (uint64_t I = 0; I != Kept; ++I) {
+    const Event &E = Ring[(Start + I) % Ring.size()];
+    JsonValue Ev = JsonValue::object();
+    Ev.append("name", JsonValue::str(E.Name));
+    Ev.append("cat", JsonValue::str(E.Cat));
+    Ev.append("ph", JsonValue::str("X"));
+    Ev.append("pid", JsonValue::uint(1));
+    Ev.append("tid", JsonValue::uint(E.Tid));
+    Ev.append("ts", JsonValue::uint(E.Ts));
+    Ev.append("dur", JsonValue::uint(E.Dur));
+    emit(Ev);
+  }
+  Out << "\n]\n";
+  Out.flush();
+  if (!Out) {
+    Error = "failed writing trace file " + FilePath;
+    return false;
+  }
+  return true;
+}
+
+TraceScope::TraceScope(const std::string &Path, std::ostream *LogStream)
+    : Log(LogStream) {
+  if (Path.empty())
+    return;
+  TraceSink &Sink = TraceSink::process();
+  if (Sink.enabled())
+    return; // An enclosing scope owns the trace.
+  std::string Error;
+  if (Sink.start(Path, Error)) {
+    Started = true;
+  } else if (Log) {
+    *Log << "sweep: trace disabled: " << Error << "\n";
+  }
+}
+
+TraceScope::~TraceScope() {
+  if (!Started)
+    return;
+  TraceSink &Sink = TraceSink::process();
+  std::string Error;
+  if (!Sink.stop(Error)) {
+    if (Log)
+      *Log << "sweep: " << Error << "\n";
+    return;
+  }
+  if (Log) {
+    *Log << "sweep: wrote trace " << Sink.path() << " ("
+         << Sink.eventsWritten() << " events";
+    if (Sink.eventsDropped())
+      *Log << ", " << Sink.eventsDropped() << " dropped";
+    *Log << ")\n";
+  }
+}
+
+} // namespace cvliw

@@ -1,0 +1,199 @@
+//===- tests/MetricsTest.cpp - metrics registry tests ---------------------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cvliw/support/Metrics.h"
+
+#include "cvliw/net/Json.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+using namespace cvliw;
+
+TEST(MetricCounter, StartsAtZeroAndAccumulates) {
+  MetricCounter C;
+  EXPECT_EQ(C.value(), 0u);
+  C.add();
+  C.add(41);
+  EXPECT_EQ(C.value(), 42u);
+}
+
+TEST(MetricGauge, LastWriterWins) {
+  MetricGauge G;
+  EXPECT_EQ(G.value(), 0u);
+  G.set(7);
+  G.set(3);
+  EXPECT_EQ(G.value(), 3u);
+}
+
+TEST(LatencyHistogram, BucketBoundaries) {
+  // Bucket 0 holds exactly 0; bucket i >= 1 covers [2^(i-1), 2^i).
+  EXPECT_EQ(LatencyHistogram::bucketIndex(0), 0u);
+  EXPECT_EQ(LatencyHistogram::bucketIndex(1), 1u);
+  EXPECT_EQ(LatencyHistogram::bucketIndex(2), 2u);
+  EXPECT_EQ(LatencyHistogram::bucketIndex(3), 2u);
+  EXPECT_EQ(LatencyHistogram::bucketIndex(4), 3u);
+  EXPECT_EQ(LatencyHistogram::bucketIndex(7), 3u);
+  EXPECT_EQ(LatencyHistogram::bucketIndex(8), 4u);
+  EXPECT_EQ(LatencyHistogram::bucketIndex(1023), 10u);
+  EXPECT_EQ(LatencyHistogram::bucketIndex(1024), 11u);
+  // Every bucket's bounds agree with its index mapping.
+  for (size_t I = 1; I != LatencyHistogram::NumBuckets - 1; ++I) {
+    EXPECT_EQ(LatencyHistogram::bucketIndex(
+                  LatencyHistogram::bucketLowerBound(I)),
+              I);
+    EXPECT_EQ(LatencyHistogram::bucketIndex(
+                  LatencyHistogram::bucketUpperBound(I) - 1),
+              I);
+  }
+  // Out-of-range samples saturate into the top bucket.
+  EXPECT_EQ(LatencyHistogram::bucketIndex(~uint64_t(0)),
+            LatencyHistogram::NumBuckets - 1);
+}
+
+TEST(LatencyHistogram, EmptySnapshot) {
+  LatencyHistogram H;
+  LatencyHistogram::Snapshot S = H.snapshot();
+  EXPECT_EQ(S.Count, 0u);
+  EXPECT_EQ(S.SumMicros, 0u);
+  EXPECT_EQ(S.MaxMicros, 0u);
+  EXPECT_DOUBLE_EQ(S.percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(S.percentile(100), 0.0);
+}
+
+TEST(LatencyHistogram, PercentileInterpolation) {
+  // 100 identical 1000 us samples all land in bucket [512, 1024): the
+  // median interpolates to the bucket midpoint, 768.
+  LatencyHistogram H;
+  for (int I = 0; I != 100; ++I)
+    H.record(1000);
+  LatencyHistogram::Snapshot S = H.snapshot();
+  EXPECT_EQ(S.Count, 100u);
+  EXPECT_EQ(S.SumMicros, 100000u);
+  EXPECT_EQ(S.MaxMicros, 1000u);
+  EXPECT_DOUBLE_EQ(S.percentile(50), 768.0);
+  // p100 is clamped to the observed maximum, not the bucket's upper
+  // bound.
+  EXPECT_DOUBLE_EQ(S.percentile(100), 1000.0);
+  EXPECT_DOUBLE_EQ(S.percentile(99.9), 1000.0);
+}
+
+TEST(LatencyHistogram, PercentileAcrossBuckets) {
+  // 90 samples of 1 us (bucket [1,2)) and 10 of 1000 us ([512,1024)):
+  // p50 stays in the low bucket, p99 lands in the high one.
+  LatencyHistogram H;
+  for (int I = 0; I != 90; ++I)
+    H.record(1);
+  for (int I = 0; I != 10; ++I)
+    H.record(1000);
+  LatencyHistogram::Snapshot S = H.snapshot();
+  // Rank 50 of 90 in [1, 2): 1 + 50/90.
+  EXPECT_NEAR(S.percentile(50), 1.0 + 50.0 / 90.0, 1e-9);
+  // Rank 99 is the 9th of the 10 high samples: 512 + 0.9 * 512.
+  EXPECT_NEAR(S.percentile(99), 512.0 + 0.9 * 512.0, 1e-9);
+  EXPECT_DOUBLE_EQ(S.percentile(0), 1.0);
+}
+
+TEST(LatencyHistogram, ZeroSamplesStayInBucketZero) {
+  LatencyHistogram H;
+  for (int I = 0; I != 5; ++I)
+    H.record(0);
+  LatencyHistogram::Snapshot S = H.snapshot();
+  EXPECT_EQ(S.Buckets[0], 5u);
+  EXPECT_EQ(S.MaxMicros, 0u);
+  EXPECT_DOUBLE_EQ(S.percentile(50), 0.0);
+}
+
+TEST(LatencyHistogram, SnapshotMerge) {
+  // The shard-aggregation path: merging two snapshots is bucket-wise
+  // sum with max-of-maxima, indistinguishable from one histogram that
+  // saw both streams.
+  LatencyHistogram A, B, Both;
+  for (int I = 0; I != 90; ++I) {
+    A.record(1);
+    Both.record(1);
+  }
+  for (int I = 0; I != 10; ++I) {
+    B.record(1000);
+    Both.record(1000);
+  }
+  LatencyHistogram::Snapshot Merged = A.snapshot();
+  Merged.merge(B.snapshot());
+  LatencyHistogram::Snapshot Expected = Both.snapshot();
+  EXPECT_EQ(Merged.Count, Expected.Count);
+  EXPECT_EQ(Merged.SumMicros, Expected.SumMicros);
+  EXPECT_EQ(Merged.MaxMicros, Expected.MaxMicros);
+  EXPECT_EQ(Merged.Buckets, Expected.Buckets);
+  EXPECT_DOUBLE_EQ(Merged.percentile(99), Expected.percentile(99));
+}
+
+// Exercised under -fsanitize=thread in CI (the Metrics filter): the
+// record fast path must be race-free without any lock.
+TEST(LatencyHistogram, ConcurrentRecord) {
+  LatencyHistogram H;
+  MetricCounter C;
+  constexpr int ThreadCount = 4;
+  constexpr int PerThread = 10000;
+  std::vector<std::thread> Threads;
+  for (int T = 0; T != ThreadCount; ++T)
+    Threads.emplace_back([&H, &C, T] {
+      for (int I = 0; I != PerThread; ++I) {
+        H.record(static_cast<uint64_t>(T * 1000 + I % 7));
+        C.add();
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  LatencyHistogram::Snapshot S = H.snapshot();
+  EXPECT_EQ(S.Count, static_cast<uint64_t>(ThreadCount * PerThread));
+  EXPECT_EQ(C.value(), static_cast<uint64_t>(ThreadCount * PerThread));
+  uint64_t BucketTotal = 0;
+  for (uint64_t B : S.Buckets)
+    BucketTotal += B;
+  EXPECT_EQ(BucketTotal, S.Count);
+}
+
+TEST(MetricsRegistry, LookupReturnsStableInstrument) {
+  MetricsRegistry R;
+  MetricCounter &C = R.counter("grids_served");
+  C.add(2);
+  EXPECT_EQ(&R.counter("grids_served"), &C);
+  EXPECT_EQ(R.counter("grids_served").value(), 2u);
+  // Distinct names are distinct instruments.
+  EXPECT_NE(&R.counter("grids_served"), &R.counter("protocol_errors"));
+  EXPECT_NE(&R.histogram("stage.a"), &R.histogram("stage.b"));
+}
+
+TEST(MetricsRegistry, WriteJsonPinnedShape) {
+  MetricsRegistry R;
+  R.counter("grids_served").add(3);
+  R.gauge("sessions_open").set(1);
+  for (int I = 0; I != 100; ++I)
+    R.histogram("stage.request_decode").record(1000);
+
+  JsonValue Out = JsonValue::object();
+  R.writeJson(Out);
+
+  EXPECT_EQ(Out.at("counters").u64("grids_served"), 3u);
+  EXPECT_EQ(Out.at("gauges").u64("sessions_open"), 1u);
+  const JsonValue &H = Out.at("histograms").at("stage.request_decode");
+  // The per-histogram key set is part of the wire contract.
+  EXPECT_EQ(H.u64("count"), 100u);
+  EXPECT_EQ(H.u64("sum_us"), 100000u);
+  EXPECT_EQ(H.u64("max_us"), 1000u);
+  EXPECT_EQ(H.u64("p50_us"), 768u);
+  EXPECT_EQ(H.u64("p90_us"), 973u); // 512 + 0.9 * 512, rounded
+  EXPECT_EQ(H.u64("p99_us"), 1000u);
+  // Round-trips through the parser (the metrics wire reply does this).
+  std::string Text = Out.dump();
+  JsonValue Parsed;
+  std::string Error;
+  ASSERT_TRUE(JsonValue::parse(Text, Parsed, Error)) << Error;
+  EXPECT_EQ(Parsed.at("histograms").at("stage.request_decode").u64("p50_us"),
+            768u);
+}

@@ -19,6 +19,7 @@
 
 #include <chrono>
 #include <cstring>
+#include <iostream>
 #include <sstream>
 #include <thread>
 
@@ -566,6 +567,8 @@ TEST(SweepService, V1ClientWithoutHelloStaysUnbatchedAndUnIded) {
       EXPECT_EQ(Message.u64("points"), Grid.size());
       EXPECT_EQ(Message.find("rows_batched"), nullptr)
           << "a v1 done frame keeps the exact v1 shape";
+      EXPECT_EQ(Message.find("stages"), nullptr)
+          << "the stage breakdown is hello-gated";
       break;
     }
     ASSERT_EQ(Type, "row") << "no row_batch frames without hello";
@@ -1372,6 +1375,11 @@ TEST(SweepService, BinaryThreeShardFleetIsByteIdenticalToSerial) {
   EXPECT_GT(Stats.FramesReceived, 0u);
   EXPECT_EQ(csvOfRows(tinyGrid(), std::move(Rows)), serialCsv(tinyGrid()));
 
+  // Every shard's done frame carried a stage breakdown: the fan-out
+  // merge sums them and keeps a per-shard copy for skew inspection.
+  EXPECT_FALSE(Stats.Stages.empty());
+  EXPECT_EQ(Stats.ShardStages.size(), 3u);
+
   // And the two-grid experiment through the same binary fleet path.
   const ExperimentSpec *Spec =
       ExperimentRegistry::global().find("hardware_vs_software");
@@ -1388,4 +1396,190 @@ TEST(SweepService, BinaryThreeShardFleetIsByteIdenticalToSerial) {
   for (size_t G = 0; G != 2; ++G)
     EXPECT_EQ(csvOfRows(Grids[G].Grid, std::move(GridRows[G])),
               serialCsv(Grids[G].Grid));
+}
+
+//===----------------------------------------------------------------------===//
+// Observability: metrics registry, stage breakdowns, slow-request log
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+const uint64_t *findStage(const RemoteSweepStats &Stats,
+                          const std::string &Key) {
+  for (const auto &KV : Stats.Stages)
+    if (KV.first == Key)
+      return &KV.second;
+  return nullptr;
+}
+
+} // namespace
+
+TEST(SweepService, MetricsRequestPinsRegistryKeys) {
+  // The `metrics` wire contract: one registry snapshot whose counter,
+  // gauge and histogram names are keys dashboards read — pin them.
+  ServiceFixture F;
+  SweepClient Client;
+  std::string Error;
+  ASSERT_TRUE(Client.connect(F.HostPort, Error)) << Error;
+  ASSERT_TRUE(Client.negotiate(DefaultClientMaxBatch, 1, Error)) << Error;
+
+  std::vector<SweepRow> Rows;
+  RemoteSweepStats Stats;
+  ASSERT_TRUE(Client.runGrid(tinyGrid(), Rows, Stats, Error)) << Error;
+
+  JsonValue Metrics;
+  ASSERT_TRUE(Client.metrics(Metrics, Error)) << Error;
+  EXPECT_EQ(Metrics.text("type"), "metrics");
+
+  const JsonValue &Counters = Metrics.at("counters");
+  for (const char *Key :
+       {"grids_served", "experiments_served", "connections_accepted",
+        "protocol_errors", "rows_batched", "batches_sent",
+        "misrouted_items", "bytes_sent", "frames_sent",
+        "buffers_allocated", "buffers_pooled"})
+    ASSERT_NE(Counters.find(Key), nullptr) << Key;
+  EXPECT_EQ(Counters.u64("grids_served"), 1u);
+  EXPECT_EQ(Counters.u64("connections_accepted"), 1u);
+  EXPECT_EQ(Counters.u64("protocol_errors"), 0u);
+  EXPECT_GT(Counters.u64("bytes_sent"), 0u);
+
+  const JsonValue &Gauges = Metrics.at("gauges");
+  for (const char *Key :
+       {"cache.entries", "cache.bytes", "cache.hits", "cache.misses",
+        "cache.evictions", "sessions_open", "threads"})
+    ASSERT_NE(Gauges.find(Key), nullptr) << Key;
+  EXPECT_EQ(Gauges.u64("threads"), 3u);
+  EXPECT_EQ(Gauges.u64("sessions_open"), 1u);
+  EXPECT_EQ(Gauges.u64("cache.entries"), 12u);
+  EXPECT_EQ(Gauges.u64("cache.misses"), 12u);
+
+  // Every pipeline stage has its histogram from construction (the two
+  // engine-side stages are pre-registered so an idle daemon still
+  // serves the full key set).
+  const JsonValue &Histograms = Metrics.at("histograms");
+  for (const char *Key :
+       {"stage.request_decode", "stage.grid_expand", "stage.cache_lookup",
+        "stage.loop_simulate", "stage.row_encode_json",
+        "stage.row_encode_binary", "stage.writer_wait",
+        "stage.socket_send", "stage.request_total"})
+    ASSERT_NE(Histograms.find(Key), nullptr) << Key;
+  EXPECT_EQ(Histograms.at("stage.request_total").u64("count"), 1u);
+  // Decode is timed per frame: hello, sweep, and this metrics request.
+  EXPECT_EQ(Histograms.at("stage.request_decode").u64("count"), 3u);
+  // 6 points x 2 loops, every item looked up and (cold) simulated.
+  EXPECT_EQ(Histograms.at("stage.cache_lookup").u64("count"), 12u);
+  EXPECT_EQ(Histograms.at("stage.loop_simulate").u64("count"), 12u);
+  // The per-histogram key set is pinned by MetricsTest; spot-check the
+  // wire copy carries it too.
+  const JsonValue &Total = Histograms.at("stage.request_total");
+  for (const char *Key :
+       {"count", "sum_us", "max_us", "p50_us", "p90_us", "p99_us"})
+    ASSERT_NE(Total.find(Key), nullptr) << Key;
+
+  // An idle service still serves the whole registry: fresh fixture,
+  // no sweep, same key set.
+  ServiceFixture Idle;
+  SweepClient IdleClient;
+  ASSERT_TRUE(IdleClient.connect(Idle.HostPort, Error)) << Error;
+  JsonValue IdleMetrics;
+  ASSERT_TRUE(IdleClient.metrics(IdleMetrics, Error)) << Error;
+  EXPECT_EQ(IdleMetrics.at("counters").u64("grids_served"), 0u);
+  EXPECT_NE(IdleMetrics.at("histograms").find("stage.loop_simulate"),
+            nullptr);
+  EXPECT_EQ(IdleMetrics.at("histograms").at("stage.request_total")
+                .u64("count"),
+            0u);
+}
+
+TEST(SweepService, DoneFrameStageBreakdownIsHelloGated) {
+  // A negotiated session's done frames carry the per-request stage
+  // breakdown; a v1 session's never do (the raw-frame v1 test pins the
+  // frame shape — this pins the client-side merge).
+  ServiceFixture F;
+  std::string Error;
+
+  SweepClient Negotiated;
+  ASSERT_TRUE(Negotiated.connect(F.HostPort, Error)) << Error;
+  ASSERT_TRUE(Negotiated.negotiate(DefaultClientMaxBatch, 1, Error))
+      << Error;
+  std::vector<SweepRow> Rows;
+  RemoteSweepStats Stats;
+  ASSERT_TRUE(Negotiated.runGrid(tinyGrid(), Rows, Stats, Error)) << Error;
+  ASSERT_EQ(Stats.Stages.size(), 6u);
+  // Insertion order follows the daemon's object order.
+  const char *Expected[] = {"decode_us",      "expand_us", "cache_lookup_us",
+                            "simulate_us",    "encode_us", "total_us"};
+  for (size_t I = 0; I != 6; ++I)
+    EXPECT_EQ(Stats.Stages[I].first, Expected[I]);
+  const uint64_t *Total = findStage(Stats, "total_us");
+  const uint64_t *Simulate = findStage(Stats, "simulate_us");
+  ASSERT_NE(Total, nullptr);
+  ASSERT_NE(Simulate, nullptr);
+  EXPECT_GT(*Simulate, 0u) << "12 cold simulations took some time";
+  EXPECT_GT(*Total, 0u);
+
+  // Two grids on one session accumulate (the client merges by key).
+  std::vector<SweepRow> Rows2;
+  ASSERT_TRUE(Negotiated.runGrid(tinyGrid(), Rows2, Stats, Error)) << Error;
+  EXPECT_EQ(Stats.Stages.size(), 6u);
+
+  // No hello, no stages: the v1 done frame has none to merge.
+  SweepClient Plain;
+  ASSERT_TRUE(Plain.connect(F.HostPort, Error)) << Error;
+  std::vector<SweepRow> PlainRows;
+  RemoteSweepStats PlainStats;
+  ASSERT_TRUE(Plain.runGrid(tinyGrid(), PlainRows, PlainStats, Error))
+      << Error;
+  EXPECT_TRUE(PlainStats.Stages.empty());
+}
+
+TEST(SweepService, SlowRequestLogCarriesStageBreakdown) {
+  // An artificially slow grid over a 1 ms threshold must warn exactly
+  // once on stderr, with the per-stage breakdown inline.
+  SweepServiceConfig Config = ServiceFixture::makeConfig(DefaultMaxFrameBytes);
+  Config.SlowRequestMs = 1;
+  ServiceFixture F(Config);
+
+  SweepGrid Slow = tinyGrid();
+  for (BenchmarkSpec &B : Slow.Benchmarks)
+    for (LoopSpec &L : B.Loops)
+      L.ExecTrip = 20000;
+
+  SweepClient Client;
+  std::string Error;
+  ASSERT_TRUE(Client.connect(F.HostPort, Error)) << Error;
+
+  std::ostringstream Captured;
+  std::streambuf *Old = std::cerr.rdbuf(Captured.rdbuf());
+  std::vector<SweepRow> Rows;
+  RemoteSweepStats Stats;
+  const bool Ok = Client.runGrid(Slow, Rows, Stats, Error);
+  // The warning is written by the pool worker BEFORE the done frame is
+  // enqueued, so once runGrid returns the log line is complete.
+  std::cerr.rdbuf(Old);
+  ASSERT_TRUE(Ok) << Error;
+
+  const std::string Log = Captured.str();
+  EXPECT_NE(Log.find("sweepd: slow request"), std::string::npos) << Log;
+  EXPECT_NE(Log.find("(session "), std::string::npos);
+  EXPECT_NE(Log.find("decode "), std::string::npos);
+  EXPECT_NE(Log.find("simulate "), std::string::npos);
+  EXPECT_NE(Log.find("encode "), std::string::npos);
+}
+
+TEST(SweepService, SlowRequestLogIsOffByDefault) {
+  ServiceFixture F;
+  SweepClient Client;
+  std::string Error;
+  ASSERT_TRUE(Client.connect(F.HostPort, Error)) << Error;
+
+  std::ostringstream Captured;
+  std::streambuf *Old = std::cerr.rdbuf(Captured.rdbuf());
+  std::vector<SweepRow> Rows;
+  RemoteSweepStats Stats;
+  const bool Ok = Client.runGrid(tinyGrid(), Rows, Stats, Error);
+  std::cerr.rdbuf(Old);
+  ASSERT_TRUE(Ok) << Error;
+  EXPECT_EQ(Captured.str().find("slow request"), std::string::npos)
+      << Captured.str();
 }

@@ -1,0 +1,200 @@
+//===- tests/TraceTest.cpp - Chrome-trace sink tests ----------------------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cvliw/support/Trace.h"
+
+#include "cvliw/net/Json.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+using namespace cvliw;
+
+namespace {
+
+/// Reads and parses a written trace file; fails the test on bad JSON.
+JsonValue readTrace(const std::string &Path) {
+  std::ifstream IS(Path);
+  EXPECT_TRUE(IS.good()) << "cannot read " << Path;
+  std::ostringstream Buffer;
+  Buffer << IS.rdbuf();
+  JsonValue Trace;
+  std::string Error;
+  EXPECT_TRUE(JsonValue::parse(Buffer.str(), Trace, Error)) << Error;
+  return Trace;
+}
+
+} // namespace
+
+TEST(TraceSink, DisabledByDefaultAndDropsSpans) {
+  TraceSink Sink;
+  EXPECT_FALSE(Sink.enabled());
+  // Recording into a dark sink is a no-op, not a crash.
+  Sink.complete("span", "cat", 1, 2);
+}
+
+TEST(TraceSink, StartRejectsUnwritablePath) {
+  TraceSink Sink;
+  std::string Error;
+  EXPECT_FALSE(Sink.start("/no/such/dir/trace.json", Error));
+  EXPECT_FALSE(Error.empty());
+  EXPECT_FALSE(Sink.enabled());
+}
+
+TEST(TraceSink, DoubleStartFails) {
+  TraceSink Sink;
+  const std::string Path = ::testing::TempDir() + "cvliw_trace_double.json";
+  std::string Error;
+  ASSERT_TRUE(Sink.start(Path, Error)) << Error;
+  EXPECT_FALSE(Sink.start(Path, Error));
+  EXPECT_TRUE(Sink.stop(Error)) << Error;
+}
+
+TEST(TraceSink, WritesValidChromeTrace) {
+  TraceSink Sink;
+  const std::string Path = ::testing::TempDir() + "cvliw_trace_basic.json";
+  std::string Error;
+  ASSERT_TRUE(Sink.start(Path, Error)) << Error;
+  EXPECT_TRUE(Sink.enabled());
+
+  // Record from two named threads so the file carries two tracks.
+  std::thread Worker([&Sink] {
+    Sink.setThreadName("worker-a");
+    Sink.complete("simulate", "simulation", 10, 30);
+    Sink.complete("cache_lookup", "cache", 30, 31);
+  });
+  Worker.join();
+  Sink.setThreadName("main");
+  Sink.complete("request_decode", "codec", 5, 9);
+  // End < Start clamps to zero duration rather than underflowing.
+  Sink.complete("send", "socket", 100, 90);
+
+  ASSERT_TRUE(Sink.stop(Error)) << Error;
+  EXPECT_FALSE(Sink.enabled());
+  EXPECT_EQ(Sink.eventsWritten(), 4u);
+  EXPECT_EQ(Sink.eventsDropped(), 0u);
+
+  JsonValue Trace = readTrace(Path);
+  size_t NameEvents = 0, SpanEvents = 0;
+  std::vector<std::string> ThreadNames;
+  for (const JsonValue &Ev : Trace.items()) {
+    const std::string &Ph = Ev.text("ph");
+    // Only complete ("X") and metadata ("M") events are emitted: B/E
+    // balance holds trivially on every track.
+    ASSERT_TRUE(Ph == "X" || Ph == "M") << "unexpected phase " << Ph;
+    EXPECT_EQ(Ev.u64("pid"), 1u);
+    if (Ph == "M") {
+      EXPECT_EQ(Ev.text("name"), "thread_name");
+      ThreadNames.push_back(Ev.at("args").text("name"));
+      ++NameEvents;
+      continue;
+    }
+    ++SpanEvents;
+    // ts/dur parse as unsigned: non-negative by construction.
+    (void)Ev.u64("ts");
+    (void)Ev.u64("dur");
+    EXPECT_FALSE(Ev.text("name").empty());
+    EXPECT_FALSE(Ev.text("cat").empty());
+    if (Ev.text("name") == "send") {
+      EXPECT_EQ(Ev.u64("dur"), 0u); // the clamped span
+    }
+    if (Ev.text("name") == "simulate") {
+      EXPECT_EQ(Ev.u64("ts"), 10u);
+      EXPECT_EQ(Ev.u64("dur"), 20u);
+    }
+  }
+  EXPECT_EQ(SpanEvents, 4u);
+  EXPECT_EQ(NameEvents, 2u);
+  EXPECT_NE(std::find(ThreadNames.begin(), ThreadNames.end(), "worker-a"),
+            ThreadNames.end());
+  EXPECT_NE(std::find(ThreadNames.begin(), ThreadNames.end(), "main"),
+            ThreadNames.end());
+}
+
+TEST(TraceSink, RingWrapsKeepingNewestSpans) {
+  TraceSink Sink;
+  const std::string Path = ::testing::TempDir() + "cvliw_trace_wrap.json";
+  std::string Error;
+  ASSERT_TRUE(Sink.start(Path, Error, /*Capacity=*/4)) << Error;
+  for (uint64_t I = 0; I != 10; ++I)
+    Sink.complete("span", "cat", I * 10, I * 10 + 1);
+  ASSERT_TRUE(Sink.stop(Error)) << Error;
+  EXPECT_EQ(Sink.eventsWritten(), 4u);
+  EXPECT_EQ(Sink.eventsDropped(), 6u);
+
+  // The survivors are the newest four, written oldest-first.
+  JsonValue Trace = readTrace(Path);
+  std::vector<uint64_t> Timestamps;
+  for (const JsonValue &Ev : Trace.items())
+    if (Ev.text("ph") == "X")
+      Timestamps.push_back(Ev.u64("ts"));
+  EXPECT_EQ(Timestamps, (std::vector<uint64_t>{60, 70, 80, 90}));
+}
+
+TEST(TraceSink, ConcurrentRecording) {
+  // Exercised under -fsanitize=thread in CI (the Trace filter).
+  TraceSink Sink;
+  const std::string Path = ::testing::TempDir() + "cvliw_trace_mt.json";
+  std::string Error;
+  ASSERT_TRUE(Sink.start(Path, Error)) << Error;
+  std::vector<std::thread> Threads;
+  for (int T = 0; T != 4; ++T)
+    Threads.emplace_back([&Sink, T] {
+      Sink.setThreadName("t" + std::to_string(T));
+      for (uint64_t I = 0; I != 500; ++I)
+        Sink.complete("span", "cat", I, I + 1);
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  ASSERT_TRUE(Sink.stop(Error)) << Error;
+  EXPECT_EQ(Sink.eventsWritten(), 2000u);
+  JsonValue Trace = readTrace(Path);
+  size_t Spans = 0;
+  for (const JsonValue &Ev : Trace.items())
+    if (Ev.text("ph") == "X")
+      ++Spans;
+  EXPECT_EQ(Spans, 2000u);
+}
+
+TEST(TraceSink, StopWithoutStartIsOk) {
+  TraceSink Sink;
+  std::string Error;
+  EXPECT_TRUE(Sink.stop(Error)) << Error;
+}
+
+TEST(TraceScope, WritesAndLogsOnExit) {
+  const std::string Path = ::testing::TempDir() + "cvliw_trace_scope.json";
+  std::ostringstream Log;
+  {
+    TraceScope Scope(Path, &Log);
+    ASSERT_TRUE(TraceSink::process().enabled());
+    {
+      // A nested scope must not stop the enclosing trace early.
+      TraceScope Inner(Path, &Log);
+      EXPECT_TRUE(TraceSink::process().enabled());
+    }
+    EXPECT_TRUE(TraceSink::process().enabled());
+    TraceSink::process().complete("simulate", "simulation", 1, 2);
+  }
+  EXPECT_FALSE(TraceSink::process().enabled());
+  EXPECT_NE(Log.str().find("sweep: wrote trace "), std::string::npos);
+  JsonValue Trace = readTrace(Path);
+  EXPECT_GE(Trace.items().size(), 1u);
+}
+
+TEST(TraceScope, EmptyPathIsInert) {
+  std::ostringstream Log;
+  {
+    TraceScope Scope("", &Log);
+    EXPECT_FALSE(TraceSink::process().enabled());
+  }
+  EXPECT_TRUE(Log.str().empty());
+}

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Validates a Chrome trace_event JSON file written by support/Trace.
+
+The contract checked here is what chrome://tracing and Perfetto need to
+load the file at all, plus the cvliw-specific shape:
+
+  * the file parses as one JSON array of event objects,
+  * every event is a complete span ("X") or thread metadata ("M") —
+    since no B/E events are ever emitted, begin/end balance holds
+    trivially on every track,
+  * every span has a name, a category, and non-negative ts/dur,
+  * every (pid, tid) with a span also carries a thread_name record.
+
+With --require-cat CAT (repeatable) the file must additionally contain
+at least one span of each named category — the e2e test uses this to
+prove a daemon trace really carries codec, simulation, scheduling and
+socket tracks. Stdlib only; exits non-zero with a message on failure.
+
+Usage: check_trace.py TRACE.json [--require-cat CAT]...
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(message):
+    print("check_trace: FAIL: %s" % message, file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="trace_event JSON file")
+    parser.add_argument(
+        "--require-cat",
+        action="append",
+        default=[],
+        metavar="CAT",
+        help="require at least one span of this category (repeatable)",
+    )
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace) as stream:
+            events = json.load(stream)
+    except (OSError, ValueError) as err:
+        fail("cannot load %s: %s" % (args.trace, err))
+
+    if not isinstance(events, list):
+        fail("top-level JSON is %s, expected an array" % type(events).__name__)
+
+    spans = 0
+    categories = {}
+    span_tracks = set()
+    named_tracks = set()
+    for index, event in enumerate(events):
+        where = "event %d" % index
+        if not isinstance(event, dict):
+            fail("%s is not an object" % where)
+        phase = event.get("ph")
+        if phase == "M":
+            if event.get("name") != "thread_name":
+                fail("%s: metadata other than thread_name" % where)
+            if not event.get("args", {}).get("name"):
+                fail("%s: thread_name with no name" % where)
+            named_tracks.add((event.get("pid"), event.get("tid")))
+            continue
+        if phase != "X":
+            fail("%s: unexpected phase %r (only X/M are emitted, so "
+                 "B/E balance cannot break)" % (where, phase))
+        spans += 1
+        if not event.get("name"):
+            fail("%s: span with no name" % where)
+        cat = event.get("cat")
+        if not cat:
+            fail("%s: span with no category" % where)
+        categories[cat] = categories.get(cat, 0) + 1
+        for key in ("ts", "dur"):
+            value = event.get(key)
+            if not isinstance(value, int) or value < 0:
+                fail("%s: %s is %r, expected a non-negative integer"
+                     % (where, key, value))
+        span_tracks.add((event.get("pid"), event.get("tid")))
+
+    for track in sorted(span_tracks - named_tracks):
+        fail("track pid=%s tid=%s has spans but no thread_name" % track)
+
+    missing = [cat for cat in args.require_cat if cat not in categories]
+    if missing:
+        fail("required categories absent: %s (present: %s)"
+             % (", ".join(missing),
+                ", ".join(sorted(categories)) or "none"))
+
+    print("check_trace: OK: %d spans on %d tracks (%s)"
+          % (spans, len(span_tracks),
+             ", ".join("%s=%d" % kv for kv in sorted(categories.items()))
+             or "no spans"))
+
+
+if __name__ == "__main__":
+    main()

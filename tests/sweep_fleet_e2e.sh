@@ -13,8 +13,14 @@
 #      registry order,
 #   3. assert the run went through the fleet (the "fleet of 3 shards"
 #      line) and no daemon counted a single misrouted item,
-#   4. shut the whole fleet down through the client and assert every
-#      daemon exits 0.
+#   4. re-run one golden experiment with client-side --trace on and
+#      assert its output is STILL byte-identical to the golden capture
+#      (observability must never change a result byte),
+#   5. shut the whole fleet down through the client and assert every
+#      daemon exits 0,
+#   6. validate shard 0's --trace file with check_trace.py: it must
+#      load as Chrome trace_event JSON and carry codec, simulation,
+#      scheduling and socket spans (skipped when python3 is absent).
 #
 # Usage: sweep_fleet_e2e.sh <cvliw-sweepd> <cvliw-bench>
 #                           <cvliw-sweep-client> <golden-dir>
@@ -26,6 +32,7 @@ sweepd="$1"
 bench="$2"
 client="$3"
 goldendir="$4"
+scriptdir=$(dirname "$0")
 
 workdir=$(mktemp -d)
 pids=
@@ -37,9 +44,14 @@ cleanup() {
 }
 trap cleanup EXIT
 
+# Shard 0 records a Chrome trace so step 6 can prove the daemon-side
+# spans (codec / simulation / scheduling / socket) really land.
 for k in 0 1 2; do
+  trace_flags=
+  [ "$k" = 0 ] && trace_flags="--trace $workdir/trace0.json"
+  # shellcheck disable=SC2086
   "$sweepd" --port 0 --port-file "$workdir/port$k" --threads 2 \
-    --max-batch-rows 8 --shard-id "$k" --shard-count 3 \
+    --max-batch-rows 8 --shard-id "$k" --shard-count 3 $trace_flags \
     > "$workdir/sweepd$k.log" 2>&1 &
   pids="$pids $!"
 done
@@ -113,7 +125,27 @@ for k in 0 1 2; do
 done
 echo "OK: fleet route agreement (0 misrouted items on all 3 shards)"
 
-# Step 4: one client-driven shutdown for the whole fleet.
+# Step 4: one golden experiment again, now with the client tracing —
+# the rows and table bytes must not change by a single byte.
+"$bench" table2 --shards "$hostports" \
+  --trace "$workdir/client_trace.json" \
+  > "$workdir/traced.out" 2> "$workdir/traced.err" || {
+  echo "FAIL: traced table2 run failed" >&2
+  cat "$workdir/traced.err" >&2
+  exit 1
+}
+grep -v '^sweep: ' "$workdir/traced.out" > "$workdir/traced.filtered"
+if ! diff "$goldendir/table2.golden" "$workdir/traced.filtered" >&2; then
+  echo "FAIL: --trace changed the table2 output" >&2
+  exit 1
+fi
+[ -s "$workdir/client_trace.json" ] || {
+  echo "FAIL: client --trace wrote no trace file" >&2
+  exit 1
+}
+echo "OK: table2 through the fleet with --trace matches its golden"
+
+# Step 5: one client-driven shutdown for the whole fleet.
 "$client" "$hostports" shutdown || exit 1
 rc_all=0
 for pid in $pids; do
@@ -124,5 +156,23 @@ if [ "$rc_all" -ne 0 ]; then
   echo "FAIL: a daemon exited non-zero" >&2
   cat "$workdir"/sweepd*.log >&2
   exit 1
+fi
+
+# Step 6: shard 0 wrote its trace on shutdown — it must be a loadable
+# Chrome trace with every pipeline span category present.
+if command -v python3 >/dev/null 2>&1; then
+  python3 "$scriptdir/check_trace.py" "$workdir/trace0.json" \
+    --require-cat codec --require-cat simulation \
+    --require-cat scheduling --require-cat socket || {
+    echo "FAIL: shard 0 trace is invalid or incomplete" >&2
+    cat "$workdir/sweepd0.log" >&2
+    exit 1
+  }
+  python3 "$scriptdir/check_trace.py" "$workdir/client_trace.json" || {
+    echo "FAIL: client trace is invalid" >&2
+    exit 1
+  }
+else
+  echo "SKIP: python3 not found, trace files not validated"
 fi
 echo "OK: 3-shard fleet end-to-end (clean shutdown)"

@@ -6,16 +6,20 @@
 //
 //   cvliw-sweep-client HOST:PORT ping
 //   cvliw-sweep-client HOST:PORT status
+//   cvliw-sweep-client HOST:PORT metrics
 //   cvliw-sweep-client HOST:PORT sweep --grid FILE [--csv FILE]
 //   cvliw-sweep-client HOST:PORT experiment NAME [--csv FILE]
 //   cvliw-sweep-client HOST:PORT shutdown
 //
-// Every command but `status` also takes a comma-separated address list
-// ("h1:p1,h2:p2,...") and then runs against the whole fleet through
-// FleetClient — `sweep`/`experiment` consistent-hash the items across
-// the shards, `ping`/`shutdown` round-trip with every daemon. `status`
-// interrogates exactly one daemon (fleet summaries belong to the sweep
-// drivers), and prints its shard identity and misroute counter.
+// Every command but `status`/`metrics` also takes a comma-separated
+// address list ("h1:p1,h2:p2,...") and then runs against the whole
+// fleet through FleetClient — `sweep`/`experiment` consistent-hash the
+// items across the shards, `ping`/`shutdown` round-trip with every
+// daemon. `status` interrogates exactly one daemon (fleet summaries
+// belong to the sweep drivers), and prints its shard identity and
+// misroute counter; `metrics` prints that daemon's full registry
+// snapshot — counters, gauges, and per-stage latency histograms with
+// p50/p90/p99/max columns.
 //
 // `sweep` submits a grid JSON file (the format bench drivers emit with
 // --dump-grid), collects the streamed rows, and writes the standard
@@ -36,9 +40,11 @@
 #include "cvliw/pipeline/ExperimentRegistry.h"
 #include "cvliw/pipeline/SweepEngine.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <memory>
 #include <sstream>
@@ -50,9 +56,50 @@ namespace {
 
 int usage() {
   std::cerr << "usage: cvliw-sweep-client HOST:PORT[,HOST:PORT...] "
-               "(ping | status | shutdown | sweep --grid FILE "
+               "(ping | status | metrics | shutdown | sweep --grid FILE "
                "[--csv FILE] | experiment NAME [--csv FILE])\n";
   return 1;
+}
+
+/// Pretty-prints a metrics-registry snapshot: counters and gauges as
+/// aligned name/value lines, histograms as percentile columns — the
+/// registry counterpart of the `status` printer above it in main().
+void printMetrics(const JsonValue &Metrics, std::ostream &OS) {
+  auto Section = [&](const char *Title, const JsonValue *Obj) {
+    OS << Title << ":\n";
+    if (!Obj || Obj->kind() != JsonValue::Kind::Object)
+      return;
+    size_t Width = 0;
+    for (const auto &Member : Obj->members())
+      Width = std::max(Width, Member.first.size());
+    for (const auto &Member : Obj->members())
+      OS << "  " << std::left
+         << std::setw(static_cast<int>(Width) + 2) << Member.first
+         << std::right << std::setw(12) << Member.second.asU64() << "\n";
+  };
+  Section("counters", Metrics.find("counters"));
+  Section("gauges", Metrics.find("gauges"));
+  OS << "histograms:\n";
+  const JsonValue *Hists = Metrics.find("histograms");
+  if (!Hists || Hists->kind() != JsonValue::Kind::Object ||
+      Hists->members().empty())
+    return;
+  size_t Width = std::strlen("name");
+  for (const auto &Member : Hists->members())
+    Width = std::max(Width, Member.first.size());
+  const int NameWidth = static_cast<int>(Width) + 2;
+  OS << "  " << std::left << std::setw(NameWidth) << "name" << std::right
+     << std::setw(10) << "count" << std::setw(10) << "p50(us)"
+     << std::setw(10) << "p90(us)" << std::setw(10) << "p99(us)"
+     << std::setw(10) << "max(us)" << "\n";
+  for (const auto &Member : Hists->members()) {
+    const JsonValue &H = Member.second;
+    OS << "  " << std::left << std::setw(NameWidth) << Member.first
+       << std::right << std::setw(10) << H.u64("count") << std::setw(10)
+       << H.u64("p50_us") << std::setw(10) << H.u64("p90_us")
+       << std::setw(10) << H.u64("p99_us") << std::setw(10)
+       << H.u64("max_us") << "\n";
+  }
 }
 
 /// The drivers' CVLIW_SWEEP_BINARY escape hatch, honored here too
@@ -156,6 +203,27 @@ int main(int Argc, char **Argv) {
                   << ")\n";
       }
     }
+    return 0;
+  }
+
+  if (Command == "metrics") {
+    // Like status: a one-daemon diagnostic.
+    if (Addrs.size() != 1) {
+      std::cerr << "cvliw-sweep-client: metrics takes a single "
+                   "HOST:PORT, not a fleet list\n";
+      return 1;
+    }
+    SweepClient Client;
+    if (!Client.connect(HostPort, Error)) {
+      std::cerr << "cvliw-sweep-client: " << Error << "\n";
+      return 1;
+    }
+    JsonValue Metrics;
+    if (!Client.metrics(Metrics, Error)) {
+      std::cerr << "cvliw-sweep-client: " << Error << "\n";
+      return 1;
+    }
+    printMetrics(Metrics, std::cout);
     return 0;
   }
 

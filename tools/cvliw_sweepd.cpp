@@ -15,6 +15,17 @@
 //                [--max-session-weight N] [--drain-timeout SECONDS]
 //                [--shard-id N] [--shard-count N]
 //                [--shard-map HOST:PORT,HOST:PORT,...]
+//                [--trace FILE] [--slow-request-ms N]
+//
+// Observability: every counter behind the status response lives in the
+// service's metrics registry, with per-stage latency histograms
+// alongside (the "metrics" request returns the full snapshot).
+// --trace FILE (or CVLIW_SWEEP_TRACE) records Chrome trace_event spans
+// — decode, grid expansion, cache lookups, simulation, row encode,
+// socket writes, one track per thread — written to FILE at shutdown;
+// open it in chrome://tracing or Perfetto. --slow-request-ms N logs a
+// rate-limited stderr warning with a stage breakdown for any request
+// whose wall time exceeds N ms (0, the default: off).
 //
 // --port 0 (the default) binds an ephemeral port; the bound address is
 // printed on stdout ("sweepd: listening on HOST:PORT") and, with
@@ -49,6 +60,7 @@
 #include "cvliw/pipeline/SweepService.h"
 #include "cvliw/pipeline/SweepEngine.h"
 #include "cvliw/support/TaskPool.h"
+#include "cvliw/support/Trace.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -79,6 +91,7 @@ int main(int Argc, char **Argv) {
   SweepServiceConfig Config;
   std::string PortFile;
   std::string CachePath;
+  std::string TracePath;
   size_t CacheMaxBytes = 0;
   bool HasCacheMaxBytes = false;
 
@@ -208,6 +221,22 @@ int main(int Argc, char **Argv) {
         std::cerr << "--shard-map needs HOST:PORT,HOST:PORT,...\n";
         return 1;
       }
+    } else if (std::strcmp(Arg, "--trace") == 0) {
+      const char *Value = NextValue("--trace");
+      if (!Value)
+        return 1;
+      TracePath = Value;
+    } else if (std::strcmp(Arg, "--slow-request-ms") == 0) {
+      const char *Value = NextValue("--slow-request-ms");
+      if (!Value)
+        return 1;
+      long N = 0;
+      if (!parseNonNegative(Value, N)) {
+        std::cerr << "--slow-request-ms needs a non-negative "
+                     "millisecond threshold (0: off)\n";
+        return 1;
+      }
+      Config.SlowRequestMs = static_cast<uint64_t>(N);
     } else {
       std::cerr << "unknown argument '" << Arg
                 << "'\nusage: cvliw-sweepd [--host ADDR] [--port N] "
@@ -216,7 +245,8 @@ int main(int Argc, char **Argv) {
                    "[--max-batch-rows N] [--max-session-weight N] "
                    "[--drain-timeout SECONDS] [--shard-id N] "
                    "[--shard-count N] [--shard-map "
-                   "HOST:PORT,HOST:PORT,...]\n";
+                   "HOST:PORT,HOST:PORT,...] [--trace FILE] "
+                   "[--slow-request-ms N]\n";
       return 1;
     }
   }
@@ -242,6 +272,17 @@ int main(int Argc, char **Argv) {
       if (!parseByteCount(Env, CacheMaxBytes))
         std::cerr << "sweepd: ignoring CVLIW_SWEEP_CACHE_MAX_BYTES='"
                   << Env << "' (needs a byte count)\n";
+  if (TracePath.empty())
+    if (const char *Env = std::getenv("CVLIW_SWEEP_TRACE"))
+      TracePath = Env;
+
+  if (!TracePath.empty()) {
+    std::string TraceError;
+    if (TraceSink::process().start(TracePath, TraceError))
+      std::cout << "sweepd: tracing to " << TracePath << "\n";
+    else
+      std::cerr << "sweepd: trace disabled: " << TraceError << "\n";
+  }
 
   ResultCache &Cache = ResultCache::process();
   if (CacheMaxBytes != 0) {
@@ -296,6 +337,20 @@ int main(int Argc, char **Argv) {
 
   Service.waitForShutdown();
   Service.stop();
+
+  if (TraceSink::process().enabled()) {
+    std::string TraceError;
+    TraceSink &Sink = TraceSink::process();
+    if (Sink.stop(TraceError)) {
+      std::cout << "sweepd: wrote trace " << Sink.path() << " ("
+                << Sink.eventsWritten() << " events";
+      if (Sink.eventsDropped())
+        std::cout << ", " << Sink.eventsDropped() << " dropped";
+      std::cout << ")\n";
+    } else {
+      std::cerr << "sweepd: " << TraceError << "\n";
+    }
+  }
 
   if (!CachePath.empty()) {
     if (Cache.save(CachePath))
