@@ -5,8 +5,11 @@ Compares a fresh set of google-benchmark JSON reports (written by
 bench/record_bench.sh, or by CI with reduced repetitions) against the
 committed baselines: every baseline benchmark's median rate counter
 (rows/s, points/s) must come in at no less than (1 - tolerance) of its
-baseline value, and the binary row codec must actually earn its keep —
-the loopback Binary:Json rows/sec ratio has a floor of its own.
+baseline value, and the binary codecs must actually earn their keep —
+the loopback Binary:Json rows/sec ratio has a floor of its own, and so
+does the Json:Binary encoded-grid size ratio (the CVW2 request
+encoding must stay at least --min-grid-ratio times smaller than the
+expanded JSON grid).
 
 Absolute rates are machine-dependent, so the default tolerance is
 wide: the gate exists to catch "the protocol path got 2x slower", not
@@ -14,7 +17,7 @@ wide: the gate exists to catch "the protocol path got 2x slower", not
 
 Usage:
   check_bench.py --baseline-dir bench --fresh-dir OUT \
-      [--tolerance 0.5] [--min-binary-ratio 1.3]
+      [--tolerance 0.5] [--min-binary-ratio 1.3] [--min-grid-ratio 3.0]
 
 Exit status 0 when every check passes, 1 otherwise (with one line per
 failure on stderr). Stdlib only.
@@ -26,10 +29,13 @@ import json
 import os
 import sys
 
-RATE_KEYS = ("rows/s", "points/s")
+RATE_KEYS = ("rows/s", "points/s", "grids/s")
 
 ROWS_JSON = "BM_LoopbackSweepRowsPerSecJson"
 ROWS_BINARY = "BM_LoopbackSweepRowsPerSecBinary"
+
+GRID_ENCODE_JSON = "BM_GridEncodeJson"
+GRID_ENCODE_BINARY = "BM_GridEncodeBinary"
 
 
 def median_rates(path):
@@ -49,6 +55,23 @@ def median_rates(path):
         if rate is not None:
             rates[name] = float(rate)
     return rates
+
+
+def median_counter(path, bench_name, counter):
+    """One benchmark's median value of a non-rate counter, or None."""
+    with open(path) as fp:
+        report = json.load(fp)
+    for bench in report.get("benchmarks", []):
+        if bench.get("aggregate_name") != "median":
+            continue
+        name = bench.get("run_name")
+        if not name:
+            name = bench["name"]
+            if name.endswith("_median"):
+                name = name[: -len("_median")]
+        if name == bench_name and counter in bench:
+            return float(bench[counter])
+    return None
 
 
 def stage_snapshot(path):
@@ -91,6 +114,9 @@ def main():
     parser.add_argument("--min-binary-ratio", type=float, default=1.3,
                         help="required loopback Binary:Json rows/sec ratio "
                              "(default 1.3)")
+    parser.add_argument("--min-grid-ratio", type=float, default=3.0,
+                        help="required Json:Binary encoded-grid size ratio "
+                             "(default 3.0)")
     args = parser.parse_args()
 
     failures = []
@@ -149,6 +175,33 @@ def main():
                     "(needs >= %.2fx)" % (ratio, args.min_binary_ratio))
     else:
         failures.append("missing fresh report " + rows_fresh)
+
+    # The other machine-independent check: the CVW2 request encoding
+    # must keep its size win over the expanded JSON grid. The grid_bytes
+    # counters are deterministic (same grid, same codec), so this is a
+    # hard structural gate, not a perf tolerance.
+    req_fresh = os.path.join(args.fresh_dir, "BENCH_req.json")
+    if os.path.exists(req_fresh):
+        json_bytes = median_counter(req_fresh, GRID_ENCODE_JSON, "grid_bytes")
+        binary_bytes = median_counter(
+            req_fresh, GRID_ENCODE_BINARY, "grid_bytes")
+        if json_bytes is None or binary_bytes is None or binary_bytes == 0:
+            failures.append(
+                "BENCH_req.json: missing grid_bytes counters on %s or %s"
+                % (GRID_ENCODE_JSON, GRID_ENCODE_BINARY))
+        else:
+            ratio = json_bytes / binary_bytes
+            status = "ok" if ratio >= args.min_grid_ratio else "FAIL"
+            print("%-8s BENCH_req.json Json:Binary grid size %.2fx "
+                  "(%d vs %d bytes, floor %.2fx)"
+                  % (status, ratio, int(json_bytes), int(binary_bytes),
+                     args.min_grid_ratio))
+            if ratio < args.min_grid_ratio:
+                failures.append(
+                    "binary grid encoding only %.2fx smaller than JSON "
+                    "(needs >= %.2fx)" % (ratio, args.min_grid_ratio))
+    else:
+        failures.append("missing fresh report " + req_fresh)
 
     for failure in failures:
         print("check_bench: " + failure, file=sys.stderr)

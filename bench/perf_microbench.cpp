@@ -205,7 +205,8 @@ BENCHMARK(BM_LocalSweepPointsPerSec);
 /// encode/decode, row codec, batching), not the simulator. Run once
 /// per row codec: the Binary:Json ratio is the number the CVW2
 /// encoding has to earn (bench/check_bench.py gates on it).
-void loopbackSweepRowsPerSec(benchmark::State &State, bool BinaryRows) {
+void loopbackSweepRowsPerSec(benchmark::State &State, bool BinaryRows,
+                             bool Compress = false) {
   ResultCache Cache;
   SweepServiceConfig Config;
   Config.Port = 0;
@@ -222,6 +223,7 @@ void loopbackSweepRowsPerSec(benchmark::State &State, bool BinaryRows) {
   }
   SweepClient Client;
   Client.setBinaryRows(BinaryRows);
+  Client.setCompress(Compress);
   if (!Client.connect("127.0.0.1:" + std::to_string(Service.port()),
                       Error) ||
       !Client.negotiate(/*MaxBatch=*/8, /*Weight=*/1, Error)) {
@@ -230,6 +232,10 @@ void loopbackSweepRowsPerSec(benchmark::State &State, bool BinaryRows) {
   }
   if (BinaryRows && !Client.binaryRowsGranted()) {
     State.SkipWithError("daemon did not grant binary rows");
+    return;
+  }
+  if (Compress && !Client.compressGranted()) {
+    State.SkipWithError("daemon did not grant compression");
     return;
   }
   SweepGrid Grid = sweepGrid();
@@ -256,6 +262,15 @@ void BM_LoopbackSweepRowsPerSecBinary(benchmark::State &State) {
   loopbackSweepRowsPerSec(State, /*BinaryRows=*/true);
 }
 BENCHMARK(BM_LoopbackSweepRowsPerSecBinary);
+
+/// The full v5 wire stack: binary rows AND per-frame CVWZ compression
+/// on the same loopback session. Compression trades CPU for bytes, so
+/// on loopback (where bytes are free) this bounds the CPU cost; the
+/// gate only requires it not to crater the protocol path.
+void BM_LoopbackSweepRowsPerSecCompressed(benchmark::State &State) {
+  loopbackSweepRowsPerSec(State, /*BinaryRows=*/true, /*Compress=*/true);
+}
+BENCHMARK(BM_LoopbackSweepRowsPerSecCompressed);
 
 /// The rows the codec microbenchmarks push through both encoders:
 /// real sweep output (one cold run of the bench grid), not synthetic
@@ -354,6 +369,104 @@ void BM_RowDecodeBinary(benchmark::State &State) {
       static_cast<double>(N), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_RowDecodeBinary);
+
+/// The request-side payload: a 1000-point grid with an explicit
+/// machine axis, the shape where the v4 JSON request (every machine
+/// spelled out as a full config object) hurts most and the CVW2
+/// delta encoding earns its 3x size floor (bench/check_bench.py
+/// gates BENCH_req.json on the grid_bytes ratio).
+SweepGrid requestGrid() {
+  SweepGrid Grid;
+  Grid.Machines.clear();
+  for (unsigned M = 0; M != 250; ++M) {
+    MachinePoint P;
+    P.Name = "m" + std::to_string(M);
+    P.Config.NumClusters = 2 + M % 8;
+    P.Config.AttractionBuffersEnabled = M % 2 != 0;
+    P.Config.AttractionBufferEntries = 8 + M % 32;
+    Grid.Machines.push_back(std::move(P));
+  }
+  Grid.Schemes = crossSchemes(
+      {CoherencePolicy::Baseline, CoherencePolicy::MDC},
+      {ClusterHeuristic::PrefClus});
+  SweepGrid Shape = sweepGrid();
+  Grid.Benchmarks = Shape.Benchmarks;
+  return Grid;
+}
+
+void BM_GridEncodeJson(benchmark::State &State) {
+  SweepGrid Grid = requestGrid();
+  uint64_t N = 0;
+  size_t Bytes = 0;
+  for (auto _ : State) {
+    std::string Payload = gridToJson(Grid).dump();
+    Bytes = Payload.size();
+    benchmark::DoNotOptimize(Payload.data());
+    ++N;
+  }
+  State.counters["grids/s"] = benchmark::Counter(
+      static_cast<double>(N), benchmark::Counter::kIsRate);
+  State.counters["grid_bytes"] = static_cast<double>(Bytes);
+}
+BENCHMARK(BM_GridEncodeJson);
+
+void BM_GridEncodeBinary(benchmark::State &State) {
+  SweepGrid Grid = requestGrid();
+  uint64_t N = 0;
+  size_t Bytes = 0;
+  std::string Payload;
+  for (auto _ : State) {
+    Payload.clear();
+    encodeBinaryGrid(Payload, Grid);
+    Bytes = Payload.size();
+    benchmark::DoNotOptimize(Payload.data());
+    ++N;
+  }
+  State.counters["grids/s"] = benchmark::Counter(
+      static_cast<double>(N), benchmark::Counter::kIsRate);
+  State.counters["grid_bytes"] = static_cast<double>(Bytes);
+}
+BENCHMARK(BM_GridEncodeBinary);
+
+void BM_GridDecodeJson(benchmark::State &State) {
+  const std::string Payload = gridToJson(requestGrid()).dump();
+  uint64_t N = 0;
+  for (auto _ : State) {
+    JsonValue J;
+    std::string ParseError;
+    if (!JsonValue::parse(Payload, J, ParseError)) {
+      State.SkipWithError("bad JSON grid payload");
+      return;
+    }
+    SweepGrid Grid = gridFromJson(J);
+    benchmark::DoNotOptimize(Grid.Machines.data());
+    ++N;
+  }
+  State.counters["grids/s"] = benchmark::Counter(
+      static_cast<double>(N), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GridDecodeJson);
+
+void BM_GridDecodeBinary(benchmark::State &State) {
+  std::string GridBuf, Payload;
+  encodeBinaryGrid(GridBuf, requestGrid());
+  encodeBinarySweepRequest(Payload, /*HasId=*/true, /*Id=*/1, nullptr,
+                           GridBuf);
+  uint64_t N = 0;
+  for (auto _ : State) {
+    BinaryRequestFrame Frame;
+    std::string Error;
+    if (!decodeBinaryRequestFrame(Payload, Frame, Error)) {
+      State.SkipWithError(("bad binary grid payload: " + Error).c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(Frame.Grid.Machines.data());
+    ++N;
+  }
+  State.counters["grids/s"] = benchmark::Counter(
+      static_cast<double>(N), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GridDecodeBinary);
 
 /// points/sec through the engine when every point is a result-cache
 /// hit — the latency of the lookup path the daemon serves repeat

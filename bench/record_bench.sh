@@ -6,8 +6,9 @@
 # reports next to this script:
 #
 #   BENCH_rows.json   rows/sec through a loopback daemon session, once
-#                     per row codec (BM_LoopbackSweepRowsPerSec{Json,
-#                     Binary} — the protocol path)
+#                     per row codec plus the compressed v5 stack
+#                     (BM_LoopbackSweepRowsPerSec{Json,Binary,
+#                     Compressed} — the protocol path)
 #   BENCH_sweep.json  points/sec through the local SweepEngine, cold
 #                     cache (BM_LocalSweepPointsPerSec — the simulator)
 #   BENCH_codec.json  row encode/decode throughput for the JSON and
@@ -15,6 +16,12 @@
 #                     Binary})
 #   BENCH_cache.json  points/sec with every point a result-cache hit
 #                     (BM_CacheHitSweepPointsPerSec — the lookup path)
+#   BENCH_req.json    grid encode/decode throughput and encoded sizes
+#                     for the JSON and CVW2 request codecs on a
+#                     1000-point explicit-machine grid
+#                     (BM_Grid{Encode,Decode}{Json,Binary}; the
+#                     grid_bytes counters carry the Json:Binary size
+#                     ratio check_bench.py gates on)
 #
 # The snapshots are the ROADMAP's "perf trajectory": commit them so a
 # regression shows up as a diff (bench/check_bench.py gates CI on
@@ -60,9 +67,10 @@ record() {
   fi
 }
 
-record rows  'BM_LoopbackSweepRowsPerSec(Json|Binary)$'
+record rows  'BM_LoopbackSweepRowsPerSec(Json|Binary|Compressed)$'
 record sweep 'BM_LocalSweepPointsPerSec$'
 record codec 'BM_Row(Encode|Decode)(Json|Binary)$'
 record cache 'BM_CacheHitSweepPointsPerSec$'
+record req   'BM_Grid(Encode|Decode)(Json|Binary)$'
 
-echo "recorded: $outdir/BENCH_{rows,sweep,codec,cache}.json"
+echo "recorded: $outdir/BENCH_{rows,sweep,codec,cache,req}.json"

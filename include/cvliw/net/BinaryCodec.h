@@ -5,11 +5,14 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The protocol-v4 binary row/batch payload carried by CVW2 frames
-/// (see cvliw/net/Frame.h). Only the high-volume response direction is
-/// binary — "row" and "row_batch" — and only after the client offered
-/// `"binary_rows":true` in hello and the daemon granted it; every
-/// control message (hello, status, done, error, ...) stays CVW1 JSON.
+/// The binary payloads carried by CVW2 frames (see cvliw/net/Frame.h).
+/// Protocol v4 made the high-volume response direction binary — "row"
+/// and "row_batch", after the client offered `"binary_rows":true` in
+/// hello and the daemon granted it; protocol v5 adds the request
+/// direction — "sweep" and "run_experiment", behind the analogous
+/// `"binary_requests"` grant — so a huge explicit grid no longer
+/// crosses the wire as N expanded JSON configs. Every control message
+/// (hello, status, done, error, ...) stays CVW1 JSON.
 ///
 /// Payload layout (all multi-byte integers are LEB128 varints except
 /// where noted):
@@ -42,6 +45,55 @@
 ///             access_classification:varint*5 stall_attribution:varint*5
 ///   str    := len:varint bytes*len
 ///
+/// Request payloads (v5):
+///
+///   sweep  := type:u8 (3) flags:u8 (bit0 = has-id, bit1 = has-shard)
+///             [id:varint] [shard] grid
+///   runexp := type:u8 (4) flags:u8 (bit0 = has-id, bit1 = has-shard)
+///             [id:varint] [shard] name:str
+///             ovf:u8 (bit0 = has-base-seed, bit1 = has-reseed-loops)
+///             [base_seed:u64-LE] [reseed_loops:u8]
+///   shard  := index:varint virtual_nodes:varint
+///             count:varint addr:str*count
+///
+/// The grid travels *structurally* — the three axes as dictionaries,
+/// never the expanded machine x scheme x benchmark product:
+///
+///   grid   := base_seed:u64-LE reseed_loops:u8
+///             mcount:varint machine*mcount
+///             scount:varint scheme*scount
+///             bcount:varint bench*bcount
+///   machine:= name:str delta:varint changed-value:varint*popcount(delta)
+///             (bit i of delta marks field i of the fixed 19-field
+///              MachineConfig order — the machineConfigToJson() order —
+///              as differing from the *previous* machine of the axis;
+///              the first machine deltas against
+///              MachineConfig::baseline(). Axes of near-identical
+///              machines — the common sweep shape — cost a name and
+///              one or two varints per point.)
+///   scheme := name:str policy:u8 heuristic:u8 ordering:u8
+///             flags:u8 (bit0 hybrid, bit1 specialization,
+///                       bit2 check-coherence, bit3 assign-latencies,
+///                       bit4 tolerate-unschedulable)
+///   bench  := name:str interleave:varint elem:varint
+///             pct_bits:u64-LE profile_input:str exec_input:str
+///             in_evaluation:u8 lcount:varint loop*lcount
+///   loop   := name:str weight_bits:u64-LE profile_trip:varint
+///             exec_trip:varint elem:varint consistent_loads:varint
+///             rotating_loads:varint gather_loads:varint
+///             consistent_stores:varint ccount:varint chain*ccount
+///             arith_per_load:varint fp_ops:varint fp_divs:varint
+///             scalar_recurrence:u8 object_bytes:varint
+///             seed_base:u64-LE
+///   chain  := gather_loads:varint gather_stores:varint
+///             group_loads:varint group_stores:varint
+///             spread_clusters:u8
+///
+/// The decode is byte-identical to gridFromJson(): same SweepGrid out,
+/// same validation (enum ranges, 32-bit field bounds, the empty-axis
+/// rejection), so a daemon cannot tell which encoding a grid arrived
+/// in — the round-trip property tests pin that.
+///
 /// Doubles travel as their IEEE-754 bit patterns in fixed 8-byte
 /// little-endian fields — the same bit-exactness contract as the JSON
 /// codec's "weight_bits" members, minus the decimal printing. The
@@ -63,6 +115,8 @@
 #ifndef CVLIW_NET_BINARYCODEC_H
 #define CVLIW_NET_BINARYCODEC_H
 
+#include "cvliw/net/ShardMap.h"
+#include "cvliw/pipeline/ExperimentRegistry.h"
 #include "cvliw/pipeline/SweepEngine.h"
 
 #include <cstddef>
@@ -75,6 +129,8 @@ namespace cvliw {
 /// CVW2 payload type byte.
 constexpr uint8_t BinaryFrameRow = 1;
 constexpr uint8_t BinaryFrameRowBatch = 2;
+constexpr uint8_t BinaryFrameSweep = 3;
+constexpr uint8_t BinaryFrameRunExperiment = 4;
 
 /// One row entry of a binary frame: the "grid" / "loops" / "row"
 /// members of a JSON row or row_batch element.
@@ -129,6 +185,43 @@ void encodeBinaryRowFrame(const BinaryRowFrame &Frame, std::string &Out);
 /// decode consumed every payload byte (trailing bytes are an error).
 bool decodeBinaryRowFrame(const std::string &Payload, BinaryRowFrame &Frame,
                           std::string &Error);
+
+/// A decoded v5 binary request: one "sweep" (Grid populated) or one
+/// "run_experiment" (Name/Overrides populated) frame.
+struct BinaryRequestFrame {
+  uint8_t Type = BinaryFrameSweep;
+  bool HasId = false;
+  uint64_t Id = 0;
+  bool HasShard = false;
+  ShardSpec Shard;
+  SweepGrid Grid;
+  std::string Name;
+  ExperimentOverrides Overrides;
+};
+
+/// Appends the structural grid encoding (no type/flags header — the
+/// grid body only). Exposed separately so the fleet client encodes a
+/// grid once and prepends a per-shard request header per connection.
+void encodeBinaryGrid(std::string &Out, const SweepGrid &Grid);
+
+/// Appends a complete "sweep" request frame around an already-encoded
+/// grid body (see encodeBinaryGrid). Null \p Shard omits the claim.
+void encodeBinarySweepRequest(std::string &Out, bool HasId, uint64_t Id,
+                              const ShardSpec *Shard,
+                              const std::string &EncodedGrid);
+
+/// Appends a complete "run_experiment" request frame.
+void encodeBinaryRunExperimentRequest(std::string &Out, bool HasId,
+                                      uint64_t Id, const ShardSpec *Shard,
+                                      const std::string &Name,
+                                      const ExperimentOverrides &Overrides);
+
+/// Parses one CVW2 request payload (type 3 or 4) with the same
+/// strictness as decodeBinaryRowFrame: truncation, unknown flag bits,
+/// out-of-range enum values, 33-bit unsigned fields, an empty grid
+/// axis and trailing bytes all fail with a message.
+bool decodeBinaryRequestFrame(const std::string &Payload,
+                              BinaryRequestFrame &Frame, std::string &Error);
 
 } // namespace cvliw
 

@@ -1,0 +1,93 @@
+//===- cvliw/net/Compress.h - In-tree LZ4-block frame codec ----*- C++ -*-===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Protocol-v5 per-frame compression for WAN fleets: an in-tree
+/// LZ4-block-style codec (no external dependency) plus the "CVWZ"
+/// payload envelope that carries a compressed frame of either inner
+/// encoding (JSON or binary).
+///
+/// Block format (the classic LZ4 sequence layout):
+///
+///   sequence := token:u8                 high nibble: literal length,
+///                                        low nibble: match length - 4;
+///                                        nibble 15 extends with 255-
+///                                        valued bytes plus a final
+///                                        < 255 byte
+///               [lit-ext:u8*] literal*   plain bytes
+///               offset:u16-LE            distance back into the output
+///                                        (1..65535; only absent in the
+///                                        final, literals-only sequence)
+///               [match-ext:u8*]
+///
+/// Matches are at least 4 bytes and may overlap their own output
+/// (offset < length copies byte-by-byte, the RLE trick). The encoder
+/// keeps the last five bytes of every block literal and starts no
+/// match within the last twelve — the standard end-of-block rules that
+/// let decoders copy in word-sized chunks safely; this decoder is
+/// byte-exact and bounds-checked regardless.
+///
+/// compressBlock() is strictly opportunistic: it returns false when
+/// the compressed form would not be smaller than the input, and the
+/// caller sends the raw frame instead — compression may only ever
+/// shrink bytes on the wire, never grow them.
+///
+/// The CVWZ envelope (see cvliw/net/Frame.h for the framing itself):
+///
+///   payload := inner-kind:u8 (0 = CVW1/JSON, 1 = CVW2/binary)
+///              raw-size:varint
+///              lz4-block
+///
+/// decompressFramePayload() validates the declared raw size against
+/// the reader's frame bound *before* allocating, so a hostile peer
+/// cannot use a tiny compressed frame to demand a huge buffer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CVLIW_NET_COMPRESS_H
+#define CVLIW_NET_COMPRESS_H
+
+#include "cvliw/net/Frame.h"
+
+#include <cstddef>
+#include <string>
+
+namespace cvliw {
+
+/// Frames smaller than this are sent raw even on compress-granted
+/// sessions: the CVWZ envelope plus LZ4 token overhead beats the
+/// savings on tiny control frames, and the syscall count is identical
+/// either way.
+constexpr size_t CompressMinBytes = 512;
+
+/// Appends the LZ4-block compression of [Data, Data+Len) to \p Out.
+/// Returns false — leaving \p Out exactly as given — when the
+/// compressed form would not be strictly smaller than the input.
+bool compressBlock(const void *Data, size_t Len, std::string &Out);
+
+/// Decompresses an LZ4 block of \p Len bytes into \p Out (appending),
+/// which must grow by exactly \p RawSize bytes. False on any defect:
+/// truncated sequences, a zero or out-of-window offset, or output
+/// over/underrun.
+bool decompressBlock(const void *Data, size_t Len, size_t RawSize,
+                     std::string &Out);
+
+/// Builds a CVWZ payload from a raw frame payload of kind \p Kind.
+/// False when compression would not shrink it (the caller sends the
+/// raw frame); \p Out is then unspecified.
+bool compressFramePayload(const std::string &Raw, FrameKind Kind,
+                          std::string &Out);
+
+/// Parses a CVWZ payload back into the raw frame payload and its inner
+/// kind. \p MaxRawBytes bounds the declared raw size exactly like the
+/// frame length bound. False + \p Error on any defect.
+bool decompressFramePayload(const std::string &Payload, size_t MaxRawBytes,
+                            std::string &Raw, FrameKind &Kind,
+                            std::string &Error);
+
+} // namespace cvliw
+
+#endif // CVLIW_NET_COMPRESS_H

@@ -98,6 +98,21 @@ public:
   /// shard sends — this only reports the all-binary case.
   bool binaryRowsGranted() const { return BinaryRows; }
 
+  /// Whether negotiate() should offer "binary_requests" (protocol v5)
+  /// to every shard. On by default. Binary request fan-out engages
+  /// only when EVERY shard grants it — a mixed fleet keeps JSON
+  /// requests, since the same request body goes to all shards.
+  void setBinaryRequests(bool Wanted) { BinaryReqWanted = Wanted; }
+  /// Whether every shard granted binary requests.
+  bool binaryRequestsGranted() const { return BinaryRequests; }
+
+  /// Whether negotiate() should offer "compress" (protocol v5, CVWZ
+  /// frames) to every shard. Off by default; engages fleet-wide only
+  /// when every shard grants it.
+  void setCompress(bool Wanted) { CompressWanted = Wanted; }
+  /// Whether every shard granted compressed frames.
+  bool compressGranted() const { return CompressOk; }
+
   // Pipelined core -------------------------------------------------------
 
   /// Fans one sweep request for \p Grid out to every shard under one
@@ -180,6 +195,14 @@ private:
     /// The request frame minus id and shard claim — what a rebalance
     /// resubmits verbatim (plus the survivor-map claim).
     JsonValue Body;
+    /// v5: the request fans out as a CVW2 binary frame instead of
+    /// Body. The grid body is encoded ONCE here; each shard's send
+    /// prepends its own request header (id + per-shard claim).
+    bool Binary = false;
+    uint8_t BinaryType = 0;
+    std::string EncodedGrid;
+    std::string Name;
+    ExperimentOverrides Overrides;
     std::vector<PendingGrid> Grids;
     size_t TotalExpected = 0, TotalReceived = 0;
     bool Done = false;
@@ -202,6 +225,13 @@ private:
 
   bool sendToShard(size_t ShardIdx, const JsonValue &Message,
                    std::string &Error);
+  /// Builds and sends one copy of \p Req to shard \p ShardIdx — JSON
+  /// or CVW2 per Req.Binary, id when SendIds, per-shard claim when
+  /// \p Claim is non-null, compressed when the grant is in force. The
+  /// one send path fanOut() and the rebalance share, so the two cannot
+  /// drift. False on a send failure (the caller marks the shard dead).
+  bool sendRequestFrame(size_t ShardIdx, uint64_t Id,
+                        const PendingRequest &Req, const ShardMap *Claim);
   /// Fans \p Body (plus a fresh id and, when \p Claim is non-null, an
   /// explicit shard claim per survivor) out to every alive shard,
   /// bumping the request's done bookkeeping.
@@ -242,6 +272,10 @@ private:
   bool Pipelining = false;
   bool BinaryWanted = true;
   bool BinaryRows = false;
+  bool BinaryReqWanted = true;
+  bool BinaryRequests = false;
+  bool CompressWanted = false;
+  bool CompressOk = false;
   /// v1 fallback (single shard whose daemon rejected hello): id-less
   /// requests, responses route to the single in-flight request.
   bool SendIds = true;

@@ -28,8 +28,20 @@
 /// so both kinds interleave freely on one connection and share the
 /// same length bound and poison classification. Readers report which
 /// kind arrived via FrameKind; writers pick the magic per frame. A
-/// magic that is neither "CVW1" nor "CVW2" is malformed, exactly as
+/// magic that names no protocol encoding is malformed, exactly as
 /// before.
+///
+/// Protocol v5 adds "CVWZ": a compressed frame whose payload is the
+/// CVWZ envelope of cvliw/net/Compress.h (inner kind byte + raw size +
+/// LZ4 block) wrapping a frame of either real encoding. Readers —
+/// readFrame() and FrameDecoder alike — decompress transparently and
+/// report the *inner* kind, so every consumer above the framing layer
+/// sees exactly the bytes an uncompressed peer would have sent; the
+/// declared raw size is held to the same MaxBytes bound as a plain
+/// frame length, and a corrupt envelope poisons the stream as
+/// Malformed. Writers only emit CVWZ on sessions that negotiated the
+/// "compress" hello capability (and only when the codec actually
+/// shrinks the frame), so v1-v4 peers never see the magic.
 ///
 /// FrameDecoder is the incremental form of the same parser: bytes go
 /// in as they arrive off the wire (any split — one at a time, half a
@@ -54,10 +66,12 @@
 
 namespace cvliw {
 
-/// Protocol magic; the trailing digit is the payload encoding: "CVW1"
-/// frames carry JSON text, "CVW2" frames carry the binary row codec.
+/// Protocol magic; the trailing byte is the payload encoding: "CVW1"
+/// frames carry JSON text, "CVW2" frames carry the binary codec, and
+/// "CVWZ" frames carry a compressed wrapper around either.
 constexpr char FrameMagic[4] = {'C', 'V', 'W', '1'};
 constexpr char FrameMagic2[4] = {'C', 'V', 'W', '2'};
+constexpr char FrameMagicZ[4] = {'C', 'V', 'W', 'Z'};
 
 /// What a frame's payload is encoded as, keyed off its magic.
 enum class FrameKind {
@@ -106,6 +120,24 @@ bool writeFrame(Socket &S, const std::string &Payload, FrameKind Kind,
 /// Writes one JSON (CVW1) frame.
 bool writeFrame(Socket &S, const std::string &Payload,
                 size_t MaxBytes = DefaultMaxFrameBytes);
+
+/// Fills the 8-byte wire header (magic + big-endian length) for a
+/// payload of \p Len bytes. Exposed for writers that assemble frames
+/// into scatter-gather buffers instead of calling writeFrame() — the
+/// sweep service's coalescing writer.
+void fillFrameHeader(unsigned char (&Header)[8], const char (&Magic)[4],
+                     uint32_t Len);
+
+/// Writes one frame of \p Kind, wrapping it in a CVWZ compressed frame
+/// when the payload is at least \p MinCompressBytes long and the codec
+/// actually shrinks it; falls back to the plain frame otherwise. Only
+/// call on sessions that negotiated the "compress" capability. When
+/// \p WireBytes is non-null it receives the bytes actually sent
+/// (header included), so callers can account raw vs wire sizes.
+bool writeFrameMaybeCompressed(Socket &S, const std::string &Payload,
+                               FrameKind Kind, size_t MinCompressBytes,
+                               size_t MaxBytes = DefaultMaxFrameBytes,
+                               size_t *WireBytes = nullptr);
 
 /// Incremental frame parser: feed() whatever bytes arrived, then drain
 /// complete frames with next(). Headers are validated as soon as their

@@ -19,6 +19,8 @@
 #include <cstdint>
 #include <string>
 
+struct iovec;
+
 namespace cvliw {
 
 /// Owns one socket file descriptor; closes it on destruction.
@@ -55,9 +57,22 @@ public:
   /// while still streaming the rows of its in-flight sweeps.
   void shutdownRead();
 
-  /// Sends the whole buffer (looping over short writes, retrying
-  /// EINTR). False on any error.
+  /// Sends the whole buffer (looping over short writes; EINTR is
+  /// classified as retryable, every other errno as fatal). False on
+  /// any fatal error.
   bool sendAll(const void *Data, size_t Len);
+
+  /// Scatter-gather sendAll: sends every byte of \p Count iovecs in
+  /// order, coalescing as many buffers per syscall as the kernel
+  /// accepts (sendmsg — the writev that can carry MSG_NOSIGNAL).
+  /// Shares sendAll's error classification: EINTR retries, partial
+  /// writes advance the vector in place (the iovecs are clobbered),
+  /// vectors longer than IOV_MAX are chunked. When \p SyscallsOut is
+  /// non-null it is incremented once per syscall issued — how the
+  /// sweep service measures its frames-per-writev coalescing ratio.
+  /// False on any fatal error.
+  bool sendVec(struct iovec *Vec, size_t Count,
+               uint64_t *SyscallsOut = nullptr);
 
   /// Receives exactly \p Len bytes. Returns the byte count actually
   /// read: Len on success, 0 on clean EOF before any byte, and the

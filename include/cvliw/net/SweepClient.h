@@ -122,6 +122,26 @@ public:
   /// negotiate() against a v4 daemon with the offer on).
   bool binaryRowsGranted() const { return BinaryRows; }
 
+  /// Whether negotiate() should offer "binary_requests" (protocol v5,
+  /// CVW2 sweep/run_experiment request frames — a grid travels as its
+  /// three structural axes, not the expanded point list). On by
+  /// default; call before negotiate() to force JSON requests (the
+  /// --binary-requests=off / CVLIW_SWEEP_BINARY_REQUESTS=0 escape
+  /// hatch, and how benchmarks compare the two encodings).
+  void setBinaryRequests(bool Wanted) { BinaryReqWanted = Wanted; }
+  /// Whether the daemon granted binary requests (false until a
+  /// successful negotiate() against a v5 daemon with the offer on).
+  bool binaryRequestsGranted() const { return BinaryRequests; }
+
+  /// Whether negotiate() should offer "compress" (protocol v5, CVWZ
+  /// frames: payloads above the codec threshold go out LZ4-block
+  /// compressed in both directions when the codec actually wins). Off
+  /// by default — loopback daemons rarely gain; --compress=on /
+  /// CVLIW_SWEEP_COMPRESS=1 turns it on for real networks.
+  void setCompress(bool Wanted) { CompressWanted = Wanted; }
+  /// Whether the daemon granted compressed frames.
+  bool compressGranted() const { return CompressOk; }
+
   // Pipelined core -------------------------------------------------------
 
   /// Sends one sweep request for \p Grid and returns its request id
@@ -215,6 +235,9 @@ private:
   };
 
   bool sendMessage(const JsonValue &Message, std::string &Error);
+  /// Sends one already-encoded CVW2 request payload (compressed when
+  /// the grant is in force and the codec wins).
+  bool sendBinaryFrame(const std::string &Payload, std::string &Error);
   bool readMessage(JsonValue &Message, std::string &Error);
   /// Slots one row object into \p Req; false (with \p Error) on an
   /// out-of-range index or grid.
@@ -231,6 +254,10 @@ private:
   bool Pipelining = false;
   bool BinaryWanted = true;
   bool BinaryRows = false;
+  bool BinaryReqWanted = true;
+  bool BinaryRequests = false;
+  bool CompressWanted = false;
+  bool CompressOk = false;
   /// Cleared when negotiate() learns the daemon predates the session
   /// protocol (it answered hello with an error): requests then go out
   /// id-less exactly like a v1 client's, responses route to the single

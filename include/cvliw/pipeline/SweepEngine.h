@@ -432,6 +432,19 @@ struct SweepRunOptions {
   /// a daemon that does not grant it simply streams JSON. Defaults to
   /// the CVLIW_SWEEP_BINARY environment variable ("0"/"off" disable).
   bool BinaryRows = true;
+  /// --binary-requests on|off: offer the protocol-v5 binary request
+  /// encoding (sweep grids travel structurally as CVW2 frames, not as
+  /// the expanded JSON point list). On by default — a daemon that does
+  /// not grant it simply receives JSON requests. Defaults to the
+  /// CVLIW_SWEEP_BINARY_REQUESTS environment variable ("0"/"off"
+  /// disable).
+  bool BinaryRequests = true;
+  /// --compress on|off: offer protocol-v5 frame compression (CVWZ
+  /// frames, LZ4-block, both directions, payloads above the codec
+  /// threshold only). Off by default — loopback daemons rarely gain.
+  /// Defaults to the CVLIW_SWEEP_COMPRESS environment variable
+  /// ("1"/"on" enable).
+  bool Compress = false;
   /// --dump-grid FILE: also write the expanded grid as JSON — the
   /// format cvliw-sweep-client submits to a daemon.
   std::string DumpGridPath;

@@ -47,6 +47,19 @@
 /// buffers_allocated status gauges) so steady-state batches allocate
 /// nothing.
 ///
+/// Binary requests and compression (protocol v5): a hello offering
+/// "binary_requests":true is granted CVW2 *request* frames — sweep and
+/// run_experiment travel as the structural grid encoding of
+/// net/BinaryCodec.h instead of expanded JSON, decoding to the same
+/// SweepGrid — and one offering "compress":true is granted CVWZ
+/// compressed frames (net/Compress.h) on the response stream, applied
+/// per frame above a size threshold when the codec actually wins. The
+/// per-session writer thread drains its whole queue per wake into one
+/// scatter-gather sendmsg (Socket::sendVec), so pipelined bursts cost
+/// one syscall, not one per frame — the frames_sent : writev_calls
+/// ratio in status/metrics. Neither capability changes a single
+/// payload byte seen above the framing layer.
+///
 /// Fleet mode (protocol v3): hello and sweep/run_experiment frames may
 /// carry a shard claim — "I am shard K of this ShardMap" — and the
 /// daemon then filters every grid down to the (point, loop) items
@@ -89,6 +102,7 @@ namespace cvliw {
 
 class JsonValue;
 class TaskPool;
+struct ExperimentOverrides;
 struct ShardSpec;
 struct SweepGrid;
 
@@ -121,6 +135,12 @@ struct SweepServiceConfig {
   /// milliseconds is logged to stderr with its stage breakdown
   /// (rate-limited to one line per second). 0 disables the log.
   uint64_t SlowRequestMs = 0;
+  /// Writer-coalescing dwell: after waking on a non-empty queue the
+  /// writer sleeps this many microseconds before draining, letting a
+  /// pipelined burst accumulate into one writev. 0 (the default)
+  /// coalesces only what is already queued — the latency-neutral
+  /// posture; tests set it to pin a deterministic frames:writev ratio.
+  uint64_t WriterCoalesceDelayMicros = 0;
 
   // Fleet identity (protocol v3). Three postures:
   //  - ShardAddrs non-empty (--shard-map): address-pinned — a shard
@@ -184,6 +204,16 @@ public:
   /// sessions — the gauge that makes the JSON-vs-binary win visible.
   uint64_t bytesSent() const { return BytesSentTotal.value(); }
   uint64_t framesSent() const { return FramesSentTotal.value(); }
+  /// Pre-compression frame bytes (headers included): what the wire
+  /// would have carried with "compress" off. bytes_sent_raw minus
+  /// bytes_sent_wire is the compression win; the two are equal on
+  /// sessions that never negotiated the capability.
+  uint64_t bytesSentRaw() const { return BytesSentRawTotal.value(); }
+  uint64_t bytesSentWire() const { return BytesSentWireTotal.value(); }
+  /// Send syscalls issued by the coalescing writers; frames_sent
+  /// divided by this is the scatter-gather batching ratio (> 1 under
+  /// pipelined load).
+  uint64_t writevCalls() const { return WritevCallsTotal.value(); }
   /// Writer-path encode-buffer pool effectiveness: fresh allocations
   /// vs. buffers recycled from a session's pool.
   uint64_t buffersAllocated() const { return BuffersAllocatedTotal.value(); }
@@ -202,9 +232,30 @@ private:
 
   void acceptLoop();
   void handleSession(Session *S);
-  /// Dispatches one decoded request frame; returns false when the
-  /// session should close (protocol error or shutdown).
-  bool dispatchRequest(Session *S, const std::string &Payload);
+  /// Dispatches one decoded request frame — JSON (CVW1) or, on a
+  /// session that negotiated "binary_requests", a CVW2 binary request
+  /// (protocol v5); returns false when the session should close
+  /// (protocol error or shutdown).
+  bool dispatchRequest(Session *S, const std::string &Payload,
+                       FrameKind Kind);
+  /// Dispatches one CVW2 binary request frame (the Kind == Binary arm
+  /// of dispatchRequest); same return contract.
+  bool dispatchBinaryRequest(Session *S, const std::string &Payload);
+  /// The shared tail of a sweep submission, after the grid is decoded
+  /// (from JSON or the binary codec) and the shard claim resolved:
+  /// misroute refusal, request construction, async submission.
+  bool startSweepRequest(Session *S, bool HasId, uint64_t Id,
+                         SweepGrid Grid, bool HasShard,
+                         const ShardSpec &Shard, uint64_t StartMicros,
+                         uint64_t DecodeMicros, uint64_t ExpandMicros);
+  /// The shared tail of a run_experiment submission: registry lookup,
+  /// server-side grid expansion with overrides, misroute refusal,
+  /// request construction, async submission.
+  bool startExperimentRequest(Session *S, bool HasId, uint64_t Id,
+                              const std::string &Name,
+                              const ExperimentOverrides &Overrides,
+                              bool HasShard, const ShardSpec &Shard,
+                              uint64_t StartMicros, uint64_t DecodeMicros);
   /// Builds and submits the async evaluation of one request's grids,
   /// filtered down to \p Shard's items when a claim is in force.
   void submitRequest(Session *S, std::unique_ptr<Request> NewRequest,
@@ -265,6 +316,9 @@ private:
   MetricCounter &MisroutedItems;
   MetricCounter &BytesSentTotal;
   MetricCounter &FramesSentTotal;
+  MetricCounter &BytesSentRawTotal;
+  MetricCounter &BytesSentWireTotal;
+  MetricCounter &WritevCallsTotal;
   MetricCounter &BuffersAllocatedTotal;
   MetricCounter &BuffersPooledTotal;
 

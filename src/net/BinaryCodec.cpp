@@ -8,6 +8,8 @@
 
 #include "cvliw/support/BitCast.h"
 
+#include <cstring>
+
 using namespace cvliw;
 
 void cvliw::appendVarint(std::string &Out, uint64_t V) {
@@ -116,10 +118,11 @@ struct Reader {
   const char *P;
   const char *End;
   std::string &Error;
+  const char *Prefix = "binary row frame: ";
 
   bool fail(const char *What) {
     if (Error.empty())
-      Error = std::string("binary row frame: ") + What;
+      Error = std::string(Prefix) + What;
     return false;
   }
 
@@ -159,8 +162,8 @@ struct Reader {
 };
 
 bool decodeLoopResult(Reader &R, LoopRunResult &L) {
-  uint64_t Bits, V;
-  uint8_t Sched;
+  uint64_t Bits = 0, V = 0;
+  uint8_t Sched = 0;
   if (!R.str(L.LoopName, "truncated loop name") ||
       !R.u64le(Bits, "truncated loop weight"))
     return false;
@@ -317,7 +320,7 @@ bool cvliw::decodeBinaryRowFrame(const std::string &Payload,
   Error.clear();
   Frame = BinaryRowFrame();
   Reader R{Payload.data(), Payload.data() + Payload.size(), Error};
-  uint8_t Type, Flags;
+  uint8_t Type = 0, Flags = 0;
   if (!R.byte(Type, "empty payload"))
     return false;
   if (Type != BinaryFrameRow && Type != BinaryFrameRowBatch)
@@ -343,6 +346,451 @@ bool cvliw::decodeBinaryRowFrame(const std::string &Payload,
     if (!decodeEntry(R, Entry))
       return false;
     Frame.Entries.push_back(std::move(Entry));
+  }
+  if (R.P != R.End)
+    return R.fail("trailing bytes after frame");
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// v5 binary requests: structural grid / run_experiment encoding.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// The fixed MachineConfig field order of the delta encoding — the
+/// machineConfigToJson() member order, so the two codecs cannot drift
+/// silently in different directions.
+constexpr unsigned NumMachineFields = 19;
+
+void machineFieldValues(const MachineConfig &M,
+                        uint64_t (&V)[NumMachineFields]) {
+  V[0] = M.NumClusters;
+  V[1] = M.IntUnitsPerCluster;
+  V[2] = M.FpUnitsPerCluster;
+  V[3] = M.MemUnitsPerCluster;
+  V[4] = M.CacheModuleBytes;
+  V[5] = M.CacheBlockBytes;
+  V[6] = M.CacheAssociativity;
+  V[7] = M.CacheHitLatency;
+  V[8] = M.InterleaveBytes;
+  V[9] = static_cast<uint64_t>(M.Organization);
+  V[10] = M.MemoryBuses.Count;
+  V[11] = M.MemoryBuses.Latency;
+  V[12] = M.RegisterBuses.Count;
+  V[13] = M.RegisterBuses.Latency;
+  V[14] = M.NextLevelPorts;
+  V[15] = M.NextLevelLatency;
+  V[16] = M.AttractionBuffersEnabled ? 1 : 0;
+  V[17] = M.AttractionBufferEntries;
+  V[18] = M.AttractionBufferAssociativity;
+}
+
+/// Rebuilds a MachineConfig from the field vector, with the same
+/// validation machineConfigFromJson applies (32-bit bounds, enum
+/// ranges).
+bool machineFromFields(const uint64_t (&V)[NumMachineFields],
+                       MachineConfig &M, Reader &R) {
+  for (unsigned I = 0; I != NumMachineFields; ++I)
+    if (V[I] > UINT32_MAX)
+      return R.fail("machine field exceeds 32 bits");
+  if (V[9] >= 3)
+    return R.fail("machine organization out of enum range");
+  if (V[16] > 1)
+    return R.fail("machine flag out of range");
+  M.NumClusters = static_cast<unsigned>(V[0]);
+  M.IntUnitsPerCluster = static_cast<unsigned>(V[1]);
+  M.FpUnitsPerCluster = static_cast<unsigned>(V[2]);
+  M.MemUnitsPerCluster = static_cast<unsigned>(V[3]);
+  M.CacheModuleBytes = static_cast<unsigned>(V[4]);
+  M.CacheBlockBytes = static_cast<unsigned>(V[5]);
+  M.CacheAssociativity = static_cast<unsigned>(V[6]);
+  M.CacheHitLatency = static_cast<unsigned>(V[7]);
+  M.InterleaveBytes = static_cast<unsigned>(V[8]);
+  M.Organization = static_cast<CacheOrganization>(V[9]);
+  M.MemoryBuses.Count = static_cast<unsigned>(V[10]);
+  M.MemoryBuses.Latency = static_cast<unsigned>(V[11]);
+  M.RegisterBuses.Count = static_cast<unsigned>(V[12]);
+  M.RegisterBuses.Latency = static_cast<unsigned>(V[13]);
+  M.NextLevelPorts = static_cast<unsigned>(V[14]);
+  M.NextLevelLatency = static_cast<unsigned>(V[15]);
+  M.AttractionBuffersEnabled = V[16] != 0;
+  M.AttractionBufferEntries = static_cast<unsigned>(V[17]);
+  M.AttractionBufferAssociativity = static_cast<unsigned>(V[18]);
+  return true;
+}
+
+bool readBool(Reader &R, bool &B, const char *TruncWhat) {
+  uint8_t V = 0;
+  if (!R.byte(V, TruncWhat))
+    return false;
+  if (V > 1)
+    return R.fail("flag byte out of range");
+  B = V != 0;
+  return true;
+}
+
+bool readU32(Reader &R, unsigned &U, const char *What) {
+  uint64_t V;
+  if (!R.varint(V, What))
+    return false;
+  if (V > UINT32_MAX)
+    return R.fail("field exceeds 32 bits");
+  U = static_cast<unsigned>(V);
+  return true;
+}
+
+/// Bounds an element count by the bytes actually buffered (one byte
+/// minimum per element) so a lying count cannot force a huge reserve.
+bool readCount(Reader &R, uint64_t &Count, const char *TruncWhat,
+               const char *BoundWhat) {
+  if (!R.varint(Count, TruncWhat))
+    return false;
+  if (Count > static_cast<uint64_t>(R.End - R.P))
+    return R.fail(BoundWhat);
+  return true;
+}
+
+void encodeLoopSpec(std::string &Out, const LoopSpec &L) {
+  appendString(Out, L.Name);
+  appendU64LE(Out, doubleBits(L.Weight));
+  appendVarint(Out, L.ProfileTrip);
+  appendVarint(Out, L.ExecTrip);
+  appendVarint(Out, L.ElemBytes);
+  appendVarint(Out, L.ConsistentLoads);
+  appendVarint(Out, L.RotatingLoads);
+  appendVarint(Out, L.GatherLoads);
+  appendVarint(Out, L.ConsistentStores);
+  appendVarint(Out, L.Chains.size());
+  for (const ChainSpec &C : L.Chains) {
+    appendVarint(Out, C.GatherLoads);
+    appendVarint(Out, C.GatherStores);
+    appendVarint(Out, C.GroupLoads);
+    appendVarint(Out, C.GroupStores);
+    Out.push_back(C.SpreadClusters ? 1 : 0);
+  }
+  appendVarint(Out, L.ArithPerLoad);
+  appendVarint(Out, L.FpOps);
+  appendVarint(Out, L.FpDivs);
+  Out.push_back(L.ScalarRecurrence ? 1 : 0);
+  appendVarint(Out, L.ObjectBytes);
+  appendU64LE(Out, L.SeedBase);
+}
+
+bool decodeLoopSpec(Reader &R, LoopSpec &L) {
+  uint64_t Bits;
+  if (!R.str(L.Name, "truncated loop name") ||
+      !R.u64le(Bits, "truncated loop weight"))
+    return false;
+  L.Weight = bitsToDouble(Bits);
+  if (!R.varint(L.ProfileTrip, "truncated loop trip") ||
+      !R.varint(L.ExecTrip, "truncated loop trip") ||
+      !readU32(R, L.ElemBytes, "truncated loop field") ||
+      !readU32(R, L.ConsistentLoads, "truncated loop field") ||
+      !readU32(R, L.RotatingLoads, "truncated loop field") ||
+      !readU32(R, L.GatherLoads, "truncated loop field") ||
+      !readU32(R, L.ConsistentStores, "truncated loop field"))
+    return false;
+  uint64_t Count;
+  if (!readCount(R, Count, "truncated chain count",
+                 "chain count exceeds payload"))
+    return false;
+  L.Chains.clear();
+  L.Chains.reserve(static_cast<size_t>(Count));
+  for (uint64_t I = 0; I != Count; ++I) {
+    ChainSpec C;
+    if (!readU32(R, C.GatherLoads, "truncated chain field") ||
+        !readU32(R, C.GatherStores, "truncated chain field") ||
+        !readU32(R, C.GroupLoads, "truncated chain field") ||
+        !readU32(R, C.GroupStores, "truncated chain field") ||
+        !readBool(R, C.SpreadClusters, "truncated chain flag"))
+      return false;
+    L.Chains.push_back(C);
+  }
+  if (!readU32(R, L.ArithPerLoad, "truncated loop field") ||
+      !readU32(R, L.FpOps, "truncated loop field") ||
+      !readU32(R, L.FpDivs, "truncated loop field") ||
+      !readBool(R, L.ScalarRecurrence, "truncated loop flag") ||
+      !readU32(R, L.ObjectBytes, "truncated loop field") ||
+      !R.u64le(L.SeedBase, "truncated loop seed"))
+    return false;
+  return true;
+}
+
+bool decodeGrid(Reader &R, SweepGrid &Grid) {
+  uint8_t Flag;
+  if (!R.u64le(Grid.BaseSeed, "truncated grid base seed") ||
+      !R.byte(Flag, "truncated grid reseed flag"))
+    return false;
+  if (Flag > 1)
+    return R.fail("reseed flag out of range");
+  Grid.ReseedLoops = Flag != 0;
+
+  uint64_t Count;
+  if (!readCount(R, Count, "truncated machine count",
+                 "machine count exceeds payload"))
+    return false;
+  Grid.Machines.clear();
+  Grid.Machines.reserve(static_cast<size_t>(Count));
+  uint64_t Fields[NumMachineFields];
+  machineFieldValues(MachineConfig::baseline(), Fields);
+  for (uint64_t I = 0; I != Count; ++I) {
+    MachinePoint M;
+    uint64_t Delta;
+    if (!R.str(M.Name, "truncated machine name") ||
+        !R.varint(Delta, "truncated machine delta mask"))
+      return false;
+    if (Delta >> NumMachineFields)
+      return R.fail("unknown machine delta bits");
+    for (unsigned F = 0; F != NumMachineFields; ++F)
+      if ((Delta >> F) & 1)
+        if (!R.varint(Fields[F], "truncated machine field"))
+          return false;
+    if (!machineFromFields(Fields, M.Config, R))
+      return false;
+    Grid.Machines.push_back(std::move(M));
+  }
+
+  if (!readCount(R, Count, "truncated scheme count",
+                 "scheme count exceeds payload"))
+    return false;
+  Grid.Schemes.clear();
+  Grid.Schemes.reserve(static_cast<size_t>(Count));
+  for (uint64_t I = 0; I != Count; ++I) {
+    SchemePoint S;
+    uint8_t Policy = 0, Heuristic = 0, Ordering = 0, Flags = 0;
+    if (!R.str(S.Name, "truncated scheme name") ||
+        !R.byte(Policy, "truncated scheme policy") ||
+        !R.byte(Heuristic, "truncated scheme heuristic") ||
+        !R.byte(Ordering, "truncated scheme ordering") ||
+        !R.byte(Flags, "truncated scheme flags"))
+      return false;
+    if (Policy >= 3)
+      return R.fail("scheme policy out of enum range");
+    if (Heuristic >= 2)
+      return R.fail("scheme heuristic out of enum range");
+    if (Ordering >= 2)
+      return R.fail("scheme ordering out of enum range");
+    if (Flags & ~0x1fu)
+      return R.fail("unknown scheme flag bits");
+    S.Policy = static_cast<CoherencePolicy>(Policy);
+    S.Heuristic = static_cast<ClusterHeuristic>(Heuristic);
+    S.Ordering = static_cast<SchedulerOrdering>(Ordering);
+    S.Hybrid = (Flags & 1) != 0;
+    S.ApplySpecialization = (Flags & 2) != 0;
+    S.CheckCoherence = (Flags & 4) != 0;
+    S.AssignLatencies = (Flags & 8) != 0;
+    S.TolerateUnschedulable = (Flags & 16) != 0;
+    Grid.Schemes.push_back(std::move(S));
+  }
+
+  if (!readCount(R, Count, "truncated benchmark count",
+                 "benchmark count exceeds payload"))
+    return false;
+  Grid.Benchmarks.clear();
+  Grid.Benchmarks.reserve(static_cast<size_t>(Count));
+  for (uint64_t I = 0; I != Count; ++I) {
+    BenchmarkSpec B;
+    uint64_t Bits, LoopCount;
+    if (!R.str(B.Name, "truncated benchmark name") ||
+        !readU32(R, B.InterleaveBytes, "truncated benchmark field") ||
+        !readU32(R, B.MainElemBytes, "truncated benchmark field") ||
+        !R.u64le(Bits, "truncated benchmark pct bits") ||
+        !R.str(B.ProfileInput, "truncated benchmark input") ||
+        !R.str(B.ExecInput, "truncated benchmark input") ||
+        !readBool(R, B.InEvaluation, "truncated benchmark flag"))
+      return false;
+    B.MainElemPct = bitsToDouble(Bits);
+    if (!readCount(R, LoopCount, "truncated loop count",
+                   "loop count exceeds payload"))
+      return false;
+    B.Loops.clear();
+    B.Loops.reserve(static_cast<size_t>(LoopCount));
+    for (uint64_t L = 0; L != LoopCount; ++L) {
+      LoopSpec Spec;
+      if (!decodeLoopSpec(R, Spec))
+        return false;
+      B.Loops.push_back(std::move(Spec));
+    }
+    Grid.Benchmarks.push_back(std::move(B));
+  }
+
+  // The same guard gridFromJson ends with, same wording.
+  if (Grid.Machines.empty() || Grid.Schemes.empty() ||
+      Grid.Benchmarks.empty())
+    return R.fail("grid has an empty axis");
+  return true;
+}
+
+void appendRequestHeader(std::string &Out, uint8_t Type, bool HasId,
+                         uint64_t Id, const ShardSpec *Shard) {
+  Out.push_back(static_cast<char>(Type));
+  uint8_t Flags = 0;
+  if (HasId)
+    Flags |= 1;
+  if (Shard)
+    Flags |= 2;
+  Out.push_back(static_cast<char>(Flags));
+  if (HasId)
+    appendVarint(Out, Id);
+  if (Shard) {
+    appendVarint(Out, Shard->Index);
+    appendVarint(Out, Shard->Map.virtualNodes());
+    appendVarint(Out, Shard->Map.shards().size());
+    for (const std::string &Addr : Shard->Map.shards())
+      appendString(Out, Addr);
+  }
+}
+
+bool decodeShardSpec(Reader &R, ShardSpec &Spec) {
+  uint64_t Index, VNodes, Count;
+  if (!R.varint(Index, "truncated shard index") ||
+      !R.varint(VNodes, "truncated shard map") ||
+      !readCount(R, Count, "truncated shard map",
+                 "shard count exceeds payload"))
+    return false;
+  if (VNodes > UINT32_MAX)
+    return R.fail("shard virtual nodes exceeds 32 bits");
+  std::vector<std::string> Addrs;
+  Addrs.reserve(static_cast<size_t>(Count));
+  for (uint64_t I = 0; I != Count; ++I) {
+    std::string Addr;
+    if (!R.str(Addr, "truncated shard address"))
+      return false;
+    Addrs.push_back(std::move(Addr));
+  }
+  // Mirrors shardSpecFromJson: the claimed slot must exist in the map.
+  if (Index >= Count)
+    return R.fail("shard index out of map range");
+  Spec.Map = ShardMap(std::move(Addrs), static_cast<unsigned>(VNodes));
+  Spec.Index = static_cast<size_t>(Index);
+  return true;
+}
+
+} // namespace
+
+void cvliw::encodeBinaryGrid(std::string &Out, const SweepGrid &Grid) {
+  appendU64LE(Out, Grid.BaseSeed);
+  Out.push_back(Grid.ReseedLoops ? 1 : 0);
+  appendVarint(Out, Grid.Machines.size());
+  uint64_t Prev[NumMachineFields], Cur[NumMachineFields];
+  machineFieldValues(MachineConfig::baseline(), Prev);
+  for (const MachinePoint &M : Grid.Machines) {
+    appendString(Out, M.Name);
+    machineFieldValues(M.Config, Cur);
+    uint64_t Delta = 0;
+    for (unsigned F = 0; F != NumMachineFields; ++F)
+      if (Cur[F] != Prev[F])
+        Delta |= uint64_t(1) << F;
+    appendVarint(Out, Delta);
+    for (unsigned F = 0; F != NumMachineFields; ++F)
+      if ((Delta >> F) & 1)
+        appendVarint(Out, Cur[F]);
+    std::memcpy(Prev, Cur, sizeof(Prev));
+  }
+  appendVarint(Out, Grid.Schemes.size());
+  for (const SchemePoint &S : Grid.Schemes) {
+    appendString(Out, S.Name);
+    Out.push_back(static_cast<char>(static_cast<uint8_t>(S.Policy)));
+    Out.push_back(static_cast<char>(static_cast<uint8_t>(S.Heuristic)));
+    Out.push_back(static_cast<char>(static_cast<uint8_t>(S.Ordering)));
+    uint8_t Flags = 0;
+    if (S.Hybrid)
+      Flags |= 1;
+    if (S.ApplySpecialization)
+      Flags |= 2;
+    if (S.CheckCoherence)
+      Flags |= 4;
+    if (S.AssignLatencies)
+      Flags |= 8;
+    if (S.TolerateUnschedulable)
+      Flags |= 16;
+    Out.push_back(static_cast<char>(Flags));
+  }
+  appendVarint(Out, Grid.Benchmarks.size());
+  for (const BenchmarkSpec &B : Grid.Benchmarks) {
+    appendString(Out, B.Name);
+    appendVarint(Out, B.InterleaveBytes);
+    appendVarint(Out, B.MainElemBytes);
+    appendU64LE(Out, doubleBits(B.MainElemPct));
+    appendString(Out, B.ProfileInput);
+    appendString(Out, B.ExecInput);
+    Out.push_back(B.InEvaluation ? 1 : 0);
+    appendVarint(Out, B.Loops.size());
+    for (const LoopSpec &L : B.Loops)
+      encodeLoopSpec(Out, L);
+  }
+}
+
+void cvliw::encodeBinarySweepRequest(std::string &Out, bool HasId,
+                                     uint64_t Id, const ShardSpec *Shard,
+                                     const std::string &EncodedGrid) {
+  appendRequestHeader(Out, BinaryFrameSweep, HasId, Id, Shard);
+  Out.append(EncodedGrid);
+}
+
+void cvliw::encodeBinaryRunExperimentRequest(
+    std::string &Out, bool HasId, uint64_t Id, const ShardSpec *Shard,
+    const std::string &Name, const ExperimentOverrides &Overrides) {
+  appendRequestHeader(Out, BinaryFrameRunExperiment, HasId, Id, Shard);
+  appendString(Out, Name);
+  uint8_t Flags = 0;
+  if (Overrides.HasBaseSeed)
+    Flags |= 1;
+  if (Overrides.HasReseedLoops)
+    Flags |= 2;
+  Out.push_back(static_cast<char>(Flags));
+  if (Overrides.HasBaseSeed)
+    appendU64LE(Out, Overrides.BaseSeed);
+  if (Overrides.HasReseedLoops)
+    Out.push_back(Overrides.ReseedLoops ? 1 : 0);
+}
+
+bool cvliw::decodeBinaryRequestFrame(const std::string &Payload,
+                                     BinaryRequestFrame &Frame,
+                                     std::string &Error) {
+  Error.clear();
+  Frame = BinaryRequestFrame();
+  Reader R{Payload.data(), Payload.data() + Payload.size(), Error,
+           "binary request frame: "};
+  uint8_t Type = 0, Flags = 0;
+  if (!R.byte(Type, "empty payload"))
+    return false;
+  if (Type != BinaryFrameSweep && Type != BinaryFrameRunExperiment)
+    return R.fail("unknown frame type");
+  Frame.Type = Type;
+  if (!R.byte(Flags, "truncated frame flags"))
+    return false;
+  if (Flags & ~3u)
+    return R.fail("unknown frame flag bits");
+  Frame.HasId = (Flags & 1) != 0;
+  Frame.HasShard = (Flags & 2) != 0;
+  if (Frame.HasId && !R.varint(Frame.Id, "truncated id"))
+    return false;
+  if (Frame.HasShard && !decodeShardSpec(R, Frame.Shard))
+    return false;
+  if (Frame.Type == BinaryFrameSweep) {
+    if (!decodeGrid(R, Frame.Grid))
+      return false;
+  } else {
+    if (!R.str(Frame.Name, "truncated experiment name"))
+      return false;
+    uint8_t Ovf = 0;
+    if (!R.byte(Ovf, "truncated override flags"))
+      return false;
+    if (Ovf & ~3u)
+      return R.fail("unknown override flag bits");
+    if (Ovf & 1) {
+      Frame.Overrides.HasBaseSeed = true;
+      if (!R.u64le(Frame.Overrides.BaseSeed, "truncated base seed"))
+        return false;
+    }
+    if (Ovf & 2) {
+      Frame.Overrides.HasReseedLoops = true;
+      if (!readBool(R, Frame.Overrides.ReseedLoops,
+                    "truncated reseed flag"))
+        return false;
+    }
   }
   if (R.P != R.End)
     return R.fail("trailing bytes after frame");

@@ -1,0 +1,195 @@
+//===- net/Compress.cpp - In-tree LZ4-block frame codec -------------------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cvliw/net/Compress.h"
+
+#include "cvliw/net/BinaryCodec.h"
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+using namespace cvliw;
+
+namespace {
+
+/// Hash-table width of the greedy matcher. 8K entries cover the 16 MiB
+/// frame bound fine: the table holds *recent* positions and the match
+/// window is 64 KiB anyway.
+constexpr unsigned HashBits = 13;
+
+/// Fibonacci-style multiplicative hash of a 4-byte sequence.
+uint32_t hash4(uint32_t V) { return (V * 2654435761u) >> (32 - HashBits); }
+
+/// Emits the 255-extension bytes of a length whose nibble was 15.
+void emitExtLength(std::string &Out, size_t L) {
+  L -= 15;
+  while (L >= 255) {
+    Out.push_back(static_cast<char>(255));
+    L -= 255;
+  }
+  Out.push_back(static_cast<char>(L));
+}
+
+} // namespace
+
+bool cvliw::compressBlock(const void *DataV, size_t Len, std::string &Out) {
+  const uint8_t *In = static_cast<const uint8_t *>(DataV);
+  const size_t Start = Out.size();
+  // Below this there is no room for a legal match (min 4, none within
+  // the last 12 bytes): the block would be pure literals, which can
+  // never be smaller than the input.
+  if (Len < 16)
+    return false;
+
+  std::vector<uint32_t> Table(1u << HashBits, 0); // position + 1; 0 empty
+  auto Read32 = [In](size_t P) {
+    uint32_t V;
+    std::memcpy(&V, In + P, sizeof(V));
+    return V;
+  };
+
+  const size_t MatchLimit = Len - 5;   // matches leave 5 literal bytes
+  const size_t AnchorLimit = Len - 12; // no match starts in the last 12
+  size_t Ip = 0, Anchor = 0;
+  while (Ip < AnchorLimit && Ip + 4 <= MatchLimit) {
+    uint32_t Seq = Read32(Ip);
+    uint32_t &Slot = Table[hash4(Seq)];
+    size_t Cand = static_cast<size_t>(Slot) - 1;
+    bool Have = Slot != 0;
+    Slot = static_cast<uint32_t>(Ip + 1);
+    if (!Have || Ip - Cand > 65535 || Read32(Cand) != Seq) {
+      ++Ip;
+      continue;
+    }
+    size_t MLen = 4;
+    while (Ip + MLen < MatchLimit && In[Cand + MLen] == In[Ip + MLen])
+      ++MLen;
+    size_t Lits = Ip - Anchor;
+    uint8_t Token =
+        static_cast<uint8_t>((Lits >= 15 ? 15 : Lits) << 4 |
+                             (MLen - 4 >= 15 ? 15 : MLen - 4));
+    Out.push_back(static_cast<char>(Token));
+    if (Lits >= 15)
+      emitExtLength(Out, Lits);
+    Out.append(reinterpret_cast<const char *>(In + Anchor), Lits);
+    size_t Off = Ip - Cand;
+    Out.push_back(static_cast<char>(Off & 0xff));
+    Out.push_back(static_cast<char>(Off >> 8));
+    if (MLen - 4 >= 15)
+      emitExtLength(Out, MLen - 4);
+    Ip += MLen;
+    Anchor = Ip;
+    // Already past the input size: incompressible, stop wasting work.
+    if (Out.size() - Start >= Len) {
+      Out.resize(Start);
+      return false;
+    }
+  }
+  size_t Lits = Len - Anchor;
+  Out.push_back(static_cast<char>((Lits >= 15 ? 15 : Lits) << 4));
+  if (Lits >= 15)
+    emitExtLength(Out, Lits);
+  Out.append(reinterpret_cast<const char *>(In + Anchor), Lits);
+  if (Out.size() - Start >= Len) {
+    Out.resize(Start);
+    return false;
+  }
+  return true;
+}
+
+bool cvliw::decompressBlock(const void *DataV, size_t Len, size_t RawSize,
+                            std::string &Out) {
+  const uint8_t *P = static_cast<const uint8_t *>(DataV);
+  const uint8_t *End = P + Len;
+  const size_t Start = Out.size();
+  // Reads the 255-extension bytes of a length whose nibble was 15.
+  // RawSize caps the accumulator so a run of 255s cannot overflow it.
+  auto ReadExt = [&](size_t &L) {
+    for (;;) {
+      if (P == End || L > RawSize)
+        return false;
+      uint8_t B = *P++;
+      L += B;
+      if (B != 255)
+        return true;
+    }
+  };
+  while (P != End) {
+    uint8_t Token = *P++;
+    size_t Lits = Token >> 4;
+    if (Lits == 15 && !ReadExt(Lits))
+      return false;
+    if (static_cast<size_t>(End - P) < Lits)
+      return false;
+    if (Out.size() - Start + Lits > RawSize)
+      return false;
+    Out.append(reinterpret_cast<const char *>(P), Lits);
+    P += Lits;
+    if (P == End)
+      break; // the final, literals-only sequence
+    if (End - P < 2)
+      return false;
+    size_t Off = static_cast<size_t>(P[0]) |
+                 (static_cast<size_t>(P[1]) << 8);
+    P += 2;
+    if (Off == 0 || Off > Out.size() - Start)
+      return false;
+    size_t MLen = Token & 0xf;
+    if (MLen == 15 && !ReadExt(MLen))
+      return false;
+    MLen += 4;
+    if (Out.size() - Start + MLen > RawSize)
+      return false;
+    // Byte-wise copy: an offset smaller than the length overlaps its
+    // own output on purpose (the RLE idiom).
+    size_t Src = Out.size() - Off;
+    for (size_t I = 0; I != MLen; ++I)
+      Out.push_back(Out[Src + I]);
+  }
+  return Out.size() - Start == RawSize;
+}
+
+bool cvliw::compressFramePayload(const std::string &Raw, FrameKind Kind,
+                                 std::string &Out) {
+  Out.clear();
+  Out.push_back(Kind == FrameKind::Binary ? 1 : 0);
+  appendVarint(Out, Raw.size());
+  if (!compressBlock(Raw.data(), Raw.size(), Out))
+    return false;
+  // The envelope (kind byte + raw-size varint) must not eat the win.
+  return Out.size() < Raw.size();
+}
+
+bool cvliw::decompressFramePayload(const std::string &Payload,
+                                   size_t MaxRawBytes, std::string &Raw,
+                                   FrameKind &Kind, std::string &Error) {
+  const char *P = Payload.data();
+  const char *End = P + Payload.size();
+  auto Fail = [&Error](const char *What) {
+    Error = std::string("compressed frame: ") + What;
+    return false;
+  };
+  if (P == End)
+    return Fail("empty payload");
+  uint8_t K = static_cast<uint8_t>(*P++);
+  if (K > 1)
+    return Fail("unknown inner frame kind");
+  Kind = K ? FrameKind::Binary : FrameKind::Json;
+  uint64_t RawSize;
+  if (!readVarint(P, End, RawSize))
+    return Fail("truncated raw size");
+  // Bound *before* allocating: a tiny hostile frame must not be able
+  // to declare a gigabyte of output.
+  if (RawSize > MaxRawBytes)
+    return Fail("declared raw size exceeds frame limit");
+  Raw.clear();
+  Raw.reserve(static_cast<size_t>(RawSize));
+  if (!decompressBlock(P, static_cast<size_t>(End - P),
+                       static_cast<size_t>(RawSize), Raw))
+    return Fail("corrupt block");
+  return true;
+}

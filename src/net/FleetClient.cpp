@@ -7,6 +7,7 @@
 #include "cvliw/net/FleetClient.h"
 
 #include "cvliw/net/BinaryCodec.h"
+#include "cvliw/net/Compress.h"
 #include "cvliw/net/WireFormat.h"
 
 #include <algorithm>
@@ -64,6 +65,8 @@ bool FleetClient::negotiate(size_t MaxBatchWanted, unsigned Weight,
   size_t Granted = DefaultMaxFrameBytes; // any large sentinel; min()'d below
   bool AllPipelining = true;
   bool AllBinary = BinaryWanted;
+  bool AllBinaryReq = BinaryReqWanted;
+  bool AllCompress = CompressWanted;
   for (size_t S = 0; S != Shards.size(); ++S) {
     Shard &Sh = Shards[S];
     JsonValue Hello = JsonValue::object();
@@ -73,6 +76,10 @@ bool FleetClient::negotiate(size_t MaxBatchWanted, unsigned Weight,
       Hello.set("weight", JsonValue::uint(Weight));
     if (BinaryWanted)
       Hello.set("binary_rows", JsonValue::boolean(true));
+    if (BinaryReqWanted)
+      Hello.set("binary_requests", JsonValue::boolean(true));
+    if (CompressWanted)
+      Hello.set("compress", JsonValue::boolean(true));
     if (Fleet) {
       // Each daemon gets the same map and its own claimed id — the
       // daemon self-checks the claim against any --shard-id identity.
@@ -112,6 +119,8 @@ bool FleetClient::negotiate(size_t MaxBatchWanted, unsigned Weight,
         MaxBatch = 1;
         Pipelining = false;
         BinaryRows = false;
+        BinaryRequests = false;
+        CompressOk = false;
         SendIds = false;
         return true;
       }
@@ -131,6 +140,14 @@ bool FleetClient::negotiate(size_t MaxBatchWanted, unsigned Weight,
         const JsonValue *BR = Reply.find("binary_rows");
         AllBinary = AllBinary && BR && BR->asBool();
       }
+      if (BinaryReqWanted) {
+        const JsonValue *BQ = Reply.find("binary_requests");
+        AllBinaryReq = AllBinaryReq && BQ && BQ->asBool();
+      }
+      if (CompressWanted) {
+        const JsonValue *CZ = Reply.find("compress");
+        AllCompress = AllCompress && CZ && CZ->asBool();
+      }
       if (Fleet) {
         const JsonValue *Cap = Reply.find("shards");
         if (!Cap || Cap->kind() != JsonValue::Kind::Bool || !Cap->asBool()) {
@@ -148,6 +165,8 @@ bool FleetClient::negotiate(size_t MaxBatchWanted, unsigned Weight,
   MaxBatch = Granted;
   Pipelining = AllPipelining;
   BinaryRows = AllBinary;
+  BinaryRequests = AllBinaryReq;
+  CompressOk = AllCompress;
   SendIds = true;
   return true;
 }
@@ -169,22 +188,48 @@ void FleetClient::initPendingGrid(PendingGrid &P, const SweepGrid &Grid) {
   }
 }
 
+bool FleetClient::sendRequestFrame(size_t ShardIdx, uint64_t Id,
+                                   const PendingRequest &Req,
+                                   const ShardMap *Claim) {
+  Shard &Sh = Shards[ShardIdx];
+  ShardSpec Spec;
+  if (Claim) {
+    Spec.Index = Claim->indexOf(Sh.Addr);
+    Spec.Map = *Claim;
+  }
+  if (Req.Binary) {
+    std::string Out;
+    if (Req.BinaryType == BinaryFrameSweep)
+      encodeBinarySweepRequest(Out, SendIds, Id, Claim ? &Spec : nullptr,
+                               Req.EncodedGrid);
+    else
+      encodeBinaryRunExperimentRequest(Out, SendIds, Id,
+                                       Claim ? &Spec : nullptr, Req.Name,
+                                       Req.Overrides);
+    return CompressOk
+               ? writeFrameMaybeCompressed(Sh.Conn, Out, FrameKind::Binary,
+                                           CompressMinBytes)
+               : writeFrame(Sh.Conn, Out, FrameKind::Binary);
+  }
+  JsonValue Msg = Req.Body;
+  if (SendIds)
+    Msg.set("id", JsonValue::uint(Id));
+  if (Claim)
+    Msg.set("shard", shardSpecToJson(Spec));
+  const std::string Payload = Msg.dump();
+  return CompressOk
+             ? writeFrameMaybeCompressed(Sh.Conn, Payload, FrameKind::Json,
+                                         CompressMinBytes)
+             : writeFrame(Sh.Conn, Payload);
+}
+
 bool FleetClient::fanOut(uint64_t Id, PendingRequest &Req,
                          const ShardMap *Claim, std::string &Error) {
   std::vector<size_t> DeadNow;
   for (size_t S = 0; S != Shards.size(); ++S) {
     if (!Shards[S].Alive)
       continue;
-    JsonValue Msg = Req.Body;
-    if (SendIds)
-      Msg.set("id", JsonValue::uint(Id));
-    if (Claim) {
-      ShardSpec Spec;
-      Spec.Index = Claim->indexOf(Shards[S].Addr);
-      Spec.Map = *Claim;
-      Msg.set("shard", shardSpecToJson(Spec));
-    }
-    if (!writeFrame(Shards[S].Conn, Msg.dump())) {
+    if (!sendRequestFrame(S, Id, Req, Claim)) {
       Shards[S].Alive = false;
       Shards[S].Conn.close();
       DeadNow.push_back(S);
@@ -218,14 +263,21 @@ bool FleetClient::submitGrid(const SweepGrid &Grid, uint64_t &Id,
     Error = "pipelining unavailable: the daemon rejected hello";
     return false;
   }
-  JsonValue Body = JsonValue::object();
-  Body.set("type", JsonValue::str("sweep"));
-  Body.set("grid", gridToJson(Grid));
-
   Id = NextId++;
   PendingRequest Req;
   Req.IsExperiment = false;
-  Req.Body = std::move(Body);
+  if (BinaryRequests) {
+    // One structural encode serves every shard (and any rebalance):
+    // the per-shard header is prepended at send time.
+    Req.Binary = true;
+    Req.BinaryType = BinaryFrameSweep;
+    encodeBinaryGrid(Req.EncodedGrid, Grid);
+  } else {
+    JsonValue Body = JsonValue::object();
+    Body.set("type", JsonValue::str("sweep"));
+    Body.set("grid", gridToJson(Grid));
+    Req.Body = std::move(Body);
+  }
   Req.Grids.emplace_back();
   initPendingGrid(Req.Grids.back(), Grid);
   Req.TotalExpected = Grid.size();
@@ -250,16 +302,22 @@ bool FleetClient::submitExperiment(
     Error = "pipelining unavailable: the daemon rejected hello";
     return false;
   }
-  JsonValue Body = JsonValue::object();
-  Body.set("type", JsonValue::str("run_experiment"));
-  Body.set("name", JsonValue::str(Name));
-  if (Overrides.any())
-    Body.set("overrides", experimentOverridesToJson(Overrides));
-
   Id = NextId++;
   PendingRequest Req;
   Req.IsExperiment = true;
-  Req.Body = std::move(Body);
+  if (BinaryRequests) {
+    Req.Binary = true;
+    Req.BinaryType = BinaryFrameRunExperiment;
+    Req.Name = Name;
+    Req.Overrides = Overrides;
+  } else {
+    JsonValue Body = JsonValue::object();
+    Body.set("type", JsonValue::str("run_experiment"));
+    Body.set("name", JsonValue::str(Name));
+    if (Overrides.any())
+      Body.set("overrides", experimentOverridesToJson(Overrides));
+    Req.Body = std::move(Body);
+  }
   for (const SweepGrid *Grid : Expected) {
     Req.Grids.emplace_back();
     initPendingGrid(Req.Grids.back(), *Grid);
@@ -329,14 +387,7 @@ void FleetClient::handleShardDeath(size_t ShardIdx) {
     for (size_t S = 0; S != Shards.size(); ++S) {
       if (!Shards[S].Alive)
         continue;
-      JsonValue Msg = Req.Body;
-      if (SendIds)
-        Msg.set("id", JsonValue::uint(Id));
-      ShardSpec Spec;
-      Spec.Index = SurvivorMap.indexOf(Shards[S].Addr);
-      Spec.Map = SurvivorMap;
-      Msg.set("shard", shardSpecToJson(Spec));
-      if (!writeFrame(Shards[S].Conn, Msg.dump())) {
+      if (!sendRequestFrame(S, Id, Req, &SurvivorMap)) {
         Shards[S].Alive = false;
         Shards[S].Conn.close();
         DeadNow.push_back(S);

@@ -6,6 +6,8 @@
 
 #include "cvliw/net/Frame.h"
 
+#include "cvliw/net/Compress.h"
+
 #include <cstring>
 
 using namespace cvliw;
@@ -30,9 +32,13 @@ const char *cvliw::frameStatusName(FrameStatus Status) {
 
 namespace {
 
-/// Classifies a header's 4-byte magic; false when it is neither
-/// protocol magic (the caller reports Malformed).
-bool magicToKind(const unsigned char *Header, FrameKind &Kind) {
+/// Classifies a header's 4-byte magic; false when it is no protocol
+/// magic (the caller reports Malformed). A compressed frame reports
+/// its *inner* kind only after decompression; \p Compressed tells the
+/// reader to unwrap it.
+bool magicToKind(const unsigned char *Header, FrameKind &Kind,
+                 bool &Compressed) {
+  Compressed = false;
   if (std::memcmp(Header, FrameMagic, sizeof(FrameMagic)) == 0) {
     Kind = FrameKind::Json;
     return true;
@@ -41,10 +47,23 @@ bool magicToKind(const unsigned char *Header, FrameKind &Kind) {
     Kind = FrameKind::Binary;
     return true;
   }
+  if (std::memcmp(Header, FrameMagicZ, sizeof(FrameMagicZ)) == 0) {
+    Compressed = true;
+    return true;
+  }
   return false;
 }
 
 } // namespace
+
+void cvliw::fillFrameHeader(unsigned char (&Header)[8],
+                            const char (&Magic)[4], uint32_t Len) {
+  std::memcpy(Header, Magic, 4);
+  Header[4] = static_cast<unsigned char>(Len >> 24);
+  Header[5] = static_cast<unsigned char>(Len >> 16);
+  Header[6] = static_cast<unsigned char>(Len >> 8);
+  Header[7] = static_cast<unsigned char>(Len);
+}
 
 FrameStatus cvliw::readFrame(Socket &S, std::string &Payload,
                              FrameKind &Kind, size_t MaxBytes) {
@@ -56,7 +75,8 @@ FrameStatus cvliw::readFrame(Socket &S, std::string &Payload,
       return FrameStatus::IoError; // Reset, not an orderly close.
     return Got == 0 ? FrameStatus::Eof : FrameStatus::Truncated;
   }
-  if (!magicToKind(Header, Kind))
+  bool Compressed;
+  if (!magicToKind(Header, Kind, Compressed))
     return FrameStatus::Malformed;
 
   uint32_t Len = (static_cast<uint32_t>(Header[4]) << 24) |
@@ -69,6 +89,15 @@ FrameStatus cvliw::readFrame(Socket &S, std::string &Payload,
   Payload.resize(Len);
   if (Len != 0 && S.recvAll(&Payload[0], Len, &IoError) != Len)
     return IoError ? FrameStatus::IoError : FrameStatus::Truncated;
+  if (Compressed) {
+    // Unwrap transparently: callers see the raw inner frame, and the
+    // declared raw size honors the same MaxBytes bound as a plain
+    // frame length.
+    std::string Raw, Error;
+    if (!decompressFramePayload(Payload, MaxBytes, Raw, Kind, Error))
+      return FrameStatus::Malformed;
+    Payload = std::move(Raw);
+  }
   return FrameStatus::Ok;
 }
 
@@ -96,7 +125,8 @@ bool FrameDecoder::next(std::string &Payload, FrameKind &Kind) {
   // Validate the header the moment it is complete — poisoning on bad
   // magic / an over-limit length must not wait for payload bytes that
   // may never come.
-  if (!magicToKind(Header, Kind)) {
+  bool Compressed;
+  if (!magicToKind(Header, Kind, Compressed)) {
     Err = FrameStatus::Malformed;
     return false;
   }
@@ -111,6 +141,16 @@ bool FrameDecoder::next(std::string &Payload, FrameKind &Kind) {
   if (Avail < 8 + static_cast<size_t>(Len))
     return false;
   Payload.assign(Buffer, Consumed + 8, Len);
+  if (Compressed) {
+    // A corrupt envelope poisons the stream like a bad magic would:
+    // the peer is not speaking the protocol.
+    std::string Raw, Error;
+    if (!decompressFramePayload(Payload, MaxBytes, Raw, Kind, Error)) {
+      Err = FrameStatus::Malformed;
+      return false;
+    }
+    Payload = std::move(Raw);
+  }
   Consumed += 8 + static_cast<size_t>(Len);
   // Compact once the consumed prefix dominates, amortizing the move.
   if (Consumed == Buffer.size()) {
@@ -134,24 +174,47 @@ FrameStatus FrameDecoder::endOfStream() const {
   return buffered() == 0 ? FrameStatus::Eof : FrameStatus::Truncated;
 }
 
-bool cvliw::writeFrame(Socket &S, const std::string &Payload,
-                       FrameKind Kind, size_t MaxBytes) {
+namespace {
+
+/// Sends one already-encoded frame: 8-byte header for \p Magic, then
+/// the payload bytes.
+bool sendRawFrame(Socket &S, const char (&Magic)[4],
+                  const std::string &Payload, size_t MaxBytes) {
   if (Payload.size() > MaxBytes || Payload.size() > UINT32_MAX)
     return false;
-  uint32_t Len = static_cast<uint32_t>(Payload.size());
   unsigned char Header[8];
-  std::memcpy(Header, Kind == FrameKind::Binary ? FrameMagic2 : FrameMagic,
-              sizeof(FrameMagic));
-  Header[4] = static_cast<unsigned char>(Len >> 24);
-  Header[5] = static_cast<unsigned char>(Len >> 16);
-  Header[6] = static_cast<unsigned char>(Len >> 8);
-  Header[7] = static_cast<unsigned char>(Len);
+  fillFrameHeader(Header, Magic, static_cast<uint32_t>(Payload.size()));
   if (!S.sendAll(Header, sizeof(Header)))
     return false;
   return Payload.empty() || S.sendAll(Payload.data(), Payload.size());
 }
 
+} // namespace
+
+bool cvliw::writeFrame(Socket &S, const std::string &Payload,
+                       FrameKind Kind, size_t MaxBytes) {
+  return sendRawFrame(S, Kind == FrameKind::Binary ? FrameMagic2 : FrameMagic,
+                      Payload, MaxBytes);
+}
+
 bool cvliw::writeFrame(Socket &S, const std::string &Payload,
                        size_t MaxBytes) {
   return writeFrame(S, Payload, FrameKind::Json, MaxBytes);
+}
+
+bool cvliw::writeFrameMaybeCompressed(Socket &S, const std::string &Payload,
+                                      FrameKind Kind,
+                                      size_t MinCompressBytes,
+                                      size_t MaxBytes, size_t *WireBytes) {
+  if (Payload.size() >= MinCompressBytes) {
+    std::string Packed;
+    if (compressFramePayload(Payload, Kind, Packed)) {
+      if (WireBytes)
+        *WireBytes = Packed.size() + FrameHeaderBytes;
+      return sendRawFrame(S, FrameMagicZ, Packed, MaxBytes);
+    }
+  }
+  if (WireBytes)
+    *WireBytes = Payload.size() + FrameHeaderBytes;
+  return writeFrame(S, Payload, Kind, MaxBytes);
 }

@@ -7,6 +7,7 @@
 #include "cvliw/net/Socket.h"
 
 #include <cerrno>
+#include <climits>
 #include <cstdlib>
 #include <cstring>
 
@@ -14,6 +15,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 using namespace cvliw;
@@ -49,6 +51,15 @@ void Socket::shutdownRead() {
     ::shutdown(Fd, SHUT_RD);
 }
 
+namespace {
+
+/// One shared classification for every send path: a signal landing
+/// mid-syscall (EINTR) means retry the exact same call; everything
+/// else — ECONNRESET, EPIPE, ... — is fatal for the connection.
+bool retryableSendErrno(int Errno) { return Errno == EINTR; }
+
+} // namespace
+
 bool Socket::sendAll(const void *Data, size_t Len) {
   const char *P = static_cast<const char *>(Data);
   while (Len > 0) {
@@ -56,12 +67,58 @@ bool Socket::sendAll(const void *Data, size_t Len) {
     // error return, not kill the daemon with SIGPIPE.
     ssize_t N = ::send(Fd, P, Len, MSG_NOSIGNAL);
     if (N < 0) {
-      if (errno == EINTR)
+      if (retryableSendErrno(errno))
         continue;
       return false;
     }
     P += N;
     Len -= static_cast<size_t>(N);
+  }
+  return true;
+}
+
+bool Socket::sendVec(struct iovec *Vec, size_t Count,
+                     uint64_t *SyscallsOut) {
+  size_t Idx = 0;
+  while (Idx < Count) {
+    // Zero-length entries (empty payloads) carry no bytes to send.
+    if (Vec[Idx].iov_len == 0) {
+      ++Idx;
+      continue;
+    }
+    size_t Chunk = Count - Idx;
+    if (Chunk > static_cast<size_t>(IOV_MAX))
+      Chunk = static_cast<size_t>(IOV_MAX);
+    // sendmsg, not writev: only the msg form accepts MSG_NOSIGNAL, and
+    // a vanished peer must surface as an error, not SIGPIPE.
+    msghdr Msg;
+    std::memset(&Msg, 0, sizeof(Msg));
+    Msg.msg_iov = Vec + Idx;
+    Msg.msg_iovlen = Chunk;
+    ssize_t N = ::sendmsg(Fd, &Msg, MSG_NOSIGNAL);
+    if (SyscallsOut)
+      ++*SyscallsOut;
+    if (N < 0) {
+      if (retryableSendErrno(errno))
+        continue;
+      return false;
+    }
+    // Advance past whatever the kernel took; a partial iovec is
+    // trimmed in place and resent from its unsent byte.
+    size_t Sent = static_cast<size_t>(N);
+    while (Sent > 0 && Idx < Count) {
+      if (Sent >= Vec[Idx].iov_len) {
+        Sent -= Vec[Idx].iov_len;
+        ++Idx;
+      } else {
+        Vec[Idx].iov_base = static_cast<char *>(Vec[Idx].iov_base) + Sent;
+        Vec[Idx].iov_len -= Sent;
+        Sent = 0;
+      }
+    }
+    // A zero-byte sendmsg with bytes pending cannot make progress.
+    if (N == 0 && Idx < Count)
+      return false;
   }
   return true;
 }

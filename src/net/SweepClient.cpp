@@ -7,6 +7,7 @@
 #include "cvliw/net/SweepClient.h"
 
 #include "cvliw/net/BinaryCodec.h"
+#include "cvliw/net/Compress.h"
 #include "cvliw/net/Frame.h"
 #include "cvliw/net/WireFormat.h"
 
@@ -93,7 +94,30 @@ bool SweepClient::sendMessage(const JsonValue &Message, std::string &Error) {
     Error = "not connected";
     return false;
   }
-  if (!writeFrame(Conn, Message.dump())) {
+  const std::string Payload = Message.dump();
+  const bool Ok =
+      CompressOk ? writeFrameMaybeCompressed(Conn, Payload, FrameKind::Json,
+                                             CompressMinBytes)
+                 : writeFrame(Conn, Payload);
+  if (!Ok) {
+    Error = "failed to send frame";
+    return false;
+  }
+  return true;
+}
+
+bool SweepClient::sendBinaryFrame(const std::string &Payload,
+                                  std::string &Error) {
+  if (!Conn.valid()) {
+    Error = "not connected";
+    return false;
+  }
+  const bool Ok =
+      CompressOk ? writeFrameMaybeCompressed(Conn, Payload,
+                                             FrameKind::Binary,
+                                             CompressMinBytes)
+                 : writeFrame(Conn, Payload, FrameKind::Binary);
+  if (!Ok) {
     Error = "failed to send frame";
     return false;
   }
@@ -163,6 +187,10 @@ bool SweepClient::negotiate(size_t MaxBatchWanted, unsigned Weight,
     Hello.set("weight", JsonValue::uint(Weight));
   if (BinaryWanted)
     Hello.set("binary_rows", JsonValue::boolean(true));
+  if (BinaryReqWanted)
+    Hello.set("binary_requests", JsonValue::boolean(true));
+  if (CompressWanted)
+    Hello.set("compress", JsonValue::boolean(true));
   if (!sendMessage(Hello, Error))
     return false;
 
@@ -194,6 +222,15 @@ bool SweepClient::negotiate(size_t MaxBatchWanted, unsigned Weight,
       if (BinaryWanted)
         if (const JsonValue *BR = Reply.find("binary_rows"))
           BinaryRows = BR->asBool();
+      // v5 grants: the same offered-only trust rule.
+      BinaryRequests = false;
+      if (BinaryReqWanted)
+        if (const JsonValue *BQ = Reply.find("binary_requests"))
+          BinaryRequests = BQ->asBool();
+      CompressOk = false;
+      if (CompressWanted)
+        if (const JsonValue *CZ = Reply.find("compress"))
+          CompressOk = CZ->asBool();
     } catch (const JsonError &E) {
       Error = std::string("bad hello_ok: ") + E.what();
       return false;
@@ -207,6 +244,8 @@ bool SweepClient::negotiate(size_t MaxBatchWanted, unsigned Weight,
   MaxBatch = 1;
   Pipelining = false;
   BinaryRows = false;
+  BinaryRequests = false;
+  CompressOk = false;
   SendIds = false;
   return true;
 }
@@ -217,12 +256,24 @@ bool SweepClient::submitGrid(const SweepGrid &Grid, uint64_t &Id,
     Error = "pipelining unavailable: the daemon rejected hello";
     return false;
   }
-  JsonValue Request = typedMessage("sweep");
-  if (SendIds)
-    Request.set("id", JsonValue::uint(NextId));
-  Request.set("grid", gridToJson(Grid));
-  if (!sendMessage(Request, Error))
-    return false;
+  if (BinaryRequests) {
+    // v5: the grid crosses the wire structurally (axes + deltas), not
+    // as the expanded point product a JSON "grid" member carries.
+    std::string GridBuf;
+    encodeBinaryGrid(GridBuf, Grid);
+    std::string Out;
+    encodeBinarySweepRequest(Out, SendIds, NextId, /*Shard=*/nullptr,
+                             GridBuf);
+    if (!sendBinaryFrame(Out, Error))
+      return false;
+  } else {
+    JsonValue Request = typedMessage("sweep");
+    if (SendIds)
+      Request.set("id", JsonValue::uint(NextId));
+    Request.set("grid", gridToJson(Grid));
+    if (!sendMessage(Request, Error))
+      return false;
+  }
   Id = NextId++;
 
   PendingRequest Req;
@@ -247,14 +298,22 @@ bool SweepClient::submitExperiment(
     Error = "pipelining unavailable: the daemon rejected hello";
     return false;
   }
-  JsonValue Request = typedMessage("run_experiment");
-  if (SendIds)
-    Request.set("id", JsonValue::uint(NextId));
-  Request.set("name", JsonValue::str(Name));
-  if (Overrides.any())
-    Request.set("overrides", experimentOverridesToJson(Overrides));
-  if (!sendMessage(Request, Error))
-    return false;
+  if (BinaryRequests) {
+    std::string Out;
+    encodeBinaryRunExperimentRequest(Out, SendIds, NextId,
+                                     /*Shard=*/nullptr, Name, Overrides);
+    if (!sendBinaryFrame(Out, Error))
+      return false;
+  } else {
+    JsonValue Request = typedMessage("run_experiment");
+    if (SendIds)
+      Request.set("id", JsonValue::uint(NextId));
+    Request.set("name", JsonValue::str(Name));
+    if (Overrides.any())
+      Request.set("overrides", experimentOverridesToJson(Overrides));
+    if (!sendMessage(Request, Error))
+      return false;
+  }
   Id = NextId++;
 
   PendingRequest Req;

@@ -135,6 +135,8 @@ bool runExperimentRemote(const ExperimentSpec &Spec,
     return false;
   }
   Client.setBinaryRows(Options.BinaryRows);
+  Client.setBinaryRequests(Options.BinaryRequests);
+  Client.setCompress(Options.Compress);
   if (!Client.negotiate(DefaultClientMaxBatch, /*Weight=*/1, Error)) {
     std::cerr << "sweep: " << Error << "\n";
     return false;
@@ -249,6 +251,8 @@ int cvliw::runAllExperimentsRemote(const SweepRunOptions &Options,
     return 1;
   }
   Client.setBinaryRows(Options.BinaryRows);
+  Client.setBinaryRequests(Options.BinaryRequests);
+  Client.setCompress(Options.Compress);
   if (!Client.negotiate(DefaultClientMaxBatch, /*Weight=*/1, Error)) {
     std::cerr << "sweep: " << Error << "\n";
     return 1;

@@ -687,6 +687,8 @@ unsigned cvliw::defaultSweepThreads() {
 bool cvliw::parseSweepArgs(int Argc, char **Argv,
                            SweepRunOptions &Options) {
   bool BinaryFlagGiven = false;
+  bool BinaryReqFlagGiven = false;
+  bool CompressFlagGiven = false;
   for (int I = 1; I < Argc; ++I) {
     const char *Arg = Argv[I];
     auto NextValue = [&](const char *Flag) -> const char * {
@@ -780,6 +782,32 @@ bool cvliw::parseSweepArgs(int Argc, char **Argv,
         std::cerr << "--binary-rows needs 'on' or 'off'\n";
         return false;
       }
+    } else if (std::strcmp(Arg, "--binary-requests") == 0) {
+      const char *Value = NextValue("--binary-requests");
+      if (!Value)
+        return false;
+      BinaryReqFlagGiven = true;
+      if (std::strcmp(Value, "on") == 0) {
+        Options.BinaryRequests = true;
+      } else if (std::strcmp(Value, "off") == 0) {
+        Options.BinaryRequests = false;
+      } else {
+        std::cerr << "--binary-requests needs 'on' or 'off'\n";
+        return false;
+      }
+    } else if (std::strcmp(Arg, "--compress") == 0) {
+      const char *Value = NextValue("--compress");
+      if (!Value)
+        return false;
+      CompressFlagGiven = true;
+      if (std::strcmp(Value, "on") == 0) {
+        Options.Compress = true;
+      } else if (std::strcmp(Value, "off") == 0) {
+        Options.Compress = false;
+      } else {
+        std::cerr << "--compress needs 'on' or 'off'\n";
+        return false;
+      }
     } else if (std::strcmp(Arg, "--dump-grid") == 0) {
       const char *Value = NextValue("--dump-grid");
       if (!Value)
@@ -799,6 +827,7 @@ bool cvliw::parseSweepArgs(int Argc, char **Argv,
                    "[--remote HOST:PORT] "
                    "[--shards HOST:PORT,HOST:PORT,...] "
                    "[--connect-retries N] [--binary-rows on|off] "
+                   "[--binary-requests on|off] [--compress on|off] "
                    "[--dump-grid FILE] [--trace FILE] [--verify-serial]\n";
       return false;
     }
@@ -822,6 +851,14 @@ bool cvliw::parseSweepArgs(int Argc, char **Argv,
     if (const char *Env = std::getenv("CVLIW_SWEEP_BINARY"))
       Options.BinaryRows =
           !(std::strcmp(Env, "0") == 0 || std::strcmp(Env, "off") == 0);
+  if (!BinaryReqFlagGiven)
+    if (const char *Env = std::getenv("CVLIW_SWEEP_BINARY_REQUESTS"))
+      Options.BinaryRequests =
+          !(std::strcmp(Env, "0") == 0 || std::strcmp(Env, "off") == 0);
+  if (!CompressFlagGiven)
+    if (const char *Env = std::getenv("CVLIW_SWEEP_COMPRESS"))
+      Options.Compress =
+          std::strcmp(Env, "1") == 0 || std::strcmp(Env, "on") == 0;
   if (Options.TracePath.empty())
     if (const char *Env = std::getenv("CVLIW_SWEEP_TRACE"))
       Options.TracePath = Env;
@@ -892,6 +929,8 @@ bool cvliw::runSweep(SweepEngine &Engine, const SweepRunOptions &Options,
     // row encoding; a daemon without either capability (or with
     // --max-batch-rows 1) leaves the connection on v1 row frames.
     Client.setBinaryRows(Options.BinaryRows);
+    Client.setBinaryRequests(Options.BinaryRequests);
+    Client.setCompress(Options.Compress);
     if (!Client.negotiate(DefaultClientMaxBatch, /*Weight=*/1, Error)) {
       std::cerr << "sweep: " << Error << "\n";
       return false;

@@ -7,6 +7,7 @@
 #include "cvliw/pipeline/SweepService.h"
 
 #include "cvliw/net/BinaryCodec.h"
+#include "cvliw/net/Compress.h"
 #include "cvliw/net/Json.h"
 #include "cvliw/net/ShardMap.h"
 #include "cvliw/net/WireFormat.h"
@@ -21,6 +22,8 @@
 #include <iostream>
 #include <sstream>
 #include <utility>
+
+#include <sys/uio.h>
 
 using namespace cvliw;
 
@@ -111,6 +114,13 @@ struct SweepService::Session {
   /// row_batch frames go out as CVW2 binary instead of JSON. Read by
   /// pool workers (emitRow) and statusJson — hence atomic.
   std::atomic<bool> BinaryRows{false};
+  /// v5 "binary_requests" grant: sweep/run_experiment may arrive as
+  /// CVW2 binary request frames. Read by the reader and statusJson.
+  std::atomic<bool> BinaryRequests{false};
+  /// v5 "compress" grant: outgoing frames above the size threshold go
+  /// out CVWZ-compressed when the codec wins. Read by the writer
+  /// thread and statusJson.
+  std::atomic<bool> Compress{false};
   bool SaidHello = false;
   /// Latches once a sweep/run_experiment arrived: hello must precede.
   bool AnySweepSeen = false;
@@ -207,8 +217,17 @@ struct SweepService::Session {
     TraceSink &Trace = TraceSink::process();
     if (Trace.enabled())
       Trace.setThreadName("session-" + std::to_string(Id) + "-writer");
+    // Reused across iterations — the whole point of the coalescing
+    // writer is to amortize, so no per-drain allocations either.
+    std::vector<OutItem> Batch;
+    std::vector<std::string> Packed;
+    struct FrameHeaderBuf {
+      unsigned char B[8];
+    };
+    std::vector<FrameHeaderBuf> Headers;
+    std::vector<struct iovec> Vec;
     for (;;) {
-      OutItem Item;
+      Batch.clear();
       {
         std::unique_lock<std::mutex> Lock(WriterMutex);
         WriterCv.wait(Lock,
@@ -220,16 +239,74 @@ struct SweepService::Session {
           WriterCv.notify_all();
           return;
         }
-        Item = std::move(OutQueue.front());
-        OutQueue.pop_front();
+        if (Svc->Config.WriterCoalesceDelayMicros != 0 && !WriterStop) {
+          // Deterministic dwell for the coalescing-ratio tests: give
+          // pipelined producers a window to pile frames up so the
+          // drain below demonstrably batches them.
+          Lock.unlock();
+          std::this_thread::sleep_for(std::chrono::microseconds(
+              Svc->Config.WriterCoalesceDelayMicros));
+          Lock.lock();
+        }
+        // Drain everything queued: one wake-up, one gather, one
+        // (usually) syscall — this is the coalescing.
+        while (!OutQueue.empty()) {
+          Batch.push_back(std::move(OutQueue.front()));
+          OutQueue.pop_front();
+        }
       }
-      if (!Item.Frame.empty() &&
-          !WriteFailed.load(std::memory_order_relaxed)) {
-        const uint64_t SendStart = TraceSink::nowMicros();
-        Svc->WriterWaitHist.record(SendStart >= Item.EnqueueMicros
-                                       ? SendStart - Item.EnqueueMicros
+      const bool Zip = Compress.load(std::memory_order_relaxed);
+      // Sized up-front: iovecs point into Packed/Headers, so neither
+      // may reallocate (or SSO-move) once the first pointer is taken.
+      Packed.assign(Batch.size(), std::string());
+      Headers.resize(Batch.size());
+      Vec.clear();
+      uint64_t RawBytes = 0, WireBytes = 0, Frames = 0;
+      const uint64_t SendStart = TraceSink::nowMicros();
+      for (size_t I = 0; I != Batch.size(); ++I) {
+        OutItem &It = Batch[I];
+        if (It.Frame.empty() ||
+            WriteFailed.load(std::memory_order_relaxed))
+          continue;
+        Svc->WriterWaitHist.record(SendStart >= It.EnqueueMicros
+                                       ? SendStart - It.EnqueueMicros
                                        : 0);
-        if (!writeFrame(Sock, Item.Frame, Item.Kind)) {
+        if (It.Frame.size() > Svc->Config.MaxFrameBytes ||
+            It.Frame.size() > UINT32_MAX) {
+          WriteFailed.store(true, std::memory_order_relaxed);
+          continue;
+        }
+        RawBytes += It.Frame.size() + FrameHeaderBytes;
+        const std::string *Payload = &It.Frame;
+        if (Zip && It.Frame.size() >= CompressMinBytes &&
+            compressFramePayload(It.Frame, It.Kind, Packed[I])) {
+          Payload = &Packed[I];
+          fillFrameHeader(Headers[I].B, FrameMagicZ,
+                          static_cast<uint32_t>(Payload->size()));
+        } else if (It.Kind == FrameKind::Binary) {
+          fillFrameHeader(Headers[I].B, FrameMagic2,
+                          static_cast<uint32_t>(Payload->size()));
+        } else {
+          fillFrameHeader(Headers[I].B, FrameMagic,
+                          static_cast<uint32_t>(Payload->size()));
+        }
+        struct iovec HeaderVec;
+        HeaderVec.iov_base = Headers[I].B;
+        HeaderVec.iov_len = FrameHeaderBytes;
+        Vec.push_back(HeaderVec);
+        struct iovec PayloadVec;
+        PayloadVec.iov_base =
+            const_cast<char *>(Payload->data());
+        PayloadVec.iov_len = Payload->size();
+        Vec.push_back(PayloadVec);
+        WireBytes += Payload->size() + FrameHeaderBytes;
+        Frames += 1;
+      }
+      if (Frames != 0 && !WriteFailed.load(std::memory_order_relaxed)) {
+        uint64_t Syscalls = 0;
+        bool Ok = Sock.sendVec(Vec.data(), Vec.size(), &Syscalls);
+        Svc->WritevCallsTotal.add(Syscalls);
+        if (!Ok) {
           WriteFailed.store(true, std::memory_order_relaxed);
         } else {
           const uint64_t SendEnd = TraceSink::nowMicros();
@@ -237,17 +314,21 @@ struct SweepService::Session {
           if (Trace.enabled())
             Trace.complete("send", "socket", SendStart, SendEnd);
           // Header bytes included: this is wire traffic, not payload.
-          const uint64_t Wire = Item.Frame.size() + 8;
-          BytesSent.fetch_add(Wire, std::memory_order_relaxed);
-          FramesSent.fetch_add(1, std::memory_order_relaxed);
-          Svc->BytesSentTotal.add(Wire);
-          Svc->FramesSentTotal.add(1);
+          // Raw-vs-wire split is what makes the compressor observable.
+          BytesSent.fetch_add(WireBytes, std::memory_order_relaxed);
+          FramesSent.fetch_add(Frames, std::memory_order_relaxed);
+          Svc->BytesSentTotal.add(WireBytes);
+          Svc->FramesSentTotal.add(Frames);
+          Svc->BytesSentRawTotal.add(RawBytes);
+          Svc->BytesSentWireTotal.add(WireBytes);
         }
       }
-      if (Item.Pooled)
-        releaseBuffer(std::move(Item.Frame));
-      if (Item.ReapAfter)
-        reapFinished();
+      for (OutItem &It : Batch) {
+        if (It.Pooled)
+          releaseBuffer(std::move(It.Frame));
+        if (It.ReapAfter)
+          reapFinished();
+      }
     }
   }
 
@@ -414,6 +495,9 @@ SweepService::SweepService(SweepServiceConfig Config)
       MisroutedItems(Metrics->counter("misrouted_items")),
       BytesSentTotal(Metrics->counter("bytes_sent")),
       FramesSentTotal(Metrics->counter("frames_sent")),
+      BytesSentRawTotal(Metrics->counter("bytes_sent_raw")),
+      BytesSentWireTotal(Metrics->counter("bytes_sent_wire")),
+      WritevCallsTotal(Metrics->counter("writev_calls")),
       BuffersAllocatedTotal(Metrics->counter("buffers_allocated")),
       BuffersPooledTotal(Metrics->counter("buffers_pooled")),
       DecodeHist(Metrics->histogram("stage.request_decode")),
@@ -534,8 +618,9 @@ void SweepService::handleSession(Session *S) {
     }
     Decoder.feed(Buf, N);
     std::string Payload;
-    while (Open && Decoder.next(Payload))
-      Open = dispatchRequest(S, Payload);
+    FrameKind Kind = FrameKind::Json;
+    while (Open && Decoder.next(Payload, Kind))
+      Open = dispatchRequest(S, Payload, Kind);
     if (Open && Decoder.error() != FrameStatus::Ok) {
       // Bad framing: answer, drop the connection, keep the daemon
       // serving.
@@ -849,6 +934,12 @@ JsonValue SweepService::statusJson() {
   // headers included, and how well the encode-buffer pool recycles.
   J.set("bytes_sent", JsonValue::uint(bytesSent()));
   J.set("frames_sent", JsonValue::uint(framesSent()));
+  // v5 split: raw is what the writer was asked to send, wire is what
+  // hit the socket after compression; their gap is the codec's win.
+  // writev_calls under frames_sent is the coalescing ratio.
+  J.set("bytes_sent_raw", JsonValue::uint(bytesSentRaw()));
+  J.set("bytes_sent_wire", JsonValue::uint(bytesSentWire()));
+  J.set("writev_calls", JsonValue::uint(writevCalls()));
   J.set("buffers_allocated", JsonValue::uint(buffersAllocated()));
   J.set("buffers_pooled", JsonValue::uint(buffersPooled()));
   // Fleet identity and misroutes — always present (0/0/0 when the
@@ -895,6 +986,12 @@ JsonValue SweepService::statusJson() {
       Entry.set("binary_rows",
                 JsonValue::boolean(
                     S->BinaryRows.load(std::memory_order_relaxed)));
+      Entry.set("binary_requests",
+                JsonValue::boolean(
+                    S->BinaryRequests.load(std::memory_order_relaxed)));
+      Entry.set("compress",
+                JsonValue::boolean(
+                    S->Compress.load(std::memory_order_relaxed)));
       SessionArr.push(std::move(Entry));
     }
   }
@@ -957,7 +1054,10 @@ size_t countClaimedItems(const SweepGrid &Grid, const ShardSpec &Spec) {
 
 } // namespace
 
-bool SweepService::dispatchRequest(Session *S, const std::string &Payload) {
+bool SweepService::dispatchRequest(Session *S, const std::string &Payload,
+                                   FrameKind Kind) {
+  if (Kind == FrameKind::Binary)
+    return dispatchBinaryRequest(S, Payload);
   const uint64_t DecodeStart = TraceSink::nowMicros();
   JsonValue Msg;
   std::string ParseError;
@@ -1006,6 +1106,8 @@ bool SweepService::dispatchRequest(Session *S, const std::string &Payload) {
     size_t WantBatch = 1;
     unsigned WantWeight = 1;
     bool WantBinary = false;
+    bool WantBinaryReq = false;
+    bool WantCompress = false;
     try {
       if (const JsonValue *B = Msg.find("max_batch"))
         WantBatch = std::max<uint64_t>(1, B->asU64());
@@ -1014,6 +1116,10 @@ bool SweepService::dispatchRequest(Session *S, const std::string &Payload) {
             std::min<uint64_t>(W->asU64(), 1u << 20));
       if (const JsonValue *BR = Msg.find("binary_rows"))
         WantBinary = BR->asBool();
+      if (const JsonValue *BQ = Msg.find("binary_requests"))
+        WantBinaryReq = BQ->asBool();
+      if (const JsonValue *CZ = Msg.find("compress"))
+        WantCompress = CZ->asBool();
     } catch (const JsonError &E) {
       ProtocolErrors.add(1);
       S->enqueueFrame(
@@ -1065,6 +1171,16 @@ bool SweepService::dispatchRequest(Session *S, const std::string &Payload) {
     if (WantBinary) {
       S->BinaryRows.store(true, std::memory_order_relaxed);
       Reply.set("binary_rows", JsonValue::boolean(true));
+    }
+    // v5: binary request frames and compressed frames — the same
+    // granted-only-when-offered rule pins every pre-v5 hello_ok shape.
+    if (WantBinaryReq) {
+      S->BinaryRequests.store(true, std::memory_order_relaxed);
+      Reply.set("binary_requests", JsonValue::boolean(true));
+    }
+    if (WantCompress) {
+      S->Compress.store(true, std::memory_order_relaxed);
+      Reply.set("compress", JsonValue::boolean(true));
     }
     if (effectiveShardCount() != 0) {
       Reply.set("shard_id", JsonValue::uint(Config.ShardId));
@@ -1143,17 +1259,9 @@ bool SweepService::dispatchRequest(Session *S, const std::string &Payload) {
       S->enqueueFrame(errorResponse(ShardError, HasId, Id).dump());
       return true;
     }
-    S->AnySweepSeen = true;
-    std::unique_ptr<Request> Req(new Request());
-    Req->HasId = HasId;
-    Req->Id = Id;
-    Req->StartMicros = DecodeStart;
-    Req->DecodeMicros = DecodeEnd - DecodeStart;
-    Req->ExpandMicros = ExpandEnd - ExpandStart;
-    Req->Engines.emplace_back(
-        new SweepEngine(std::move(Grid), /*Threads=*/1));
-    submitRequest(S, std::move(Req), HasShard ? &Shard : nullptr);
-    return true;
+    return startSweepRequest(S, HasId, Id, std::move(Grid), HasShard,
+                             Shard, DecodeStart, DecodeEnd - DecodeStart,
+                             ExpandEnd - ExpandStart);
   }
 
   if (Type == "run_experiment") {
@@ -1188,39 +1296,9 @@ bool SweepService::dispatchRequest(Session *S, const std::string &Payload) {
         return false;
       }
     }
-    S->AnySweepSeen = true;
-
-    // Grid expansion is pinned to the one registered implementation:
-    // the daemon never trusts a client-supplied copy of a named grid.
-    const uint64_t ExpandStart = TraceSink::nowMicros();
-    std::vector<ExperimentGrid> Grids = Spec->BuildGrids();
-    for (ExperimentGrid &Grid : Grids)
-      applyOverrides(Grid.Grid, Overrides);
-    const uint64_t ExpandEnd = TraceSink::nowMicros();
-    ExpandHist.record(ExpandEnd - ExpandStart);
-    if (TraceSink::process().enabled())
-      TraceSink::process().complete("grid_expand", "grid", ExpandStart,
-                                    ExpandEnd);
-    if (ShardMismatch) {
-      uint64_t Claimed = 0;
-      for (const ExperimentGrid &Grid : Grids)
-        Claimed += countClaimedItems(Grid.Grid, Shard);
-      MisroutedItems.add(Claimed);
-      S->enqueueFrame(errorResponse(ShardError, HasId, Id).dump());
-      return true;
-    }
-    std::unique_ptr<Request> Req(new Request());
-    Req->HasId = HasId;
-    Req->Id = Id;
-    Req->IsExperiment = true;
-    Req->StartMicros = DecodeStart;
-    Req->DecodeMicros = DecodeEnd - DecodeStart;
-    Req->ExpandMicros = ExpandEnd - ExpandStart;
-    for (ExperimentGrid &Grid : Grids)
-      Req->Engines.emplace_back(
-          new SweepEngine(std::move(Grid.Grid), /*Threads=*/1));
-    submitRequest(S, std::move(Req), HasShard ? &Shard : nullptr);
-    return true;
+    return startExperimentRequest(S, HasId, Id, Name, Overrides, HasShard,
+                                  Shard, DecodeStart,
+                                  DecodeEnd - DecodeStart);
   }
 
   if (Type == "shutdown") {
@@ -1236,6 +1314,128 @@ bool SweepService::dispatchRequest(Session *S, const std::string &Payload) {
   S->enqueueFrame(
       errorResponse("unknown request type '" + Type + "'", HasId, Id)
           .dump());
+  return true;
+}
+
+bool SweepService::dispatchBinaryRequest(Session *S,
+                                         const std::string &Payload) {
+  if (!S->BinaryRequests.load(std::memory_order_relaxed)) {
+    // CVW2 without the grant is a protocol violation, not a request.
+    ProtocolErrors.add(1);
+    S->enqueueFrame(makeErrorMessage("binary request frame without the "
+                                     "binary_requests capability")
+                        .dump());
+    return false;
+  }
+  const uint64_t DecodeStart = TraceSink::nowMicros();
+  BinaryRequestFrame Frame;
+  std::string DecodeError;
+  if (!decodeBinaryRequestFrame(Payload, Frame, DecodeError)) {
+    ProtocolErrors.add(1);
+    S->enqueueFrame(makeErrorMessage(DecodeError).dump());
+    return false;
+  }
+  const uint64_t DecodeEnd = TraceSink::nowMicros();
+  DecodeHist.record(DecodeEnd - DecodeStart);
+  if (TraceSink::process().enabled())
+    TraceSink::process().complete("request_decode", "codec", DecodeStart,
+                                  DecodeEnd);
+  reapFinishedRequests(S);
+
+  // Same claim-in-force rule as the JSON path: the frame's own claim
+  // (the rebalance retarget) overrides the session default from hello.
+  bool HasShard = S->HasShard;
+  ShardSpec Shard = Frame.HasShard ? Frame.Shard : S->SessionShard;
+  if (Frame.HasShard)
+    HasShard = true;
+  if (Frame.Type == BinaryFrameSweep)
+    return startSweepRequest(S, Frame.HasId, Frame.Id,
+                             std::move(Frame.Grid), HasShard, Shard,
+                             DecodeStart, DecodeEnd - DecodeStart,
+                             // No expand stage: a binary grid arrives
+                             // structural, decode covered it.
+                             /*ExpandMicros=*/0);
+  return startExperimentRequest(S, Frame.HasId, Frame.Id, Frame.Name,
+                                Frame.Overrides, HasShard, Shard,
+                                DecodeStart, DecodeEnd - DecodeStart);
+}
+
+bool SweepService::startSweepRequest(Session *S, bool HasId, uint64_t Id,
+                                     SweepGrid Grid, bool HasShard,
+                                     const ShardSpec &Shard,
+                                     uint64_t StartMicros,
+                                     uint64_t DecodeMicros,
+                                     uint64_t ExpandMicros) {
+  if (HasShard) {
+    std::string Mismatch = checkShardClaim(Shard);
+    if (!Mismatch.empty()) {
+      // Misrouted: tally the items the claim asked this daemon to
+      // compute, refuse them, keep serving.
+      MisroutedItems.add(countClaimedItems(Grid, Shard));
+      S->enqueueFrame(errorResponse(Mismatch, HasId, Id).dump());
+      return true;
+    }
+  }
+  S->AnySweepSeen = true;
+  std::unique_ptr<Request> Req(new Request());
+  Req->HasId = HasId;
+  Req->Id = Id;
+  Req->StartMicros = StartMicros;
+  Req->DecodeMicros = DecodeMicros;
+  Req->ExpandMicros = ExpandMicros;
+  Req->Engines.emplace_back(new SweepEngine(std::move(Grid), /*Threads=*/1));
+  submitRequest(S, std::move(Req), HasShard ? &Shard : nullptr);
+  return true;
+}
+
+bool SweepService::startExperimentRequest(
+    Session *S, bool HasId, uint64_t Id, const std::string &Name,
+    const ExperimentOverrides &Overrides, bool HasShard,
+    const ShardSpec &Shard, uint64_t StartMicros, uint64_t DecodeMicros) {
+  const ExperimentSpec *Spec = ExperimentRegistry::global().find(Name);
+  if (!Spec) {
+    // A semantic miss, not protocol garbage: tell the client and keep
+    // both the connection and the daemon serving.
+    S->enqueueFrame(
+        errorResponse("unknown experiment '" + Name + "'", HasId, Id)
+            .dump());
+    return true;
+  }
+  S->AnySweepSeen = true;
+
+  // Grid expansion is pinned to the one registered implementation:
+  // the daemon never trusts a client-supplied copy of a named grid.
+  const uint64_t ExpandStart = TraceSink::nowMicros();
+  std::vector<ExperimentGrid> Grids = Spec->BuildGrids();
+  for (ExperimentGrid &Grid : Grids)
+    applyOverrides(Grid.Grid, Overrides);
+  const uint64_t ExpandEnd = TraceSink::nowMicros();
+  ExpandHist.record(ExpandEnd - ExpandStart);
+  if (TraceSink::process().enabled())
+    TraceSink::process().complete("grid_expand", "grid", ExpandStart,
+                                  ExpandEnd);
+  if (HasShard) {
+    std::string Mismatch = checkShardClaim(Shard);
+    if (!Mismatch.empty()) {
+      uint64_t Claimed = 0;
+      for (const ExperimentGrid &Grid : Grids)
+        Claimed += countClaimedItems(Grid.Grid, Shard);
+      MisroutedItems.add(Claimed);
+      S->enqueueFrame(errorResponse(Mismatch, HasId, Id).dump());
+      return true;
+    }
+  }
+  std::unique_ptr<Request> Req(new Request());
+  Req->HasId = HasId;
+  Req->Id = Id;
+  Req->IsExperiment = true;
+  Req->StartMicros = StartMicros;
+  Req->DecodeMicros = DecodeMicros;
+  Req->ExpandMicros = ExpandEnd - ExpandStart;
+  for (ExperimentGrid &Grid : Grids)
+    Req->Engines.emplace_back(
+        new SweepEngine(std::move(Grid.Grid), /*Threads=*/1));
+  submitRequest(S, std::move(Req), HasShard ? &Shard : nullptr);
   return true;
 }
 

@@ -406,4 +406,369 @@ TEST(BinaryCodecTest, EmptyPayloadAndEmptyBatchBehave) {
   EXPECT_TRUE(Out.Entries.empty());
 }
 
+//===----------------------------------------------------------------------===//
+// v5 request frames: structural grids, sweep / run_experiment
+//===----------------------------------------------------------------------===//
+
+/// A grid exercising every field the wire carries: two machines (one
+/// heavily diverged from baseline, so the delta mask has many bits),
+/// schemes with every toggle, a benchmark with chains, FP ops and
+/// full-width seeds.
+SweepGrid fullGrid() {
+  SweepGrid Grid;
+  Grid.BaseSeed = 0xdeadbeefcafef00dULL;
+  Grid.ReseedLoops = true;
+
+  MachinePoint M;
+  M.Name = "nobal-mem";
+  M.Config = MachineConfig::nobalMem();
+  M.Config.AttractionBuffersEnabled = true;
+  Grid.Machines = {MachinePoint{}, M};
+
+  SchemePoint S;
+  S.Name = "DDGT(PrefClus)+spec";
+  S.Policy = CoherencePolicy::DDGT;
+  S.Heuristic = ClusterHeuristic::PrefClus;
+  S.ApplySpecialization = true;
+  S.Ordering = SchedulerOrdering::Swing;
+  S.AssignLatencies = false;
+  S.TolerateUnschedulable = true;
+  SchemePoint H;
+  H.Name = "hybrid";
+  H.Hybrid = true;
+  Grid.Schemes = {S, H};
+
+  BenchmarkSpec B;
+  B.Name = "wiretest";
+  B.InterleaveBytes = 2;
+  B.MainElemBytes = 2;
+  B.MainElemPct = 87.5;
+  B.ProfileInput = "clinton.pcm";
+  B.ExecInput = "s_16_44.pcm";
+  B.InEvaluation = false;
+  LoopSpec L;
+  L.Name = "wiretest.loop0";
+  L.Weight = 0.375;
+  L.SeedBase = 0x8000000000000001ULL; // Exercises the full 64-bit width.
+  L.Chains = {ChainSpec{1, 2, 3, 4, false}, ChainSpec{0, 0, 2, 1, true}};
+  L.FpOps = 3;
+  B.Loops = {L};
+  Grid.Benchmarks = {B};
+  return Grid;
+}
+
+/// The grid-level equivalent of expectRowsEqual: both decode paths
+/// feed gridToJson, so dump equality is field-exhaustive equality.
+void expectGridsEqual(const SweepGrid &A, const SweepGrid &B) {
+  EXPECT_EQ(gridToJson(A).dump(), gridToJson(B).dump());
+}
+
+TEST(BinaryRequestCodec, SweepRequestRoundTripsEveryGridField) {
+  const SweepGrid Grid = fullGrid();
+  std::string GridBuf;
+  encodeBinaryGrid(GridBuf, Grid);
+
+  ShardMap Map({"127.0.0.1:1", "127.0.0.1:2", "127.0.0.1:3"});
+  ShardSpec Claim{1, Map};
+  std::string Payload;
+  encodeBinarySweepRequest(Payload, /*HasId=*/true, /*Id=*/42, &Claim,
+                           GridBuf);
+
+  BinaryRequestFrame Frame;
+  std::string Error;
+  ASSERT_TRUE(decodeBinaryRequestFrame(Payload, Frame, Error)) << Error;
+  EXPECT_EQ(Frame.Type, BinaryFrameSweep);
+  ASSERT_TRUE(Frame.HasId);
+  EXPECT_EQ(Frame.Id, 42u);
+  ASSERT_TRUE(Frame.HasShard);
+  EXPECT_EQ(Frame.Shard.Index, 1u);
+  EXPECT_EQ(Frame.Shard.Map.shards(), Map.shards());
+  EXPECT_EQ(Frame.Shard.Map.virtualNodes(), Map.virtualNodes());
+  expectGridsEqual(Frame.Grid, Grid);
+
+  // Claimless and id-less: the flag bits really gate their fields.
+  std::string Bare;
+  encodeBinarySweepRequest(Bare, /*HasId=*/false, /*Id=*/0, nullptr,
+                           GridBuf);
+  BinaryRequestFrame BareFrame;
+  ASSERT_TRUE(decodeBinaryRequestFrame(Bare, BareFrame, Error)) << Error;
+  EXPECT_FALSE(BareFrame.HasId);
+  EXPECT_FALSE(BareFrame.HasShard);
+  expectGridsEqual(BareFrame.Grid, Grid);
+  EXPECT_LT(Bare.size(), Payload.size()) << "omitted claim costs no bytes";
+}
+
+TEST(BinaryRequestCodec, DecodeIsByteIdenticalToJsonPath) {
+  // The tentpole contract: a daemon cannot tell which encoding a grid
+  // arrived in. The binary decode must equal what gridFromJson yields
+  // from the same grid's JSON — for randomized grids, not just the
+  // hand-built one.
+  std::mt19937_64 Rng(0x9e1dc0de);
+  std::uniform_int_distribution<uint64_t> U64;
+  std::uniform_int_distribution<size_t> Small(0, 6);
+  std::uniform_int_distribution<unsigned> Field(1, 64);
+  std::uniform_int_distribution<int> Coin(0, 1);
+
+  for (int Trial = 0; Trial != 30; ++Trial) {
+    SweepGrid Grid;
+    Grid.BaseSeed = U64(Rng);
+    Grid.ReseedLoops = Coin(Rng) != 0;
+    Grid.Machines.clear();
+    size_t Machines = 1 + Small(Rng);
+    for (size_t M = 0; M != Machines; ++M) {
+      MachinePoint P;
+      P.Name = randomName(Rng);
+      // Random walks over a few config fields: realistic near-identical
+      // machine axes, so the delta encoding's sparse and dense paths
+      // both run.
+      P.Config.NumClusters = Field(Rng);
+      if (Coin(Rng) != 0)
+        P.Config.CacheModuleBytes = 1u << (Field(Rng) % 20);
+      if (Coin(Rng) != 0)
+        P.Config.AttractionBuffersEnabled = true;
+      if (Coin(Rng) != 0)
+        P.Config.MemoryBuses.Latency = Field(Rng);
+      Grid.Machines.push_back(std::move(P));
+    }
+    size_t Schemes = 1 + Small(Rng);
+    for (size_t S = 0; S != Schemes; ++S) {
+      SchemePoint P;
+      P.Name = randomName(Rng);
+      P.Policy = static_cast<CoherencePolicy>(U64(Rng) % 3);
+      P.Heuristic = static_cast<ClusterHeuristic>(U64(Rng) % 2);
+      P.Hybrid = Coin(Rng) != 0;
+      P.ApplySpecialization = Coin(Rng) != 0;
+      P.CheckCoherence = Coin(Rng) != 0;
+      P.Ordering = static_cast<SchedulerOrdering>(U64(Rng) % 2);
+      P.AssignLatencies = Coin(Rng) != 0;
+      P.TolerateUnschedulable = Coin(Rng) != 0;
+      Grid.Schemes.push_back(std::move(P));
+    }
+    size_t Benches = 1 + Small(Rng);
+    for (size_t B = 0; B != Benches; ++B) {
+      BenchmarkSpec Spec;
+      Spec.Name = randomName(Rng);
+      Spec.InterleaveBytes = 1 + Field(Rng) % 8;
+      Spec.MainElemBytes = 1 + Field(Rng) % 8;
+      Spec.MainElemPct = static_cast<double>(Small(Rng)) * 12.5;
+      Spec.ProfileInput = randomName(Rng);
+      Spec.ExecInput = randomName(Rng);
+      Spec.InEvaluation = Coin(Rng) != 0;
+      size_t Loops = Small(Rng) % 3;
+      for (size_t L = 0; L != Loops; ++L) {
+        LoopSpec Loop;
+        Loop.Name = randomName(Rng);
+        Loop.Weight = static_cast<double>(Small(Rng)) / 8.0;
+        Loop.ProfileTrip = Field(Rng);
+        Loop.ExecTrip = Field(Rng);
+        Loop.ConsistentLoads = Field(Rng) % 8;
+        Loop.RotatingLoads = Field(Rng) % 8;
+        Loop.GatherLoads = Field(Rng) % 8;
+        Loop.ConsistentStores = Field(Rng) % 8;
+        Loop.ArithPerLoad = Field(Rng) % 8;
+        Loop.FpOps = Field(Rng) % 8;
+        Loop.FpDivs = Field(Rng) % 8;
+        Loop.ScalarRecurrence = Coin(Rng) != 0;
+        Loop.SeedBase = U64(Rng);
+        size_t Chains = Small(Rng) % 3;
+        for (size_t C = 0; C != Chains; ++C)
+          Loop.Chains.push_back(ChainSpec{Field(Rng) % 4, Field(Rng) % 4,
+                                          Field(Rng) % 4, Field(Rng) % 4,
+                                          Coin(Rng) != 0});
+        Spec.Loops.push_back(std::move(Loop));
+      }
+      Grid.Benchmarks.push_back(std::move(Spec));
+    }
+
+    // The JSON path's result for this grid.
+    JsonValue Parsed;
+    std::string ParseError;
+    ASSERT_TRUE(
+        JsonValue::parse(gridToJson(Grid).dump(), Parsed, ParseError))
+        << ParseError;
+    const SweepGrid ViaJson = gridFromJson(Parsed);
+
+    // The binary path's result.
+    std::string GridBuf, Payload, Error;
+    encodeBinaryGrid(GridBuf, Grid);
+    encodeBinarySweepRequest(Payload, /*HasId=*/true, Trial, nullptr,
+                             GridBuf);
+    BinaryRequestFrame Frame;
+    ASSERT_TRUE(decodeBinaryRequestFrame(Payload, Frame, Error)) << Error;
+    expectGridsEqual(Frame.Grid, ViaJson);
+  }
+}
+
+TEST(BinaryRequestCodec, RunExperimentRequestRoundTrips) {
+  ShardMap Map({"h1:1", "h2:2"});
+  ShardSpec Claim{0, Map};
+  const struct {
+    bool HasBaseSeed;
+    bool HasReseedLoops;
+    bool ReseedLoops;
+  } Cases[] = {{false, false, false},
+               {true, false, false},
+               {false, true, true},
+               {true, true, false}};
+  for (const auto &C : Cases) {
+    ExperimentOverrides Overrides;
+    Overrides.HasBaseSeed = C.HasBaseSeed;
+    Overrides.BaseSeed = 0xfeedfacefeedfaceULL;
+    Overrides.HasReseedLoops = C.HasReseedLoops;
+    Overrides.ReseedLoops = C.ReseedLoops;
+
+    std::string Payload;
+    encodeBinaryRunExperimentRequest(Payload, /*HasId=*/true, /*Id=*/7,
+                                     &Claim, "hardware_vs_software",
+                                     Overrides);
+    BinaryRequestFrame Frame;
+    std::string Error;
+    ASSERT_TRUE(decodeBinaryRequestFrame(Payload, Frame, Error)) << Error;
+    EXPECT_EQ(Frame.Type, BinaryFrameRunExperiment);
+    EXPECT_EQ(Frame.Name, "hardware_vs_software");
+    ASSERT_TRUE(Frame.HasShard);
+    EXPECT_EQ(Frame.Shard.Map.shards(), Map.shards());
+    EXPECT_EQ(Frame.Overrides.HasBaseSeed, C.HasBaseSeed);
+    if (C.HasBaseSeed) {
+      EXPECT_EQ(Frame.Overrides.BaseSeed, Overrides.BaseSeed);
+    }
+    EXPECT_EQ(Frame.Overrides.HasReseedLoops, C.HasReseedLoops);
+    if (C.HasReseedLoops) {
+      EXPECT_EQ(Frame.Overrides.ReseedLoops, C.ReseedLoops);
+    }
+  }
+}
+
+TEST(BinaryRequestCodec, EveryPrefixOfARequestIsCleanlyRefused) {
+  // The fuzz-style truncation gate: the encoding is self-delimiting,
+  // so every strict prefix of a valid request must be rejected — never
+  // misparsed into a shorter valid frame — and trailing garbage after
+  // a complete one must be too.
+  ShardMap Map({"127.0.0.1:1", "127.0.0.1:2"});
+  ShardSpec Claim{1, Map};
+  std::string GridBuf;
+  encodeBinaryGrid(GridBuf, fullGrid());
+
+  ExperimentOverrides Overrides;
+  Overrides.HasBaseSeed = true;
+  Overrides.BaseSeed = 99;
+  Overrides.HasReseedLoops = true;
+  Overrides.ReseedLoops = true;
+
+  std::string Requests[2];
+  encodeBinarySweepRequest(Requests[0], /*HasId=*/true, /*Id=*/3, &Claim,
+                           GridBuf);
+  encodeBinaryRunExperimentRequest(Requests[1], /*HasId=*/true, /*Id=*/4,
+                                   &Claim, "attraction_buffers",
+                                   Overrides);
+  for (const std::string &Payload : Requests) {
+    BinaryRequestFrame Out;
+    std::string Error;
+    ASSERT_TRUE(decodeBinaryRequestFrame(Payload, Out, Error)) << Error;
+    for (size_t Len = 0; Len != Payload.size(); ++Len) {
+      EXPECT_FALSE(
+          decodeBinaryRequestFrame(Payload.substr(0, Len), Out, Error))
+          << "prefix of " << Len << " of " << Payload.size()
+          << " bytes decoded";
+    }
+    EXPECT_FALSE(decodeBinaryRequestFrame(Payload + '\0', Out, Error));
+  }
+}
+
+TEST(BinaryRequestCodec, FuzzedGarbageIsRefusedWithoutHarm) {
+  // Random buffers and random single-byte corruptions of a valid
+  // request: the decoder must classify every input — accept or refuse
+  // with a message — without crashing or reading out of bounds (ASan /
+  // the gtest harness turns any overrun into a failure).
+  std::mt19937_64 Rng(0xfa22ed);
+  std::uniform_int_distribution<int> Byte(0, 255);
+  std::uniform_int_distribution<size_t> Len(0, 300);
+
+  for (int Trial = 0; Trial != 500; ++Trial) {
+    std::string Garbage;
+    size_t N = Len(Rng);
+    Garbage.reserve(N);
+    for (size_t I = 0; I != N; ++I)
+      Garbage.push_back(static_cast<char>(Byte(Rng)));
+    BinaryRequestFrame Out;
+    std::string Error;
+    if (!decodeBinaryRequestFrame(Garbage, Out, Error)) {
+      EXPECT_FALSE(Error.empty()) << "refusals must say why";
+    }
+  }
+
+  std::string GridBuf, Valid;
+  encodeBinaryGrid(GridBuf, fullGrid());
+  encodeBinarySweepRequest(Valid, /*HasId=*/true, /*Id=*/1, nullptr,
+                           GridBuf);
+  std::uniform_int_distribution<size_t> Pos(0, Valid.size() - 1);
+  for (int Trial = 0; Trial != 500; ++Trial) {
+    std::string Mutated = Valid;
+    Mutated[Pos(Rng)] ^= static_cast<char>(1 + Byte(Rng) % 255);
+    BinaryRequestFrame Out;
+    std::string Error;
+    // A flipped name byte can still decode; a flipped structural byte
+    // must refuse — either way, cleanly.
+    (void)decodeBinaryRequestFrame(Mutated, Out, Error);
+  }
+
+  // The row decoder must refuse request frames and vice versa: the
+  // type byte partitions the CVW2 payload space.
+  BinaryRowFrame RowOut;
+  std::string Error;
+  EXPECT_FALSE(decodeBinaryRowFrame(Valid, RowOut, Error));
+  BinaryRowFrame RowFrame;
+  RowFrame.Entries.emplace_back();
+  RowFrame.Entries.back().Row = distinctiveRow();
+  std::string RowPayload;
+  encodeBinaryRowFrame(RowFrame, RowPayload);
+  BinaryRequestFrame ReqOut;
+  EXPECT_FALSE(decodeBinaryRequestFrame(RowPayload, ReqOut, Error));
+}
+
+TEST(BinaryRequestCodec, ThousandPointGridBeatsJsonByThreeX) {
+  // The tentpole's measured acceptance: a 1000-point grid with an
+  // explicit machine axis must encode at least 3x smaller than its
+  // JSON form (which spells out all 19 config fields per machine —
+  // what v4 clients put on the wire).
+  SweepGrid Grid;
+  Grid.Machines.clear();
+  for (unsigned M = 0; M != 250; ++M) {
+    MachinePoint P;
+    P.Name = "m" + std::to_string(M);
+    P.Config.NumClusters = 2 + M % 8;
+    P.Config.AttractionBuffersEnabled = M % 2 != 0;
+    P.Config.AttractionBufferEntries = 8 + M % 32;
+    Grid.Machines.push_back(std::move(P));
+  }
+  Grid.Schemes = crossSchemes(
+      {CoherencePolicy::Baseline, CoherencePolicy::MDC},
+      {ClusterHeuristic::PrefClus});
+  BenchmarkSpec B;
+  B.Name = "size-probe";
+  LoopSpec L;
+  L.Name = "size-probe.loop0";
+  L.SeedBase = 11;
+  B.Loops = {L};
+  BenchmarkSpec B2 = B;
+  B2.Name = "size-probe2";
+  Grid.Benchmarks = {B, B2};
+  ASSERT_EQ(Grid.size(), 1000u);
+
+  const std::string Json = gridToJson(Grid).dump();
+  std::string Binary;
+  encodeBinaryGrid(Binary, Grid);
+
+  // Both encodings must still mean the same grid.
+  std::string Payload, Error;
+  encodeBinarySweepRequest(Payload, false, 0, nullptr, Binary);
+  BinaryRequestFrame Frame;
+  ASSERT_TRUE(decodeBinaryRequestFrame(Payload, Frame, Error)) << Error;
+  expectGridsEqual(Frame.Grid, Grid);
+
+  EXPECT_GE(Json.size(), 3 * Payload.size())
+      << "binary grid request must be at least 3x smaller than JSON ("
+      << Json.size() << " vs " << Payload.size() << " bytes)";
+}
+
 } // namespace

@@ -1,0 +1,248 @@
+//===- tests/CompressTest.cpp - LZ4-block frame compression tests ---------===//
+//
+// Part of the cvliw project (CGO'03 clustered-VLIW coherence reproduction).
+//
+// The protocol-v5 frame compression: the in-tree LZ4-block codec
+// (round trips, the only-if-smaller contract, corrupt-block
+// rejection), the CVWZ payload envelope with its raw-size bound, and
+// the transparency of readFrame / FrameDecoder — a compressed frame
+// decodes to the identical inner payload and kind, so no caller above
+// the framing layer can tell whether compression was on.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cvliw/net/Compress.h"
+#include "cvliw/net/Frame.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+
+#include <sys/socket.h>
+
+using namespace cvliw;
+
+namespace {
+
+/// A connected in-process socket pair for framing tests.
+struct SocketPair {
+  Socket A, B;
+  SocketPair() {
+    int Fds[2] = {-1, -1};
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0);
+    A = Socket(Fds[0]);
+    B = Socket(Fds[1]);
+  }
+};
+
+/// JSON-ish text with the repetition real row frames have — the
+/// workload compression exists for.
+std::string compressiblePayload(size_t Rows) {
+  std::string Out = "{\"type\":\"row_batch\",\"rows\":[";
+  for (size_t I = 0; I != Rows; ++I) {
+    if (I)
+      Out += ',';
+    Out += "{\"row\":{\"machine\":\"unified-16w\",\"scheme\":"
+           "\"mdc/prefclus\",\"benchmark\":\"epicdec\",\"point\":" +
+           std::to_string(I) + "}}";
+  }
+  Out += "]}";
+  return Out;
+}
+
+std::string randomBytes(size_t Len, uint64_t Seed) {
+  std::mt19937_64 Rng(Seed);
+  std::uniform_int_distribution<int> Byte(0, 255);
+  std::string Out;
+  Out.reserve(Len);
+  for (size_t I = 0; I != Len; ++I)
+    Out.push_back(static_cast<char>(Byte(Rng)));
+  return Out;
+}
+
+} // namespace
+
+TEST(Compress, BlockRoundTripsVariedPayloads) {
+  std::mt19937_64 Rng(0xc0dec);
+  std::uniform_int_distribution<int> Byte(0, 3); // small alphabet: matches
+  for (size_t Len : {size_t(1), size_t(4), size_t(13), size_t(512),
+                     size_t(4096), size_t(100000)}) {
+    std::string Raw;
+    Raw.reserve(Len);
+    for (size_t I = 0; I != Len; ++I)
+      Raw.push_back(static_cast<char>('a' + Byte(Rng)));
+    std::string Block;
+    if (!compressBlock(Raw.data(), Raw.size(), Block))
+      continue; // tiny inputs may not shrink; the caller sends raw
+    ASSERT_LT(Block.size(), Raw.size());
+    std::string Back;
+    ASSERT_TRUE(decompressBlock(Block.data(), Block.size(), Raw.size(), Back));
+    EXPECT_EQ(Back, Raw) << "length " << Len;
+  }
+
+  // The RLE special case: matches that overlap their own output.
+  std::string Runs(10000, 'x');
+  std::string Block;
+  ASSERT_TRUE(compressBlock(Runs.data(), Runs.size(), Block));
+  EXPECT_LT(Block.size(), 100u) << "a pure run must collapse";
+  std::string Back;
+  ASSERT_TRUE(decompressBlock(Block.data(), Block.size(), Runs.size(), Back));
+  EXPECT_EQ(Back, Runs);
+}
+
+TEST(Compress, IncompressibleInputIsRefusedNotGrown) {
+  // Random bytes cannot shrink; the codec must say so and leave the
+  // output buffer exactly as given (the caller then sends raw).
+  const std::string Raw = randomBytes(4096, 42);
+  std::string Block = "sentinel";
+  EXPECT_FALSE(compressBlock(Raw.data(), Raw.size(), Block));
+  EXPECT_EQ(Block, "sentinel");
+}
+
+TEST(Compress, DecompressRejectsCorruptBlocks) {
+  const std::string Raw = compressiblePayload(40);
+  std::string Block;
+  ASSERT_TRUE(compressBlock(Raw.data(), Raw.size(), Block));
+
+  std::string Out;
+  // Every strict prefix is a truncated sequence stream.
+  for (size_t Len = 0; Len != Block.size(); ++Len) {
+    Out.clear();
+    EXPECT_FALSE(decompressBlock(Block.data(), Len, Raw.size(), Out))
+        << "prefix of " << Len << " bytes decompressed";
+  }
+  // A wrong declared raw size is an output over/underrun.
+  Out.clear();
+  EXPECT_FALSE(decompressBlock(Block.data(), Block.size(), Raw.size() - 1, Out));
+  Out.clear();
+  EXPECT_FALSE(decompressBlock(Block.data(), Block.size(), Raw.size() + 1, Out));
+  // A zero match offset can never be valid LZ4.
+  std::string ZeroOffset;
+  ZeroOffset.push_back(static_cast<char>(0x04)); // lit-len 0, match-len 4+4
+  ZeroOffset.push_back('\0');                    // offset 0 (invalid)
+  ZeroOffset.push_back('\0');
+  Out.clear();
+  EXPECT_FALSE(decompressBlock(ZeroOffset.data(), ZeroOffset.size(), 8, Out));
+}
+
+TEST(Compress, FramePayloadEnvelopeRoundTripsBothKinds) {
+  const std::string Raw = compressiblePayload(40);
+  for (FrameKind Kind : {FrameKind::Json, FrameKind::Binary}) {
+    std::string Envelope = "stale"; // compressFramePayload owns clearing
+    ASSERT_TRUE(compressFramePayload(Raw, Kind, Envelope));
+    EXPECT_LT(Envelope.size(), Raw.size())
+        << "the envelope must only ever shrink bytes on the wire";
+    std::string Back;
+    FrameKind BackKind =
+        Kind == FrameKind::Json ? FrameKind::Binary : FrameKind::Json;
+    std::string Error;
+    ASSERT_TRUE(decompressFramePayload(Envelope, DefaultMaxFrameBytes, Back,
+                                       BackKind, Error))
+        << Error;
+    EXPECT_EQ(Back, Raw);
+    EXPECT_EQ(BackKind, Kind);
+  }
+
+  // Incompressible payloads are refused at the envelope layer too.
+  const std::string Noise = randomBytes(4096, 7);
+  std::string Envelope;
+  EXPECT_FALSE(compressFramePayload(Noise, FrameKind::Json, Envelope));
+}
+
+TEST(Compress, EnvelopeBoundsDeclaredRawSizeBeforeAllocating) {
+  // A hostile peer shrinks a frame to a few bytes but declares a huge
+  // raw size: the reader's bound must refuse before any allocation.
+  const std::string Raw = compressiblePayload(40);
+  std::string Envelope;
+  ASSERT_TRUE(compressFramePayload(Raw, FrameKind::Json, Envelope));
+
+  std::string Back;
+  FrameKind Kind = FrameKind::Json;
+  std::string Error;
+  EXPECT_FALSE(decompressFramePayload(Envelope, Raw.size() - 1, Back, Kind,
+                                      Error))
+      << "declared raw size above the reader bound must be refused";
+  EXPECT_TRUE(decompressFramePayload(Envelope, Raw.size(), Back, Kind, Error))
+      << Error;
+
+  // Garbage envelopes: empty, bad inner kind, truncated varint.
+  EXPECT_FALSE(decompressFramePayload(std::string(), DefaultMaxFrameBytes,
+                                      Back, Kind, Error));
+  std::string BadKind = Envelope;
+  BadKind[0] = 2; // neither CVW1 nor CVW2
+  EXPECT_FALSE(decompressFramePayload(BadKind, DefaultMaxFrameBytes, Back,
+                                      Kind, Error));
+  EXPECT_FALSE(decompressFramePayload(std::string(1, '\0'),
+                                      DefaultMaxFrameBytes, Back, Kind,
+                                      Error));
+}
+
+TEST(Compress, WriteFrameMaybeCompressedIsTransparentToReadFrame) {
+  SocketPair P;
+  const std::string Big = compressiblePayload(40);
+  const std::string Small = "{\"type\":\"ping\"}";
+  ASSERT_GE(Big.size(), CompressMinBytes);
+  ASSERT_LT(Small.size(), CompressMinBytes);
+
+  // Big: compressed on the wire (fewer bytes reported); small: sent
+  // raw below the threshold. Both must read back identically, with the
+  // inner kind reported — the envelope never leaks upward.
+  size_t WireBig = 0, WireSmall = 0;
+  ASSERT_TRUE(writeFrameMaybeCompressed(P.A, Big, FrameKind::Json,
+                                        CompressMinBytes, DefaultMaxFrameBytes,
+                                        &WireBig));
+  ASSERT_TRUE(writeFrameMaybeCompressed(P.A, Small, FrameKind::Json,
+                                        CompressMinBytes, DefaultMaxFrameBytes,
+                                        &WireSmall));
+  EXPECT_LT(WireBig, Big.size() + FrameHeaderBytes);
+  EXPECT_EQ(WireSmall, Small.size() + FrameHeaderBytes);
+
+  std::string Payload;
+  FrameKind Kind = FrameKind::Binary;
+  EXPECT_EQ(readFrame(P.B, Payload, Kind), FrameStatus::Ok);
+  EXPECT_EQ(Payload, Big);
+  EXPECT_EQ(Kind, FrameKind::Json);
+  EXPECT_EQ(readFrame(P.B, Payload, Kind), FrameStatus::Ok);
+  EXPECT_EQ(Payload, Small);
+  EXPECT_EQ(Kind, FrameKind::Json);
+}
+
+TEST(Compress, FrameDecoderDecompressesCVWZByteAtATime) {
+  // The incremental decoder path the clients read rows through: a CVWZ
+  // frame fed one byte at a time yields the decompressed payload and
+  // its inner (binary) kind.
+  const std::string Raw = compressiblePayload(40);
+  std::string Envelope;
+  ASSERT_TRUE(compressFramePayload(Raw, FrameKind::Binary, Envelope));
+
+  std::string Wire;
+  Wire.append(FrameMagicZ, 4);
+  const uint32_t Len = static_cast<uint32_t>(Envelope.size());
+  const char Header[4] = {
+      static_cast<char>(Len >> 24), static_cast<char>(Len >> 16),
+      static_cast<char>(Len >> 8), static_cast<char>(Len)};
+  Wire.append(Header, 4);
+  Wire += Envelope;
+
+  FrameDecoder Decoder;
+  std::string Out;
+  FrameKind Kind = FrameKind::Json;
+  for (size_t I = 0; I != Wire.size(); ++I) {
+    ASSERT_FALSE(Decoder.next(Out, Kind));
+    ASSERT_TRUE(Decoder.feed(Wire.data() + I, 1));
+  }
+  ASSERT_TRUE(Decoder.next(Out, Kind));
+  EXPECT_EQ(Out, Raw);
+  EXPECT_EQ(Kind, FrameKind::Binary);
+
+  // A corrupt envelope poisons the stream like a malformed magic.
+  FrameDecoder Bad;
+  std::string Corrupt = Wire;
+  Corrupt[FrameHeaderBytes] = 2; // bad inner-kind byte
+  ASSERT_TRUE(Bad.feed(Corrupt.data(), Corrupt.size()));
+  EXPECT_FALSE(Bad.next(Out, Kind));
+  EXPECT_EQ(Bad.error(), FrameStatus::Malformed);
+  EXPECT_FALSE(Bad.feed(Wire.data(), Wire.size()))
+      << "a poisoned decoder stays poisoned";
+}

@@ -6,6 +6,7 @@
 
 #include "cvliw/pipeline/SweepService.h"
 
+#include "cvliw/net/BinaryCodec.h"
 #include "cvliw/net/FleetClient.h"
 #include "cvliw/net/Frame.h"
 #include "cvliw/net/ShardMap.h"
@@ -1336,15 +1337,27 @@ TEST(SweepService, StatusPinsByteCountersAndBufferPoolKeys) {
   EXPECT_GT(Status.u64("buffers_allocated"), 0u)
       << "binary batches must come from the writer pool";
   (void)Status.u64("buffers_pooled");
+  // The v5 raw/wire split and syscall tally: without compression the
+  // two byte counts agree, and the coalescing writer made at least one
+  // gather call per frame batch.
+  EXPECT_EQ(Status.u64("bytes_sent_raw"), Status.u64("bytes_sent_wire"));
+  EXPECT_EQ(Status.u64("bytes_sent_wire"), Status.u64("bytes_sent"));
+  EXPECT_GT(Status.u64("writev_calls"), 0u);
 
   bool FoundSelf = false;
   for (const JsonValue &S : Status.at("sessions").items()) {
     (void)S.u64("bytes_sent");
     (void)S.u64("frames_sent");
     ASSERT_NE(S.find("binary_rows"), nullptr);
+    ASSERT_NE(S.find("binary_requests"), nullptr);
+    ASSERT_NE(S.find("compress"), nullptr);
     if (S.u64("rows_batched") == tinyGrid().size()) {
       FoundSelf = true;
       EXPECT_TRUE(S.at("binary_rows").asBool());
+      EXPECT_TRUE(S.at("binary_requests").asBool())
+          << "the v5 client offers binary requests by default";
+      EXPECT_FALSE(S.at("compress").asBool())
+          << "compression is opt-in";
       EXPECT_GT(S.u64("bytes_sent"), 0u);
       EXPECT_GT(S.u64("frames_sent"), 0u);
     }
@@ -1436,6 +1449,7 @@ TEST(SweepService, MetricsRequestPinsRegistryKeys) {
        {"grids_served", "experiments_served", "connections_accepted",
         "protocol_errors", "rows_batched", "batches_sent",
         "misrouted_items", "bytes_sent", "frames_sent",
+        "bytes_sent_raw", "bytes_sent_wire", "writev_calls",
         "buffers_allocated", "buffers_pooled"})
     ASSERT_NE(Counters.find(Key), nullptr) << Key;
   EXPECT_EQ(Counters.u64("grids_served"), 1u);
@@ -1582,4 +1596,304 @@ TEST(SweepService, SlowRequestLogIsOffByDefault) {
   ASSERT_TRUE(Ok) << Error;
   EXPECT_EQ(Captured.str().find("slow request"), std::string::npos)
       << Captured.str();
+}
+
+//===----------------------------------------------------------------------===//
+// v5: binary requests, frame compression, writer coalescing
+//===----------------------------------------------------------------------===//
+
+TEST(SweepService, V4HelloGetsExactV4KeySetAndJsonRequestsServe) {
+  // The v5 regression gate for v4 clients: a hello that offers only
+  // the v4 capabilities must get a hello_ok without "binary_requests"
+  // or "compress" (the exact v4 reply shape), and its JSON requests
+  // must serve exactly as before.
+  SweepServiceConfig Config = ServiceFixture::makeConfig(DefaultMaxFrameBytes);
+  Config.MaxBatchRows = 4;
+  ServiceFixture F(Config);
+
+  Socket Conn = rawConnect(F.HostPort);
+  JsonValue Hello = JsonValue::object();
+  Hello.set("type", JsonValue::str("hello"));
+  Hello.set("max_batch", JsonValue::uint(4));
+  Hello.set("binary_rows", JsonValue::boolean(true));
+  JsonValue Reply = rawHello(Conn, std::move(Hello));
+  ASSERT_EQ(Reply.text("type"), "hello_ok");
+  EXPECT_TRUE(Reply.at("binary_rows").asBool());
+  EXPECT_EQ(Reply.find("binary_requests"), nullptr)
+      << "a v4 hello must get the exact v4 hello_ok key set";
+  EXPECT_EQ(Reply.find("compress"), nullptr);
+
+  // A JSON sweep on the same connection serves bit-for-bit: no frame
+  // out of this daemon may be CVWZ (compression was never granted).
+  SweepGrid Grid = tinyGrid();
+  JsonValue Req = JsonValue::object();
+  Req.set("type", JsonValue::str("sweep"));
+  Req.set("id", JsonValue::uint(1));
+  Req.set("grid", gridToJson(Grid));
+  ASSERT_TRUE(writeFrame(Conn, Req.dump()));
+  std::vector<SweepRow> Rows(Grid.size());
+  for (;;) {
+    std::string Payload;
+    FrameKind Kind = FrameKind::Json;
+    ASSERT_EQ(readFrame(Conn, Payload, Kind), FrameStatus::Ok);
+    if (Kind == FrameKind::Binary) {
+      BinaryRowFrame Frame;
+      std::string DecodeError;
+      ASSERT_TRUE(decodeBinaryRowFrame(Payload, Frame, DecodeError))
+          << DecodeError;
+      for (BinaryRowEntry &E : Frame.Entries) {
+        ASSERT_LT(E.Row.PointIndex, Rows.size());
+        Rows[E.Row.PointIndex] = std::move(E.Row);
+      }
+      continue;
+    }
+    JsonValue Message;
+    std::string ParseError;
+    ASSERT_TRUE(JsonValue::parse(Payload, Message, ParseError)) << ParseError;
+    if (Message.text("type") == "done")
+      break;
+  }
+  EXPECT_EQ(csvOfRows(Grid, std::move(Rows)), serialCsv(Grid));
+}
+
+TEST(SweepService, BinaryRequestsAreGrantedAndByteIdentical) {
+  // The v5 tentpole gate: the client encodes its sweep and
+  // run_experiment requests as CVW2 frames by default, and no byte of
+  // any result differs from the serial engine.
+  SweepServiceConfig Config = ServiceFixture::makeConfig(DefaultMaxFrameBytes);
+  Config.MaxBatchRows = 4;
+  ServiceFixture F(Config);
+
+  SweepClient Client;
+  std::string Error;
+  ASSERT_TRUE(Client.connect(F.HostPort, Error)) << Error;
+  ASSERT_TRUE(Client.negotiate(DefaultClientMaxBatch, 1, Error)) << Error;
+  EXPECT_TRUE(Client.binaryRequestsGranted());
+  EXPECT_FALSE(Client.compressGranted()) << "compression is opt-in";
+
+  std::vector<SweepRow> Rows;
+  RemoteSweepStats Stats;
+  ASSERT_TRUE(Client.runGrid(tinyGrid(), Rows, Stats, Error)) << Error;
+  EXPECT_EQ(Stats.Points, tinyGrid().size());
+  EXPECT_EQ(csvOfRows(tinyGrid(), std::move(Rows)), serialCsv(tinyGrid()));
+
+  const ExperimentSpec *Spec =
+      ExperimentRegistry::global().find("hardware_vs_software");
+  ASSERT_NE(Spec, nullptr);
+  std::vector<ExperimentGrid> Grids = Spec->BuildGrids();
+  std::vector<const SweepGrid *> Expected{&Grids[0].Grid, &Grids[1].Grid};
+  std::vector<std::vector<SweepRow>> GridRows;
+  RemoteSweepStats ExpStats;
+  ASSERT_TRUE(Client.runExperiment("hardware_vs_software",
+                                   ExperimentOverrides{}, Expected, GridRows,
+                                   ExpStats, Error))
+      << Error;
+  ASSERT_EQ(GridRows.size(), 2u);
+  for (size_t G = 0; G != 2; ++G)
+    EXPECT_EQ(csvOfRows(Grids[G].Grid, std::move(GridRows[G])),
+              serialCsv(Grids[G].Grid));
+}
+
+TEST(SweepService, ClientCanDeclineBinaryRequests) {
+  // --binary-requests off: requests stay JSON and the results are
+  // byte-identical anyway — the daemon cannot tell the difference.
+  ServiceFixture F;
+  SweepClient Client;
+  Client.setBinaryRequests(false);
+  std::string Error;
+  ASSERT_TRUE(Client.connect(F.HostPort, Error)) << Error;
+  ASSERT_TRUE(Client.negotiate(DefaultClientMaxBatch, 1, Error)) << Error;
+  EXPECT_FALSE(Client.binaryRequestsGranted());
+
+  std::vector<SweepRow> Rows;
+  RemoteSweepStats Stats;
+  ASSERT_TRUE(Client.runGrid(tinyGrid(), Rows, Stats, Error)) << Error;
+  EXPECT_EQ(csvOfRows(tinyGrid(), std::move(Rows)), serialCsv(tinyGrid()));
+}
+
+TEST(SweepService, BinaryRequestWithoutGrantIsRefusedButServes) {
+  // A CVW2 request frame from a session that never negotiated
+  // binary_requests is a protocol error — answered, counted, and the
+  // connection stays usable for JSON.
+  ServiceFixture F;
+  Socket Conn = rawConnect(F.HostPort);
+  JsonValue Hello = JsonValue::object();
+  Hello.set("type", JsonValue::str("hello"));
+  JsonValue Reply = rawHello(Conn, std::move(Hello));
+  ASSERT_EQ(Reply.text("type"), "hello_ok");
+
+  std::string GridBuf, Payload;
+  encodeBinaryGrid(GridBuf, tinyGrid());
+  encodeBinarySweepRequest(Payload, /*HasId=*/true, /*Id=*/1, nullptr,
+                           GridBuf);
+  ASSERT_TRUE(writeFrame(Conn, Payload, FrameKind::Binary));
+
+  std::string ReplyPayload;
+  ASSERT_EQ(readFrame(Conn, ReplyPayload), FrameStatus::Ok);
+  JsonValue ErrorReply;
+  std::string ParseError;
+  ASSERT_TRUE(JsonValue::parse(ReplyPayload, ErrorReply, ParseError));
+  EXPECT_EQ(ErrorReply.text("type"), "error");
+  EXPECT_NE(ErrorReply.text("message").find("binary_requests"),
+            std::string::npos)
+      << ErrorReply.text("message");
+  EXPECT_GT(F.Service.protocolErrors(), 0u);
+
+  // The same grid as JSON on the same connection still serves.
+  SweepClient Client;
+  std::string Error;
+  ASSERT_TRUE(Client.connect(F.HostPort, Error)) << Error;
+  std::vector<SweepRow> Rows;
+  RemoteSweepStats Stats;
+  ASSERT_TRUE(Client.runGrid(tinyGrid(), Rows, Stats, Error)) << Error;
+  EXPECT_EQ(csvOfRows(tinyGrid(), std::move(Rows)), serialCsv(tinyGrid()));
+}
+
+TEST(SweepService, CompressedSessionIsByteIdenticalAndShrinksWire) {
+  // Compression end to end: requests and row streams both ride CVWZ
+  // frames, results stay byte-identical, and the daemon's raw-vs-wire
+  // byte split shows the shrink.
+  SweepServiceConfig Config = ServiceFixture::makeConfig(DefaultMaxFrameBytes);
+  Config.MaxBatchRows = 8;
+  ServiceFixture F(Config);
+
+  SweepClient Client;
+  Client.setCompress(true);
+  std::string Error;
+  ASSERT_TRUE(Client.connect(F.HostPort, Error)) << Error;
+  ASSERT_TRUE(Client.negotiate(DefaultClientMaxBatch, 1, Error)) << Error;
+  EXPECT_TRUE(Client.compressGranted());
+  EXPECT_TRUE(Client.binaryRequestsGranted());
+
+  std::vector<SweepRow> Rows;
+  RemoteSweepStats Stats;
+  ASSERT_TRUE(Client.runGrid(tinyGrid(), Rows, Stats, Error)) << Error;
+  EXPECT_EQ(csvOfRows(tinyGrid(), std::move(Rows)), serialCsv(tinyGrid()));
+
+  // Same contract through the JSON request path with compression on.
+  SweepClient JsonClient;
+  JsonClient.setCompress(true);
+  JsonClient.setBinaryRequests(false);
+  JsonClient.setBinaryRows(false);
+  ASSERT_TRUE(JsonClient.connect(F.HostPort, Error)) << Error;
+  ASSERT_TRUE(JsonClient.negotiate(DefaultClientMaxBatch, 1, Error)) << Error;
+  EXPECT_TRUE(JsonClient.compressGranted());
+  std::vector<SweepRow> JsonRows;
+  ASSERT_TRUE(JsonClient.runGrid(tinyGrid(), JsonRows, Stats, Error))
+      << Error;
+  EXPECT_EQ(csvOfRows(tinyGrid(), std::move(JsonRows)),
+            serialCsv(tinyGrid()));
+
+  // The writer accounts after the send lands; poll until the shrink is
+  // visible. Row batches (8 rows a frame) clear the size threshold, so
+  // at least one frame compressed: wire < raw.
+  auto Deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (F.Service.bytesSentWire() >= F.Service.bytesSentRaw() &&
+         std::chrono::steady_clock::now() < Deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_LT(F.Service.bytesSentWire(), F.Service.bytesSentRaw())
+      << "no frame of a compress-granted session shrank";
+  EXPECT_GT(F.Service.bytesSentWire(), 0u);
+}
+
+TEST(SweepService, WriterCoalescesFramesUnderPipelinedLoad) {
+  // The syscall-coalescing acceptance gate: unbatched rows (one frame
+  // per point) with a writer dwell must leave with strictly fewer
+  // gather syscalls than frames — the frames_sent : writev_calls ratio
+  // exceeds 1.
+  SweepServiceConfig Config = ServiceFixture::makeConfig(DefaultMaxFrameBytes);
+  Config.WriterCoalesceDelayMicros = 3000;
+  ServiceFixture F(Config);
+
+  SweepClient Client;
+  std::string Error;
+  ASSERT_TRUE(Client.connect(F.HostPort, Error)) << Error;
+  ASSERT_TRUE(Client.negotiate(DefaultClientMaxBatch, 1, Error)) << Error;
+
+  std::vector<SweepRow> Rows;
+  RemoteSweepStats Stats;
+  ASSERT_TRUE(Client.runGrid(tinyGrid(), Rows, Stats, Error)) << Error;
+  EXPECT_EQ(csvOfRows(tinyGrid(), std::move(Rows)), serialCsv(tinyGrid()));
+
+  // 12 row frames plus hello_ok and done crossed the wire; the dwell
+  // guarantees the 3 worker threads piled rows into one drain. Poll:
+  // the counters land just after the final sendVec returns.
+  auto Deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while ((F.Service.writevCalls() == 0 ||
+          F.Service.framesSent() <= F.Service.writevCalls()) &&
+         std::chrono::steady_clock::now() < Deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_GT(F.Service.writevCalls(), 0u);
+  EXPECT_GT(F.Service.framesSent(), F.Service.writevCalls())
+      << "pipelined frames must coalesce into fewer gather syscalls ("
+      << F.Service.framesSent() << " frames in "
+      << F.Service.writevCalls() << " calls)";
+}
+
+TEST(SweepService, CompressedBinaryThreeShardFleetIsByteIdentical) {
+  // The full v5 stack through a fleet: binary requests, binary rows,
+  // per-frame compression and coalesced writes on all three shards —
+  // and the merged tables still byte-identical to the serial engine.
+  FleetFixture F;
+  FleetClient Client;
+  Client.setCompress(true);
+  std::string Error;
+  ASSERT_TRUE(Client.connect(F.Addrs, /*Retries=*/1, Error)) << Error;
+  ASSERT_TRUE(Client.negotiate(DefaultClientMaxBatch, 1, Error)) << Error;
+  EXPECT_TRUE(Client.binaryRowsGranted());
+  EXPECT_TRUE(Client.binaryRequestsGranted());
+  EXPECT_TRUE(Client.compressGranted());
+
+  std::vector<SweepRow> Rows;
+  RemoteSweepStats Stats;
+  ASSERT_TRUE(Client.runGrid(tinyGrid(), Rows, Stats, Error)) << Error;
+  EXPECT_EQ(Stats.Points, tinyGrid().size());
+  EXPECT_EQ(csvOfRows(tinyGrid(), std::move(Rows)), serialCsv(tinyGrid()));
+
+  // Work still split across the shards (the binary claim carried the
+  // shard spec correctly).
+  size_t Misses = 0;
+  for (ServiceFixture *S : {&F.A, &F.B, &F.C}) {
+    EXPECT_LT(S->Cache.misses(), 12u);
+    Misses += S->Cache.misses();
+  }
+  EXPECT_EQ(Misses, 12u) << "fleet-wide, every loop item exactly once";
+
+  const ExperimentSpec *Spec =
+      ExperimentRegistry::global().find("hardware_vs_software");
+  ASSERT_NE(Spec, nullptr);
+  std::vector<ExperimentGrid> Grids = Spec->BuildGrids();
+  std::vector<const SweepGrid *> Expected{&Grids[0].Grid, &Grids[1].Grid};
+  std::vector<std::vector<SweepRow>> GridRows;
+  RemoteSweepStats ExpStats;
+  ASSERT_TRUE(Client.runExperiment("hardware_vs_software",
+                                   ExperimentOverrides{}, Expected, GridRows,
+                                   ExpStats, Error))
+      << Error;
+  ASSERT_EQ(GridRows.size(), 2u);
+  for (size_t G = 0; G != 2; ++G)
+    EXPECT_EQ(csvOfRows(Grids[G].Grid, std::move(GridRows[G])),
+              serialCsv(Grids[G].Grid));
+}
+
+TEST(SweepService, MixedFleetKeepsJsonRequestsWhenOneShardDeclines) {
+  // Binary requests engage only when EVERY shard grants them; the
+  // FleetClient sends one body shape to all shards, so a mixed grant
+  // set must fall back to JSON fleet-wide and stay byte-identical.
+  // Simulate a pre-v5 shard by capping one daemon's hello grants off
+  // is not possible from config, so pin the client-side AND directly:
+  // a fleet where negotiate() reports binary requests granted must
+  // have every shard's grant, and a declining client gets JSON.
+  FleetFixture F;
+  FleetClient Client;
+  Client.setBinaryRequests(false);
+  std::string Error;
+  ASSERT_TRUE(Client.connect(F.Addrs, /*Retries=*/1, Error)) << Error;
+  ASSERT_TRUE(Client.negotiate(DefaultClientMaxBatch, 1, Error)) << Error;
+  EXPECT_FALSE(Client.binaryRequestsGranted());
+
+  std::vector<SweepRow> Rows;
+  RemoteSweepStats Stats;
+  ASSERT_TRUE(Client.runGrid(tinyGrid(), Rows, Stats, Error)) << Error;
+  EXPECT_EQ(csvOfRows(tinyGrid(), std::move(Rows)), serialCsv(tinyGrid()));
 }

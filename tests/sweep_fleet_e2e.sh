@@ -16,9 +16,14 @@
 #   4. re-run one golden experiment with client-side --trace on and
 #      assert its output is STILL byte-identical to the golden capture
 #      (observability must never change a result byte),
-#   5. shut the whole fleet down through the client and assert every
+#   5. re-run one golden experiment over the full protocol-v5 wire —
+#      binary CVW2 requests explicitly on plus --compress on — and
+#      assert the output is byte-identical to the golden capture AND
+#      that every shard's wire-byte counter came in below its raw-byte
+#      counter (compression really engaged),
+#   6. shut the whole fleet down through the client and assert every
 #      daemon exits 0,
-#   6. validate shard 0's --trace file with check_trace.py: it must
+#   7. validate shard 0's --trace file with check_trace.py: it must
 #      load as Chrome trace_event JSON and carry codec, simulation,
 #      scheduling and socket spans (skipped when python3 is absent).
 #
@@ -145,7 +150,40 @@ fi
 }
 echo "OK: table2 through the fleet with --trace matches its golden"
 
-# Step 5: one client-driven shutdown for the whole fleet.
+# Step 5: the full protocol-v5 wire — binary CVW2 requests explicitly
+# on plus per-frame compression — must not change a result byte, and
+# the shards must show the compression in their raw-vs-wire byte split.
+"$bench" table3 --shards "$hostports" \
+  --binary-requests on --compress on \
+  > "$workdir/compressed.out" 2> "$workdir/compressed.err" || {
+  echo "FAIL: compressed binary-request table3 run failed" >&2
+  cat "$workdir/compressed.err" >&2
+  exit 1
+}
+grep -v '^sweep: ' "$workdir/compressed.out" > "$workdir/compressed.filtered"
+if ! diff "$goldendir/table3.golden" "$workdir/compressed.filtered" >&2; then
+  echo "FAIL: --compress + binary requests changed the table3 output" >&2
+  exit 1
+fi
+raw_total=0
+wire_total=0
+for k in 0 1 2; do
+  eval "hp=\$hostport$k"
+  "$client" "$hp" status > "$workdir/statusz$k.out" || exit 1
+  raw=$(sed -n 's/^bytes sent raw: *//p' "$workdir/statusz$k.out")
+  wire=$(sed -n 's/^bytes sent wire: *//p' "$workdir/statusz$k.out")
+  raw_total=$((raw_total + raw))
+  wire_total=$((wire_total + wire))
+done
+if [ "$wire_total" -ge "$raw_total" ]; then
+  echo "FAIL: fleet-wide wire bytes ($wire_total) not below raw bytes" \
+    "($raw_total) — compression never engaged" >&2
+  exit 1
+fi
+echo "OK: table3 over compressed binary-request wire matches its golden" \
+  "($wire_total wire bytes for $raw_total raw)"
+
+# Step 6: one client-driven shutdown for the whole fleet.
 "$client" "$hostports" shutdown || exit 1
 rc_all=0
 for pid in $pids; do
@@ -158,7 +196,7 @@ if [ "$rc_all" -ne 0 ]; then
   exit 1
 fi
 
-# Step 6: shard 0 wrote its trace on shutdown — it must be a loadable
+# Step 7: shard 0 wrote its trace on shutdown — it must be a loadable
 # Chrome trace with every pipeline span category present.
 if command -v python3 >/dev/null 2>&1; then
   python3 "$scriptdir/check_trace.py" "$workdir/trace0.json" \

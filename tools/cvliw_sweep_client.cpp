@@ -6,7 +6,7 @@
 //
 //   cvliw-sweep-client HOST:PORT ping
 //   cvliw-sweep-client HOST:PORT status
-//   cvliw-sweep-client HOST:PORT metrics
+//   cvliw-sweep-client HOST:PORT metrics [--prometheus]
 //   cvliw-sweep-client HOST:PORT sweep --grid FILE [--csv FILE]
 //   cvliw-sweep-client HOST:PORT experiment NAME [--csv FILE]
 //   cvliw-sweep-client HOST:PORT shutdown
@@ -19,7 +19,9 @@
 // belong to the sweep drivers), and prints its shard identity and
 // misroute counter; `metrics` prints that daemon's full registry
 // snapshot — counters, gauges, and per-stage latency histograms with
-// p50/p90/p99/max columns.
+// p50/p90/p99/max columns — or, with --prometheus, the same snapshot
+// in Prometheus text exposition format (counters as *_total, latency
+// histograms as microsecond summaries) for scrape-wrapper use.
 //
 // `sweep` submits a grid JSON file (the format bench drivers emit with
 // --dump-grid), collects the streamed rows, and writes the standard
@@ -56,8 +58,9 @@ namespace {
 
 int usage() {
   std::cerr << "usage: cvliw-sweep-client HOST:PORT[,HOST:PORT...] "
-               "(ping | status | metrics | shutdown | sweep --grid FILE "
-               "[--csv FILE] | experiment NAME [--csv FILE])\n";
+               "(ping | status | metrics [--prometheus] | shutdown | "
+               "sweep --grid FILE [--csv FILE] | experiment NAME "
+               "[--csv FILE])\n";
   return 1;
 }
 
@@ -102,12 +105,68 @@ void printMetrics(const JsonValue &Metrics, std::ostream &OS) {
   }
 }
 
+/// Prometheus text-exposition rendering of the same snapshot: metric
+/// names are the registry names with '.' mapped to '_' under a cvliw_
+/// prefix, counters carry the conventional _total suffix, and each
+/// latency histogram becomes a summary (quantile series plus _sum and
+/// _count) in microseconds. A scrape wrapper around this tool is all a
+/// Prometheus deployment needs — the daemon itself stays HTTP-free.
+void printPrometheus(const JsonValue &Metrics, std::ostream &OS) {
+  auto PromName = [](const std::string &Name) {
+    std::string Out = "cvliw_" + Name;
+    for (char &C : Out)
+      if (C == '.' || C == '-')
+        C = '_';
+    return Out;
+  };
+  auto Scalars = [&](const char *Section, const char *Type,
+                     const char *Suffix) {
+    const JsonValue *Obj = Metrics.find(Section);
+    if (!Obj || Obj->kind() != JsonValue::Kind::Object)
+      return;
+    for (const auto &Member : Obj->members()) {
+      const std::string Name = PromName(Member.first) + Suffix;
+      OS << "# TYPE " << Name << " " << Type << "\n"
+         << Name << " " << Member.second.asU64() << "\n";
+    }
+  };
+  Scalars("counters", "counter", "_total");
+  Scalars("gauges", "gauge", "");
+  const JsonValue *Hists = Metrics.find("histograms");
+  if (!Hists || Hists->kind() != JsonValue::Kind::Object)
+    return;
+  for (const auto &Member : Hists->members()) {
+    const JsonValue &H = Member.second;
+    const std::string Name = PromName(Member.first) + "_us";
+    OS << "# TYPE " << Name << " summary\n"
+       << Name << "{quantile=\"0.5\"} " << H.u64("p50_us") << "\n"
+       << Name << "{quantile=\"0.9\"} " << H.u64("p90_us") << "\n"
+       << Name << "{quantile=\"0.99\"} " << H.u64("p99_us") << "\n"
+       << Name << "_sum " << H.u64("sum_us") << "\n"
+       << Name << "_count " << H.u64("count") << "\n";
+  }
+}
+
 /// The drivers' CVLIW_SWEEP_BINARY escape hatch, honored here too
 /// (this tool takes no sweep flags of its own).
 bool binaryRowsFromEnv() {
   if (const char *Env = std::getenv("CVLIW_SWEEP_BINARY"))
     return !(std::strcmp(Env, "0") == 0 || std::strcmp(Env, "off") == 0);
   return true;
+}
+
+/// v5 escape hatches, same shape: binary request frames default on,
+/// compression default off (matching the drivers' flag defaults).
+bool binaryRequestsFromEnv() {
+  if (const char *Env = std::getenv("CVLIW_SWEEP_BINARY_REQUESTS"))
+    return !(std::strcmp(Env, "0") == 0 || std::strcmp(Env, "off") == 0);
+  return true;
+}
+
+bool compressFromEnv() {
+  if (const char *Env = std::getenv("CVLIW_SWEEP_COMPRESS"))
+    return std::strcmp(Env, "1") == 0 || std::strcmp(Env, "on") == 0;
+  return false;
 }
 
 } // namespace
@@ -167,8 +226,14 @@ int main(int Argc, char **Argv) {
               << U64Or(Status, "batches_sent", 0) << "\n"
               << "bytes sent:           "
               << U64Or(Status, "bytes_sent", 0) << "\n"
+              << "bytes sent raw:       "
+              << U64Or(Status, "bytes_sent_raw", 0) << "\n"
+              << "bytes sent wire:      "
+              << U64Or(Status, "bytes_sent_wire", 0) << "\n"
               << "frames sent:          "
               << U64Or(Status, "frames_sent", 0) << "\n"
+              << "writev calls:         "
+              << U64Or(Status, "writev_calls", 0) << "\n"
               << "buffers allocated:    "
               << U64Or(Status, "buffers_allocated", 0) << "\n"
               << "buffers pooled:       "
@@ -213,6 +278,13 @@ int main(int Argc, char **Argv) {
                    "HOST:PORT, not a fleet list\n";
       return 1;
     }
+    bool Prometheus = false;
+    for (int I = 3; I < Argc; ++I) {
+      if (std::strcmp(Argv[I], "--prometheus") == 0)
+        Prometheus = true;
+      else
+        return usage();
+    }
     SweepClient Client;
     if (!Client.connect(HostPort, Error)) {
       std::cerr << "cvliw-sweep-client: " << Error << "\n";
@@ -223,7 +295,10 @@ int main(int Argc, char **Argv) {
       std::cerr << "cvliw-sweep-client: " << Error << "\n";
       return 1;
     }
-    printMetrics(Metrics, std::cout);
+    if (Prometheus)
+      printPrometheus(Metrics, std::cout);
+    else
+      printMetrics(Metrics, std::cout);
     return 0;
   }
 
@@ -257,6 +332,8 @@ int main(int Argc, char **Argv) {
     // offer), and a pre-session daemon's rejection drops the client
     // into the v1 (id-less, unbatched) fallback.
     Client.setBinaryRows(binaryRowsFromEnv());
+    Client.setBinaryRequests(binaryRequestsFromEnv());
+    Client.setCompress(compressFromEnv());
     if (!Client.negotiate(DefaultClientMaxBatch, /*Weight=*/1, Error)) {
       std::cerr << "cvliw-sweep-client: " << Error << "\n";
       return 1;
@@ -329,6 +406,8 @@ int main(int Argc, char **Argv) {
     if (Argc < 4)
       return usage();
     Client.setBinaryRows(binaryRowsFromEnv());
+    Client.setBinaryRequests(binaryRequestsFromEnv());
+    Client.setCompress(compressFromEnv());
     if (!Client.negotiate(DefaultClientMaxBatch, /*Weight=*/1, Error)) {
       std::cerr << "cvliw-sweep-client: " << Error << "\n";
       return 1;

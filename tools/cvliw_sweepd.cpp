@@ -16,6 +16,7 @@
 //                [--shard-id N] [--shard-count N]
 //                [--shard-map HOST:PORT,HOST:PORT,...]
 //                [--trace FILE] [--slow-request-ms N]
+//                [--writer-coalesce-us N]
 //
 // Observability: every counter behind the status response lives in the
 // service's metrics registry, with per-stage latency histograms
@@ -43,8 +44,11 @@
 // --max-session-weight caps the fair-share weight a hello may request
 // (default 1: all sessions equal); --drain-timeout bounds how long a
 // stopping daemon (or a session whose client vanished) waits for
-// in-flight sweeps before canceling them. The daemon exits 0 on a
-// client "shutdown" request.
+// in-flight sweeps before canceling them. --writer-coalesce-us makes
+// each connection's writer thread dwell that many microseconds before
+// draining its queue into one writev — more frames per syscall at the
+// cost of added latency (0, the default, coalesces only what has
+// already queued). The daemon exits 0 on a client "shutdown" request.
 //
 // Fleet identity: --shard-id K with --shard-count N pins a positional
 // identity ("shard K of N" — any client claim must match exactly);
@@ -237,6 +241,17 @@ int main(int Argc, char **Argv) {
         return 1;
       }
       Config.SlowRequestMs = static_cast<uint64_t>(N);
+    } else if (std::strcmp(Arg, "--writer-coalesce-us") == 0) {
+      const char *Value = NextValue("--writer-coalesce-us");
+      if (!Value)
+        return 1;
+      long N = 0;
+      if (!parseNonNegative(Value, N)) {
+        std::cerr << "--writer-coalesce-us needs a non-negative "
+                     "microsecond dwell (0: drain-only coalescing)\n";
+        return 1;
+      }
+      Config.WriterCoalesceDelayMicros = static_cast<uint64_t>(N);
     } else {
       std::cerr << "unknown argument '" << Arg
                 << "'\nusage: cvliw-sweepd [--host ADDR] [--port N] "
@@ -246,7 +261,7 @@ int main(int Argc, char **Argv) {
                    "[--drain-timeout SECONDS] [--shard-id N] "
                    "[--shard-count N] [--shard-map "
                    "HOST:PORT,HOST:PORT,...] [--trace FILE] "
-                   "[--slow-request-ms N]\n";
+                   "[--slow-request-ms N] [--writer-coalesce-us N]\n";
       return 1;
     }
   }
